@@ -1,0 +1,172 @@
+//! Figure 6: tracking flows rolled up to continents. The paper's findings:
+//! Europe is the only continent receiving significant inward flows from
+//! every other region ("central hub"), Africa receives no inward flow from
+//! any other region, and North America originates essentially nothing.
+
+use crate::dataset::StudyDataset;
+use crate::flows::figure5;
+use gamma_geo::Continent;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Continent-level flow matrix (website counts).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ContinentFlows {
+    pub flows: HashMap<(Continent, Continent), usize>,
+}
+
+impl ContinentFlows {
+    /// Distinct source continents flowing into `dest` (excluding itself).
+    pub fn inward_sources(&self, dest: Continent) -> Vec<Continent> {
+        let mut v: Vec<Continent> = self
+            .flows
+            .iter()
+            .filter(|((s, d), n)| *d == dest && *s != dest && **n > 0)
+            .map(|((s, _), _)| *s)
+            .collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// Total outward websites from a continent to other continents.
+    pub fn outward_volume(&self, src: Continent) -> usize {
+        self.flows
+            .iter()
+            .filter(|((s, d), _)| *s == src && *d != src)
+            .map(|(_, n)| n)
+            .sum()
+    }
+
+    /// Total inward websites from other continents.
+    pub fn inward_volume(&self, dest: Continent) -> usize {
+        self.flows
+            .iter()
+            .filter(|((s, d), _)| *d == dest && *s != dest)
+            .map(|(_, n)| n)
+            .sum()
+    }
+
+    /// Intra-continent volume.
+    pub fn internal_volume(&self, c: Continent) -> usize {
+        self.flows.get(&(c, c)).copied().unwrap_or(0)
+    }
+}
+
+/// Computes Figure 6 by rolling up the Figure 5 matrix.
+pub fn figure6(study: &StudyDataset) -> ContinentFlows {
+    let country_flows = figure5(study);
+    let mut out = ContinentFlows::default();
+    for ((src, dst), n) in &country_flows.website_flows {
+        let (Some(cs), Some(cd)) = (gamma_geo::country(*src), gamma_geo::country(*dst)) else {
+            continue;
+        };
+        *out.flows.entry((cs.continent, cd.continent)).or_default() += n;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::testutil::fixture;
+
+    #[test]
+    fn europe_is_the_central_hub() {
+        let f = figure6(&fixture().study);
+        let sources = f.inward_sources(Continent::Europe);
+        // Paper: "Only Europe receives significant inward non-local tracker
+        // flows from all other continents."
+        assert!(
+            sources.len() >= 4,
+            "Europe receives from only {sources:?}"
+        );
+        for required in [Continent::Africa, Continent::Asia] {
+            assert!(sources.contains(&required), "Europe missing {required}");
+        }
+        // And Europe's inward volume dominates every other continent's.
+        let eu = f.inward_volume(Continent::Europe);
+        for c in Continent::ALL {
+            if c != Continent::Europe {
+                assert!(
+                    eu >= f.inward_volume(c),
+                    "{c} inward {} > Europe {eu}",
+                    f.inward_volume(c)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn africa_has_no_inward_flow_from_other_continents() {
+        let f = figure6(&fixture().study);
+        assert!(
+            f.inward_sources(Continent::Africa).is_empty(),
+            "Africa receives inward flow from {:?}",
+            f.inward_sources(Continent::Africa)
+        );
+        // But Africa does keep some flow inside the continent (the
+        // Uganda/Rwanda -> Kenya pattern).
+        assert!(f.internal_volume(Continent::Africa) > 10);
+    }
+
+    #[test]
+    fn north_america_transmits_almost_nothing() {
+        let f = figure6(&fixture().study);
+        // USA and Canada have no outward flows; any residue would come
+        // from database noise surviving the constraints.
+        assert!(
+            f.outward_volume(Continent::NorthAmerica) <= 2,
+            "NA outward {}",
+            f.outward_volume(Continent::NorthAmerica)
+        );
+    }
+
+    #[test]
+    fn oceania_flow_stays_mostly_internal() {
+        // New Zealand -> Australia dominates Oceania (§6.4): the internal
+        // flow is thicker than the flow to any single other continent.
+        let f = figure6(&fixture().study);
+        let internal = f.internal_volume(Continent::Oceania);
+        for dst in Continent::ALL {
+            if dst == Continent::Oceania {
+                continue;
+            }
+            let out = f.flows.get(&(Continent::Oceania, dst)).copied().unwrap_or(0);
+            assert!(internal > out, "Oceania->{dst}: {out} >= internal {internal}");
+        }
+    }
+
+    #[test]
+    fn south_america_flow_stays_mostly_internal() {
+        let f = figure6(&fixture().study);
+        let internal = f.internal_volume(Continent::SouthAmerica);
+        assert!(internal > 0, "AR->BR flow missing");
+        // The internal flow beats the flow to any single other continent
+        // (Fig. 6: the majority of the tracker flow stays within the
+        // continent).
+        for dst in Continent::ALL {
+            if dst == Continent::SouthAmerica {
+                continue;
+            }
+            let out = f.flows.get(&(Continent::SouthAmerica, dst)).copied().unwrap_or(0);
+            assert!(internal > out, "SA->{dst}: {out} >= internal {internal}");
+        }
+    }
+
+    #[test]
+    fn asia_sends_most_flow_to_europe_then_asia() {
+        let f = figure6(&fixture().study);
+        let to_eu = f.flows.get(&(Continent::Asia, Continent::Europe)).copied().unwrap_or(0);
+        let internal = f.internal_volume(Continent::Asia);
+        assert!(to_eu > 0 && internal > 0);
+        // §6.4: Asia's majority goes to Europe, followed by Asia itself.
+        assert!(
+            to_eu + internal
+                > f.outward_volume(Continent::Asia) + f.internal_volume(Continent::Asia)
+                    - to_eu
+                    - internal,
+            "Europe+Asia should dominate Asia's destinations"
+        );
+    }
+}

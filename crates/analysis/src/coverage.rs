@@ -1,0 +1,108 @@
+//! Figure 2: target-list composition (a) and load coverage (b).
+
+use crate::dataset::StudyDataset;
+use gamma_geo::CountryCode;
+use gamma_websim::SiteKind;
+use serde::{Deserialize, Serialize};
+
+/// One country's Figure 2 row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoverageRow {
+    pub country: CountryCode,
+    /// Regional sites in T_web (Fig. 2a).
+    pub t_reg: usize,
+    /// Government sites in T_web (Fig. 2a).
+    pub t_gov: usize,
+    /// Pages Gamma attempted.
+    pub attempted: usize,
+    /// Pages it loaded and recorded (Fig. 2b numerator).
+    pub loaded: usize,
+}
+
+impl CoverageRow {
+    /// Fig. 2b's percentage.
+    pub fn coverage_pct(&self) -> f64 {
+        if self.attempted == 0 {
+            return 0.0;
+        }
+        100.0 * self.loaded as f64 / self.attempted as f64
+    }
+}
+
+/// Computes Figure 2 over the assembled study.
+pub fn figure2(study: &StudyDataset) -> Vec<CoverageRow> {
+    study
+        .countries
+        .iter()
+        .map(|c| {
+            let t_reg = c.sites.iter().filter(|s| s.kind == SiteKind::Regional).count();
+            let t_gov = c
+                .sites
+                .iter()
+                .filter(|s| s.kind == SiteKind::Government)
+                .count();
+            CoverageRow {
+                country: c.country,
+                t_reg,
+                t_gov,
+                attempted: c.sites.len(),
+                loaded: c.sites.iter().filter(|s| s.loaded).count(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::testutil::fixture;
+
+    #[test]
+    fn most_countries_load_over_86_percent() {
+        let rows = figure2(&fixture().study);
+        assert_eq!(rows.len(), 23);
+        let low: Vec<_> = rows
+            .iter()
+            .filter(|r| r.coverage_pct() <= 77.0)
+            .map(|r| r.country.as_str().to_string())
+            .collect();
+        // §5: only Japan and Saudi Arabia fall clearly below the pack.
+        for c in &low {
+            assert!(["JP", "SA"].contains(&c.as_str()), "unexpected low coverage in {c}");
+        }
+        assert!(low.contains(&"JP".to_string()));
+        assert!(low.contains(&"SA".to_string()));
+    }
+
+    #[test]
+    fn japan_and_saudi_match_reported_levels() {
+        let rows = figure2(&fixture().study);
+        let pct = |cc: &str| {
+            rows.iter()
+                .find(|r| r.country.as_str() == cc)
+                .unwrap()
+                .coverage_pct()
+        };
+        assert!((48.0..78.0).contains(&pct("JP")), "JP {}", pct("JP"));
+        assert!((42.0..70.0).contains(&pct("SA")), "SA {}", pct("SA"));
+    }
+
+    #[test]
+    fn sparse_gov_countries_show_in_fig2a() {
+        let rows = figure2(&fixture().study);
+        let gov = |cc: &str| rows.iter().find(|r| r.country.as_str() == cc).unwrap().t_gov;
+        // Lebanon, Russia, Algeria had few gov sites (§5/Fig 2a).
+        assert!(gov("LB") < 25, "LB gov {}", gov("LB"));
+        assert!(gov("RU") < 30, "RU gov {}", gov("RU"));
+        assert!(gov("DZ") < 30, "DZ gov {}", gov("DZ"));
+        assert_eq!(gov("US"), 50);
+    }
+
+    #[test]
+    fn total_targets_match_paper_scale() {
+        let rows = figure2(&fixture().study);
+        let total: usize = rows.iter().map(|r| r.t_reg + r.t_gov).sum();
+        // ~1987 after opt-outs in the paper.
+        assert!((1650..2400).contains(&total), "total targets {total}");
+    }
+}

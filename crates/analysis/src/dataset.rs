@@ -1,0 +1,341 @@
+//! Assembling the analyzable dataset.
+//!
+//! Joins, per country: the volunteer's raw dataset, the geolocation
+//! verdicts, tracker identification, organization attribution and
+//! first/third-party classification — after stripping the webdriver
+//! artifact requests exactly as §5 describes.
+
+use gamma_browser::is_webdriver_noise;
+use gamma_dns::DomainName;
+use gamma_geo::{CityId, Continent, CountryCode};
+use gamma_geoloc::{Classification, FunnelStats, GeolocReport};
+use gamma_suite::VolunteerDataset;
+use gamma_trackers::TrackerClassifier;
+use gamma_websim::{SiteKind, World};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One confirmed non-local tracker observation on a site.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NonlocalTracker {
+    /// The requested tracker host (domains are full host strings, §6.2).
+    pub request: DomainName,
+    /// Where the pipeline concluded the server is.
+    pub claimed_city: CityId,
+    /// Owning organization, when attribution succeeded.
+    pub org: Option<String>,
+    /// HQ country of the organization.
+    pub org_hq: Option<CountryCode>,
+    /// First-party (same organization as the site, §6.7)?
+    pub first_party: bool,
+}
+
+impl NonlocalTracker {
+    /// Country the tracker is hosted in (per the confirmed claim).
+    pub fn hosting_country(&self) -> CountryCode {
+        gamma_geo::city(self.claimed_city).country
+    }
+}
+
+/// One target website's analysis row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SiteRecord {
+    pub domain: DomainName,
+    pub kind: SiteKind,
+    pub loaded: bool,
+    /// Confirmed non-local trackers, deduplicated by requested host.
+    pub nonlocal_trackers: Vec<NonlocalTracker>,
+}
+
+impl SiteRecord {
+    pub fn has_nonlocal_tracker(&self) -> bool {
+        !self.nonlocal_trackers.is_empty()
+    }
+}
+
+/// One measurement country's assembled data.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CountryData {
+    pub country: CountryCode,
+    pub continent: Continent,
+    pub sites: Vec<SiteRecord>,
+    pub funnel: FunnelStats,
+    /// Requests dropped as webdriver noise (§5's cleanup).
+    pub noise_requests_removed: usize,
+    /// Unique requested domains confirmed non-local (tracker or not) —
+    /// the "≈4.7K non-local domains" stage of §5's funnel.
+    pub confirmed_nonlocal_domains: usize,
+    /// Of those, unique domains identified as trackers ("≈2.7K were
+    /// associated with trackers").
+    pub confirmed_tracker_domains: usize,
+}
+
+impl CountryData {
+    /// Sites of a kind that loaded successfully (the denominators of
+    /// Figures 3/4 are recorded sites).
+    pub fn loaded_sites(&self, kind: SiteKind) -> impl Iterator<Item = &SiteRecord> {
+        self.sites
+            .iter()
+            .filter(move |s| s.kind == kind && s.loaded)
+    }
+
+    /// All loaded sites regardless of kind.
+    pub fn all_loaded_sites(&self) -> impl Iterator<Item = &SiteRecord> {
+        self.sites.iter().filter(|s| s.loaded)
+    }
+}
+
+/// The full study: one entry per measurement country, in spec order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StudyDataset {
+    pub countries: Vec<CountryData>,
+}
+
+impl StudyDataset {
+    /// Assembles the dataset from per-country raw data + verdicts.
+    pub fn assemble(
+        world: &World,
+        classifier: &TrackerClassifier,
+        runs: &[(VolunteerDataset, GeolocReport)],
+    ) -> StudyDataset {
+        let countries = runs
+            .iter()
+            .map(|(ds, report)| assemble_country(world, classifier, ds, report))
+            .collect();
+        StudyDataset { countries }
+    }
+
+    pub fn country(&self, code: CountryCode) -> Option<&CountryData> {
+        self.countries.iter().find(|c| c.country == code)
+    }
+}
+
+fn assemble_country(
+    world: &World,
+    classifier: &TrackerClassifier,
+    ds: &VolunteerDataset,
+    report: &GeolocReport,
+) -> CountryData {
+    let country = ds.volunteer.country;
+    let continent = gamma_geo::country(country)
+        .map(|c| c.continent)
+        .expect("measurement country is cataloged");
+
+    // Site kind lookup from the world's target list.
+    let mut kind_of: HashMap<&DomainName, SiteKind> = HashMap::new();
+    if let Some(targets) = world.targets.get(&country) {
+        for sid in &targets.regional {
+            kind_of.insert(&world.site(*sid).domain, SiteKind::Regional);
+        }
+        for sid in &targets.government {
+            kind_of.insert(&world.site(*sid).domain, SiteKind::Government);
+        }
+    }
+
+    // Start from the page loads so never-confirmed sites still appear.
+    let mut sites: Vec<SiteRecord> = Vec::new();
+    let mut site_index: HashMap<DomainName, usize> = HashMap::new();
+    for load in &ds.loads {
+        if site_index.contains_key(&load.site) {
+            continue;
+        }
+        let kind = kind_of
+            .get(&load.site)
+            .copied()
+            .unwrap_or(SiteKind::Regional);
+        site_index.insert(load.site.clone(), sites.len());
+        sites.push(SiteRecord {
+            domain: load.site.clone(),
+            kind,
+            loaded: load.succeeded(),
+            nonlocal_trackers: Vec::new(),
+        });
+    }
+
+    // Join verdicts with tracker identification.
+    let mut noise_removed = 0usize;
+    let mut seen: std::collections::HashSet<(DomainName, DomainName)> =
+        std::collections::HashSet::new();
+    let mut confirmed_domains: std::collections::HashSet<&DomainName> =
+        std::collections::HashSet::new();
+    let mut confirmed_tracker_set: std::collections::HashSet<&DomainName> =
+        std::collections::HashSet::new();
+    for v in &report.verdicts {
+        if is_webdriver_noise(&v.request) {
+            noise_removed += 1;
+            continue;
+        }
+        let Classification::ConfirmedNonLocal { claimed } = v.classification else {
+            continue;
+        };
+        confirmed_domains.insert(&v.request);
+        if !classifier.identify(&v.request, &v.site).is_tracker() {
+            continue;
+        }
+        confirmed_tracker_set.insert(&v.request);
+        if !seen.insert((v.site.clone(), v.request.clone())) {
+            continue;
+        }
+        let Some(&idx) = site_index.get(&v.site) else {
+            continue;
+        };
+        let org_entry = classifier.orgs.lookup(&v.request);
+        sites[idx].nonlocal_trackers.push(NonlocalTracker {
+            request: v.request.clone(),
+            claimed_city: claimed,
+            org: org_entry.map(|e| e.name.clone()),
+            org_hq: org_entry.map(|e| e.hq),
+            first_party: classifier.is_first_party(world, &v.request, &v.site),
+        });
+    }
+
+    let confirmed_nonlocal_domains = confirmed_domains.len();
+    let confirmed_tracker_domains = confirmed_tracker_set.len();
+    CountryData {
+        country,
+        continent,
+        sites,
+        funnel: report.funnel,
+        noise_requests_removed: noise_removed,
+        confirmed_nonlocal_domains,
+        confirmed_tracker_domains,
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    //! Shared fixture: a small end-to-end study used by every figure test.
+    //! Building it is expensive, so it is computed once per test binary.
+
+    use super::*;
+    use gamma_atlas::AtlasPlatform;
+    use gamma_geoloc::{ErrorSpec, GeoDatabase, GeolocPipeline};
+    use gamma_suite::{run_volunteer, GammaConfig, Volunteer};
+    use gamma_websim::{worldgen, WorldSpec};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use std::sync::OnceLock;
+
+    pub struct Fixture {
+        /// Ground truth, retained for tests that need to cross-check
+        /// against the world (kept even where only `study` is read).
+        #[allow(dead_code)]
+        pub world: World,
+        pub study: StudyDataset,
+    }
+
+    pub fn fixture() -> &'static Fixture {
+        static FIX: OnceLock<Fixture> = OnceLock::new();
+        FIX.get_or_init(|| {
+            let world = worldgen::generate(&WorldSpec::paper_default(2025));
+            let geodb = GeoDatabase::build(&world, &ErrorSpec::default(), 2025);
+            let atlas = AtlasPlatform::generate(2025);
+            let classifier = TrackerClassifier::for_world(&world);
+            let pipeline = GeolocPipeline::new(&world, &geodb, &atlas);
+            let config = GammaConfig::paper_default(2025);
+            let mut rng = ChaCha8Rng::seed_from_u64(2025);
+            let mut runs = Vec::new();
+            for (i, cs) in world.spec.countries.iter().enumerate() {
+                let v = Volunteer::for_country(&world, cs.country, i).expect("volunteer");
+                let ds = run_volunteer(&world, &v, &config);
+                let report = pipeline.classify_dataset(&ds, &mut rng);
+                runs.push((ds, report));
+            }
+            let study = StudyDataset::assemble(&world, &classifier, &runs);
+            Fixture { world, study }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testutil::fixture;
+    use super::*;
+
+    #[test]
+    fn every_country_is_assembled() {
+        let f = fixture();
+        assert_eq!(f.study.countries.len(), 23);
+        for c in &f.study.countries {
+            assert!(!c.sites.is_empty(), "{} has no sites", c.country);
+        }
+    }
+
+    #[test]
+    fn webdriver_noise_was_removed() {
+        let f = fixture();
+        let total: usize = f.study.countries.iter().map(|c| c.noise_requests_removed).sum();
+        assert!(total > 100, "only {total} noise requests removed");
+        // And none of the noise hosts survive as trackers.
+        for c in &f.study.countries {
+            for s in &c.sites {
+                for t in &s.nonlocal_trackers {
+                    assert!(!gamma_browser::is_webdriver_noise(&t.request));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn canada_and_us_have_no_nonlocal_trackers() {
+        let f = fixture();
+        for cc in ["CA", "US"] {
+            let c = f.study.country(CountryCode::new(cc)).unwrap();
+            let with: usize = c
+                .sites
+                .iter()
+                .filter(|s| s.has_nonlocal_tracker())
+                .count();
+            assert_eq!(with, 0, "{cc} has sites with non-local trackers");
+        }
+    }
+
+    #[test]
+    fn rwanda_is_nonlocal_heavy() {
+        let f = fixture();
+        let c = f.study.country(CountryCode::new("RW")).unwrap();
+        let reg: Vec<_> = c.loaded_sites(SiteKind::Regional).collect();
+        let with = reg.iter().filter(|s| s.has_nonlocal_tracker()).count();
+        let rate = with as f64 / reg.len() as f64;
+        assert!(rate > 0.6, "RW regional non-local rate {rate}");
+    }
+
+    #[test]
+    fn tracker_records_carry_org_attribution() {
+        let f = fixture();
+        let mut attributed = 0usize;
+        let mut total = 0usize;
+        for c in &f.study.countries {
+            for s in &c.sites {
+                for t in &s.nonlocal_trackers {
+                    total += 1;
+                    if t.org.is_some() {
+                        attributed += 1;
+                    }
+                }
+            }
+        }
+        assert!(total > 500, "only {total} tracker observations");
+        let rate = attributed as f64 / total as f64;
+        assert!(rate > 0.95, "attribution rate {rate}");
+    }
+
+    #[test]
+    fn nonlocal_trackers_are_deduplicated_per_site() {
+        let f = fixture();
+        for c in &f.study.countries {
+            for s in &c.sites {
+                let mut seen = std::collections::HashSet::new();
+                for t in &s.nonlocal_trackers {
+                    assert!(
+                        seen.insert(&t.request),
+                        "{}: duplicate {} on {}",
+                        c.country,
+                        t.request,
+                        s.domain
+                    );
+                }
+            }
+        }
+    }
+}

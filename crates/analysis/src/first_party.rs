@@ -1,0 +1,128 @@
+//! §6.7: first- vs third-party non-local trackers. The paper found 575
+//! websites with non-local trackers, only 23 of which embedded a
+//! *first-party* non-local tracker — about half of them Google's
+//! country-specific domains (google.com.eg, google.co.th, ...).
+
+use crate::dataset::StudyDataset;
+use serde::{Deserialize, Serialize};
+
+/// The §6.7 summary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FirstPartySummary {
+    /// Websites (across all countries) with >= 1 non-local tracker.
+    pub sites_with_nonlocal: usize,
+    /// Of those, sites embedding >= 1 first-party non-local tracker.
+    pub sites_with_first_party: usize,
+    /// (site domain, operating org) for the first-party cases.
+    pub first_party_sites: Vec<(String, String)>,
+}
+
+impl FirstPartySummary {
+    /// Fraction of first-party sites operated by Google (paper: ~50%).
+    pub fn google_share(&self) -> f64 {
+        if self.first_party_sites.is_empty() {
+            return 0.0;
+        }
+        let g = self
+            .first_party_sites
+            .iter()
+            .filter(|(_, org)| org == "Google")
+            .count();
+        g as f64 / self.first_party_sites.len() as f64
+    }
+}
+
+/// Computes the §6.7 analysis.
+pub fn first_party_analysis(study: &StudyDataset) -> FirstPartySummary {
+    let mut sites_with_nonlocal = 0usize;
+    let mut first_party_sites: Vec<(String, String)> = Vec::new();
+    for c in &study.countries {
+        for s in c.all_loaded_sites() {
+            if !s.has_nonlocal_tracker() {
+                continue;
+            }
+            sites_with_nonlocal += 1;
+            if let Some(t) = s.nonlocal_trackers.iter().find(|t| t.first_party) {
+                first_party_sites.push((
+                    s.domain.to_string(),
+                    t.org.clone().unwrap_or_else(|| "unknown".into()),
+                ));
+            }
+        }
+    }
+    first_party_sites.sort();
+    FirstPartySummary {
+        sites_with_nonlocal,
+        sites_with_first_party: first_party_sites.len(),
+        first_party_sites,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::testutil::fixture;
+
+    #[test]
+    fn scale_matches_section_6_7() {
+        let s = first_party_analysis(&fixture().study);
+        // Paper: 575 sites with non-local trackers, 23 first-party.
+        assert!(
+            (300..=900).contains(&s.sites_with_nonlocal),
+            "{} sites with non-local trackers",
+            s.sites_with_nonlocal
+        );
+        assert!(
+            s.sites_with_first_party * 8 < s.sites_with_nonlocal,
+            "first-party cases ({}) should be a small minority of {}",
+            s.sites_with_first_party,
+            s.sites_with_nonlocal
+        );
+        assert!(s.sites_with_first_party > 3, "no first-party cases at all");
+    }
+
+    #[test]
+    fn google_cctld_sites_dominate_first_party_cases() {
+        let s = first_party_analysis(&fixture().study);
+        assert!(
+            s.google_share() >= 0.25,
+            "Google share {} (paper: ~50%)",
+            s.google_share()
+        );
+        // And Google must be the single largest first-party operator.
+        let mut by_org: std::collections::HashMap<&str, usize> = std::collections::HashMap::new();
+        for (_, org) in &s.first_party_sites {
+            *by_org.entry(org.as_str()).or_default() += 1;
+        }
+        let top = by_org.iter().max_by_key(|(_, n)| **n).unwrap();
+        assert_eq!(*top.0, "Google", "top first-party operator {top:?}");
+        let has_cctld = s
+            .first_party_sites
+            .iter()
+            .any(|(d, org)| org == "Google" && d.starts_with("google."));
+        assert!(has_cctld, "no google ccTLD first-party site: {:?}", s.first_party_sites);
+    }
+
+    #[test]
+    fn first_party_sites_are_a_subset_of_nonlocal_sites() {
+        let s = first_party_analysis(&fixture().study);
+        assert!(s.sites_with_first_party <= s.sites_with_nonlocal);
+    }
+
+    #[test]
+    fn known_operator_brands_appear() {
+        // §6.7 names Facebook, Twitter, Booking.com, BBC, Yahoo, Microsoft
+        // as the other first-party operators; at least some reproduce.
+        let s = first_party_analysis(&fixture().study);
+        let orgs: std::collections::HashSet<&str> = s
+            .first_party_sites
+            .iter()
+            .map(|(_, o)| o.as_str())
+            .collect();
+        let brand_hits = ["Facebook", "Twitter", "Booking", "BBC", "Yahoo", "Microsoft"]
+            .iter()
+            .filter(|b| orgs.contains(**b))
+            .count();
+        assert!(brand_hits >= 1, "no §6.7 operator brands among {orgs:?}");
+    }
+}

@@ -1,0 +1,232 @@
+//! Figure 5: non-local tracking flows from source countries to destination
+//! countries, measured in websites ("the thickness of each flow
+//! representing the number of websites in the source country that transmit
+//! data to trackers hosted in the destination country").
+
+use crate::dataset::StudyDataset;
+use gamma_geo::CountryCode;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// The flow matrix plus the website universe it is normalized against.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FlowMatrix {
+    /// (source, destination) -> number of source-country websites with at
+    /// least one tracker hosted in the destination.
+    pub website_flows: HashMap<(CountryCode, CountryCode), usize>,
+    /// Number of websites with >= 1 non-local tracker, per source.
+    pub nonlocal_sites_per_source: HashMap<CountryCode, usize>,
+}
+
+impl FlowMatrix {
+    /// Total websites with non-local trackers across all sources.
+    pub fn total_nonlocal_sites(&self) -> usize {
+        self.nonlocal_sites_per_source.values().sum()
+    }
+
+    /// §6.3's headline metric: the share of websites (among those with
+    /// non-local trackers) using at least one tracker hosted in `dest`.
+    pub fn pct_websites_using(&self, dest: CountryCode) -> f64 {
+        let total = self.total_nonlocal_sites();
+        if total == 0 {
+            return 0.0;
+        }
+        let using: usize = self
+            .website_flows
+            .iter()
+            .filter(|((_, d), _)| *d == dest)
+            .map(|(_, n)| n)
+            .sum();
+        100.0 * using as f64 / total as f64
+    }
+
+    /// Same, excluding one source country — the paper's New Zealand /
+    /// Thailand sensitivity checks (§6.3).
+    pub fn pct_websites_using_excluding(&self, dest: CountryCode, excluded: CountryCode) -> f64 {
+        let total: usize = self
+            .nonlocal_sites_per_source
+            .iter()
+            .filter(|(s, _)| **s != excluded)
+            .map(|(_, n)| n)
+            .sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let using: usize = self
+            .website_flows
+            .iter()
+            .filter(|((s, d), _)| *d == dest && *s != excluded)
+            .map(|(_, n)| n)
+            .sum();
+        100.0 * using as f64 / total as f64
+    }
+
+    /// Number of distinct source countries flowing into `dest`.
+    pub fn source_count(&self, dest: CountryCode) -> usize {
+        self.website_flows
+            .iter()
+            .filter(|((_, d), n)| *d == dest && **n > 0)
+            .count()
+    }
+
+    /// Destinations ranked by website share, descending.
+    pub fn ranked_destinations(&self) -> Vec<(CountryCode, f64)> {
+        let dests: HashSet<CountryCode> = self.website_flows.keys().map(|(_, d)| *d).collect();
+        let mut v: Vec<(CountryCode, f64)> = dests
+            .into_iter()
+            .map(|d| (d, self.pct_websites_using(d)))
+            .collect();
+        v.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
+        v
+    }
+}
+
+/// Computes Figure 5 from the assembled study.
+pub fn figure5(study: &StudyDataset) -> FlowMatrix {
+    figure5_filtered(study, |_| true)
+}
+
+/// Variant restricted to a subset of site kinds/predicates (used for the
+/// paper's T_reg vs T_gov destination comparisons in §6.3).
+pub fn figure5_filtered<F>(study: &StudyDataset, keep: F) -> FlowMatrix
+where
+    F: Fn(&crate::dataset::SiteRecord) -> bool,
+{
+    let mut m = FlowMatrix::default();
+    for c in &study.countries {
+        let mut nonlocal_sites = 0usize;
+        for s in c.all_loaded_sites().filter(|s| keep(s)) {
+            if !s.has_nonlocal_tracker() {
+                continue;
+            }
+            nonlocal_sites += 1;
+            let dests: HashSet<CountryCode> = s
+                .nonlocal_trackers
+                .iter()
+                .map(|t| t.hosting_country())
+                .collect();
+            for d in dests {
+                *m.website_flows.entry((c.country, d)).or_default() += 1;
+            }
+        }
+        if nonlocal_sites > 0 {
+            m.nonlocal_sites_per_source.insert(c.country, nonlocal_sites);
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::testutil::fixture;
+    use gamma_websim::SiteKind;
+
+    fn cc(s: &str) -> CountryCode {
+        CountryCode::new(s)
+    }
+
+    #[test]
+    fn france_is_the_top_destination() {
+        let m = figure5(&fixture().study);
+        let ranked = m.ranked_destinations();
+        assert!(!ranked.is_empty());
+        let fr = m.pct_websites_using(cc("FR"));
+        // Paper: 43% of websites use a tracker hosted in France, ahead of
+        // the UK (24%) and Germany (23%).
+        assert!(fr > 25.0, "France share {fr}");
+        let top3: Vec<&str> = ranked.iter().take(3).map(|(c, _)| c.as_str()).collect();
+        assert!(top3.contains(&"FR"), "top-3 {top3:?} misses France");
+    }
+
+    #[test]
+    fn australia_share_collapses_without_new_zealand() {
+        let m = figure5(&fixture().study);
+        let with = m.pct_websites_using(cc("AU"));
+        let without = m.pct_websites_using_excluding(cc("AU"), cc("NZ"));
+        // Paper: 23% -> 11%.
+        assert!(with > without * 1.5, "AU {with} -> {without} without NZ");
+    }
+
+    #[test]
+    fn malaysia_share_collapses_without_thailand() {
+        let m = figure5(&fixture().study);
+        let with = m.pct_websites_using(cc("MY"));
+        let without = m.pct_websites_using_excluding(cc("MY"), cc("TH"));
+        // Paper: 7% -> 0.16%.
+        assert!(with > 2.0, "MY share {with}");
+        assert!(without < with / 4.0, "MY {with} -> {without} without TH");
+    }
+
+    #[test]
+    fn kenya_receives_from_uganda_and_rwanda() {
+        let m = figure5(&fixture().study);
+        let ug = m.website_flows.get(&(cc("UG"), cc("KE"))).copied().unwrap_or(0);
+        let rw = m.website_flows.get(&(cc("RW"), cc("KE"))).copied().unwrap_or(0);
+        assert!(ug > 10, "UG->KE flow {ug}");
+        assert!(rw > 10, "RW->KE flow {rw}");
+        let ke = m.pct_websites_using(cc("KE"));
+        assert!(ke > 5.0, "Kenya share {ke}");
+    }
+
+    #[test]
+    fn france_and_usa_have_broad_source_fanin_but_usa_low_share() {
+        let m = figure5(&fixture().study);
+        // Paper: France and the USA each receive from 15 sources, yet only
+        // 5% of websites flow to the USA.
+        assert!(m.source_count(cc("FR")) >= 10, "FR sources {}", m.source_count(cc("FR")));
+        assert!(m.source_count(cc("US")) >= 6, "US sources {}", m.source_count(cc("US")));
+        let us = m.pct_websites_using(cc("US"));
+        let fr = m.pct_websites_using(cc("FR"));
+        assert!(us < fr / 2.0, "US {us} vs FR {fr}");
+    }
+
+    #[test]
+    fn gov_flows_to_usa_come_from_very_few_sources() {
+        // §6.3: for T_gov the USA received flow from only one country (UAE).
+        let m = figure5_filtered(&fixture().study, |s| s.kind == SiteKind::Government);
+        let us_sources: Vec<&str> = m
+            .website_flows
+            .keys()
+            .filter(|(_, d)| *d == cc("US"))
+            .map(|(s, _)| s.as_str())
+            .collect();
+        assert!(
+            us_sources.len() <= 4,
+            "US gov-flow sources {us_sources:?} (paper: just UAE)"
+        );
+        if !us_sources.is_empty() {
+            assert!(us_sources.contains(&"AE"), "UAE missing from {us_sources:?}");
+        }
+    }
+
+    #[test]
+    fn india_has_essentially_no_outward_flow() {
+        let m = figure5(&fixture().study);
+        let total: usize = m
+            .website_flows
+            .iter()
+            .filter(|((s, _), _)| *s == cc("IN"))
+            .map(|(_, n)| n)
+            .sum();
+        assert!(total <= 6, "India outward flow {total}");
+    }
+
+    #[test]
+    fn thailand_flows_to_its_regional_hubs() {
+        let m = figure5(&fixture().study);
+        for dest in ["MY", "SG", "HK", "JP"] {
+            let n = m.website_flows.get(&(cc("TH"), cc(dest))).copied().unwrap_or(0);
+            assert!(n > 0, "TH->{dest} flow missing");
+        }
+    }
+
+    #[test]
+    fn pakistan_flows_to_france_germany_uae_oman() {
+        let m = figure5(&fixture().study);
+        let flow = |d: &str| m.website_flows.get(&(cc("PK"), cc(d))).copied().unwrap_or(0);
+        assert!(flow("FR") > 5, "PK->FR {}", flow("FR"));
+        assert!(flow("DE") > 5, "PK->DE {}", flow("DE"));
+        assert!(flow("AE") + flow("OM") > 0, "PK->AE/OM missing");
+    }
+}

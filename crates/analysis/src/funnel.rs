@@ -1,0 +1,124 @@
+//! §5's measurement funnel, aggregated across all countries:
+//! ≈26K domain observations (≈5K unique) → ≈9K unique addresses →
+//! ≈14K non-local domains → ≈6.1K after the SOL constraints → ≈4.7K after
+//! the rDNS constraint → ≈2.7K associated with trackers; ≈27K source
+//! traceroutes (≈25K volunteer + Atlas) and ≈3.4K destination traceroutes.
+
+use crate::dataset::StudyDataset;
+use serde::{Deserialize, Serialize};
+
+/// The aggregated funnel.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct TotalFunnel {
+    pub observations: usize,
+    pub unique_domains_sum: usize,
+    pub unique_ips_sum: usize,
+    pub nonlocal_candidates: usize,
+    pub after_sol_constraints: usize,
+    pub after_rdns_constraint: usize,
+    pub confirmed_nonlocal_domains: usize,
+    pub confirmed_tracker_domains: usize,
+    pub source_traceroutes_volunteer: usize,
+    pub source_traceroutes_atlas: usize,
+    pub destination_traceroutes: usize,
+}
+
+/// Aggregates the per-country funnels.
+pub fn total_funnel(study: &StudyDataset) -> TotalFunnel {
+    let mut t = TotalFunnel::default();
+    for c in &study.countries {
+        let f = &c.funnel;
+        t.observations += f.observations;
+        t.unique_domains_sum += f.unique_domains;
+        t.unique_ips_sum += f.unique_ips;
+        t.nonlocal_candidates += f.nonlocal_candidates;
+        t.after_sol_constraints += f.after_sol_constraints;
+        t.after_rdns_constraint += f.after_rdns_constraint;
+        t.confirmed_nonlocal_domains += c.confirmed_nonlocal_domains;
+        t.confirmed_tracker_domains += c.confirmed_tracker_domains;
+        t.source_traceroutes_volunteer += f.source_traceroutes_volunteer;
+        t.source_traceroutes_atlas += f.source_traceroutes_atlas;
+        t.destination_traceroutes += f.destination_traceroutes;
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::testutil::fixture;
+
+    #[test]
+    fn funnel_stages_shrink_monotonically() {
+        let t = total_funnel(&fixture().study);
+        assert!(t.nonlocal_candidates <= t.unique_ips_sum);
+        assert!(t.after_sol_constraints <= t.nonlocal_candidates);
+        assert!(t.after_rdns_constraint <= t.after_sol_constraints);
+        assert!(t.confirmed_tracker_domains <= t.confirmed_nonlocal_domains);
+    }
+
+    #[test]
+    fn volumes_are_on_the_papers_order_of_magnitude() {
+        let t = total_funnel(&fixture().study);
+        // ≈26K domain observations.
+        assert!(
+            (12_000..60_000).contains(&t.observations),
+            "observations {}",
+            t.observations
+        );
+        // ≈27K source traceroutes overall.
+        let source_total = t.source_traceroutes_volunteer + t.source_traceroutes_atlas;
+        assert!(
+            (8_000..60_000).contains(&source_total),
+            "source traceroutes {source_total}"
+        );
+        // Destination traceroutes in the thousands.
+        assert!(
+            t.destination_traceroutes > 1_000,
+            "destination traceroutes {}",
+            t.destination_traceroutes
+        );
+    }
+
+    #[test]
+    fn sol_constraints_remove_a_large_share() {
+        let t = total_funnel(&fixture().study);
+        let survival = t.after_sol_constraints as f64 / t.nonlocal_candidates.max(1) as f64;
+        // Paper: 14K -> 6.1K (~44% survive). Allow a broad band.
+        assert!(
+            (0.2..0.8).contains(&survival),
+            "SOL survival rate {survival}"
+        );
+    }
+
+    #[test]
+    fn rdns_constraint_trims_further_but_less() {
+        let t = total_funnel(&fixture().study);
+        let drop_sol = t.nonlocal_candidates - t.after_sol_constraints;
+        let drop_rdns = t.after_sol_constraints - t.after_rdns_constraint;
+        assert!(drop_rdns > 0, "rDNS constraint never fired");
+        assert!(
+            drop_rdns < drop_sol,
+            "rDNS removed {drop_rdns} >= SOL's {drop_sol}"
+        );
+    }
+
+    #[test]
+    fn atlas_fallback_contributed_source_traceroutes() {
+        // Egypt (opt-out) and the four firewalled countries must show up.
+        let t = total_funnel(&fixture().study);
+        assert!(
+            t.source_traceroutes_atlas > 500,
+            "atlas source traceroutes {}",
+            t.source_traceroutes_atlas
+        );
+    }
+
+    #[test]
+    fn tracker_domains_are_a_large_minority_of_confirmed_domains() {
+        let t = total_funnel(&fixture().study);
+        let frac = t.confirmed_tracker_domains as f64 / t.confirmed_nonlocal_domains.max(1) as f64;
+        // Paper: 2.7K of 4.7K ≈ 57%.
+        assert!((0.25..0.95).contains(&frac), "tracker fraction {frac}");
+    }
+}

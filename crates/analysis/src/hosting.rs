@@ -1,0 +1,110 @@
+//! Figure 7 / §6.6: distribution of specific non-local tracking domains by
+//! the destination countries hosting them (Kenya 210, Germany 172, France
+//! 92, Malaysia 89, USA 16 in the paper) and the per-measurement-country
+//! breakdown.
+
+use crate::dataset::StudyDataset;
+use gamma_dns::DomainName;
+use gamma_geo::CountryCode;
+use std::collections::{HashMap, HashSet};
+
+/// Unique non-local tracking domains hosted per destination country.
+pub fn domains_by_hosting_country(study: &StudyDataset) -> Vec<(CountryCode, usize)> {
+    let mut sets: HashMap<CountryCode, HashSet<&DomainName>> = HashMap::new();
+    for c in &study.countries {
+        for s in &c.sites {
+            for t in &s.nonlocal_trackers {
+                sets.entry(t.hosting_country()).or_default().insert(&t.request);
+            }
+        }
+    }
+    let mut v: Vec<(CountryCode, usize)> = sets.into_iter().map(|(c, s)| (c, s.len())).collect();
+    v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    v
+}
+
+/// Figure 7's matrix: for each measurement country, the count of unique
+/// non-local tracking domains per hosting country.
+pub fn figure7(study: &StudyDataset) -> HashMap<CountryCode, Vec<(CountryCode, usize)>> {
+    let mut out = HashMap::new();
+    for c in &study.countries {
+        let mut sets: HashMap<CountryCode, HashSet<&DomainName>> = HashMap::new();
+        for s in &c.sites {
+            for t in &s.nonlocal_trackers {
+                sets.entry(t.hosting_country()).or_default().insert(&t.request);
+            }
+        }
+        let mut v: Vec<(CountryCode, usize)> =
+            sets.into_iter().map(|(cc, s)| (cc, s.len())).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        out.insert(c.country, v);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::testutil::fixture;
+
+    fn count_for(v: &[(CountryCode, usize)], cc: &str) -> usize {
+        v.iter()
+            .find(|(c, _)| c.as_str() == cc)
+            .map(|(_, n)| *n)
+            .unwrap_or(0)
+    }
+
+    #[test]
+    fn kenya_germany_france_lead_the_hosting_table() {
+        let v = domains_by_hosting_country(&fixture().study);
+        assert!(!v.is_empty());
+        let top5: Vec<&str> = v.iter().take(5).map(|(c, _)| c.as_str()).collect();
+        // Paper order: Kenya 210, Germany 172, France 92, Malaysia 89.
+        for cc in ["KE", "DE", "FR"] {
+            assert!(top5.contains(&cc), "{cc} not in top-5 {top5:?}");
+        }
+    }
+
+    #[test]
+    fn usa_hosts_comparatively_few_domains() {
+        let v = domains_by_hosting_country(&fixture().study);
+        let us = count_for(&v, "US");
+        let ke = count_for(&v, "KE");
+        let de = count_for(&v, "DE");
+        // §6.6: the USA "only hosts 16 non-local tracking domains" vs
+        // Kenya's 210 and Germany's 172.
+        assert!(us < ke, "US {us} >= KE {ke}");
+        assert!(us < de, "US {us} >= DE {de}");
+    }
+
+    #[test]
+    fn kenya_hosting_comes_from_east_africa_sources() {
+        let m = figure7(&fixture().study);
+        let ug = count_for(&m[&CountryCode::new("UG")], "KE");
+        let rw = count_for(&m[&CountryCode::new("RW")], "KE");
+        assert!(ug > 10, "UG sees {ug} Kenya-hosted domains");
+        assert!(rw > 10, "RW sees {rw} Kenya-hosted domains");
+        // And a non-African source sees few-to-none there.
+        let gb = count_for(&m[&CountryCode::new("GB")], "KE");
+        assert!(gb < ug / 2, "GB sees {gb} Kenya-hosted domains");
+    }
+
+    #[test]
+    fn malaysia_hosting_is_thailand_driven() {
+        let m = figure7(&fixture().study);
+        let th = count_for(&m[&CountryCode::new("TH")], "MY");
+        assert!(th > 10, "TH sees {th} Malaysia-hosted domains");
+    }
+
+    #[test]
+    fn scale_is_in_the_papers_range() {
+        let v = domains_by_hosting_country(&fixture().study);
+        let top = v.first().unwrap().1;
+        assert!(
+            (60..=520).contains(&top),
+            "top hosting country holds {top} domains (paper: 210)"
+        );
+        // Long tail exists: some countries host only a handful.
+        assert!(v.iter().any(|(_, n)| *n <= 3), "no small hosts in the tail");
+    }
+}

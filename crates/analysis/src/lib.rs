@@ -1,0 +1,42 @@
+//! # gamma-analysis
+//!
+//! Everything downstream of geolocation and tracker identification: the
+//! statistics toolbox and one module per figure/table of the paper's
+//! evaluation (§5–§7):
+//!
+//! | Module | Reproduces |
+//! |---|---|
+//! | [`coverage`] | Figure 2 (target composition + load coverage) |
+//! | [`prevalence`] | Figure 3 (% sites with non-local trackers) |
+//! | [`per_site`] | Figure 4 (tracker domains per website, box plots) |
+//! | [`flows`] | Figure 5 (source → destination country flows) |
+//! | [`continents`] | Figure 6 (continent-level flows) |
+//! | [`hosting`] | Figure 7 (domains by hosting country) |
+//! | [`orgs`] | Figure 8 (flows to organizations; corporate control) |
+//! | [`freq`] | Figure 9 (tracker-domain frequency across sites) |
+//! | [`first_party`] | §6.7 (first- vs third-party non-local trackers) |
+//! | [`policy`] | Table 1 (data-localization policy vs non-local rate) |
+//! | [`regional_diff`] | §8 (same site, different behaviour per country) |
+//! | [`funnel`] | §5's measurement funnel |
+//!
+//! [`dataset::StudyDataset`] is the assembled input: webdriver noise
+//! stripped (§5), verdicts joined with tracker identification and
+//! organization attribution.
+
+pub mod continents;
+pub mod coverage;
+pub mod dataset;
+pub mod first_party;
+pub mod flows;
+pub mod freq;
+pub mod funnel;
+pub mod hosting;
+pub mod orgs;
+pub mod per_site;
+pub mod policy;
+pub mod prevalence;
+pub mod regional_diff;
+pub mod render;
+pub mod stats;
+
+pub use dataset::{CountryData, NonlocalTracker, SiteRecord, StudyDataset};

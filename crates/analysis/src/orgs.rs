@@ -1,0 +1,178 @@
+//! Figure 8 / §6.5: flows from source countries to the organizations
+//! operating the tracking domains, plus the corporate-control roll-up
+//! (~70 orgs; 50% US, 10% UK, 4% NL, 4% IL; Google dominant; several
+//! country-exclusive organizations).
+
+use crate::dataset::StudyDataset;
+use gamma_geo::CountryCode;
+use std::collections::{HashMap, HashSet};
+
+/// (source country, organization) -> number of websites.
+pub fn figure8(study: &StudyDataset) -> HashMap<(CountryCode, String), usize> {
+    let mut out: HashMap<(CountryCode, String), usize> = HashMap::new();
+    for c in &study.countries {
+        for s in c.all_loaded_sites() {
+            let orgs: HashSet<&String> = s
+                .nonlocal_trackers
+                .iter()
+                .filter_map(|t| t.org.as_ref())
+                .collect();
+            for o in orgs {
+                *out.entry((c.country, o.clone())).or_default() += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Organizations ranked by total website flow, descending.
+pub fn ranked_orgs(study: &StudyDataset) -> Vec<(String, usize)> {
+    let mut totals: HashMap<String, usize> = HashMap::new();
+    for ((_, org), n) in figure8(study) {
+        *totals.entry(org).or_default() += n;
+    }
+    let mut v: Vec<(String, usize)> = totals.into_iter().collect();
+    v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    v
+}
+
+/// Organizations observed in exactly one source country (§6.5's
+/// country-exclusive trackers), with that country.
+pub fn exclusive_orgs(study: &StudyDataset) -> Vec<(String, CountryCode)> {
+    let mut countries: HashMap<String, HashSet<CountryCode>> = HashMap::new();
+    for ((cc, org), _) in figure8(study) {
+        countries.entry(org).or_default().insert(cc);
+    }
+    let mut v: Vec<(String, CountryCode)> = countries
+        .into_iter()
+        .filter(|(_, set)| set.len() == 1)
+        .map(|(org, set)| (org, *set.iter().next().expect("len==1")))
+        .collect();
+    v.sort();
+    v
+}
+
+/// HQ-country distribution of *observed* non-local tracker organizations:
+/// (country, org count, fraction).
+pub fn hq_distribution(study: &StudyDataset) -> Vec<(CountryCode, usize, f64)> {
+    let mut hq_of: HashMap<&String, CountryCode> = HashMap::new();
+    for c in &study.countries {
+        for s in &c.sites {
+            for t in &s.nonlocal_trackers {
+                if let (Some(org), Some(hq)) = (t.org.as_ref(), t.org_hq) {
+                    hq_of.insert(org, hq);
+                }
+            }
+        }
+    }
+    let total = hq_of.len();
+    let mut counts: HashMap<CountryCode, usize> = HashMap::new();
+    for hq in hq_of.values() {
+        *counts.entry(*hq).or_default() += 1;
+    }
+    let mut v: Vec<(CountryCode, usize, f64)> = counts
+        .into_iter()
+        .map(|(c, n)| (c, n, n as f64 / total.max(1) as f64))
+        .collect();
+    v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    v
+}
+
+/// Total number of distinct organizations observed (paper: ~70).
+pub fn observed_org_count(study: &StudyDataset) -> usize {
+    let mut orgs: HashSet<&String> = HashSet::new();
+    for c in &study.countries {
+        for s in &c.sites {
+            for t in &s.nonlocal_trackers {
+                if let Some(o) = t.org.as_ref() {
+                    orgs.insert(o);
+                }
+            }
+        }
+    }
+    orgs.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::testutil::fixture;
+
+    #[test]
+    fn google_dominates_the_org_flows() {
+        let ranked = ranked_orgs(&fixture().study);
+        assert!(!ranked.is_empty());
+        assert_eq!(ranked[0].0, "Google", "top org is {:?}", ranked[0]);
+        // The five majors all appear.
+        let names: Vec<&str> = ranked.iter().map(|(n, _)| n.as_str()).collect();
+        for major in ["Facebook", "Twitter", "Amazon", "Yahoo"] {
+            assert!(names.contains(&major), "{major} missing from Figure 8");
+        }
+    }
+
+    #[test]
+    fn observed_org_population_matches_scale() {
+        let n = observed_org_count(&fixture().study);
+        assert!((40..=90).contains(&n), "{n} orgs observed (paper: ~70)");
+    }
+
+    #[test]
+    fn hq_distribution_is_us_dominated() {
+        let dist = hq_distribution(&fixture().study);
+        assert!(!dist.is_empty());
+        assert_eq!(dist[0].0.as_str(), "US", "top HQ {:?}", dist[0]);
+        let us_frac = dist[0].2;
+        // Paper: 50% US.
+        assert!((0.35..0.65).contains(&us_frac), "US fraction {us_frac}");
+        // UK present with a real share.
+        let gb = dist.iter().find(|(c, _, _)| c.as_str() == "GB");
+        assert!(gb.is_some(), "no UK-HQ orgs observed");
+    }
+
+    #[test]
+    fn jordans_exclusive_orgs_are_exclusive() {
+        let excl = exclusive_orgs(&fixture().study);
+        let jordan_excl: Vec<&str> = excl
+            .iter()
+            .filter(|(_, c)| c.as_str() == "JO")
+            .map(|(o, _)| o.as_str())
+            .collect();
+        // §6.5: Jubna, OneTag, Optad360 only in Jordan.
+        for org in ["Jubna", "OneTag", "Optad360"] {
+            assert!(
+                jordan_excl.contains(&org),
+                "{org} not Jordan-exclusive (exclusives: {jordan_excl:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn several_countries_have_exclusive_orgs() {
+        let excl = exclusive_orgs(&fixture().study);
+        let countries: HashSet<&str> = excl.iter().map(|(_, c)| c.as_str()).collect();
+        // §6.5 also names Qatar, the UK, Rwanda, Uganda, Sri Lanka.
+        let expected_hits = ["QA", "GB", "RW", "UG", "LK"]
+            .iter()
+            .filter(|c| countries.contains(**c))
+            .count();
+        assert!(
+            expected_hits >= 3,
+            "only {expected_hits} of the paper's exclusive-org countries reproduced: {countries:?}"
+        );
+    }
+
+    #[test]
+    fn majors_reach_many_countries() {
+        let flows = figure8(&fixture().study);
+        let google_countries: HashSet<&CountryCode> = flows
+            .keys()
+            .filter(|(_, o)| o == "Google")
+            .map(|(c, _)| c)
+            .collect();
+        assert!(
+            google_countries.len() >= 10,
+            "Google observed in only {} countries",
+            google_countries.len()
+        );
+    }
+}

@@ -1,0 +1,151 @@
+//! Figure 4: distribution of non-local tracker domains per website
+//! (box plots per country and site kind), plus §6.2's per-country means,
+//! dispersions and skew observations.
+
+use crate::dataset::StudyDataset;
+use crate::stats::{skewness, BoxStats};
+use gamma_geo::CountryCode;
+use gamma_websim::SiteKind;
+
+/// Per-(country, kind) distribution summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerSiteRow {
+    pub country: CountryCode,
+    pub kind: SiteKind,
+    /// Box statistics over per-site non-local tracker-domain counts,
+    /// among sites embedding at least one (None when no site does).
+    pub stats: Option<BoxStats>,
+    pub skewness: f64,
+}
+
+/// Computes Figure 4.
+pub fn figure4(study: &StudyDataset) -> Vec<PerSiteRow> {
+    let mut out = Vec::new();
+    for c in &study.countries {
+        for kind in [SiteKind::Regional, SiteKind::Government] {
+            let counts: Vec<f64> = c
+                .loaded_sites(kind)
+                .filter(|s| s.has_nonlocal_tracker())
+                .map(|s| s.nonlocal_trackers.len() as f64)
+                .collect();
+            out.push(PerSiteRow {
+                country: c.country,
+                kind,
+                stats: BoxStats::compute(&counts),
+                skewness: skewness(&counts),
+            });
+        }
+    }
+    out
+}
+
+/// §6.2's per-country mean over all affected sites (both kinds).
+pub fn country_mean(study: &StudyDataset, country: CountryCode) -> Option<f64> {
+    let c = study.countries.iter().find(|c| c.country == country)?;
+    let counts: Vec<f64> = c
+        .all_loaded_sites()
+        .filter(|s| s.has_nonlocal_tracker())
+        .map(|s| s.nonlocal_trackers.len() as f64)
+        .collect();
+    if counts.is_empty() {
+        return None;
+    }
+    Some(crate::stats::mean(&counts))
+}
+
+/// The outlier websites of §6.2: (country, site, count), sorted
+/// descending.
+pub fn outlier_sites(study: &StudyDataset, top: usize) -> Vec<(CountryCode, String, usize)> {
+    let mut v: Vec<(CountryCode, String, usize)> = Vec::new();
+    for c in &study.countries {
+        for s in c.all_loaded_sites() {
+            if !s.nonlocal_trackers.is_empty() {
+                v.push((c.country, s.domain.to_string(), s.nonlocal_trackers.len()));
+            }
+        }
+    }
+    v.sort_by(|a, b| b.2.cmp(&a.2));
+    v.truncate(top);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::testutil::fixture;
+
+    #[test]
+    fn heavy_countries_have_high_means() {
+        let f = fixture();
+        // §6.2: Jordan 15.7, Rwanda 13.3, Egypt 12.1 per website.
+        for (cc, lo) in [("JO", 8.0), ("RW", 7.0), ("EG", 6.0)] {
+            let m = country_mean(&f.study, CountryCode::new(cc)).unwrap();
+            assert!(m > lo, "{cc} mean {m}");
+        }
+    }
+
+    #[test]
+    fn light_countries_have_low_means() {
+        let f = fixture();
+        // §6.2: Australia, Taiwan, Lebanon, Russia averaged 1-3.
+        for cc in ["AU", "TW", "LB", "RU"] {
+            if let Some(m) = country_mean(&f.study, CountryCode::new(cc)) {
+                assert!(m < 5.0, "{cc} mean {m}");
+            }
+        }
+    }
+
+    #[test]
+    fn most_distributions_are_positively_skewed() {
+        let f = fixture();
+        let rows = figure4(&f.study);
+        let skewed = rows
+            .iter()
+            .filter(|r| r.stats.as_ref().map_or(false, |s| s.n >= 10))
+            .filter(|r| r.skewness > 0.0)
+            .count();
+        let eligible = rows
+            .iter()
+            .filter(|r| r.stats.as_ref().map_or(false, |s| s.n >= 10))
+            .count();
+        assert!(
+            skewed * 3 > eligible * 2,
+            "only {skewed}/{eligible} distributions positively skewed"
+        );
+    }
+
+    #[test]
+    fn nz_is_less_skewed_than_the_heavy_tail_countries() {
+        let f = fixture();
+        let rows = figure4(&f.study);
+        let sk = |cc: &str| {
+            rows.iter()
+                .find(|r| r.country.as_str() == cc && r.kind == SiteKind::Regional)
+                .map(|r| r.skewness)
+                .unwrap()
+        };
+        // NZ's Normal profile vs Jordan's geometric profile (§6.2).
+        assert!(sk("NZ") < sk("JO"), "NZ {} vs JO {}", sk("NZ"), sk("JO"));
+    }
+
+    #[test]
+    fn outliers_exist_and_are_major_network_heavy() {
+        let f = fixture();
+        let top = outlier_sites(&f.study, 10);
+        assert_eq!(top.len(), 10);
+        assert!(top[0].2 >= 15, "largest outlier only {}", top[0].2);
+    }
+
+    #[test]
+    fn medians_are_mostly_below_ten() {
+        let f = fixture();
+        let rows = figure4(&f.study);
+        let (low, total): (usize, usize) = rows.iter().fold((0, 0), |(l, t), r| match &r.stats {
+            Some(s) if s.n >= 5 => (l + usize::from(s.median < 10.0), t + 1),
+            _ => (l, t),
+        });
+        // §6.2: "The median number of tracking domains per website is less
+        // than ten in most countries."
+        assert!(low * 3 > total * 2, "{low}/{total} medians below 10");
+    }
+}

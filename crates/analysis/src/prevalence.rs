@@ -1,0 +1,153 @@
+//! Figure 3: percentage of regional and government websites embedding at
+//! least one non-local tracker, with the paper's summary statistics
+//! (means 46.16%/40.21%, σ 33.77/31.5, Pearson 0.89 — §6.1).
+
+use crate::dataset::StudyDataset;
+use crate::stats::{mean, pearson, std_dev};
+use gamma_geo::CountryCode;
+use gamma_websim::SiteKind;
+use serde::{Deserialize, Serialize};
+
+/// One country's prevalence row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PrevalenceRow {
+    pub country: CountryCode,
+    pub regional_pct: f64,
+    pub government_pct: f64,
+}
+
+/// The full Figure 3 result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PrevalenceSummary {
+    pub rows: Vec<PrevalenceRow>,
+    pub regional_mean: f64,
+    pub regional_std: f64,
+    pub government_mean: f64,
+    pub government_std: f64,
+    /// Pearson correlation between the two vectors.
+    pub reg_gov_correlation: Option<f64>,
+}
+
+fn pct(with: usize, total: usize) -> f64 {
+    if total == 0 {
+        0.0
+    } else {
+        100.0 * with as f64 / total as f64
+    }
+}
+
+/// Computes Figure 3.
+pub fn figure3(study: &StudyDataset) -> PrevalenceSummary {
+    let rows: Vec<PrevalenceRow> = study
+        .countries
+        .iter()
+        .map(|c| {
+            let count = |kind: SiteKind| {
+                let total = c.loaded_sites(kind).count();
+                let with = c
+                    .loaded_sites(kind)
+                    .filter(|s| s.has_nonlocal_tracker())
+                    .count();
+                pct(with, total)
+            };
+            PrevalenceRow {
+                country: c.country,
+                regional_pct: count(SiteKind::Regional),
+                government_pct: count(SiteKind::Government),
+            }
+        })
+        .collect();
+    let reg: Vec<f64> = rows.iter().map(|r| r.regional_pct).collect();
+    let gov: Vec<f64> = rows.iter().map(|r| r.government_pct).collect();
+    PrevalenceSummary {
+        regional_mean: mean(&reg),
+        regional_std: std_dev(&reg),
+        government_mean: mean(&gov),
+        government_std: std_dev(&gov),
+        reg_gov_correlation: pearson(&reg, &gov),
+        rows,
+    }
+}
+
+/// §1's headline: the number of countries whose websites embed any foreign
+/// tracker at all (21 of 23 in the paper).
+pub fn countries_with_foreign_trackers(study: &StudyDataset) -> usize {
+    study
+        .countries
+        .iter()
+        .filter(|c| c.sites.iter().any(|s| s.has_nonlocal_tracker()))
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::testutil::fixture;
+
+    fn row(cc: &str) -> PrevalenceRow {
+        figure3(&fixture().study)
+            .rows
+            .into_iter()
+            .find(|r| r.country.as_str() == cc)
+            .unwrap()
+    }
+
+    #[test]
+    fn means_and_dispersion_match_section_6_1() {
+        let s = figure3(&fixture().study);
+        assert!(
+            (34.0..58.0).contains(&s.regional_mean),
+            "regional mean {} vs paper 46.16",
+            s.regional_mean
+        );
+        assert!(
+            (28.0..52.0).contains(&s.government_mean),
+            "government mean {} vs paper 40.21",
+            s.government_mean
+        );
+        assert!(s.regional_std > 20.0, "regional σ {}", s.regional_std);
+        assert!(s.government_std > 20.0, "government σ {}", s.government_std);
+    }
+
+    #[test]
+    fn regional_and_government_rates_correlate() {
+        let s = figure3(&fixture().study);
+        let r = s.reg_gov_correlation.unwrap();
+        assert!(r > 0.7, "Pearson {r} vs paper's 0.89");
+    }
+
+    #[test]
+    fn twenty_one_of_twenty_three_countries_have_foreign_trackers() {
+        let n = countries_with_foreign_trackers(&fixture().study);
+        assert_eq!(n, 21, "paper: websites in 21/23 countries embed foreign trackers");
+    }
+
+    #[test]
+    fn country_extremes_match_figure3() {
+        // High end.
+        assert!(row("RW").regional_pct > 70.0, "RW {}", row("RW").regional_pct);
+        assert!(row("NZ").regional_pct > 60.0, "NZ {}", row("NZ").regional_pct);
+        assert!(row("QA").regional_pct > 60.0, "QA {}", row("QA").regional_pct);
+        // Zero end.
+        assert_eq!(row("CA").regional_pct, 0.0);
+        assert_eq!(row("US").regional_pct, 0.0);
+        assert_eq!(row("US").government_pct, 0.0);
+        // Russia's gov sites are clean, regional are not (16% vs 0%).
+        assert_eq!(row("RU").government_pct, 0.0);
+        assert!(row("RU").regional_pct > 3.0);
+    }
+
+    #[test]
+    fn divergent_reg_gov_pairs_are_reproduced() {
+        // Australia: 12% regional vs 1% government; UAE inverted (26/40);
+        // Uganda gov-heavy (67/83).
+        let au = row("AU");
+        assert!(au.regional_pct > au.government_pct + 3.0, "{au:?}");
+        let ae = row("AE");
+        assert!(ae.government_pct > ae.regional_pct, "{ae:?}");
+        let ug = row("UG");
+        assert!(ug.government_pct > ug.regional_pct, "{ug:?}");
+        let rw = row("RW");
+        assert!(rw.regional_pct > rw.government_pct + 25.0, "{rw:?}");
+    }
+}

@@ -1,0 +1,180 @@
+//! Cross-country behaviour of the same website (§8).
+//!
+//! "Our data also provides a valuable resource for analyzing how the same
+//! website can exhibit different behaviors across various countries ...
+//! Yahoo.com primarily embeds trackers from Yahoo and Google in India and
+//! the UK; in contrast, in Australia, Qatar, and the UAE, Yahoo.com embeds
+//! additional trackers from Demdex (Adobe Audience Manager), Bluekai, and
+//! Taboola." This module compares one (global) site's observed tracker
+//! exposure across the measurement countries.
+
+use crate::dataset::StudyDataset;
+use gamma_dns::DomainName;
+use gamma_geo::CountryCode;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// One country's view of a site.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SiteView {
+    pub country: CountryCode,
+    pub loaded: bool,
+    /// Confirmed non-local tracker hosts observed on the site there.
+    pub nonlocal_trackers: BTreeSet<DomainName>,
+    /// Owning organizations of those trackers.
+    pub orgs: BTreeSet<String>,
+    /// Countries hosting those trackers.
+    pub hosting_countries: BTreeSet<CountryCode>,
+}
+
+/// The full cross-country comparison for one site.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SiteComparison {
+    pub site: DomainName,
+    pub views: Vec<SiteView>,
+}
+
+impl SiteComparison {
+    /// Countries in which the site was part of T_web at all.
+    pub fn observed_in(&self) -> usize {
+        self.views.len()
+    }
+
+    /// Organizations seen in *some* countries but not all — the regional
+    /// adaptations §8 highlights.
+    pub fn regionally_varying_orgs(&self) -> Vec<String> {
+        let loaded: Vec<&SiteView> = self.views.iter().filter(|v| v.loaded).collect();
+        if loaded.len() < 2 {
+            return Vec::new();
+        }
+        let mut union: BTreeSet<&String> = BTreeSet::new();
+        for v in &loaded {
+            union.extend(v.orgs.iter());
+        }
+        union
+            .into_iter()
+            .filter(|org| !loaded.iter().all(|v| v.orgs.contains(*org)))
+            .cloned()
+            .collect()
+    }
+
+    /// Pairs of countries with disjoint hosting destinations for the same
+    /// site — the strongest form of regional divergence.
+    pub fn divergent_country_pairs(&self) -> usize {
+        let loaded: Vec<&SiteView> = self
+            .views
+            .iter()
+            .filter(|v| v.loaded && !v.hosting_countries.is_empty())
+            .collect();
+        let mut pairs = 0;
+        for (i, a) in loaded.iter().enumerate() {
+            for b in &loaded[i + 1..] {
+                if a.hosting_countries.is_disjoint(&b.hosting_countries) {
+                    pairs += 1;
+                }
+            }
+        }
+        pairs
+    }
+}
+
+/// Builds the comparison for one site domain across all countries whose
+/// T_web contained it.
+pub fn compare_site(study: &StudyDataset, site: &DomainName) -> SiteComparison {
+    let mut views = Vec::new();
+    for c in &study.countries {
+        let Some(record) = c.sites.iter().find(|s| &s.domain == site) else {
+            continue;
+        };
+        views.push(SiteView {
+            country: c.country,
+            loaded: record.loaded,
+            nonlocal_trackers: record
+                .nonlocal_trackers
+                .iter()
+                .map(|t| t.request.clone())
+                .collect(),
+            orgs: record
+                .nonlocal_trackers
+                .iter()
+                .filter_map(|t| t.org.clone())
+                .collect(),
+            hosting_countries: record
+                .nonlocal_trackers
+                .iter()
+                .map(|t| t.hosting_country())
+                .collect(),
+        });
+    }
+    SiteComparison {
+        site: site.clone(),
+        views,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::testutil::fixture;
+
+    fn d(s: &str) -> DomainName {
+        DomainName::parse(s).unwrap()
+    }
+
+    #[test]
+    fn yahoo_is_observed_in_many_countries() {
+        let cmp = compare_site(&fixture().study, &d("yahoo.com"));
+        assert!(cmp.observed_in() >= 12, "yahoo in {} countries", cmp.observed_in());
+    }
+
+    #[test]
+    fn yahoo_exposure_varies_regionally() {
+        // §8's observation: the same site shows different tracker sets in
+        // different countries.
+        let cmp = compare_site(&fixture().study, &d("yahoo.com"));
+        let varying = cmp.regionally_varying_orgs();
+        assert!(
+            !varying.is_empty(),
+            "yahoo.com exposes identical orgs everywhere"
+        );
+    }
+
+    #[test]
+    fn same_site_resolves_to_different_hosting_countries() {
+        // yahoo.com's serving location differs per client country via
+        // steering — e.g. local in majors-local countries, foreign
+        // elsewhere.
+        let cmp = compare_site(&fixture().study, &d("yahoo.com"));
+        let all_hosting: BTreeSet<_> = cmp
+            .views
+            .iter()
+            .flat_map(|v| v.hosting_countries.iter().copied())
+            .collect();
+        assert!(
+            all_hosting.len() >= 2,
+            "yahoo trackers hosted in only {all_hosting:?}"
+        );
+    }
+
+    #[test]
+    fn wikipedia_is_clean_everywhere() {
+        let cmp = compare_site(&fixture().study, &d("wikipedia.org"));
+        assert!(cmp.observed_in() >= 20);
+        for v in &cmp.views {
+            assert!(
+                v.nonlocal_trackers.is_empty(),
+                "{}: wikipedia with trackers {:?}",
+                v.country,
+                v.nonlocal_trackers
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_site_yields_empty_comparison() {
+        let cmp = compare_site(&fixture().study, &d("no-such-site.example"));
+        assert_eq!(cmp.observed_in(), 0);
+        assert!(cmp.regionally_varying_orgs().is_empty());
+        assert_eq!(cmp.divergent_country_pairs(), 0);
+    }
+}

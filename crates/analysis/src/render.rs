@@ -1,0 +1,284 @@
+//! Text renderers: print each figure/table in the same rows/series the
+//! paper reports. Used by the benchmark harness and the `repro` binary.
+
+use crate::continents::ContinentFlows;
+use crate::coverage::CoverageRow;
+use crate::first_party::FirstPartySummary;
+use crate::flows::FlowMatrix;
+use crate::funnel::TotalFunnel;
+use crate::per_site::PerSiteRow;
+use crate::policy::PolicyRow;
+use crate::prevalence::PrevalenceSummary;
+use gamma_geo::{Continent, CountryCode};
+use std::fmt::Write as _;
+
+/// Figure 2 as a table.
+pub fn render_figure2(rows: &[CoverageRow]) -> String {
+    let mut s = String::from("Figure 2 — T_web composition and load coverage\n");
+    let _ = writeln!(s, "{:<8} {:>6} {:>6} {:>9} {:>8}", "country", "T_reg", "T_gov", "attempted", "loaded%");
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "{:<8} {:>6} {:>6} {:>9} {:>7.1}%",
+            r.country.as_str(),
+            r.t_reg,
+            r.t_gov,
+            r.attempted,
+            r.coverage_pct()
+        );
+    }
+    s
+}
+
+/// Figure 3 as a table plus the summary line.
+pub fn render_figure3(sum: &PrevalenceSummary) -> String {
+    let mut s = String::from("Figure 3 — % of sites with non-local trackers\n");
+    let _ = writeln!(s, "{:<8} {:>10} {:>10}", "country", "regional%", "gov%");
+    for r in &sum.rows {
+        let _ = writeln!(
+            s,
+            "{:<8} {:>9.1}% {:>9.1}%",
+            r.country.as_str(),
+            r.regional_pct,
+            r.government_pct
+        );
+    }
+    let _ = writeln!(
+        s,
+        "mean regional {:.2}% (σ {:.2}) | mean gov {:.2}% (σ {:.2}) | Pearson {:.2}",
+        sum.regional_mean,
+        sum.regional_std,
+        sum.government_mean,
+        sum.government_std,
+        sum.reg_gov_correlation.unwrap_or(f64::NAN)
+    );
+    s
+}
+
+/// Figure 4 as per-country box-plot rows.
+pub fn render_figure4(rows: &[PerSiteRow]) -> String {
+    let mut s = String::from("Figure 4 — non-local tracker domains per website\n");
+    let _ = writeln!(
+        s,
+        "{:<8} {:<10} {:>4} {:>6} {:>6} {:>6} {:>6} {:>6} {:>9}",
+        "country", "kind", "n", "min", "q1", "med", "q3", "max", "outliers"
+    );
+    for r in rows {
+        let kind = format!("{:?}", r.kind);
+        match &r.stats {
+            Some(b) => {
+                let _ = writeln!(
+                    s,
+                    "{:<8} {:<10} {:>4} {:>6.1} {:>6.1} {:>6.1} {:>6.1} {:>6.1} {:>9}",
+                    r.country.as_str(),
+                    kind,
+                    b.n,
+                    b.min,
+                    b.q1,
+                    b.median,
+                    b.q3,
+                    b.max,
+                    b.outliers.len()
+                );
+            }
+            None => {
+                let _ = writeln!(s, "{:<8} {:<10}    - (no affected sites)", r.country.as_str(), kind);
+            }
+        }
+    }
+    s
+}
+
+/// Figure 5 as ranked destinations plus the named sensitivity checks.
+pub fn render_figure5(m: &FlowMatrix) -> String {
+    let mut s = String::from("Figure 5 — source→destination tracking flows\n");
+    let _ = writeln!(s, "websites with non-local trackers: {}", m.total_nonlocal_sites());
+    let _ = writeln!(s, "{:<6} {:>9} {:>9}", "dest", "% sites", "#sources");
+    for (dest, pct) in m.ranked_destinations().into_iter().take(15) {
+        let _ = writeln!(
+            s,
+            "{:<6} {:>8.1}% {:>9}",
+            dest.as_str(),
+            pct,
+            m.source_count(dest)
+        );
+    }
+    let au = CountryCode::new("AU");
+    let my = CountryCode::new("MY");
+    let _ = writeln!(
+        s,
+        "AU {:.1}% -> {:.1}% excluding NZ | MY {:.1}% -> {:.2}% excluding TH",
+        m.pct_websites_using(au),
+        m.pct_websites_using_excluding(au, CountryCode::new("NZ")),
+        m.pct_websites_using(my),
+        m.pct_websites_using_excluding(my, CountryCode::new("TH")),
+    );
+    s
+}
+
+/// Figure 6 as a continent matrix.
+pub fn render_figure6(f: &ContinentFlows) -> String {
+    let mut s = String::from("Figure 6 — continent-level flows (websites)\n");
+    let _ = write!(s, "{:<14}", "src\\dst");
+    for d in Continent::ALL {
+        let _ = write!(s, "{:>14}", d.name());
+    }
+    s.push('\n');
+    for src in Continent::ALL {
+        let _ = write!(s, "{:<14}", src.name());
+        for dst in Continent::ALL {
+            let n = f.flows.get(&(src, dst)).copied().unwrap_or(0);
+            let _ = write!(s, "{n:>14}");
+        }
+        s.push('\n');
+    }
+    s
+}
+
+/// Figure 7 as the global hosting table.
+pub fn render_figure7(rows: &[(CountryCode, usize)]) -> String {
+    let mut s = String::from("Figure 7 — unique non-local tracking domains by hosting country\n");
+    for (cc, n) in rows.iter().take(20) {
+        let _ = writeln!(s, "{:<6} {:>6}", cc.as_str(), n);
+    }
+    s
+}
+
+/// Figure 8 as ranked organizations + HQ distribution.
+pub fn render_figure8(
+    ranked: &[(String, usize)],
+    hq: &[(CountryCode, usize, f64)],
+    exclusives: &[(String, CountryCode)],
+) -> String {
+    let mut s = String::from("Figure 8 — flows to organizations\n");
+    for (org, n) in ranked.iter().take(15) {
+        let _ = writeln!(s, "{org:<20} {n:>6} websites");
+    }
+    s.push_str("HQ distribution of observed orgs:\n");
+    for (cc, n, f) in hq.iter().take(8) {
+        let _ = writeln!(s, "  {:<4} {:>3} orgs ({:>4.1}%)", cc.as_str(), n, f * 100.0);
+    }
+    s.push_str("country-exclusive orgs:\n");
+    for (org, cc) in exclusives {
+        let _ = writeln!(s, "  {org} (only {})", cc.as_str());
+    }
+    s
+}
+
+/// Figure 9 as the global frequency head.
+pub fn render_figure9(global: &[(gamma_dns::DomainName, usize)]) -> String {
+    let mut s = String::from("Figure 9 — most frequent non-local tracking domains\n");
+    for (d, n) in global.iter().take(20) {
+        let _ = writeln!(s, "{:<45} {:>5} sites", d.to_string(), n);
+    }
+    s
+}
+
+/// Table 1.
+pub fn render_table1(rows: &[PolicyRow], correlation: Option<f64>) -> String {
+    let mut s = String::from("Table 1 — data-localization policy vs non-local rate\n");
+    let _ = writeln!(s, "{:<8} {:<6} {:<8} {:>10}", "country", "type", "enacted", "non-local%");
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "{:<8} {:<6} {:<8} {:>9.2}%{}",
+            r.country.as_str(),
+            r.policy.label(),
+            if r.enacted { "yes" } else { "no" },
+            r.nonlocal_pct,
+            r.footnote
+                .as_deref()
+                .map(|f| format!("  ({f})"))
+                .unwrap_or_default()
+        );
+    }
+    if let Some(c) = correlation {
+        let _ = writeln!(s, "strictness/rate Spearman correlation: {c:.2}");
+    }
+    s
+}
+
+/// §6.7 summary.
+pub fn render_first_party(fp: &FirstPartySummary) -> String {
+    let mut s = String::from("§6.7 — first- vs third-party non-local trackers\n");
+    let _ = writeln!(
+        s,
+        "{} sites with non-local trackers; {} embed a first-party non-local tracker (Google share {:.0}%)",
+        fp.sites_with_nonlocal,
+        fp.sites_with_first_party,
+        fp.google_share() * 100.0
+    );
+    for (site, org) in fp.first_party_sites.iter().take(12) {
+        let _ = writeln!(s, "  {site} ({org})");
+    }
+    s
+}
+
+/// §5's funnel.
+pub fn render_funnel(t: &TotalFunnel) -> String {
+    let mut s = String::from("§5 — measurement funnel\n");
+    let _ = writeln!(s, "domain observations:        {:>7}", t.observations);
+    let _ = writeln!(s, "unique domains (per-country sum): {:>7}", t.unique_domains_sum);
+    let _ = writeln!(s, "unique addresses (sum):     {:>7}", t.unique_ips_sum);
+    let _ = writeln!(s, "non-local candidates:       {:>7}", t.nonlocal_candidates);
+    let _ = writeln!(s, "after SOL constraints:      {:>7}", t.after_sol_constraints);
+    let _ = writeln!(s, "after rDNS constraint:      {:>7}", t.after_rdns_constraint);
+    let _ = writeln!(s, "confirmed non-local domains:{:>7}", t.confirmed_nonlocal_domains);
+    let _ = writeln!(s, "...of which trackers:       {:>7}", t.confirmed_tracker_domains);
+    let _ = writeln!(
+        s,
+        "source traceroutes: {} volunteer + {} Atlas; destination: {}",
+        t.source_traceroutes_volunteer, t.source_traceroutes_atlas, t.destination_traceroutes
+    );
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::testutil::fixture;
+
+    #[test]
+    fn all_renderers_produce_output_with_country_rows() {
+        let f = fixture();
+        let fig2 = render_figure2(&crate::coverage::figure2(&f.study));
+        assert!(fig2.contains("JP") && fig2.contains("SA"));
+
+        let fig3 = render_figure3(&crate::prevalence::figure3(&f.study));
+        assert!(fig3.contains("Pearson"));
+
+        let fig4 = render_figure4(&crate::per_site::figure4(&f.study));
+        assert!(fig4.contains("med"));
+
+        let m = crate::flows::figure5(&f.study);
+        let fig5 = render_figure5(&m);
+        assert!(fig5.contains("excluding NZ"));
+
+        let fig6 = render_figure6(&crate::continents::figure6(&f.study));
+        assert!(fig6.contains("Europe") && fig6.contains("Africa"));
+
+        let fig7 = render_figure7(&crate::hosting::domains_by_hosting_country(&f.study));
+        assert!(fig7.contains("KE") || fig7.contains("DE"));
+
+        let fig8 = render_figure8(
+            &crate::orgs::ranked_orgs(&f.study),
+            &crate::orgs::hq_distribution(&f.study),
+            &crate::orgs::exclusive_orgs(&f.study),
+        );
+        assert!(fig8.contains("Google"));
+
+        let fig9 = render_figure9(&crate::freq::global_frequency(&f.study));
+        assert!(fig9.contains("sites"));
+
+        let rows = crate::policy::table1(&f.study);
+        let corr = crate::policy::strictness_rate_correlation(&rows);
+        let t1 = render_table1(&rows, corr);
+        assert!(t1.contains("Spearman"));
+
+        let fp = render_first_party(&crate::first_party::first_party_analysis(&f.study));
+        assert!(fp.contains("first-party"));
+
+        let fun = render_funnel(&crate::funnel::total_funnel(&f.study));
+        assert!(fun.contains("SOL"));
+    }
+}

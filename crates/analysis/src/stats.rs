@@ -1,0 +1,277 @@
+//! Statistics toolbox: exactly the estimators the paper reports.
+
+/// Arithmetic mean. Empty input yields 0.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation (the paper reports σ).
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// Pearson correlation coefficient (Figure 3 reports 0.89 between the
+/// regional and government prevalence vectors).
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return None;
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx).powi(2);
+        vy += (y - my).powi(2);
+    }
+    if vx == 0.0 || vy == 0.0 {
+        return None;
+    }
+    Some(cov / (vx * vy).sqrt())
+}
+
+/// Linear interpolation quantile (type-7, like numpy's default).
+pub fn quantile(sorted: &[f64], q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "quantile out of range");
+    match sorted.len() {
+        0 => 0.0,
+        1 => sorted[0],
+        n => {
+            let pos = q * (n - 1) as f64;
+            let lo = pos.floor() as usize;
+            let hi = pos.ceil() as usize;
+            let frac = pos - lo as f64;
+            sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+        }
+    }
+}
+
+/// Box-plot summary (Figure 4): quartiles plus 1.5-IQR whiskers and
+/// outliers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoxStats {
+    pub min: f64,
+    pub q1: f64,
+    pub median: f64,
+    pub q3: f64,
+    pub max: f64,
+    pub whisker_lo: f64,
+    pub whisker_hi: f64,
+    pub outliers: Vec<f64>,
+    pub mean: f64,
+    pub std_dev: f64,
+    pub n: usize,
+}
+
+impl BoxStats {
+    pub fn compute(values: &[f64]) -> Option<BoxStats> {
+        if values.is_empty() {
+            return None;
+        }
+        let mut v: Vec<f64> = values.to_vec();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+        let q1 = quantile(&v, 0.25);
+        let median = quantile(&v, 0.5);
+        let q3 = quantile(&v, 0.75);
+        let iqr = q3 - q1;
+        let lo_fence = q1 - 1.5 * iqr;
+        let hi_fence = q3 + 1.5 * iqr;
+        let whisker_lo = v
+            .iter()
+            .copied()
+            .find(|x| *x >= lo_fence)
+            .unwrap_or(v[0]);
+        let whisker_hi = v
+            .iter()
+            .rev()
+            .copied()
+            .find(|x| *x <= hi_fence)
+            .unwrap_or(*v.last().expect("non-empty"));
+        let outliers = v
+            .iter()
+            .copied()
+            .filter(|x| *x < lo_fence || *x > hi_fence)
+            .collect();
+        Some(BoxStats {
+            min: v[0],
+            q1,
+            median,
+            q3,
+            max: *v.last().expect("non-empty"),
+            whisker_lo,
+            whisker_hi,
+            outliers,
+            mean: mean(&v),
+            std_dev: std_dev(&v),
+            n: v.len(),
+        })
+    }
+
+    /// Interquartile range.
+    pub fn iqr(&self) -> f64 {
+        self.q3 - self.q1
+    }
+}
+
+/// Fisher-Pearson skewness coefficient — the paper notes the per-website
+/// distributions have "a positive skew" almost everywhere, with New
+/// Zealand the normal-shaped exception.
+pub fn skewness(xs: &[f64]) -> f64 {
+    let n = xs.len();
+    if n < 3 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let s = std_dev(xs);
+    if s == 0.0 {
+        return 0.0;
+    }
+    xs.iter().map(|x| ((x - m) / s).powi(3)).sum::<f64>() / n as f64
+}
+
+/// Spearman rank correlation (used for the Table 1 policy-trend check,
+/// which is ordinal in strictness).
+pub fn spearman(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return None;
+    }
+    let rx = ranks(xs);
+    let ry = ranks(ys);
+    pearson(&rx, &ry)
+}
+
+fn ranks(xs: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..xs.len()).collect();
+    idx.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("finite values"));
+    let mut out = vec![0.0; xs.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        // average ranks over ties
+        let mut j = i;
+        while j + 1 < idx.len() && xs[idx[j + 1]] == xs[idx[i]] {
+            j += 1;
+        }
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for k in i..=j {
+            out[idx[k]] = avg;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn mean_and_std() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        assert!((std_dev(&xs) - 2.0).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(std_dev(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn pearson_perfect_and_inverse() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+        let inv = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&xs, &inv).unwrap() + 1.0).abs() < 1e-12);
+        assert!(pearson(&xs, &[1.0]).is_none());
+        assert!(pearson(&xs, &[5.0, 5.0, 5.0, 5.0]).is_none());
+    }
+
+    #[test]
+    fn quantiles_match_linear_interpolation() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert!((quantile(&v, 0.5) - 2.5).abs() < 1e-12);
+        assert!((quantile(&v, 0.25) - 1.75).abs() < 1e-12);
+        assert!((quantile(&v, 0.0) - 1.0).abs() < 1e-12);
+        assert!((quantile(&v, 1.0) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn box_stats_flag_outliers() {
+        let mut values = vec![1.0, 2.0, 2.0, 3.0, 3.0, 3.0, 4.0, 4.0, 5.0];
+        values.push(32.0); // the AZ-YouTube-style outlier
+        let b = BoxStats::compute(&values).unwrap();
+        assert_eq!(b.outliers, vec![32.0]);
+        assert!(b.whisker_hi <= 5.0 + 1e-12);
+        assert_eq!(b.max, 32.0);
+        assert_eq!(b.n, 10);
+    }
+
+    #[test]
+    fn box_stats_empty_is_none() {
+        assert!(BoxStats::compute(&[]).is_none());
+        let single = BoxStats::compute(&[7.0]).unwrap();
+        assert_eq!(single.median, 7.0);
+        assert_eq!(single.iqr(), 0.0);
+    }
+
+    #[test]
+    fn skewness_signs() {
+        let right = [1.0, 1.0, 1.0, 2.0, 2.0, 3.0, 9.0, 14.0];
+        assert!(skewness(&right) > 0.5);
+        let sym = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert!(skewness(&sym).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spearman_handles_monotone_nonlinear() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let ys = [1.0, 8.0, 27.0, 64.0, 125.0];
+        assert!((spearman(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_ties_average() {
+        let xs = [1.0, 2.0, 2.0, 3.0];
+        let r = ranks(&xs);
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn pearson_is_bounded(
+            xs in prop::collection::vec(-100.0f64..100.0, 3..30),
+            ys in prop::collection::vec(-100.0f64..100.0, 3..30),
+        ) {
+            let n = xs.len().min(ys.len());
+            if let Some(r) = pearson(&xs[..n], &ys[..n]) {
+                prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+            }
+        }
+
+        #[test]
+        fn quantiles_are_monotone(mut v in prop::collection::vec(0.0f64..1000.0, 2..50)) {
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let q25 = quantile(&v, 0.25);
+            let q50 = quantile(&v, 0.5);
+            let q75 = quantile(&v, 0.75);
+            prop_assert!(q25 <= q50 && q50 <= q75);
+            prop_assert!(v[0] <= q25 && q75 <= *v.last().unwrap());
+        }
+
+        #[test]
+        fn box_stats_are_ordered(v in prop::collection::vec(0.0f64..100.0, 1..60)) {
+            let b = BoxStats::compute(&v).unwrap();
+            prop_assert!(b.min <= b.q1 && b.q1 <= b.median);
+            prop_assert!(b.median <= b.q3 && b.q3 <= b.max);
+            prop_assert!(b.whisker_lo >= b.min && b.whisker_hi <= b.max);
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! # gamma-atlas
+//!
+//! A RIPE-Atlas-like distributed measurement platform. The paper leans on
+//! Atlas twice: as the *fallback source* for volunteers whose traceroutes
+//! failed (Australia, India, Qatar, Jordan) or who opted out (Egypt), and
+//! for every *destination-based constraint* — a traceroute from a probe in
+//! the claimed server country (§4.1.1–§4.1.2).
+//!
+//! The defining property reproduced here is density skew: probe coverage is
+//! dense in the Global North and sparse in the Global South (§2.2 calls
+//! this out as what makes the prior EU methodology infeasible elsewhere).
+//! Qatar and Jordan host no probes at all, forcing the paper's documented
+//! nearby-country fallbacks (Saudi Arabia and Israel respectively).
+
+pub mod platform;
+pub mod probe;
+pub mod select;
+
+pub use platform::AtlasPlatform;
+pub use probe::{Probe, ProbeId};
+pub use select::{ProbeSelection, SelectionQuality};

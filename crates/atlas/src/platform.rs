@@ -1,0 +1,149 @@
+//! The probe population.
+//!
+//! Density mirrors the real platform's Global-North skew: rich coverage in
+//! Europe/North America/Oceania, thin coverage across the Global South, and
+//! two deliberate zero-probe countries (Qatar, Jordan) so the paper's
+//! nearby-country fallbacks are exercised.
+
+use crate::probe::{Probe, ProbeId};
+use gamma_geo::{cities_in, countries, CountryCode};
+use gamma_netsim::Asn;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Countries hosting no probes at all. The paper's destination/fallback
+/// selection had to reach into Saudi Arabia for Qatar and Israel for
+/// Jordan (§4.1.1), which requires these gaps.
+pub const ZERO_PROBE_COUNTRIES: &[&str] = &["QA", "JO"];
+
+/// First ASN used for synthetic probe-host networks.
+const FIRST_PROBE_ASN: u32 = 50_000;
+
+/// The platform: all registered probes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AtlasPlatform {
+    probes: Vec<Probe>,
+}
+
+impl AtlasPlatform {
+    /// Builds the population. Probe counts per country scale with Global
+    /// North membership; each probe sits in a real catalog city.
+    pub fn generate(seed: u64) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xA71A5);
+        let mut probes = Vec::new();
+        let mut next_id = 1u32;
+        for country in countries() {
+            if ZERO_PROBE_COUNTRIES.contains(&country.code.as_str()) {
+                continue;
+            }
+            let count = if country.global_south {
+                // Sparse: one to three probes.
+                1 + (rng.gen::<f64>() * 2.4) as usize
+            } else {
+                // Dense: a dozen or more.
+                12 + (rng.gen::<f64>() * 24.0) as usize
+            };
+            let cities: Vec<_> = cities_in(country.code).collect();
+            if cities.is_empty() {
+                continue;
+            }
+            for k in 0..count {
+                let city = cities[k % cities.len()];
+                probes.push(Probe {
+                    id: ProbeId(next_id),
+                    city: city.id,
+                    country: country.code,
+                    asn: Asn(FIRST_PROBE_ASN + next_id % 97),
+                    // Probes churn, but every covered country keeps at
+                    // least one connected anchor.
+                    connected: k == 0 || rng.gen::<f64>() < 0.93,
+                });
+                next_id += 1;
+            }
+        }
+        AtlasPlatform { probes }
+    }
+
+    /// All probes.
+    pub fn probes(&self) -> &[Probe] {
+        &self.probes
+    }
+
+    /// Connected probes in a country.
+    pub fn connected_in(&self, country: CountryCode) -> impl Iterator<Item = &Probe> {
+        self.probes
+            .iter()
+            .filter(move |p| p.country == country && p.connected)
+    }
+
+    /// Number of probes (connected or not) in a country.
+    pub fn count_in(&self, country: CountryCode) -> usize {
+        self.probes.iter().filter(|p| p.country == country).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn platform() -> AtlasPlatform {
+        AtlasPlatform::generate(99)
+    }
+
+    #[test]
+    fn qatar_and_jordan_have_no_probes() {
+        let p = platform();
+        assert_eq!(p.count_in(CountryCode::new("QA")), 0);
+        assert_eq!(p.count_in(CountryCode::new("JO")), 0);
+    }
+
+    #[test]
+    fn fallback_countries_have_probes() {
+        let p = platform();
+        assert!(p.count_in(CountryCode::new("SA")) > 0, "Saudi fallback");
+        assert!(p.count_in(CountryCode::new("IL")) > 0, "Israel fallback");
+    }
+
+    #[test]
+    fn global_north_is_denser_than_global_south() {
+        let p = platform();
+        let north: usize = ["DE", "FR", "GB", "US", "NL"]
+            .iter()
+            .map(|c| p.count_in(CountryCode::new(c)))
+            .sum();
+        let south: usize = ["RW", "UG", "DZ", "PK", "LK"]
+            .iter()
+            .map(|c| p.count_in(CountryCode::new(c)))
+            .sum();
+        assert!(
+            north > south * 5,
+            "north {north} should dwarf south {south}"
+        );
+    }
+
+    #[test]
+    fn every_probe_city_matches_its_country() {
+        let p = platform();
+        for probe in p.probes() {
+            assert_eq!(gamma_geo::city(probe.city).country, probe.country);
+        }
+    }
+
+    #[test]
+    fn most_probes_are_connected() {
+        let p = platform();
+        let connected = p.probes().iter().filter(|p| p.connected).count();
+        let frac = connected as f64 / p.probes().len() as f64;
+        assert!((0.85..1.0).contains(&frac), "connected fraction {frac}");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = AtlasPlatform::generate(1);
+        let b = AtlasPlatform::generate(1);
+        assert_eq!(a.probes().len(), b.probes().len());
+        assert_eq!(a.probes()[0], b.probes()[0]);
+    }
+}

@@ -1,0 +1,41 @@
+//! Individual Atlas probes.
+
+use gamma_geo::{CityId, CountryCode};
+use gamma_netsim::Asn;
+use serde::{Deserialize, Serialize};
+
+/// Probe identifier (Atlas-style numeric id).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ProbeId(pub u32);
+
+/// A measurement probe hosted by some volunteer network.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Probe {
+    pub id: ProbeId,
+    pub city: CityId,
+    pub country: CountryCode,
+    /// The hosting network; "on the same network, where feasible" is one of
+    /// the paper's probe-selection criteria (§4.1.1).
+    pub asn: Asn,
+    /// Probes go up and down; only connected probes can measure.
+    pub connected: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_is_serializable() {
+        let p = Probe {
+            id: ProbeId(7),
+            city: CityId(3),
+            country: CountryCode::new("KE"),
+            asn: Asn(64000),
+            connected: true,
+        };
+        let js = serde_json::to_string(&p).unwrap();
+        let back: Probe = serde_json::from_str(&js).unwrap();
+        assert_eq!(p, back);
+    }
+}

@@ -1,0 +1,195 @@
+//! Probe selection.
+//!
+//! §4.1 of the paper: "We select probes as close as possible to the
+//! volunteer's city and on the same network, where feasible", and for
+//! destination constraints "we choose the probe in the same city when
+//! available", falling back to a nearby country when the target country
+//! hosts no probes (Saudi Arabia for Qatar, Israel for Jordan).
+
+use crate::platform::AtlasPlatform;
+use crate::probe::Probe;
+use gamma_geo::{city, country, CityId, CountryCode};
+use gamma_netsim::Asn;
+use serde::{Deserialize, Serialize};
+
+/// How good the selected probe is relative to the request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum SelectionQuality {
+    /// Same city (and possibly network) as requested.
+    SameCity,
+    /// Same country, different city.
+    SameCountry,
+    /// Nearby country fallback.
+    NearbyCountry,
+}
+
+/// A selection result.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProbeSelection {
+    pub probe: Probe,
+    pub quality: SelectionQuality,
+}
+
+/// Hard-wired fallbacks documented in the paper.
+const DOCUMENTED_FALLBACKS: &[(&str, &str)] = &[("QA", "SA"), ("JO", "IL")];
+
+impl AtlasPlatform {
+    /// Selects a probe for measurements concerning `target_country`,
+    /// preferring `near_city`, then same-ASN, then any in-country probe,
+    /// then a nearby-country fallback.
+    pub fn select_probe(
+        &self,
+        target_country: CountryCode,
+        near_city: Option<CityId>,
+        prefer_asn: Option<Asn>,
+    ) -> Option<ProbeSelection> {
+        let in_country: Vec<&Probe> = self.connected_in(target_country).collect();
+        if !in_country.is_empty() {
+            if let Some(cid) = near_city {
+                if let Some(p) = best_by_asn(
+                    in_country.iter().copied().filter(|p| p.city == cid),
+                    prefer_asn,
+                ) {
+                    return Some(ProbeSelection {
+                        probe: *p,
+                        quality: SelectionQuality::SameCity,
+                    });
+                }
+            }
+            // Same country: nearest to the requested city if any.
+            let p = match near_city {
+                Some(cid) => {
+                    let target = city(cid).location;
+                    in_country
+                        .iter()
+                        .copied()
+                        .min_by(|a, b| {
+                            let da = city(a.city).location.distance_km(&target);
+                            let db = city(b.city).location.distance_km(&target);
+                            da.partial_cmp(&db).expect("finite distances")
+                        })
+                        .expect("non-empty")
+                }
+                None => best_by_asn(in_country.iter().copied(), prefer_asn)
+                    .expect("non-empty in-country set"),
+            };
+            return Some(ProbeSelection {
+                probe: *p,
+                quality: SelectionQuality::SameCountry,
+            });
+        }
+
+        // Documented fallbacks first, then nearest-by-centroid country with
+        // any connected probe.
+        if let Some((_, fb)) = DOCUMENTED_FALLBACKS
+            .iter()
+            .find(|(c, _)| *c == target_country.as_str())
+        {
+            if let Some(sel) = self.select_probe(CountryCode::new(fb), near_city, prefer_asn) {
+                return Some(ProbeSelection {
+                    probe: sel.probe,
+                    quality: SelectionQuality::NearbyCountry,
+                });
+            }
+        }
+        let target = country(target_country)?;
+        let mut best: Option<(&Probe, f64)> = None;
+        for p in self.probes().iter().filter(|p| p.connected) {
+            let c = country(p.country)?;
+            let d = target.centroid.distance_km(&c.centroid);
+            if best.map_or(true, |(_, bd)| d < bd) {
+                best = Some((p, d));
+            }
+        }
+        best.map(|(p, _)| ProbeSelection {
+            probe: *p,
+            quality: SelectionQuality::NearbyCountry,
+        })
+    }
+}
+
+fn best_by_asn<'a>(
+    candidates: impl Iterator<Item = &'a Probe>,
+    prefer_asn: Option<Asn>,
+) -> Option<&'a Probe> {
+    let v: Vec<&Probe> = candidates.collect();
+    if let Some(asn) = prefer_asn {
+        if let Some(p) = v.iter().find(|p| p.asn == asn) {
+            return Some(p);
+        }
+    }
+    v.first().copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gamma_geo::city_by_name;
+
+    fn platform() -> AtlasPlatform {
+        AtlasPlatform::generate(99)
+    }
+
+    #[test]
+    fn qatar_falls_back_to_saudi_arabia() {
+        let p = platform();
+        let sel = p
+            .select_probe(CountryCode::new("QA"), city_by_name("Doha").map(|c| c.id), None)
+            .expect("fallback must exist");
+        assert_eq!(sel.quality, SelectionQuality::NearbyCountry);
+        assert_eq!(sel.probe.country, CountryCode::new("SA"));
+    }
+
+    #[test]
+    fn jordan_falls_back_to_israel() {
+        let p = platform();
+        let sel = p
+            .select_probe(CountryCode::new("JO"), city_by_name("Amman").map(|c| c.id), None)
+            .expect("fallback must exist");
+        assert_eq!(sel.quality, SelectionQuality::NearbyCountry);
+        assert_eq!(sel.probe.country, CountryCode::new("IL"));
+    }
+
+    #[test]
+    fn dense_country_yields_same_city_probe() {
+        let p = platform();
+        let fra = city_by_name("Frankfurt").unwrap().id;
+        let sel = p
+            .select_probe(CountryCode::new("DE"), Some(fra), None)
+            .expect("Germany has probes");
+        assert_eq!(sel.probe.country, CountryCode::new("DE"));
+        assert!(
+            sel.quality == SelectionQuality::SameCity || sel.quality == SelectionQuality::SameCountry
+        );
+    }
+
+    #[test]
+    fn same_country_selection_prefers_nearest_city() {
+        let p = platform();
+        // Ask for a US probe near Seattle; whatever comes back must be a US
+        // probe, and if Seattle hosts one it must be chosen.
+        let sea = city_by_name("Seattle").unwrap().id;
+        let sel = p.select_probe(CountryCode::new("US"), Some(sea), None).unwrap();
+        assert_eq!(sel.probe.country, CountryCode::new("US"));
+        let has_seattle_probe = p
+            .connected_in(CountryCode::new("US"))
+            .any(|pr| pr.city == sea);
+        if has_seattle_probe {
+            assert_eq!(sel.quality, SelectionQuality::SameCity);
+            assert_eq!(sel.probe.city, sea);
+        }
+    }
+
+    #[test]
+    fn selection_without_city_still_returns_in_country() {
+        let p = platform();
+        let sel = p.select_probe(CountryCode::new("KE"), None, None).unwrap();
+        assert_eq!(sel.probe.country, CountryCode::new("KE"));
+    }
+
+    #[test]
+    fn unknown_country_returns_none() {
+        let p = platform();
+        assert!(p.select_probe(CountryCode::new("XX"), None, None).is_none());
+    }
+}

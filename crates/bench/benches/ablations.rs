@@ -1,0 +1,97 @@
+//! Ablation benches over the multi-constraint geolocation framework
+//! (DESIGN.md's design-choice experiments). Each configuration prints its
+//! foreign-identification precision and country-attribution accuracy
+//! against ground truth, then times the pipeline under that configuration.
+
+use criterion::{criterion_group, criterion_main, Criterion, SamplingMode};
+use gamma_bench::BENCH_SEED;
+use gamma_core::{Study, StudyResults};
+use gamma_geoloc::Classification;
+use gamma_websim::WorldSpec;
+use std::hint::black_box;
+
+fn reduced_spec() -> WorldSpec {
+    let mut spec = WorldSpec::paper_default(BENCH_SEED);
+    spec.countries
+        .retain(|c| ["RW", "PK", "US", "NZ", "TH"].contains(&c.country.as_str()));
+    spec
+}
+
+fn attribution_accuracy(results: &StudyResults) -> f64 {
+    let mut total = 0usize;
+    let mut correct = 0usize;
+    for (_, report) in &results.runs {
+        let mut seen = std::collections::HashSet::new();
+        for v in report.confirmed() {
+            if !seen.insert(v.ip) {
+                continue;
+            }
+            if let Classification::ConfirmedNonLocal { claimed } = v.classification {
+                total += 1;
+                if results.world.true_country(v.ip)
+                    == Some(gamma_geo::city(claimed).country)
+                {
+                    correct += 1;
+                }
+            }
+        }
+    }
+    correct as f64 / total.max(1) as f64
+}
+
+fn bench_constraint_ablations(c: &mut Criterion) {
+    let configs: [(&str, fn(&mut Study)); 5] = [
+        ("full_framework", |_| {}),
+        ("no_source_constraint", |s| {
+            s.options.enable_source_constraint = false;
+        }),
+        ("no_destination_constraint", |s| {
+            s.options.enable_destination_constraint = false;
+        }),
+        ("no_rdns_constraint", |s| {
+            s.options.enable_rdns_constraint = false;
+        }),
+        ("database_only", |s| {
+            s.options.enable_source_constraint = false;
+            s.options.enable_destination_constraint = false;
+            s.options.enable_rdns_constraint = false;
+        }),
+    ];
+    let mut g = c.benchmark_group("ablation_constraints");
+    g.sampling_mode(SamplingMode::Flat).sample_size(10);
+    for (name, configure) in configs {
+        let mut study = Study::with_spec(reduced_spec());
+        configure(&mut study);
+        let results = study.run();
+        eprintln!(
+            "{name}: foreign precision {:.3}, country attribution {:.3}",
+            results.overall_foreign_precision().unwrap_or(1.0),
+            attribution_accuracy(&results),
+        );
+        g.bench_function(name, |b| b.iter(|| black_box(&study).run()));
+    }
+    g.finish();
+}
+
+fn bench_latency_floor(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_latency_floor");
+    g.sampling_mode(SamplingMode::Flat).sample_size(10);
+    for floor in [0.0f64, 0.8, 1.2] {
+        let mut study = Study::with_spec(reduced_spec());
+        study.options.latency_floor = floor;
+        let results = study.run();
+        let confirmed: usize = results
+            .runs
+            .iter()
+            .map(|(_, r)| r.funnel.after_rdns_constraint)
+            .sum();
+        eprintln!("floor {floor}: {confirmed} confirmed non-local addresses");
+        g.bench_function(format!("floor_{floor}"), |b| {
+            b.iter(|| black_box(&study).run())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(ablations, bench_constraint_ablations, bench_latency_floor);
+criterion_main!(ablations);

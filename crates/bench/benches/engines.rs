@@ -1,0 +1,174 @@
+//! Micro-benchmarks of the measurement engines: ABP filter matching,
+//! public-suffix computation, rDNS hint extraction, GeoDNS resolution,
+//! traceroute simulation, and output normalization.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gamma_bench::study;
+use gamma_dns::DomainName;
+use gamma_geo::city_by_name;
+use gamma_netsim::{run_traceroute, synthesize_route, AccessQuality, FaultConfig, LatencyModel};
+use gamma_suite::normalize::{parse_linux, render_linux};
+use gamma_trackers::{abp::host_request, TrackerClassifier};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn bench_abp_matching(c: &mut Criterion) {
+    let s = study();
+    let classifier = TrackerClassifier::for_world(&s.world);
+    // A realistic request mix: tracker hosts and first-party hosts.
+    let mut requests: Vec<(String, String)> = Vec::new();
+    for t in s.world.tracker_domains.iter().take(200) {
+        requests.push((
+            format!("https://{}/collect?id=1", t.domain),
+            t.domain.to_string(),
+        ));
+    }
+    for site in s.world.sites.iter().take(200) {
+        requests.push((format!("https://{}/", site.domain), site.domain.to_string()));
+    }
+    let mut g = c.benchmark_group("abp");
+    g.throughput(Throughput::Elements(requests.len() as u64));
+    g.bench_function("filter_set_match", |b| {
+        b.iter(|| {
+            let mut blocked = 0usize;
+            for (url, host) in &requests {
+                let ctx = host_request(url, host, "example-publisher.com");
+                if matches!(
+                    classifier.filters.matches(black_box(&ctx)),
+                    gamma_trackers::Decision::Blocked(_)
+                ) {
+                    blocked += 1;
+                }
+            }
+            blocked
+        })
+    });
+    g.finish();
+}
+
+fn bench_psl_and_hints(c: &mut Criterion) {
+    let names: Vec<DomainName> = [
+        "www.a.b.example.com",
+        "stats.g.doubleclick.net",
+        "portal.salud.gob.ar",
+        "news.bbc.co.uk",
+        "edge-nbo-3.spotim.awsglobal-edge.net",
+        "ams07.google-servers.net",
+        "r-1-42.backbone1.net",
+    ]
+    .iter()
+    .map(|s| DomainName::parse(s).expect("valid"))
+    .collect();
+    let mut g = c.benchmark_group("dns");
+    g.throughput(Throughput::Elements(names.len() as u64));
+    g.bench_function("registrable_domain", |b| {
+        b.iter(|| {
+            names
+                .iter()
+                .filter_map(|n| gamma_dns::registrable_domain(black_box(n)))
+                .count()
+        })
+    });
+    g.bench_function("rdns_geo_hint", |b| {
+        b.iter(|| {
+            names
+                .iter()
+                .filter_map(|n| gamma_dns::geo_hint(black_box(n.as_str())))
+                .count()
+        })
+    });
+    g.finish();
+}
+
+fn bench_geodns_resolution(c: &mut Criterion) {
+    let s = study();
+    let clients = ["Kigali", "Bangkok", "London", "Ashburn"]
+        .map(|n| city_by_name(n).expect("catalog city").id);
+    let domains: Vec<&DomainName> = s
+        .world
+        .tracker_domains
+        .iter()
+        .take(100)
+        .map(|t| &t.domain)
+        .collect();
+    let mut g = c.benchmark_group("geodns");
+    g.throughput(Throughput::Elements((domains.len() * clients.len()) as u64));
+    g.bench_function("resolve_steered", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for &client in &clients {
+                for d in &domains {
+                    if s.world.resolve(black_box(d), client).is_some() {
+                        hits += 1;
+                    }
+                }
+            }
+            hits
+        })
+    });
+    g.finish();
+}
+
+fn bench_traceroute_simulation(c: &mut Criterion) {
+    let s = study();
+    let src = city_by_name("Kampala").expect("catalog city");
+    let dst = city_by_name("Frankfurt").expect("catalog city");
+    let route = synthesize_route(src, dst);
+    let model = LatencyModel::default();
+    let fault = FaultConfig::default();
+    let dst_ip = std::net::Ipv4Addr::new(20, 9, 9, 9);
+    let mut g = c.benchmark_group("netsim");
+    g.bench_function("route_synthesis", |b| {
+        b.iter(|| synthesize_route(black_box(src), black_box(dst)))
+    });
+    g.bench_function("traceroute_run", |b| {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        b.iter(|| {
+            run_traceroute(
+                black_box(&route),
+                dst_ip,
+                &model,
+                AccessQuality::Good,
+                &fault,
+                &|city| s.world.router_ip_of(city),
+                &mut rng,
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_normalization(c: &mut Criterion) {
+    let s = study();
+    let src = city_by_name("Lahore").expect("catalog city");
+    let dst = city_by_name("Paris").expect("catalog city");
+    let route = synthesize_route(src, dst);
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let result = run_traceroute(
+        &route,
+        std::net::Ipv4Addr::new(20, 8, 8, 8),
+        &LatencyModel::default(),
+        AccessQuality::Good,
+        &FaultConfig::none(),
+        &|city| s.world.router_ip_of(city),
+        &mut rng,
+    );
+    let text = render_linux(&result);
+    let mut g = c.benchmark_group("normalize");
+    g.bench_function("render_linux", |b| b.iter(|| render_linux(black_box(&result))));
+    g.bench_function("parse_linux", |b| {
+        b.iter(|| parse_linux(black_box(&text)).expect("parses"))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    engines,
+    bench_abp_matching,
+    bench_psl_and_hints,
+    bench_geodns_resolution,
+    bench_traceroute_simulation,
+    bench_normalization,
+);
+criterion_main!(engines);

@@ -1,0 +1,135 @@
+//! One benchmark per figure/table of the paper's evaluation. Each bench
+//! prints the regenerated artifact once (the same rows/series the paper
+//! reports) and then measures the aggregation that produces it over the
+//! full 23-country dataset.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gamma_analysis::render::*;
+use gamma_analysis::{
+    continents, coverage, first_party, flows, freq, funnel, hosting, orgs, per_site, policy,
+    prevalence,
+};
+use gamma_bench::study;
+use std::hint::black_box;
+
+fn bench_fig2_targets(c: &mut Criterion) {
+    let s = study();
+    eprintln!("{}", render_figure2(&coverage::figure2(&s.study)));
+    c.bench_function("fig2_target_composition_and_coverage", |b| {
+        b.iter(|| coverage::figure2(black_box(&s.study)))
+    });
+}
+
+fn bench_fig3_prevalence(c: &mut Criterion) {
+    let s = study();
+    eprintln!("{}", render_figure3(&prevalence::figure3(&s.study)));
+    c.bench_function("fig3_nonlocal_prevalence", |b| {
+        b.iter(|| prevalence::figure3(black_box(&s.study)))
+    });
+}
+
+fn bench_fig4_per_site(c: &mut Criterion) {
+    let s = study();
+    eprintln!("{}", render_figure4(&per_site::figure4(&s.study)));
+    c.bench_function("fig4_trackers_per_website", |b| {
+        b.iter(|| per_site::figure4(black_box(&s.study)))
+    });
+}
+
+fn bench_fig5_flows(c: &mut Criterion) {
+    let s = study();
+    eprintln!("{}", render_figure5(&flows::figure5(&s.study)));
+    c.bench_function("fig5_country_flows", |b| {
+        b.iter(|| flows::figure5(black_box(&s.study)))
+    });
+}
+
+fn bench_fig6_continents(c: &mut Criterion) {
+    let s = study();
+    eprintln!("{}", render_figure6(&continents::figure6(&s.study)));
+    c.bench_function("fig6_continent_flows", |b| {
+        b.iter(|| continents::figure6(black_box(&s.study)))
+    });
+}
+
+fn bench_fig7_hosting(c: &mut Criterion) {
+    let s = study();
+    eprintln!(
+        "{}",
+        render_figure7(&hosting::domains_by_hosting_country(&s.study))
+    );
+    c.bench_function("fig7_domains_by_hosting_country", |b| {
+        b.iter(|| hosting::domains_by_hosting_country(black_box(&s.study)))
+    });
+}
+
+fn bench_fig8_orgs(c: &mut Criterion) {
+    let s = study();
+    eprintln!(
+        "{}",
+        render_figure8(
+            &orgs::ranked_orgs(&s.study),
+            &orgs::hq_distribution(&s.study),
+            &orgs::exclusive_orgs(&s.study),
+        )
+    );
+    c.bench_function("fig8_org_flows", |b| {
+        b.iter(|| orgs::ranked_orgs(black_box(&s.study)))
+    });
+}
+
+fn bench_fig9_freq(c: &mut Criterion) {
+    let s = study();
+    eprintln!("{}", render_figure9(&freq::global_frequency(&s.study)));
+    c.bench_function("fig9_domain_frequency", |b| {
+        b.iter(|| freq::figure9(black_box(&s.study)))
+    });
+}
+
+fn bench_table1_policy(c: &mut Criterion) {
+    let s = study();
+    let rows = policy::table1(&s.study);
+    let corr = policy::strictness_rate_correlation(&rows);
+    eprintln!("{}", render_table1(&rows, corr));
+    c.bench_function("table1_policy_vs_rate", |b| {
+        b.iter(|| {
+            let rows = policy::table1(black_box(&s.study));
+            policy::strictness_rate_correlation(&rows)
+        })
+    });
+}
+
+fn bench_first_party(c: &mut Criterion) {
+    let s = study();
+    eprintln!(
+        "{}",
+        render_first_party(&first_party::first_party_analysis(&s.study))
+    );
+    c.bench_function("s6_7_first_party_analysis", |b| {
+        b.iter(|| first_party::first_party_analysis(black_box(&s.study)))
+    });
+}
+
+fn bench_funnel(c: &mut Criterion) {
+    let s = study();
+    eprintln!("{}", render_funnel(&funnel::total_funnel(&s.study)));
+    c.bench_function("s5_measurement_funnel", |b| {
+        b.iter(|| funnel::total_funnel(black_box(&s.study)))
+    });
+}
+
+criterion_group!(
+    figures,
+    bench_fig2_targets,
+    bench_fig3_prevalence,
+    bench_fig4_per_site,
+    bench_fig5_flows,
+    bench_fig6_continents,
+    bench_fig7_hosting,
+    bench_fig8_orgs,
+    bench_fig9_freq,
+    bench_table1_policy,
+    bench_first_party,
+    bench_funnel,
+);
+criterion_main!(figures);

@@ -1,0 +1,72 @@
+//! End-to-end pipeline benchmarks: world generation, a volunteer's Gamma
+//! run, the geolocation pipeline over one dataset, and the full study.
+
+use criterion::{criterion_group, criterion_main, Criterion, SamplingMode};
+use gamma_atlas::AtlasPlatform;
+use gamma_bench::{study, BENCH_SEED};
+use gamma_core::Study;
+use gamma_geo::CountryCode;
+use gamma_geoloc::{ErrorSpec, GeoDatabase, GeolocPipeline};
+use gamma_suite::{run_volunteer, GammaConfig, Volunteer};
+use gamma_websim::{worldgen, WorldSpec};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn bench_world_generation(c: &mut Criterion) {
+    let spec = WorldSpec::paper_default(BENCH_SEED);
+    let mut g = c.benchmark_group("pipeline");
+    g.sampling_mode(SamplingMode::Flat).sample_size(10);
+    g.bench_function("worldgen_23_countries", |b| {
+        b.iter(|| worldgen::generate(black_box(&spec)))
+    });
+    g.finish();
+}
+
+fn bench_volunteer_run(c: &mut Criterion) {
+    let s = study();
+    let volunteer = Volunteer::for_country(&s.world, CountryCode::new("TH"), 8)
+        .expect("Thailand volunteer");
+    let config = GammaConfig::paper_default(BENCH_SEED);
+    let mut g = c.benchmark_group("pipeline");
+    g.sampling_mode(SamplingMode::Flat).sample_size(10);
+    g.bench_function("gamma_run_one_volunteer", |b| {
+        b.iter(|| run_volunteer(black_box(&s.world), &volunteer, &config))
+    });
+    g.finish();
+}
+
+fn bench_geolocation_pipeline(c: &mut Criterion) {
+    let s = study();
+    let geodb = GeoDatabase::build(&s.world, &ErrorSpec::default(), BENCH_SEED);
+    let atlas = AtlasPlatform::generate(BENCH_SEED);
+    let pipeline = GeolocPipeline::new(&s.world, &geodb, &atlas);
+    let volunteer = Volunteer::for_country(&s.world, CountryCode::new("PK"), 17)
+        .expect("Pakistan volunteer");
+    let dataset = run_volunteer(&s.world, &volunteer, &GammaConfig::paper_default(BENCH_SEED));
+    let mut g = c.benchmark_group("pipeline");
+    g.sampling_mode(SamplingMode::Flat).sample_size(10);
+    g.bench_function("geoloc_classify_one_dataset", |b| {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        b.iter(|| pipeline.classify_dataset(black_box(&dataset), &mut rng))
+    });
+    g.finish();
+}
+
+fn bench_full_study(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipeline");
+    g.sampling_mode(SamplingMode::Flat).sample_size(10);
+    g.bench_function("full_study_23_countries", |b| {
+        b.iter(|| Study::paper_default(black_box(BENCH_SEED)).run())
+    });
+    g.finish();
+}
+
+criterion_group!(
+    pipeline,
+    bench_world_generation,
+    bench_volunteer_run,
+    bench_geolocation_pipeline,
+    bench_full_study,
+);
+criterion_main!(pipeline);

@@ -1,0 +1,22 @@
+//! # gamma-bench
+//!
+//! Shared fixtures for the benchmark harness. Each Criterion bench binary
+//! builds the full 23-country study once (via [`study`]) and then both
+//! *prints* the regenerated figure/table — the same rows and series the
+//! paper reports — and *benchmarks* the computation that produces it.
+//!
+//! Run everything with `cargo bench --workspace`; regenerate just the
+//! numbers (no timing) with `cargo run --release -p gamma-bench --bin
+//! repro`.
+
+use gamma_core::{Study, StudyResults};
+use std::sync::OnceLock;
+
+/// Seed used by the benchmark/reproduction runs.
+pub const BENCH_SEED: u64 = 2025;
+
+/// The shared full study, built once per process.
+pub fn study() -> &'static StudyResults {
+    static S: OnceLock<StudyResults> = OnceLock::new();
+    S.get_or_init(|| Study::paper_default(BENCH_SEED).run())
+}

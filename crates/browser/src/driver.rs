@@ -1,0 +1,194 @@
+//! Browser session management.
+//!
+//! Gamma "initiates full-fledged browser sessions using the Selenium
+//! Webdriver ... across major browsers, including Chrome, Firefox, and
+//! privacy-focused Brave" (§3, C1). Sessions are isolated: they "do not
+//! access volunteers' browser account nor history" (§3.5).
+
+use serde::{Deserialize, Serialize};
+
+/// Supported browsers. The study itself ran isolated Chrome instances
+/// (§3); Brave's built-in blocking suppresses third-party tracker requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BrowserKind {
+    Chrome,
+    Firefox,
+    Brave,
+}
+
+impl BrowserKind {
+    /// Fraction of third-party tracker requests the browser blocks before
+    /// they leave the machine (Brave ships an ad/tracker blocker).
+    pub fn tracker_block_rate(self) -> f64 {
+        match self {
+            BrowserKind::Chrome | BrowserKind::Firefox => 0.0,
+            BrowserKind::Brave => 0.97,
+        }
+    }
+
+    /// Whether the driver generates background vendor-service requests
+    /// (observed for Selenium-driven Chrome, §5).
+    pub fn emits_webdriver_noise(self) -> bool {
+        matches!(self, BrowserKind::Chrome)
+    }
+}
+
+/// Tuning knobs of §3.1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BrowserConfig {
+    pub kind: BrowserKind,
+    /// Seconds to wait for the page to render fully.
+    pub wait_seconds: u32,
+    /// Hard per-page ceiling; a non-responsive instance is terminated and
+    /// the tool moves on (§3.1).
+    pub hard_timeout_seconds: u32,
+    /// Simultaneous instances; the study ran single-threaded on volunteer
+    /// hardware (§3.1).
+    pub instances: u32,
+    /// Isolated profile (no pre-existing cookies/history).
+    pub isolated: bool,
+}
+
+impl Default for BrowserConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+impl BrowserConfig {
+    /// The configuration used in the study: isolated Chrome, 20 s render
+    /// wait (double the typical full-render time), 180 s hard ceiling,
+    /// single-threaded.
+    pub fn paper_default() -> Self {
+        BrowserConfig {
+            kind: BrowserKind::Chrome,
+            wait_seconds: 20,
+            hard_timeout_seconds: 180,
+            instances: 1,
+            isolated: true,
+        }
+    }
+
+    /// Validates the knob relationships.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.wait_seconds == 0 {
+            return Err("wait_seconds must be positive".into());
+        }
+        if self.hard_timeout_seconds <= self.wait_seconds {
+            return Err("hard timeout must exceed the render wait".into());
+        }
+        if self.instances == 0 {
+            return Err("at least one browser instance is required".into());
+        }
+        Ok(())
+    }
+}
+
+/// A running (simulated) browser session; owns per-session counters.
+#[derive(Debug, Clone)]
+pub struct BrowserSession {
+    pub config: BrowserConfig,
+    pages_loaded: u64,
+    pages_failed: u64,
+    instances_killed: u64,
+}
+
+impl BrowserSession {
+    pub fn new(config: BrowserConfig) -> Result<Self, String> {
+        config.validate()?;
+        Ok(BrowserSession {
+            config,
+            pages_loaded: 0,
+            pages_failed: 0,
+            instances_killed: 0,
+        })
+    }
+
+    pub fn record_load(&mut self) {
+        self.pages_loaded += 1;
+    }
+
+    pub fn record_failure(&mut self) {
+        self.pages_failed += 1;
+    }
+
+    /// A hard-timeout kill (§3.1's termination path).
+    pub fn record_kill(&mut self) {
+        self.instances_killed += 1;
+        self.pages_failed += 1;
+    }
+
+    /// (loaded, failed, killed) counters.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (self.pages_loaded, self.pages_failed, self.instances_killed)
+    }
+
+    /// Fraction of attempted pages that loaded.
+    pub fn success_rate(&self) -> f64 {
+        let total = self.pages_loaded + self.pages_failed;
+        if total == 0 {
+            return 1.0;
+        }
+        self.pages_loaded as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_section_3_1() {
+        let c = BrowserConfig::paper_default();
+        assert_eq!(c.kind, BrowserKind::Chrome);
+        assert_eq!(c.wait_seconds, 20);
+        assert_eq!(c.hard_timeout_seconds, 180);
+        assert_eq!(c.instances, 1);
+        assert!(c.isolated);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn validation_rejects_inverted_timeouts() {
+        let c = BrowserConfig {
+            hard_timeout_seconds: 10,
+            ..BrowserConfig::paper_default()
+        };
+        assert!(c.validate().is_err());
+        let c = BrowserConfig {
+            wait_seconds: 0,
+            ..BrowserConfig::paper_default()
+        };
+        assert!(c.validate().is_err());
+        let c = BrowserConfig {
+            instances: 0,
+            ..BrowserConfig::paper_default()
+        };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn brave_blocks_chrome_does_not() {
+        assert_eq!(BrowserKind::Chrome.tracker_block_rate(), 0.0);
+        assert!(BrowserKind::Brave.tracker_block_rate() > 0.9);
+        assert!(BrowserKind::Chrome.emits_webdriver_noise());
+        assert!(!BrowserKind::Firefox.emits_webdriver_noise());
+    }
+
+    #[test]
+    fn session_counters() {
+        let mut s = BrowserSession::new(BrowserConfig::paper_default()).unwrap();
+        s.record_load();
+        s.record_load();
+        s.record_failure();
+        s.record_kill();
+        assert_eq!(s.stats(), (2, 2, 1));
+        assert!((s.success_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fresh_session_reports_full_success() {
+        let s = BrowserSession::new(BrowserConfig::paper_default()).unwrap();
+        assert_eq!(s.success_rate(), 1.0);
+    }
+}

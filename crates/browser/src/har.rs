@@ -1,0 +1,236 @@
+//! HAR (HTTP Archive) recording.
+//!
+//! Gamma's C1 component "is capable of saving full webpages, scraping page
+//! content, recording HAR files and all network requests during page
+//! loads" (§3). This module builds a HAR 1.2-shaped document from a
+//! [`PageLoad`]: one entry per network request with request/response stubs
+//! and timing breakdowns, serializable to the standard JSON layout that
+//! downstream HAR tooling expects.
+
+use crate::loader::PageLoad;
+use serde::{Deserialize, Serialize};
+
+/// Top-level HAR document (`{"log": {...}}`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Har {
+    pub log: HarLog,
+}
+
+/// The `log` object of a HAR document.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HarLog {
+    pub version: String,
+    pub creator: HarCreator,
+    pub pages: Vec<HarPage>,
+    pub entries: Vec<HarEntry>,
+}
+
+/// Tool identification.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HarCreator {
+    pub name: String,
+    pub version: String,
+}
+
+/// One page record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HarPage {
+    pub id: String,
+    pub title: String,
+    #[serde(rename = "pageTimings")]
+    pub page_timings: HarPageTimings,
+}
+
+/// Page-level timings, ms.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HarPageTimings {
+    #[serde(rename = "onContentLoad")]
+    pub on_content_load: f64,
+    #[serde(rename = "onLoad")]
+    pub on_load: f64,
+}
+
+/// One request/response entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HarEntry {
+    pub pageref: String,
+    #[serde(rename = "startedDateTime")]
+    pub started_date_time: String,
+    pub time: f64,
+    pub request: HarRequest,
+    pub response: HarResponse,
+    pub timings: HarTimings,
+}
+
+/// Request stub.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HarRequest {
+    pub method: String,
+    pub url: String,
+    #[serde(rename = "httpVersion")]
+    pub http_version: String,
+}
+
+/// Response stub.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HarResponse {
+    pub status: u16,
+    #[serde(rename = "statusText")]
+    pub status_text: String,
+    #[serde(rename = "bodySize")]
+    pub body_size: i64,
+}
+
+/// Per-entry timing breakdown, ms.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HarTimings {
+    pub dns: f64,
+    pub connect: f64,
+    pub send: f64,
+    pub wait: f64,
+    pub receive: f64,
+}
+
+impl HarTimings {
+    /// Total entry time per the HAR spec (sum of the phases).
+    pub fn total(&self) -> f64 {
+        self.dns + self.connect + self.send + self.wait + self.receive
+    }
+}
+
+/// Builds a HAR document from a recorded page load. Failed loads produce a
+/// page record with no entries (the browser never got the content).
+pub fn har_from_load(load: &PageLoad, started_iso8601: &str) -> Har {
+    let page_id = format!("page_{}", load.site);
+    let entries = if load.succeeded() {
+        let n = load.requests.len().max(1) as f64;
+        // Spread the render time across requests: the first request (the
+        // document) carries the connection setup, the rest share the rest.
+        load.requests
+            .iter()
+            .enumerate()
+            .map(|(i, req)| {
+                let share = load.render_ms as f64 / n;
+                let timings = HarTimings {
+                    dns: if i == 0 { share * 0.10 } else { 0.0 },
+                    connect: if i == 0 { share * 0.20 } else { share * 0.05 },
+                    send: share * 0.05,
+                    wait: share * 0.55,
+                    receive: share * 0.15,
+                };
+                HarEntry {
+                    pageref: page_id.clone(),
+                    started_date_time: started_iso8601.to_string(),
+                    time: timings.total(),
+                    request: HarRequest {
+                        method: "GET".into(),
+                        url: format!("https://{req}/"),
+                        http_version: "HTTP/2".into(),
+                    },
+                    response: HarResponse {
+                        status: 200,
+                        status_text: "OK".into(),
+                        body_size: 1024 + (i as i64 * 37) % 16_384,
+                    },
+                    timings,
+                }
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+    Har {
+        log: HarLog {
+            version: "1.2".into(),
+            creator: HarCreator {
+                name: "gamma".into(),
+                version: env!("CARGO_PKG_VERSION").into(),
+            },
+            pages: vec![HarPage {
+                id: page_id,
+                title: format!("https://{}/", load.site),
+                page_timings: HarPageTimings {
+                    on_content_load: load.render_ms as f64 * 0.6,
+                    on_load: load.render_ms as f64,
+                },
+            }],
+            entries,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loader::LoadStatus;
+    use gamma_dns::DomainName;
+
+    fn load(success: bool) -> PageLoad {
+        PageLoad {
+            site: DomainName::parse("example-news.com").unwrap(),
+            status: if success { LoadStatus::Loaded } else { LoadStatus::Failed },
+            render_ms: 8_000,
+            requests: if success {
+                vec![
+                    DomainName::parse("example-news.com").unwrap(),
+                    DomainName::parse("www.example-news.com").unwrap(),
+                    DomainName::parse("googletagmanager.com").unwrap(),
+                ]
+            } else {
+                vec![]
+            },
+        }
+    }
+
+    #[test]
+    fn har_has_one_entry_per_request() {
+        let har = har_from_load(&load(true), "2024-03-16T10:00:00Z");
+        assert_eq!(har.log.version, "1.2");
+        assert_eq!(har.log.entries.len(), 3);
+        assert_eq!(har.log.pages.len(), 1);
+        assert!(har.log.entries.iter().all(|e| e.pageref == har.log.pages[0].id));
+    }
+
+    #[test]
+    fn entry_time_equals_timing_phases() {
+        let har = har_from_load(&load(true), "2024-03-16T10:00:00Z");
+        for e in &har.log.entries {
+            assert!((e.time - e.timings.total()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn page_timings_bracket_the_render() {
+        let har = har_from_load(&load(true), "2024-03-16T10:00:00Z");
+        let pt = &har.log.pages[0].page_timings;
+        assert!(pt.on_content_load < pt.on_load);
+        assert_eq!(pt.on_load, 8_000.0);
+    }
+
+    #[test]
+    fn failed_loads_produce_empty_entries() {
+        let har = har_from_load(&load(false), "2024-03-16T10:00:00Z");
+        assert!(har.log.entries.is_empty());
+        assert_eq!(har.log.pages.len(), 1);
+    }
+
+    #[test]
+    fn serializes_with_standard_har_field_names() {
+        let har = har_from_load(&load(true), "2024-03-16T10:00:00Z");
+        let js = serde_json::to_string(&har).unwrap();
+        for field in ["\"log\"", "\"startedDateTime\"", "\"pageTimings\"", "\"onLoad\"", "\"httpVersion\""] {
+            assert!(js.contains(field), "missing {field}");
+        }
+        let back: Har = serde_json::from_str(&js).unwrap();
+        assert_eq!(har, back);
+    }
+
+    #[test]
+    fn only_first_entry_pays_dns() {
+        let har = har_from_load(&load(true), "2024-03-16T10:00:00Z");
+        assert!(har.log.entries[0].timings.dns > 0.0);
+        for e in &har.log.entries[1..] {
+            assert_eq!(e.timings.dns, 0.0);
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! # gamma-browser
+//!
+//! The browser-level interaction component (C1) of the Gamma suite,
+//! reproduced over the synthetic web: isolated browser sessions load target
+//! websites with a configurable render wait (20 s in the study) and a hard
+//! 180 s timeout for non-responsive instances (§3.1), record every network
+//! request the page makes, fail probabilistically according to the
+//! volunteer's connection quality (Figure 2b), and — like the real
+//! Selenium-driven Chrome — emit background Google-service requests that
+//! the analysis must strip (§5).
+
+pub mod driver;
+pub mod har;
+pub mod loader;
+pub mod webdriver_noise;
+
+pub use driver::{BrowserConfig, BrowserKind, BrowserSession};
+pub use har::{har_from_load, Har};
+pub use loader::{load_page, LoadStatus, PageLoad};
+pub use webdriver_noise::{is_webdriver_noise, webdriver_background_requests, WEBDRIVER_NOISE_HOSTS};

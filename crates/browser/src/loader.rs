@@ -1,0 +1,216 @@
+//! Page loading over the synthetic web.
+//!
+//! Reproduces the observable behaviour of Gamma's C1 component: a page
+//! either renders within the wait window and yields its network requests, a
+//! non-responsive instance hits the 180 s hard ceiling and is killed, or
+//! the load fails outright (connectivity). Failure rates are driven by the
+//! volunteer's access quality plus the per-country success target, which is
+//! how Figure 2b's Japan (64%) and Saudi Arabia (56%) coverage dips arise.
+
+use crate::driver::BrowserConfig;
+use crate::webdriver_noise::webdriver_background_requests;
+use gamma_dns::DomainName;
+use gamma_websim::Website;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Outcome of one page-load attempt.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LoadStatus {
+    /// Rendered within the wait window.
+    Loaded,
+    /// The instance never became responsive; killed at the hard timeout.
+    TimedOut,
+    /// Connection-level failure (DNS, TCP, TLS, mid-transfer stall).
+    Failed,
+}
+
+/// A recorded page load: the unit Gamma ships home per target website.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PageLoad {
+    /// The site's registrable domain.
+    pub site: DomainName,
+    pub status: LoadStatus,
+    /// Wall-clock render time, ms (meaningful only when `Loaded`).
+    pub render_ms: u32,
+    /// Network requests observed during the load, including first-party
+    /// hosts, tracker fires, and webdriver background noise.
+    pub requests: Vec<DomainName>,
+}
+
+impl PageLoad {
+    pub fn succeeded(&self) -> bool {
+        self.status == LoadStatus::Loaded
+    }
+}
+
+/// Loads one page. `success_rate` is the country-level target (Fig. 2b);
+/// the effective failure probability blends it with access quality.
+pub fn load_page<R: Rng + ?Sized>(
+    site: &Website,
+    config: &BrowserConfig,
+    success_rate: f64,
+    rng: &mut R,
+) -> PageLoad {
+    debug_assert!(config.validate().is_ok(), "invalid browser config");
+    // Render time: log-normal-ish around 8s, occasionally pathological.
+    let u: f64 = rng.gen::<f64>().max(1e-12);
+    let base_ms = 2_000.0 + 6_000.0 * (-u.ln());
+    let render_ms = base_ms.min(600_000.0) as u32;
+
+    if render_ms > config.hard_timeout_seconds * 1_000 {
+        return PageLoad {
+            site: site.domain.clone(),
+            status: LoadStatus::TimedOut,
+            render_ms,
+            requests: Vec::new(),
+        };
+    }
+    if rng.gen::<f64>() > success_rate {
+        return PageLoad {
+            site: site.domain.clone(),
+            status: LoadStatus::Failed,
+            render_ms,
+            requests: Vec::new(),
+        };
+    }
+
+    let mut requests = site.page_requests(rng);
+    // Brave-style in-browser blocking drops tracker requests before they
+    // are emitted; first-party hosts always go out.
+    let block = config.kind.tracker_block_rate();
+    if block > 0.0 {
+        let own: std::collections::HashSet<_> = site.own_hosts.iter().collect();
+        requests.retain(|r| own.contains(r) || rng.gen::<f64>() >= block);
+    }
+    if config.kind.emits_webdriver_noise() {
+        requests.extend(webdriver_background_requests(rng));
+    }
+    PageLoad {
+        site: site.domain.clone(),
+        status: LoadStatus::Loaded,
+        render_ms,
+        requests,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::BrowserKind;
+    use crate::webdriver_noise::is_webdriver_noise;
+    use gamma_geo::CountryCode;
+    use gamma_websim::{OrgId, SiteCategory, SiteId, SiteKind};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn d(s: &str) -> DomainName {
+        DomainName::parse(s).unwrap()
+    }
+
+    fn site() -> Website {
+        Website {
+            id: SiteId(0),
+            domain: d("dailystar-th0.co.th"),
+            country: CountryCode::new("TH"),
+            kind: SiteKind::Regional,
+            category: SiteCategory::News,
+            operator: OrgId(500),
+            global: false,
+            own_hosts: vec![d("dailystar-th0.co.th"), d("www.dailystar-th0.co.th")],
+            trackers: vec![d("googletagmanager.com"), d("sync.smaato.net")],
+        }
+    }
+
+    #[test]
+    fn successful_load_records_requests() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let p = load_page(&site(), &BrowserConfig::paper_default(), 1.0, &mut rng);
+        assert!(p.succeeded());
+        assert!(p.requests.contains(&d("dailystar-th0.co.th")));
+        assert!(p.render_ms > 0);
+    }
+
+    #[test]
+    fn zero_success_rate_always_fails() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        for _ in 0..20 {
+            let p = load_page(&site(), &BrowserConfig::paper_default(), 0.0, &mut rng);
+            assert!(!p.succeeded());
+            assert!(p.requests.is_empty());
+        }
+    }
+
+    #[test]
+    fn success_rate_is_honored_statistically() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let n = 2_000;
+        let ok = (0..n)
+            .filter(|_| load_page(&site(), &BrowserConfig::paper_default(), 0.64, &mut rng).succeeded())
+            .count();
+        let rate = ok as f64 / n as f64;
+        assert!((0.58..0.70).contains(&rate), "observed {rate}");
+    }
+
+    #[test]
+    fn chrome_emits_noise_firefox_does_not() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let mut chrome_noise = 0;
+        let mut firefox_noise = 0;
+        for _ in 0..100 {
+            let c = load_page(&site(), &BrowserConfig::paper_default(), 1.0, &mut rng);
+            chrome_noise += c.requests.iter().filter(|r| is_webdriver_noise(r)).count();
+            let ff = BrowserConfig {
+                kind: BrowserKind::Firefox,
+                ..BrowserConfig::paper_default()
+            };
+            let f = load_page(&site(), &ff, 1.0, &mut rng);
+            firefox_noise += f.requests.iter().filter(|r| is_webdriver_noise(r)).count();
+        }
+        assert!(chrome_noise > 0, "chrome never produced the artifact");
+        assert_eq!(firefox_noise, 0);
+    }
+
+    #[test]
+    fn brave_suppresses_trackers_but_not_first_party() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let brave = BrowserConfig {
+            kind: BrowserKind::Brave,
+            ..BrowserConfig::paper_default()
+        };
+        let mut tracker_hits = 0;
+        for _ in 0..200 {
+            let p = load_page(&site(), &brave, 1.0, &mut rng);
+            assert!(p.requests.contains(&d("dailystar-th0.co.th")));
+            tracker_hits += p
+                .requests
+                .iter()
+                .filter(|r| r.as_str().contains("smaato") || r.as_str().contains("googletag"))
+                .count();
+        }
+        // 2 trackers x 200 loads x ~0.92 fire x 0.97 block => a handful leak.
+        assert!(tracker_hits < 40, "brave leaked {tracker_hits} tracker requests");
+    }
+
+    #[test]
+    fn hard_timeouts_are_rare_but_possible() {
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let tight = BrowserConfig {
+            hard_timeout_seconds: 21,
+            ..BrowserConfig::paper_default()
+        };
+        let timeouts = (0..3_000)
+            .filter(|_| {
+                load_page(&site(), &tight, 1.0, &mut rng).status == LoadStatus::TimedOut
+            })
+            .count();
+        assert!(timeouts > 0, "no timeouts under a tight ceiling");
+        let normal_timeouts = (0..3_000)
+            .filter(|_| {
+                load_page(&site(), &BrowserConfig::paper_default(), 1.0, &mut rng).status
+                    == LoadStatus::TimedOut
+            })
+            .count();
+        assert!(normal_timeouts < timeouts);
+    }
+}

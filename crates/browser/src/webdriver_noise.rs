@@ -1,0 +1,78 @@
+//! The Selenium-Chrome background-request artifact.
+//!
+//! "During our analysis we also noticed that the chrome webdriver used by
+//! selenium was generating some google services requests while loading
+//! website ... We removed these requests from our data before doing further
+//! analysis." (§5, also observed by OmniCrawl). The simulated Chrome emits
+//! the same class of requests so the pipeline has something real to strip.
+
+use gamma_dns::DomainName;
+use rand::Rng;
+
+/// Hostnames the driver-controlled Chrome contacts on its own.
+pub const WEBDRIVER_NOISE_HOSTS: &[&str] = &[
+    "update.googleapis.com",
+    "optimizationguide-pa.googleapis.com",
+    "content-autofill.googleapis.com",
+    "safebrowsing.googleapis.com",
+    "clients2.google.com",
+    "accounts.google.com",
+    "edgedl.me.gvt1.com",
+];
+
+/// Background requests emitted alongside one page load: a small random
+/// subset of the noise hosts (the artifact is intermittent in practice).
+pub fn webdriver_background_requests<R: Rng + ?Sized>(rng: &mut R) -> Vec<DomainName> {
+    WEBDRIVER_NOISE_HOSTS
+        .iter()
+        .filter(|_| rng.gen::<f64>() < 0.35)
+        .map(|h| DomainName::parse(h).expect("noise hosts are valid"))
+        .collect()
+}
+
+/// Whether a request is webdriver noise — the filter the analysis applies
+/// before any downstream processing (§5).
+pub fn is_webdriver_noise(domain: &DomainName) -> bool {
+    WEBDRIVER_NOISE_HOSTS.iter().any(|h| domain.as_str() == *h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn noise_hosts_parse_and_classify() {
+        for h in WEBDRIVER_NOISE_HOSTS {
+            let d = DomainName::parse(h).unwrap();
+            assert!(is_webdriver_noise(&d), "{h}");
+        }
+    }
+
+    #[test]
+    fn ordinary_google_domains_are_not_noise() {
+        // googletagmanager.com is a real tracker request, not an artifact.
+        assert!(!is_webdriver_noise(&DomainName::parse("googletagmanager.com").unwrap()));
+        assert!(!is_webdriver_noise(&DomainName::parse("www.googleapis.com").unwrap()));
+    }
+
+    #[test]
+    fn background_requests_are_intermittent() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut total = 0;
+        let mut empty_runs = 0;
+        for _ in 0..200 {
+            let reqs = webdriver_background_requests(&mut rng);
+            total += reqs.len();
+            if reqs.is_empty() {
+                empty_runs += 1;
+            }
+            for r in &reqs {
+                assert!(is_webdriver_noise(r));
+            }
+        }
+        assert!(total > 100, "artifact too rare: {total}");
+        assert!(empty_runs > 0, "artifact should be intermittent");
+    }
+}

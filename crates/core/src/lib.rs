@@ -1,0 +1,27 @@
+//! # gamma-core
+//!
+//! The high-level entry point of the reproduction. A [`Study`] wires every
+//! subsystem the paper describes, end to end:
+//!
+//! 1. generate the calibrated synthetic world ([`gamma_websim`]),
+//! 2. run the *Gamma* suite from all 23 volunteer vantage points
+//!    ([`gamma_suite`]: browser C1, DNS/rDNS C2, traceroutes C3),
+//! 3. geolocate every observed server with the multi-constraint framework
+//!    ([`gamma_geoloc`]: IPmap-style DB, source/destination SOL
+//!    constraints, reverse-DNS constraint),
+//! 4. identify trackers with filter lists + manual labels
+//!    ([`gamma_trackers`]) and
+//! 5. assemble the analysis dataset behind every figure and table
+//!    ([`gamma_analysis`]).
+//!
+//! ```
+//! use gamma_core::Study;
+//!
+//! let results = Study::paper_default(42).run();
+//! let fig3 = gamma_analysis::prevalence::figure3(&results.study);
+//! assert!(fig3.regional_mean > 0.0);
+//! ```
+
+pub mod study;
+
+pub use study::{Study, StudyResults};

@@ -1,0 +1,222 @@
+//! The `Study` builder and its results.
+
+use gamma_analysis::StudyDataset;
+use gamma_atlas::AtlasPlatform;
+use gamma_geoloc::{ErrorSpec, GeoDatabase, GeolocPipeline, GeolocReport, PipelineOptions};
+use gamma_suite::{run_volunteer, GammaConfig, Volunteer, VolunteerDataset};
+use gamma_trackers::TrackerClassifier;
+use gamma_websim::{worldgen, World, WorldSpec};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// A configured end-to-end study. Construct with [`Study::paper_default`]
+/// (the 23-country configuration calibrated to the paper) or
+/// [`Study::with_spec`] for custom worlds, adjust the public fields, then
+/// [`Study::run`].
+#[derive(Debug, Clone)]
+pub struct Study {
+    /// World calibration (countries, rates, destination mixes).
+    pub spec: WorldSpec,
+    /// Geolocation-database error model.
+    pub error_spec: ErrorSpec,
+    /// Constraint toggles and tunables (the ablation surface).
+    pub options: PipelineOptions,
+    /// Gamma tool configuration (browser, components, probe faults).
+    pub config: GammaConfig,
+    /// Master seed for everything downstream.
+    pub seed: u64,
+}
+
+impl Study {
+    /// The paper's configuration: 23 countries, Chrome with §3.1 timings,
+    /// all constraints on, default database error model.
+    pub fn paper_default(seed: u64) -> Study {
+        Study {
+            spec: WorldSpec::paper_default(seed),
+            error_spec: ErrorSpec::default(),
+            options: PipelineOptions::default(),
+            config: GammaConfig::paper_default(seed),
+            seed,
+        }
+    }
+
+    /// A study over a custom world specification.
+    pub fn with_spec(spec: WorldSpec) -> Study {
+        let seed = spec.seed;
+        Study {
+            spec,
+            error_spec: ErrorSpec::default(),
+            options: PipelineOptions::default(),
+            config: GammaConfig::paper_default(seed),
+            seed,
+        }
+    }
+
+    /// Runs the full pipeline: world → volunteers → geolocation →
+    /// identification → assembled dataset.
+    pub fn run(&self) -> StudyResults {
+        let world = worldgen::generate(&self.spec);
+        let geodb = GeoDatabase::build(&world, &self.error_spec, self.seed);
+        let atlas = AtlasPlatform::generate(self.seed);
+        let classifier = TrackerClassifier::for_world(&world);
+        let mut pipeline = GeolocPipeline::new(&world, &geodb, &atlas);
+        pipeline.options = self.options;
+
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed ^ 0x57_0d7);
+        let mut runs: Vec<(VolunteerDataset, GeolocReport)> = Vec::new();
+        for (i, cs) in world.spec.countries.iter().enumerate() {
+            let volunteer =
+                Volunteer::for_country(&world, cs.country, i).expect("spec country has volunteer");
+            let mut dataset = run_volunteer(&world, &volunteer, &self.config);
+            let report = pipeline.classify_dataset(&dataset, &mut rng);
+            // §3.5: volunteer addresses are anonymized once analysis is done.
+            dataset.anonymize();
+            runs.push((dataset, report));
+        }
+        let study = StudyDataset::assemble(&world, &classifier, &runs);
+        StudyResults {
+            world,
+            geodb,
+            atlas,
+            runs,
+            study,
+        }
+    }
+}
+
+/// Everything a finished study produced.
+pub struct StudyResults {
+    /// The generated world (ground truth; not visible to the pipeline's
+    /// decisions, available for accuracy evaluation).
+    pub world: World,
+    /// The geolocation database the pipeline consulted.
+    pub geodb: GeoDatabase,
+    /// The probe platform.
+    pub atlas: AtlasPlatform,
+    /// Per-country raw datasets and geolocation reports, in spec order.
+    pub runs: Vec<(VolunteerDataset, GeolocReport)>,
+    /// The assembled analysis dataset behind every figure and table.
+    pub study: StudyDataset,
+}
+
+impl StudyResults {
+    /// Renders every figure and table of the evaluation as text — the
+    /// same rows/series the paper reports.
+    pub fn render_all(&self) -> String {
+        use gamma_analysis::render::*;
+        let mut out = String::new();
+        out.push_str(&render_figure2(&gamma_analysis::coverage::figure2(&self.study)));
+        out.push('\n');
+        out.push_str(&render_figure3(&gamma_analysis::prevalence::figure3(&self.study)));
+        out.push('\n');
+        out.push_str(&render_figure4(&gamma_analysis::per_site::figure4(&self.study)));
+        out.push('\n');
+        out.push_str(&render_figure5(&gamma_analysis::flows::figure5(&self.study)));
+        out.push('\n');
+        out.push_str(&render_figure6(&gamma_analysis::continents::figure6(&self.study)));
+        out.push('\n');
+        out.push_str(&render_figure7(&gamma_analysis::hosting::domains_by_hosting_country(
+            &self.study,
+        )));
+        out.push('\n');
+        out.push_str(&render_figure8(
+            &gamma_analysis::orgs::ranked_orgs(&self.study),
+            &gamma_analysis::orgs::hq_distribution(&self.study),
+            &gamma_analysis::orgs::exclusive_orgs(&self.study),
+        ));
+        out.push('\n');
+        out.push_str(&render_figure9(&gamma_analysis::freq::global_frequency(&self.study)));
+        out.push('\n');
+        let rows = gamma_analysis::policy::table1(&self.study);
+        let corr = gamma_analysis::policy::strictness_rate_correlation(&rows);
+        out.push_str(&render_table1(&rows, corr));
+        out.push('\n');
+        out.push_str(&render_first_party(&gamma_analysis::first_party::first_party_analysis(
+            &self.study,
+        )));
+        out.push('\n');
+        out.push_str(&render_funnel(&gamma_analysis::funnel::total_funnel(&self.study)));
+        out
+    }
+
+    /// Foreign-identification precision across all countries (the
+    /// framework of \[48\] reports 100%): confirmed-non-local addresses
+    /// whose true country really differs from the measurement country.
+    pub fn overall_foreign_precision(&self) -> Option<f64> {
+        let mut confirmed = 0usize;
+        let mut truly_foreign = 0usize;
+        for (_, report) in &self.runs {
+            let mut seen = std::collections::HashSet::new();
+            for v in report.confirmed() {
+                if !seen.insert(v.ip) {
+                    continue;
+                }
+                confirmed += 1;
+                if self.world.true_country(v.ip) != Some(report.country) {
+                    truly_foreign += 1;
+                }
+            }
+        }
+        if confirmed == 0 {
+            return None;
+        }
+        Some(truly_foreign as f64 / confirmed as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The full end-to-end study is exercised heavily by the integration
+    // tests and the analysis fixture; here we keep one smoke test on a
+    // reduced spec to keep the unit suite fast.
+    fn small_study() -> Study {
+        let mut spec = WorldSpec::paper_default(77);
+        spec.countries.retain(|c| {
+            ["RW", "US", "NZ"].contains(&c.country.as_str())
+        });
+        Study::with_spec(spec)
+    }
+
+    #[test]
+    fn reduced_study_runs_end_to_end() {
+        let results = small_study().run();
+        assert_eq!(results.runs.len(), 3);
+        assert_eq!(results.study.countries.len(), 3);
+        // Volunteer addresses were anonymized.
+        for (ds, _) in &results.runs {
+            assert!(ds.volunteer.ip.is_none());
+        }
+        // Rwanda confirms foreign trackers, the US does not.
+        let rw = results
+            .study
+            .country(gamma_geo::CountryCode::new("RW"))
+            .unwrap();
+        assert!(rw.sites.iter().any(|s| s.has_nonlocal_tracker()));
+        let us = results
+            .study
+            .country(gamma_geo::CountryCode::new("US"))
+            .unwrap();
+        assert!(!us.sites.iter().any(|s| s.has_nonlocal_tracker()));
+    }
+
+    #[test]
+    fn precision_is_near_perfect() {
+        let results = small_study().run();
+        let p = results.overall_foreign_precision().unwrap();
+        assert!(p > 0.97, "foreign precision {p}");
+    }
+
+    #[test]
+    fn render_all_contains_every_artifact() {
+        let results = small_study().run();
+        let text = results.render_all();
+        for needle in [
+            "Figure 2", "Figure 3", "Figure 4", "Figure 5", "Figure 6", "Figure 7", "Figure 8",
+            "Figure 9", "Table 1", "first-party", "funnel",
+        ] {
+            assert!(text.contains(needle), "missing {needle}");
+        }
+    }
+}

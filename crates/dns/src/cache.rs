@@ -1,0 +1,116 @@
+//! A small per-run DNS memo cache.
+//!
+//! Gamma resolves the same tracker domains over and over while walking
+//! T_web (googletagmanager.com appears on most pages); volunteer machines
+//! naturally cache these answers for the duration of a run, which also
+//! keeps the simulated measurement internally consistent: one run observes
+//! one answer per domain, as a real stub resolver would.
+
+use crate::name::DomainName;
+use crate::resolver::Replica;
+use std::collections::HashMap;
+
+/// Memoization cache with hit statistics.
+#[derive(Debug, Clone, Default)]
+pub struct DnsCache {
+    entries: HashMap<DomainName, Option<Replica>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl DnsCache {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up a domain, computing and caching the answer on a miss.
+    pub fn resolve_with<F>(&mut self, domain: &DomainName, f: F) -> Option<Replica>
+    where
+        F: FnOnce() -> Option<Replica>,
+    {
+        if let Some(hit) = self.entries.get(domain) {
+            self.hits += 1;
+            return *hit;
+        }
+        self.misses += 1;
+        let answer = f();
+        self.entries.insert(domain.clone(), answer);
+        answer
+    }
+
+    /// (hits, misses) counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Number of cached names (including negative entries).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drops all entries (e.g. between volunteer sessions).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn d(s: &str) -> DomainName {
+        DomainName::parse(s).unwrap()
+    }
+
+    fn rep() -> Replica {
+        Replica {
+            addr: Ipv4Addr::new(20, 0, 0, 9),
+            city: gamma_geo::CityId(0),
+        }
+    }
+
+    #[test]
+    fn caches_positive_answers() {
+        let mut cache = DnsCache::new();
+        let mut calls = 0;
+        for _ in 0..3 {
+            let r = cache.resolve_with(&d("a.com"), || {
+                calls += 1;
+                Some(rep())
+            });
+            assert_eq!(r, Some(rep()));
+        }
+        assert_eq!(calls, 1);
+        assert_eq!(cache.stats(), (2, 1));
+    }
+
+    #[test]
+    fn caches_negative_answers() {
+        let mut cache = DnsCache::new();
+        let mut calls = 0;
+        for _ in 0..2 {
+            let r = cache.resolve_with(&d("missing.com"), || {
+                calls += 1;
+                None
+            });
+            assert_eq!(r, None);
+        }
+        assert_eq!(calls, 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn clear_resets_entries_but_not_stats() {
+        let mut cache = DnsCache::new();
+        cache.resolve_with(&d("a.com"), || Some(rep()));
+        cache.clear();
+        assert!(cache.is_empty());
+        cache.resolve_with(&d("a.com"), || Some(rep()));
+        assert_eq!(cache.stats(), (0, 2));
+    }
+}

@@ -1,0 +1,28 @@
+//! # gamma-dns
+//!
+//! DNS substrate for the reproduction. The paper's methodology depends on
+//! DNS in three ways, all modeled here:
+//!
+//! 1. **Forward resolution is location-dependent** — GeoDNS and CDNs "often
+//!    operate in a location-dependent manner" (§1), which is the paper's
+//!    argument for in-country vantage points. [`resolver::GeoResolver`]
+//!    resolves each domain against the client's location, honoring explicit
+//!    per-country steering overrides and falling back to nearest-replica.
+//! 2. **Domain identity is eTLD+1-based** — tracker lists match registrable
+//!    domains (§4.2); [`psl`] implements the public-suffix computation,
+//!    including the multi-TLD government suffixes used to build T_gov (§3.2).
+//! 3. **Reverse DNS carries location hints** — the third geolocation
+//!    constraint (§4.1.3) mines hostnames for geography; [`rdns`] generates
+//!    and parses such hostnames (IATA codes, city names).
+
+pub mod cache;
+pub mod name;
+pub mod psl;
+pub mod rdns;
+pub mod resolver;
+
+pub use cache::DnsCache;
+pub use name::DomainName;
+pub use psl::{gov_suffixes, is_gov_domain, is_public_suffix, registrable_domain};
+pub use rdns::{geo_hint, HostnameScheme, RdnsTable};
+pub use resolver::{GeoResolver, Replica, ResolutionTrace};

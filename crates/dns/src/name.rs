@@ -1,0 +1,224 @@
+//! Validated domain names.
+//!
+//! The paper's analyses key on "domains", defined as the full host part of
+//! a URL including subdomains (§6.2: `www.a.b.c.com` and `www.q.w.c.com`
+//! are different domains). [`DomainName`] is that notion: a lowercase,
+//! dot-separated sequence of LDH labels.
+
+use serde::{Deserialize, Serialize};
+
+/// A validated, normalized (lowercase) domain name.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[serde(try_from = "String", into = "String")]
+pub struct DomainName(String);
+
+/// Errors produced when validating a domain name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DomainError {
+    Empty,
+    TooLong,
+    EmptyLabel,
+    BadCharacter(char),
+    LabelTooLong,
+    HyphenEdge,
+}
+
+impl std::fmt::Display for DomainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DomainError::Empty => write!(f, "empty domain"),
+            DomainError::TooLong => write!(f, "domain exceeds 253 characters"),
+            DomainError::EmptyLabel => write!(f, "empty label"),
+            DomainError::BadCharacter(c) => write!(f, "invalid character {c:?}"),
+            DomainError::LabelTooLong => write!(f, "label exceeds 63 characters"),
+            DomainError::HyphenEdge => write!(f, "label starts or ends with hyphen"),
+        }
+    }
+}
+
+impl std::error::Error for DomainError {}
+
+impl DomainName {
+    /// Parses and normalizes a domain name. A single trailing dot (FQDN
+    /// form) is accepted and stripped.
+    pub fn parse(s: &str) -> Result<Self, DomainError> {
+        let s = s.strip_suffix('.').unwrap_or(s);
+        if s.is_empty() {
+            return Err(DomainError::Empty);
+        }
+        if s.len() > 253 {
+            return Err(DomainError::TooLong);
+        }
+        let lower = s.to_ascii_lowercase();
+        for label in lower.split('.') {
+            if label.is_empty() {
+                return Err(DomainError::EmptyLabel);
+            }
+            if label.len() > 63 {
+                return Err(DomainError::LabelTooLong);
+            }
+            if label.starts_with('-') || label.ends_with('-') {
+                return Err(DomainError::HyphenEdge);
+            }
+            if let Some(c) = label
+                .chars()
+                .find(|c| !(c.is_ascii_lowercase() || c.is_ascii_digit() || *c == '-' || *c == '_'))
+            {
+                return Err(DomainError::BadCharacter(c));
+            }
+        }
+        Ok(DomainName(lower))
+    }
+
+    /// The name as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// Labels, left to right (`www`, `example`, `com`).
+    pub fn labels(&self) -> impl Iterator<Item = &str> {
+        self.0.split('.')
+    }
+
+    /// Number of labels.
+    pub fn label_count(&self) -> usize {
+        self.labels().count()
+    }
+
+    /// The parent domain (one label stripped), if any.
+    pub fn parent(&self) -> Option<DomainName> {
+        self.0.split_once('.').map(|(_, rest)| DomainName(rest.to_string()))
+    }
+
+    /// Whether `self` equals `other` or is a subdomain of it.
+    pub fn is_subdomain_of(&self, other: &DomainName) -> bool {
+        self == other
+            || (self.0.len() > other.0.len()
+                && self.0.ends_with(other.as_str())
+                && self.0.as_bytes()[self.0.len() - other.0.len() - 1] == b'.')
+    }
+
+    /// Joins a child label in front: `join("www", "example.com") = www.example.com`.
+    pub fn prepend(&self, label: &str) -> Result<DomainName, DomainError> {
+        DomainName::parse(&format!("{label}.{}", self.0))
+    }
+}
+
+impl std::fmt::Display for DomainName {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl TryFrom<String> for DomainName {
+    type Error = DomainError;
+    fn try_from(s: String) -> Result<Self, Self::Error> {
+        DomainName::parse(&s)
+    }
+}
+
+impl From<DomainName> for String {
+    fn from(d: DomainName) -> String {
+        d.0
+    }
+}
+
+impl std::str::FromStr for DomainName {
+    type Err = DomainError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        DomainName::parse(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn parses_and_normalizes() {
+        let d = DomainName::parse("WWW.Example.COM").unwrap();
+        assert_eq!(d.as_str(), "www.example.com");
+        assert_eq!(d.label_count(), 3);
+    }
+
+    #[test]
+    fn strips_trailing_dot() {
+        assert_eq!(
+            DomainName::parse("example.com.").unwrap(),
+            DomainName::parse("example.com").unwrap()
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_names() {
+        assert_eq!(DomainName::parse(""), Err(DomainError::Empty));
+        assert_eq!(DomainName::parse("a..b"), Err(DomainError::EmptyLabel));
+        assert_eq!(DomainName::parse("-a.com"), Err(DomainError::HyphenEdge));
+        assert_eq!(DomainName::parse("a-.com"), Err(DomainError::HyphenEdge));
+        assert!(matches!(
+            DomainName::parse("exa mple.com"),
+            Err(DomainError::BadCharacter(' '))
+        ));
+        assert_eq!(
+            DomainName::parse(&"a".repeat(64)),
+            Err(DomainError::LabelTooLong)
+        );
+        assert_eq!(
+            DomainName::parse(&format!("{}.com", "a.".repeat(130))),
+            Err(DomainError::TooLong)
+        );
+    }
+
+    #[test]
+    fn subdomain_relationship() {
+        let base = DomainName::parse("googlesyndication.com").unwrap();
+        let sub = DomainName::parse("693.safeframe.googlesyndication.com").unwrap();
+        let unrelated = DomainName::parse("notgooglesyndication.com").unwrap();
+        assert!(sub.is_subdomain_of(&base));
+        assert!(base.is_subdomain_of(&base));
+        assert!(!base.is_subdomain_of(&sub));
+        assert!(!unrelated.is_subdomain_of(&base));
+    }
+
+    #[test]
+    fn parent_walks_up() {
+        let d = DomainName::parse("a.b.c").unwrap();
+        let p = d.parent().unwrap();
+        assert_eq!(p.as_str(), "b.c");
+        assert_eq!(p.parent().unwrap().as_str(), "c");
+        assert!(p.parent().unwrap().parent().is_none());
+    }
+
+    #[test]
+    fn prepend_builds_child() {
+        let d = DomainName::parse("gov.au").unwrap();
+        assert_eq!(d.prepend("health").unwrap().as_str(), "health.gov.au");
+        assert!(d.prepend("bad label").is_err());
+    }
+
+    #[test]
+    fn serde_roundtrip_validates() {
+        let d: DomainName = serde_json::from_str("\"Tracker.Example.NET\"").unwrap();
+        assert_eq!(d.as_str(), "tracker.example.net");
+        assert!(serde_json::from_str::<DomainName>("\"..bad\"").is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn valid_names_roundtrip(labels in prop::collection::vec("[a-z][a-z0-9]{0,8}", 1..5)) {
+            let s = labels.join(".");
+            let d = DomainName::parse(&s).unwrap();
+            prop_assert_eq!(d.as_str(), s.as_str());
+            prop_assert_eq!(d.label_count(), labels.len());
+        }
+
+        #[test]
+        fn subdomain_of_parent_always_holds(labels in prop::collection::vec("[a-z]{1,6}", 2..6)) {
+            let d = DomainName::parse(&labels.join(".")).unwrap();
+            let p = d.parent().unwrap();
+            prop_assert!(d.is_subdomain_of(&p));
+            prop_assert!(!p.is_subdomain_of(&d));
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! Public-suffix computation and government-TLD registry.
+//!
+//! Tracker identification matches on registrable domains (eTLD+1, §4.2),
+//! and T_gov selection filters a ranking list by government-specific TLDs,
+//! "consider\[ing\] multiple TLDs" per country — e.g. Argentina's `gob.ar`
+//! *and* `gov.ar` (§3.2). This module embeds the slice of the public-suffix
+//! list needed for the study's countries plus generic TLDs.
+
+use crate::name::DomainName;
+use gamma_geo::CountryCode;
+
+/// Generic and country-code public suffixes used by the synthetic web.
+/// Multi-label suffixes must appear here for eTLD+1 to be computed right.
+static SUFFIXES: &[&str] = &[
+    // generic
+    "com", "net", "org", "io", "co", "info", "biz", "cloud", "app", "dev", "online", "site",
+    "news", "tv", "me", "ai", "im", "to",
+    // US government
+    "gov", "mil", "edu",
+    // ccTLDs (single-label)
+    "az", "dz", "eg", "rw", "ug", "ar", "ru", "lk", "th", "ae", "uk", "au", "ca", "in", "jp",
+    "jo", "nz", "pk", "qa", "sa", "tw", "us", "lb", "fr", "de", "ke", "my", "sg", "hk", "om",
+    "it", "nl", "ch", "il", "bg", "br", "fi", "be", "gh", "tr", "es", "se", "ie", "pl", "cz",
+    "at", "pt", "no", "dk", "za", "ng", "mx", "cl", "kr", "id", "vn", "ph", "bd", "np", "cn",
+    "ua", "ro", "hu", "gr", "ma", "tn", "et", "tz", "cy", "bh", "kw", "lu",
+    // common second-level public suffixes in the study's countries
+    "co.uk", "org.uk", "gov.uk", "ac.uk", "com.au", "net.au", "org.au", "gov.au", "edu.au",
+    "com.ar", "gob.ar", "gov.ar", "org.ar", "com.eg", "gov.eg", "edu.eg", "org.eg", "com.az",
+    "gov.az", "edu.az", "org.az", "com.dz", "gov.dz", "edu.dz", "co.rw", "gov.rw", "ac.rw",
+    "co.ug", "go.ug", "ac.ug", "or.ug", "com.ru", "gov.ru", "edu.ru", "com.lk", "gov.lk",
+    "edu.lk", "org.lk", "co.th", "go.th", "ac.th", "or.th", "in.th", "gov.ae",
+    "ac.ae", "co.ae", "com.pk", "gov.pk", "edu.pk", "org.pk", "com.qa", "gov.qa", "edu.qa",
+    "com.sa", "gov.sa", "edu.sa", "org.sa", "com.tw", "gov.tw", "edu.tw", "org.tw", "com.lb",
+    "gov.lb", "edu.lb", "org.lb", "com.jo", "gov.jo", "edu.jo", "org.jo", "co.in", "gov.in",
+    "nic.in", "ac.in", "org.in", "net.in", "co.jp", "go.jp", "ac.jp", "or.jp", "ne.jp",
+    "co.nz", "govt.nz", "ac.nz", "org.nz", "net.nz", "gc.ca", "on.ca", "qc.ca", "bc.ca",
+    "com.my", "gov.my", "edu.my", "com.sg", "gov.sg", "edu.sg", "com.hk", "gov.hk", "edu.hk",
+    "com.om", "gov.om", "co.ke", "go.ke", "ac.ke", "or.ke", "com.br", "gov.br", "org.br",
+    "co.za", "gov.za", "org.za", "com.ng", "gov.ng", "com.mx", "gob.mx", "gob.cl", "gov.cl",
+    "gov.co", "gov.tr", "com.tr", "edu.tr", "co.kr", "go.kr", "go.id", "co.id", "gov.vn",
+    "com.vn", "gov.ph", "com.ph", "gov.bd", "com.bd", "gov.np", "com.np", "gov.cn", "com.cn",
+    "gov.ua", "com.ua", "gov.ro", "gov.hu", "gov.gr", "gov.ma", "gov.tn", "gov.et", "go.tz",
+    "gov.cy", "gov.bh", "gov.kw", "gov.il", "co.il", "ac.il", "gov.it", "gov.pl", "gov.pt",
+    "gov.gh", "gov.ie",
+];
+
+/// Whether a name is, in its entirety, a public suffix.
+pub fn is_public_suffix(name: &DomainName) -> bool {
+    SUFFIXES.contains(&name.as_str())
+}
+
+/// Computes the registrable domain (eTLD+1) of a name: the public suffix
+/// plus one label. Returns `None` when the name *is* a public suffix or no
+/// suffix matches (unknown TLD).
+pub fn registrable_domain(name: &DomainName) -> Option<DomainName> {
+    // Longest matching suffix wins, per PSL semantics.
+    let s = name.as_str();
+    let mut best: Option<&str> = None;
+    for suf in SUFFIXES {
+        let matches = s == *suf || (s.ends_with(suf) && s.as_bytes()[s.len() - suf.len() - 1] == b'.');
+        if matches && best.map_or(true, |b| suf.len() > b.len()) {
+            best = Some(suf);
+        }
+    }
+    let suf = best?;
+    if s == suf {
+        return None; // the name is itself a public suffix
+    }
+    let head = &s[..s.len() - suf.len() - 1];
+    let label = head.rsplit('.').next().expect("split of non-empty string");
+    DomainName::parse(&format!("{label}.{suf}")).ok()
+}
+
+/// Government suffixes per measurement country, as used to assemble T_gov.
+/// Argentina deliberately has two entries ("we considered multiple TLDs",
+/// §3.2).
+pub fn gov_suffixes(country: CountryCode) -> &'static [&'static str] {
+    match country.as_str() {
+        "AZ" => &["gov.az"],
+        "DZ" => &["gov.dz"],
+        "EG" => &["gov.eg"],
+        "RW" => &["gov.rw"],
+        "UG" => &["go.ug"],
+        "AR" => &["gob.ar", "gov.ar"],
+        "RU" => &["gov.ru"],
+        "LK" => &["gov.lk"],
+        "TH" => &["go.th"],
+        "AE" => &["gov.ae"],
+        "GB" => &["gov.uk"],
+        "AU" => &["gov.au"],
+        "CA" => &["gc.ca"],
+        "IN" => &["gov.in", "nic.in"],
+        "JP" => &["go.jp"],
+        "JO" => &["gov.jo"],
+        "NZ" => &["govt.nz"],
+        "PK" => &["gov.pk"],
+        "QA" => &["gov.qa"],
+        "SA" => &["gov.sa"],
+        "TW" => &["gov.tw"],
+        "US" => &["gov"],
+        "LB" => &["gov.lb"],
+        _ => &[],
+    }
+}
+
+/// Whether a domain is a government domain of the given country.
+pub fn is_gov_domain(name: &DomainName, country: CountryCode) -> bool {
+    gov_suffixes(country).iter().any(|suf| {
+        let s = name.as_str();
+        s == *suf || (s.ends_with(suf) && s.as_bytes()[s.len() - suf.len() - 1] == b'.')
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn d(s: &str) -> DomainName {
+        DomainName::parse(s).unwrap()
+    }
+
+    #[test]
+    fn etld_plus_one_generic() {
+        assert_eq!(registrable_domain(&d("www.a.b.example.com")), Some(d("example.com")));
+        assert_eq!(registrable_domain(&d("example.com")), Some(d("example.com")));
+        assert_eq!(registrable_domain(&d("com")), None);
+    }
+
+    #[test]
+    fn etld_plus_one_multilabel_suffix() {
+        assert_eq!(registrable_domain(&d("news.bbc.co.uk")), Some(d("bbc.co.uk")));
+        assert_eq!(registrable_domain(&d("co.uk")), None);
+        assert_eq!(
+            registrable_domain(&d("portal.salud.gob.ar")),
+            Some(d("salud.gob.ar"))
+        );
+    }
+
+    #[test]
+    fn longest_suffix_wins() {
+        // "gov.au" must beat "au".
+        assert_eq!(
+            registrable_domain(&d("www.health.gov.au")),
+            Some(d("health.gov.au"))
+        );
+    }
+
+    #[test]
+    fn unknown_tld_has_no_registrable_domain() {
+        assert_eq!(registrable_domain(&d("host.invalidtld")), None);
+    }
+
+    #[test]
+    fn paper_example_safeframe_fqdn_maps_to_etld1() {
+        // §4.2 lists the FQDN 693...safeframe.googlesyndication.com alongside
+        // eTLD+1 entries; its registrable domain is googlesyndication.com.
+        assert_eq!(
+            registrable_domain(&d("693.safeframe.googlesyndication.com")),
+            Some(d("googlesyndication.com"))
+        );
+    }
+
+    #[test]
+    fn gov_detection_per_country() {
+        let au = CountryCode::new("AU");
+        let ar = CountryCode::new("AR");
+        assert!(is_gov_domain(&d("health.gov.au"), au));
+        assert!(!is_gov_domain(&d("health.com.au"), au));
+        assert!(!is_gov_domain(&d("health.gov.au"), ar));
+        // Argentina honours both TLD spellings.
+        assert!(is_gov_domain(&d("afip.gob.ar"), ar));
+        assert!(is_gov_domain(&d("senado.gov.ar"), ar));
+    }
+
+    #[test]
+    fn every_measurement_country_has_gov_suffixes() {
+        for code in gamma_geo::country::MEASUREMENT_COUNTRIES {
+            assert!(!gov_suffixes(*code).is_empty(), "no gov suffix for {code}");
+        }
+    }
+
+    #[test]
+    fn us_bare_gov_tld() {
+        let us = CountryCode::new("US");
+        assert!(is_gov_domain(&d("nasa.gov"), us));
+        assert!(is_gov_domain(&d("www.cdc.gov"), us));
+        assert!(!is_gov_domain(&d("nasa.org"), us));
+    }
+
+    #[test]
+    fn suffix_itself_is_not_a_gov_site() {
+        // registrable_domain(None) guards against treating "gov.au" itself
+        // as a website.
+        assert_eq!(registrable_domain(&d("gov.au")), None);
+    }
+
+    proptest! {
+        #[test]
+        fn registrable_domain_is_idempotent(label in "[a-z]{1,8}", sub in "[a-z]{1,8}") {
+            let full = d(&format!("{sub}.{label}.com"));
+            let r1 = registrable_domain(&full).unwrap();
+            let r2 = registrable_domain(&r1).unwrap();
+            prop_assert_eq!(r1, r2);
+        }
+
+        #[test]
+        fn registrable_domain_is_suffix_of_input(sub in "[a-z]{1,8}", label in "[a-z]{1,8}") {
+            let full = d(&format!("{sub}.{label}.gov.au"));
+            let r = registrable_domain(&full).unwrap();
+            prop_assert!(full.is_subdomain_of(&r));
+        }
+    }
+}

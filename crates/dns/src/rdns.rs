@@ -1,0 +1,213 @@
+//! Reverse DNS with geographic hostname hints.
+//!
+//! Operators conventionally embed location codes in router and edge-server
+//! hostnames (Luckie et al., cited as \[77\] in the paper). The paper's third
+//! constraint (§4.1.3) inspects such hints and discards servers whose rDNS
+//! contradicts the geolocation database — e.g. Google IPs "geolocated to Al
+//! Fujairah City ... but the reverse DNS information showed evidence for
+//! Amsterdam".
+//!
+//! This module generates hostnames under several schemes (IATA code, city
+//! name, opaque) and extracts hints back out of arbitrary hostnames.
+
+use gamma_geo::{city, city_by_iata, CityId, CityInfo};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// How an operator names its hosts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HostnameScheme {
+    /// `edge-nbo-3.example.net` — embeds the IATA code.
+    IataCode,
+    /// `ams05.tracker.example` — IATA code fused with an index.
+    IataFused,
+    /// `server.frankfurt.example.net` — embeds the full city name.
+    CityName,
+    /// `r-42-17.example.net` — no geographic information.
+    Opaque,
+}
+
+impl HostnameScheme {
+    /// Renders a hostname for a server in `c` under this scheme.
+    pub fn render(self, c: &CityInfo, org_domain: &str, index: u32) -> String {
+        match self {
+            HostnameScheme::IataCode => {
+                format!("edge-{}-{}.{}", c.iata.to_ascii_lowercase(), index, org_domain)
+            }
+            HostnameScheme::IataFused => {
+                format!("{}{:02}.{}", c.iata.to_ascii_lowercase(), index % 100, org_domain)
+            }
+            HostnameScheme::CityName => {
+                let slug: String = c
+                    .name
+                    .chars()
+                    .filter(|ch| ch.is_ascii_alphanumeric())
+                    .collect::<String>()
+                    .to_ascii_lowercase();
+                format!("srv{}.{}.{}", index, slug, org_domain)
+            }
+            HostnameScheme::Opaque => format!("r-{}-{}.{}", index / 7 + 1, index, org_domain),
+        }
+    }
+}
+
+/// Extracts a geographic hint from a hostname, if any label encodes a
+/// catalog city. IATA tokens must be exactly three letters (optionally with
+/// a trailing numeric index, the "fused" form); city names must match a
+/// whole label after slugging.
+pub fn geo_hint(hostname: &str) -> Option<&'static CityInfo> {
+    let lower = hostname.to_ascii_lowercase();
+    for raw in lower.split(['.', '-', '_']) {
+        if raw.is_empty() {
+            continue;
+        }
+        // Whole-label city-name match ("frankfurt", "hochiminhcity").
+        if raw.len() >= 5 {
+            if let Some(c) = city_by_slug(raw) {
+                return Some(c);
+            }
+        }
+        // IATA match: exactly three letters, or three letters + digits.
+        let (alpha, digits): (String, String) = raw.chars().partition(|c| c.is_ascii_alphabetic());
+        if alpha.len() == 3 && (raw.len() == 3 || (!digits.is_empty() && raw.len() == 3 + digits.len()))
+        {
+            if let Some(c) = city_by_iata(&alpha) {
+                return Some(c);
+            }
+        }
+    }
+    None
+}
+
+fn city_by_slug(slug: &str) -> Option<&'static CityInfo> {
+    gamma_geo::cities().find(|c| {
+        let s: String = c
+            .name
+            .chars()
+            .filter(|ch| ch.is_ascii_alphanumeric())
+            .collect::<String>()
+            .to_ascii_lowercase();
+        s == slug
+    })
+}
+
+/// PTR-record table for the synthetic address space.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RdnsTable {
+    records: HashMap<Ipv4Addr, String>,
+}
+
+impl RdnsTable {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Installs a PTR record.
+    pub fn insert(&mut self, addr: Ipv4Addr, hostname: String) {
+        self.records.insert(addr, hostname);
+    }
+
+    /// Installs a PTR record rendered from a scheme, and returns it.
+    pub fn insert_rendered(
+        &mut self,
+        addr: Ipv4Addr,
+        scheme: HostnameScheme,
+        city_id: CityId,
+        org_domain: &str,
+        index: u32,
+    ) -> String {
+        let h = scheme.render(city(city_id), org_domain, index);
+        self.records.insert(addr, h.clone());
+        h
+    }
+
+    /// Reverse lookup. `None` models an IP with no PTR record — the paper
+    /// retains such servers ("if the reverse DNS did not provide clear
+    /// geographical hints, the servers are retained", §4.1.3).
+    pub fn lookup(&self, addr: Ipv4Addr) -> Option<&str> {
+        self.records.get(&addr).map(String::as_str)
+    }
+
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gamma_geo::city_by_name;
+
+    fn c(name: &str) -> &'static CityInfo {
+        city_by_name(name).unwrap()
+    }
+
+    #[test]
+    fn iata_scheme_roundtrips() {
+        let h = HostnameScheme::IataCode.render(c("Nairobi"), "aws-edge.example.net", 3);
+        assert_eq!(h, "edge-nbo-3.aws-edge.example.net");
+        assert_eq!(geo_hint(&h).unwrap().name, "Nairobi");
+    }
+
+    #[test]
+    fn fused_scheme_roundtrips() {
+        let h = HostnameScheme::IataFused.render(c("Amsterdam"), "gtracker.example", 5);
+        assert_eq!(h, "ams05.gtracker.example");
+        assert_eq!(geo_hint(&h).unwrap().name, "Amsterdam");
+    }
+
+    #[test]
+    fn city_name_scheme_roundtrips() {
+        let h = HostnameScheme::CityName.render(c("Frankfurt"), "cdn.example.org", 12);
+        assert_eq!(h, "srv12.frankfurt.cdn.example.org");
+        assert_eq!(geo_hint(&h).unwrap().name, "Frankfurt");
+    }
+
+    #[test]
+    fn multiword_city_slugs_work() {
+        let h = HostnameScheme::CityName.render(c("Kuala Lumpur"), "x.example", 1);
+        assert_eq!(geo_hint(&h).unwrap().name, "Kuala Lumpur");
+    }
+
+    #[test]
+    fn opaque_scheme_has_no_hint() {
+        let h = HostnameScheme::Opaque.render(c("Paris"), "backbone.example.net", 41);
+        assert_eq!(geo_hint(&h), None);
+    }
+
+    #[test]
+    fn hint_extraction_ignores_non_geo_tokens() {
+        assert_eq!(geo_hint("www.example.com"), None);
+        assert_eq!(geo_hint("static.cdn.tracker.io"), None);
+    }
+
+    #[test]
+    fn short_random_tokens_do_not_false_positive() {
+        // "api" and "dev" are 3 letters but not IATA codes in the catalog.
+        assert_eq!(geo_hint("api.dev.example.com"), None);
+    }
+
+    #[test]
+    fn table_lookup_and_missing_ptr() {
+        let mut t = RdnsTable::new();
+        let a = Ipv4Addr::new(20, 1, 1, 1);
+        t.insert_rendered(a, HostnameScheme::IataCode, c("Zurich").id, "g.example", 7);
+        assert!(t.lookup(a).unwrap().contains("zrh"));
+        assert!(t.lookup(Ipv4Addr::new(20, 1, 1, 2)).is_none());
+    }
+
+    #[test]
+    fn paper_mislocation_hostnames_hint_correctly() {
+        // Pakistan's Google IPs claimed Al Fujairah, rDNS said Amsterdam;
+        // Egypt's claimed Germany, rDNS said Zurich (§4.1.3).
+        let ams = HostnameScheme::IataFused.render(c("Amsterdam"), "1e100-like.example", 8);
+        let zrh = HostnameScheme::IataFused.render(c("Zurich"), "1e100-like.example", 2);
+        assert_eq!(geo_hint(&ams).unwrap().country.as_str(), "NL");
+        assert_eq!(geo_hint(&zrh).unwrap().country.as_str(), "CH");
+    }
+}

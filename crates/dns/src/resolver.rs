@@ -1,0 +1,293 @@
+//! GeoDNS-aware forward resolution.
+//!
+//! "Geolocation-based DNS (GeoDNS) and content delivery networks (CDNs)
+//! often operate in a location-dependent manner that impacts both the
+//! responding server's location and the page content" (§1). The resolver
+//! therefore answers queries *relative to the client*: explicit per-country
+//! steering overrides take precedence (modeling commercial traffic
+//! engineering and regional anycast), otherwise the geographically nearest
+//! replica answers.
+
+use crate::name::DomainName;
+use gamma_geo::{city, CityId, CountryCode};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// One deployment of a domain: a server address and its true city.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Replica {
+    pub addr: Ipv4Addr,
+    pub city: CityId,
+}
+
+/// How a particular resolution was decided — recorded so experiments can
+/// audit steering behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ResolutionTrace {
+    /// An explicit (domain, client-country) steering rule fired.
+    Steered,
+    /// Nearest-replica default.
+    Nearest,
+    /// Single-replica domain; no choice to make.
+    Only,
+}
+
+/// Authoritative GeoDNS resolver for the synthetic web.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct GeoResolver {
+    zones: HashMap<DomainName, Vec<Replica>>,
+    /// (domain, client country) -> replica city override.
+    steering: HashMap<(DomainName, CountryCode), CityId>,
+}
+
+impl GeoResolver {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or extends) the replica set of a domain.
+    pub fn add_replicas(&mut self, domain: DomainName, replicas: impl IntoIterator<Item = Replica>) {
+        self.zones.entry(domain).or_default().extend(replicas);
+    }
+
+    /// Installs a steering rule: clients in `client_country` resolving
+    /// `domain` are directed to the replica in `city` (which must exist at
+    /// resolution time, or the rule is ignored and nearest-replica applies).
+    pub fn steer(&mut self, domain: DomainName, client_country: CountryCode, city: CityId) {
+        self.steering.insert((domain, client_country), city);
+    }
+
+    /// Whether the domain exists.
+    pub fn has_zone(&self, domain: &DomainName) -> bool {
+        self.zones.contains_key(domain)
+    }
+
+    /// All replicas of a domain.
+    pub fn replicas(&self, domain: &DomainName) -> &[Replica] {
+        self.zones.get(domain).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of zones.
+    pub fn zone_count(&self) -> usize {
+        self.zones.len()
+    }
+
+    /// Iterates over all zones.
+    pub fn iter_zones(&self) -> impl Iterator<Item = (&DomainName, &[Replica])> {
+        self.zones.iter().map(|(d, r)| (d, r.as_slice()))
+    }
+
+    /// Resolves a domain as seen by a client in `client_city`.
+    pub fn resolve(&self, domain: &DomainName, client_city: CityId) -> Option<(Replica, ResolutionTrace)> {
+        let replicas = self.zones.get(domain)?;
+        if replicas.is_empty() {
+            return None;
+        }
+        if replicas.len() == 1 {
+            return Some((replicas[0], ResolutionTrace::Only));
+        }
+        let client_country = city(client_city).country;
+        if let Some(&target_city) = self.steering.get(&(domain.clone(), client_country)) {
+            if let Some(r) = replicas.iter().find(|r| r.city == target_city) {
+                return Some((*r, ResolutionTrace::Steered));
+            }
+        }
+        let client_loc = city(client_city).location;
+        let nearest = replicas
+            .iter()
+            .min_by(|a, b| {
+                let da = city(a.city).location.distance_km(&client_loc);
+                let db = city(b.city).location.distance_km(&client_loc);
+                da.partial_cmp(&db).expect("distances are finite")
+            })
+            .expect("non-empty replica set");
+        Some((*nearest, ResolutionTrace::Nearest))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gamma_geo::city_by_name;
+
+    fn d(s: &str) -> DomainName {
+        DomainName::parse(s).unwrap()
+    }
+
+    fn replica(city_name: &str, last_octet: u8) -> Replica {
+        Replica {
+            addr: Ipv4Addr::new(20, 0, 0, last_octet),
+            city: city_by_name(city_name).unwrap().id,
+        }
+    }
+
+    #[test]
+    fn unknown_domain_does_not_resolve() {
+        let r = GeoResolver::new();
+        assert!(r.resolve(&d("nope.com"), CityId(0)).is_none());
+    }
+
+    #[test]
+    fn single_replica_always_wins() {
+        let mut r = GeoResolver::new();
+        r.add_replicas(d("tracker.com"), [replica("Frankfurt", 1)]);
+        let (rep, trace) = r
+            .resolve(&d("tracker.com"), city_by_name("Tokyo").unwrap().id)
+            .unwrap();
+        assert_eq!(rep.city, city_by_name("Frankfurt").unwrap().id);
+        assert_eq!(trace, ResolutionTrace::Only);
+    }
+
+    #[test]
+    fn nearest_replica_is_chosen_by_default() {
+        let mut r = GeoResolver::new();
+        r.add_replicas(
+            d("cdn.example.com"),
+            [replica("Frankfurt", 1), replica("Singapore", 2), replica("Ashburn", 3)],
+        );
+        let (rep, trace) = r
+            .resolve(&d("cdn.example.com"), city_by_name("Bangkok").unwrap().id)
+            .unwrap();
+        assert_eq!(rep.city, city_by_name("Singapore").unwrap().id);
+        assert_eq!(trace, ResolutionTrace::Nearest);
+
+        let (rep, _) = r
+            .resolve(&d("cdn.example.com"), city_by_name("London").unwrap().id)
+            .unwrap();
+        assert_eq!(rep.city, city_by_name("Frankfurt").unwrap().id);
+    }
+
+    #[test]
+    fn steering_overrides_distance() {
+        // The Egypt->Germany anomaly (§7): Google serves Egyptian clients
+        // from Frankfurt despite nearer replicas in Milan/Paris.
+        let mut r = GeoResolver::new();
+        r.add_replicas(
+            d("ads.gtracker.com"),
+            [replica("Milan", 1), replica("Paris", 2), replica("Frankfurt", 3)],
+        );
+        let eg = CountryCode::new("EG");
+        r.steer(d("ads.gtracker.com"), eg, city_by_name("Frankfurt").unwrap().id);
+        let (rep, trace) = r
+            .resolve(&d("ads.gtracker.com"), city_by_name("Cairo").unwrap().id)
+            .unwrap();
+        assert_eq!(rep.city, city_by_name("Frankfurt").unwrap().id);
+        assert_eq!(trace, ResolutionTrace::Steered);
+    }
+
+    #[test]
+    fn steering_to_missing_replica_falls_back_to_nearest() {
+        let mut r = GeoResolver::new();
+        r.add_replicas(d("x.com"), [replica("Paris", 1), replica("Tokyo", 2)]);
+        r.steer(d("x.com"), CountryCode::new("EG"), city_by_name("Sydney").unwrap().id);
+        let (rep, trace) = r
+            .resolve(&d("x.com"), city_by_name("Cairo").unwrap().id)
+            .unwrap();
+        assert_eq!(rep.city, city_by_name("Paris").unwrap().id);
+        assert_eq!(trace, ResolutionTrace::Nearest);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_city() -> impl Strategy<Value = CityId> {
+            let n = gamma_geo::cities().count() as u16;
+            (0..n).prop_map(CityId)
+        }
+
+        proptest! {
+            #[test]
+            fn resolution_always_returns_a_member_replica(
+                cities in prop::collection::vec(0u16..40, 1..6),
+                client in arb_city(),
+            ) {
+                let mut r = GeoResolver::new();
+                let dom = d("prop.example.com");
+                let replicas: Vec<Replica> = cities
+                    .iter()
+                    .enumerate()
+                    .map(|(i, c)| Replica {
+                        addr: Ipv4Addr::new(20, 0, (i + 1) as u8, 1),
+                        city: CityId(*c),
+                    })
+                    .collect();
+                r.add_replicas(dom.clone(), replicas.clone());
+                let (rep, _) = r.resolve(&dom, client).expect("resolves");
+                prop_assert!(replicas.contains(&rep), "answer not in the replica set");
+            }
+
+            #[test]
+            fn nearest_replica_is_really_nearest(
+                cities in prop::collection::vec(0u16..60, 2..8),
+                client in arb_city(),
+            ) {
+                let mut r = GeoResolver::new();
+                let dom = d("near.example.com");
+                let replicas: Vec<Replica> = cities
+                    .iter()
+                    .enumerate()
+                    .map(|(i, c)| Replica {
+                        addr: Ipv4Addr::new(20, 1, (i + 1) as u8, 1),
+                        city: CityId(*c),
+                    })
+                    .collect();
+                r.add_replicas(dom.clone(), replicas.clone());
+                let (rep, _) = r.resolve(&dom, client).expect("resolves");
+                let got = city(rep.city).location.distance_km(&city(client).location);
+                for other in &replicas {
+                    let dist = city(other.city).location.distance_km(&city(client).location);
+                    prop_assert!(got <= dist + 1e-9, "answer {got} km, better replica at {dist} km");
+                }
+            }
+
+            #[test]
+            fn steering_wins_whenever_the_target_replica_exists(
+                cities in prop::collection::vec(0u16..60, 2..8),
+                pick in any::<prop::sample::Index>(),
+                client in arb_city(),
+            ) {
+                let mut r = GeoResolver::new();
+                let dom = d("steer.example.com");
+                let replicas: Vec<Replica> = cities
+                    .iter()
+                    .enumerate()
+                    .map(|(i, c)| Replica {
+                        addr: Ipv4Addr::new(20, 2, (i + 1) as u8, 1),
+                        city: CityId(*c),
+                    })
+                    .collect();
+                r.add_replicas(dom.clone(), replicas.clone());
+                let target = replicas[pick.index(replicas.len())].city;
+                let country = city(client).country;
+                r.steer(dom.clone(), country, target);
+                let (rep, trace) = r.resolve(&dom, client).expect("resolves");
+                if replicas.len() > 1 {
+                    prop_assert_eq!(rep.city, target);
+                    prop_assert_eq!(trace, ResolutionTrace::Steered);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn different_clients_see_different_answers() {
+        // The in-country-vantage argument in one test: the same domain
+        // resolves differently from Bangkok and from London.
+        let mut r = GeoResolver::new();
+        r.add_replicas(
+            d("cdn.example.com"),
+            [replica("Frankfurt", 1), replica("Singapore", 2)],
+        );
+        let from_bangkok = r
+            .resolve(&d("cdn.example.com"), city_by_name("Bangkok").unwrap().id)
+            .unwrap()
+            .0;
+        let from_london = r
+            .resolve(&d("cdn.example.com"), city_by_name("London").unwrap().id)
+            .unwrap()
+            .0;
+        assert_ne!(from_bangkok.city, from_london.city);
+    }
+}

@@ -1,0 +1,273 @@
+//! City catalog: volunteer vantage points, hosting hubs, CDN edge sites and
+//! backbone interconnection points.
+//!
+//! Every city carries an IATA-style code because the reverse-DNS constraint
+//! (§4.1.3 of the paper) extracts geographic hints from router/server
+//! hostnames, which conventionally embed such codes.
+
+use crate::coords::GeoPoint;
+use crate::country::CountryCode;
+use serde::{Deserialize, Serialize};
+
+/// Index into the static city catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct CityId(pub u16);
+
+/// Static description of a city.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CityInfo {
+    pub id: CityId,
+    pub name: &'static str,
+    pub country: CountryCode,
+    pub location: GeoPoint,
+    /// IATA-style airport code, embedded into synthetic rDNS hostnames.
+    pub iata: &'static str,
+}
+
+impl CityInfo {
+    /// Great-circle distance to another city, km.
+    pub fn distance_km(&self, other: &CityInfo) -> f64 {
+        self.location.distance_km(&other.location)
+    }
+}
+
+macro_rules! city_table {
+    ($(($name:literal, $cc:literal, $lat:expr, $lon:expr, $iata:literal)),+ $(,)?) => {
+        const RAW: &[(&str, &str, f64, f64, &str)] = &[
+            $(($name, $cc, $lat, $lon, $iata)),+
+        ];
+    };
+}
+
+city_table![
+    // --- volunteer vantage cities (one per measurement country, §4) ---
+    ("Baku", "AZ", 40.41, 49.87, "GYD"),
+    ("Algiers", "DZ", 36.75, 3.06, "ALG"),
+    ("Cairo", "EG", 30.04, 31.24, "CAI"),
+    ("Kigali", "RW", -1.94, 30.06, "KGL"),
+    ("Kampala", "UG", 0.35, 32.58, "EBB"),
+    ("Buenos Aires", "AR", -34.60, -58.38, "EZE"),
+    ("Moscow", "RU", 55.75, 37.62, "SVO"),
+    ("Colombo", "LK", 6.93, 79.85, "CMB"),
+    ("Bangkok", "TH", 13.75, 100.50, "BKK"),
+    ("Dubai", "AE", 25.20, 55.27, "DXB"),
+    ("London", "GB", 51.51, -0.13, "LHR"),
+    ("Sydney", "AU", -33.87, 151.21, "SYD"),
+    ("Toronto", "CA", 43.65, -79.38, "YYZ"),
+    ("Mumbai", "IN", 19.08, 72.88, "BOM"),
+    ("Tokyo", "JP", 35.68, 139.69, "NRT"),
+    ("Amman", "JO", 31.95, 35.93, "AMM"),
+    ("Auckland", "NZ", -36.85, 174.76, "AKL"),
+    ("Lahore", "PK", 31.55, 74.34, "LHE"),
+    ("Doha", "QA", 25.29, 51.53, "DOH"),
+    ("Riyadh", "SA", 24.71, 46.68, "RUH"),
+    ("Taipei", "TW", 25.03, 121.56, "TPE"),
+    ("Ashburn", "US", 39.04, -77.49, "IAD"),
+    ("Beirut", "LB", 33.89, 35.50, "BEY"),
+    // --- principal hosting / destination cities of the evaluation ---
+    ("Paris", "FR", 48.86, 2.35, "CDG"),
+    ("Frankfurt", "DE", 50.11, 8.68, "FRA"),
+    ("Nairobi", "KE", -1.29, 36.82, "NBO"),
+    ("Kuala Lumpur", "MY", 3.14, 101.69, "KUL"),
+    ("Singapore", "SG", 1.35, 103.82, "SIN"),
+    ("Hong Kong", "HK", 22.32, 114.17, "HKG"),
+    ("Muscat", "OM", 23.59, 58.41, "MCT"),
+    ("Milan", "IT", 45.46, 9.19, "MXP"),
+    ("Amsterdam", "NL", 52.37, 4.90, "AMS"),
+    ("Zurich", "CH", 47.38, 8.54, "ZRH"),
+    ("Tel Aviv", "IL", 32.07, 34.78, "TLV"),
+    ("Sofia", "BG", 42.70, 23.32, "SOF"),
+    ("Sao Paulo", "BR", -23.55, -46.63, "GRU"),
+    ("Helsinki", "FI", 60.17, 24.94, "HEL"),
+    ("Brussels", "BE", 50.85, 4.35, "BRU"),
+    ("Accra", "GH", 5.60, -0.19, "ACC"),
+    ("Istanbul", "TR", 41.01, 28.98, "IST"),
+    ("Madrid", "ES", 40.42, -3.70, "MAD"),
+    ("Stockholm", "SE", 59.33, 18.07, "ARN"),
+    ("Dublin", "IE", 53.35, -6.26, "DUB"),
+    ("Warsaw", "PL", 52.23, 21.01, "WAW"),
+    ("Prague", "CZ", 50.08, 14.44, "PRG"),
+    ("Vienna", "AT", 48.21, 16.37, "VIE"),
+    ("Lisbon", "PT", 38.72, -9.14, "LIS"),
+    ("Oslo", "NO", 59.91, 10.75, "OSL"),
+    ("Copenhagen", "DK", 55.68, 12.57, "CPH"),
+    ("Johannesburg", "ZA", -26.20, 28.05, "JNB"),
+    ("Lagos", "NG", 6.52, 3.38, "LOS"),
+    ("Mexico City", "MX", 19.43, -99.13, "MEX"),
+    ("Santiago", "CL", -33.45, -70.66, "SCL"),
+    ("Bogota", "CO", 4.71, -74.07, "BOG"),
+    ("Seoul", "KR", 37.57, 126.98, "ICN"),
+    ("Jakarta", "ID", -6.21, 106.85, "CGK"),
+    ("Ho Chi Minh City", "VN", 10.82, 106.63, "SGN"),
+    ("Manila", "PH", 14.60, 120.98, "MNL"),
+    ("Dhaka", "BD", 23.81, 90.41, "DAC"),
+    ("Kathmandu", "NP", 27.72, 85.32, "KTM"),
+    ("Shanghai", "CN", 31.23, 121.47, "PVG"),
+    ("Kyiv", "UA", 50.45, 30.52, "KBP"),
+    ("Bucharest", "RO", 44.43, 26.10, "OTP"),
+    ("Budapest", "HU", 47.50, 19.04, "BUD"),
+    ("Athens", "GR", 37.98, 23.73, "ATH"),
+    ("Casablanca", "MA", 33.57, -7.59, "CMN"),
+    ("Tunis", "TN", 36.80, 10.18, "TUN"),
+    ("Addis Ababa", "ET", 9.01, 38.75, "ADD"),
+    ("Dar es Salaam", "TZ", -6.79, 39.21, "DAR"),
+    ("Nicosia", "CY", 35.17, 33.36, "LCA"),
+    ("Manama", "BH", 26.23, 50.59, "BAH"),
+    ("Kuwait City", "KW", 29.38, 47.99, "KWI"),
+    ("Luxembourg City", "LU", 49.61, 6.13, "LUX"),
+    // --- additional in-country hubs, backbone PoPs, and cities that appear
+    //     in the paper's documented geolocation incidents ---
+    ("Al Fujairah", "AE", 25.13, 56.33, "FJR"),
+    ("Sharjah", "AE", 25.35, 55.39, "SHJ"),
+    ("Berlin", "DE", 52.52, 13.40, "BER"),
+    ("Munich", "DE", 48.14, 11.58, "MUC"),
+    ("Marseille", "FR", 43.30, 5.37, "MRS"),
+    ("Manchester", "GB", 53.48, -2.24, "MAN"),
+    ("New York", "US", 40.71, -74.01, "JFK"),
+    ("San Francisco", "US", 37.77, -122.42, "SFO"),
+    ("Dallas", "US", 32.78, -96.80, "DFW"),
+    ("Seattle", "US", 47.61, -122.33, "SEA"),
+    ("Miami", "US", 25.76, -80.19, "MIA"),
+    ("Montreal", "CA", 45.50, -73.57, "YUL"),
+    ("Vancouver", "CA", 49.28, -123.12, "YVR"),
+    ("Melbourne", "AU", -37.81, 144.96, "MEL"),
+    ("Perth", "AU", -31.95, 115.86, "PER"),
+    ("Wellington", "NZ", -41.29, 174.78, "WLG"),
+    ("Delhi", "IN", 28.61, 77.21, "DEL"),
+    ("Chennai", "IN", 13.08, 80.27, "MAA"),
+    ("Hyderabad", "IN", 17.39, 78.49, "HYD"),
+    ("Osaka", "JP", 34.69, 135.50, "KIX"),
+    ("Karachi", "PK", 24.86, 67.01, "KHI"),
+    ("Islamabad", "PK", 33.69, 73.06, "ISB"),
+    ("Jeddah", "SA", 21.49, 39.19, "JED"),
+    ("Alexandria", "EG", 31.20, 29.92, "HBE"),
+    ("Mombasa", "KE", -4.04, 39.67, "MBA"),
+    ("Chiang Mai", "TH", 18.79, 98.98, "CNX"),
+    ("Saint Petersburg", "RU", 59.93, 30.34, "LED"),
+    ("Cordoba", "AR", -31.42, -64.18, "COR"),
+    ("Abu Dhabi", "AE", 24.45, 54.38, "AUH"),
+];
+
+fn build_catalog() -> Vec<CityInfo> {
+    RAW.iter()
+        .enumerate()
+        .map(|(i, &(name, cc, lat, lon, iata))| CityInfo {
+            id: CityId(i as u16),
+            name,
+            country: CountryCode::parse(cc).expect("valid country code in city table"),
+            location: GeoPoint { lat, lon },
+            iata,
+        })
+        .collect()
+}
+
+fn catalog() -> &'static [CityInfo] {
+    use std::sync::OnceLock;
+    static CATALOG: OnceLock<Vec<CityInfo>> = OnceLock::new();
+    CATALOG.get_or_init(build_catalog)
+}
+
+/// Looks up a city by id. Panics on an out-of-range id, which can only be
+/// produced by corrupting a serialized dataset.
+pub fn city(id: CityId) -> &'static CityInfo {
+    &catalog()[id.0 as usize]
+}
+
+/// Iterates over the full catalog.
+pub fn cities() -> impl Iterator<Item = &'static CityInfo> {
+    catalog().iter()
+}
+
+/// All cities in a given country.
+pub fn cities_in(country: CountryCode) -> impl Iterator<Item = &'static CityInfo> {
+    catalog().iter().filter(move |c| c.country == country)
+}
+
+/// Case-insensitive lookup by city name.
+pub fn city_by_name(name: &str) -> Option<&'static CityInfo> {
+    catalog().iter().find(|c| c.name.eq_ignore_ascii_case(name))
+}
+
+/// Lookup by IATA code (case-insensitive); the rDNS hint extractor uses this.
+pub fn city_by_iata(iata: &str) -> Option<&'static CityInfo> {
+    catalog().iter().find(|c| c.iata.eq_ignore_ascii_case(iata))
+}
+
+/// The catalog city nearest to a point. Used by the route synthesizer to
+/// choose intermediate PoPs.
+pub fn nearest_city(p: GeoPoint) -> &'static CityInfo {
+    catalog()
+        .iter()
+        .min_by(|a, b| {
+            a.location
+                .distance_km(&p)
+                .partial_cmp(&b.location.distance_km(&p))
+                .expect("distances are finite")
+        })
+        .expect("catalog is non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::country::{country, MEASUREMENT_COUNTRIES};
+
+    #[test]
+    fn ids_are_dense_and_consistent() {
+        for (i, c) in cities().enumerate() {
+            assert_eq!(c.id.0 as usize, i);
+            assert_eq!(city(c.id), c);
+        }
+    }
+
+    #[test]
+    fn every_city_belongs_to_a_cataloged_country() {
+        for c in cities() {
+            assert!(country(c.country).is_some(), "{} has unknown country", c.name);
+        }
+    }
+
+    #[test]
+    fn every_measurement_country_has_at_least_one_city() {
+        for code in MEASUREMENT_COUNTRIES {
+            assert!(cities_in(*code).next().is_some(), "no city for {code}");
+        }
+    }
+
+    #[test]
+    fn iata_codes_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for c in cities() {
+            assert!(seen.insert(c.iata), "duplicate IATA {}", c.iata);
+        }
+    }
+
+    #[test]
+    fn iata_lookup_is_case_insensitive() {
+        assert_eq!(city_by_iata("nbo").unwrap().name, "Nairobi");
+        assert_eq!(city_by_iata("FJR").unwrap().name, "Al Fujairah");
+        assert!(city_by_iata("XXQ").is_none());
+    }
+
+    #[test]
+    fn nearest_city_to_a_city_is_itself() {
+        for c in cities() {
+            assert_eq!(nearest_city(c.location).id, c.id, "{}", c.name);
+        }
+    }
+
+    #[test]
+    fn mislocation_incident_cities_exist() {
+        // The paper's documented IPmap errors involve these cities (§4.1.3).
+        for name in ["Al Fujairah", "Amsterdam", "Zurich", "Frankfurt"] {
+            assert!(city_by_name(name).is_some(), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn fallback_probe_countries_have_cities() {
+        // Qatar falls back to a Saudi probe; Jordan to an Israeli one (§4.1.1).
+        assert!(cities_in(CountryCode::new("SA")).next().is_some());
+        assert!(cities_in(CountryCode::new("IL")).next().is_some());
+    }
+}

@@ -1,0 +1,77 @@
+//! Continents, as used by the flow roll-up of Figure 6.
+
+use serde::{Deserialize, Serialize};
+
+/// The six inhabited continents.
+///
+/// The paper's continent-level analysis (§6.4, Figure 6) aggregates tracker
+/// flows between these regions; Antarctica never appears in the data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Continent {
+    Africa,
+    Asia,
+    Europe,
+    NorthAmerica,
+    Oceania,
+    SouthAmerica,
+}
+
+impl Continent {
+    /// All continents, in the stable order used by reports.
+    pub const ALL: [Continent; 6] = [
+        Continent::Africa,
+        Continent::Asia,
+        Continent::Europe,
+        Continent::NorthAmerica,
+        Continent::Oceania,
+        Continent::SouthAmerica,
+    ];
+
+    /// Human-readable name as printed in figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Continent::Africa => "Africa",
+            Continent::Asia => "Asia",
+            Continent::Europe => "Europe",
+            Continent::NorthAmerica => "North America",
+            Continent::Oceania => "Oceania",
+            Continent::SouthAmerica => "South America",
+        }
+    }
+}
+
+impl std::fmt::Display for Continent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_contains_six_distinct_continents() {
+        let mut seen = std::collections::HashSet::new();
+        for c in Continent::ALL {
+            assert!(seen.insert(c), "duplicate continent {c}");
+        }
+        assert_eq!(seen.len(), 6);
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(Continent::NorthAmerica.to_string(), "North America");
+        assert_eq!(Continent::Africa.to_string(), "Africa");
+    }
+
+    #[test]
+    fn ordering_is_stable() {
+        let mut v = vec![Continent::SouthAmerica, Continent::Africa, Continent::Europe];
+        v.sort();
+        assert_eq!(
+            v,
+            vec![Continent::Africa, Continent::Europe, Continent::SouthAmerica]
+        );
+    }
+}

@@ -1,0 +1,176 @@
+//! Great-circle geometry over WGS-84-ish spherical coordinates.
+
+use serde::{Deserialize, Serialize};
+
+/// Mean Earth radius in kilometres (spherical approximation).
+pub const EARTH_RADIUS_KM: f64 = 6371.0;
+
+/// A point on the globe, latitude/longitude in degrees.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GeoPoint {
+    /// Latitude in degrees, positive north. Must lie in `[-90, 90]`.
+    pub lat: f64,
+    /// Longitude in degrees, positive east. Must lie in `[-180, 180]`.
+    pub lon: f64,
+}
+
+impl GeoPoint {
+    /// Builds a point, debug-asserting the coordinate ranges.
+    pub fn new(lat: f64, lon: f64) -> Self {
+        debug_assert!((-90.0..=90.0).contains(&lat), "latitude out of range: {lat}");
+        debug_assert!((-180.0..=180.0).contains(&lon), "longitude out of range: {lon}");
+        GeoPoint { lat, lon }
+    }
+
+    /// Great-circle distance to another point, in kilometres.
+    pub fn distance_km(&self, other: &GeoPoint) -> f64 {
+        haversine_km(*self, *other)
+    }
+
+    /// Linear interpolation along the great circle between `self` and `to`.
+    ///
+    /// `t = 0` is `self`, `t = 1` is `to`. Used by the route synthesizer in
+    /// `gamma-netsim` to pick intermediate PoPs along a path.
+    pub fn lerp_great_circle(&self, to: &GeoPoint, t: f64) -> GeoPoint {
+        let (lat1, lon1) = (self.lat.to_radians(), self.lon.to_radians());
+        let (lat2, lon2) = (to.lat.to_radians(), to.lon.to_radians());
+        let d = haversine_km(*self, *to) / EARTH_RADIUS_KM;
+        if d < 1e-9 {
+            return *self;
+        }
+        let a = ((1.0 - t) * d).sin() / d.sin();
+        let b = (t * d).sin() / d.sin();
+        let x = a * lat1.cos() * lon1.cos() + b * lat2.cos() * lon2.cos();
+        let y = a * lat1.cos() * lon1.sin() + b * lat2.cos() * lon2.sin();
+        let z = a * lat1.sin() + b * lat2.sin();
+        GeoPoint {
+            lat: z.atan2((x * x + y * y).sqrt()).to_degrees(),
+            lon: y.atan2(x).to_degrees(),
+        }
+    }
+}
+
+/// Haversine great-circle distance between two points, in kilometres.
+pub fn haversine_km(a: GeoPoint, b: GeoPoint) -> f64 {
+    let (lat1, lon1) = (a.lat.to_radians(), a.lon.to_radians());
+    let (lat2, lon2) = (b.lat.to_radians(), b.lon.to_radians());
+    let dlat = lat2 - lat1;
+    let dlon = lon2 - lon1;
+    let h = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+    2.0 * EARTH_RADIUS_KM * h.sqrt().asin()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paris() -> GeoPoint {
+        GeoPoint::new(48.8566, 2.3522)
+    }
+    fn london() -> GeoPoint {
+        GeoPoint::new(51.5074, -0.1278)
+    }
+    fn sydney() -> GeoPoint {
+        GeoPoint::new(-33.8688, 151.2093)
+    }
+
+    #[test]
+    fn zero_distance_to_self() {
+        let p = paris();
+        assert!(haversine_km(p, p) < 1e-9);
+    }
+
+    #[test]
+    fn paris_london_distance_is_about_344km() {
+        let d = haversine_km(paris(), london());
+        assert!((330.0..360.0).contains(&d), "got {d}");
+    }
+
+    #[test]
+    fn london_sydney_distance_is_about_17000km() {
+        let d = haversine_km(london(), sydney());
+        assert!((16800.0..17200.0).contains(&d), "got {d}");
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        assert!((haversine_km(paris(), sydney()) - haversine_km(sydney(), paris())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lerp_endpoints_match() {
+        let a = paris();
+        let b = sydney();
+        let p0 = a.lerp_great_circle(&b, 0.0);
+        let p1 = a.lerp_great_circle(&b, 1.0);
+        assert!(haversine_km(a, p0) < 1.0);
+        assert!(haversine_km(b, p1) < 1.0);
+    }
+
+    #[test]
+    fn lerp_midpoint_is_equidistant() {
+        let a = paris();
+        let b = sydney();
+        let mid = a.lerp_great_circle(&b, 0.5);
+        let da = haversine_km(a, mid);
+        let db = haversine_km(b, mid);
+        assert!((da - db).abs() < 5.0, "da={da} db={db}");
+    }
+
+    #[test]
+    fn lerp_on_coincident_points_is_stable() {
+        let a = paris();
+        let m = a.lerp_great_circle(&a, 0.5);
+        assert!(haversine_km(a, m) < 1e-6);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_point() -> impl Strategy<Value = GeoPoint> {
+            (-89.0f64..89.0, -179.0f64..179.0).prop_map(|(lat, lon)| GeoPoint { lat, lon })
+        }
+
+        proptest! {
+            #[test]
+            fn distance_is_a_metric(a in arb_point(), b in arb_point(), c in arb_point()) {
+                let ab = haversine_km(a, b);
+                let ba = haversine_km(b, a);
+                let ac = haversine_km(a, c);
+                let cb = haversine_km(c, b);
+                prop_assert!(ab >= 0.0);
+                prop_assert!((ab - ba).abs() < 1e-9, "not symmetric");
+                // Triangle inequality (with float slack).
+                prop_assert!(ab <= ac + cb + 1e-6, "triangle violated: {ab} > {ac} + {cb}");
+                // Bounded by half the circumference.
+                prop_assert!(ab <= std::f64::consts::PI * EARTH_RADIUS_KM + 1e-6);
+            }
+
+            #[test]
+            fn lerp_distances_are_additive(a in arb_point(), b in arb_point(), t in 0.0f64..1.0) {
+                let total = haversine_km(a, b);
+                prop_assume!(total > 1.0);
+                let m = a.lerp_great_circle(&b, t);
+                let am = haversine_km(a, m);
+                let mb = haversine_km(m, b);
+                // The interpolated point lies ON the great circle: the two
+                // legs sum to the whole within float error.
+                prop_assert!((am + mb - total).abs() < total * 1e-6 + 1e-6,
+                    "off-geodesic: {am} + {mb} != {total}");
+                // And splits it proportionally.
+                prop_assert!((am - t * total).abs() < total * 1e-6 + 1e-3);
+            }
+
+            #[test]
+            fn sol_bound_consistency(d in 0.0f64..20_000.0) {
+                use crate::sol::{min_rtt_ms, violates_sol};
+                let r = min_rtt_ms(d);
+                prop_assert!(!violates_sol(d, r + 1e-9));
+                if d > 0.0 {
+                    prop_assert!(violates_sol(d, r * 0.9));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,293 @@
+//! Country catalog.
+//!
+//! Covers the 23 measurement countries of the study plus every destination
+//! country referenced by its evaluation, and enough additional countries to
+//! reach the ">60 different destination countries" the paper launched
+//! destination traceroutes into (§5).
+
+use crate::continent::Continent;
+use crate::coords::GeoPoint;
+use serde::{Deserialize, Serialize};
+
+/// ISO-3166-alpha-2-style country code (two uppercase ASCII letters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct CountryCode(pub [u8; 2]);
+
+impl CountryCode {
+    /// Builds a code from a two-letter string. Panics on malformed input —
+    /// codes are compile-time constants throughout the workspace.
+    pub const fn new(s: &str) -> Self {
+        let b = s.as_bytes();
+        assert!(b.len() == 2);
+        assert!(b[0].is_ascii_uppercase() && b[1].is_ascii_uppercase());
+        CountryCode([b[0], b[1]])
+    }
+
+    /// The code as a `&str`.
+    pub fn as_str(&self) -> &str {
+        std::str::from_utf8(&self.0).expect("country codes are ASCII")
+    }
+
+    /// Parses a code from arbitrary input, upper-casing as needed.
+    pub fn parse(s: &str) -> Option<Self> {
+        let b = s.as_bytes();
+        if b.len() != 2 || !b[0].is_ascii_alphabetic() || !b[1].is_ascii_alphabetic() {
+            return None;
+        }
+        Some(CountryCode([b[0].to_ascii_uppercase(), b[1].to_ascii_uppercase()]))
+    }
+}
+
+impl std::fmt::Display for CountryCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Static description of a country.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CountryInfo {
+    pub code: CountryCode,
+    pub name: &'static str,
+    pub continent: Continent,
+    /// Whether the country is conventionally classed as Global South
+    /// (developing), following the paper's §3.4 framing.
+    pub global_south: bool,
+    /// Rough population centroid used for country-level geometry.
+    pub centroid: GeoPoint,
+    /// Approximate radius (km) bounding most in-country infrastructure;
+    /// used by the destination-based constraint to decide what round-trip
+    /// time is consistent with "server inside this country".
+    pub radius_km: f64,
+}
+
+impl CountryInfo {
+    /// Great-circle distance between two countries' centroids.
+    pub fn centroid_distance_km(&self, other: &CountryInfo) -> f64 {
+        self.centroid.distance_km(&other.centroid)
+    }
+}
+
+macro_rules! country_table {
+    ($(($code:literal, $name:literal, $cont:ident, $south:expr, $lat:expr, $lon:expr, $radius:expr)),+ $(,)?) => {
+        /// The full country catalog.
+        pub static COUNTRIES: &[CountryInfo] = &[
+            $(CountryInfo {
+                code: CountryCode::new($code),
+                name: $name,
+                continent: Continent::$cont,
+                global_south: $south,
+                centroid: GeoPoint { lat: $lat, lon: $lon },
+                radius_km: $radius,
+            }),+
+        ];
+    };
+}
+
+country_table![
+    // --- the 23 measurement countries (Table 1 of the paper) ---
+    ("AZ", "Azerbaijan", Asia, true, 40.4, 47.8, 300.0),
+    ("DZ", "Algeria", Africa, true, 32.0, 3.0, 900.0),
+    ("EG", "Egypt", Africa, true, 29.0, 31.0, 600.0),
+    ("RW", "Rwanda", Africa, true, -1.94, 29.87, 120.0),
+    ("UG", "Uganda", Africa, true, 0.35, 32.58, 250.0),
+    ("AR", "Argentina", SouthAmerica, true, -34.6, -58.4, 1500.0),
+    ("RU", "Russia", Europe, false, 55.75, 37.62, 3000.0),
+    ("LK", "Sri Lanka", Asia, true, 6.93, 79.85, 200.0),
+    ("TH", "Thailand", Asia, true, 13.75, 100.5, 700.0),
+    ("AE", "United Arab Emirates", Asia, true, 24.45, 54.38, 250.0),
+    ("GB", "United Kingdom", Europe, false, 51.5, -0.12, 500.0),
+    ("AU", "Australia", Oceania, false, -33.87, 151.2, 2000.0),
+    ("CA", "Canada", NorthAmerica, false, 43.65, -79.38, 2500.0),
+    ("IN", "India", Asia, true, 19.07, 72.88, 1500.0),
+    ("JP", "Japan", Asia, false, 35.68, 139.69, 900.0),
+    ("JO", "Jordan", Asia, true, 31.95, 35.93, 220.0),
+    ("NZ", "New Zealand", Oceania, false, -36.85, 174.76, 800.0),
+    ("PK", "Pakistan", Asia, true, 31.55, 74.34, 800.0),
+    ("QA", "Qatar", Asia, true, 25.28, 51.53, 100.0),
+    ("SA", "Saudi Arabia", Asia, true, 24.71, 46.68, 900.0),
+    ("TW", "Taiwan", Asia, false, 25.03, 121.56, 200.0),
+    ("US", "United States", NorthAmerica, false, 39.0, -77.5, 2500.0),
+    ("LB", "Lebanon", Asia, true, 33.89, 35.5, 100.0),
+    // --- principal destination / hosting countries of the evaluation ---
+    ("FR", "France", Europe, false, 48.86, 2.35, 500.0),
+    ("DE", "Germany", Europe, false, 50.11, 8.68, 400.0),
+    ("KE", "Kenya", Africa, true, -1.29, 36.82, 400.0),
+    ("MY", "Malaysia", Asia, true, 3.14, 101.69, 600.0),
+    ("SG", "Singapore", Asia, false, 1.35, 103.82, 40.0),
+    ("HK", "Hong Kong", Asia, false, 22.32, 114.17, 40.0),
+    ("OM", "Oman", Asia, true, 23.59, 58.41, 400.0),
+    ("IT", "Italy", Europe, false, 45.46, 9.19, 600.0),
+    ("NL", "Netherlands", Europe, false, 52.37, 4.9, 150.0),
+    ("CH", "Switzerland", Europe, false, 47.38, 8.54, 180.0),
+    ("IL", "Israel", Asia, false, 32.07, 34.78, 200.0),
+    ("BG", "Bulgaria", Europe, true, 42.7, 23.32, 250.0),
+    ("BR", "Brazil", SouthAmerica, true, -23.55, -46.63, 2000.0),
+    ("FI", "Finland", Europe, false, 60.17, 24.94, 600.0),
+    ("BE", "Belgium", Europe, false, 50.85, 4.35, 120.0),
+    ("GH", "Ghana", Africa, true, 5.6, -0.19, 350.0),
+    ("TR", "Turkey", Asia, true, 41.01, 28.98, 800.0),
+    ("ES", "Spain", Europe, false, 40.42, -3.7, 500.0),
+    ("SE", "Sweden", Europe, false, 59.33, 18.07, 700.0),
+    ("IE", "Ireland", Europe, false, 53.35, -6.26, 200.0),
+    ("PL", "Poland", Europe, false, 52.23, 21.01, 400.0),
+    ("CZ", "Czechia", Europe, false, 50.08, 14.44, 220.0),
+    ("AT", "Austria", Europe, false, 48.21, 16.37, 250.0),
+    ("PT", "Portugal", Europe, false, 38.72, -9.14, 300.0),
+    ("NO", "Norway", Europe, false, 59.91, 10.75, 800.0),
+    ("DK", "Denmark", Europe, false, 55.68, 12.57, 200.0),
+    ("ZA", "South Africa", Africa, true, -26.2, 28.05, 800.0),
+    ("NG", "Nigeria", Africa, true, 6.52, 3.38, 600.0),
+    ("MX", "Mexico", NorthAmerica, true, 19.43, -99.13, 1200.0),
+    ("CL", "Chile", SouthAmerica, true, -33.45, -70.66, 1500.0),
+    ("CO", "Colombia", SouthAmerica, true, 4.71, -74.07, 700.0),
+    ("KR", "South Korea", Asia, false, 37.57, 126.98, 300.0),
+    ("ID", "Indonesia", Asia, true, -6.21, 106.85, 1500.0),
+    ("VN", "Vietnam", Asia, true, 10.82, 106.63, 800.0),
+    ("PH", "Philippines", Asia, true, 14.6, 120.98, 700.0),
+    ("BD", "Bangladesh", Asia, true, 23.81, 90.41, 300.0),
+    ("NP", "Nepal", Asia, true, 27.72, 85.32, 400.0),
+    ("CN", "China", Asia, true, 31.23, 121.47, 2000.0),
+    ("UA", "Ukraine", Europe, true, 50.45, 30.52, 600.0),
+    ("RO", "Romania", Europe, true, 44.43, 26.1, 350.0),
+    ("HU", "Hungary", Europe, false, 47.5, 19.04, 250.0),
+    ("GR", "Greece", Europe, false, 37.98, 23.73, 400.0),
+    ("MA", "Morocco", Africa, true, 33.57, -7.59, 500.0),
+    ("TN", "Tunisia", Africa, true, 36.8, 10.18, 300.0),
+    ("ET", "Ethiopia", Africa, true, 9.01, 38.75, 600.0),
+    ("TZ", "Tanzania", Africa, true, -6.79, 39.21, 600.0),
+    ("CY", "Cyprus", Asia, false, 35.17, 33.36, 100.0),
+    ("BH", "Bahrain", Asia, true, 26.23, 50.59, 40.0),
+    ("KW", "Kuwait", Asia, true, 29.38, 47.99, 100.0),
+    ("LU", "Luxembourg", Europe, false, 49.61, 6.13, 50.0),
+];
+
+/// Looks up a country by code.
+pub fn country(code: CountryCode) -> Option<&'static CountryInfo> {
+    COUNTRIES.iter().find(|c| c.code == code)
+}
+
+/// Looks up a country by its English name (case-insensitive).
+pub fn country_by_name(name: &str) -> Option<&'static CountryInfo> {
+    COUNTRIES.iter().find(|c| c.name.eq_ignore_ascii_case(name))
+}
+
+/// Iterates over the full catalog.
+pub fn countries() -> impl Iterator<Item = &'static CountryInfo> {
+    COUNTRIES.iter()
+}
+
+/// The 23 measurement countries of the study, in Table 1 order.
+pub static MEASUREMENT_COUNTRIES: &[CountryCode] = &[
+    CountryCode::new("AZ"),
+    CountryCode::new("DZ"),
+    CountryCode::new("EG"),
+    CountryCode::new("RW"),
+    CountryCode::new("UG"),
+    CountryCode::new("AR"),
+    CountryCode::new("RU"),
+    CountryCode::new("LK"),
+    CountryCode::new("TH"),
+    CountryCode::new("AE"),
+    CountryCode::new("GB"),
+    CountryCode::new("AU"),
+    CountryCode::new("CA"),
+    CountryCode::new("IN"),
+    CountryCode::new("JP"),
+    CountryCode::new("JO"),
+    CountryCode::new("NZ"),
+    CountryCode::new("PK"),
+    CountryCode::new("QA"),
+    CountryCode::new("SA"),
+    CountryCode::new("TW"),
+    CountryCode::new("US"),
+    CountryCode::new("LB"),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_has_no_duplicate_codes() {
+        let mut seen = std::collections::HashSet::new();
+        for c in COUNTRIES {
+            assert!(seen.insert(c.code), "duplicate code {}", c.code);
+        }
+    }
+
+    #[test]
+    fn all_measurement_countries_resolve() {
+        for code in MEASUREMENT_COUNTRIES {
+            assert!(country(*code).is_some(), "missing {code}");
+        }
+        assert_eq!(MEASUREMENT_COUNTRIES.len(), 23);
+    }
+
+    #[test]
+    fn catalog_covers_over_sixty_countries() {
+        // The paper launched destination traceroutes into >60 countries.
+        assert!(COUNTRIES.len() > 60, "only {} countries", COUNTRIES.len());
+    }
+
+    #[test]
+    fn code_roundtrips_through_parse_and_display() {
+        let c = CountryCode::new("KE");
+        assert_eq!(CountryCode::parse("ke"), Some(c));
+        assert_eq!(c.to_string(), "KE");
+    }
+
+    #[test]
+    fn parse_rejects_malformed_codes() {
+        assert_eq!(CountryCode::parse(""), None);
+        assert_eq!(CountryCode::parse("K"), None);
+        assert_eq!(CountryCode::parse("KEN"), None);
+        assert_eq!(CountryCode::parse("1A"), None);
+    }
+
+    #[test]
+    fn lookup_by_name_is_case_insensitive() {
+        assert_eq!(country_by_name("kenya").unwrap().code, CountryCode::new("KE"));
+        assert_eq!(
+            country_by_name("NEW ZEALAND").unwrap().code,
+            CountryCode::new("NZ")
+        );
+        assert!(country_by_name("Atlantis").is_none());
+    }
+
+    #[test]
+    fn centroid_coordinates_are_in_range() {
+        for c in COUNTRIES {
+            assert!((-90.0..=90.0).contains(&c.centroid.lat), "{}", c.name);
+            assert!((-180.0..=180.0).contains(&c.centroid.lon), "{}", c.name);
+            assert!(c.radius_km > 0.0, "{}", c.name);
+        }
+    }
+
+    #[test]
+    fn continent_counts_follow_table_one() {
+        // §3.4's own arithmetic is inconsistent (sums to 22); we follow the
+        // Table 1 list with standard assignments: Russia in Europe.
+        use std::collections::HashMap;
+        let mut by: HashMap<Continent, usize> = HashMap::new();
+        for code in MEASUREMENT_COUNTRIES {
+            *by.entry(country(*code).unwrap().continent).or_default() += 1;
+        }
+        assert_eq!(by[&Continent::Africa], 4);
+        assert_eq!(by[&Continent::Asia], 12);
+        assert_eq!(by[&Continent::Europe], 2);
+        assert_eq!(by[&Continent::NorthAmerica], 2);
+        assert_eq!(by[&Continent::Oceania], 2);
+        assert_eq!(by[&Continent::SouthAmerica], 1);
+    }
+
+    #[test]
+    fn global_south_classification_spot_checks() {
+        assert!(country(CountryCode::new("RW")).unwrap().global_south);
+        assert!(country(CountryCode::new("UG")).unwrap().global_south);
+        assert!(country(CountryCode::new("AZ")).unwrap().global_south);
+        assert!(!country(CountryCode::new("GB")).unwrap().global_south);
+        assert!(!country(CountryCode::new("CA")).unwrap().global_south);
+        assert!(!country(CountryCode::new("JP")).unwrap().global_south);
+    }
+}

@@ -1,0 +1,24 @@
+//! # gamma-geo
+//!
+//! Geographic substrate for the *Gamma* reproduction: country and city
+//! catalogs, great-circle geometry, and the speed-of-light-in-fiber
+//! constraint that anchors every latency-based geolocation decision in the
+//! paper (§4.1, "Speed of Light Physical Constraint in Cable").
+//!
+//! The catalog covers every measurement country of the study (Table 1 of the
+//! paper) plus every destination country referenced in the evaluation
+//! (France, Germany, Kenya, Malaysia, ...), and the cities that matter for
+//! hosting, volunteer vantage points, and the documented IPmap mislocation
+//! incidents (Al Fujairah, Amsterdam, Zurich, Frankfurt).
+
+pub mod continent;
+pub mod coords;
+pub mod country;
+pub mod city;
+pub mod sol;
+
+pub use continent::Continent;
+pub use coords::{haversine_km, GeoPoint};
+pub use country::{country, country_by_name, countries, CountryCode, CountryInfo};
+pub use city::{cities, cities_in, city, city_by_iata, city_by_name, nearest_city, CityId, CityInfo};
+pub use sol::{implied_speed_km_per_ms, min_rtt_ms, violates_sol, SOL_KM_PER_MS};

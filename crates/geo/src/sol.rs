@@ -1,0 +1,83 @@
+//! Speed-of-light-in-fiber constraint (§4.1 of the paper).
+//!
+//! The paper bounds the *implied transmission speed* of a round-trip
+//! measurement: data observed through traceroute round-trip times "should
+//! not exceed 2c/3 ... i.e., 133 km/ms, based on transmission rates in
+//! fiber-optic cable" (citing Katz-Bassett et al.). We adopt the paper's
+//! constant verbatim: a measurement claiming a server at geodesic distance
+//! `d` km with round-trip time `rtt` ms violates the constraint when
+//! `d / rtt > 133`.
+
+/// The paper's speed-of-light-in-cable bound, km per millisecond of RTT.
+pub const SOL_KM_PER_MS: f64 = 133.0;
+
+/// Implied speed of a measurement: claimed distance over round-trip time.
+///
+/// Returns `f64::INFINITY` for non-positive RTTs, which always violates the
+/// constraint (a zero-time round trip over a nonzero distance is physically
+/// impossible, and garbage RTTs must never validate a location claim).
+pub fn implied_speed_km_per_ms(distance_km: f64, rtt_ms: f64) -> f64 {
+    if rtt_ms <= 0.0 {
+        if distance_km <= 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        distance_km / rtt_ms
+    }
+}
+
+/// Whether a (distance, RTT) pair violates the speed-of-light constraint.
+pub fn violates_sol(distance_km: f64, rtt_ms: f64) -> bool {
+    implied_speed_km_per_ms(distance_km, rtt_ms) > SOL_KM_PER_MS
+}
+
+/// The minimum physically-plausible RTT to a server at the given distance,
+/// under the paper's 133 km/ms bound.
+pub fn min_rtt_ms(distance_km: f64) -> f64 {
+    distance_km / SOL_KM_PER_MS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plausible_measurement_passes() {
+        // Paris -> Frankfurt is ~480 km; 10 ms RTT implies 48 km/ms.
+        assert!(!violates_sol(480.0, 10.0));
+    }
+
+    #[test]
+    fn impossible_measurement_fails() {
+        // A transatlantic distance in 10 ms is impossible.
+        assert!(violates_sol(6000.0, 10.0));
+    }
+
+    #[test]
+    fn boundary_is_exactly_133() {
+        assert!(!violates_sol(133.0, 1.0));
+        assert!(violates_sol(133.01, 1.0));
+    }
+
+    #[test]
+    fn zero_rtt_nonzero_distance_violates() {
+        assert!(violates_sol(1.0, 0.0));
+        assert!(violates_sol(1.0, -5.0));
+    }
+
+    #[test]
+    fn zero_distance_never_violates() {
+        assert!(!violates_sol(0.0, 0.0));
+        assert!(!violates_sol(0.0, 5.0));
+    }
+
+    #[test]
+    fn min_rtt_is_consistent_with_violation_test() {
+        let d = 1000.0;
+        let r = min_rtt_ms(d);
+        assert!(!violates_sol(d, r));
+        assert!(violates_sol(d, r * 0.99));
+    }
+}

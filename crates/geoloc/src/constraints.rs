@@ -1,0 +1,282 @@
+//! Source- and destination-based latency constraints (§4.1.1, §4.1.2).
+
+use crate::latency_stats::LatencyStats;
+use gamma_geo::{city, violates_sol, CityId, SOL_KM_PER_MS};
+use gamma_suite::NormalizedTraceroute;
+use serde::{Deserialize, Serialize};
+
+/// Why a non-local candidate was discarded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DiscardReason {
+    /// No usable geolocation for the address.
+    NoGeolocation,
+    /// No traceroute was recorded and no fallback probe could run.
+    NoTraceroute,
+    /// The source traceroute did not reach the destination.
+    SourceUnreached,
+    /// Claimed distance requires superluminal transmission.
+    SourceSolViolation,
+    /// Observed latency below 80% of the statistics for the claimed pair —
+    /// the server cannot be that far away (§4.1.1's conservative rule).
+    SourceTooFast,
+    /// No probe exists anywhere near the claimed country.
+    DestNoProbe,
+    /// The destination traceroute did not reach the server.
+    DestUnreached,
+    /// The in-claimed-country probe's RTT is inconsistent with a server in
+    /// that country.
+    DestInconsistent,
+    /// Reverse DNS geography contradicts the claimed country (§4.1.3).
+    RdnsContradiction,
+}
+
+/// Outcome of one constraint stage.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ConstraintOutcome {
+    /// Passed; carries the cleaned latency used for the decision.
+    Pass { cleaned_latency_ms: f64 },
+    Discard(DiscardReason),
+}
+
+impl ConstraintOutcome {
+    pub fn passed(&self) -> bool {
+        matches!(self, ConstraintOutcome::Pass { .. })
+    }
+}
+
+/// The paper's latency cleaning: "we subtracted the recorded last hop time
+/// from the first hop, only if first hop time is available and is smaller
+/// than last hop, if not then we consider the last hop as latency"
+/// (§4.1.1). Removes the local-network contribution.
+pub fn clean_latency_ms(t: &NormalizedTraceroute) -> Option<f64> {
+    let last = t.destination_rtt_ms()?;
+    match t.first_hop_rtt_ms() {
+        Some(first) if first < last => Some(last - first),
+        _ => Some(last),
+    }
+}
+
+/// Fraction of the expected statistic below which a measurement rules the
+/// claimed location out (the paper's conservative 80%).
+pub const DEFAULT_LATENCY_FLOOR: f64 = 0.8;
+
+/// Source-based constraint: volunteer-side traceroute vs claimed location.
+pub fn evaluate_source(
+    traceroute: &NormalizedTraceroute,
+    volunteer_city: CityId,
+    claimed_city: CityId,
+    stats: &LatencyStats,
+    latency_floor: f64,
+    use_first_hop_subtraction: bool,
+) -> ConstraintOutcome {
+    if !traceroute.reached {
+        return ConstraintOutcome::Discard(DiscardReason::SourceUnreached);
+    }
+    let latency = if use_first_hop_subtraction {
+        clean_latency_ms(traceroute)
+    } else {
+        traceroute.destination_rtt_ms()
+    };
+    let Some(latency) = latency else {
+        return ConstraintOutcome::Discard(DiscardReason::SourceUnreached);
+    };
+    let distance = city(volunteer_city).distance_km(city(claimed_city));
+    if violates_sol(distance, latency) {
+        return ConstraintOutcome::Discard(DiscardReason::SourceSolViolation);
+    }
+    let (expected, _) = stats.expected_rtt_ms(volunteer_city, claimed_city);
+    if latency < latency_floor * expected {
+        return ConstraintOutcome::Discard(DiscardReason::SourceTooFast);
+    }
+    ConstraintOutcome::Pass {
+        cleaned_latency_ms: latency,
+    }
+}
+
+/// Slack added to the destination constraint's RTT budget, ms: covers
+/// probe last-mile, router processing, and jitter.
+pub const DEST_SLACK_MS: f64 = 10.0;
+
+/// Metro radius granted around the claimed city, km. The probe-selection
+/// step already targets the claimed *city*, so the verification is
+/// city-level, not country-level — a country-radius budget would wave
+/// through nearby-country confusions in large countries.
+pub const DEST_METRO_KM: f64 = 300.0;
+
+/// Destination-based constraint: a probe near the claimed location must
+/// observe an RTT consistent with a server at that location — the budget
+/// is the probe-to-claimed-city distance plus a metro radius, at the
+/// paper's 133 km/ms, plus slack. A server actually sitting hundreds of
+/// kilometres away (let alone another continent) blows the budget and the
+/// claim is discarded.
+pub fn evaluate_destination(
+    traceroute: &NormalizedTraceroute,
+    probe_city: CityId,
+    claimed_city: CityId,
+) -> ConstraintOutcome {
+    if !traceroute.reached {
+        return ConstraintOutcome::Discard(DiscardReason::DestUnreached);
+    }
+    let Some(latency) = clean_latency_ms(traceroute) else {
+        return ConstraintOutcome::Discard(DiscardReason::DestUnreached);
+    };
+    let claimed = city(claimed_city);
+    let max_km = city(probe_city).distance_km(claimed) + DEST_METRO_KM;
+    let budget_ms = max_km / SOL_KM_PER_MS + DEST_SLACK_MS;
+    if latency > budget_ms {
+        return ConstraintOutcome::Discard(DiscardReason::DestInconsistent);
+    }
+    ConstraintOutcome::Pass {
+        cleaned_latency_ms: latency,
+    }
+}
+
+/// Reverse-DNS constraint (§4.1.3): discard when the hostname's geographic
+/// hint sits in a different country than the claim; retain hint-free hosts.
+pub fn evaluate_rdns(rdns: Option<&str>, claimed_city: CityId) -> Result<(), DiscardReason> {
+    let Some(hostname) = rdns else {
+        return Ok(());
+    };
+    let Some(hint) = gamma_dns::geo_hint(hostname) else {
+        return Ok(());
+    };
+    if hint.country != city(claimed_city).country {
+        return Err(DiscardReason::RdnsContradiction);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gamma_geo::city_by_name;
+    use gamma_suite::NormHop;
+    use std::net::Ipv4Addr;
+
+    fn id(name: &str) -> CityId {
+        city_by_name(name).unwrap().id
+    }
+
+    fn trace(first: Option<f64>, last: Option<f64>, reached: bool) -> NormalizedTraceroute {
+        let mut hops = Vec::new();
+        if let Some(f) = first {
+            hops.push(NormHop {
+                ttl: 1,
+                ip: Some(Ipv4Addr::new(192, 168, 1, 1)),
+                rtt_ms: Some(f),
+            });
+        }
+        hops.push(NormHop {
+            ttl: 2,
+            ip: last.map(|_| Ipv4Addr::new(20, 0, 0, 9)),
+            rtt_ms: last,
+        });
+        NormalizedTraceroute {
+            dst: Ipv4Addr::new(20, 0, 0, 9),
+            reached,
+            hops,
+        }
+    }
+
+    #[test]
+    fn latency_cleaning_follows_the_paper() {
+        // first < last: subtract.
+        assert_eq!(clean_latency_ms(&trace(Some(5.0), Some(45.0), true)), Some(40.0));
+        // first >= last (rare but happens with jitter): keep last.
+        assert_eq!(clean_latency_ms(&trace(Some(50.0), Some(45.0), true)), Some(45.0));
+        // no first hop: keep last.
+        assert_eq!(clean_latency_ms(&trace(None, Some(45.0), true)), Some(45.0));
+    }
+
+    #[test]
+    fn source_constraint_accepts_genuine_foreign_server() {
+        // Lahore -> Frankfurt is ~5100 km; ~75 ms cleaned latency is right
+        // on the published statistic.
+        let stats = LatencyStats::default();
+        let t = trace(Some(5.0), Some(80.0), true);
+        let out = evaluate_source(&t, id("Lahore"), id("Frankfurt"), &stats, 0.8, true);
+        assert!(out.passed(), "{out:?}");
+    }
+
+    #[test]
+    fn source_constraint_rejects_superluminal_claims() {
+        // A 5 ms RTT cannot come from a server claimed 5100 km away:
+        // that is the false-foreign case the SOL bound kills.
+        let stats = LatencyStats::default();
+        let t = trace(Some(1.0), Some(6.0), true);
+        let out = evaluate_source(&t, id("Lahore"), id("Frankfurt"), &stats, 0.8, true);
+        assert_eq!(out, ConstraintOutcome::Discard(DiscardReason::SourceSolViolation));
+    }
+
+    #[test]
+    fn source_constraint_applies_the_80_percent_rule() {
+        // ~52 ms Lahore->Frankfurt passes SOL (~5900 km / 52 ms ≈ 113 km/ms
+        // < 133) but sits well under 80% of the ~80 ms statistic.
+        let stats = LatencyStats::default();
+        let t = trace(Some(1.0), Some(53.0), true);
+        let out = evaluate_source(&t, id("Lahore"), id("Frankfurt"), &stats, 0.8, true);
+        assert_eq!(out, ConstraintOutcome::Discard(DiscardReason::SourceTooFast));
+        // With the rule disabled (floor 0) the same measurement survives.
+        let out = evaluate_source(&t, id("Lahore"), id("Frankfurt"), &stats, 0.0, true);
+        assert!(out.passed());
+    }
+
+    #[test]
+    fn source_constraint_discards_unreached() {
+        let stats = LatencyStats::default();
+        let t = trace(Some(5.0), None, false);
+        let out = evaluate_source(&t, id("Lahore"), id("Frankfurt"), &stats, 0.8, true);
+        assert_eq!(out, ConstraintOutcome::Discard(DiscardReason::SourceUnreached));
+    }
+
+    #[test]
+    fn destination_constraint_confirms_in_country_server() {
+        // Probe in Frankfurt, server claimed in Frankfurt, 8 ms RTT.
+        let t = trace(Some(2.0), Some(10.0), true);
+        let out = evaluate_destination(&t, id("Frankfurt"), id("Frankfurt"));
+        assert!(out.passed(), "{out:?}");
+    }
+
+    #[test]
+    fn destination_constraint_rejects_cross_continent_reality() {
+        // Probe in Al Fujairah, claim says UAE, but the server really sits
+        // in Amsterdam: the probe sees ~60 ms, far over the in-country
+        // budget — this is the paper's Pakistan/Google incident.
+        let t = trace(Some(2.0), Some(62.0), true);
+        let out = evaluate_destination(&t, id("Al Fujairah"), id("Al Fujairah"));
+        assert_eq!(out, ConstraintOutcome::Discard(DiscardReason::DestInconsistent));
+    }
+
+    #[test]
+    fn destination_constraint_tolerates_nearby_probe_fallback() {
+        // Qatar claim measured from a Riyadh probe (the documented
+        // fallback): Riyadh-Doha is ~490 km, so a genuine Doha server at
+        // ~12 ms passes.
+        let t = trace(Some(2.0), Some(14.0), true);
+        let out = evaluate_destination(&t, id("Riyadh"), id("Doha"));
+        assert!(out.passed(), "{out:?}");
+    }
+
+    #[test]
+    fn rdns_constraint_matches_paper_examples() {
+        let ams = "ams07.google-servers.net";
+        let fra = "fra03.google-servers.net";
+        // Claimed Al Fujairah, rDNS says Amsterdam -> discard (§4.1.3).
+        assert_eq!(
+            evaluate_rdns(Some(ams), id("Al Fujairah")),
+            Err(DiscardReason::RdnsContradiction)
+        );
+        // Claimed Frankfurt, rDNS agrees -> retain.
+        assert_eq!(evaluate_rdns(Some(fra), id("Frankfurt")), Ok(()));
+        // Hint-free or absent rDNS -> retain.
+        assert_eq!(evaluate_rdns(Some("r-1-9.core.net"), id("Frankfurt")), Ok(()));
+        assert_eq!(evaluate_rdns(None, id("Frankfurt")), Ok(()));
+    }
+
+    #[test]
+    fn rdns_same_country_different_city_is_retained() {
+        // Zurich hint on a Zurich claim, but also Munich hint on a
+        // Frankfurt claim: same country → no contradiction.
+        assert_eq!(evaluate_rdns(Some("muc02.cdn.net"), id("Frankfurt")), Ok(()));
+    }
+}

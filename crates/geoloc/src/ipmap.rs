@@ -1,0 +1,384 @@
+//! IPmap-style geolocation database with a controlled error model.
+//!
+//! "Previous research has identified RIPE IPmap as the most reliable
+//! service for IP geolocation ... However, studies have shown they are not
+//! fully reliable" (§4.1). The database here is derived from the world's
+//! ground truth and then corrupted:
+//!
+//! - a fraction of addresses receive a *nearby-country confusion* (claimed
+//!   at a hub in a neighbouring country — the AMS/FRA class of error that
+//!   only the destination and rDNS constraints can catch);
+//! - a fraction receive a *far mislocation* (claimed on another continent
+//!   — caught by the speed-of-light constraints);
+//! - a fraction is simply *unmapped* (the paper excludes trackers it could
+//!   not geolocate and reads its results as a lower bound);
+//! - the paper's two documented incidents are reproduced verbatim for
+//!   Google addresses observed from Pakistan and Egypt (§4.1.3).
+
+use gamma_geo::{cities, city, city_by_name, CityId};
+use gamma_websim::World;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// Error-injection configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ErrorSpec {
+    /// Probability an address is claimed in a nearby foreign hub.
+    pub nearby_confusion_rate: f64,
+    /// Probability an address is claimed far away (cross-continent).
+    pub far_mislocation_rate: f64,
+    /// Probability an address has no database entry at all.
+    pub unmapped_rate: f64,
+    /// Probability that an address *with a geographically-hinted PTR
+    /// record* is claimed just across a border (150-700 km away). These
+    /// confusions sit inside every latency budget — only the reverse-DNS
+    /// constraint can catch them, which is exactly the role §4.1.3's
+    /// Amsterdam/Zurich incidents played in the paper.
+    pub hinted_confusion_rate: f64,
+    /// Reproduce the paper's documented Google incidents.
+    pub documented_incidents: bool,
+}
+
+impl Default for ErrorSpec {
+    fn default() -> Self {
+        ErrorSpec {
+            nearby_confusion_rate: 0.10,
+            far_mislocation_rate: 0.08,
+            unmapped_rate: 0.05,
+            hinted_confusion_rate: 0.06,
+            documented_incidents: true,
+        }
+    }
+}
+
+impl ErrorSpec {
+    /// A perfect database — used by ablations to isolate constraint
+    /// behaviour.
+    pub fn perfect() -> Self {
+        ErrorSpec {
+            nearby_confusion_rate: 0.0,
+            far_mislocation_rate: 0.0,
+            unmapped_rate: 0.0,
+            hinted_confusion_rate: 0.0,
+            documented_incidents: false,
+        }
+    }
+
+    pub fn validate(&self) -> Result<(), String> {
+        let total = self.nearby_confusion_rate + self.far_mislocation_rate + self.unmapped_rate;
+        for (n, v) in [
+            ("nearby_confusion_rate", self.nearby_confusion_rate),
+            ("far_mislocation_rate", self.far_mislocation_rate),
+            ("unmapped_rate", self.unmapped_rate),
+            ("hinted_confusion_rate", self.hinted_confusion_rate),
+        ] {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(format!("{n} = {v} is not a probability"));
+            }
+        }
+        if total > 1.0 {
+            return Err(format!("error rates sum to {total} > 1"));
+        }
+        Ok(())
+    }
+}
+
+/// The claimed-location database.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GeoDatabase {
+    claims: HashMap<Ipv4Addr, CityId>,
+    spec: ErrorSpec,
+}
+
+impl GeoDatabase {
+    /// Derives the database from ground truth + error injection.
+    pub fn build(world: &World, spec: &ErrorSpec, seed: u64) -> GeoDatabase {
+        spec.validate().expect("valid error spec");
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x1b_a9e0);
+        let mut claims = HashMap::new();
+
+        let fujairah = city_by_name("Al Fujairah").expect("catalog city").id;
+        let vienna = city_by_name("Vienna").expect("catalog city").id;
+        let google = world.orgs.iter().find(|o| o.name == "Google").map(|o| o.id);
+
+        for alloc in world.ip_registry.iter() {
+            for host in 1..255u64 {
+                let Some(addr) = alloc.net.nth(host) else { break };
+                // Only map addresses that actually exist (the registry
+                // allocates /24s; hosts are assigned from 1 upward, so
+                // sampling every host over-approximates harmlessly for
+                // lookups that never occur).
+                let truth = alloc.city;
+                let u: f64 = rng.gen();
+                let claimed = if u < spec.unmapped_rate {
+                    continue;
+                } else if u < spec.unmapped_rate + spec.far_mislocation_rate {
+                    far_city(truth, &mut rng)
+                } else if u
+                    < spec.unmapped_rate + spec.far_mislocation_rate + spec.nearby_confusion_rate
+                {
+                    nearby_foreign_city(truth, &mut rng)
+                } else {
+                    truth
+                };
+                // Border-proximity confusion, applied to PTR-hinted hosts.
+                let claimed = if claimed == truth
+                    && rng.gen::<f64>() < spec.hinted_confusion_rate
+                    && world
+                        .rdns_of(addr)
+                        .and_then(gamma_dns::geo_hint)
+                        .is_some()
+                {
+                    near_border_city(truth, &mut rng).unwrap_or(truth)
+                } else {
+                    claimed
+                };
+                claims.insert(addr, claimed);
+            }
+        }
+
+        // Documented incidents: a slice of Google's serving addresses for
+        // Pakistan claimed at Al Fujairah; for Egypt claimed at Frankfurt
+        // even when the ground truth is elsewhere (e.g. a Zurich-hinting
+        // host). These override whatever the generic model produced.
+        if spec.documented_incidents {
+            if let Some(gid) = google {
+                // The Egypt incident is country-inverted relative to the paper
+                // (claimed Austria, rDNS pointing into Germany) because the
+                // synthetic Google really does serve Egypt from Frankfurt;
+                // the discard mechanism exercised is identical.
+                for (country, wrong_city) in [("PK", fujairah), ("EG", vienna)] {
+                    let cc = gamma_geo::CountryCode::new(country);
+                    if let Some(&serve_city) = world.serving.get(&(gid, cc)) {
+                        if let Some(dep) = world.hosting.get(gid, serve_city) {
+                            for net in dep.nets.iter().take(1) {
+                                for host in 1..6u64 {
+                                    if let Some(addr) = net.nth(host) {
+                                        claims.insert(addr, wrong_city);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        GeoDatabase { claims, spec: *spec }
+    }
+
+    /// The database's claimed city for an address.
+    pub fn claimed_city(&self, addr: Ipv4Addr) -> Option<CityId> {
+        self.claims.get(&addr).copied()
+    }
+
+    /// Number of mapped addresses.
+    pub fn len(&self) -> usize {
+        self.claims.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.claims.is_empty()
+    }
+
+    /// The spec the database was built with.
+    pub fn spec(&self) -> &ErrorSpec {
+        &self.spec
+    }
+}
+
+/// A hub in a different country in the 1100–2400 km band around the truth
+/// (falls back to the nearest foreign cities if the band is empty). Real
+/// database confusions land in this band — close enough that coarse
+/// databases blur them, far enough that a careful latency constraint can
+/// still separate truth from claim.
+fn nearby_foreign_city<R: Rng + ?Sized>(truth: CityId, rng: &mut R) -> CityId {
+    let t = city(truth);
+    let mut candidates: Vec<_> = cities()
+        .filter(|c| {
+            let d = c.distance_km(t);
+            c.country != t.country && (1100.0..2400.0).contains(&d)
+        })
+        .collect();
+    if candidates.is_empty() {
+        candidates = cities()
+            .filter(|c| c.country != t.country && c.distance_km(t) >= 1100.0)
+            .collect();
+        candidates.sort_by(|a, b| {
+            a.distance_km(t)
+                .partial_cmp(&b.distance_km(t))
+                .expect("finite")
+        });
+        candidates.truncate(3);
+    }
+    candidates[rng.gen_range(0..candidates.len())].id
+}
+
+/// A foreign city just across a border (150-700 km), the class of error
+/// that passes every latency check and is only caught by reverse DNS.
+fn near_border_city<R: Rng + ?Sized>(truth: CityId, rng: &mut R) -> Option<CityId> {
+    let t = city(truth);
+    let candidates: Vec<_> = cities()
+        .filter(|c| {
+            let d = c.distance_km(t);
+            c.country != t.country && (150.0..700.0).contains(&d)
+        })
+        .collect();
+    if candidates.is_empty() {
+        return None;
+    }
+    Some(candidates[rng.gen_range(0..candidates.len())].id)
+}
+
+/// A city far away (> 4000 km), modeling gross database errors.
+fn far_city<R: Rng + ?Sized>(truth: CityId, rng: &mut R) -> CityId {
+    let t = city(truth);
+    let candidates: Vec<_> = cities().filter(|c| c.distance_km(t) > 4000.0).collect();
+    candidates[rng.gen_range(0..candidates.len())].id
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gamma_websim::{worldgen, WorldSpec};
+
+    fn world() -> World {
+        worldgen::generate(&WorldSpec::paper_default(61))
+    }
+
+    #[test]
+    fn perfect_database_matches_ground_truth() {
+        let w = world();
+        let db = GeoDatabase::build(&w, &ErrorSpec::perfect(), 1);
+        let mut checked = 0;
+        for alloc in w.ip_registry.iter().step_by(13) {
+            let addr = alloc.net.nth(7).unwrap();
+            assert_eq!(db.claimed_city(addr), Some(alloc.city));
+            checked += 1;
+        }
+        assert!(checked > 50);
+    }
+
+    #[test]
+    fn default_error_rates_are_realized() {
+        let w = world();
+        let db = GeoDatabase::build(&w, &ErrorSpec::default(), 1);
+        let mut total = 0usize;
+        let mut wrong = 0usize;
+        let mut missing = 0usize;
+        for alloc in w.ip_registry.iter() {
+            for h in [3u64, 99, 200] {
+                let addr = alloc.net.nth(h).unwrap();
+                total += 1;
+                match db.claimed_city(addr) {
+                    None => missing += 1,
+                    Some(c) if c != alloc.city => wrong += 1,
+                    _ => {}
+                }
+            }
+        }
+        let wrong_rate = wrong as f64 / total as f64;
+        let missing_rate = missing as f64 / total as f64;
+        assert!((0.12..0.26).contains(&wrong_rate), "wrong {wrong_rate}");
+        assert!((0.02..0.09).contains(&missing_rate), "missing {missing_rate}");
+    }
+
+    #[test]
+    fn documented_pakistan_incident_claims_fujairah() {
+        let w = world();
+        let db = GeoDatabase::build(&w, &ErrorSpec::default(), 1);
+        let google = w.orgs.iter().find(|o| o.name == "Google").unwrap().id;
+        let serve = w.serving[&(google, gamma_geo::CountryCode::new("PK"))];
+        let dep = w.hosting.get(google, serve).unwrap();
+        let addr = dep.nets[0].nth(1).unwrap();
+        let claimed = db.claimed_city(addr).unwrap();
+        assert_eq!(city(claimed).name, "Al Fujairah");
+        // ...while the ground truth is elsewhere.
+        assert_ne!(w.true_city(addr).unwrap(), claimed);
+    }
+
+    #[test]
+    fn nearby_confusion_stays_foreign_in_the_confusion_band() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let fra = city_by_name("Frankfurt").unwrap();
+        for _ in 0..50 {
+            let c = city(nearby_foreign_city(fra.id, &mut rng));
+            assert_ne!(c.country, fra.country);
+            let d = c.distance_km(fra);
+            assert!((1100.0..2400.0).contains(&d), "{} at {d} km", c.name);
+        }
+    }
+
+    #[test]
+    fn far_mislocation_is_really_far() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let nbo = city_by_name("Nairobi").unwrap();
+        for _ in 0..50 {
+            let c = city(far_city(nbo.id, &mut rng));
+            assert!(c.distance_km(nbo) > 4000.0);
+        }
+    }
+
+    #[test]
+    fn hinted_confusions_only_hit_ptr_hinted_hosts() {
+        let w = world();
+        let spec = ErrorSpec {
+            nearby_confusion_rate: 0.0,
+            far_mislocation_rate: 0.0,
+            unmapped_rate: 0.0,
+            hinted_confusion_rate: 1.0,
+            documented_incidents: false,
+        };
+        let db = GeoDatabase::build(&w, &spec, 4);
+        let mut hinted_wrong = 0usize;
+        let mut unhinted_wrong = 0usize;
+        for alloc in w.ip_registry.iter() {
+            for h in [1u64, 2, 3] {
+                let addr = alloc.net.nth(h).unwrap();
+                let Some(claimed) = db.claimed_city(addr) else { continue };
+                let hinted = w.rdns_of(addr).and_then(gamma_dns::geo_hint).is_some();
+                if claimed != alloc.city {
+                    if hinted {
+                        hinted_wrong += 1;
+                        // Error stays within the border band.
+                        let d = city(claimed).distance_km(city(alloc.city));
+                        assert!((150.0..700.0).contains(&d), "{d} km");
+                    } else {
+                        unhinted_wrong += 1;
+                    }
+                }
+            }
+        }
+        assert!(hinted_wrong > 20, "hinted confusions {hinted_wrong}");
+        assert_eq!(unhinted_wrong, 0, "unhinted hosts must stay correct");
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected() {
+        let bad = ErrorSpec {
+            nearby_confusion_rate: 0.7,
+            far_mislocation_rate: 0.5,
+            ..ErrorSpec::default()
+        };
+        assert!(bad.validate().is_err());
+        let nan = ErrorSpec {
+            unmapped_rate: -0.1,
+            ..ErrorSpec::default()
+        };
+        assert!(nan.validate().is_err());
+    }
+
+    #[test]
+    fn database_is_deterministic() {
+        let w = world();
+        let a = GeoDatabase::build(&w, &ErrorSpec::default(), 9);
+        let b = GeoDatabase::build(&w, &ErrorSpec::default(), 9);
+        assert_eq!(a.len(), b.len());
+        let addr = w.ip_registry.iter().next().unwrap().net.nth(1).unwrap();
+        assert_eq!(a.claimed_city(addr), b.claimed_city(addr));
+    }
+}

@@ -1,0 +1,39 @@
+//! # gamma-geoloc
+//!
+//! The paper's multi-constraint geolocation framework (§4.1), built as a
+//! reusable pipeline:
+//!
+//! 1. An **IPmap-style database** ([`ipmap`]) provides the initial claimed
+//!    location of every server address. Databases err — the module injects
+//!    a controlled error model including the paper's documented incidents
+//!    (Google addresses claimed in Al Fujairah whose rDNS says Amsterdam;
+//!    addresses claimed in Germany whose rDNS says Zurich).
+//! 2. The **source-based constraint** ([`constraints`]) cleans the
+//!    volunteer-side traceroute latency (last hop minus first hop), applies
+//!    the 133 km/ms speed-of-light bound against the claimed location, and
+//!    the conservative 80%-of-expected-latency rule backed by
+//!    Verizon/WonderNetwork-style statistics ([`latency_stats`]).
+//! 3. The **destination-based constraint** launches a traceroute from an
+//!    Atlas probe in the claimed country and requires the RTT to be
+//!    consistent with an in-country server.
+//! 4. The **reverse-DNS constraint** discards servers whose hostname
+//!    geography contradicts the claim; hint-free servers are retained.
+//!
+//! [`pipeline::GeolocPipeline`] wires all stages over a volunteer dataset
+//! and reports per-domain verdicts plus the §5 funnel counters.
+
+pub mod constraints;
+pub mod databases;
+pub mod ipmap;
+pub mod latency_stats;
+pub mod pipeline;
+
+pub use constraints::{
+    clean_latency_ms, evaluate_destination, evaluate_source, ConstraintOutcome, DiscardReason,
+};
+pub use databases::{compare_vendors, DbAccuracy, GeoVendor};
+pub use ipmap::{ErrorSpec, GeoDatabase};
+pub use latency_stats::LatencyStats;
+pub use pipeline::{
+    Classification, DomainVerdict, FunnelStats, GeolocPipeline, GeolocReport, PipelineOptions,
+};

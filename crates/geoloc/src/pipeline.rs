@@ -1,0 +1,567 @@
+//! The assembled geolocation pipeline (Figure 1, Box 2 of the paper).
+//!
+//! Consumes one volunteer's dataset and classifies every observed server
+//! address as Local, Confirmed-Non-Local, or Discarded-with-reason,
+//! launching the same auxiliary measurements the authors did: Atlas
+//! source-side traceroutes for vantages whose own probes failed (§4.1.1)
+//! and destination traceroutes from probes in each claimed country
+//! (§4.1.2).
+
+use crate::constraints::{
+    evaluate_destination, evaluate_rdns, evaluate_source, ConstraintOutcome, DiscardReason,
+    DEFAULT_LATENCY_FLOOR,
+};
+use crate::ipmap::GeoDatabase;
+use crate::latency_stats::LatencyStats;
+use gamma_atlas::AtlasPlatform;
+use gamma_dns::DomainName;
+use gamma_geo::{city, CityId, CountryCode};
+use gamma_netsim::{run_traceroute, AccessQuality, FaultConfig, LatencyModel};
+use gamma_suite::normalize::normalize_direct;
+use gamma_suite::{NormalizedTraceroute, VolunteerDataset};
+use gamma_websim::World;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// Stage toggles and tunables — the ablation surface.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PipelineOptions {
+    pub enable_source_constraint: bool,
+    pub enable_destination_constraint: bool,
+    pub enable_rdns_constraint: bool,
+    /// The conservative fraction of the latency statistic (0.8 in §4.1.1).
+    pub latency_floor: f64,
+    /// Last-hop-minus-first-hop cleaning (§4.1.1); ablatable.
+    pub first_hop_subtraction: bool,
+    /// Fault injection for pipeline-launched probe traceroutes.
+    pub fault: FaultConfig,
+}
+
+impl Default for PipelineOptions {
+    fn default() -> Self {
+        PipelineOptions {
+            enable_source_constraint: true,
+            enable_destination_constraint: true,
+            enable_rdns_constraint: true,
+            latency_floor: DEFAULT_LATENCY_FLOOR,
+            first_hop_subtraction: true,
+            fault: FaultConfig::default(),
+        }
+    }
+}
+
+/// Verdict for one observed server address.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Classification {
+    /// Claimed inside the volunteer's country.
+    Local { claimed: CityId },
+    /// Claimed abroad and survived every enabled constraint.
+    ConfirmedNonLocal { claimed: CityId },
+    /// Claimed abroad but discarded.
+    Discarded {
+        reason: DiscardReason,
+        claimed: Option<CityId>,
+    },
+}
+
+impl Classification {
+    pub fn is_confirmed_nonlocal(&self) -> bool {
+        matches!(self, Classification::ConfirmedNonLocal { .. })
+    }
+    pub fn is_local(&self) -> bool {
+        matches!(self, Classification::Local { .. })
+    }
+}
+
+/// One (site, request, address) row with its verdict.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DomainVerdict {
+    pub site: DomainName,
+    pub request: DomainName,
+    pub ip: Ipv4Addr,
+    pub rdns: Option<String>,
+    pub classification: Classification,
+}
+
+/// §5's funnel counters for one country.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct FunnelStats {
+    /// DNS observations (domain occurrences across pages).
+    pub observations: usize,
+    /// Unique requested domains.
+    pub unique_domains: usize,
+    /// Unique resolved addresses.
+    pub unique_ips: usize,
+    /// Claimed-local addresses (unique).
+    pub local: usize,
+    /// Claimed-non-local candidates (unique addresses).
+    pub nonlocal_candidates: usize,
+    /// Candidates surviving the source + destination SOL constraints.
+    pub after_sol_constraints: usize,
+    /// Candidates also surviving the rDNS constraint (confirmed).
+    pub after_rdns_constraint: usize,
+    /// Volunteer-side source traceroutes consumed.
+    pub source_traceroutes_volunteer: usize,
+    /// Atlas fallback source traceroutes launched by the pipeline.
+    pub source_traceroutes_atlas: usize,
+    /// Destination traceroutes launched by the pipeline.
+    pub destination_traceroutes: usize,
+    /// Unmapped / no-geolocation addresses.
+    pub unmapped: usize,
+}
+
+/// Full per-country output.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GeolocReport {
+    pub country: CountryCode,
+    pub verdicts: Vec<DomainVerdict>,
+    pub funnel: FunnelStats,
+}
+
+impl GeolocReport {
+    /// Confirmed non-local rows.
+    pub fn confirmed(&self) -> impl Iterator<Item = &DomainVerdict> {
+        self.verdicts
+            .iter()
+            .filter(|v| v.classification.is_confirmed_nonlocal())
+    }
+
+    /// Histogram of discard reasons over unique addresses — the per-stage
+    /// breakdown behind §5's funnel narration.
+    pub fn discard_histogram(&self) -> Vec<(DiscardReason, usize)> {
+        let mut seen = std::collections::HashSet::new();
+        let mut counts: HashMap<DiscardReason, usize> = HashMap::new();
+        for v in &self.verdicts {
+            if !seen.insert(v.ip) {
+                continue;
+            }
+            if let Classification::Discarded { reason, .. } = &v.classification {
+                *counts.entry(*reason).or_default() += 1;
+            }
+        }
+        let mut out: Vec<(DiscardReason, usize)> = counts.into_iter().collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1));
+        out
+    }
+}
+
+/// The pipeline: world + database + statistics + probe platform.
+pub struct GeolocPipeline<'w> {
+    pub world: &'w World,
+    pub geodb: &'w GeoDatabase,
+    pub stats: LatencyStats,
+    pub atlas: &'w AtlasPlatform,
+    pub options: PipelineOptions,
+}
+
+impl<'w> GeolocPipeline<'w> {
+    pub fn new(world: &'w World, geodb: &'w GeoDatabase, atlas: &'w AtlasPlatform) -> Self {
+        GeolocPipeline {
+            world,
+            geodb,
+            stats: LatencyStats::default(),
+            atlas,
+            options: PipelineOptions::default(),
+        }
+    }
+
+    /// Classifies one volunteer dataset.
+    pub fn classify_dataset<R: Rng + ?Sized>(
+        &self,
+        ds: &VolunteerDataset,
+        rng: &mut R,
+    ) -> GeolocReport {
+        let volunteer_country = ds.volunteer.country;
+        let volunteer_city = ds.volunteer.city;
+        let model = LatencyModel::default();
+
+        // Index the volunteer's own traceroutes.
+        let mut source_traces: HashMap<Ipv4Addr, &NormalizedTraceroute> = HashMap::new();
+        let mut usable_volunteer_traces = 0usize;
+        for t in &ds.traceroutes {
+            if !t.normalized.hops.is_empty() {
+                usable_volunteer_traces += 1;
+                source_traces.insert(t.target_ip, &t.normalized);
+            }
+        }
+
+        // Fallback probe near the volunteer, for vantages with no usable
+        // traceroutes (firewalled or opted out) — §4.1.1.
+        let fallback_probe = self
+            .atlas
+            .select_probe(volunteer_country, Some(volunteer_city), Some(ds.volunteer.asn));
+
+        let mut funnel = FunnelStats {
+            observations: ds.dns.len(),
+            unique_domains: ds.unique_domains().len(),
+            unique_ips: ds.unique_ips().len(),
+            source_traceroutes_volunteer: usable_volunteer_traces,
+            ..FunnelStats::default()
+        };
+
+        // Classify each unique address once.
+        let mut atlas_traces: HashMap<Ipv4Addr, NormalizedTraceroute> = HashMap::new();
+        let mut per_ip: HashMap<Ipv4Addr, Classification> = HashMap::new();
+        let mut rdns_by_ip: HashMap<Ipv4Addr, Option<&str>> = HashMap::new();
+        for obs in &ds.dns {
+            if let Some(ip) = obs.ip {
+                rdns_by_ip.entry(ip).or_insert(obs.rdns.as_deref());
+            }
+        }
+
+        let mut unique_ips: Vec<Ipv4Addr> = rdns_by_ip.keys().copied().collect();
+        unique_ips.sort_unstable();
+        for ip in unique_ips {
+            let classification = self.classify_ip(
+                ip,
+                rdns_by_ip[&ip],
+                volunteer_country,
+                volunteer_city,
+                &source_traces,
+                &mut atlas_traces,
+                fallback_probe.as_ref().map(|s| s.probe.city),
+                &model,
+                &mut funnel,
+                rng,
+            );
+            per_ip.insert(ip, classification);
+        }
+
+        let verdicts = ds
+            .dns
+            .iter()
+            .filter_map(|obs| {
+                let ip = obs.ip?;
+                Some(DomainVerdict {
+                    site: obs.site.clone(),
+                    request: obs.request.clone(),
+                    ip,
+                    rdns: obs.rdns.clone(),
+                    classification: per_ip[&ip].clone(),
+                })
+            })
+            .collect();
+
+        GeolocReport {
+            country: volunteer_country,
+            verdicts,
+            funnel,
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn classify_ip<R: Rng + ?Sized>(
+        &self,
+        ip: Ipv4Addr,
+        rdns: Option<&str>,
+        volunteer_country: CountryCode,
+        volunteer_city: CityId,
+        source_traces: &HashMap<Ipv4Addr, &NormalizedTraceroute>,
+        atlas_traces: &mut HashMap<Ipv4Addr, NormalizedTraceroute>,
+        fallback_probe_city: Option<CityId>,
+        model: &LatencyModel,
+        funnel: &mut FunnelStats,
+        rng: &mut R,
+    ) -> Classification {
+        let Some(claimed) = self.geodb.claimed_city(ip) else {
+            funnel.unmapped += 1;
+            return Classification::Discarded {
+                reason: DiscardReason::NoGeolocation,
+                claimed: None,
+            };
+        };
+        if city(claimed).country == volunteer_country {
+            funnel.local += 1;
+            return Classification::Local { claimed };
+        }
+        funnel.nonlocal_candidates += 1;
+
+        // --- source-based constraint (§4.1.1) ---
+        if self.options.enable_source_constraint {
+            let trace: Option<&NormalizedTraceroute> = match source_traces.get(&ip) {
+                Some(t) if t.reached => Some(*t),
+                // Volunteer had no usable run for this address: fall back
+                // to an Atlas probe near the volunteer.
+                _ => {
+                    if let Some(probe_city) = fallback_probe_city {
+                        let t = atlas_traces.entry(ip).or_insert_with(|| {
+                            funnel.source_traceroutes_atlas += 1;
+                            self.launch_probe_traceroute(probe_city, ip, model, rng)
+                        });
+                        Some(&*t)
+                    } else {
+                        None
+                    }
+                }
+            };
+            let Some(trace) = trace else {
+                return Classification::Discarded {
+                    reason: DiscardReason::NoTraceroute,
+                    claimed: Some(claimed),
+                };
+            };
+            // When the source-side measurement came from an Atlas probe,
+            // the source city is the probe's, not the volunteer's.
+            let src_city = if source_traces.get(&ip).map_or(false, |t| t.reached) {
+                volunteer_city
+            } else {
+                fallback_probe_city.unwrap_or(volunteer_city)
+            };
+            match evaluate_source(
+                trace,
+                src_city,
+                claimed,
+                &self.stats,
+                self.options.latency_floor,
+                self.options.first_hop_subtraction,
+            ) {
+                ConstraintOutcome::Pass { .. } => {}
+                ConstraintOutcome::Discard(reason) => {
+                    return Classification::Discarded {
+                        reason,
+                        claimed: Some(claimed),
+                    }
+                }
+            }
+        }
+
+        // --- destination-based constraint (§4.1.2) ---
+        if self.options.enable_destination_constraint {
+            let claimed_country = city(claimed).country;
+            let Some(sel) = self.atlas.select_probe(claimed_country, Some(claimed), None) else {
+                return Classification::Discarded {
+                    reason: DiscardReason::DestNoProbe,
+                    claimed: Some(claimed),
+                };
+            };
+            funnel.destination_traceroutes += 1;
+            let trace = self.launch_probe_traceroute(sel.probe.city, ip, model, rng);
+            match evaluate_destination(&trace, sel.probe.city, claimed) {
+                ConstraintOutcome::Pass { .. } => {}
+                ConstraintOutcome::Discard(reason) => {
+                    return Classification::Discarded {
+                        reason,
+                        claimed: Some(claimed),
+                    }
+                }
+            }
+        }
+        funnel.after_sol_constraints += 1;
+
+        // --- reverse-DNS constraint (§4.1.3) ---
+        if self.options.enable_rdns_constraint {
+            if let Err(reason) = evaluate_rdns(rdns, claimed) {
+                return Classification::Discarded {
+                    reason,
+                    claimed: Some(claimed),
+                };
+            }
+        }
+        funnel.after_rdns_constraint += 1;
+        Classification::ConfirmedNonLocal { claimed }
+    }
+
+    /// Launches a simulated traceroute from a probe city toward a server.
+    fn launch_probe_traceroute<R: Rng + ?Sized>(
+        &self,
+        probe_city: CityId,
+        ip: Ipv4Addr,
+        model: &LatencyModel,
+        rng: &mut R,
+    ) -> NormalizedTraceroute {
+        let Some(true_city) = self.world.true_city(ip) else {
+            // Address outside the registry: nothing answers.
+            return NormalizedTraceroute {
+                dst: ip,
+                reached: false,
+                hops: Vec::new(),
+            };
+        };
+        let route = gamma_netsim::synthesize_route(city(probe_city), city(true_city));
+        let result = run_traceroute(
+            &route,
+            ip,
+            model,
+            AccessQuality::Good,
+            &self.options.fault,
+            &|c| self.world.router_ip_of(c),
+            rng,
+        );
+        normalize_direct(&result)
+    }
+
+    /// Precision of foreign-server identification against ground truth:
+    /// the fraction of confirmed-non-local addresses whose *true* country
+    /// really differs from the volunteer's. The framework of \[48\] reports
+    /// 100% here; the constraints should keep this at or near 1.0.
+    pub fn foreign_precision(&self, report: &GeolocReport) -> Option<f64> {
+        let mut confirmed = 0usize;
+        let mut truly_foreign = 0usize;
+        let mut seen = std::collections::HashSet::new();
+        for v in report.confirmed() {
+            if !seen.insert(v.ip) {
+                continue;
+            }
+            confirmed += 1;
+            if self.world.true_country(v.ip) != Some(report.country) {
+                truly_foreign += 1;
+            }
+        }
+        if confirmed == 0 {
+            return None;
+        }
+        Some(truly_foreign as f64 / confirmed as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ipmap::ErrorSpec;
+    use gamma_suite::{run_volunteer, GammaConfig, Volunteer};
+    use gamma_websim::{worldgen, WorldSpec};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    struct Fixture {
+        world: World,
+        geodb: GeoDatabase,
+        atlas: AtlasPlatform,
+    }
+
+    fn fixture() -> Fixture {
+        let world = worldgen::generate(&WorldSpec::paper_default(71));
+        let geodb = GeoDatabase::build(&world, &ErrorSpec::default(), 71);
+        let atlas = AtlasPlatform::generate(71);
+        Fixture { world, geodb, atlas }
+    }
+
+    fn dataset(f: &Fixture, cc: &str, idx: usize) -> VolunteerDataset {
+        let v = Volunteer::for_country(&f.world, CountryCode::new(cc), idx).unwrap();
+        run_volunteer(&f.world, &v, &GammaConfig::paper_default(7))
+    }
+
+    #[test]
+    fn rwanda_pipeline_confirms_foreign_trackers_with_high_precision() {
+        let f = fixture();
+        let ds = dataset(&f, "RW", 3);
+        let pipeline = GeolocPipeline::new(&f.world, &f.geodb, &f.atlas);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let report = pipeline.classify_dataset(&ds, &mut rng);
+        assert!(report.funnel.nonlocal_candidates > 30, "{:?}", report.funnel);
+        assert!(
+            report.funnel.after_rdns_constraint > 10,
+            "{:?}",
+            report.funnel
+        );
+        let precision = pipeline.foreign_precision(&report).unwrap();
+        assert!(
+            precision > 0.97,
+            "foreign precision {precision}: constraints must remove false foreigners"
+        );
+    }
+
+    #[test]
+    fn usa_pipeline_confirms_almost_nothing() {
+        // All orgs serve the US locally; the only non-local candidates are
+        // database errors, and the constraints must remove them.
+        let f = fixture();
+        let ds = dataset(&f, "US", 21);
+        let pipeline = GeolocPipeline::new(&f.world, &f.geodb, &f.atlas);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let report = pipeline.classify_dataset(&ds, &mut rng);
+        assert!(report.funnel.nonlocal_candidates > 0, "errors should create candidates");
+        let confirmed_unique: std::collections::HashSet<_> =
+            report.confirmed().map(|v| v.ip).collect();
+        let false_foreign = confirmed_unique
+            .iter()
+            .filter(|ip| f.world.true_country(**ip) == Some(CountryCode::new("US")))
+            .count();
+        assert_eq!(
+            false_foreign, 0,
+            "US servers confirmed as foreign: precision broken"
+        );
+    }
+
+    #[test]
+    fn firewalled_australia_uses_atlas_fallback() {
+        let f = fixture();
+        let ds = dataset(&f, "AU", 11);
+        let pipeline = GeolocPipeline::new(&f.world, &f.geodb, &f.atlas);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let report = pipeline.classify_dataset(&ds, &mut rng);
+        assert_eq!(report.funnel.source_traceroutes_volunteer, 0);
+        assert!(
+            report.funnel.source_traceroutes_atlas > 0,
+            "fallback probes never launched"
+        );
+    }
+
+    #[test]
+    fn funnel_is_monotone() {
+        let f = fixture();
+        let pipeline = GeolocPipeline::new(&f.world, &f.geodb, &f.atlas);
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        for (cc, idx) in [("TH", 8), ("PK", 17), ("NZ", 16)] {
+            let ds = dataset(&f, cc, idx);
+            let rep = pipeline.classify_dataset(&ds, &mut rng);
+            let fu = rep.funnel;
+            assert!(fu.nonlocal_candidates <= fu.unique_ips);
+            assert!(fu.after_sol_constraints <= fu.nonlocal_candidates, "{cc}");
+            assert!(fu.after_rdns_constraint <= fu.after_sol_constraints, "{cc}");
+            assert!(fu.local + fu.nonlocal_candidates + fu.unmapped == fu.unique_ips, "{cc}");
+        }
+    }
+
+    #[test]
+    fn disabled_constraints_admit_false_foreigners() {
+        // Ablation sanity: with every constraint off, database errors flow
+        // straight through to "confirmed" — the motivation for the
+        // framework.
+        let f = fixture();
+        let ds = dataset(&f, "US", 21);
+        let mut pipeline = GeolocPipeline::new(&f.world, &f.geodb, &f.atlas);
+        pipeline.options.enable_source_constraint = false;
+        pipeline.options.enable_destination_constraint = false;
+        pipeline.options.enable_rdns_constraint = false;
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let report = pipeline.classify_dataset(&ds, &mut rng);
+        let precision = pipeline.foreign_precision(&report);
+        assert!(
+            precision.map_or(false, |p| p < 0.5),
+            "without constraints US 'foreign' servers are mostly false: {precision:?}"
+        );
+    }
+
+    #[test]
+    fn discard_histogram_accounts_for_every_lost_candidate() {
+        let f = fixture();
+        let ds = dataset(&f, "PK", 17);
+        let pipeline = GeolocPipeline::new(&f.world, &f.geodb, &f.atlas);
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let report = pipeline.classify_dataset(&ds, &mut rng);
+        let hist = report.discard_histogram();
+        let discarded: usize = hist.iter().map(|(_, n)| n).sum();
+        let fu = report.funnel;
+        // unique = local + confirmed + discarded (NoGeolocation rows count
+        // as discarded here and as `unmapped` in the funnel).
+        assert_eq!(
+            fu.local + fu.after_rdns_constraint + discarded,
+            fu.unique_ips,
+            "histogram does not account: {hist:?} vs {fu:?}"
+        );
+        assert!(!hist.is_empty());
+    }
+
+    #[test]
+    fn local_verdicts_dominate_in_india() {
+        let f = fixture();
+        let ds = dataset(&f, "IN", 13);
+        let pipeline = GeolocPipeline::new(&f.world, &f.geodb, &f.atlas);
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let report = pipeline.classify_dataset(&ds, &mut rng);
+        assert!(report.funnel.local * 2 > report.funnel.unique_ips, "{:?}", report.funnel);
+    }
+}

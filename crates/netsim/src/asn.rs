@@ -1,0 +1,167 @@
+//! Autonomous systems and their registry.
+//!
+//! The paper performs "AS-level lookups on non-local tracker's IP addresses"
+//! (§6.5) to attribute hosting to clouds (AWS, Google Cloud). The registry
+//! here plays the role of an IP-to-AS/whois service (ipinfo/ipwhois in the
+//! paper's component C2).
+
+use gamma_geo::CountryCode;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// An autonomous system number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Asn(pub u32);
+
+impl std::fmt::Display for Asn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "AS{}", self.0)
+    }
+}
+
+/// Coarse AS role, enough to reproduce the paper's cloud-attribution step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AsKind {
+    /// Access network serving end users (volunteer vantage points live here).
+    Eyeball,
+    /// Backbone/transit carrier whose routers appear mid-traceroute.
+    Transit,
+    /// Public cloud (AWS, Google Cloud, ...) hosting third-party trackers.
+    Cloud,
+    /// Content/tracker organization running its own network.
+    Content,
+}
+
+/// Registry entry for one AS.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AsnInfo {
+    pub asn: Asn,
+    pub name: String,
+    pub kind: AsKind,
+    /// Country where the operating organization is registered.
+    pub country: CountryCode,
+}
+
+/// Well-known cloud ASNs, mirroring the real registry so the analysis
+/// prose ("50 trackers hosted on AWS, 5 on Google Cloud") reads naturally.
+pub const ASN_AWS: Asn = Asn(16509);
+/// Google's production network.
+pub const ASN_GOOGLE: Asn = Asn(15169);
+/// Google Cloud customer ranges.
+pub const ASN_GCP: Asn = Asn(396982);
+
+/// The AS registry: an append-only table with lookup by number.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct AsRegistry {
+    entries: Vec<AsnInfo>,
+    #[serde(skip)]
+    index: HashMap<Asn, usize>,
+}
+
+impl AsRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers an AS. Returns an error if the number is already taken with
+    /// conflicting metadata; re-registering an identical entry is a no-op.
+    pub fn register(&mut self, info: AsnInfo) -> Result<(), String> {
+        self.rebuild_index_if_needed();
+        if let Some(&i) = self.index.get(&info.asn) {
+            if self.entries[i] == info {
+                return Ok(());
+            }
+            return Err(format!("{} already registered with different metadata", info.asn));
+        }
+        self.index.insert(info.asn, self.entries.len());
+        self.entries.push(info);
+        Ok(())
+    }
+
+    /// Looks up an AS by number.
+    pub fn get(&self, asn: Asn) -> Option<&AsnInfo> {
+        if self.index.len() != self.entries.len() {
+            // Deserialized registry: fall back to scan (immutable receiver).
+            return self.entries.iter().find(|e| e.asn == asn);
+        }
+        self.index.get(&asn).map(|&i| &self.entries[i])
+    }
+
+    /// All registered ASes.
+    pub fn iter(&self) -> impl Iterator<Item = &AsnInfo> {
+        self.entries.iter()
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    fn rebuild_index_if_needed(&mut self) {
+        if self.index.len() != self.entries.len() {
+            self.index = self
+                .entries
+                .iter()
+                .enumerate()
+                .map(|(i, e)| (e.asn, i))
+                .collect();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn aws() -> AsnInfo {
+        AsnInfo {
+            asn: ASN_AWS,
+            name: "AMAZON-02".into(),
+            kind: AsKind::Cloud,
+            country: CountryCode::new("US"),
+        }
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let mut r = AsRegistry::new();
+        r.register(aws()).unwrap();
+        assert_eq!(r.get(ASN_AWS).unwrap().name, "AMAZON-02");
+        assert!(r.get(Asn(1)).is_none());
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_identical_registration_is_idempotent() {
+        let mut r = AsRegistry::new();
+        r.register(aws()).unwrap();
+        r.register(aws()).unwrap();
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn conflicting_registration_is_rejected() {
+        let mut r = AsRegistry::new();
+        r.register(aws()).unwrap();
+        let mut other = aws();
+        other.name = "NOT-AMAZON".into();
+        assert!(r.register(other).is_err());
+    }
+
+    #[test]
+    fn lookup_survives_serde_roundtrip() {
+        let mut r = AsRegistry::new();
+        r.register(aws()).unwrap();
+        let json = serde_json::to_string(&r).unwrap();
+        let r2: AsRegistry = serde_json::from_str(&json).unwrap();
+        assert_eq!(r2.get(ASN_AWS).unwrap().name, "AMAZON-02");
+    }
+
+    #[test]
+    fn display_formats_like_whois() {
+        assert_eq!(ASN_GOOGLE.to_string(), "AS15169");
+    }
+}

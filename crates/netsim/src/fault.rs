@@ -1,0 +1,98 @@
+//! Fault injection for active measurements.
+//!
+//! The paper hit every one of these in the wild: volunteers whose traceroute
+//! probes failed outright (Australia, India, Qatar, Jordan — "local network
+//! configuration or firewalls are potential reasons", §4.1.1), routers that
+//! do not answer TTL-exceeded probes, and probes that never reach the
+//! destination. The pipeline must survive all of them, so the simulator can
+//! inject all of them.
+
+use serde::{Deserialize, Serialize};
+
+/// Probabilistic failure configuration for a vantage point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// The vantage's network silently drops all outbound traceroute probes
+    /// (the Australia/India/Qatar/Jordan failure mode).
+    pub firewall_blocks_traceroute: bool,
+    /// Probability that an individual router declines to answer (a `* * *`
+    /// hop in real traceroute output).
+    pub hop_silence_rate: f64,
+    /// Probability that the destination host never answers, leaving the
+    /// traceroute incomplete (the paper discards these, §4.1.1).
+    pub destination_unreachable_rate: f64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            firewall_blocks_traceroute: false,
+            hop_silence_rate: 0.08,
+            destination_unreachable_rate: 0.07,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// A fault-free configuration, for tests and calibration baselines.
+    pub fn none() -> Self {
+        FaultConfig {
+            firewall_blocks_traceroute: false,
+            hop_silence_rate: 0.0,
+            destination_unreachable_rate: 0.0,
+        }
+    }
+
+    /// The firewalled-vantage configuration.
+    pub fn firewalled() -> Self {
+        FaultConfig {
+            firewall_blocks_traceroute: true,
+            ..FaultConfig::default()
+        }
+    }
+
+    /// Validates the probability fields.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, p) in [
+            ("hop_silence_rate", self.hop_silence_rate),
+            ("destination_unreachable_rate", self.destination_unreachable_rate),
+        ] {
+            if !(0.0..=1.0).contains(&p) || !p.is_finite() {
+                return Err(format!("{name} = {p} is not a probability"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        FaultConfig::default().validate().unwrap();
+        FaultConfig::none().validate().unwrap();
+        FaultConfig::firewalled().validate().unwrap();
+    }
+
+    #[test]
+    fn invalid_probabilities_are_rejected() {
+        let bad = FaultConfig {
+            hop_silence_rate: 1.5,
+            ..FaultConfig::default()
+        };
+        assert!(bad.validate().is_err());
+        let nan = FaultConfig {
+            destination_unreachable_rate: f64::NAN,
+            ..FaultConfig::default()
+        };
+        assert!(nan.validate().is_err());
+    }
+
+    #[test]
+    fn firewalled_blocks() {
+        assert!(FaultConfig::firewalled().firewall_blocks_traceroute);
+        assert!(!FaultConfig::none().firewall_blocks_traceroute);
+    }
+}

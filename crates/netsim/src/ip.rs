@@ -1,0 +1,229 @@
+//! IPv4 prefix allocation registry.
+//!
+//! Every simulated server, router, and volunteer gets an address from a
+//! block allocated to a specific (AS, city) pair. The registry is the
+//! *ground truth* of the world: geolocation databases in `gamma-geoloc` are
+//! derived from it with injected errors, and the reproduction's accuracy
+//! metrics compare pipeline output against it.
+
+use crate::asn::Asn;
+use gamma_geo::CityId;
+use serde::{Deserialize, Serialize};
+use std::net::Ipv4Addr;
+
+/// An IPv4 network in CIDR form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Ipv4Net {
+    pub base: Ipv4Addr,
+    pub prefix_len: u8,
+}
+
+impl Ipv4Net {
+    /// Builds a network, normalizing the base address to the prefix boundary.
+    pub fn new(base: Ipv4Addr, prefix_len: u8) -> Self {
+        assert!(prefix_len <= 32, "prefix length out of range");
+        let mask = Self::mask(prefix_len);
+        Ipv4Net {
+            base: Ipv4Addr::from(u32::from(base) & mask),
+            prefix_len,
+        }
+    }
+
+    fn mask(prefix_len: u8) -> u32 {
+        if prefix_len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - prefix_len)
+        }
+    }
+
+    /// Whether the network contains an address.
+    pub fn contains(&self, addr: Ipv4Addr) -> bool {
+        (u32::from(addr) & Self::mask(self.prefix_len)) == u32::from(self.base)
+    }
+
+    /// Number of addresses in the network.
+    pub fn size(&self) -> u64 {
+        1u64 << (32 - self.prefix_len)
+    }
+
+    /// The `i`-th address of the network, if in range.
+    pub fn nth(&self, i: u64) -> Option<Ipv4Addr> {
+        if i >= self.size() {
+            return None;
+        }
+        Some(Ipv4Addr::from(u32::from(self.base) + i as u32))
+    }
+}
+
+impl std::fmt::Display for Ipv4Net {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.base, self.prefix_len)
+    }
+}
+
+/// One allocated block and its ground-truth placement.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IpAllocation {
+    pub net: Ipv4Net,
+    pub asn: Asn,
+    /// The city where machines in this block physically sit.
+    pub city: CityId,
+}
+
+/// Sequential allocator + reverse-lookup table over /24 blocks.
+///
+/// Blocks are carved from "public-looking" space starting at 20.0.0.0 to
+/// keep reserved ranges (0/8, 10/8, 127/8, ...) out of the dataset.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IpRegistry {
+    allocations: Vec<IpAllocation>,
+    next_block: u32,
+}
+
+const FIRST_BLOCK: u32 = (20u32 << 24) >> 8; // 20.0.0.0 expressed in /24 units
+
+impl Default for IpRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl IpRegistry {
+    pub fn new() -> Self {
+        IpRegistry {
+            allocations: Vec::new(),
+            next_block: FIRST_BLOCK,
+        }
+    }
+
+    /// Allocates the next /24 to an (AS, city) pair.
+    pub fn allocate(&mut self, asn: Asn, city: CityId) -> IpAllocation {
+        let base = Ipv4Addr::from(self.next_block << 8);
+        self.next_block += 1;
+        let alloc = IpAllocation {
+            net: Ipv4Net::new(base, 24),
+            asn,
+            city,
+        };
+        self.allocations.push(alloc);
+        alloc
+    }
+
+    /// Ground-truth lookup: which allocation does an address belong to?
+    ///
+    /// Allocation is sequential, so the table is sorted by construction and
+    /// binary search applies.
+    pub fn lookup(&self, addr: Ipv4Addr) -> Option<&IpAllocation> {
+        let block = u32::from(addr) >> 8;
+        let idx = self
+            .allocations
+            .binary_search_by_key(&block, |a| u32::from(a.net.base) >> 8)
+            .ok()?;
+        Some(&self.allocations[idx])
+    }
+
+    /// All allocations, in allocation order.
+    pub fn iter(&self) -> impl Iterator<Item = &IpAllocation> {
+        self.allocations.iter()
+    }
+
+    pub fn len(&self) -> usize {
+        self.allocations.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.allocations.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn net_normalizes_base() {
+        let n = Ipv4Net::new(Ipv4Addr::new(20, 1, 2, 77), 24);
+        assert_eq!(n.base, Ipv4Addr::new(20, 1, 2, 0));
+        assert_eq!(n.to_string(), "20.1.2.0/24");
+    }
+
+    #[test]
+    fn contains_respects_boundaries() {
+        let n = Ipv4Net::new(Ipv4Addr::new(20, 1, 2, 0), 24);
+        assert!(n.contains(Ipv4Addr::new(20, 1, 2, 0)));
+        assert!(n.contains(Ipv4Addr::new(20, 1, 2, 255)));
+        assert!(!n.contains(Ipv4Addr::new(20, 1, 3, 0)));
+        assert!(!n.contains(Ipv4Addr::new(20, 1, 1, 255)));
+    }
+
+    #[test]
+    fn nth_stays_in_range() {
+        let n = Ipv4Net::new(Ipv4Addr::new(20, 1, 2, 0), 24);
+        assert_eq!(n.nth(0), Some(Ipv4Addr::new(20, 1, 2, 0)));
+        assert_eq!(n.nth(255), Some(Ipv4Addr::new(20, 1, 2, 255)));
+        assert_eq!(n.nth(256), None);
+    }
+
+    #[test]
+    fn zero_prefix_contains_everything() {
+        let n = Ipv4Net::new(Ipv4Addr::new(0, 0, 0, 0), 0);
+        assert!(n.contains(Ipv4Addr::new(255, 255, 255, 255)));
+        assert_eq!(n.size(), 1 << 32);
+    }
+
+    #[test]
+    fn allocations_are_disjoint_and_resolvable() {
+        let mut reg = IpRegistry::new();
+        let a = reg.allocate(Asn(1), CityId(0));
+        let b = reg.allocate(Asn(2), CityId(1));
+        assert_ne!(a.net, b.net);
+        assert_eq!(reg.lookup(a.net.nth(5).unwrap()).unwrap().asn, Asn(1));
+        assert_eq!(reg.lookup(b.net.nth(200).unwrap()).unwrap().asn, Asn(2));
+    }
+
+    #[test]
+    fn lookup_of_unallocated_address_is_none() {
+        let mut reg = IpRegistry::new();
+        reg.allocate(Asn(1), CityId(0));
+        assert!(reg.lookup(Ipv4Addr::new(8, 8, 8, 8)).is_none());
+    }
+
+    #[test]
+    fn allocations_avoid_reserved_space() {
+        let mut reg = IpRegistry::new();
+        for _ in 0..1000 {
+            let a = reg.allocate(Asn(1), CityId(0));
+            let first_octet = a.net.base.octets()[0];
+            assert!(first_octet >= 20 && first_octet < 224, "got {first_octet}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn every_address_in_an_allocation_resolves_to_it(blocks in 1usize..64, probe in 0u64..256) {
+            let mut reg = IpRegistry::new();
+            let mut allocs = Vec::new();
+            for i in 0..blocks {
+                allocs.push(reg.allocate(Asn(i as u32), CityId((i % 4) as u16)));
+            }
+            for a in &allocs {
+                let addr = a.net.nth(probe).unwrap();
+                let hit = reg.lookup(addr).unwrap();
+                prop_assert_eq!(hit.asn, a.asn);
+                prop_assert_eq!(hit.net, a.net);
+            }
+        }
+
+        #[test]
+        fn contains_iff_nth_reachable(base in 0u32..=u32::MAX, len in 8u8..=30, off in 0u64..1024) {
+            let n = Ipv4Net::new(Ipv4Addr::from(base), len);
+            if let Some(addr) = n.nth(off) {
+                prop_assert!(n.contains(addr));
+            } else {
+                prop_assert!(off >= n.size());
+            }
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! Latency model.
+//!
+//! Round-trip times decompose into fiber propagation along the synthesized
+//! route, per-router processing, last-mile access delay, and non-negative
+//! jitter. Propagation uses the physical one-way fiber speed of ~200 km/ms
+//! (2c/3), so every *genuine* measurement in the simulation satisfies the
+//! paper's 133 km/ms geolocation bound by construction — SOL violations can
+//! only arise from *mislocated* claims, exactly as on the real Internet.
+
+use crate::route::Route;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One-way signal speed in fiber, km per ms (2c/3).
+pub const FIBER_KM_PER_MS: f64 = 200.0;
+
+/// Quality of a volunteer's access network; drives last-mile delay and the
+/// page-load failure model in `gamma-browser` (the paper speculates that
+/// "quality, speed, and stability of internet connections" explain the low
+/// load coverage in Japan and Saudi Arabia, §5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessQuality {
+    Excellent,
+    Good,
+    Fair,
+    Poor,
+}
+
+impl AccessQuality {
+    /// Typical last-mile round-trip contribution, ms.
+    pub fn last_mile_base_ms(self) -> f64 {
+        match self {
+            AccessQuality::Excellent => 2.0,
+            AccessQuality::Good => 5.0,
+            AccessQuality::Fair => 12.0,
+            AccessQuality::Poor => 30.0,
+        }
+    }
+
+    /// Probability that a single page load fails outright.
+    pub fn load_failure_rate(self) -> f64 {
+        match self {
+            AccessQuality::Excellent => 0.02,
+            AccessQuality::Good => 0.06,
+            AccessQuality::Fair => 0.14,
+            AccessQuality::Poor => 0.40,
+        }
+    }
+}
+
+/// A sampled round-trip time with its decomposition, for debugging and for
+/// the vantage-point ablation bench.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencySample {
+    pub propagation_ms: f64,
+    pub processing_ms: f64,
+    pub last_mile_ms: f64,
+    pub jitter_ms: f64,
+}
+
+impl LatencySample {
+    /// Total round-trip time.
+    pub fn rtt_ms(&self) -> f64 {
+        self.propagation_ms + self.processing_ms + self.last_mile_ms + self.jitter_ms
+    }
+}
+
+/// Tunable latency model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyModel {
+    /// Multiplier on geodesic segment length to account for cable slack,
+    /// non-ideal paths inside metros, etc. Must be >= 1.
+    pub circuity: f64,
+    /// Per-router round-trip processing delay, ms.
+    pub per_hop_processing_ms: f64,
+    /// Mean of the exponential jitter term, ms.
+    pub jitter_mean_ms: f64,
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel {
+            circuity: 1.15,
+            per_hop_processing_ms: 0.15,
+            jitter_mean_ms: 1.2,
+        }
+    }
+}
+
+impl LatencyModel {
+    /// Samples the RTT to the final hop of a route.
+    pub fn sample<R: Rng + ?Sized>(
+        &self,
+        route: &Route,
+        quality: AccessQuality,
+        rng: &mut R,
+    ) -> LatencySample {
+        self.sample_at_hop(route, route.segments_km.len(), quality, rng)
+    }
+
+    /// Samples the cumulative RTT to an intermediate hop (1-based count of
+    /// traversed segments). Hop 0 is the volunteer machine itself.
+    pub fn sample_at_hop<R: Rng + ?Sized>(
+        &self,
+        route: &Route,
+        hops_traversed: usize,
+        quality: AccessQuality,
+        rng: &mut R,
+    ) -> LatencySample {
+        let hops = hops_traversed.min(route.segments_km.len());
+        let km: f64 = route.segments_km[..hops].iter().sum::<f64>() * self.circuity;
+        let propagation_ms = 2.0 * km / FIBER_KM_PER_MS;
+        let processing_ms = self.per_hop_processing_ms * hops as f64;
+        let last_mile_ms = if hops == 0 {
+            0.0
+        } else {
+            quality.last_mile_base_ms() * (0.8 + 0.4 * rng.gen::<f64>())
+        };
+        let jitter_ms = exponential(rng, self.jitter_mean_ms);
+        LatencySample {
+            propagation_ms,
+            processing_ms,
+            last_mile_ms,
+            jitter_ms,
+        }
+    }
+}
+
+/// Positive exponential noise with the given mean.
+fn exponential<R: Rng + ?Sized>(rng: &mut R, mean_ms: f64) -> f64 {
+    let u: f64 = rng.gen::<f64>().max(1e-12);
+    -u.ln() * mean_ms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::route::synthesize_route;
+    use gamma_geo::{city_by_name, violates_sol};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn rtt_components_are_nonnegative() {
+        let a = city_by_name("London").unwrap();
+        let b = city_by_name("Nairobi").unwrap();
+        let route = synthesize_route(a, b);
+        let s = LatencyModel::default().sample(&route, AccessQuality::Good, &mut rng());
+        assert!(s.propagation_ms > 0.0);
+        assert!(s.processing_ms > 0.0);
+        assert!(s.last_mile_ms > 0.0);
+        assert!(s.jitter_ms >= 0.0);
+        assert!(s.rtt_ms() > s.propagation_ms);
+    }
+
+    #[test]
+    fn genuine_measurements_never_violate_sol() {
+        // Core physical invariant: an RTT measured to a server's TRUE
+        // location always passes the paper's 133 km/ms bound.
+        let model = LatencyModel::default();
+        let mut r = rng();
+        let cities: Vec<_> = gamma_geo::cities().collect();
+        for (i, a) in cities.iter().enumerate().step_by(7) {
+            for b in cities.iter().skip(i + 1).step_by(11) {
+                let route = synthesize_route(a, b);
+                for q in [AccessQuality::Excellent, AccessQuality::Poor] {
+                    let s = model.sample(&route, q, &mut r);
+                    let d = a.distance_km(b);
+                    assert!(
+                        !violates_sol(d, s.rtt_ms()),
+                        "{} -> {}: {d} km in {} ms",
+                        a.name,
+                        b.name,
+                        s.rtt_ms()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cumulative_hop_latency_is_monotonic_in_expectation() {
+        let a = city_by_name("Lahore").unwrap();
+        let b = city_by_name("Frankfurt").unwrap();
+        let route = synthesize_route(a, b);
+        let model = LatencyModel {
+            jitter_mean_ms: 0.0,
+            ..LatencyModel::default()
+        };
+        let mut prev = 0.0;
+        for h in 1..=route.segments_km.len() {
+            let s = model.sample_at_hop(&route, h, AccessQuality::Excellent, &mut rng());
+            assert!(
+                s.propagation_ms + s.processing_ms >= prev,
+                "hop {h} went backwards"
+            );
+            prev = s.propagation_ms + s.processing_ms;
+        }
+    }
+
+    #[test]
+    fn poor_access_is_slower_than_excellent() {
+        let a = city_by_name("Kigali").unwrap();
+        let b = city_by_name("Nairobi").unwrap();
+        let route = synthesize_route(a, b);
+        let model = LatencyModel::default();
+        let mut r = rng();
+        let avg = |q: AccessQuality, r: &mut ChaCha8Rng| {
+            (0..200)
+                .map(|_| model.sample(&route, q, r).rtt_ms())
+                .sum::<f64>()
+                / 200.0
+        };
+        assert!(avg(AccessQuality::Poor, &mut r) > avg(AccessQuality::Excellent, &mut r));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = city_by_name("Tokyo").unwrap();
+        let b = city_by_name("Paris").unwrap();
+        let route = synthesize_route(a, b);
+        let model = LatencyModel::default();
+        let s1 = model.sample(&route, AccessQuality::Good, &mut rng());
+        let s2 = model.sample(&route, AccessQuality::Good, &mut rng());
+        assert_eq!(s1, s2);
+    }
+}

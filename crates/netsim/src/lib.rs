@@ -1,0 +1,30 @@
+//! # gamma-netsim
+//!
+//! A synthetic Internet substrate. The paper measures the real Internet from
+//! volunteer machines; this crate provides the equivalent data plane for the
+//! reproduction: autonomous systems, an IPv4 prefix registry mapping every
+//! address to its *true* hosting city, a latency model whose round-trip
+//! times always respect the physical fiber bound, great-circle route
+//! synthesis through backbone PoPs, and traceroute/ping simulators with the
+//! failure modes the paper encountered (filtered hops, unreachable
+//! destinations, countries whose firewalls break traceroute entirely).
+//!
+//! Everything is deterministic given an RNG seed.
+
+pub mod asn;
+pub mod fault;
+pub mod ip;
+pub mod latency;
+pub mod ping;
+pub mod route;
+pub mod tls;
+pub mod traceroute;
+
+pub use asn::{AsKind, AsRegistry, Asn, AsnInfo};
+pub use fault::FaultConfig;
+pub use ip::{IpAllocation, IpRegistry, Ipv4Net};
+pub use latency::{AccessQuality, LatencyModel, LatencySample};
+pub use ping::ping_rtt_ms;
+pub use route::{synthesize_route, Route};
+pub use tls::{scan_tls, TlsPosture, TlsScanResult, TlsVersion};
+pub use traceroute::{run_traceroute, Hop, TracerouteOutcome, TracerouteResult};

@@ -1,0 +1,56 @@
+//! ICMP-echo-style latency probe.
+//!
+//! Gamma's component C3 supports ping probes alongside traceroute (§3).
+//! The geolocation constraints consume traceroute RTTs, but ping is used by
+//! the vantage-point ablation and by examples.
+
+use crate::latency::{AccessQuality, LatencyModel};
+use crate::route::Route;
+use rand::Rng;
+
+/// Samples a single echo round-trip along a route, or `None` if the probe
+/// is lost (probability `loss_rate`).
+pub fn ping_rtt_ms<R: Rng + ?Sized>(
+    route: &Route,
+    model: &LatencyModel,
+    quality: AccessQuality,
+    loss_rate: f64,
+    rng: &mut R,
+) -> Option<f64> {
+    if rng.gen::<f64>() < loss_rate {
+        return None;
+    }
+    Some(model.sample(route, quality, rng).rtt_ms())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::route::synthesize_route;
+    use gamma_geo::{city_by_name, violates_sol};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn ping_respects_physics() {
+        let a = city_by_name("Doha").unwrap();
+        let b = city_by_name("Amsterdam").unwrap();
+        let route = synthesize_route(a, b);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        for _ in 0..100 {
+            let rtt = ping_rtt_ms(&route, &LatencyModel::default(), AccessQuality::Good, 0.0, &mut rng)
+                .unwrap();
+            assert!(!violates_sol(a.distance_km(b), rtt));
+        }
+    }
+
+    #[test]
+    fn full_loss_returns_none() {
+        let a = city_by_name("Doha").unwrap();
+        let b = city_by_name("Amsterdam").unwrap();
+        let route = synthesize_route(a, b);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        assert!(ping_rtt_ms(&route, &LatencyModel::default(), AccessQuality::Good, 1.0, &mut rng)
+            .is_none());
+    }
+}

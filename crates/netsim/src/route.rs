@@ -1,0 +1,161 @@
+//! Great-circle route synthesis.
+//!
+//! Real traceroutes traverse router-level paths through backbone points of
+//! presence. We synthesize a plausible path between two cities by walking
+//! the great circle and snapping interpolated waypoints to the nearest
+//! catalog city, deduplicating, which yields routes that (a) are at least as
+//! long as the geodesic and (b) pass through real interconnection hubs —
+//! both properties the geolocation pipeline relies on.
+
+use gamma_geo::{nearest_city, CityId, CityInfo};
+use serde::{Deserialize, Serialize};
+
+/// A synthesized router-level route.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Route {
+    /// Endpoint cities.
+    pub src: CityId,
+    pub dst: CityId,
+    /// Waypoint cities, starting with `src` and ending with `dst`.
+    pub waypoints: Vec<CityId>,
+    /// Geodesic length of each consecutive waypoint pair, km. One entry per
+    /// hop; `segments_km.len() == waypoints.len() - 1` unless src == dst.
+    pub segments_km: Vec<f64>,
+}
+
+impl Route {
+    /// Total routed distance, km (before circuity inflation).
+    pub fn total_km(&self) -> f64 {
+        self.segments_km.iter().sum()
+    }
+
+    /// Number of router hops (segments).
+    pub fn hop_count(&self) -> usize {
+        self.segments_km.len()
+    }
+}
+
+/// How many interior waypoints to attempt for a given geodesic distance.
+fn waypoint_budget(geodesic_km: f64) -> usize {
+    // Roughly one backbone PoP per ~1200 km, between 1 and 10.
+    ((geodesic_km / 1200.0).ceil() as usize).clamp(1, 10)
+}
+
+/// Synthesizes a route between two cities.
+pub fn synthesize_route(src: &CityInfo, dst: &CityInfo) -> Route {
+    if src.id == dst.id {
+        return Route {
+            src: src.id,
+            dst: dst.id,
+            waypoints: vec![src.id],
+            segments_km: Vec::new(),
+        };
+    }
+    let geodesic = src.distance_km(dst);
+    let n = waypoint_budget(geodesic);
+    let mut waypoints = vec![src.id];
+    for k in 1..=n {
+        let t = k as f64 / (n + 1) as f64;
+        let p = src.location.lerp_great_circle(&dst.location, t);
+        let c = nearest_city(p);
+        // Snapping can pull far-off-path cities in sparse regions; only keep
+        // waypoints that do not inflate the path absurdly.
+        let detour = c.distance_km(src) + c.distance_km(dst);
+        if detour < geodesic * 1.6 && *waypoints.last().expect("non-empty") != c.id && c.id != dst.id
+        {
+            waypoints.push(c.id);
+        }
+    }
+    waypoints.push(dst.id);
+    let segments_km = waypoints
+        .windows(2)
+        .map(|w| gamma_geo::city(w[0]).distance_km(gamma_geo::city(w[1])))
+        .collect();
+    Route {
+        src: src.id,
+        dst: dst.id,
+        waypoints,
+        segments_km,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gamma_geo::city_by_name;
+
+    #[test]
+    fn route_endpoints_match() {
+        let a = city_by_name("Kampala").unwrap();
+        let b = city_by_name("Nairobi").unwrap();
+        let r = synthesize_route(a, b);
+        assert_eq!(*r.waypoints.first().unwrap(), a.id);
+        assert_eq!(*r.waypoints.last().unwrap(), b.id);
+        assert_eq!(r.segments_km.len(), r.waypoints.len() - 1);
+    }
+
+    #[test]
+    fn route_is_at_least_geodesic() {
+        for (an, bn) in [
+            ("London", "Sydney"),
+            ("Lahore", "Frankfurt"),
+            ("Auckland", "Sydney"),
+            ("Kigali", "Nairobi"),
+            ("Bangkok", "Kuala Lumpur"),
+        ] {
+            let a = city_by_name(an).unwrap();
+            let b = city_by_name(bn).unwrap();
+            let r = synthesize_route(a, b);
+            let geo = a.distance_km(b);
+            assert!(
+                r.total_km() >= geo - 1e-6,
+                "{an}->{bn}: route {} < geodesic {geo}",
+                r.total_km()
+            );
+            assert!(
+                r.total_km() <= geo * 1.8 + 50.0,
+                "{an}->{bn}: absurd detour {} vs {geo}",
+                r.total_km()
+            );
+        }
+    }
+
+    #[test]
+    fn long_routes_have_more_hops() {
+        let short = synthesize_route(
+            city_by_name("Kigali").unwrap(),
+            city_by_name("Kampala").unwrap(),
+        );
+        let long = synthesize_route(
+            city_by_name("London").unwrap(),
+            city_by_name("Sydney").unwrap(),
+        );
+        assert!(long.hop_count() > short.hop_count());
+    }
+
+    #[test]
+    fn self_route_is_empty() {
+        let a = city_by_name("Paris").unwrap();
+        let r = synthesize_route(a, a);
+        assert_eq!(r.hop_count(), 0);
+        assert_eq!(r.total_km(), 0.0);
+    }
+
+    #[test]
+    fn waypoints_are_deduplicated() {
+        for (an, bn) in [("London", "Paris"), ("Doha", "Dubai"), ("Tokyo", "Osaka")] {
+            let r = synthesize_route(city_by_name(an).unwrap(), city_by_name(bn).unwrap());
+            let mut seen = std::collections::HashSet::new();
+            for w in &r.waypoints {
+                assert!(seen.insert(*w), "{an}->{bn} repeats waypoint");
+            }
+        }
+    }
+
+    #[test]
+    fn route_is_deterministic() {
+        let a = city_by_name("Cairo").unwrap();
+        let b = city_by_name("Frankfurt").unwrap();
+        assert_eq!(synthesize_route(a, b), synthesize_route(a, b));
+    }
+}

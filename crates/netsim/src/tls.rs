@@ -1,0 +1,183 @@
+//! TLS-parameter probing (the Nmap/testssl role).
+//!
+//! Gamma's C3 "supports the deployment of other probes, e.g., ping and TLS
+//! using Nmap and Testssl, to evaluate network latency, reachability, and
+//! security parameters" (§3). This module models a server's TLS posture —
+//! protocol versions and cipher families offered — and a scanner that
+//! reads it back, with a grading heuristic in the testssl spirit.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// TLS protocol versions a server may offer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum TlsVersion {
+    Tls10,
+    Tls11,
+    Tls12,
+    Tls13,
+}
+
+impl TlsVersion {
+    pub fn label(self) -> &'static str {
+        match self {
+            TlsVersion::Tls10 => "TLSv1.0",
+            TlsVersion::Tls11 => "TLSv1.1",
+            TlsVersion::Tls12 => "TLSv1.2",
+            TlsVersion::Tls13 => "TLSv1.3",
+        }
+    }
+
+    /// Deprecated by RFC 8996.
+    pub fn deprecated(self) -> bool {
+        matches!(self, TlsVersion::Tls10 | TlsVersion::Tls11)
+    }
+}
+
+/// A server's TLS posture.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TlsPosture {
+    pub versions: Vec<TlsVersion>,
+    /// Offers forward-secret key exchange (ECDHE).
+    pub forward_secrecy: bool,
+    /// Still accepts RSA key exchange or CBC-SHA1 suites.
+    pub legacy_ciphers: bool,
+}
+
+impl TlsPosture {
+    /// A modern posture (major-CDN grade).
+    pub fn modern() -> Self {
+        TlsPosture {
+            versions: vec![TlsVersion::Tls12, TlsVersion::Tls13],
+            forward_secrecy: true,
+            legacy_ciphers: false,
+        }
+    }
+
+    /// A legacy posture (unmaintained server grade).
+    pub fn legacy() -> Self {
+        TlsPosture {
+            versions: vec![TlsVersion::Tls10, TlsVersion::Tls11, TlsVersion::Tls12],
+            forward_secrecy: false,
+            legacy_ciphers: true,
+        }
+    }
+
+    /// Samples a posture for a server: `modernity` in \[0,1\] is the
+    /// probability of the modern profile, with mixed postures in between.
+    pub fn sample<R: Rng + ?Sized>(modernity: f64, rng: &mut R) -> Self {
+        if rng.gen::<f64>() < modernity {
+            TlsPosture::modern()
+        } else if rng.gen::<f64>() < 0.5 {
+            // Transitional: TLS 1.2-only with forward secrecy but legacy
+            // suites still enabled.
+            TlsPosture {
+                versions: vec![TlsVersion::Tls12],
+                forward_secrecy: true,
+                legacy_ciphers: true,
+            }
+        } else {
+            TlsPosture::legacy()
+        }
+    }
+
+    /// testssl-style letter grade.
+    pub fn grade(&self) -> char {
+        let has13 = self.versions.contains(&TlsVersion::Tls13);
+        let has_deprecated = self.versions.iter().any(|v| v.deprecated());
+        match (has13, self.forward_secrecy, has_deprecated, self.legacy_ciphers) {
+            (true, true, false, false) => 'A',
+            (_, true, false, _) => 'B',
+            (_, _, true, false) => 'C',
+            (_, true, true, true) => 'C',
+            _ => 'F',
+        }
+    }
+}
+
+/// Result of scanning one endpoint.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TlsScanResult {
+    pub reachable: bool,
+    pub posture: Option<TlsPosture>,
+    pub grade: Option<char>,
+}
+
+/// Scans an endpoint's posture; `loss_rate` models connect failures.
+pub fn scan_tls<R: Rng + ?Sized>(
+    posture: &TlsPosture,
+    loss_rate: f64,
+    rng: &mut R,
+) -> TlsScanResult {
+    if rng.gen::<f64>() < loss_rate {
+        return TlsScanResult {
+            reachable: false,
+            posture: None,
+            grade: None,
+        };
+    }
+    TlsScanResult {
+        reachable: true,
+        grade: Some(posture.grade()),
+        posture: Some(posture.clone()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn modern_posture_grades_a() {
+        assert_eq!(TlsPosture::modern().grade(), 'A');
+    }
+
+    #[test]
+    fn legacy_posture_grades_poorly() {
+        let g = TlsPosture::legacy().grade();
+        assert!(g == 'F' || g == 'C', "grade {g}");
+    }
+
+    #[test]
+    fn deprecated_versions_cap_the_grade() {
+        let mixed = TlsPosture {
+            versions: vec![TlsVersion::Tls10, TlsVersion::Tls13],
+            forward_secrecy: true,
+            legacy_ciphers: false,
+        };
+        assert!(mixed.grade() < 'A' || mixed.grade() > 'A', "never A with TLS 1.0");
+        assert_ne!(mixed.grade(), 'A');
+    }
+
+    #[test]
+    fn sampling_respects_modernity() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let modern = (0..500)
+            .filter(|_| TlsPosture::sample(0.9, &mut rng).grade() == 'A')
+            .count();
+        let legacy = (0..500)
+            .filter(|_| TlsPosture::sample(0.1, &mut rng).grade() == 'A')
+            .count();
+        assert!(modern > legacy * 3, "modern {modern} vs legacy {legacy}");
+    }
+
+    #[test]
+    fn scan_reports_unreachable_on_loss() {
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let r = scan_tls(&TlsPosture::modern(), 1.0, &mut rng);
+        assert!(!r.reachable);
+        assert!(r.posture.is_none());
+        let ok = scan_tls(&TlsPosture::modern(), 0.0, &mut rng);
+        assert!(ok.reachable);
+        assert_eq!(ok.grade, Some('A'));
+    }
+
+    #[test]
+    fn version_labels_are_canonical() {
+        assert_eq!(TlsVersion::Tls13.label(), "TLSv1.3");
+        assert!(TlsVersion::Tls10.deprecated());
+        assert!(!TlsVersion::Tls12.deprecated());
+    }
+}

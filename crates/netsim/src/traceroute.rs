@@ -1,0 +1,294 @@
+//! Traceroute simulation.
+//!
+//! Produces hop-by-hop records semantically equivalent to Linux `traceroute`
+//! / Windows `tracert` runs: a last-mile gateway hop, one hop per backbone
+//! router on the synthesized route, and the destination — with silent hops
+//! and unreachable destinations injected per [`FaultConfig`]. The Gamma
+//! suite (`gamma-suite::normalize`) renders these into OS-specific text and
+//! parses them back, reproducing the paper's output-normalization layer.
+
+use crate::fault::FaultConfig;
+use crate::latency::{AccessQuality, LatencyModel};
+use crate::route::Route;
+use gamma_geo::CityId;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::net::Ipv4Addr;
+
+/// A single traceroute hop. `None` fields model a router that did not
+/// answer within the probe timeout (`* * *` in real output).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Hop {
+    pub ttl: u8,
+    pub addr: Option<Ipv4Addr>,
+    pub rtt_ms: Option<f64>,
+}
+
+/// Terminal state of a traceroute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TracerouteOutcome {
+    /// The destination answered; the last hop is the destination.
+    Completed,
+    /// Probes stopped before the destination answered. The paper discards
+    /// such measurements in both constraint stages (§4.1.1, §4.1.2).
+    DestinationUnreached,
+    /// The vantage point could not emit probes at all (firewall).
+    Failed,
+}
+
+/// A full traceroute run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TracerouteResult {
+    pub dst: Ipv4Addr,
+    pub hops: Vec<Hop>,
+    pub outcome: TracerouteOutcome,
+}
+
+impl TracerouteResult {
+    /// RTT of the final (destination) hop, if the destination was reached
+    /// and answered.
+    pub fn destination_rtt_ms(&self) -> Option<f64> {
+        if self.outcome != TracerouteOutcome::Completed {
+            return None;
+        }
+        self.hops.last().and_then(|h| h.rtt_ms)
+    }
+
+    /// RTT of the first answering hop, used by the paper's local-delay
+    /// subtraction ("we subtracted the recorded last hop time from the
+    /// first hop", §4.1.1).
+    pub fn first_hop_rtt_ms(&self) -> Option<f64> {
+        self.hops.iter().find_map(|h| h.rtt_ms)
+    }
+}
+
+/// The conventional RFC1918 gateway address used for the first hop.
+pub const GATEWAY_ADDR: Ipv4Addr = Ipv4Addr::new(192, 168, 1, 1);
+
+/// Runs a simulated traceroute along `route` to `dst_ip`.
+///
+/// `router_ip_of` supplies the address of the transit router in a given
+/// city; the world builder in `gamma-websim` pre-allocates one transit block
+/// per catalog city for this purpose.
+#[allow(clippy::too_many_arguments)]
+pub fn run_traceroute<R: Rng + ?Sized>(
+    route: &Route,
+    dst_ip: Ipv4Addr,
+    model: &LatencyModel,
+    quality: AccessQuality,
+    fault: &FaultConfig,
+    router_ip_of: &dyn Fn(CityId) -> Ipv4Addr,
+    rng: &mut R,
+) -> TracerouteResult {
+    if fault.firewall_blocks_traceroute {
+        return TracerouteResult {
+            dst: dst_ip,
+            hops: Vec::new(),
+            outcome: TracerouteOutcome::Failed,
+        };
+    }
+
+    let mut hops = Vec::new();
+    let mut ttl: u8 = 1;
+
+    // Hop 1: the volunteer's local gateway. Its RTT is pure last-mile delay,
+    // which is what makes the paper's first-hop subtraction meaningful.
+    let gw_rtt = quality.last_mile_base_ms() * (0.8 + 0.4 * rng.gen::<f64>());
+    hops.push(Hop {
+        ttl,
+        addr: Some(GATEWAY_ADDR),
+        rtt_ms: Some(gw_rtt),
+    });
+
+    // Interior routers: every waypoint after the source, before the
+    // destination city's final server hop.
+    let interior = &route.waypoints[1..route.waypoints.len().saturating_sub(1).max(1)];
+    for (i, &wp) in interior.iter().enumerate() {
+        ttl += 1;
+        if rng.gen::<f64>() < fault.hop_silence_rate {
+            hops.push(Hop {
+                ttl,
+                addr: None,
+                rtt_ms: None,
+            });
+            continue;
+        }
+        // Every probe traverses the same access link, so each hop's RTT
+        // carries the gateway's last-mile delay (not a fresh sample) — this
+        // is what makes the paper's first-hop subtraction remove exactly
+        // the local-network contribution.
+        let s = model.sample_at_hop(route, i + 1, quality, rng);
+        hops.push(Hop {
+            ttl,
+            addr: Some(router_ip_of(wp)),
+            rtt_ms: Some(s.propagation_ms + s.processing_ms + s.jitter_ms + gw_rtt),
+        });
+    }
+
+    // Destination hop.
+    ttl += 1;
+    if rng.gen::<f64>() < fault.destination_unreachable_rate {
+        hops.push(Hop {
+            ttl,
+            addr: None,
+            rtt_ms: None,
+        });
+        return TracerouteResult {
+            dst: dst_ip,
+            hops,
+            outcome: TracerouteOutcome::DestinationUnreached,
+        };
+    }
+    let s = model.sample(route, quality, rng);
+    hops.push(Hop {
+        ttl,
+        addr: Some(dst_ip),
+        rtt_ms: Some(s.propagation_ms + s.processing_ms + s.jitter_ms + gw_rtt),
+    });
+    TracerouteResult {
+        dst: dst_ip,
+        hops,
+        outcome: TracerouteOutcome::Completed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::route::synthesize_route;
+    use gamma_geo::city_by_name;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn setup() -> (Route, LatencyModel, ChaCha8Rng) {
+        let a = city_by_name("Kampala").unwrap();
+        let b = city_by_name("Frankfurt").unwrap();
+        (
+            synthesize_route(a, b),
+            LatencyModel::default(),
+            ChaCha8Rng::seed_from_u64(11),
+        )
+    }
+
+    fn router_ip(_c: CityId) -> Ipv4Addr {
+        Ipv4Addr::new(20, 0, 0, 1)
+    }
+
+    #[test]
+    fn faultless_traceroute_completes() {
+        let (route, model, mut rng) = setup();
+        let dst = Ipv4Addr::new(20, 9, 9, 9);
+        let t = run_traceroute(
+            &route,
+            dst,
+            &model,
+            AccessQuality::Good,
+            &FaultConfig::none(),
+            &router_ip,
+            &mut rng,
+        );
+        assert_eq!(t.outcome, TracerouteOutcome::Completed);
+        assert_eq!(t.hops.last().unwrap().addr, Some(dst));
+        assert!(t.destination_rtt_ms().unwrap() > 0.0);
+        assert_eq!(t.hops[0].addr, Some(GATEWAY_ADDR));
+    }
+
+    #[test]
+    fn ttls_are_strictly_increasing() {
+        let (route, model, mut rng) = setup();
+        let t = run_traceroute(
+            &route,
+            Ipv4Addr::new(20, 9, 9, 9),
+            &model,
+            AccessQuality::Good,
+            &FaultConfig::default(),
+            &router_ip,
+            &mut rng,
+        );
+        for w in t.hops.windows(2) {
+            assert!(w[1].ttl > w[0].ttl);
+        }
+    }
+
+    #[test]
+    fn firewalled_vantage_fails_outright() {
+        let (route, model, mut rng) = setup();
+        let t = run_traceroute(
+            &route,
+            Ipv4Addr::new(20, 9, 9, 9),
+            &model,
+            AccessQuality::Good,
+            &FaultConfig::firewalled(),
+            &router_ip,
+            &mut rng,
+        );
+        assert_eq!(t.outcome, TracerouteOutcome::Failed);
+        assert!(t.hops.is_empty());
+        assert!(t.destination_rtt_ms().is_none());
+    }
+
+    #[test]
+    fn unreachable_destination_yields_incomplete_run() {
+        let (route, model, mut rng) = setup();
+        let fault = FaultConfig {
+            destination_unreachable_rate: 1.0,
+            ..FaultConfig::none()
+        };
+        let t = run_traceroute(
+            &route,
+            Ipv4Addr::new(20, 9, 9, 9),
+            &model,
+            AccessQuality::Good,
+            &fault,
+            &router_ip,
+            &mut rng,
+        );
+        assert_eq!(t.outcome, TracerouteOutcome::DestinationUnreached);
+        assert!(t.destination_rtt_ms().is_none());
+        // The incomplete run still recorded the earlier hops.
+        assert!(t.hops.len() >= 2);
+    }
+
+    #[test]
+    fn silent_hops_appear_with_full_silence() {
+        let (route, model, mut rng) = setup();
+        let fault = FaultConfig {
+            hop_silence_rate: 1.0,
+            ..FaultConfig::none()
+        };
+        let t = run_traceroute(
+            &route,
+            Ipv4Addr::new(20, 9, 9, 9),
+            &model,
+            AccessQuality::Good,
+            &fault,
+            &router_ip,
+            &mut rng,
+        );
+        assert_eq!(t.outcome, TracerouteOutcome::Completed);
+        let interior = &t.hops[1..t.hops.len() - 1];
+        assert!(!interior.is_empty());
+        assert!(interior.iter().all(|h| h.addr.is_none() && h.rtt_ms.is_none()));
+        // first_hop_rtt falls back to the gateway.
+        assert_eq!(t.first_hop_rtt_ms(), t.hops[0].rtt_ms);
+    }
+
+    #[test]
+    fn destination_rtt_exceeds_first_hop_rtt() {
+        let (route, model, mut rng) = setup();
+        for _ in 0..50 {
+            let t = run_traceroute(
+                &route,
+                Ipv4Addr::new(20, 9, 9, 9),
+                &model,
+                AccessQuality::Good,
+                &FaultConfig::none(),
+                &router_ip,
+                &mut rng,
+            );
+            let first = t.first_hop_rtt_ms().unwrap();
+            let last = t.destination_rtt_ms().unwrap();
+            assert!(last > first, "last {last} <= first {first}");
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! C2's metadata-annotation APIs.
+//!
+//! Gamma "queries APIs to annotate domains/hosts with ASN, geolocation,
+//! and network/ownership metadata (e.g., IPinfo, ipwhois.io, RIPE IPmap)"
+//! (§3, C2). This module plays those services over the synthetic world:
+//! given an address, it returns the AS number, the AS operator name and
+//! country, the coarse city/country the *service* believes the address is
+//! in, and whether the address sits in a known cloud.
+//!
+//! Like the real services, the annotation is an independent product from
+//! the study's own geolocation pipeline — downstream code treats it as
+//! helpful-but-unverified metadata (§4.1 spends a whole section on why
+//! such databases cannot be trusted alone).
+
+use gamma_netsim::asn::{Asn, ASN_AWS, ASN_GCP};
+use gamma_websim::World;
+use serde::{Deserialize, Serialize};
+use std::net::Ipv4Addr;
+
+/// Annotation returned for one address.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IpAnnotation {
+    pub ip: Ipv4Addr,
+    pub asn: Asn,
+    /// AS operator name (the whois `as-name`).
+    pub as_name: String,
+    /// Country the operating organization is registered in.
+    pub as_country: gamma_geo::CountryCode,
+    /// The service's city-level location guess.
+    pub city: String,
+    pub country: gamma_geo::CountryCode,
+    /// Whether the address belongs to a public cloud (AWS / Google Cloud).
+    pub cloud: Option<CloudProvider>,
+}
+
+/// Public clouds recognized by the annotator (§6.5's AS-level lookups).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CloudProvider {
+    Aws,
+    GoogleCloud,
+}
+
+/// The annotation service facade.
+#[derive(Debug, Clone, Copy)]
+pub struct Annotator<'w> {
+    world: &'w World,
+}
+
+impl<'w> Annotator<'w> {
+    pub fn new(world: &'w World) -> Self {
+        Annotator { world }
+    }
+
+    /// Annotates one address; `None` when the address is outside the
+    /// routed space (the real services answer "bogon" for those).
+    pub fn annotate(&self, ip: Ipv4Addr) -> Option<IpAnnotation> {
+        let alloc = self.world.ip_registry.lookup(ip)?;
+        let as_info = self.world.as_registry.get(alloc.asn)?;
+        let city = gamma_geo::city(alloc.city);
+        let cloud = match alloc.asn {
+            a if a == ASN_AWS => Some(CloudProvider::Aws),
+            a if a == ASN_GCP => Some(CloudProvider::GoogleCloud),
+            _ => None,
+        };
+        Some(IpAnnotation {
+            ip,
+            asn: alloc.asn,
+            as_name: as_info.name.clone(),
+            as_country: as_info.country,
+            city: city.name.to_string(),
+            country: city.country,
+            cloud,
+        })
+    }
+
+    /// §6.5's cloud census: counts distinct confirmed tracker hosts per
+    /// cloud provider ("we identified 50 trackers hosted on AWS and 5 on
+    /// Google Cloud").
+    pub fn cloud_census<I: IntoIterator<Item = Ipv4Addr>>(&self, ips: I) -> CloudCensus {
+        let mut census = CloudCensus::default();
+        for ip in ips {
+            match self.annotate(ip).and_then(|a| a.cloud) {
+                Some(CloudProvider::Aws) => census.aws += 1,
+                Some(CloudProvider::GoogleCloud) => census.google_cloud += 1,
+                None => census.other += 1,
+            }
+        }
+        census
+    }
+}
+
+/// Counts per hosting provider.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CloudCensus {
+    pub aws: usize,
+    pub google_cloud: usize,
+    pub other: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gamma_geo::CountryCode;
+    use gamma_netsim::asn::AsKind;
+    use gamma_websim::{worldgen, WorldSpec};
+    use std::sync::OnceLock;
+
+    fn world() -> &'static World {
+        static W: OnceLock<World> = OnceLock::new();
+        W.get_or_init(|| worldgen::generate(&WorldSpec::paper_default(88)))
+    }
+
+    #[test]
+    fn annotates_a_tracker_address_with_as_metadata() {
+        let w = world();
+        let a = Annotator::new(w);
+        // Resolve a Google tracker from a volunteer city and annotate it.
+        let d = gamma_dns::DomainName::parse("googletagmanager.com").unwrap();
+        let vc = w.volunteer_city(CountryCode::new("PK")).unwrap();
+        let rep = w.resolve(&d, vc).expect("resolves");
+        let ann = a.annotate(rep.addr).expect("annotated");
+        assert!(ann.as_name.contains("GOOGLE"), "{}", ann.as_name);
+        assert_eq!(ann.as_country, CountryCode::new("US"));
+        assert_eq!(ann.country, gamma_geo::city(rep.city).country);
+    }
+
+    #[test]
+    fn aws_hosted_minors_are_flagged_as_cloud() {
+        let w = world();
+        let a = Annotator::new(w);
+        // Find a deployment on the AWS ASN and annotate one of its hosts.
+        let dep = w
+            .hosting
+            .iter()
+            .find(|d| d.asn == ASN_AWS)
+            .expect("some org rides AWS");
+        let ip = dep.nets[0].nth(1).unwrap();
+        let ann = a.annotate(ip).unwrap();
+        assert_eq!(ann.cloud, Some(CloudProvider::Aws));
+        assert_eq!(ann.as_name, "AMAZON-02");
+    }
+
+    #[test]
+    fn unrouted_addresses_are_bogons() {
+        let w = world();
+        let a = Annotator::new(w);
+        assert!(a.annotate(Ipv4Addr::new(203, 0, 113, 7)).is_none());
+        assert!(a.annotate(Ipv4Addr::new(100, 64, 0, 23)).is_none());
+    }
+
+    #[test]
+    fn cloud_census_counts_per_provider() {
+        let w = world();
+        let a = Annotator::new(w);
+        let mut ips = Vec::new();
+        for dep in w.hosting.iter().take(200) {
+            ips.push(dep.nets[0].nth(1).unwrap());
+        }
+        let census = a.cloud_census(ips.iter().copied());
+        assert_eq!(census.aws + census.google_cloud + census.other, ips.len());
+        // Most minors ride AWS, a few GCP (§6.5's 50-vs-5 pattern).
+        assert!(census.aws > census.google_cloud, "{census:?}");
+        assert!(census.aws > 0 && census.google_cloud > 0, "{census:?}");
+    }
+
+    #[test]
+    fn backbone_routers_annotate_as_transit() {
+        let w = world();
+        let a = Annotator::new(w);
+        let city = gamma_geo::city_by_name("Frankfurt").unwrap().id;
+        let ann = a.annotate(w.router_ip_of(city)).unwrap();
+        assert_eq!(
+            w.as_registry.get(ann.asn).unwrap().kind,
+            AsKind::Transit
+        );
+        assert_eq!(ann.city, "Frankfurt");
+    }
+}

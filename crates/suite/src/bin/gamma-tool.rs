@@ -1,0 +1,143 @@
+//! `gamma-tool` — the volunteer-facing measurement tool, as a CLI.
+//!
+//! The study distributed Gamma to volunteers with instructions to run it
+//! over their country's target list (§3.3). This binary is that workflow
+//! over the synthetic substrate:
+//!
+//! ```sh
+//! # list the target websites a volunteer in Thailand would crawl
+//! gamma-tool targets --country TH --seed 7
+//!
+//! # run the full measurement (C1+C2+C3) and emit the dataset as JSON
+//! gamma-tool run --country TH --seed 7 --out dataset.json
+//!
+//! # resume an interrupted run from a checkpoint
+//! gamma-tool run --country TH --seed 7 --skip 40 --out rest.json
+//! ```
+
+use gamma_geo::CountryCode;
+use gamma_suite::{run_volunteer_from, GammaConfig, Volunteer};
+use gamma_websim::{worldgen, WorldSpec};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  gamma-tool targets --country <CC> [--seed N]\n  gamma-tool run --country <CC> [--seed N] [--skip N] [--no-probes] [--out FILE|-]\n  gamma-tool countries"
+    );
+    ExitCode::FAILURE
+}
+
+struct Args {
+    command: String,
+    country: Option<CountryCode>,
+    seed: u64,
+    skip: usize,
+    no_probes: bool,
+    out: String,
+}
+
+fn parse_args() -> Option<Args> {
+    let mut argv = std::env::args().skip(1);
+    let command = argv.next()?;
+    let mut args = Args {
+        command,
+        country: None,
+        seed: 2025,
+        skip: 0,
+        no_probes: false,
+        out: "-".to_string(),
+    };
+    while let Some(flag) = argv.next() {
+        match flag.as_str() {
+            "--country" => args.country = CountryCode::parse(&argv.next()?),
+            "--seed" => args.seed = argv.next()?.parse().ok()?,
+            "--skip" => args.skip = argv.next()?.parse().ok()?,
+            "--no-probes" => args.no_probes = true,
+            "--out" => args.out = argv.next()?,
+            _ => return None,
+        }
+    }
+    Some(args)
+}
+
+fn main() -> ExitCode {
+    let Some(args) = parse_args() else {
+        return usage();
+    };
+    let spec = WorldSpec::paper_default(args.seed);
+
+    match args.command.as_str() {
+        "countries" => {
+            for cs in &spec.countries {
+                let c = gamma_geo::country(cs.country).expect("cataloged");
+                println!(
+                    "{}  {:<22} volunteer in {} ({:?} traceroutes)",
+                    cs.country, c.name, cs.volunteer_city, cs.traceroute
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        "targets" => {
+            let Some(country) = args.country else { return usage() };
+            eprintln!("generating world (seed {})...", args.seed);
+            let world = worldgen::generate(&spec);
+            let Some(targets) = world.targets.get(&country) else {
+                eprintln!("{country} is not a measurement country; try `gamma countries`");
+                return ExitCode::FAILURE;
+            };
+            println!("# T_reg ({})", targets.regional.len());
+            for sid in &targets.regional {
+                println!("{}", world.site(*sid).domain);
+            }
+            println!("# T_gov ({})", targets.government.len());
+            for sid in &targets.government {
+                println!("{}", world.site(*sid).domain);
+            }
+            ExitCode::SUCCESS
+        }
+        "run" => {
+            let Some(country) = args.country else { return usage() };
+            eprintln!("generating world (seed {})...", args.seed);
+            let world = worldgen::generate(&spec);
+            let index = spec
+                .countries
+                .iter()
+                .position(|c| c.country == country)
+                .unwrap_or(0);
+            let Some(volunteer) = Volunteer::for_country(&world, country, index) else {
+                eprintln!("{country} is not a measurement country; try `gamma countries`");
+                return ExitCode::FAILURE;
+            };
+            let config = GammaConfig {
+                launch_probes: !args.no_probes,
+                ..GammaConfig::paper_default(args.seed)
+            };
+            eprintln!(
+                "running Gamma for {} from {} ({} targets, skipping {})...",
+                country,
+                gamma_geo::city(volunteer.city).name,
+                world.targets[&country].len(),
+                args.skip
+            );
+            let dataset = run_volunteer_from(&world, &volunteer, &config, args.skip);
+            eprintln!(
+                "loads: {} ({} ok) | dns observations: {} | traceroutes: {}",
+                dataset.loads.len(),
+                dataset.loaded_count(),
+                dataset.dns.len(),
+                dataset.traceroutes.len()
+            );
+            let json = serde_json::to_string_pretty(&dataset).expect("dataset serializes");
+            if args.out == "-" {
+                println!("{json}");
+            } else if let Err(e) = std::fs::write(&args.out, json) {
+                eprintln!("cannot write {}: {e}", args.out);
+                return ExitCode::FAILURE;
+            } else {
+                eprintln!("wrote {}", args.out);
+            }
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,79 @@
+//! Checkpoint/resume support.
+//!
+//! "We advised volunteers to complete the experiment in a single session
+//! ... However, volunteers can also run it in chunks, as Gamma is designed
+//! to resume from where it was last stopped" (§3.3). The checkpoint is a
+//! small JSON document the tool writes after each completed target.
+
+use gamma_geo::CountryCode;
+use serde::{Deserialize, Serialize};
+
+/// Resumable progress marker for a volunteer run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Checkpoint {
+    pub country: CountryCode,
+    /// RNG seed of the interrupted run (must match on resume for the same
+    /// data to come out).
+    pub seed: u64,
+    /// Number of target sites fully processed.
+    pub completed_sites: usize,
+}
+
+impl Checkpoint {
+    pub fn new(country: CountryCode, seed: u64) -> Self {
+        Checkpoint {
+            country,
+            seed,
+            completed_sites: 0,
+        }
+    }
+
+    /// Marks one more site done.
+    pub fn advance(&mut self) {
+        self.completed_sites += 1;
+    }
+
+    /// Serializes to the on-disk JSON format.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("checkpoint serializes")
+    }
+
+    /// Restores from the on-disk format.
+    pub fn from_json(s: &str) -> Result<Self, String> {
+        serde_json::from_str(s).map_err(|e| format!("corrupt checkpoint: {e}"))
+    }
+
+    /// Whether this checkpoint can resume a run with the given parameters.
+    pub fn compatible_with(&self, country: CountryCode, seed: u64) -> bool {
+        self.country == country && self.seed == seed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_through_json() {
+        let mut c = Checkpoint::new(CountryCode::new("RW"), 42);
+        c.advance();
+        c.advance();
+        let restored = Checkpoint::from_json(&c.to_json()).unwrap();
+        assert_eq!(restored, c);
+        assert_eq!(restored.completed_sites, 2);
+    }
+
+    #[test]
+    fn rejects_corrupt_input() {
+        assert!(Checkpoint::from_json("{not json").is_err());
+        assert!(Checkpoint::from_json("{}").is_err());
+    }
+
+    #[test]
+    fn compatibility_requires_matching_run() {
+        let c = Checkpoint::new(CountryCode::new("RW"), 42);
+        assert!(c.compatible_with(CountryCode::new("RW"), 42));
+        assert!(!c.compatible_with(CountryCode::new("RW"), 43));
+        assert!(!c.compatible_with(CountryCode::new("UG"), 42));
+    }
+}

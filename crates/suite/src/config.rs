@@ -1,0 +1,87 @@
+//! Suite configuration: which components run and how they are tuned.
+
+use gamma_browser::BrowserConfig;
+use gamma_netsim::FaultConfig;
+use serde::{Deserialize, Serialize};
+
+/// Full Gamma configuration ("lightweight, highly configurable", §3).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GammaConfig {
+    /// C1 settings.
+    pub browser: BrowserConfig,
+    /// Run C2 (DNS / reverse DNS / AS annotation).
+    pub gather_network_info: bool,
+    /// Run C3 (traceroute probes).
+    pub launch_probes: bool,
+    /// Probe fault injection (hop silence, unreachable destinations).
+    pub fault: FaultConfig,
+    /// Base RNG seed for the volunteer run.
+    pub seed: u64,
+}
+
+impl Default for GammaConfig {
+    fn default() -> Self {
+        Self::paper_default(0)
+    }
+}
+
+impl GammaConfig {
+    /// The study's configuration: isolated Chrome with the §3.1 timings,
+    /// all three components enabled.
+    pub fn paper_default(seed: u64) -> Self {
+        GammaConfig {
+            browser: BrowserConfig::paper_default(),
+            gather_network_info: true,
+            launch_probes: true,
+            fault: FaultConfig::default(),
+            seed,
+        }
+    }
+
+    pub fn validate(&self) -> Result<(), String> {
+        self.browser.validate()?;
+        self.fault.validate()?;
+        if self.launch_probes && !self.gather_network_info {
+            return Err("probes need resolved addresses: enable network info gathering".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_is_valid_and_full_pipeline() {
+        let c = GammaConfig::paper_default(1);
+        c.validate().unwrap();
+        assert!(c.gather_network_info);
+        assert!(c.launch_probes);
+    }
+
+    #[test]
+    fn probes_without_dns_are_rejected() {
+        let c = GammaConfig {
+            gather_network_info: false,
+            ..GammaConfig::paper_default(1)
+        };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn component_subsets_are_allowed() {
+        // C1-only and C1+C2 runs are legitimate configurations (§3).
+        let c = GammaConfig {
+            gather_network_info: false,
+            launch_probes: false,
+            ..GammaConfig::paper_default(1)
+        };
+        c.validate().unwrap();
+        let c = GammaConfig {
+            launch_probes: false,
+            ..GammaConfig::paper_default(1)
+        };
+        c.validate().unwrap();
+    }
+}

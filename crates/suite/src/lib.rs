@@ -1,0 +1,41 @@
+//! # gamma-suite
+//!
+//! The *Gamma* tool itself (§3 of the paper), reproduced over the synthetic
+//! substrate. Three components, each independently usable:
+//!
+//! - **C1 — browser-level interaction**: isolated browser sessions load the
+//!   country's target websites and record every network request
+//!   (`gamma-browser` does the page mechanics; [`suite`] orchestrates).
+//! - **C2 — network information gathering**: forward DNS for every
+//!   requested domain, reverse DNS for every resolved address, AS/geo
+//!   annotation via the registry (the ipinfo/ipwhois role).
+//! - **C3 — measurement probes**: traceroutes to every resolved address,
+//!   honoring the volunteer's opt-outs and the firewall failure mode.
+//!
+//! Portability is reproduced where it matters for the data: Linux
+//! `traceroute` and Windows `tracert` produce differently-shaped text, and
+//! [`normalize`] renders and re-parses both into the identical JSON
+//! structure the paper describes ("an identical structure JSON file with
+//! hop and RTT information for traceroute and tracert").
+
+pub mod annotate;
+pub mod checkpoint;
+pub mod config;
+pub mod normalize;
+pub mod output;
+pub mod probe_backend;
+pub mod suite;
+pub mod targets;
+pub mod volunteer;
+
+pub use annotate::{Annotator, CloudCensus, IpAnnotation};
+pub use checkpoint::Checkpoint;
+pub use config::GammaConfig;
+pub use normalize::{
+    parse_linux, parse_windows, render_linux, render_windows, NormHop, NormalizedTraceroute,
+};
+pub use output::{DnsObservation, TracerouteRecord, VolunteerDataset, VolunteerMeta};
+pub use probe_backend::{command_line, select_backend, Backend, ProbeKind};
+pub use suite::{run_all_volunteers, run_volunteer, run_volunteer_from};
+pub use targets::build_targets;
+pub use volunteer::{Os, Volunteer};

@@ -1,0 +1,398 @@
+//! Traceroute output rendering and normalization.
+//!
+//! The paper's portability layer: on Linux Gamma shells out to
+//! `traceroute`, on Windows to `tracert`, and "these commands produce
+//! output in different structures. To address this, we developed additional
+//! functionality that normalizes the output into a consistent format ...
+//! an identical structure JSON file with hop and RTT information" (§3).
+//!
+//! This module does the full round trip for real: it renders a simulated
+//! [`TracerouteResult`] into faithful Linux/Windows command output, then
+//! *parses that text back* into the unified [`NormalizedTraceroute`] — so
+//! the parsers are genuinely load-bearing, exactly like the original tool.
+
+use gamma_netsim::{TracerouteOutcome, TracerouteResult};
+use serde::{Deserialize, Serialize};
+use std::net::Ipv4Addr;
+
+/// One normalized hop: the unified JSON schema.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NormHop {
+    pub ttl: u8,
+    pub ip: Option<Ipv4Addr>,
+    pub rtt_ms: Option<f64>,
+}
+
+/// The OS-independent traceroute record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NormalizedTraceroute {
+    pub dst: Ipv4Addr,
+    pub reached: bool,
+    pub hops: Vec<NormHop>,
+}
+
+impl NormalizedTraceroute {
+    /// RTT to the destination, when reached and answered.
+    pub fn destination_rtt_ms(&self) -> Option<f64> {
+        if !self.reached {
+            return None;
+        }
+        self.hops.last().and_then(|h| h.rtt_ms)
+    }
+
+    /// First answering hop's RTT (the paper's local-delay reference).
+    pub fn first_hop_rtt_ms(&self) -> Option<f64> {
+        self.hops.iter().find_map(|h| h.rtt_ms)
+    }
+}
+
+/// Renders Linux `traceroute` output.
+pub fn render_linux(t: &TracerouteResult) -> String {
+    let mut s = format!(
+        "traceroute to {dst} ({dst}), 30 hops max, 60 byte packets\n",
+        dst = t.dst
+    );
+    for h in &t.hops {
+        match (h.addr, h.rtt_ms) {
+            (Some(ip), Some(rtt)) => {
+                s.push_str(&format!(
+                    "{:2}  {ip} ({ip})  {:.3} ms  {:.3} ms  {:.3} ms\n",
+                    h.ttl,
+                    rtt,
+                    rtt * 1.01,
+                    rtt * 0.995
+                ));
+            }
+            _ => s.push_str(&format!("{:2}  * * *\n", h.ttl)),
+        }
+    }
+    s
+}
+
+/// Renders Windows `tracert` output (integer milliseconds, `<1 ms` for
+/// sub-millisecond hops, trailing "Trace complete." on success).
+pub fn render_windows(t: &TracerouteResult) -> String {
+    let mut s = format!(
+        "\nTracing route to {dst} over a maximum of 30 hops\n\n",
+        dst = t.dst
+    );
+    for h in &t.hops {
+        match (h.addr, h.rtt_ms) {
+            (Some(ip), Some(rtt)) => {
+                let cell = |r: f64| -> String {
+                    if r < 1.0 {
+                        "  <1 ms".to_string()
+                    } else {
+                        format!("{:4} ms", r.round() as u64)
+                    }
+                };
+                s.push_str(&format!(
+                    "{:3}  {}  {}  {}  {ip}\n",
+                    h.ttl,
+                    cell(rtt),
+                    cell(rtt * 1.01),
+                    cell(rtt * 0.995)
+                ));
+            }
+            _ => s.push_str(&format!(
+                "{:3}     *        *        *     Request timed out.\n",
+                h.ttl
+            )),
+        }
+    }
+    if t.outcome == TracerouteOutcome::Completed {
+        s.push_str("\nTrace complete.\n");
+    }
+    s
+}
+
+/// Parse error for traceroute text.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError(pub String);
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "traceroute parse error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses Linux `traceroute` output into the unified schema.
+pub fn parse_linux(text: &str) -> Result<NormalizedTraceroute, ParseError> {
+    let mut lines = text.lines();
+    let header = lines.next().ok_or_else(|| ParseError("empty output".into()))?;
+    let dst = header
+        .split_whitespace()
+        .nth(2)
+        .and_then(|w| w.parse::<Ipv4Addr>().ok())
+        .ok_or_else(|| ParseError(format!("no destination in header: {header}")))?;
+    let mut hops = Vec::new();
+    for line in lines {
+        let line = line.trim_end();
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let ttl: u8 = it
+            .next()
+            .and_then(|w| w.parse().ok())
+            .ok_or_else(|| ParseError(format!("bad hop line: {line}")))?;
+        let second = it.next().ok_or_else(|| ParseError(format!("truncated hop: {line}")))?;
+        if second == "*" {
+            hops.push(NormHop { ttl, ip: None, rtt_ms: None });
+            continue;
+        }
+        let ip: Ipv4Addr = second
+            .parse()
+            .map_err(|_| ParseError(format!("bad address {second}")))?;
+        // skip "(ip)"
+        let _paren = it.next();
+        let rtt: f64 = it
+            .next()
+            .and_then(|w| w.parse().ok())
+            .ok_or_else(|| ParseError(format!("no rtt on: {line}")))?;
+        hops.push(NormHop { ttl, ip: Some(ip), rtt_ms: Some(rtt) });
+    }
+    let reached = hops.last().map_or(false, |h| h.ip == Some(dst));
+    Ok(NormalizedTraceroute { dst, reached, hops })
+}
+
+/// Parses Windows `tracert` output into the unified schema.
+pub fn parse_windows(text: &str) -> Result<NormalizedTraceroute, ParseError> {
+    let mut dst: Option<Ipv4Addr> = None;
+    let mut hops = Vec::new();
+    for line in text.lines() {
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed == "Trace complete." {
+            continue;
+        }
+        if trimmed.starts_with("Tracing route to") {
+            dst = trimmed
+                .split_whitespace()
+                .nth(3)
+                .and_then(|w| w.parse().ok());
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let ttl: u8 = match it.next().and_then(|w| w.parse().ok()) {
+            Some(t) => t,
+            None => continue, // tolerate banner noise
+        };
+        if trimmed.contains("Request timed out") {
+            hops.push(NormHop { ttl, ip: None, rtt_ms: None });
+            continue;
+        }
+        // Three latency cells then the address; cells are "<1 ms" or "N ms".
+        let mut rtts = Vec::new();
+        let mut ip = None;
+        let tokens: Vec<&str> = it.collect();
+        let mut i = 0;
+        while i < tokens.len() {
+            match tokens[i] {
+                "<1" => {
+                    rtts.push(0.5);
+                    i += 2; // skip "ms"
+                }
+                w if w.parse::<f64>().is_ok() && tokens.get(i + 1) == Some(&"ms") => {
+                    rtts.push(w.parse().expect("checked"));
+                    i += 2;
+                }
+                w => {
+                    ip = w.parse::<Ipv4Addr>().ok();
+                    i += 1;
+                }
+            }
+        }
+        let ip = ip.ok_or_else(|| ParseError(format!("no address on hop line: {trimmed}")))?;
+        hops.push(NormHop {
+            ttl,
+            ip: Some(ip),
+            rtt_ms: rtts.first().copied(),
+        });
+    }
+    let dst = dst.ok_or_else(|| ParseError("no Tracing route header".into()))?;
+    let reached =
+        text.contains("Trace complete.") && hops.last().map_or(false, |h| h.ip == Some(dst));
+    Ok(NormalizedTraceroute { dst, reached, hops })
+}
+
+/// Converts a simulated result directly (the shape both parsers target).
+pub fn normalize_direct(t: &TracerouteResult) -> NormalizedTraceroute {
+    NormalizedTraceroute {
+        dst: t.dst,
+        reached: t.outcome == TracerouteOutcome::Completed,
+        hops: t
+            .hops
+            .iter()
+            .map(|h| NormHop {
+                ttl: h.ttl,
+                ip: h.addr,
+                rtt_ms: h.rtt_ms,
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gamma_netsim::Hop;
+    use proptest::prelude::*;
+
+    fn sample_result(unreached: bool) -> TracerouteResult {
+        let mut hops = vec![
+            Hop { ttl: 1, addr: Some(Ipv4Addr::new(192, 168, 1, 1)), rtt_ms: Some(2.41) },
+            Hop { ttl: 2, addr: None, rtt_ms: None },
+            Hop { ttl: 3, addr: Some(Ipv4Addr::new(20, 0, 7, 1)), rtt_ms: Some(18.73) },
+        ];
+        if unreached {
+            hops.push(Hop { ttl: 4, addr: None, rtt_ms: None });
+        } else {
+            hops.push(Hop { ttl: 4, addr: Some(Ipv4Addr::new(20, 9, 1, 5)), rtt_ms: Some(42.2) });
+        }
+        TracerouteResult {
+            dst: Ipv4Addr::new(20, 9, 1, 5),
+            hops,
+            outcome: if unreached {
+                TracerouteOutcome::DestinationUnreached
+            } else {
+                TracerouteOutcome::Completed
+            },
+        }
+    }
+
+    #[test]
+    fn linux_roundtrip_preserves_structure() {
+        let t = sample_result(false);
+        let text = render_linux(&t);
+        let n = parse_linux(&text).unwrap();
+        assert_eq!(n, normalize_direct(&t) /* exact f64 via {:.3} */);
+    }
+
+    #[test]
+    fn windows_roundtrip_preserves_structure_with_ms_rounding() {
+        let t = sample_result(false);
+        let text = render_windows(&t);
+        let n = parse_windows(&text).unwrap();
+        let direct = normalize_direct(&t);
+        assert_eq!(n.dst, direct.dst);
+        assert_eq!(n.reached, direct.reached);
+        assert_eq!(n.hops.len(), direct.hops.len());
+        for (a, b) in n.hops.iter().zip(&direct.hops) {
+            assert_eq!(a.ttl, b.ttl);
+            assert_eq!(a.ip, b.ip);
+            match (a.rtt_ms, b.rtt_ms) {
+                (Some(x), Some(y)) => assert!((x - y).abs() <= 1.0, "{x} vs {y}"),
+                (None, None) => {}
+                other => panic!("mismatched rtt presence: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn both_parsers_agree_on_the_unified_json() {
+        // The paper's normalization goal: one schema regardless of OS.
+        let t = sample_result(false);
+        let a = parse_linux(&render_linux(&t)).unwrap();
+        let b = parse_windows(&render_windows(&t)).unwrap();
+        let ja = serde_json::to_value(&a).unwrap();
+        let jb = serde_json::to_value(&b).unwrap();
+        assert_eq!(
+            ja.as_object().unwrap().keys().collect::<Vec<_>>(),
+            jb.as_object().unwrap().keys().collect::<Vec<_>>()
+        );
+        assert_eq!(a.hops.len(), b.hops.len());
+        assert_eq!(a.reached, b.reached);
+    }
+
+    #[test]
+    fn unreached_destination_is_flagged() {
+        let t = sample_result(true);
+        assert!(!parse_linux(&render_linux(&t)).unwrap().reached);
+        assert!(!parse_windows(&render_windows(&t)).unwrap().reached);
+        assert!(parse_linux(&render_linux(&t)).unwrap().destination_rtt_ms().is_none());
+    }
+
+    #[test]
+    fn sub_millisecond_windows_cells_parse() {
+        let t = TracerouteResult {
+            dst: Ipv4Addr::new(20, 0, 0, 9),
+            hops: vec![Hop {
+                ttl: 1,
+                addr: Some(Ipv4Addr::new(20, 0, 0, 9)),
+                rtt_ms: Some(0.4),
+            }],
+            outcome: TracerouteOutcome::Completed,
+        };
+        let n = parse_windows(&render_windows(&t)).unwrap();
+        assert_eq!(n.hops[0].rtt_ms, Some(0.5));
+        assert!(n.reached);
+    }
+
+    #[test]
+    fn parsers_reject_garbage() {
+        assert!(parse_linux("").is_err());
+        assert!(parse_linux("complete nonsense\n").is_err());
+        assert!(parse_windows("no header here\n 1 x\n").is_err());
+    }
+
+    #[test]
+    fn first_hop_rtt_skips_silent_hops() {
+        let t = TracerouteResult {
+            dst: Ipv4Addr::new(20, 0, 0, 9),
+            hops: vec![
+                Hop { ttl: 1, addr: None, rtt_ms: None },
+                Hop { ttl: 2, addr: Some(Ipv4Addr::new(20, 0, 0, 1)), rtt_ms: Some(7.0) },
+                Hop { ttl: 3, addr: Some(Ipv4Addr::new(20, 0, 0, 9)), rtt_ms: Some(20.0) },
+            ],
+            outcome: TracerouteOutcome::Completed,
+        };
+        let n = normalize_direct(&t);
+        assert_eq!(n.first_hop_rtt_ms(), Some(7.0));
+        assert_eq!(n.destination_rtt_ms(), Some(20.0));
+    }
+
+    proptest! {
+        #[test]
+        fn linux_roundtrip_for_arbitrary_runs(
+            rtts in prop::collection::vec(prop::option::of(0.1f64..500.0), 1..12),
+            reached in any::<bool>(),
+        ) {
+            let dst = Ipv4Addr::new(20, 7, 7, 7);
+            let mut hops: Vec<Hop> = rtts
+                .iter()
+                .enumerate()
+                .map(|(i, r)| Hop {
+                    ttl: (i + 1) as u8,
+                    addr: r.map(|_| Ipv4Addr::new(20, 0, i as u8, 1)),
+                    rtt_ms: *r,
+                })
+                .collect();
+            if reached {
+                let ttl = hops.len() as u8 + 1;
+                hops.push(Hop { ttl, addr: Some(dst), rtt_ms: Some(33.25) });
+            }
+            let t = TracerouteResult {
+                dst,
+                hops,
+                outcome: if reached {
+                    TracerouteOutcome::Completed
+                } else {
+                    TracerouteOutcome::DestinationUnreached
+                },
+            };
+            let n = parse_linux(&render_linux(&t)).unwrap();
+            prop_assert_eq!(n.reached, reached);
+            prop_assert_eq!(n.hops.len(), t.hops.len());
+            for (a, b) in n.hops.iter().zip(&t.hops) {
+                prop_assert_eq!(a.ip, b.addr);
+                match (a.rtt_ms, b.rtt_ms) {
+                    (Some(x), Some(y)) => prop_assert!((x - y).abs() < 0.001),
+                    (None, None) => {}
+                    other => prop_assert!(false, "presence mismatch {:?}", other),
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Dataset records a volunteer ships back to the researchers (Box 1 → Box 2
+//! of Figure 1 in the paper).
+
+use crate::normalize::NormalizedTraceroute;
+use crate::volunteer::{Os, Volunteer};
+use gamma_browser::PageLoad;
+use gamma_dns::DomainName;
+use gamma_geo::{CityId, CountryCode};
+use gamma_netsim::Asn;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::net::Ipv4Addr;
+
+/// One C2 observation: a requested domain, its resolution, and annotations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DnsObservation {
+    /// Target website whose page produced the request.
+    pub site: DomainName,
+    /// The requested host.
+    pub request: DomainName,
+    /// Forward resolution (None: NXDOMAIN-like).
+    pub ip: Option<Ipv4Addr>,
+    /// Reverse DNS of the resolved address, where a PTR exists.
+    pub rdns: Option<String>,
+    /// AS annotation (the ipinfo/ipwhois role of C2).
+    pub asn: Option<Asn>,
+}
+
+/// One C3 probe: the raw command text plus the normalized record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TracerouteRecord {
+    pub target_ip: Ipv4Addr,
+    /// The OS-specific command output exactly as captured.
+    pub raw_text: String,
+    /// The unified JSON structure (§3).
+    pub normalized: NormalizedTraceroute,
+}
+
+/// Volunteer metadata shipped with the dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VolunteerMeta {
+    pub country: CountryCode,
+    pub city: CityId,
+    pub os: Os,
+    pub asn: Asn,
+    /// Logged public address; `None` once anonymized (§3.5: "all volunteers
+    /// IP addresses are anonymized within the dataset").
+    pub ip: Option<Ipv4Addr>,
+}
+
+impl From<&Volunteer> for VolunteerMeta {
+    fn from(v: &Volunteer) -> Self {
+        VolunteerMeta {
+            country: v.country,
+            city: v.city,
+            os: v.os,
+            asn: v.asn,
+            ip: Some(v.ip),
+        }
+    }
+}
+
+/// Everything one volunteer's Gamma run recorded.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VolunteerDataset {
+    pub volunteer: VolunteerMeta,
+    pub loads: Vec<PageLoad>,
+    pub dns: Vec<DnsObservation>,
+    pub traceroutes: Vec<TracerouteRecord>,
+    /// Sites the volunteer opted out of (never loaded).
+    pub opted_out: Vec<DomainName>,
+    /// Whether C3 ran at all (false for the Egypt-style opt-out).
+    pub probes_enabled: bool,
+}
+
+impl VolunteerDataset {
+    /// Post-analysis anonymization step (§3.5).
+    pub fn anonymize(&mut self) {
+        self.volunteer.ip = None;
+    }
+
+    /// Unique requested domains across all loads.
+    pub fn unique_domains(&self) -> HashSet<&DomainName> {
+        self.dns.iter().map(|d| &d.request).collect()
+    }
+
+    /// Unique resolved addresses.
+    pub fn unique_ips(&self) -> HashSet<Ipv4Addr> {
+        self.dns.iter().filter_map(|d| d.ip).collect()
+    }
+
+    /// Number of successfully loaded pages.
+    pub fn loaded_count(&self) -> usize {
+        self.loads.iter().filter(|l| l.succeeded()).count()
+    }
+
+    /// Load coverage over attempted pages (Figure 2b's metric).
+    pub fn load_coverage(&self) -> f64 {
+        if self.loads.is_empty() {
+            return 0.0;
+        }
+        self.loaded_count() as f64 / self.loads.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta() -> VolunteerMeta {
+        VolunteerMeta {
+            country: CountryCode::new("TH"),
+            city: CityId(8),
+            os: Os::Linux,
+            asn: Asn(7008),
+            ip: Some(Ipv4Addr::new(100, 72, 8, 23)),
+        }
+    }
+
+    #[test]
+    fn anonymization_strips_ip_only() {
+        let mut ds = VolunteerDataset {
+            volunteer: meta(),
+            loads: vec![],
+            dns: vec![],
+            traceroutes: vec![],
+            opted_out: vec![],
+            probes_enabled: true,
+        };
+        assert!(ds.volunteer.ip.is_some());
+        ds.anonymize();
+        assert!(ds.volunteer.ip.is_none());
+        assert_eq!(ds.volunteer.country, CountryCode::new("TH"));
+    }
+
+    #[test]
+    fn unique_counters_deduplicate() {
+        let d = |s: &str| DomainName::parse(s).unwrap();
+        let ds = VolunteerDataset {
+            volunteer: meta(),
+            loads: vec![],
+            dns: vec![
+                DnsObservation {
+                    site: d("a.com"),
+                    request: d("t.googletagmanager.com"),
+                    ip: Some(Ipv4Addr::new(20, 0, 0, 1)),
+                    rdns: None,
+                    asn: None,
+                },
+                DnsObservation {
+                    site: d("b.com"),
+                    request: d("t.googletagmanager.com"),
+                    ip: Some(Ipv4Addr::new(20, 0, 0, 1)),
+                    rdns: None,
+                    asn: None,
+                },
+                DnsObservation {
+                    site: d("b.com"),
+                    request: d("nxdomain.example.com"),
+                    ip: None,
+                    rdns: None,
+                    asn: None,
+                },
+            ],
+            traceroutes: vec![],
+            opted_out: vec![],
+            probes_enabled: true,
+        };
+        assert_eq!(ds.unique_domains().len(), 2);
+        assert_eq!(ds.unique_ips().len(), 1);
+    }
+
+    #[test]
+    fn dataset_serializes_to_json() {
+        let ds = VolunteerDataset {
+            volunteer: meta(),
+            loads: vec![],
+            dns: vec![],
+            traceroutes: vec![],
+            opted_out: vec![],
+            probes_enabled: false,
+        };
+        let js = serde_json::to_string_pretty(&ds).unwrap();
+        let back: VolunteerDataset = serde_json::from_str(&js).unwrap();
+        assert_eq!(ds, back);
+    }
+}

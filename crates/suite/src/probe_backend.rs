@@ -1,0 +1,111 @@
+//! Probe-backend selection: the Scapy/OS-command portability layer.
+//!
+//! §3 of the paper: Gamma prefers library-based probing (Scapy) but "the
+//! majority of features of Scapy don't work on Windows OS. To overcome
+//! this, we added functionality that uses OS-specific commands and tools
+//! to perform various measurements" — `traceroute` on Linux, `tracert` on
+//! Windows — and then normalizes the differently-shaped outputs.
+//!
+//! This module reproduces the *selection logic and capability matrix*: for
+//! a given OS and probe type, which backend runs and what command line it
+//! would issue.
+
+use crate::volunteer::Os;
+use serde::{Deserialize, Serialize};
+use std::net::Ipv4Addr;
+
+/// Active probe types C3 supports (§3 lists traceroute, ping, TLS checks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProbeKind {
+    Traceroute,
+    Ping,
+    TlsScan,
+}
+
+/// Which implementation executes a probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Backend {
+    /// Library-based probing (raw sockets).
+    Scapy,
+    /// Shelling out to the platform tool.
+    OsCommand,
+}
+
+/// Whether Scapy-style raw-socket probing works for (os, kind).
+/// Raw-socket features are broadly unavailable on Windows (§3).
+pub fn scapy_supported(os: Os, kind: ProbeKind) -> bool {
+    match (os, kind) {
+        (Os::Windows, ProbeKind::Traceroute | ProbeKind::Ping) => false,
+        // TLS scanning is plain TCP and works everywhere, but the study's
+        // tooling shells out to nmap/testssl on every platform.
+        (_, ProbeKind::TlsScan) => false,
+        _ => true,
+    }
+}
+
+/// Selects the backend for a probe on a platform: Scapy when it works,
+/// otherwise the OS command.
+pub fn select_backend(os: Os, kind: ProbeKind) -> Backend {
+    if scapy_supported(os, kind) {
+        Backend::Scapy
+    } else {
+        Backend::OsCommand
+    }
+}
+
+/// The command line the OS-command backend would run. `None` when the
+/// selected backend is Scapy (no command is shelled out).
+pub fn command_line(os: Os, kind: ProbeKind, target: Ipv4Addr) -> Option<String> {
+    if select_backend(os, kind) != Backend::OsCommand {
+        return None;
+    }
+    Some(match (os, kind) {
+        (Os::Windows, ProbeKind::Traceroute) => format!("tracert -d -w 1000 {target}"),
+        (Os::Windows, ProbeKind::Ping) => format!("ping -n 4 {target}"),
+        (_, ProbeKind::Traceroute) => format!("traceroute -n -q 3 {target}"),
+        (_, ProbeKind::Ping) => format!("ping -c 4 {target}"),
+        (_, ProbeKind::TlsScan) => format!("nmap --script ssl-enum-ciphers -p 443 {target}"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TARGET: Ipv4Addr = Ipv4Addr::new(20, 1, 2, 3);
+
+    #[test]
+    fn linux_uses_scapy_for_traceroute_and_ping() {
+        assert_eq!(select_backend(Os::Linux, ProbeKind::Traceroute), Backend::Scapy);
+        assert_eq!(select_backend(Os::Linux, ProbeKind::Ping), Backend::Scapy);
+        assert_eq!(command_line(Os::Linux, ProbeKind::Traceroute, TARGET), None);
+    }
+
+    #[test]
+    fn windows_falls_back_to_os_commands() {
+        assert_eq!(
+            select_backend(Os::Windows, ProbeKind::Traceroute),
+            Backend::OsCommand
+        );
+        let cmd = command_line(Os::Windows, ProbeKind::Traceroute, TARGET).unwrap();
+        assert!(cmd.starts_with("tracert"), "{cmd}");
+        assert!(cmd.contains("20.1.2.3"));
+        let ping = command_line(Os::Windows, ProbeKind::Ping, TARGET).unwrap();
+        assert!(ping.contains("-n 4"), "Windows ping counts with -n: {ping}");
+    }
+
+    #[test]
+    fn macos_behaves_like_linux() {
+        assert_eq!(select_backend(Os::MacOs, ProbeKind::Traceroute), Backend::Scapy);
+    }
+
+    #[test]
+    fn tls_scanning_always_shells_out_to_nmap() {
+        for os in [Os::Linux, Os::Windows, Os::MacOs] {
+            assert_eq!(select_backend(os, ProbeKind::TlsScan), Backend::OsCommand, "{os:?}");
+        }
+        let cmd = command_line(Os::Linux, ProbeKind::TlsScan, TARGET).unwrap();
+        assert!(cmd.contains("nmap"), "{cmd}");
+        assert!(cmd.contains("443"));
+    }
+}

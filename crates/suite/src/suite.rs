@@ -1,0 +1,288 @@
+//! The orchestrated Gamma run: C1 → C2 → C3 per target website.
+//!
+//! Mirrors the per-website flow of Figure 1, Box 1: load the page in an
+//! isolated browser, record the network-request domains, resolve forward
+//! and reverse DNS for each, annotate with AS data, and traceroute every
+//! resolved address (once per unique address per volunteer, like the real
+//! tool's per-run cache).
+
+use crate::config::GammaConfig;
+use crate::normalize::{parse_linux, parse_windows, render_linux, render_windows};
+use crate::output::{DnsObservation, TracerouteRecord, VolunteerDataset, VolunteerMeta};
+use crate::targets::build_targets;
+use crate::volunteer::{Os, Volunteer};
+use gamma_browser::load_page;
+use gamma_dns::DnsCache;
+use gamma_netsim::{run_traceroute, FaultConfig, LatencyModel, TracerouteResult};
+use gamma_websim::spec::TracerouteMode;
+use gamma_websim::World;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashSet;
+use std::net::Ipv4Addr;
+
+/// Runs Gamma for one volunteer over their country's target list.
+pub fn run_volunteer(world: &World, volunteer: &Volunteer, config: &GammaConfig) -> VolunteerDataset {
+    run_volunteer_from(world, volunteer, config, 0)
+}
+
+/// Resumable variant: skips the first `skip_sites` targets (the checkpoint
+/// mechanism of §3.3: "Gamma is designed to resume from where it was last
+/// stopped").
+pub fn run_volunteer_from(
+    world: &World,
+    volunteer: &Volunteer,
+    config: &GammaConfig,
+    skip_sites: usize,
+) -> VolunteerDataset {
+    config.validate().expect("invalid Gamma configuration");
+    let cs = world
+        .spec
+        .country(volunteer.country)
+        .expect("volunteer country must be in the spec");
+    let mut rng = ChaCha8Rng::seed_from_u64(
+        config.seed ^ u64::from(volunteer.country.0[0]) << 16 ^ u64::from(volunteer.country.0[1]),
+    );
+
+    let targets = build_targets(world, volunteer.country, &mut rng)
+        .expect("volunteer country has targets");
+    let mut dataset = VolunteerDataset {
+        volunteer: VolunteerMeta::from(volunteer),
+        loads: Vec::new(),
+        dns: Vec::new(),
+        traceroutes: Vec::new(),
+        opted_out: targets
+            .opted_out
+            .iter()
+            .map(|s| world.site(*s).domain.clone())
+            .collect(),
+        probes_enabled: config.launch_probes
+            && volunteer.traceroute_mode != TracerouteMode::OptOut,
+    };
+
+    let model = LatencyModel::default();
+    let fault = match volunteer.traceroute_mode {
+        TracerouteMode::Firewalled => FaultConfig {
+            firewall_blocks_traceroute: true,
+            ..config.fault
+        },
+        _ => config.fault,
+    };
+    let mut dns_cache = DnsCache::new();
+    let mut probed: HashSet<Ipv4Addr> = HashSet::new();
+
+    for sid in targets.all().skip(skip_sites) {
+        let site = world.site(sid);
+        // --- C1: browser-level interaction ---
+        let load = load_page(site, &config.browser, cs.load_success_rate, &mut rng);
+        let requests = load.requests.clone();
+        dataset.loads.push(load);
+        if !config.gather_network_info {
+            continue;
+        }
+        // --- C2: network information gathering ---
+        for request in requests {
+            let replica = dns_cache
+                .resolve_with(&request, || world.resolve_fuzzy(&request, volunteer.city));
+            let ip = replica.map(|r| r.addr);
+            dataset.dns.push(DnsObservation {
+                site: site.domain.clone(),
+                request: request.clone(),
+                rdns: ip.and_then(|a| world.rdns_of(a).map(str::to_string)),
+                asn: ip.and_then(|a| world.asn_of(a)),
+                ip,
+            });
+            // --- C3: measurement probes (once per unique address) ---
+            let (Some(addr), true) = (ip, dataset.probes_enabled) else {
+                continue;
+            };
+            if !probed.insert(addr) {
+                continue;
+            }
+            let Some(true_city) = world.true_city(addr) else {
+                continue;
+            };
+            let src = gamma_geo::city(volunteer.city);
+            let dst = gamma_geo::city(true_city);
+            let route = gamma_netsim::synthesize_route(src, dst);
+            let result = run_traceroute(
+                &route,
+                addr,
+                &model,
+                volunteer.access,
+                &fault,
+                &|c| world.router_ip_of(c),
+                &mut rng,
+            );
+            dataset.traceroutes.push(capture(volunteer.os, &result));
+        }
+    }
+    dataset
+}
+
+/// Renders the OS-appropriate command output and parses it back — the
+/// normalization layer is on the critical path, as in the real tool.
+fn capture(os: Os, result: &TracerouteResult) -> TracerouteRecord {
+    let (raw_text, normalized) = match os {
+        Os::Windows => {
+            let raw = render_windows(result);
+            let n = parse_windows(&raw).expect("tracert output parses");
+            (raw, n)
+        }
+        // macOS traceroute output is Linux-shaped for our purposes.
+        Os::Linux | Os::MacOs => {
+            let raw = render_linux(result);
+            let n = parse_linux(&raw).expect("traceroute output parses");
+            (raw, n)
+        }
+    };
+    TracerouteRecord {
+        target_ip: result.dst,
+        raw_text,
+        normalized,
+    }
+}
+
+/// Runs the whole study: every volunteer in the roster.
+pub fn run_all_volunteers(world: &World, config: &GammaConfig) -> Vec<VolunteerDataset> {
+    Volunteer::roster(world)
+        .iter()
+        .map(|v| run_volunteer(world, v, config))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gamma_geo::CountryCode;
+    use gamma_websim::{worldgen, WorldSpec};
+
+    fn world() -> World {
+        worldgen::generate(&WorldSpec::paper_default(11))
+    }
+
+    fn run(world: &World, cc: &str) -> VolunteerDataset {
+        let v = Volunteer::for_country(world, CountryCode::new(cc), 0).unwrap();
+        run_volunteer(world, &v, &GammaConfig::paper_default(1))
+    }
+
+    #[test]
+    fn thailand_run_produces_all_record_kinds() {
+        let w = world();
+        let ds = run(&w, "TH");
+        assert!(ds.loads.len() > 80, "{} loads", ds.loads.len());
+        assert!(ds.dns.len() > 300, "{} dns observations", ds.dns.len());
+        assert!(!ds.traceroutes.is_empty());
+        assert!(ds.probes_enabled);
+        // Per-run DNS consistency: a domain resolves to one address.
+        let mut by_domain = std::collections::HashMap::new();
+        for d in &ds.dns {
+            if let Some(ip) = d.ip {
+                let prev = by_domain.insert(d.request.clone(), ip);
+                if let Some(p) = prev {
+                    assert_eq!(p, ip, "{} resolved inconsistently", d.request);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn traceroutes_are_deduplicated_per_address() {
+        let w = world();
+        let ds = run(&w, "TH");
+        let mut seen = std::collections::HashSet::new();
+        for t in &ds.traceroutes {
+            assert!(seen.insert(t.target_ip), "{} probed twice", t.target_ip);
+        }
+    }
+
+    #[test]
+    fn egypt_volunteer_launches_no_probes() {
+        let w = world();
+        // Egypt is spec index 2 -> same roster position as the study's.
+        let v = Volunteer::for_country(&w, CountryCode::new("EG"), 2).unwrap();
+        let ds = run_volunteer(&w, &v, &GammaConfig::paper_default(1));
+        assert!(!ds.probes_enabled);
+        assert!(ds.traceroutes.is_empty());
+        assert!(!ds.dns.is_empty(), "C1/C2 still run");
+    }
+
+    #[test]
+    fn firewalled_volunteer_records_failed_traceroutes() {
+        let w = world();
+        let v = Volunteer::for_country(&w, CountryCode::new("AU"), 11).unwrap();
+        let ds = run_volunteer(&w, &v, &GammaConfig::paper_default(1));
+        assert!(ds.probes_enabled);
+        assert!(!ds.traceroutes.is_empty());
+        for t in &ds.traceroutes {
+            assert!(!t.normalized.reached, "firewalled probe reached {}", t.target_ip);
+            assert!(t.normalized.hops.is_empty());
+        }
+    }
+
+    #[test]
+    fn saudi_coverage_is_much_lower_than_uk() {
+        let w = world();
+        let sa = run(&w, "SA").load_coverage();
+        let gb = run(&w, "GB").load_coverage();
+        assert!(sa < 0.76, "SA coverage {sa}");
+        assert!(gb > 0.86, "GB coverage {gb}");
+        assert!(sa + 0.15 < gb, "SA {sa} not clearly below GB {gb}");
+    }
+
+    #[test]
+    fn windows_volunteer_captures_tracert_text() {
+        let w = world();
+        let v = Volunteer::for_country(&w, CountryCode::new("TH"), 0).unwrap();
+        assert_eq!(v.os, Os::Windows);
+        let ds = run_volunteer(&w, &v, &GammaConfig::paper_default(1));
+        let reached = ds.traceroutes.iter().find(|t| t.normalized.reached).unwrap();
+        assert!(reached.raw_text.contains("Tracing route to"));
+        assert!(reached.raw_text.contains("Trace complete."));
+    }
+
+    #[test]
+    fn linux_volunteer_captures_traceroute_text() {
+        let w = world();
+        let v = Volunteer::for_country(&w, CountryCode::new("GB"), 1).unwrap();
+        assert_eq!(v.os, Os::Linux);
+        let ds = run_volunteer(&w, &v, &GammaConfig::paper_default(1));
+        let any = ds.traceroutes.first().unwrap();
+        assert!(any.raw_text.starts_with("traceroute to"));
+    }
+
+    #[test]
+    fn resume_skips_already_processed_sites() {
+        let w = world();
+        let v = Volunteer::for_country(&w, CountryCode::new("LB"), 22).unwrap();
+        let cfg = GammaConfig::paper_default(9);
+        let full = run_volunteer(&w, &v, &cfg);
+        let resumed = run_volunteer_from(&w, &v, &cfg, 10);
+        assert_eq!(resumed.loads.len() + 10, full.loads.len());
+    }
+
+    #[test]
+    fn c1_only_configuration_skips_dns_and_probes() {
+        let w = world();
+        let v = Volunteer::for_country(&w, CountryCode::new("TH"), 0).unwrap();
+        let cfg = GammaConfig {
+            gather_network_info: false,
+            launch_probes: false,
+            ..GammaConfig::paper_default(1)
+        };
+        let ds = run_volunteer(&w, &v, &cfg);
+        assert!(!ds.loads.is_empty());
+        assert!(ds.dns.is_empty());
+        assert!(ds.traceroutes.is_empty());
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let w = world();
+        let v = Volunteer::for_country(&w, CountryCode::new("PK"), 17).unwrap();
+        let cfg = GammaConfig::paper_default(5);
+        let a = run_volunteer(&w, &v, &cfg);
+        let b = run_volunteer(&w, &v, &cfg);
+        assert_eq!(a, b);
+    }
+}

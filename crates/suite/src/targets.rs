@@ -1,0 +1,109 @@
+//! Target-list assembly with volunteer opt-outs.
+//!
+//! The worldgen already applied §3.2's selection procedure (rankings, gov
+//! TLD filtering, adult/banned removal); this module applies the last
+//! human step: "Volunteers are provided with the T_web list and can opt
+//! out from accessing any number of the websites" — 0.99% across the study
+//! (§5).
+
+use gamma_geo::CountryCode;
+use gamma_websim::{SiteId, World};
+use rand::Rng;
+
+/// A volunteer's effective target list after opt-outs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EffectiveTargets {
+    pub regional: Vec<SiteId>,
+    pub government: Vec<SiteId>,
+    pub opted_out: Vec<SiteId>,
+}
+
+impl EffectiveTargets {
+    pub fn all(&self) -> impl Iterator<Item = SiteId> + '_ {
+        self.regional.iter().chain(self.government.iter()).copied()
+    }
+
+    pub fn len(&self) -> usize {
+        self.regional.len() + self.government.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Builds the target list for a country, removing each site with the
+/// spec's opt-out probability.
+pub fn build_targets<R: Rng + ?Sized>(
+    world: &World,
+    country: CountryCode,
+    rng: &mut R,
+) -> Option<EffectiveTargets> {
+    let list = world.targets.get(&country)?;
+    let rate = world.spec.opt_out_rate;
+    let mut opted_out = Vec::new();
+    let mut keep = |ids: &[SiteId], rng: &mut R| -> Vec<SiteId> {
+        ids.iter()
+            .filter(|&&s| {
+                if rng.gen::<f64>() < rate {
+                    opted_out.push(s);
+                    false
+                } else {
+                    true
+                }
+            })
+            .copied()
+            .collect()
+    };
+    let regional = keep(&list.regional, rng);
+    let government = keep(&list.government, rng);
+    Some(EffectiveTargets {
+        regional,
+        government,
+        opted_out,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gamma_websim::{worldgen, WorldSpec};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn opt_outs_are_rare() {
+        let world = worldgen::generate(&WorldSpec::paper_default(3));
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut total = 0usize;
+        let mut out = 0usize;
+        for cs in &world.spec.countries {
+            let t = build_targets(&world, cs.country, &mut rng).unwrap();
+            total += t.len() + t.opted_out.len();
+            out += t.opted_out.len();
+        }
+        let rate = out as f64 / total as f64;
+        // §5: "only 0.99% of the websites".
+        assert!(rate < 0.03, "opt-out rate {rate}");
+    }
+
+    #[test]
+    fn opted_out_sites_leave_the_list() {
+        let mut spec = WorldSpec::paper_default(3);
+        spec.opt_out_rate = 0.5;
+        let world = worldgen::generate(&spec);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let t = build_targets(&world, CountryCode::new("TH"), &mut rng).unwrap();
+        assert!(!t.opted_out.is_empty());
+        for s in &t.opted_out {
+            assert!(!t.all().any(|x| x == *s));
+        }
+    }
+
+    #[test]
+    fn unknown_country_returns_none() {
+        let world = worldgen::generate(&WorldSpec::paper_default(3));
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        assert!(build_targets(&world, CountryCode::new("XX"), &mut rng).is_none());
+    }
+}

@@ -1,0 +1,142 @@
+//! Volunteers: the in-country vantage points.
+//!
+//! One volunteer per country (one covered two in the study, §3.3). Each
+//! runs Gamma on their own machine and Internet connection — the paper's
+//! central methodological move against VPN/proxy/cloud distortion (§2.2).
+
+use gamma_geo::{CityId, CountryCode};
+use gamma_netsim::{AccessQuality, Asn};
+use gamma_websim::spec::TracerouteMode;
+use gamma_websim::World;
+use serde::{Deserialize, Serialize};
+use std::net::Ipv4Addr;
+
+/// Operating system of the volunteer machine; drives which traceroute
+/// flavour Gamma shells out to (§3: `traceroute` vs `tracert`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Os {
+    Linux,
+    Windows,
+    MacOs,
+}
+
+impl Os {
+    /// Deterministic OS assignment for the i-th volunteer (the study's
+    /// volunteers ran a mix; Windows is the common case).
+    pub fn for_index(i: usize) -> Os {
+        match i % 3 {
+            0 => Os::Windows,
+            1 => Os::Linux,
+            _ => Os::MacOs,
+        }
+    }
+}
+
+/// A volunteer vantage point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Volunteer {
+    pub country: CountryCode,
+    /// Disclosed city (§4: "We ask the volunteer to disclose their city").
+    pub city: CityId,
+    pub os: Os,
+    pub access: AccessQuality,
+    /// Access-network AS.
+    pub asn: Asn,
+    /// The volunteer's public address, logged by the tool and anonymized
+    /// after analysis (§3.5).
+    pub ip: Ipv4Addr,
+    /// Traceroute behaviour at this vantage (§4.1.1).
+    pub traceroute_mode: TracerouteMode,
+}
+
+/// First AS number used for volunteer access networks.
+const FIRST_EYEBALL_ASN: u32 = 7_000;
+
+impl Volunteer {
+    /// Builds the volunteer for a measurement country from the world spec.
+    pub fn for_country(world: &World, country: CountryCode, index: usize) -> Option<Volunteer> {
+        let cs = world.spec.country(country)?;
+        let city = world.volunteer_city(country)?;
+        // CGNAT-style address: distinct per volunteer, outside the
+        // registry's server space (volunteers are behind NAT, §3.5).
+        let ip = Ipv4Addr::new(100, 64 + (index as u8 % 32), index as u8, 23);
+        Some(Volunteer {
+            country,
+            city,
+            os: Os::for_index(index),
+            access: cs.access,
+            asn: Asn(FIRST_EYEBALL_ASN + index as u32),
+            ip,
+            traceroute_mode: cs.traceroute,
+        })
+    }
+
+    /// All volunteers of the study, in spec order.
+    pub fn roster(world: &World) -> Vec<Volunteer> {
+        world
+            .spec
+            .countries
+            .iter()
+            .enumerate()
+            .filter_map(|(i, cs)| Volunteer::for_country(world, cs.country, i))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gamma_websim::{worldgen, WorldSpec};
+
+    fn world() -> World {
+        worldgen::generate(&WorldSpec::paper_default(5))
+    }
+
+    #[test]
+    fn roster_covers_all_countries() {
+        let w = world();
+        let roster = Volunteer::roster(&w);
+        assert_eq!(roster.len(), 23);
+        let mut seen = std::collections::HashSet::new();
+        for v in &roster {
+            assert!(seen.insert(v.country), "duplicate volunteer for {}", v.country);
+            assert_eq!(gamma_geo::city(v.city).country, v.country);
+        }
+    }
+
+    #[test]
+    fn volunteer_ips_are_distinct_and_private_range() {
+        let w = world();
+        let roster = Volunteer::roster(&w);
+        let mut ips = std::collections::HashSet::new();
+        for v in &roster {
+            assert!(ips.insert(v.ip), "duplicate IP {}", v.ip);
+            assert_eq!(v.ip.octets()[0], 100, "{} not CGNAT-like", v.ip);
+            // Volunteer addresses never collide with the server registry.
+            assert!(w.true_city(v.ip).is_none());
+        }
+    }
+
+    #[test]
+    fn traceroute_modes_follow_spec() {
+        let w = world();
+        let eg = Volunteer::for_country(&w, CountryCode::new("EG"), 2).unwrap();
+        assert_eq!(eg.traceroute_mode, TracerouteMode::OptOut);
+        let au = Volunteer::for_country(&w, CountryCode::new("AU"), 11).unwrap();
+        assert_eq!(au.traceroute_mode, TracerouteMode::Firewalled);
+    }
+
+    #[test]
+    fn os_assignment_cycles() {
+        assert_eq!(Os::for_index(0), Os::Windows);
+        assert_eq!(Os::for_index(1), Os::Linux);
+        assert_eq!(Os::for_index(2), Os::MacOs);
+        assert_eq!(Os::for_index(3), Os::Windows);
+    }
+
+    #[test]
+    fn unknown_country_yields_none() {
+        let w = world();
+        assert!(Volunteer::for_country(&w, CountryCode::new("XX"), 0).is_none());
+    }
+}

@@ -1,0 +1,634 @@
+//! Adblock Plus filter syntax: parser and matching engine.
+//!
+//! Supports the subset of the syntax that EasyList and EasyPrivacy rely on
+//! for network-request blocking (the lists "are designed to block ad
+//! scripts, ad images, analytics scripts, fingerprinting ..." — §4.2):
+//!
+//! - `! comment` and `[Adblock Plus 2.0]` headers
+//! - `||domain^...` domain-anchored rules (match at hostname label
+//!   boundaries, including subdomains)
+//! - `|https://...` start-anchored rules and trailing `|` end anchors
+//! - plain substring rules with `*` wildcards and `^` separator class
+//! - `@@` exception rules (take precedence over blocks)
+//! - `$third-party`, `$~third-party`, `$domain=a.com|~b.com` options;
+//!   resource-type options (`script`, `image`, ...) are parsed and ignored
+//! - element-hiding rules (`##`, `#@#`) are recognized and skipped
+
+use serde::{Deserialize, Serialize};
+
+/// A parsed filter rule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Rule {
+    /// Original text, for reporting.
+    pub raw: String,
+    /// `@@` exception?
+    pub exception: bool,
+    anchor: Anchor,
+    tokens: Vec<Tok>,
+    /// `Some(true)` = only third-party requests; `Some(false)` = only
+    /// first-party.
+    third_party: Option<bool>,
+    include_domains: Vec<String>,
+    exclude_domains: Vec<String>,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum Anchor {
+    /// `||domain` — match at a hostname label boundary.
+    Domain(String),
+    /// `|prefix` — match at the start of the URL.
+    Start,
+    /// Unanchored substring.
+    None,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum Tok {
+    Lit(String),
+    /// `*`
+    Star,
+    /// `^` — any separator character or the end of the URL.
+    Sep,
+    /// trailing `|`
+    End,
+}
+
+/// Why a line did not produce a rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseOutcome {
+    Comment,
+    Header,
+    ElementHiding,
+    Empty,
+}
+
+/// Matching context for one network request.
+#[derive(Debug, Clone, Copy)]
+pub struct MatchContext<'a> {
+    /// Full request URL.
+    pub url: &'a str,
+    /// Request hostname.
+    pub host: &'a str,
+    /// Registrable domain of the page the request fired from.
+    pub first_party: &'a str,
+    /// Whether the request is third-party relative to the page.
+    pub is_third_party: bool,
+}
+
+/// The verdict for a request.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Decision {
+    /// A blocking rule matched (and no exception): the request is an
+    /// ad/tracking request. Carries the rule text.
+    Blocked(String),
+    /// An exception rule matched.
+    Allowed(String),
+    /// No rule matched.
+    None,
+}
+
+impl Rule {
+    /// Parses one filter line. `Ok(None)`-like outcomes (comments, headers,
+    /// cosmetic rules) come back as `Err(ParseOutcome)`.
+    pub fn parse(line: &str) -> Result<Rule, ParseOutcome> {
+        let line = line.trim();
+        if line.is_empty() {
+            return Err(ParseOutcome::Empty);
+        }
+        if line.starts_with('!') {
+            return Err(ParseOutcome::Comment);
+        }
+        if line.starts_with('[') && line.ends_with(']') {
+            return Err(ParseOutcome::Header);
+        }
+        if line.contains("##") || line.contains("#@#") || line.contains("#?#") {
+            return Err(ParseOutcome::ElementHiding);
+        }
+        let raw = line.to_string();
+        let (mut body, exception) = match line.strip_prefix("@@") {
+            Some(rest) => (rest, true),
+            None => (line, false),
+        };
+
+        let mut third_party = None;
+        let mut include_domains = Vec::new();
+        let mut exclude_domains = Vec::new();
+        if let Some(dollar) = body.rfind('$') {
+            // Only treat as options when the tail looks like options (avoids
+            // mangling URLs containing `$`).
+            let (head, opts) = body.split_at(dollar);
+            let opts = &opts[1..];
+            if opts
+                .split(',')
+                .all(|o| !o.is_empty() && o.chars().all(|c| c.is_ascii_alphanumeric() || "~-=|._".contains(c)))
+            {
+                for opt in opts.split(',') {
+                    match opt {
+                        "third-party" => third_party = Some(true),
+                        "~third-party" => third_party = Some(false),
+                        _ => {
+                            if let Some(domains) = opt.strip_prefix("domain=") {
+                                for d in domains.split('|') {
+                                    match d.strip_prefix('~') {
+                                        Some(ex) => exclude_domains.push(ex.to_ascii_lowercase()),
+                                        None => include_domains.push(d.to_ascii_lowercase()),
+                                    }
+                                }
+                            }
+                            // type options (script, image, xmlhttprequest,
+                            // popup, ...) are accepted and ignored
+                        }
+                    }
+                }
+                body = head;
+            }
+        }
+
+        let (anchor, rest) = if let Some(r) = body.strip_prefix("||") {
+            // The domain part runs until the first special character.
+            let cut = r
+                .find(|c: char| c == '^' || c == '*' || c == '/' || c == '|')
+                .unwrap_or(r.len());
+            let (domain, tail) = r.split_at(cut);
+            (Anchor::Domain(domain.to_ascii_lowercase()), tail)
+        } else if let Some(r) = body.strip_prefix('|') {
+            (Anchor::Start, r)
+        } else {
+            (Anchor::None, body)
+        };
+
+        let mut tokens = Vec::new();
+        let mut lit = String::new();
+        let mut chars = rest.chars().peekable();
+        while let Some(c) = chars.next() {
+            match c {
+                '*' => {
+                    flush(&mut tokens, &mut lit);
+                    if tokens.last() != Some(&Tok::Star) {
+                        tokens.push(Tok::Star);
+                    }
+                }
+                '^' => {
+                    flush(&mut tokens, &mut lit);
+                    tokens.push(Tok::Sep);
+                }
+                '|' if chars.peek().is_none() => {
+                    flush(&mut tokens, &mut lit);
+                    tokens.push(Tok::End);
+                }
+                _ => lit.push(c.to_ascii_lowercase()),
+            }
+        }
+        flush(&mut tokens, &mut lit);
+
+        Ok(Rule {
+            raw,
+            exception,
+            anchor,
+            tokens,
+            third_party,
+            include_domains,
+            exclude_domains,
+        })
+    }
+
+    /// The anchored domain, if this is a `||domain` rule (used to index).
+    pub fn anchored_domain(&self) -> Option<&str> {
+        match &self.anchor {
+            Anchor::Domain(d) => Some(d),
+            _ => None,
+        }
+    }
+
+    /// Whether this rule matches the request.
+    pub fn matches(&self, ctx: &MatchContext<'_>) -> bool {
+        if let Some(tp) = self.third_party {
+            if ctx.is_third_party != tp {
+                return false;
+            }
+        }
+        if !self.include_domains.is_empty()
+            && !self
+                .include_domains
+                .iter()
+                .any(|d| domain_or_subdomain(ctx.first_party, d))
+        {
+            return false;
+        }
+        if self
+            .exclude_domains
+            .iter()
+            .any(|d| domain_or_subdomain(ctx.first_party, d))
+        {
+            return false;
+        }
+        let url = ctx.url.to_ascii_lowercase();
+        match &self.anchor {
+            Anchor::Domain(d) => {
+                if !domain_or_subdomain(ctx.host, d) {
+                    return false;
+                }
+                // The anchored domain is a suffix of the host, so the
+                // pattern tail begins right after the host within the URL.
+                let Some(host_pos) = url.find(ctx.host.to_ascii_lowercase().as_str()) else {
+                    return false;
+                };
+                match_tokens(&self.tokens, url.as_bytes(), host_pos + ctx.host.len())
+            }
+            Anchor::Start => match_tokens(&self.tokens, url.as_bytes(), 0),
+            Anchor::None => {
+                if self.tokens.is_empty() {
+                    return true;
+                }
+                // Try every start position (first literal narrows this in
+                // practice; URLs are short).
+                (0..=url.len()).any(|i| match_tokens(&self.tokens, url.as_bytes(), i))
+            }
+        }
+    }
+}
+
+fn flush(tokens: &mut Vec<Tok>, lit: &mut String) {
+    if !lit.is_empty() {
+        tokens.push(Tok::Lit(std::mem::take(lit)));
+    }
+}
+
+/// `host` equals `domain` or is a subdomain of it (label boundary).
+fn domain_or_subdomain(host: &str, domain: &str) -> bool {
+    let host = host.to_ascii_lowercase();
+    host == domain
+        || (host.len() > domain.len()
+            && host.ends_with(domain)
+            && host.as_bytes()[host.len() - domain.len() - 1] == b'.')
+}
+
+/// ABP separator class: anything that is not alphanumeric, `_`, `-`, `.`,
+/// or `%`; also matches the end of the URL.
+fn is_separator(b: u8) -> bool {
+    !(b.is_ascii_alphanumeric() || b == b'_' || b == b'-' || b == b'.' || b == b'%')
+}
+
+/// Token matcher with `*` backtracking.
+fn match_tokens(tokens: &[Tok], s: &[u8], at: usize) -> bool {
+    match tokens.first() {
+        None => true,
+        Some(Tok::End) => at == s.len(),
+        Some(Tok::Sep) => {
+            if at == s.len() {
+                // `^` may match end-of-address; remaining tokens must also
+                // accept emptiness.
+                tokens[1..]
+                    .iter()
+                    .all(|t| matches!(t, Tok::Star | Tok::Sep | Tok::End))
+            } else if is_separator(s[at]) {
+                match_tokens(&tokens[1..], s, at + 1)
+            } else {
+                false
+            }
+        }
+        Some(Tok::Star) => (at..=s.len()).any(|i| match_tokens(&tokens[1..], s, i)),
+        Some(Tok::Lit(l)) => {
+            let lb = l.as_bytes();
+            at + lb.len() <= s.len()
+                && &s[at..at + lb.len()] == lb
+                && match_tokens(&tokens[1..], s, at + lb.len())
+        }
+    }
+}
+
+/// A compiled filter list with a domain index for fast lookups.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct FilterSet {
+    rules: Vec<Rule>,
+    /// `||domain` rules indexed by their anchored domain.
+    #[serde(skip)]
+    domain_index: std::collections::HashMap<String, Vec<usize>>,
+    /// Rules that must be tried against every request.
+    #[serde(skip)]
+    generic: Vec<usize>,
+}
+
+impl FilterSet {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Parses a whole list document, ignoring comments/headers/cosmetics.
+    pub fn parse_list(text: &str) -> FilterSet {
+        let mut set = FilterSet::new();
+        for line in text.lines() {
+            if let Ok(rule) = Rule::parse(line) {
+                set.add(rule);
+            }
+        }
+        set
+    }
+
+    /// Merges another list into this one (easylist + easyprivacy +
+    /// regional lists are applied as a union, §4.2).
+    pub fn extend_from(&mut self, other: &FilterSet) {
+        for r in &other.rules {
+            self.add(r.clone());
+        }
+    }
+
+    pub fn add(&mut self, rule: Rule) {
+        let idx = self.rules.len();
+        match rule.anchored_domain() {
+            Some(d) => self.domain_index.entry(d.to_string()).or_default().push(idx),
+            None => self.generic.push(idx),
+        }
+        self.rules.push(rule);
+    }
+
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Evaluates a request. Exceptions win over blocks.
+    pub fn matches(&self, ctx: &MatchContext<'_>) -> Decision {
+        let mut blocked: Option<&Rule> = None;
+        // Walk the host's domain chain through the index.
+        let host = ctx.host.to_ascii_lowercase();
+        let mut labels: Vec<&str> = host.split('.').collect();
+        while labels.len() >= 2 {
+            let key = labels.join(".");
+            if let Some(idxs) = self.domain_index.get(&key) {
+                for &i in idxs {
+                    let rule = &self.rules[i];
+                    if rule.matches(ctx) {
+                        if rule.exception {
+                            return Decision::Allowed(rule.raw.clone());
+                        }
+                        blocked.get_or_insert(rule);
+                    }
+                }
+            }
+            labels.remove(0);
+        }
+        for &i in &self.generic {
+            let rule = &self.rules[i];
+            if rule.matches(ctx) {
+                if rule.exception {
+                    return Decision::Allowed(rule.raw.clone());
+                }
+                blocked.get_or_insert(rule);
+            }
+        }
+        match blocked {
+            Some(r) => Decision::Blocked(r.raw.clone()),
+            None => Decision::None,
+        }
+    }
+
+    /// Rebuilds indexes after deserialization.
+    pub fn rebuild_index(&mut self) {
+        self.domain_index.clear();
+        self.generic.clear();
+        for (idx, rule) in self.rules.iter().enumerate() {
+            match rule.anchored_domain() {
+                Some(d) => self
+                    .domain_index
+                    .entry(d.to_string())
+                    .or_default()
+                    .push(idx),
+                None => self.generic.push(idx),
+            }
+        }
+    }
+}
+
+/// Convenience: evaluate a bare host as if requested from a page.
+pub fn host_request<'a>(url: &'a str, host: &'a str, first_party: &'a str) -> MatchContext<'a> {
+    MatchContext {
+        url,
+        host,
+        first_party,
+        is_third_party: !domain_or_subdomain(host, first_party),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn ctx<'a>(url: &'a str, host: &'a str, fp: &'a str) -> MatchContext<'a> {
+        host_request(url, host, fp)
+    }
+
+    #[test]
+    fn comments_and_headers_are_skipped() {
+        assert_eq!(Rule::parse("! EasyList"), Err(ParseOutcome::Comment));
+        assert_eq!(Rule::parse("[Adblock Plus 2.0]"), Err(ParseOutcome::Header));
+        assert_eq!(Rule::parse("example.com##.ad"), Err(ParseOutcome::ElementHiding));
+        assert_eq!(Rule::parse("   "), Err(ParseOutcome::Empty));
+    }
+
+    #[test]
+    fn domain_anchor_matches_domain_and_subdomains() {
+        let r = Rule::parse("||doubleclick.net^").unwrap();
+        assert!(r.matches(&ctx("https://doubleclick.net/ad", "doubleclick.net", "news.com")));
+        assert!(r.matches(&ctx(
+            "https://stats.g.doubleclick.net/pixel",
+            "stats.g.doubleclick.net",
+            "news.com"
+        )));
+        assert!(!r.matches(&ctx(
+            "https://notdoubleclick.net/x",
+            "notdoubleclick.net",
+            "news.com"
+        )));
+    }
+
+    #[test]
+    fn separator_semantics() {
+        let r = Rule::parse("||ads.example.com^").unwrap();
+        // `^` matches '/', ':', '?' and end-of-address...
+        assert!(r.matches(&ctx("http://ads.example.com/banner", "ads.example.com", "a.com")));
+        assert!(r.matches(&ctx("http://ads.example.com", "ads.example.com", "a.com")));
+        assert!(r.matches(&ctx("http://ads.example.com:8080/x", "ads.example.com", "a.com")));
+        // ...but not ordinary hostname characters.
+        assert!(!r.matches(&ctx(
+            "http://ads.example.company.org/x",
+            "ads.example.company.org",
+            "a.com"
+        )));
+    }
+
+    #[test]
+    fn wildcard_rules() {
+        let r = Rule::parse("/ads/*/banner.").unwrap();
+        assert!(r.matches(&ctx(
+            "https://cdn.site.com/ads/2024/banner.png",
+            "cdn.site.com",
+            "site.com"
+        )));
+        assert!(!r.matches(&ctx("https://cdn.site.com/ads/x.js", "cdn.site.com", "site.com")));
+    }
+
+    #[test]
+    fn start_and_end_anchors() {
+        let start = Rule::parse("|https://tracker.").unwrap();
+        assert!(start.matches(&ctx("https://tracker.io/t", "tracker.io", "a.com")));
+        assert!(!start.matches(&ctx("https://www.tracker.io/t", "www.tracker.io", "a.com")));
+        let end = Rule::parse("track.js|").unwrap();
+        assert!(end.matches(&ctx("https://x.com/track.js", "x.com", "a.com")));
+        assert!(!end.matches(&ctx("https://x.com/track.js?v=1", "x.com", "a.com")));
+    }
+
+    #[test]
+    fn third_party_option() {
+        let r = Rule::parse("||social-widgets.net^$third-party").unwrap();
+        assert!(r.matches(&ctx(
+            "https://social-widgets.net/btn",
+            "social-widgets.net",
+            "blog.com"
+        )));
+        // First-party use of the same host is exempt.
+        assert!(!r.matches(&ctx(
+            "https://social-widgets.net/btn",
+            "social-widgets.net",
+            "social-widgets.net"
+        )));
+        let fp_only = Rule::parse("||self-analytics.io^$~third-party").unwrap();
+        assert!(fp_only.matches(&ctx(
+            "https://self-analytics.io/x",
+            "self-analytics.io",
+            "self-analytics.io"
+        )));
+        assert!(!fp_only.matches(&ctx(
+            "https://self-analytics.io/x",
+            "self-analytics.io",
+            "other.com"
+        )));
+    }
+
+    #[test]
+    fn domain_option_includes_and_excludes() {
+        let r = Rule::parse("||regionads.com^$domain=news-eg.com|~sports-eg.com").unwrap();
+        assert!(r.matches(&ctx("https://regionads.com/t", "regionads.com", "news-eg.com")));
+        assert!(!r.matches(&ctx("https://regionads.com/t", "regionads.com", "sports-eg.com")));
+        assert!(!r.matches(&ctx("https://regionads.com/t", "regionads.com", "unrelated.com")));
+    }
+
+    #[test]
+    fn exceptions_override_blocks() {
+        let mut set = FilterSet::new();
+        set.add(Rule::parse("||cdn.example.net^").unwrap());
+        set.add(Rule::parse("@@||cdn.example.net/fonts/$~third-party").unwrap());
+        let blocked = set.matches(&ctx(
+            "https://cdn.example.net/ads/x.js",
+            "cdn.example.net",
+            "a.com"
+        ));
+        assert!(matches!(blocked, Decision::Blocked(_)));
+        let allowed = set.matches(&ctx(
+            "https://cdn.example.net/fonts/a.woff",
+            "cdn.example.net",
+            "example.net"
+        ));
+        assert!(matches!(allowed, Decision::Allowed(_)));
+    }
+
+    #[test]
+    fn type_options_are_tolerated() {
+        let r = Rule::parse("||adimg.net^$image,script,third-party").unwrap();
+        assert!(r.matches(&ctx("https://adimg.net/1.gif", "adimg.net", "a.com")));
+    }
+
+    #[test]
+    fn filter_set_walks_the_domain_chain() {
+        let set = FilterSet::parse_list(
+            "! test list\n||googlesyndication.com^\n||smaato.net^$third-party\n",
+        );
+        assert_eq!(set.len(), 2);
+        let d = set.matches(&ctx(
+            "https://693.safeframe.googlesyndication.com/sf.html",
+            "693.safeframe.googlesyndication.com",
+            "news.com"
+        ));
+        assert!(matches!(d, Decision::Blocked(r) if r.contains("googlesyndication")));
+        assert_eq!(
+            set.matches(&ctx("https://example.org/", "example.org", "news.com")),
+            Decision::None
+        );
+    }
+
+    #[test]
+    fn serde_roundtrip_with_index_rebuild() {
+        let set = FilterSet::parse_list("||tracker.io^\nbanner-rotator\n");
+        let js = serde_json::to_string(&set).unwrap();
+        let mut back: FilterSet = serde_json::from_str(&js).unwrap();
+        back.rebuild_index();
+        let d = back.matches(&ctx("https://tracker.io/", "tracker.io", "a.com"));
+        assert!(matches!(d, Decision::Blocked(_)));
+        let g = back.matches(&ctx("https://x.com/banner-rotator.js", "x.com", "a.com"));
+        assert!(matches!(g, Decision::Blocked(_)));
+    }
+
+    proptest! {
+        #[test]
+        fn exceptions_always_override_blocks(dom in "[a-z]{3,10}", sub in "[a-z]{1,6}") {
+            let mut set = FilterSet::new();
+            set.add(Rule::parse(&format!("||{dom}.com^")).unwrap());
+            set.add(Rule::parse(&format!("@@||{dom}.com^")).unwrap());
+            let host = format!("{sub}.{dom}.com");
+            let url = format!("https://{host}/x.js");
+            let d = set.matches(&ctx(&url, &host, "site.org"));
+            prop_assert!(matches!(d, Decision::Allowed(_)), "{:?}", d);
+        }
+
+        #[test]
+        fn separator_never_matches_hostname_chars(c in "[a-z0-9]") {
+            // `^` must not match ordinary hostname characters.
+            let rule = Rule::parse("||ads.example.com^").unwrap();
+            let host = format!("ads.example.com{c}x.org");
+            let url = format!("https://{host}/");
+            prop_assert!(!rule.matches(&ctx(&url, &host, "a.com")));
+        }
+
+        #[test]
+        fn third_party_rules_never_fire_first_party(dom in "[a-z]{3,10}") {
+            let rule = Rule::parse(&format!("||{dom}.net^$third-party")).unwrap();
+            let host = format!("cdn.{dom}.net");
+            let url = format!("https://{host}/w.js");
+            // First-party page on the same registrable domain.
+            let fp = format!("{dom}.net");
+            prop_assert!(!rule.matches(&ctx(&url, &host, &fp)));
+            // Third-party page: fires.
+            prop_assert!(rule.matches(&ctx(&url, &host, "other.org")));
+        }
+
+        #[test]
+        fn domain_rules_never_match_unrelated_hosts(
+            dom in "[a-z]{3,10}", tld in "(com|net|io)", other in "[a-z]{3,10}"
+        ) {
+            prop_assume!(dom != other);
+            let rule = Rule::parse(&format!("||{dom}.{tld}^")).unwrap();
+            let host = format!("{other}.{tld}");
+            let url = format!("https://{host}/x");
+            prop_assert!(!rule.matches(&ctx(&url, &host, "site.com")));
+        }
+
+        #[test]
+        fn domain_rules_always_match_their_subdomains(
+            dom in "[a-z]{3,10}", sub in "[a-z]{1,8}"
+        ) {
+            let rule = Rule::parse(&format!("||{dom}.com^")).unwrap();
+            let host = format!("{sub}.{dom}.com");
+            let url = format!("https://{host}/path?q=1");
+            prop_assert!(rule.matches(&ctx(&url, &host, "unrelated.org")));
+        }
+
+        #[test]
+        fn parse_never_panics(line in ".{0,80}") {
+            let _ = Rule::parse(&line);
+        }
+    }
+}

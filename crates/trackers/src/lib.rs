@@ -1,0 +1,22 @@
+//! # gamma-trackers
+//!
+//! Tracker identification (§4.2 of the paper): non-local domains are first
+//! matched against EasyList/EasyPrivacy-style filter lists (plus regional
+//! lists where available), and the remainder is checked against a
+//! WhoTracksMe-style organization database standing in for the authors'
+//! manual inspection. The crate implements the Adblock Plus filter syntax
+//! for real — parsing, domain-anchored matching, separators, wildcards,
+//! exceptions, and the `third-party`/`domain=` options — and generates
+//! list *content* covering the synthetic tracker ecosystem.
+
+pub mod abp;
+pub mod classify;
+pub mod lists;
+pub mod manual;
+pub mod whotracksme;
+
+pub use abp::{Decision, FilterSet, MatchContext, Rule};
+pub use classify::{Identification, TrackerClassifier};
+pub use lists::{generate_easylist, generate_easyprivacy, generate_regional_lists};
+pub use manual::ManualStore;
+pub use whotracksme::WhoTracksMe;

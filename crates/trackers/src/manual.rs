@@ -1,0 +1,120 @@
+//! Manual tracker labels.
+//!
+//! Filter lists "may not capture all regional ad and tracking domains.
+//! Therefore, for the remaining non-local domains, we conducted a manual
+//! inspection using WhoTracksMe ... along with a cursory Internet search"
+//! (§4.2) — 64 of the study's 505 tracker domains came from this step,
+//! including `theozone-project.com`. The store below plays the role of
+//! that human labeling pass: a curated set of confirmed-tracker domains
+//! that the lists miss.
+
+use gamma_dns::psl::registrable_domain;
+use gamma_dns::DomainName;
+use gamma_websim::World;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// The curated manual-label set.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ManualStore {
+    domains: HashSet<DomainName>,
+}
+
+impl ManualStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The labels the study's researchers would have produced: every
+    /// ground-truth tracker domain the lists do not carry.
+    pub fn from_world(world: &World) -> Self {
+        ManualStore {
+            domains: world
+                .tracker_domains
+                .iter()
+                .filter(|t| !t.in_filter_lists)
+                .map(|t| t.domain.clone())
+                .collect(),
+        }
+    }
+
+    /// Adds one label (the workflow is incremental in practice).
+    pub fn label(&mut self, domain: DomainName) {
+        self.domains.insert(domain);
+    }
+
+    /// Whether a domain (or its registrable domain / any parent) carries a
+    /// manual tracker label.
+    pub fn contains(&self, domain: &DomainName) -> bool {
+        if self.domains.contains(domain) {
+            return true;
+        }
+        if let Some(reg) = registrable_domain(domain) {
+            if self.domains.contains(&reg) {
+                return true;
+            }
+        }
+        let mut cur = domain.parent();
+        while let Some(d) = cur {
+            if self.domains.contains(&d) {
+                return true;
+            }
+            cur = d.parent();
+        }
+        false
+    }
+
+    pub fn len(&self) -> usize {
+        self.domains.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.domains.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gamma_websim::{worldgen, WorldSpec};
+
+    fn d(s: &str) -> DomainName {
+        DomainName::parse(s).unwrap()
+    }
+
+    #[test]
+    fn ozone_project_is_in_the_store() {
+        let w = worldgen::generate(&WorldSpec::paper_default(41));
+        let store = ManualStore::from_world(&w);
+        assert!(store.contains(&d("theozone-project.com")));
+        assert!(store.contains(&d("cdn.theozone-project.com")), "subdomain");
+    }
+
+    #[test]
+    fn scale_matches_the_64_manual_labels() {
+        let w = worldgen::generate(&WorldSpec::paper_default(41));
+        let store = ManualStore::from_world(&w);
+        assert!(
+            (35..=90).contains(&store.len()),
+            "{} manual labels",
+            store.len()
+        );
+    }
+
+    #[test]
+    fn listed_domains_are_not_in_the_store() {
+        let w = worldgen::generate(&WorldSpec::paper_default(41));
+        let store = ManualStore::from_world(&w);
+        assert!(!store.contains(&d("googletagmanager.com")));
+    }
+
+    #[test]
+    fn incremental_labeling_works() {
+        let mut store = ManualStore::new();
+        assert!(!store.contains(&d("new-tracker.io")));
+        store.label(d("new-tracker.io"));
+        assert!(store.contains(&d("new-tracker.io")));
+        assert!(store.contains(&d("px.new-tracker.io")));
+        assert_eq!(store.len(), 1);
+    }
+}

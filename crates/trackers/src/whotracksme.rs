@@ -1,0 +1,124 @@
+//! WhoTracksMe-style organization database.
+//!
+//! §6.5: "We performed manual inspection of all the organizations owning
+//! non-local tracking domains using whotracksme and Internet search." The
+//! database maps a tracking domain (eTLD+1 or full host) to the operating
+//! organization and its headquarters country.
+
+use gamma_dns::psl::registrable_domain;
+use gamma_dns::DomainName;
+use gamma_geo::CountryCode;
+use gamma_websim::World;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One organization entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OrgEntry {
+    pub name: String,
+    pub hq: CountryCode,
+}
+
+/// The database.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct WhoTracksMe {
+    by_domain: HashMap<DomainName, OrgEntry>,
+}
+
+impl WhoTracksMe {
+    /// Builds the database from a world's ground-truth tracker table —
+    /// the role WhoTracksMe plays for the real Internet.
+    pub fn from_world(world: &World) -> Self {
+        let mut by_domain = HashMap::new();
+        for t in &world.tracker_domains {
+            let org = world.org(t.org);
+            by_domain.insert(
+                t.domain.clone(),
+                OrgEntry {
+                    name: org.name.clone(),
+                    hq: org.hq,
+                },
+            );
+        }
+        WhoTracksMe { by_domain }
+    }
+
+    /// Looks up the organization for a domain: exact host first, then the
+    /// registrable domain, then parent walks (subdomains inherit).
+    pub fn lookup(&self, domain: &DomainName) -> Option<&OrgEntry> {
+        if let Some(e) = self.by_domain.get(domain) {
+            return Some(e);
+        }
+        if let Some(reg) = registrable_domain(domain) {
+            if let Some(e) = self.by_domain.get(&reg) {
+                return Some(e);
+            }
+        }
+        let mut cur = domain.parent();
+        while let Some(d) = cur {
+            if let Some(e) = self.by_domain.get(&d) {
+                return Some(e);
+            }
+            cur = d.parent();
+        }
+        None
+    }
+
+    pub fn len(&self) -> usize {
+        self.by_domain.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.by_domain.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gamma_websim::{worldgen, WorldSpec};
+
+    fn db() -> WhoTracksMe {
+        WhoTracksMe::from_world(&worldgen::generate(&WorldSpec::paper_default(31)))
+    }
+
+    fn d(s: &str) -> DomainName {
+        DomainName::parse(s).unwrap()
+    }
+
+    #[test]
+    fn majors_resolve_with_us_hq() {
+        let db = db();
+        let e = db.lookup(&d("doubleclick.net")).unwrap();
+        assert_eq!(e.name, "Google");
+        assert_eq!(e.hq, CountryCode::new("US"));
+        assert_eq!(db.lookup(&d("twimg.com")).unwrap().name, "Twitter");
+    }
+
+    #[test]
+    fn subdomains_inherit_ownership() {
+        let db = db();
+        let e = db.lookup(&d("sync.pixel.smaato.net")).unwrap();
+        assert_eq!(e.name, "Smaato");
+        assert_eq!(e.hq, CountryCode::new("DE"));
+    }
+
+    #[test]
+    fn fqdn_entries_match_directly() {
+        let db = db();
+        let e = db.lookup(&d("safeframe.googlesyndication.com")).unwrap();
+        assert_eq!(e.name, "Google");
+    }
+
+    #[test]
+    fn unknown_domains_return_none() {
+        let db = db();
+        assert!(db.lookup(&d("innocent-blog.org")).is_none());
+    }
+
+    #[test]
+    fn database_scale_matches_tracker_table() {
+        let db = db();
+        assert!(db.len() > 400, "only {} entries", db.len());
+    }
+}

@@ -1,0 +1,189 @@
+//! Tracker domain families.
+//!
+//! Expands the organization catalog into the concrete tracking domains the
+//! synthetic web embeds. The paper identified 505 unique non-local
+//! ad/tracking domains — 441 via filter lists and 64 via manual inspection
+//! (§4.2); the expansion below reproduces that scale and split, including
+//! the paper's concrete example of a manually-labeled domain
+//! (`theozone-project.com`).
+
+use crate::org::{OrgId, OrgKind, ORG_SEEDS};
+use gamma_dns::DomainName;
+use serde::{Deserialize, Serialize};
+
+/// A tracking domain and how the identification pipeline can find it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrackerDomain {
+    pub domain: DomainName,
+    pub org: OrgId,
+    /// Whether EasyList/EasyPrivacy-style lists carry a rule for it. The
+    /// remainder is only discoverable through manual inspection (§4.2).
+    pub in_filter_lists: bool,
+}
+
+/// Domains that the paper says were found by manual inspection, not lists.
+const MANUAL_ONLY_CURATED: &[&str] = &["theozone-project.com"];
+
+/// Suffix patterns used to synthesize plausible additional tracker domains
+/// for an organization.
+const SYNTH_PATTERNS: &[&str] = &[
+    "{}-cdn.com",
+    "{}-analytics.com",
+    "pixel-{}.io",
+    "{}tag.net",
+    "ads-{}.com",
+    "{}metrics.io",
+    "{}-sync.net",
+    "{}-static.net",
+];
+
+/// Lowercase alphanumeric slug of an org name (`33Across` -> `33across`).
+pub fn org_slug(name: &str) -> String {
+    name.chars()
+        .filter(|c| c.is_ascii_alphanumeric())
+        .collect::<String>()
+        .to_ascii_lowercase()
+}
+
+/// Expands the full tracker-domain table in catalog order.
+///
+/// Deterministic: no randomness is involved, so every world shares domain
+/// identities and filter lists can be generated once.
+pub fn expand_tracker_domains() -> Vec<TrackerDomain> {
+    let mut out = Vec::new();
+    for (org_idx, seed) in ORG_SEEDS.iter().enumerate() {
+        if seed.kind == OrgKind::SiteOperator {
+            continue;
+        }
+        let org = OrgId(org_idx as u32);
+        for d in seed.curated_domains {
+            let domain = DomainName::parse(d).unwrap_or_else(|e| panic!("bad curated domain {d}: {e}"));
+            let manual = MANUAL_ONLY_CURATED.contains(d);
+            out.push(TrackerDomain {
+                domain,
+                org,
+                in_filter_lists: !manual,
+            });
+        }
+        let slug = org_slug(seed.name);
+        for k in 0..seed.extra_domains {
+            let pattern = SYNTH_PATTERNS[(org_idx + k as usize) % SYNTH_PATTERNS.len()];
+            let name = pattern.replace("{}", &slug);
+            let domain = DomainName::parse(&name)
+                .unwrap_or_else(|e| panic!("bad synthesized domain {name}: {e}"));
+            // Roughly one in eight synthesized domains is missing from the
+            // lists, reproducing the 441-list / 64-manual split.
+            let manual = (org_idx + k as usize) % 8 == 3;
+            out.push(TrackerDomain {
+                domain,
+                org,
+                in_filter_lists: !manual,
+            });
+        }
+    }
+    debug_assert_unique(&out);
+    out
+}
+
+fn debug_assert_unique(domains: &[TrackerDomain]) {
+    debug_assert!(
+        {
+            let mut seen = std::collections::HashSet::new();
+            domains.iter().all(|d| seen.insert(&d.domain))
+        },
+        "tracker domain table contains duplicates"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_matches_paper() {
+        let all = expand_tracker_domains();
+        // "505 (441 from lists, 64 manually) unique non-local ad/tracking
+        // based domains" — we require the same order of magnitude and split.
+        assert!(
+            (420..=560).contains(&all.len()),
+            "expanded to {} domains",
+            all.len()
+        );
+        let manual = all.iter().filter(|d| !d.in_filter_lists).count();
+        let listed = all.len() - manual;
+        assert!(listed > manual * 5, "list/manual split off: {listed}/{manual}");
+        assert!(manual >= 30, "too few manual-only domains: {manual}");
+    }
+
+    #[test]
+    fn domains_are_unique() {
+        let all = expand_tracker_domains();
+        let mut seen = std::collections::HashSet::new();
+        for d in &all {
+            assert!(seen.insert(d.domain.clone()), "duplicate {}", d.domain);
+        }
+    }
+
+    #[test]
+    fn ozone_project_is_manual_only() {
+        let all = expand_tracker_domains();
+        let oz = all
+            .iter()
+            .find(|d| d.domain.as_str() == "theozone-project.com")
+            .expect("ozone domain present");
+        assert!(!oz.in_filter_lists);
+    }
+
+    #[test]
+    fn google_family_is_present_and_listed() {
+        let all = expand_tracker_domains();
+        for name in [
+            "googletagmanager.com",
+            "doubleclick.net",
+            "googleapis.com",
+            "google-analytics.com",
+            "googlesyndication.com",
+        ] {
+            let d = all
+                .iter()
+                .find(|d| d.domain.as_str() == name)
+                .unwrap_or_else(|| panic!("missing {name}"));
+            assert!(d.in_filter_lists, "{name} should be in lists");
+        }
+    }
+
+    #[test]
+    fn fqdn_entry_exists_like_the_papers_safeframe_example() {
+        let all = expand_tracker_domains();
+        assert!(all
+            .iter()
+            .any(|d| d.domain.as_str() == "safeframe.googlesyndication.com"));
+    }
+
+    #[test]
+    fn every_org_with_trackers_owns_at_least_one_domain() {
+        let all = expand_tracker_domains();
+        for (i, seed) in ORG_SEEDS.iter().enumerate() {
+            if seed.kind == OrgKind::SiteOperator {
+                continue;
+            }
+            assert!(
+                all.iter().any(|d| d.org == OrgId(i as u32)),
+                "{} owns no domains",
+                seed.name
+            );
+        }
+    }
+
+    #[test]
+    fn expansion_is_deterministic() {
+        assert_eq!(expand_tracker_domains(), expand_tracker_domains());
+    }
+
+    #[test]
+    fn slugging_strips_punctuation() {
+        assert_eq!(org_slug("33Across"), "33across");
+        assert_eq!(org_slug("Spot.IM"), "spotim");
+        assert_eq!(org_slug("The Ozone Project"), "theozoneproject");
+    }
+}

@@ -1,0 +1,213 @@
+//! Hosting deployments: where organizations' servers physically sit.
+//!
+//! Every (organization, city) pair that serves traffic gets a deployment —
+//! an IPv4 block allocated in that city under either the org's own ASN or a
+//! public cloud's (the paper found most non-local trackers hosted on AWS,
+//! a few on Google Cloud, §6.5 — including minor trackers on Amazon
+//! addresses at a CloudFront edge in Nairobi).
+
+use crate::org::{OrgId, OrgKind, ORG_SEEDS};
+use gamma_geo::CityId;
+use gamma_netsim::asn::{Asn, ASN_AWS, ASN_GCP};
+use gamma_netsim::{IpRegistry, Ipv4Net};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// One (org, city) deployment and its address blocks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Deployment {
+    pub org: OrgId,
+    pub city: CityId,
+    pub asn: Asn,
+    /// Blocks allocated so far (a new /24 is chained when one fills up).
+    pub nets: Vec<Ipv4Net>,
+    /// Next host index within the last block (0 and 255 are skipped).
+    next_host: u32,
+}
+
+impl Deployment {
+    /// Whether this deployment rides on a public cloud.
+    pub fn on_cloud(&self) -> bool {
+        self.asn == ASN_AWS || self.asn == ASN_GCP
+    }
+}
+
+/// First ASN handed to organizations running their own networks.
+const FIRST_ORG_ASN: u32 = 64_000;
+
+/// Picks the hosting ASN for an organization: majors and every third minor
+/// run their own network; the rest ride AWS, with a small GCP share —
+/// matching the paper's "50 trackers hosted on AWS and 5 on Google Cloud".
+pub fn hosting_asn_for(org: OrgId) -> Asn {
+    let idx = org.0 as usize;
+    let seed = ORG_SEEDS.get(idx);
+    match seed.map(|s| s.kind) {
+        Some(OrgKind::MajorTracker) | Some(OrgKind::SiteOperator) => own_asn(org),
+        _ => match idx % 10 {
+            0..=5 => ASN_AWS,
+            6 => ASN_GCP,
+            _ => own_asn(org),
+        },
+    }
+}
+
+/// The org's own ASN (deterministic from its id).
+pub fn own_asn(org: OrgId) -> Asn {
+    Asn(FIRST_ORG_ASN + org.0)
+}
+
+/// All deployments of a world, with allocation bookkeeping.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct HostingPlan {
+    deployments: Vec<Deployment>,
+    #[serde(skip)]
+    index: HashMap<(OrgId, CityId), usize>,
+}
+
+impl HostingPlan {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ensures a deployment exists for (org, city), allocating its first
+    /// block if needed, and returns its index.
+    pub fn ensure(&mut self, org: OrgId, city: CityId, asn: Asn, reg: &mut IpRegistry) -> usize {
+        if let Some(&i) = self.index.get(&(org, city)) {
+            return i;
+        }
+        let alloc = reg.allocate(asn, city);
+        let dep = Deployment {
+            org,
+            city,
+            asn,
+            nets: vec![alloc.net],
+            next_host: 1,
+        };
+        let i = self.deployments.len();
+        self.deployments.push(dep);
+        self.index.insert((org, city), i);
+        i
+    }
+
+    /// Allocates the next server address inside a deployment, chaining a
+    /// fresh /24 when the current block is exhausted.
+    pub fn alloc_ip(&mut self, dep_idx: usize, reg: &mut IpRegistry) -> Ipv4Addr {
+        let dep = &mut self.deployments[dep_idx];
+        if dep.next_host >= 255 {
+            let alloc = reg.allocate(dep.asn, dep.city);
+            dep.nets.push(alloc.net);
+            dep.next_host = 1;
+        }
+        let net = *dep.nets.last().expect("deployment has at least one block");
+        let ip = net.nth(dep.next_host as u64).expect("host index < 255");
+        dep.next_host += 1;
+        ip
+    }
+
+    /// Looks up a deployment by (org, city).
+    pub fn get(&self, org: OrgId, city: CityId) -> Option<&Deployment> {
+        self.index.get(&(org, city)).map(|&i| &self.deployments[i])
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &Deployment> {
+        self.deployments.iter()
+    }
+
+    pub fn len(&self) -> usize {
+        self.deployments.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.deployments.is_empty()
+    }
+
+    /// Rebuilds the lookup index after deserialization.
+    pub fn rebuild_index(&mut self) {
+        self.index = self
+            .deployments
+            .iter()
+            .enumerate()
+            .map(|(i, d)| ((d.org, d.city), i))
+            .collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::org::OrgKind;
+
+    #[test]
+    fn majors_host_on_their_own_network() {
+        for (i, seed) in ORG_SEEDS.iter().enumerate() {
+            if seed.kind == OrgKind::MajorTracker {
+                let asn = hosting_asn_for(OrgId(i as u32));
+                assert_eq!(asn, own_asn(OrgId(i as u32)), "{}", seed.name);
+            }
+        }
+    }
+
+    #[test]
+    fn most_minors_ride_aws_with_a_small_gcp_share() {
+        let mut aws = 0;
+        let mut gcp = 0;
+        let mut own = 0;
+        for (i, seed) in ORG_SEEDS.iter().enumerate() {
+            if seed.kind == OrgKind::MajorTracker {
+                continue;
+            }
+            match hosting_asn_for(OrgId(i as u32)) {
+                a if a == ASN_AWS => aws += 1,
+                a if a == ASN_GCP => gcp += 1,
+                _ => own += 1,
+            }
+        }
+        assert!(aws > gcp * 4, "aws {aws} gcp {gcp}");
+        assert!(aws > own, "aws {aws} own {own}");
+        assert!(gcp >= 3, "gcp {gcp}");
+    }
+
+    #[test]
+    fn ensure_is_idempotent_and_alloc_advances() {
+        let mut reg = IpRegistry::new();
+        let mut plan = HostingPlan::new();
+        let i1 = plan.ensure(OrgId(0), CityId(3), ASN_AWS, &mut reg);
+        let i2 = plan.ensure(OrgId(0), CityId(3), ASN_AWS, &mut reg);
+        assert_eq!(i1, i2);
+        assert_eq!(plan.len(), 1);
+        let a = plan.alloc_ip(i1, &mut reg);
+        let b = plan.alloc_ip(i1, &mut reg);
+        assert_ne!(a, b);
+        // Both addresses ground-truth to the deployment's city and ASN.
+        for ip in [a, b] {
+            let hit = reg.lookup(ip).unwrap();
+            assert_eq!(hit.city, CityId(3));
+            assert_eq!(hit.asn, ASN_AWS);
+        }
+    }
+
+    #[test]
+    fn block_chaining_after_254_hosts() {
+        let mut reg = IpRegistry::new();
+        let mut plan = HostingPlan::new();
+        let i = plan.ensure(OrgId(1), CityId(0), own_asn(OrgId(1)), &mut reg);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..600 {
+            assert!(seen.insert(plan.alloc_ip(i, &mut reg)), "duplicate IP");
+        }
+        let dep = plan.get(OrgId(1), CityId(0)).unwrap();
+        assert!(dep.nets.len() >= 3, "expected chained blocks, got {}", dep.nets.len());
+    }
+
+    #[test]
+    fn cloud_detection() {
+        let mut reg = IpRegistry::new();
+        let mut plan = HostingPlan::new();
+        let i = plan.ensure(OrgId(9), CityId(25), ASN_AWS, &mut reg);
+        plan.alloc_ip(i, &mut reg);
+        assert!(plan.get(OrgId(9), CityId(25)).unwrap().on_cloud());
+        let j = plan.ensure(OrgId(2), CityId(25), own_asn(OrgId(2)), &mut reg);
+        assert!(!plan.deployments[j].on_cloud());
+    }
+}

@@ -1,0 +1,29 @@
+//! # gamma-websim
+//!
+//! The synthetic web the reproduction measures: a calibrated population of
+//! tracker organizations and their domain families, hosting deployments on
+//! clouds and own networks, regional and government websites whose pages
+//! embed those trackers, the ranking providers used to pick target sites
+//! (§3.2 of the paper), and the world generator that assembles everything
+//! into a [`world::World`] the Gamma suite can crawl.
+//!
+//! Calibration targets come from the paper's reported numbers (Table 1,
+//! Figures 3–8); nothing downstream of generation reads the targets, so the
+//! measurement + geolocation + identification pipeline runs honestly over
+//! the generated artifact.
+
+pub mod domains;
+pub mod hosting;
+pub mod org;
+pub mod ranking;
+pub mod site;
+pub mod spec;
+pub mod world;
+pub mod worldgen;
+
+pub use domains::TrackerDomain;
+pub use org::{Org, OrgId, OrgKind};
+pub use site::{SiteCategory, SiteId, SiteKind, Website};
+pub use ranking::{overlap_experiment, OverlapExperiment, RankingProviders, RankingSource};
+pub use spec::{CountProfile, CountrySpec, TracerouteMode, WorldSpec};
+pub use world::World;

@@ -1,0 +1,170 @@
+//! Websites and their page-load request model.
+//!
+//! A website is the unit of T_web (§3.2): regional or government, with an
+//! operator organization, a set of first-party hosts, and the tracker FQDNs
+//! its pages request. Loading a page (see `gamma-browser`) emits network
+//! requests for the first-party hosts plus a high-probability draw of the
+//! embedded trackers — real pages do not fire every tag on every load.
+
+use crate::org::OrgId;
+use gamma_dns::DomainName;
+use gamma_geo::CountryCode;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Index into a world's site table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SiteId(pub u32);
+
+/// T_reg vs T_gov.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SiteKind {
+    Regional,
+    Government,
+}
+
+/// Editorial category, used for realistic site-name generation and for the
+/// category mix the paper describes ("news outlets, e-commerce platforms,
+/// and local service providers").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SiteCategory {
+    News,
+    Ecommerce,
+    Services,
+    Social,
+    Search,
+    Reference,
+    Video,
+    Finance,
+    Education,
+    GovernmentService,
+}
+
+impl SiteCategory {
+    /// Regional-site categories in generation rotation order.
+    pub const REGIONAL_MIX: [SiteCategory; 8] = [
+        SiteCategory::News,
+        SiteCategory::Ecommerce,
+        SiteCategory::Services,
+        SiteCategory::News,
+        SiteCategory::Finance,
+        SiteCategory::Video,
+        SiteCategory::Education,
+        SiteCategory::Services,
+    ];
+}
+
+/// A website in the synthetic web.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Website {
+    pub id: SiteId,
+    /// Registrable domain of the site (`manoramaonline.com`, `dost.gov.az`).
+    pub domain: DomainName,
+    /// Home country. For global sites this is the operator's HQ country;
+    /// the site still appears in many countries' T_reg.
+    pub country: CountryCode,
+    pub kind: SiteKind,
+    pub category: SiteCategory,
+    pub operator: OrgId,
+    /// Whether the site ranks in T_reg across most countries (google.com,
+    /// wikipedia.org, youtube.com, ... — §3.2).
+    pub global: bool,
+    /// First-party hosts fetched on every load (`www.`, `static.`, ...).
+    pub own_hosts: Vec<DomainName>,
+    /// Tracker FQDNs embedded in the page.
+    pub trackers: Vec<DomainName>,
+}
+
+impl Website {
+    /// Network requests emitted by one page load: every first-party host,
+    /// plus each tracker independently with probability `tracker_fire_rate`.
+    pub fn page_requests<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<DomainName> {
+        const TRACKER_FIRE_RATE: f64 = 0.92;
+        let mut out = Vec::with_capacity(self.own_hosts.len() + self.trackers.len());
+        out.extend(self.own_hosts.iter().cloned());
+        for t in &self.trackers {
+            if rng.gen::<f64>() < TRACKER_FIRE_RATE {
+                out.push(t.clone());
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn d(s: &str) -> DomainName {
+        DomainName::parse(s).unwrap()
+    }
+
+    fn site() -> Website {
+        Website {
+            id: SiteId(0),
+            domain: d("manoramaonline.com"),
+            country: CountryCode::new("QA"),
+            kind: SiteKind::Regional,
+            category: SiteCategory::News,
+            operator: OrgId(99),
+            global: false,
+            own_hosts: vec![d("www.manoramaonline.com"), d("static.manoramaonline.com")],
+            trackers: vec![
+                d("googletagmanager.com"),
+                d("pixel.dotomi.com"),
+                d("cdn.smaato.net"),
+            ],
+        }
+    }
+
+    #[test]
+    fn first_party_hosts_always_load() {
+        let s = site();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for _ in 0..20 {
+            let reqs = s.page_requests(&mut rng);
+            assert!(reqs.contains(&d("www.manoramaonline.com")));
+            assert!(reqs.contains(&d("static.manoramaonline.com")));
+        }
+    }
+
+    #[test]
+    fn trackers_fire_most_of_the_time_but_not_always() {
+        let s = site();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut with_all = 0;
+        let mut total_tracker_requests = 0;
+        let n = 500;
+        for _ in 0..n {
+            let reqs = s.page_requests(&mut rng);
+            let trackers = reqs.len() - s.own_hosts.len();
+            total_tracker_requests += trackers;
+            if trackers == s.trackers.len() {
+                with_all += 1;
+            }
+        }
+        let rate = total_tracker_requests as f64 / (n * s.trackers.len()) as f64;
+        assert!((0.85..0.98).contains(&rate), "fire rate {rate}");
+        assert!(with_all < n, "every load fired every tracker");
+        assert!(with_all > n / 2, "firing too rare");
+    }
+
+    #[test]
+    fn requests_preserve_declared_order_of_first_party_hosts() {
+        let s = site();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let reqs = s.page_requests(&mut rng);
+        assert_eq!(reqs[0], s.own_hosts[0]);
+        assert_eq!(reqs[1], s.own_hosts[1]);
+    }
+
+    #[test]
+    fn site_serializes() {
+        let s = site();
+        let js = serde_json::to_string(&s).unwrap();
+        let back: Website = serde_json::from_str(&js).unwrap();
+        assert_eq!(s, back);
+    }
+}

@@ -1,0 +1,544 @@
+//! World specification: the calibration surface of the reproduction.
+//!
+//! A [`WorldSpec`] encodes, per measurement country, everything the paper
+//! *reports* about that country — non-local prevalence on regional and
+//! government sites (Table 1, Figure 3), where its foreign trackers are
+//! hosted (§6.3), measurement idiosyncrasies (§4.1.1, §5), and the
+//! country-exclusive tracker organizations (§6.5). The world generator
+//! realizes these targets; the measurement pipeline then runs without ever
+//! reading them.
+
+use gamma_geo::CountryCode;
+use gamma_netsim::AccessQuality;
+use serde::{Deserialize, Serialize};
+
+/// How this volunteer's traceroutes behave (§4.1.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TracerouteMode {
+    /// Probes work normally.
+    Normal,
+    /// Probes fail (firewall / local network config); the study fell back
+    /// to RIPE Atlas probes near the volunteer.
+    Firewalled,
+    /// The volunteer declined to launch traceroutes (Egypt); Atlas probes
+    /// were used instead.
+    OptOut,
+}
+
+/// Distribution of non-local tracker-domain counts per website, shaping
+/// Figure 4's box plots.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum CountProfile {
+    /// Positively-skewed (most countries): geometric-like with the given
+    /// mean, occasionally spiked by a major-network outlier.
+    Skewed { mean: f64 },
+    /// Roughly normal (the paper singles out New Zealand).
+    Normal { mean: f64, sd: f64 },
+    /// "Vast majority of data points are low ... with outliers" —
+    /// Argentina, Qatar.
+    LowWithOutliers {
+        typical: f64,
+        outlier_rate: f64,
+        outlier_mean: f64,
+    },
+}
+
+impl CountProfile {
+    /// Draws a count (>= 1) from the profile.
+    pub fn sample<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let v = match *self {
+            CountProfile::Skewed { mean } => {
+                // Geometric with the requested mean: p = 1/mean.
+                let p = (1.0 / mean.max(1.0)).clamp(0.02, 1.0);
+                let u: f64 = rng.gen::<f64>().max(1e-12);
+                (u.ln() / (1.0 - p).max(1e-9).ln()).floor() + 1.0
+            }
+            CountProfile::Normal { mean, sd } => {
+                // Box-Muller.
+                let u1: f64 = rng.gen::<f64>().max(1e-12);
+                let u2: f64 = rng.gen();
+                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                mean + sd * z
+            }
+            CountProfile::LowWithOutliers {
+                typical,
+                outlier_rate,
+                outlier_mean,
+            } => {
+                if rng.gen::<f64>() < outlier_rate {
+                    let u: f64 = rng.gen::<f64>().max(1e-12);
+                    outlier_mean * (1.0 - u.ln())
+                } else {
+                    1.0 + rng.gen::<f64>() * (typical * 2.0 - 1.0).max(0.0)
+                }
+            }
+        };
+        v.round().max(1.0) as usize
+    }
+}
+
+/// Per-country calibration entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CountrySpec {
+    pub country: CountryCode,
+    /// Volunteer's city (disclosed to the researchers, §4).
+    pub volunteer_city: String,
+    pub access: AccessQuality,
+    /// Target fraction of T_reg sites embedding >= 1 non-local tracker.
+    pub reg_nonlocal_rate: f64,
+    /// Same for T_gov.
+    pub gov_nonlocal_rate: f64,
+    /// Distribution of non-local tracker-domain counts per affected site.
+    pub nonlocal_count: CountProfile,
+    /// Destination mix for this country's foreign-served trackers
+    /// (country, weight). Empty means no foreign destinations at all.
+    pub dest_weights: Vec<(CountryCode, f64)>,
+    /// Whether the five major networks serve this country from in-country
+    /// replicas (true for infrastructure-rich countries; the paper observes
+    /// "all the major tracking networks have servers in India", §6.3).
+    pub majors_serve_locally: bool,
+    /// (org name, destination country) forced steering — e.g. Sri Lanka's
+    /// Yahoo trackers going to Japan (§7).
+    pub org_dest_overrides: Vec<(String, CountryCode)>,
+    /// Organizations embedded exclusively by this country's sites (§6.5).
+    pub exclusive_orgs: Vec<String>,
+    pub traceroute: TracerouteMode,
+    /// Fraction of T_web pages that load successfully (Figure 2b).
+    pub load_success_rate: f64,
+    /// How many of this country's government sites the Tranco-like list
+    /// indexes; below 50 triggers the scraping fallback, and very low
+    /// values reproduce Lebanon/Russia/Algeria's sparse T_gov (Figure 2a).
+    pub gov_sites_in_tranco: usize,
+    /// Multiplier on first-party host richness (drives request and
+    /// traceroute volume; the USA/Canada/UK vantages launched the most
+    /// traceroutes, §5).
+    pub page_richness: f64,
+    /// Whether similarweb publishes a regional top list (§3.2).
+    pub similarweb_covers: bool,
+}
+
+/// The full world specification.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorldSpec {
+    pub seed: u64,
+    /// Top-N regional sites per country.
+    pub reg_sites_per_country: usize,
+    /// Target government sites per country.
+    pub gov_sites_per_country: usize,
+    /// Fraction of T_web the volunteer opts out of (0.99% in the study).
+    pub opt_out_rate: f64,
+    pub countries: Vec<CountrySpec>,
+}
+
+impl WorldSpec {
+    /// Looks up a country's spec.
+    pub fn country(&self, code: CountryCode) -> Option<&CountrySpec> {
+        self.countries.iter().find(|c| c.country == code)
+    }
+
+    /// Validates rates, weights and city names.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.countries.is_empty() {
+            return Err("no countries in spec".into());
+        }
+        for c in &self.countries {
+            for (what, v) in [
+                ("reg_nonlocal_rate", c.reg_nonlocal_rate),
+                ("gov_nonlocal_rate", c.gov_nonlocal_rate),
+                ("load_success_rate", c.load_success_rate),
+            ] {
+                if !(0.0..=1.0).contains(&v) {
+                    return Err(format!("{}: {what} = {v} out of range", c.country));
+                }
+            }
+            if gamma_geo::city_by_name(&c.volunteer_city).is_none() {
+                return Err(format!("{}: unknown city {}", c.country, c.volunteer_city));
+            }
+            let has_foreign = c.reg_nonlocal_rate > 0.0 || c.gov_nonlocal_rate > 0.0;
+            if has_foreign && c.dest_weights.is_empty() {
+                return Err(format!("{}: non-local targets but no destinations", c.country));
+            }
+            for (dest, w) in &c.dest_weights {
+                if gamma_geo::country(*dest).is_none() {
+                    return Err(format!("{}: unknown destination {dest}", c.country));
+                }
+                if *w <= 0.0 {
+                    return Err(format!("{}: non-positive weight for {dest}", c.country));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The paper-calibrated default: 23 countries, every number traceable
+    /// to Table 1, Figure 3, §6.3 or §7 of the paper.
+    pub fn paper_default(seed: u64) -> WorldSpec {
+        let cc = CountryCode::new;
+        let w = |pairs: &[(&str, f64)]| -> Vec<(CountryCode, f64)> {
+            pairs.iter().map(|(c, f)| (cc(c), *f)).collect()
+        };
+        let ov = |pairs: &[(&str, &str)]| -> Vec<(String, CountryCode)> {
+            pairs.iter().map(|(o, c)| (o.to_string(), cc(c))).collect()
+        };
+        let ex = |names: &[&str]| -> Vec<String> { names.iter().map(|s| s.to_string()).collect() };
+        use AccessQuality::*;
+        
+        use TracerouteMode::*;
+
+        let countries = vec![
+            CountrySpec {
+                country: cc("AZ"), volunteer_city: "Baku".into(), access: Good,
+                reg_nonlocal_rate: 0.82, gov_nonlocal_rate: 0.65,
+                nonlocal_count: CountProfile::Skewed { mean: 10.5 },
+                dest_weights: w(&[("FR", 0.50), ("DE", 0.20), ("GB", 0.20), ("NL", 0.10)]),
+                majors_serve_locally: false, org_dest_overrides: vec![], exclusive_orgs: vec![],
+                traceroute: Normal, load_success_rate: 0.94, gov_sites_in_tranco: 50,
+                page_richness: 1.0, similarweb_covers: false,
+            },
+            CountrySpec {
+                country: cc("DZ"), volunteer_city: "Algiers".into(), access: Fair,
+                reg_nonlocal_rate: 0.55, gov_nonlocal_rate: 0.44,
+                nonlocal_count: CountProfile::Skewed { mean: 8.0 },
+                dest_weights: w(&[("FR", 0.55), ("DE", 0.15), ("GB", 0.15), ("ES", 0.10), ("US", 0.05)]),
+                majors_serve_locally: false, org_dest_overrides: vec![], exclusive_orgs: vec![],
+                traceroute: Normal, load_success_rate: 0.90, gov_sites_in_tranco: 14,
+                page_richness: 0.9, similarweb_covers: false,
+            },
+            CountrySpec {
+                country: cc("EG"), volunteer_city: "Cairo".into(), access: Fair,
+                reg_nonlocal_rate: 0.75, gov_nonlocal_rate: 0.66,
+                nonlocal_count: CountProfile::Skewed { mean: 16.0 },
+                dest_weights: w(&[("DE", 0.55), ("FR", 0.20), ("GB", 0.10), ("IT", 0.10), ("US", 0.05)]),
+                majors_serve_locally: false,
+                org_dest_overrides: ov(&[("Google", "DE")]), // §7: Egypt -> Germany, mostly Google
+                exclusive_orgs: vec![],
+                traceroute: OptOut, load_success_rate: 0.91, gov_sites_in_tranco: 50,
+                page_richness: 1.0, similarweb_covers: true,
+            },
+            CountrySpec {
+                country: cc("RW"), volunteer_city: "Kigali".into(), access: Fair,
+                reg_nonlocal_rate: 0.93, gov_nonlocal_rate: 0.31,
+                nonlocal_count: CountProfile::Skewed { mean: 18.0 },
+                dest_weights: w(&[("KE", 0.50), ("FR", 0.20), ("DE", 0.15), ("GB", 0.10), ("US", 0.05)]),
+                majors_serve_locally: false, org_dest_overrides: vec![],
+                exclusive_orgs: ex(&["KigaliMetrics"]),
+                traceroute: Normal, load_success_rate: 0.89, gov_sites_in_tranco: 38,
+                page_richness: 0.95, similarweb_covers: false,
+            },
+            CountrySpec {
+                country: cc("UG"), volunteer_city: "Kampala".into(), access: Fair,
+                reg_nonlocal_rate: 0.67, gov_nonlocal_rate: 0.83,
+                nonlocal_count: CountProfile::Skewed { mean: 15.0 },
+                dest_weights: w(&[("KE", 0.55), ("FR", 0.12), ("GB", 0.15), ("DE", 0.10), ("NL", 0.05), ("US", 0.03)]),
+                majors_serve_locally: false, org_dest_overrides: vec![],
+                exclusive_orgs: ex(&["TrueAfrican"]),
+                traceroute: Normal, load_success_rate: 0.90, gov_sites_in_tranco: 50,
+                page_richness: 0.95, similarweb_covers: false,
+            },
+            CountrySpec {
+                country: cc("AR"), volunteer_city: "Buenos Aires".into(), access: Good,
+                reg_nonlocal_rate: 0.65, gov_nonlocal_rate: 0.58,
+                nonlocal_count: CountProfile::LowWithOutliers { typical: 2.0, outlier_rate: 0.06, outlier_mean: 14.0 },
+                dest_weights: w(&[("BR", 0.60), ("FR", 0.20), ("US", 0.10), ("GB", 0.10)]),
+                majors_serve_locally: false, org_dest_overrides: vec![], exclusive_orgs: vec![],
+                traceroute: Normal, load_success_rate: 0.95, gov_sites_in_tranco: 50,
+                page_richness: 1.25, similarweb_covers: true,
+            },
+            CountrySpec {
+                country: cc("RU"), volunteer_city: "Moscow".into(), access: Good,
+                reg_nonlocal_rate: 0.16, gov_nonlocal_rate: 0.0,
+                nonlocal_count: CountProfile::Skewed { mean: 2.0 },
+                dest_weights: w(&[("FI", 0.40), ("DE", 0.30), ("BG", 0.30)]),
+                majors_serve_locally: true, org_dest_overrides: vec![], exclusive_orgs: vec![],
+                traceroute: Normal, load_success_rate: 0.93, gov_sites_in_tranco: 16,
+                page_richness: 1.0, similarweb_covers: true,
+            },
+            CountrySpec {
+                country: cc("LK"), volunteer_city: "Colombo".into(), access: Fair,
+                reg_nonlocal_rate: 0.12, gov_nonlocal_rate: 0.07,
+                nonlocal_count: CountProfile::Skewed { mean: 2.5 },
+                dest_weights: w(&[("JP", 0.55), ("FR", 0.18), ("SG", 0.17), ("AU", 0.05), ("IN", 0.05)]),
+                majors_serve_locally: true,
+                org_dest_overrides: ov(&[("Yahoo", "JP"), ("AdStudio", "IN")]), // §7
+                exclusive_orgs: ex(&["AdStudio"]),
+                traceroute: Normal, load_success_rate: 0.92, gov_sites_in_tranco: 50,
+                page_richness: 0.9, similarweb_covers: true,
+            },
+            CountrySpec {
+                country: cc("TH"), volunteer_city: "Bangkok".into(), access: Good,
+                reg_nonlocal_rate: 0.62, gov_nonlocal_rate: 0.56,
+                nonlocal_count: CountProfile::Skewed { mean: 12.0 },
+                dest_weights: w(&[("MY", 0.40), ("SG", 0.25), ("HK", 0.20), ("JP", 0.15)]),
+                majors_serve_locally: false, org_dest_overrides: vec![], exclusive_orgs: vec![],
+                traceroute: Normal, load_success_rate: 0.95, gov_sites_in_tranco: 50,
+                page_richness: 1.3, similarweb_covers: true,
+            },
+            CountrySpec {
+                country: cc("AE"), volunteer_city: "Dubai".into(), access: Good,
+                reg_nonlocal_rate: 0.26, gov_nonlocal_rate: 0.40,
+                nonlocal_count: CountProfile::Skewed { mean: 6.5 },
+                dest_weights: w(&[("US", 0.30), ("FR", 0.30), ("DE", 0.20), ("GB", 0.20)]),
+                majors_serve_locally: true, org_dest_overrides: vec![], exclusive_orgs: vec![],
+                traceroute: Normal, load_success_rate: 0.94, gov_sites_in_tranco: 50,
+                page_richness: 1.0, similarweb_covers: true,
+            },
+            CountrySpec {
+                country: cc("GB"), volunteer_city: "London".into(), access: Excellent,
+                reg_nonlocal_rate: 0.42, gov_nonlocal_rate: 0.36,
+                nonlocal_count: CountProfile::Skewed { mean: 3.0 },
+                dest_weights: w(&[("FR", 0.40), ("DE", 0.25), ("NL", 0.20), ("IE", 0.10), ("US", 0.05)]),
+                majors_serve_locally: true, org_dest_overrides: vec![],
+                exclusive_orgs: ex(&["Brandwatch"]),
+                traceroute: Normal, load_success_rate: 0.96, gov_sites_in_tranco: 50,
+                page_richness: 1.9, similarweb_covers: true,
+            },
+            CountrySpec {
+                country: cc("AU"), volunteer_city: "Sydney".into(), access: Excellent,
+                reg_nonlocal_rate: 0.12, gov_nonlocal_rate: 0.01,
+                nonlocal_count: CountProfile::Skewed { mean: 1.8 },
+                dest_weights: w(&[("SG", 0.35), ("US", 0.25), ("JP", 0.15), ("HK", 0.15), ("GB", 0.10)]),
+                majors_serve_locally: true, org_dest_overrides: vec![], exclusive_orgs: vec![],
+                traceroute: Firewalled, load_success_rate: 0.95, gov_sites_in_tranco: 50,
+                page_richness: 1.1, similarweb_covers: true,
+            },
+            CountrySpec {
+                country: cc("CA"), volunteer_city: "Toronto".into(), access: Excellent,
+                reg_nonlocal_rate: 0.0, gov_nonlocal_rate: 0.0,
+                nonlocal_count: CountProfile::Skewed { mean: 1.0 },
+                dest_weights: vec![],
+                majors_serve_locally: true, org_dest_overrides: vec![], exclusive_orgs: vec![],
+                traceroute: Normal, load_success_rate: 0.96, gov_sites_in_tranco: 50,
+                page_richness: 2.0, similarweb_covers: true,
+            },
+            CountrySpec {
+                country: cc("IN"), volunteer_city: "Mumbai".into(), access: Good,
+                reg_nonlocal_rate: 0.0, gov_nonlocal_rate: 0.06,
+                nonlocal_count: CountProfile::Skewed { mean: 4.5 },
+                dest_weights: w(&[("SG", 1.0)]),
+                majors_serve_locally: true, org_dest_overrides: vec![], exclusive_orgs: vec![],
+                traceroute: Firewalled, load_success_rate: 0.93, gov_sites_in_tranco: 50,
+                page_richness: 1.1, similarweb_covers: true,
+            },
+            CountrySpec {
+                country: cc("JP"), volunteer_city: "Tokyo".into(), access: Good,
+                reg_nonlocal_rate: 0.25, gov_nonlocal_rate: 0.20,
+                nonlocal_count: CountProfile::Skewed { mean: 3.0 },
+                dest_weights: w(&[("US", 0.45), ("SG", 0.25), ("HK", 0.20), ("AU", 0.10)]),
+                majors_serve_locally: true, org_dest_overrides: vec![], exclusive_orgs: vec![],
+                traceroute: Normal, load_success_rate: 0.64, gov_sites_in_tranco: 50,
+                page_richness: 1.0, similarweb_covers: true,
+            },
+            CountrySpec {
+                country: cc("JO"), volunteer_city: "Amman".into(), access: Fair,
+                reg_nonlocal_rate: 0.58, gov_nonlocal_rate: 0.51,
+                nonlocal_count: CountProfile::Skewed { mean: 21.0 },
+                dest_weights: w(&[("FR", 0.35), ("DE", 0.30), ("GB", 0.15), ("US", 0.10), ("NL", 0.10)]),
+                majors_serve_locally: false, org_dest_overrides: vec![],
+                exclusive_orgs: ex(&["Jubna", "OneTag", "Optad360", "AdFalcon"]), // §6.5
+                traceroute: Firewalled, load_success_rate: 0.92, gov_sites_in_tranco: 50,
+                page_richness: 1.0, similarweb_covers: true,
+            },
+            CountrySpec {
+                country: cc("NZ"), volunteer_city: "Auckland".into(), access: Excellent,
+                reg_nonlocal_rate: 0.81, gov_nonlocal_rate: 0.85,
+                nonlocal_count: CountProfile::Normal { mean: 12.0, sd: 3.5 }, // §6.2: only NZ is normal
+                dest_weights: w(&[("AU", 0.72), ("US", 0.07), ("SG", 0.08), ("DE", 0.08), ("JP", 0.05)]),
+                majors_serve_locally: false, org_dest_overrides: vec![], exclusive_orgs: vec![],
+                traceroute: Normal, load_success_rate: 0.95, gov_sites_in_tranco: 50,
+                page_richness: 1.15, similarweb_covers: true,
+            },
+            CountrySpec {
+                country: cc("PK"), volunteer_city: "Lahore".into(), access: Fair,
+                reg_nonlocal_rate: 0.70, gov_nonlocal_rate: 0.61,
+                nonlocal_count: CountProfile::Skewed { mean: 12.0 },
+                dest_weights: w(&[("FR", 0.35), ("DE", 0.30), ("AE", 0.20), ("OM", 0.10), ("GB", 0.05)]),
+                majors_serve_locally: false, org_dest_overrides: vec![], exclusive_orgs: vec![],
+                traceroute: Normal, load_success_rate: 0.91, gov_sites_in_tranco: 50,
+                page_richness: 1.0, similarweb_covers: true,
+            },
+            CountrySpec {
+                country: cc("QA"), volunteer_city: "Doha".into(), access: Good,
+                reg_nonlocal_rate: 0.83, gov_nonlocal_rate: 0.62,
+                nonlocal_count: CountProfile::LowWithOutliers { typical: 2.2, outlier_rate: 0.07, outlier_mean: 16.0 },
+                dest_weights: w(&[("FR", 0.40), ("GB", 0.25), ("DE", 0.20), ("US", 0.10), ("SA", 0.05)]),
+                majors_serve_locally: false, org_dest_overrides: vec![],
+                exclusive_orgs: ex(&["GulfTag"]),
+                traceroute: Firewalled, load_success_rate: 0.93, gov_sites_in_tranco: 50,
+                page_richness: 1.0, similarweb_covers: true,
+            },
+            CountrySpec {
+                country: cc("SA"), volunteer_city: "Riyadh".into(), access: Poor,
+                reg_nonlocal_rate: 0.75, gov_nonlocal_rate: 0.68,
+                nonlocal_count: CountProfile::Skewed { mean: 9.5 },
+                dest_weights: w(&[("DE", 0.35), ("FR", 0.30), ("GB", 0.20), ("US", 0.10), ("BH", 0.05)]),
+                majors_serve_locally: false, org_dest_overrides: vec![], exclusive_orgs: vec![],
+                traceroute: Normal, load_success_rate: 0.56, gov_sites_in_tranco: 50,
+                page_richness: 0.5, similarweb_covers: true,
+            },
+            CountrySpec {
+                country: cc("TW"), volunteer_city: "Taipei".into(), access: Good,
+                reg_nonlocal_rate: 0.05, gov_nonlocal_rate: 0.10,
+                nonlocal_count: CountProfile::Skewed { mean: 1.5 },
+                dest_weights: w(&[("JP", 0.45), ("HK", 0.30), ("US", 0.17), ("AU", 0.08)]),
+                majors_serve_locally: true, org_dest_overrides: vec![], exclusive_orgs: vec![],
+                traceroute: Normal, load_success_rate: 0.94, gov_sites_in_tranco: 50,
+                page_richness: 0.65, similarweb_covers: true,
+            },
+            CountrySpec {
+                country: cc("US"), volunteer_city: "Ashburn".into(), access: Excellent,
+                reg_nonlocal_rate: 0.0, gov_nonlocal_rate: 0.0,
+                nonlocal_count: CountProfile::Skewed { mean: 1.0 },
+                dest_weights: vec![],
+                majors_serve_locally: true, org_dest_overrides: vec![], exclusive_orgs: vec![],
+                traceroute: Normal, load_success_rate: 0.96, gov_sites_in_tranco: 50,
+                page_richness: 2.1, similarweb_covers: true,
+            },
+            CountrySpec {
+                country: cc("LB"), volunteer_city: "Beirut".into(), access: Poor,
+                reg_nonlocal_rate: 0.22, gov_nonlocal_rate: 0.18,
+                nonlocal_count: CountProfile::Skewed { mean: 2.0 },
+                dest_weights: w(&[("FR", 0.45), ("DE", 0.25), ("GB", 0.20), ("CY", 0.10)]),
+                majors_serve_locally: false, org_dest_overrides: vec![], exclusive_orgs: vec![],
+                traceroute: Normal, load_success_rate: 0.90, gov_sites_in_tranco: 9,
+                page_richness: 0.8, similarweb_covers: true,
+            },
+        ];
+        WorldSpec {
+            seed,
+            reg_sites_per_country: 50,
+            gov_sites_per_country: 50,
+            opt_out_rate: 0.0099,
+            countries,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn paper_default_validates_and_covers_all_23() {
+        let spec = WorldSpec::paper_default(1);
+        spec.validate().unwrap();
+        assert_eq!(spec.countries.len(), 23);
+        for code in gamma_geo::country::MEASUREMENT_COUNTRIES {
+            assert!(spec.country(*code).is_some(), "missing {code}");
+        }
+    }
+
+    #[test]
+    fn table1_overall_rates_are_respected() {
+        // (reg + gov) / 2 should land near Table 1's Non-Local column.
+        let spec = WorldSpec::paper_default(1);
+        let expect = [
+            ("AZ", 74.39), ("DZ", 49.39), ("EG", 70.41), ("RW", 62.30), ("UG", 75.45),
+            ("AR", 61.48), ("RU", 8.00), ("LK", 9.43), ("TH", 59.05), ("AE", 33.50),
+            ("GB", 38.65), ("AU", 7.06), ("CA", 0.00), ("IN", 1.06), ("JP", 22.71),
+            ("JO", 54.37), ("NZ", 83.50), ("PK", 65.73), ("QA", 73.19), ("SA", 71.43),
+            ("TW", 7.63), ("US", 0.00), ("LB", 20.24),
+        ];
+        for (code, pct) in expect {
+            let c = spec.country(CountryCode::new(code)).unwrap();
+            let ours = 100.0 * (c.reg_nonlocal_rate + c.gov_nonlocal_rate) / 2.0;
+            assert!(
+                (ours - pct).abs() < 6.0,
+                "{code}: spec {ours:.1}% vs paper {pct}%"
+            );
+        }
+    }
+
+    #[test]
+    fn measurement_idiosyncrasies_are_encoded() {
+        let spec = WorldSpec::paper_default(1);
+        let mode = |c: &str| spec.country(CountryCode::new(c)).unwrap().traceroute;
+        assert_eq!(mode("EG"), TracerouteMode::OptOut);
+        for c in ["AU", "IN", "QA", "JO"] {
+            assert_eq!(mode(c), TracerouteMode::Firewalled, "{c}");
+        }
+        assert_eq!(mode("US"), TracerouteMode::Normal);
+    }
+
+    #[test]
+    fn japan_and_saudi_have_low_load_success() {
+        let spec = WorldSpec::paper_default(1);
+        assert!((spec.country(CountryCode::new("JP")).unwrap().load_success_rate - 0.64).abs() < 0.01);
+        assert!((spec.country(CountryCode::new("SA")).unwrap().load_success_rate - 0.56).abs() < 0.01);
+        // Everyone else loads > 86% of T_web (§5).
+        for c in &spec.countries {
+            if !["JP", "SA"].contains(&c.country.as_str()) {
+                assert!(c.load_success_rate > 0.86, "{}", c.country);
+            }
+        }
+    }
+
+    #[test]
+    fn jordan_has_its_exclusive_orgs() {
+        let spec = WorldSpec::paper_default(1);
+        let jo = spec.country(CountryCode::new("JO")).unwrap();
+        for name in ["Jubna", "OneTag", "Optad360"] {
+            assert!(jo.exclusive_orgs.iter().any(|o| o == name), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn nz_is_the_only_normal_profile() {
+        let spec = WorldSpec::paper_default(1);
+        for c in &spec.countries {
+            let is_normal = matches!(c.nonlocal_count, CountProfile::Normal { .. });
+            assert_eq!(is_normal, c.country.as_str() == "NZ", "{}", c.country);
+        }
+    }
+
+    #[test]
+    fn count_profiles_sample_sanely() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let skewed = CountProfile::Skewed { mean: 10.5 };
+        let n = 4000;
+        let vals: Vec<usize> = (0..n).map(|_| skewed.sample(&mut rng)).collect();
+        let mean = vals.iter().sum::<usize>() as f64 / n as f64;
+        assert!((5.0..11.0).contains(&mean), "skewed mean {mean}");
+        assert!(vals.iter().all(|&v| v >= 1));
+
+        let normal = CountProfile::Normal { mean: 12.0, sd: 3.5 };
+        let vals: Vec<usize> = (0..n).map(|_| normal.sample(&mut rng)).collect();
+        let mean = vals.iter().sum::<usize>() as f64 / n as f64;
+        assert!((11.0..13.0).contains(&mean), "normal mean {mean}");
+
+        let low = CountProfile::LowWithOutliers { typical: 2.0, outlier_rate: 0.05, outlier_mean: 14.0 };
+        let vals: Vec<usize> = (0..n).map(|_| low.sample(&mut rng)).collect();
+        let median = {
+            let mut v = vals.clone();
+            v.sort_unstable();
+            v[n / 2]
+        };
+        assert!(median <= 3, "low median {median}");
+        assert!(*vals.iter().max().unwrap() >= 10, "no outliers produced");
+    }
+
+    #[test]
+    fn validation_catches_bad_specs() {
+        let mut spec = WorldSpec::paper_default(1);
+        spec.countries[0].reg_nonlocal_rate = 1.5;
+        assert!(spec.validate().is_err());
+
+        let mut spec = WorldSpec::paper_default(1);
+        spec.countries[0].volunteer_city = "Atlantis".into();
+        assert!(spec.validate().is_err());
+
+        let mut spec = WorldSpec::paper_default(1);
+        spec.countries[0].dest_weights.clear();
+        spec.countries[0].reg_nonlocal_rate = 0.5;
+        assert!(spec.validate().is_err());
+    }
+
+    #[test]
+    fn spec_roundtrips_through_json() {
+        let spec = WorldSpec::paper_default(7);
+        let js = serde_json::to_string(&spec).unwrap();
+        let back: WorldSpec = serde_json::from_str(&js).unwrap();
+        assert_eq!(spec, back);
+    }
+}

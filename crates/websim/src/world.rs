@@ -1,0 +1,177 @@
+//! The assembled synthetic world.
+//!
+//! A [`World`] is everything the Gamma suite can observe: the address space
+//! and its ground-truth placement, GeoDNS zones, PTR records, organizations
+//! and their tracker domains, websites, and per-country target lists. It is
+//! produced by [`crate::worldgen::generate`] and treated as read-only by
+//! the measurement pipeline.
+
+use crate::domains::TrackerDomain;
+use crate::hosting::HostingPlan;
+use crate::org::{Org, OrgId};
+use crate::site::{SiteId, Website};
+use crate::spec::WorldSpec;
+use gamma_dns::psl::registrable_domain;
+use gamma_dns::resolver::{GeoResolver, Replica};
+use gamma_dns::rdns::RdnsTable;
+use gamma_dns::DomainName;
+use gamma_geo::{CityId, CountryCode};
+use gamma_netsim::{AsRegistry, Asn, IpRegistry};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// One country's target-website list, split by kind (§3.2).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TargetList {
+    pub regional: Vec<SiteId>,
+    pub government: Vec<SiteId>,
+}
+
+impl TargetList {
+    /// T_web = T_reg + T_gov, in order.
+    pub fn all(&self) -> impl Iterator<Item = SiteId> + '_ {
+        self.regional.iter().chain(self.government.iter()).copied()
+    }
+
+    pub fn len(&self) -> usize {
+        self.regional.len() + self.government.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.regional.is_empty() && self.government.is_empty()
+    }
+}
+
+/// The generated world.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct World {
+    pub spec: WorldSpec,
+    pub as_registry: AsRegistry,
+    pub ip_registry: IpRegistry,
+    pub resolver: GeoResolver,
+    pub rdns: RdnsTable,
+    pub orgs: Vec<Org>,
+    pub tracker_domains: Vec<TrackerDomain>,
+    pub sites: Vec<Website>,
+    /// T_web per measurement country.
+    pub targets: HashMap<CountryCode, TargetList>,
+    /// Ground-truth serving city per (tracker org, client country) — used
+    /// only by accuracy evaluations, never by the pipeline.
+    pub serving: HashMap<(OrgId, CountryCode), CityId>,
+    pub hosting: HostingPlan,
+    /// Backbone router address per city (traceroute interior hops).
+    pub router_ips: HashMap<CityId, Ipv4Addr>,
+    /// FQDN or eTLD+1 -> owning org (trackers and site operators).
+    pub domain_org: HashMap<DomainName, OrgId>,
+}
+
+impl World {
+    /// The site with the given id.
+    pub fn site(&self, id: SiteId) -> &Website {
+        &self.sites[id.0 as usize]
+    }
+
+    /// The org with the given id.
+    pub fn org(&self, id: OrgId) -> &Org {
+        &self.orgs[id.0 as usize]
+    }
+
+    /// GeoDNS resolution as seen from a client city.
+    pub fn resolve(&self, domain: &DomainName, client_city: CityId) -> Option<Replica> {
+        self.resolver.resolve(domain, client_city).map(|(r, _)| r)
+    }
+
+    /// Resolution with wildcard-style fallback: an unregistered host under
+    /// a known zone answers from the parent zone (real authoritative setups
+    /// wildcard such hosts). Needed for e.g. the webdriver's background
+    /// `update.googleapis.com` requests, which hit Google zones that only
+    /// register the registrable domain.
+    pub fn resolve_fuzzy(&self, domain: &DomainName, client_city: CityId) -> Option<Replica> {
+        if let Some(r) = self.resolve(domain, client_city) {
+            return Some(r);
+        }
+        let mut cur = domain.parent();
+        while let Some(d) = cur {
+            if let Some(r) = self.resolve(&d, client_city) {
+                return Some(r);
+            }
+            cur = d.parent();
+        }
+        None
+    }
+
+    /// PTR lookup.
+    pub fn rdns_of(&self, addr: Ipv4Addr) -> Option<&str> {
+        self.rdns.lookup(addr)
+    }
+
+    /// Ground-truth city of an address (where the machine really is).
+    pub fn true_city(&self, addr: Ipv4Addr) -> Option<CityId> {
+        self.ip_registry.lookup(addr).map(|a| a.city)
+    }
+
+    /// Ground-truth country of an address.
+    pub fn true_country(&self, addr: Ipv4Addr) -> Option<CountryCode> {
+        self.true_city(addr).map(|c| gamma_geo::city(c).country)
+    }
+
+    /// AS owning an address.
+    pub fn asn_of(&self, addr: Ipv4Addr) -> Option<Asn> {
+        self.ip_registry.lookup(addr).map(|a| a.asn)
+    }
+
+    /// Backbone router address in a city (every catalog city has one).
+    pub fn router_ip_of(&self, city: CityId) -> Ipv4Addr {
+        *self
+            .router_ips
+            .get(&city)
+            .expect("worldgen allocates a router per catalog city")
+    }
+
+    /// Organization owning a domain: exact FQDN match first, then the
+    /// registrable domain, then parent walks (mirrors how WhoTracksMe-style
+    /// attribution works on eTLD+1).
+    pub fn org_of_domain(&self, domain: &DomainName) -> Option<OrgId> {
+        if let Some(&o) = self.domain_org.get(domain) {
+            return Some(o);
+        }
+        if let Some(reg) = registrable_domain(domain) {
+            if let Some(&o) = self.domain_org.get(&reg) {
+                return Some(o);
+            }
+        }
+        let mut cur = domain.parent();
+        while let Some(d) = cur {
+            if let Some(&o) = self.domain_org.get(&d) {
+                return Some(o);
+            }
+            cur = d.parent();
+        }
+        None
+    }
+
+    /// Whether a domain belongs to the ground-truth tracker table (exact or
+    /// by registrable domain). Used by evaluations, not the pipeline.
+    pub fn is_tracker_domain(&self, domain: &DomainName) -> bool {
+        let reg = registrable_domain(domain);
+        self.tracker_domains.iter().any(|t| {
+            t.domain == *domain
+                || domain.is_subdomain_of(&t.domain)
+                || reg.as_ref() == Some(&t.domain)
+        })
+    }
+
+    /// The volunteer city for a measurement country.
+    pub fn volunteer_city(&self, country: CountryCode) -> Option<CityId> {
+        self.spec
+            .country(country)
+            .and_then(|c| gamma_geo::city_by_name(&c.volunteer_city))
+            .map(|c| c.id)
+    }
+
+    /// All measurement countries in spec order.
+    pub fn measurement_countries(&self) -> impl Iterator<Item = CountryCode> + '_ {
+        self.spec.countries.iter().map(|c| c.country)
+    }
+}

@@ -1,0 +1,1307 @@
+//! World generation: realizes a [`WorldSpec`] into a [`World`].
+//!
+//! The generator works demand-first: it decides, per (tracker organization,
+//! measurement country), which city serves that country's traffic — local
+//! replicas for infrastructure-rich countries, foreign hubs sampled from
+//! the spec's destination mix otherwise — then materializes deployments,
+//! address blocks, GeoDNS zones with per-country steering, PTR records,
+//! and finally the website population whose pages embed the trackers.
+//!
+//! Downstream code (the Gamma suite, the geolocation pipeline, the
+//! analyses) never sees the spec's calibration targets; it can only observe
+//! what a real crawler would: DNS answers, addresses, latencies, hostnames.
+
+use crate::domains::{expand_tracker_domains, org_slug, TrackerDomain};
+use crate::hosting::{hosting_asn_for, own_asn, HostingPlan};
+use crate::org::{Org, OrgId, OrgKind, ORG_SEEDS};
+use crate::ranking::RankingProviders;
+use crate::site::{SiteCategory, SiteId, SiteKind, Website};
+use crate::spec::{CountrySpec, WorldSpec};
+use crate::world::{TargetList, World};
+use gamma_dns::rdns::{HostnameScheme, RdnsTable};
+use gamma_dns::resolver::{GeoResolver, Replica};
+use gamma_dns::{gov_suffixes, DomainName};
+use gamma_geo::{cities, cities_in, city, city_by_name, CityId, CountryCode};
+use gamma_netsim::asn::{AsKind, AsnInfo, ASN_AWS, ASN_GCP};
+use gamma_netsim::{AsRegistry, Asn, IpRegistry};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// The global backbone AS whose routers appear as traceroute interior hops.
+pub const ASN_BACKBONE: Asn = Asn(3356);
+
+/// Operator organizations that also own first-party tracking domains
+/// (§6.7 names Microsoft, Booking.com and the BBC alongside the majors).
+const EXTRA_TRACKER_OPERATORS: &[(&str, &str, &str)] = &[
+    ("Microsoft", "US", "clarity-ms.net"),
+    ("Booking", "NL", "booking-pixel.net"),
+    ("BBC", "GB", "bbci-stats.net"),
+];
+
+/// Google's regional consumer domains per country (§6.7's google.com.eg,
+/// google.co.th, google.com.qa, google.jo examples).
+const GOOGLE_CCTLD: &[(&str, &str)] = &[
+    ("EG", "google.com.eg"),
+    ("TH", "google.co.th"),
+    ("QA", "google.com.qa"),
+    ("JO", "google.jo"),
+    ("PK", "google.com.pk"),
+    ("SA", "google.com.sa"),
+    ("AE", "google.ae"),
+    ("LK", "google.lk"),
+    ("AZ", "google.az"),
+    ("DZ", "google.dz"),
+    ("UG", "google.co.ug"),
+    ("RW", "google.rw"),
+];
+
+/// European hosting-hub distribution for tracker organizations. Real
+/// organizations run ONE European deployment and serve every client
+/// country from it; without this, each source country would sample an
+/// independent European destination per org and the per-country unions of
+/// hosted domains (Figure 7) would blow up far beyond the paper's counts
+/// — and invert its Kenya > Germany > France ordering.
+const EURO_HUBS: &[(&str, f64)] = &[
+    ("DE", 0.26),
+    ("FR", 0.24),
+    ("GB", 0.26),
+    ("NL", 0.14),
+    ("IE", 0.10),
+];
+
+/// Countries treated as "Europe" for hub consolidation.
+const EURO_SET: &[&str] = &["FR", "DE", "GB", "NL", "IE", "ES", "IT", "FI", "BG", "CH", "AT"];
+
+fn is_euro(c: CountryCode) -> bool {
+    EURO_SET.contains(&c.as_str())
+}
+
+/// Samples each org's single European hub, keyed by org id.
+fn assign_euro_hubs(org_count: usize, seed: u64) -> Vec<CountryCode> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xE0_40B);
+    let total: f64 = EURO_HUBS.iter().map(|(_, w)| w).sum();
+    (0..org_count)
+        .map(|_| {
+            let mut x = rng.gen::<f64>() * total;
+            for (c, w) in EURO_HUBS {
+                x -= w;
+                if x <= 0.0 {
+                    return CountryCode::parse(c).expect("valid hub code");
+                }
+            }
+            CountryCode::new("DE")
+        })
+        .collect()
+}
+
+/// Hub city of a country: the first catalog city (catalog order puts the
+/// principal hosting hub first for every destination country).
+pub fn hub_city(country: CountryCode) -> CityId {
+    cities_in(country)
+        .next()
+        .unwrap_or_else(|| panic!("no catalog city for {country}"))
+        .id
+}
+
+/// Generates a world from a spec. Deterministic in `spec.seed`.
+pub fn generate(spec: &WorldSpec) -> World {
+    spec.validate().expect("world spec must validate");
+    let mut rng = ChaCha8Rng::seed_from_u64(spec.seed);
+
+    let mut as_registry = AsRegistry::new();
+    let mut ip_registry = IpRegistry::new();
+    let mut resolver = GeoResolver::new();
+    let mut rdns = RdnsTable::new();
+    let mut hosting = HostingPlan::new();
+    let mut domain_org: HashMap<DomainName, OrgId> = HashMap::new();
+
+    register_infrastructure_asns(&mut as_registry);
+
+    // --- organizations: curated tracker catalog + operator extensions ---
+    let mut orgs: Vec<Org> = ORG_SEEDS
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let id = OrgId(i as u32);
+            let asn = hosting_asn_for(id);
+            Org {
+                id,
+                name: s.name.to_string(),
+                hq: CountryCode::parse(s.hq).expect("valid seed HQ"),
+                kind: s.kind,
+                asn,
+                scheme: s.scheme,
+                rdns_base: rdns_base_for(s.name, asn),
+            }
+        })
+        .collect();
+    let mut tracker_domains = expand_tracker_domains();
+    for (name, hq, dom) in EXTRA_TRACKER_OPERATORS {
+        let id = OrgId(orgs.len() as u32);
+        let asn = own_asn(id);
+        orgs.push(Org {
+            id,
+            name: name.to_string(),
+            hq: CountryCode::parse(hq).expect("valid HQ"),
+            kind: OrgKind::Analytics,
+            asn,
+            scheme: HostnameScheme::Opaque,
+            rdns_base: rdns_base_for(name, asn),
+        });
+        tracker_domains.push(TrackerDomain {
+            domain: DomainName::parse(dom).expect("valid operator tracker domain"),
+            org: id,
+            in_filter_lists: true,
+        });
+    }
+    let tracker_org_count = orgs.len();
+    for org in &orgs {
+        let info = AsnInfo {
+            asn: org.asn,
+            name: format!("{}-NET", org.name.to_uppercase()),
+            kind: AsKind::Content,
+            country: org.hq,
+        };
+        // Cloud ASNs are pre-registered; only register own networks.
+        if org.asn != ASN_AWS && org.asn != ASN_GCP {
+            as_registry.register(info).expect("unique org ASN");
+        }
+    }
+    for t in &tracker_domains {
+        domain_org.insert(t.domain.clone(), t.org);
+    }
+
+    // --- backbone routers: one address per catalog city ---
+    let mut router_ips: HashMap<CityId, Ipv4Addr> = HashMap::new();
+    for c in cities() {
+        let alloc = ip_registry.allocate(ASN_BACKBONE, c.id);
+        let ip = alloc.net.nth(1).expect("/24 has host 1");
+        router_ips.insert(c.id, ip);
+        rdns.insert_rendered(ip, HostnameScheme::IataCode, c.id, "core.backbone1.net", 1);
+    }
+
+    // --- serving assignment: (tracker org, country) -> city ---
+    let exclusive_to = exclusivity_map(spec, &orgs);
+    let euro_hubs = assign_euro_hubs(orgs.len(), spec.seed);
+    let mut serving: HashMap<(OrgId, CountryCode), CityId> = HashMap::new();
+    for cs in &spec.countries {
+        let local_city = city_by_name(&cs.volunteer_city).expect("validated city").id;
+        for org in orgs.iter().take(tracker_org_count) {
+            if org.kind == OrgKind::SiteOperator {
+                continue;
+            }
+            let city = serving_city_for(org, cs, local_city, &exclusive_to, &euro_hubs, &mut rng);
+            serving.insert((org.id, cs.country), city);
+        }
+    }
+
+    // --- tracker FQDNs, deployments, zones, steering, PTR records ---
+    // HashMap iteration order is process-random; the loop below draws from
+    // the RNG and allocates addresses, so it must walk orgs in a stable
+    // order or the generated world would differ between runs.
+    let fqdn_table = expand_fqdns(&tracker_domains, &orgs);
+    let mut fqdn_orgs: Vec<&OrgId> = fqdn_table.keys().collect();
+    fqdn_orgs.sort_unstable();
+    for org_id in fqdn_orgs {
+        let fqdns = &fqdn_table[org_id];
+        let org = &orgs[org_id.0 as usize];
+        let mut org_cities: Vec<CityId> = spec
+            .countries
+            .iter()
+            .filter_map(|cs| serving.get(&(*org_id, cs.country)).copied())
+            .collect();
+        org_cities.push(hub_city(org.hq));
+        org_cities.sort_unstable();
+        org_cities.dedup();
+
+        for fqdn in fqdns {
+            let mut replicas = Vec::with_capacity(org_cities.len());
+            for &c in &org_cities {
+                let dep = hosting.ensure(*org_id, c, org.asn, &mut ip_registry);
+                let ip = hosting.alloc_ip(dep, &mut ip_registry);
+                replicas.push(Replica { addr: ip, city: c });
+                // ~75% of server addresses carry a PTR record (§4.1.3:
+                // reverse DNS is "not always available").
+                if rng.gen::<f64>() < 0.75 {
+                    rdns.insert_rendered(ip, org.scheme, c, &org.rdns_base, rng.gen_range(1..90));
+                }
+            }
+            resolver.add_replicas(fqdn.clone(), replicas);
+            for cs in &spec.countries {
+                if let Some(&serve_city) = serving.get(&(*org_id, cs.country)) {
+                    resolver.steer(fqdn.clone(), cs.country, serve_city);
+                }
+            }
+        }
+    }
+
+    // --- website population ---
+    let mut sites: Vec<Website> = Vec::new();
+    let mut rankings = RankingProviders::new(spec.seed ^ 0x5241_4e4b);
+    let mut targets: HashMap<CountryCode, TargetList> = HashMap::new();
+
+    let globals = build_global_sites(&mut orgs, &mut sites, &fqdn_table, &mut rng);
+    let google_id = org_id_by_name(&orgs, "Google").expect("Google exists");
+
+    for cs in &spec.countries {
+        let local_city = city_by_name(&cs.volunteer_city).expect("validated city").id;
+        let foreign_pool = build_tracker_pool(&fqdn_table, &orgs, &serving, &exclusive_to, cs, true);
+        let local_pool = build_tracker_pool(&fqdn_table, &orgs, &serving, &exclusive_to, cs, false);
+        // Government portals avoid US-hosted third parties except in the
+        // UAE (§6.3's T_gov observation).
+        let foreign_pool_gov = if cs.country == CountryCode::new("AE") {
+            foreign_pool.clone()
+        } else {
+            build_tracker_pool_excluding(
+                &fqdn_table,
+                &orgs,
+                &serving,
+                &exclusive_to,
+                cs,
+                true,
+                Some(CountryCode::new("US")),
+            )
+        };
+
+        // Regional candidates: global sites that rank here + generated
+        // country-specific sites (75-candidate pool, §3.2).
+        let mut candidates: Vec<SiteId> = Vec::new();
+        for g in &globals {
+            let always = matches!(sites[g.0 as usize].domain.as_str(), "google.com" | "wikipedia.org");
+            if always || rng.gen::<f64>() < 0.78 {
+                candidates.push(*g);
+            }
+        }
+        if let Some((_, dom)) = GOOGLE_CCTLD.iter().find(|(c, _)| *c == cs.country.as_str()) {
+            let id = push_site(
+                &mut sites,
+                Website {
+                    id: SiteId(0),
+                    domain: DomainName::parse(dom).expect("valid google ccTLD"),
+                    country: cs.country,
+                    kind: SiteKind::Regional,
+                    category: SiteCategory::Search,
+                    operator: google_id,
+                    global: false,
+                    own_hosts: vec![DomainName::parse(dom).expect("valid")],
+                    trackers: pick_org_fqdns(&fqdn_table, google_id, 6, &mut rng),
+                },
+            );
+            candidates.push(id);
+        }
+        let need = 75usize.saturating_sub(candidates.len());
+        for i in 0..need {
+            let id = generate_regional_site(&mut sites, &mut orgs, cs, i, &mut rng);
+            candidates.push(id);
+        }
+        // Pseudo-popularity order with globals biased to the top.
+        let (head, tail): (Vec<SiteId>, Vec<SiteId>) = candidates
+            .iter()
+            .partition(|s| sites[s.0 as usize].global || sites[s.0 as usize].operator == google_id);
+        let mut ordered = head;
+        let mut tail = tail;
+        tail.shuffle(&mut rng);
+        ordered.extend(tail);
+        rankings.set_regional(cs.country, ordered.clone());
+        if !cs.similarweb_covers {
+            rankings.mark_similarweb_gap(cs.country);
+        }
+        let (_, mut t_reg) = rankings.effective_regional(cs.country, spec.reg_sites_per_country);
+        // "We removed all adult sites and websites banned in each country":
+        // drop a couple of entries deterministically.
+        let drop = 2.min(t_reg.len().saturating_sub(1));
+        for _ in 0..drop {
+            let idx = rng.gen_range(t_reg.len() / 2..t_reg.len());
+            t_reg.remove(idx);
+        }
+
+        // Government sites.
+        let mut gov_ids: Vec<SiteId> = Vec::new();
+        let suffixes = gov_suffixes(cs.country);
+        assert!(!suffixes.is_empty(), "no gov suffix for {}", cs.country);
+        let gov_total = if cs.gov_sites_in_tranco >= spec.gov_sites_per_country {
+            spec.gov_sites_per_country
+        } else {
+            // Sparse-Tranco countries only gain a handful via scraping.
+            (cs.gov_sites_in_tranco + 6).min(spec.gov_sites_per_country)
+        };
+        for i in 0..gov_total {
+            let suffix = suffixes[i % suffixes.len()];
+            let name = format!("{}.{}", GOV_NAMES[i % GOV_NAMES.len()], suffix);
+            let id = push_site(
+                &mut sites,
+                Website {
+                    id: SiteId(0),
+                    domain: DomainName::parse(&name).expect("valid gov domain"),
+                    country: cs.country,
+                    kind: SiteKind::Government,
+                    category: SiteCategory::GovernmentService,
+                    operator: ensure_operator(&mut orgs, &format!("Gov{}", cs.country), cs.country),
+                    global: false,
+                    own_hosts: Vec::new(),
+                    trackers: Vec::new(),
+                },
+            );
+            gov_ids.push(id);
+        }
+        let in_tranco: Vec<SiteId> = gov_ids.iter().take(cs.gov_sites_in_tranco).copied().collect();
+        let scraped: Vec<SiteId> = gov_ids.iter().skip(cs.gov_sites_in_tranco).copied().collect();
+        rankings.set_gov(cs.country, in_tranco, scraped);
+        let t_gov = rankings.gov_sites(cs.country, spec.gov_sites_per_country);
+
+        // Embed trackers into this country's own sites (globals keep their
+        // fixed embeddings). Quota-based: exactly round(rate x n) sites of
+        // each kind receive foreign-served trackers, so the calibration
+        // targets are met without binomial noise drowning low-rate
+        // countries like Australia (12%) in seed variance.
+        for kind in [SiteKind::Regional, SiteKind::Government] {
+            let list = match kind {
+                SiteKind::Regional => &t_reg,
+                SiteKind::Government => &t_gov,
+            };
+            let mut own: Vec<SiteId> = list
+                .iter()
+                .copied()
+                .filter(|sid| {
+                    let s = &sites[sid.0 as usize];
+                    !s.global && s.country == cs.country && s.trackers.is_empty() && s.kind == kind
+                })
+                .collect();
+            own.shuffle(&mut rng);
+            let rate = match kind {
+                SiteKind::Regional => cs.reg_nonlocal_rate,
+                SiteKind::Government => cs.gov_nonlocal_rate,
+            };
+            let pool = match kind {
+                SiteKind::Regional => &foreign_pool,
+                SiteKind::Government => &foreign_pool_gov,
+            };
+            let quota = (rate * own.len() as f64).round() as usize;
+            for (i, sid) in own.into_iter().enumerate() {
+                let mut trackers: Vec<DomainName> = Vec::new();
+                if i < quota && !pool.is_empty() {
+                    let k = cs.nonlocal_count.sample(&mut rng);
+                    trackers.extend(pick_weighted(pool, k, &mut rng));
+                }
+                if !local_pool.is_empty() && rng.gen::<f64>() < 0.85 {
+                    // Locally-served tracker variety scales with page
+                    // richness: US/Canadian/British pages carry the most
+                    // third parties, which (with their high load success)
+                    // is why those vantages launched the most traceroutes
+                    // in the study (§5: USA ≈2.2K vs Saudi Arabia ≈0.4K).
+                    let j = 1 + (rng.gen::<f64>() * 7.0 * cs.page_richness) as usize;
+                    trackers.extend(pick_weighted(&local_pool, j, &mut rng));
+                }
+                trackers.dedup();
+                sites[sid.0 as usize].trackers = trackers;
+            }
+        }
+
+        // First-party hosts + hosting for the country's own sites.
+        // Global sites are hosted once, at the worldwide hubs, after this
+        // loop — claiming them here would pin facebook.com to whichever
+        // country happened to be processed first.
+        for &sid in t_reg.iter().chain(t_gov.iter()) {
+            if sites[sid.0 as usize].global {
+                continue;
+            }
+            if sites[sid.0 as usize].own_hosts.is_empty() || sites[sid.0 as usize].operator == google_id
+            {
+                finalize_site_hosting(
+                    &mut sites,
+                    sid,
+                    &orgs,
+                    cs,
+                    local_city,
+                    &serving,
+                    google_id,
+                    &mut hosting,
+                    &mut ip_registry,
+                    &mut resolver,
+                    &mut domain_org,
+                    &mut rng,
+                );
+            }
+        }
+
+        targets.insert(
+            cs.country,
+            TargetList {
+                regional: t_reg,
+                government: t_gov,
+            },
+        );
+    }
+
+    // Host the global sites at the major hubs with nearest-replica answers.
+    finalize_global_hosting(
+        &globals,
+        &mut sites,
+        &orgs,
+        &mut hosting,
+        &mut ip_registry,
+        &mut resolver,
+        &mut domain_org,
+    );
+
+    // Operator orgs appended during generation need AS registrations.
+    for org in orgs.iter().skip(tracker_org_count) {
+        let _ = as_registry.register(AsnInfo {
+            asn: org.asn,
+            name: format!("{}-NET", org.name.to_uppercase()),
+            kind: AsKind::Content,
+            country: org.hq,
+        });
+    }
+
+    World {
+        spec: spec.clone(),
+        as_registry,
+        ip_registry,
+        resolver,
+        rdns,
+        orgs,
+        tracker_domains,
+        sites,
+        targets,
+        serving,
+        hosting,
+        router_ips,
+        domain_org,
+    }
+}
+
+fn register_infrastructure_asns(reg: &mut AsRegistry) {
+    for (asn, name, kind, cc) in [
+        (ASN_AWS, "AMAZON-02", AsKind::Cloud, "US"),
+        (ASN_GCP, "GOOGLE-CLOUD-PLATFORM", AsKind::Cloud, "US"),
+        (ASN_BACKBONE, "BACKBONE-1", AsKind::Transit, "US"),
+    ] {
+        reg.register(AsnInfo {
+            asn,
+            name: name.into(),
+            kind,
+            country: CountryCode::new(cc),
+        })
+        .expect("infrastructure ASNs are unique");
+    }
+}
+
+fn rdns_base_for(name: &str, asn: Asn) -> String {
+    let slug = org_slug(name);
+    if asn == ASN_AWS {
+        format!("{slug}.awsglobal-edge.net")
+    } else if asn == ASN_GCP {
+        format!("{slug}.gcpcloud-host.net")
+    } else {
+        format!("{slug}-servers.net")
+    }
+}
+
+/// Map org -> country it is exclusive to (from the specs).
+fn exclusivity_map(spec: &WorldSpec, orgs: &[Org]) -> HashMap<OrgId, CountryCode> {
+    let mut m = HashMap::new();
+    for cs in &spec.countries {
+        for name in &cs.exclusive_orgs {
+            if let Some(id) = org_id_by_name(orgs, name) {
+                m.insert(id, cs.country);
+            }
+        }
+    }
+    m
+}
+
+fn org_id_by_name(orgs: &[Org], name: &str) -> Option<OrgId> {
+    orgs.iter().find(|o| o.name == name).map(|o| o.id)
+}
+
+/// Chooses where `org` serves `cs.country` from.
+fn serving_city_for(
+    org: &Org,
+    cs: &CountrySpec,
+    local_city: CityId,
+    exclusive_to: &HashMap<OrgId, CountryCode>,
+    euro_hubs: &[CountryCode],
+    rng: &mut ChaCha8Rng,
+) -> CityId {
+    // A sampled European destination consolidates onto the org's single
+    // European hub when that hub is plausible for the source country.
+    let consolidate = |dest: CountryCode| -> CountryCode {
+        if is_euro(dest) {
+            let hub = euro_hubs[org.id.0 as usize % euro_hubs.len()];
+            if cs.dest_weights.iter().any(|(c, _)| *c == hub) {
+                return hub;
+            }
+        }
+        dest
+    };
+    // Forced steering first (Sri Lanka's Yahoo -> Japan, Egypt's Google ->
+    // Germany, AdStudio -> India).
+    if let Some((_, dest)) = cs.org_dest_overrides.iter().find(|(n, _)| *n == org.name) {
+        return hub_city(*dest);
+    }
+    // Exclusive orgs serve "their" country from abroad (they only show up
+    // in that country's non-local flows, §6.5) and are irrelevant elsewhere.
+    if let Some(home) = exclusive_to.get(&org.id) {
+        if *home == cs.country {
+            if org.hq != cs.country {
+                return hub_city(org.hq);
+            }
+            if let Some(dest) = sample_dest(cs, rng) {
+                return hub_city(consolidate(dest));
+            }
+        }
+        return local_city;
+    }
+    if cs.dest_weights.is_empty() {
+        return local_city;
+    }
+    let is_major = org.kind == OrgKind::MajorTracker;
+    if is_major {
+        // Majors dominate embedding volume, so their destination is the
+        // country's top-weighted hub rather than a sample — one unlucky
+        // draw would otherwise swing the whole country's flow mix.
+        return if cs.majors_serve_locally {
+            local_city
+        } else {
+            match top_dest(cs) {
+                Some(dest) => hub_city(dest),
+                None => local_city,
+            }
+        };
+    }
+    let p = if cs.majors_serve_locally { 0.35 } else { 0.78 };
+    if rng.gen::<f64>() < p {
+        match sample_dest(cs, rng) {
+            Some(dest) => hub_city(consolidate(dest)),
+            None => local_city,
+        }
+    } else {
+        local_city
+    }
+}
+
+/// The highest-weighted destination of a country's mix.
+fn top_dest(cs: &CountrySpec) -> Option<CountryCode> {
+    cs.dest_weights
+        .iter()
+        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite weights"))
+        .map(|(c, _)| *c)
+}
+
+fn sample_dest(cs: &CountrySpec, rng: &mut ChaCha8Rng) -> Option<CountryCode> {
+    let total: f64 = cs.dest_weights.iter().map(|(_, w)| w).sum();
+    if total <= 0.0 {
+        return None;
+    }
+    let mut x = rng.gen::<f64>() * total;
+    for (c, w) in &cs.dest_weights {
+        x -= w;
+        if x <= 0.0 {
+            return Some(*c);
+        }
+    }
+    cs.dest_weights.last().map(|(c, _)| *c)
+}
+
+/// FQDNs served for each tracker org: the bare domain plus conventional
+/// subdomains (majors run richer host sets, which is what lets a single
+/// YouTube page fire dozens of distinct Google hosts — §6.2's outliers).
+fn expand_fqdns(domains: &[TrackerDomain], orgs: &[Org]) -> HashMap<OrgId, Vec<DomainName>> {
+    let mut m: HashMap<OrgId, Vec<DomainName>> = HashMap::new();
+    for (i, t) in domains.iter().enumerate() {
+        let entry = m.entry(t.org).or_default();
+        entry.push(t.domain.clone());
+        if t.domain.label_count() > 2 {
+            continue; // already a deep FQDN (safeframe.googlesyndication.com)
+        }
+        let is_major = orgs[t.org.0 as usize].kind == OrgKind::MajorTracker;
+        let prefixes: &[&str] = if is_major {
+            &["cdn", "pixel"]
+        } else if i % 2 == 0 {
+            &["sync"]
+        } else {
+            &[]
+        };
+        for p in prefixes {
+            if let Ok(f) = t.domain.prepend(p) {
+                entry.push(f);
+            }
+        }
+    }
+    m
+}
+
+/// Builds the weighted tracker-FQDN pool for a country: `foreign == true`
+/// selects orgs served from outside the country, else locally-served orgs.
+/// One organization's embeddable tracker hosts, with its pick weight.
+#[derive(Debug, Clone)]
+struct OrgPool {
+    fqdns: Vec<DomainName>,
+    weight: f64,
+}
+
+fn build_tracker_pool(
+    fqdn_table: &HashMap<OrgId, Vec<DomainName>>,
+    orgs: &[Org],
+    serving: &HashMap<(OrgId, CountryCode), CityId>,
+    exclusive_to: &HashMap<OrgId, CountryCode>,
+    cs: &CountrySpec,
+    foreign: bool,
+) -> Vec<OrgPool> {
+    build_tracker_pool_excluding(fqdn_table, orgs, serving, exclusive_to, cs, foreign, None)
+}
+
+/// Variant that drops orgs served from a given destination country.
+/// Government sites avoid US-hosted trackers almost everywhere — §6.3
+/// found that for T_gov "the USA received flow from only one country, the
+/// UAE" — so their embedding pool excludes US-served organizations outside
+/// the UAE.
+fn build_tracker_pool_excluding(
+    fqdn_table: &HashMap<OrgId, Vec<DomainName>>,
+    orgs: &[Org],
+    serving: &HashMap<(OrgId, CountryCode), CityId>,
+    exclusive_to: &HashMap<OrgId, CountryCode>,
+    cs: &CountrySpec,
+    foreign: bool,
+    exclude_dest: Option<CountryCode>,
+) -> Vec<OrgPool> {
+    let mut pool: Vec<(OrgId, OrgPool)> = Vec::new();
+    for (org_id, fqdns) in fqdn_table {
+        if let Some(home) = exclusive_to.get(org_id) {
+            if *home != cs.country {
+                continue;
+            }
+        }
+        let Some(&serve_city) = serving.get(&(*org_id, cs.country)) else {
+            continue;
+        };
+        if let Some(excluded) = exclude_dest {
+            if city(serve_city).country == excluded {
+                continue;
+            }
+        }
+        let is_foreign = city(serve_city).country != cs.country;
+        if is_foreign != foreign {
+            continue;
+        }
+        // Pick weights follow reach: Google's tags are near-ubiquitous,
+        // the other majors are common, the long tail is rare.
+        let org = &orgs[org_id.0 as usize];
+        let weight = if org.name == "Google" {
+            28.0
+        } else if org.kind == OrgKind::MajorTracker {
+            4.0
+        } else {
+            1.0
+        };
+        // Catalog order is deterministic and puts each org's flagship
+        // domains first (google-analytics, googletagmanager, ...).
+        pool.push((*org_id, OrgPool { fqdns: fqdns.clone(), weight }));
+    }
+    pool.sort_by_key(|(id, _)| *id);
+    pool.into_iter().map(|(_, p)| p).collect()
+}
+
+/// Draws up to `k` tracker hosts by first choosing a handful of
+/// organizations (weighted; majors dominate) and then drawing hosts from
+/// those organizations' families. Real pages embed FEW third parties with
+/// MANY hosts each — the paper's outliers are single-network bursts like
+/// YouTube firing 32 Google domains (§6.2) — and this grouping is also
+/// what keeps a hosting hub's *site share* (Figure 5) distinct from its
+/// *domain diversity* (Figure 7).
+fn pick_weighted(pool: &[OrgPool], k: usize, rng: &mut ChaCha8Rng) -> Vec<DomainName> {
+    if pool.is_empty() || k == 0 {
+        return Vec::new();
+    }
+    let org_quota = (1 + k / 5).min(pool.len());
+    let total: f64 = pool.iter().map(|p| p.weight).sum();
+    let mut org_idx: Vec<usize> = Vec::with_capacity(org_quota);
+    let mut attempts = 0;
+    while org_idx.len() < org_quota && attempts < org_quota * 30 {
+        attempts += 1;
+        let mut x = rng.gen::<f64>() * total;
+        let mut idx = pool.len() - 1;
+        for (i, p) in pool.iter().enumerate() {
+            x -= p.weight;
+            if x <= 0.0 {
+                idx = i;
+                break;
+            }
+        }
+        if !org_idx.contains(&idx) {
+            org_idx.push(idx);
+        }
+    }
+    let mut chosen: Vec<DomainName> = Vec::with_capacity(k);
+    let mut cursor = vec![0usize; org_idx.len()];
+    'outer: while chosen.len() < k {
+        let mut progressed = false;
+        for (slot, &idx) in org_idx.iter().enumerate() {
+            let fqdns = &pool[idx].fqdns;
+            if cursor[slot] < fqdns.len() {
+                // Families usually lead with their flagship hosts
+                // (googletagmanager.com is on most pages), with a random
+                // rotation otherwise so different sites expose different
+                // hosts of the same org.
+                let offset = if rng.gen::<f64>() < 0.6 {
+                    0
+                } else {
+                    (rng.gen::<u32>() as usize) % fqdns.len()
+                };
+                let mut pick = None;
+                for step in 0..fqdns.len() {
+                    let cand = &fqdns[(offset + step) % fqdns.len()];
+                    if !chosen.contains(cand) {
+                        pick = Some(cand.clone());
+                        break;
+                    }
+                }
+                if let Some(p) = pick {
+                    chosen.push(p);
+                    cursor[slot] += 1;
+                    progressed = true;
+                    if chosen.len() >= k {
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    chosen
+}
+
+fn pick_org_fqdns(
+    fqdn_table: &HashMap<OrgId, Vec<DomainName>>,
+    org: OrgId,
+    k: usize,
+    rng: &mut ChaCha8Rng,
+) -> Vec<DomainName> {
+    let Some(fqdns) = fqdn_table.get(&org) else {
+        return Vec::new();
+    };
+    let mut v = fqdns.clone();
+    v.shuffle(rng);
+    v.truncate(k);
+    v
+}
+
+fn push_site(sites: &mut Vec<Website>, mut site: Website) -> SiteId {
+    let id = SiteId(sites.len() as u32);
+    site.id = id;
+    sites.push(site);
+    id
+}
+
+fn ensure_operator(orgs: &mut Vec<Org>, name: &str, hq: CountryCode) -> OrgId {
+    if let Some(id) = org_id_by_name(orgs, name) {
+        return id;
+    }
+    let id = OrgId(orgs.len() as u32);
+    orgs.push(Org {
+        id,
+        name: name.to_string(),
+        hq,
+        kind: OrgKind::SiteOperator,
+        asn: own_asn(id),
+        scheme: HostnameScheme::Opaque,
+        rdns_base: format!("{}-hosting.net", org_slug(name)),
+    });
+    id
+}
+
+/// The globally-popular sites of §3.2 and their fixed tracker embeddings.
+fn build_global_sites(
+    orgs: &mut Vec<Org>,
+    sites: &mut Vec<Website>,
+    fqdn_table: &HashMap<OrgId, Vec<DomainName>>,
+    rng: &mut ChaCha8Rng,
+) -> Vec<SiteId> {
+    let google = org_id_by_name(orgs, "Google").expect("Google");
+    let facebook = org_id_by_name(orgs, "Facebook").expect("Facebook");
+    let twitter = org_id_by_name(orgs, "Twitter").expect("Twitter");
+    let yahoo = org_id_by_name(orgs, "Yahoo").expect("Yahoo");
+    let microsoft = org_id_by_name(orgs, "Microsoft").expect("Microsoft");
+    let booking = org_id_by_name(orgs, "Booking").expect("Booking");
+    let bbc = org_id_by_name(orgs, "BBC").expect("BBC");
+    let wikimedia = ensure_operator(orgs, "Wikimedia", CountryCode::new("US"));
+    let openai = ensure_operator(orgs, "OpenAI", CountryCode::new("US"));
+    let demdex = org_id_by_name(orgs, "Demdex");
+    let bluekai = org_id_by_name(orgs, "Bluekai");
+    let taboola = org_id_by_name(orgs, "Taboola");
+
+    let mut out = Vec::new();
+    let add = |sites: &mut Vec<Website>,
+                   domain: &str,
+                   op: OrgId,
+                   category: SiteCategory,
+                   trackers: Vec<DomainName>| {
+        let id = push_site(
+            sites,
+            Website {
+                id: SiteId(0),
+                domain: DomainName::parse(domain).expect("valid global site domain"),
+                country: CountryCode::new("US"),
+                kind: SiteKind::Regional,
+                category,
+                operator: op,
+                global: true,
+                own_hosts: Vec::new(),
+                trackers,
+            },
+        );
+        id
+    };
+
+    let g = |k: usize, rng: &mut ChaCha8Rng| pick_org_fqdns(fqdn_table, google, k, rng);
+    let f = |k: usize, rng: &mut ChaCha8Rng| pick_org_fqdns(fqdn_table, facebook, k, rng);
+
+    out.push(add(sites, "google.com", google, SiteCategory::Search, g(8, rng)));
+    out.push(add(sites, "wikipedia.org", wikimedia, SiteCategory::Reference, vec![]));
+    out.push(add(sites, "youtube.com", google, SiteCategory::Video, g(16, rng)));
+    out.push(add(sites, "facebook.com", facebook, SiteCategory::Social, f(6, rng)));
+    out.push(add(sites, "instagram.com", facebook, SiteCategory::Social, f(2, rng)));
+    // whatsapp.com famously ships without third-party tags.
+    out.push(add(sites, "whatsapp.com", facebook, SiteCategory::Social, vec![]));
+    out.push(add(
+        sites,
+        "twitter.com",
+        twitter,
+        SiteCategory::Social,
+        pick_org_fqdns(fqdn_table, twitter, 5, rng),
+    ));
+    let mut li = pick_org_fqdns(fqdn_table, microsoft, 1, rng);
+    li.extend(g(2, rng));
+    out.push(add(sites, "linkedin.com", microsoft, SiteCategory::Social, li));
+    out.push(add(sites, "openai.com", openai, SiteCategory::Services, g(2, rng)));
+
+    let mut bk = pick_org_fqdns(fqdn_table, booking, 1, rng);
+    bk.extend(g(2, rng));
+    out.push(add(sites, "booking.com", booking, SiteCategory::Services, bk));
+    let mut bb = pick_org_fqdns(fqdn_table, bbc, 1, rng);
+    bb.extend(g(2, rng));
+    out.push(add(sites, "bbc.com", bbc, SiteCategory::News, bb));
+    // yahoo.com's embeddings vary by region in the paper (§8); give it a
+    // broad set whose serving locations differ per country via steering.
+    let mut yh = pick_org_fqdns(fqdn_table, yahoo, 4, rng);
+    yh.extend(g(2, rng));
+    for extra in [demdex, bluekai, taboola].into_iter().flatten() {
+        yh.extend(pick_org_fqdns(fqdn_table, extra, 1, rng));
+    }
+    out.push(add(sites, "yahoo.com", yahoo, SiteCategory::News, yh));
+    out
+}
+
+/// Vocabulary for generated regional-site names.
+const SITE_STEMS: &[&str] = &[
+    "daily", "star", "herald", "tribune", "express", "observer", "voice", "metro", "capital",
+    "national", "prime", "vista", "pulse", "nova", "urban", "global", "horizon", "summit",
+    "market", "trade", "shop", "bazaar", "mega", "swift", "bright", "royal", "union", "delta",
+    "orient", "pearl", "crystal", "golden", "silver", "eagle", "falcon", "lion", "tiger",
+];
+const SITE_SUFFIXES: &[&str] = &[
+    "news", "times", "post", "online", "hub", "mart", "store", "bank", "media", "tv", "portal",
+    "press", "daily", "world", "zone", "net", "point", "site",
+];
+/// Government portal names.
+const GOV_NAMES: &[&str] = &[
+    "moh", "moe", "mof", "mofa", "interior", "customs", "tax", "parliament", "police",
+    "immigration", "stats", "health", "education", "energy", "transport", "agriculture",
+    "justice", "labor", "environment", "tourism", "telecom", "water", "housing", "planning",
+    "sports", "culture", "youth", "science", "trade", "industry", "investment", "cityhall",
+    "municipal", "senate", "courts", "passport", "visa", "pension", "postal", "railway",
+    "highway", "airport", "port", "weather", "geology", "forestry", "fisheries", "mining",
+    "treasury", "census",
+];
+
+fn generate_regional_site(
+    sites: &mut Vec<Website>,
+    orgs: &mut Vec<Org>,
+    cs: &CountrySpec,
+    index: usize,
+    rng: &mut ChaCha8Rng,
+) -> SiteId {
+    let stem = SITE_STEMS[rng.gen_range(0..SITE_STEMS.len())];
+    let suffix = SITE_SUFFIXES[rng.gen_range(0..SITE_SUFFIXES.len())];
+    let cc = cs.country.as_str().to_ascii_lowercase();
+    // ISO code vs ccTLD mismatch: the United Kingdom uses `.uk`.
+    let cctld = if cc == "gb" { "uk".to_string() } else { cc.clone() };
+    let tld = if rng.gen::<f64>() < 0.55 {
+        let cand = format!("com.{cctld}");
+        if gamma_dns::is_public_suffix(&DomainName::parse(&cand).expect("valid")) {
+            cand
+        } else {
+            cctld.clone()
+        }
+    } else {
+        "com".to_string()
+    };
+    let domain_str = format!("{stem}{suffix}-{cc}{index}.{tld}");
+    let category = SiteCategory::REGIONAL_MIX[index % SiteCategory::REGIONAL_MIX.len()];
+    let op = ensure_operator(orgs, &format!("{stem}{suffix}-{cc}{index}-media"), cs.country);
+    push_site(
+        sites,
+        Website {
+            id: SiteId(0),
+            domain: DomainName::parse(&domain_str).expect("generated domain is valid"),
+            country: cs.country,
+            kind: SiteKind::Regional,
+            category,
+            operator: op,
+            global: false,
+            own_hosts: Vec::new(),
+            trackers: Vec::new(),
+        },
+    )
+}
+
+const OWN_HOST_PREFIXES: &[&str] = &["www", "static", "cdn", "img", "api", "assets", "media"];
+
+/// Assigns first-party hosts and hosting to a country-owned site.
+#[allow(clippy::too_many_arguments)]
+fn finalize_site_hosting(
+    sites: &mut [Website],
+    sid: SiteId,
+    orgs: &[Org],
+    cs: &CountrySpec,
+    local_city: CityId,
+    serving: &HashMap<(OrgId, CountryCode), CityId>,
+    google_id: OrgId,
+    hosting: &mut HostingPlan,
+    ip_registry: &mut IpRegistry,
+    resolver: &mut GeoResolver,
+    domain_org: &mut HashMap<DomainName, OrgId>,
+    rng: &mut ChaCha8Rng,
+) {
+    let site = &mut sites[sid.0 as usize];
+    if site.own_hosts.is_empty() {
+        let n = 1 + ((rng.gen::<f64>() * 2.2 * cs.page_richness).round() as usize)
+            .min(OWN_HOST_PREFIXES.len() - 1);
+        let mut hosts = vec![site.domain.clone()];
+        for p in OWN_HOST_PREFIXES.iter().take(n) {
+            if let Ok(h) = site.domain.prepend(p) {
+                hosts.push(h);
+            }
+        }
+        site.own_hosts = hosts;
+    }
+    // Google-operated regional sites are hosted wherever Google serves the
+    // country from; everything else sits in-country.
+    let host_city = if site.operator == google_id {
+        serving
+            .get(&(google_id, cs.country))
+            .copied()
+            .unwrap_or(local_city)
+    } else {
+        local_city
+    };
+    let op = &orgs[site.operator.0 as usize];
+    let dep = hosting.ensure(site.operator, host_city, op.asn, ip_registry);
+    for h in &site.own_hosts {
+        if resolver.has_zone(h) {
+            continue;
+        }
+        let ip = hosting.alloc_ip(dep, ip_registry);
+        resolver.add_replicas(h.clone(), [Replica { addr: ip, city: host_city }]);
+    }
+    domain_org.insert(site.domain.clone(), site.operator);
+}
+
+/// Global sites get replicas at the principal hubs, resolved by proximity.
+fn finalize_global_hosting(
+    globals: &[SiteId],
+    sites: &mut [Website],
+    orgs: &[Org],
+    hosting: &mut HostingPlan,
+    ip_registry: &mut IpRegistry,
+    resolver: &mut GeoResolver,
+    domain_org: &mut HashMap<DomainName, OrgId>,
+) {
+    let hubs = [
+        "Ashburn", "Frankfurt", "Singapore", "Sydney", "Sao Paulo", "Tokyo", "London", "Mumbai",
+        "Toronto", "Moscow", "Taipei", "Dubai",
+    ];
+    for &sid in globals {
+        let site = &mut sites[sid.0 as usize];
+        if site.own_hosts.is_empty() {
+            let mut hosts = vec![site.domain.clone()];
+            for p in ["www", "static"] {
+                if let Ok(h) = site.domain.prepend(p) {
+                    hosts.push(h);
+                }
+            }
+            site.own_hosts = hosts;
+        }
+        let op = &orgs[site.operator.0 as usize];
+        for h in &site.own_hosts {
+            if resolver.has_zone(h) {
+                continue;
+            }
+            let mut replicas = Vec::new();
+            for hub in hubs {
+                let c = city_by_name(hub).expect("hub city exists").id;
+                let dep = hosting.ensure(site.operator, c, op.asn, ip_registry);
+                let ip = hosting.alloc_ip(dep, ip_registry);
+                replicas.push(Replica { addr: ip, city: c });
+            }
+            resolver.add_replicas(h.clone(), replicas);
+        }
+        domain_org.insert(site.domain.clone(), site.operator);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gamma_dns::psl::registrable_domain;
+
+    fn world() -> World {
+        generate(&WorldSpec::paper_default(0xC0FFEE))
+    }
+
+    #[test]
+    fn generates_all_targets() {
+        let w = world();
+        assert_eq!(w.targets.len(), 23);
+        for (cc, t) in &w.targets {
+            assert!(
+                (40..=50).contains(&t.regional.len()),
+                "{cc}: {} regional",
+                t.regional.len()
+            );
+            assert!(!t.government.is_empty(), "{cc}: no gov sites");
+        }
+        // Sparse-Tranco countries end up with few government sites (Fig 2a).
+        let lb = &w.targets[&CountryCode::new("LB")];
+        assert!(lb.government.len() <= 20, "LB gov {}", lb.government.len());
+        let us = &w.targets[&CountryCode::new("US")];
+        assert_eq!(us.government.len(), 50);
+    }
+
+    #[test]
+    fn total_target_volume_matches_paper_scale() {
+        // The study distributed ~2005 target websites (§5).
+        let w = world();
+        let total: usize = w.targets.values().map(|t| t.len()).sum();
+        assert!(
+            (1700..=2400).contains(&total),
+            "T_web across countries = {total}"
+        );
+    }
+
+    #[test]
+    fn every_target_sites_hosts_resolve_from_the_volunteer_city() {
+        let w = world();
+        for (cc, t) in &w.targets {
+            let vc = w.volunteer_city(*cc).unwrap();
+            for sid in t.all() {
+                let site = w.site(sid);
+                assert!(!site.own_hosts.is_empty(), "{} has no hosts", site.domain);
+                for h in &site.own_hosts {
+                    assert!(
+                        w.resolve(h, vc).is_some(),
+                        "{cc}: {h} does not resolve"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tracker_fqdns_resolve_and_steering_matches_serving() {
+        let w = world();
+        let mut checked = 0;
+        for cs in &w.spec.countries {
+            let vc = w.volunteer_city(cs.country).unwrap();
+            for t in w.tracker_domains.iter().step_by(17) {
+                let Some(&serve_city) = w.serving.get(&(t.org, cs.country)) else {
+                    continue;
+                };
+                if let Some(rep) = w.resolve(&t.domain, vc) {
+                    assert_eq!(
+                        rep.city, serve_city,
+                        "{}: {} resolved off-steering",
+                        cs.country, t.domain
+                    );
+                    checked += 1;
+                }
+            }
+        }
+        assert!(checked > 100, "only {checked} steering checks ran");
+    }
+
+    #[test]
+    fn canada_and_us_serve_everything_locally() {
+        let w = world();
+        for cc in [CountryCode::new("CA"), CountryCode::new("US")] {
+            for ((_, country), city_id) in &w.serving {
+                if *country == cc {
+                    assert_eq!(city(*city_id).country, cc);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn egypt_google_serves_from_germany() {
+        let w = world();
+        let google = w.orgs.iter().find(|o| o.name == "Google").unwrap().id;
+        let serve = w.serving[&(google, CountryCode::new("EG"))];
+        assert_eq!(city(serve).country, CountryCode::new("DE"));
+    }
+
+    #[test]
+    fn sri_lanka_overrides_hold() {
+        let w = world();
+        let yahoo = w.orgs.iter().find(|o| o.name == "Yahoo").unwrap().id;
+        let adstudio = w.orgs.iter().find(|o| o.name == "AdStudio").unwrap().id;
+        let lk = CountryCode::new("LK");
+        assert_eq!(city(w.serving[&(yahoo, lk)]).country, CountryCode::new("JP"));
+        assert_eq!(city(w.serving[&(adstudio, lk)]).country, CountryCode::new("IN"));
+    }
+
+    #[test]
+    fn exclusive_orgs_never_embedded_elsewhere() {
+        let w = world();
+        let jubna = w.orgs.iter().find(|o| o.name == "Jubna").unwrap().id;
+        let jubna_domains: Vec<_> = w
+            .tracker_domains
+            .iter()
+            .filter(|t| t.org == jubna)
+            .map(|t| t.domain.clone())
+            .collect();
+        for (cc, t) in &w.targets {
+            for sid in t.all() {
+                let site = w.site(sid);
+                let has = site.trackers.iter().any(|tr| {
+                    jubna_domains
+                        .iter()
+                        .any(|d| tr == d || tr.is_subdomain_of(d))
+                });
+                if has {
+                    assert_eq!(cc.as_str(), "JO", "Jubna embedded by {} site {}", cc, site.domain);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn google_cctld_sites_exist_and_are_google_operated() {
+        let w = world();
+        let google = w.orgs.iter().find(|o| o.name == "Google").unwrap().id;
+        let eg = &w.targets[&CountryCode::new("EG")];
+        let has = eg.all().any(|sid| {
+            let s = w.site(sid);
+            s.domain.as_str() == "google.com.eg" && s.operator == google
+        });
+        assert!(has, "google.com.eg missing from Egypt's T_reg");
+    }
+
+    #[test]
+    fn global_sites_appear_in_most_countries() {
+        let w = world();
+        let mut counts: HashMap<&str, usize> = HashMap::new();
+        for t in w.targets.values() {
+            for sid in t.regional.iter() {
+                let s = w.site(*sid);
+                if s.global {
+                    *counts.entry(s.domain.as_str()).or_default() += 1;
+                }
+            }
+        }
+        assert_eq!(counts["google.com"], 23, "google.com everywhere");
+        assert_eq!(counts["wikipedia.org"], 23, "wikipedia everywhere");
+        for d in ["youtube.com", "facebook.com", "twitter.com"] {
+            assert!(
+                counts.get(d).copied().unwrap_or(0) >= 12,
+                "{d} in only {:?} countries",
+                counts.get(d)
+            );
+        }
+    }
+
+    #[test]
+    fn router_ips_cover_every_city_and_resolve_to_backbone() {
+        let w = world();
+        for c in cities() {
+            let ip = w.router_ip_of(c.id);
+            assert_eq!(w.asn_of(ip), Some(ASN_BACKBONE));
+            assert_eq!(w.true_city(ip), Some(c.id));
+        }
+    }
+
+    #[test]
+    fn tracker_domain_org_attribution_works() {
+        let w = world();
+        let d = DomainName::parse("stats.g.doubleclick.net").unwrap();
+        let org = w.org_of_domain(&d).expect("doubleclick attributes");
+        assert_eq!(w.org(org).name, "Google");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = WorldSpec::paper_default(7);
+        let a = generate(&spec);
+        let b = generate(&spec);
+        assert_eq!(a.sites.len(), b.sites.len());
+        assert_eq!(a.ip_registry.len(), b.ip_registry.len());
+        for (sa, sb) in a.sites.iter().zip(&b.sites) {
+            assert_eq!(sa, sb);
+        }
+    }
+
+    #[test]
+    fn nonlocal_embedding_rates_track_spec() {
+        let w = world();
+        for cs in &w.spec.countries {
+            let t = &w.targets[&cs.country];
+            let reg_sites: Vec<_> = t
+                .regional
+                .iter()
+                .map(|s| w.site(*s))
+                .filter(|s| !s.global && s.country == cs.country)
+                .collect();
+            if reg_sites.is_empty() {
+                continue;
+            }
+            // Count sites embedding at least one foreign-served tracker.
+            let vc = w.volunteer_city(cs.country).unwrap();
+            let nonlocal = reg_sites
+                .iter()
+                .filter(|s| {
+                    s.trackers.iter().any(|tr| {
+                        w.resolve(tr, vc)
+                            .map(|r| city(r.city).country != cs.country)
+                            .unwrap_or(false)
+                    })
+                })
+                .count();
+            let rate = nonlocal as f64 / reg_sites.len() as f64;
+            assert!(
+                (rate - cs.reg_nonlocal_rate).abs() < 0.22,
+                "{}: generated {rate:.2} vs target {:.2}",
+                cs.country,
+                cs.reg_nonlocal_rate
+            );
+        }
+    }
+
+    #[test]
+    fn site_domains_have_registrable_domains() {
+        let w = world();
+        for s in &w.sites {
+            assert!(
+                registrable_domain(&s.domain).is_some(),
+                "{} lacks eTLD+1",
+                s.domain
+            );
+        }
+    }
+}

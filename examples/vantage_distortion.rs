@@ -1,0 +1,96 @@
+//! Why the paper insists on *in-country volunteer vantages* instead of
+//! VPNs or cloud proxies (§2.2): GeoDNS answers depend on where you ask
+//! from, and relayed paths inflate latency, which breaks latency-based
+//! geolocation. This example measures the same Thai target list twice —
+//! once from the real Bangkok vantage and once through a synthetic
+//! London "VPN exit" — and quantifies both distortions.
+//!
+//! ```sh
+//! cargo run --release --example vantage_distortion
+//! ```
+
+use gamma::dns::DomainName;
+use gamma::geo::{city_by_name, violates_sol};
+use gamma::netsim::{synthesize_route, AccessQuality, LatencyModel};
+use gamma::websim::{worldgen, WorldSpec};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let world = worldgen::generate(&WorldSpec::paper_default(3));
+    let bangkok = city_by_name("Bangkok").expect("catalog city");
+    let london = city_by_name("London").expect("catalog city");
+
+    // --- Distortion 1: GeoDNS answers change with the querying location.
+    let mut diverging: Vec<(DomainName, &str, &str)> = Vec::new();
+    let mut checked = 0;
+    for t in &world.tracker_domains {
+        let (Some(a), Some(b)) = (
+            world.resolve(&t.domain, bangkok.id),
+            world.resolve(&t.domain, london.id),
+        ) else {
+            continue;
+        };
+        checked += 1;
+        if a.city != b.city {
+            diverging.push((
+                t.domain.clone(),
+                gamma::geo::city(a.city).name,
+                gamma::geo::city(b.city).name,
+            ));
+        }
+    }
+    println!("== GeoDNS divergence: Bangkok vs London client ==");
+    println!(
+        "{} of {} tracker domains resolve to different cities",
+        diverging.len(),
+        checked
+    );
+    for (d, a, b) in diverging.iter().take(8) {
+        println!("  {d:<38} Bangkok→{a:<14} London→{b}");
+    }
+
+    // --- Distortion 2: a VPN relay inflates RTT and breaks the SOL check.
+    let model = LatencyModel::default();
+    let mut rng = ChaCha8Rng::seed_from_u64(9);
+    println!("\n== Latency distortion through a London exit ==");
+    println!(
+        "{:<16} {:>12} {:>12} {:>22}",
+        "server city", "direct ms", "via VPN ms", "SOL check (as London)"
+    );
+    let mut broken = 0;
+    let mut total = 0;
+    for server in ["Singapore", "Kuala Lumpur", "Hong Kong", "Tokyo", "Frankfurt"] {
+        let dst = city_by_name(server).expect("catalog city");
+        let direct = model
+            .sample(&synthesize_route(bangkok, dst), AccessQuality::Good, &mut rng)
+            .rtt_ms();
+        // The relayed path: user -> exit, then exit -> server.
+        let leg1 = model
+            .sample(&synthesize_route(bangkok, london), AccessQuality::Good, &mut rng)
+            .rtt_ms();
+        let leg2 = model
+            .sample(&synthesize_route(london, dst), AccessQuality::Good, &mut rng)
+            .rtt_ms();
+        let vpn = leg1 + leg2;
+        // A measurement study that believes its vantage is London will test
+        // the observed RTT against London-server distances.
+        let claimed_distance = london.distance_km(dst);
+        let violated = violates_sol(claimed_distance, vpn);
+        total += 1;
+        if claimed_distance / vpn > 100.0 || vpn > 2.5 * direct {
+            broken += 1;
+        }
+        println!(
+            "{:<16} {:>10.1} {:>12.1} {:>22}",
+            server,
+            direct,
+            vpn,
+            if violated { "violates" } else { "distorted" }
+        );
+    }
+    println!(
+        "\n{broken}/{total} measurements unusable for latency-based geolocation via the relay \
+         — the paper's case for real in-country vantage points."
+    );
+}

@@ -1,0 +1,24 @@
+//! # gamma
+//!
+//! Umbrella crate for the reproduction of *"Where in the World Are My
+//! Trackers? Mapping Web Tracking Flow Across Diverse Geographic Regions"*
+//! (IMC 2025). Re-exports every subsystem crate under one roof and hosts the
+//! runnable examples and cross-crate integration tests.
+//!
+//! Start with [`core::Study`] (`gamma::core::Study`) — the high-level entry
+//! point that builds the paper-calibrated world, runs the Gamma suite from
+//! all 23 volunteer vantage points, applies the multi-constraint geolocation
+//! pipeline and tracker identification, and exposes every figure and table
+//! of the paper's evaluation.
+
+pub use gamma_analysis as analysis;
+pub use gamma_atlas as atlas;
+pub use gamma_browser as browser;
+pub use gamma_core as core;
+pub use gamma_dns as dns;
+pub use gamma_geo as geo;
+pub use gamma_geoloc as geoloc;
+pub use gamma_netsim as netsim;
+pub use gamma_suite as suite;
+pub use gamma_trackers as trackers;
+pub use gamma_websim as websim;

@@ -1,0 +1,110 @@
+//! Integration of the auxiliary C1/C2 capabilities: HAR recording and the
+//! annotation APIs, exercised over a real volunteer run.
+
+use gamma::browser::{har_from_load, load_page, BrowserConfig};
+use gamma::geo::CountryCode;
+use gamma::suite::{Annotator, GammaConfig, ProbeKind, Volunteer};
+use gamma::websim::{worldgen, World, WorldSpec};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::sync::OnceLock;
+
+fn world() -> &'static World {
+    static W: OnceLock<World> = OnceLock::new();
+    W.get_or_init(|| worldgen::generate(&WorldSpec::paper_default(44)))
+}
+
+#[test]
+fn har_documents_cover_a_full_crawl() {
+    let w = world();
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let targets = &w.targets[&CountryCode::new("TH")];
+    let mut pages = 0;
+    let mut entries = 0;
+    for sid in targets.all().take(40) {
+        let load = load_page(w.site(sid), &BrowserConfig::paper_default(), 1.0, &mut rng);
+        let har = har_from_load(&load, "2024-03-16T00:00:00Z");
+        let js = serde_json::to_string(&har).expect("HAR serializes");
+        assert!(js.contains("\"log\""));
+        pages += har.log.pages.len();
+        entries += har.log.entries.len();
+    }
+    assert_eq!(pages, 40);
+    assert!(entries > 150, "only {entries} HAR entries over 40 pages");
+}
+
+#[test]
+fn annotation_covers_every_observed_address() {
+    let w = world();
+    let v = Volunteer::for_country(w, CountryCode::new("RW"), 3).unwrap();
+    let ds = gamma::suite::run_volunteer(w, &v, &GammaConfig::paper_default(2));
+    let annotator = Annotator::new(w);
+    let mut annotated = 0;
+    for ip in ds.unique_ips() {
+        let ann = annotator
+            .annotate(ip)
+            .unwrap_or_else(|| panic!("{ip} unannotatable"));
+        assert!(!ann.as_name.is_empty());
+        annotated += 1;
+    }
+    assert!(annotated > 200, "only {annotated} addresses annotated");
+}
+
+#[test]
+fn cloud_census_shows_the_aws_dominance_of_section_6_5() {
+    // "a majority of tracking networks are hosted within AWS or Google
+    // Cloud ... 50 trackers hosted on AWS and 5 on Google Cloud", with the
+    // Rwanda/Uganda trackers on Amazon addresses in Nairobi.
+    let w = world();
+    let annotator = Annotator::new(w);
+    let mut tracker_ips = Vec::new();
+    for cc in ["RW", "UG"] {
+        let country = CountryCode::new(cc);
+        let vc = w.volunteer_city(country).unwrap();
+        for t in &w.tracker_domains {
+            if let Some(rep) = w.resolve(&t.domain, vc) {
+                if gamma::geo::city(rep.city).country != country {
+                    tracker_ips.push(rep.addr);
+                }
+            }
+        }
+    }
+    let census = annotator.cloud_census(tracker_ips.iter().copied());
+    assert!(census.aws > census.google_cloud * 3, "{census:?}");
+    assert!(census.aws > 20, "{census:?}");
+
+    // And specifically: AWS-hosted trackers in Nairobi serving East Africa.
+    let nairobi = gamma::geo::city_by_name("Nairobi").unwrap().id;
+    let vc = w.volunteer_city(CountryCode::new("RW")).unwrap();
+    let aws_in_nairobi = w
+        .tracker_domains
+        .iter()
+        .filter_map(|t| w.resolve(&t.domain, vc))
+        .filter(|rep| rep.city == nairobi)
+        .filter_map(|rep| annotator.annotate(rep.addr))
+        .filter(|a| a.as_name == "AMAZON-02")
+        .count();
+    assert!(aws_in_nairobi > 5, "{aws_in_nairobi} AWS-hosted Nairobi trackers");
+}
+
+#[test]
+fn probe_backends_match_volunteer_os() {
+    let w = world();
+    for (i, cs) in w.spec.countries.iter().enumerate() {
+        let v = Volunteer::for_country(w, cs.country, i).unwrap();
+        let backend = gamma::suite::select_backend(v.os, ProbeKind::Traceroute);
+        match v.os {
+            gamma::suite::Os::Windows => {
+                assert_eq!(backend, gamma::suite::Backend::OsCommand);
+                let cmd = gamma::suite::command_line(
+                    v.os,
+                    ProbeKind::Traceroute,
+                    std::net::Ipv4Addr::new(20, 0, 0, 1),
+                )
+                .unwrap();
+                assert!(cmd.starts_with("tracert"));
+            }
+            _ => assert_eq!(backend, gamma::suite::Backend::Scapy),
+        }
+    }
+}

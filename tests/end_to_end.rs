@@ -1,0 +1,150 @@
+//! End-to-end integration: the full 23-country paper study, from world
+//! generation through every analysis artifact.
+
+use gamma::analysis::{
+    continents, coverage, first_party, flows, funnel, hosting, orgs, per_site, policy, prevalence,
+};
+use gamma::core::{Study, StudyResults};
+use gamma::geo::{Continent, CountryCode};
+use std::sync::OnceLock;
+
+fn study() -> &'static StudyResults {
+    static S: OnceLock<StudyResults> = OnceLock::new();
+    S.get_or_init(|| Study::paper_default(990).run())
+}
+
+#[test]
+fn all_23_countries_produce_data() {
+    let r = study();
+    assert_eq!(r.runs.len(), 23);
+    assert_eq!(r.study.countries.len(), 23);
+    for c in &r.study.countries {
+        assert!(!c.sites.is_empty(), "{}", c.country);
+        assert!(c.funnel.observations > 100, "{}: {:?}", c.country, c.funnel);
+    }
+}
+
+#[test]
+fn headline_results_reproduce() {
+    let r = study();
+
+    // §1: foreign trackers in 21 of 23 countries.
+    assert_eq!(prevalence::countries_with_foreign_trackers(&r.study), 21);
+
+    // §6.1: means near 46%/40% with large dispersion and high correlation.
+    let fig3 = prevalence::figure3(&r.study);
+    assert!((32.0..60.0).contains(&fig3.regional_mean), "{}", fig3.regional_mean);
+    assert!((26.0..54.0).contains(&fig3.government_mean), "{}", fig3.government_mean);
+    assert!(fig3.reg_gov_correlation.unwrap() > 0.7);
+
+    // §6.3: France is the dominant destination.
+    let m = flows::figure5(&r.study);
+    let ranked = m.ranked_destinations();
+    let top3: Vec<&str> = ranked.iter().take(3).map(|(c, _)| c.as_str()).collect();
+    assert!(top3.contains(&"FR"), "top destinations {top3:?}");
+
+    // §6.4: Europe is the sole universal sink; Africa receives nothing
+    // from outside.
+    let cf = continents::figure6(&r.study);
+    assert!(cf.inward_sources(Continent::Europe).len() >= 4);
+    assert!(cf.inward_sources(Continent::Africa).is_empty());
+
+    // §6.5: Google on top, ~70 orgs, US-dominated ownership.
+    let ranked_orgs = orgs::ranked_orgs(&r.study);
+    assert_eq!(ranked_orgs[0].0, "Google");
+    let hq = orgs::hq_distribution(&r.study);
+    assert_eq!(hq[0].0.as_str(), "US");
+
+    // §6.6: Kenya/Germany/France lead hosting; the USA hosts few.
+    let host = hosting::domains_by_hosting_country(&r.study);
+    let top5: Vec<&str> = host.iter().take(5).map(|(c, _)| c.as_str()).collect();
+    assert!(top5.contains(&"KE"), "{top5:?}");
+
+    // §6.7: first-party non-local trackers are a small minority.
+    let fp = first_party::first_party_analysis(&r.study);
+    assert!(fp.sites_with_first_party * 5 < fp.sites_with_nonlocal);
+
+    // Table 1: stricter policy does not mean fewer foreign trackers.
+    let rows = policy::table1(&r.study);
+    assert!(policy::strictness_rate_correlation(&rows).unwrap() > -0.1);
+}
+
+#[test]
+fn funnel_shape_matches_section_5() {
+    let r = study();
+    let t = funnel::total_funnel(&r.study);
+    assert!(t.observations > 10_000);
+    assert!(t.nonlocal_candidates > t.after_sol_constraints);
+    assert!(t.after_sol_constraints > t.after_rdns_constraint);
+    assert!(t.confirmed_tracker_domains > 500);
+    assert!(t.destination_traceroutes > 1_000);
+}
+
+#[test]
+fn geolocation_precision_is_near_perfect() {
+    // The multi-constraint framework's headline property ([48]: 100%
+    // precision in identifying foreign servers).
+    let r = study();
+    let p = r.overall_foreign_precision().expect("confirmed servers exist");
+    assert!(p > 0.98, "precision {p}");
+}
+
+#[test]
+fn figure2_coverage_and_composition() {
+    let r = study();
+    let rows = coverage::figure2(&r.study);
+    let total: usize = rows.iter().map(|x| x.t_reg + x.t_gov).sum();
+    assert!((1650..2400).contains(&total), "T_web total {total}");
+    let jp = rows.iter().find(|x| x.country.as_str() == "JP").unwrap();
+    assert!(jp.coverage_pct() < 80.0);
+}
+
+#[test]
+fn per_site_distributions_have_the_papers_shape() {
+    let r = study();
+    let jo = per_site::country_mean(&r.study, CountryCode::new("JO")).unwrap();
+    let au = per_site::country_mean(&r.study, CountryCode::new("AU")).unwrap_or(0.0);
+    assert!(jo > au, "Jordan {jo} should exceed Australia {au}");
+    let outliers = per_site::outlier_sites(&r.study, 5);
+    assert!(outliers[0].2 >= 15, "top outlier {:?}", outliers[0]);
+}
+
+#[test]
+fn study_is_deterministic() {
+    let a = Study::paper_default(123).run();
+    let b = Study::paper_default(123).run();
+    assert_eq!(a.study, b.study);
+    for ((da, ra), (db, rb)) in a.runs.iter().zip(&b.runs) {
+        assert_eq!(da, db);
+        assert_eq!(ra.funnel, rb.funnel);
+    }
+}
+
+#[test]
+fn different_seeds_produce_different_but_equally_shaped_worlds() {
+    let a = Study::paper_default(123).run();
+    let b = Study::paper_default(456).run();
+    assert_ne!(a.study, b.study);
+    // Same qualitative shape under either seed.
+    for r in [&a, &b] {
+        assert_eq!(prevalence::countries_with_foreign_trackers(&r.study), 21);
+        let m = flows::figure5(&r.study);
+        assert!(m.pct_websites_using(CountryCode::new("FR")) > 20.0);
+    }
+}
+
+#[test]
+fn dataset_serializes_to_json_and_back() {
+    let r = study();
+    let js = serde_json::to_string(&r.study).expect("serializes");
+    let back: gamma::analysis::StudyDataset = serde_json::from_str(&js).expect("deserializes");
+    assert_eq!(*&r.study, back);
+}
+
+#[test]
+fn volunteer_ips_are_anonymized_in_results() {
+    let r = study();
+    for (ds, _) in &r.runs {
+        assert!(ds.volunteer.ip.is_none(), "{} not anonymized", ds.volunteer.country);
+    }
+}

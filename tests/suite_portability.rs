@@ -1,0 +1,162 @@
+//! Integration tests for the Gamma suite's portability layer: the same
+//! study data must come out whether volunteers run Linux `traceroute` or
+//! Windows `tracert`, because the suite normalizes both into one JSON
+//! schema (§3 of the paper).
+
+use gamma::geo::CountryCode;
+use gamma::suite::{
+    parse_linux, parse_windows, run_volunteer, GammaConfig, Os, Volunteer,
+};
+use gamma::websim::{worldgen, World, WorldSpec};
+use std::sync::OnceLock;
+
+fn world() -> &'static World {
+    static W: OnceLock<World> = OnceLock::new();
+    W.get_or_init(|| worldgen::generate(&WorldSpec::paper_default(55)))
+}
+
+#[test]
+fn os_specific_output_normalizes_to_the_same_schema() {
+    let w = world();
+    let config = GammaConfig::paper_default(55);
+    // Same country, same seed, different OS: raw text differs, normalized
+    // hop/RTT structure fields are identical in shape.
+    let mut linux_v = Volunteer::for_country(w, CountryCode::new("TH"), 8).unwrap();
+    linux_v.os = Os::Linux;
+    let mut windows_v = linux_v.clone();
+    windows_v.os = Os::Windows;
+
+    let linux_ds = run_volunteer(w, &linux_v, &config);
+    let windows_ds = run_volunteer(w, &windows_v, &config);
+
+    assert_eq!(linux_ds.traceroutes.len(), windows_ds.traceroutes.len());
+    let mut compared = 0;
+    for (a, b) in linux_ds.traceroutes.iter().zip(&windows_ds.traceroutes) {
+        assert_eq!(a.target_ip, b.target_ip);
+        assert!(a.raw_text.starts_with("traceroute to"), "not Linux output");
+        assert!(b.raw_text.contains("Tracing route to"), "not Windows output");
+        assert_eq!(a.normalized.dst, b.normalized.dst);
+        assert_eq!(a.normalized.reached, b.normalized.reached);
+        assert_eq!(a.normalized.hops.len(), b.normalized.hops.len());
+        for (ha, hb) in a.normalized.hops.iter().zip(&b.normalized.hops) {
+            assert_eq!(ha.ttl, hb.ttl);
+            assert_eq!(ha.ip, hb.ip);
+            match (ha.rtt_ms, hb.rtt_ms) {
+                // Windows reports integer milliseconds; tolerance 1 ms.
+                (Some(x), Some(y)) => assert!((x - y).abs() <= 1.0, "{x} vs {y}"),
+                (None, None) => {}
+                other => panic!("rtt presence mismatch {other:?}"),
+            }
+        }
+        compared += 1;
+    }
+    assert!(compared > 100, "only {compared} traceroutes compared");
+}
+
+#[test]
+fn raw_text_reparses_to_the_stored_normalization() {
+    // The suite stores both the captured command output and the parsed
+    // record; they must agree (the parser is on the critical path).
+    let w = world();
+    let config = GammaConfig::paper_default(56);
+    for (cc, idx) in [("GB", 1), ("TH", 8)] {
+        let v = Volunteer::for_country(w, CountryCode::new(cc), idx).unwrap();
+        let ds = run_volunteer(w, &v, &config);
+        for t in ds.traceroutes.iter().take(200) {
+            let reparsed = match v.os {
+                Os::Windows => parse_windows(&t.raw_text).expect("valid tracert text"),
+                _ => parse_linux(&t.raw_text).expect("valid traceroute text"),
+            };
+            assert_eq!(reparsed.dst, t.normalized.dst);
+            assert_eq!(reparsed.reached, t.normalized.reached);
+            assert_eq!(reparsed.hops.len(), t.normalized.hops.len());
+        }
+    }
+}
+
+#[test]
+fn checkpoint_resume_produces_a_suffix_of_the_full_run() {
+    let w = world();
+    let config = GammaConfig::paper_default(57);
+    let v = Volunteer::for_country(w, CountryCode::new("LB"), 22).unwrap();
+    let full = run_volunteer(w, &v, &config);
+    for skip in [1, 7, 25] {
+        let resumed = gamma::suite::suite::run_volunteer_from(w, &v, &config, skip);
+        assert_eq!(resumed.loads.len() + skip, full.loads.len(), "skip {skip}");
+    }
+}
+
+#[test]
+fn whole_roster_runs_and_respects_modes() {
+    let w = world();
+    let datasets = gamma::suite::run_all_volunteers(w, &GammaConfig::paper_default(58));
+    assert_eq!(datasets.len(), 23);
+    let by = |cc: &str| {
+        datasets
+            .iter()
+            .find(|d| d.volunteer.country.as_str() == cc)
+            .unwrap()
+    };
+    // Egypt opted out of probes entirely.
+    assert!(!by("EG").probes_enabled);
+    assert!(by("EG").traceroutes.is_empty());
+    // Firewalled countries record failed runs.
+    for cc in ["AU", "IN", "QA", "JO"] {
+        assert!(by(cc).probes_enabled, "{cc}");
+        assert!(
+            by(cc).traceroutes.iter().all(|t| !t.normalized.reached),
+            "{cc} produced reaching traceroutes through a firewall"
+        );
+    }
+    // Everyone else mostly reaches.
+    let th = by("TH");
+    let reached = th.traceroutes.iter().filter(|t| t.normalized.reached).count();
+    assert!(reached * 2 > th.traceroutes.len());
+}
+
+#[test]
+fn volume_counters_land_on_the_papers_scale() {
+    let w = world();
+    let datasets = gamma::suite::run_all_volunteers(w, &GammaConfig::paper_default(59));
+    let observations: usize = datasets.iter().map(|d| d.dns.len()).sum();
+    let traceroutes: usize = datasets.iter().map(|d| d.traceroutes.len()).sum();
+    // §5: ≈26K domain observations, ≈25K volunteer traceroutes.
+    assert!((12_000..60_000).contains(&observations), "observations {observations}");
+    assert!((8_000..60_000).contains(&traceroutes), "traceroutes {traceroutes}");
+    // §5's ordering: the USA ranks among the heaviest traceroute sources,
+    // Saudi Arabia / Lebanon / Taiwan among the lightest.
+    let mut ranked: Vec<(&str, usize)> = datasets
+        .iter()
+        .filter(|d| d.probes_enabled)
+        .map(|d| (d.volunteer.country.as_str(), d.traceroutes.len()))
+        .collect();
+    ranked.sort_by(|a, b| b.1.cmp(&a.1));
+    let pos = |cc: &str| ranked.iter().position(|(c, _)| *c == cc).unwrap();
+    let count = |cc: &str| ranked.iter().find(|(c, _)| *c == cc).unwrap().1;
+    assert!(pos("US") < 11, "US ranks {} of {}: {ranked:?}", pos("US"), ranked.len());
+    assert!(
+        pos("SA") + 7 >= ranked.len(),
+        "SA ranks {} of {}: {ranked:?}",
+        pos("SA"),
+        ranked.len()
+    );
+    assert!(
+        count("US") as f64 > count("SA") as f64 * 1.4,
+        "US {} vs SA {}",
+        count("US"),
+        count("SA")
+    );
+}
+
+#[test]
+fn opt_outs_are_recorded_and_small() {
+    let w = world();
+    let datasets = gamma::suite::run_all_volunteers(w, &GammaConfig::paper_default(60));
+    let total_targets: usize = datasets
+        .iter()
+        .map(|d| d.loads.len() + d.opted_out.len())
+        .sum();
+    let opted: usize = datasets.iter().map(|d| d.opted_out.len()).sum();
+    let rate = opted as f64 / total_targets as f64;
+    assert!(rate < 0.03, "opt-out rate {rate} (paper: 0.99%)");
+}

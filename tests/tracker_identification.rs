@@ -1,0 +1,148 @@
+//! Integration tests for the tracker-identification stack (§4.2): list
+//! generation → ABP engine → manual labels → organization attribution,
+//! evaluated against the world's ground truth.
+
+use gamma::dns::DomainName;
+use gamma::trackers::{
+    generate_easylist, generate_easyprivacy, generate_regional_lists, Identification,
+    TrackerClassifier,
+};
+use gamma::websim::{worldgen, World, WorldSpec};
+use std::sync::OnceLock;
+
+fn world() -> &'static World {
+    static W: OnceLock<World> = OnceLock::new();
+    W.get_or_init(|| worldgen::generate(&WorldSpec::paper_default(66)))
+}
+
+fn d(s: &str) -> DomainName {
+    DomainName::parse(s).unwrap()
+}
+
+#[test]
+fn identification_recall_is_total_and_split_matches() {
+    let w = world();
+    let c = TrackerClassifier::for_world(w);
+    let mut by_list = 0usize;
+    let mut by_manual = 0usize;
+    for t in &w.tracker_domains {
+        match c.identify(&t.domain, &d("independent-news-site.com")) {
+            Identification::ByList(_) => by_list += 1,
+            Identification::ByManual => by_manual += 1,
+            Identification::NotTracker => panic!("{} not identified", t.domain),
+        }
+    }
+    // Paper: 505 total = 441 by lists + 64 by manual inspection.
+    let total = by_list + by_manual;
+    assert!((420..=580).contains(&total), "{total} tracker domains");
+    assert!(by_list > by_manual * 4, "split {by_list}/{by_manual}");
+    assert!(by_manual >= 30, "manual labels {by_manual}");
+}
+
+#[test]
+fn identification_has_no_false_positives_on_sites() {
+    let w = world();
+    let c = TrackerClassifier::for_world(w);
+    let mut checked = 0;
+    for site in &w.sites {
+        if w.is_tracker_domain(&site.domain) {
+            continue; // google ccTLDs share tracker-owned eTLD+1 space
+        }
+        for host in &site.own_hosts {
+            let id = c.identify(host, &site.domain);
+            assert_eq!(id, Identification::NotTracker, "{host} flagged");
+            checked += 1;
+        }
+    }
+    assert!(checked > 3_000, "only {checked} first-party hosts checked");
+}
+
+#[test]
+fn subdomain_requests_identify_like_their_parents() {
+    let w = world();
+    let c = TrackerClassifier::for_world(w);
+    // Tracker FQDNs as the browser actually requests them.
+    for fqdn in [
+        "sync.crwdcntrl.net",
+        "pixel.doubleclick.net",
+        "cdn.googlesyndication.com",
+        "deep.sub.taboola.com",
+    ] {
+        assert!(
+            c.identify(&d(fqdn), &d("somesite.com")).is_tracker(),
+            "{fqdn} missed"
+        );
+    }
+}
+
+#[test]
+fn generated_lists_are_syntactically_valid_abp() {
+    let w = world();
+    for doc in [generate_easylist(w), generate_easyprivacy(w)] {
+        assert!(doc.starts_with("[Adblock Plus 2.0]"));
+        let set = gamma::trackers::FilterSet::parse_list(&doc);
+        assert!(set.len() > 50, "only {} rules parsed", set.len());
+        // Every non-comment line parses as a rule or a known skip.
+        for line in doc.lines() {
+            if line.is_empty() || line.starts_with('!') || line.starts_with('[') {
+                continue;
+            }
+            assert!(
+                gamma::trackers::Rule::parse(line).is_ok(),
+                "unparseable rule: {line}"
+            );
+        }
+    }
+    let regional = generate_regional_lists(w);
+    assert_eq!(regional.len(), 2, "India and Sri Lanka lists");
+}
+
+#[test]
+fn org_attribution_matches_world_ground_truth() {
+    let w = world();
+    let c = TrackerClassifier::for_world(w);
+    let mut checked = 0;
+    for t in w.tracker_domains.iter().step_by(3) {
+        let entry = c.orgs.lookup(&t.domain).expect("attributed");
+        assert_eq!(entry.name, w.org(t.org).name, "{}", t.domain);
+        checked += 1;
+    }
+    assert!(checked > 100);
+}
+
+#[test]
+fn first_party_logic_follows_organization_identity() {
+    let w = world();
+    let c = TrackerClassifier::for_world(w);
+    // Google tracker on a Google ccTLD property: first-party.
+    assert!(c.is_first_party(w, &d("googletagmanager.com"), &d("google.com.eg")));
+    // Google tracker on YouTube (also Google): first-party.
+    assert!(c.is_first_party(w, &d("doubleclick.net"), &d("youtube.com")));
+    // Google tracker on the BBC: third-party.
+    assert!(!c.is_first_party(w, &d("doubleclick.net"), &d("bbc.com")));
+    // Booking's own pixel on booking.com: first-party.
+    assert!(c.is_first_party(w, &d("booking-pixel.net"), &d("booking.com")));
+}
+
+#[test]
+fn brave_ablation_lists_vs_in_browser_blocking_agree() {
+    // Brave blocks what the lists would flag: run the list engine over the
+    // requests Chrome emitted and verify the flagged fraction roughly
+    // matches Brave's suppression (both are driven by tracker status).
+    let w = world();
+    let c = TrackerClassifier::for_world(w);
+    let vol = gamma::suite::Volunteer::for_country(w, gamma::geo::CountryCode::new("PK"), 17)
+        .unwrap();
+    let chrome = gamma::suite::run_volunteer(w, &vol, &gamma::suite::GammaConfig::paper_default(9));
+    let flagged = chrome
+        .dns
+        .iter()
+        .filter(|o| c.identify(&o.request, &o.site).is_tracker())
+        .count();
+    let total = chrome.dns.len();
+    let frac = flagged as f64 / total as f64;
+    assert!(
+        (0.2..0.9).contains(&frac),
+        "tracker fraction of requests {frac}"
+    );
+}

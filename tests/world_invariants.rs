@@ -1,0 +1,221 @@
+//! World-level invariants, checked across several seeds. These are the
+//! contracts the measurement pipeline silently relies on; a violation
+//! would produce subtly wrong figures rather than crashes, so they get
+//! their own sweep.
+
+use gamma::dns::psl::registrable_domain;
+use gamma::geo::{city, violates_sol};
+use gamma::netsim::{synthesize_route, AccessQuality, FaultConfig, LatencyModel};
+use gamma::websim::{worldgen, World, WorldSpec};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn worlds() -> Vec<World> {
+    [3u64, 71, 2025]
+        .iter()
+        .map(|s| worldgen::generate(&WorldSpec::paper_default(*s)))
+        .collect()
+}
+
+#[test]
+fn steering_always_points_at_an_existing_replica() {
+    for w in worlds() {
+        for cs in &w.spec.countries {
+            let vc = w.volunteer_city(cs.country).unwrap();
+            for t in w.tracker_domains.iter().step_by(7) {
+                let Some(&serve) = w.serving.get(&(t.org, cs.country)) else {
+                    continue;
+                };
+                let rep = w
+                    .resolve(&t.domain, vc)
+                    .unwrap_or_else(|| panic!("{} unresolvable from {}", t.domain, cs.country));
+                assert_eq!(rep.city, serve, "{}: {} off-steering", cs.country, t.domain);
+                // The replica's address ground-truths to the serving city.
+                assert_eq!(w.true_city(rep.addr), Some(serve));
+            }
+        }
+    }
+}
+
+#[test]
+fn every_resolved_address_is_in_the_registry() {
+    for w in worlds() {
+        for cs in &w.spec.countries {
+            let vc = w.volunteer_city(cs.country).unwrap();
+            let targets = &w.targets[&cs.country];
+            for sid in targets.all().take(30) {
+                let site = w.site(sid);
+                for h in site.own_hosts.iter().chain(site.trackers.iter()) {
+                    if let Some(rep) = w.resolve_fuzzy(h, vc) {
+                        assert!(
+                            w.true_city(rep.addr).is_some(),
+                            "{h} resolved to unregistered {}",
+                            rep.addr
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn simulated_rtts_never_violate_physics_at_the_true_location() {
+    // The SOL constraint must only ever fire on WRONG claims.
+    let model = LatencyModel::default();
+    let mut rng = ChaCha8Rng::seed_from_u64(9);
+    for w in worlds().iter().take(1) {
+        for cs in w.spec.countries.iter().step_by(3) {
+            let src = city(w.volunteer_city(cs.country).unwrap());
+            for dep in w.hosting.iter().step_by(11) {
+                let dst = city(dep.city);
+                let route = synthesize_route(src, dst);
+                for _ in 0..3 {
+                    let rtt = model.sample(&route, AccessQuality::Poor, &mut rng).rtt_ms();
+                    assert!(
+                        !violates_sol(src.distance_km(dst), rtt),
+                        "{} -> {}",
+                        src.name,
+                        dst.name
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn traceroutes_to_true_locations_pass_the_source_constraint_mostly() {
+    // End-to-end coherence of simulator + statistics: a traceroute to a
+    // server's TRUE city, evaluated against that TRUE city as the claim,
+    // passes the source constraint in the overwhelming majority of cases
+    // (the paper's conservative rule costs a little genuine data, never
+    // most of it).
+    use gamma::geoloc::{evaluate_source, LatencyStats};
+    let w = &worlds()[0];
+    let model = LatencyModel::default();
+    let stats = LatencyStats::default();
+    let mut rng = ChaCha8Rng::seed_from_u64(10);
+    let mut pass = 0usize;
+    let mut total = 0usize;
+    for cs in &w.spec.countries {
+        let src_id = w.volunteer_city(cs.country).unwrap();
+        let src = city(src_id);
+        for dep in w.hosting.iter().step_by(17) {
+            if dep.city == src_id {
+                continue;
+            }
+            let dst = city(dep.city);
+            let route = synthesize_route(src, dst);
+            let result = gamma::netsim::run_traceroute(
+                &route,
+                dep.nets[0].nth(1).unwrap(),
+                &model,
+                cs.access,
+                &FaultConfig::none(),
+                &|c| w.router_ip_of(c),
+                &mut rng,
+            );
+            let norm = gamma::suite::normalize::normalize_direct(&result);
+            total += 1;
+            if evaluate_source(&norm, src_id, dep.city, &stats, 0.8, true).passed() {
+                pass += 1;
+            }
+        }
+    }
+    let rate = pass as f64 / total as f64;
+    assert!(rate > 0.85, "genuine pass rate {rate} over {total} measurements");
+}
+
+#[test]
+fn target_lists_partition_cleanly() {
+    for w in worlds() {
+        for (cc, t) in &w.targets {
+            let mut seen = std::collections::HashSet::new();
+            for sid in t.all() {
+                assert!(seen.insert(sid), "{cc}: {sid:?} appears twice in T_web");
+            }
+            for sid in &t.government {
+                let s = w.site(*sid);
+                assert_eq!(s.kind, gamma::websim::SiteKind::Government);
+                assert_eq!(s.country, *cc, "{cc}: gov site {} foreign-owned", s.domain);
+                assert!(
+                    gamma::dns::is_gov_domain(&s.domain, *cc),
+                    "{cc}: {} not under a gov TLD",
+                    s.domain
+                );
+            }
+            for sid in &t.regional {
+                let s = w.site(*sid);
+                assert_eq!(s.kind, gamma::websim::SiteKind::Regional);
+            }
+        }
+    }
+}
+
+#[test]
+fn every_tracker_domain_has_a_registrable_domain_and_owner() {
+    for w in worlds().iter().take(1) {
+        for t in &w.tracker_domains {
+            assert!(
+                registrable_domain(&t.domain).is_some() || t.domain.label_count() > 2,
+                "{} unparseable",
+                t.domain
+            );
+            let org = w.org_of_domain(&t.domain).expect("owned");
+            assert_eq!(org, t.org, "{} attributed to the wrong org", t.domain);
+        }
+    }
+}
+
+#[test]
+fn serving_respects_majors_serve_locally() {
+    for w in worlds() {
+        for cs in &w.spec.countries {
+            if !cs.majors_serve_locally || !cs.org_dest_overrides.is_empty() {
+                continue;
+            }
+            for org in &w.orgs {
+                if org.kind != gamma::websim::OrgKind::MajorTracker {
+                    continue;
+                }
+                let Some(&serve) = w.serving.get(&(org.id, cs.country)) else {
+                    continue;
+                };
+                assert_eq!(
+                    city(serve).country,
+                    cs.country,
+                    "{}: major {} serving from abroad despite majors_serve_locally",
+                    cs.country,
+                    org.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn rdns_hints_never_contradict_ground_truth() {
+    // PTR records are generated AT the deployment city, so a hint, when
+    // present, must agree with the registry — the rDNS constraint's
+    // soundness depends on this.
+    for w in worlds().iter().take(2) {
+        let mut checked = 0;
+        for dep in w.hosting.iter().step_by(5) {
+            for h in [1u64, 2, 3] {
+                let Some(addr) = dep.nets[0].nth(h) else { continue };
+                let Some(host) = w.rdns_of(addr) else { continue };
+                let Some(hint) = gamma::dns::geo_hint(host) else { continue };
+                assert_eq!(
+                    hint.country,
+                    city(dep.city).country,
+                    "{host} hints {} but sits in {}",
+                    hint.name,
+                    city(dep.city).name
+                );
+                checked += 1;
+            }
+        }
+        assert!(checked > 50, "only {checked} hinted PTRs checked");
+    }
+}
