@@ -77,10 +77,7 @@ mod tests {
         let sources = f.inward_sources(Continent::Europe);
         // Paper: "Only Europe receives significant inward non-local tracker
         // flows from all other continents."
-        assert!(
-            sources.len() >= 4,
-            "Europe receives from only {sources:?}"
-        );
+        assert!(sources.len() >= 4, "Europe receives from only {sources:?}");
         for required in [Continent::Africa, Continent::Asia] {
             assert!(sources.contains(&required), "Europe missing {required}");
         }
@@ -132,8 +129,15 @@ mod tests {
             if dst == Continent::Oceania {
                 continue;
             }
-            let out = f.flows.get(&(Continent::Oceania, dst)).copied().unwrap_or(0);
-            assert!(internal > out, "Oceania->{dst}: {out} >= internal {internal}");
+            let out = f
+                .flows
+                .get(&(Continent::Oceania, dst))
+                .copied()
+                .unwrap_or(0);
+            assert!(
+                internal > out,
+                "Oceania->{dst}: {out} >= internal {internal}"
+            );
         }
     }
 
@@ -149,7 +153,11 @@ mod tests {
             if dst == Continent::SouthAmerica {
                 continue;
             }
-            let out = f.flows.get(&(Continent::SouthAmerica, dst)).copied().unwrap_or(0);
+            let out = f
+                .flows
+                .get(&(Continent::SouthAmerica, dst))
+                .copied()
+                .unwrap_or(0);
             assert!(internal > out, "SA->{dst}: {out} >= internal {internal}");
         }
     }
@@ -157,7 +165,11 @@ mod tests {
     #[test]
     fn asia_sends_most_flow_to_europe_then_asia() {
         let f = figure6(&fixture().study);
-        let to_eu = f.flows.get(&(Continent::Asia, Continent::Europe)).copied().unwrap_or(0);
+        let to_eu = f
+            .flows
+            .get(&(Continent::Asia, Continent::Europe))
+            .copied()
+            .unwrap_or(0);
         let internal = f.internal_volume(Continent::Asia);
         assert!(to_eu > 0 && internal > 0);
         // §6.4: Asia's majority goes to Europe, followed by Asia itself.

@@ -35,7 +35,11 @@ pub fn figure2(study: &StudyDataset) -> Vec<CoverageRow> {
         .countries
         .iter()
         .map(|c| {
-            let t_reg = c.sites.iter().filter(|s| s.kind == SiteKind::Regional).count();
+            let t_reg = c
+                .sites
+                .iter()
+                .filter(|s| s.kind == SiteKind::Regional)
+                .count();
             let t_gov = c
                 .sites
                 .iter()
@@ -68,7 +72,10 @@ mod tests {
             .collect();
         // §5: only Japan and Saudi Arabia fall clearly below the pack.
         for c in &low {
-            assert!(["JP", "SA"].contains(&c.as_str()), "unexpected low coverage in {c}");
+            assert!(
+                ["JP", "SA"].contains(&c.as_str()),
+                "unexpected low coverage in {c}"
+            );
         }
         assert!(low.contains(&"JP".to_string()));
         assert!(low.contains(&"SA".to_string()));
@@ -90,7 +97,12 @@ mod tests {
     #[test]
     fn sparse_gov_countries_show_in_fig2a() {
         let rows = figure2(&fixture().study);
-        let gov = |cc: &str| rows.iter().find(|r| r.country.as_str() == cc).unwrap().t_gov;
+        let gov = |cc: &str| {
+            rows.iter()
+                .find(|r| r.country.as_str() == cc)
+                .unwrap()
+                .t_gov
+        };
         // Lebanon, Russia, Algeria had few gov sites (§5/Fig 2a).
         assert!(gov("LB") < 25, "LB gov {}", gov("LB"));
         assert!(gov("RU") < 30, "RU gov {}", gov("RU"));

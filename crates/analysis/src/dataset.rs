@@ -264,7 +264,12 @@ mod tests {
     #[test]
     fn webdriver_noise_was_removed() {
         let f = fixture();
-        let total: usize = f.study.countries.iter().map(|c| c.noise_requests_removed).sum();
+        let total: usize = f
+            .study
+            .countries
+            .iter()
+            .map(|c| c.noise_requests_removed)
+            .sum();
         assert!(total > 100, "only {total} noise requests removed");
         // And none of the noise hosts survive as trackers.
         for c in &f.study.countries {
@@ -281,11 +286,7 @@ mod tests {
         let f = fixture();
         for cc in ["CA", "US"] {
             let c = f.study.country(CountryCode::new(cc)).unwrap();
-            let with: usize = c
-                .sites
-                .iter()
-                .filter(|s| s.has_nonlocal_tracker())
-                .count();
+            let with: usize = c.sites.iter().filter(|s| s.has_nonlocal_tracker()).count();
             assert_eq!(with, 0, "{cc} has sites with non-local trackers");
         }
     }

@@ -100,7 +100,11 @@ mod tests {
             .first_party_sites
             .iter()
             .any(|(d, org)| org == "Google" && d.starts_with("google."));
-        assert!(has_cctld, "no google ccTLD first-party site: {:?}", s.first_party_sites);
+        assert!(
+            has_cctld,
+            "no google ccTLD first-party site: {:?}",
+            s.first_party_sites
+        );
     }
 
     #[test]
@@ -119,10 +123,17 @@ mod tests {
             .iter()
             .map(|(_, o)| o.as_str())
             .collect();
-        let brand_hits = ["Facebook", "Twitter", "Booking", "BBC", "Yahoo", "Microsoft"]
-            .iter()
-            .filter(|b| orgs.contains(**b))
-            .count();
+        let brand_hits = [
+            "Facebook",
+            "Twitter",
+            "Booking",
+            "BBC",
+            "Yahoo",
+            "Microsoft",
+        ]
+        .iter()
+        .filter(|b| orgs.contains(**b))
+        .count();
         assert!(brand_hits >= 1, "no §6.7 operator brands among {orgs:?}");
     }
 }

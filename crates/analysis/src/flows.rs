@@ -110,7 +110,8 @@ where
             }
         }
         if nonlocal_sites > 0 {
-            m.nonlocal_sites_per_source.insert(c.country, nonlocal_sites);
+            m.nonlocal_sites_per_source
+                .insert(c.country, nonlocal_sites);
         }
     }
     m
@@ -161,8 +162,16 @@ mod tests {
     #[test]
     fn kenya_receives_from_uganda_and_rwanda() {
         let m = figure5(&fixture().study);
-        let ug = m.website_flows.get(&(cc("UG"), cc("KE"))).copied().unwrap_or(0);
-        let rw = m.website_flows.get(&(cc("RW"), cc("KE"))).copied().unwrap_or(0);
+        let ug = m
+            .website_flows
+            .get(&(cc("UG"), cc("KE")))
+            .copied()
+            .unwrap_or(0);
+        let rw = m
+            .website_flows
+            .get(&(cc("RW"), cc("KE")))
+            .copied()
+            .unwrap_or(0);
         assert!(ug > 10, "UG->KE flow {ug}");
         assert!(rw > 10, "RW->KE flow {rw}");
         let ke = m.pct_websites_using(cc("KE"));
@@ -174,8 +183,16 @@ mod tests {
         let m = figure5(&fixture().study);
         // Paper: France and the USA each receive from 15 sources, yet only
         // 5% of websites flow to the USA.
-        assert!(m.source_count(cc("FR")) >= 10, "FR sources {}", m.source_count(cc("FR")));
-        assert!(m.source_count(cc("US")) >= 6, "US sources {}", m.source_count(cc("US")));
+        assert!(
+            m.source_count(cc("FR")) >= 10,
+            "FR sources {}",
+            m.source_count(cc("FR"))
+        );
+        assert!(
+            m.source_count(cc("US")) >= 6,
+            "US sources {}",
+            m.source_count(cc("US"))
+        );
         let us = m.pct_websites_using(cc("US"));
         let fr = m.pct_websites_using(cc("FR"));
         assert!(us < fr / 2.0, "US {us} vs FR {fr}");
@@ -196,7 +213,10 @@ mod tests {
             "US gov-flow sources {us_sources:?} (paper: just UAE)"
         );
         if !us_sources.is_empty() {
-            assert!(us_sources.contains(&"AE"), "UAE missing from {us_sources:?}");
+            assert!(
+                us_sources.contains(&"AE"),
+                "UAE missing from {us_sources:?}"
+            );
         }
     }
 
@@ -216,7 +236,11 @@ mod tests {
     fn thailand_flows_to_its_regional_hubs() {
         let m = figure5(&fixture().study);
         for dest in ["MY", "SG", "HK", "JP"] {
-            let n = m.website_flows.get(&(cc("TH"), cc(dest))).copied().unwrap_or(0);
+            let n = m
+                .website_flows
+                .get(&(cc("TH"), cc(dest)))
+                .copied()
+                .unwrap_or(0);
             assert!(n > 0, "TH->{dest} flow missing");
         }
     }
@@ -224,7 +248,12 @@ mod tests {
     #[test]
     fn pakistan_flows_to_france_germany_uae_oman() {
         let m = figure5(&fixture().study);
-        let flow = |d: &str| m.website_flows.get(&(cc("PK"), cc(d))).copied().unwrap_or(0);
+        let flow = |d: &str| {
+            m.website_flows
+                .get(&(cc("PK"), cc(d)))
+                .copied()
+                .unwrap_or(0)
+        };
         assert!(flow("FR") > 5, "PK->FR {}", flow("FR"));
         assert!(flow("DE") > 5, "PK->DE {}", flow("DE"));
         assert!(flow("AE") + flow("OM") > 0, "PK->AE/OM missing");

@@ -67,9 +67,17 @@ mod tests {
         // exempt: the reproduced §4.1.3 incident discards the flagship
         // Google addresses observed from there, exactly as the paper did.
         let is_google = |d: &str| {
-            ["google", "doubleclick", "gstatic", "ggpht", "gvt", "admob", "adsense"]
-                .iter()
-                .any(|p| d.contains(p))
+            [
+                "google",
+                "doubleclick",
+                "gstatic",
+                "ggpht",
+                "gvt",
+                "admob",
+                "adsense",
+            ]
+            .iter()
+            .any(|p| d.contains(p))
         };
         for cc in ["RW", "AZ"] {
             let v = &per[&CountryCode::new(cc)];

@@ -14,7 +14,9 @@ pub fn domains_by_hosting_country(study: &StudyDataset) -> Vec<(CountryCode, usi
     for c in &study.countries {
         for s in &c.sites {
             for t in &s.nonlocal_trackers {
-                sets.entry(t.hosting_country()).or_default().insert(&t.request);
+                sets.entry(t.hosting_country())
+                    .or_default()
+                    .insert(&t.request);
             }
         }
     }
@@ -31,7 +33,9 @@ pub fn figure7(study: &StudyDataset) -> HashMap<CountryCode, Vec<(CountryCode, u
         let mut sets: HashMap<CountryCode, HashSet<&DomainName>> = HashMap::new();
         for s in &c.sites {
             for t in &s.nonlocal_trackers {
-                sets.entry(t.hosting_country()).or_default().insert(&t.request);
+                sets.entry(t.hosting_country())
+                    .or_default()
+                    .insert(&t.request);
             }
         }
         let mut v: Vec<(CountryCode, usize)> =

@@ -58,8 +58,18 @@ pub static POLICY_TABLE: &[(&str, PolicyType, bool, Option<&str>)] = &[
     ("AR", PolicyType::AC, true, None),
     ("RU", PolicyType::AC, true, None),
     ("LK", PolicyType::AC, true, None),
-    ("TH", PolicyType::AC, false, Some("enacted after data collection")),
-    ("AE", PolicyType::AC, true, Some("approved-country list not yet published")),
+    (
+        "TH",
+        PolicyType::AC,
+        false,
+        Some("enacted after data collection"),
+    ),
+    (
+        "AE",
+        PolicyType::AC,
+        true,
+        Some("approved-country list not yet published"),
+    ),
     ("GB", PolicyType::AC, true, None),
     ("AU", PolicyType::TA, true, None),
     ("CA", PolicyType::TA, true, None),

@@ -119,15 +119,30 @@ mod tests {
     #[test]
     fn twenty_one_of_twenty_three_countries_have_foreign_trackers() {
         let n = countries_with_foreign_trackers(&fixture().study);
-        assert_eq!(n, 21, "paper: websites in 21/23 countries embed foreign trackers");
+        assert_eq!(
+            n, 21,
+            "paper: websites in 21/23 countries embed foreign trackers"
+        );
     }
 
     #[test]
     fn country_extremes_match_figure3() {
         // High end.
-        assert!(row("RW").regional_pct > 70.0, "RW {}", row("RW").regional_pct);
-        assert!(row("NZ").regional_pct > 60.0, "NZ {}", row("NZ").regional_pct);
-        assert!(row("QA").regional_pct > 60.0, "QA {}", row("QA").regional_pct);
+        assert!(
+            row("RW").regional_pct > 70.0,
+            "RW {}",
+            row("RW").regional_pct
+        );
+        assert!(
+            row("NZ").regional_pct > 60.0,
+            "NZ {}",
+            row("NZ").regional_pct
+        );
+        assert!(
+            row("QA").regional_pct > 60.0,
+            "QA {}",
+            row("QA").regional_pct
+        );
         // Zero end.
         assert_eq!(row("CA").regional_pct, 0.0);
         assert_eq!(row("US").regional_pct, 0.0);

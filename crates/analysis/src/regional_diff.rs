@@ -124,7 +124,11 @@ mod tests {
     #[test]
     fn yahoo_is_observed_in_many_countries() {
         let cmp = compare_site(&fixture().study, &d("yahoo.com"));
-        assert!(cmp.observed_in() >= 12, "yahoo in {} countries", cmp.observed_in());
+        assert!(
+            cmp.observed_in() >= 12,
+            "yahoo in {} countries",
+            cmp.observed_in()
+        );
     }
 
     #[test]

@@ -15,7 +15,11 @@ use std::fmt::Write as _;
 /// Figure 2 as a table.
 pub fn render_figure2(rows: &[CoverageRow]) -> String {
     let mut s = String::from("Figure 2 — T_web composition and load coverage\n");
-    let _ = writeln!(s, "{:<8} {:>6} {:>6} {:>9} {:>8}", "country", "T_reg", "T_gov", "attempted", "loaded%");
+    let _ = writeln!(
+        s,
+        "{:<8} {:>6} {:>6} {:>9} {:>8}",
+        "country", "T_reg", "T_gov", "attempted", "loaded%"
+    );
     for r in rows {
         let _ = writeln!(
             s,
@@ -82,7 +86,12 @@ pub fn render_figure4(rows: &[PerSiteRow]) -> String {
                 );
             }
             None => {
-                let _ = writeln!(s, "{:<8} {:<10}    - (no affected sites)", r.country.as_str(), kind);
+                let _ = writeln!(
+                    s,
+                    "{:<8} {:<10}    - (no affected sites)",
+                    r.country.as_str(),
+                    kind
+                );
             }
         }
     }
@@ -92,7 +101,11 @@ pub fn render_figure4(rows: &[PerSiteRow]) -> String {
 /// Figure 5 as ranked destinations plus the named sensitivity checks.
 pub fn render_figure5(m: &FlowMatrix) -> String {
     let mut s = String::from("Figure 5 — source→destination tracking flows\n");
-    let _ = writeln!(s, "websites with non-local trackers: {}", m.total_nonlocal_sites());
+    let _ = writeln!(
+        s,
+        "websites with non-local trackers: {}",
+        m.total_nonlocal_sites()
+    );
     let _ = writeln!(s, "{:<6} {:>9} {:>9}", "dest", "% sites", "#sources");
     for (dest, pct) in m.ranked_destinations().into_iter().take(15) {
         let _ = writeln!(
@@ -156,7 +169,13 @@ pub fn render_figure8(
     }
     s.push_str("HQ distribution of observed orgs:\n");
     for (cc, n, f) in hq.iter().take(8) {
-        let _ = writeln!(s, "  {:<4} {:>3} orgs ({:>4.1}%)", cc.as_str(), n, f * 100.0);
+        let _ = writeln!(
+            s,
+            "  {:<4} {:>3} orgs ({:>4.1}%)",
+            cc.as_str(),
+            n,
+            f * 100.0
+        );
     }
     s.push_str("country-exclusive orgs:\n");
     for (org, cc) in exclusives {
@@ -177,7 +196,11 @@ pub fn render_figure9(global: &[(gamma_dns::DomainName, usize)]) -> String {
 /// Table 1.
 pub fn render_table1(rows: &[PolicyRow], correlation: Option<f64>) -> String {
     let mut s = String::from("Table 1 — data-localization policy vs non-local rate\n");
-    let _ = writeln!(s, "{:<8} {:<6} {:<8} {:>10}", "country", "type", "enacted", "non-local%");
+    let _ = writeln!(
+        s,
+        "{:<8} {:<6} {:<8} {:>10}",
+        "country", "type", "enacted", "non-local%"
+    );
     for r in rows {
         let _ = writeln!(
             s,
@@ -218,13 +241,37 @@ pub fn render_first_party(fp: &FirstPartySummary) -> String {
 pub fn render_funnel(t: &TotalFunnel) -> String {
     let mut s = String::from("§5 — measurement funnel\n");
     let _ = writeln!(s, "domain observations:        {:>7}", t.observations);
-    let _ = writeln!(s, "unique domains (per-country sum): {:>7}", t.unique_domains_sum);
+    let _ = writeln!(
+        s,
+        "unique domains (per-country sum): {:>7}",
+        t.unique_domains_sum
+    );
     let _ = writeln!(s, "unique addresses (sum):     {:>7}", t.unique_ips_sum);
-    let _ = writeln!(s, "non-local candidates:       {:>7}", t.nonlocal_candidates);
-    let _ = writeln!(s, "after SOL constraints:      {:>7}", t.after_sol_constraints);
-    let _ = writeln!(s, "after rDNS constraint:      {:>7}", t.after_rdns_constraint);
-    let _ = writeln!(s, "confirmed non-local domains:{:>7}", t.confirmed_nonlocal_domains);
-    let _ = writeln!(s, "...of which trackers:       {:>7}", t.confirmed_tracker_domains);
+    let _ = writeln!(
+        s,
+        "non-local candidates:       {:>7}",
+        t.nonlocal_candidates
+    );
+    let _ = writeln!(
+        s,
+        "after SOL constraints:      {:>7}",
+        t.after_sol_constraints
+    );
+    let _ = writeln!(
+        s,
+        "after rDNS constraint:      {:>7}",
+        t.after_rdns_constraint
+    );
+    let _ = writeln!(
+        s,
+        "confirmed non-local domains:{:>7}",
+        t.confirmed_nonlocal_domains
+    );
+    let _ = writeln!(
+        s,
+        "...of which trackers:       {:>7}",
+        t.confirmed_tracker_domains
+    );
     let _ = writeln!(
         s,
         "source traceroutes: {} volunteer + {} Atlas; destination: {}",

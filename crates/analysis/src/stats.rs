@@ -85,11 +85,7 @@ impl BoxStats {
         let iqr = q3 - q1;
         let lo_fence = q1 - 1.5 * iqr;
         let hi_fence = q3 + 1.5 * iqr;
-        let whisker_lo = v
-            .iter()
-            .copied()
-            .find(|x| *x >= lo_fence)
-            .unwrap_or(v[0]);
+        let whisker_lo = v.iter().copied().find(|x| *x >= lo_fence).unwrap_or(v[0]);
         let whisker_hi = v
             .iter()
             .rev()

@@ -134,7 +134,11 @@ mod tests {
     fn qatar_falls_back_to_saudi_arabia() {
         let p = platform();
         let sel = p
-            .select_probe(CountryCode::new("QA"), city_by_name("Doha").map(|c| c.id), None)
+            .select_probe(
+                CountryCode::new("QA"),
+                city_by_name("Doha").map(|c| c.id),
+                None,
+            )
             .expect("fallback must exist");
         assert_eq!(sel.quality, SelectionQuality::NearbyCountry);
         assert_eq!(sel.probe.country, CountryCode::new("SA"));
@@ -144,7 +148,11 @@ mod tests {
     fn jordan_falls_back_to_israel() {
         let p = platform();
         let sel = p
-            .select_probe(CountryCode::new("JO"), city_by_name("Amman").map(|c| c.id), None)
+            .select_probe(
+                CountryCode::new("JO"),
+                city_by_name("Amman").map(|c| c.id),
+                None,
+            )
             .expect("fallback must exist");
         assert_eq!(sel.quality, SelectionQuality::NearbyCountry);
         assert_eq!(sel.probe.country, CountryCode::new("IL"));
@@ -159,7 +167,8 @@ mod tests {
             .expect("Germany has probes");
         assert_eq!(sel.probe.country, CountryCode::new("DE"));
         assert!(
-            sel.quality == SelectionQuality::SameCity || sel.quality == SelectionQuality::SameCountry
+            sel.quality == SelectionQuality::SameCity
+                || sel.quality == SelectionQuality::SameCountry
         );
     }
 
@@ -169,7 +178,9 @@ mod tests {
         // Ask for a US probe near Seattle; whatever comes back must be a US
         // probe, and if Seattle hosts one it must be chosen.
         let sea = city_by_name("Seattle").unwrap().id;
-        let sel = p.select_probe(CountryCode::new("US"), Some(sea), None).unwrap();
+        let sel = p
+            .select_probe(CountryCode::new("US"), Some(sea), None)
+            .unwrap();
         assert_eq!(sel.probe.country, CountryCode::new("US"));
         let has_seattle_probe = p
             .connected_in(CountryCode::new("US"))

@@ -156,7 +156,9 @@ fn bench_normalization(c: &mut Criterion) {
     );
     let text = render_linux(&result);
     let mut g = c.benchmark_group("normalize");
-    g.bench_function("render_linux", |b| b.iter(|| render_linux(black_box(&result))));
+    g.bench_function("render_linux", |b| {
+        b.iter(|| render_linux(black_box(&result)))
+    });
     g.bench_function("parse_linux", |b| {
         b.iter(|| parse_linux(black_box(&text)).expect("parses"))
     });

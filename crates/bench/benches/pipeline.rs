@@ -1,9 +1,10 @@
 //! End-to-end pipeline benchmarks: world generation, a volunteer's Gamma
 //! run, the geolocation pipeline over one dataset, and the full study.
 
-use criterion::{criterion_group, criterion_main, Criterion, SamplingMode};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, SamplingMode};
 use gamma_atlas::AtlasPlatform;
 use gamma_bench::{study, BENCH_SEED};
+use gamma_campaign::Options;
 use gamma_core::Study;
 use gamma_geo::CountryCode;
 use gamma_geoloc::{ErrorSpec, GeoDatabase, GeolocPipeline};
@@ -25,8 +26,8 @@ fn bench_world_generation(c: &mut Criterion) {
 
 fn bench_volunteer_run(c: &mut Criterion) {
     let s = study();
-    let volunteer = Volunteer::for_country(&s.world, CountryCode::new("TH"), 8)
-        .expect("Thailand volunteer");
+    let volunteer =
+        Volunteer::for_country(&s.world, CountryCode::new("TH"), 8).expect("Thailand volunteer");
     let config = GammaConfig::paper_default(BENCH_SEED);
     let mut g = c.benchmark_group("pipeline");
     g.sampling_mode(SamplingMode::Flat).sample_size(10);
@@ -41,9 +42,13 @@ fn bench_geolocation_pipeline(c: &mut Criterion) {
     let geodb = GeoDatabase::build(&s.world, &ErrorSpec::default(), BENCH_SEED);
     let atlas = AtlasPlatform::generate(BENCH_SEED);
     let pipeline = GeolocPipeline::new(&s.world, &geodb, &atlas);
-    let volunteer = Volunteer::for_country(&s.world, CountryCode::new("PK"), 17)
-        .expect("Pakistan volunteer");
-    let dataset = run_volunteer(&s.world, &volunteer, &GammaConfig::paper_default(BENCH_SEED));
+    let volunteer =
+        Volunteer::for_country(&s.world, CountryCode::new("PK"), 17).expect("Pakistan volunteer");
+    let dataset = run_volunteer(
+        &s.world,
+        &volunteer,
+        &GammaConfig::paper_default(BENCH_SEED),
+    );
     let mut g = c.benchmark_group("pipeline");
     g.sampling_mode(SamplingMode::Flat).sample_size(10);
     g.bench_function("geoloc_classify_one_dataset", |b| {
@@ -62,11 +67,50 @@ fn bench_full_study(c: &mut Criterion) {
     g.finish();
 }
 
+/// Worker-count scaling of the campaign engine: all 23 country shards
+/// over a prebuilt world at 1/2/4/8 workers. Output is byte-identical at
+/// every point; only wall-clock should move.
+fn bench_campaign_worker_scaling(c: &mut Criterion) {
+    use gamma_campaign::{Campaign, CampaignEnv};
+    use gamma_geoloc::PipelineOptions;
+
+    let s = study();
+    let geodb = GeoDatabase::build(&s.world, &ErrorSpec::default(), BENCH_SEED);
+    let atlas = AtlasPlatform::generate(BENCH_SEED);
+    let config = GammaConfig::paper_default(BENCH_SEED);
+    let env = CampaignEnv {
+        world: &s.world,
+        geodb: &geodb,
+        atlas: &atlas,
+        config: &config,
+        pipeline_options: PipelineOptions::default(),
+        master_seed: BENCH_SEED,
+    };
+
+    let mut g = c.benchmark_group("campaign_scaling");
+    g.sampling_mode(SamplingMode::Flat).sample_size(10);
+    for workers in [1usize, 2, 4, 8] {
+        g.bench_with_input(
+            BenchmarkId::new("campaign_23_shards_workers", workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    Campaign::new(black_box(env), Options::with_workers(workers))
+                        .run()
+                        .expect("bench campaign")
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
 criterion_group!(
     pipeline,
     bench_world_generation,
     bench_volunteer_run,
     bench_geolocation_pipeline,
     bench_full_study,
+    bench_campaign_worker_scaling,
 );
 criterion_main!(pipeline);

@@ -168,7 +168,11 @@ mod tests {
     fn load(success: bool) -> PageLoad {
         PageLoad {
             site: DomainName::parse("example-news.com").unwrap(),
-            status: if success { LoadStatus::Loaded } else { LoadStatus::Failed },
+            status: if success {
+                LoadStatus::Loaded
+            } else {
+                LoadStatus::Failed
+            },
             render_ms: 8_000,
             requests: if success {
                 vec![
@@ -188,7 +192,11 @@ mod tests {
         assert_eq!(har.log.version, "1.2");
         assert_eq!(har.log.entries.len(), 3);
         assert_eq!(har.log.pages.len(), 1);
-        assert!(har.log.entries.iter().all(|e| e.pageref == har.log.pages[0].id));
+        assert!(har
+            .log
+            .entries
+            .iter()
+            .all(|e| e.pageref == har.log.pages[0].id));
     }
 
     #[test]
@@ -218,7 +226,13 @@ mod tests {
     fn serializes_with_standard_har_field_names() {
         let har = har_from_load(&load(true), "2024-03-16T10:00:00Z");
         let js = serde_json::to_string(&har).unwrap();
-        for field in ["\"log\"", "\"startedDateTime\"", "\"pageTimings\"", "\"onLoad\"", "\"httpVersion\""] {
+        for field in [
+            "\"log\"",
+            "\"startedDateTime\"",
+            "\"pageTimings\"",
+            "\"onLoad\"",
+            "\"httpVersion\"",
+        ] {
             assert!(js.contains(field), "missing {field}");
         }
         let back: Har = serde_json::from_str(&js).unwrap();

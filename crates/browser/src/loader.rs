@@ -146,7 +146,9 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(3);
         let n = 2_000;
         let ok = (0..n)
-            .filter(|_| load_page(&site(), &BrowserConfig::paper_default(), 0.64, &mut rng).succeeded())
+            .filter(|_| {
+                load_page(&site(), &BrowserConfig::paper_default(), 0.64, &mut rng).succeeded()
+            })
             .count();
         let rate = ok as f64 / n as f64;
         assert!((0.58..0.70).contains(&rate), "observed {rate}");
@@ -189,7 +191,10 @@ mod tests {
                 .count();
         }
         // 2 trackers x 200 loads x ~0.92 fire x 0.97 block => a handful leak.
-        assert!(tracker_hits < 40, "brave leaked {tracker_hits} tracker requests");
+        assert!(
+            tracker_hits < 40,
+            "brave leaked {tracker_hits} tracker requests"
+        );
     }
 
     #[test]
@@ -200,9 +205,7 @@ mod tests {
             ..BrowserConfig::paper_default()
         };
         let timeouts = (0..3_000)
-            .filter(|_| {
-                load_page(&site(), &tight, 1.0, &mut rng).status == LoadStatus::TimedOut
-            })
+            .filter(|_| load_page(&site(), &tight, 1.0, &mut rng).status == LoadStatus::TimedOut)
             .count();
         assert!(timeouts > 0, "no timeouts under a tight ceiling");
         let normal_timeouts = (0..3_000)

@@ -53,8 +53,12 @@ mod tests {
     #[test]
     fn ordinary_google_domains_are_not_noise() {
         // googletagmanager.com is a real tracker request, not an artifact.
-        assert!(!is_webdriver_noise(&DomainName::parse("googletagmanager.com").unwrap()));
-        assert!(!is_webdriver_noise(&DomainName::parse("www.googleapis.com").unwrap()));
+        assert!(!is_webdriver_noise(
+            &DomainName::parse("googletagmanager.com").unwrap()
+        ));
+        assert!(!is_webdriver_noise(
+            &DomainName::parse("www.googleapis.com").unwrap()
+        ));
     }
 
     #[test]

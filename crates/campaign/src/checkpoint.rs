@@ -1,0 +1,237 @@
+//! Campaign-level checkpoint/resume.
+//!
+//! `gamma_suite::Checkpoint` marks one volunteer's progress through their
+//! target list (§3.3's "resume from where it was last stopped"). The
+//! campaign checkpoint layers on top of it: one completed-shard record per
+//! finished country — the suite-level marker plus the shard's outputs and
+//! ledger entry — so a campaign killed after K of N countries resumes by
+//! skipping the K and produces a `StudyDataset` identical to an
+//! uninterrupted run.
+//!
+//! The file is JSON, written atomically (temp file + rename) after every
+//! completed shard.
+
+use crate::engine::CampaignError;
+use crate::metrics::ShardMetrics;
+use gamma_geo::CountryCode;
+use gamma_geoloc::GeolocReport;
+use gamma_suite::{Checkpoint, VolunteerDataset};
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// One finished country: the suite-level progress marker, the shard's
+/// outputs (already anonymized), and its metrics ledger entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompletedShard {
+    /// The per-volunteer marker this record is layered on.
+    pub marker: Checkpoint,
+    pub dataset: VolunteerDataset,
+    pub report: GeolocReport,
+    pub metrics: ShardMetrics,
+}
+
+/// Resumable campaign state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignCheckpoint {
+    /// Master seed of the interrupted campaign; must match on resume.
+    pub master_seed: u64,
+    /// The full campaign plan, in execution-spec order.
+    pub plan: Vec<CountryCode>,
+    /// Finished shards, kept in plan order.
+    pub completed: Vec<CompletedShard>,
+}
+
+impl CampaignCheckpoint {
+    pub fn new(master_seed: u64, plan: Vec<CountryCode>) -> Self {
+        CampaignCheckpoint {
+            master_seed,
+            plan,
+            completed: Vec::new(),
+        }
+    }
+
+    /// Whether this checkpoint can resume a campaign with the given
+    /// parameters: same master seed, same plan (countries and order).
+    pub fn compatible_with(&self, master_seed: u64, plan: &[CountryCode]) -> bool {
+        self.master_seed == master_seed && self.plan == plan
+    }
+
+    /// Whether `country` already finished.
+    pub fn is_complete(&self, country: CountryCode) -> bool {
+        self.completed.iter().any(|d| d.marker.country == country)
+    }
+
+    /// Records a finished shard, replacing any stale record for the same
+    /// country, and keeps `completed` in plan order.
+    pub fn record(&mut self, done: CompletedShard) {
+        let country = done.marker.country;
+        if let Some(existing) = self
+            .completed
+            .iter_mut()
+            .find(|d| d.marker.country == country)
+        {
+            *existing = done;
+        } else {
+            self.completed.push(done);
+        }
+        let plan = self.plan.clone();
+        self.completed.sort_by_key(|d| {
+            plan.iter()
+                .position(|c| *c == d.marker.country)
+                .unwrap_or(usize::MAX)
+        });
+    }
+
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("campaign checkpoint serializes")
+    }
+
+    pub fn from_json(s: &str) -> Result<Self, String> {
+        serde_json::from_str(s).map_err(|e| format!("corrupt campaign checkpoint: {e}"))
+    }
+
+    /// Reads and parses the on-disk checkpoint.
+    pub fn load(path: &Path) -> Result<Self, CampaignError> {
+        let text = std::fs::read_to_string(path).map_err(|e| CampaignError::Checkpoint {
+            path: path.to_path_buf(),
+            reason: e.to_string(),
+        })?;
+        Self::from_json(&text).map_err(|reason| CampaignError::Checkpoint {
+            path: path.to_path_buf(),
+            reason,
+        })
+    }
+
+    /// Writes atomically: temp file in the same directory, then rename,
+    /// so a crash mid-write never corrupts an existing checkpoint.
+    pub fn save(&self, path: &Path) -> Result<(), CampaignError> {
+        let io_err = |e: std::io::Error| CampaignError::Checkpoint {
+            path: path.to_path_buf(),
+            reason: e.to_string(),
+        };
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = PathBuf::from(tmp);
+        std::fs::write(&tmp, self.to_json()).map_err(io_err)?;
+        std::fs::rename(&tmp, path).map_err(io_err)
+    }
+}
+
+/// Thread-safe write-through sink the scheduler records completions into.
+pub(crate) struct CheckpointSink {
+    path: PathBuf,
+    state: Mutex<CampaignCheckpoint>,
+}
+
+impl CheckpointSink {
+    pub(crate) fn new(path: PathBuf, state: CampaignCheckpoint) -> CheckpointSink {
+        CheckpointSink {
+            path,
+            state: Mutex::new(state),
+        }
+    }
+
+    /// Records one finished shard and persists the updated checkpoint.
+    pub(crate) fn record(&self, done: &CompletedShard) -> Result<(), CampaignError> {
+        let mut state = self.state.lock().expect("checkpoint sink lock");
+        state.record(done.clone());
+        state.save(&self.path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::StageTimings;
+    use gamma_suite::VolunteerMeta;
+
+    fn dummy_completed(country: &str) -> CompletedShard {
+        let cc = CountryCode::new(country);
+        let dataset = VolunteerDataset {
+            volunteer: VolunteerMeta {
+                country: cc,
+                city: gamma_geo::CityId(0),
+                os: gamma_suite::Os::Linux,
+                asn: gamma_netsim::Asn(7000),
+                ip: None,
+            },
+            loads: Vec::new(),
+            dns: Vec::new(),
+            traceroutes: Vec::new(),
+            opted_out: Vec::new(),
+            probes_enabled: true,
+        };
+        let report = GeolocReport {
+            country: cc,
+            verdicts: Vec::new(),
+            funnel: Default::default(),
+        };
+        let metrics = ShardMetrics::from_outputs(cc, &dataset, &report, StageTimings::default());
+        let mut marker = Checkpoint::new(cc, 9);
+        marker.completed_sites = 0;
+        CompletedShard {
+            marker,
+            dataset,
+            report,
+            metrics,
+        }
+    }
+
+    #[test]
+    fn records_keep_plan_order_and_replace_stale_entries() {
+        let plan = vec![
+            CountryCode::new("RW"),
+            CountryCode::new("US"),
+            CountryCode::new("NZ"),
+        ];
+        let mut cp = CampaignCheckpoint::new(9, plan);
+        cp.record(dummy_completed("NZ"));
+        cp.record(dummy_completed("RW"));
+        assert_eq!(cp.completed[0].marker.country, CountryCode::new("RW"));
+        assert_eq!(cp.completed[1].marker.country, CountryCode::new("NZ"));
+        assert!(cp.is_complete(CountryCode::new("NZ")));
+        assert!(!cp.is_complete(CountryCode::new("US")));
+        cp.record(dummy_completed("NZ"));
+        assert_eq!(cp.completed.len(), 2);
+    }
+
+    #[test]
+    fn roundtrips_through_json() {
+        let mut cp = CampaignCheckpoint::new(7, vec![CountryCode::new("RW")]);
+        cp.record(dummy_completed("RW"));
+        let back = CampaignCheckpoint::from_json(&cp.to_json()).unwrap();
+        assert_eq!(back, cp);
+    }
+
+    #[test]
+    fn rejects_corrupt_input() {
+        assert!(CampaignCheckpoint::from_json("{not json").is_err());
+        assert!(CampaignCheckpoint::from_json("{}").is_err());
+    }
+
+    #[test]
+    fn compatibility_requires_seed_and_plan() {
+        let plan = vec![CountryCode::new("RW"), CountryCode::new("US")];
+        let cp = CampaignCheckpoint::new(9, plan.clone());
+        assert!(cp.compatible_with(9, &plan));
+        assert!(!cp.compatible_with(8, &plan));
+        assert!(!cp.compatible_with(9, &plan[..1]));
+        let reversed: Vec<_> = plan.iter().rev().copied().collect();
+        assert!(!cp.compatible_with(9, &reversed));
+    }
+
+    #[test]
+    fn save_and_load_are_atomic_roundtrips() {
+        let mut cp = CampaignCheckpoint::new(3, vec![CountryCode::new("TH")]);
+        cp.record(dummy_completed("TH"));
+        let path = std::env::temp_dir().join(format!(
+            "gamma-campaign-checkpoint-test-{}.json",
+            std::process::id()
+        ));
+        cp.save(&path).unwrap();
+        let back = CampaignCheckpoint::load(&path).unwrap();
+        assert_eq!(back, cp);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,384 @@
+//! The campaign engine: plan → shards → retries → checkpoint → outcome.
+//!
+//! A [`Campaign`] borrows a prebuilt measurement environment (world,
+//! geolocation database, probe platform, Gamma configuration), derives a
+//! plan (one shard per measurement country), executes it across the
+//! worker pool, and returns per-country results **in plan order** with a
+//! campaign-wide metrics ledger. Shard outputs are pure functions of
+//! `(master_seed, country)`, so the outcome is byte-identical whether the
+//! pool had one worker or sixteen.
+
+use crate::checkpoint::{CampaignCheckpoint, CheckpointSink, CompletedShard};
+use crate::metrics::CampaignMetrics;
+use crate::options::Options;
+use crate::scheduler::run_shards;
+use crate::shard::{volunteer_slot, Shard};
+use gamma_atlas::AtlasPlatform;
+use gamma_geo::CountryCode;
+use gamma_geoloc::{GeoDatabase, GeolocReport, PipelineOptions};
+use gamma_suite::{GammaConfig, VolunteerDataset};
+use gamma_websim::World;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Everything a shard needs, borrowed from the caller. Build the world,
+/// database and platform once; shards share them read-only.
+#[derive(Clone, Copy)]
+pub struct CampaignEnv<'w> {
+    pub world: &'w World,
+    pub geodb: &'w GeoDatabase,
+    pub atlas: &'w AtlasPlatform,
+    pub config: &'w GammaConfig,
+    /// Constraint toggles for the geolocation pipeline.
+    pub pipeline_options: PipelineOptions,
+    /// Seed every shard stream derives from.
+    pub master_seed: u64,
+}
+
+/// A failed campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CampaignError {
+    /// The Gamma configuration failed validation.
+    InvalidConfig(String),
+    /// A shard exhausted its retry budget (or hit a permanent fault).
+    ShardFailed {
+        country: CountryCode,
+        attempts: u32,
+        reason: String,
+    },
+    /// Assembly found no result for a planned country (engine bug guard).
+    ShardMissing(CountryCode),
+    /// The checkpoint file could not be read, parsed or written.
+    Checkpoint { path: PathBuf, reason: String },
+    /// The checkpoint on disk belongs to a different campaign.
+    IncompatibleCheckpoint(String),
+}
+
+impl std::fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CampaignError::InvalidConfig(why) => write!(f, "invalid Gamma configuration: {why}"),
+            CampaignError::ShardFailed {
+                country,
+                attempts,
+                reason,
+            } => write!(
+                f,
+                "shard {country} failed after {attempts} attempt(s): {reason}"
+            ),
+            CampaignError::ShardMissing(c) => write!(f, "no result assembled for {c}"),
+            CampaignError::Checkpoint { path, reason } => {
+                write!(f, "checkpoint {}: {reason}", path.display())
+            }
+            CampaignError::IncompatibleCheckpoint(why) => {
+                write!(f, "incompatible checkpoint: {why}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+/// A finished campaign: per-country results in plan order, plus the
+/// metrics ledger.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignOutcome {
+    /// One completed shard per planned country, in plan order.
+    pub shards: Vec<CompletedShard>,
+    pub metrics: CampaignMetrics,
+}
+
+impl CampaignOutcome {
+    /// Splits into the `(dataset, report)` pairs the analysis assembler
+    /// consumes, and the ledger.
+    pub fn into_runs(self) -> (Vec<(VolunteerDataset, GeolocReport)>, CampaignMetrics) {
+        let runs = self
+            .shards
+            .into_iter()
+            .map(|d| (d.dataset, d.report))
+            .collect();
+        (runs, self.metrics)
+    }
+}
+
+/// A campaign over one environment.
+pub struct Campaign<'w> {
+    pub env: CampaignEnv<'w>,
+    pub options: Options,
+    plan: Vec<CountryCode>,
+}
+
+impl<'w> Campaign<'w> {
+    /// Plans one shard per spec country, in spec order.
+    pub fn new(env: CampaignEnv<'w>, options: Options) -> Campaign<'w> {
+        let plan = env.world.spec.countries.iter().map(|c| c.country).collect();
+        Campaign { env, options, plan }
+    }
+
+    /// Plans an explicit country list (subset or reordering; results come
+    /// back in this order).
+    pub fn with_plan(
+        env: CampaignEnv<'w>,
+        options: Options,
+        plan: Vec<CountryCode>,
+    ) -> Campaign<'w> {
+        Campaign { env, options, plan }
+    }
+
+    pub fn plan(&self) -> &[CountryCode] {
+        &self.plan
+    }
+
+    /// Executes the campaign: resume, schedule, retry, checkpoint,
+    /// assemble.
+    pub fn run(&self) -> Result<CampaignOutcome, CampaignError> {
+        let started = Instant::now();
+        self.env
+            .config
+            .validate()
+            .map_err(CampaignError::InvalidConfig)?;
+
+        // Resume: pull completed shards out of an existing checkpoint. A
+        // missing file is a fresh start, not an error.
+        let mut restored: Vec<CompletedShard> = Vec::new();
+        if let Some(path) = &self.options.resume {
+            if path.exists() {
+                let cp = CampaignCheckpoint::load(path)?;
+                if !cp.compatible_with(self.env.master_seed, &self.plan) {
+                    return Err(CampaignError::IncompatibleCheckpoint(format!(
+                        "{} was written by a campaign with a different seed or plan \
+                         (checkpoint seed {}, ours {})",
+                        path.display(),
+                        cp.master_seed,
+                        self.env.master_seed,
+                    )));
+                }
+                for mut done in cp.completed {
+                    if done.marker.seed != self.env.config.seed {
+                        return Err(CampaignError::IncompatibleCheckpoint(format!(
+                            "shard {} in {} ran under Gamma seed {}, ours is {}",
+                            done.marker.country,
+                            path.display(),
+                            done.marker.seed,
+                            self.env.config.seed,
+                        )));
+                    }
+                    done.metrics.resumed = true;
+                    restored.push(done);
+                }
+            }
+        }
+        let resumed_shards = restored.len();
+
+        let pending: Vec<Shard> = self
+            .plan
+            .iter()
+            .filter(|c| !restored.iter().any(|d| d.marker.country == **c))
+            .map(|&country| Shard {
+                slot: volunteer_slot(country),
+                country,
+            })
+            .collect();
+
+        // The write-through sink starts from the restored state so a
+        // resumed campaign's checkpoint stays complete at every step.
+        let sink = self.options.checkpoint.as_ref().map(|path| {
+            let mut state = CampaignCheckpoint::new(self.env.master_seed, self.plan.clone());
+            for done in &restored {
+                state.record(done.clone());
+            }
+            CheckpointSink::new(path.clone(), state)
+        });
+
+        let fresh = run_shards(&self.env, pending, &self.options, sink.as_ref())?;
+
+        // Assemble in plan order, whichever order the pool finished in.
+        let mut pool = restored;
+        pool.extend(fresh);
+        let mut shards = Vec::with_capacity(self.plan.len());
+        for &country in &self.plan {
+            let idx = pool
+                .iter()
+                .position(|d| d.marker.country == country)
+                .ok_or(CampaignError::ShardMissing(country))?;
+            shards.push(pool.swap_remove(idx));
+        }
+
+        let metrics = CampaignMetrics {
+            workers: self.options.effective_workers(),
+            total_wall: started.elapsed(),
+            resumed_shards,
+            shards: shards.iter().map(|d| d.metrics.clone()).collect(),
+        };
+        Ok(CampaignOutcome { shards, metrics })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::retry::{FaultInjection, RetryPolicy};
+    use gamma_geoloc::ErrorSpec;
+    use gamma_websim::{worldgen, WorldSpec};
+    use std::sync::OnceLock;
+
+    const SEED: u64 = 41;
+
+    struct Fixture {
+        world: World,
+        geodb: GeoDatabase,
+        atlas: AtlasPlatform,
+        config: GammaConfig,
+    }
+
+    fn fixture() -> &'static Fixture {
+        static F: OnceLock<Fixture> = OnceLock::new();
+        F.get_or_init(|| {
+            let mut spec = WorldSpec::paper_default(SEED);
+            spec.countries
+                .retain(|c| ["RW", "US", "NZ"].contains(&c.country.as_str()));
+            spec.reg_sites_per_country = 12;
+            spec.gov_sites_per_country = 4;
+            let world = worldgen::generate(&spec);
+            let geodb = GeoDatabase::build(&world, &ErrorSpec::default(), SEED);
+            let atlas = AtlasPlatform::generate(SEED);
+            let config = GammaConfig::paper_default(SEED);
+            Fixture {
+                world,
+                geodb,
+                atlas,
+                config,
+            }
+        })
+    }
+
+    fn env() -> CampaignEnv<'static> {
+        let f = fixture();
+        CampaignEnv {
+            world: &f.world,
+            geodb: &f.geodb,
+            atlas: &f.atlas,
+            config: &f.config,
+            pipeline_options: PipelineOptions::default(),
+            master_seed: SEED,
+        }
+    }
+
+    fn payload(outcome: &CampaignOutcome) -> Vec<(CountryCode, &VolunteerDataset, &GeolocReport)> {
+        outcome
+            .shards
+            .iter()
+            .map(|d| (d.marker.country, &d.dataset, &d.report))
+            .collect()
+    }
+
+    #[test]
+    fn parallel_output_is_identical_to_sequential() {
+        let sequential = Campaign::new(env(), Options::sequential()).run().unwrap();
+        let parallel = Campaign::new(env(), Options::with_workers(4))
+            .run()
+            .unwrap();
+        assert_eq!(payload(&sequential), payload(&parallel));
+        assert_eq!(sequential.metrics.workers, 1);
+        assert_eq!(parallel.metrics.workers, 4);
+    }
+
+    #[test]
+    fn plan_order_and_subsets_do_not_change_per_country_results() {
+        let cc = CountryCode::new;
+        let forward = Campaign::with_plan(
+            env(),
+            Options::sequential(),
+            vec![cc("RW"), cc("US"), cc("NZ")],
+        )
+        .run()
+        .unwrap();
+        let reversed = Campaign::with_plan(
+            env(),
+            Options::sequential(),
+            vec![cc("NZ"), cc("US"), cc("RW")],
+        )
+        .run()
+        .unwrap();
+        let solo = Campaign::with_plan(env(), Options::sequential(), vec![cc("RW")])
+            .run()
+            .unwrap();
+        for (country, ds, rep) in payload(&forward) {
+            let find = |o: &CampaignOutcome| {
+                o.shards
+                    .iter()
+                    .position(|d| d.marker.country == country)
+                    .map(|i| (o.shards[i].dataset.clone(), o.shards[i].report.clone()))
+            };
+            let (rds, rrep) = find(&reversed).unwrap();
+            assert_eq!((ds, rep), (&rds, &rrep), "{country} differs when reordered");
+            if country == cc("RW") {
+                let (sds, srep) = find(&solo).unwrap();
+                assert_eq!((ds, rep), (&sds, &srep), "RW differs when run alone");
+            }
+        }
+    }
+
+    #[test]
+    fn transient_faults_are_retried_to_success() {
+        let rw = CountryCode::new("RW");
+        let clean = Campaign::new(env(), Options::sequential()).run().unwrap();
+        let mut options = Options::sequential();
+        options.retry = RetryPolicy::immediate();
+        options.inject = FaultInjection::none().fail_first(rw, 1);
+        let retried = Campaign::new(env(), options).run().unwrap();
+        assert_eq!(payload(&clean), payload(&retried));
+        assert_eq!(retried.metrics.shard(rw).unwrap().attempts, 2);
+        assert_eq!(retried.metrics.totals().retries, 1);
+    }
+
+    #[test]
+    fn exhausted_retry_budgets_fail_the_campaign() {
+        let rw = CountryCode::new("RW");
+        let mut options = Options::sequential();
+        options.retry = RetryPolicy::immediate();
+        options.inject = FaultInjection::none().fail_first(rw, 99);
+        match Campaign::new(env(), options).run() {
+            Err(CampaignError::ShardFailed {
+                country, attempts, ..
+            }) => {
+                assert_eq!(country, rw);
+                assert_eq!(attempts, RetryPolicy::immediate().attempts());
+            }
+            other => panic!("expected ShardFailed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn countries_outside_the_world_fail_without_retries() {
+        let mut options = Options::sequential();
+        options.retry = RetryPolicy::immediate();
+        let plan = vec![CountryCode::new("TH")];
+        match Campaign::with_plan(env(), options, plan).run() {
+            Err(CampaignError::ShardFailed {
+                country, attempts, ..
+            }) => {
+                assert_eq!(country, CountryCode::new("TH"));
+                assert_eq!(attempts, 1, "permanent faults must not burn retries");
+            }
+            other => panic!("expected ShardFailed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_configurations_are_rejected_up_front() {
+        let f = fixture();
+        let bad = GammaConfig {
+            gather_network_info: false,
+            ..f.config.clone()
+        };
+        let env = CampaignEnv {
+            config: &bad,
+            ..env()
+        };
+        assert!(matches!(
+            Campaign::new(env, Options::sequential()).run(),
+            Err(CampaignError::InvalidConfig(_))
+        ));
+    }
+}

@@ -1,0 +1,47 @@
+//! # gamma-campaign
+//!
+//! Deterministic, work-stealing campaign execution: the layer that runs
+//! the study's per-country shards — volunteer measurement plus the
+//! geolocation pipeline — across a configurable worker pool.
+//!
+//! The study's 23 volunteers measured *concurrently*; the sequential
+//! `Study::run` loop was an artifact of threading one RNG through the
+//! shards. This crate removes that artifact:
+//!
+//! - [`rng`]: every shard derives its own ChaCha stream from
+//!   `(master_seed, country, stream)`, so output is a pure function of
+//!   shard identity — parallel runs are **byte-identical** to sequential
+//!   runs regardless of worker count or scheduling order.
+//! - [`scheduler`]: a crossbeam work-stealing pool (global injector,
+//!   per-worker FIFO deques, peer stealing); one worker degenerates to
+//!   the old in-order loop.
+//! - [`retry`]: transient shard faults retry with exponential backoff,
+//!   with deterministic fault injection for drills (§3.3's "run the
+//!   affected chunk again").
+//! - [`checkpoint`]: campaign-level checkpoint/resume layered on
+//!   [`gamma_suite::Checkpoint`], written atomically after every shard; a
+//!   killed campaign resumes into a byte-identical final dataset.
+//! - [`metrics`] / [`report`]: a per-shard, per-stage ledger rendered as
+//!   a campaign report.
+//!
+//! `gamma-core` builds on this: `Study::run_with(Options)` is a campaign,
+//! and `Study::run()` is its one-worker case.
+
+pub mod checkpoint;
+pub mod engine;
+pub mod metrics;
+pub mod options;
+pub mod report;
+pub mod retry;
+pub mod rng;
+pub mod scheduler;
+pub mod shard;
+
+pub use checkpoint::{CampaignCheckpoint, CompletedShard};
+pub use engine::{Campaign, CampaignEnv, CampaignError, CampaignOutcome};
+pub use metrics::{CampaignMetrics, CampaignTotals, ShardMetrics, StageTimings};
+pub use options::Options;
+pub use report::render_campaign_report;
+pub use retry::{FaultInjection, RetryPolicy};
+pub use rng::{derive_rng, derive_seed, STREAM_GEOLOCATE};
+pub use shard::{volunteer_slot, Shard, ShardError};

@@ -1,0 +1,206 @@
+//! The campaign metrics ledger.
+//!
+//! Every shard records what its stages did — sites loaded, requests
+//! captured, traceroutes run, constraint pass/fail counts — and how long
+//! each stage took. The engine assembles the per-shard ledgers, in spec
+//! order, into a [`CampaignMetrics`] that [`crate::report`] renders.
+
+use gamma_geo::CountryCode;
+use gamma_geoloc::GeolocReport;
+use gamma_suite::VolunteerDataset;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Wall-clock per pipeline stage of one shard.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct StageTimings {
+    /// The volunteer's Gamma run (C1 page loads, C2 DNS, C3 probes).
+    pub measure: Duration,
+    /// The multi-constraint geolocation pipeline over the dataset.
+    pub geolocate: Duration,
+    /// Post-analysis anonymization and bookkeeping.
+    pub finalize: Duration,
+}
+
+impl StageTimings {
+    pub fn total(&self) -> Duration {
+        self.measure + self.geolocate + self.finalize
+    }
+}
+
+/// One shard's ledger entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardMetrics {
+    pub country: CountryCode,
+    /// Attempts consumed (1 = clean first try).
+    pub attempts: u32,
+    /// Total backoff waited across retries.
+    pub backoff_total: Duration,
+    /// Target sites attempted.
+    pub sites_total: usize,
+    /// Target sites that loaded successfully.
+    pub sites_loaded: usize,
+    /// Network requests captured across all page loads (C1).
+    pub requests_captured: usize,
+    /// Traceroutes run: the volunteer's own plus the pipeline's Atlas
+    /// source fallbacks and destination probes.
+    pub traceroutes_run: usize,
+    /// Non-local candidates that survived every enabled constraint.
+    pub constraints_passed: usize,
+    /// Unique addresses discarded (constraint failures + unmapped).
+    pub constraints_failed: usize,
+    /// Wall-clock per stage.
+    pub stages: StageTimings,
+    /// Whether this shard was restored from a campaign checkpoint rather
+    /// than executed in this run.
+    pub resumed: bool,
+}
+
+impl ShardMetrics {
+    /// Builds the ledger entry for a finished shard from its outputs.
+    pub fn from_outputs(
+        country: CountryCode,
+        dataset: &VolunteerDataset,
+        report: &GeolocReport,
+        stages: StageTimings,
+    ) -> ShardMetrics {
+        let funnel = &report.funnel;
+        ShardMetrics {
+            country,
+            attempts: 1,
+            backoff_total: Duration::ZERO,
+            sites_total: dataset.loads.len(),
+            sites_loaded: dataset.loaded_count(),
+            requests_captured: dataset.loads.iter().map(|l| l.requests.len()).sum(),
+            traceroutes_run: dataset.traceroutes.len()
+                + funnel.source_traceroutes_atlas
+                + funnel.destination_traceroutes,
+            constraints_passed: funnel.after_rdns_constraint,
+            constraints_failed: funnel.unique_ips - funnel.local - funnel.after_rdns_constraint,
+            stages,
+            resumed: false,
+        }
+    }
+}
+
+/// Aggregates over a whole campaign.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CampaignTotals {
+    pub sites_total: usize,
+    pub sites_loaded: usize,
+    pub requests_captured: usize,
+    pub traceroutes_run: usize,
+    pub constraints_passed: usize,
+    pub constraints_failed: usize,
+    /// Retries consumed beyond first attempts.
+    pub retries: u32,
+    /// Sum of per-shard stage wall-clock (CPU-time-like; exceeds the
+    /// campaign wall when workers overlap).
+    pub stage_wall: StageTimings,
+}
+
+/// The assembled campaign ledger, shards in spec order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignMetrics {
+    /// Worker threads the pool ran with.
+    pub workers: usize,
+    /// End-to-end campaign wall-clock.
+    pub total_wall: Duration,
+    /// Shards restored from a checkpoint instead of executed.
+    pub resumed_shards: usize,
+    pub shards: Vec<ShardMetrics>,
+}
+
+impl CampaignMetrics {
+    pub fn totals(&self) -> CampaignTotals {
+        let mut t = CampaignTotals::default();
+        for s in &self.shards {
+            t.sites_total += s.sites_total;
+            t.sites_loaded += s.sites_loaded;
+            t.requests_captured += s.requests_captured;
+            t.traceroutes_run += s.traceroutes_run;
+            t.constraints_passed += s.constraints_passed;
+            t.constraints_failed += s.constraints_failed;
+            t.retries += s.attempts.saturating_sub(1);
+            t.stage_wall.measure += s.stages.measure;
+            t.stage_wall.geolocate += s.stages.geolocate;
+            t.stage_wall.finalize += s.stages.finalize;
+        }
+        t
+    }
+
+    /// Ledger entry for one country, when present.
+    pub fn shard(&self, country: CountryCode) -> Option<&ShardMetrics> {
+        self.shards.iter().find(|s| s.country == country)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(country: &str, attempts: u32) -> ShardMetrics {
+        ShardMetrics {
+            country: CountryCode::new(country),
+            attempts,
+            backoff_total: Duration::ZERO,
+            sites_total: 50,
+            sites_loaded: 45,
+            requests_captured: 900,
+            traceroutes_run: 120,
+            constraints_passed: 30,
+            constraints_failed: 12,
+            stages: StageTimings {
+                measure: Duration::from_millis(80),
+                geolocate: Duration::from_millis(40),
+                finalize: Duration::from_millis(1),
+            },
+            resumed: false,
+        }
+    }
+
+    #[test]
+    fn totals_sum_the_ledger() {
+        let m = CampaignMetrics {
+            workers: 2,
+            total_wall: Duration::from_millis(200),
+            resumed_shards: 0,
+            shards: vec![entry("RW", 1), entry("US", 3)],
+        };
+        let t = m.totals();
+        assert_eq!(t.sites_total, 100);
+        assert_eq!(t.sites_loaded, 90);
+        assert_eq!(t.requests_captured, 1800);
+        assert_eq!(t.traceroutes_run, 240);
+        assert_eq!(t.constraints_passed, 60);
+        assert_eq!(t.constraints_failed, 24);
+        assert_eq!(t.retries, 2);
+        assert_eq!(t.stage_wall.measure, Duration::from_millis(160));
+        assert_eq!(t.stage_wall.total(), Duration::from_millis(242));
+    }
+
+    #[test]
+    fn shard_lookup_by_country() {
+        let m = CampaignMetrics {
+            workers: 1,
+            total_wall: Duration::ZERO,
+            resumed_shards: 0,
+            shards: vec![entry("RW", 1)],
+        };
+        assert!(m.shard(CountryCode::new("RW")).is_some());
+        assert!(m.shard(CountryCode::new("US")).is_none());
+    }
+
+    #[test]
+    fn ledger_roundtrips_through_json() {
+        let m = CampaignMetrics {
+            workers: 4,
+            total_wall: Duration::from_millis(5),
+            resumed_shards: 1,
+            shards: vec![entry("TH", 2)],
+        };
+        let js = serde_json::to_string(&m).expect("metrics serialize");
+        let back: CampaignMetrics = serde_json::from_str(&js).expect("metrics parse");
+        assert_eq!(back, m);
+    }
+}

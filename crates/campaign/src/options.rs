@@ -1,0 +1,98 @@
+//! Campaign execution options.
+
+use crate::retry::{FaultInjection, RetryPolicy};
+use std::path::PathBuf;
+
+/// How a campaign runs: pool size, retry schedule, checkpoint plumbing.
+///
+/// `Options::default()` is the sequential case — one worker, default
+/// retries, no checkpointing — which is what `Study::run` uses.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Options {
+    /// Worker threads. `1` runs shards inline on the calling thread;
+    /// `0` auto-sizes to the machine's available parallelism.
+    pub workers: usize,
+    /// Retry-with-backoff schedule for transient shard faults.
+    pub retry: RetryPolicy,
+    /// Write a campaign checkpoint here after every completed shard.
+    pub checkpoint: Option<PathBuf>,
+    /// Resume from this checkpoint if the file exists (a missing file
+    /// starts a fresh campaign, so first runs and reruns share a CLI).
+    pub resume: Option<PathBuf>,
+    /// Deterministic transient-fault injection (tests and drills).
+    pub inject: FaultInjection,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            workers: 1,
+            retry: RetryPolicy::default(),
+            checkpoint: None,
+            resume: None,
+            inject: FaultInjection::none(),
+        }
+    }
+}
+
+impl Options {
+    /// The one-worker configuration `Study::run` delegates to.
+    pub fn sequential() -> Self {
+        Options::default()
+    }
+
+    /// A pool of `workers` threads, everything else default.
+    pub fn with_workers(workers: usize) -> Self {
+        Options {
+            workers,
+            ..Options::default()
+        }
+    }
+
+    /// Checkpoint to `path` and resume from it when it already exists —
+    /// the crash-rerun cycle of `gamma-study --resume`.
+    pub fn resumable(mut self, path: impl Into<PathBuf>) -> Self {
+        let path = path.into();
+        self.checkpoint = Some(path.clone());
+        self.resume = Some(path);
+        self
+    }
+
+    /// Worker count after auto-sizing (`0` → available parallelism).
+    pub fn effective_workers(&self) -> usize {
+        if self.workers == 0 {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            self.workers
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_sequential_without_checkpointing() {
+        let o = Options::default();
+        assert_eq!(o.workers, 1);
+        assert_eq!(o.effective_workers(), 1);
+        assert!(o.checkpoint.is_none());
+        assert!(o.resume.is_none());
+        assert!(o.inject.is_empty());
+    }
+
+    #[test]
+    fn zero_workers_auto_sizes() {
+        assert!(Options::with_workers(0).effective_workers() >= 1);
+    }
+
+    #[test]
+    fn resumable_sets_both_sides_of_the_checkpoint() {
+        let o = Options::sequential().resumable("/tmp/c.json");
+        assert_eq!(o.checkpoint, o.resume);
+        assert!(o.checkpoint.is_some());
+    }
+}

@@ -1,0 +1,134 @@
+//! Renders the campaign metrics ledger as a text report.
+
+use crate::metrics::{CampaignMetrics, ShardMetrics};
+use std::fmt::Write as _;
+use std::time::Duration;
+
+fn ms(d: Duration) -> String {
+    format!("{:.1}", d.as_secs_f64() * 1000.0)
+}
+
+fn row(out: &mut String, s: &ShardMetrics) {
+    let flag = if s.resumed {
+        " (resumed)"
+    } else if s.attempts > 1 {
+        " (retried)"
+    } else {
+        ""
+    };
+    let _ = writeln!(
+        out,
+        "  {}  att {}  sites {:>3}/{:<3}  req {:>5}  tr {:>4}  ok {:>4}  drop {:>4}  \
+         measure {:>8}ms  geoloc {:>8}ms  final {:>6}ms{}",
+        s.country,
+        s.attempts,
+        s.sites_loaded,
+        s.sites_total,
+        s.requests_captured,
+        s.traceroutes_run,
+        s.constraints_passed,
+        s.constraints_failed,
+        ms(s.stages.measure),
+        ms(s.stages.geolocate),
+        ms(s.stages.finalize),
+        flag,
+    );
+}
+
+/// The campaign report: a header line, one row per shard in plan order,
+/// and a totals row.
+pub fn render_campaign_report(m: &CampaignMetrics) -> String {
+    let mut out = String::new();
+    let t = m.totals();
+    let _ = writeln!(
+        out,
+        "campaign: {} shard(s), {} worker(s), wall {}ms, {} resumed, {} retried",
+        m.shards.len(),
+        m.workers,
+        ms(m.total_wall),
+        m.resumed_shards,
+        m.shards.iter().filter(|s| s.attempts > 1).count(),
+    );
+    for s in &m.shards {
+        row(&mut out, s);
+    }
+    let _ = writeln!(
+        out,
+        "  total  sites {}/{}  requests {}  traceroutes {}  confirmed {}  discarded {}  \
+         retries {}  stage wall {}ms (measure {} / geolocate {} / finalize {})",
+        t.sites_loaded,
+        t.sites_total,
+        t.requests_captured,
+        t.traceroutes_run,
+        t.constraints_passed,
+        t.constraints_failed,
+        t.retries,
+        ms(t.stage_wall.total()),
+        ms(t.stage_wall.measure),
+        ms(t.stage_wall.geolocate),
+        ms(t.stage_wall.finalize),
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::StageTimings;
+    use gamma_geo::CountryCode;
+
+    fn ledger() -> CampaignMetrics {
+        let entry = |country: &str, attempts: u32, resumed: bool| ShardMetrics {
+            country: CountryCode::new(country),
+            attempts,
+            backoff_total: Duration::ZERO,
+            sites_total: 16,
+            sites_loaded: 15,
+            requests_captured: 300,
+            traceroutes_run: 90,
+            constraints_passed: 12,
+            constraints_failed: 5,
+            stages: StageTimings {
+                measure: Duration::from_millis(30),
+                geolocate: Duration::from_millis(12),
+                finalize: Duration::from_micros(400),
+            },
+            resumed,
+        };
+        CampaignMetrics {
+            workers: 4,
+            total_wall: Duration::from_millis(55),
+            resumed_shards: 1,
+            shards: vec![
+                entry("RW", 1, true),
+                entry("US", 3, false),
+                entry("NZ", 1, false),
+            ],
+        }
+    }
+
+    #[test]
+    fn report_has_header_rows_and_totals() {
+        let text = render_campaign_report(&ledger());
+        assert!(text.starts_with("campaign: 3 shard(s), 4 worker(s)"));
+        assert!(text.contains("1 resumed, 1 retried"));
+        for needle in [
+            "RW",
+            "US",
+            "NZ",
+            "(resumed)",
+            "(retried)",
+            "total  sites 45/48",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+        assert_eq!(text.lines().count(), 5);
+    }
+
+    #[test]
+    fn clean_shards_carry_no_flag() {
+        let text = render_campaign_report(&ledger());
+        let nz = text.lines().find(|l| l.contains("NZ")).unwrap();
+        assert!(!nz.contains("(resumed)") && !nz.contains("(retried)"));
+    }
+}

@@ -1,0 +1,145 @@
+//! Retry policy and deterministic fault injection.
+//!
+//! Volunteer machines hit transient trouble — a page load that times out
+//! wholesale, a probe batch the kernel refuses — and the study's answer
+//! was simply to run the affected chunk again (§3.3). The campaign engine
+//! retries a failed shard with exponential backoff; because every shard's
+//! RNG stream is derived from its identity (see [`crate::rng`]), a retry
+//! that succeeds produces exactly the bytes an untroubled first attempt
+//! would have.
+
+use gamma_geo::CountryCode;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Retry-with-backoff schedule for transient shard faults.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Total attempts per shard (first try included). Clamped to ≥ 1.
+    pub max_attempts: u32,
+    /// Pause before the first retry.
+    pub base_backoff: Duration,
+    /// Multiplier applied per further retry.
+    pub backoff_multiplier: u32,
+    /// Ceiling on any single pause.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(25),
+            backoff_multiplier: 2,
+            max_backoff: Duration::from_secs(1),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that fails a shard on its first fault.
+    pub fn no_retry() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// The default schedule with all pauses removed — for tests that
+    /// exercise retries without sleeping.
+    pub fn immediate() -> Self {
+        RetryPolicy {
+            base_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Effective attempt budget (at least one).
+    pub fn attempts(&self) -> u32 {
+        self.max_attempts.max(1)
+    }
+
+    /// Pause before `attempt` (0-based; attempt 0 never waits).
+    pub fn backoff_before(&self, attempt: u32) -> Duration {
+        if attempt == 0 {
+            return Duration::ZERO;
+        }
+        let factor = self.backoff_multiplier.max(1).saturating_pow(attempt - 1);
+        self.base_backoff
+            .saturating_mul(factor)
+            .min(self.max_backoff)
+    }
+}
+
+/// Deterministic transient-fault source, for exercising the retry and
+/// checkpoint paths: the listed countries fail their first `n` attempts.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultInjection {
+    failures: Vec<(CountryCode, u32)>,
+}
+
+impl FaultInjection {
+    /// No injected faults (the default).
+    pub fn none() -> Self {
+        FaultInjection::default()
+    }
+
+    /// Fails `country`'s first `attempts` attempts.
+    pub fn fail_first(mut self, country: CountryCode, attempts: u32) -> Self {
+        self.failures.push((country, attempts));
+        self
+    }
+
+    /// Whether `attempt` (0-based) of `country`'s shard should fault.
+    pub fn should_fail(&self, country: CountryCode, attempt: u32) -> bool {
+        self.failures
+            .iter()
+            .any(|(c, n)| *c == country && attempt < *n)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_exponentially_and_caps() {
+        let p = RetryPolicy {
+            max_attempts: 6,
+            base_backoff: Duration::from_millis(100),
+            backoff_multiplier: 2,
+            max_backoff: Duration::from_millis(350),
+        };
+        assert_eq!(p.backoff_before(0), Duration::ZERO);
+        assert_eq!(p.backoff_before(1), Duration::from_millis(100));
+        assert_eq!(p.backoff_before(2), Duration::from_millis(200));
+        assert_eq!(p.backoff_before(3), Duration::from_millis(350));
+        assert_eq!(p.backoff_before(5), Duration::from_millis(350));
+    }
+
+    #[test]
+    fn attempt_budget_is_at_least_one() {
+        let p = RetryPolicy {
+            max_attempts: 0,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(p.attempts(), 1);
+        assert_eq!(RetryPolicy::no_retry().attempts(), 1);
+    }
+
+    #[test]
+    fn injection_fails_exactly_the_first_n_attempts() {
+        let rw = CountryCode::new("RW");
+        let inj = FaultInjection::none().fail_first(rw, 2);
+        assert!(inj.should_fail(rw, 0));
+        assert!(inj.should_fail(rw, 1));
+        assert!(!inj.should_fail(rw, 2));
+        assert!(!inj.should_fail(CountryCode::new("US"), 0));
+        assert!(FaultInjection::none().is_empty());
+    }
+}

@@ -1,0 +1,86 @@
+//! Per-shard RNG stream derivation.
+//!
+//! The paper's Gamma suite ran on 23 volunteer machines *concurrently*;
+//! nothing about one vantage's randomness depended on another's. The
+//! campaign engine reproduces that by deriving every shard's generator
+//! from `(master_seed, country, stream)` instead of threading one RNG
+//! through the shards sequentially — so the bits a shard consumes are a
+//! pure function of its identity, and parallel output is identical to
+//! sequential output regardless of worker count or scheduling order.
+
+use gamma_geo::CountryCode;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Stream tag for the geolocation pipeline's probe traceroutes.
+pub const STREAM_GEOLOCATE: u64 = 0x4745_4F4C; // "GEOL"
+
+/// One round of splitmix64 — the standard seed-expansion mixer.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Expands `(master_seed, country, stream)` into a full 256-bit ChaCha
+/// seed. Mixing through splitmix64 keeps nearby master seeds and
+/// two-letter country tags from producing correlated streams.
+pub fn derive_seed(master_seed: u64, country: CountryCode, stream: u64) -> [u8; 32] {
+    let tag = (u64::from(country.0[0]) << 8) | u64::from(country.0[1]);
+    let mut state = master_seed ^ stream.rotate_left(17) ^ tag.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let mut seed = [0u8; 32];
+    for chunk in seed.chunks_exact_mut(8) {
+        chunk.copy_from_slice(&splitmix64(&mut state).to_le_bytes());
+    }
+    seed
+}
+
+/// The generator for one `(master_seed, country, stream)` shard stream.
+pub fn derive_rng(master_seed: u64, country: CountryCode, stream: u64) -> ChaCha8Rng {
+    ChaCha8Rng::from_seed(derive_seed(master_seed, country, stream))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn same_inputs_same_stream() {
+        let mut a = derive_rng(42, CountryCode::new("RW"), STREAM_GEOLOCATE);
+        let mut b = derive_rng(42, CountryCode::new("RW"), STREAM_GEOLOCATE);
+        for _ in 0..64 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn countries_get_distinct_streams() {
+        let mut a = derive_rng(42, CountryCode::new("RW"), STREAM_GEOLOCATE);
+        let mut b = derive_rng(42, CountryCode::new("US"), STREAM_GEOLOCATE);
+        assert_ne!(a.gen::<u64>(), b.gen::<u64>());
+    }
+
+    #[test]
+    fn seeds_and_streams_get_distinct_streams() {
+        let base = derive_seed(42, CountryCode::new("TH"), STREAM_GEOLOCATE);
+        assert_ne!(
+            base,
+            derive_seed(43, CountryCode::new("TH"), STREAM_GEOLOCATE)
+        );
+        assert_ne!(
+            base,
+            derive_seed(42, CountryCode::new("TH"), STREAM_GEOLOCATE + 1)
+        );
+    }
+
+    #[test]
+    fn transposed_country_letters_differ() {
+        // "AE" vs "EA"-style tag collisions must not alias.
+        let a = derive_seed(7, CountryCode::new("AE"), 0);
+        let b = derive_seed(7, CountryCode::new("EA"), 0);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,136 @@
+//! The work-stealing shard scheduler.
+//!
+//! Shards go into a global injector; each worker owns a FIFO deque and
+//! steals from its peers when both its deque and the injector run dry.
+//! Because every shard's output is a pure function of `(master_seed,
+//! country)` — see [`crate::rng`] — the schedule affects only wall-clock,
+//! never bytes: the engine reassembles results into plan order afterward.
+//!
+//! With one worker the scheduler degenerates to an in-order loop on the
+//! calling thread, which is exactly the old sequential `Study::run`.
+
+use crate::checkpoint::{CheckpointSink, CompletedShard};
+use crate::engine::{CampaignEnv, CampaignError};
+use crate::options::Options;
+use crate::shard::{run_with_retry, Shard};
+use crossbeam::deque::{Injector, Stealer, Worker};
+use std::iter;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// The canonical crossbeam-deque scavenging order: own deque, then a
+/// batch from the injector, then a steal from a peer.
+fn find_task(
+    local: &Worker<Shard>,
+    global: &Injector<Shard>,
+    stealers: &[Stealer<Shard>],
+) -> Option<Shard> {
+    local.pop().or_else(|| {
+        iter::repeat_with(|| {
+            global
+                .steal_batch_and_pop(local)
+                .or_else(|| stealers.iter().map(|s| s.steal()).collect())
+        })
+        .find(|s| !s.is_retry())
+        .and_then(|s| s.success())
+    })
+}
+
+/// Runs every pending shard (with retries) and returns their results in
+/// completion order; the engine re-sorts into plan order. The first shard
+/// failure aborts the pool — other workers finish their current shard and
+/// stop — and already-completed shards are still in the checkpoint.
+pub(crate) fn run_shards(
+    env: &CampaignEnv<'_>,
+    pending: Vec<Shard>,
+    options: &Options,
+    sink: Option<&CheckpointSink>,
+) -> Result<Vec<CompletedShard>, CampaignError> {
+    if pending.is_empty() {
+        return Ok(Vec::new());
+    }
+    if options.effective_workers() <= 1 {
+        return run_sequential(env, pending, options, sink);
+    }
+    run_pool(env, pending, options, sink)
+}
+
+fn run_sequential(
+    env: &CampaignEnv<'_>,
+    pending: Vec<Shard>,
+    options: &Options,
+    sink: Option<&CheckpointSink>,
+) -> Result<Vec<CompletedShard>, CampaignError> {
+    let mut results = Vec::with_capacity(pending.len());
+    for shard in pending {
+        let done = run_with_retry(env, shard, options)?;
+        if let Some(sink) = sink {
+            sink.record(&done)?;
+        }
+        results.push(done);
+    }
+    Ok(results)
+}
+
+fn run_pool(
+    env: &CampaignEnv<'_>,
+    pending: Vec<Shard>,
+    options: &Options,
+    sink: Option<&CheckpointSink>,
+) -> Result<Vec<CompletedShard>, CampaignError> {
+    // `pending` is non-empty here, so the clamp keeps at least one worker.
+    let workers = options.effective_workers().min(pending.len());
+
+    let injector = Injector::new();
+    for shard in pending {
+        injector.push(shard);
+    }
+    let locals: Vec<Worker<Shard>> = (0..workers).map(|_| Worker::new_fifo()).collect();
+    let stealers: Vec<Stealer<Shard>> = locals.iter().map(Worker::stealer).collect();
+
+    let results: Mutex<Vec<CompletedShard>> = Mutex::new(Vec::new());
+    let failure: Mutex<Option<CampaignError>> = Mutex::new(None);
+    let abort = AtomicBool::new(false);
+
+    crossbeam::thread::scope(|scope| {
+        let injector = &injector;
+        let stealers = &stealers[..];
+        let results = &results;
+        let failure = &failure;
+        let abort = &abort;
+        for local in locals {
+            scope.spawn(move |_| {
+                while !abort.load(Ordering::Relaxed) {
+                    let Some(shard) = find_task(&local, injector, stealers) else {
+                        break;
+                    };
+                    match run_with_retry(env, shard, options) {
+                        Ok(done) => {
+                            let recorded = match sink {
+                                Some(sink) => sink.record(&done),
+                                None => Ok(()),
+                            };
+                            match recorded {
+                                Ok(()) => results.lock().expect("results lock").push(done),
+                                Err(e) => {
+                                    abort.store(true, Ordering::Relaxed);
+                                    failure.lock().expect("failure lock").get_or_insert(e);
+                                }
+                            }
+                        }
+                        Err(e) => {
+                            abort.store(true, Ordering::Relaxed);
+                            failure.lock().expect("failure lock").get_or_insert(e);
+                        }
+                    }
+                }
+            });
+        }
+    })
+    .expect("campaign worker threads joined");
+
+    if let Some(e) = failure.into_inner().expect("failure lock") {
+        return Err(e);
+    }
+    Ok(results.into_inner().expect("results lock"))
+}

@@ -1,0 +1,237 @@
+//! One shard: a country's full measurement + geolocation pass.
+//!
+//! A shard is the campaign's unit of work. Executing one runs the three
+//! Gamma components for the country's volunteer, classifies the dataset
+//! through the multi-constraint pipeline with the shard's own derived RNG
+//! stream, anonymizes, and emits a [`CompletedShard`] ready for the
+//! checkpoint and the assembler. Faults — injected, panics, empty
+//! datasets — surface as [`ShardError`] so the retry loop can decide
+//! whether another attempt is worthwhile.
+
+use crate::checkpoint::CompletedShard;
+use crate::engine::{CampaignEnv, CampaignError};
+use crate::metrics::{ShardMetrics, StageTimings};
+use crate::options::Options;
+use crate::rng::{derive_rng, STREAM_GEOLOCATE};
+use gamma_geo::CountryCode;
+use gamma_geoloc::GeolocPipeline;
+use gamma_suite::{run_volunteer, Checkpoint, Volunteer};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
+
+/// A unit of campaign work: one country and its stable volunteer slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shard {
+    /// Stable volunteer index (see [`volunteer_slot`]).
+    pub slot: usize,
+    pub country: CountryCode,
+}
+
+/// Why one attempt at a shard failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ShardError {
+    /// A configured [`crate::FaultInjection`] fired.
+    Injected { attempt: u32 },
+    /// The country has no volunteer in this world.
+    NoVolunteer(CountryCode),
+    /// The volunteer ran but produced an unusable dataset.
+    Unhealthy(String),
+    /// A stage panicked; the worker caught it and stayed alive.
+    Panicked(String),
+}
+
+impl ShardError {
+    /// Whether another attempt could plausibly succeed. A missing
+    /// volunteer is a spec problem, not weather.
+    pub fn is_transient(&self) -> bool {
+        !matches!(self, ShardError::NoVolunteer(_))
+    }
+}
+
+impl std::fmt::Display for ShardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardError::Injected { attempt } => {
+                write!(f, "injected transient fault on attempt {attempt}")
+            }
+            ShardError::NoVolunteer(c) => write!(f, "no volunteer available for {c}"),
+            ShardError::Unhealthy(why) => write!(f, "unusable volunteer dataset: {why}"),
+            ShardError::Panicked(why) => write!(f, "stage panicked: {why}"),
+        }
+    }
+}
+
+/// The stable volunteer index for a country.
+///
+/// `Study::run` used to number volunteers by spec position, which made a
+/// volunteer's OS, ASN and address depend on where their country happened
+/// to sit in the spec. Numbering by the fixed Table-1 position instead
+/// (then by catalog position for non-measurement countries) keeps every
+/// volunteer's identity a pure function of their country — a prerequisite
+/// for shard results being independent of plan order.
+///
+/// For the paper-default spec the two numberings coincide, so existing
+/// full-study outputs are unchanged.
+pub fn volunteer_slot(country: CountryCode) -> usize {
+    if let Some(i) = gamma_geo::MEASUREMENT_COUNTRIES
+        .iter()
+        .position(|c| *c == country)
+    {
+        return i;
+    }
+    if let Some(i) = gamma_geo::countries().position(|c| c.code == country) {
+        return gamma_geo::MEASUREMENT_COUNTRIES.len() + i;
+    }
+    // Unknown code: still deterministic, clear of the catalog range.
+    1000 + usize::from(country.0[0]) * 256 + usize::from(country.0[1])
+}
+
+/// Extracts a panic payload's message, if it carried one.
+fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// One attempt at a shard, all three stages timed.
+fn execute(
+    env: &CampaignEnv<'_>,
+    shard: Shard,
+    attempt: u32,
+    options: &Options,
+) -> Result<CompletedShard, ShardError> {
+    if options.inject.should_fail(shard.country, attempt) {
+        return Err(ShardError::Injected { attempt });
+    }
+    let volunteer = Volunteer::for_country(env.world, shard.country, shard.slot)
+        .ok_or(ShardError::NoVolunteer(shard.country))?;
+
+    let mut stages = StageTimings::default();
+
+    // Stage 1 — measure: the volunteer's Gamma run (C1/C2/C3).
+    let started = Instant::now();
+    let mut dataset = catch_unwind(AssertUnwindSafe(|| {
+        run_volunteer(env.world, &volunteer, env.config)
+    }))
+    .map_err(|p| ShardError::Panicked(panic_text(p)))?;
+    stages.measure = started.elapsed();
+    if dataset.loads.is_empty() {
+        return Err(ShardError::Unhealthy("no page loads recorded".into()));
+    }
+
+    // Stage 2 — geolocate: the multi-constraint pipeline, on this shard's
+    // own derived stream so scheduling order cannot perturb the bits.
+    let started = Instant::now();
+    let mut pipeline = GeolocPipeline::new(env.world, env.geodb, env.atlas);
+    pipeline.options = env.pipeline_options;
+    let mut rng = derive_rng(env.master_seed, shard.country, STREAM_GEOLOCATE);
+    let report = catch_unwind(AssertUnwindSafe(|| {
+        pipeline.classify_dataset(&dataset, &mut rng)
+    }))
+    .map_err(|p| ShardError::Panicked(panic_text(p)))?;
+    stages.geolocate = started.elapsed();
+
+    // Stage 3 — finalize: anonymize (§3.5) and settle the ledger.
+    let started = Instant::now();
+    dataset.anonymize();
+    let mut marker = Checkpoint::new(shard.country, env.config.seed);
+    marker.completed_sites = dataset.loads.len();
+    stages.finalize = started.elapsed();
+
+    let metrics = ShardMetrics::from_outputs(shard.country, &dataset, &report, stages);
+    Ok(CompletedShard {
+        marker,
+        dataset,
+        report,
+        metrics,
+    })
+}
+
+/// Runs a shard under the campaign's retry policy. Transient faults back
+/// off and retry; permanent faults and exhausted budgets become
+/// [`CampaignError::ShardFailed`].
+pub(crate) fn run_with_retry(
+    env: &CampaignEnv<'_>,
+    shard: Shard,
+    options: &Options,
+) -> Result<CompletedShard, CampaignError> {
+    let budget = options.retry.attempts();
+    let mut backoff_total = Duration::ZERO;
+    let mut attempt = 0;
+    loop {
+        let pause = options.retry.backoff_before(attempt);
+        if !pause.is_zero() {
+            std::thread::sleep(pause);
+            backoff_total += pause;
+        }
+        match execute(env, shard, attempt, options) {
+            Ok(mut done) => {
+                done.metrics.attempts = attempt + 1;
+                done.metrics.backoff_total = backoff_total;
+                return Ok(done);
+            }
+            Err(e) if e.is_transient() && attempt + 1 < budget => {
+                attempt += 1;
+            }
+            Err(e) => {
+                return Err(CampaignError::ShardFailed {
+                    country: shard.country,
+                    attempts: attempt + 1,
+                    reason: e.to_string(),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measurement_countries_get_table_one_slots() {
+        assert_eq!(volunteer_slot(CountryCode::new("AZ")), 0);
+        assert_eq!(volunteer_slot(CountryCode::new("EG")), 2);
+        assert_eq!(volunteer_slot(CountryCode::new("RW")), 3);
+        assert_eq!(volunteer_slot(CountryCode::new("AU")), 11);
+        assert_eq!(volunteer_slot(CountryCode::new("US")), 21);
+        assert_eq!(volunteer_slot(CountryCode::new("LB")), 22);
+    }
+
+    #[test]
+    fn catalog_countries_get_slots_past_the_study() {
+        let slot = volunteer_slot(CountryCode::new("LU"));
+        assert!(slot >= gamma_geo::MEASUREMENT_COUNTRIES.len());
+    }
+
+    #[test]
+    fn slots_are_unique_across_the_catalog() {
+        let mut seen = std::collections::HashSet::new();
+        for c in gamma_geo::countries() {
+            assert!(
+                seen.insert(volunteer_slot(c.code)),
+                "duplicate slot for {}",
+                c.code
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_codes_are_deterministic_and_out_of_range() {
+        let a = volunteer_slot(CountryCode::new("XX"));
+        assert_eq!(a, volunteer_slot(CountryCode::new("XX")));
+        assert!(a >= 1000);
+    }
+
+    #[test]
+    fn shard_errors_classify_transience() {
+        assert!(ShardError::Injected { attempt: 0 }.is_transient());
+        assert!(ShardError::Unhealthy("x".into()).is_transient());
+        assert!(ShardError::Panicked("y".into()).is_transient());
+        assert!(!ShardError::NoVolunteer(CountryCode::new("XX")).is_transient());
+    }
+}

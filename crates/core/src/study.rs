@@ -2,12 +2,11 @@
 
 use gamma_analysis::StudyDataset;
 use gamma_atlas::AtlasPlatform;
-use gamma_geoloc::{ErrorSpec, GeoDatabase, GeolocPipeline, GeolocReport, PipelineOptions};
-use gamma_suite::{run_volunteer, GammaConfig, Volunteer, VolunteerDataset};
+use gamma_campaign::{Campaign, CampaignEnv, CampaignError, CampaignMetrics, Options};
+use gamma_geoloc::{ErrorSpec, GeoDatabase, GeolocReport, PipelineOptions};
+use gamma_suite::{GammaConfig, VolunteerDataset};
 use gamma_trackers::TrackerClassifier;
 use gamma_websim::{worldgen, World, WorldSpec};
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 
 /// A configured end-to-end study. Construct with [`Study::paper_default`]
 /// (the 23-country configuration calibrated to the paper) or
@@ -54,33 +53,45 @@ impl Study {
 
     /// Runs the full pipeline: world → volunteers → geolocation →
     /// identification → assembled dataset.
+    ///
+    /// This is the one-worker case of [`Study::run_with`]; because every
+    /// country's shard consumes its own derived RNG stream, it produces
+    /// exactly the bytes any parallel configuration would.
     pub fn run(&self) -> StudyResults {
+        self.run_with(&Options::sequential())
+            .expect("sequential study campaign")
+    }
+
+    /// Runs the full pipeline as a campaign: the per-country shards
+    /// execute on `options.workers` work-stealing threads, with retry,
+    /// fault injection and checkpoint/resume as configured. Output is
+    /// byte-identical for every worker count.
+    pub fn run_with(&self, options: &Options) -> Result<StudyResults, CampaignError> {
         let world = worldgen::generate(&self.spec);
         let geodb = GeoDatabase::build(&world, &self.error_spec, self.seed);
         let atlas = AtlasPlatform::generate(self.seed);
         let classifier = TrackerClassifier::for_world(&world);
-        let mut pipeline = GeolocPipeline::new(&world, &geodb, &atlas);
-        pipeline.options = self.options;
 
-        let mut rng = ChaCha8Rng::seed_from_u64(self.seed ^ 0x57_0d7);
-        let mut runs: Vec<(VolunteerDataset, GeolocReport)> = Vec::new();
-        for (i, cs) in world.spec.countries.iter().enumerate() {
-            let volunteer =
-                Volunteer::for_country(&world, cs.country, i).expect("spec country has volunteer");
-            let mut dataset = run_volunteer(&world, &volunteer, &self.config);
-            let report = pipeline.classify_dataset(&dataset, &mut rng);
-            // §3.5: volunteer addresses are anonymized once analysis is done.
-            dataset.anonymize();
-            runs.push((dataset, report));
-        }
+        let env = CampaignEnv {
+            world: &world,
+            geodb: &geodb,
+            atlas: &atlas,
+            config: &self.config,
+            pipeline_options: self.options,
+            master_seed: self.seed,
+        };
+        let outcome = Campaign::new(env, options.clone()).run()?;
+        let (runs, metrics) = outcome.into_runs();
+
         let study = StudyDataset::assemble(&world, &classifier, &runs);
-        StudyResults {
+        Ok(StudyResults {
             world,
             geodb,
             atlas,
             runs,
             study,
-        }
+            metrics,
+        })
     }
 }
 
@@ -97,6 +108,9 @@ pub struct StudyResults {
     pub runs: Vec<(VolunteerDataset, GeolocReport)>,
     /// The assembled analysis dataset behind every figure and table.
     pub study: StudyDataset,
+    /// The campaign's per-shard/per-stage metrics ledger (render with
+    /// [`gamma_campaign::render_campaign_report`]).
+    pub metrics: CampaignMetrics,
 }
 
 impl StudyResults {
@@ -105,19 +119,29 @@ impl StudyResults {
     pub fn render_all(&self) -> String {
         use gamma_analysis::render::*;
         let mut out = String::new();
-        out.push_str(&render_figure2(&gamma_analysis::coverage::figure2(&self.study)));
-        out.push('\n');
-        out.push_str(&render_figure3(&gamma_analysis::prevalence::figure3(&self.study)));
-        out.push('\n');
-        out.push_str(&render_figure4(&gamma_analysis::per_site::figure4(&self.study)));
-        out.push('\n');
-        out.push_str(&render_figure5(&gamma_analysis::flows::figure5(&self.study)));
-        out.push('\n');
-        out.push_str(&render_figure6(&gamma_analysis::continents::figure6(&self.study)));
-        out.push('\n');
-        out.push_str(&render_figure7(&gamma_analysis::hosting::domains_by_hosting_country(
+        out.push_str(&render_figure2(&gamma_analysis::coverage::figure2(
             &self.study,
         )));
+        out.push('\n');
+        out.push_str(&render_figure3(&gamma_analysis::prevalence::figure3(
+            &self.study,
+        )));
+        out.push('\n');
+        out.push_str(&render_figure4(&gamma_analysis::per_site::figure4(
+            &self.study,
+        )));
+        out.push('\n');
+        out.push_str(&render_figure5(&gamma_analysis::flows::figure5(
+            &self.study,
+        )));
+        out.push('\n');
+        out.push_str(&render_figure6(&gamma_analysis::continents::figure6(
+            &self.study,
+        )));
+        out.push('\n');
+        out.push_str(&render_figure7(
+            &gamma_analysis::hosting::domains_by_hosting_country(&self.study),
+        ));
         out.push('\n');
         out.push_str(&render_figure8(
             &gamma_analysis::orgs::ranked_orgs(&self.study),
@@ -125,17 +149,21 @@ impl StudyResults {
             &gamma_analysis::orgs::exclusive_orgs(&self.study),
         ));
         out.push('\n');
-        out.push_str(&render_figure9(&gamma_analysis::freq::global_frequency(&self.study)));
+        out.push_str(&render_figure9(&gamma_analysis::freq::global_frequency(
+            &self.study,
+        )));
         out.push('\n');
         let rows = gamma_analysis::policy::table1(&self.study);
         let corr = gamma_analysis::policy::strictness_rate_correlation(&rows);
         out.push_str(&render_table1(&rows, corr));
         out.push('\n');
-        out.push_str(&render_first_party(&gamma_analysis::first_party::first_party_analysis(
+        out.push_str(&render_first_party(
+            &gamma_analysis::first_party::first_party_analysis(&self.study),
+        ));
+        out.push('\n');
+        out.push_str(&render_funnel(&gamma_analysis::funnel::total_funnel(
             &self.study,
         )));
-        out.push('\n');
-        out.push_str(&render_funnel(&gamma_analysis::funnel::total_funnel(&self.study)));
         out
     }
 
@@ -173,9 +201,8 @@ mod tests {
     // reduced spec to keep the unit suite fast.
     fn small_study() -> Study {
         let mut spec = WorldSpec::paper_default(77);
-        spec.countries.retain(|c| {
-            ["RW", "US", "NZ"].contains(&c.country.as_str())
-        });
+        spec.countries
+            .retain(|c| ["RW", "US", "NZ"].contains(&c.country.as_str()));
         Study::with_spec(spec)
     }
 
@@ -202,6 +229,20 @@ mod tests {
     }
 
     #[test]
+    fn parallel_run_matches_sequential_byte_for_byte() {
+        let study = small_study();
+        let seq = study.run();
+        let par = study
+            .run_with(&gamma_campaign::Options::with_workers(4))
+            .unwrap();
+        assert_eq!(seq.runs, par.runs);
+        assert_eq!(seq.study, par.study);
+        assert_eq!(seq.render_all(), par.render_all());
+        assert_eq!(par.metrics.workers, 4);
+        assert_eq!(par.metrics.shards.len(), 3);
+    }
+
+    #[test]
     fn precision_is_near_perfect() {
         let results = small_study().run();
         let p = results.overall_foreign_precision().unwrap();
@@ -213,8 +254,17 @@ mod tests {
         let results = small_study().run();
         let text = results.render_all();
         for needle in [
-            "Figure 2", "Figure 3", "Figure 4", "Figure 5", "Figure 6", "Figure 7", "Figure 8",
-            "Figure 9", "Table 1", "first-party", "funnel",
+            "Figure 2",
+            "Figure 3",
+            "Figure 4",
+            "Figure 5",
+            "Figure 6",
+            "Figure 7",
+            "Figure 8",
+            "Figure 9",
+            "Table 1",
+            "first-party",
+            "funnel",
         ] {
             assert!(text.contains(needle), "missing {needle}");
         }

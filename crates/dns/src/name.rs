@@ -87,7 +87,9 @@ impl DomainName {
 
     /// The parent domain (one label stripped), if any.
     pub fn parent(&self) -> Option<DomainName> {
-        self.0.split_once('.').map(|(_, rest)| DomainName(rest.to_string()))
+        self.0
+            .split_once('.')
+            .map(|(_, rest)| DomainName(rest.to_string()))
     }
 
     /// Whether `self` equals `other` or is a subdomain of it.

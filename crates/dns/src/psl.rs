@@ -13,35 +13,32 @@ use gamma_geo::CountryCode;
 /// Multi-label suffixes must appear here for eTLD+1 to be computed right.
 static SUFFIXES: &[&str] = &[
     // generic
-    "com", "net", "org", "io", "co", "info", "biz", "cloud", "app", "dev", "online", "site",
-    "news", "tv", "me", "ai", "im", "to",
-    // US government
-    "gov", "mil", "edu",
-    // ccTLDs (single-label)
-    "az", "dz", "eg", "rw", "ug", "ar", "ru", "lk", "th", "ae", "uk", "au", "ca", "in", "jp",
-    "jo", "nz", "pk", "qa", "sa", "tw", "us", "lb", "fr", "de", "ke", "my", "sg", "hk", "om",
-    "it", "nl", "ch", "il", "bg", "br", "fi", "be", "gh", "tr", "es", "se", "ie", "pl", "cz",
-    "at", "pt", "no", "dk", "za", "ng", "mx", "cl", "kr", "id", "vn", "ph", "bd", "np", "cn",
-    "ua", "ro", "hu", "gr", "ma", "tn", "et", "tz", "cy", "bh", "kw", "lu",
+    "com", "net", "org", "io", "co", "info", "biz", "cloud", "app", "dev", "online", "site", "news",
+    "tv", "me", "ai", "im", "to", // US government
+    "gov", "mil", "edu", // ccTLDs (single-label)
+    "az", "dz", "eg", "rw", "ug", "ar", "ru", "lk", "th", "ae", "uk", "au", "ca", "in", "jp", "jo",
+    "nz", "pk", "qa", "sa", "tw", "us", "lb", "fr", "de", "ke", "my", "sg", "hk", "om", "it", "nl",
+    "ch", "il", "bg", "br", "fi", "be", "gh", "tr", "es", "se", "ie", "pl", "cz", "at", "pt", "no",
+    "dk", "za", "ng", "mx", "cl", "kr", "id", "vn", "ph", "bd", "np", "cn", "ua", "ro", "hu", "gr",
+    "ma", "tn", "et", "tz", "cy", "bh", "kw", "lu",
     // common second-level public suffixes in the study's countries
     "co.uk", "org.uk", "gov.uk", "ac.uk", "com.au", "net.au", "org.au", "gov.au", "edu.au",
     "com.ar", "gob.ar", "gov.ar", "org.ar", "com.eg", "gov.eg", "edu.eg", "org.eg", "com.az",
     "gov.az", "edu.az", "org.az", "com.dz", "gov.dz", "edu.dz", "co.rw", "gov.rw", "ac.rw",
-    "co.ug", "go.ug", "ac.ug", "or.ug", "com.ru", "gov.ru", "edu.ru", "com.lk", "gov.lk",
-    "edu.lk", "org.lk", "co.th", "go.th", "ac.th", "or.th", "in.th", "gov.ae",
-    "ac.ae", "co.ae", "com.pk", "gov.pk", "edu.pk", "org.pk", "com.qa", "gov.qa", "edu.qa",
-    "com.sa", "gov.sa", "edu.sa", "org.sa", "com.tw", "gov.tw", "edu.tw", "org.tw", "com.lb",
-    "gov.lb", "edu.lb", "org.lb", "com.jo", "gov.jo", "edu.jo", "org.jo", "co.in", "gov.in",
-    "nic.in", "ac.in", "org.in", "net.in", "co.jp", "go.jp", "ac.jp", "or.jp", "ne.jp",
-    "co.nz", "govt.nz", "ac.nz", "org.nz", "net.nz", "gc.ca", "on.ca", "qc.ca", "bc.ca",
-    "com.my", "gov.my", "edu.my", "com.sg", "gov.sg", "edu.sg", "com.hk", "gov.hk", "edu.hk",
-    "com.om", "gov.om", "co.ke", "go.ke", "ac.ke", "or.ke", "com.br", "gov.br", "org.br",
-    "co.za", "gov.za", "org.za", "com.ng", "gov.ng", "com.mx", "gob.mx", "gob.cl", "gov.cl",
-    "gov.co", "gov.tr", "com.tr", "edu.tr", "co.kr", "go.kr", "go.id", "co.id", "gov.vn",
-    "com.vn", "gov.ph", "com.ph", "gov.bd", "com.bd", "gov.np", "com.np", "gov.cn", "com.cn",
-    "gov.ua", "com.ua", "gov.ro", "gov.hu", "gov.gr", "gov.ma", "gov.tn", "gov.et", "go.tz",
-    "gov.cy", "gov.bh", "gov.kw", "gov.il", "co.il", "ac.il", "gov.it", "gov.pl", "gov.pt",
-    "gov.gh", "gov.ie",
+    "co.ug", "go.ug", "ac.ug", "or.ug", "com.ru", "gov.ru", "edu.ru", "com.lk", "gov.lk", "edu.lk",
+    "org.lk", "co.th", "go.th", "ac.th", "or.th", "in.th", "gov.ae", "ac.ae", "co.ae", "com.pk",
+    "gov.pk", "edu.pk", "org.pk", "com.qa", "gov.qa", "edu.qa", "com.sa", "gov.sa", "edu.sa",
+    "org.sa", "com.tw", "gov.tw", "edu.tw", "org.tw", "com.lb", "gov.lb", "edu.lb", "org.lb",
+    "com.jo", "gov.jo", "edu.jo", "org.jo", "co.in", "gov.in", "nic.in", "ac.in", "org.in",
+    "net.in", "co.jp", "go.jp", "ac.jp", "or.jp", "ne.jp", "co.nz", "govt.nz", "ac.nz", "org.nz",
+    "net.nz", "gc.ca", "on.ca", "qc.ca", "bc.ca", "com.my", "gov.my", "edu.my", "com.sg", "gov.sg",
+    "edu.sg", "com.hk", "gov.hk", "edu.hk", "com.om", "gov.om", "co.ke", "go.ke", "ac.ke", "or.ke",
+    "com.br", "gov.br", "org.br", "co.za", "gov.za", "org.za", "com.ng", "gov.ng", "com.mx",
+    "gob.mx", "gob.cl", "gov.cl", "gov.co", "gov.tr", "com.tr", "edu.tr", "co.kr", "go.kr",
+    "go.id", "co.id", "gov.vn", "com.vn", "gov.ph", "com.ph", "gov.bd", "com.bd", "gov.np",
+    "com.np", "gov.cn", "com.cn", "gov.ua", "com.ua", "gov.ro", "gov.hu", "gov.gr", "gov.ma",
+    "gov.tn", "gov.et", "go.tz", "gov.cy", "gov.bh", "gov.kw", "gov.il", "co.il", "ac.il",
+    "gov.it", "gov.pl", "gov.pt", "gov.gh", "gov.ie",
 ];
 
 /// Whether a name is, in its entirety, a public suffix.
@@ -57,7 +54,8 @@ pub fn registrable_domain(name: &DomainName) -> Option<DomainName> {
     let s = name.as_str();
     let mut best: Option<&str> = None;
     for suf in SUFFIXES {
-        let matches = s == *suf || (s.ends_with(suf) && s.as_bytes()[s.len() - suf.len() - 1] == b'.');
+        let matches =
+            s == *suf || (s.ends_with(suf) && s.as_bytes()[s.len() - suf.len() - 1] == b'.');
         if matches && best.map_or(true, |b| suf.len() > b.len()) {
             best = Some(suf);
         }
@@ -122,14 +120,23 @@ mod tests {
 
     #[test]
     fn etld_plus_one_generic() {
-        assert_eq!(registrable_domain(&d("www.a.b.example.com")), Some(d("example.com")));
-        assert_eq!(registrable_domain(&d("example.com")), Some(d("example.com")));
+        assert_eq!(
+            registrable_domain(&d("www.a.b.example.com")),
+            Some(d("example.com"))
+        );
+        assert_eq!(
+            registrable_domain(&d("example.com")),
+            Some(d("example.com"))
+        );
         assert_eq!(registrable_domain(&d("com")), None);
     }
 
     #[test]
     fn etld_plus_one_multilabel_suffix() {
-        assert_eq!(registrable_domain(&d("news.bbc.co.uk")), Some(d("bbc.co.uk")));
+        assert_eq!(
+            registrable_domain(&d("news.bbc.co.uk")),
+            Some(d("bbc.co.uk"))
+        );
         assert_eq!(registrable_domain(&d("co.uk")), None);
         assert_eq!(
             registrable_domain(&d("portal.salud.gob.ar")),

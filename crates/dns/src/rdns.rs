@@ -33,10 +33,20 @@ impl HostnameScheme {
     pub fn render(self, c: &CityInfo, org_domain: &str, index: u32) -> String {
         match self {
             HostnameScheme::IataCode => {
-                format!("edge-{}-{}.{}", c.iata.to_ascii_lowercase(), index, org_domain)
+                format!(
+                    "edge-{}-{}.{}",
+                    c.iata.to_ascii_lowercase(),
+                    index,
+                    org_domain
+                )
             }
             HostnameScheme::IataFused => {
-                format!("{}{:02}.{}", c.iata.to_ascii_lowercase(), index % 100, org_domain)
+                format!(
+                    "{}{:02}.{}",
+                    c.iata.to_ascii_lowercase(),
+                    index % 100,
+                    org_domain
+                )
             }
             HostnameScheme::CityName => {
                 let slug: String = c
@@ -70,7 +80,8 @@ pub fn geo_hint(hostname: &str) -> Option<&'static CityInfo> {
         }
         // IATA match: exactly three letters, or three letters + digits.
         let (alpha, digits): (String, String) = raw.chars().partition(|c| c.is_ascii_alphabetic());
-        if alpha.len() == 3 && (raw.len() == 3 || (!digits.is_empty() && raw.len() == 3 + digits.len()))
+        if alpha.len() == 3
+            && (raw.len() == 3 || (!digits.is_empty() && raw.len() == 3 + digits.len()))
         {
             if let Some(c) = city_by_iata(&alpha) {
                 return Some(c);

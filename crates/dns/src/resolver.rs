@@ -47,7 +47,11 @@ impl GeoResolver {
     }
 
     /// Registers (or extends) the replica set of a domain.
-    pub fn add_replicas(&mut self, domain: DomainName, replicas: impl IntoIterator<Item = Replica>) {
+    pub fn add_replicas(
+        &mut self,
+        domain: DomainName,
+        replicas: impl IntoIterator<Item = Replica>,
+    ) {
         self.zones.entry(domain).or_default().extend(replicas);
     }
 
@@ -79,7 +83,11 @@ impl GeoResolver {
     }
 
     /// Resolves a domain as seen by a client in `client_city`.
-    pub fn resolve(&self, domain: &DomainName, client_city: CityId) -> Option<(Replica, ResolutionTrace)> {
+    pub fn resolve(
+        &self,
+        domain: &DomainName,
+        client_city: CityId,
+    ) -> Option<(Replica, ResolutionTrace)> {
         let replicas = self.zones.get(domain)?;
         if replicas.is_empty() {
             return None;
@@ -144,7 +152,11 @@ mod tests {
         let mut r = GeoResolver::new();
         r.add_replicas(
             d("cdn.example.com"),
-            [replica("Frankfurt", 1), replica("Singapore", 2), replica("Ashburn", 3)],
+            [
+                replica("Frankfurt", 1),
+                replica("Singapore", 2),
+                replica("Ashburn", 3),
+            ],
         );
         let (rep, trace) = r
             .resolve(&d("cdn.example.com"), city_by_name("Bangkok").unwrap().id)
@@ -165,10 +177,18 @@ mod tests {
         let mut r = GeoResolver::new();
         r.add_replicas(
             d("ads.gtracker.com"),
-            [replica("Milan", 1), replica("Paris", 2), replica("Frankfurt", 3)],
+            [
+                replica("Milan", 1),
+                replica("Paris", 2),
+                replica("Frankfurt", 3),
+            ],
         );
         let eg = CountryCode::new("EG");
-        r.steer(d("ads.gtracker.com"), eg, city_by_name("Frankfurt").unwrap().id);
+        r.steer(
+            d("ads.gtracker.com"),
+            eg,
+            city_by_name("Frankfurt").unwrap().id,
+        );
         let (rep, trace) = r
             .resolve(&d("ads.gtracker.com"), city_by_name("Cairo").unwrap().id)
             .unwrap();
@@ -180,7 +200,11 @@ mod tests {
     fn steering_to_missing_replica_falls_back_to_nearest() {
         let mut r = GeoResolver::new();
         r.add_replicas(d("x.com"), [replica("Paris", 1), replica("Tokyo", 2)]);
-        r.steer(d("x.com"), CountryCode::new("EG"), city_by_name("Sydney").unwrap().id);
+        r.steer(
+            d("x.com"),
+            CountryCode::new("EG"),
+            city_by_name("Sydney").unwrap().id,
+        );
         let (rep, trace) = r
             .resolve(&d("x.com"), city_by_name("Cairo").unwrap().id)
             .unwrap();

@@ -223,7 +223,11 @@ mod tests {
     #[test]
     fn every_city_belongs_to_a_cataloged_country() {
         for c in cities() {
-            assert!(country(c.country).is_some(), "{} has unknown country", c.name);
+            assert!(
+                country(c.country).is_some(),
+                "{} has unknown country",
+                c.name
+            );
         }
     }
 

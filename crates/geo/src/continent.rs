@@ -67,11 +67,19 @@ mod tests {
 
     #[test]
     fn ordering_is_stable() {
-        let mut v = vec![Continent::SouthAmerica, Continent::Africa, Continent::Europe];
+        let mut v = vec![
+            Continent::SouthAmerica,
+            Continent::Africa,
+            Continent::Europe,
+        ];
         v.sort();
         assert_eq!(
             v,
-            vec![Continent::Africa, Continent::Europe, Continent::SouthAmerica]
+            vec![
+                Continent::Africa,
+                Continent::Europe,
+                Continent::SouthAmerica
+            ]
         );
     }
 }

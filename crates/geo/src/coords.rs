@@ -17,8 +17,14 @@ pub struct GeoPoint {
 impl GeoPoint {
     /// Builds a point, debug-asserting the coordinate ranges.
     pub fn new(lat: f64, lon: f64) -> Self {
-        debug_assert!((-90.0..=90.0).contains(&lat), "latitude out of range: {lat}");
-        debug_assert!((-180.0..=180.0).contains(&lon), "longitude out of range: {lon}");
+        debug_assert!(
+            (-90.0..=90.0).contains(&lat),
+            "latitude out of range: {lat}"
+        );
+        debug_assert!(
+            (-180.0..=180.0).contains(&lon),
+            "longitude out of range: {lon}"
+        );
         GeoPoint { lat, lon }
     }
 

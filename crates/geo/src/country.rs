@@ -34,7 +34,10 @@ impl CountryCode {
         if b.len() != 2 || !b[0].is_ascii_alphabetic() || !b[1].is_ascii_alphabetic() {
             return None;
         }
-        Some(CountryCode([b[0].to_ascii_uppercase(), b[1].to_ascii_uppercase()]))
+        Some(CountryCode([
+            b[0].to_ascii_uppercase(),
+            b[1].to_ascii_uppercase(),
+        ]))
     }
 }
 
@@ -95,7 +98,15 @@ country_table![
     ("RU", "Russia", Europe, false, 55.75, 37.62, 3000.0),
     ("LK", "Sri Lanka", Asia, true, 6.93, 79.85, 200.0),
     ("TH", "Thailand", Asia, true, 13.75, 100.5, 700.0),
-    ("AE", "United Arab Emirates", Asia, true, 24.45, 54.38, 250.0),
+    (
+        "AE",
+        "United Arab Emirates",
+        Asia,
+        true,
+        24.45,
+        54.38,
+        250.0
+    ),
     ("GB", "United Kingdom", Europe, false, 51.5, -0.12, 500.0),
     ("AU", "Australia", Oceania, false, -33.87, 151.2, 2000.0),
     ("CA", "Canada", NorthAmerica, false, 43.65, -79.38, 2500.0),
@@ -107,7 +118,15 @@ country_table![
     ("QA", "Qatar", Asia, true, 25.28, 51.53, 100.0),
     ("SA", "Saudi Arabia", Asia, true, 24.71, 46.68, 900.0),
     ("TW", "Taiwan", Asia, false, 25.03, 121.56, 200.0),
-    ("US", "United States", NorthAmerica, false, 39.0, -77.5, 2500.0),
+    (
+        "US",
+        "United States",
+        NorthAmerica,
+        false,
+        39.0,
+        -77.5,
+        2500.0
+    ),
     ("LB", "Lebanon", Asia, true, 33.89, 35.5, 100.0),
     // --- principal destination / hosting countries of the evaluation ---
     ("FR", "France", Europe, false, 48.86, 2.35, 500.0),
@@ -247,7 +266,10 @@ mod tests {
 
     #[test]
     fn lookup_by_name_is_case_insensitive() {
-        assert_eq!(country_by_name("kenya").unwrap().code, CountryCode::new("KE"));
+        assert_eq!(
+            country_by_name("kenya").unwrap().code,
+            CountryCode::new("KE")
+        );
         assert_eq!(
             country_by_name("NEW ZEALAND").unwrap().code,
             CountryCode::new("NZ")

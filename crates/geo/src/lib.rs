@@ -11,14 +11,16 @@
 //! hosting, volunteer vantage points, and the documented IPmap mislocation
 //! incidents (Al Fujairah, Amsterdam, Zurich, Frankfurt).
 
+pub mod city;
 pub mod continent;
 pub mod coords;
 pub mod country;
-pub mod city;
 pub mod sol;
 
+pub use city::{
+    cities, cities_in, city, city_by_iata, city_by_name, nearest_city, CityId, CityInfo,
+};
 pub use continent::Continent;
 pub use coords::{haversine_km, GeoPoint};
-pub use country::{country, country_by_name, countries, CountryCode, CountryInfo};
-pub use city::{cities, cities_in, city, city_by_iata, city_by_name, nearest_city, CityId, CityInfo};
+pub use country::{countries, country, country_by_name, CountryCode, CountryInfo};
 pub use sol::{implied_speed_km_per_ms, min_rtt_ms, violates_sol, SOL_KM_PER_MS};

@@ -34,7 +34,9 @@ pub enum DiscardReason {
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum ConstraintOutcome {
     /// Passed; carries the cleaned latency used for the decision.
-    Pass { cleaned_latency_ms: f64 },
+    Pass {
+        cleaned_latency_ms: f64,
+    },
     Discard(DiscardReason),
 }
 
@@ -181,9 +183,15 @@ mod tests {
     #[test]
     fn latency_cleaning_follows_the_paper() {
         // first < last: subtract.
-        assert_eq!(clean_latency_ms(&trace(Some(5.0), Some(45.0), true)), Some(40.0));
+        assert_eq!(
+            clean_latency_ms(&trace(Some(5.0), Some(45.0), true)),
+            Some(40.0)
+        );
         // first >= last (rare but happens with jitter): keep last.
-        assert_eq!(clean_latency_ms(&trace(Some(50.0), Some(45.0), true)), Some(45.0));
+        assert_eq!(
+            clean_latency_ms(&trace(Some(50.0), Some(45.0), true)),
+            Some(45.0)
+        );
         // no first hop: keep last.
         assert_eq!(clean_latency_ms(&trace(None, Some(45.0), true)), Some(45.0));
     }
@@ -205,7 +213,10 @@ mod tests {
         let stats = LatencyStats::default();
         let t = trace(Some(1.0), Some(6.0), true);
         let out = evaluate_source(&t, id("Lahore"), id("Frankfurt"), &stats, 0.8, true);
-        assert_eq!(out, ConstraintOutcome::Discard(DiscardReason::SourceSolViolation));
+        assert_eq!(
+            out,
+            ConstraintOutcome::Discard(DiscardReason::SourceSolViolation)
+        );
     }
 
     #[test]
@@ -215,7 +226,10 @@ mod tests {
         let stats = LatencyStats::default();
         let t = trace(Some(1.0), Some(53.0), true);
         let out = evaluate_source(&t, id("Lahore"), id("Frankfurt"), &stats, 0.8, true);
-        assert_eq!(out, ConstraintOutcome::Discard(DiscardReason::SourceTooFast));
+        assert_eq!(
+            out,
+            ConstraintOutcome::Discard(DiscardReason::SourceTooFast)
+        );
         // With the rule disabled (floor 0) the same measurement survives.
         let out = evaluate_source(&t, id("Lahore"), id("Frankfurt"), &stats, 0.0, true);
         assert!(out.passed());
@@ -226,7 +240,10 @@ mod tests {
         let stats = LatencyStats::default();
         let t = trace(Some(5.0), None, false);
         let out = evaluate_source(&t, id("Lahore"), id("Frankfurt"), &stats, 0.8, true);
-        assert_eq!(out, ConstraintOutcome::Discard(DiscardReason::SourceUnreached));
+        assert_eq!(
+            out,
+            ConstraintOutcome::Discard(DiscardReason::SourceUnreached)
+        );
     }
 
     #[test]
@@ -244,7 +261,10 @@ mod tests {
         // budget — this is the paper's Pakistan/Google incident.
         let t = trace(Some(2.0), Some(62.0), true);
         let out = evaluate_destination(&t, id("Al Fujairah"), id("Al Fujairah"));
-        assert_eq!(out, ConstraintOutcome::Discard(DiscardReason::DestInconsistent));
+        assert_eq!(
+            out,
+            ConstraintOutcome::Discard(DiscardReason::DestInconsistent)
+        );
     }
 
     #[test]
@@ -269,7 +289,10 @@ mod tests {
         // Claimed Frankfurt, rDNS agrees -> retain.
         assert_eq!(evaluate_rdns(Some(fra), id("Frankfurt")), Ok(()));
         // Hint-free or absent rDNS -> retain.
-        assert_eq!(evaluate_rdns(Some("r-1-9.core.net"), id("Frankfurt")), Ok(()));
+        assert_eq!(
+            evaluate_rdns(Some("r-1-9.core.net"), id("Frankfurt")),
+            Ok(())
+        );
         assert_eq!(evaluate_rdns(None, id("Frankfurt")), Ok(()));
     }
 
@@ -277,6 +300,9 @@ mod tests {
     fn rdns_same_country_different_city_is_retained() {
         // Zurich hint on a Zurich claim, but also Munich hint on a
         // Frankfurt claim: same country → no contradiction.
-        assert_eq!(evaluate_rdns(Some("muc02.cdn.net"), id("Frankfurt")), Ok(()));
+        assert_eq!(
+            evaluate_rdns(Some("muc02.cdn.net"), id("Frankfurt")),
+            Ok(())
+        );
     }
 }

@@ -111,9 +111,13 @@ pub fn compare_vendors(world: &World, seed: u64) -> Vec<DbAccuracy> {
         let mut country_ok = 0usize;
         for alloc in world.ip_registry.iter() {
             for host in [1u64, 77, 150] {
-                let Some(addr) = alloc.net.nth(host) else { continue };
+                let Some(addr) = alloc.net.nth(host) else {
+                    continue;
+                };
                 total += 1;
-                let Some(claimed) = db.claimed_city(addr) else { continue };
+                let Some(claimed) = db.claimed_city(addr) else {
+                    continue;
+                };
                 mapped += 1;
                 if claimed == alloc.city {
                     city_ok += 1;
@@ -175,11 +179,7 @@ mod tests {
     #[test]
     fn country_accuracy_exceeds_city_accuracy() {
         for acc in compare_vendors(world(), 91) {
-            assert!(
-                acc.country_accuracy >= acc.city_accuracy,
-                "{:?}",
-                acc
-            );
+            assert!(acc.country_accuracy >= acc.city_accuracy, "{:?}", acc);
         }
     }
 

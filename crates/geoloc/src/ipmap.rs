@@ -107,7 +107,9 @@ impl GeoDatabase {
 
         for alloc in world.ip_registry.iter() {
             for host in 1..255u64 {
-                let Some(addr) = alloc.net.nth(host) else { break };
+                let Some(addr) = alloc.net.nth(host) else {
+                    break;
+                };
                 // Only map addresses that actually exist (the registry
                 // allocates /24s; hosts are assigned from 1 upward, so
                 // sampling every host over-approximates harmlessly for
@@ -118,8 +120,9 @@ impl GeoDatabase {
                     continue;
                 } else if u < spec.unmapped_rate + spec.far_mislocation_rate {
                     far_city(truth, &mut rng)
-                } else if u
-                    < spec.unmapped_rate + spec.far_mislocation_rate + spec.nearby_confusion_rate
+                } else if u < spec.unmapped_rate
+                    + spec.far_mislocation_rate
+                    + spec.nearby_confusion_rate
                 {
                     nearby_foreign_city(truth, &mut rng)
                 } else {
@@ -128,10 +131,7 @@ impl GeoDatabase {
                 // Border-proximity confusion, applied to PTR-hinted hosts.
                 let claimed = if claimed == truth
                     && rng.gen::<f64>() < spec.hinted_confusion_rate
-                    && world
-                        .rdns_of(addr)
-                        .and_then(gamma_dns::geo_hint)
-                        .is_some()
+                    && world.rdns_of(addr).and_then(gamma_dns::geo_hint).is_some()
                 {
                     near_border_city(truth, &mut rng).unwrap_or(truth)
                 } else {
@@ -168,7 +168,10 @@ impl GeoDatabase {
             }
         }
 
-        GeoDatabase { claims, spec: *spec }
+        GeoDatabase {
+            claims,
+            spec: *spec,
+        }
     }
 
     /// The database's claimed city for an address.
@@ -284,7 +287,10 @@ mod tests {
         let wrong_rate = wrong as f64 / total as f64;
         let missing_rate = missing as f64 / total as f64;
         assert!((0.12..0.26).contains(&wrong_rate), "wrong {wrong_rate}");
-        assert!((0.02..0.09).contains(&missing_rate), "missing {missing_rate}");
+        assert!(
+            (0.02..0.09).contains(&missing_rate),
+            "missing {missing_rate}"
+        );
     }
 
     #[test]
@@ -339,7 +345,9 @@ mod tests {
         for alloc in w.ip_registry.iter() {
             for h in [1u64, 2, 3] {
                 let addr = alloc.net.nth(h).unwrap();
-                let Some(claimed) = db.claimed_city(addr) else { continue };
+                let Some(claimed) = db.claimed_city(addr) else {
+                    continue;
+                };
                 let hinted = w.rdns_of(addr).and_then(gamma_dns::geo_hint).is_some();
                 if claimed != alloc.city {
                     if hinted {

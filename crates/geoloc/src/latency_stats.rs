@@ -55,7 +55,8 @@ impl LatencyStats {
         let ca = city(a);
         let cb = city(b);
         let d = ca.distance_km(cb);
-        let rtt = 2.0 * d * self.circuity / gamma_netsim::latency::FIBER_KM_PER_MS + self.overhead_ms;
+        let rtt =
+            2.0 * d * self.circuity / gamma_netsim::latency::FIBER_KM_PER_MS + self.overhead_ms;
         let source = if VERIZON_MARKETS.contains(&ca.iata) && VERIZON_MARKETS.contains(&cb.iata) {
             StatsSource::Verizon
         } else {
@@ -114,9 +115,15 @@ mod tests {
         // The published statistics always include real-world overhead, so
         // they sit above the 133 km/ms bound's minimum.
         let stats = LatencyStats::default();
-        for (a, b) in [("London", "Sydney"), ("Cairo", "Frankfurt"), ("Doha", "Paris")] {
+        for (a, b) in [
+            ("London", "Sydney"),
+            ("Cairo", "Frankfurt"),
+            ("Doha", "Paris"),
+        ] {
             let (rtt, _) = stats.expected_rtt_ms(id(a), id(b));
-            let d = city_by_name(a).unwrap().distance_km(city_by_name(b).unwrap());
+            let d = city_by_name(a)
+                .unwrap()
+                .distance_km(city_by_name(b).unwrap());
             assert!(rtt > gamma_geo::min_rtt_ms(d), "{a}-{b}");
         }
     }

@@ -189,9 +189,11 @@ impl<'w> GeolocPipeline<'w> {
 
         // Fallback probe near the volunteer, for vantages with no usable
         // traceroutes (firewalled or opted out) — §4.1.1.
-        let fallback_probe = self
-            .atlas
-            .select_probe(volunteer_country, Some(volunteer_city), Some(ds.volunteer.asn));
+        let fallback_probe = self.atlas.select_probe(
+            volunteer_country,
+            Some(volunteer_city),
+            Some(ds.volunteer.asn),
+        );
 
         let mut funnel = FunnelStats {
             observations: ds.dns.len(),
@@ -330,7 +332,10 @@ impl<'w> GeolocPipeline<'w> {
         // --- destination-based constraint (§4.1.2) ---
         if self.options.enable_destination_constraint {
             let claimed_country = city(claimed).country;
-            let Some(sel) = self.atlas.select_probe(claimed_country, Some(claimed), None) else {
+            let Some(sel) = self
+                .atlas
+                .select_probe(claimed_country, Some(claimed), None)
+            else {
                 return Classification::Discarded {
                     reason: DiscardReason::DestNoProbe,
                     claimed: Some(claimed),
@@ -435,7 +440,11 @@ mod tests {
         let world = worldgen::generate(&WorldSpec::paper_default(71));
         let geodb = GeoDatabase::build(&world, &ErrorSpec::default(), 71);
         let atlas = AtlasPlatform::generate(71);
-        Fixture { world, geodb, atlas }
+        Fixture {
+            world,
+            geodb,
+            atlas,
+        }
     }
 
     fn dataset(f: &Fixture, cc: &str, idx: usize) -> VolunteerDataset {
@@ -450,7 +459,11 @@ mod tests {
         let pipeline = GeolocPipeline::new(&f.world, &f.geodb, &f.atlas);
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         let report = pipeline.classify_dataset(&ds, &mut rng);
-        assert!(report.funnel.nonlocal_candidates > 30, "{:?}", report.funnel);
+        assert!(
+            report.funnel.nonlocal_candidates > 30,
+            "{:?}",
+            report.funnel
+        );
         assert!(
             report.funnel.after_rdns_constraint > 10,
             "{:?}",
@@ -472,7 +485,10 @@ mod tests {
         let pipeline = GeolocPipeline::new(&f.world, &f.geodb, &f.atlas);
         let mut rng = ChaCha8Rng::seed_from_u64(2);
         let report = pipeline.classify_dataset(&ds, &mut rng);
-        assert!(report.funnel.nonlocal_candidates > 0, "errors should create candidates");
+        assert!(
+            report.funnel.nonlocal_candidates > 0,
+            "errors should create candidates"
+        );
         let confirmed_unique: std::collections::HashSet<_> =
             report.confirmed().map(|v| v.ip).collect();
         let false_foreign = confirmed_unique
@@ -511,7 +527,10 @@ mod tests {
             assert!(fu.nonlocal_candidates <= fu.unique_ips);
             assert!(fu.after_sol_constraints <= fu.nonlocal_candidates, "{cc}");
             assert!(fu.after_rdns_constraint <= fu.after_sol_constraints, "{cc}");
-            assert!(fu.local + fu.nonlocal_candidates + fu.unmapped == fu.unique_ips, "{cc}");
+            assert!(
+                fu.local + fu.nonlocal_candidates + fu.unmapped == fu.unique_ips,
+                "{cc}"
+            );
         }
     }
 
@@ -562,6 +581,10 @@ mod tests {
         let pipeline = GeolocPipeline::new(&f.world, &f.geodb, &f.atlas);
         let mut rng = ChaCha8Rng::seed_from_u64(6);
         let report = pipeline.classify_dataset(&ds, &mut rng);
-        assert!(report.funnel.local * 2 > report.funnel.unique_ips, "{:?}", report.funnel);
+        assert!(
+            report.funnel.local * 2 > report.funnel.unique_ips,
+            "{:?}",
+            report.funnel
+        );
     }
 }

@@ -71,7 +71,10 @@ impl AsRegistry {
             if self.entries[i] == info {
                 return Ok(());
             }
-            return Err(format!("{} already registered with different metadata", info.asn));
+            return Err(format!(
+                "{} already registered with different metadata",
+                info.asn
+            ));
         }
         self.index.insert(info.asn, self.entries.len());
         self.entries.push(info);

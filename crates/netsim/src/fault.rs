@@ -55,7 +55,10 @@ impl FaultConfig {
     pub fn validate(&self) -> Result<(), String> {
         for (name, p) in [
             ("hop_silence_rate", self.hop_silence_rate),
-            ("destination_unreachable_rate", self.destination_unreachable_rate),
+            (
+                "destination_unreachable_rate",
+                self.destination_unreachable_rate,
+            ),
         ] {
             if !(0.0..=1.0).contains(&p) || !p.is_finite() {
                 return Err(format!("{name} = {p} is not a probability"));

@@ -38,8 +38,14 @@ mod tests {
         let route = synthesize_route(a, b);
         let mut rng = ChaCha8Rng::seed_from_u64(3);
         for _ in 0..100 {
-            let rtt = ping_rtt_ms(&route, &LatencyModel::default(), AccessQuality::Good, 0.0, &mut rng)
-                .unwrap();
+            let rtt = ping_rtt_ms(
+                &route,
+                &LatencyModel::default(),
+                AccessQuality::Good,
+                0.0,
+                &mut rng,
+            )
+            .unwrap();
             assert!(!violates_sol(a.distance_km(b), rtt));
         }
     }
@@ -50,7 +56,13 @@ mod tests {
         let b = city_by_name("Amsterdam").unwrap();
         let route = synthesize_route(a, b);
         let mut rng = ChaCha8Rng::seed_from_u64(3);
-        assert!(ping_rtt_ms(&route, &LatencyModel::default(), AccessQuality::Good, 1.0, &mut rng)
-            .is_none());
+        assert!(ping_rtt_ms(
+            &route,
+            &LatencyModel::default(),
+            AccessQuality::Good,
+            1.0,
+            &mut rng
+        )
+        .is_none());
     }
 }

@@ -61,7 +61,9 @@ pub fn synthesize_route(src: &CityInfo, dst: &CityInfo) -> Route {
         // Snapping can pull far-off-path cities in sparse regions; only keep
         // waypoints that do not inflate the path absurdly.
         let detour = c.distance_km(src) + c.distance_km(dst);
-        if detour < geodesic * 1.6 && *waypoints.last().expect("non-empty") != c.id && c.id != dst.id
+        if detour < geodesic * 1.6
+            && *waypoints.last().expect("non-empty") != c.id
+            && c.id != dst.id
         {
             waypoints.push(c.id);
         }

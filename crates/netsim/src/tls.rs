@@ -85,7 +85,12 @@ impl TlsPosture {
     pub fn grade(&self) -> char {
         let has13 = self.versions.contains(&TlsVersion::Tls13);
         let has_deprecated = self.versions.iter().any(|v| v.deprecated());
-        match (has13, self.forward_secrecy, has_deprecated, self.legacy_ciphers) {
+        match (
+            has13,
+            self.forward_secrecy,
+            has_deprecated,
+            self.legacy_ciphers,
+        ) {
             (true, true, false, false) => 'A',
             (_, true, false, _) => 'B',
             (_, _, true, false) => 'C',
@@ -147,7 +152,10 @@ mod tests {
             forward_secrecy: true,
             legacy_ciphers: false,
         };
-        assert!(mixed.grade() < 'A' || mixed.grade() > 'A', "never A with TLS 1.0");
+        assert!(
+            mixed.grade() < 'A' || mixed.grade() > 'A',
+            "never A with TLS 1.0"
+        );
         assert_ne!(mixed.grade(), 'A');
     }
 

@@ -268,7 +268,9 @@ mod tests {
         assert_eq!(t.outcome, TracerouteOutcome::Completed);
         let interior = &t.hops[1..t.hops.len() - 1];
         assert!(!interior.is_empty());
-        assert!(interior.iter().all(|h| h.addr.is_none() && h.rtt_ms.is_none()));
+        assert!(interior
+            .iter()
+            .all(|h| h.addr.is_none() && h.rtt_ms.is_none()));
         // first_hop_rtt falls back to the gateway.
         assert_eq!(t.first_hop_rtt_ms(), t.hops[0].rtt_ms);
     }

@@ -169,10 +169,7 @@ mod tests {
         let a = Annotator::new(w);
         let city = gamma_geo::city_by_name("Frankfurt").unwrap().id;
         let ann = a.annotate(w.router_ip_of(city)).unwrap();
-        assert_eq!(
-            w.as_registry.get(ann.asn).unwrap().kind,
-            AsKind::Transit
-        );
+        assert_eq!(w.as_registry.get(ann.asn).unwrap().kind, AsKind::Transit);
         assert_eq!(ann.city, "Frankfurt");
     }
 }

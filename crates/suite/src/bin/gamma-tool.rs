@@ -78,7 +78,9 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         "targets" => {
-            let Some(country) = args.country else { return usage() };
+            let Some(country) = args.country else {
+                return usage();
+            };
             eprintln!("generating world (seed {})...", args.seed);
             let world = worldgen::generate(&spec);
             let Some(targets) = world.targets.get(&country) else {
@@ -96,7 +98,9 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         "run" => {
-            let Some(country) = args.country else { return usage() };
+            let Some(country) = args.country else {
+                return usage();
+            };
             eprintln!("generating world (seed {})...", args.seed);
             let world = worldgen::generate(&spec);
             let index = spec

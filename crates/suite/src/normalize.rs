@@ -121,7 +121,9 @@ impl std::error::Error for ParseError {}
 /// Parses Linux `traceroute` output into the unified schema.
 pub fn parse_linux(text: &str) -> Result<NormalizedTraceroute, ParseError> {
     let mut lines = text.lines();
-    let header = lines.next().ok_or_else(|| ParseError("empty output".into()))?;
+    let header = lines
+        .next()
+        .ok_or_else(|| ParseError("empty output".into()))?;
     let dst = header
         .split_whitespace()
         .nth(2)
@@ -138,9 +140,15 @@ pub fn parse_linux(text: &str) -> Result<NormalizedTraceroute, ParseError> {
             .next()
             .and_then(|w| w.parse().ok())
             .ok_or_else(|| ParseError(format!("bad hop line: {line}")))?;
-        let second = it.next().ok_or_else(|| ParseError(format!("truncated hop: {line}")))?;
+        let second = it
+            .next()
+            .ok_or_else(|| ParseError(format!("truncated hop: {line}")))?;
         if second == "*" {
-            hops.push(NormHop { ttl, ip: None, rtt_ms: None });
+            hops.push(NormHop {
+                ttl,
+                ip: None,
+                rtt_ms: None,
+            });
             continue;
         }
         let ip: Ipv4Addr = second
@@ -152,7 +160,11 @@ pub fn parse_linux(text: &str) -> Result<NormalizedTraceroute, ParseError> {
             .next()
             .and_then(|w| w.parse().ok())
             .ok_or_else(|| ParseError(format!("no rtt on: {line}")))?;
-        hops.push(NormHop { ttl, ip: Some(ip), rtt_ms: Some(rtt) });
+        hops.push(NormHop {
+            ttl,
+            ip: Some(ip),
+            rtt_ms: Some(rtt),
+        });
     }
     let reached = hops.last().map_or(false, |h| h.ip == Some(dst));
     Ok(NormalizedTraceroute { dst, reached, hops })
@@ -180,7 +192,11 @@ pub fn parse_windows(text: &str) -> Result<NormalizedTraceroute, ParseError> {
             None => continue, // tolerate banner noise
         };
         if trimmed.contains("Request timed out") {
-            hops.push(NormHop { ttl, ip: None, rtt_ms: None });
+            hops.push(NormHop {
+                ttl,
+                ip: None,
+                rtt_ms: None,
+            });
             continue;
         }
         // Three latency cells then the address; cells are "<1 ms" or "N ms".
@@ -242,14 +258,34 @@ mod tests {
 
     fn sample_result(unreached: bool) -> TracerouteResult {
         let mut hops = vec![
-            Hop { ttl: 1, addr: Some(Ipv4Addr::new(192, 168, 1, 1)), rtt_ms: Some(2.41) },
-            Hop { ttl: 2, addr: None, rtt_ms: None },
-            Hop { ttl: 3, addr: Some(Ipv4Addr::new(20, 0, 7, 1)), rtt_ms: Some(18.73) },
+            Hop {
+                ttl: 1,
+                addr: Some(Ipv4Addr::new(192, 168, 1, 1)),
+                rtt_ms: Some(2.41),
+            },
+            Hop {
+                ttl: 2,
+                addr: None,
+                rtt_ms: None,
+            },
+            Hop {
+                ttl: 3,
+                addr: Some(Ipv4Addr::new(20, 0, 7, 1)),
+                rtt_ms: Some(18.73),
+            },
         ];
         if unreached {
-            hops.push(Hop { ttl: 4, addr: None, rtt_ms: None });
+            hops.push(Hop {
+                ttl: 4,
+                addr: None,
+                rtt_ms: None,
+            });
         } else {
-            hops.push(Hop { ttl: 4, addr: Some(Ipv4Addr::new(20, 9, 1, 5)), rtt_ms: Some(42.2) });
+            hops.push(Hop {
+                ttl: 4,
+                addr: Some(Ipv4Addr::new(20, 9, 1, 5)),
+                rtt_ms: Some(42.2),
+            });
         }
         TracerouteResult {
             dst: Ipv4Addr::new(20, 9, 1, 5),
@@ -311,7 +347,10 @@ mod tests {
         let t = sample_result(true);
         assert!(!parse_linux(&render_linux(&t)).unwrap().reached);
         assert!(!parse_windows(&render_windows(&t)).unwrap().reached);
-        assert!(parse_linux(&render_linux(&t)).unwrap().destination_rtt_ms().is_none());
+        assert!(parse_linux(&render_linux(&t))
+            .unwrap()
+            .destination_rtt_ms()
+            .is_none());
     }
 
     #[test]
@@ -342,9 +381,21 @@ mod tests {
         let t = TracerouteResult {
             dst: Ipv4Addr::new(20, 0, 0, 9),
             hops: vec![
-                Hop { ttl: 1, addr: None, rtt_ms: None },
-                Hop { ttl: 2, addr: Some(Ipv4Addr::new(20, 0, 0, 1)), rtt_ms: Some(7.0) },
-                Hop { ttl: 3, addr: Some(Ipv4Addr::new(20, 0, 0, 9)), rtt_ms: Some(20.0) },
+                Hop {
+                    ttl: 1,
+                    addr: None,
+                    rtt_ms: None,
+                },
+                Hop {
+                    ttl: 2,
+                    addr: Some(Ipv4Addr::new(20, 0, 0, 1)),
+                    rtt_ms: Some(7.0),
+                },
+                Hop {
+                    ttl: 3,
+                    addr: Some(Ipv4Addr::new(20, 0, 0, 9)),
+                    rtt_ms: Some(20.0),
+                },
             ],
             outcome: TracerouteOutcome::Completed,
         };

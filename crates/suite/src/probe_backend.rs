@@ -76,7 +76,10 @@ mod tests {
 
     #[test]
     fn linux_uses_scapy_for_traceroute_and_ping() {
-        assert_eq!(select_backend(Os::Linux, ProbeKind::Traceroute), Backend::Scapy);
+        assert_eq!(
+            select_backend(Os::Linux, ProbeKind::Traceroute),
+            Backend::Scapy
+        );
         assert_eq!(select_backend(Os::Linux, ProbeKind::Ping), Backend::Scapy);
         assert_eq!(command_line(Os::Linux, ProbeKind::Traceroute, TARGET), None);
     }
@@ -96,13 +99,20 @@ mod tests {
 
     #[test]
     fn macos_behaves_like_linux() {
-        assert_eq!(select_backend(Os::MacOs, ProbeKind::Traceroute), Backend::Scapy);
+        assert_eq!(
+            select_backend(Os::MacOs, ProbeKind::Traceroute),
+            Backend::Scapy
+        );
     }
 
     #[test]
     fn tls_scanning_always_shells_out_to_nmap() {
         for os in [Os::Linux, Os::Windows, Os::MacOs] {
-            assert_eq!(select_backend(os, ProbeKind::TlsScan), Backend::OsCommand, "{os:?}");
+            assert_eq!(
+                select_backend(os, ProbeKind::TlsScan),
+                Backend::OsCommand,
+                "{os:?}"
+            );
         }
         let cmd = command_line(Os::Linux, ProbeKind::TlsScan, TARGET).unwrap();
         assert!(cmd.contains("nmap"), "{cmd}");

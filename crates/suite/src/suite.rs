@@ -22,7 +22,11 @@ use std::collections::HashSet;
 use std::net::Ipv4Addr;
 
 /// Runs Gamma for one volunteer over their country's target list.
-pub fn run_volunteer(world: &World, volunteer: &Volunteer, config: &GammaConfig) -> VolunteerDataset {
+pub fn run_volunteer(
+    world: &World,
+    volunteer: &Volunteer,
+    config: &GammaConfig,
+) -> VolunteerDataset {
     run_volunteer_from(world, volunteer, config, 0)
 }
 
@@ -44,8 +48,8 @@ pub fn run_volunteer_from(
         config.seed ^ u64::from(volunteer.country.0[0]) << 16 ^ u64::from(volunteer.country.0[1]),
     );
 
-    let targets = build_targets(world, volunteer.country, &mut rng)
-        .expect("volunteer country has targets");
+    let targets =
+        build_targets(world, volunteer.country, &mut rng).expect("volunteer country has targets");
     let mut dataset = VolunteerDataset {
         volunteer: VolunteerMeta::from(volunteer),
         loads: Vec::new(),
@@ -56,8 +60,7 @@ pub fn run_volunteer_from(
             .iter()
             .map(|s| world.site(*s).domain.clone())
             .collect(),
-        probes_enabled: config.launch_probes
-            && volunteer.traceroute_mode != TracerouteMode::OptOut,
+        probes_enabled: config.launch_probes && volunteer.traceroute_mode != TracerouteMode::OptOut,
     };
 
     let model = LatencyModel::default();
@@ -82,8 +85,8 @@ pub fn run_volunteer_from(
         }
         // --- C2: network information gathering ---
         for request in requests {
-            let replica = dns_cache
-                .resolve_with(&request, || world.resolve_fuzzy(&request, volunteer.city));
+            let replica =
+                dns_cache.resolve_with(&request, || world.resolve_fuzzy(&request, volunteer.city));
             let ip = replica.map(|r| r.addr);
             dataset.dns.push(DnsObservation {
                 site: site.domain.clone(),
@@ -215,7 +218,11 @@ mod tests {
         assert!(ds.probes_enabled);
         assert!(!ds.traceroutes.is_empty());
         for t in &ds.traceroutes {
-            assert!(!t.normalized.reached, "firewalled probe reached {}", t.target_ip);
+            assert!(
+                !t.normalized.reached,
+                "firewalled probe reached {}",
+                t.target_ip
+            );
             assert!(t.normalized.hops.is_empty());
         }
     }
@@ -236,7 +243,11 @@ mod tests {
         let v = Volunteer::for_country(&w, CountryCode::new("TH"), 0).unwrap();
         assert_eq!(v.os, Os::Windows);
         let ds = run_volunteer(&w, &v, &GammaConfig::paper_default(1));
-        let reached = ds.traceroutes.iter().find(|t| t.normalized.reached).unwrap();
+        let reached = ds
+            .traceroutes
+            .iter()
+            .find(|t| t.normalized.reached)
+            .unwrap();
         assert!(reached.raw_text.contains("Tracing route to"));
         assert!(reached.raw_text.contains("Trace complete."));
     }

@@ -99,7 +99,11 @@ mod tests {
         assert_eq!(roster.len(), 23);
         let mut seen = std::collections::HashSet::new();
         for v in &roster {
-            assert!(seen.insert(v.country), "duplicate volunteer for {}", v.country);
+            assert!(
+                seen.insert(v.country),
+                "duplicate volunteer for {}",
+                v.country
+            );
             assert_eq!(gamma_geo::city(v.city).country, v.country);
         }
     }

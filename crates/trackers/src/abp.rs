@@ -118,10 +118,11 @@ impl Rule {
             // mangling URLs containing `$`).
             let (head, opts) = body.split_at(dollar);
             let opts = &opts[1..];
-            if opts
-                .split(',')
-                .all(|o| !o.is_empty() && o.chars().all(|c| c.is_ascii_alphanumeric() || "~-=|._".contains(c)))
-            {
+            if opts.split(',').all(|o| {
+                !o.is_empty()
+                    && o.chars()
+                        .all(|c| c.is_ascii_alphanumeric() || "~-=|._".contains(c))
+            }) {
                 for opt in opts.split(',') {
                     match opt {
                         "third-party" => third_party = Some(true),
@@ -336,7 +337,11 @@ impl FilterSet {
     pub fn add(&mut self, rule: Rule) {
         let idx = self.rules.len();
         match rule.anchored_domain() {
-            Some(d) => self.domain_index.entry(d.to_string()).or_default().push(idx),
+            Some(d) => self
+                .domain_index
+                .entry(d.to_string())
+                .or_default()
+                .push(idx),
             None => self.generic.push(idx),
         }
         self.rules.push(rule);
@@ -426,14 +431,21 @@ mod tests {
     fn comments_and_headers_are_skipped() {
         assert_eq!(Rule::parse("! EasyList"), Err(ParseOutcome::Comment));
         assert_eq!(Rule::parse("[Adblock Plus 2.0]"), Err(ParseOutcome::Header));
-        assert_eq!(Rule::parse("example.com##.ad"), Err(ParseOutcome::ElementHiding));
+        assert_eq!(
+            Rule::parse("example.com##.ad"),
+            Err(ParseOutcome::ElementHiding)
+        );
         assert_eq!(Rule::parse("   "), Err(ParseOutcome::Empty));
     }
 
     #[test]
     fn domain_anchor_matches_domain_and_subdomains() {
         let r = Rule::parse("||doubleclick.net^").unwrap();
-        assert!(r.matches(&ctx("https://doubleclick.net/ad", "doubleclick.net", "news.com")));
+        assert!(r.matches(&ctx(
+            "https://doubleclick.net/ad",
+            "doubleclick.net",
+            "news.com"
+        )));
         assert!(r.matches(&ctx(
             "https://stats.g.doubleclick.net/pixel",
             "stats.g.doubleclick.net",
@@ -450,9 +462,17 @@ mod tests {
     fn separator_semantics() {
         let r = Rule::parse("||ads.example.com^").unwrap();
         // `^` matches '/', ':', '?' and end-of-address...
-        assert!(r.matches(&ctx("http://ads.example.com/banner", "ads.example.com", "a.com")));
+        assert!(r.matches(&ctx(
+            "http://ads.example.com/banner",
+            "ads.example.com",
+            "a.com"
+        )));
         assert!(r.matches(&ctx("http://ads.example.com", "ads.example.com", "a.com")));
-        assert!(r.matches(&ctx("http://ads.example.com:8080/x", "ads.example.com", "a.com")));
+        assert!(r.matches(&ctx(
+            "http://ads.example.com:8080/x",
+            "ads.example.com",
+            "a.com"
+        )));
         // ...but not ordinary hostname characters.
         assert!(!r.matches(&ctx(
             "http://ads.example.company.org/x",
@@ -469,7 +489,11 @@ mod tests {
             "cdn.site.com",
             "site.com"
         )));
-        assert!(!r.matches(&ctx("https://cdn.site.com/ads/x.js", "cdn.site.com", "site.com")));
+        assert!(!r.matches(&ctx(
+            "https://cdn.site.com/ads/x.js",
+            "cdn.site.com",
+            "site.com"
+        )));
     }
 
     #[test]
@@ -512,9 +536,21 @@ mod tests {
     #[test]
     fn domain_option_includes_and_excludes() {
         let r = Rule::parse("||regionads.com^$domain=news-eg.com|~sports-eg.com").unwrap();
-        assert!(r.matches(&ctx("https://regionads.com/t", "regionads.com", "news-eg.com")));
-        assert!(!r.matches(&ctx("https://regionads.com/t", "regionads.com", "sports-eg.com")));
-        assert!(!r.matches(&ctx("https://regionads.com/t", "regionads.com", "unrelated.com")));
+        assert!(r.matches(&ctx(
+            "https://regionads.com/t",
+            "regionads.com",
+            "news-eg.com"
+        )));
+        assert!(!r.matches(&ctx(
+            "https://regionads.com/t",
+            "regionads.com",
+            "sports-eg.com"
+        )));
+        assert!(!r.matches(&ctx(
+            "https://regionads.com/t",
+            "regionads.com",
+            "unrelated.com"
+        )));
     }
 
     #[test]
@@ -525,13 +561,13 @@ mod tests {
         let blocked = set.matches(&ctx(
             "https://cdn.example.net/ads/x.js",
             "cdn.example.net",
-            "a.com"
+            "a.com",
         ));
         assert!(matches!(blocked, Decision::Blocked(_)));
         let allowed = set.matches(&ctx(
             "https://cdn.example.net/fonts/a.woff",
             "cdn.example.net",
-            "example.net"
+            "example.net",
         ));
         assert!(matches!(allowed, Decision::Allowed(_)));
     }
@@ -551,7 +587,7 @@ mod tests {
         let d = set.matches(&ctx(
             "https://693.safeframe.googlesyndication.com/sf.html",
             "693.safeframe.googlesyndication.com",
-            "news.com"
+            "news.com",
         ));
         assert!(matches!(d, Decision::Blocked(r) if r.contains("googlesyndication")));
         assert_eq!(

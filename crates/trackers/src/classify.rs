@@ -54,7 +54,10 @@ impl TrackerClassifier {
             .map(|d| d.as_str().to_string())
             .unwrap_or_else(|| site.as_str().to_string());
         let url = format!("https://{host}/");
-        match self.filters.matches(&host_request(&url, host, &first_party)) {
+        match self
+            .filters
+            .matches(&host_request(&url, host, &first_party))
+        {
             Decision::Blocked(rule) => Identification::ByList(rule),
             Decision::Allowed(_) => Identification::NotTracker,
             Decision::None => {

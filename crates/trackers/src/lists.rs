@@ -21,7 +21,8 @@ pub fn generate_easylist(world: &World) -> String {
             continue;
         }
         let org = world.org(t.org);
-        if matches!(org.kind, OrgKind::AdTech | OrgKind::MajorTracker) && !regional_org(world, t.org)
+        if matches!(org.kind, OrgKind::AdTech | OrgKind::MajorTracker)
+            && !regional_org(world, t.org)
         {
             out.push_str(&format!("||{}^$third-party\n", t.domain));
         }
@@ -152,7 +153,10 @@ mod tests {
         let lists = generate_regional_lists(&w);
         assert_eq!(lists.len(), 2);
         let all: String = lists.iter().map(|(_, d)| d.clone()).collect();
-        assert!(all.contains("adstudio.cloud"), "Sri Lanka list misses adstudio");
+        assert!(
+            all.contains("adstudio.cloud"),
+            "Sri Lanka list misses adstudio"
+        );
         assert!(
             all.contains("visualwebsiteoptimizer.com"),
             "India list misses VWO"

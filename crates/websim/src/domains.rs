@@ -57,7 +57,8 @@ pub fn expand_tracker_domains() -> Vec<TrackerDomain> {
         }
         let org = OrgId(org_idx as u32);
         for d in seed.curated_domains {
-            let domain = DomainName::parse(d).unwrap_or_else(|e| panic!("bad curated domain {d}: {e}"));
+            let domain =
+                DomainName::parse(d).unwrap_or_else(|e| panic!("bad curated domain {d}: {e}"));
             let manual = MANUAL_ONLY_CURATED.contains(d);
             out.push(TrackerDomain {
                 domain,
@@ -111,7 +112,10 @@ mod tests {
         );
         let manual = all.iter().filter(|d| !d.in_filter_lists).count();
         let listed = all.len() - manual;
-        assert!(listed > manual * 5, "list/manual split off: {listed}/{manual}");
+        assert!(
+            listed > manual * 5,
+            "list/manual split off: {listed}/{manual}"
+        );
         assert!(manual >= 30, "too few manual-only domains: {manual}");
     }
 

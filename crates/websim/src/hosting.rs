@@ -197,7 +197,11 @@ mod tests {
             assert!(seen.insert(plan.alloc_ip(i, &mut reg)), "duplicate IP");
         }
         let dep = plan.get(OrgId(1), CityId(0)).unwrap();
-        assert!(dep.nets.len() >= 3, "expected chained blocks, got {}", dep.nets.len());
+        assert!(
+            dep.nets.len() >= 3,
+            "expected chained blocks, got {}",
+            dep.nets.len()
+        );
     }
 
     #[test]

@@ -23,7 +23,7 @@ pub mod worldgen;
 
 pub use domains::TrackerDomain;
 pub use org::{Org, OrgId, OrgKind};
-pub use site::{SiteCategory, SiteId, SiteKind, Website};
 pub use ranking::{overlap_experiment, OverlapExperiment, RankingProviders, RankingSource};
+pub use site::{SiteCategory, SiteId, SiteKind, Website};
 pub use spec::{CountProfile, CountrySpec, TracerouteMode, WorldSpec};
 pub use world::World;

@@ -74,109 +74,686 @@ const S_OPAQUE: HostnameScheme = HostnameScheme::Opaque;
 /// ~10% UK, ~4% NL, ~4% IL.
 pub static ORG_SEEDS: &[OrgSeed] = &[
     // ------- the five majors (§7: all US-based) -------
-    OrgSeed { name: "Google", hq: "US", kind: OrgKind::MajorTracker, curated_domains: &[
-        "google-analytics.com", "googletagmanager.com", "googlesyndication.com",
-        "googleadservices.com", "doubleclick.net", "googleapis.com", "gstatic.com",
-        "googletagservices.com", "googleusercontent.com", "googleoptimize.com",
-        "admob.com", "adsensecustomsearchads.com", "google-ads-metrics.com",
-        "googlevideo.com", "ggpht.com", "gvt1.com", "gvt2.com",
-        "safeframe.googlesyndication.com",
-    ], extra_domains: 0, scheme: S_FUSED },
-    OrgSeed { name: "Facebook", hq: "US", kind: OrgKind::MajorTracker, curated_domains: &[
-        "facebook.net", "fbcdn.net", "atdmt.com", "accountkit.com", "fbsbx.com",
-        "facebook-pixel.net", "metapixel.io", "fbevents.net",
-    ], extra_domains: 0, scheme: S_IATA },
-    OrgSeed { name: "Twitter", hq: "US", kind: OrgKind::MajorTracker, curated_domains: &[
-        "ads-twitter.com", "twimg.com", "t.co", "mopub.com", "twittercdn.net",
-        "tweetdeck-metrics.com",
-    ], extra_domains: 0, scheme: S_IATA },
-    OrgSeed { name: "Amazon", hq: "US", kind: OrgKind::MajorTracker, curated_domains: &[
-        "amazon-adsystem.com", "assoc-amazon.com", "media-amazon.com", "awsstatic.com",
-        "cloudfront-metrics.net", "a2z-pixel.com", "amazontrust-tags.com",
-    ], extra_domains: 0, scheme: S_IATA },
-    OrgSeed { name: "Yahoo", hq: "US", kind: OrgKind::MajorTracker, curated_domains: &[
-        "yimg.com", "adtechus.com", "btrll.com", "flurry.com", "yahoodns-ads.net",
-        "gemini-tags.com",
-    ], extra_domains: 0, scheme: S_IATA },
+    OrgSeed {
+        name: "Google",
+        hq: "US",
+        kind: OrgKind::MajorTracker,
+        curated_domains: &[
+            "google-analytics.com",
+            "googletagmanager.com",
+            "googlesyndication.com",
+            "googleadservices.com",
+            "doubleclick.net",
+            "googleapis.com",
+            "gstatic.com",
+            "googletagservices.com",
+            "googleusercontent.com",
+            "googleoptimize.com",
+            "admob.com",
+            "adsensecustomsearchads.com",
+            "google-ads-metrics.com",
+            "googlevideo.com",
+            "ggpht.com",
+            "gvt1.com",
+            "gvt2.com",
+            "safeframe.googlesyndication.com",
+        ],
+        extra_domains: 0,
+        scheme: S_FUSED,
+    },
+    OrgSeed {
+        name: "Facebook",
+        hq: "US",
+        kind: OrgKind::MajorTracker,
+        curated_domains: &[
+            "facebook.net",
+            "fbcdn.net",
+            "atdmt.com",
+            "accountkit.com",
+            "fbsbx.com",
+            "facebook-pixel.net",
+            "metapixel.io",
+            "fbevents.net",
+        ],
+        extra_domains: 0,
+        scheme: S_IATA,
+    },
+    OrgSeed {
+        name: "Twitter",
+        hq: "US",
+        kind: OrgKind::MajorTracker,
+        curated_domains: &[
+            "ads-twitter.com",
+            "twimg.com",
+            "t.co",
+            "mopub.com",
+            "twittercdn.net",
+            "tweetdeck-metrics.com",
+        ],
+        extra_domains: 0,
+        scheme: S_IATA,
+    },
+    OrgSeed {
+        name: "Amazon",
+        hq: "US",
+        kind: OrgKind::MajorTracker,
+        curated_domains: &[
+            "amazon-adsystem.com",
+            "assoc-amazon.com",
+            "media-amazon.com",
+            "awsstatic.com",
+            "cloudfront-metrics.net",
+            "a2z-pixel.com",
+            "amazontrust-tags.com",
+        ],
+        extra_domains: 0,
+        scheme: S_IATA,
+    },
+    OrgSeed {
+        name: "Yahoo",
+        hq: "US",
+        kind: OrgKind::MajorTracker,
+        curated_domains: &[
+            "yimg.com",
+            "adtechus.com",
+            "btrll.com",
+            "flurry.com",
+            "yahoodns-ads.net",
+            "gemini-tags.com",
+        ],
+        extra_domains: 0,
+        scheme: S_IATA,
+    },
     // ------- paper-named long tail -------
-    OrgSeed { name: "Dotomi", hq: "US", kind: OrgKind::AdTech, curated_domains: &["dotomi.com"], extra_domains: 6, scheme: S_OPAQUE },
-    OrgSeed { name: "Smaato", hq: "DE", kind: OrgKind::AdTech, curated_domains: &["smaato.net"], extra_domains: 6, scheme: S_CITY },
-    OrgSeed { name: "SpotIM", hq: "IL", kind: OrgKind::Social, curated_domains: &["spot.im"], extra_domains: 6, scheme: S_OPAQUE },
-    OrgSeed { name: "ScorecardResearch", hq: "US", kind: OrgKind::Analytics, curated_domains: &["scorecardresearch.com"], extra_domains: 6, scheme: S_OPAQUE },
-    OrgSeed { name: "33Across", hq: "US", kind: OrgKind::AdTech, curated_domains: &["33across.com"], extra_domains: 6, scheme: S_OPAQUE },
-    OrgSeed { name: "OpenX", hq: "US", kind: OrgKind::AdTech, curated_domains: &["openx.net"], extra_domains: 7, scheme: S_IATA },
-    OrgSeed { name: "ImproveDigital", hq: "NL", kind: OrgKind::AdTech, curated_domains: &["360yield.com"], extra_domains: 7, scheme: S_CITY },
-    OrgSeed { name: "SoundCloud", hq: "DE", kind: OrgKind::Social, curated_domains: &["sndcdn.com"], extra_domains: 5, scheme: S_IATA },
-    OrgSeed { name: "Snapchat", hq: "US", kind: OrgKind::Social, curated_domains: &["sc-static.net", "snap-pixel.com"], extra_domains: 5, scheme: S_IATA },
-    OrgSeed { name: "Lotame", hq: "US", kind: OrgKind::AdTech, curated_domains: &["crwdcntrl.net"], extra_domains: 6, scheme: S_OPAQUE },
-    OrgSeed { name: "Demdex", hq: "US", kind: OrgKind::Analytics, curated_domains: &["demdex.net", "everesttech.net"], extra_domains: 6, scheme: S_OPAQUE },
-    OrgSeed { name: "Bluekai", hq: "US", kind: OrgKind::AdTech, curated_domains: &["bluekai.com", "bkrtx.com"], extra_domains: 6, scheme: S_OPAQUE },
-    OrgSeed { name: "Taboola", hq: "IL", kind: OrgKind::AdTech, curated_domains: &["taboola.com"], extra_domains: 7, scheme: S_FUSED },
-    OrgSeed { name: "OzoneProject", hq: "GB", kind: OrgKind::AdTech, curated_domains: &["theozone-project.com"], extra_domains: 5, scheme: S_OPAQUE },
-    OrgSeed { name: "Jubna", hq: "AE", kind: OrgKind::AdTech, curated_domains: &["jubnaadserve.com"], extra_domains: 5, scheme: S_OPAQUE },
-    OrgSeed { name: "OneTag", hq: "IT", kind: OrgKind::AdTech, curated_domains: &["onetag-sys.com"], extra_domains: 5, scheme: S_OPAQUE },
-    OrgSeed { name: "Optad360", hq: "PL", kind: OrgKind::AdTech, curated_domains: &["optad360.io"], extra_domains: 5, scheme: S_OPAQUE },
-    OrgSeed { name: "AdStudio", hq: "LK", kind: OrgKind::AdTech, curated_domains: &["adstudio.cloud"], extra_domains: 4, scheme: S_OPAQUE },
+    OrgSeed {
+        name: "Dotomi",
+        hq: "US",
+        kind: OrgKind::AdTech,
+        curated_domains: &["dotomi.com"],
+        extra_domains: 6,
+        scheme: S_OPAQUE,
+    },
+    OrgSeed {
+        name: "Smaato",
+        hq: "DE",
+        kind: OrgKind::AdTech,
+        curated_domains: &["smaato.net"],
+        extra_domains: 6,
+        scheme: S_CITY,
+    },
+    OrgSeed {
+        name: "SpotIM",
+        hq: "IL",
+        kind: OrgKind::Social,
+        curated_domains: &["spot.im"],
+        extra_domains: 6,
+        scheme: S_OPAQUE,
+    },
+    OrgSeed {
+        name: "ScorecardResearch",
+        hq: "US",
+        kind: OrgKind::Analytics,
+        curated_domains: &["scorecardresearch.com"],
+        extra_domains: 6,
+        scheme: S_OPAQUE,
+    },
+    OrgSeed {
+        name: "33Across",
+        hq: "US",
+        kind: OrgKind::AdTech,
+        curated_domains: &["33across.com"],
+        extra_domains: 6,
+        scheme: S_OPAQUE,
+    },
+    OrgSeed {
+        name: "OpenX",
+        hq: "US",
+        kind: OrgKind::AdTech,
+        curated_domains: &["openx.net"],
+        extra_domains: 7,
+        scheme: S_IATA,
+    },
+    OrgSeed {
+        name: "ImproveDigital",
+        hq: "NL",
+        kind: OrgKind::AdTech,
+        curated_domains: &["360yield.com"],
+        extra_domains: 7,
+        scheme: S_CITY,
+    },
+    OrgSeed {
+        name: "SoundCloud",
+        hq: "DE",
+        kind: OrgKind::Social,
+        curated_domains: &["sndcdn.com"],
+        extra_domains: 5,
+        scheme: S_IATA,
+    },
+    OrgSeed {
+        name: "Snapchat",
+        hq: "US",
+        kind: OrgKind::Social,
+        curated_domains: &["sc-static.net", "snap-pixel.com"],
+        extra_domains: 5,
+        scheme: S_IATA,
+    },
+    OrgSeed {
+        name: "Lotame",
+        hq: "US",
+        kind: OrgKind::AdTech,
+        curated_domains: &["crwdcntrl.net"],
+        extra_domains: 6,
+        scheme: S_OPAQUE,
+    },
+    OrgSeed {
+        name: "Demdex",
+        hq: "US",
+        kind: OrgKind::Analytics,
+        curated_domains: &["demdex.net", "everesttech.net"],
+        extra_domains: 6,
+        scheme: S_OPAQUE,
+    },
+    OrgSeed {
+        name: "Bluekai",
+        hq: "US",
+        kind: OrgKind::AdTech,
+        curated_domains: &["bluekai.com", "bkrtx.com"],
+        extra_domains: 6,
+        scheme: S_OPAQUE,
+    },
+    OrgSeed {
+        name: "Taboola",
+        hq: "IL",
+        kind: OrgKind::AdTech,
+        curated_domains: &["taboola.com"],
+        extra_domains: 7,
+        scheme: S_FUSED,
+    },
+    OrgSeed {
+        name: "OzoneProject",
+        hq: "GB",
+        kind: OrgKind::AdTech,
+        curated_domains: &["theozone-project.com"],
+        extra_domains: 5,
+        scheme: S_OPAQUE,
+    },
+    OrgSeed {
+        name: "Jubna",
+        hq: "AE",
+        kind: OrgKind::AdTech,
+        curated_domains: &["jubnaadserve.com"],
+        extra_domains: 5,
+        scheme: S_OPAQUE,
+    },
+    OrgSeed {
+        name: "OneTag",
+        hq: "IT",
+        kind: OrgKind::AdTech,
+        curated_domains: &["onetag-sys.com"],
+        extra_domains: 5,
+        scheme: S_OPAQUE,
+    },
+    OrgSeed {
+        name: "Optad360",
+        hq: "PL",
+        kind: OrgKind::AdTech,
+        curated_domains: &["optad360.io"],
+        extra_domains: 5,
+        scheme: S_OPAQUE,
+    },
+    OrgSeed {
+        name: "AdStudio",
+        hq: "LK",
+        kind: OrgKind::AdTech,
+        curated_domains: &["adstudio.cloud"],
+        extra_domains: 4,
+        scheme: S_OPAQUE,
+    },
     // ------- remaining US quota -------
-    OrgSeed { name: "Outbrain", hq: "US", kind: OrgKind::AdTech, curated_domains: &["outbrain.com"], extra_domains: 7, scheme: S_FUSED },
-    OrgSeed { name: "Quantcast", hq: "US", kind: OrgKind::Analytics, curated_domains: &["quantserve.com"], extra_domains: 6, scheme: S_OPAQUE },
-    OrgSeed { name: "PubMatic", hq: "US", kind: OrgKind::AdTech, curated_domains: &["pubmatic.com"], extra_domains: 7, scheme: S_IATA },
-    OrgSeed { name: "Magnite", hq: "US", kind: OrgKind::AdTech, curated_domains: &["rubiconproject.com"], extra_domains: 7, scheme: S_OPAQUE },
-    OrgSeed { name: "Xandr", hq: "US", kind: OrgKind::AdTech, curated_domains: &["adnxs.com"], extra_domains: 7, scheme: S_IATA },
-    OrgSeed { name: "TheTradeDesk", hq: "US", kind: OrgKind::AdTech, curated_domains: &["adsrvr.org"], extra_domains: 7, scheme: S_FUSED },
-    OrgSeed { name: "MediaMath", hq: "US", kind: OrgKind::AdTech, curated_domains: &["mathtag.com"], extra_domains: 6, scheme: S_OPAQUE },
-    OrgSeed { name: "Chartbeat", hq: "US", kind: OrgKind::Analytics, curated_domains: &["chartbeat.com"], extra_domains: 5, scheme: S_OPAQUE },
-    OrgSeed { name: "Mixpanel", hq: "US", kind: OrgKind::Analytics, curated_domains: &["mixpanel.com"], extra_domains: 5, scheme: S_OPAQUE },
-    OrgSeed { name: "LiveRamp", hq: "US", kind: OrgKind::AdTech, curated_domains: &["rlcdn.com"], extra_domains: 6, scheme: S_OPAQUE },
-    OrgSeed { name: "Criteo", hq: "FR", kind: OrgKind::AdTech, curated_domains: &["criteo.com", "criteo.net"], extra_domains: 6, scheme: S_FUSED },
-    OrgSeed { name: "Teads", hq: "FR", kind: OrgKind::AdTech, curated_domains: &["teads.tv"], extra_domains: 6, scheme: S_CITY },
-    OrgSeed { name: "Adform", hq: "DK", kind: OrgKind::AdTech, curated_domains: &["adform.net"], extra_domains: 6, scheme: S_CITY },
-    OrgSeed { name: "Sharethrough", hq: "CA", kind: OrgKind::AdTech, curated_domains: &["sharethrough.com"], extra_domains: 5, scheme: S_OPAQUE },
-    OrgSeed { name: "IndexExchange", hq: "CA", kind: OrgKind::AdTech, curated_domains: &["casalemedia.com"], extra_domains: 6, scheme: S_IATA },
-    OrgSeed { name: "Sovrn", hq: "US", kind: OrgKind::AdTech, curated_domains: &["lijit.com"], extra_domains: 6, scheme: S_OPAQUE },
-    OrgSeed { name: "Amplitude", hq: "US", kind: OrgKind::Analytics, curated_domains: &["amplitude.com"], extra_domains: 5, scheme: S_OPAQUE },
-    OrgSeed { name: "Segment", hq: "US", kind: OrgKind::Analytics, curated_domains: &["segment.io"], extra_domains: 5, scheme: S_OPAQUE },
-    OrgSeed { name: "Branch", hq: "US", kind: OrgKind::Analytics, curated_domains: &["branch.io"], extra_domains: 5, scheme: S_OPAQUE },
-    OrgSeed { name: "AppsFlyer", hq: "IL", kind: OrgKind::Analytics, curated_domains: &["appsflyer.com"], extra_domains: 6, scheme: S_OPAQUE },
-    OrgSeed { name: "Adjust", hq: "DE", kind: OrgKind::Analytics, curated_domains: &["adjust.com"], extra_domains: 5, scheme: S_CITY },
-    OrgSeed { name: "Kochava", hq: "US", kind: OrgKind::Analytics, curated_domains: &["kochava.com"], extra_domains: 5, scheme: S_OPAQUE },
-    OrgSeed { name: "NewRelic", hq: "US", kind: OrgKind::Analytics, curated_domains: &["nr-data.net"], extra_domains: 5, scheme: S_OPAQUE },
-    OrgSeed { name: "Optimizely", hq: "US", kind: OrgKind::Analytics, curated_domains: &["optimizely.com"], extra_domains: 5, scheme: S_OPAQUE },
-    OrgSeed { name: "Parsely", hq: "US", kind: OrgKind::Analytics, curated_domains: &["parsely.com"], extra_domains: 5, scheme: S_OPAQUE },
-    OrgSeed { name: "Comscore", hq: "US", kind: OrgKind::Analytics, curated_domains: &["zqtk.net"], extra_domains: 5, scheme: S_OPAQUE },
-    OrgSeed { name: "Nielsen", hq: "US", kind: OrgKind::Analytics, curated_domains: &["imrworldwide.com"], extra_domains: 6, scheme: S_OPAQUE },
-    OrgSeed { name: "Moat", hq: "US", kind: OrgKind::Analytics, curated_domains: &["moatads.com"], extra_domains: 5, scheme: S_OPAQUE },
-    OrgSeed { name: "DoubleVerify", hq: "US", kind: OrgKind::Analytics, curated_domains: &["doubleverify.com"], extra_domains: 5, scheme: S_OPAQUE },
-    OrgSeed { name: "IAS", hq: "US", kind: OrgKind::Analytics, curated_domains: &["adsafeprotected.com"], extra_domains: 5, scheme: S_OPAQUE },
-    OrgSeed { name: "Bombora", hq: "US", kind: OrgKind::AdTech, curated_domains: &["ml314.com"], extra_domains: 5, scheme: S_OPAQUE },
-    OrgSeed { name: "Tapad", hq: "US", kind: OrgKind::AdTech, curated_domains: &["tapad.com"], extra_domains: 5, scheme: S_OPAQUE },
-    OrgSeed { name: "Zeta", hq: "US", kind: OrgKind::AdTech, curated_domains: &["rezync.com"], extra_domains: 5, scheme: S_OPAQUE },
-    OrgSeed { name: "Smartadserver", hq: "FR", kind: OrgKind::AdTech, curated_domains: &["smartadserver.com"], extra_domains: 5, scheme: S_FUSED },
-    OrgSeed { name: "Sizmek", hq: "US", kind: OrgKind::AdTech, curated_domains: &["serving-sys.com"], extra_domains: 5, scheme: S_OPAQUE },
-    OrgSeed { name: "GumGum", hq: "US", kind: OrgKind::AdTech, curated_domains: &["gumgum.com"], extra_domains: 5, scheme: S_OPAQUE },
-    OrgSeed { name: "Bidswitch", hq: "GB", kind: OrgKind::AdTech, curated_domains: &["bidswitch.net"], extra_domains: 5, scheme: S_FUSED },
+    OrgSeed {
+        name: "Outbrain",
+        hq: "US",
+        kind: OrgKind::AdTech,
+        curated_domains: &["outbrain.com"],
+        extra_domains: 7,
+        scheme: S_FUSED,
+    },
+    OrgSeed {
+        name: "Quantcast",
+        hq: "US",
+        kind: OrgKind::Analytics,
+        curated_domains: &["quantserve.com"],
+        extra_domains: 6,
+        scheme: S_OPAQUE,
+    },
+    OrgSeed {
+        name: "PubMatic",
+        hq: "US",
+        kind: OrgKind::AdTech,
+        curated_domains: &["pubmatic.com"],
+        extra_domains: 7,
+        scheme: S_IATA,
+    },
+    OrgSeed {
+        name: "Magnite",
+        hq: "US",
+        kind: OrgKind::AdTech,
+        curated_domains: &["rubiconproject.com"],
+        extra_domains: 7,
+        scheme: S_OPAQUE,
+    },
+    OrgSeed {
+        name: "Xandr",
+        hq: "US",
+        kind: OrgKind::AdTech,
+        curated_domains: &["adnxs.com"],
+        extra_domains: 7,
+        scheme: S_IATA,
+    },
+    OrgSeed {
+        name: "TheTradeDesk",
+        hq: "US",
+        kind: OrgKind::AdTech,
+        curated_domains: &["adsrvr.org"],
+        extra_domains: 7,
+        scheme: S_FUSED,
+    },
+    OrgSeed {
+        name: "MediaMath",
+        hq: "US",
+        kind: OrgKind::AdTech,
+        curated_domains: &["mathtag.com"],
+        extra_domains: 6,
+        scheme: S_OPAQUE,
+    },
+    OrgSeed {
+        name: "Chartbeat",
+        hq: "US",
+        kind: OrgKind::Analytics,
+        curated_domains: &["chartbeat.com"],
+        extra_domains: 5,
+        scheme: S_OPAQUE,
+    },
+    OrgSeed {
+        name: "Mixpanel",
+        hq: "US",
+        kind: OrgKind::Analytics,
+        curated_domains: &["mixpanel.com"],
+        extra_domains: 5,
+        scheme: S_OPAQUE,
+    },
+    OrgSeed {
+        name: "LiveRamp",
+        hq: "US",
+        kind: OrgKind::AdTech,
+        curated_domains: &["rlcdn.com"],
+        extra_domains: 6,
+        scheme: S_OPAQUE,
+    },
+    OrgSeed {
+        name: "Criteo",
+        hq: "FR",
+        kind: OrgKind::AdTech,
+        curated_domains: &["criteo.com", "criteo.net"],
+        extra_domains: 6,
+        scheme: S_FUSED,
+    },
+    OrgSeed {
+        name: "Teads",
+        hq: "FR",
+        kind: OrgKind::AdTech,
+        curated_domains: &["teads.tv"],
+        extra_domains: 6,
+        scheme: S_CITY,
+    },
+    OrgSeed {
+        name: "Adform",
+        hq: "DK",
+        kind: OrgKind::AdTech,
+        curated_domains: &["adform.net"],
+        extra_domains: 6,
+        scheme: S_CITY,
+    },
+    OrgSeed {
+        name: "Sharethrough",
+        hq: "CA",
+        kind: OrgKind::AdTech,
+        curated_domains: &["sharethrough.com"],
+        extra_domains: 5,
+        scheme: S_OPAQUE,
+    },
+    OrgSeed {
+        name: "IndexExchange",
+        hq: "CA",
+        kind: OrgKind::AdTech,
+        curated_domains: &["casalemedia.com"],
+        extra_domains: 6,
+        scheme: S_IATA,
+    },
+    OrgSeed {
+        name: "Sovrn",
+        hq: "US",
+        kind: OrgKind::AdTech,
+        curated_domains: &["lijit.com"],
+        extra_domains: 6,
+        scheme: S_OPAQUE,
+    },
+    OrgSeed {
+        name: "Amplitude",
+        hq: "US",
+        kind: OrgKind::Analytics,
+        curated_domains: &["amplitude.com"],
+        extra_domains: 5,
+        scheme: S_OPAQUE,
+    },
+    OrgSeed {
+        name: "Segment",
+        hq: "US",
+        kind: OrgKind::Analytics,
+        curated_domains: &["segment.io"],
+        extra_domains: 5,
+        scheme: S_OPAQUE,
+    },
+    OrgSeed {
+        name: "Branch",
+        hq: "US",
+        kind: OrgKind::Analytics,
+        curated_domains: &["branch.io"],
+        extra_domains: 5,
+        scheme: S_OPAQUE,
+    },
+    OrgSeed {
+        name: "AppsFlyer",
+        hq: "IL",
+        kind: OrgKind::Analytics,
+        curated_domains: &["appsflyer.com"],
+        extra_domains: 6,
+        scheme: S_OPAQUE,
+    },
+    OrgSeed {
+        name: "Adjust",
+        hq: "DE",
+        kind: OrgKind::Analytics,
+        curated_domains: &["adjust.com"],
+        extra_domains: 5,
+        scheme: S_CITY,
+    },
+    OrgSeed {
+        name: "Kochava",
+        hq: "US",
+        kind: OrgKind::Analytics,
+        curated_domains: &["kochava.com"],
+        extra_domains: 5,
+        scheme: S_OPAQUE,
+    },
+    OrgSeed {
+        name: "NewRelic",
+        hq: "US",
+        kind: OrgKind::Analytics,
+        curated_domains: &["nr-data.net"],
+        extra_domains: 5,
+        scheme: S_OPAQUE,
+    },
+    OrgSeed {
+        name: "Optimizely",
+        hq: "US",
+        kind: OrgKind::Analytics,
+        curated_domains: &["optimizely.com"],
+        extra_domains: 5,
+        scheme: S_OPAQUE,
+    },
+    OrgSeed {
+        name: "Parsely",
+        hq: "US",
+        kind: OrgKind::Analytics,
+        curated_domains: &["parsely.com"],
+        extra_domains: 5,
+        scheme: S_OPAQUE,
+    },
+    OrgSeed {
+        name: "Comscore",
+        hq: "US",
+        kind: OrgKind::Analytics,
+        curated_domains: &["zqtk.net"],
+        extra_domains: 5,
+        scheme: S_OPAQUE,
+    },
+    OrgSeed {
+        name: "Nielsen",
+        hq: "US",
+        kind: OrgKind::Analytics,
+        curated_domains: &["imrworldwide.com"],
+        extra_domains: 6,
+        scheme: S_OPAQUE,
+    },
+    OrgSeed {
+        name: "Moat",
+        hq: "US",
+        kind: OrgKind::Analytics,
+        curated_domains: &["moatads.com"],
+        extra_domains: 5,
+        scheme: S_OPAQUE,
+    },
+    OrgSeed {
+        name: "DoubleVerify",
+        hq: "US",
+        kind: OrgKind::Analytics,
+        curated_domains: &["doubleverify.com"],
+        extra_domains: 5,
+        scheme: S_OPAQUE,
+    },
+    OrgSeed {
+        name: "IAS",
+        hq: "US",
+        kind: OrgKind::Analytics,
+        curated_domains: &["adsafeprotected.com"],
+        extra_domains: 5,
+        scheme: S_OPAQUE,
+    },
+    OrgSeed {
+        name: "Bombora",
+        hq: "US",
+        kind: OrgKind::AdTech,
+        curated_domains: &["ml314.com"],
+        extra_domains: 5,
+        scheme: S_OPAQUE,
+    },
+    OrgSeed {
+        name: "Tapad",
+        hq: "US",
+        kind: OrgKind::AdTech,
+        curated_domains: &["tapad.com"],
+        extra_domains: 5,
+        scheme: S_OPAQUE,
+    },
+    OrgSeed {
+        name: "Zeta",
+        hq: "US",
+        kind: OrgKind::AdTech,
+        curated_domains: &["rezync.com"],
+        extra_domains: 5,
+        scheme: S_OPAQUE,
+    },
+    OrgSeed {
+        name: "Smartadserver",
+        hq: "FR",
+        kind: OrgKind::AdTech,
+        curated_domains: &["smartadserver.com"],
+        extra_domains: 5,
+        scheme: S_FUSED,
+    },
+    OrgSeed {
+        name: "Sizmek",
+        hq: "US",
+        kind: OrgKind::AdTech,
+        curated_domains: &["serving-sys.com"],
+        extra_domains: 5,
+        scheme: S_OPAQUE,
+    },
+    OrgSeed {
+        name: "GumGum",
+        hq: "US",
+        kind: OrgKind::AdTech,
+        curated_domains: &["gumgum.com"],
+        extra_domains: 5,
+        scheme: S_OPAQUE,
+    },
+    OrgSeed {
+        name: "Bidswitch",
+        hq: "GB",
+        kind: OrgKind::AdTech,
+        curated_domains: &["bidswitch.net"],
+        extra_domains: 5,
+        scheme: S_FUSED,
+    },
     // ------- UK quota (~10%) -------
-    OrgSeed { name: "Permutive", hq: "GB", kind: OrgKind::AdTech, curated_domains: &["permutive.com"], extra_domains: 5, scheme: S_OPAQUE },
-    OrgSeed { name: "ID5", hq: "GB", kind: OrgKind::AdTech, curated_domains: &["id5-sync.com"], extra_domains: 5, scheme: S_OPAQUE },
-    OrgSeed { name: "Captify", hq: "GB", kind: OrgKind::AdTech, curated_domains: &["cpx.to"], extra_domains: 5, scheme: S_OPAQUE },
-    OrgSeed { name: "LoopMe", hq: "GB", kind: OrgKind::AdTech, curated_domains: &["loopme.me"], extra_domains: 5, scheme: S_OPAQUE },
-    OrgSeed { name: "Unruly", hq: "GB", kind: OrgKind::AdTech, curated_domains: &["unrulymedia.com"], extra_domains: 5, scheme: S_OPAQUE },
-    OrgSeed { name: "Brandwatch", hq: "GB", kind: OrgKind::Analytics, curated_domains: &["brandwatch.com"], extra_domains: 4, scheme: S_OPAQUE },
+    OrgSeed {
+        name: "Permutive",
+        hq: "GB",
+        kind: OrgKind::AdTech,
+        curated_domains: &["permutive.com"],
+        extra_domains: 5,
+        scheme: S_OPAQUE,
+    },
+    OrgSeed {
+        name: "ID5",
+        hq: "GB",
+        kind: OrgKind::AdTech,
+        curated_domains: &["id5-sync.com"],
+        extra_domains: 5,
+        scheme: S_OPAQUE,
+    },
+    OrgSeed {
+        name: "Captify",
+        hq: "GB",
+        kind: OrgKind::AdTech,
+        curated_domains: &["cpx.to"],
+        extra_domains: 5,
+        scheme: S_OPAQUE,
+    },
+    OrgSeed {
+        name: "LoopMe",
+        hq: "GB",
+        kind: OrgKind::AdTech,
+        curated_domains: &["loopme.me"],
+        extra_domains: 5,
+        scheme: S_OPAQUE,
+    },
+    OrgSeed {
+        name: "Unruly",
+        hq: "GB",
+        kind: OrgKind::AdTech,
+        curated_domains: &["unrulymedia.com"],
+        extra_domains: 5,
+        scheme: S_OPAQUE,
+    },
+    OrgSeed {
+        name: "Brandwatch",
+        hq: "GB",
+        kind: OrgKind::Analytics,
+        curated_domains: &["brandwatch.com"],
+        extra_domains: 4,
+        scheme: S_OPAQUE,
+    },
     // ------- NL quota (~4%) -------
-    OrgSeed { name: "Adscience", hq: "NL", kind: OrgKind::AdTech, curated_domains: &["adscience.nl"], extra_domains: 5, scheme: S_CITY },
-    OrgSeed { name: "Semasio", hq: "NL", kind: OrgKind::Analytics, curated_domains: &["semasio.net"], extra_domains: 5, scheme: S_CITY },
+    OrgSeed {
+        name: "Adscience",
+        hq: "NL",
+        kind: OrgKind::AdTech,
+        curated_domains: &["adscience.nl"],
+        extra_domains: 5,
+        scheme: S_CITY,
+    },
+    OrgSeed {
+        name: "Semasio",
+        hq: "NL",
+        kind: OrgKind::Analytics,
+        curated_domains: &["semasio.net"],
+        extra_domains: 5,
+        scheme: S_CITY,
+    },
     // ------- IL quota (~4%) -------
-    OrgSeed { name: "Kaltura", hq: "IL", kind: OrgKind::Analytics, curated_domains: &["kaltura.com"], extra_domains: 5, scheme: S_OPAQUE },
+    OrgSeed {
+        name: "Kaltura",
+        hq: "IL",
+        kind: OrgKind::Analytics,
+        curated_domains: &["kaltura.com"],
+        extra_domains: 5,
+        scheme: S_OPAQUE,
+    },
     // ------- regional / rest-of-world -------
-    OrgSeed { name: "YandexMetrica", hq: "RU", kind: OrgKind::Analytics, curated_domains: &["yametrica.net"], extra_domains: 5, scheme: S_FUSED },
-    OrgSeed { name: "VKPixel", hq: "RU", kind: OrgKind::AdTech, curated_domains: &["vk-pixel.net"], extra_domains: 4, scheme: S_OPAQUE },
-    OrgSeed { name: "LineAnalytics", hq: "JP", kind: OrgKind::Analytics, curated_domains: &["line-scdn.net"], extra_domains: 4, scheme: S_IATA },
-    OrgSeed { name: "RakutenAds", hq: "JP", kind: OrgKind::AdTech, curated_domains: &["rakuten-ads.com"], extra_domains: 5, scheme: S_IATA },
-    OrgSeed { name: "VWO", hq: "IN", kind: OrgKind::Analytics, curated_domains: &["visualwebsiteoptimizer.com"], extra_domains: 4, scheme: S_OPAQUE },
-    OrgSeed { name: "AdFalcon", hq: "JO", kind: OrgKind::AdTech, curated_domains: &["adfalcon.com"], extra_domains: 4, scheme: S_OPAQUE },
-    OrgSeed { name: "TrueAfrican", hq: "UG", kind: OrgKind::AdTech, curated_domains: &["trueafrican-ads.com"], extra_domains: 4, scheme: S_OPAQUE },
-    OrgSeed { name: "KigaliMetrics", hq: "RW", kind: OrgKind::Analytics, curated_domains: &["kigalimetrics.com"], extra_domains: 4, scheme: S_OPAQUE },
-    OrgSeed { name: "GulfTag", hq: "QA", kind: OrgKind::AdTech, curated_domains: &["gulftag.net"], extra_domains: 4, scheme: S_OPAQUE },
+    OrgSeed {
+        name: "YandexMetrica",
+        hq: "RU",
+        kind: OrgKind::Analytics,
+        curated_domains: &["yametrica.net"],
+        extra_domains: 5,
+        scheme: S_FUSED,
+    },
+    OrgSeed {
+        name: "VKPixel",
+        hq: "RU",
+        kind: OrgKind::AdTech,
+        curated_domains: &["vk-pixel.net"],
+        extra_domains: 4,
+        scheme: S_OPAQUE,
+    },
+    OrgSeed {
+        name: "LineAnalytics",
+        hq: "JP",
+        kind: OrgKind::Analytics,
+        curated_domains: &["line-scdn.net"],
+        extra_domains: 4,
+        scheme: S_IATA,
+    },
+    OrgSeed {
+        name: "RakutenAds",
+        hq: "JP",
+        kind: OrgKind::AdTech,
+        curated_domains: &["rakuten-ads.com"],
+        extra_domains: 5,
+        scheme: S_IATA,
+    },
+    OrgSeed {
+        name: "VWO",
+        hq: "IN",
+        kind: OrgKind::Analytics,
+        curated_domains: &["visualwebsiteoptimizer.com"],
+        extra_domains: 4,
+        scheme: S_OPAQUE,
+    },
+    OrgSeed {
+        name: "AdFalcon",
+        hq: "JO",
+        kind: OrgKind::AdTech,
+        curated_domains: &["adfalcon.com"],
+        extra_domains: 4,
+        scheme: S_OPAQUE,
+    },
+    OrgSeed {
+        name: "TrueAfrican",
+        hq: "UG",
+        kind: OrgKind::AdTech,
+        curated_domains: &["trueafrican-ads.com"],
+        extra_domains: 4,
+        scheme: S_OPAQUE,
+    },
+    OrgSeed {
+        name: "KigaliMetrics",
+        hq: "RW",
+        kind: OrgKind::Analytics,
+        curated_domains: &["kigalimetrics.com"],
+        extra_domains: 4,
+        scheme: S_OPAQUE,
+    },
+    OrgSeed {
+        name: "GulfTag",
+        hq: "QA",
+        kind: OrgKind::AdTech,
+        curated_domains: &["gulftag.net"],
+        extra_domains: 4,
+        scheme: S_OPAQUE,
+    },
 ];
 
 /// HQ-country distribution of the catalog as (country, fraction) pairs,
@@ -194,7 +771,11 @@ pub fn hq_distribution() -> Vec<(CountryCode, f64)> {
         .into_iter()
         .map(|(c, n)| (c, n as f64 / total))
         .collect();
-    v.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("fractions are finite").then(a.0.cmp(&b.0)));
+    v.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .expect("fractions are finite")
+            .then(a.0.cmp(&b.0))
+    });
     v
 }
 
@@ -269,9 +850,24 @@ mod tests {
     fn paper_named_orgs_are_present() {
         let names: Vec<_> = ORG_SEEDS.iter().map(|s| s.name).collect();
         for n in [
-            "Dotomi", "Smaato", "SpotIM", "ScorecardResearch", "33Across", "OpenX",
-            "ImproveDigital", "SoundCloud", "Snapchat", "Lotame", "Demdex", "Bluekai",
-            "Taboola", "OzoneProject", "Jubna", "OneTag", "Optad360", "AdStudio",
+            "Dotomi",
+            "Smaato",
+            "SpotIM",
+            "ScorecardResearch",
+            "33Across",
+            "OpenX",
+            "ImproveDigital",
+            "SoundCloud",
+            "Snapchat",
+            "Lotame",
+            "Demdex",
+            "Bluekai",
+            "Taboola",
+            "OzoneProject",
+            "Jubna",
+            "OneTag",
+            "Optad360",
+            "AdStudio",
         ] {
             assert!(names.contains(&n), "missing {n}");
         }
@@ -281,7 +877,12 @@ mod tests {
     fn hq_codes_all_parse() {
         for s in ORG_SEEDS {
             let code = CountryCode::parse(s.hq).unwrap_or_else(|| panic!("bad HQ {}", s.hq));
-            assert!(gamma_geo::country(code).is_some(), "{} HQ {} not in catalog", s.name, s.hq);
+            assert!(
+                gamma_geo::country(code).is_some(),
+                "{} HQ {} not in catalog",
+                s.name,
+                s.hq
+            );
         }
     }
 }

@@ -86,7 +86,12 @@ impl RankingProviders {
     }
 
     /// The provider's top-`n` regional list for a country.
-    pub fn top_regional(&self, source: RankingSource, country: CountryCode, n: usize) -> Vec<SiteId> {
+    pub fn top_regional(
+        &self,
+        source: RankingSource,
+        country: CountryCode,
+        n: usize,
+    ) -> Vec<SiteId> {
         if source == RankingSource::Similarweb && !self.similarweb_covers(country) {
             return Vec::new();
         }
@@ -100,7 +105,10 @@ impl RankingProviders {
         // Rank perturbation: each site's score is its true rank plus noise
         // proportional to the disagreement level; re-sort and truncate.
         let mut rng = ChaCha8Rng::seed_from_u64(
-            self.seed ^ (source as u64) << 32 ^ u64::from(country.0[0]) << 8 ^ u64::from(country.0[1]),
+            self.seed
+                ^ (source as u64) << 32
+                ^ u64::from(country.0[0]) << 8
+                ^ u64::from(country.0[1]),
         );
         let mut scored: Vec<(f64, SiteId)> = truth
             .iter()
@@ -116,7 +124,11 @@ impl RankingProviders {
 
     /// The effective regional list per the paper's procedure: similarweb,
     /// falling back to semrush where similarweb has no ranking.
-    pub fn effective_regional(&self, country: CountryCode, n: usize) -> (RankingSource, Vec<SiteId>) {
+    pub fn effective_regional(
+        &self,
+        country: CountryCode,
+        n: usize,
+    ) -> (RankingSource, Vec<SiteId>) {
         if self.similarweb_covers(country) {
             (
                 RankingSource::Similarweb,
@@ -147,7 +159,12 @@ impl RankingProviders {
     }
 
     /// Fraction of `source`'s top-`n` shared with similarweb's top-`n`.
-    pub fn overlap_with_similarweb(&self, source: RankingSource, country: CountryCode, n: usize) -> f64 {
+    pub fn overlap_with_similarweb(
+        &self,
+        source: RankingSource,
+        country: CountryCode,
+        n: usize,
+    ) -> f64 {
         let a = self.top_regional(RankingSource::Similarweb, country, n);
         let b = self.top_regional(source, country, n);
         if a.is_empty() || b.is_empty() {
@@ -279,8 +296,16 @@ mod tests {
     #[test]
     fn the_58_country_overlap_experiment_reproduces_section_3_2() {
         let e = overlap_experiment(58, 321);
-        assert!((0.58..0.72).contains(&e.semrush_overlap), "semrush {}", e.semrush_overlap);
-        assert!((0.40..0.56).contains(&e.ahrefs_overlap), "ahrefs {}", e.ahrefs_overlap);
+        assert!(
+            (0.58..0.72).contains(&e.semrush_overlap),
+            "semrush {}",
+            e.semrush_overlap
+        );
+        assert!(
+            (0.40..0.56).contains(&e.ahrefs_overlap),
+            "ahrefs {}",
+            e.ahrefs_overlap
+        );
         assert!(e.semrush_overlap > e.ahrefs_overlap);
         assert_eq!(e.countries, 58);
     }

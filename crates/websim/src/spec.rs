@@ -156,7 +156,10 @@ impl WorldSpec {
             }
             let has_foreign = c.reg_nonlocal_rate > 0.0 || c.gov_nonlocal_rate > 0.0;
             if has_foreign && c.dest_weights.is_empty() {
-                return Err(format!("{}: non-local targets but no destinations", c.country));
+                return Err(format!(
+                    "{}: non-local targets but no destinations",
+                    c.country
+                ));
             }
             for (dest, w) in &c.dest_weights {
                 if gamma_geo::country(*dest).is_none() {
@@ -182,225 +185,484 @@ impl WorldSpec {
         };
         let ex = |names: &[&str]| -> Vec<String> { names.iter().map(|s| s.to_string()).collect() };
         use AccessQuality::*;
-        
+
         use TracerouteMode::*;
 
         let countries = vec![
             CountrySpec {
-                country: cc("AZ"), volunteer_city: "Baku".into(), access: Good,
-                reg_nonlocal_rate: 0.82, gov_nonlocal_rate: 0.65,
+                country: cc("AZ"),
+                volunteer_city: "Baku".into(),
+                access: Good,
+                reg_nonlocal_rate: 0.82,
+                gov_nonlocal_rate: 0.65,
                 nonlocal_count: CountProfile::Skewed { mean: 10.5 },
                 dest_weights: w(&[("FR", 0.50), ("DE", 0.20), ("GB", 0.20), ("NL", 0.10)]),
-                majors_serve_locally: false, org_dest_overrides: vec![], exclusive_orgs: vec![],
-                traceroute: Normal, load_success_rate: 0.94, gov_sites_in_tranco: 50,
-                page_richness: 1.0, similarweb_covers: false,
+                majors_serve_locally: false,
+                org_dest_overrides: vec![],
+                exclusive_orgs: vec![],
+                traceroute: Normal,
+                load_success_rate: 0.94,
+                gov_sites_in_tranco: 50,
+                page_richness: 1.0,
+                similarweb_covers: false,
             },
             CountrySpec {
-                country: cc("DZ"), volunteer_city: "Algiers".into(), access: Fair,
-                reg_nonlocal_rate: 0.55, gov_nonlocal_rate: 0.44,
+                country: cc("DZ"),
+                volunteer_city: "Algiers".into(),
+                access: Fair,
+                reg_nonlocal_rate: 0.55,
+                gov_nonlocal_rate: 0.44,
                 nonlocal_count: CountProfile::Skewed { mean: 8.0 },
-                dest_weights: w(&[("FR", 0.55), ("DE", 0.15), ("GB", 0.15), ("ES", 0.10), ("US", 0.05)]),
-                majors_serve_locally: false, org_dest_overrides: vec![], exclusive_orgs: vec![],
-                traceroute: Normal, load_success_rate: 0.90, gov_sites_in_tranco: 14,
-                page_richness: 0.9, similarweb_covers: false,
+                dest_weights: w(&[
+                    ("FR", 0.55),
+                    ("DE", 0.15),
+                    ("GB", 0.15),
+                    ("ES", 0.10),
+                    ("US", 0.05),
+                ]),
+                majors_serve_locally: false,
+                org_dest_overrides: vec![],
+                exclusive_orgs: vec![],
+                traceroute: Normal,
+                load_success_rate: 0.90,
+                gov_sites_in_tranco: 14,
+                page_richness: 0.9,
+                similarweb_covers: false,
             },
             CountrySpec {
-                country: cc("EG"), volunteer_city: "Cairo".into(), access: Fair,
-                reg_nonlocal_rate: 0.75, gov_nonlocal_rate: 0.66,
+                country: cc("EG"),
+                volunteer_city: "Cairo".into(),
+                access: Fair,
+                reg_nonlocal_rate: 0.75,
+                gov_nonlocal_rate: 0.66,
                 nonlocal_count: CountProfile::Skewed { mean: 16.0 },
-                dest_weights: w(&[("DE", 0.55), ("FR", 0.20), ("GB", 0.10), ("IT", 0.10), ("US", 0.05)]),
+                dest_weights: w(&[
+                    ("DE", 0.55),
+                    ("FR", 0.20),
+                    ("GB", 0.10),
+                    ("IT", 0.10),
+                    ("US", 0.05),
+                ]),
                 majors_serve_locally: false,
                 org_dest_overrides: ov(&[("Google", "DE")]), // §7: Egypt -> Germany, mostly Google
                 exclusive_orgs: vec![],
-                traceroute: OptOut, load_success_rate: 0.91, gov_sites_in_tranco: 50,
-                page_richness: 1.0, similarweb_covers: true,
+                traceroute: OptOut,
+                load_success_rate: 0.91,
+                gov_sites_in_tranco: 50,
+                page_richness: 1.0,
+                similarweb_covers: true,
             },
             CountrySpec {
-                country: cc("RW"), volunteer_city: "Kigali".into(), access: Fair,
-                reg_nonlocal_rate: 0.93, gov_nonlocal_rate: 0.31,
+                country: cc("RW"),
+                volunteer_city: "Kigali".into(),
+                access: Fair,
+                reg_nonlocal_rate: 0.93,
+                gov_nonlocal_rate: 0.31,
                 nonlocal_count: CountProfile::Skewed { mean: 18.0 },
-                dest_weights: w(&[("KE", 0.50), ("FR", 0.20), ("DE", 0.15), ("GB", 0.10), ("US", 0.05)]),
-                majors_serve_locally: false, org_dest_overrides: vec![],
+                dest_weights: w(&[
+                    ("KE", 0.50),
+                    ("FR", 0.20),
+                    ("DE", 0.15),
+                    ("GB", 0.10),
+                    ("US", 0.05),
+                ]),
+                majors_serve_locally: false,
+                org_dest_overrides: vec![],
                 exclusive_orgs: ex(&["KigaliMetrics"]),
-                traceroute: Normal, load_success_rate: 0.89, gov_sites_in_tranco: 38,
-                page_richness: 0.95, similarweb_covers: false,
+                traceroute: Normal,
+                load_success_rate: 0.89,
+                gov_sites_in_tranco: 38,
+                page_richness: 0.95,
+                similarweb_covers: false,
             },
             CountrySpec {
-                country: cc("UG"), volunteer_city: "Kampala".into(), access: Fair,
-                reg_nonlocal_rate: 0.67, gov_nonlocal_rate: 0.83,
+                country: cc("UG"),
+                volunteer_city: "Kampala".into(),
+                access: Fair,
+                reg_nonlocal_rate: 0.67,
+                gov_nonlocal_rate: 0.83,
                 nonlocal_count: CountProfile::Skewed { mean: 15.0 },
-                dest_weights: w(&[("KE", 0.55), ("FR", 0.12), ("GB", 0.15), ("DE", 0.10), ("NL", 0.05), ("US", 0.03)]),
-                majors_serve_locally: false, org_dest_overrides: vec![],
+                dest_weights: w(&[
+                    ("KE", 0.55),
+                    ("FR", 0.12),
+                    ("GB", 0.15),
+                    ("DE", 0.10),
+                    ("NL", 0.05),
+                    ("US", 0.03),
+                ]),
+                majors_serve_locally: false,
+                org_dest_overrides: vec![],
                 exclusive_orgs: ex(&["TrueAfrican"]),
-                traceroute: Normal, load_success_rate: 0.90, gov_sites_in_tranco: 50,
-                page_richness: 0.95, similarweb_covers: false,
+                traceroute: Normal,
+                load_success_rate: 0.90,
+                gov_sites_in_tranco: 50,
+                page_richness: 0.95,
+                similarweb_covers: false,
             },
             CountrySpec {
-                country: cc("AR"), volunteer_city: "Buenos Aires".into(), access: Good,
-                reg_nonlocal_rate: 0.65, gov_nonlocal_rate: 0.58,
-                nonlocal_count: CountProfile::LowWithOutliers { typical: 2.0, outlier_rate: 0.06, outlier_mean: 14.0 },
+                country: cc("AR"),
+                volunteer_city: "Buenos Aires".into(),
+                access: Good,
+                reg_nonlocal_rate: 0.65,
+                gov_nonlocal_rate: 0.58,
+                nonlocal_count: CountProfile::LowWithOutliers {
+                    typical: 2.0,
+                    outlier_rate: 0.06,
+                    outlier_mean: 14.0,
+                },
                 dest_weights: w(&[("BR", 0.60), ("FR", 0.20), ("US", 0.10), ("GB", 0.10)]),
-                majors_serve_locally: false, org_dest_overrides: vec![], exclusive_orgs: vec![],
-                traceroute: Normal, load_success_rate: 0.95, gov_sites_in_tranco: 50,
-                page_richness: 1.25, similarweb_covers: true,
+                majors_serve_locally: false,
+                org_dest_overrides: vec![],
+                exclusive_orgs: vec![],
+                traceroute: Normal,
+                load_success_rate: 0.95,
+                gov_sites_in_tranco: 50,
+                page_richness: 1.25,
+                similarweb_covers: true,
             },
             CountrySpec {
-                country: cc("RU"), volunteer_city: "Moscow".into(), access: Good,
-                reg_nonlocal_rate: 0.16, gov_nonlocal_rate: 0.0,
+                country: cc("RU"),
+                volunteer_city: "Moscow".into(),
+                access: Good,
+                reg_nonlocal_rate: 0.16,
+                gov_nonlocal_rate: 0.0,
                 nonlocal_count: CountProfile::Skewed { mean: 2.0 },
                 dest_weights: w(&[("FI", 0.40), ("DE", 0.30), ("BG", 0.30)]),
-                majors_serve_locally: true, org_dest_overrides: vec![], exclusive_orgs: vec![],
-                traceroute: Normal, load_success_rate: 0.93, gov_sites_in_tranco: 16,
-                page_richness: 1.0, similarweb_covers: true,
+                majors_serve_locally: true,
+                org_dest_overrides: vec![],
+                exclusive_orgs: vec![],
+                traceroute: Normal,
+                load_success_rate: 0.93,
+                gov_sites_in_tranco: 16,
+                page_richness: 1.0,
+                similarweb_covers: true,
             },
             CountrySpec {
-                country: cc("LK"), volunteer_city: "Colombo".into(), access: Fair,
-                reg_nonlocal_rate: 0.12, gov_nonlocal_rate: 0.07,
+                country: cc("LK"),
+                volunteer_city: "Colombo".into(),
+                access: Fair,
+                reg_nonlocal_rate: 0.12,
+                gov_nonlocal_rate: 0.07,
                 nonlocal_count: CountProfile::Skewed { mean: 2.5 },
-                dest_weights: w(&[("JP", 0.55), ("FR", 0.18), ("SG", 0.17), ("AU", 0.05), ("IN", 0.05)]),
+                dest_weights: w(&[
+                    ("JP", 0.55),
+                    ("FR", 0.18),
+                    ("SG", 0.17),
+                    ("AU", 0.05),
+                    ("IN", 0.05),
+                ]),
                 majors_serve_locally: true,
                 org_dest_overrides: ov(&[("Yahoo", "JP"), ("AdStudio", "IN")]), // §7
                 exclusive_orgs: ex(&["AdStudio"]),
-                traceroute: Normal, load_success_rate: 0.92, gov_sites_in_tranco: 50,
-                page_richness: 0.9, similarweb_covers: true,
+                traceroute: Normal,
+                load_success_rate: 0.92,
+                gov_sites_in_tranco: 50,
+                page_richness: 0.9,
+                similarweb_covers: true,
             },
             CountrySpec {
-                country: cc("TH"), volunteer_city: "Bangkok".into(), access: Good,
-                reg_nonlocal_rate: 0.62, gov_nonlocal_rate: 0.56,
+                country: cc("TH"),
+                volunteer_city: "Bangkok".into(),
+                access: Good,
+                reg_nonlocal_rate: 0.62,
+                gov_nonlocal_rate: 0.56,
                 nonlocal_count: CountProfile::Skewed { mean: 12.0 },
                 dest_weights: w(&[("MY", 0.40), ("SG", 0.25), ("HK", 0.20), ("JP", 0.15)]),
-                majors_serve_locally: false, org_dest_overrides: vec![], exclusive_orgs: vec![],
-                traceroute: Normal, load_success_rate: 0.95, gov_sites_in_tranco: 50,
-                page_richness: 1.3, similarweb_covers: true,
+                majors_serve_locally: false,
+                org_dest_overrides: vec![],
+                exclusive_orgs: vec![],
+                traceroute: Normal,
+                load_success_rate: 0.95,
+                gov_sites_in_tranco: 50,
+                page_richness: 1.3,
+                similarweb_covers: true,
             },
             CountrySpec {
-                country: cc("AE"), volunteer_city: "Dubai".into(), access: Good,
-                reg_nonlocal_rate: 0.26, gov_nonlocal_rate: 0.40,
+                country: cc("AE"),
+                volunteer_city: "Dubai".into(),
+                access: Good,
+                reg_nonlocal_rate: 0.26,
+                gov_nonlocal_rate: 0.40,
                 nonlocal_count: CountProfile::Skewed { mean: 6.5 },
                 dest_weights: w(&[("US", 0.30), ("FR", 0.30), ("DE", 0.20), ("GB", 0.20)]),
-                majors_serve_locally: true, org_dest_overrides: vec![], exclusive_orgs: vec![],
-                traceroute: Normal, load_success_rate: 0.94, gov_sites_in_tranco: 50,
-                page_richness: 1.0, similarweb_covers: true,
+                majors_serve_locally: true,
+                org_dest_overrides: vec![],
+                exclusive_orgs: vec![],
+                traceroute: Normal,
+                load_success_rate: 0.94,
+                gov_sites_in_tranco: 50,
+                page_richness: 1.0,
+                similarweb_covers: true,
             },
             CountrySpec {
-                country: cc("GB"), volunteer_city: "London".into(), access: Excellent,
-                reg_nonlocal_rate: 0.42, gov_nonlocal_rate: 0.36,
+                country: cc("GB"),
+                volunteer_city: "London".into(),
+                access: Excellent,
+                reg_nonlocal_rate: 0.42,
+                gov_nonlocal_rate: 0.36,
                 nonlocal_count: CountProfile::Skewed { mean: 3.0 },
-                dest_weights: w(&[("FR", 0.40), ("DE", 0.25), ("NL", 0.20), ("IE", 0.10), ("US", 0.05)]),
-                majors_serve_locally: true, org_dest_overrides: vec![],
+                dest_weights: w(&[
+                    ("FR", 0.40),
+                    ("DE", 0.25),
+                    ("NL", 0.20),
+                    ("IE", 0.10),
+                    ("US", 0.05),
+                ]),
+                majors_serve_locally: true,
+                org_dest_overrides: vec![],
                 exclusive_orgs: ex(&["Brandwatch"]),
-                traceroute: Normal, load_success_rate: 0.96, gov_sites_in_tranco: 50,
-                page_richness: 1.9, similarweb_covers: true,
+                traceroute: Normal,
+                load_success_rate: 0.96,
+                gov_sites_in_tranco: 50,
+                page_richness: 1.9,
+                similarweb_covers: true,
             },
             CountrySpec {
-                country: cc("AU"), volunteer_city: "Sydney".into(), access: Excellent,
-                reg_nonlocal_rate: 0.12, gov_nonlocal_rate: 0.01,
+                country: cc("AU"),
+                volunteer_city: "Sydney".into(),
+                access: Excellent,
+                reg_nonlocal_rate: 0.12,
+                gov_nonlocal_rate: 0.01,
                 nonlocal_count: CountProfile::Skewed { mean: 1.8 },
-                dest_weights: w(&[("SG", 0.35), ("US", 0.25), ("JP", 0.15), ("HK", 0.15), ("GB", 0.10)]),
-                majors_serve_locally: true, org_dest_overrides: vec![], exclusive_orgs: vec![],
-                traceroute: Firewalled, load_success_rate: 0.95, gov_sites_in_tranco: 50,
-                page_richness: 1.1, similarweb_covers: true,
+                dest_weights: w(&[
+                    ("SG", 0.35),
+                    ("US", 0.25),
+                    ("JP", 0.15),
+                    ("HK", 0.15),
+                    ("GB", 0.10),
+                ]),
+                majors_serve_locally: true,
+                org_dest_overrides: vec![],
+                exclusive_orgs: vec![],
+                traceroute: Firewalled,
+                load_success_rate: 0.95,
+                gov_sites_in_tranco: 50,
+                page_richness: 1.1,
+                similarweb_covers: true,
             },
             CountrySpec {
-                country: cc("CA"), volunteer_city: "Toronto".into(), access: Excellent,
-                reg_nonlocal_rate: 0.0, gov_nonlocal_rate: 0.0,
+                country: cc("CA"),
+                volunteer_city: "Toronto".into(),
+                access: Excellent,
+                reg_nonlocal_rate: 0.0,
+                gov_nonlocal_rate: 0.0,
                 nonlocal_count: CountProfile::Skewed { mean: 1.0 },
                 dest_weights: vec![],
-                majors_serve_locally: true, org_dest_overrides: vec![], exclusive_orgs: vec![],
-                traceroute: Normal, load_success_rate: 0.96, gov_sites_in_tranco: 50,
-                page_richness: 2.0, similarweb_covers: true,
+                majors_serve_locally: true,
+                org_dest_overrides: vec![],
+                exclusive_orgs: vec![],
+                traceroute: Normal,
+                load_success_rate: 0.96,
+                gov_sites_in_tranco: 50,
+                page_richness: 2.0,
+                similarweb_covers: true,
             },
             CountrySpec {
-                country: cc("IN"), volunteer_city: "Mumbai".into(), access: Good,
-                reg_nonlocal_rate: 0.0, gov_nonlocal_rate: 0.06,
+                country: cc("IN"),
+                volunteer_city: "Mumbai".into(),
+                access: Good,
+                reg_nonlocal_rate: 0.0,
+                gov_nonlocal_rate: 0.06,
                 nonlocal_count: CountProfile::Skewed { mean: 4.5 },
                 dest_weights: w(&[("SG", 1.0)]),
-                majors_serve_locally: true, org_dest_overrides: vec![], exclusive_orgs: vec![],
-                traceroute: Firewalled, load_success_rate: 0.93, gov_sites_in_tranco: 50,
-                page_richness: 1.1, similarweb_covers: true,
+                majors_serve_locally: true,
+                org_dest_overrides: vec![],
+                exclusive_orgs: vec![],
+                traceroute: Firewalled,
+                load_success_rate: 0.93,
+                gov_sites_in_tranco: 50,
+                page_richness: 1.1,
+                similarweb_covers: true,
             },
             CountrySpec {
-                country: cc("JP"), volunteer_city: "Tokyo".into(), access: Good,
-                reg_nonlocal_rate: 0.25, gov_nonlocal_rate: 0.20,
+                country: cc("JP"),
+                volunteer_city: "Tokyo".into(),
+                access: Good,
+                reg_nonlocal_rate: 0.25,
+                gov_nonlocal_rate: 0.20,
                 nonlocal_count: CountProfile::Skewed { mean: 3.0 },
                 dest_weights: w(&[("US", 0.45), ("SG", 0.25), ("HK", 0.20), ("AU", 0.10)]),
-                majors_serve_locally: true, org_dest_overrides: vec![], exclusive_orgs: vec![],
-                traceroute: Normal, load_success_rate: 0.64, gov_sites_in_tranco: 50,
-                page_richness: 1.0, similarweb_covers: true,
+                majors_serve_locally: true,
+                org_dest_overrides: vec![],
+                exclusive_orgs: vec![],
+                traceroute: Normal,
+                load_success_rate: 0.64,
+                gov_sites_in_tranco: 50,
+                page_richness: 1.0,
+                similarweb_covers: true,
             },
             CountrySpec {
-                country: cc("JO"), volunteer_city: "Amman".into(), access: Fair,
-                reg_nonlocal_rate: 0.58, gov_nonlocal_rate: 0.51,
+                country: cc("JO"),
+                volunteer_city: "Amman".into(),
+                access: Fair,
+                reg_nonlocal_rate: 0.58,
+                gov_nonlocal_rate: 0.51,
                 nonlocal_count: CountProfile::Skewed { mean: 21.0 },
-                dest_weights: w(&[("FR", 0.35), ("DE", 0.30), ("GB", 0.15), ("US", 0.10), ("NL", 0.10)]),
-                majors_serve_locally: false, org_dest_overrides: vec![],
+                dest_weights: w(&[
+                    ("FR", 0.35),
+                    ("DE", 0.30),
+                    ("GB", 0.15),
+                    ("US", 0.10),
+                    ("NL", 0.10),
+                ]),
+                majors_serve_locally: false,
+                org_dest_overrides: vec![],
                 exclusive_orgs: ex(&["Jubna", "OneTag", "Optad360", "AdFalcon"]), // §6.5
-                traceroute: Firewalled, load_success_rate: 0.92, gov_sites_in_tranco: 50,
-                page_richness: 1.0, similarweb_covers: true,
+                traceroute: Firewalled,
+                load_success_rate: 0.92,
+                gov_sites_in_tranco: 50,
+                page_richness: 1.0,
+                similarweb_covers: true,
             },
             CountrySpec {
-                country: cc("NZ"), volunteer_city: "Auckland".into(), access: Excellent,
-                reg_nonlocal_rate: 0.81, gov_nonlocal_rate: 0.85,
-                nonlocal_count: CountProfile::Normal { mean: 12.0, sd: 3.5 }, // §6.2: only NZ is normal
-                dest_weights: w(&[("AU", 0.72), ("US", 0.07), ("SG", 0.08), ("DE", 0.08), ("JP", 0.05)]),
-                majors_serve_locally: false, org_dest_overrides: vec![], exclusive_orgs: vec![],
-                traceroute: Normal, load_success_rate: 0.95, gov_sites_in_tranco: 50,
-                page_richness: 1.15, similarweb_covers: true,
+                country: cc("NZ"),
+                volunteer_city: "Auckland".into(),
+                access: Excellent,
+                reg_nonlocal_rate: 0.81,
+                gov_nonlocal_rate: 0.85,
+                nonlocal_count: CountProfile::Normal {
+                    mean: 12.0,
+                    sd: 3.5,
+                }, // §6.2: only NZ is normal
+                dest_weights: w(&[
+                    ("AU", 0.72),
+                    ("US", 0.07),
+                    ("SG", 0.08),
+                    ("DE", 0.08),
+                    ("JP", 0.05),
+                ]),
+                majors_serve_locally: false,
+                org_dest_overrides: vec![],
+                exclusive_orgs: vec![],
+                traceroute: Normal,
+                load_success_rate: 0.95,
+                gov_sites_in_tranco: 50,
+                page_richness: 1.15,
+                similarweb_covers: true,
             },
             CountrySpec {
-                country: cc("PK"), volunteer_city: "Lahore".into(), access: Fair,
-                reg_nonlocal_rate: 0.70, gov_nonlocal_rate: 0.61,
+                country: cc("PK"),
+                volunteer_city: "Lahore".into(),
+                access: Fair,
+                reg_nonlocal_rate: 0.70,
+                gov_nonlocal_rate: 0.61,
                 nonlocal_count: CountProfile::Skewed { mean: 12.0 },
-                dest_weights: w(&[("FR", 0.35), ("DE", 0.30), ("AE", 0.20), ("OM", 0.10), ("GB", 0.05)]),
-                majors_serve_locally: false, org_dest_overrides: vec![], exclusive_orgs: vec![],
-                traceroute: Normal, load_success_rate: 0.91, gov_sites_in_tranco: 50,
-                page_richness: 1.0, similarweb_covers: true,
+                dest_weights: w(&[
+                    ("FR", 0.35),
+                    ("DE", 0.30),
+                    ("AE", 0.20),
+                    ("OM", 0.10),
+                    ("GB", 0.05),
+                ]),
+                majors_serve_locally: false,
+                org_dest_overrides: vec![],
+                exclusive_orgs: vec![],
+                traceroute: Normal,
+                load_success_rate: 0.91,
+                gov_sites_in_tranco: 50,
+                page_richness: 1.0,
+                similarweb_covers: true,
             },
             CountrySpec {
-                country: cc("QA"), volunteer_city: "Doha".into(), access: Good,
-                reg_nonlocal_rate: 0.83, gov_nonlocal_rate: 0.62,
-                nonlocal_count: CountProfile::LowWithOutliers { typical: 2.2, outlier_rate: 0.07, outlier_mean: 16.0 },
-                dest_weights: w(&[("FR", 0.40), ("GB", 0.25), ("DE", 0.20), ("US", 0.10), ("SA", 0.05)]),
-                majors_serve_locally: false, org_dest_overrides: vec![],
+                country: cc("QA"),
+                volunteer_city: "Doha".into(),
+                access: Good,
+                reg_nonlocal_rate: 0.83,
+                gov_nonlocal_rate: 0.62,
+                nonlocal_count: CountProfile::LowWithOutliers {
+                    typical: 2.2,
+                    outlier_rate: 0.07,
+                    outlier_mean: 16.0,
+                },
+                dest_weights: w(&[
+                    ("FR", 0.40),
+                    ("GB", 0.25),
+                    ("DE", 0.20),
+                    ("US", 0.10),
+                    ("SA", 0.05),
+                ]),
+                majors_serve_locally: false,
+                org_dest_overrides: vec![],
                 exclusive_orgs: ex(&["GulfTag"]),
-                traceroute: Firewalled, load_success_rate: 0.93, gov_sites_in_tranco: 50,
-                page_richness: 1.0, similarweb_covers: true,
+                traceroute: Firewalled,
+                load_success_rate: 0.93,
+                gov_sites_in_tranco: 50,
+                page_richness: 1.0,
+                similarweb_covers: true,
             },
             CountrySpec {
-                country: cc("SA"), volunteer_city: "Riyadh".into(), access: Poor,
-                reg_nonlocal_rate: 0.75, gov_nonlocal_rate: 0.68,
+                country: cc("SA"),
+                volunteer_city: "Riyadh".into(),
+                access: Poor,
+                reg_nonlocal_rate: 0.75,
+                gov_nonlocal_rate: 0.68,
                 nonlocal_count: CountProfile::Skewed { mean: 9.5 },
-                dest_weights: w(&[("DE", 0.35), ("FR", 0.30), ("GB", 0.20), ("US", 0.10), ("BH", 0.05)]),
-                majors_serve_locally: false, org_dest_overrides: vec![], exclusive_orgs: vec![],
-                traceroute: Normal, load_success_rate: 0.56, gov_sites_in_tranco: 50,
-                page_richness: 0.5, similarweb_covers: true,
+                dest_weights: w(&[
+                    ("DE", 0.35),
+                    ("FR", 0.30),
+                    ("GB", 0.20),
+                    ("US", 0.10),
+                    ("BH", 0.05),
+                ]),
+                majors_serve_locally: false,
+                org_dest_overrides: vec![],
+                exclusive_orgs: vec![],
+                traceroute: Normal,
+                load_success_rate: 0.56,
+                gov_sites_in_tranco: 50,
+                page_richness: 0.5,
+                similarweb_covers: true,
             },
             CountrySpec {
-                country: cc("TW"), volunteer_city: "Taipei".into(), access: Good,
-                reg_nonlocal_rate: 0.05, gov_nonlocal_rate: 0.10,
+                country: cc("TW"),
+                volunteer_city: "Taipei".into(),
+                access: Good,
+                reg_nonlocal_rate: 0.05,
+                gov_nonlocal_rate: 0.10,
                 nonlocal_count: CountProfile::Skewed { mean: 1.5 },
                 dest_weights: w(&[("JP", 0.45), ("HK", 0.30), ("US", 0.17), ("AU", 0.08)]),
-                majors_serve_locally: true, org_dest_overrides: vec![], exclusive_orgs: vec![],
-                traceroute: Normal, load_success_rate: 0.94, gov_sites_in_tranco: 50,
-                page_richness: 0.65, similarweb_covers: true,
+                majors_serve_locally: true,
+                org_dest_overrides: vec![],
+                exclusive_orgs: vec![],
+                traceroute: Normal,
+                load_success_rate: 0.94,
+                gov_sites_in_tranco: 50,
+                page_richness: 0.65,
+                similarweb_covers: true,
             },
             CountrySpec {
-                country: cc("US"), volunteer_city: "Ashburn".into(), access: Excellent,
-                reg_nonlocal_rate: 0.0, gov_nonlocal_rate: 0.0,
+                country: cc("US"),
+                volunteer_city: "Ashburn".into(),
+                access: Excellent,
+                reg_nonlocal_rate: 0.0,
+                gov_nonlocal_rate: 0.0,
                 nonlocal_count: CountProfile::Skewed { mean: 1.0 },
                 dest_weights: vec![],
-                majors_serve_locally: true, org_dest_overrides: vec![], exclusive_orgs: vec![],
-                traceroute: Normal, load_success_rate: 0.96, gov_sites_in_tranco: 50,
-                page_richness: 2.1, similarweb_covers: true,
+                majors_serve_locally: true,
+                org_dest_overrides: vec![],
+                exclusive_orgs: vec![],
+                traceroute: Normal,
+                load_success_rate: 0.96,
+                gov_sites_in_tranco: 50,
+                page_richness: 2.1,
+                similarweb_covers: true,
             },
             CountrySpec {
-                country: cc("LB"), volunteer_city: "Beirut".into(), access: Poor,
-                reg_nonlocal_rate: 0.22, gov_nonlocal_rate: 0.18,
+                country: cc("LB"),
+                volunteer_city: "Beirut".into(),
+                access: Poor,
+                reg_nonlocal_rate: 0.22,
+                gov_nonlocal_rate: 0.18,
                 nonlocal_count: CountProfile::Skewed { mean: 2.0 },
                 dest_weights: w(&[("FR", 0.45), ("DE", 0.25), ("GB", 0.20), ("CY", 0.10)]),
-                majors_serve_locally: false, org_dest_overrides: vec![], exclusive_orgs: vec![],
-                traceroute: Normal, load_success_rate: 0.90, gov_sites_in_tranco: 9,
-                page_richness: 0.8, similarweb_covers: true,
+                majors_serve_locally: false,
+                org_dest_overrides: vec![],
+                exclusive_orgs: vec![],
+                traceroute: Normal,
+                load_success_rate: 0.90,
+                gov_sites_in_tranco: 9,
+                page_richness: 0.8,
+                similarweb_covers: true,
             },
         ];
         WorldSpec {
@@ -434,11 +696,29 @@ mod tests {
         // (reg + gov) / 2 should land near Table 1's Non-Local column.
         let spec = WorldSpec::paper_default(1);
         let expect = [
-            ("AZ", 74.39), ("DZ", 49.39), ("EG", 70.41), ("RW", 62.30), ("UG", 75.45),
-            ("AR", 61.48), ("RU", 8.00), ("LK", 9.43), ("TH", 59.05), ("AE", 33.50),
-            ("GB", 38.65), ("AU", 7.06), ("CA", 0.00), ("IN", 1.06), ("JP", 22.71),
-            ("JO", 54.37), ("NZ", 83.50), ("PK", 65.73), ("QA", 73.19), ("SA", 71.43),
-            ("TW", 7.63), ("US", 0.00), ("LB", 20.24),
+            ("AZ", 74.39),
+            ("DZ", 49.39),
+            ("EG", 70.41),
+            ("RW", 62.30),
+            ("UG", 75.45),
+            ("AR", 61.48),
+            ("RU", 8.00),
+            ("LK", 9.43),
+            ("TH", 59.05),
+            ("AE", 33.50),
+            ("GB", 38.65),
+            ("AU", 7.06),
+            ("CA", 0.00),
+            ("IN", 1.06),
+            ("JP", 22.71),
+            ("JO", 54.37),
+            ("NZ", 83.50),
+            ("PK", 65.73),
+            ("QA", 73.19),
+            ("SA", 71.43),
+            ("TW", 7.63),
+            ("US", 0.00),
+            ("LB", 20.24),
         ];
         for (code, pct) in expect {
             let c = spec.country(CountryCode::new(code)).unwrap();
@@ -464,8 +744,24 @@ mod tests {
     #[test]
     fn japan_and_saudi_have_low_load_success() {
         let spec = WorldSpec::paper_default(1);
-        assert!((spec.country(CountryCode::new("JP")).unwrap().load_success_rate - 0.64).abs() < 0.01);
-        assert!((spec.country(CountryCode::new("SA")).unwrap().load_success_rate - 0.56).abs() < 0.01);
+        assert!(
+            (spec
+                .country(CountryCode::new("JP"))
+                .unwrap()
+                .load_success_rate
+                - 0.64)
+                .abs()
+                < 0.01
+        );
+        assert!(
+            (spec
+                .country(CountryCode::new("SA"))
+                .unwrap()
+                .load_success_rate
+                - 0.56)
+                .abs()
+                < 0.01
+        );
         // Everyone else loads > 86% of T_web (§5).
         for c in &spec.countries {
             if !["JP", "SA"].contains(&c.country.as_str()) {
@@ -479,7 +775,10 @@ mod tests {
         let spec = WorldSpec::paper_default(1);
         let jo = spec.country(CountryCode::new("JO")).unwrap();
         for name in ["Jubna", "OneTag", "Optad360"] {
-            assert!(jo.exclusive_orgs.iter().any(|o| o == name), "missing {name}");
+            assert!(
+                jo.exclusive_orgs.iter().any(|o| o == name),
+                "missing {name}"
+            );
         }
     }
 
@@ -502,12 +801,19 @@ mod tests {
         assert!((5.0..11.0).contains(&mean), "skewed mean {mean}");
         assert!(vals.iter().all(|&v| v >= 1));
 
-        let normal = CountProfile::Normal { mean: 12.0, sd: 3.5 };
+        let normal = CountProfile::Normal {
+            mean: 12.0,
+            sd: 3.5,
+        };
         let vals: Vec<usize> = (0..n).map(|_| normal.sample(&mut rng)).collect();
         let mean = vals.iter().sum::<usize>() as f64 / n as f64;
         assert!((11.0..13.0).contains(&mean), "normal mean {mean}");
 
-        let low = CountProfile::LowWithOutliers { typical: 2.0, outlier_rate: 0.05, outlier_mean: 14.0 };
+        let low = CountProfile::LowWithOutliers {
+            typical: 2.0,
+            outlier_rate: 0.05,
+            outlier_mean: 14.0,
+        };
         let vals: Vec<usize> = (0..n).map(|_| low.sample(&mut rng)).collect();
         let median = {
             let mut v = vals.clone();

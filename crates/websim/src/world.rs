@@ -12,8 +12,8 @@ use crate::org::{Org, OrgId};
 use crate::site::{SiteId, Website};
 use crate::spec::WorldSpec;
 use gamma_dns::psl::registrable_domain;
-use gamma_dns::resolver::{GeoResolver, Replica};
 use gamma_dns::rdns::RdnsTable;
+use gamma_dns::resolver::{GeoResolver, Replica};
 use gamma_dns::DomainName;
 use gamma_geo::{CityId, CountryCode};
 use gamma_netsim::{AsRegistry, Asn, IpRegistry};

@@ -74,7 +74,9 @@ const EURO_HUBS: &[(&str, f64)] = &[
 ];
 
 /// Countries treated as "Europe" for hub consolidation.
-const EURO_SET: &[&str] = &["FR", "DE", "GB", "NL", "IE", "ES", "IT", "FI", "BG", "CH", "AT"];
+const EURO_SET: &[&str] = &[
+    "FR", "DE", "GB", "NL", "IE", "ES", "IT", "FI", "BG", "CH", "AT",
+];
 
 fn is_euro(c: CountryCode) -> bool {
     EURO_SET.contains(&c.as_str())
@@ -249,7 +251,8 @@ pub fn generate(spec: &WorldSpec) -> World {
 
     for cs in &spec.countries {
         let local_city = city_by_name(&cs.volunteer_city).expect("validated city").id;
-        let foreign_pool = build_tracker_pool(&fqdn_table, &orgs, &serving, &exclusive_to, cs, true);
+        let foreign_pool =
+            build_tracker_pool(&fqdn_table, &orgs, &serving, &exclusive_to, cs, true);
         let local_pool = build_tracker_pool(&fqdn_table, &orgs, &serving, &exclusive_to, cs, false);
         // Government portals avoid US-hosted third parties except in the
         // UAE (§6.3's T_gov observation).
@@ -271,7 +274,10 @@ pub fn generate(spec: &WorldSpec) -> World {
         // country-specific sites (75-candidate pool, §3.2).
         let mut candidates: Vec<SiteId> = Vec::new();
         for g in &globals {
-            let always = matches!(sites[g.0 as usize].domain.as_str(), "google.com" | "wikipedia.org");
+            let always = matches!(
+                sites[g.0 as usize].domain.as_str(),
+                "google.com" | "wikipedia.org"
+            );
             if always || rng.gen::<f64>() < 0.78 {
                 candidates.push(*g);
             }
@@ -348,8 +354,16 @@ pub fn generate(spec: &WorldSpec) -> World {
             );
             gov_ids.push(id);
         }
-        let in_tranco: Vec<SiteId> = gov_ids.iter().take(cs.gov_sites_in_tranco).copied().collect();
-        let scraped: Vec<SiteId> = gov_ids.iter().skip(cs.gov_sites_in_tranco).copied().collect();
+        let in_tranco: Vec<SiteId> = gov_ids
+            .iter()
+            .take(cs.gov_sites_in_tranco)
+            .copied()
+            .collect();
+        let scraped: Vec<SiteId> = gov_ids
+            .iter()
+            .skip(cs.gov_sites_in_tranco)
+            .copied()
+            .collect();
         rankings.set_gov(cs.country, in_tranco, scraped);
         let t_gov = rankings.gov_sites(cs.country, spec.gov_sites_per_country);
 
@@ -409,7 +423,8 @@ pub fn generate(spec: &WorldSpec) -> World {
             if sites[sid.0 as usize].global {
                 continue;
             }
-            if sites[sid.0 as usize].own_hosts.is_empty() || sites[sid.0 as usize].operator == google_id
+            if sites[sid.0 as usize].own_hosts.is_empty()
+                || sites[sid.0 as usize].operator == google_id
             {
                 finalize_site_hosting(
                     &mut sites,
@@ -701,7 +716,13 @@ fn build_tracker_pool_excluding(
         };
         // Catalog order is deterministic and puts each org's flagship
         // domains first (google-analytics, googletagmanager, ...).
-        pool.push((*org_id, OrgPool { fqdns: fqdns.clone(), weight }));
+        pool.push((
+            *org_id,
+            OrgPool {
+                fqdns: fqdns.clone(),
+                weight,
+            },
+        ));
     }
     pool.sort_by_key(|(id, _)| *id);
     pool.into_iter().map(|(_, p)| p).collect()
@@ -839,10 +860,10 @@ fn build_global_sites(
 
     let mut out = Vec::new();
     let add = |sites: &mut Vec<Website>,
-                   domain: &str,
-                   op: OrgId,
-                   category: SiteCategory,
-                   trackers: Vec<DomainName>| {
+               domain: &str,
+               op: OrgId,
+               category: SiteCategory,
+               trackers: Vec<DomainName>| {
         let id = push_site(
             sites,
             Website {
@@ -863,13 +884,49 @@ fn build_global_sites(
     let g = |k: usize, rng: &mut ChaCha8Rng| pick_org_fqdns(fqdn_table, google, k, rng);
     let f = |k: usize, rng: &mut ChaCha8Rng| pick_org_fqdns(fqdn_table, facebook, k, rng);
 
-    out.push(add(sites, "google.com", google, SiteCategory::Search, g(8, rng)));
-    out.push(add(sites, "wikipedia.org", wikimedia, SiteCategory::Reference, vec![]));
-    out.push(add(sites, "youtube.com", google, SiteCategory::Video, g(16, rng)));
-    out.push(add(sites, "facebook.com", facebook, SiteCategory::Social, f(6, rng)));
-    out.push(add(sites, "instagram.com", facebook, SiteCategory::Social, f(2, rng)));
+    out.push(add(
+        sites,
+        "google.com",
+        google,
+        SiteCategory::Search,
+        g(8, rng),
+    ));
+    out.push(add(
+        sites,
+        "wikipedia.org",
+        wikimedia,
+        SiteCategory::Reference,
+        vec![],
+    ));
+    out.push(add(
+        sites,
+        "youtube.com",
+        google,
+        SiteCategory::Video,
+        g(16, rng),
+    ));
+    out.push(add(
+        sites,
+        "facebook.com",
+        facebook,
+        SiteCategory::Social,
+        f(6, rng),
+    ));
+    out.push(add(
+        sites,
+        "instagram.com",
+        facebook,
+        SiteCategory::Social,
+        f(2, rng),
+    ));
     // whatsapp.com famously ships without third-party tags.
-    out.push(add(sites, "whatsapp.com", facebook, SiteCategory::Social, vec![]));
+    out.push(add(
+        sites,
+        "whatsapp.com",
+        facebook,
+        SiteCategory::Social,
+        vec![],
+    ));
     out.push(add(
         sites,
         "twitter.com",
@@ -879,12 +936,30 @@ fn build_global_sites(
     ));
     let mut li = pick_org_fqdns(fqdn_table, microsoft, 1, rng);
     li.extend(g(2, rng));
-    out.push(add(sites, "linkedin.com", microsoft, SiteCategory::Social, li));
-    out.push(add(sites, "openai.com", openai, SiteCategory::Services, g(2, rng)));
+    out.push(add(
+        sites,
+        "linkedin.com",
+        microsoft,
+        SiteCategory::Social,
+        li,
+    ));
+    out.push(add(
+        sites,
+        "openai.com",
+        openai,
+        SiteCategory::Services,
+        g(2, rng),
+    ));
 
     let mut bk = pick_org_fqdns(fqdn_table, booking, 1, rng);
     bk.extend(g(2, rng));
-    out.push(add(sites, "booking.com", booking, SiteCategory::Services, bk));
+    out.push(add(
+        sites,
+        "booking.com",
+        booking,
+        SiteCategory::Services,
+        bk,
+    ));
     let mut bb = pick_org_fqdns(fqdn_table, bbc, 1, rng);
     bb.extend(g(2, rng));
     out.push(add(sites, "bbc.com", bbc, SiteCategory::News, bb));
@@ -912,13 +987,56 @@ const SITE_SUFFIXES: &[&str] = &[
 ];
 /// Government portal names.
 const GOV_NAMES: &[&str] = &[
-    "moh", "moe", "mof", "mofa", "interior", "customs", "tax", "parliament", "police",
-    "immigration", "stats", "health", "education", "energy", "transport", "agriculture",
-    "justice", "labor", "environment", "tourism", "telecom", "water", "housing", "planning",
-    "sports", "culture", "youth", "science", "trade", "industry", "investment", "cityhall",
-    "municipal", "senate", "courts", "passport", "visa", "pension", "postal", "railway",
-    "highway", "airport", "port", "weather", "geology", "forestry", "fisheries", "mining",
-    "treasury", "census",
+    "moh",
+    "moe",
+    "mof",
+    "mofa",
+    "interior",
+    "customs",
+    "tax",
+    "parliament",
+    "police",
+    "immigration",
+    "stats",
+    "health",
+    "education",
+    "energy",
+    "transport",
+    "agriculture",
+    "justice",
+    "labor",
+    "environment",
+    "tourism",
+    "telecom",
+    "water",
+    "housing",
+    "planning",
+    "sports",
+    "culture",
+    "youth",
+    "science",
+    "trade",
+    "industry",
+    "investment",
+    "cityhall",
+    "municipal",
+    "senate",
+    "courts",
+    "passport",
+    "visa",
+    "pension",
+    "postal",
+    "railway",
+    "highway",
+    "airport",
+    "port",
+    "weather",
+    "geology",
+    "forestry",
+    "fisheries",
+    "mining",
+    "treasury",
+    "census",
 ];
 
 fn generate_regional_site(
@@ -932,7 +1050,11 @@ fn generate_regional_site(
     let suffix = SITE_SUFFIXES[rng.gen_range(0..SITE_SUFFIXES.len())];
     let cc = cs.country.as_str().to_ascii_lowercase();
     // ISO code vs ccTLD mismatch: the United Kingdom uses `.uk`.
-    let cctld = if cc == "gb" { "uk".to_string() } else { cc.clone() };
+    let cctld = if cc == "gb" {
+        "uk".to_string()
+    } else {
+        cc.clone()
+    };
     let tld = if rng.gen::<f64>() < 0.55 {
         let cand = format!("com.{cctld}");
         if gamma_dns::is_public_suffix(&DomainName::parse(&cand).expect("valid")) {
@@ -945,7 +1067,11 @@ fn generate_regional_site(
     };
     let domain_str = format!("{stem}{suffix}-{cc}{index}.{tld}");
     let category = SiteCategory::REGIONAL_MIX[index % SiteCategory::REGIONAL_MIX.len()];
-    let op = ensure_operator(orgs, &format!("{stem}{suffix}-{cc}{index}-media"), cs.country);
+    let op = ensure_operator(
+        orgs,
+        &format!("{stem}{suffix}-{cc}{index}-media"),
+        cs.country,
+    );
     push_site(
         sites,
         Website {
@@ -982,8 +1108,9 @@ fn finalize_site_hosting(
 ) {
     let site = &mut sites[sid.0 as usize];
     if site.own_hosts.is_empty() {
-        let n = 1 + ((rng.gen::<f64>() * 2.2 * cs.page_richness).round() as usize)
-            .min(OWN_HOST_PREFIXES.len() - 1);
+        let n = 1
+            + ((rng.gen::<f64>() * 2.2 * cs.page_richness).round() as usize)
+                .min(OWN_HOST_PREFIXES.len() - 1);
         let mut hosts = vec![site.domain.clone()];
         for p in OWN_HOST_PREFIXES.iter().take(n) {
             if let Ok(h) = site.domain.prepend(p) {
@@ -1009,7 +1136,13 @@ fn finalize_site_hosting(
             continue;
         }
         let ip = hosting.alloc_ip(dep, ip_registry);
-        resolver.add_replicas(h.clone(), [Replica { addr: ip, city: host_city }]);
+        resolver.add_replicas(
+            h.clone(),
+            [Replica {
+                addr: ip,
+                city: host_city,
+            }],
+        );
     }
     domain_org.insert(site.domain.clone(), site.operator);
 }
@@ -1025,8 +1158,18 @@ fn finalize_global_hosting(
     domain_org: &mut HashMap<DomainName, OrgId>,
 ) {
     let hubs = [
-        "Ashburn", "Frankfurt", "Singapore", "Sydney", "Sao Paulo", "Tokyo", "London", "Mumbai",
-        "Toronto", "Moscow", "Taipei", "Dubai",
+        "Ashburn",
+        "Frankfurt",
+        "Singapore",
+        "Sydney",
+        "Sao Paulo",
+        "Tokyo",
+        "London",
+        "Mumbai",
+        "Toronto",
+        "Moscow",
+        "Taipei",
+        "Dubai",
     ];
     for &sid in globals {
         let site = &mut sites[sid.0 as usize];
@@ -1105,10 +1248,7 @@ mod tests {
                 let site = w.site(sid);
                 assert!(!site.own_hosts.is_empty(), "{} has no hosts", site.domain);
                 for h in &site.own_hosts {
-                    assert!(
-                        w.resolve(h, vc).is_some(),
-                        "{cc}: {h} does not resolve"
-                    );
+                    assert!(w.resolve(h, vc).is_some(), "{cc}: {h} does not resolve");
                 }
             }
         }
@@ -1163,8 +1303,14 @@ mod tests {
         let yahoo = w.orgs.iter().find(|o| o.name == "Yahoo").unwrap().id;
         let adstudio = w.orgs.iter().find(|o| o.name == "AdStudio").unwrap().id;
         let lk = CountryCode::new("LK");
-        assert_eq!(city(w.serving[&(yahoo, lk)]).country, CountryCode::new("JP"));
-        assert_eq!(city(w.serving[&(adstudio, lk)]).country, CountryCode::new("IN"));
+        assert_eq!(
+            city(w.serving[&(yahoo, lk)]).country,
+            CountryCode::new("JP")
+        );
+        assert_eq!(
+            city(w.serving[&(adstudio, lk)]).country,
+            CountryCode::new("IN")
+        );
     }
 
     #[test]
@@ -1186,7 +1332,13 @@ mod tests {
                         .any(|d| tr == d || tr.is_subdomain_of(d))
                 });
                 if has {
-                    assert_eq!(cc.as_str(), "JO", "Jubna embedded by {} site {}", cc, site.domain);
+                    assert_eq!(
+                        cc.as_str(),
+                        "JO",
+                        "Jubna embedded by {} site {}",
+                        cc,
+                        site.domain
+                    );
                 }
             }
         }

@@ -16,14 +16,18 @@ use gamma::websim::{worldgen, WorldSpec};
 
 fn main() {
     let world = worldgen::generate(&WorldSpec::paper_default(5));
-    let volunteer = Volunteer::for_country(&world, CountryCode::new("TH"), 8)
-        .expect("Thailand is in the spec");
+    let volunteer =
+        Volunteer::for_country(&world, CountryCode::new("TH"), 8).expect("Thailand is in the spec");
 
     println!(
         "{:<10} {:>8} {:>10} {:>14} {:>12}",
         "browser", "loads", "requests", "webdriver-noise", "traceroutes"
     );
-    for kind in [BrowserKind::Chrome, BrowserKind::Firefox, BrowserKind::Brave] {
+    for kind in [
+        BrowserKind::Chrome,
+        BrowserKind::Firefox,
+        BrowserKind::Brave,
+    ] {
         let config = GammaConfig {
             browser: BrowserConfig {
                 kind,
@@ -33,7 +37,11 @@ fn main() {
         };
         let ds = run_volunteer(&world, &volunteer, &config);
         let requests = ds.dns.len();
-        let noise = ds.dns.iter().filter(|d| is_webdriver_noise(&d.request)).count();
+        let noise = ds
+            .dns
+            .iter()
+            .filter(|d| is_webdriver_noise(&d.request))
+            .count();
         println!(
             "{:<10} {:>8} {:>10} {:>14} {:>12}",
             format!("{kind:?}"),

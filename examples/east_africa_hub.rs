@@ -44,7 +44,10 @@ fn main() {
     );
 
     println!("\n== Unique tracking domains by hosting country (Figure 7 view) ==");
-    for (cc, n) in hosting::domains_by_hosting_country(&results.study).iter().take(8) {
+    for (cc, n) in hosting::domains_by_hosting_country(&results.study)
+        .iter()
+        .take(8)
+    {
         println!("  {:<4} {n}", cc.as_str());
     }
 
@@ -64,7 +67,11 @@ fn main() {
         }
     }
     nairobi_orgs.sort();
-    println!("  {} organizations: {}", nairobi_orgs.len(), nairobi_orgs.join(", "));
+    println!(
+        "  {} organizations: {}",
+        nairobi_orgs.len(),
+        nairobi_orgs.join(", ")
+    );
 
     println!("\n== Organization flows (Figure 8 view) ==");
     for (org, n) in orgs::ranked_orgs(&results.study).iter().take(10) {

@@ -58,7 +58,12 @@ fn main() {
 
     // And the famous incident: what does each vendor say about Google's
     // addresses serving Pakistan?
-    let g = world.orgs.iter().find(|o| o.name == "Google").expect("Google").id;
+    let g = world
+        .orgs
+        .iter()
+        .find(|o| o.name == "Google")
+        .expect("Google")
+        .id;
     let serve = world.serving[&(g, gamma::geo::CountryCode::new("PK"))];
     let dep = world.hosting.get(g, serve).expect("deployment");
     let addr = dep.nets[0].nth(1).expect("host");

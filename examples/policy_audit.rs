@@ -18,7 +18,10 @@ fn main() {
     let rows = table1(&results.study);
 
     println!("== Table 1: policy regime vs measured non-local tracker rate ==\n");
-    println!("{:<8} {:<6} {:<8} {:>10}", "country", "type", "enacted", "non-local%");
+    println!(
+        "{:<8} {:<6} {:<8} {:>10}",
+        "country", "type", "enacted", "non-local%"
+    );
     for r in &rows {
         println!(
             "{:<8} {:<6} {:<8} {:>9.2}%{}",
@@ -34,7 +37,13 @@ fn main() {
     }
 
     println!("\n== Mean non-local rate per policy class ==");
-    for p in [PolicyType::CS, PolicyType::PA, PolicyType::AC, PolicyType::TA, PolicyType::NR] {
+    for p in [
+        PolicyType::CS,
+        PolicyType::PA,
+        PolicyType::AC,
+        PolicyType::TA,
+        PolicyType::NR,
+    ] {
         let rates: Vec<f64> = rows
             .iter()
             .filter(|r| r.policy == p)

@@ -60,17 +60,35 @@ fn main() {
     );
     let mut broken = 0;
     let mut total = 0;
-    for server in ["Singapore", "Kuala Lumpur", "Hong Kong", "Tokyo", "Frankfurt"] {
+    for server in [
+        "Singapore",
+        "Kuala Lumpur",
+        "Hong Kong",
+        "Tokyo",
+        "Frankfurt",
+    ] {
         let dst = city_by_name(server).expect("catalog city");
         let direct = model
-            .sample(&synthesize_route(bangkok, dst), AccessQuality::Good, &mut rng)
+            .sample(
+                &synthesize_route(bangkok, dst),
+                AccessQuality::Good,
+                &mut rng,
+            )
             .rtt_ms();
         // The relayed path: user -> exit, then exit -> server.
         let leg1 = model
-            .sample(&synthesize_route(bangkok, london), AccessQuality::Good, &mut rng)
+            .sample(
+                &synthesize_route(bangkok, london),
+                AccessQuality::Good,
+                &mut rng,
+            )
             .rtt_ms();
         let leg2 = model
-            .sample(&synthesize_route(london, dst), AccessQuality::Good, &mut rng)
+            .sample(
+                &synthesize_route(london, dst),
+                AccessQuality::Good,
+                &mut rng,
+            )
             .rtt_ms();
         let vpn = leg1 + leg2;
         // A measurement study that believes its vantage is London will test

@@ -9,16 +9,25 @@
 //! # different seed; dump the assembled analysis dataset as JSON
 //! gamma-study --seed 7 --json study.json
 //!
+//! # four worker threads (output is byte-identical to --jobs 1)
+//! gamma-study --jobs 4
+//!
+//! # checkpoint after every country; rerun with the same flag to resume
+//! gamma-study --resume study.ckpt
+//!
 //! # ablation: run without the reverse-DNS constraint
 //! gamma-study --no-rdns
 //! ```
 
+use gamma::campaign::{render_campaign_report, Options};
 use gamma::core::Study;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mut seed = 2025u64;
     let mut json_out: Option<String> = None;
+    let mut jobs = 1usize;
+    let mut resume: Option<String> = None;
     let mut no_source = false;
     let mut no_dest = false;
     let mut no_rdns = false;
@@ -34,6 +43,14 @@ fn main() -> ExitCode {
                 Some(v) => json_out = Some(v),
                 None => return usage(),
             },
+            "--jobs" => match argv.next().and_then(|v| v.parse().ok()) {
+                Some(v) => jobs = v,
+                None => return usage(),
+            },
+            "--resume" => match argv.next() {
+                Some(v) => resume = Some(v),
+                None => return usage(),
+            },
             "--no-source" => no_source = true,
             "--no-dest" => no_dest = true,
             "--no-rdns" => no_rdns = true,
@@ -47,11 +64,29 @@ fn main() -> ExitCode {
     study.options.enable_destination_constraint = !no_dest;
     study.options.enable_rdns_constraint = !no_rdns;
 
-    eprintln!("running the full 23-country study (seed {seed})...");
-    let results = study.run();
+    let mut options = Options::with_workers(jobs);
+    if let Some(path) = resume {
+        options = options.resumable(path);
+    }
+
+    eprintln!(
+        "running the full 23-country study (seed {seed}, {} worker(s))...",
+        options.effective_workers()
+    );
+    let results = match study.run_with(&options) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("campaign failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("{}", render_campaign_report(&results.metrics));
     println!("{}", results.render_all());
     if let Some(p) = results.overall_foreign_precision() {
-        println!("foreign-identification precision vs ground truth: {:.2}%", p * 100.0);
+        println!(
+            "foreign-identification precision vs ground truth: {:.2}%",
+            p * 100.0
+        );
     }
 
     if let Some(path) = json_out {
@@ -73,6 +108,11 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> ExitCode {
-    eprintln!("usage: gamma-study [--seed N] [--json FILE] [--no-source] [--no-dest] [--no-rdns]");
+    eprintln!(
+        "usage: gamma-study [--seed N] [--json FILE] [--jobs N] [--resume FILE] \
+         [--no-source] [--no-dest] [--no-rdns]"
+    );
+    eprintln!("  --jobs N       run country shards on N worker threads (0 = all cores)");
+    eprintln!("  --resume FILE  checkpoint after every country; resume from FILE if it exists");
     ExitCode::FAILURE
 }

@@ -52,7 +52,10 @@ fn ablation_constraints_are_partially_redundant_but_jointly_necessary() {
         s.options.enable_destination_constraint = false;
     });
     assert!(full > 0.97, "full {full}");
-    assert!(no_source > 0.90, "single-constraint resilience: {no_source}");
+    assert!(
+        no_source > 0.90,
+        "single-constraint resilience: {no_source}"
+    );
     assert!(no_dest > 0.90, "single-constraint resilience: {no_dest}");
     assert!(
         rdns_only < full - 0.05,
@@ -124,14 +127,19 @@ fn ablation_latency_floor_sweep() {
         let pass = ds
             .traceroutes
             .iter()
-            .filter(|t| evaluate_source(&t.normalized, v.city, claimed, &stats, floor, true).passed())
+            .filter(|t| {
+                evaluate_source(&t.normalized, v.city, claimed, &stats, floor, true).passed()
+            })
             .count();
         counts.push((floor, pass));
     }
     for w in counts.windows(2) {
         assert!(w[0].1 >= w[1].1, "not monotone: {counts:?}");
     }
-    assert!(counts[0].1 > counts[4].1, "the rule has no teeth: {counts:?}");
+    assert!(
+        counts[0].1 > counts[4].1,
+        "the rule has no teeth: {counts:?}"
+    );
 }
 
 #[test]
@@ -181,7 +189,11 @@ fn ablation_perfect_database_needs_no_rescue() {
     let perfect = perfect_study.run();
 
     let discard_rate = |r: &gamma::core::StudyResults| -> f64 {
-        let cand: usize = r.runs.iter().map(|(_, rep)| rep.funnel.nonlocal_candidates).sum();
+        let cand: usize = r
+            .runs
+            .iter()
+            .map(|(_, rep)| rep.funnel.nonlocal_candidates)
+            .sum();
         let kept: usize = r
             .runs
             .iter()

@@ -84,7 +84,10 @@ fn cloud_census_shows_the_aws_dominance_of_section_6_5() {
         .filter_map(|rep| annotator.annotate(rep.addr))
         .filter(|a| a.as_name == "AMAZON-02")
         .count();
-    assert!(aws_in_nairobi > 5, "{aws_in_nairobi} AWS-hosted Nairobi trackers");
+    assert!(
+        aws_in_nairobi > 5,
+        "{aws_in_nairobi} AWS-hosted Nairobi trackers"
+    );
 }
 
 #[test]

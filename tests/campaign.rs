@@ -1,0 +1,194 @@
+//! Campaign engine integration: checkpoint/resume, fault-tolerant
+//! retries, and order-independence of per-country shards over a fixed
+//! world.
+
+use gamma::atlas::AtlasPlatform;
+use gamma::campaign::{Campaign, CampaignEnv, CampaignError, FaultInjection, Options, RetryPolicy};
+use gamma::core::Study;
+use gamma::geo::CountryCode;
+use gamma::geoloc::{ErrorSpec, GeoDatabase, PipelineOptions};
+use gamma::suite::GammaConfig;
+use gamma::websim::{worldgen, WorldSpec};
+use std::path::PathBuf;
+
+fn reduced_study(seed: u64) -> Study {
+    let mut spec = WorldSpec::paper_default(seed);
+    spec.countries
+        .retain(|c| ["RW", "US", "NZ"].contains(&c.country.as_str()));
+    spec.reg_sites_per_country = 16;
+    spec.gov_sites_per_country = 5;
+    Study::with_spec(spec)
+}
+
+/// A temp checkpoint path that cleans itself up.
+struct CkptFile(PathBuf);
+
+impl CkptFile {
+    fn new(tag: &str) -> CkptFile {
+        CkptFile(std::env::temp_dir().join(format!(
+            "gamma-campaign-{}-{}.json",
+            tag,
+            std::process::id()
+        )))
+    }
+}
+
+impl Drop for CkptFile {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+#[test]
+fn killed_campaign_resumes_into_an_identical_dataset() {
+    let study = reduced_study(1717);
+    let uninterrupted = study.run();
+
+    let ckpt = CkptFile::new("resume");
+
+    // First run: the US shard (second of three) always faults, so the
+    // campaign dies after Rwanda completes and checkpoints.
+    let mut first = Options::sequential().resumable(&ckpt.0);
+    first.retry = RetryPolicy::no_retry();
+    first.inject = FaultInjection::none().fail_first(CountryCode::new("US"), u32::MAX);
+    match study.run_with(&first) {
+        Err(CampaignError::ShardFailed { country, .. }) => {
+            assert_eq!(country, CountryCode::new("US"));
+        }
+        other => panic!("expected the injected kill, got {:?}", other.is_ok()),
+    }
+    assert!(ckpt.0.exists(), "checkpoint must survive the kill");
+
+    // Second run: same options, fault cleared — resumes past Rwanda.
+    let second = Options::sequential().resumable(&ckpt.0);
+    let resumed = study.run_with(&second).unwrap();
+
+    assert_eq!(resumed.metrics.resumed_shards, 1);
+    assert!(
+        resumed
+            .metrics
+            .shard(CountryCode::new("RW"))
+            .unwrap()
+            .resumed
+    );
+    assert!(
+        !resumed
+            .metrics
+            .shard(CountryCode::new("US"))
+            .unwrap()
+            .resumed
+    );
+
+    // The assembled results are byte-identical to the uninterrupted run.
+    assert_eq!(resumed.runs, uninterrupted.runs);
+    assert_eq!(resumed.study, uninterrupted.study);
+    assert_eq!(resumed.render_all(), uninterrupted.render_all());
+}
+
+#[test]
+fn checkpoints_from_other_campaigns_are_rejected() {
+    let ckpt = CkptFile::new("incompatible");
+
+    let study = reduced_study(1818);
+    study
+        .run_with(&Options::sequential().resumable(&ckpt.0))
+        .unwrap();
+
+    // Same plan, different seed: must refuse rather than mix streams.
+    let other = reduced_study(1819);
+    match other.run_with(&Options::sequential().resumable(&ckpt.0)) {
+        Err(CampaignError::IncompatibleCheckpoint(_)) => {}
+        other => panic!("expected IncompatibleCheckpoint, got {:?}", other.is_ok()),
+    }
+}
+
+#[test]
+fn transient_faults_retry_without_changing_results() {
+    let study = reduced_study(1919);
+    let clean = study.run();
+
+    let mut faulty = Options::with_workers(2);
+    faulty.retry = RetryPolicy::immediate();
+    faulty.inject = FaultInjection::none()
+        .fail_first(CountryCode::new("RW"), 1)
+        .fail_first(CountryCode::new("NZ"), 2);
+    let retried = study.run_with(&faulty).unwrap();
+
+    assert_eq!(retried.runs, clean.runs);
+    assert_eq!(retried.study, clean.study);
+    assert_eq!(
+        retried
+            .metrics
+            .shard(CountryCode::new("RW"))
+            .unwrap()
+            .attempts,
+        2
+    );
+    assert_eq!(
+        retried
+            .metrics
+            .shard(CountryCode::new("NZ"))
+            .unwrap()
+            .attempts,
+        3
+    );
+    assert_eq!(retried.metrics.totals().retries, 3);
+}
+
+#[test]
+fn shard_results_are_independent_of_plan_order_on_a_fixed_world() {
+    // The world itself is a function of the spec (generation threads one
+    // RNG through the country list), so order independence is a property
+    // of the *campaign layer*: over one generated world, a country's
+    // shard must not care where it sits in the plan — or what else runs.
+    let mut spec = WorldSpec::paper_default(2020);
+    spec.countries
+        .retain(|c| ["RW", "US", "NZ"].contains(&c.country.as_str()));
+    spec.reg_sites_per_country = 16;
+    spec.gov_sites_per_country = 5;
+    let world = worldgen::generate(&spec);
+    let geodb = GeoDatabase::build(&world, &ErrorSpec::default(), 2020);
+    let atlas = AtlasPlatform::generate(2020);
+    let config = GammaConfig::paper_default(2020);
+    let env = CampaignEnv {
+        world: &world,
+        geodb: &geodb,
+        atlas: &atlas,
+        config: &config,
+        pipeline_options: PipelineOptions::default(),
+        master_seed: 2020,
+    };
+
+    let cc = CountryCode::new;
+    let forward_plan = vec![cc("RW"), cc("US"), cc("NZ")];
+    let reversed_plan = vec![cc("NZ"), cc("US"), cc("RW")];
+    let forward = Campaign::with_plan(env, Options::sequential(), forward_plan)
+        .run()
+        .unwrap();
+    let reversed = Campaign::with_plan(env, Options::sequential(), reversed_plan.clone())
+        .run()
+        .unwrap();
+    let rw_alone = Campaign::with_plan(env, Options::sequential(), vec![cc("RW")])
+        .run()
+        .unwrap();
+
+    let pick = |o: &gamma::campaign::CampaignOutcome, c: CountryCode| {
+        o.shards
+            .iter()
+            .find(|d| d.marker.country == c)
+            .map(|d| (d.dataset.clone(), d.report.clone()))
+            .unwrap()
+    };
+    for c in [cc("RW"), cc("US"), cc("NZ")] {
+        assert_eq!(
+            pick(&forward, c),
+            pick(&reversed, c),
+            "{c} depends on plan order"
+        );
+    }
+    assert_eq!(pick(&forward, cc("RW")), pick(&rw_alone, cc("RW")));
+
+    // Results come back in plan order, whatever that order was.
+    let order: Vec<CountryCode> = reversed.shards.iter().map(|d| d.marker.country).collect();
+    assert_eq!(order, reversed_plan);
+}

@@ -1,0 +1,68 @@
+//! Cross-crate determinism: the same seed must produce the same bytes,
+//! and the worker pool must never change them. This is the property that
+//! makes the campaign engine safe to parallelize — every per-country
+//! shard consumes its own derived RNG stream, so scheduling order cannot
+//! leak into results.
+
+use gamma::campaign::Options;
+use gamma::core::Study;
+use gamma::websim::WorldSpec;
+
+fn reduced_study(seed: u64) -> Study {
+    let mut spec = WorldSpec::paper_default(seed);
+    spec.countries
+        .retain(|c| ["EG", "RW", "TH", "AU", "US", "LB"].contains(&c.country.as_str()));
+    spec.reg_sites_per_country = 20;
+    spec.gov_sites_per_country = 6;
+    Study::with_spec(spec)
+}
+
+#[test]
+fn same_seed_renders_identically_twice() {
+    let a = reduced_study(4242).run();
+    let b = reduced_study(4242).run();
+    assert_eq!(a.render_all(), b.render_all());
+    assert_eq!(a.study, b.study);
+    assert_eq!(a.runs, b.runs);
+}
+
+#[test]
+fn parallel_study_is_byte_identical_to_sequential() {
+    let study = reduced_study(4243);
+    let sequential = study.run_with(&Options::with_workers(1)).unwrap();
+    let parallel = study.run_with(&Options::with_workers(4)).unwrap();
+
+    // The raw per-country outputs, the assembled dataset, and every
+    // rendered figure/table must match byte for byte.
+    assert_eq!(sequential.runs, parallel.runs);
+    assert_eq!(sequential.study, parallel.study);
+    assert_eq!(sequential.render_all(), parallel.render_all());
+
+    // Only the ledger's execution facts may differ.
+    assert_eq!(sequential.metrics.workers, 1);
+    assert_eq!(parallel.metrics.workers, 4);
+    assert_eq!(
+        sequential.metrics.shards.len(),
+        parallel.metrics.shards.len()
+    );
+}
+
+#[test]
+fn oversized_pools_change_nothing() {
+    // More workers than shards: the pool clamps, the bytes hold.
+    let study = reduced_study(4244);
+    let small = study.run_with(&Options::with_workers(2)).unwrap();
+    let huge = study.run_with(&Options::with_workers(64)).unwrap();
+    assert_eq!(small.runs, huge.runs);
+    assert_eq!(small.study, huge.study);
+}
+
+#[test]
+fn run_is_the_one_worker_campaign() {
+    let study = reduced_study(4245);
+    let plain = study.run();
+    let explicit = study.run_with(&Options::sequential()).unwrap();
+    assert_eq!(plain.runs, explicit.runs);
+    assert_eq!(plain.study, explicit.study);
+    assert_eq!(plain.metrics.workers, 1);
+}

@@ -33,8 +33,16 @@ fn headline_results_reproduce() {
 
     // §6.1: means near 46%/40% with large dispersion and high correlation.
     let fig3 = prevalence::figure3(&r.study);
-    assert!((32.0..60.0).contains(&fig3.regional_mean), "{}", fig3.regional_mean);
-    assert!((26.0..54.0).contains(&fig3.government_mean), "{}", fig3.government_mean);
+    assert!(
+        (32.0..60.0).contains(&fig3.regional_mean),
+        "{}",
+        fig3.regional_mean
+    );
+    assert!(
+        (26.0..54.0).contains(&fig3.government_mean),
+        "{}",
+        fig3.government_mean
+    );
     assert!(fig3.reg_gov_correlation.unwrap() > 0.7);
 
     // §6.3: France is the dominant destination.
@@ -85,7 +93,9 @@ fn geolocation_precision_is_near_perfect() {
     // The multi-constraint framework's headline property ([48]: 100%
     // precision in identifying foreign servers).
     let r = study();
-    let p = r.overall_foreign_precision().expect("confirmed servers exist");
+    let p = r
+        .overall_foreign_precision()
+        .expect("confirmed servers exist");
     assert!(p > 0.98, "precision {p}");
 }
 
@@ -145,6 +155,10 @@ fn dataset_serializes_to_json_and_back() {
 fn volunteer_ips_are_anonymized_in_results() {
     let r = study();
     for (ds, _) in &r.runs {
-        assert!(ds.volunteer.ip.is_none(), "{} not anonymized", ds.volunteer.country);
+        assert!(
+            ds.volunteer.ip.is_none(),
+            "{} not anonymized",
+            ds.volunteer.country
+        );
     }
 }

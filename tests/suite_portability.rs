@@ -4,9 +4,7 @@
 //! schema (§3 of the paper).
 
 use gamma::geo::CountryCode;
-use gamma::suite::{
-    parse_linux, parse_windows, run_volunteer, GammaConfig, Os, Volunteer,
-};
+use gamma::suite::{parse_linux, parse_windows, run_volunteer, GammaConfig, Os, Volunteer};
 use gamma::websim::{worldgen, World, WorldSpec};
 use std::sync::OnceLock;
 
@@ -34,7 +32,10 @@ fn os_specific_output_normalizes_to_the_same_schema() {
     for (a, b) in linux_ds.traceroutes.iter().zip(&windows_ds.traceroutes) {
         assert_eq!(a.target_ip, b.target_ip);
         assert!(a.raw_text.starts_with("traceroute to"), "not Linux output");
-        assert!(b.raw_text.contains("Tracing route to"), "not Windows output");
+        assert!(
+            b.raw_text.contains("Tracing route to"),
+            "not Windows output"
+        );
         assert_eq!(a.normalized.dst, b.normalized.dst);
         assert_eq!(a.normalized.reached, b.normalized.reached);
         assert_eq!(a.normalized.hops.len(), b.normalized.hops.len());
@@ -110,7 +111,11 @@ fn whole_roster_runs_and_respects_modes() {
     }
     // Everyone else mostly reaches.
     let th = by("TH");
-    let reached = th.traceroutes.iter().filter(|t| t.normalized.reached).count();
+    let reached = th
+        .traceroutes
+        .iter()
+        .filter(|t| t.normalized.reached)
+        .count();
     assert!(reached * 2 > th.traceroutes.len());
 }
 
@@ -121,8 +126,14 @@ fn volume_counters_land_on_the_papers_scale() {
     let observations: usize = datasets.iter().map(|d| d.dns.len()).sum();
     let traceroutes: usize = datasets.iter().map(|d| d.traceroutes.len()).sum();
     // §5: ≈26K domain observations, ≈25K volunteer traceroutes.
-    assert!((12_000..60_000).contains(&observations), "observations {observations}");
-    assert!((8_000..60_000).contains(&traceroutes), "traceroutes {traceroutes}");
+    assert!(
+        (12_000..60_000).contains(&observations),
+        "observations {observations}"
+    );
+    assert!(
+        (8_000..60_000).contains(&traceroutes),
+        "traceroutes {traceroutes}"
+    );
     // §5's ordering: the USA ranks among the heaviest traceroute sources,
     // Saudi Arabia / Lebanon / Taiwan among the lightest.
     let mut ranked: Vec<(&str, usize)> = datasets
@@ -133,7 +144,12 @@ fn volume_counters_land_on_the_papers_scale() {
     ranked.sort_by(|a, b| b.1.cmp(&a.1));
     let pos = |cc: &str| ranked.iter().position(|(c, _)| *c == cc).unwrap();
     let count = |cc: &str| ranked.iter().find(|(c, _)| *c == cc).unwrap().1;
-    assert!(pos("US") < 11, "US ranks {} of {}: {ranked:?}", pos("US"), ranked.len());
+    assert!(
+        pos("US") < 11,
+        "US ranks {} of {}: {ranked:?}",
+        pos("US"),
+        ranked.len()
+    );
     assert!(
         pos("SA") + 7 >= ranked.len(),
         "SA ranks {} of {}: {ranked:?}",

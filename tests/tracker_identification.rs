@@ -131,8 +131,8 @@ fn brave_ablation_lists_vs_in_browser_blocking_agree() {
     // matches Brave's suppression (both are driven by tracker status).
     let w = world();
     let c = TrackerClassifier::for_world(w);
-    let vol = gamma::suite::Volunteer::for_country(w, gamma::geo::CountryCode::new("PK"), 17)
-        .unwrap();
+    let vol =
+        gamma::suite::Volunteer::for_country(w, gamma::geo::CountryCode::new("PK"), 17).unwrap();
     let chrome = gamma::suite::run_volunteer(w, &vol, &gamma::suite::GammaConfig::paper_default(9));
     let flagged = chrome
         .dns

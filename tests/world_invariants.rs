@@ -124,7 +124,10 @@ fn traceroutes_to_true_locations_pass_the_source_constraint_mostly() {
         }
     }
     let rate = pass as f64 / total as f64;
-    assert!(rate > 0.85, "genuine pass rate {rate} over {total} measurements");
+    assert!(
+        rate > 0.85,
+        "genuine pass rate {rate} over {total} measurements"
+    );
 }
 
 #[test]
@@ -203,9 +206,15 @@ fn rdns_hints_never_contradict_ground_truth() {
         let mut checked = 0;
         for dep in w.hosting.iter().step_by(5) {
             for h in [1u64, 2, 3] {
-                let Some(addr) = dep.nets[0].nth(h) else { continue };
-                let Some(host) = w.rdns_of(addr) else { continue };
-                let Some(hint) = gamma::dns::geo_hint(host) else { continue };
+                let Some(addr) = dep.nets[0].nth(h) else {
+                    continue;
+                };
+                let Some(host) = w.rdns_of(addr) else {
+                    continue;
+                };
+                let Some(hint) = gamma::dns::geo_hint(host) else {
+                    continue;
+                };
                 assert_eq!(
                     hint.country,
                     city(dep.city).country,
