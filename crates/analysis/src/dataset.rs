@@ -165,7 +165,7 @@ fn assemble_country(
             noise_removed += 1;
             continue;
         }
-        let Classification::ConfirmedNonLocal { claimed } = v.classification else {
+        let Classification::ConfirmedNonLocal { claimed, .. } = v.classification else {
             continue;
         };
         confirmed_domains.insert(&v.request);

@@ -18,6 +18,8 @@
 //! | [`policy`] | Table 1 (data-localization policy vs non-local rate) |
 //! | [`regional_diff`] | §8 (same site, different behaviour per country) |
 //! | [`funnel`] | §5's measurement funnel |
+//! | [`quality`] | per-country data quality under faults (§3.1's hard
+//!   timeouts, failed DNS, lost traceroutes, degraded confidence) |
 //!
 //! [`dataset::StudyDataset`] is the assembled input: webdriver noise
 //! stripped (§5), verdicts joined with tracker identification and
@@ -35,6 +37,7 @@ pub mod orgs;
 pub mod per_site;
 pub mod policy;
 pub mod prevalence;
+pub mod quality;
 pub mod regional_diff;
 pub mod render;
 pub mod stats;

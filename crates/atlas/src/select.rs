@@ -8,6 +8,7 @@
 
 use crate::platform::AtlasPlatform;
 use crate::probe::Probe;
+use gamma_chaos::{FaultKind, FaultOracle, FaultScope};
 use gamma_geo::{city, country, CityId, CountryCode};
 use gamma_netsim::Asn;
 use serde::{Deserialize, Serialize};
@@ -43,7 +44,44 @@ impl AtlasPlatform {
         near_city: Option<CityId>,
         prefer_asn: Option<Asn>,
     ) -> Option<ProbeSelection> {
-        let in_country: Vec<&Probe> = self.connected_in(target_country).collect();
+        self.select_probe_impl(target_country, near_city, prefer_asn, &|_| true)
+    }
+
+    /// Probe selection under the unified fault plan: probes for which
+    /// `ProbeChurn` fires (scoped to the requesting vantage, keyed by probe
+    /// id) have churned offline mid-campaign and are never selected. A
+    /// quiet oracle selects exactly what [`AtlasPlatform::select_probe`]
+    /// would.
+    pub fn select_probe_with(
+        &self,
+        target_country: CountryCode,
+        near_city: Option<CityId>,
+        prefer_asn: Option<Asn>,
+        oracle: &dyn FaultOracle,
+        vantage: Option<CountryCode>,
+    ) -> Option<ProbeSelection> {
+        let alive = |p: &Probe| {
+            let subject = p.id.0.to_string();
+            let scope = match vantage {
+                Some(c) => FaultScope::new(c, &subject),
+                None => FaultScope::global(&subject),
+            };
+            !oracle.fires(FaultKind::ProbeChurn, scope)
+        };
+        self.select_probe_impl(target_country, near_city, prefer_asn, &alive)
+    }
+
+    fn select_probe_impl(
+        &self,
+        target_country: CountryCode,
+        near_city: Option<CityId>,
+        prefer_asn: Option<Asn>,
+        alive: &dyn Fn(&Probe) -> bool,
+    ) -> Option<ProbeSelection> {
+        let in_country: Vec<&Probe> = self
+            .connected_in(target_country)
+            .filter(|p| alive(p))
+            .collect();
         if !in_country.is_empty() {
             if let Some(cid) = near_city {
                 if let Some(p) = best_by_asn(
@@ -85,7 +123,9 @@ impl AtlasPlatform {
             .iter()
             .find(|(c, _)| *c == target_country.as_str())
         {
-            if let Some(sel) = self.select_probe(CountryCode::new(fb), near_city, prefer_asn) {
+            if let Some(sel) =
+                self.select_probe_impl(CountryCode::new(fb), near_city, prefer_asn, alive)
+            {
                 return Some(ProbeSelection {
                     probe: sel.probe,
                     quality: SelectionQuality::NearbyCountry,
@@ -94,7 +134,7 @@ impl AtlasPlatform {
         }
         let target = country(target_country)?;
         let mut best: Option<(&Probe, f64)> = None;
-        for p in self.probes().iter().filter(|p| p.connected) {
+        for p in self.probes().iter().filter(|p| p.connected && alive(p)) {
             let c = country(p.country)?;
             let d = target.centroid.distance_km(&c.centroid);
             if best.map_or(true, |(_, bd)| d < bd) {
@@ -202,5 +242,51 @@ mod tests {
     fn unknown_country_returns_none() {
         let p = platform();
         assert!(p.select_probe(CountryCode::new("XX"), None, None).is_none());
+    }
+
+    #[test]
+    fn quiet_oracle_selects_identically() {
+        use gamma_chaos::NoFaults;
+        let p = platform();
+        for cc in ["DE", "US", "KE", "QA"] {
+            let target = CountryCode::new(cc);
+            assert_eq!(
+                p.select_probe(target, None, None),
+                p.select_probe_with(target, None, None, &NoFaults, Some(target))
+            );
+        }
+    }
+
+    #[test]
+    fn full_churn_leaves_no_probe_for_the_vantage_only() {
+        use gamma_chaos::{FaultPlan, FaultProfile};
+        let p = platform();
+        let au = CountryCode::new("AU");
+        let us = CountryCode::new("US");
+        let mut churned = FaultProfile::none();
+        churned.atlas.churn_rate = 1.0;
+        let plan = FaultPlan::none(4).with_override(au, churned);
+        assert!(p
+            .select_probe_with(CountryCode::new("DE"), None, None, &plan, Some(au))
+            .is_none());
+        // Another vantage still sees the full platform.
+        assert_eq!(
+            p.select_probe_with(CountryCode::new("DE"), None, None, &plan, Some(us)),
+            p.select_probe(CountryCode::new("DE"), None, None)
+        );
+    }
+
+    #[test]
+    fn partial_churn_degrades_selection_quality_at_worst() {
+        use gamma_chaos::FaultPlan;
+        let p = platform();
+        let de = CountryCode::new("DE");
+        let fra = city_by_name("Frankfurt").unwrap().id;
+        let plan = FaultPlan::stress(12);
+        // With 20% churn the selection may differ, but whatever comes back
+        // must still be a live, connected probe.
+        if let Some(sel) = p.select_probe_with(de, Some(fra), None, &plan, Some(de)) {
+            assert!(sel.probe.connected);
+        }
     }
 }

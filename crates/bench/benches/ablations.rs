@@ -26,7 +26,7 @@ fn attribution_accuracy(results: &StudyResults) -> f64 {
             if !seen.insert(v.ip) {
                 continue;
             }
-            if let Classification::ConfirmedNonLocal { claimed } = v.classification {
+            if let Classification::ConfirmedNonLocal { claimed, .. } = v.classification {
                 total += 1;
                 if results.world.true_country(v.ip) == Some(gamma_geo::city(claimed).country) {
                     correct += 1;

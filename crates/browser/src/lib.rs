@@ -16,7 +16,7 @@ pub mod webdriver_noise;
 
 pub use driver::{BrowserConfig, BrowserKind, BrowserSession};
 pub use har::{har_from_load, Har};
-pub use loader::{load_page, LoadStatus, PageLoad};
+pub use loader::{load_page, load_page_with, LoadStatus, PageLoad};
 pub use webdriver_noise::{
     is_webdriver_noise, webdriver_background_requests, WEBDRIVER_NOISE_HOSTS,
 };

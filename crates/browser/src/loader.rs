@@ -9,7 +9,9 @@
 
 use crate::driver::BrowserConfig;
 use crate::webdriver_noise::webdriver_background_requests;
+use gamma_chaos::{FaultKind, FaultOracle, FaultScope};
 use gamma_dns::DomainName;
+use gamma_geo::CountryCode;
 use gamma_websim::Website;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -92,6 +94,59 @@ pub fn load_page<R: Rng + ?Sized>(
         render_ms,
         requests,
     }
+}
+
+/// Loads one page under the unified fault plan. The fault-free load is
+/// computed first — consuming exactly the RNG draws [`load_page`] would —
+/// and injected faults are then overlaid as a post-filter:
+///
+/// - `PageHang`: the instance never becomes responsive and is killed at
+///   the §3.1 hard timeout; nothing is captured.
+/// - `RequestDropped` (per request, by domain and position): individual
+///   requests vanish from the capture.
+/// - `HarTruncated`: only a prefix of the captured requests survives,
+///   sized by the fault's severity.
+///
+/// A quiet oracle reproduces [`load_page`] byte-for-byte.
+pub fn load_page_with<R: Rng + ?Sized>(
+    site: &Website,
+    config: &BrowserConfig,
+    success_rate: f64,
+    oracle: &dyn FaultOracle,
+    country: Option<CountryCode>,
+    rng: &mut R,
+) -> PageLoad {
+    let mut page = load_page(site, config, success_rate, rng);
+    let scope = match country {
+        Some(c) => FaultScope::new(c, site.domain.as_str()),
+        None => FaultScope::global(site.domain.as_str()),
+    };
+    if oracle.fires(FaultKind::PageHang, scope) {
+        return PageLoad {
+            site: page.site,
+            status: LoadStatus::TimedOut,
+            render_ms: config.hard_timeout_seconds * 1_000,
+            requests: Vec::new(),
+        };
+    }
+    if page.status == LoadStatus::Loaded {
+        let mut position = 0u64;
+        page.requests.retain(|request| {
+            let drop_scope = FaultScope {
+                country,
+                subject: request.as_str(),
+                index: position,
+            };
+            position += 1;
+            !oracle.fires(FaultKind::RequestDropped, drop_scope)
+        });
+        if oracle.fires(FaultKind::HarTruncated, scope) {
+            let severity = oracle.severity(FaultKind::HarTruncated, scope);
+            let keep = (page.requests.len() as f64 * (1.0 - severity)).floor() as usize;
+            page.requests.truncate(keep);
+        }
+    }
+    page
 }
 
 #[cfg(test)]
@@ -195,6 +250,101 @@ mod tests {
             tracker_hits < 40,
             "brave leaked {tracker_hits} tracker requests"
         );
+    }
+
+    #[test]
+    fn quiet_oracle_matches_legacy_load_byte_for_byte() {
+        use gamma_chaos::NoFaults;
+        for seed in 0..20 {
+            let mut a = ChaCha8Rng::seed_from_u64(seed);
+            let mut b = ChaCha8Rng::seed_from_u64(seed);
+            let legacy = load_page(&site(), &BrowserConfig::paper_default(), 0.8, &mut a);
+            let chaos = load_page_with(
+                &site(),
+                &BrowserConfig::paper_default(),
+                0.8,
+                &NoFaults,
+                None,
+                &mut b,
+            );
+            assert_eq!(legacy, chaos);
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn injected_hang_is_killed_at_the_hard_timeout() {
+        use gamma_chaos::{FaultPlan, FaultProfile};
+        let mut profile = FaultProfile::none();
+        profile.browser.hang_rate = 1.0;
+        let plan = FaultPlan {
+            seed: 0,
+            base: profile,
+            overrides: Vec::new(),
+        };
+        let config = BrowserConfig::paper_default();
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        for _ in 0..10 {
+            let p = load_page_with(&site(), &config, 1.0, &plan, None, &mut rng);
+            assert_eq!(p.status, LoadStatus::TimedOut);
+            assert_eq!(p.render_ms, config.hard_timeout_seconds * 1_000);
+            assert!(p.requests.is_empty());
+        }
+    }
+
+    #[test]
+    fn full_request_drop_empties_the_capture() {
+        use gamma_chaos::{FaultPlan, FaultProfile};
+        let mut profile = FaultProfile::none();
+        profile.browser.request_drop_rate = 1.0;
+        let plan = FaultPlan {
+            seed: 0,
+            base: profile,
+            overrides: Vec::new(),
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let p = load_page_with(
+            &site(),
+            &BrowserConfig::paper_default(),
+            1.0,
+            &plan,
+            None,
+            &mut rng,
+        );
+        assert_eq!(p.status, LoadStatus::Loaded);
+        assert!(p.requests.is_empty());
+    }
+
+    #[test]
+    fn har_truncation_keeps_a_prefix() {
+        use gamma_chaos::{FaultPlan, FaultProfile, NoFaults};
+        let mut profile = FaultProfile::none();
+        profile.browser.har_truncate_rate = 1.0;
+        let plan = FaultPlan {
+            seed: 3,
+            base: profile,
+            overrides: Vec::new(),
+        };
+        let mut a = ChaCha8Rng::seed_from_u64(9);
+        let mut b = ChaCha8Rng::seed_from_u64(9);
+        let full = load_page_with(
+            &site(),
+            &BrowserConfig::paper_default(),
+            1.0,
+            &NoFaults,
+            None,
+            &mut a,
+        );
+        let cut = load_page_with(
+            &site(),
+            &BrowserConfig::paper_default(),
+            1.0,
+            &plan,
+            None,
+            &mut b,
+        );
+        assert!(cut.requests.len() <= full.requests.len());
+        assert_eq!(cut.requests[..], full.requests[..cut.requests.len()]);
     }
 
     #[test]

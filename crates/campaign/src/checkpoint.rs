@@ -15,7 +15,7 @@ use crate::engine::CampaignError;
 use crate::metrics::ShardMetrics;
 use gamma_geo::CountryCode;
 use gamma_geoloc::GeolocReport;
-use gamma_suite::{Checkpoint, VolunteerDataset};
+use gamma_suite::{Checkpoint, Quarantine, VolunteerDataset};
 use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
@@ -29,6 +29,10 @@ pub struct CompletedShard {
     pub dataset: VolunteerDataset,
     pub report: GeolocReport,
     pub metrics: ShardMetrics,
+    /// Records the suite quarantined instead of shipping (defaults empty
+    /// so pre-chaos checkpoints still load).
+    #[serde(default)]
+    pub quarantine: Quarantine,
 }
 
 /// Resumable campaign state.
@@ -175,6 +179,7 @@ mod tests {
             dataset,
             report,
             metrics,
+            quarantine: Quarantine::default(),
         }
     }
 

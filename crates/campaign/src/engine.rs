@@ -16,7 +16,7 @@ use crate::shard::{volunteer_slot, Shard};
 use gamma_atlas::AtlasPlatform;
 use gamma_geo::CountryCode;
 use gamma_geoloc::{GeoDatabase, GeolocReport, PipelineOptions};
-use gamma_suite::{GammaConfig, VolunteerDataset};
+use gamma_suite::{GammaConfig, Quarantine, VolunteerDataset};
 use gamma_websim::World;
 use std::path::PathBuf;
 use std::time::Instant;
@@ -92,12 +92,28 @@ impl CampaignOutcome {
     /// Splits into the `(dataset, report)` pairs the analysis assembler
     /// consumes, and the ledger.
     pub fn into_runs(self) -> (Vec<(VolunteerDataset, GeolocReport)>, CampaignMetrics) {
-        let runs = self
-            .shards
-            .into_iter()
-            .map(|d| (d.dataset, d.report))
-            .collect();
-        (runs, self.metrics)
+        let (runs, _, metrics) = self.into_parts();
+        (runs, metrics)
+    }
+
+    /// Like [`CampaignOutcome::into_runs`], but also surfaces each shard's
+    /// quarantine ledger keyed by country — the raw material of the
+    /// per-country data-quality report.
+    #[allow(clippy::type_complexity)]
+    pub fn into_parts(
+        self,
+    ) -> (
+        Vec<(VolunteerDataset, GeolocReport)>,
+        Vec<(CountryCode, Quarantine)>,
+        CampaignMetrics,
+    ) {
+        let mut runs = Vec::with_capacity(self.shards.len());
+        let mut quarantines = Vec::with_capacity(self.shards.len());
+        for d in self.shards {
+            quarantines.push((d.marker.country, d.quarantine));
+            runs.push((d.dataset, d.report));
+        }
+        (runs, quarantines, self.metrics)
     }
 }
 

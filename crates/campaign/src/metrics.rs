@@ -54,6 +54,13 @@ pub struct ShardMetrics {
     /// Whether this shard was restored from a campaign checkpoint rather
     /// than executed in this run.
     pub resumed: bool,
+    /// Records the suite quarantined (killed pages, failed DNS, lost
+    /// traceroutes) instead of shipping.
+    #[serde(default)]
+    pub quarantined: usize,
+    /// Confirmed-non-local addresses carrying a degraded confidence.
+    #[serde(default)]
+    pub degraded: usize,
 }
 
 impl ShardMetrics {
@@ -79,6 +86,8 @@ impl ShardMetrics {
             constraints_failed: funnel.unique_ips - funnel.local - funnel.after_rdns_constraint,
             stages,
             resumed: false,
+            quarantined: 0,
+            degraded: funnel.degraded_confirmations,
         }
     }
 }
@@ -92,6 +101,10 @@ pub struct CampaignTotals {
     pub traceroutes_run: usize,
     pub constraints_passed: usize,
     pub constraints_failed: usize,
+    /// Records quarantined across all shards.
+    pub quarantined: usize,
+    /// Degraded-confidence confirmations across all shards.
+    pub degraded: usize,
     /// Retries consumed beyond first attempts.
     pub retries: u32,
     /// Sum of per-shard stage wall-clock (CPU-time-like; exceeds the
@@ -121,6 +134,8 @@ impl CampaignMetrics {
             t.traceroutes_run += s.traceroutes_run;
             t.constraints_passed += s.constraints_passed;
             t.constraints_failed += s.constraints_failed;
+            t.quarantined += s.quarantined;
+            t.degraded += s.degraded;
             t.retries += s.attempts.saturating_sub(1);
             t.stage_wall.measure += s.stages.measure;
             t.stage_wall.geolocate += s.stages.geolocate;
@@ -156,6 +171,8 @@ mod tests {
                 finalize: Duration::from_millis(1),
             },
             resumed: false,
+            quarantined: 3,
+            degraded: 2,
         }
     }
 
@@ -174,6 +191,8 @@ mod tests {
         assert_eq!(t.traceroutes_run, 240);
         assert_eq!(t.constraints_passed, 60);
         assert_eq!(t.constraints_failed, 24);
+        assert_eq!(t.quarantined, 6);
+        assert_eq!(t.degraded, 4);
         assert_eq!(t.retries, 2);
         assert_eq!(t.stage_wall.measure, Duration::from_millis(160));
         assert_eq!(t.stage_wall.total(), Duration::from_millis(242));

@@ -15,7 +15,7 @@ use crate::options::Options;
 use crate::rng::{derive_rng, STREAM_GEOLOCATE};
 use gamma_geo::CountryCode;
 use gamma_geoloc::GeolocPipeline;
-use gamma_suite::{run_volunteer, Checkpoint, Volunteer};
+use gamma_suite::{run_volunteer_checked, Checkpoint, Volunteer};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
@@ -34,6 +34,9 @@ pub enum ShardError {
     Injected { attempt: u32 },
     /// The country has no volunteer in this world.
     NoVolunteer(CountryCode),
+    /// The suite refused to start: configuration or spec problem (injected
+    /// faults never produce this — they degrade into the quarantine).
+    Spec(String),
     /// The volunteer ran but produced an unusable dataset.
     Unhealthy(String),
     /// A stage panicked; the worker caught it and stayed alive.
@@ -42,9 +45,10 @@ pub enum ShardError {
 
 impl ShardError {
     /// Whether another attempt could plausibly succeed. A missing
-    /// volunteer is a spec problem, not weather.
+    /// volunteer or a rejected configuration is a spec problem, not
+    /// weather.
     pub fn is_transient(&self) -> bool {
-        !matches!(self, ShardError::NoVolunteer(_))
+        !matches!(self, ShardError::NoVolunteer(_) | ShardError::Spec(_))
     }
 }
 
@@ -55,6 +59,7 @@ impl std::fmt::Display for ShardError {
                 write!(f, "injected transient fault on attempt {attempt}")
             }
             ShardError::NoVolunteer(c) => write!(f, "no volunteer available for {c}"),
+            ShardError::Spec(why) => write!(f, "suite refused to start: {why}"),
             ShardError::Unhealthy(why) => write!(f, "unusable volunteer dataset: {why}"),
             ShardError::Panicked(why) => write!(f, "stage panicked: {why}"),
         }
@@ -112,12 +117,14 @@ fn execute(
 
     let mut stages = StageTimings::default();
 
-    // Stage 1 — measure: the volunteer's Gamma run (C1/C2/C3).
+    // Stage 1 — measure: the volunteer's Gamma run (C1/C2/C3). Degraded
+    // records land in the quarantine ledger rather than failing the shard.
     let started = Instant::now();
-    let mut dataset = catch_unwind(AssertUnwindSafe(|| {
-        run_volunteer(env.world, &volunteer, env.config)
+    let (mut dataset, quarantine) = catch_unwind(AssertUnwindSafe(|| {
+        run_volunteer_checked(env.world, &volunteer, env.config, 0)
     }))
-    .map_err(|p| ShardError::Panicked(panic_text(p)))?;
+    .map_err(|p| ShardError::Panicked(panic_text(p)))?
+    .map_err(|e| ShardError::Spec(e.to_string()))?;
     stages.measure = started.elapsed();
     if dataset.loads.is_empty() {
         return Err(ShardError::Unhealthy("no page loads recorded".into()));
@@ -128,6 +135,7 @@ fn execute(
     let started = Instant::now();
     let mut pipeline = GeolocPipeline::new(env.world, env.geodb, env.atlas);
     pipeline.options = env.pipeline_options;
+    pipeline.plan = env.config.plan.clone();
     let mut rng = derive_rng(env.master_seed, shard.country, STREAM_GEOLOCATE);
     let report = catch_unwind(AssertUnwindSafe(|| {
         pipeline.classify_dataset(&dataset, &mut rng)
@@ -142,12 +150,14 @@ fn execute(
     marker.completed_sites = dataset.loads.len();
     stages.finalize = started.elapsed();
 
-    let metrics = ShardMetrics::from_outputs(shard.country, &dataset, &report, stages);
+    let mut metrics = ShardMetrics::from_outputs(shard.country, &dataset, &report, stages);
+    metrics.quarantined = quarantine.len();
     Ok(CompletedShard {
         marker,
         dataset,
         report,
         metrics,
+        quarantine,
     })
 }
 
@@ -233,5 +243,6 @@ mod tests {
         assert!(ShardError::Unhealthy("x".into()).is_transient());
         assert!(ShardError::Panicked("y".into()).is_transient());
         assert!(!ShardError::NoVolunteer(CountryCode::new("XX")).is_transient());
+        assert!(!ShardError::Spec("bad config".into()).is_transient());
     }
 }

@@ -1,0 +1,730 @@
+//! # gamma-chaos
+//!
+//! The unified fault-injection plane. The paper's campaign ran on flaky
+//! volunteer machines over a hostile real Internet: page loads hung until
+//! the §3.1 hard-timeout kill, DNS answers went missing, traceroutes
+//! starred out or were firewalled entirely (Australia/India/Qatar/Jordan,
+//! §4.1.1), and Atlas probes churned mid-campaign. This crate models all
+//! of that behind one seed-derived [`FaultPlan`] that every measurement
+//! layer consults through the [`FaultOracle`] trait.
+//!
+//! Two properties make the plan safe to thread through a byte-reproducible
+//! pipeline:
+//!
+//! 1. **Order independence.** Every decision is a pure hash of
+//!    `(plan seed, fault kind, scope)` — no RNG stream is consumed, so the
+//!    same plan produces the same faults whether shards run on one worker
+//!    or sixteen, and a zero-rate plan perturbs nothing.
+//! 2. **Monotone nesting.** A fault fires when `hash < rate`, so raising a
+//!    rate strictly grows the set of fired faults. Because every consumer
+//!    applies faults as a *post-filter* on the fault-free computation
+//!    (records are removed or degraded, never invented), raising rates can
+//!    only degrade downstream results — the property `tests/chaos.rs`
+//!    locks in.
+
+use gamma_geo::CountryCode;
+use serde::{Deserialize, Serialize};
+
+/// Every injectable failure, grouped by the layer that consults it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// DNS query times out (no answer at all).
+    DnsTimeout,
+    /// DNS query answered SERVFAIL.
+    DnsServfail,
+    /// DNS query answered NXDOMAIN for a name that exists.
+    DnsNxdomain,
+    /// Reverse-DNS PTR lookup truncated/lost for an address.
+    RdnsTruncated,
+    /// Page load hangs until the hard-timeout kill (§3.1).
+    PageHang,
+    /// Captured HAR is truncated: only a prefix of requests survives.
+    HarTruncated,
+    /// An individual network request is dropped from the capture.
+    RequestDropped,
+    /// The whole traceroute probe is dropped by the vantage's network.
+    ProbeDropped,
+    /// A single hop's answer is filtered (a `* * *` row).
+    HopFiltered,
+    /// A congestion burst inflates the access-link (first hop) RTT.
+    RttSpike,
+    /// The volunteer clock is skewed: every hop timestamp shifts.
+    ClockSkew,
+    /// An Atlas probe has churned offline mid-campaign.
+    ProbeChurn,
+}
+
+/// What a fault decision is about: the vantage country plus a stable
+/// subject key (domain, address, probe id) and an optional index (hop TTL,
+/// request position). Decisions are pure functions of these fields.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultScope<'a> {
+    /// Vantage country the measurement runs for (None: global scope).
+    pub country: Option<CountryCode>,
+    /// Stable subject key: domain, dotted address, probe id.
+    pub subject: &'a str,
+    /// Sub-subject index (hop TTL, request position); 0 when unused.
+    pub index: u64,
+}
+
+impl<'a> FaultScope<'a> {
+    pub fn new(country: CountryCode, subject: &'a str) -> Self {
+        FaultScope {
+            country: Some(country),
+            subject,
+            index: 0,
+        }
+    }
+
+    pub fn global(subject: &'a str) -> Self {
+        FaultScope {
+            country: None,
+            subject,
+            index: 0,
+        }
+    }
+
+    pub fn indexed(mut self, index: u64) -> Self {
+        self.index = index;
+        self
+    }
+}
+
+/// The single trait every measurement layer consults. Implementations
+/// must be pure: the same `(kind, scope)` always returns the same answer.
+pub trait FaultOracle {
+    /// Whether the fault fires for this scope.
+    fn fires(&self, kind: FaultKind, scope: FaultScope<'_>) -> bool;
+    /// Fault magnitude in `[0, 1)`, independent of the firing decision.
+    fn severity(&self, kind: FaultKind, scope: FaultScope<'_>) -> f64;
+}
+
+/// The no-op oracle: nothing ever fires. Shims for the pre-chaos API use
+/// this to keep legacy behaviour byte-identical.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoFaults;
+
+impl FaultOracle for NoFaults {
+    fn fires(&self, _kind: FaultKind, _scope: FaultScope<'_>) -> bool {
+        false
+    }
+    fn severity(&self, _kind: FaultKind, _scope: FaultScope<'_>) -> f64 {
+        0.0
+    }
+}
+
+/// DNS-layer fault rates.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DnsFaults {
+    pub timeout_rate: f64,
+    pub servfail_rate: f64,
+    pub nxdomain_rate: f64,
+    pub rdns_truncate_rate: f64,
+}
+
+impl Default for DnsFaults {
+    fn default() -> Self {
+        DnsFaults {
+            timeout_rate: 0.0,
+            servfail_rate: 0.0,
+            nxdomain_rate: 0.0,
+            rdns_truncate_rate: 0.0,
+        }
+    }
+}
+
+/// Browser-layer (C1) fault rates.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BrowserFaults {
+    /// Page hangs until the hard-timeout kill.
+    pub hang_rate: f64,
+    /// Captured request list is truncated to a prefix.
+    pub har_truncate_rate: f64,
+    /// Individual requests vanish from the capture.
+    pub request_drop_rate: f64,
+}
+
+impl Default for BrowserFaults {
+    fn default() -> Self {
+        BrowserFaults {
+            hang_rate: 0.0,
+            har_truncate_rate: 0.0,
+            request_drop_rate: 0.0,
+        }
+    }
+}
+
+/// Probe-layer (C3 / pipeline traceroute) faults. The first three fields
+/// are the legacy `netsim::FaultConfig` knobs, folded here so the plan is
+/// the single source of truth; the rest are oracle-driven overlays.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProbeFaults {
+    /// The vantage's network silently drops all outbound probes
+    /// (the Australia/India/Qatar/Jordan failure mode).
+    pub firewall_blocks_traceroute: bool,
+    /// Probability a router declines to answer (legacy, RNG-driven).
+    pub hop_silence_rate: f64,
+    /// Probability the destination never answers (legacy, RNG-driven).
+    pub destination_unreachable_rate: f64,
+    /// Whole-probe drop (oracle-driven, per destination address).
+    pub probe_drop_rate: f64,
+    /// Per-hop answer filtering (oracle-driven).
+    pub hop_filter_rate: f64,
+    /// Access-link congestion burst on the first hop.
+    pub rtt_spike_rate: f64,
+    /// Maximum magnitude of an RTT spike, milliseconds.
+    pub rtt_spike_ms: f64,
+    /// Constant clock skew added to every answered hop, milliseconds.
+    pub clock_skew_ms: f64,
+}
+
+impl Default for ProbeFaults {
+    fn default() -> Self {
+        ProbeFaults {
+            firewall_blocks_traceroute: false,
+            hop_silence_rate: 0.0,
+            destination_unreachable_rate: 0.0,
+            probe_drop_rate: 0.0,
+            hop_filter_rate: 0.0,
+            rtt_spike_rate: 0.0,
+            rtt_spike_ms: 0.0,
+            clock_skew_ms: 0.0,
+        }
+    }
+}
+
+/// Atlas-platform faults.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AtlasFaults {
+    /// Probability a connected probe has churned offline mid-campaign.
+    pub churn_rate: f64,
+}
+
+impl Default for AtlasFaults {
+    fn default() -> Self {
+        AtlasFaults { churn_rate: 0.0 }
+    }
+}
+
+/// One vantage's complete fault surface.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultProfile {
+    pub dns: DnsFaults,
+    pub browser: BrowserFaults,
+    pub probe: ProbeFaults,
+    pub atlas: AtlasFaults,
+}
+
+impl FaultProfile {
+    /// Absolutely nothing fires; legacy probe knobs are zero too.
+    pub fn none() -> Self {
+        FaultProfile::default()
+    }
+
+    /// The paper-calibrated baseline: the legacy probe-weather knobs at
+    /// their historical defaults (8% silent hops, 7% unreachable
+    /// destinations) and every oracle-driven rate at zero. Running under
+    /// this profile is byte-identical to the pre-chaos pipeline.
+    pub fn paper_default() -> Self {
+        FaultProfile {
+            probe: ProbeFaults {
+                hop_silence_rate: 0.08,
+                destination_unreachable_rate: 0.07,
+                ..ProbeFaults::default()
+            },
+            ..FaultProfile::default()
+        }
+    }
+
+    /// A hostile-Internet stress profile: every failure the paper hit,
+    /// at rates high enough to exercise the degradation paths.
+    pub fn stress() -> Self {
+        FaultProfile {
+            dns: DnsFaults {
+                timeout_rate: 0.06,
+                servfail_rate: 0.03,
+                nxdomain_rate: 0.02,
+                rdns_truncate_rate: 0.10,
+            },
+            browser: BrowserFaults {
+                hang_rate: 0.08,
+                har_truncate_rate: 0.05,
+                request_drop_rate: 0.05,
+            },
+            probe: ProbeFaults {
+                firewall_blocks_traceroute: false,
+                hop_silence_rate: 0.08,
+                destination_unreachable_rate: 0.07,
+                probe_drop_rate: 0.15,
+                hop_filter_rate: 0.10,
+                rtt_spike_rate: 0.10,
+                rtt_spike_ms: 80.0,
+                clock_skew_ms: 0.0,
+            },
+            atlas: AtlasFaults { churn_rate: 0.20 },
+        }
+    }
+
+    /// Total loss: every rate at 100%, probes firewalled. Used to model a
+    /// vantage that ships nothing usable home.
+    pub fn blackout() -> Self {
+        FaultProfile {
+            dns: DnsFaults {
+                timeout_rate: 1.0,
+                servfail_rate: 1.0,
+                nxdomain_rate: 1.0,
+                rdns_truncate_rate: 1.0,
+            },
+            browser: BrowserFaults {
+                hang_rate: 1.0,
+                har_truncate_rate: 1.0,
+                request_drop_rate: 1.0,
+            },
+            probe: ProbeFaults {
+                firewall_blocks_traceroute: true,
+                hop_silence_rate: 1.0,
+                destination_unreachable_rate: 1.0,
+                probe_drop_rate: 1.0,
+                hop_filter_rate: 1.0,
+                rtt_spike_rate: 1.0,
+                rtt_spike_ms: 500.0,
+                clock_skew_ms: 0.0,
+            },
+            atlas: AtlasFaults { churn_rate: 1.0 },
+        }
+    }
+
+    /// Uniformly scales every oracle-driven rate by `factor` (clamped to
+    /// `[0, 1]`); the legacy RNG-driven probe knobs are left untouched so
+    /// scaling preserves the shard RNG stream. Used by the monotone
+    /// degradation tests.
+    pub fn scaled(factor: f64) -> Self {
+        let s = |r: f64| (r * factor).clamp(0.0, 1.0);
+        let base = FaultProfile::stress();
+        FaultProfile {
+            dns: DnsFaults {
+                timeout_rate: s(base.dns.timeout_rate),
+                servfail_rate: s(base.dns.servfail_rate),
+                nxdomain_rate: s(base.dns.nxdomain_rate),
+                rdns_truncate_rate: s(base.dns.rdns_truncate_rate),
+            },
+            browser: BrowserFaults {
+                hang_rate: s(base.browser.hang_rate),
+                har_truncate_rate: s(base.browser.har_truncate_rate),
+                request_drop_rate: s(base.browser.request_drop_rate),
+            },
+            probe: ProbeFaults {
+                probe_drop_rate: s(base.probe.probe_drop_rate),
+                hop_filter_rate: s(base.probe.hop_filter_rate),
+                rtt_spike_rate: s(base.probe.rtt_spike_rate),
+                rtt_spike_ms: base.probe.rtt_spike_ms,
+                ..FaultProfile::paper_default().probe
+            },
+            atlas: AtlasFaults {
+                churn_rate: s(base.atlas.churn_rate),
+            },
+        }
+    }
+
+    /// The rate behind one fault kind.
+    pub fn rate(&self, kind: FaultKind) -> f64 {
+        match kind {
+            FaultKind::DnsTimeout => self.dns.timeout_rate,
+            FaultKind::DnsServfail => self.dns.servfail_rate,
+            FaultKind::DnsNxdomain => self.dns.nxdomain_rate,
+            FaultKind::RdnsTruncated => self.dns.rdns_truncate_rate,
+            FaultKind::PageHang => self.browser.hang_rate,
+            FaultKind::HarTruncated => self.browser.har_truncate_rate,
+            FaultKind::RequestDropped => self.browser.request_drop_rate,
+            FaultKind::ProbeDropped => self.probe.probe_drop_rate,
+            FaultKind::HopFiltered => self.probe.hop_filter_rate,
+            FaultKind::RttSpike => self.probe.rtt_spike_rate,
+            FaultKind::ClockSkew => {
+                if self.probe.clock_skew_ms != 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            FaultKind::ProbeChurn => self.atlas.churn_rate,
+        }
+    }
+
+    /// Validates every probability field.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, p) in [
+            ("dns.timeout_rate", self.dns.timeout_rate),
+            ("dns.servfail_rate", self.dns.servfail_rate),
+            ("dns.nxdomain_rate", self.dns.nxdomain_rate),
+            ("dns.rdns_truncate_rate", self.dns.rdns_truncate_rate),
+            ("browser.hang_rate", self.browser.hang_rate),
+            ("browser.har_truncate_rate", self.browser.har_truncate_rate),
+            ("browser.request_drop_rate", self.browser.request_drop_rate),
+            ("probe.hop_silence_rate", self.probe.hop_silence_rate),
+            (
+                "probe.destination_unreachable_rate",
+                self.probe.destination_unreachable_rate,
+            ),
+            ("probe.probe_drop_rate", self.probe.probe_drop_rate),
+            ("probe.hop_filter_rate", self.probe.hop_filter_rate),
+            ("probe.rtt_spike_rate", self.probe.rtt_spike_rate),
+            ("atlas.churn_rate", self.atlas.churn_rate),
+        ] {
+            if !(0.0..=1.0).contains(&p) || !p.is_finite() {
+                return Err(format!("{name} = {p} is not a probability"));
+            }
+        }
+        for (name, v) in [
+            ("probe.rtt_spike_ms", self.probe.rtt_spike_ms),
+            ("probe.clock_skew_ms", self.probe.clock_skew_ms),
+        ] {
+            if !v.is_finite() || v < 0.0 {
+                return Err(format!("{name} = {v} must be finite and non-negative"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A campaign-wide fault plan: one base profile plus per-country
+/// overrides, all decisions derived from one seed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Seed every fault decision hashes against.
+    pub seed: u64,
+    /// Profile applied to every vantage without an override.
+    pub base: FaultProfile,
+    /// Per-country profiles (e.g. one blacked-out vantage), kept sorted
+    /// by country code.
+    pub overrides: Vec<(CountryCode, FaultProfile)>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::paper_default(0)
+    }
+}
+
+impl FaultPlan {
+    /// Nothing fires; byte-identical to running without fault logic.
+    pub fn none(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            base: FaultProfile::none(),
+            overrides: Vec::new(),
+        }
+    }
+
+    /// The paper-calibrated baseline (legacy probe weather only).
+    pub fn paper_default(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            base: FaultProfile::paper_default(),
+            overrides: Vec::new(),
+        }
+    }
+
+    /// Hostile-Internet stress plan.
+    pub fn stress(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            base: FaultProfile::stress(),
+            overrides: Vec::new(),
+        }
+    }
+
+    /// Installs a per-country profile override (replacing any existing
+    /// one for the same country).
+    pub fn with_override(mut self, country: CountryCode, profile: FaultProfile) -> Self {
+        match self.overrides.iter_mut().find(|(c, _)| *c == country) {
+            Some((_, p)) => *p = profile,
+            None => self.overrides.push((country, profile)),
+        }
+        self.overrides.sort_by_key(|(c, _)| *c);
+        self
+    }
+
+    /// Blacks out one country: 100% fault rates for its vantage while the
+    /// rest of the plan is untouched.
+    pub fn blackout(self, country: CountryCode) -> Self {
+        self.with_override(country, FaultProfile::blackout())
+    }
+
+    /// Parses a named profile from the CLI surface: `none`, `paper`,
+    /// `stress`, or `blackout:CC` (paper baseline plus one blacked-out
+    /// country).
+    pub fn from_profile_name(name: &str, seed: u64) -> Option<FaultPlan> {
+        match name {
+            "none" => Some(FaultPlan::none(seed)),
+            "paper" => Some(FaultPlan::paper_default(seed)),
+            "stress" => Some(FaultPlan::stress(seed)),
+            _ => {
+                let cc = name.strip_prefix("blackout:")?;
+                if cc.len() != 2 || !cc.bytes().all(|b| b.is_ascii_uppercase()) {
+                    return None;
+                }
+                Some(FaultPlan::paper_default(seed).blackout(CountryCode::new(cc)))
+            }
+        }
+    }
+
+    /// The profile in effect for a vantage.
+    pub fn profile_for(&self, country: Option<CountryCode>) -> &FaultProfile {
+        country
+            .and_then(|c| {
+                self.overrides
+                    .iter()
+                    .find(|(o, _)| *o == c)
+                    .map(|(_, p)| p)
+            })
+            .unwrap_or(&self.base)
+    }
+
+    /// Whether any oracle-driven rate is non-zero anywhere in the plan.
+    pub fn is_quiet(&self) -> bool {
+        std::iter::once(&self.base)
+            .chain(self.overrides.iter().map(|(_, p)| p))
+            .all(|p| ALL_KINDS.iter().all(|k| p.rate(*k) <= 0.0))
+    }
+
+    pub fn validate(&self) -> Result<(), String> {
+        self.base.validate()?;
+        for (c, p) in &self.overrides {
+            p.validate().map_err(|e| format!("override {c}: {e}"))?;
+        }
+        Ok(())
+    }
+}
+
+/// Every fault kind, for iteration.
+pub const ALL_KINDS: [FaultKind; 12] = [
+    FaultKind::DnsTimeout,
+    FaultKind::DnsServfail,
+    FaultKind::DnsNxdomain,
+    FaultKind::RdnsTruncated,
+    FaultKind::PageHang,
+    FaultKind::HarTruncated,
+    FaultKind::RequestDropped,
+    FaultKind::ProbeDropped,
+    FaultKind::HopFiltered,
+    FaultKind::RttSpike,
+    FaultKind::ClockSkew,
+    FaultKind::ProbeChurn,
+];
+
+fn kind_tag(kind: FaultKind) -> u64 {
+    match kind {
+        FaultKind::DnsTimeout => 1,
+        FaultKind::DnsServfail => 2,
+        FaultKind::DnsNxdomain => 3,
+        FaultKind::RdnsTruncated => 4,
+        FaultKind::PageHang => 5,
+        FaultKind::HarTruncated => 6,
+        FaultKind::RequestDropped => 7,
+        FaultKind::ProbeDropped => 8,
+        FaultKind::HopFiltered => 9,
+        FaultKind::RttSpike => 10,
+        FaultKind::ClockSkew => 11,
+        FaultKind::ProbeChurn => 12,
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Hash of a fault decision point. Deliberately rate-independent so that
+/// raising a rate keeps every previously-fired fault fired (nesting).
+fn decision_hash(seed: u64, kind: FaultKind, scope: FaultScope<'_>) -> u64 {
+    let mut h = splitmix64(seed ^ 0xC4A0_5C4A_05C4_A05C);
+    h = splitmix64(h ^ kind_tag(kind));
+    if let Some(c) = scope.country {
+        h = splitmix64(h ^ (u64::from(c.0[0]) << 8 | u64::from(c.0[1])));
+    }
+    for chunk in scope.subject.as_bytes().chunks(8) {
+        let mut word = 0u64;
+        for (i, b) in chunk.iter().enumerate() {
+            word |= u64::from(*b) << (8 * i);
+        }
+        h = splitmix64(h ^ word);
+    }
+    splitmix64(h ^ scope.index)
+}
+
+/// Top 53 bits of a hash mapped to `[0, 1)`.
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl FaultOracle for FaultPlan {
+    fn fires(&self, kind: FaultKind, scope: FaultScope<'_>) -> bool {
+        let rate = self.profile_for(scope.country).rate(kind);
+        if rate <= 0.0 {
+            return false;
+        }
+        if rate >= 1.0 {
+            return true;
+        }
+        unit(decision_hash(self.seed, kind, scope)) < rate
+    }
+
+    fn severity(&self, kind: FaultKind, scope: FaultScope<'_>) -> f64 {
+        unit(splitmix64(
+            decision_hash(self.seed, kind, scope) ^ 0x5E7E_517E_5E7E_517E,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cc(s: &str) -> CountryCode {
+        CountryCode::new(s)
+    }
+
+    #[test]
+    fn zero_rate_never_fires_and_full_rate_always_fires() {
+        let none = FaultPlan::none(7);
+        let black = FaultPlan::none(7).blackout(cc("RW"));
+        for kind in ALL_KINDS {
+            for subject in ["a.com", "b.net", "20.0.0.9"] {
+                let scope = FaultScope::new(cc("RW"), subject);
+                assert!(!none.fires(kind, scope), "{kind:?} fired on zero plan");
+                if kind != FaultKind::ClockSkew {
+                    assert!(black.fires(kind, scope), "{kind:?} silent at 100%");
+                }
+                // Other countries are untouched by the override.
+                assert!(!black.fires(kind, FaultScope::new(cc("US"), subject)));
+            }
+        }
+    }
+
+    #[test]
+    fn decisions_are_pure_functions_of_scope() {
+        let plan = FaultPlan::stress(42);
+        for kind in ALL_KINDS {
+            for subject in ["tracker.example.com", "x.io", "10.1.2.3"] {
+                for idx in [0u64, 3, 17] {
+                    let scope = FaultScope::new(cc("TH"), subject).indexed(idx);
+                    assert_eq!(plan.fires(kind, scope), plan.fires(kind, scope));
+                    assert_eq!(plan.severity(kind, scope), plan.severity(kind, scope));
+                }
+            }
+        }
+        // Different seeds make different weather.
+        let other = FaultPlan::stress(43);
+        let differing = ALL_KINDS
+            .iter()
+            .flat_map(|k| {
+                (0..64).map(move |i| {
+                    let s = format!("host{i}.example.com");
+                    let a = plan.fires(*k, FaultScope::new(cc("TH"), &s));
+                    let b = other.fires(*k, FaultScope::new(cc("TH"), &s));
+                    usize::from(a != b)
+                })
+            })
+            .sum::<usize>();
+        assert!(differing > 0, "seed does not influence decisions");
+    }
+
+    #[test]
+    fn raising_rates_nests_the_fired_set() {
+        // hash < rate: every fault fired at a low rate stays fired at a
+        // higher one. This is the structural monotonicity guarantee.
+        let seed = 11;
+        let lo = FaultPlan {
+            seed,
+            base: FaultProfile::scaled(0.3),
+            overrides: Vec::new(),
+        };
+        let hi = FaultPlan {
+            seed,
+            base: FaultProfile::scaled(1.0),
+            overrides: Vec::new(),
+        };
+        for kind in ALL_KINDS {
+            for i in 0..200 {
+                let s = format!("site{i}.example.org");
+                let scope = FaultScope::new(cc("PK"), &s);
+                if lo.fires(kind, scope) {
+                    assert!(hi.fires(kind, scope), "{kind:?}/{s} unfired at higher rate");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn observed_rates_track_configured_rates() {
+        let plan = FaultPlan::stress(5);
+        let n = 4000;
+        let fired = (0..n)
+            .filter(|i| {
+                let s = format!("d{i}.example.net");
+                plan.fires(FaultKind::ProbeDropped, FaultScope::new(cc("IN"), &s))
+            })
+            .count();
+        let rate = fired as f64 / n as f64;
+        assert!((0.12..0.18).contains(&rate), "observed {rate}, want ~0.15");
+    }
+
+    #[test]
+    fn severity_is_in_unit_range() {
+        let plan = FaultPlan::stress(9);
+        for i in 0..100 {
+            let s = format!("h{i}.com");
+            let v = plan.severity(FaultKind::RttSpike, FaultScope::new(cc("AU"), &s));
+            assert!((0.0..1.0).contains(&v), "severity {v}");
+        }
+    }
+
+    #[test]
+    fn profile_names_parse() {
+        assert_eq!(FaultPlan::from_profile_name("none", 1), Some(FaultPlan::none(1)));
+        assert_eq!(
+            FaultPlan::from_profile_name("paper", 1),
+            Some(FaultPlan::paper_default(1))
+        );
+        assert_eq!(
+            FaultPlan::from_profile_name("stress", 1),
+            Some(FaultPlan::stress(1))
+        );
+        let b = FaultPlan::from_profile_name("blackout:RW", 1).unwrap();
+        assert_eq!(b.profile_for(Some(cc("RW"))), &FaultProfile::blackout());
+        assert_eq!(b.profile_for(Some(cc("US"))), &FaultProfile::paper_default());
+        assert_eq!(FaultPlan::from_profile_name("blackout:rww", 1), None);
+        assert_eq!(FaultPlan::from_profile_name("garbage", 1), None);
+    }
+
+    #[test]
+    fn paper_default_is_quiet_stress_is_not() {
+        assert!(FaultPlan::none(3).is_quiet());
+        assert!(FaultPlan::paper_default(3).is_quiet());
+        assert!(!FaultPlan::stress(3).is_quiet());
+        assert!(!FaultPlan::none(3).blackout(cc("QA")).is_quiet());
+    }
+
+    #[test]
+    fn validation_rejects_bad_probabilities() {
+        FaultPlan::stress(1).validate().unwrap();
+        let mut bad = FaultProfile::stress();
+        bad.dns.timeout_rate = 1.5;
+        assert!(bad.validate().is_err());
+        let mut nan = FaultProfile::stress();
+        nan.probe.rtt_spike_ms = f64::NAN;
+        assert!(nan.validate().is_err());
+        let plan = FaultPlan::none(0).with_override(cc("JO"), bad);
+        assert!(plan.validate().is_err());
+    }
+
+    #[test]
+    fn plans_roundtrip_through_json() {
+        let plan = FaultPlan::stress(77).blackout(cc("QA"));
+        let js = serde_json::to_string(&plan).unwrap();
+        let back: FaultPlan = serde_json::from_str(&js).unwrap();
+        assert_eq!(back, plan);
+    }
+}

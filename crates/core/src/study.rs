@@ -3,8 +3,9 @@
 use gamma_analysis::StudyDataset;
 use gamma_atlas::AtlasPlatform;
 use gamma_campaign::{Campaign, CampaignEnv, CampaignError, CampaignMetrics, Options};
+use gamma_geo::CountryCode;
 use gamma_geoloc::{ErrorSpec, GeoDatabase, GeolocReport, PipelineOptions};
-use gamma_suite::{GammaConfig, VolunteerDataset};
+use gamma_suite::{GammaConfig, Quarantine, VolunteerDataset};
 use gamma_trackers::TrackerClassifier;
 use gamma_websim::{worldgen, World, WorldSpec};
 
@@ -81,7 +82,7 @@ impl Study {
             master_seed: self.seed,
         };
         let outcome = Campaign::new(env, options.clone()).run()?;
-        let (runs, metrics) = outcome.into_runs();
+        let (runs, quarantines, metrics) = outcome.into_parts();
 
         let study = StudyDataset::assemble(&world, &classifier, &runs);
         Ok(StudyResults {
@@ -89,6 +90,7 @@ impl Study {
             geodb,
             atlas,
             runs,
+            quarantines,
             study,
             metrics,
         })
@@ -106,6 +108,9 @@ pub struct StudyResults {
     pub atlas: AtlasPlatform,
     /// Per-country raw datasets and geolocation reports, in spec order.
     pub runs: Vec<(VolunteerDataset, GeolocReport)>,
+    /// Per-country quarantine ledgers: what each shard's suite run
+    /// quarantined instead of shipping (empty under a quiet fault plan).
+    pub quarantines: Vec<(CountryCode, Quarantine)>,
     /// The assembled analysis dataset behind every figure and table.
     pub study: StudyDataset,
     /// The campaign's per-shard/per-stage metrics ledger (render with
@@ -165,6 +170,15 @@ impl StudyResults {
             &self.study,
         )));
         out
+    }
+
+    /// Renders the per-country data-quality section: pages killed, DNS
+    /// failures, lost traceroutes, degraded-confidence confirmations.
+    /// Kept out of [`StudyResults::render_all`] so quiet-plan reports stay
+    /// byte-identical to pre-chaos output.
+    pub fn render_quality(&self) -> String {
+        let rows = gamma_analysis::quality::data_quality(&self.runs, &self.quarantines);
+        gamma_analysis::quality::render_quality(&rows)
     }
 
     /// Foreign-identification precision across all countries (the
@@ -240,6 +254,16 @@ mod tests {
         assert_eq!(seq.render_all(), par.render_all());
         assert_eq!(par.metrics.workers, 4);
         assert_eq!(par.metrics.shards.len(), 3);
+    }
+
+    #[test]
+    fn quiet_plan_reports_clean_quality() {
+        let results = small_study().run();
+        assert_eq!(results.quarantines.len(), 3);
+        assert!(results.quarantines.iter().all(|(_, q)| q.is_empty()));
+        let text = results.render_quality();
+        assert!(text.contains("data quality"), "missing header: {text}");
+        assert!(text.contains("no losses"), "quiet plan should be clean: {text}");
     }
 
     #[test]

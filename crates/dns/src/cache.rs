@@ -5,17 +5,41 @@
 //! naturally cache these answers for the duration of a run, which also
 //! keeps the simulated measurement internally consistent: one run observes
 //! one answer per domain, as a real stub resolver would.
+//!
+//! Mirroring real resolver behaviour (RFC 2308), failures are cached
+//! *negatively* with a much shorter lifetime than positive answers: a
+//! timeout or SERVFAIL suppresses re-queries for a while, but the suite
+//! eventually retries the name. Time is a logical clock that ticks once
+//! per lookup, keeping the cache fully deterministic.
 
 use crate::name::DomainName;
-use crate::resolver::Replica;
+use crate::resolver::{DnsFailure, Replica};
 use std::collections::HashMap;
 
-/// Memoization cache with hit statistics.
+/// How many subsequent lookups (across all names) a cached failure stays
+/// authoritative for. Positive answers live for the whole run.
+pub const NEGATIVE_TTL_LOOKUPS: u64 = 64;
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Entry {
+    /// A run-lifetime answer. `None` models the legacy unresolved case
+    /// (cached forever, as [`DnsCache::resolve_with`] always did).
+    Answer(Option<Replica>),
+    /// A failure, valid until the logical clock passes `expires_at`.
+    Failure {
+        failure: DnsFailure,
+        expires_at: u64,
+    },
+}
+
+/// Memoization cache with hit statistics and negative caching.
 #[derive(Debug, Clone, Default)]
 pub struct DnsCache {
-    entries: HashMap<DomainName, Option<Replica>>,
+    entries: HashMap<DomainName, Entry>,
     hits: u64,
     misses: u64,
+    /// Logical time: the number of lookups served so far.
+    clock: u64,
 }
 
 impl DnsCache {
@@ -24,18 +48,62 @@ impl DnsCache {
     }
 
     /// Looks up a domain, computing and caching the answer on a miss.
+    /// Legacy entry point: both outcomes are cached for the run's lifetime.
     pub fn resolve_with<F>(&mut self, domain: &DomainName, f: F) -> Option<Replica>
     where
         F: FnOnce() -> Option<Replica>,
     {
-        if let Some(hit) = self.entries.get(domain) {
+        self.clock += 1;
+        if let Some(Entry::Answer(hit)) = self.entries.get(domain) {
             self.hits += 1;
             return *hit;
         }
         self.misses += 1;
         let answer = f();
-        self.entries.insert(domain.clone(), answer);
+        self.entries.insert(domain.clone(), Entry::Answer(answer));
         answer
+    }
+
+    /// Looks up a domain whose resolution can fail, computing and caching
+    /// the outcome on a miss. Successes are cached for the run's lifetime;
+    /// failures are negative-cached for [`NEGATIVE_TTL_LOOKUPS`] lookups
+    /// and then retried, mirroring real resolver behaviour.
+    pub fn resolve_outcome<F>(&mut self, domain: &DomainName, f: F) -> Result<Replica, DnsFailure>
+    where
+        F: FnOnce() -> Result<Replica, DnsFailure>,
+    {
+        self.clock += 1;
+        match self.entries.get(domain) {
+            Some(Entry::Answer(Some(r))) => {
+                self.hits += 1;
+                return Ok(*r);
+            }
+            Some(Entry::Answer(None)) => {
+                // A legacy-cached unresolved name reads back as an
+                // authoritative denial.
+                self.hits += 1;
+                return Err(DnsFailure::Nxdomain);
+            }
+            Some(Entry::Failure {
+                failure,
+                expires_at,
+            }) if self.clock <= *expires_at => {
+                self.hits += 1;
+                return Err(*failure);
+            }
+            _ => {}
+        }
+        self.misses += 1;
+        let outcome = f();
+        let entry = match outcome {
+            Ok(r) => Entry::Answer(Some(r)),
+            Err(failure) => Entry::Failure {
+                failure,
+                expires_at: self.clock + NEGATIVE_TTL_LOOKUPS,
+            },
+        };
+        self.entries.insert(domain.clone(), entry);
+        outcome
     }
 
     /// (hits, misses) counters.
@@ -112,5 +180,57 @@ mod tests {
         assert!(cache.is_empty());
         cache.resolve_with(&d("a.com"), || Some(rep()));
         assert_eq!(cache.stats(), (0, 2));
+    }
+
+    #[test]
+    fn successful_outcomes_are_cached_for_the_run() {
+        let mut cache = DnsCache::new();
+        let mut calls = 0;
+        for _ in 0..(2 * NEGATIVE_TTL_LOOKUPS) {
+            let r = cache.resolve_outcome(&d("a.com"), || {
+                calls += 1;
+                Ok(rep())
+            });
+            assert_eq!(r, Ok(rep()));
+        }
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn failures_are_negative_cached_with_a_shorter_ttl() {
+        let mut cache = DnsCache::new();
+        let mut calls = 0;
+        // First lookup misses; the failure then answers from cache until
+        // the negative TTL lapses, after which the name is re-queried.
+        for _ in 0..(NEGATIVE_TTL_LOOKUPS + 2) {
+            let r = cache.resolve_outcome(&d("flaky.com"), || {
+                calls += 1;
+                Err(DnsFailure::Servfail)
+            });
+            assert_eq!(r, Err(DnsFailure::Servfail));
+        }
+        assert_eq!(calls, 2, "negative entry never expired");
+    }
+
+    #[test]
+    fn retry_after_expiry_can_succeed() {
+        let mut cache = DnsCache::new();
+        let r = cache.resolve_outcome(&d("flaky.com"), || Err(DnsFailure::Timeout));
+        assert_eq!(r, Err(DnsFailure::Timeout));
+        // Burn through the negative TTL with unrelated lookups.
+        for i in 0..NEGATIVE_TTL_LOOKUPS {
+            let name = d(&format!("filler{i}.com"));
+            let _ = cache.resolve_outcome(&name, || Ok(rep()));
+        }
+        let r = cache.resolve_outcome(&d("flaky.com"), || Ok(rep()));
+        assert_eq!(r, Ok(rep()), "expired failure was not retried");
+    }
+
+    #[test]
+    fn legacy_negative_entries_read_as_nxdomain() {
+        let mut cache = DnsCache::new();
+        cache.resolve_with(&d("gone.com"), || None);
+        let r = cache.resolve_outcome(&d("gone.com"), || Ok(rep()));
+        assert_eq!(r, Err(DnsFailure::Nxdomain));
     }
 }

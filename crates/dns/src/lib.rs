@@ -14,6 +14,14 @@
 //! 3. **Reverse DNS carries location hints** — the third geolocation
 //!    constraint (§4.1.3) mines hostnames for geography; [`rdns`] generates
 //!    and parses such hostnames (IATA codes, city names).
+//!
+//! Resolution can *fail* — [`resolver::DnsFailure`] models timeouts,
+//! SERVFAIL and NXDOMAIN (injected via `gamma-chaos`), and the cache
+//! negative-caches them with a shorter TTL, as real resolvers do.
+
+// Data paths must degrade, not panic: unresolved names and injected
+// failures flow into the quarantine ledger downstream.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod cache;
 pub mod name;
@@ -21,8 +29,8 @@ pub mod psl;
 pub mod rdns;
 pub mod resolver;
 
-pub use cache::DnsCache;
+pub use cache::{DnsCache, NEGATIVE_TTL_LOOKUPS};
 pub use name::DomainName;
 pub use psl::{gov_suffixes, is_gov_domain, is_public_suffix, registrable_domain};
 pub use rdns::{geo_hint, HostnameScheme, RdnsTable};
-pub use resolver::{GeoResolver, Replica, ResolutionTrace};
+pub use resolver::{DnsFailure, GeoResolver, Replica, ResolutionTrace};

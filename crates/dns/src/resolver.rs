@@ -9,6 +9,7 @@
 //! replica answers.
 
 use crate::name::DomainName;
+use gamma_chaos::{FaultKind, FaultOracle, FaultScope};
 use gamma_geo::{city, CityId, CountryCode};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -19,6 +20,29 @@ use std::net::Ipv4Addr;
 pub struct Replica {
     pub addr: Ipv4Addr,
     pub city: CityId,
+}
+
+/// A failed resolution, as a stub resolver would report it. The paper's
+/// suite saw all three in the wild; downstream they are recorded on the
+/// observation (and quarantined when injected) instead of panicking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DnsFailure {
+    /// The query timed out with no answer at all.
+    Timeout,
+    /// The upstream resolver answered SERVFAIL.
+    Servfail,
+    /// The name does not exist (authoritative denial).
+    Nxdomain,
+}
+
+impl std::fmt::Display for DnsFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            DnsFailure::Timeout => "timeout",
+            DnsFailure::Servfail => "SERVFAIL",
+            DnsFailure::Nxdomain => "NXDOMAIN",
+        })
+    }
 }
 
 /// How a particular resolution was decided — recorded so experiments can
@@ -111,6 +135,36 @@ impl GeoResolver {
             })
             .expect("non-empty replica set");
         Some((*nearest, ResolutionTrace::Nearest))
+    }
+
+    /// Resolves under the unified fault plan. The fault-free answer is
+    /// computed first (so a quiet oracle is byte-identical to
+    /// [`GeoResolver::resolve`]), then injected failures are overlaid:
+    /// timeout, SERVFAIL, and NXDOMAIN in that order of precedence. A name
+    /// missing from the zones resolves to `Err(Nxdomain)`, which is what a
+    /// real authoritative denial looks like to the suite.
+    pub fn resolve_checked(
+        &self,
+        domain: &DomainName,
+        client_city: CityId,
+        oracle: &dyn FaultOracle,
+        country: Option<CountryCode>,
+    ) -> Result<(Replica, ResolutionTrace), DnsFailure> {
+        let answer = self.resolve(domain, client_city);
+        let scope = match country {
+            Some(c) => FaultScope::new(c, domain.as_str()),
+            None => FaultScope::global(domain.as_str()),
+        };
+        if oracle.fires(FaultKind::DnsTimeout, scope) {
+            return Err(DnsFailure::Timeout);
+        }
+        if oracle.fires(FaultKind::DnsServfail, scope) {
+            return Err(DnsFailure::Servfail);
+        }
+        if oracle.fires(FaultKind::DnsNxdomain, scope) {
+            return Err(DnsFailure::Nxdomain);
+        }
+        answer.ok_or(DnsFailure::Nxdomain)
     }
 }
 
@@ -292,6 +346,75 @@ mod tests {
                     prop_assert_eq!(trace, ResolutionTrace::Steered);
                 }
             }
+        }
+    }
+
+    mod checked {
+        use super::*;
+        use gamma_chaos::{FaultPlan, FaultProfile, NoFaults};
+
+        fn resolver() -> GeoResolver {
+            let mut r = GeoResolver::new();
+            r.add_replicas(d("cdn.example.com"), [replica("Frankfurt", 1)]);
+            r
+        }
+
+        #[test]
+        fn quiet_oracle_matches_legacy_resolution() {
+            let r = resolver();
+            let client = city_by_name("Cairo").unwrap().id;
+            let legacy = r.resolve(&d("cdn.example.com"), client).unwrap();
+            let checked = r
+                .resolve_checked(&d("cdn.example.com"), client, &NoFaults, None)
+                .unwrap();
+            assert_eq!(legacy, checked);
+        }
+
+        #[test]
+        fn missing_zone_is_nxdomain() {
+            let r = resolver();
+            let client = city_by_name("Cairo").unwrap().id;
+            assert_eq!(
+                r.resolve_checked(&d("nope.com"), client, &NoFaults, None),
+                Err(DnsFailure::Nxdomain)
+            );
+        }
+
+        #[test]
+        fn injected_failures_take_precedence_in_order() {
+            let r = resolver();
+            let client = city_by_name("Cairo").unwrap().id;
+            let dom = d("cdn.example.com");
+            let eg = CountryCode::new("EG");
+
+            let mut profile = FaultProfile::none();
+            profile.dns.timeout_rate = 1.0;
+            profile.dns.servfail_rate = 1.0;
+            let plan = FaultPlan::none(1).with_override(eg, profile);
+            assert_eq!(
+                r.resolve_checked(&dom, client, &plan, Some(eg)),
+                Err(DnsFailure::Timeout)
+            );
+
+            let mut profile = FaultProfile::none();
+            profile.dns.servfail_rate = 1.0;
+            let plan = FaultPlan::none(1).with_override(eg, profile);
+            assert_eq!(
+                r.resolve_checked(&dom, client, &plan, Some(eg)),
+                Err(DnsFailure::Servfail)
+            );
+
+            let mut profile = FaultProfile::none();
+            profile.dns.nxdomain_rate = 1.0;
+            let plan = FaultPlan::none(1).with_override(eg, profile);
+            assert_eq!(
+                r.resolve_checked(&dom, client, &plan, Some(eg)),
+                Err(DnsFailure::Nxdomain)
+            );
+
+            // The override never leaks onto other vantages.
+            let us = CountryCode::new("US");
+            assert!(r.resolve_checked(&dom, client, &plan, Some(us)).is_ok());
         }
     }
 

@@ -21,6 +21,15 @@
 //!
 //! [`pipeline::GeolocPipeline`] wires all stages over a volunteer dataset
 //! and reports per-domain verdicts plus the §5 funnel counters.
+//!
+//! The pipeline is degradation-aware: it consults the unified
+//! `gamma-chaos` fault plan for its own measurements and, in
+//! [`pipeline::PipelineOptions::degraded_fallback`] mode, classifies with
+//! whatever constraint subset survived, downgrading per-IP confidence
+//! instead of discarding.
+
+// Data paths must degrade, never panic.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod constraints;
 pub mod databases;
@@ -35,5 +44,6 @@ pub use databases::{compare_vendors, DbAccuracy, GeoVendor};
 pub use ipmap::{ErrorSpec, GeoDatabase};
 pub use latency_stats::LatencyStats;
 pub use pipeline::{
-    Classification, DomainVerdict, FunnelStats, GeolocPipeline, GeolocReport, PipelineOptions,
+    Classification, Confidence, DegradedReason, DomainVerdict, FunnelStats, GeolocPipeline,
+    GeolocReport, PipelineOptions,
 };

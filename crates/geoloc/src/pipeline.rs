@@ -14,9 +14,10 @@ use crate::constraints::{
 use crate::ipmap::GeoDatabase;
 use crate::latency_stats::LatencyStats;
 use gamma_atlas::AtlasPlatform;
+use gamma_chaos::FaultPlan;
 use gamma_dns::DomainName;
 use gamma_geo::{city, CityId, CountryCode};
-use gamma_netsim::{run_traceroute, AccessQuality, FaultConfig, LatencyModel};
+use gamma_netsim::{run_traceroute_chaos, AccessQuality, LatencyModel};
 use gamma_suite::normalize::normalize_direct;
 use gamma_suite::{NormalizedTraceroute, VolunteerDataset};
 use gamma_websim::World;
@@ -35,8 +36,11 @@ pub struct PipelineOptions {
     pub latency_floor: f64,
     /// Last-hop-minus-first-hop cleaning (§4.1.1); ablatable.
     pub first_hop_subtraction: bool,
-    /// Fault injection for pipeline-launched probe traceroutes.
-    pub fault: FaultConfig,
+    /// Degradation-aware mode: when a constraint *cannot run* (no usable
+    /// source traceroute, no probe in the claimed country), classify with
+    /// the surviving constraint subset and an explicit per-IP confidence
+    /// downgrade instead of discarding. Contradictions still discard.
+    pub degraded_fallback: bool,
 }
 
 impl Default for PipelineOptions {
@@ -47,9 +51,39 @@ impl Default for PipelineOptions {
             enable_rdns_constraint: true,
             latency_floor: DEFAULT_LATENCY_FLOOR,
             first_hop_subtraction: true,
-            fault: FaultConfig::default(),
+            degraded_fallback: false,
         }
     }
+}
+
+/// How much constraint evidence backs a confirmed-non-local verdict.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Confidence {
+    /// Every enabled constraint ran and passed.
+    #[default]
+    Full,
+    /// A constraint could not run; the verdict rests on the surviving
+    /// subset (degradation-aware mode, [`PipelineOptions::degraded_fallback`]).
+    Degraded(DegradedReason),
+}
+
+impl Confidence {
+    pub fn is_full(&self) -> bool {
+        matches!(self, Confidence::Full)
+    }
+    pub fn is_degraded(&self) -> bool {
+        !self.is_full()
+    }
+}
+
+/// Which missing measurement forced the downgrade.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DegradedReason {
+    /// No usable source-side latency (volunteer traceroute failed and no
+    /// Atlas fallback probe): database + destination + rDNS only.
+    NoSourceLatency,
+    /// No probe in or near the claimed country: source + rDNS only.
+    NoDestinationProbe,
 }
 
 /// Verdict for one observed server address.
@@ -57,8 +91,15 @@ impl Default for PipelineOptions {
 pub enum Classification {
     /// Claimed inside the volunteer's country.
     Local { claimed: CityId },
-    /// Claimed abroad and survived every enabled constraint.
-    ConfirmedNonLocal { claimed: CityId },
+    /// Claimed abroad and survived every enabled constraint that could run.
+    ConfirmedNonLocal {
+        claimed: CityId,
+        /// `Full` unless degradation-aware mode had to skip a constraint.
+        /// Omitted from JSON when `Full`, keeping quiet-plan output
+        /// byte-identical to the pre-chaos format.
+        #[serde(default, skip_serializing_if = "Confidence::is_full")]
+        confidence: Confidence,
+    },
     /// Claimed abroad but discarded.
     Discarded {
         reason: DiscardReason,
@@ -110,6 +151,21 @@ pub struct FunnelStats {
     pub destination_traceroutes: usize,
     /// Unmapped / no-geolocation addresses.
     pub unmapped: usize,
+    /// Source constraints skipped for lack of any source-side latency
+    /// (degradation-aware mode only).
+    #[serde(default, skip_serializing_if = "usize_is_zero")]
+    pub source_constraint_skipped: usize,
+    /// Destination constraints skipped for lack of a probe (degradation-
+    /// aware mode only).
+    #[serde(default, skip_serializing_if = "usize_is_zero")]
+    pub destination_constraint_skipped: usize,
+    /// Confirmed-non-local addresses carrying a degraded confidence.
+    #[serde(default, skip_serializing_if = "usize_is_zero")]
+    pub degraded_confirmations: usize,
+}
+
+fn usize_is_zero(n: &usize) -> bool {
+    *n == 0
 }
 
 /// Full per-country output.
@@ -154,6 +210,10 @@ pub struct GeolocPipeline<'w> {
     pub stats: LatencyStats,
     pub atlas: &'w AtlasPlatform,
     pub options: PipelineOptions,
+    /// Unified fault plan consulted by pipeline-launched measurements
+    /// (probe traceroutes, Atlas selection). The default is the paper's
+    /// baseline, byte-identical to the pre-chaos pipeline.
+    pub plan: FaultPlan,
 }
 
 impl<'w> GeolocPipeline<'w> {
@@ -164,6 +224,7 @@ impl<'w> GeolocPipeline<'w> {
             stats: LatencyStats::default(),
             atlas,
             options: PipelineOptions::default(),
+            plan: FaultPlan::paper_default(0),
         }
     }
 
@@ -189,10 +250,12 @@ impl<'w> GeolocPipeline<'w> {
 
         // Fallback probe near the volunteer, for vantages with no usable
         // traceroutes (firewalled or opted out) — §4.1.1.
-        let fallback_probe = self.atlas.select_probe(
+        let fallback_probe = self.atlas.select_probe_with(
             volunteer_country,
             Some(volunteer_city),
             Some(ds.volunteer.asn),
+            &self.plan,
+            Some(volunteer_country),
         );
 
         let mut funnel = FunnelStats {
@@ -279,6 +342,7 @@ impl<'w> GeolocPipeline<'w> {
             return Classification::Local { claimed };
         }
         funnel.nonlocal_candidates += 1;
+        let mut degraded: Option<DegradedReason> = None;
 
         // --- source-based constraint (§4.1.1) ---
         if self.options.enable_source_constraint {
@@ -290,7 +354,13 @@ impl<'w> GeolocPipeline<'w> {
                     if let Some(probe_city) = fallback_probe_city {
                         let t = atlas_traces.entry(ip).or_insert_with(|| {
                             funnel.source_traceroutes_atlas += 1;
-                            self.launch_probe_traceroute(probe_city, ip, model, rng)
+                            self.launch_probe_traceroute(
+                                probe_city,
+                                ip,
+                                volunteer_country,
+                                model,
+                                rng,
+                            )
                         });
                         Some(&*t)
                     } else {
@@ -298,58 +368,82 @@ impl<'w> GeolocPipeline<'w> {
                     }
                 }
             };
-            let Some(trace) = trace else {
+            if let Some(trace) = trace {
+                // When the source-side measurement came from an Atlas probe,
+                // the source city is the probe's, not the volunteer's.
+                let src_city = if source_traces.get(&ip).map_or(false, |t| t.reached) {
+                    volunteer_city
+                } else {
+                    fallback_probe_city.unwrap_or(volunteer_city)
+                };
+                match evaluate_source(
+                    trace,
+                    src_city,
+                    claimed,
+                    &self.stats,
+                    self.options.latency_floor,
+                    self.options.first_hop_subtraction,
+                ) {
+                    ConstraintOutcome::Pass { .. } => {}
+                    ConstraintOutcome::Discard(reason) => {
+                        return Classification::Discarded {
+                            reason,
+                            claimed: Some(claimed),
+                        }
+                    }
+                }
+            } else if self.options.degraded_fallback {
+                // No source latency at all: fall through to the surviving
+                // constraints (database + destination + rDNS) and downgrade
+                // the verdict's confidence instead of discarding.
+                funnel.source_constraint_skipped += 1;
+                degraded.get_or_insert(DegradedReason::NoSourceLatency);
+            } else {
                 return Classification::Discarded {
                     reason: DiscardReason::NoTraceroute,
                     claimed: Some(claimed),
                 };
-            };
-            // When the source-side measurement came from an Atlas probe,
-            // the source city is the probe's, not the volunteer's.
-            let src_city = if source_traces.get(&ip).map_or(false, |t| t.reached) {
-                volunteer_city
-            } else {
-                fallback_probe_city.unwrap_or(volunteer_city)
-            };
-            match evaluate_source(
-                trace,
-                src_city,
-                claimed,
-                &self.stats,
-                self.options.latency_floor,
-                self.options.first_hop_subtraction,
-            ) {
-                ConstraintOutcome::Pass { .. } => {}
-                ConstraintOutcome::Discard(reason) => {
-                    return Classification::Discarded {
-                        reason,
-                        claimed: Some(claimed),
-                    }
-                }
             }
         }
 
         // --- destination-based constraint (§4.1.2) ---
         if self.options.enable_destination_constraint {
             let claimed_country = city(claimed).country;
-            let Some(sel) = self
-                .atlas
-                .select_probe(claimed_country, Some(claimed), None)
-            else {
-                return Classification::Discarded {
-                    reason: DiscardReason::DestNoProbe,
-                    claimed: Some(claimed),
-                };
-            };
-            funnel.destination_traceroutes += 1;
-            let trace = self.launch_probe_traceroute(sel.probe.city, ip, model, rng);
-            match evaluate_destination(&trace, sel.probe.city, claimed) {
-                ConstraintOutcome::Pass { .. } => {}
-                ConstraintOutcome::Discard(reason) => {
-                    return Classification::Discarded {
-                        reason,
-                        claimed: Some(claimed),
+            match self.atlas.select_probe_with(
+                claimed_country,
+                Some(claimed),
+                None,
+                &self.plan,
+                Some(volunteer_country),
+            ) {
+                Some(sel) => {
+                    funnel.destination_traceroutes += 1;
+                    let trace = self.launch_probe_traceroute(
+                        sel.probe.city,
+                        ip,
+                        volunteer_country,
+                        model,
+                        rng,
+                    );
+                    match evaluate_destination(&trace, sel.probe.city, claimed) {
+                        ConstraintOutcome::Pass { .. } => {}
+                        ConstraintOutcome::Discard(reason) => {
+                            return Classification::Discarded {
+                                reason,
+                                claimed: Some(claimed),
+                            }
+                        }
                     }
+                }
+                None if self.options.degraded_fallback => {
+                    funnel.destination_constraint_skipped += 1;
+                    degraded.get_or_insert(DegradedReason::NoDestinationProbe);
+                }
+                None => {
+                    return Classification::Discarded {
+                        reason: DiscardReason::DestNoProbe,
+                        claimed: Some(claimed),
+                    };
                 }
             }
         }
@@ -365,14 +459,23 @@ impl<'w> GeolocPipeline<'w> {
             }
         }
         funnel.after_rdns_constraint += 1;
-        Classification::ConfirmedNonLocal { claimed }
+        let confidence = match degraded {
+            Some(reason) => {
+                funnel.degraded_confirmations += 1;
+                Confidence::Degraded(reason)
+            }
+            None => Confidence::Full,
+        };
+        Classification::ConfirmedNonLocal { claimed, confidence }
     }
 
-    /// Launches a simulated traceroute from a probe city toward a server.
+    /// Launches a simulated traceroute from a probe city toward a server,
+    /// under the pipeline's fault plan scoped to the requesting vantage.
     fn launch_probe_traceroute<R: Rng + ?Sized>(
         &self,
         probe_city: CityId,
         ip: Ipv4Addr,
+        vantage: CountryCode,
         model: &LatencyModel,
         rng: &mut R,
     ) -> NormalizedTraceroute {
@@ -385,13 +488,16 @@ impl<'w> GeolocPipeline<'w> {
             };
         };
         let route = gamma_netsim::synthesize_route(city(probe_city), city(true_city));
-        let result = run_traceroute(
+        let probe = self.plan.profile_for(Some(vantage)).probe;
+        let result = run_traceroute_chaos(
             &route,
             ip,
             model,
             AccessQuality::Good,
-            &self.options.fault,
+            &probe,
             &|c| self.world.router_ip_of(c),
+            &self.plan,
+            Some(vantage),
             rng,
         );
         normalize_direct(&result)
@@ -572,6 +678,73 @@ mod tests {
             "histogram does not account: {hist:?} vs {fu:?}"
         );
         assert!(!hist.is_empty());
+    }
+
+    #[test]
+    fn quiet_plan_keeps_confidence_markers_out_of_the_report() {
+        let f = fixture();
+        let ds = dataset(&f, "RW", 3);
+        let pipeline = GeolocPipeline::new(&f.world, &f.geodb, &f.atlas);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let report = pipeline.classify_dataset(&ds, &mut rng);
+        for v in report.confirmed() {
+            let Classification::ConfirmedNonLocal { confidence, .. } = &v.classification else {
+                unreachable!()
+            };
+            assert!(confidence.is_full());
+        }
+        assert_eq!(report.funnel.degraded_confirmations, 0);
+        // The degradation machinery must be invisible in quiet-plan JSON:
+        // the serialized report matches the pre-chaos format.
+        let js = serde_json::to_string(&report).unwrap();
+        assert!(!js.contains("confidence"));
+        assert!(!js.contains("degraded"));
+        assert!(!js.contains("skipped"));
+    }
+
+    #[test]
+    fn churned_vantage_degrades_instead_of_discarding() {
+        use gamma_chaos::{FaultPlan, FaultProfile};
+        let f = fixture();
+        // Firewalled Australia: no usable volunteer traceroutes, so the
+        // source constraint depends entirely on the Atlas fallback — which
+        // full churn removes.
+        let ds = dataset(&f, "AU", 11);
+        let au = CountryCode::new("AU");
+        let mut churned = FaultProfile::none();
+        churned.atlas.churn_rate = 1.0;
+
+        let mut strict = GeolocPipeline::new(&f.world, &f.geodb, &f.atlas);
+        strict.plan = FaultPlan::paper_default(2).with_override(au, churned);
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let gone = strict.classify_dataset(&ds, &mut rng);
+        assert_eq!(
+            gone.funnel.after_rdns_constraint, 0,
+            "without degraded fallback every candidate is discarded"
+        );
+
+        let mut lenient = GeolocPipeline::new(&f.world, &f.geodb, &f.atlas);
+        lenient.plan = FaultPlan::paper_default(2).with_override(au, churned);
+        lenient.options.degraded_fallback = true;
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let report = lenient.classify_dataset(&ds, &mut rng);
+        assert!(report.funnel.source_constraint_skipped > 0);
+        assert!(report.funnel.destination_constraint_skipped > 0);
+        assert!(
+            report.funnel.after_rdns_constraint > 0,
+            "rdns-only fallback should still confirm something: {:?}",
+            report.funnel
+        );
+        assert_eq!(
+            report.funnel.degraded_confirmations,
+            report.funnel.after_rdns_constraint
+        );
+        for v in report.confirmed() {
+            let Classification::ConfirmedNonLocal { confidence, .. } = &v.classification else {
+                unreachable!()
+            };
+            assert!(confidence.is_degraded());
+        }
     }
 
     #[test]

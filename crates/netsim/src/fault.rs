@@ -68,6 +68,20 @@ impl FaultConfig {
     }
 }
 
+/// The legacy RNG-driven knobs are a strict subset of the unified
+/// [`gamma_chaos::ProbeFaults`]; this conversion is what lets
+/// [`crate::traceroute::run_traceroute_chaos`] reuse the pre-chaos
+/// simulation path byte-for-byte before applying the oracle overlay.
+impl From<&gamma_chaos::ProbeFaults> for FaultConfig {
+    fn from(p: &gamma_chaos::ProbeFaults) -> Self {
+        FaultConfig {
+            firewall_blocks_traceroute: p.firewall_blocks_traceroute,
+            hop_silence_rate: p.hop_silence_rate,
+            destination_unreachable_rate: p.destination_unreachable_rate,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -97,5 +111,19 @@ mod tests {
     fn firewalled_blocks() {
         assert!(FaultConfig::firewalled().firewall_blocks_traceroute);
         assert!(!FaultConfig::none().firewall_blocks_traceroute);
+    }
+
+    #[test]
+    fn probe_faults_convert_to_legacy_knobs() {
+        let p = gamma_chaos::ProbeFaults {
+            firewall_blocks_traceroute: true,
+            hop_silence_rate: 0.25,
+            destination_unreachable_rate: 0.5,
+            ..Default::default()
+        };
+        let legacy = FaultConfig::from(&p);
+        assert!(legacy.firewall_blocks_traceroute);
+        assert_eq!(legacy.hop_silence_rate, 0.25);
+        assert_eq!(legacy.destination_unreachable_rate, 0.5);
     }
 }

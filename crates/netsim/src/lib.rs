@@ -24,7 +24,9 @@ pub use asn::{AsKind, AsRegistry, Asn, AsnInfo};
 pub use fault::FaultConfig;
 pub use ip::{IpAllocation, IpRegistry, Ipv4Net};
 pub use latency::{AccessQuality, LatencyModel, LatencySample};
-pub use ping::ping_rtt_ms;
+pub use ping::{ping_rtt_ms, ping_rtt_ms_chaos};
 pub use route::{synthesize_route, Route};
-pub use tls::{scan_tls, TlsPosture, TlsScanResult, TlsVersion};
-pub use traceroute::{run_traceroute, Hop, TracerouteOutcome, TracerouteResult};
+pub use tls::{scan_tls, scan_tls_chaos, TlsPosture, TlsScanResult, TlsVersion};
+pub use traceroute::{
+    run_traceroute, run_traceroute_chaos, Hop, TracerouteOutcome, TracerouteResult,
+};

@@ -6,6 +6,7 @@
 
 use crate::latency::{AccessQuality, LatencyModel};
 use crate::route::Route;
+use gamma_chaos::{FaultKind, FaultOracle, FaultScope};
 use rand::Rng;
 
 /// Samples a single echo round-trip along a route, or `None` if the probe
@@ -21,6 +22,26 @@ pub fn ping_rtt_ms<R: Rng + ?Sized>(
         return None;
     }
     Some(model.sample(route, quality, rng).rtt_ms())
+}
+
+/// Plan-driven echo probe: the legacy `loss_rate` knob is folded into the
+/// unified fault plan — the probe is lost iff `ProbeDropped` fires for this
+/// scope. The RTT is sampled first (consuming the same RNG draws as
+/// [`ping_rtt_ms`] with `loss_rate = 0`) and discarded afterwards, so a
+/// quiet oracle is byte-identical to the lossless legacy call.
+pub fn ping_rtt_ms_chaos<R: Rng + ?Sized>(
+    route: &Route,
+    model: &LatencyModel,
+    quality: AccessQuality,
+    oracle: &dyn FaultOracle,
+    scope: FaultScope<'_>,
+    rng: &mut R,
+) -> Option<f64> {
+    let rtt = ping_rtt_ms(route, model, quality, 0.0, rng);
+    if oracle.fires(FaultKind::ProbeDropped, scope) {
+        return None;
+    }
+    rtt
 }
 
 #[cfg(test)]

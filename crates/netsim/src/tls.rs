@@ -128,6 +128,26 @@ pub fn scan_tls<R: Rng + ?Sized>(
     }
 }
 
+/// Plan-driven scan: the legacy connect `loss_rate` knob is folded into the
+/// unified fault plan — the connect fails iff `ProbeDropped` fires for this
+/// scope. The RNG stream matches [`scan_tls`] with `loss_rate = 0`.
+pub fn scan_tls_chaos<R: Rng + ?Sized>(
+    posture: &TlsPosture,
+    oracle: &dyn gamma_chaos::FaultOracle,
+    scope: gamma_chaos::FaultScope<'_>,
+    rng: &mut R,
+) -> TlsScanResult {
+    let scanned = scan_tls(posture, 0.0, rng);
+    if oracle.fires(gamma_chaos::FaultKind::ProbeDropped, scope) {
+        return TlsScanResult {
+            reachable: false,
+            posture: None,
+            grade: None,
+        };
+    }
+    scanned
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -10,7 +10,8 @@
 use crate::fault::FaultConfig;
 use crate::latency::{AccessQuality, LatencyModel};
 use crate::route::Route;
-use gamma_geo::CityId;
+use gamma_chaos::{FaultKind, FaultOracle, FaultScope, ProbeFaults};
+use gamma_geo::{CityId, CountryCode};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::net::Ipv4Addr;
@@ -152,6 +153,86 @@ pub fn run_traceroute<R: Rng + ?Sized>(
     }
 }
 
+/// Runs a traceroute under the unified fault plan.
+///
+/// The legacy RNG-driven knobs inside `probe` (firewall, hop silence,
+/// destination unreachability) drive the base simulation exactly as
+/// [`run_traceroute`] would, consuming the identical RNG stream. The
+/// oracle-driven faults are then applied as a *post-filter* overlay — they
+/// only remove or degrade data, never re-draw it — so a quiet oracle
+/// reproduces the pre-chaos output byte-for-byte and raising any rate can
+/// only star out more of the run:
+///
+/// - `ProbeDropped` (per destination address): the whole run fails, as if
+///   the vantage's probes were silently eaten.
+/// - `HopFiltered` (per hop TTL): that hop's answer is blanked; blanking
+///   the destination hop leaves the run `DestinationUnreached`.
+/// - `RttSpike`: inflates the first (gateway) hop by `severity *
+///   rtt_spike_ms`, which *shrinks* the first-hop-subtracted latency — a
+///   strictly harder source constraint, never an easier one.
+/// - `ClockSkew`: a constant offset on every answered hop; the cleaned
+///   latency (last minus first) is invariant, absolute readings are not.
+#[allow(clippy::too_many_arguments)]
+pub fn run_traceroute_chaos<R: Rng + ?Sized>(
+    route: &Route,
+    dst_ip: Ipv4Addr,
+    model: &LatencyModel,
+    quality: AccessQuality,
+    probe: &ProbeFaults,
+    router_ip_of: &dyn Fn(CityId) -> Ipv4Addr,
+    oracle: &dyn FaultOracle,
+    country: Option<CountryCode>,
+    rng: &mut R,
+) -> TracerouteResult {
+    let legacy = FaultConfig::from(probe);
+    let mut result = run_traceroute(route, dst_ip, model, quality, &legacy, router_ip_of, rng);
+    if result.outcome == TracerouteOutcome::Failed {
+        return result;
+    }
+
+    let subject = dst_ip.to_string();
+    let scope = match country {
+        Some(c) => FaultScope::new(c, &subject),
+        None => FaultScope::global(&subject),
+    };
+
+    if oracle.fires(FaultKind::ProbeDropped, scope) {
+        return TracerouteResult {
+            dst: dst_ip,
+            hops: Vec::new(),
+            outcome: TracerouteOutcome::Failed,
+        };
+    }
+
+    if probe.rtt_spike_ms > 0.0 && oracle.fires(FaultKind::RttSpike, scope) {
+        let spike = oracle.severity(FaultKind::RttSpike, scope) * probe.rtt_spike_ms;
+        if let Some(rtt) = result.hops.first_mut().and_then(|h| h.rtt_ms.as_mut()) {
+            *rtt += spike;
+        }
+    }
+
+    if probe.clock_skew_ms != 0.0 && oracle.fires(FaultKind::ClockSkew, scope) {
+        for rtt in result.hops.iter_mut().filter_map(|h| h.rtt_ms.as_mut()) {
+            *rtt += probe.clock_skew_ms;
+        }
+    }
+
+    for hop in &mut result.hops {
+        if hop.addr.is_some()
+            && oracle.fires(FaultKind::HopFiltered, scope.indexed(u64::from(hop.ttl)))
+        {
+            hop.addr = None;
+            hop.rtt_ms = None;
+        }
+    }
+    if result.outcome == TracerouteOutcome::Completed
+        && result.hops.last().is_some_and(|h| h.addr.is_none())
+    {
+        result.outcome = TracerouteOutcome::DestinationUnreached;
+    }
+    result
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -273,6 +354,176 @@ mod tests {
             .all(|h| h.addr.is_none() && h.rtt_ms.is_none()));
         // first_hop_rtt falls back to the gateway.
         assert_eq!(t.first_hop_rtt_ms(), t.hops[0].rtt_ms);
+    }
+
+    /// Test oracle that fires exactly one fault kind, always.
+    struct Always(FaultKind);
+
+    impl FaultOracle for Always {
+        fn fires(&self, kind: FaultKind, _scope: FaultScope<'_>) -> bool {
+            kind == self.0
+        }
+        fn severity(&self, _kind: FaultKind, _scope: FaultScope<'_>) -> f64 {
+            0.5
+        }
+    }
+
+    fn legacy_probe_faults() -> ProbeFaults {
+        ProbeFaults {
+            hop_silence_rate: 0.08,
+            destination_unreachable_rate: 0.07,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn quiet_oracle_matches_legacy_run_byte_for_byte() {
+        let (route, model, _) = setup();
+        let dst = Ipv4Addr::new(20, 9, 9, 9);
+        let probe = legacy_probe_faults();
+        for seed in 0..20 {
+            let mut a = ChaCha8Rng::seed_from_u64(seed);
+            let mut b = ChaCha8Rng::seed_from_u64(seed);
+            let legacy = run_traceroute(
+                &route,
+                dst,
+                &model,
+                AccessQuality::Good,
+                &FaultConfig::from(&probe),
+                &router_ip,
+                &mut a,
+            );
+            let chaos = run_traceroute_chaos(
+                &route,
+                dst,
+                &model,
+                AccessQuality::Good,
+                &probe,
+                &router_ip,
+                &gamma_chaos::NoFaults,
+                None,
+                &mut b,
+            );
+            assert_eq!(legacy, chaos);
+            // The RNG streams must stay in lockstep for downstream draws.
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn probe_drop_fails_the_whole_run() {
+        let (route, model, mut rng) = setup();
+        let t = run_traceroute_chaos(
+            &route,
+            Ipv4Addr::new(20, 9, 9, 9),
+            &model,
+            AccessQuality::Good,
+            &ProbeFaults::default(),
+            &router_ip,
+            &Always(FaultKind::ProbeDropped),
+            None,
+            &mut rng,
+        );
+        assert_eq!(t.outcome, TracerouteOutcome::Failed);
+        assert!(t.hops.is_empty());
+    }
+
+    #[test]
+    fn filtering_every_hop_leaves_destination_unreached() {
+        let (route, model, mut rng) = setup();
+        let t = run_traceroute_chaos(
+            &route,
+            Ipv4Addr::new(20, 9, 9, 9),
+            &model,
+            AccessQuality::Good,
+            &ProbeFaults::default(),
+            &router_ip,
+            &Always(FaultKind::HopFiltered),
+            None,
+            &mut rng,
+        );
+        assert_eq!(t.outcome, TracerouteOutcome::DestinationUnreached);
+        assert!(t.hops.iter().all(|h| h.addr.is_none()));
+        assert!(t.destination_rtt_ms().is_none());
+    }
+
+    #[test]
+    fn clock_skew_preserves_cleaned_latency() {
+        let (route, model, _) = setup();
+        let dst = Ipv4Addr::new(20, 9, 9, 9);
+        let skewed_profile = ProbeFaults {
+            clock_skew_ms: 40.0,
+            ..Default::default()
+        };
+        let mut a = ChaCha8Rng::seed_from_u64(5);
+        let mut b = ChaCha8Rng::seed_from_u64(5);
+        let clean = run_traceroute_chaos(
+            &route,
+            dst,
+            &model,
+            AccessQuality::Good,
+            &ProbeFaults::default(),
+            &router_ip,
+            &gamma_chaos::NoFaults,
+            None,
+            &mut a,
+        );
+        let skewed = run_traceroute_chaos(
+            &route,
+            dst,
+            &model,
+            AccessQuality::Good,
+            &skewed_profile,
+            &router_ip,
+            &Always(FaultKind::ClockSkew),
+            None,
+            &mut b,
+        );
+        let cleaned = |t: &TracerouteResult| {
+            t.destination_rtt_ms().unwrap() - t.first_hop_rtt_ms().unwrap()
+        };
+        assert!(skewed.destination_rtt_ms().unwrap() > clean.destination_rtt_ms().unwrap());
+        assert!((cleaned(&skewed) - cleaned(&clean)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rtt_spike_shrinks_cleaned_latency() {
+        let (route, model, _) = setup();
+        let dst = Ipv4Addr::new(20, 9, 9, 9);
+        let spiky_profile = ProbeFaults {
+            rtt_spike_ms: 80.0,
+            ..Default::default()
+        };
+        let mut a = ChaCha8Rng::seed_from_u64(6);
+        let mut b = ChaCha8Rng::seed_from_u64(6);
+        let clean = run_traceroute_chaos(
+            &route,
+            dst,
+            &model,
+            AccessQuality::Good,
+            &ProbeFaults::default(),
+            &router_ip,
+            &gamma_chaos::NoFaults,
+            None,
+            &mut a,
+        );
+        let spiky = run_traceroute_chaos(
+            &route,
+            dst,
+            &model,
+            AccessQuality::Good,
+            &spiky_profile,
+            &router_ip,
+            &Always(FaultKind::RttSpike),
+            None,
+            &mut b,
+        );
+        let cleaned = |t: &TracerouteResult| {
+            t.destination_rtt_ms().unwrap() - t.first_hop_rtt_ms().unwrap()
+        };
+        assert!(cleaned(&spiky) < cleaned(&clean));
+        // Only the gateway hop was inflated.
+        assert_eq!(spiky.destination_rtt_ms(), clean.destination_rtt_ms());
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Suite configuration: which components run and how they are tuned.
 
 use gamma_browser::BrowserConfig;
-use gamma_netsim::FaultConfig;
+use gamma_chaos::FaultPlan;
 use serde::{Deserialize, Serialize};
 
 /// Full Gamma configuration ("lightweight, highly configurable", §3).
@@ -13,8 +13,11 @@ pub struct GammaConfig {
     pub gather_network_info: bool,
     /// Run C3 (traceroute probes).
     pub launch_probes: bool,
-    /// Probe fault injection (hop silence, unreachable destinations).
-    pub fault: FaultConfig,
+    /// The unified fault plan every layer consults: DNS failures, browser
+    /// hangs and truncated captures, probe loss, Atlas churn. Replaces the
+    /// scattered per-layer knobs (netsim `FaultConfig`, ping loss rates,
+    /// browser load failure) with one seed-derived oracle.
+    pub plan: FaultPlan,
     /// Base RNG seed for the volunteer run.
     pub seed: u64,
 }
@@ -27,20 +30,21 @@ impl Default for GammaConfig {
 
 impl GammaConfig {
     /// The study's configuration: isolated Chrome with the §3.1 timings,
-    /// all three components enabled.
+    /// all three components enabled, and the paper's baseline fault rates
+    /// (probe hop silence and unreachable destinations only).
     pub fn paper_default(seed: u64) -> Self {
         GammaConfig {
             browser: BrowserConfig::paper_default(),
             gather_network_info: true,
             launch_probes: true,
-            fault: FaultConfig::default(),
+            plan: FaultPlan::paper_default(seed),
             seed,
         }
     }
 
     pub fn validate(&self) -> Result<(), String> {
         self.browser.validate()?;
-        self.fault.validate()?;
+        self.plan.validate()?;
         if self.launch_probes && !self.gather_network_info {
             return Err("probes need resolved addresses: enable network info gathering".into());
         }
@@ -83,5 +87,12 @@ mod tests {
             ..GammaConfig::paper_default(1)
         };
         c.validate().unwrap();
+    }
+
+    #[test]
+    fn invalid_plan_rates_are_rejected() {
+        let mut c = GammaConfig::paper_default(1);
+        c.plan.base.dns.timeout_rate = 1.5;
+        assert!(c.validate().is_err());
     }
 }

@@ -17,6 +17,13 @@
 //! [`normalize`] renders and re-parses both into the identical JSON
 //! structure the paper describes ("an identical structure JSON file with
 //! hop and RTT information for traceroute and tracert").
+//!
+//! Runs are degradation-aware: every layer consults the configuration's
+//! unified `gamma-chaos` fault plan, and partial or malformed records land
+//! in the typed [`quarantine`] ledger instead of panicking the run.
+
+// Data paths must degrade into the quarantine ledger, never panic.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod annotate;
 pub mod checkpoint;
@@ -24,6 +31,7 @@ pub mod config;
 pub mod normalize;
 pub mod output;
 pub mod probe_backend;
+pub mod quarantine;
 pub mod suite;
 pub mod targets;
 pub mod volunteer;
@@ -36,6 +44,9 @@ pub use normalize::{
 };
 pub use output::{DnsObservation, TracerouteRecord, VolunteerDataset, VolunteerMeta};
 pub use probe_backend::{command_line, select_backend, Backend, ProbeKind};
-pub use suite::{run_all_volunteers, run_volunteer, run_volunteer_from};
+pub use quarantine::{Quarantine, QuarantineReason};
+pub use suite::{
+    run_all_volunteers, run_volunteer, run_volunteer_checked, run_volunteer_from, SuiteError,
+};
 pub use targets::build_targets;
 pub use volunteer::{Os, Volunteer};

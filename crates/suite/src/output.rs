@@ -4,7 +4,7 @@
 use crate::normalize::NormalizedTraceroute;
 use crate::volunteer::{Os, Volunteer};
 use gamma_browser::PageLoad;
-use gamma_dns::DomainName;
+use gamma_dns::{DnsFailure, DomainName};
 use gamma_geo::{CityId, CountryCode};
 use gamma_netsim::Asn;
 use serde::{Deserialize, Serialize};
@@ -24,6 +24,10 @@ pub struct DnsObservation {
     pub rdns: Option<String>,
     /// AS annotation (the ipinfo/ipwhois role of C2).
     pub asn: Option<Asn>,
+    /// How the resolution failed, when it did (timeouts and SERVFAILs are
+    /// distinguishable from genuine NXDOMAIN so retries can be scheduled).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub failure: Option<DnsFailure>,
 }
 
 /// One C3 probe: the raw command text plus the normalized record.
@@ -146,6 +150,7 @@ mod tests {
                     ip: Some(Ipv4Addr::new(20, 0, 0, 1)),
                     rdns: None,
                     asn: None,
+                    failure: None,
                 },
                 DnsObservation {
                     site: d("b.com"),
@@ -153,6 +158,7 @@ mod tests {
                     ip: Some(Ipv4Addr::new(20, 0, 0, 1)),
                     rdns: None,
                     asn: None,
+                    failure: None,
                 },
                 DnsObservation {
                     site: d("b.com"),
@@ -160,6 +166,7 @@ mod tests {
                     ip: None,
                     rdns: None,
                     asn: None,
+                    failure: None,
                 },
             ],
             traceroutes: vec![],

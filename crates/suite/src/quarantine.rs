@@ -1,0 +1,145 @@
+//! The quarantine ledger: typed records of everything a volunteer run
+//! lost or shipped home malformed.
+//!
+//! The paper's campaign did not stop on bad data — hung pages were killed
+//! at the hard timeout (§3.1), traceroutes starred out or failed outright
+//! (§4.1.1), and DNS answers went missing — it *recorded* the loss and
+//! degraded. The ledger is that record: instead of panicking on a partial
+//! or malformed record, the suite quarantines it here, and the analysis
+//! layer renders a per-country data-quality section from these entries so
+//! every report states what it is missing.
+
+use gamma_dns::{DnsFailure, DomainName};
+use serde::{Deserialize, Serialize};
+use std::net::Ipv4Addr;
+
+/// Why a record landed in quarantine instead of the dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum QuarantineReason {
+    /// The page never became responsive and was killed at the §3.1 hard
+    /// timeout; nothing was captured for the site.
+    PageKilled { site: DomainName },
+    /// The capture shipped home truncated: only a prefix of the site's
+    /// requests survived.
+    CaptureTruncated { site: DomainName },
+    /// Forward resolution of a requested host failed.
+    DnsFailed {
+        request: DomainName,
+        failure: DnsFailure,
+    },
+    /// The PTR answer for an address was truncated or lost, so the rDNS
+    /// constraint cannot see it.
+    RdnsTruncated { ip: Ipv4Addr },
+    /// A traceroute was dropped wholesale by the vantage's network.
+    TracerouteFailed { target_ip: Ipv4Addr },
+    /// Raw probe output did not parse into the normalized structure.
+    MalformedTraceroute { target_ip: Ipv4Addr, error: String },
+}
+
+/// One volunteer run's ledger of quarantined records.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Quarantine {
+    pub entries: Vec<QuarantineReason>,
+}
+
+impl Quarantine {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn push(&mut self, reason: QuarantineReason) {
+        self.entries.push(reason);
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Pages killed at the hard timeout.
+    pub fn pages_killed(&self) -> usize {
+        self.count(|r| matches!(r, QuarantineReason::PageKilled { .. }))
+    }
+
+    /// Truncated captures.
+    pub fn captures_truncated(&self) -> usize {
+        self.count(|r| matches!(r, QuarantineReason::CaptureTruncated { .. }))
+    }
+
+    /// Failed forward resolutions (timeouts, SERVFAIL, injected NXDOMAIN).
+    pub fn dns_failures(&self) -> usize {
+        self.count(|r| matches!(r, QuarantineReason::DnsFailed { .. }))
+    }
+
+    /// Lost PTR answers.
+    pub fn rdns_truncated(&self) -> usize {
+        self.count(|r| matches!(r, QuarantineReason::RdnsTruncated { .. }))
+    }
+
+    /// Traceroutes that failed outright or came back malformed.
+    pub fn traceroutes_lost(&self) -> usize {
+        self.count(|r| {
+            matches!(
+                r,
+                QuarantineReason::TracerouteFailed { .. }
+                    | QuarantineReason::MalformedTraceroute { .. }
+            )
+        })
+    }
+
+    fn count(&self, pred: impl Fn(&QuarantineReason) -> bool) -> usize {
+        self.entries.iter().filter(|r| pred(r)).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(s: &str) -> DomainName {
+        DomainName::parse(s).unwrap()
+    }
+
+    #[test]
+    fn counters_partition_the_ledger() {
+        let mut q = Quarantine::new();
+        assert!(q.is_empty());
+        q.push(QuarantineReason::PageKilled { site: d("a.com") });
+        q.push(QuarantineReason::CaptureTruncated { site: d("b.com") });
+        q.push(QuarantineReason::DnsFailed {
+            request: d("t.example.com"),
+            failure: DnsFailure::Timeout,
+        });
+        q.push(QuarantineReason::RdnsTruncated {
+            ip: Ipv4Addr::new(20, 0, 0, 1),
+        });
+        q.push(QuarantineReason::TracerouteFailed {
+            target_ip: Ipv4Addr::new(20, 0, 0, 2),
+        });
+        q.push(QuarantineReason::MalformedTraceroute {
+            target_ip: Ipv4Addr::new(20, 0, 0, 3),
+            error: "truncated row".into(),
+        });
+        assert_eq!(q.len(), 6);
+        assert_eq!(q.pages_killed(), 1);
+        assert_eq!(q.captures_truncated(), 1);
+        assert_eq!(q.dns_failures(), 1);
+        assert_eq!(q.rdns_truncated(), 1);
+        assert_eq!(q.traceroutes_lost(), 2);
+    }
+
+    #[test]
+    fn ledger_roundtrips_through_json() {
+        let mut q = Quarantine::new();
+        q.push(QuarantineReason::DnsFailed {
+            request: d("x.io"),
+            failure: DnsFailure::Servfail,
+        });
+        let js = serde_json::to_string(&q).unwrap();
+        let back: Quarantine = serde_json::from_str(&js).unwrap();
+        assert_eq!(q, back);
+    }
+}

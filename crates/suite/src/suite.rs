@@ -5,21 +5,57 @@
 //! and reverse DNS for each, annotate with AS data, and traceroute every
 //! resolved address (once per unique address per volunteer, like the real
 //! tool's per-run cache).
+//!
+//! Every layer consults the configuration's unified [`FaultPlan`]
+//! (`gamma-chaos`): pages hang and are killed at the hard timeout, DNS
+//! queries time out or come back SERVFAIL, traceroutes drop. The run never
+//! panics on degraded data — partial and malformed records land in a typed
+//! [`Quarantine`] ledger next to the dataset, and downstream analysis
+//! accounts for them.
 
 use crate::config::GammaConfig;
 use crate::normalize::{parse_linux, parse_windows, render_linux, render_windows};
 use crate::output::{DnsObservation, TracerouteRecord, VolunteerDataset, VolunteerMeta};
+use crate::quarantine::{Quarantine, QuarantineReason};
 use crate::targets::build_targets;
 use crate::volunteer::{Os, Volunteer};
-use gamma_browser::load_page;
-use gamma_dns::DnsCache;
-use gamma_netsim::{run_traceroute, FaultConfig, LatencyModel, TracerouteResult};
+use gamma_browser::{load_page_with, LoadStatus};
+use gamma_chaos::{FaultKind, FaultOracle, FaultScope};
+use gamma_dns::{DnsCache, DnsFailure};
+use gamma_geo::CountryCode;
+use gamma_netsim::{run_traceroute_chaos, LatencyModel, TracerouteOutcome, TracerouteResult};
 use gamma_websim::spec::TracerouteMode;
 use gamma_websim::World;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::collections::HashSet;
 use std::net::Ipv4Addr;
+
+/// Why a volunteer run could not start at all. Degraded *data* never
+/// produces an error — it is quarantined — so these are strictly
+/// configuration/spec problems, and campaign retries treat them as fatal
+/// rather than transient.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SuiteError {
+    /// The configuration failed validation.
+    InvalidConfig(String),
+    /// The volunteer's country is not in the world spec.
+    UnknownCountry(CountryCode),
+    /// The world has no target list for the country.
+    NoTargets(CountryCode),
+}
+
+impl std::fmt::Display for SuiteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SuiteError::InvalidConfig(e) => write!(f, "invalid Gamma configuration: {e}"),
+            SuiteError::UnknownCountry(c) => write!(f, "country {c} is not in the world spec"),
+            SuiteError::NoTargets(c) => write!(f, "no target list for country {c}"),
+        }
+    }
+}
+
+impl std::error::Error for SuiteError {}
 
 /// Runs Gamma for one volunteer over their country's target list.
 pub fn run_volunteer(
@@ -32,24 +68,42 @@ pub fn run_volunteer(
 
 /// Resumable variant: skips the first `skip_sites` targets (the checkpoint
 /// mechanism of §3.3: "Gamma is designed to resume from where it was last
-/// stopped").
+/// stopped"). Thin shim over [`run_volunteer_checked`] that discards the
+/// quarantine ledger and panics on configuration errors, preserving the
+/// pre-chaos API.
 pub fn run_volunteer_from(
     world: &World,
     volunteer: &Volunteer,
     config: &GammaConfig,
     skip_sites: usize,
 ) -> VolunteerDataset {
-    config.validate().expect("invalid Gamma configuration");
+    run_volunteer_checked(world, volunteer, config, skip_sites)
+        .expect("invalid Gamma configuration")
+        .0
+}
+
+/// The degradation-aware entry point: runs Gamma for one volunteer and
+/// returns the dataset *plus* the quarantine ledger of everything the run
+/// lost to injected faults or malformed records. Never panics on bad data.
+pub fn run_volunteer_checked(
+    world: &World,
+    volunteer: &Volunteer,
+    config: &GammaConfig,
+    skip_sites: usize,
+) -> Result<(VolunteerDataset, Quarantine), SuiteError> {
+    config.validate().map_err(SuiteError::InvalidConfig)?;
+    let country = volunteer.country;
     let cs = world
         .spec
-        .country(volunteer.country)
-        .expect("volunteer country must be in the spec");
+        .country(country)
+        .ok_or(SuiteError::UnknownCountry(country))?;
     let mut rng = ChaCha8Rng::seed_from_u64(
-        config.seed ^ u64::from(volunteer.country.0[0]) << 16 ^ u64::from(volunteer.country.0[1]),
+        config.seed ^ u64::from(country.0[0]) << 16 ^ u64::from(country.0[1]),
     );
 
     let targets =
-        build_targets(world, volunteer.country, &mut rng).expect("volunteer country has targets");
+        build_targets(world, country, &mut rng).ok_or(SuiteError::NoTargets(country))?;
+    let mut quarantine = Quarantine::new();
     let mut dataset = VolunteerDataset {
         volunteer: VolunteerMeta::from(volunteer),
         loads: Vec::new(),
@@ -64,20 +118,41 @@ pub fn run_volunteer_from(
     };
 
     let model = LatencyModel::default();
-    let fault = match volunteer.traceroute_mode {
-        TracerouteMode::Firewalled => FaultConfig {
-            firewall_blocks_traceroute: true,
-            ..config.fault
-        },
-        _ => config.fault,
-    };
+    let plan = &config.plan;
+    let mut probe = plan.profile_for(Some(country)).probe;
+    if volunteer.traceroute_mode == TracerouteMode::Firewalled {
+        probe.firewall_blocks_traceroute = true;
+    }
     let mut dns_cache = DnsCache::new();
     let mut probed: HashSet<Ipv4Addr> = HashSet::new();
+    let mut rdns_lost: HashSet<Ipv4Addr> = HashSet::new();
 
     for sid in targets.all().skip(skip_sites) {
         let site = world.site(sid);
         // --- C1: browser-level interaction ---
-        let load = load_page(site, &config.browser, cs.load_success_rate, &mut rng);
+        let load = load_page_with(
+            site,
+            &config.browser,
+            cs.load_success_rate,
+            plan,
+            Some(country),
+            &mut rng,
+        );
+        // Ledger entries re-query the pure oracle so injected losses are
+        // distinguishable from natural ones (a flaky-connection timeout is
+        // data; a killed hang is a loss the quality report must own).
+        let site_scope = FaultScope::new(country, site.domain.as_str());
+        if plan.fires(FaultKind::PageHang, site_scope) {
+            quarantine.push(QuarantineReason::PageKilled {
+                site: site.domain.clone(),
+            });
+        } else if load.status == LoadStatus::Loaded
+            && plan.fires(FaultKind::HarTruncated, site_scope)
+        {
+            quarantine.push(QuarantineReason::CaptureTruncated {
+                site: site.domain.clone(),
+            });
+        }
         let requests = load.requests.clone();
         dataset.loads.push(load);
         if !config.gather_network_info {
@@ -85,15 +160,59 @@ pub fn run_volunteer_from(
         }
         // --- C2: network information gathering ---
         for request in requests {
-            let replica =
-                dns_cache.resolve_with(&request, || world.resolve_fuzzy(&request, volunteer.city));
-            let ip = replica.map(|r| r.addr);
+            let scope = FaultScope::new(country, request.as_str());
+            let mut computed = false;
+            let outcome = dns_cache.resolve_outcome(&request, || {
+                computed = true;
+                if plan.fires(FaultKind::DnsTimeout, scope) {
+                    return Err(DnsFailure::Timeout);
+                }
+                if plan.fires(FaultKind::DnsServfail, scope) {
+                    return Err(DnsFailure::Servfail);
+                }
+                if plan.fires(FaultKind::DnsNxdomain, scope) {
+                    return Err(DnsFailure::Nxdomain);
+                }
+                world
+                    .resolve_fuzzy(&request, volunteer.city)
+                    .ok_or(DnsFailure::Nxdomain)
+            });
+            let injected = plan.fires(FaultKind::DnsTimeout, scope)
+                || plan.fires(FaultKind::DnsServfail, scope)
+                || plan.fires(FaultKind::DnsNxdomain, scope);
+            let ip = outcome.as_ref().ok().map(|r| r.addr);
+            // A natural missing zone keeps the legacy NXDOMAIN-like shape
+            // (ip: None, failure: None); only injected failures are typed
+            // and quarantined, once per unique domain (cache hits on the
+            // negative entry set `computed` to false).
+            let failure = outcome.err().filter(|_| injected);
+            if computed && injected {
+                if let Some(f) = failure {
+                    quarantine.push(QuarantineReason::DnsFailed {
+                        request: request.clone(),
+                        failure: f,
+                    });
+                }
+            }
+            let rdns = ip.and_then(|a| {
+                let answer = world.rdns_of(a).map(str::to_string);
+                let subject = a.to_string();
+                let rscope = FaultScope::new(country, &subject);
+                if answer.is_some() && plan.fires(FaultKind::RdnsTruncated, rscope) {
+                    if rdns_lost.insert(a) {
+                        quarantine.push(QuarantineReason::RdnsTruncated { ip: a });
+                    }
+                    return None;
+                }
+                answer
+            });
             dataset.dns.push(DnsObservation {
                 site: site.domain.clone(),
                 request: request.clone(),
-                rdns: ip.and_then(|a| world.rdns_of(a).map(str::to_string)),
+                rdns,
                 asn: ip.and_then(|a| world.asn_of(a)),
                 ip,
+                failure,
             });
             // --- C3: measurement probes (once per unique address) ---
             let (Some(addr), true) = (ip, dataset.probes_enabled) else {
@@ -108,42 +227,58 @@ pub fn run_volunteer_from(
             let src = gamma_geo::city(volunteer.city);
             let dst = gamma_geo::city(true_city);
             let route = gamma_netsim::synthesize_route(src, dst);
-            let result = run_traceroute(
+            let result = run_traceroute_chaos(
                 &route,
                 addr,
                 &model,
                 volunteer.access,
-                &fault,
+                &probe,
                 &|c| world.router_ip_of(c),
+                plan,
+                Some(country),
                 &mut rng,
             );
-            dataset.traceroutes.push(capture(volunteer.os, &result));
+            let subject = addr.to_string();
+            let tscope = FaultScope::new(country, &subject);
+            if result.outcome == TracerouteOutcome::Failed
+                && plan.fires(FaultKind::ProbeDropped, tscope)
+            {
+                quarantine.push(QuarantineReason::TracerouteFailed { target_ip: addr });
+            }
+            match capture_checked(volunteer.os, &result) {
+                Ok(record) => dataset.traceroutes.push(record),
+                Err(error) => quarantine.push(QuarantineReason::MalformedTraceroute {
+                    target_ip: addr,
+                    error,
+                }),
+            }
         }
     }
-    dataset
+    Ok((dataset, quarantine))
 }
 
 /// Renders the OS-appropriate command output and parses it back — the
-/// normalization layer is on the critical path, as in the real tool.
-fn capture(os: Os, result: &TracerouteResult) -> TracerouteRecord {
+/// normalization layer is on the critical path, as in the real tool. A
+/// record that fails to re-parse is a quarantine candidate, not a panic.
+fn capture_checked(os: Os, result: &TracerouteResult) -> Result<TracerouteRecord, String> {
     let (raw_text, normalized) = match os {
         Os::Windows => {
             let raw = render_windows(result);
-            let n = parse_windows(&raw).expect("tracert output parses");
+            let n = parse_windows(&raw).map_err(|e| e.to_string())?;
             (raw, n)
         }
         // macOS traceroute output is Linux-shaped for our purposes.
         Os::Linux | Os::MacOs => {
             let raw = render_linux(result);
-            let n = parse_linux(&raw).expect("traceroute output parses");
+            let n = parse_linux(&raw).map_err(|e| e.to_string())?;
             (raw, n)
         }
     };
-    TracerouteRecord {
+    Ok(TracerouteRecord {
         target_ip: result.dst,
         raw_text,
         normalized,
-    }
+    })
 }
 
 /// Runs the whole study: every volunteer in the roster.
@@ -157,6 +292,7 @@ pub fn run_all_volunteers(world: &World, config: &GammaConfig) -> Vec<VolunteerD
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gamma_chaos::{FaultPlan, FaultProfile};
     use gamma_geo::CountryCode;
     use gamma_websim::{worldgen, WorldSpec};
 
@@ -295,5 +431,93 @@ mod tests {
         let a = run_volunteer(&w, &v, &cfg);
         let b = run_volunteer(&w, &v, &cfg);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn quiet_plan_quarantines_nothing_and_types_no_failures() {
+        let w = world();
+        let v = Volunteer::for_country(&w, CountryCode::new("TH"), 0).unwrap();
+        let cfg = GammaConfig::paper_default(1);
+        let (ds, q) = run_volunteer_checked(&w, &v, &cfg, 0).unwrap();
+        assert!(q.is_empty(), "paper plan quarantined {} records", q.len());
+        assert!(ds.dns.iter().all(|d| d.failure.is_none()));
+        assert_eq!(ds, run_volunteer(&w, &v, &cfg));
+    }
+
+    #[test]
+    fn dns_blackout_types_failures_and_quarantines_them() {
+        let w = world();
+        let th = CountryCode::new("TH");
+        let v = Volunteer::for_country(&w, th, 0).unwrap();
+        let mut dns_dead = FaultProfile::none();
+        dns_dead.dns.timeout_rate = 1.0;
+        let cfg = GammaConfig {
+            plan: FaultPlan::none(1).with_override(th, dns_dead),
+            ..GammaConfig::paper_default(1)
+        };
+        let (ds, q) = run_volunteer_checked(&w, &v, &cfg, 0).unwrap();
+        assert!(!ds.dns.is_empty());
+        assert!(ds
+            .dns
+            .iter()
+            .all(|d| d.ip.is_none() && d.failure == Some(DnsFailure::Timeout)));
+        assert!(ds.traceroutes.is_empty(), "nothing resolved, nothing probed");
+        // Once per unique domain, plus re-computations after the negative
+        // TTL expires.
+        assert!(q.dns_failures() >= ds.unique_domains().len());
+    }
+
+    #[test]
+    fn full_blackout_completes_without_panic_and_owns_every_loss() {
+        let w = world();
+        let th = CountryCode::new("TH");
+        let v = Volunteer::for_country(&w, th, 0).unwrap();
+        let cfg = GammaConfig {
+            plan: FaultPlan::none(1).with_override(th, FaultProfile::blackout()),
+            ..GammaConfig::paper_default(1)
+        };
+        let (ds, q) = run_volunteer_checked(&w, &v, &cfg, 0).unwrap();
+        // Every page hangs and is killed at the hard timeout: no requests,
+        // so no DNS and no probes — and the ledger owns every loss.
+        assert!(!ds.loads.is_empty());
+        assert!(ds.loads.iter().all(|l| !l.succeeded()));
+        assert!(ds.dns.is_empty());
+        assert!(ds.traceroutes.is_empty());
+        assert_eq!(q.pages_killed(), ds.loads.len());
+    }
+
+    #[test]
+    fn blackout_override_leaves_other_countries_byte_identical() {
+        let w = world();
+        let th = CountryCode::new("TH");
+        let gb = CountryCode::new("GB");
+        let v = Volunteer::for_country(&w, gb, 1).unwrap();
+        let quiet = GammaConfig::paper_default(3);
+        let scoped = GammaConfig {
+            plan: FaultPlan::paper_default(3).with_override(th, FaultProfile::blackout()),
+            ..GammaConfig::paper_default(3)
+        };
+        let (a, qa) = run_volunteer_checked(&w, &v, &quiet, 0).unwrap();
+        let (b, qb) = run_volunteer_checked(&w, &v, &scoped, 0).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(qa, qb);
+        assert!(qb.is_empty());
+    }
+
+    #[test]
+    fn rdns_truncation_is_quarantined_once_per_address() {
+        let w = world();
+        let th = CountryCode::new("TH");
+        let v = Volunteer::for_country(&w, th, 0).unwrap();
+        let mut torn = FaultProfile::none();
+        torn.dns.rdns_truncate_rate = 1.0;
+        let cfg = GammaConfig {
+            plan: FaultPlan::none(1).with_override(th, torn),
+            ..GammaConfig::paper_default(1)
+        };
+        let (ds, q) = run_volunteer_checked(&w, &v, &cfg, 0).unwrap();
+        assert!(ds.dns.iter().all(|d| d.rdns.is_none()));
+        assert!(q.rdns_truncated() > 0);
+        assert!(q.rdns_truncated() <= ds.unique_ips().len());
     }
 }

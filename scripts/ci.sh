@@ -16,4 +16,8 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> chaos smoke: stress fault profile on a small world"
+cargo run --release --bin gamma-study -- \
+  --seed 7 --small --fault-profile stress --quality-report > /dev/null
+
 echo "CI OK"

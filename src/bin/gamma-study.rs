@@ -17,6 +17,12 @@
 //!
 //! # ablation: run without the reverse-DNS constraint
 //! gamma-study --no-rdns
+//!
+//! # chaos run: stress fault profile, print the data-quality section
+//! gamma-study --fault-profile stress --quality-report
+//!
+//! # CI smoke: three countries only
+//! gamma-study --small --fault-profile blackout:RW --quality-report
 //! ```
 
 use gamma::campaign::{render_campaign_report, Options};
@@ -31,6 +37,9 @@ fn main() -> ExitCode {
     let mut no_source = false;
     let mut no_dest = false;
     let mut no_rdns = false;
+    let mut fault_profile: Option<String> = None;
+    let mut quality_report = false;
+    let mut small = false;
 
     let mut argv = std::env::args().skip(1);
     while let Some(flag) = argv.next() {
@@ -54,15 +63,41 @@ fn main() -> ExitCode {
             "--no-source" => no_source = true,
             "--no-dest" => no_dest = true,
             "--no-rdns" => no_rdns = true,
+            "--fault-profile" => match argv.next() {
+                Some(v) => fault_profile = Some(v),
+                None => return usage(),
+            },
+            "--quality-report" => quality_report = true,
+            "--small" => small = true,
             "--help" | "-h" => return usage(),
             _ => return usage(),
         }
     }
 
     let mut study = Study::paper_default(seed);
+    if small {
+        study
+            .spec
+            .countries
+            .retain(|c| ["RW", "US", "NZ"].contains(&c.country.as_str()));
+    }
     study.options.enable_source_constraint = !no_source;
     study.options.enable_destination_constraint = !no_dest;
     study.options.enable_rdns_constraint = !no_rdns;
+    if let Some(name) = &fault_profile {
+        match gamma::chaos::FaultPlan::from_profile_name(name, seed) {
+            Some(plan) => {
+                // Under injected faults, let geolocation run on whatever
+                // constraint subset survives instead of discarding.
+                study.options.degraded_fallback = !plan.is_quiet();
+                study.config.plan = plan;
+            }
+            None => {
+                eprintln!("unknown fault profile {name:?}");
+                return usage();
+            }
+        }
+    }
 
     let mut options = Options::with_workers(jobs);
     if let Some(path) = resume {
@@ -70,7 +105,8 @@ fn main() -> ExitCode {
     }
 
     eprintln!(
-        "running the full 23-country study (seed {seed}, {} worker(s))...",
+        "running the {}-country study (seed {seed}, {} worker(s))...",
+        study.spec.countries.len(),
         options.effective_workers()
     );
     let results = match study.run_with(&options) {
@@ -82,6 +118,9 @@ fn main() -> ExitCode {
     };
     eprintln!("{}", render_campaign_report(&results.metrics));
     println!("{}", results.render_all());
+    if quality_report {
+        println!("{}", results.render_quality());
+    }
     if let Some(p) = results.overall_foreign_precision() {
         println!(
             "foreign-identification precision vs ground truth: {:.2}%",
@@ -110,9 +149,16 @@ fn main() -> ExitCode {
 fn usage() -> ExitCode {
     eprintln!(
         "usage: gamma-study [--seed N] [--json FILE] [--jobs N] [--resume FILE] \
-         [--no-source] [--no-dest] [--no-rdns]"
+         [--no-source] [--no-dest] [--no-rdns] \
+         [--fault-profile NAME] [--quality-report] [--small]"
     );
     eprintln!("  --jobs N       run country shards on N worker threads (0 = all cores)");
     eprintln!("  --resume FILE  checkpoint after every country; resume from FILE if it exists");
+    eprintln!(
+        "  --fault-profile NAME  inject faults: none, paper, stress, or blackout:CC \
+         (paper baseline plus one fully blacked-out country)"
+    );
+    eprintln!("  --quality-report      print the per-country data-quality section");
+    eprintln!("  --small               three-country world (RW, US, NZ) for smoke runs");
     ExitCode::FAILURE
 }

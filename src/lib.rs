@@ -15,6 +15,7 @@ pub use gamma_analysis as analysis;
 pub use gamma_atlas as atlas;
 pub use gamma_browser as browser;
 pub use gamma_campaign as campaign;
+pub use gamma_chaos as chaos;
 pub use gamma_core as core;
 pub use gamma_dns as dns;
 pub use gamma_geo as geo;

@@ -1,0 +1,163 @@
+//! Chaos-plane properties: fault injection must be deterministic,
+//! degradation must be monotone for loss-type faults, and a fully
+//! blacked-out country must never take the rest of the study down with
+//! it — it degrades into the quarantine ledger instead.
+
+use gamma::campaign::Options;
+use gamma::chaos::{FaultPlan, FaultProfile};
+use gamma::core::{Study, StudyResults};
+use gamma::geo::CountryCode;
+use gamma::websim::WorldSpec;
+
+fn reduced_spec(seed: u64) -> WorldSpec {
+    let mut spec = WorldSpec::paper_default(seed);
+    spec.countries
+        .retain(|c| ["RW", "US", "NZ"].contains(&c.country.as_str()));
+    spec.reg_sites_per_country = 20;
+    spec.gov_sites_per_country = 6;
+    spec
+}
+
+#[test]
+fn stress_faults_are_byte_identical_across_worker_counts() {
+    let mut study = Study::with_spec(reduced_spec(909));
+    study.config.plan = FaultPlan::stress(909);
+    study.options.degraded_fallback = true;
+
+    let seq = study.run_with(&Options::with_workers(1)).unwrap();
+    let par = study.run_with(&Options::with_workers(4)).unwrap();
+
+    assert_eq!(seq.runs, par.runs);
+    assert_eq!(seq.quarantines, par.quarantines);
+    assert_eq!(seq.study, par.study);
+    assert_eq!(seq.render_all(), par.render_all());
+    assert_eq!(seq.render_quality(), par.render_quality());
+
+    // The stress plan must actually be biting, or the equality above
+    // proves nothing about fault determinism.
+    assert!(
+        seq.quarantines.iter().any(|(_, q)| !q.is_empty()),
+        "stress profile quarantined nothing"
+    );
+}
+
+/// The stress profile with only its *loss* faults: failures that remove
+/// records (failed DNS, killed pages, truncated captures, dropped
+/// requests and probes). Perturbation faults — RTT spikes, filtered
+/// hops, truncated rDNS, churned probes — corrupt measurements rather
+/// than remove them, so they can flip individual constraint outcomes in
+/// either direction and are exercised by their own unit tests instead.
+fn loss_profile(factor: f64) -> FaultProfile {
+    let mut p = FaultProfile::scaled(factor);
+    p.dns.rdns_truncate_rate = 0.0;
+    p.probe.hop_filter_rate = 0.0;
+    p.probe.rtt_spike_rate = 0.0;
+    p.probe.rtt_spike_ms = 0.0;
+    p.atlas.churn_rate = 0.0;
+    p
+}
+
+/// (unique addresses, constraint passes, geolocated addresses) summed
+/// over all countries of a strict-mode run at the given loss severity.
+fn loss_counts(factor: f64) -> (usize, usize, usize) {
+    let mut study = Study::with_spec(reduced_spec(911));
+    study.config.plan = FaultPlan {
+        seed: 911,
+        base: loss_profile(factor),
+        overrides: Vec::new(),
+    };
+    let r = study.run();
+    let sum = |f: &dyn Fn(&gamma::geoloc::FunnelStats) -> usize| -> usize {
+        r.runs.iter().map(|(_, rep)| f(&rep.funnel)).sum()
+    };
+    (
+        sum(&|fu| fu.unique_ips),
+        sum(&|fu| fu.after_rdns_constraint),
+        sum(&|fu| fu.local + fu.after_rdns_constraint),
+    )
+}
+
+#[test]
+fn raising_loss_rates_never_increases_what_survives() {
+    // The oracle's fired-sets are nested in the rate (the decision hash
+    // is rate-independent), and every loss fault strictly removes data,
+    // so each funnel stage can only shrink as severity rises.
+    let quiet = loss_counts(0.0);
+    let mild = loss_counts(0.5);
+    let harsh = loss_counts(1.0);
+    for (a, b) in [(quiet, mild), (mild, harsh)] {
+        assert!(a.0 >= b.0, "unique addresses grew: {a:?} -> {b:?}");
+        assert!(a.1 >= b.1, "constraint passes grew: {a:?} -> {b:?}");
+        assert!(a.2 >= b.2, "geolocated addresses grew: {a:?} -> {b:?}");
+    }
+    assert!(
+        harsh.0 < quiet.0,
+        "full-rate losses removed nothing: {quiet:?} -> {harsh:?}"
+    );
+}
+
+#[test]
+fn single_country_blackout_never_panics_and_stays_contained() {
+    let rw = CountryCode::new("RW");
+    let baseline = Study::with_spec(reduced_spec(913)).run();
+
+    let mut chaos = Study::with_spec(reduced_spec(913));
+    chaos.config.plan = FaultPlan::paper_default(913).blackout(rw);
+    let results = chaos.run();
+
+    // Every country still reports, including the blacked-out one.
+    assert_eq!(results.runs.len(), 3);
+    assert_eq!(results.quarantines.len(), 3);
+
+    // The other countries are byte-identical to a fault-free run.
+    for ((ds_a, rep_a), (ds_b, rep_b)) in baseline.runs.iter().zip(&results.runs) {
+        if ds_a.volunteer.country == rw {
+            continue;
+        }
+        assert_eq!(ds_a, ds_b, "{} dataset drifted", ds_a.volunteer.country);
+        assert_eq!(rep_a, rep_b, "{} report drifted", ds_a.volunteer.country);
+    }
+
+    // The blacked-out vantage shipped nothing usable and owns every loss
+    // in its quarantine ledger.
+    let (_, q) = results
+        .quarantines
+        .iter()
+        .find(|(c, _)| *c == rw)
+        .expect("RW quarantine entry");
+    assert!(!q.is_empty(), "blackout produced an empty quarantine");
+    let (rw_ds, _) = results
+        .runs
+        .iter()
+        .find(|(ds, _)| ds.volunteer.country == rw)
+        .expect("RW run");
+    assert_eq!(
+        q.pages_killed(),
+        rw_ds.loads.len(),
+        "every page load should have been killed"
+    );
+    assert!(rw_ds.dns.iter().all(|o| o.ip.is_none()));
+
+    // And the data-quality section accounts for it.
+    let text = results.render_quality();
+    assert!(text.contains("quarantined"), "quality report clean: {text}");
+    assert!(text.contains("RW"));
+}
+
+#[test]
+fn quiet_plan_reproduces_the_fault_free_study() {
+    // A zero-rate plan must not perturb a byte of the legacy output:
+    // the oracle is consulted but never fires, and the RNG streams are
+    // consumed identically.
+    let baseline = Study::with_spec(reduced_spec(917)).run();
+    let mut quiet = Study::with_spec(reduced_spec(917));
+    quiet.config.plan = FaultPlan::none(917);
+    // `none` zeroes even the paper's ambient probe weather, so compare
+    // against the paper profile explicitly instead.
+    quiet.config.plan.base = FaultProfile::paper_default();
+    let rerun = quiet.run();
+    assert_eq!(baseline.runs, rerun.runs);
+    assert_eq!(baseline.render_all(), rerun.render_all());
+    let check = |r: &StudyResults| r.quarantines.iter().all(|(_, q)| q.is_empty());
+    assert!(check(&baseline) && check(&rerun));
+}
