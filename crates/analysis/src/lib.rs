@@ -25,6 +25,8 @@
 //! stripped (§5), verdicts joined with tracker identification and
 //! organization attribution.
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 pub mod continents;
 pub mod coverage;
 pub mod dataset;

@@ -30,6 +30,11 @@ pub struct QualityRow {
     /// Confirmed-non-local addresses carrying a degraded confidence
     /// because a constraint could not run.
     pub degraded_confirmations: usize,
+    /// DNS observations that actually shipped into the analysis. Zero
+    /// means the country contributed no data at all — a state the report
+    /// must show explicitly rather than rendering as a clean all-zero row.
+    #[serde(default)]
+    pub shipped_observations: usize,
 }
 
 impl QualityRow {
@@ -43,6 +48,7 @@ impl QualityRow {
             rdns_truncated: 0,
             traceroutes_lost: 0,
             degraded_confirmations: 0,
+            shipped_observations: 0,
         }
     }
 
@@ -74,6 +80,7 @@ pub fn data_quality(
             let country = ds.volunteer.country;
             let mut row = QualityRow::clean(country);
             row.degraded_confirmations = report.funnel.degraded_confirmations;
+            row.shipped_observations = report.funnel.observations;
             if let Some((_, q)) = quarantines.iter().find(|(c, _)| *c == country) {
                 row.pages_killed = q.pages_killed();
                 row.captures_truncated = q.captures_truncated();
@@ -96,9 +103,16 @@ pub fn render_quality(rows: &[QualityRow]) -> String {
     );
     let mut total = QualityRow::clean(CountryCode::new("ZZ"));
     for r in rows {
+        // A country that shipped nothing must not read as a clean
+        // all-zero row: mark the absence of data explicitly.
+        let marker = if r.shipped_observations == 0 {
+            "  (no data)"
+        } else {
+            ""
+        };
         let _ = writeln!(
             s,
-            "{:<8} {:>7} {:>7} {:>7} {:>7} {:>7} {:>9}",
+            "{:<8} {:>7} {:>7} {:>7} {:>7} {:>7} {:>9}{marker}",
             r.country.as_str(),
             r.pages_killed,
             r.captures_truncated,
@@ -142,6 +156,29 @@ mod tests {
         assert!(text.contains("RW"));
         assert!(text.contains("no losses"));
         assert!(!text.contains("quarantined"));
+    }
+
+    #[test]
+    fn countries_with_no_shipped_data_are_marked() {
+        let mut good = row("US");
+        good.shipped_observations = 120;
+        let empty = row("KZ");
+        let text = render_quality(&[good, empty]);
+        let marked: Vec<&str> = text.lines().filter(|l| l.contains("(no data)")).collect();
+        assert_eq!(marked.len(), 1, "{text}");
+        assert!(marked[0].starts_with("KZ"), "{text}");
+    }
+
+    #[test]
+    fn quality_rows_without_the_shipped_field_still_deserialize() {
+        // Pre-existing serialized rows (older checkpoints/reports) lack
+        // `shipped_observations`; the field must default to zero.
+        let js = r#"{"country":"TH","pages_killed":1,"captures_truncated":0,
+            "dns_failures":2,"rdns_truncated":0,"traceroutes_lost":0,
+            "degraded_confirmations":3}"#;
+        let row: QualityRow = serde_json::from_str(js).unwrap();
+        assert_eq!(row.shipped_observations, 0);
+        assert_eq!(row.losses(), 3);
     }
 
     #[test]

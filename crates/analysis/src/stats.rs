@@ -40,17 +40,22 @@ pub fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
 }
 
 /// Linear interpolation quantile (type-7, like numpy's default).
-pub fn quantile(sorted: &[f64], q: f64) -> f64 {
+///
+/// `None` on empty input: an empty sample has no quantiles, and the old
+/// `0.0` sentinel silently read as a legitimate value downstream (a "0 ms
+/// median" from zero observations). Callers decide how to surface the
+/// absence.
+pub fn quantile(sorted: &[f64], q: f64) -> Option<f64> {
     assert!((0.0..=1.0).contains(&q), "quantile out of range");
     match sorted.len() {
-        0 => 0.0,
-        1 => sorted[0],
+        0 => None,
+        1 => Some(sorted[0]),
         n => {
             let pos = q * (n - 1) as f64;
             let lo = pos.floor() as usize;
             let hi = pos.ceil() as usize;
             let frac = pos - lo as f64;
-            sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+            Some(sorted[lo] + (sorted[hi] - sorted[lo]) * frac)
         }
     }
 }
@@ -79,9 +84,9 @@ impl BoxStats {
         }
         let mut v: Vec<f64> = values.to_vec();
         v.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
-        let q1 = quantile(&v, 0.25);
-        let median = quantile(&v, 0.5);
-        let q3 = quantile(&v, 0.75);
+        let q1 = quantile(&v, 0.25)?;
+        let median = quantile(&v, 0.5)?;
+        let q3 = quantile(&v, 0.75)?;
         let iqr = q3 - q1;
         let lo_fence = q1 - 1.5 * iqr;
         let hi_fence = q3 + 1.5 * iqr;
@@ -193,10 +198,26 @@ mod tests {
     #[test]
     fn quantiles_match_linear_interpolation() {
         let v = [1.0, 2.0, 3.0, 4.0];
-        assert!((quantile(&v, 0.5) - 2.5).abs() < 1e-12);
-        assert!((quantile(&v, 0.25) - 1.75).abs() < 1e-12);
-        assert!((quantile(&v, 0.0) - 1.0).abs() < 1e-12);
-        assert!((quantile(&v, 1.0) - 4.0).abs() < 1e-12);
+        assert!((quantile(&v, 0.5).unwrap() - 2.5).abs() < 1e-12);
+        assert!((quantile(&v, 0.25).unwrap() - 1.75).abs() < 1e-12);
+        assert!((quantile(&v, 0.0).unwrap() - 1.0).abs() < 1e-12);
+        assert!((quantile(&v, 1.0).unwrap() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_of_empty_input_is_none() {
+        // The old sentinel returned 0.0 here, indistinguishable from a
+        // real zero-valued quantile.
+        assert_eq!(quantile(&[], 0.5), None);
+        assert_eq!(quantile(&[], 0.0), None);
+        assert_eq!(quantile(&[], 1.0), None);
+    }
+
+    #[test]
+    fn quantile_of_single_element_is_that_element() {
+        for q in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            assert_eq!(quantile(&[42.5], q), Some(42.5));
+        }
     }
 
     #[test]
@@ -255,9 +276,9 @@ mod tests {
         #[test]
         fn quantiles_are_monotone(mut v in prop::collection::vec(0.0f64..1000.0, 2..50)) {
             v.sort_by(|a, b| a.partial_cmp(b).unwrap());
-            let q25 = quantile(&v, 0.25);
-            let q50 = quantile(&v, 0.5);
-            let q75 = quantile(&v, 0.75);
+            let q25 = quantile(&v, 0.25).unwrap();
+            let q50 = quantile(&v, 0.5).unwrap();
+            let q75 = quantile(&v, 0.75).unwrap();
             prop_assert!(q25 <= q50 && q50 <= q75);
             prop_assert!(v[0] <= q25 && q75 <= *v.last().unwrap());
         }

@@ -1,0 +1,64 @@
+//! Overhead of the observability plane: the instruments sit on every hot
+//! path (DNS cache probes, ABP rule evaluation, geolocation funnels), so
+//! a counter bump must stay in the low-nanosecond range and a full span
+//! open/close must stay well under a microsecond.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gamma_obs::{global, span};
+use std::hint::black_box;
+
+fn bench_counter(c: &mut Criterion) {
+    let counter = global().counter("bench.obs.counter");
+    let mut g = c.benchmark_group("obs");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("counter_inc", |b| {
+        b.iter(|| {
+            counter.inc();
+            black_box(&counter);
+        })
+    });
+    // The cached-handle idiom used by every instrumented crate: one
+    // registry lookup on first use, atomic adds afterwards.
+    g.bench_function("counter_lookup_and_inc", |b| {
+        b.iter(|| global().counter(black_box("bench.obs.lookup")).inc())
+    });
+    g.finish();
+}
+
+fn bench_histogram(c: &mut Criterion) {
+    let hist = global().histogram("bench.obs.hist");
+    let mut g = c.benchmark_group("obs");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("histogram_record", |b| {
+        let mut v = 1u64;
+        b.iter(|| {
+            hist.record(black_box(v));
+            v = v.wrapping_mul(3).wrapping_add(7) % 1_000_000;
+        })
+    });
+    g.finish();
+}
+
+fn bench_span(c: &mut Criterion) {
+    // Trace sink off: this is the cost every run pays, whether or not
+    // `--trace` is requested (the sink only changes where roots go).
+    global().set_trace(false);
+    let mut g = c.benchmark_group("obs");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("span_open_close", |b| {
+        b.iter(|| {
+            let s = span!("bench.span");
+            black_box(s.finish())
+        })
+    });
+    g.bench_function("span_with_attr", |b| {
+        b.iter(|| {
+            let s = span!("bench.span", country = black_box("BR"));
+            black_box(s.finish())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_counter, bench_histogram, bench_span);
+criterion_main!(benches);

@@ -16,6 +16,7 @@ use crate::shard::{volunteer_slot, Shard};
 use gamma_atlas::AtlasPlatform;
 use gamma_geo::CountryCode;
 use gamma_geoloc::{GeoDatabase, GeolocReport, PipelineOptions};
+use gamma_obs as obs;
 use gamma_suite::{GammaConfig, Quarantine, VolunteerDataset};
 use gamma_websim::World;
 use std::path::PathBuf;
@@ -185,6 +186,14 @@ impl<'w> Campaign<'w> {
             }
         }
         let resumed_shards = restored.len();
+        obs::global()
+            .gauge("campaign.workers")
+            .set(self.options.effective_workers() as i64);
+        if resumed_shards > 0 {
+            obs::global()
+                .counter("campaign.shards.resumed")
+                .add(resumed_shards as u64);
+        }
 
         let pending: Vec<Shard> = self
             .plan

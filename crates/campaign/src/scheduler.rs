@@ -13,10 +13,28 @@ use crate::checkpoint::{CheckpointSink, CompletedShard};
 use crate::engine::{CampaignEnv, CampaignError};
 use crate::options::Options;
 use crate::shard::{run_with_retry, Shard};
-use crossbeam::deque::{Injector, Stealer, Worker};
-use std::iter;
+use crossbeam::deque::{Injector, Steal, Stealer, Worker};
+use gamma_obs as obs;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
+
+/// Cached handles for the scheduling counters. These live under the
+/// `campaign.sched.*` namespace on purpose: they count *scheduling*
+/// events, which legitimately vary run-to-run under parallelism, and are
+/// therefore excluded from counter-determinism comparisons (see
+/// `gamma_obs::Snapshot::counters_since`).
+struct SchedCounters {
+    injector_pops: obs::Counter,
+    steals: obs::Counter,
+}
+
+fn sched() -> &'static SchedCounters {
+    static COUNTERS: OnceLock<SchedCounters> = OnceLock::new();
+    COUNTERS.get_or_init(|| SchedCounters {
+        injector_pops: obs::global().counter("campaign.sched.injector_pops"),
+        steals: obs::global().counter("campaign.sched.steals"),
+    })
+}
 
 /// The canonical crossbeam-deque scavenging order: own deque, then a
 /// batch from the injector, then a steal from a peer.
@@ -25,15 +43,27 @@ fn find_task(
     global: &Injector<Shard>,
     stealers: &[Stealer<Shard>],
 ) -> Option<Shard> {
-    local.pop().or_else(|| {
-        iter::repeat_with(|| {
-            global
-                .steal_batch_and_pop(local)
-                .or_else(|| stealers.iter().map(|s| s.steal()).collect())
-        })
-        .find(|s| !s.is_retry())
-        .and_then(|s| s.success())
-    })
+    if let Some(shard) = local.pop() {
+        return Some(shard);
+    }
+    loop {
+        match global.steal_batch_and_pop(local) {
+            Steal::Success(shard) => {
+                sched().injector_pops.inc();
+                return Some(shard);
+            }
+            Steal::Retry => continue,
+            Steal::Empty => {}
+        }
+        match stealers.iter().map(|s| s.steal()).collect::<Steal<Shard>>() {
+            Steal::Success(shard) => {
+                sched().steals.inc();
+                return Some(shard);
+            }
+            Steal::Retry => continue,
+            Steal::Empty => return None,
+        }
+    }
 }
 
 /// Runs every pending shard (with retries) and returns their results in

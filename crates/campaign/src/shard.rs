@@ -15,9 +15,10 @@ use crate::options::Options;
 use crate::rng::{derive_rng, STREAM_GEOLOCATE};
 use gamma_geo::CountryCode;
 use gamma_geoloc::GeolocPipeline;
+use gamma_obs as obs;
 use gamma_suite::{run_volunteer_checked, Checkpoint, Volunteer};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// A unit of campaign work: one country and its stable volunteer slot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -102,7 +103,12 @@ fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
-/// One attempt at a shard, all three stages timed.
+/// One attempt at a shard, all three stages timed. Stage wall clocks come
+/// from the span layer: each stage runs inside an [`obs::span!`] and its
+/// [`obs::ActiveSpan::finish`] duration fills the pre-existing
+/// [`StageTimings`] ledger (the serialized checkpoint shape is unchanged).
+/// A shard runs entirely on one worker thread, so the three stage spans
+/// nest under one `shard` root and render as a tree under `--trace`.
 fn execute(
     env: &CampaignEnv<'_>,
     shard: Shard,
@@ -115,24 +121,25 @@ fn execute(
     let volunteer = Volunteer::for_country(env.world, shard.country, shard.slot)
         .ok_or(ShardError::NoVolunteer(shard.country))?;
 
+    let _shard_span = obs::span!("shard", country = shard.country.as_str());
     let mut stages = StageTimings::default();
 
     // Stage 1 — measure: the volunteer's Gamma run (C1/C2/C3). Degraded
     // records land in the quarantine ledger rather than failing the shard.
-    let started = Instant::now();
+    let span = obs::span!("measure");
     let (mut dataset, quarantine) = catch_unwind(AssertUnwindSafe(|| {
         run_volunteer_checked(env.world, &volunteer, env.config, 0)
     }))
     .map_err(|p| ShardError::Panicked(panic_text(p)))?
     .map_err(|e| ShardError::Spec(e.to_string()))?;
-    stages.measure = started.elapsed();
+    stages.measure = span.finish();
     if dataset.loads.is_empty() {
         return Err(ShardError::Unhealthy("no page loads recorded".into()));
     }
 
     // Stage 2 — geolocate: the multi-constraint pipeline, on this shard's
     // own derived stream so scheduling order cannot perturb the bits.
-    let started = Instant::now();
+    let span = obs::span!("geolocate");
     let mut pipeline = GeolocPipeline::new(env.world, env.geodb, env.atlas);
     pipeline.options = env.pipeline_options;
     pipeline.plan = env.config.plan.clone();
@@ -141,14 +148,14 @@ fn execute(
         pipeline.classify_dataset(&dataset, &mut rng)
     }))
     .map_err(|p| ShardError::Panicked(panic_text(p)))?;
-    stages.geolocate = started.elapsed();
+    stages.geolocate = span.finish();
 
     // Stage 3 — finalize: anonymize (§3.5) and settle the ledger.
-    let started = Instant::now();
+    let span = obs::span!("finalize");
     dataset.anonymize();
     let mut marker = Checkpoint::new(shard.country, env.config.seed);
     marker.completed_sites = dataset.loads.len();
-    stages.finalize = started.elapsed();
+    stages.finalize = span.finish();
 
     let mut metrics = ShardMetrics::from_outputs(shard.country, &dataset, &report, stages);
     metrics.quarantined = quarantine.len();
@@ -175,6 +182,11 @@ pub(crate) fn run_with_retry(
     loop {
         let pause = options.retry.backoff_before(attempt);
         if !pause.is_zero() {
+            // The counter records the *configured* pause, not measured
+            // sleep time, so it stays a pure function of the seed.
+            obs::global()
+                .counter("campaign.backoff_ms")
+                .add(pause.as_millis() as u64);
             std::thread::sleep(pause);
             backoff_total += pause;
         }
@@ -182,9 +194,11 @@ pub(crate) fn run_with_retry(
             Ok(mut done) => {
                 done.metrics.attempts = attempt + 1;
                 done.metrics.backoff_total = backoff_total;
+                obs::global().counter("campaign.shards.completed").inc();
                 return Ok(done);
             }
             Err(e) if e.is_transient() && attempt + 1 < budget => {
+                obs::global().counter("campaign.retries").inc();
                 attempt += 1;
             }
             Err(e) => {

@@ -471,12 +471,7 @@ impl FaultPlan {
     /// The profile in effect for a vantage.
     pub fn profile_for(&self, country: Option<CountryCode>) -> &FaultProfile {
         country
-            .and_then(|c| {
-                self.overrides
-                    .iter()
-                    .find(|(o, _)| *o == c)
-                    .map(|(_, p)| p)
-            })
+            .and_then(|c| self.overrides.iter().find(|(o, _)| *o == c).map(|(_, p)| p))
             .unwrap_or(&self.base)
     }
 
@@ -683,7 +678,10 @@ mod tests {
 
     #[test]
     fn profile_names_parse() {
-        assert_eq!(FaultPlan::from_profile_name("none", 1), Some(FaultPlan::none(1)));
+        assert_eq!(
+            FaultPlan::from_profile_name("none", 1),
+            Some(FaultPlan::none(1))
+        );
         assert_eq!(
             FaultPlan::from_profile_name("paper", 1),
             Some(FaultPlan::paper_default(1))
@@ -694,7 +692,10 @@ mod tests {
         );
         let b = FaultPlan::from_profile_name("blackout:RW", 1).unwrap();
         assert_eq!(b.profile_for(Some(cc("RW"))), &FaultProfile::blackout());
-        assert_eq!(b.profile_for(Some(cc("US"))), &FaultProfile::paper_default());
+        assert_eq!(
+            b.profile_for(Some(cc("US"))),
+            &FaultProfile::paper_default()
+        );
         assert_eq!(FaultPlan::from_profile_name("blackout:rww", 1), None);
         assert_eq!(FaultPlan::from_profile_name("garbage", 1), None);
     }

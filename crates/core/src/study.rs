@@ -68,10 +68,12 @@ impl Study {
     /// fault injection and checkpoint/resume as configured. Output is
     /// byte-identical for every worker count.
     pub fn run_with(&self, options: &Options) -> Result<StudyResults, CampaignError> {
+        let build_span = gamma_obs::span!("study.build");
         let world = worldgen::generate(&self.spec);
         let geodb = GeoDatabase::build(&world, &self.error_spec, self.seed);
         let atlas = AtlasPlatform::generate(self.seed);
         let classifier = TrackerClassifier::for_world(&world);
+        drop(build_span);
 
         let env = CampaignEnv {
             world: &world,
@@ -84,7 +86,9 @@ impl Study {
         let outcome = Campaign::new(env, options.clone()).run()?;
         let (runs, quarantines, metrics) = outcome.into_parts();
 
+        let assemble_span = gamma_obs::span!("study.assemble");
         let study = StudyDataset::assemble(&world, &classifier, &runs);
+        drop(assemble_span);
         Ok(StudyResults {
             world,
             geodb,
@@ -263,7 +267,10 @@ mod tests {
         assert!(results.quarantines.iter().all(|(_, q)| q.is_empty()));
         let text = results.render_quality();
         assert!(text.contains("data quality"), "missing header: {text}");
-        assert!(text.contains("no losses"), "quiet plan should be clean: {text}");
+        assert!(
+            text.contains("no losses"),
+            "quiet plan should be clean: {text}"
+        );
     }
 
     #[test]

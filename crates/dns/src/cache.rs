@@ -14,7 +14,28 @@
 
 use crate::name::DomainName;
 use crate::resolver::{DnsFailure, Replica};
+use gamma_obs as obs;
 use std::collections::HashMap;
+use std::sync::OnceLock;
+
+/// Cached handles into the global metrics registry; the per-lookup path
+/// must not pay the registry's name-lookup cost.
+struct CacheCounters {
+    hit: obs::Counter,
+    miss: obs::Counter,
+    negative_hit: obs::Counter,
+    negative_expired: obs::Counter,
+}
+
+fn counters() -> &'static CacheCounters {
+    static COUNTERS: OnceLock<CacheCounters> = OnceLock::new();
+    COUNTERS.get_or_init(|| CacheCounters {
+        hit: obs::global().counter("dns.cache.hit"),
+        miss: obs::global().counter("dns.cache.miss"),
+        negative_hit: obs::global().counter("dns.cache.negative_hit"),
+        negative_expired: obs::global().counter("dns.cache.negative_expired"),
+    })
+}
 
 /// How many subsequent lookups (across all names) a cached failure stays
 /// authoritative for. Positive answers live for the whole run.
@@ -48,17 +69,35 @@ impl DnsCache {
     }
 
     /// Looks up a domain, computing and caching the answer on a miss.
-    /// Legacy entry point: both outcomes are cached for the run's lifetime.
+    /// Legacy entry point: answers it caches live for the run's lifetime.
+    /// A still-valid negative entry (cached by [`DnsCache::resolve_outcome`])
+    /// answers authoritatively as "does not resolve" — it is a hit, not a
+    /// miss, and is left in place until its TTL lapses.
     pub fn resolve_with<F>(&mut self, domain: &DomainName, f: F) -> Option<Replica>
     where
         F: FnOnce() -> Option<Replica>,
     {
         self.clock += 1;
-        if let Some(Entry::Answer(hit)) = self.entries.get(domain) {
-            self.hits += 1;
-            return *hit;
+        match self.entries.get(domain) {
+            Some(Entry::Answer(hit)) => {
+                self.hits += 1;
+                counters().hit.inc();
+                return *hit;
+            }
+            Some(Entry::Failure { expires_at, .. }) if self.clock <= *expires_at => {
+                // Re-resolving here would bypass the negative cache and
+                // clobber the failure with a run-lifetime answer.
+                self.hits += 1;
+                counters().negative_hit.inc();
+                return None;
+            }
+            Some(Entry::Failure { .. }) => {
+                counters().negative_expired.inc();
+            }
+            None => {}
         }
         self.misses += 1;
+        counters().miss.inc();
         let answer = f();
         self.entries.insert(domain.clone(), Entry::Answer(answer));
         answer
@@ -76,12 +115,14 @@ impl DnsCache {
         match self.entries.get(domain) {
             Some(Entry::Answer(Some(r))) => {
                 self.hits += 1;
+                counters().hit.inc();
                 return Ok(*r);
             }
             Some(Entry::Answer(None)) => {
                 // A legacy-cached unresolved name reads back as an
                 // authoritative denial.
                 self.hits += 1;
+                counters().negative_hit.inc();
                 return Err(DnsFailure::Nxdomain);
             }
             Some(Entry::Failure {
@@ -89,11 +130,16 @@ impl DnsCache {
                 expires_at,
             }) if self.clock <= *expires_at => {
                 self.hits += 1;
+                counters().negative_hit.inc();
                 return Err(*failure);
             }
-            _ => {}
+            Some(Entry::Failure { .. }) => {
+                counters().negative_expired.inc();
+            }
+            None => {}
         }
         self.misses += 1;
+        counters().miss.inc();
         let outcome = f();
         let entry = match outcome {
             Ok(r) => Entry::Answer(Some(r)),
@@ -232,5 +278,96 @@ mod tests {
         cache.resolve_with(&d("gone.com"), || None);
         let r = cache.resolve_outcome(&d("gone.com"), || Ok(rep()));
         assert_eq!(r, Err(DnsFailure::Nxdomain));
+    }
+
+    #[test]
+    fn resolve_with_honors_unexpired_negative_entries() {
+        let mut cache = DnsCache::new();
+        let _ = cache.resolve_outcome(&d("down.com"), || Err(DnsFailure::Servfail));
+        // Within the negative TTL the legacy entry point must answer
+        // "does not resolve" without re-querying…
+        let mut calls = 0;
+        let r = cache.resolve_with(&d("down.com"), || {
+            calls += 1;
+            Some(rep())
+        });
+        assert_eq!(r, None);
+        assert_eq!(calls, 0, "negative cache was bypassed");
+        // …and must not have clobbered the failure with a run-lifetime
+        // answer: the richer entry point still sees it.
+        let r = cache.resolve_outcome(&d("down.com"), || Ok(rep()));
+        assert_eq!(r, Err(DnsFailure::Servfail), "negative entry was clobbered");
+        assert_eq!(cache.stats(), (2, 1));
+    }
+
+    #[test]
+    fn resolve_with_retries_expired_negative_entries() {
+        let mut cache = DnsCache::new();
+        let _ = cache.resolve_outcome(&d("flaky.com"), || Err(DnsFailure::Timeout));
+        for i in 0..NEGATIVE_TTL_LOOKUPS {
+            let name = d(&format!("filler{i}.com"));
+            let _ = cache.resolve_outcome(&name, || Ok(rep()));
+        }
+        // The failure has lapsed: the legacy entry point re-queries and
+        // the fresh answer is cached for the rest of the run.
+        let mut calls = 0;
+        let r = cache.resolve_with(&d("flaky.com"), || {
+            calls += 1;
+            Some(rep())
+        });
+        assert_eq!(r, Some(rep()));
+        assert_eq!(calls, 1);
+        let r = cache.resolve_outcome(&d("flaky.com"), || Err(DnsFailure::Servfail));
+        assert_eq!(r, Ok(rep()), "fresh answer should be served from cache");
+    }
+
+    #[test]
+    fn negative_entries_are_valid_through_the_expiry_tick() {
+        let mut cache = DnsCache::new();
+        let mut calls = 0;
+        // Lookup #1: miss, expires_at = 1 + NEGATIVE_TTL_LOOKUPS.
+        let _ = cache.resolve_outcome(&d("x.com"), || {
+            calls += 1;
+            Err(DnsFailure::Timeout)
+        });
+        // Advance the clock so the next x.com lookup lands exactly on
+        // the expiry tick (clock == expires_at): still authoritative.
+        for i in 0..(NEGATIVE_TTL_LOOKUPS - 1) {
+            let name = d(&format!("filler{i}.com"));
+            let _ = cache.resolve_outcome(&name, || Ok(rep()));
+        }
+        let r = cache.resolve_outcome(&d("x.com"), || {
+            calls += 1;
+            Err(DnsFailure::Timeout)
+        });
+        assert_eq!(r, Err(DnsFailure::Timeout));
+        assert_eq!(calls, 1, "boundary lookup must be a cache hit");
+        // One more tick pushes the clock past expires_at: re-query.
+        let _ = cache.resolve_outcome(&d("one-more.com"), || Ok(rep()));
+        let r = cache.resolve_outcome(&d("x.com"), || {
+            calls += 1;
+            Err(DnsFailure::Timeout)
+        });
+        assert_eq!(r, Err(DnsFailure::Timeout));
+        assert_eq!(calls, 2, "post-expiry lookup must re-query");
+    }
+
+    #[test]
+    fn stats_count_expiry_retries_across_both_entry_points() {
+        let mut cache = DnsCache::new();
+        let _ = cache.resolve_outcome(&d("x.com"), || Err(DnsFailure::Servfail)); // miss
+        let _ = cache.resolve_outcome(&d("x.com"), || Err(DnsFailure::Servfail)); // hit
+        let r = cache.resolve_with(&d("x.com"), || Some(rep())); // negative hit
+        assert_eq!(r, None);
+        for i in 0..NEGATIVE_TTL_LOOKUPS {
+            let name = d(&format!("filler{i}.com"));
+            let _ = cache.resolve_outcome(&name, || Ok(rep())); // misses
+        }
+        // Expired now: the retry is a miss, and its success is cached.
+        let r = cache.resolve_outcome(&d("x.com"), || Ok(rep()));
+        assert_eq!(r, Ok(rep()));
+        let r = cache.resolve_with(&d("x.com"), || None);
+        assert_eq!(r, Some(rep())); // hit on the fresh answer
+        assert_eq!(cache.stats(), (3, 2 + NEGATIVE_TTL_LOOKUPS));
     }
 }

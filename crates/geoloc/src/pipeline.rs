@@ -25,6 +25,38 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
+use std::sync::OnceLock;
+
+/// Cached handles for the geolocation funnel counters. Every count is a
+/// pure function of the seed: the funnel is computed from the dataset and
+/// only mirrored into the registry afterwards.
+struct FunnelCounters {
+    observations: gamma_obs::Counter,
+    unique_ips: gamma_obs::Counter,
+    local: gamma_obs::Counter,
+    confirmed: gamma_obs::Counter,
+    unmapped: gamma_obs::Counter,
+    degraded: gamma_obs::Counter,
+    drop_sol: gamma_obs::Counter,
+    drop_rdns: gamma_obs::Counter,
+}
+
+fn funnel_counters() -> &'static FunnelCounters {
+    static COUNTERS: OnceLock<FunnelCounters> = OnceLock::new();
+    COUNTERS.get_or_init(|| {
+        let reg = gamma_obs::global();
+        FunnelCounters {
+            observations: reg.counter("geoloc.funnel.observations"),
+            unique_ips: reg.counter("geoloc.funnel.unique_ips"),
+            local: reg.counter("geoloc.funnel.local"),
+            confirmed: reg.counter("geoloc.funnel.confirmed"),
+            unmapped: reg.counter("geoloc.funnel.unmapped"),
+            degraded: reg.counter("geoloc.degraded"),
+            drop_sol: reg.counter("geoloc.drop.sol"),
+            drop_rdns: reg.counter("geoloc.drop.rdns"),
+        }
+    })
+}
 
 /// Stage toggles and tunables — the ablation surface.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -234,6 +266,7 @@ impl<'w> GeolocPipeline<'w> {
         ds: &VolunteerDataset,
         rng: &mut R,
     ) -> GeolocReport {
+        let _span = gamma_obs::span!("geoloc.classify", country = ds.volunteer.country.as_str());
         let volunteer_country = ds.volunteer.country;
         let volunteer_city = ds.volunteer.city;
         let model = LatencyModel::default();
@@ -308,6 +341,26 @@ impl<'w> GeolocPipeline<'w> {
                 })
             })
             .collect();
+
+        // Mirror the funnel into the metrics registry. The registry is a
+        // sink: the funnel was computed above from the dataset alone.
+        let m = funnel_counters();
+        m.observations.add(funnel.observations as u64);
+        m.unique_ips.add(funnel.unique_ips as u64);
+        m.local.add(funnel.local as u64);
+        m.confirmed.add(funnel.after_rdns_constraint as u64);
+        m.unmapped.add(funnel.unmapped as u64);
+        m.degraded.add(funnel.degraded_confirmations as u64);
+        m.drop_sol.add(
+            funnel
+                .nonlocal_candidates
+                .saturating_sub(funnel.after_sol_constraints) as u64,
+        );
+        m.drop_rdns.add(
+            funnel
+                .after_sol_constraints
+                .saturating_sub(funnel.after_rdns_constraint) as u64,
+        );
 
         GeolocReport {
             country: volunteer_country,
@@ -466,7 +519,10 @@ impl<'w> GeolocPipeline<'w> {
             }
             None => Confidence::Full,
         };
-        Classification::ConfirmedNonLocal { claimed, confidence }
+        Classification::ConfirmedNonLocal {
+            claimed,
+            confidence,
+        }
     }
 
     /// Launches a simulated traceroute from a probe city toward a server,

@@ -8,6 +8,12 @@ use crate::latency::{AccessQuality, LatencyModel};
 use crate::route::Route;
 use gamma_chaos::{FaultKind, FaultOracle, FaultScope};
 use rand::Rng;
+use std::sync::OnceLock;
+
+fn pings_counter() -> &'static gamma_obs::Counter {
+    static COUNTER: OnceLock<gamma_obs::Counter> = OnceLock::new();
+    COUNTER.get_or_init(|| gamma_obs::global().counter("netsim.pings"))
+}
 
 /// Samples a single echo round-trip along a route, or `None` if the probe
 /// is lost (probability `loss_rate`).
@@ -18,6 +24,7 @@ pub fn ping_rtt_ms<R: Rng + ?Sized>(
     loss_rate: f64,
     rng: &mut R,
 ) -> Option<f64> {
+    pings_counter().inc();
     if rng.gen::<f64>() < loss_rate {
         return None;
     }

@@ -15,6 +15,12 @@ use gamma_geo::{CityId, CountryCode};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::net::Ipv4Addr;
+use std::sync::OnceLock;
+
+fn traceroutes_counter() -> &'static gamma_obs::Counter {
+    static COUNTER: OnceLock<gamma_obs::Counter> = OnceLock::new();
+    COUNTER.get_or_init(|| gamma_obs::global().counter("netsim.traceroutes"))
+}
 
 /// A single traceroute hop. `None` fields model a router that did not
 /// answer within the probe timeout (`* * *` in real output).
@@ -81,6 +87,7 @@ pub fn run_traceroute<R: Rng + ?Sized>(
     router_ip_of: &dyn Fn(CityId) -> Ipv4Addr,
     rng: &mut R,
 ) -> TracerouteResult {
+    traceroutes_counter().inc();
     if fault.firewall_blocks_traceroute {
         return TracerouteResult {
             dst: dst_ip,
@@ -479,9 +486,8 @@ mod tests {
             None,
             &mut b,
         );
-        let cleaned = |t: &TracerouteResult| {
-            t.destination_rtt_ms().unwrap() - t.first_hop_rtt_ms().unwrap()
-        };
+        let cleaned =
+            |t: &TracerouteResult| t.destination_rtt_ms().unwrap() - t.first_hop_rtt_ms().unwrap();
         assert!(skewed.destination_rtt_ms().unwrap() > clean.destination_rtt_ms().unwrap());
         assert!((cleaned(&skewed) - cleaned(&clean)).abs() < 1e-9);
     }
@@ -518,9 +524,8 @@ mod tests {
             None,
             &mut b,
         );
-        let cleaned = |t: &TracerouteResult| {
-            t.destination_rtt_ms().unwrap() - t.first_hop_rtt_ms().unwrap()
-        };
+        let cleaned =
+            |t: &TracerouteResult| t.destination_rtt_ms().unwrap() - t.first_hop_rtt_ms().unwrap();
         assert!(cleaned(&spiky) < cleaned(&clean));
         // Only the gateway hop was inflated.
         assert_eq!(spiky.destination_rtt_ms(), clean.destination_rtt_ms());

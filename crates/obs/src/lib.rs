@@ -1,0 +1,44 @@
+//! # gamma-obs
+//!
+//! The observability plane: every measurement layer reports *what it did*
+//! (typed counters and gauges), *how long it took* (wall-clock spans and
+//! log-linear histograms), and the campaign distills both into a
+//! machine-readable per-run benchmark report (`--metrics-out`) plus a
+//! human `--trace` tree.
+//!
+//! ## Determinism contract
+//!
+//! Wall-clock time is read **only** inside the span layer and flows
+//! **only** outward — into `time.*` histograms, the trace sink, and the
+//! ledger fields of the report. It never feeds seeded state: with metrics
+//! collected or not, traced or not, every byte of measurement output is
+//! identical. Counters count *work*, and work is a pure function of the
+//! seed, so two identical seeded runs produce identical counter values;
+//! the one documented exception is the `campaign.sched.*` family, which
+//! counts work-stealing events and is only meaningful (and only nonzero)
+//! under multi-worker schedules.
+//!
+//! ## Idiom
+//!
+//! ```
+//! use gamma_obs as obs;
+//!
+//! // Counting: cache the handle if the call site is hot.
+//! obs::global().counter("dns.cache.hit").inc();
+//!
+//! // Timing a stage, with the measured duration for the ledger:
+//! let span = obs::span!("geolocate", country = "BR");
+//! // ... do the work ...
+//! let wall = span.finish();
+//! # let _ = wall;
+//! ```
+
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
+pub mod registry;
+pub mod report;
+pub mod span;
+
+pub use registry::{global, Counter, Gauge, Histogram, HistogramSnapshot, Registry, Snapshot};
+pub use report::{MetricsReport, REPORT_SCHEMA};
+pub use span::{render_trace, ActiveSpan, SpanRecord};

@@ -1,0 +1,451 @@
+//! The typed metrics registry.
+//!
+//! Instruments are lock-free atomics handed out as cheap clonable handles;
+//! the registry itself is a name → instrument map behind an `RwLock` that
+//! is only taken on handle creation and snapshotting, never on the hot
+//! increment path. Every value here is *derived from* the measurement —
+//! nothing in the registry ever feeds back into seeded state, which is
+//! what keeps the byte-identity suites indifferent to whether metrics are
+//! collected at all.
+//!
+//! Naming convention: dot-separated `crate.subsystem.event` names, e.g.
+//! `dns.cache.negative_hit` or `geoloc.funnel.confirmed`. Counters under
+//! `campaign.sched.*` reflect *scheduling* (work stealing), not data, and
+//! are the one family that may legitimately differ between runs with more
+//! than one worker; everything else is a pure function of the seed.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+
+use crate::span::SpanRecord;
+
+/// A monotone event counter.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    pub fn inc(&self) {
+        self.add(1);
+    }
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+    fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A last-write-wins instantaneous value.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+    fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Sub-buckets per power of two. Two per octave keeps relative error under
+/// ~25% across the whole u64 range with a fixed, allocation-free layout.
+const SUBS_PER_OCTAVE: u64 = 2;
+const BUCKETS: usize = (64 * SUBS_PER_OCTAVE as usize) + 1;
+
+/// A log-linear histogram: fixed buckets, atomic counts, no allocation on
+/// the record path. Values are whatever unit the caller picks (the span
+/// layer records microseconds).
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: Arc<[AtomicU64; BUCKETS]>,
+    count: Arc<AtomicU64>,
+    sum: Arc<AtomicU64>,
+    max: Arc<AtomicU64>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: Arc::new(std::array::from_fn(|_| AtomicU64::new(0))),
+            count: Arc::new(AtomicU64::new(0)),
+            sum: Arc::new(AtomicU64::new(0)),
+            max: Arc::new(AtomicU64::new(0)),
+        }
+    }
+}
+
+/// Bucket index for a value: bucket 0 is exactly zero, then
+/// `SUBS_PER_OCTAVE` linear sub-buckets per power of two.
+fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        return 0;
+    }
+    let octave = 63 - v.leading_zeros() as u64;
+    let base = 1u64 << octave;
+    // Which linear sub-bucket inside [base, 2*base). Division rather than
+    // `(v - base) * SUBS_PER_OCTAVE >> octave`: the product overflows for
+    // values in the top octave.
+    let sub = (v - base) / (base / SUBS_PER_OCTAVE).max(1);
+    (1 + octave * SUBS_PER_OCTAVE + sub) as usize
+}
+
+/// Lower bound of a bucket, used to reconstruct quantile estimates.
+fn bucket_floor(idx: usize) -> u64 {
+    if idx == 0 {
+        return 0;
+    }
+    let i = (idx - 1) as u64;
+    let octave = i / SUBS_PER_OCTAVE;
+    let sub = i % SUBS_PER_OCTAVE;
+    let base = 1u64 << octave;
+    base + (base / SUBS_PER_OCTAVE) * sub
+}
+
+impl Histogram {
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        let sum = self.sum.load(Ordering::Relaxed);
+        let max = self.max.load(Ordering::Relaxed);
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let quantile = |q: f64| -> u64 {
+            if count == 0 {
+                return 0;
+            }
+            let target = ((count as f64) * q).ceil().max(1.0) as u64;
+            let mut seen = 0u64;
+            for (i, c) in counts.iter().enumerate() {
+                seen += c;
+                if seen >= target {
+                    return bucket_floor(i);
+                }
+            }
+            max
+        };
+        HistogramSnapshot {
+            count,
+            sum,
+            max,
+            mean: if count == 0 {
+                0.0
+            } else {
+                sum as f64 / count as f64
+            },
+            p50: quantile(0.50),
+            p90: quantile(0.90),
+            p99: quantile(0.99),
+        }
+    }
+
+    fn reset(&self) {
+        for b in self.buckets.iter() {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A serializable summary of one histogram. Bucket-resolution quantiles:
+/// each reported percentile is the floor of the bucket holding it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum: u64,
+    pub max: u64,
+    pub mean: f64,
+    pub p50: u64,
+    pub p90: u64,
+    pub p99: u64,
+}
+
+#[derive(Default)]
+struct Instruments {
+    counters: BTreeMap<String, Counter>,
+    gauges: BTreeMap<String, Gauge>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// The metrics registry plus the trace sink. One global instance
+/// ([`crate::global`]) serves the whole process; tests that diff counter
+/// values take deltas around their workload.
+pub struct Registry {
+    instruments: RwLock<Instruments>,
+    trace_enabled: AtomicBool,
+    traces: Mutex<Vec<SpanRecord>>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry {
+            instruments: RwLock::new(Instruments::default()),
+            trace_enabled: AtomicBool::new(false),
+            traces: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+impl Registry {
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Get-or-create the counter named `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        if let Some(c) = self
+            .instruments
+            .read()
+            .expect("registry lock")
+            .counters
+            .get(name)
+        {
+            return c.clone();
+        }
+        let mut w = self.instruments.write().expect("registry lock");
+        w.counters.entry(name.to_owned()).or_default().clone()
+    }
+
+    /// Get-or-create the gauge named `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        if let Some(g) = self
+            .instruments
+            .read()
+            .expect("registry lock")
+            .gauges
+            .get(name)
+        {
+            return g.clone();
+        }
+        let mut w = self.instruments.write().expect("registry lock");
+        w.gauges.entry(name.to_owned()).or_default().clone()
+    }
+
+    /// Get-or-create the histogram named `name`.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        if let Some(h) = self
+            .instruments
+            .read()
+            .expect("registry lock")
+            .histograms
+            .get(name)
+        {
+            return h.clone();
+        }
+        let mut w = self.instruments.write().expect("registry lock");
+        w.histograms.entry(name.to_owned()).or_default().clone()
+    }
+
+    /// A point-in-time copy of every instrument.
+    pub fn snapshot(&self) -> Snapshot {
+        let r = self.instruments.read().expect("registry lock");
+        Snapshot {
+            counters: r
+                .counters
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: r.gauges.iter().map(|(k, v)| (k.clone(), v.get())).collect(),
+            histograms: r
+                .histograms
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+
+    /// Zeroes every instrument in place. Existing handles stay valid.
+    pub fn reset(&self) {
+        let r = self.instruments.read().expect("registry lock");
+        for c in r.counters.values() {
+            c.reset();
+        }
+        for g in r.gauges.values() {
+            g.reset();
+        }
+        for h in r.histograms.values() {
+            h.reset();
+        }
+        drop(r);
+        self.traces.lock().expect("trace lock").clear();
+    }
+
+    /// Turns root-span tree collection on or off. Timing histograms are
+    /// always recorded; the trees exist only for `--trace`.
+    pub fn set_trace(&self, enabled: bool) {
+        self.trace_enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    pub fn trace_enabled(&self) -> bool {
+        self.trace_enabled.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn push_trace(&self, record: SpanRecord) {
+        self.traces.lock().expect("trace lock").push(record);
+    }
+
+    /// Drains every finished root-span tree collected so far.
+    pub fn take_traces(&self) -> Vec<SpanRecord> {
+        std::mem::take(&mut *self.traces.lock().expect("trace lock"))
+    }
+}
+
+/// A serializable point-in-time view of the registry.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Snapshot {
+    pub counters: BTreeMap<String, u64>,
+    pub gauges: BTreeMap<String, i64>,
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// Counter deltas since `earlier`, dropping zero rows. The campaign
+    /// scheduler's `campaign.sched.*` family is execution noise under
+    /// parallelism; `deterministic_only` excludes it so byte-identity
+    /// comparisons stay meaningful at any worker count.
+    pub fn counters_since(
+        &self,
+        earlier: &Snapshot,
+        deterministic_only: bool,
+    ) -> BTreeMap<String, u64> {
+        self.counters
+            .iter()
+            .filter(|(k, _)| !deterministic_only || !k.starts_with("campaign.sched."))
+            .filter_map(|(k, v)| {
+                let delta = v - earlier.counters.get(k).copied().unwrap_or(0);
+                (delta > 0).then(|| (k.clone(), delta))
+            })
+            .collect()
+    }
+}
+
+static GLOBAL: OnceLock<Registry> = OnceLock::new();
+
+/// The process-wide registry every crate instruments into.
+pub fn global() -> &'static Registry {
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let r = Registry::new();
+        let c = r.counter("unit.test.hits");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        // The same name returns the same underlying cell.
+        r.counter("unit.test.hits").inc();
+        assert_eq!(c.get(), 6);
+        let snap = r.snapshot();
+        assert_eq!(snap.counters.get("unit.test.hits"), Some(&6));
+    }
+
+    #[test]
+    fn gauges_are_last_write_wins() {
+        let r = Registry::new();
+        let g = r.gauge("unit.test.workers");
+        g.set(4);
+        g.set(7);
+        assert_eq!(g.get(), 7);
+        assert_eq!(r.snapshot().gauges.get("unit.test.workers"), Some(&7));
+    }
+
+    #[test]
+    fn histogram_buckets_are_monotone_in_value() {
+        assert_eq!(bucket_index(0), 0);
+        let mut last = 0usize;
+        for v in [1u64, 2, 3, 4, 7, 8, 100, 1000, u64::MAX / 2, u64::MAX] {
+            let b = bucket_index(v);
+            assert!(b >= last, "bucket order broke at {v}");
+            last = b;
+        }
+        // A bucket's floor is never above a member value.
+        for v in [1u64, 5, 17, 100, 12345, 1 << 40, u64::MAX] {
+            assert!(bucket_floor(bucket_index(v)) <= v, "{v}");
+        }
+    }
+
+    #[test]
+    fn histogram_snapshot_summarizes() {
+        let r = Registry::new();
+        let h = r.histogram("unit.test.rtt_us");
+        for v in [10u64, 20, 30, 40, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 1100);
+        assert_eq!(s.max, 1000);
+        assert!((s.mean - 220.0).abs() < 1e-9);
+        assert!(s.p50 <= 30 && s.p99 <= 1000);
+        assert!(s.p50 <= s.p90 && s.p90 <= s.p99);
+    }
+
+    #[test]
+    fn reset_zeroes_in_place_and_keeps_handles_valid() {
+        let r = Registry::new();
+        let c = r.counter("unit.test.reset");
+        c.add(9);
+        r.reset();
+        assert_eq!(c.get(), 0);
+        c.inc();
+        assert_eq!(r.snapshot().counters.get("unit.test.reset"), Some(&1));
+    }
+
+    #[test]
+    fn snapshot_deltas_drop_zero_rows_and_sched_noise() {
+        let r = Registry::new();
+        r.counter("dns.cache.hit").add(3);
+        r.counter("campaign.sched.steals").add(2);
+        r.counter("idle.counter");
+        let before = r.snapshot();
+        r.counter("dns.cache.hit").add(4);
+        r.counter("campaign.sched.steals").add(1);
+        let after = r.snapshot();
+        let all = after.counters_since(&before, false);
+        assert_eq!(all.get("dns.cache.hit"), Some(&4));
+        assert_eq!(all.get("campaign.sched.steals"), Some(&1));
+        assert!(!all.contains_key("idle.counter"));
+        let stable = after.counters_since(&before, true);
+        assert!(!stable.contains_key("campaign.sched.steals"));
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_json() {
+        let r = Registry::new();
+        r.counter("a.b").add(2);
+        r.gauge("c.d").set(-3);
+        r.histogram("e.f").record(7);
+        let snap = r.snapshot();
+        let js = serde_json::to_string(&snap).expect("serialize");
+        let back: Snapshot = serde_json::from_str(&js).expect("parse");
+        assert_eq!(back, snap);
+    }
+}

@@ -1,0 +1,177 @@
+//! The machine-readable benchmark report behind `--metrics-out`.
+//!
+//! One JSON document per run: identity (seed, workers, countries), wall
+//! clock per stage, throughput, and the full instrument snapshot. The
+//! timing fields (`total_wall_ms`, `stages`, `throughput`, histograms) are
+//! the only parts that may differ between two identical seeded runs —
+//! `counters` and `gauges` are pure functions of the seed (minus the
+//! documented `campaign.sched.*` scheduling family, which is zero in
+//! single-worker runs).
+
+use crate::registry::{HistogramSnapshot, Snapshot};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Current report layout version.
+pub const REPORT_SCHEMA: u32 = 1;
+
+/// A complete per-run performance report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsReport {
+    pub schema: u32,
+    pub seed: u64,
+    pub workers: usize,
+    pub countries: usize,
+    /// End-to-end campaign wall clock, milliseconds.
+    pub total_wall_ms: f64,
+    /// Per-stage wall clock, milliseconds (summed across shards).
+    pub stages: BTreeMap<String, f64>,
+    /// Work per wall-clock second, e.g. `sites_per_sec`.
+    pub throughput: BTreeMap<String, f64>,
+    pub counters: BTreeMap<String, u64>,
+    pub gauges: BTreeMap<String, i64>,
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsReport {
+    /// Assembles a report from a run's counter/gauge/histogram deltas
+    /// (an end snapshot diffed against a start snapshot) and the stage
+    /// wall times the caller measured.
+    pub fn new(
+        seed: u64,
+        workers: usize,
+        countries: usize,
+        total_wall_ms: f64,
+        stages: BTreeMap<String, f64>,
+        start: &Snapshot,
+        end: &Snapshot,
+    ) -> MetricsReport {
+        MetricsReport {
+            schema: REPORT_SCHEMA,
+            seed,
+            workers,
+            countries,
+            total_wall_ms,
+            stages,
+            throughput: BTreeMap::new(),
+            counters: end.counters_since(start, false),
+            gauges: end.gauges.clone(),
+            histograms: end.histograms.clone(),
+        }
+    }
+
+    /// Adds a throughput row derived from a counted unit and the total
+    /// wall clock (no-op when the wall clock is zero).
+    pub fn with_throughput(mut self, name: &str, units: f64) -> MetricsReport {
+        if self.total_wall_ms > 0.0 {
+            self.throughput
+                .insert(name.to_owned(), units / (self.total_wall_ms / 1e3));
+        }
+        self
+    }
+
+    pub fn to_json(&self) -> Result<String, String> {
+        serde_json::to_string_pretty(self).map_err(|e| e.to_string())
+    }
+
+    pub fn from_json(text: &str) -> Result<MetricsReport, String> {
+        serde_json::from_str(text).map_err(|e| e.to_string())
+    }
+
+    /// The CI sanity gate: stage wall times present and nonzero, and the
+    /// counter snapshot spans every instrumented subsystem with at least
+    /// `min_counters` distinct names.
+    pub fn validate(&self, min_counters: usize) -> Result<(), String> {
+        if self.schema != REPORT_SCHEMA {
+            return Err(format!("unknown schema {}", self.schema));
+        }
+        if self.total_wall_ms <= 0.0 {
+            return Err("total wall clock is zero".into());
+        }
+        if self.stages.is_empty() {
+            return Err("no stage wall times recorded".into());
+        }
+        if let Some((name, _)) = self.stages.iter().find(|(_, ms)| **ms <= 0.0) {
+            return Err(format!("stage {name:?} reports zero wall time"));
+        }
+        if self.counters.len() < min_counters {
+            return Err(format!(
+                "only {} counters recorded, expected at least {min_counters}",
+                self.counters.len()
+            ));
+        }
+        for ns in ["dns.", "geoloc.", "trackers.", "campaign."] {
+            if !self.counters.keys().any(|k| k.starts_with(ns)) {
+                return Err(format!("no counters in the {ns}* namespace"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    fn sample() -> MetricsReport {
+        let r = Registry::new();
+        let before = r.snapshot();
+        for name in [
+            "dns.cache.hit",
+            "geoloc.funnel.confirmed",
+            "trackers.abp.evaluations",
+            "campaign.shards.completed",
+            "suite.pages.loaded",
+            "suite.requests.captured",
+            "netsim.traceroutes",
+            "dns.cache.miss",
+            "geoloc.funnel.local",
+            "campaign.retries",
+        ] {
+            r.counter(name).add(3);
+        }
+        let after = r.snapshot();
+        let stages = BTreeMap::from([
+            ("measure".to_owned(), 120.0),
+            ("geolocate".to_owned(), 60.0),
+            ("finalize".to_owned(), 1.5),
+        ]);
+        MetricsReport::new(7, 1, 3, 200.0, stages, &before, &after)
+            .with_throughput("sites_per_sec", 48.0)
+    }
+
+    #[test]
+    fn valid_reports_pass_and_roundtrip() {
+        let rep = sample();
+        rep.validate(10).expect("valid report");
+        let js = rep.to_json().expect("serialize");
+        let back = MetricsReport::from_json(&js).expect("parse");
+        assert_eq!(back, rep);
+        assert!((back.throughput["sites_per_sec"] - 240.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_stage_walls_fail_validation() {
+        let mut rep = sample();
+        rep.stages.insert("measure".into(), 0.0);
+        let err = rep.validate(10).expect_err("zero stage must fail");
+        assert!(err.contains("measure"), "{err}");
+    }
+
+    #[test]
+    fn missing_namespaces_fail_validation() {
+        let mut rep = sample();
+        rep.counters.retain(|k, _| !k.starts_with("trackers."));
+        let err = rep.validate(5).expect_err("missing namespace must fail");
+        assert!(err.contains("trackers."), "{err}");
+    }
+
+    #[test]
+    fn thin_counter_sets_fail_validation() {
+        let mut rep = sample();
+        let keep: Vec<String> = rep.counters.keys().take(4).cloned().collect();
+        rep.counters.retain(|k, _| keep.contains(k));
+        assert!(rep.validate(10).is_err());
+    }
+}

@@ -1,0 +1,253 @@
+//! Hierarchical wall-clock spans.
+//!
+//! A span measures how long a stage took and where it sat in the call
+//! tree. Spans nest through a thread-local stack — a shard runs entirely
+//! on one worker thread, so its `shard → measure/geolocate/finalize`
+//! stages assemble into one tree per shard without any cross-thread
+//! bookkeeping.
+//!
+//! **Determinism contract:** a span reads the wall clock and writes the
+//! elapsed time into the registry's `time.span.*` histograms and (when
+//! tracing is on) the trace sink. The measured duration is returned to the
+//! caller for *ledger* purposes only — it must never influence seeded
+//! state, branching, or anything a byte-identity test can see. Everything
+//! under `time.*` is therefore excluded from counter-determinism checks.
+
+use crate::registry::global;
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// A finished span: name, attributes, wall time, children in start order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpanRecord {
+    pub name: String,
+    pub attrs: Vec<(String, String)>,
+    pub wall: Duration,
+    pub children: Vec<SpanRecord>,
+}
+
+impl SpanRecord {
+    /// Total wall time of every node matching `name` in this tree.
+    pub fn total_named(&self, name: &str) -> Duration {
+        let mut t = if self.name == name {
+            self.wall
+        } else {
+            Duration::ZERO
+        };
+        for c in &self.children {
+            t += c.total_named(name);
+        }
+        t
+    }
+}
+
+struct Frame {
+    name: String,
+    attrs: Vec<(String, String)>,
+    start: Instant,
+    children: Vec<SpanRecord>,
+}
+
+thread_local! {
+    static STACK: RefCell<Vec<Frame>> = const { RefCell::new(Vec::new()) };
+}
+
+/// An open span. Close it explicitly with [`ActiveSpan::finish`] to get
+/// the measured duration, or let the guard drop.
+#[must_use = "a span measures the scope it lives in; bind it to a variable"]
+pub struct ActiveSpan {
+    /// Depth check: spans must finish in LIFO order.
+    open: bool,
+}
+
+impl ActiveSpan {
+    /// Opens a span named `name` nested under the thread's current span.
+    pub fn begin(name: &str) -> ActiveSpan {
+        STACK.with(|s| {
+            s.borrow_mut().push(Frame {
+                name: name.to_owned(),
+                attrs: Vec::new(),
+                start: Instant::now(),
+                children: Vec::new(),
+            });
+        });
+        ActiveSpan { open: true }
+    }
+
+    /// Attaches a key/value attribute to the span (shown in `--trace`).
+    pub fn attr(self, key: &str, value: impl Into<String>) -> ActiveSpan {
+        STACK.with(|s| {
+            if let Some(top) = s.borrow_mut().last_mut() {
+                top.attrs.push((key.to_owned(), value.into()));
+            }
+        });
+        self
+    }
+
+    /// Closes the span and returns its wall-clock duration. The duration
+    /// is ledger data: never feed it back into seeded computation.
+    pub fn finish(mut self) -> Duration {
+        self.open = false;
+        close_top()
+    }
+}
+
+impl Drop for ActiveSpan {
+    fn drop(&mut self) {
+        if self.open {
+            close_top();
+        }
+    }
+}
+
+fn close_top() -> Duration {
+    let Some(frame) = STACK.with(|s| s.borrow_mut().pop()) else {
+        return Duration::ZERO;
+    };
+    let wall = frame.start.elapsed();
+    let record = SpanRecord {
+        name: frame.name,
+        attrs: frame.attrs,
+        wall,
+        children: frame.children,
+    };
+    global()
+        .histogram(&format!("time.span.{}", record.name))
+        .record(wall.as_micros().min(u128::from(u64::MAX)) as u64);
+    let delivered = STACK.with(|s| {
+        if let Some(parent) = s.borrow_mut().last_mut() {
+            parent.children.push(record.clone());
+            true
+        } else {
+            false
+        }
+    });
+    if !delivered && global().trace_enabled() {
+        global().push_trace(record);
+    }
+    wall
+}
+
+/// Opens a span: `span!("geolocate")` or
+/// `span!("geolocate", country = code.as_str())`. Returns an
+/// [`ActiveSpan`] guard; bind it (`let _span = span!(...)`) or call
+/// `.finish()` for the measured duration.
+#[macro_export]
+macro_rules! span {
+    ($name:expr $(, $key:ident = $value:expr)* $(,)?) => {{
+        #[allow(unused_mut)]
+        let mut s = $crate::ActiveSpan::begin($name);
+        $( s = s.attr(stringify!($key), $value); )*
+        s
+    }};
+}
+
+/// Renders one span tree as an indented text block for `--trace`.
+pub fn render_trace(root: &SpanRecord) -> String {
+    fn walk(out: &mut String, node: &SpanRecord, depth: usize) {
+        let indent = "  ".repeat(depth);
+        let attrs = if node.attrs.is_empty() {
+            String::new()
+        } else {
+            let pairs: Vec<String> = node.attrs.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            format!(" [{}]", pairs.join(" "))
+        };
+        let _ = writeln!(
+            out,
+            "{indent}{} {:.3} ms{attrs}",
+            node.name,
+            node.wall.as_secs_f64() * 1e3
+        );
+        for c in &node.children {
+            walk(out, c, depth + 1);
+        }
+    }
+    let mut out = String::new();
+    walk(&mut out, root, 0);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The trace sink is global; serialize the tests that drain it.
+    static TRACE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn spans_nest_into_a_tree() {
+        let _guard = TRACE_LOCK.lock().expect("trace test lock");
+        global().set_trace(true);
+        global().take_traces();
+        {
+            let root = span!("shard", country = "RW");
+            {
+                let _a = span!("measure");
+            }
+            {
+                let _b = span!("geolocate");
+            }
+            let wall = root.finish();
+            assert!(wall >= Duration::ZERO);
+        }
+        let traces = global().take_traces();
+        global().set_trace(false);
+        assert_eq!(traces.len(), 1);
+        let root = &traces[0];
+        assert_eq!(root.name, "shard");
+        assert_eq!(root.attrs, vec![("country".to_owned(), "RW".to_owned())]);
+        let names: Vec<&str> = root.children.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["measure", "geolocate"]);
+        let child_total: Duration = root.children.iter().map(|c| c.wall).sum();
+        assert!(root.wall >= child_total);
+    }
+
+    #[test]
+    fn disabled_tracing_records_histograms_but_no_trees() {
+        let _guard = TRACE_LOCK.lock().expect("trace test lock");
+        global().set_trace(false);
+        global().take_traces();
+        let h = global().histogram("time.span.quiet_stage");
+        let before = h.count();
+        {
+            let _s = span!("quiet_stage");
+        }
+        assert_eq!(h.count(), before + 1);
+        assert!(global().take_traces().is_empty());
+    }
+
+    #[test]
+    fn trace_renders_as_an_indented_tree() {
+        let rec = SpanRecord {
+            name: "shard".into(),
+            attrs: vec![("country".into(), "NZ".into())],
+            wall: Duration::from_millis(12),
+            children: vec![SpanRecord {
+                name: "measure".into(),
+                attrs: Vec::new(),
+                wall: Duration::from_millis(7),
+                children: Vec::new(),
+            }],
+        };
+        let text = render_trace(&rec);
+        assert!(text.contains("shard 12.000 ms [country=NZ]"), "{text}");
+        assert!(text.contains("  measure 7.000 ms"), "{text}");
+        assert_eq!(rec.total_named("measure"), Duration::from_millis(7));
+    }
+
+    #[test]
+    fn dropping_a_guard_closes_the_span() {
+        let _guard = TRACE_LOCK.lock().expect("trace test lock");
+        global().set_trace(true);
+        global().take_traces();
+        {
+            let _s = span!("dropped");
+        }
+        let traces = global().take_traces();
+        global().set_trace(false);
+        assert_eq!(traces.len(), 1);
+        assert_eq!(traces[0].name, "dropped");
+    }
+}

@@ -30,6 +30,26 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::collections::HashSet;
 use std::net::Ipv4Addr;
+use std::sync::OnceLock;
+
+/// Cached handles for the suite's throughput counters.
+struct SuiteCounters {
+    pages_loaded: gamma_obs::Counter,
+    requests_captured: gamma_obs::Counter,
+    quarantined: gamma_obs::Counter,
+}
+
+fn suite_counters() -> &'static SuiteCounters {
+    static COUNTERS: OnceLock<SuiteCounters> = OnceLock::new();
+    COUNTERS.get_or_init(|| {
+        let reg = gamma_obs::global();
+        SuiteCounters {
+            pages_loaded: reg.counter("suite.pages.loaded"),
+            requests_captured: reg.counter("suite.requests.captured"),
+            quarantined: reg.counter("suite.quarantined"),
+        }
+    })
+}
 
 /// Why a volunteer run could not start at all. Degraded *data* never
 /// produces an error — it is quarantined — so these are strictly
@@ -93,6 +113,7 @@ pub fn run_volunteer_checked(
 ) -> Result<(VolunteerDataset, Quarantine), SuiteError> {
     config.validate().map_err(SuiteError::InvalidConfig)?;
     let country = volunteer.country;
+    let _span = gamma_obs::span!("suite.volunteer", country = country.as_str());
     let cs = world
         .spec
         .country(country)
@@ -101,8 +122,7 @@ pub fn run_volunteer_checked(
         config.seed ^ u64::from(country.0[0]) << 16 ^ u64::from(country.0[1]),
     );
 
-    let targets =
-        build_targets(world, country, &mut rng).ok_or(SuiteError::NoTargets(country))?;
+    let targets = build_targets(world, country, &mut rng).ok_or(SuiteError::NoTargets(country))?;
     let mut quarantine = Quarantine::new();
     let mut dataset = VolunteerDataset {
         volunteer: VolunteerMeta::from(volunteer),
@@ -153,6 +173,12 @@ pub fn run_volunteer_checked(
                 site: site.domain.clone(),
             });
         }
+        if load.status == LoadStatus::Loaded {
+            suite_counters().pages_loaded.inc();
+        }
+        suite_counters()
+            .requests_captured
+            .add(load.requests.len() as u64);
         let requests = load.requests.clone();
         dataset.loads.push(load);
         if !config.gather_network_info {
@@ -254,6 +280,7 @@ pub fn run_volunteer_checked(
             }
         }
     }
+    suite_counters().quarantined.add(quarantine.len() as u64);
     Ok((dataset, quarantine))
 }
 
@@ -461,7 +488,10 @@ mod tests {
             .dns
             .iter()
             .all(|d| d.ip.is_none() && d.failure == Some(DnsFailure::Timeout)));
-        assert!(ds.traceroutes.is_empty(), "nothing resolved, nothing probed");
+        assert!(
+            ds.traceroutes.is_empty(),
+            "nothing resolved, nothing probed"
+        );
         // Once per unique domain, plus re-computations after the negative
         // TTL expires.
         assert!(q.dns_failures() >= ds.unique_domains().len());

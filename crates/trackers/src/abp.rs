@@ -15,6 +15,14 @@
 //! - element-hiding rules (`##`, `#@#`) are recognized and skipped
 
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
+
+/// Cached handle for the rule-evaluation counter; the matching loop is
+/// the hottest path in the crate.
+fn abp_evaluations() -> &'static gamma_obs::Counter {
+    static COUNTER: OnceLock<gamma_obs::Counter> = OnceLock::new();
+    COUNTER.get_or_init(|| gamma_obs::global().counter("trackers.abp.evaluations"))
+}
 
 /// A parsed filter rule.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -357,6 +365,16 @@ impl FilterSet {
 
     /// Evaluates a request. Exceptions win over blocks.
     pub fn matches(&self, ctx: &MatchContext<'_>) -> Decision {
+        // Rule evaluations are tallied locally and flushed with a single
+        // atomic add, keeping the per-rule inner loop free of shared
+        // state.
+        let mut evals = 0u64;
+        let decision = self.matches_counting(ctx, &mut evals);
+        abp_evaluations().add(evals);
+        decision
+    }
+
+    fn matches_counting(&self, ctx: &MatchContext<'_>, evals: &mut u64) -> Decision {
         let mut blocked: Option<&Rule> = None;
         // Walk the host's domain chain through the index.
         let host = ctx.host.to_ascii_lowercase();
@@ -366,6 +384,7 @@ impl FilterSet {
             if let Some(idxs) = self.domain_index.get(&key) {
                 for &i in idxs {
                     let rule = &self.rules[i];
+                    *evals += 1;
                     if rule.matches(ctx) {
                         if rule.exception {
                             return Decision::Allowed(rule.raw.clone());
@@ -378,6 +397,7 @@ impl FilterSet {
         }
         for &i in &self.generic {
             let rule = &self.rules[i];
+            *evals += 1;
             if rule.matches(ctx) {
                 if rule.exception {
                     return Decision::Allowed(rule.raw.clone());

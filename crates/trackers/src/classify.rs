@@ -54,7 +54,7 @@ impl TrackerClassifier {
             .map(|d| d.as_str().to_string())
             .unwrap_or_else(|| site.as_str().to_string());
         let url = format!("https://{host}/");
-        match self
+        let identification = match self
             .filters
             .matches(&host_request(&url, host, &first_party))
         {
@@ -67,7 +67,14 @@ impl TrackerClassifier {
                     Identification::NotTracker
                 }
             }
-        }
+        };
+        let outcome = match &identification {
+            Identification::ByList(_) => "trackers.identified.list",
+            Identification::ByManual => "trackers.identified.manual",
+            Identification::NotTracker => "trackers.identified.none",
+        };
+        gamma_obs::global().counter(outcome).inc();
+        identification
     }
 
     /// First-party if the tracker and the site belong to the same

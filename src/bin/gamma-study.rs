@@ -23,11 +23,20 @@
 //!
 //! # CI smoke: three countries only
 //! gamma-study --small --fault-profile blackout:RW --quality-report
+//!
+//! # observability: span tree on stderr, benchmark report as JSON
+//! gamma-study --small --trace --metrics-out BENCH_2025.json
+//!
+//! # CI gate: validate a previously written benchmark report
+//! gamma-study --check-metrics BENCH_2025.json
 //! ```
 
 use gamma::campaign::{render_campaign_report, Options};
 use gamma::core::Study;
+use gamma::obs::MetricsReport;
+use std::collections::BTreeMap;
 use std::process::ExitCode;
+use std::time::Instant;
 
 fn main() -> ExitCode {
     let mut seed = 2025u64;
@@ -40,6 +49,9 @@ fn main() -> ExitCode {
     let mut fault_profile: Option<String> = None;
     let mut quality_report = false;
     let mut small = false;
+    let mut trace = false;
+    let mut metrics_out: Option<String> = None;
+    let mut check_metrics: Option<String> = None;
 
     let mut argv = std::env::args().skip(1);
     while let Some(flag) = argv.next() {
@@ -69,9 +81,52 @@ fn main() -> ExitCode {
             },
             "--quality-report" => quality_report = true,
             "--small" => small = true,
+            "--trace" => trace = true,
+            "--metrics-out" => match argv.next() {
+                Some(v) => metrics_out = Some(v),
+                None => return usage(),
+            },
+            "--check-metrics" => match argv.next() {
+                Some(v) => check_metrics = Some(v),
+                None => return usage(),
+            },
             "--help" | "-h" => return usage(),
             _ => return usage(),
         }
+    }
+
+    // Standalone mode: validate a previously written benchmark report and
+    // exit. This is the jq-free CI gate for `--metrics-out` artifacts.
+    if let Some(path) = check_metrics {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let report = match MetricsReport::from_json(&text) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("{path} is not a valid metrics report: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        return match report.validate(10) {
+            Ok(()) => {
+                eprintln!(
+                    "{path}: ok (seed {}, {} counters, {} stage(s))",
+                    report.seed,
+                    report.counters.len(),
+                    report.stages.len()
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("{path}: invalid metrics report: {e}");
+                ExitCode::FAILURE
+            }
+        };
     }
 
     let mut study = Study::paper_default(seed);
@@ -104,11 +159,17 @@ fn main() -> ExitCode {
         options = options.resumable(path);
     }
 
+    if trace {
+        gamma::obs::global().set_trace(true);
+    }
+
     eprintln!(
         "running the {}-country study (seed {seed}, {} worker(s))...",
         study.spec.countries.len(),
         options.effective_workers()
     );
+    let before = gamma::obs::global().snapshot();
+    let started = Instant::now();
     let results = match study.run_with(&options) {
         Ok(r) => r,
         Err(e) => {
@@ -116,7 +177,47 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let total_wall = started.elapsed();
     eprintln!("{}", render_campaign_report(&results.metrics));
+
+    if trace {
+        for root in gamma::obs::global().take_traces() {
+            eprint!("{}", gamma::obs::render_trace(&root));
+        }
+    }
+
+    if let Some(path) = metrics_out {
+        let totals = results.metrics.totals();
+        let stages = BTreeMap::from([
+            ("measure".to_owned(), as_ms(totals.stage_wall.measure)),
+            ("geolocate".to_owned(), as_ms(totals.stage_wall.geolocate)),
+            ("finalize".to_owned(), as_ms(totals.stage_wall.finalize)),
+        ]);
+        let after = gamma::obs::global().snapshot();
+        let report = MetricsReport::new(
+            seed,
+            options.effective_workers(),
+            study.spec.countries.len(),
+            total_wall.as_secs_f64() * 1e3,
+            stages,
+            &before,
+            &after,
+        )
+        .with_throughput("sites_per_sec", totals.sites_total as f64);
+        match report.to_json() {
+            Ok(js) => {
+                if let Err(e) = std::fs::write(&path, js) {
+                    eprintln!("cannot write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("wrote metrics report {path}");
+            }
+            Err(e) => {
+                eprintln!("metrics serialization failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     println!("{}", results.render_all());
     if quality_report {
         println!("{}", results.render_quality());
@@ -146,11 +247,16 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn as_ms(d: std::time::Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
 fn usage() -> ExitCode {
     eprintln!(
         "usage: gamma-study [--seed N] [--json FILE] [--jobs N] [--resume FILE] \
          [--no-source] [--no-dest] [--no-rdns] \
-         [--fault-profile NAME] [--quality-report] [--small]"
+         [--fault-profile NAME] [--quality-report] [--small] \
+         [--trace] [--metrics-out FILE] [--check-metrics FILE]"
     );
     eprintln!("  --jobs N       run country shards on N worker threads (0 = all cores)");
     eprintln!("  --resume FILE  checkpoint after every country; resume from FILE if it exists");
@@ -160,5 +266,8 @@ fn usage() -> ExitCode {
     );
     eprintln!("  --quality-report      print the per-country data-quality section");
     eprintln!("  --small               three-country world (RW, US, NZ) for smoke runs");
+    eprintln!("  --trace               print the hierarchical span tree on stderr");
+    eprintln!("  --metrics-out FILE    write the machine-readable benchmark report as JSON");
+    eprintln!("  --check-metrics FILE  validate a benchmark report and exit (CI gate)");
     ExitCode::FAILURE
 }

@@ -21,6 +21,7 @@ pub use gamma_dns as dns;
 pub use gamma_geo as geo;
 pub use gamma_geoloc as geoloc;
 pub use gamma_netsim as netsim;
+pub use gamma_obs as obs;
 pub use gamma_suite as suite;
 pub use gamma_trackers as trackers;
 pub use gamma_websim as websim;

@@ -75,7 +75,9 @@ fn country_attribution_accuracy(results: &gamma::core::StudyResults) -> f64 {
             if !seen.insert(v.ip) {
                 continue;
             }
-            if let gamma::geoloc::Classification::ConfirmedNonLocal { claimed, .. } = v.classification {
+            if let gamma::geoloc::Classification::ConfirmedNonLocal { claimed, .. } =
+                v.classification
+            {
                 total += 1;
                 let claimed_cc = gamma::geo::city(claimed).country;
                 if results.world.true_country(v.ip) == Some(claimed_cc) {
@@ -250,7 +252,9 @@ fn documented_google_incidents_are_caught() {
     let fujairah = gamma::geo::city_by_name("Al Fujairah").unwrap().id;
     for (_, report) in &results.runs {
         for v in report.confirmed() {
-            if let gamma::geoloc::Classification::ConfirmedNonLocal { claimed, .. } = v.classification {
+            if let gamma::geoloc::Classification::ConfirmedNonLocal { claimed, .. } =
+                v.classification
+            {
                 if claimed == fujairah {
                     // A confirmed Fujairah claim must be genuinely in the UAE.
                     let true_cc = results.world.true_country(v.ip).unwrap();

@@ -1,0 +1,123 @@
+//! The observability plane's cross-crate contract: counters are a pure
+//! function of the seed, spans stay strictly outside the seeded data
+//! path, and the `--metrics-out` report assembled from a real run passes
+//! its own CI validation gate.
+//!
+//! Every test that runs a study takes `OBS_LOCK` — the instrument
+//! registry is process-global, so concurrent studies in the same test
+//! binary would mix their counter deltas.
+
+use gamma::campaign::Options;
+use gamma::core::Study;
+use gamma::obs::{render_trace, MetricsReport};
+use gamma::websim::WorldSpec;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+static OBS_LOCK: Mutex<()> = Mutex::new(());
+
+fn reduced_study(seed: u64) -> Study {
+    let mut spec = WorldSpec::paper_default(seed);
+    spec.countries
+        .retain(|c| ["RW", "US", "NZ"].contains(&c.country.as_str()));
+    spec.reg_sites_per_country = 15;
+    spec.gov_sites_per_country = 5;
+    Study::with_spec(spec)
+}
+
+#[test]
+fn counter_deltas_are_a_pure_function_of_the_seed() {
+    let _guard = OBS_LOCK.lock().unwrap();
+    let registry = gamma::obs::global();
+
+    let before_a = registry.snapshot();
+    reduced_study(909).run();
+    let after_a = registry.snapshot();
+
+    let before_b = registry.snapshot();
+    reduced_study(909).run();
+    let after_b = registry.snapshot();
+
+    // Deterministic counters (everything outside campaign.sched.*) must
+    // match exactly between two identical sequential runs.
+    let delta_a = after_a.counters_since(&before_a, true);
+    let delta_b = after_b.counters_since(&before_b, true);
+    assert_eq!(delta_a, delta_b);
+    assert!(!delta_a.is_empty(), "a study run must move some counters");
+    for ns in ["dns.", "geoloc.", "trackers.", "campaign."] {
+        assert!(
+            delta_a.keys().any(|k| k.starts_with(ns)),
+            "no {ns}* counters moved: {delta_a:?}"
+        );
+    }
+}
+
+#[test]
+fn assembled_report_passes_the_ci_gate_and_roundtrips() {
+    let _guard = OBS_LOCK.lock().unwrap();
+    let registry = gamma::obs::global();
+
+    let before = registry.snapshot();
+    let study = reduced_study(910);
+    let started = std::time::Instant::now();
+    let results = study.run_with(&Options::with_workers(1)).unwrap();
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    let after = registry.snapshot();
+
+    let totals = results.metrics.totals();
+    let stages = BTreeMap::from([
+        (
+            "measure".to_owned(),
+            totals.stage_wall.measure.as_secs_f64() * 1e3,
+        ),
+        (
+            "geolocate".to_owned(),
+            totals.stage_wall.geolocate.as_secs_f64() * 1e3,
+        ),
+        (
+            "finalize".to_owned(),
+            totals.stage_wall.finalize.as_secs_f64() * 1e3,
+        ),
+    ]);
+    let report = MetricsReport::new(910, 1, 3, wall_ms, stages, &before, &after)
+        .with_throughput("sites_per_sec", totals.sites_total as f64);
+
+    // The acceptance bar: ≥ 10 distinct counters spanning the dns,
+    // geoloc, trackers and campaign namespaces.
+    report.validate(10).expect("report passes the CI gate");
+    let parsed = MetricsReport::from_json(&report.to_json().unwrap()).unwrap();
+    assert_eq!(parsed, report);
+}
+
+#[test]
+fn tracing_does_not_perturb_the_seeded_data_path() {
+    let _guard = OBS_LOCK.lock().unwrap();
+    let registry = gamma::obs::global();
+
+    registry.set_trace(false);
+    registry.take_traces();
+    let quiet = reduced_study(911).run();
+
+    registry.set_trace(true);
+    let traced = reduced_study(911).run();
+    let roots = registry.take_traces();
+    registry.set_trace(false);
+
+    // Byte identity with the span sink armed: wall clock flows only
+    // outward, never into the pipeline.
+    assert_eq!(quiet.runs, traced.runs);
+    assert_eq!(quiet.study, traced.study);
+    assert_eq!(quiet.render_all(), traced.render_all());
+
+    // The trace sink captured the run: one root per shard plus the
+    // study-level build/assemble spans, each rendering a non-empty tree.
+    assert!(!roots.is_empty(), "trace sink captured nothing");
+    let names: Vec<&str> = roots.iter().map(|r| r.name.as_str()).collect();
+    assert!(names.contains(&"shard"), "no shard spans in {names:?}");
+    assert!(names.contains(&"study.build"), "no build span in {names:?}");
+    for root in &roots {
+        let text = render_trace(root);
+        assert!(text.contains(&root.name));
+        assert!(text.contains("ms"));
+    }
+}
