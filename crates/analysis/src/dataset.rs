@@ -5,15 +5,16 @@
 //! first/third-party classification — after stripping the webdriver
 //! artifact requests exactly as §5 describes.
 
-use gamma_browser::is_webdriver_noise;
+use gamma_browser::is_webdriver_noise_host;
 use gamma_dns::DomainName;
 use gamma_geo::{CityId, Continent, CountryCode};
 use gamma_geoloc::{Classification, FunnelStats, GeolocReport};
+use gamma_model::{HostId, SiteId};
 use gamma_suite::VolunteerDataset;
-use gamma_trackers::TrackerClassifier;
+use gamma_trackers::{site_first_party, DecisionCache, TrackerClassifier};
 use gamma_websim::{SiteKind, World};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// One confirmed non-local tracker observation on a site.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -121,29 +122,38 @@ fn assemble_country(
         .map(|c| c.continent)
         .expect("measurement country is cataloged");
 
-    // Site kind lookup from the world's target list.
-    let mut kind_of: HashMap<&DomainName, SiteKind> = HashMap::new();
+    // Site kind lookup from the world's target list, keyed by raw domain
+    // text so both interned ids and parsed names join without cloning.
+    let mut kind_of: HashMap<&str, SiteKind> = HashMap::new();
     if let Some(targets) = world.targets.get(&country) {
         for sid in &targets.regional {
-            kind_of.insert(&world.site(*sid).domain, SiteKind::Regional);
+            kind_of.insert(world.site(*sid).domain.as_str(), SiteKind::Regional);
         }
         for sid in &targets.government {
-            kind_of.insert(&world.site(*sid).domain, SiteKind::Government);
+            kind_of.insert(world.site(*sid).domain.as_str(), SiteKind::Government);
         }
     }
 
     // Start from the page loads so never-confirmed sites still appear.
+    // `site_of_symbol` is the dense join index: verdict site ids resolve to
+    // a `sites` slot with one vector probe instead of a string hash. Sites
+    // whose network info was never gathered have loads but no symbol.
     let mut sites: Vec<SiteRecord> = Vec::new();
-    let mut site_index: HashMap<DomainName, usize> = HashMap::new();
+    let mut site_index: HashMap<&str, usize> = HashMap::new();
+    let mut site_of_symbol: Vec<Option<u32>> = vec![None; ds.symbols.len()];
     for load in &ds.loads {
-        if site_index.contains_key(&load.site) {
+        if site_index.contains_key(load.site.as_str()) {
             continue;
         }
         let kind = kind_of
-            .get(&load.site)
+            .get(load.site.as_str())
             .copied()
             .unwrap_or(SiteKind::Regional);
-        site_index.insert(load.site.clone(), sites.len());
+        let idx = sites.len();
+        site_index.insert(load.site.as_str(), idx);
+        if let Some(sym) = ds.symbols.lookup(load.site.as_str()) {
+            site_of_symbol[sym.as_usize()] = Some(idx as u32);
+        }
         sites.push(SiteRecord {
             domain: load.site.clone(),
             kind,
@@ -152,40 +162,53 @@ fn assemble_country(
         });
     }
 
-    // Join verdicts with tracker identification.
+    // Join verdicts with tracker identification. The decision cache means
+    // each unique host hits the filter engine at most once per party bit;
+    // `seen` packs the (site, request) pair into one u64 so deduplication
+    // hashes eight bytes instead of two domain strings.
     let mut noise_removed = 0usize;
-    let mut seen: std::collections::HashSet<(DomainName, DomainName)> =
-        std::collections::HashSet::new();
-    let mut confirmed_domains: std::collections::HashSet<&DomainName> =
-        std::collections::HashSet::new();
-    let mut confirmed_tracker_set: std::collections::HashSet<&DomainName> =
-        std::collections::HashSet::new();
+    let mut seen: HashSet<u64> = HashSet::new();
+    let mut confirmed_domains: HashSet<HostId> = HashSet::new();
+    let mut confirmed_tracker_set: HashSet<HostId> = HashSet::new();
+    let mut decisions = DecisionCache::new();
+    let mut first_party_of: HashMap<SiteId, String> = HashMap::new();
     for v in &report.verdicts {
-        if is_webdriver_noise(&v.request) {
+        if is_webdriver_noise_host(ds.host(v.request)) {
             noise_removed += 1;
             continue;
         }
         let Classification::ConfirmedNonLocal { claimed, .. } = v.classification else {
             continue;
         };
-        confirmed_domains.insert(&v.request);
-        if !classifier.identify(&v.request, &v.site).is_tracker() {
+        confirmed_domains.insert(v.request);
+        let fp = first_party_of.entry(v.site).or_insert_with(|| {
+            let site = DomainName::from_normalized(ds.site_domain(v.site).to_string());
+            site_first_party(&site)
+        });
+        if !classifier
+            .identify_cached(&mut decisions, &ds.symbols, v.request, fp)
+            .is_tracker()
+        {
             continue;
         }
-        confirmed_tracker_set.insert(&v.request);
-        if !seen.insert((v.site.clone(), v.request.clone())) {
+        confirmed_tracker_set.insert(v.request);
+        let pair = (u64::from(v.site.as_u32()) << 32) | u64::from(v.request.as_u32());
+        if !seen.insert(pair) {
             continue;
         }
-        let Some(&idx) = site_index.get(&v.site) else {
+        let Some(idx) = site_of_symbol.get(v.site.as_usize()).copied().flatten() else {
             continue;
         };
-        let org_entry = classifier.orgs.lookup(&v.request);
+        let idx = idx as usize;
+        let request = DomainName::from_normalized(ds.host(v.request).to_string());
+        let org_entry = classifier.orgs.lookup(&request);
+        let first_party = classifier.is_first_party(world, &request, &sites[idx].domain);
         sites[idx].nonlocal_trackers.push(NonlocalTracker {
-            request: v.request.clone(),
+            request,
             claimed_city: claimed,
             org: org_entry.map(|e| e.name.clone()),
             org_hq: org_entry.map(|e| e.hq),
-            first_party: classifier.is_first_party(world, &v.request, &v.site),
+            first_party,
         });
     }
 

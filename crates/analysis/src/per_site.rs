@@ -64,7 +64,9 @@ pub fn outlier_sites(study: &StudyDataset, top: usize) -> Vec<(CountryCode, Stri
             }
         }
     }
-    v.sort_by(|a, b| b.2.cmp(&a.2));
+    // Tie-break on (country, domain) so equal counts order deterministically
+    // regardless of map iteration order upstream.
+    v.sort_by(|a, b| b.2.cmp(&a.2).then_with(|| (a.0, &a.1).cmp(&(b.0, &b.1))));
     v.truncate(top);
     v
 }

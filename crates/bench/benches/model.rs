@@ -1,0 +1,153 @@
+//! Benchmarks for the gamma-model interned data model: per-shard
+//! aggregation throughput with string keys vs symbol ids, raw interner
+//! throughput, and the serialized observation size with and without the
+//! shared symbol table.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gamma_bench::study;
+use gamma_model::{HostId, Interner, SiteId};
+use gamma_netsim::Asn;
+use serde::Serialize;
+use std::collections::{HashMap, HashSet};
+use std::hint::black_box;
+use std::net::Ipv4Addr;
+
+/// The pre-interning row shape: every observation repeats the full
+/// hostname text (the failure column, usually absent, is elided).
+#[derive(Serialize)]
+struct LegacyRow<'a> {
+    site: &'a str,
+    request: &'a str,
+    ip: Option<Ipv4Addr>,
+    rdns: Option<&'a str>,
+    asn: Option<Asn>,
+}
+
+/// Every DNS observation across the whole study, both ways: resolved
+/// to text (the legacy representation) and as interned ids.
+struct Corpus {
+    pairs: Vec<(String, String)>,
+    ids: Vec<(SiteId, HostId)>,
+    table_len: usize,
+}
+
+fn corpus() -> Corpus {
+    let s = study();
+    let mut pairs = Vec::new();
+    let mut ids = Vec::new();
+    let mut table_len = 0;
+    for (ds, _) in &s.runs {
+        for o in &ds.dns {
+            pairs.push((
+                ds.site_domain(o.site).to_string(),
+                ds.host(o.request).to_string(),
+            ));
+            ids.push((o.site, o.request));
+        }
+        table_len = table_len.max(ds.symbols.len());
+    }
+    Corpus {
+        pairs,
+        ids,
+        table_len,
+    }
+}
+
+fn bench_shard_aggregation(c: &mut Criterion) {
+    let corpus = corpus();
+    let mut g = c.benchmark_group("model");
+    g.throughput(Throughput::Elements(corpus.pairs.len() as u64));
+
+    // What assemble_country used to do per verdict: count per request
+    // host and deduplicate (site, request) pairs, hashing domain text.
+    g.bench_function("string_keyed_shard", |b| {
+        b.iter(|| {
+            let mut counts: HashMap<String, u64> = HashMap::new();
+            let mut seen: HashSet<(String, String)> = HashSet::new();
+            for (site, request) in &corpus.pairs {
+                *counts.entry(request.clone()).or_default() += 1;
+                seen.insert((site.clone(), request.clone()));
+            }
+            black_box((counts.len(), seen.len()))
+        })
+    });
+
+    // The id-keyed equivalent: a dense count vector plus packed-u64
+    // pair keys — no allocation, eight hashed bytes per pair.
+    g.bench_function("id_keyed_shard", |b| {
+        b.iter(|| {
+            let mut counts = vec![0u64; corpus.table_len];
+            let mut seen: HashSet<u64> = HashSet::new();
+            for &(site, request) in &corpus.ids {
+                counts[request.as_usize()] += 1;
+                seen.insert((u64::from(site.as_u32()) << 32) | u64::from(request.as_u32()));
+            }
+            black_box((counts.len(), seen.len()))
+        })
+    });
+    g.finish();
+}
+
+fn bench_interning(c: &mut Criterion) {
+    let corpus = corpus();
+    let mut g = c.benchmark_group("model");
+    g.throughput(Throughput::Elements(corpus.pairs.len() as u64));
+    // Re-intern the full request stream from scratch: a mix of first-seen
+    // inserts and (mostly) repeat hits, as the suite sees it.
+    g.bench_function("intern_request_stream", |b| {
+        b.iter(|| {
+            let mut table = Interner::new();
+            for (site, request) in &corpus.pairs {
+                SiteId::intern(&mut table, site);
+                HostId::intern(&mut table, request);
+            }
+            black_box(table.len())
+        })
+    });
+    g.finish();
+}
+
+fn bench_serialization(c: &mut Criterion) {
+    let s = study();
+    let (ds, _) = &s.runs[0];
+    let legacy: Vec<LegacyRow> = ds
+        .dns
+        .iter()
+        .map(|o| LegacyRow {
+            site: ds.site_domain(o.site),
+            request: ds.host(o.request),
+            ip: o.ip,
+            rdns: o.rdns.map(|r| ds.rdns(r)),
+            asn: o.asn,
+        })
+        .collect();
+    let interned = (&ds.symbols, &ds.dns);
+
+    let legacy_bytes = serde_json::to_string(&legacy).expect("serializes").len();
+    let interned_bytes = serde_json::to_string(&interned).expect("serializes").len();
+    eprintln!(
+        "model/serialized_size: legacy {} bytes, interned (table + rows) {} bytes ({:.1}% of legacy), {} observations",
+        legacy_bytes,
+        interned_bytes,
+        100.0 * interned_bytes as f64 / legacy_bytes as f64,
+        ds.dns.len()
+    );
+
+    let mut g = c.benchmark_group("model");
+    g.throughput(Throughput::Elements(ds.dns.len() as u64));
+    g.bench_function("serialize_string_rows", |b| {
+        b.iter(|| serde_json::to_string(black_box(&legacy)).expect("serializes"))
+    });
+    g.bench_function("serialize_id_rows", |b| {
+        b.iter(|| serde_json::to_string(black_box(&interned)).expect("serializes"))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    model,
+    bench_shard_aggregation,
+    bench_interning,
+    bench_serialization,
+);
+criterion_main!(model);

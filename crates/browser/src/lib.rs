@@ -9,6 +9,8 @@
 //! Selenium-driven Chrome — emit background Google-service requests that
 //! the analysis must strip (§5).
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 pub mod driver;
 pub mod har;
 pub mod loader;
@@ -18,5 +20,6 @@ pub use driver::{BrowserConfig, BrowserKind, BrowserSession};
 pub use har::{har_from_load, Har};
 pub use loader::{load_page, load_page_with, LoadStatus, PageLoad};
 pub use webdriver_noise::{
-    is_webdriver_noise, webdriver_background_requests, WEBDRIVER_NOISE_HOSTS,
+    is_webdriver_noise, is_webdriver_noise_host, webdriver_background_requests,
+    WEBDRIVER_NOISE_HOSTS,
 };

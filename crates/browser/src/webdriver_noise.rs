@@ -33,7 +33,13 @@ pub fn webdriver_background_requests<R: Rng + ?Sized>(rng: &mut R) -> Vec<Domain
 /// Whether a request is webdriver noise — the filter the analysis applies
 /// before any downstream processing (§5).
 pub fn is_webdriver_noise(domain: &DomainName) -> bool {
-    WEBDRIVER_NOISE_HOSTS.iter().any(|h| domain.as_str() == *h)
+    is_webdriver_noise_host(domain.as_str())
+}
+
+/// String-keyed variant of [`is_webdriver_noise`] for callers holding
+/// interned hostnames rather than parsed [`DomainName`]s.
+pub fn is_webdriver_noise_host(host: &str) -> bool {
+    WEBDRIVER_NOISE_HOSTS.iter().any(|h| host == *h)
 }
 
 #[cfg(test)]

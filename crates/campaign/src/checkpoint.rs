@@ -160,6 +160,7 @@ mod tests {
                 asn: gamma_netsim::Asn(7000),
                 ip: None,
             },
+            symbols: Default::default(),
             loads: Vec::new(),
             dns: Vec::new(),
             traceroutes: Vec::new(),

@@ -16,6 +16,7 @@ use crate::name::DomainName;
 use crate::resolver::{DnsFailure, Replica};
 use gamma_obs as obs;
 use std::collections::HashMap;
+use std::hash::Hash;
 use std::sync::OnceLock;
 
 /// Cached handles into the global metrics registry; the per-lookup path
@@ -54,16 +55,33 @@ enum Entry {
 }
 
 /// Memoization cache with hit statistics and negative caching.
-#[derive(Debug, Clone, Default)]
-pub struct DnsCache {
-    entries: HashMap<DomainName, Entry>,
+///
+/// Generic over the key type so callers that have already interned
+/// their hostnames (e.g. the suite's `HostId` symbols) can key the
+/// cache by a copyable `u32` id instead of re-hashing domain text on
+/// every lookup. The default key remains [`DomainName`].
+#[derive(Debug, Clone)]
+pub struct DnsCache<K = DomainName> {
+    entries: HashMap<K, Entry>,
     hits: u64,
     misses: u64,
     /// Logical time: the number of lookups served so far.
     clock: u64,
 }
 
-impl DnsCache {
+// Manual impl: `derive(Default)` would needlessly require `K: Default`.
+impl<K> Default for DnsCache<K> {
+    fn default() -> Self {
+        DnsCache {
+            entries: HashMap::new(),
+            hits: 0,
+            misses: 0,
+            clock: 0,
+        }
+    }
+}
+
+impl<K: Eq + Hash + Clone> DnsCache<K> {
     pub fn new() -> Self {
         Self::default()
     }
@@ -73,7 +91,7 @@ impl DnsCache {
     /// A still-valid negative entry (cached by [`DnsCache::resolve_outcome`])
     /// answers authoritatively as "does not resolve" — it is a hit, not a
     /// miss, and is left in place until its TTL lapses.
-    pub fn resolve_with<F>(&mut self, domain: &DomainName, f: F) -> Option<Replica>
+    pub fn resolve_with<F>(&mut self, domain: &K, f: F) -> Option<Replica>
     where
         F: FnOnce() -> Option<Replica>,
     {
@@ -107,7 +125,7 @@ impl DnsCache {
     /// the outcome on a miss. Successes are cached for the run's lifetime;
     /// failures are negative-cached for [`NEGATIVE_TTL_LOOKUPS`] lookups
     /// and then retried, mirroring real resolver behaviour.
-    pub fn resolve_outcome<F>(&mut self, domain: &DomainName, f: F) -> Result<Replica, DnsFailure>
+    pub fn resolve_outcome<F>(&mut self, domain: &K, f: F) -> Result<Replica, DnsFailure>
     where
         F: FnOnce() -> Result<Replica, DnsFailure>,
     {

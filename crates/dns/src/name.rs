@@ -70,6 +70,18 @@ impl DomainName {
         Ok(DomainName(lower))
     }
 
+    /// Wraps a string that is already known to be a valid, normalized
+    /// domain name — e.g. one read back out of an interner table that
+    /// was populated from parsed [`DomainName`]s. Skips re-validation;
+    /// debug builds assert the invariant actually holds.
+    pub fn from_normalized(s: String) -> DomainName {
+        debug_assert!(
+            DomainName::parse(&s).map(|d| d.0 == s).unwrap_or(false),
+            "from_normalized called with unnormalized name {s:?}"
+        );
+        DomainName(s)
+    }
+
     /// The name as a string slice.
     pub fn as_str(&self) -> &str {
         &self.0

@@ -6,7 +6,7 @@ use gamma_suite::NormalizedTraceroute;
 use serde::{Deserialize, Serialize};
 
 /// Why a non-local candidate was discarded.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum DiscardReason {
     /// No usable geolocation for the address.
     NoGeolocation,

@@ -15,8 +15,8 @@ use crate::ipmap::GeoDatabase;
 use crate::latency_stats::LatencyStats;
 use gamma_atlas::AtlasPlatform;
 use gamma_chaos::FaultPlan;
-use gamma_dns::DomainName;
 use gamma_geo::{city, CityId, CountryCode};
+use gamma_model::{HostId, RdnsId, SiteId};
 use gamma_netsim::{run_traceroute_chaos, AccessQuality, LatencyModel};
 use gamma_suite::normalize::normalize_direct;
 use gamma_suite::{NormalizedTraceroute, VolunteerDataset};
@@ -148,13 +148,15 @@ impl Classification {
     }
 }
 
-/// One (site, request, address) row with its verdict.
+/// One (site, request, address) row with its verdict. Hostname fields
+/// are ids into the source [`VolunteerDataset::symbols`] table; a report
+/// travels alongside its dataset, which owns the strings.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DomainVerdict {
-    pub site: DomainName,
-    pub request: DomainName,
+    pub site: SiteId,
+    pub request: HostId,
     pub ip: Ipv4Addr,
-    pub rdns: Option<String>,
+    pub rdns: Option<RdnsId>,
     pub classification: Classification,
 }
 
@@ -230,7 +232,9 @@ impl GeolocReport {
             }
         }
         let mut out: Vec<(DiscardReason, usize)> = counts.into_iter().collect();
-        out.sort_by(|a, b| b.1.cmp(&a.1));
+        // Tie-break on the reason so equal counts — drawn from an
+        // unordered map — never leak HashMap iteration order.
+        out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         out
     }
 }
@@ -302,10 +306,10 @@ impl<'w> GeolocPipeline<'w> {
         // Classify each unique address once.
         let mut atlas_traces: HashMap<Ipv4Addr, NormalizedTraceroute> = HashMap::new();
         let mut per_ip: HashMap<Ipv4Addr, Classification> = HashMap::new();
-        let mut rdns_by_ip: HashMap<Ipv4Addr, Option<&str>> = HashMap::new();
+        let mut rdns_by_ip: HashMap<Ipv4Addr, Option<RdnsId>> = HashMap::new();
         for obs in &ds.dns {
             if let Some(ip) = obs.ip {
-                rdns_by_ip.entry(ip).or_insert(obs.rdns.as_deref());
+                rdns_by_ip.entry(ip).or_insert(obs.rdns);
             }
         }
 
@@ -314,7 +318,7 @@ impl<'w> GeolocPipeline<'w> {
         for ip in unique_ips {
             let classification = self.classify_ip(
                 ip,
-                rdns_by_ip[&ip],
+                rdns_by_ip[&ip].map(|id| ds.rdns(id)),
                 volunteer_country,
                 volunteer_city,
                 &source_traces,
@@ -333,10 +337,10 @@ impl<'w> GeolocPipeline<'w> {
             .filter_map(|obs| {
                 let ip = obs.ip?;
                 Some(DomainVerdict {
-                    site: obs.site.clone(),
-                    request: obs.request.clone(),
+                    site: obs.site,
+                    request: obs.request,
                     ip,
-                    rdns: obs.rdns.clone(),
+                    rdns: obs.rdns,
                     classification: per_ip[&ip].clone(),
                 })
             })

@@ -1,0 +1,298 @@
+//! Shared data model: a deterministic, insertion-ordered string interner
+//! and the typed symbol ids that flow through the measurement pipeline.
+//!
+//! Every stage of the pipeline aggregates millions of near-duplicate
+//! request rows drawn from a few hundred unique hostnames. Passing owned
+//! strings per row means every stage re-hashes and re-clones the same
+//! text. The classic fix — applied here — is a deduplicated symbol
+//! table: each unique string is stored once in an [`Interner`] and rows
+//! carry a compact [`Symbol`] (a `u32`) instead.
+//!
+//! # Determinism
+//!
+//! Ids are assigned by **insertion order**: the first distinct string
+//! interned gets `Symbol(0)`, the next `Symbol(1)`, and so on. Because
+//! the pipeline itself is deterministic for a fixed seed (per-country
+//! derived RNG streams, fixed site iteration order), the sequence of
+//! `intern` calls — and therefore every id — is a pure function of the
+//! seed. The same world replayed on one worker, N workers, or across a
+//! checkpoint/resume boundary produces bit-identical symbol tables.
+//!
+//! # Serialization
+//!
+//! An [`Interner`] serializes as the plain `Vec<String>` of its entries
+//! (the index is rebuilt on deserialization), so a dataset ships its
+//! string table once at the head and every record after it is numeric.
+
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+/// A compact reference to a string stored in an [`Interner`].
+///
+/// Symbols are meaningful only relative to the table that produced
+/// them; resolving a symbol against a different table is not detected
+/// and yields an unrelated string (or a panic if out of range).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Symbol(u32);
+
+impl Symbol {
+    /// Reconstructs a symbol from its raw index (e.g. after reading a
+    /// columnar file). The caller asserts the index came from the same
+    /// table the symbol will be resolved against.
+    pub fn from_u32(raw: u32) -> Symbol {
+        Symbol(raw)
+    }
+
+    /// The raw table index — useful as a dense vector index.
+    pub fn as_u32(self) -> u32 {
+        self.0
+    }
+
+    /// The raw table index, widened for direct use with `Vec` indexing.
+    pub fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A deterministic, insertion-ordered string interner.
+///
+/// See the crate docs for the id-stability invariant. Lookups hit the
+/// process-global `model.intern.{hits,inserts}` counters so a run's
+/// dedup ratio is visible in `--metrics-out` reports.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(from = "Vec<String>", into = "Vec<String>")]
+pub struct Interner {
+    strings: Vec<String>,
+    index: HashMap<String, u32>,
+}
+
+impl Interner {
+    /// An empty table.
+    pub fn new() -> Interner {
+        Interner {
+            strings: Vec::new(),
+            index: HashMap::new(),
+        }
+    }
+
+    /// Returns the symbol for `s`, inserting it if this is the first
+    /// time the table has seen it.
+    pub fn intern(&mut self, s: &str) -> Symbol {
+        if let Some(&id) = self.index.get(s) {
+            counters().hits.inc();
+            return Symbol(id);
+        }
+        counters().inserts.inc();
+        let id = u32::try_from(self.strings.len()).expect("interner table exceeds u32 ids");
+        self.strings.push(s.to_string());
+        self.index.insert(s.to_string(), id);
+        Symbol(id)
+    }
+
+    /// The string a symbol refers to.
+    ///
+    /// # Panics
+    /// If the symbol did not come from this table and is out of range.
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        &self.strings[sym.as_usize()]
+    }
+
+    /// Non-panicking [`Interner::resolve`].
+    pub fn get(&self, sym: Symbol) -> Option<&str> {
+        self.strings.get(sym.as_usize()).map(String::as_str)
+    }
+
+    /// The symbol already assigned to `s`, if any. Never inserts.
+    pub fn lookup(&self, s: &str) -> Option<Symbol> {
+        self.index.get(s).copied().map(Symbol)
+    }
+
+    /// Number of distinct strings in the table.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// True when no strings have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// The entries in insertion (= id) order.
+    pub fn iter(&self) -> impl Iterator<Item = &str> {
+        self.strings.iter().map(String::as_str)
+    }
+}
+
+impl Default for Interner {
+    fn default() -> Interner {
+        Interner::new()
+    }
+}
+
+// Equality is defined by the entry sequence alone; the index is a
+// derived structure (and `HashMap` equality would be true anyway, but
+// this keeps `Eq` honest about what the type means).
+impl PartialEq for Interner {
+    fn eq(&self, other: &Interner) -> bool {
+        self.strings == other.strings
+    }
+}
+
+impl Eq for Interner {}
+
+impl From<Vec<String>> for Interner {
+    fn from(strings: Vec<String>) -> Interner {
+        let mut index = HashMap::with_capacity(strings.len());
+        for (i, s) in strings.iter().enumerate() {
+            index.insert(s.clone(), i as u32);
+        }
+        Interner { strings, index }
+    }
+}
+
+impl From<Interner> for Vec<String> {
+    fn from(table: Interner) -> Vec<String> {
+        table.strings
+    }
+}
+
+struct InternCounters {
+    hits: gamma_obs::Counter,
+    inserts: gamma_obs::Counter,
+}
+
+fn counters() -> &'static InternCounters {
+    use std::sync::OnceLock;
+    static C: OnceLock<InternCounters> = OnceLock::new();
+    C.get_or_init(|| {
+        let reg = gamma_obs::global();
+        InternCounters {
+            hits: reg.counter("model.intern.hits"),
+            inserts: reg.counter("model.intern.inserts"),
+        }
+    })
+}
+
+/// Defines a typed wrapper over [`Symbol`] so ids from different
+/// namespaces (hosts vs sites vs organizations) cannot be mixed up at
+/// compile time. All wrappers share one table per dataset; the types
+/// only guard against cross-namespace confusion in signatures.
+macro_rules! typed_symbol {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(pub Symbol);
+
+        impl $name {
+            /// Interns `s` and wraps the resulting symbol.
+            pub fn intern(table: &mut Interner, s: &str) -> $name {
+                $name(table.intern(s))
+            }
+
+            /// Resolves the wrapped symbol against `table`.
+            pub fn resolve(self, table: &Interner) -> &str {
+                table.resolve(self.0)
+            }
+
+            /// The raw table index.
+            pub fn as_u32(self) -> u32 {
+                self.0.as_u32()
+            }
+
+            /// The raw table index, widened for `Vec` indexing.
+            pub fn as_usize(self) -> usize {
+                self.0.as_usize()
+            }
+        }
+    };
+}
+
+typed_symbol!(
+    /// A request hostname (the domain a page asked the resolver for).
+    HostId
+);
+typed_symbol!(
+    /// A first-party site domain (the page the volunteer visited).
+    SiteId
+);
+typed_symbol!(
+    /// An organization name from the tracker entity map.
+    OrgId
+);
+typed_symbol!(
+    /// A reverse-DNS hostname returned for a resolved address.
+    RdnsId
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_follow_insertion_order() {
+        let mut t = Interner::new();
+        assert_eq!(t.intern("a.example"), Symbol(0));
+        assert_eq!(t.intern("b.example"), Symbol(1));
+        assert_eq!(t.intern("a.example"), Symbol(0));
+        assert_eq!(t.intern("c.example"), Symbol(2));
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.resolve(Symbol(1)), "b.example");
+        assert_eq!(t.lookup("c.example"), Some(Symbol(2)));
+        assert_eq!(t.lookup("missing"), None);
+        assert_eq!(t.get(Symbol(9)), None);
+    }
+
+    #[test]
+    fn serde_round_trip_rebuilds_the_index() {
+        let mut t = Interner::new();
+        for s in ["x.com", "y.com", "z.com"] {
+            t.intern(s);
+        }
+        let json = serde_json::to_string(&t).unwrap();
+        // Serializes as the bare entry list, table shipped once.
+        assert_eq!(json, r#"["x.com","y.com","z.com"]"#);
+        let back: Interner = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+        // The rebuilt index answers lookups and continues id assignment
+        // exactly where the original left off.
+        let mut back = back;
+        assert_eq!(back.lookup("y.com"), Some(Symbol(1)));
+        assert_eq!(back.intern("y.com"), Symbol(1));
+        assert_eq!(back.intern("w.com"), Symbol(3));
+    }
+
+    #[test]
+    fn typed_ids_are_transparent_in_serde() {
+        let mut t = Interner::new();
+        let h = HostId::intern(&mut t, "tracker.example");
+        assert_eq!(serde_json::to_string(&h).unwrap(), "0");
+        let back: HostId = serde_json::from_str("0").unwrap();
+        assert_eq!(back, h);
+        assert_eq!(back.resolve(&t), "tracker.example");
+    }
+
+    #[test]
+    fn empty_table_round_trips() {
+        let t = Interner::default();
+        assert!(t.is_empty());
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Interner = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn iteration_is_in_id_order() {
+        let mut t = Interner::new();
+        t.intern("b");
+        t.intern("a");
+        let order: Vec<&str> = t.iter().collect();
+        assert_eq!(order, vec!["b", "a"]);
+    }
+}

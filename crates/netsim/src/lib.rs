@@ -11,6 +11,8 @@
 //!
 //! Everything is deterministic given an RNG seed.
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 pub mod asn;
 pub mod fault;
 pub mod ip;

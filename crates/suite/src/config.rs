@@ -4,6 +4,10 @@ use gamma_browser::BrowserConfig;
 use gamma_chaos::FaultPlan;
 use serde::{Deserialize, Serialize};
 
+fn default_retain_raw() -> bool {
+    true
+}
+
 /// Full Gamma configuration ("lightweight, highly configurable", §3).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct GammaConfig {
@@ -13,6 +17,12 @@ pub struct GammaConfig {
     pub gather_network_info: bool,
     /// Run C3 (traceroute probes).
     pub launch_probes: bool,
+    /// Keep the raw OS command output on every traceroute record. On by
+    /// default for compatibility; turning it off drops the text after
+    /// normalization (the field is then omitted from serialized datasets
+    /// and checkpoints, which shrinks them considerably).
+    #[serde(default = "default_retain_raw")]
+    pub retain_raw_traceroute: bool,
     /// The unified fault plan every layer consults: DNS failures, browser
     /// hangs and truncated captures, probe loss, Atlas churn. Replaces the
     /// scattered per-layer knobs (netsim `FaultConfig`, ping loss rates,
@@ -37,6 +47,7 @@ impl GammaConfig {
             browser: BrowserConfig::paper_default(),
             gather_network_info: true,
             launch_probes: true,
+            retain_raw_traceroute: true,
             plan: FaultPlan::paper_default(seed),
             seed,
         }
@@ -62,6 +73,17 @@ mod tests {
         c.validate().unwrap();
         assert!(c.gather_network_info);
         assert!(c.launch_probes);
+        assert!(c.retain_raw_traceroute);
+    }
+
+    #[test]
+    fn retain_raw_defaults_on_for_old_serialized_configs() {
+        // Configurations serialized before the flag existed deserialize
+        // with retention on, preserving their behaviour.
+        let mut v = serde_json::to_value(GammaConfig::paper_default(1)).unwrap();
+        v.as_object_mut().unwrap().remove("retain_raw_traceroute");
+        let c: GammaConfig = serde_json::from_value(v).unwrap();
+        assert!(c.retain_raw_traceroute);
     }
 
     #[test]

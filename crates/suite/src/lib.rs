@@ -42,7 +42,7 @@ pub use config::GammaConfig;
 pub use normalize::{
     parse_linux, parse_windows, render_linux, render_windows, NormHop, NormalizedTraceroute,
 };
-pub use output::{DnsObservation, TracerouteRecord, VolunteerDataset, VolunteerMeta};
+pub use output::{domain_of, DnsObservation, TracerouteRecord, VolunteerDataset, VolunteerMeta};
 pub use probe_backend::{command_line, select_backend, Backend, ProbeKind};
 pub use quarantine::{Quarantine, QuarantineReason};
 pub use suite::{

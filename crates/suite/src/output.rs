@@ -1,27 +1,38 @@
 //! Dataset records a volunteer ships back to the researchers (Box 1 → Box 2
 //! of Figure 1 in the paper).
+//!
+//! Hostnames are stored **interned**: the dataset carries one
+//! [`Interner`] table (serialized once, at the head of the record) and
+//! every [`DnsObservation`] references it through compact typed ids.
+//! Id assignment is deterministic — see `gamma-model`'s crate docs —
+//! so two runs of the same seed produce bit-identical tables and ids,
+//! on any worker count and across checkpoint/resume.
 
 use crate::normalize::NormalizedTraceroute;
 use crate::volunteer::{Os, Volunteer};
 use gamma_browser::PageLoad;
 use gamma_dns::{DnsFailure, DomainName};
 use gamma_geo::{CityId, CountryCode};
+use gamma_model::{HostId, Interner, RdnsId, SiteId};
 use gamma_netsim::Asn;
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 use std::net::Ipv4Addr;
 
 /// One C2 observation: a requested domain, its resolution, and annotations.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// All hostname fields are ids into the owning dataset's
+/// [`VolunteerDataset::symbols`] table.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct DnsObservation {
     /// Target website whose page produced the request.
-    pub site: DomainName,
+    pub site: SiteId,
     /// The requested host.
-    pub request: DomainName,
+    pub request: HostId,
     /// Forward resolution (None: NXDOMAIN-like).
     pub ip: Option<Ipv4Addr>,
     /// Reverse DNS of the resolved address, where a PTR exists.
-    pub rdns: Option<String>,
+    pub rdns: Option<RdnsId>,
     /// AS annotation (the ipinfo/ipwhois role of C2).
     pub asn: Option<Asn>,
     /// How the resolution failed, when it did (timeouts and SERVFAILs are
@@ -34,7 +45,10 @@ pub struct DnsObservation {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TracerouteRecord {
     pub target_ip: Ipv4Addr,
-    /// The OS-specific command output exactly as captured.
+    /// The OS-specific command output exactly as captured. Empty when
+    /// raw-text retention is disabled (`GammaConfig.retain_raw_traceroute`),
+    /// in which case the field is omitted from serialized datasets.
+    #[serde(default, skip_serializing_if = "String::is_empty")]
     pub raw_text: String,
     /// The unified JSON structure (§3).
     pub normalized: NormalizedTraceroute,
@@ -67,12 +81,16 @@ impl From<&Volunteer> for VolunteerMeta {
 /// Everything one volunteer's Gamma run recorded.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct VolunteerDataset {
+    /// The string table every id field below resolves against. First so
+    /// the table serializes at the head of the dataset.
+    #[serde(default)]
+    pub symbols: Interner,
     pub volunteer: VolunteerMeta,
     pub loads: Vec<PageLoad>,
     pub dns: Vec<DnsObservation>,
     pub traceroutes: Vec<TracerouteRecord>,
     /// Sites the volunteer opted out of (never loaded).
-    pub opted_out: Vec<DomainName>,
+    pub opted_out: Vec<SiteId>,
     /// Whether C3 ran at all (false for the Egypt-style opt-out).
     pub probes_enabled: bool,
 }
@@ -83,9 +101,24 @@ impl VolunteerDataset {
         self.volunteer.ip = None;
     }
 
+    /// The requested hostname of an observation, as text.
+    pub fn host(&self, id: HostId) -> &str {
+        id.resolve(&self.symbols)
+    }
+
+    /// The site domain of an observation, as text.
+    pub fn site_domain(&self, id: SiteId) -> &str {
+        id.resolve(&self.symbols)
+    }
+
+    /// The rDNS hostname of an observation, as text.
+    pub fn rdns(&self, id: RdnsId) -> &str {
+        id.resolve(&self.symbols)
+    }
+
     /// Unique requested domains across all loads.
-    pub fn unique_domains(&self) -> HashSet<&DomainName> {
-        self.dns.iter().map(|d| &d.request).collect()
+    pub fn unique_domains(&self) -> HashSet<HostId> {
+        self.dns.iter().map(|d| d.request).collect()
     }
 
     /// Unique resolved addresses.
@@ -107,6 +140,13 @@ impl VolunteerDataset {
     }
 }
 
+/// Re-parses an interned hostname back into a validated [`DomainName`].
+/// Interned strings originate from parsed names, so this is a cheap
+/// re-wrap, not a re-validation.
+pub fn domain_of(symbols: &Interner, sym: gamma_model::Symbol) -> DomainName {
+    DomainName::from_normalized(symbols.resolve(sym).to_string())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -124,6 +164,7 @@ mod tests {
     #[test]
     fn anonymization_strips_ip_only() {
         let mut ds = VolunteerDataset {
+            symbols: Interner::new(),
             volunteer: meta(),
             loads: vec![],
             dns: vec![],
@@ -139,30 +180,35 @@ mod tests {
 
     #[test]
     fn unique_counters_deduplicate() {
-        let d = |s: &str| DomainName::parse(s).unwrap();
+        let mut symbols = Interner::new();
+        let a = SiteId::intern(&mut symbols, "a.com");
+        let b = SiteId::intern(&mut symbols, "b.com");
+        let gtm = HostId::intern(&mut symbols, "t.googletagmanager.com");
+        let nx = HostId::intern(&mut symbols, "nxdomain.example.com");
         let ds = VolunteerDataset {
+            symbols,
             volunteer: meta(),
             loads: vec![],
             dns: vec![
                 DnsObservation {
-                    site: d("a.com"),
-                    request: d("t.googletagmanager.com"),
+                    site: a,
+                    request: gtm,
                     ip: Some(Ipv4Addr::new(20, 0, 0, 1)),
                     rdns: None,
                     asn: None,
                     failure: None,
                 },
                 DnsObservation {
-                    site: d("b.com"),
-                    request: d("t.googletagmanager.com"),
+                    site: b,
+                    request: gtm,
                     ip: Some(Ipv4Addr::new(20, 0, 0, 1)),
                     rdns: None,
                     asn: None,
                     failure: None,
                 },
                 DnsObservation {
-                    site: d("b.com"),
-                    request: d("nxdomain.example.com"),
+                    site: b,
+                    request: nx,
                     ip: None,
                     rdns: None,
                     asn: None,
@@ -175,20 +221,57 @@ mod tests {
         };
         assert_eq!(ds.unique_domains().len(), 2);
         assert_eq!(ds.unique_ips().len(), 1);
+        assert_eq!(ds.host(gtm), "t.googletagmanager.com");
+        assert_eq!(ds.site_domain(b), "b.com");
     }
 
     #[test]
     fn dataset_serializes_to_json() {
+        let mut symbols = Interner::new();
+        let site = SiteId::intern(&mut symbols, "news.example.th");
+        let req = HostId::intern(&mut symbols, "cdn.tracker.net");
+        let rdns = RdnsId::intern(&mut symbols, "edge1.tracker.net");
         let ds = VolunteerDataset {
+            symbols,
             volunteer: meta(),
             loads: vec![],
-            dns: vec![],
+            dns: vec![DnsObservation {
+                site,
+                request: req,
+                ip: Some(Ipv4Addr::new(20, 0, 0, 7)),
+                rdns: Some(rdns),
+                asn: Some(Asn(64500)),
+                failure: None,
+            }],
             traceroutes: vec![],
-            opted_out: vec![],
+            opted_out: vec![site],
             probes_enabled: false,
         };
         let js = serde_json::to_string_pretty(&ds).unwrap();
         let back: VolunteerDataset = serde_json::from_str(&js).unwrap();
         assert_eq!(ds, back);
+        // The table serialized as a plain string list; the records are
+        // numeric references into it, and they resolve after the trip.
+        assert_eq!(back.host(back.dns[0].request), "cdn.tracker.net");
+        assert_eq!(back.rdns(back.dns[0].rdns.unwrap()), "edge1.tracker.net");
+        // The hostname text appears exactly once in the JSON: in the table.
+        assert_eq!(js.matches("cdn.tracker.net").count(), 1);
+    }
+
+    #[test]
+    fn empty_raw_text_is_omitted_from_serialized_probes() {
+        let rec = TracerouteRecord {
+            target_ip: Ipv4Addr::new(20, 0, 0, 7),
+            raw_text: String::new(),
+            normalized: NormalizedTraceroute {
+                dst: Ipv4Addr::new(20, 0, 0, 7),
+                reached: false,
+                hops: vec![],
+            },
+        };
+        let js = serde_json::to_string(&rec).unwrap();
+        assert!(!js.contains("raw_text"), "empty raw_text serialized: {js}");
+        let back: TracerouteRecord = serde_json::from_str(&js).unwrap();
+        assert_eq!(back, rec);
     }
 }

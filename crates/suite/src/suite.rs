@@ -23,6 +23,7 @@ use gamma_browser::{load_page_with, LoadStatus};
 use gamma_chaos::{FaultKind, FaultOracle, FaultScope};
 use gamma_dns::{DnsCache, DnsFailure};
 use gamma_geo::CountryCode;
+use gamma_model::{HostId, Interner, RdnsId, SiteId};
 use gamma_netsim::{run_traceroute_chaos, LatencyModel, TracerouteOutcome, TracerouteResult};
 use gamma_websim::spec::TracerouteMode;
 use gamma_websim::World;
@@ -124,16 +125,22 @@ pub fn run_volunteer_checked(
 
     let targets = build_targets(world, country, &mut rng).ok_or(SuiteError::NoTargets(country))?;
     let mut quarantine = Quarantine::new();
+    // Opted-out site names are interned up front, so they take the first
+    // ids; everything else is interned in observation order. Both orders
+    // are pure functions of the seed, keeping ids deterministic.
+    let mut symbols = Interner::new();
+    let opted_out = targets
+        .opted_out
+        .iter()
+        .map(|s| SiteId::intern(&mut symbols, world.site(*s).domain.as_str()))
+        .collect();
     let mut dataset = VolunteerDataset {
+        symbols,
         volunteer: VolunteerMeta::from(volunteer),
         loads: Vec::new(),
         dns: Vec::new(),
         traceroutes: Vec::new(),
-        opted_out: targets
-            .opted_out
-            .iter()
-            .map(|s| world.site(*s).domain.clone())
-            .collect(),
+        opted_out,
         probes_enabled: config.launch_probes && volunteer.traceroute_mode != TracerouteMode::OptOut,
     };
 
@@ -143,7 +150,8 @@ pub fn run_volunteer_checked(
     if volunteer.traceroute_mode == TracerouteMode::Firewalled {
         probe.firewall_blocks_traceroute = true;
     }
-    let mut dns_cache = DnsCache::new();
+    // Keyed by interned host id: lookups hash a u32, not domain text.
+    let mut dns_cache: DnsCache<HostId> = DnsCache::new();
     let mut probed: HashSet<Ipv4Addr> = HashSet::new();
     let mut rdns_lost: HashSet<Ipv4Addr> = HashSet::new();
 
@@ -185,10 +193,12 @@ pub fn run_volunteer_checked(
             continue;
         }
         // --- C2: network information gathering ---
+        let site_id = SiteId::intern(&mut dataset.symbols, site.domain.as_str());
         for request in requests {
+            let host_id = HostId::intern(&mut dataset.symbols, request.as_str());
             let scope = FaultScope::new(country, request.as_str());
             let mut computed = false;
-            let outcome = dns_cache.resolve_outcome(&request, || {
+            let outcome = dns_cache.resolve_outcome(&host_id, || {
                 computed = true;
                 if plan.fires(FaultKind::DnsTimeout, scope) {
                     return Err(DnsFailure::Timeout);
@@ -220,21 +230,23 @@ pub fn run_volunteer_checked(
                     });
                 }
             }
-            let rdns = ip.and_then(|a| {
-                let answer = world.rdns_of(a).map(str::to_string);
-                let subject = a.to_string();
-                let rscope = FaultScope::new(country, &subject);
-                if answer.is_some() && plan.fires(FaultKind::RdnsTruncated, rscope) {
-                    if rdns_lost.insert(a) {
-                        quarantine.push(QuarantineReason::RdnsTruncated { ip: a });
+            let rdns = ip
+                .and_then(|a| {
+                    let answer = world.rdns_of(a);
+                    let subject = a.to_string();
+                    let rscope = FaultScope::new(country, &subject);
+                    if answer.is_some() && plan.fires(FaultKind::RdnsTruncated, rscope) {
+                        if rdns_lost.insert(a) {
+                            quarantine.push(QuarantineReason::RdnsTruncated { ip: a });
+                        }
+                        return None;
                     }
-                    return None;
-                }
-                answer
-            });
+                    answer
+                })
+                .map(|name| RdnsId::intern(&mut dataset.symbols, name));
             dataset.dns.push(DnsObservation {
-                site: site.domain.clone(),
-                request: request.clone(),
+                site: site_id,
+                request: host_id,
                 rdns,
                 asn: ip.and_then(|a| world.asn_of(a)),
                 ip,
@@ -271,7 +283,7 @@ pub fn run_volunteer_checked(
             {
                 quarantine.push(QuarantineReason::TracerouteFailed { target_ip: addr });
             }
-            match capture_checked(volunteer.os, &result) {
+            match capture_checked(volunteer.os, &result, config.retain_raw_traceroute) {
                 Ok(record) => dataset.traceroutes.push(record),
                 Err(error) => quarantine.push(QuarantineReason::MalformedTraceroute {
                     target_ip: addr,
@@ -287,7 +299,13 @@ pub fn run_volunteer_checked(
 /// Renders the OS-appropriate command output and parses it back — the
 /// normalization layer is on the critical path, as in the real tool. A
 /// record that fails to re-parse is a quarantine candidate, not a panic.
-fn capture_checked(os: Os, result: &TracerouteResult) -> Result<TracerouteRecord, String> {
+/// With `retain_raw` off, the raw command text is dropped after parsing
+/// (it is fully recoverable from `normalized`), shrinking checkpoints.
+fn capture_checked(
+    os: Os,
+    result: &TracerouteResult,
+    retain_raw: bool,
+) -> Result<TracerouteRecord, String> {
     let (raw_text, normalized) = match os {
         Os::Windows => {
             let raw = render_windows(result);
@@ -303,7 +321,7 @@ fn capture_checked(os: Os, result: &TracerouteResult) -> Result<TracerouteRecord
     };
     Ok(TracerouteRecord {
         target_ip: result.dst,
-        raw_text,
+        raw_text: if retain_raw { raw_text } else { String::new() },
         normalized,
     })
 }
@@ -344,12 +362,40 @@ mod tests {
         let mut by_domain = std::collections::HashMap::new();
         for d in &ds.dns {
             if let Some(ip) = d.ip {
-                let prev = by_domain.insert(d.request.clone(), ip);
+                let prev = by_domain.insert(d.request, ip);
                 if let Some(p) = prev {
-                    assert_eq!(p, ip, "{} resolved inconsistently", d.request);
+                    assert_eq!(p, ip, "{} resolved inconsistently", ds.host(d.request));
                 }
             }
         }
+        // Every id in the records resolves against the dataset's table.
+        for d in &ds.dns {
+            assert!(!ds.host(d.request).is_empty());
+            assert!(!ds.site_domain(d.site).is_empty());
+        }
+    }
+
+    #[test]
+    fn raw_text_retention_can_be_disabled() {
+        let w = world();
+        let v = Volunteer::for_country(&w, CountryCode::new("TH"), 0).unwrap();
+        let with_raw = run_volunteer(&w, &v, &GammaConfig::paper_default(1));
+        let cfg = GammaConfig {
+            retain_raw_traceroute: false,
+            ..GammaConfig::paper_default(1)
+        };
+        let stripped = run_volunteer(&w, &v, &cfg);
+        assert!(!stripped.traceroutes.is_empty());
+        assert!(stripped.traceroutes.iter().all(|t| t.raw_text.is_empty()));
+        // Only the raw text differs: probes, parsing and ids are untouched.
+        assert_eq!(with_raw.traceroutes.len(), stripped.traceroutes.len());
+        for (a, b) in with_raw.traceroutes.iter().zip(&stripped.traceroutes) {
+            assert_eq!(a.target_ip, b.target_ip);
+            assert_eq!(a.normalized, b.normalized);
+            assert!(!a.raw_text.is_empty());
+        }
+        assert_eq!(with_raw.dns, stripped.dns);
+        assert_eq!(with_raw.symbols, stripped.symbols);
     }
 
     #[test]

@@ -17,11 +17,25 @@
 use serde::{Deserialize, Serialize};
 use std::sync::OnceLock;
 
-/// Cached handle for the rule-evaluation counter; the matching loop is
-/// the hottest path in the crate.
-fn abp_evaluations() -> &'static gamma_obs::Counter {
-    static COUNTER: OnceLock<gamma_obs::Counter> = OnceLock::new();
-    COUNTER.get_or_init(|| gamma_obs::global().counter("trackers.abp.evaluations"))
+/// Cached handles for the matching-engine counters; the matching loop is
+/// the hottest path in the crate. `trackers.abp.evaluations` counts
+/// engine invocations (one per request the engine actually sees — the
+/// number the per-host decision cache drives down); the per-rule work
+/// inside an invocation is `trackers.abp.rules_tried`.
+struct AbpCounters {
+    evaluations: gamma_obs::Counter,
+    rules_tried: gamma_obs::Counter,
+}
+
+fn abp_counters() -> &'static AbpCounters {
+    static COUNTERS: OnceLock<AbpCounters> = OnceLock::new();
+    COUNTERS.get_or_init(|| {
+        let reg = gamma_obs::global();
+        AbpCounters {
+            evaluations: reg.counter("trackers.abp.evaluations"),
+            rules_tried: reg.counter("trackers.abp.rules_tried"),
+        }
+    })
 }
 
 /// A parsed filter rule.
@@ -201,6 +215,14 @@ impl Rule {
         })
     }
 
+    /// Whether the rule's verdict depends on *which page* issued the
+    /// request beyond first/third-party-ness (`$domain=` options). A set
+    /// containing such rules cannot be fronted by a per-(host, party)
+    /// decision cache.
+    pub fn is_site_scoped(&self) -> bool {
+        !self.include_domains.is_empty() || !self.exclude_domains.is_empty()
+    }
+
     /// The anchored domain, if this is a `||domain` rule (used to index).
     pub fn anchored_domain(&self) -> Option<&str> {
         match &self.anchor {
@@ -263,6 +285,15 @@ fn flush(tokens: &mut Vec<Tok>, lit: &mut String) {
     }
 }
 
+/// Whether `host` is first-party relative to `first_party` under the
+/// engine's notion of party-ness (equal or subdomain) — the exact
+/// predicate [`host_request`] uses. Exposed so callers can compute a
+/// request's party bit without building a context, e.g. as half of a
+/// per-(host, party) decision-cache key.
+pub fn same_party(host: &str, first_party: &str) -> bool {
+    domain_or_subdomain(host, first_party)
+}
+
 /// `host` equals `domain` or is a subdomain of it (label boundary).
 fn domain_or_subdomain(host: &str, domain: &str) -> bool {
     let host = host.to_ascii_lowercase();
@@ -316,6 +347,9 @@ pub struct FilterSet {
     /// Rules that must be tried against every request.
     #[serde(skip)]
     generic: Vec<usize>,
+    /// Whether any rule is `$domain=`-scoped (see [`Rule::is_site_scoped`]).
+    #[serde(skip)]
+    site_scoped: bool,
 }
 
 impl FilterSet {
@@ -344,6 +378,7 @@ impl FilterSet {
 
     pub fn add(&mut self, rule: Rule) {
         let idx = self.rules.len();
+        self.site_scoped |= rule.is_site_scoped();
         match rule.anchored_domain() {
             Some(d) => self
                 .domain_index
@@ -353,6 +388,13 @@ impl FilterSet {
             None => self.generic.push(idx),
         }
         self.rules.push(rule);
+    }
+
+    /// Whether any rule's verdict depends on the requesting page beyond
+    /// party-ness. When false, a decision is a pure function of
+    /// `(host, is_third_party)` and may be cached per unique host.
+    pub fn has_site_scoped_rules(&self) -> bool {
+        self.site_scoped
     }
 
     pub fn len(&self) -> usize {
@@ -365,12 +407,14 @@ impl FilterSet {
 
     /// Evaluates a request. Exceptions win over blocks.
     pub fn matches(&self, ctx: &MatchContext<'_>) -> Decision {
-        // Rule evaluations are tallied locally and flushed with a single
+        // Per-rule work is tallied locally and flushed with a single
         // atomic add, keeping the per-rule inner loop free of shared
         // state.
-        let mut evals = 0u64;
-        let decision = self.matches_counting(ctx, &mut evals);
-        abp_evaluations().add(evals);
+        let mut tried = 0u64;
+        let decision = self.matches_counting(ctx, &mut tried);
+        let c = abp_counters();
+        c.evaluations.inc();
+        c.rules_tried.add(tried);
         decision
     }
 
@@ -415,6 +459,7 @@ impl FilterSet {
     pub fn rebuild_index(&mut self) {
         self.domain_index.clear();
         self.generic.clear();
+        self.site_scoped = self.rules.iter().any(Rule::is_site_scoped);
         for (idx, rule) in self.rules.iter().enumerate() {
             match rule.anchored_domain() {
                 Some(d) => self
@@ -626,6 +671,31 @@ mod tests {
         assert!(matches!(d, Decision::Blocked(_)));
         let g = back.matches(&ctx("https://x.com/banner-rotator.js", "x.com", "a.com"));
         assert!(matches!(g, Decision::Blocked(_)));
+    }
+
+    #[test]
+    fn site_scoped_rules_are_detected_and_survive_rebuild() {
+        let mut set = FilterSet::parse_list("||tracker.io^\n@@||cdn.io^$third-party\n");
+        assert!(!set.has_site_scoped_rules());
+        set.add(Rule::parse("||regionads.com^$domain=news-eg.com").unwrap());
+        assert!(set.has_site_scoped_rules());
+        let js = serde_json::to_string(&set).unwrap();
+        let mut back: FilterSet = serde_json::from_str(&js).unwrap();
+        back.rebuild_index();
+        assert!(back.has_site_scoped_rules());
+    }
+
+    #[test]
+    fn same_party_matches_the_context_builder() {
+        assert!(same_party("cdn.example.com", "example.com"));
+        assert!(same_party("example.com", "example.com"));
+        assert!(!same_party("notexample.com", "example.com"));
+        let c = host_request(
+            "https://cdn.example.com/x",
+            "cdn.example.com",
+            "example.com",
+        );
+        assert!(!c.is_third_party);
     }
 
     proptest! {

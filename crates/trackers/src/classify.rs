@@ -1,14 +1,22 @@
 //! The tracker-identification pipeline (§4.2) and first/third-party
 //! attribution (§6.7).
 
-use crate::abp::{host_request, Decision, FilterSet};
+use crate::abp::{host_request, same_party, Decision, FilterSet};
 use crate::lists::combined_filter_set;
 use crate::manual::ManualStore;
 use crate::whotracksme::WhoTracksMe;
 use gamma_dns::psl::registrable_domain;
 use gamma_dns::DomainName;
+use gamma_model::{HostId, Interner};
 use gamma_websim::World;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+fn classify_cache_hits() -> &'static gamma_obs::Counter {
+    static COUNTER: OnceLock<gamma_obs::Counter> = OnceLock::new();
+    COUNTER.get_or_init(|| gamma_obs::global().counter("trackers.classify.cache_hits"))
+}
 
 /// How a domain was identified as a tracker, if at all.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -49,15 +57,17 @@ impl TrackerClassifier {
 
     /// Identifies one requested domain observed on `site`.
     pub fn identify(&self, request: &DomainName, site: &DomainName) -> Identification {
+        self.identify_with_party(request, &site_first_party(site))
+    }
+
+    /// Identifies a requested domain against an already-computed
+    /// first-party registrable domain (see [`site_first_party`]). This is
+    /// the uncached engine invocation both [`TrackerClassifier::identify`]
+    /// and the decision cache's miss path share.
+    pub fn identify_with_party(&self, request: &DomainName, first_party: &str) -> Identification {
         let host = request.as_str();
-        let first_party = registrable_domain(site)
-            .map(|d| d.as_str().to_string())
-            .unwrap_or_else(|| site.as_str().to_string());
         let url = format!("https://{host}/");
-        let identification = match self
-            .filters
-            .matches(&host_request(&url, host, &first_party))
-        {
+        let identification = match self.filters.matches(&host_request(&url, host, first_party)) {
             Decision::Blocked(rule) => Identification::ByList(rule),
             Decision::Allowed(_) => Identification::NotTracker,
             Decision::None => {
@@ -77,6 +87,37 @@ impl TrackerClassifier {
         identification
     }
 
+    /// Cache-fronted identification for interned hosts: each unique
+    /// `(host, party)` pair reaches the filter engine at most once per
+    /// cache lifetime. Sound because, absent `$domain=`-scoped rules, a
+    /// decision is a pure function of the host and the party bit — when
+    /// the list does carry site-scoped rules the cache is bypassed
+    /// entirely rather than risk a stale verdict.
+    pub fn identify_cached(
+        &self,
+        cache: &mut DecisionCache,
+        symbols: &Interner,
+        request: HostId,
+        first_party: &str,
+    ) -> Identification {
+        let host = request.resolve(symbols);
+        if self.filters.has_site_scoped_rules() {
+            let name = DomainName::from_normalized(host.to_string());
+            return self.identify_with_party(&name, first_party);
+        }
+        let third_party = !same_party(host, first_party);
+        if let Some(hit) = cache.decisions.get(&(request, third_party)) {
+            classify_cache_hits().inc();
+            return hit.clone();
+        }
+        let name = DomainName::from_normalized(host.to_string());
+        let identification = self.identify_with_party(&name, first_party);
+        cache
+            .decisions
+            .insert((request, third_party), identification.clone());
+        identification
+    }
+
     /// First-party if the tracker and the site belong to the same
     /// organization ("A tracker is deemed first-party if it belongs to the
     /// same organization as the website", §6.7). Unknown ownership on
@@ -88,6 +129,38 @@ impl TrackerClassifier {
             return false;
         };
         site_org == tracker_org
+    }
+}
+
+/// The first-party registrable domain of a site, as the identification
+/// pipeline defines it: the PSL registrable domain, falling back to the
+/// site itself when the PSL yields nothing.
+pub fn site_first_party(site: &DomainName) -> String {
+    registrable_domain(site)
+        .map(|d| d.as_str().to_string())
+        .unwrap_or_else(|| site.as_str().to_string())
+}
+
+/// Memoized identification verdicts keyed by `(host, is_third_party)`.
+/// Scope one cache per symbol table (in practice: per country dataset) —
+/// ids from different tables must not share a cache.
+#[derive(Debug, Default)]
+pub struct DecisionCache {
+    decisions: HashMap<(HostId, bool), Identification>,
+}
+
+impl DecisionCache {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of memoized verdicts.
+    pub fn len(&self) -> usize {
+        self.decisions.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.decisions.is_empty()
     }
 }
 
@@ -167,5 +240,48 @@ mod tests {
     fn unknown_ownership_defaults_to_third_party() {
         let (w, c) = setup();
         assert!(!c.is_first_party(&w, &d("mystery-tracker.xyz"), &d("unknown-site.xyz")));
+    }
+
+    #[test]
+    fn cached_identification_matches_uncached() {
+        let (_, c) = setup();
+        assert!(
+            !c.filters.has_site_scoped_rules(),
+            "study lists are party-scoped only; the cache must be active"
+        );
+        let mut symbols = Interner::new();
+        let mut cache = DecisionCache::new();
+        let site = d("somesite.com");
+        let fp = site_first_party(&site);
+        let hosts = [
+            "pixel.doubleclick.net",
+            "theozone-project.com",
+            "plain.example.org",
+            "pixel.doubleclick.net", // repeat: must come from the cache
+        ];
+        for host in hosts {
+            let id = HostId::intern(&mut symbols, host);
+            let cached = c.identify_cached(&mut cache, &symbols, id, &fp);
+            let direct = c.identify(&d(host), &site);
+            assert_eq!(cached, direct, "{host}");
+        }
+        assert_eq!(cache.len(), 3, "three unique hosts, one repeat");
+    }
+
+    #[test]
+    fn site_scoped_lists_bypass_the_cache() {
+        use crate::abp::Rule;
+        let (_, mut c) = setup();
+        c.filters
+            .add(Rule::parse("||scoped-ads.net^$domain=onesite.com").unwrap());
+        let mut symbols = Interner::new();
+        let mut cache = DecisionCache::new();
+        let id = HostId::intern(&mut symbols, "pixel.doubleclick.net");
+        let verdict = c.identify_cached(&mut cache, &symbols, id, "somesite.com");
+        assert!(verdict.is_tracker());
+        assert!(
+            cache.is_empty(),
+            "site-scoped rules must disable memoization"
+        );
     }
 }

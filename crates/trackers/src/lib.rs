@@ -8,6 +8,13 @@
 //! for real — parsing, domain-anchored matching, separators, wildcards,
 //! exceptions, and the `third-party`/`domain=` options — and generates
 //! list *content* covering the synthetic tracker ecosystem.
+//!
+//! Identification is memoizable per unique host: absent `$domain=`-scoped
+//! rules a verdict depends only on the host and its party bit, so a
+//! [`DecisionCache`] in front of the engine classifies each unique
+//! `(host, party)` pair exactly once per country dataset.
+
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod abp;
 pub mod classify;
@@ -15,8 +22,8 @@ pub mod lists;
 pub mod manual;
 pub mod whotracksme;
 
-pub use abp::{Decision, FilterSet, MatchContext, Rule};
-pub use classify::{Identification, TrackerClassifier};
+pub use abp::{same_party, Decision, FilterSet, MatchContext, Rule};
+pub use classify::{site_first_party, DecisionCache, Identification, TrackerClassifier};
 pub use lists::{generate_easylist, generate_easyprivacy, generate_regional_lists};
 pub use manual::ManualStore;
 pub use whotracksme::WhoTracksMe;

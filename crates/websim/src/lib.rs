@@ -12,6 +12,8 @@
 //! measurement + geolocation + identification pipeline runs honestly over
 //! the generated artifact.
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 pub mod domains;
 pub mod hosting;
 pub mod org;

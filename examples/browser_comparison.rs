@@ -9,7 +9,7 @@
 //! cargo run --release --example browser_comparison
 //! ```
 
-use gamma::browser::{is_webdriver_noise, BrowserConfig, BrowserKind};
+use gamma::browser::{is_webdriver_noise_host, BrowserConfig, BrowserKind};
 use gamma::geo::CountryCode;
 use gamma::suite::{run_volunteer, GammaConfig, Volunteer};
 use gamma::websim::{worldgen, WorldSpec};
@@ -40,7 +40,7 @@ fn main() {
         let noise = ds
             .dns
             .iter()
-            .filter(|d| is_webdriver_noise(&d.request))
+            .filter(|d| is_webdriver_noise_host(ds.host(d.request)))
             .count();
         println!(
             "{:<10} {:>8} {:>10} {:>14} {:>12}",

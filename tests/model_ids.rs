@@ -1,0 +1,178 @@
+//! The gamma-model contract across the whole pipeline: symbol ids are a
+//! pure function of the seed (same assignment under any worker count and
+//! across checkpoint/resume), the interned dataset round-trips through
+//! serde with its table serialized once, and the decision cache bounds
+//! filter-engine invocations by unique hosts rather than raw requests.
+//!
+//! Tests that read the process-global instrument registry take
+//! `OBS_LOCK` so concurrent studies in this binary don't mix deltas.
+
+use gamma::campaign::{CampaignError, FaultInjection, Options, RetryPolicy};
+use gamma::core::Study;
+use gamma::geo::CountryCode;
+use gamma::suite::VolunteerDataset;
+use gamma::websim::WorldSpec;
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+static OBS_LOCK: Mutex<()> = Mutex::new(());
+
+fn reduced_study(seed: u64) -> Study {
+    let mut spec = WorldSpec::paper_default(seed);
+    spec.countries
+        .retain(|c| ["RW", "US", "NZ"].contains(&c.country.as_str()));
+    spec.reg_sites_per_country = 15;
+    spec.gov_sites_per_country = 5;
+    Study::with_spec(spec)
+}
+
+/// A temp checkpoint path that cleans itself up.
+struct CkptFile(PathBuf);
+
+impl CkptFile {
+    fn new(tag: &str) -> CkptFile {
+        CkptFile(std::env::temp_dir().join(format!(
+            "gamma-model-{}-{}.json",
+            tag,
+            std::process::id()
+        )))
+    }
+}
+
+impl Drop for CkptFile {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+fn assert_same_symbols(
+    a: &[(VolunteerDataset, gamma::geoloc::GeolocReport)],
+    b: &[(VolunteerDataset, gamma::geoloc::GeolocReport)],
+) {
+    assert_eq!(a.len(), b.len());
+    for ((da, _), (db, _)) in a.iter().zip(b) {
+        assert_eq!(
+            da.volunteer.country, db.volunteer.country,
+            "shard order must match"
+        );
+        // Interner equality is string-table equality: every id maps to
+        // the same text in both runs.
+        assert_eq!(
+            da.symbols, db.symbols,
+            "{}: symbol assignment diverged",
+            da.volunteer.country
+        );
+        for (oa, ob) in da.dns.iter().zip(&db.dns) {
+            assert_eq!(da.host(oa.request), db.host(ob.request));
+            assert_eq!(da.site_domain(oa.site), db.site_domain(ob.site));
+        }
+    }
+}
+
+#[test]
+fn symbol_ids_are_identical_across_worker_counts() {
+    let _guard = OBS_LOCK.lock().unwrap();
+    let study = reduced_study(2121);
+    let sequential = study.run_with(&Options::sequential()).unwrap();
+    let parallel = study.run_with(&Options::with_workers(4)).unwrap();
+    assert_same_symbols(&sequential.runs, &parallel.runs);
+    assert_eq!(sequential.render_all(), parallel.render_all());
+}
+
+#[test]
+fn checkpoint_resume_reproduces_identical_symbol_ids() {
+    let _guard = OBS_LOCK.lock().unwrap();
+    let study = reduced_study(2222);
+    let uninterrupted = study.run();
+
+    let ckpt = CkptFile::new("resume-ids");
+    let mut first = Options::sequential().resumable(&ckpt.0);
+    first.retry = RetryPolicy::no_retry();
+    first.inject = FaultInjection::none().fail_first(CountryCode::new("US"), u32::MAX);
+    match study.run_with(&first) {
+        Err(CampaignError::ShardFailed { country, .. }) => {
+            assert_eq!(country, CountryCode::new("US"));
+        }
+        other => panic!("expected the injected kill, got {:?}", other.is_ok()),
+    }
+
+    let resumed = study
+        .run_with(&Options::sequential().resumable(&ckpt.0))
+        .unwrap();
+    // The Rwanda shard comes back from the checkpoint (interner and all);
+    // the rest is re-measured. Ids must agree either way.
+    assert_same_symbols(&resumed.runs, &uninterrupted.runs);
+    assert_eq!(resumed.render_all(), uninterrupted.render_all());
+}
+
+#[test]
+fn interned_dataset_round_trips_through_serde() {
+    let _guard = OBS_LOCK.lock().unwrap();
+    let study = reduced_study(2323);
+    let results = study.run();
+    let (ds, _) = &results.runs[0];
+    assert!(!ds.dns.is_empty());
+
+    let js = serde_json::to_string(ds).unwrap();
+    let restored: VolunteerDataset = serde_json::from_str(&js).unwrap();
+    assert_eq!(&restored, ds);
+    for obs in &restored.dns {
+        assert_eq!(restored.host(obs.request), ds.host(obs.request));
+        assert_eq!(restored.site_domain(obs.site), ds.site_domain(obs.site));
+    }
+
+    // The table ships once: the DNS observations themselves carry only
+    // ids (no hostname text), and each repeated host has exactly one
+    // entry in the serialized symbol table.
+    let (repeat, n) = ds
+        .dns
+        .iter()
+        .fold(std::collections::HashMap::new(), |mut m, o| {
+            *m.entry(o.request).or_insert(0usize) += 1;
+            m
+        })
+        .into_iter()
+        .max_by_key(|(sym, n)| (*n, std::cmp::Reverse(*sym)))
+        .unwrap();
+    assert!(n > 1, "expected at least one repeated request");
+    let host = ds.host(repeat);
+    let dns_js = serde_json::to_string(&ds.dns).unwrap();
+    assert!(!dns_js.contains(host), "observations must be id-only");
+    let table_js = serde_json::to_string(&ds.symbols).unwrap();
+    assert_eq!(table_js.matches(&format!("\"{host}\"")).count(), 1);
+}
+
+#[test]
+fn classification_touches_the_filter_engine_once_per_unique_host() {
+    let _guard = OBS_LOCK.lock().unwrap();
+    let registry = gamma::obs::global();
+
+    let study = reduced_study(2424);
+    let before = registry.snapshot();
+    let results = study.run();
+    let after = registry.snapshot();
+    let delta = after.counters_since(&before, true);
+
+    let evaluations = delta.get("trackers.abp.evaluations").copied().unwrap_or(0);
+    let unique_hosts: usize = results
+        .runs
+        .iter()
+        .map(|(ds, _)| ds.unique_domains().len())
+        .sum();
+    let requests: usize = results.runs.iter().map(|(ds, _)| ds.dns.len()).sum();
+
+    assert!(evaluations > 0, "the engine must run at least once");
+    assert!(
+        evaluations <= unique_hosts as u64,
+        "engine ran {evaluations} times for {unique_hosts} unique hosts"
+    );
+    assert!(
+        (evaluations as usize) < requests,
+        "memoization must beat the raw request count ({requests})"
+    );
+    let hits = delta
+        .get("trackers.classify.cache_hits")
+        .copied()
+        .unwrap_or(0);
+    assert!(hits > 0, "repeat hosts must come from the cache");
+}

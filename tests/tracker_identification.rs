@@ -137,7 +137,11 @@ fn brave_ablation_lists_vs_in_browser_blocking_agree() {
     let flagged = chrome
         .dns
         .iter()
-        .filter(|o| c.identify(&o.request, &o.site).is_tracker())
+        .filter(|o| {
+            let request = gamma::dns::DomainName::parse(chrome.host(o.request)).unwrap();
+            let site = gamma::dns::DomainName::parse(chrome.site_domain(o.site)).unwrap();
+            c.identify(&request, &site).is_tracker()
+        })
         .count();
     let total = chrome.dns.len();
     let frac = flagged as f64 / total as f64;
