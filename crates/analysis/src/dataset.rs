@@ -245,6 +245,10 @@ pub(crate) mod testutil {
         #[allow(dead_code)]
         pub world: World,
         pub study: StudyDataset,
+        /// The raw per-country runs the study was assembled from; the
+        /// longitudinal trend tests join rounds on these.
+        #[allow(dead_code)]
+        pub runs: Vec<(VolunteerDataset, GeolocReport)>,
     }
 
     pub fn fixture() -> &'static Fixture {
@@ -265,7 +269,7 @@ pub(crate) mod testutil {
                 runs.push((ds, report));
             }
             let study = StudyDataset::assemble(&world, &classifier, &runs);
-            Fixture { world, study }
+            Fixture { world, study, runs }
         })
     }
 }

@@ -35,6 +35,7 @@ pub mod flows;
 pub mod freq;
 pub mod funnel;
 pub mod hosting;
+pub mod longitudinal;
 pub mod orgs;
 pub mod per_site;
 pub mod policy;

@@ -1,0 +1,412 @@
+//! Cross-round trend analysis: the WhoTracksMe-style time series a
+//! longitudinal campaign emits.
+//!
+//! Each round contributes one [`RoundView`] — its assembled
+//! [`StudyDataset`] plus the per-country raw runs — and [`trends`] joins
+//! consecutive rounds on stable identifiers (country codes, requested
+//! domains, server addresses) into:
+//!
+//! - **tracker prevalence** per country over rounds (the Figure 3 metric
+//!   as a series),
+//! - **cross-border flow changes**: source→host country pairs appearing
+//!   or disappearing between rounds (Figure 5's edges over time),
+//! - **geolocation verdict stability**: addresses observed in both
+//!   rounds whose inferred country held or flipped,
+//! - **tracker-host turnover**: confirmed non-local tracker domains
+//!   gained/lost per country, and
+//! - the **world churn ledger** ([`ChurnLog`]) that drove the changes.
+//!
+//! Everything is computed from deterministic inputs in deterministic
+//! order, so [`render_trends`] is byte-reproducible for a `(seed,
+//! rounds)` pair — the property the longitudinal tests pin.
+
+use crate::dataset::{CountryData, StudyDataset};
+use gamma_dns::DomainName;
+use gamma_geo::CountryCode;
+use gamma_geoloc::{Classification, GeolocReport};
+use gamma_suite::VolunteerDataset;
+use gamma_websim::ChurnLog;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeSet, HashMap};
+use std::fmt::Write as _;
+use std::net::Ipv4Addr;
+
+/// One round's outputs, borrowed from the longitudinal driver.
+#[derive(Clone, Copy)]
+pub struct RoundView<'a> {
+    pub epoch: u32,
+    pub study: &'a StudyDataset,
+    pub runs: &'a [(VolunteerDataset, GeolocReport)],
+}
+
+/// Per-country tracker prevalence over rounds (% of loaded sites with at
+/// least one confirmed non-local tracker; one entry per round).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PrevalenceSeries {
+    pub country: CountryCode,
+    pub share_pct: Vec<f64>,
+}
+
+/// A source→host country edge that appeared or disappeared across one
+/// round transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlowChange {
+    /// Transition index: `0` is round 0 → round 1.
+    pub transition: u32,
+    pub source: CountryCode,
+    pub host: CountryCode,
+    pub appeared: bool,
+}
+
+/// Verdict stability across one round transition, joined on server IP.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VerdictStability {
+    pub transition: u32,
+    /// Addresses seen in both rounds with the same inferred country.
+    pub stable: usize,
+    /// Addresses seen in both rounds whose inferred country flipped.
+    pub flipped: usize,
+    /// Addresses only the later round observed.
+    pub appeared: usize,
+    /// Addresses only the earlier round observed.
+    pub disappeared: usize,
+}
+
+/// Confirmed tracker domains gained/lost by one country across one
+/// round transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrackerTurnover {
+    pub transition: u32,
+    pub country: CountryCode,
+    pub gained: usize,
+    pub lost: usize,
+}
+
+/// The full time-series report for a longitudinal campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrendReport {
+    pub rounds: u32,
+    pub prevalence: Vec<PrevalenceSeries>,
+    pub flow_changes: Vec<FlowChange>,
+    pub stability: Vec<VerdictStability>,
+    pub turnover: Vec<TrackerTurnover>,
+    pub churn: Vec<ChurnLog>,
+}
+
+/// Joins consecutive rounds into the trend report. `churn` carries the
+/// world-evolution ledger (one entry per epoch ≥ 1); an empty slice is
+/// fine for single-round inputs.
+pub fn trends(views: &[RoundView<'_>], churn: &[ChurnLog]) -> TrendReport {
+    let rounds = views.len() as u32;
+    TrendReport {
+        rounds,
+        prevalence: prevalence_series(views),
+        flow_changes: flow_changes(views),
+        stability: stability_series(views),
+        turnover: turnover_series(views),
+        churn: churn.to_vec(),
+    }
+}
+
+fn prevalence_pct(c: &CountryData) -> f64 {
+    let loaded = c.all_loaded_sites().count();
+    if loaded == 0 {
+        return 0.0;
+    }
+    let with = c
+        .all_loaded_sites()
+        .filter(|s| s.has_nonlocal_tracker())
+        .count();
+    100.0 * with as f64 / loaded as f64
+}
+
+fn prevalence_series(views: &[RoundView<'_>]) -> Vec<PrevalenceSeries> {
+    let Some(first) = views.first() else {
+        return Vec::new();
+    };
+    first
+        .study
+        .countries
+        .iter()
+        .map(|c0| PrevalenceSeries {
+            country: c0.country,
+            share_pct: views
+                .iter()
+                .map(|v| v.study.country(c0.country).map_or(0.0, prevalence_pct))
+                .collect(),
+        })
+        .collect()
+}
+
+/// The set of source→host country edges one round observed.
+fn flow_edges(study: &StudyDataset) -> BTreeSet<(CountryCode, CountryCode)> {
+    let mut edges = BTreeSet::new();
+    for c in &study.countries {
+        for site in c.all_loaded_sites() {
+            for t in &site.nonlocal_trackers {
+                edges.insert((c.country, t.hosting_country()));
+            }
+        }
+    }
+    edges
+}
+
+fn flow_changes(views: &[RoundView<'_>]) -> Vec<FlowChange> {
+    let mut out = Vec::new();
+    for (t, pair) in views.windows(2).enumerate() {
+        let prev = flow_edges(pair[0].study);
+        let cur = flow_edges(pair[1].study);
+        for &(source, host) in cur.difference(&prev) {
+            out.push(FlowChange {
+                transition: t as u32,
+                source,
+                host,
+                appeared: true,
+            });
+        }
+        for &(source, host) in prev.difference(&cur) {
+            out.push(FlowChange {
+                transition: t as u32,
+                source,
+                host,
+                appeared: false,
+            });
+        }
+    }
+    out
+}
+
+/// Inferred country per observed server address for one volunteer's
+/// round: the claimed city's country wherever the verdict carries one.
+/// First verdict per address wins (verdict order is deterministic).
+fn inferred_countries(report: &GeolocReport) -> HashMap<Ipv4Addr, CountryCode> {
+    let mut map = HashMap::new();
+    for v in &report.verdicts {
+        let claimed = match &v.classification {
+            Classification::Local { claimed } => Some(*claimed),
+            Classification::ConfirmedNonLocal { claimed, .. } => Some(*claimed),
+            Classification::Discarded { claimed, .. } => *claimed,
+        };
+        if let Some(city) = claimed {
+            map.entry(v.ip)
+                .or_insert_with(|| gamma_geo::city(city).country);
+        }
+    }
+    map
+}
+
+fn stability_series(views: &[RoundView<'_>]) -> Vec<VerdictStability> {
+    let mut out = Vec::new();
+    for (t, pair) in views.windows(2).enumerate() {
+        let mut row = VerdictStability {
+            transition: t as u32,
+            ..VerdictStability::default()
+        };
+        for (ds, report) in pair[1].runs {
+            let country = ds.volunteer.country;
+            let cur = inferred_countries(report);
+            let prev = pair[0]
+                .runs
+                .iter()
+                .find(|(d, _)| d.volunteer.country == country)
+                .map(|(_, r)| inferred_countries(r))
+                .unwrap_or_default();
+            for (ip, inferred) in &cur {
+                match prev.get(ip) {
+                    Some(was) if was == inferred => row.stable += 1,
+                    Some(_) => row.flipped += 1,
+                    None => row.appeared += 1,
+                }
+            }
+            row.disappeared += prev.keys().filter(|ip| !cur.contains_key(ip)).count();
+        }
+        out.push(row);
+    }
+    out
+}
+
+/// Confirmed non-local tracker domains one country observed in one round.
+fn tracker_domains(c: &CountryData) -> BTreeSet<&DomainName> {
+    c.sites
+        .iter()
+        .flat_map(|s| s.nonlocal_trackers.iter().map(|t| &t.request))
+        .collect()
+}
+
+fn turnover_series(views: &[RoundView<'_>]) -> Vec<TrackerTurnover> {
+    let mut out = Vec::new();
+    for (t, pair) in views.windows(2).enumerate() {
+        for c1 in &pair[1].study.countries {
+            let cur = tracker_domains(c1);
+            let prev = pair[0]
+                .study
+                .country(c1.country)
+                .map(tracker_domains)
+                .unwrap_or_default();
+            out.push(TrackerTurnover {
+                transition: t as u32,
+                country: c1.country,
+                gained: cur.difference(&prev).count(),
+                lost: prev.difference(&cur).count(),
+            });
+        }
+    }
+    out
+}
+
+/// Renders the trend report as the churn report's text body. Output is
+/// byte-deterministic for identical inputs.
+pub fn render_trends(report: &TrendReport) -> String {
+    let mut s = format!("Longitudinal trends — {} rounds\n", report.rounds);
+
+    let _ = writeln!(s, "\nTracker prevalence (% loaded sites, per round)");
+    for p in &report.prevalence {
+        let series: Vec<String> = p.share_pct.iter().map(|v| format!("{v:.1}")).collect();
+        let _ = writeln!(s, "{:<8} {}", p.country.as_str(), series.join(" -> "));
+    }
+
+    let _ = writeln!(s, "\nCross-border flow changes");
+    for t in 0..report.rounds.saturating_sub(1) {
+        let changes: Vec<&FlowChange> = report
+            .flow_changes
+            .iter()
+            .filter(|f| f.transition == t)
+            .collect();
+        let _ = writeln!(
+            s,
+            "round {t}->{}: {} appeared, {} disappeared",
+            t + 1,
+            changes.iter().filter(|f| f.appeared).count(),
+            changes.iter().filter(|f| !f.appeared).count()
+        );
+        for f in changes {
+            let sign = if f.appeared { '+' } else { '-' };
+            let _ = writeln!(s, "  {sign} {} => {}", f.source.as_str(), f.host.as_str());
+        }
+    }
+
+    let _ = writeln!(s, "\nVerdict stability (server addresses, per transition)");
+    for r in &report.stability {
+        let _ = writeln!(
+            s,
+            "round {}->{}: {} stable, {} flipped, {} appeared, {} disappeared",
+            r.transition,
+            r.transition + 1,
+            r.stable,
+            r.flipped,
+            r.appeared,
+            r.disappeared
+        );
+    }
+
+    let _ = writeln!(s, "\nTracker-domain turnover (gained/lost per country)");
+    for t in 0..report.rounds.saturating_sub(1) {
+        let parts: Vec<String> = report
+            .turnover
+            .iter()
+            .filter(|r| r.transition == t && (r.gained > 0 || r.lost > 0))
+            .map(|r| format!("{} +{}/-{}", r.country.as_str(), r.gained, r.lost))
+            .collect();
+        let body = if parts.is_empty() {
+            String::from("unchanged")
+        } else {
+            parts.join(", ")
+        };
+        let _ = writeln!(s, "round {t}->{}: {body}", t + 1);
+    }
+
+    let _ = writeln!(s, "\nWorld churn ledger");
+    if report.churn.is_empty() {
+        let _ = writeln!(s, "(no churn epochs)");
+    }
+    for c in &report.churn {
+        let _ = writeln!(
+            s,
+            "epoch {}: +{} trackers, -{} trackers, {} PoP migrations, {} rehosted, {} rank swaps, {} acquisitions",
+            c.epoch,
+            c.trackers_added,
+            c.trackers_removed,
+            c.pop_migrations,
+            c.rehosted_sites,
+            c.rank_swaps,
+            c.acquisitions
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::testutil::fixture;
+
+    fn view(study: &StudyDataset, runs: &[(VolunteerDataset, GeolocReport)]) -> RoundView<'_> {
+        RoundView {
+            epoch: 0,
+            study,
+            runs,
+        }
+    }
+
+    #[test]
+    fn identical_rounds_are_fully_stable() {
+        let f = fixture();
+        let views = [view(&f.study, &f.runs), view(&f.study, &f.runs)];
+        let report = trends(&views, &[]);
+        assert_eq!(report.rounds, 2);
+        assert!(report.flow_changes.is_empty(), "no flow edges changed");
+        assert_eq!(report.stability.len(), 1);
+        assert_eq!(report.stability[0].flipped, 0);
+        assert_eq!(report.stability[0].appeared, 0);
+        assert_eq!(report.stability[0].disappeared, 0);
+        assert!(
+            report.stability[0].stable > 0,
+            "addresses joined across rounds"
+        );
+        assert!(report.turnover.iter().all(|t| t.gained == 0 && t.lost == 0));
+        // Prevalence series repeats the same value every round.
+        for p in &report.prevalence {
+            assert_eq!(p.share_pct[0], p.share_pct[1]);
+        }
+    }
+
+    #[test]
+    fn render_is_deterministic() {
+        let f = fixture();
+        let views = [view(&f.study, &f.runs), view(&f.study, &f.runs)];
+        let a = render_trends(&trends(&views, &[]));
+        let b = render_trends(&trends(&views, &[]));
+        assert_eq!(a, b);
+        assert!(a.contains("Tracker prevalence"));
+        assert!(a.contains("round 0->1"));
+    }
+
+    #[test]
+    fn a_dropped_flow_edge_is_reported_as_disappeared() {
+        let f = fixture();
+        let mut second = f.study.clone();
+        // Remove every non-local tracker from the first country: all its
+        // outbound edges disappear in round 1.
+        let c0 = second.countries[0].country;
+        let had_edges = flow_edges(&f.study).iter().any(|(s, _)| *s == c0);
+        for site in &mut second.countries[0].sites {
+            site.nonlocal_trackers.clear();
+        }
+        let views = [view(&f.study, &f.runs), view(&second, &f.runs)];
+        let report = trends(&views, &[]);
+        if had_edges {
+            assert!(report
+                .flow_changes
+                .iter()
+                .any(|fc| !fc.appeared && fc.source == c0));
+        }
+        // Turnover records the loss for that country.
+        let lost: usize = report
+            .turnover
+            .iter()
+            .filter(|t| t.country == c0)
+            .map(|t| t.lost)
+            .sum();
+        assert!(!had_edges || lost > 0);
+    }
+}

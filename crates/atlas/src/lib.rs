@@ -12,6 +12,8 @@
 //! Qatar and Jordan host no probes at all, forcing the paper's documented
 //! nearby-country fallbacks (Saudi Arabia and Israel respectively).
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 pub mod platform;
 pub mod probe;
 pub mod select;

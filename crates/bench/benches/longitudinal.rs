@@ -1,0 +1,115 @@
+//! Benchmarks for the longitudinal subsystem: delta-snapshot encode and
+//! decode throughput, the cross-round diff join, and the serialized
+//! full- vs delta-snapshot sizes.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gamma_analysis::longitudinal::{trends, RoundView};
+use gamma_core::Study;
+use gamma_longitudinal::{DeltaSnapshot, LongitudinalResults, LongitudinalStudy};
+use gamma_websim::WorldSpec;
+use std::hint::black_box;
+use std::sync::OnceLock;
+
+/// A three-round temporal campaign over a reduced world, built once.
+/// The full 23-country study fixture times one round; the longitudinal
+/// benches care about the per-round codec paths, not campaign volume.
+fn campaign() -> &'static LongitudinalResults {
+    static C: OnceLock<LongitudinalResults> = OnceLock::new();
+    C.get_or_init(|| {
+        let mut spec = WorldSpec::paper_default(gamma_bench::BENCH_SEED);
+        spec.countries
+            .retain(|c| ["RW", "US", "NZ"].contains(&c.country.as_str()));
+        LongitudinalStudy::new(Study::with_spec(spec), 3).run()
+    })
+}
+
+fn rows(snap: &gamma_longitudinal::RoundSnapshot) -> u64 {
+    snap.countries
+        .iter()
+        .map(|c| {
+            (c.dataset.loads.len()
+                + c.dataset.dns.len()
+                + c.dataset.traceroutes.len()
+                + c.report.verdicts.len()) as u64
+        })
+        .sum()
+}
+
+fn bench_delta_codec(c: &mut Criterion) {
+    let results = campaign();
+    let prev = &results.snapshots[1];
+    let cur = &results.snapshots[2];
+    let delta = &results.deltas[2];
+
+    println!("longitudinal snapshot sizes (canonical JSON):");
+    for (snap, d) in results.snapshots.iter().zip(&results.deltas) {
+        println!(
+            "  round {}: full {} B | delta {} B | {} row refs | {} new rows",
+            snap.epoch,
+            snap.json_bytes(),
+            d.json_bytes(),
+            d.rows_ref(),
+            d.rows_new()
+        );
+    }
+
+    let mut g = c.benchmark_group("longitudinal");
+    g.throughput(Throughput::Elements(rows(cur)));
+    g.bench_function("delta_encode", |b| {
+        b.iter(|| DeltaSnapshot::encode(black_box(Some(prev)), black_box(cur)))
+    });
+    g.bench_function("delta_decode", |b| {
+        b.iter(|| {
+            black_box(delta)
+                .decode(black_box(Some(prev)))
+                .expect("delta decodes")
+        })
+    });
+    g.finish();
+}
+
+fn bench_diff_join(c: &mut Criterion) {
+    let results = campaign();
+    let views: Vec<RoundView<'_>> = results
+        .rounds
+        .iter()
+        .map(|r| RoundView {
+            epoch: r.epoch,
+            study: &r.study,
+            runs: &r.runs,
+        })
+        .collect();
+    let total_rows: u64 = results.snapshots.iter().map(rows).sum();
+
+    let mut g = c.benchmark_group("longitudinal");
+    g.throughput(Throughput::Elements(total_rows));
+    g.bench_function("diff_join", |b| {
+        b.iter(|| trends(black_box(&views), black_box(&results.churn_log)))
+    });
+    g.finish();
+}
+
+fn bench_snapshot_serialization(c: &mut Criterion) {
+    let results = campaign();
+    let full = &results.snapshots[2];
+    let delta = &results.deltas[2];
+
+    let mut g = c.benchmark_group("longitudinal");
+    g.throughput(Throughput::Bytes(full.json_bytes() as u64));
+    g.bench_function("serialize_full", |b| {
+        b.iter(|| serde_json::to_vec(black_box(full)).expect("full serializes"))
+    });
+    g.throughput(Throughput::Bytes(delta.json_bytes() as u64));
+    g.bench_function("serialize_delta", |b| {
+        b.iter(|| serde_json::to_vec(black_box(delta)).expect("delta serializes"))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_delta_codec,
+    bench_diff_join,
+    bench_snapshot_serialization
+);
+criterion_main!(benches);

@@ -27,6 +27,8 @@
 //! `gamma-core` builds on this: `Study::run_with(Options)` is a campaign,
 //! and `Study::run()` is its one-worker case.
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 pub mod checkpoint;
 pub mod engine;
 pub mod metrics;
@@ -43,5 +45,5 @@ pub use metrics::{CampaignMetrics, CampaignTotals, ShardMetrics, StageTimings};
 pub use options::Options;
 pub use report::render_campaign_report;
 pub use retry::{FaultInjection, RetryPolicy};
-pub use rng::{derive_rng, derive_seed, STREAM_GEOLOCATE};
+pub use rng::{derive_rng, derive_round_seed, derive_seed, STREAM_GEOLOCATE, STREAM_ROUND};
 pub use shard::{volunteer_slot, Shard, ShardError};

@@ -58,6 +58,26 @@ impl Options {
         self
     }
 
+    /// The same options re-pointed at round-scoped checkpoint files.
+    ///
+    /// A longitudinal campaign runs one checkpointed campaign per round;
+    /// sharing one file across rounds would let round N resume from round
+    /// N-1's shards. Suffixing the configured paths with `.round{epoch}`
+    /// keeps each round's crash-rerun cycle isolated while the CLI still
+    /// takes a single `--resume` path.
+    pub fn for_round(&self, epoch: u32) -> Options {
+        let suffix = |p: &PathBuf| -> PathBuf {
+            let mut s = p.clone().into_os_string();
+            s.push(format!(".round{epoch}"));
+            PathBuf::from(s)
+        };
+        Options {
+            checkpoint: self.checkpoint.as_ref().map(suffix),
+            resume: self.resume.as_ref().map(suffix),
+            ..self.clone()
+        }
+    }
+
     /// Worker count after auto-sizing (`0` → available parallelism).
     pub fn effective_workers(&self) -> usize {
         if self.workers == 0 {
@@ -94,5 +114,19 @@ mod tests {
         let o = Options::sequential().resumable("/tmp/c.json");
         assert_eq!(o.checkpoint, o.resume);
         assert!(o.checkpoint.is_some());
+    }
+
+    #[test]
+    fn for_round_scopes_checkpoint_paths_per_epoch() {
+        let o = Options::with_workers(3).resumable("/tmp/c.json");
+        let r0 = o.for_round(0);
+        let r2 = o.for_round(2);
+        assert_eq!(r0.checkpoint, Some(PathBuf::from("/tmp/c.json.round0")));
+        assert_eq!(r2.checkpoint, Some(PathBuf::from("/tmp/c.json.round2")));
+        assert_eq!(r2.checkpoint, r2.resume);
+        assert_eq!(r2.workers, 3);
+        // No checkpointing configured → rounds stay checkpoint-free.
+        let plain = Options::sequential().for_round(1);
+        assert!(plain.checkpoint.is_none() && plain.resume.is_none());
     }
 }

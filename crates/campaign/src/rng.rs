@@ -15,6 +15,9 @@ use rand_chacha::ChaCha8Rng;
 /// Stream tag for the geolocation pipeline's probe traceroutes.
 pub const STREAM_GEOLOCATE: u64 = 0x4745_4F4C; // "GEOL"
 
+/// Stream tag for temporal-campaign round seeds.
+pub const STREAM_ROUND: u64 = 0x524F_554E; // "ROUN"
+
 /// One round of splitmix64 — the standard seed-expansion mixer.
 fn splitmix64(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -24,17 +27,42 @@ fn splitmix64(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// Expands `(master_seed, country, stream)` into a full 256-bit ChaCha
-/// seed. Mixing through splitmix64 keeps nearby master seeds and
-/// two-letter country tags from producing correlated streams.
-pub fn derive_seed(master_seed: u64, country: CountryCode, stream: u64) -> [u8; 32] {
-    let tag = (u64::from(country.0[0]) << 8) | u64::from(country.0[1]);
+/// Expands `(master_seed, tag, stream)` into a full 256-bit ChaCha seed.
+/// Mixing through splitmix64 keeps nearby master seeds and small tags
+/// from producing correlated streams.
+fn expand(master_seed: u64, tag: u64, stream: u64) -> [u8; 32] {
     let mut state = master_seed ^ stream.rotate_left(17) ^ tag.wrapping_mul(0x9E37_79B9_7F4A_7C15);
     let mut seed = [0u8; 32];
     for chunk in seed.chunks_exact_mut(8) {
         chunk.copy_from_slice(&splitmix64(&mut state).to_le_bytes());
     }
     seed
+}
+
+/// Expands `(master_seed, country, stream)` into a full 256-bit ChaCha
+/// seed.
+pub fn derive_seed(master_seed: u64, country: CountryCode, stream: u64) -> [u8; 32] {
+    let tag = (u64::from(country.0[0]) << 8) | u64::from(country.0[1]);
+    expand(master_seed, tag, stream)
+}
+
+/// The master seed of temporal-campaign round `epoch`.
+///
+/// Round 0 is the anchor: it **is** the campaign's master seed, so a
+/// one-round longitudinal campaign is byte-identical to a plain study.
+/// Later rounds split off the `STREAM_ROUND` stream through the same
+/// splitmix64 + ChaCha8 expansion every shard stream uses — never
+/// `seed + epoch` arithmetic, which would alias adjacent master seeds
+/// (`derive_round_seed(s, 1)` colliding with `derive_round_seed(s+1, 0)`)
+/// and correlate nearby rounds. The result is a pure function of
+/// `(master_seed, epoch)`, independent of worker count, scheduling order
+/// and any earlier round's execution.
+pub fn derive_round_seed(master_seed: u64, epoch: u32) -> u64 {
+    if epoch == 0 {
+        return master_seed;
+    }
+    use rand::Rng;
+    ChaCha8Rng::from_seed(expand(master_seed, u64::from(epoch), STREAM_ROUND)).gen()
 }
 
 /// The generator for one `(master_seed, country, stream)` shard stream.
@@ -81,6 +109,48 @@ mod tests {
         // "AE" vs "EA"-style tag collisions must not alias.
         let a = derive_seed(7, CountryCode::new("AE"), 0);
         let b = derive_seed(7, CountryCode::new("EA"), 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn round_zero_is_the_master_seed() {
+        for seed in [0, 1, 42, u64::MAX] {
+            assert_eq!(derive_round_seed(seed, 0), seed);
+        }
+    }
+
+    #[test]
+    fn round_seeds_are_reproducible_and_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for epoch in 0..64 {
+            let s = derive_round_seed(42, epoch);
+            assert_eq!(s, derive_round_seed(42, epoch), "epoch {epoch} unstable");
+            assert!(seen.insert(s), "epoch {epoch} collides");
+        }
+    }
+
+    #[test]
+    fn round_seeds_are_not_additive() {
+        // The scheme must not degenerate into `seed + epoch`: that would
+        // alias (seed, epoch+1) with (seed+1, epoch) and correlate the
+        // per-country shard streams of adjacent rounds.
+        for epoch in 1..16u32 {
+            assert_ne!(derive_round_seed(42, epoch), 42 + u64::from(epoch));
+            assert_ne!(
+                derive_round_seed(42, epoch),
+                derive_round_seed(43, epoch - 1),
+                "adjacent (seed, epoch) pairs alias at epoch {epoch}"
+            );
+        }
+    }
+
+    #[test]
+    fn round_seeds_decorrelate_the_shard_streams() {
+        // The country streams of round N and round N+1 must differ.
+        let r1 = derive_round_seed(42, 1);
+        let r2 = derive_round_seed(42, 2);
+        let a = derive_seed(r1, CountryCode::new("RW"), STREAM_GEOLOCATE);
+        let b = derive_seed(r2, CountryCode::new("RW"), STREAM_GEOLOCATE);
         assert_ne!(a, b);
     }
 }

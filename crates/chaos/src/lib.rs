@@ -22,6 +22,8 @@
 //!    only degrade downstream results — the property `tests/chaos.rs`
 //!    locks in.
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 use gamma_geo::CountryCode;
 use serde::{Deserialize, Serialize};
 
@@ -475,6 +477,27 @@ impl FaultPlan {
             .unwrap_or(&self.base)
     }
 
+    /// The plan in effect for round `epoch` of a temporal campaign: the
+    /// same profiles and overrides, decided against a round-mixed seed,
+    /// so each round experiences fresh-but-reproducible weather. Epoch 0
+    /// is the plan itself — the anchor that keeps a one-round temporal
+    /// campaign byte-identical to a plain one. The mixer matches the
+    /// splitmix64 finalizer used by every other stream split in the
+    /// workspace (never `seed + epoch`, which would alias neighbors).
+    pub fn for_round(&self, epoch: u32) -> FaultPlan {
+        if epoch == 0 {
+            return self.clone();
+        }
+        let mut z = self
+            .seed
+            .wrapping_add(u64::from(epoch).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        let mut plan = self.clone();
+        plan.seed = z ^ (z >> 31);
+        plan
+    }
+
     /// Whether any oracle-driven rate is non-zero anywhere in the plan.
     pub fn is_quiet(&self) -> bool {
         std::iter::once(&self.base)
@@ -727,5 +750,33 @@ mod tests {
         let js = serde_json::to_string(&plan).unwrap();
         let back: FaultPlan = serde_json::from_str(&js).unwrap();
         assert_eq!(back, plan);
+    }
+
+    #[test]
+    fn round_plans_keep_profiles_but_remix_the_seed() {
+        let plan = FaultPlan::stress(77).blackout(cc("QA"));
+        assert_eq!(plan.for_round(0), plan, "round 0 must be the anchor");
+        let mut seen = std::collections::HashSet::new();
+        for epoch in 0..32 {
+            let round = plan.for_round(epoch);
+            assert_eq!(round.base, plan.base);
+            assert_eq!(round.overrides, plan.overrides);
+            assert_eq!(round, plan.for_round(epoch), "epoch {epoch} unstable");
+            assert!(seen.insert(round.seed), "epoch {epoch} seed collides");
+            if epoch > 0 {
+                assert_ne!(
+                    round.seed,
+                    77 + u64::from(epoch),
+                    "round seed degenerated into additive arithmetic"
+                );
+            }
+        }
+        // No diagonal aliasing with neighboring master seeds.
+        for epoch in 1..16 {
+            assert_ne!(
+                plan.for_round(epoch).seed,
+                FaultPlan::stress(78).for_round(epoch - 1).seed
+            );
+        }
     }
 }

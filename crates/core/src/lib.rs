@@ -22,6 +22,8 @@
 //! assert!(fig3.regional_mean > 0.0);
 //! ```
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 pub mod study;
 
-pub use study::{Study, StudyResults};
+pub use study::{RoundOutputs, Study, StudyResults};

@@ -99,6 +99,75 @@ impl Study {
             metrics,
         })
     }
+
+    /// Runs one round of a temporal campaign against an externally-owned
+    /// (already evolved) world.
+    ///
+    /// The round's master seed comes from
+    /// [`gamma_campaign::derive_round_seed`], so every downstream stream —
+    /// geolocation database error draws, Atlas probe population, shard
+    /// RNGs, the fault plan — is re-derived per round and independent of
+    /// worker count. Epoch 0 is the anchor: with the world freshly
+    /// generated from `self.spec`, `run_round(&world, 0, options)`
+    /// produces byte-for-byte what [`Study::run_with`] produces.
+    pub fn run_round(
+        &self,
+        world: &World,
+        epoch: u32,
+        options: &Options,
+    ) -> Result<RoundOutputs, CampaignError> {
+        let round_seed = gamma_campaign::derive_round_seed(self.seed, epoch);
+        let build_span = gamma_obs::span!("study.round.build");
+        let geodb = GeoDatabase::build(world, &self.error_spec, round_seed);
+        let atlas = AtlasPlatform::generate(round_seed);
+        let classifier = TrackerClassifier::for_world(world);
+        let mut config = self.config.clone();
+        config.seed = round_seed;
+        config.plan = self.config.plan.for_round(epoch);
+        drop(build_span);
+
+        let env = CampaignEnv {
+            world,
+            geodb: &geodb,
+            atlas: &atlas,
+            config: &config,
+            pipeline_options: self.options,
+            master_seed: round_seed,
+        };
+        let outcome = Campaign::new(env, options.clone()).run()?;
+        let (runs, quarantines, metrics) = outcome.into_parts();
+
+        let assemble_span = gamma_obs::span!("study.round.assemble");
+        let study = StudyDataset::assemble(world, &classifier, &runs);
+        drop(assemble_span);
+        Ok(RoundOutputs {
+            epoch,
+            round_seed,
+            runs,
+            quarantines,
+            study,
+            metrics,
+        })
+    }
+}
+
+/// One round of a temporal campaign: everything [`StudyResults`] carries
+/// except the world (owned by the longitudinal driver, which keeps
+/// evolving it) and the per-round geo database / probe platform (pure
+/// functions of the round seed, rebuildable on demand).
+pub struct RoundOutputs {
+    /// Which round this is (0-based).
+    pub epoch: u32,
+    /// The derived master seed the round ran under.
+    pub round_seed: u64,
+    /// Per-country raw datasets and geolocation reports, in spec order.
+    pub runs: Vec<(VolunteerDataset, GeolocReport)>,
+    /// Per-country quarantine ledgers for the round.
+    pub quarantines: Vec<(CountryCode, Quarantine)>,
+    /// The assembled analysis dataset for the round.
+    pub study: StudyDataset,
+    /// The round's campaign metrics ledger.
+    pub metrics: CampaignMetrics,
 }
 
 /// Everything a finished study produced.
@@ -258,6 +327,37 @@ mod tests {
         assert_eq!(seq.render_all(), par.render_all());
         assert_eq!(par.metrics.workers, 4);
         assert_eq!(par.metrics.shards.len(), 3);
+    }
+
+    #[test]
+    fn round_zero_is_byte_identical_to_a_plain_study() {
+        let study = small_study();
+        let plain = study.run();
+        let world = worldgen::generate(&study.spec);
+        let round = study.run_round(&world, 0, &Options::sequential()).unwrap();
+        assert_eq!(round.round_seed, study.seed);
+        assert_eq!(plain.runs, round.runs);
+        assert_eq!(plain.study, round.study);
+        assert_eq!(
+            plain.quarantines, round.quarantines,
+            "round-0 quarantine ledger diverged"
+        );
+    }
+
+    #[test]
+    fn later_rounds_are_worker_count_independent() {
+        let study = small_study();
+        let world = worldgen::generate(&study.spec);
+        let seq = study.run_round(&world, 2, &Options::sequential()).unwrap();
+        let par = study
+            .run_round(&world, 2, &Options::with_workers(4))
+            .unwrap();
+        assert_eq!(seq.runs, par.runs);
+        assert_eq!(seq.study, par.study);
+        assert_eq!(seq.round_seed, par.round_seed);
+        // And the round really ran under a different stream than round 0.
+        let base = study.run_round(&world, 0, &Options::sequential()).unwrap();
+        assert_ne!(base.round_seed, seq.round_seed);
     }
 
     #[test]

@@ -86,6 +86,19 @@ impl GeoResolver {
         self.steering.insert((domain, client_country), city);
     }
 
+    /// Replaces the full replica set of a domain (hosting migration:
+    /// the old deployment's addresses stop answering for this name).
+    /// Existing steering rules are untouched; a rule pointing at a city
+    /// the new set no longer covers simply stops firing and
+    /// nearest-replica applies, exactly as for any stale rule.
+    pub fn replace_replicas(
+        &mut self,
+        domain: DomainName,
+        replicas: impl IntoIterator<Item = Replica>,
+    ) {
+        self.zones.insert(domain, replicas.into_iter().collect());
+    }
+
     /// Whether the domain exists.
     pub fn has_zone(&self, domain: &DomainName) -> bool {
         self.zones.contains_key(domain)
@@ -416,6 +429,29 @@ mod tests {
             let us = CountryCode::new("US");
             assert!(r.resolve_checked(&dom, client, &plan, Some(us)).is_ok());
         }
+    }
+
+    #[test]
+    fn replace_replicas_swaps_the_whole_set() {
+        let mut r = GeoResolver::new();
+        r.add_replicas(
+            d("moved.example.com"),
+            [replica("Frankfurt", 1), replica("Singapore", 2)],
+        );
+        r.steer(
+            d("moved.example.com"),
+            CountryCode::new("TH"),
+            city_by_name("Singapore").unwrap().id,
+        );
+        r.replace_replicas(d("moved.example.com"), [replica("Ashburn", 9)]);
+        assert_eq!(r.replicas(&d("moved.example.com")).len(), 1);
+        // The stale steering rule no longer matches a member replica, so
+        // the single remaining replica answers for everyone.
+        let (rep, trace) = r
+            .resolve(&d("moved.example.com"), city_by_name("Bangkok").unwrap().id)
+            .unwrap();
+        assert_eq!(rep.city, city_by_name("Ashburn").unwrap().id);
+        assert_eq!(trace, ResolutionTrace::Only);
     }
 
     #[test]

@@ -11,6 +11,8 @@
 //! hosting, volunteer vantage points, and the documented IPmap mislocation
 //! incidents (Al Fujairah, Amsterdam, Zurich, Frankfurt).
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 pub mod city;
 pub mod continent;
 pub mod coords;

@@ -1,0 +1,34 @@
+//! # gamma-longitudinal
+//!
+//! Multi-round temporal measurement: the paper's methodology run as a
+//! WhoTracksMe-style *longitudinal* campaign instead of a one-shot
+//! study.
+//!
+//! Three pieces compose:
+//!
+//! - **Deterministic world churn** ([`gamma_websim::evolve`]): between
+//!   rounds, sites migrate hosting, trackers are added to and removed
+//!   from pages, CDN PoPs move, rankings shuffle, and organizations get
+//!   acquired — every change a pure function of `(world seed, epoch)`.
+//! - **Round execution** ([`gamma_core::Study::run_round`]): each round
+//!   is its own campaign under a derived round seed
+//!   ([`gamma_campaign::derive_round_seed`]), with per-round
+//!   checkpoint/resume, so round N is byte-reproducible regardless of
+//!   `--jobs` and across kill/resume cycles.
+//! - **Snapshot diffing** ([`snapshot`]): each round persists as a full
+//!   [`RoundSnapshot`] and a delta against the previous round
+//!   ([`DeltaSnapshot`]) — interner tables delta-encoded, observation
+//!   rows shipped as back-references where unchanged — and the
+//!   stable-id joins feed the trend engine
+//!   ([`gamma_analysis::longitudinal`]).
+//!
+//! [`LongitudinalStudy`] is the driver; `gamma-study --rounds N --diff`
+//! is its CLI face.
+
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
+pub mod snapshot;
+pub mod study;
+
+pub use snapshot::{CountryDelta, CountryRound, DeltaSnapshot, HostTurnover, RoundSnapshot, RowOp};
+pub use study::{LongitudinalResults, LongitudinalStudy};

@@ -1,0 +1,623 @@
+//! Round snapshots and their delta encoding.
+//!
+//! A longitudinal campaign persists one [`RoundSnapshot`] per round: the
+//! per-country raw datasets, geolocation reports, and quarantine ledgers
+//! — everything needed to diff round N against round N−1 without
+//! re-running either. Consecutive rounds are overwhelmingly similar (the
+//! churn model moves a few percent of the world per epoch), so round N
+//! ships as a [`DeltaSnapshot`] against round N−1:
+//!
+//! - the string table is delta-encoded with [`InternerDelta`] (one op
+//!   per entry: a back-reference id or the new string), and
+//! - every observation row — page loads, DNS observations, traceroutes,
+//!   geolocation verdicts — is a [`RowOp`]: either a bare index into
+//!   the previous round's row vector (after translating symbol ids
+//!   through the table join map) or the full new row.
+//!
+//! Encoding is lossless: `DeltaSnapshot::decode` rebuilds the current
+//! round byte-for-byte, ordering included, from the previous round's
+//! full snapshot. The `InternerDelta` join maps double as the stable-id
+//! join the trend engine uses to follow one hostname across rounds even
+//! though each round interns in its own first-seen order.
+
+use gamma_browser::PageLoad;
+use gamma_geo::CountryCode;
+use gamma_geoloc::{DomainVerdict, GeolocReport};
+use gamma_model::{DeltaError, HostId, Interner, InternerDelta, RdnsId, SiteId, Symbol};
+use gamma_suite::{DnsObservation, Quarantine, TracerouteRecord, VolunteerDataset, VolunteerMeta};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use gamma_core::RoundOutputs;
+
+/// One measurement country's full round output.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CountryRound {
+    pub country: CountryCode,
+    /// The volunteer's raw dataset (C1–C3).
+    pub dataset: VolunteerDataset,
+    /// The geolocation pipeline's verdicts and funnel.
+    pub report: GeolocReport,
+    /// Rows the suite quarantined this round.
+    pub quarantine: Quarantine,
+}
+
+/// Everything one round persisted, in spec order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoundSnapshot {
+    pub epoch: u32,
+    pub round_seed: u64,
+    pub countries: Vec<CountryRound>,
+}
+
+impl RoundSnapshot {
+    /// Packages a finished round for persistence and diffing.
+    pub fn from_round(out: &RoundOutputs) -> RoundSnapshot {
+        let countries = out
+            .runs
+            .iter()
+            .map(|(ds, report)| {
+                let country = ds.volunteer.country;
+                let quarantine = out
+                    .quarantines
+                    .iter()
+                    .find(|(c, _)| *c == country)
+                    .map(|(_, q)| q.clone())
+                    .unwrap_or_default();
+                CountryRound {
+                    country,
+                    dataset: ds.clone(),
+                    report: report.clone(),
+                    quarantine,
+                }
+            })
+            .collect();
+        RoundSnapshot {
+            epoch: out.epoch,
+            round_seed: out.round_seed,
+            countries,
+        }
+    }
+
+    /// Serialized size in bytes (canonical JSON), for the full-vs-delta
+    /// comparison the bench group and EXPERIMENTS.md report.
+    pub fn json_bytes(&self) -> usize {
+        serde_json::to_vec(self).map(|b| b.len()).unwrap_or(0)
+    }
+}
+
+/// One row of a delta-encoded vector. Serializes untagged: a bare number
+/// is an index into the previous round's vector, an object is a new row
+/// — the two JSON types cannot collide.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(untagged)]
+pub enum RowOp<T> {
+    /// Same row as the previous round's row at this index (modulo the
+    /// symbol-table re-numbering, which the join map undoes).
+    Ref(u32),
+    /// A row with no equal counterpart in the previous round.
+    New(T),
+}
+
+/// One country's round, encoded against the previous round.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CountryDelta {
+    pub country: CountryCode,
+    /// The string table, delta-encoded entry by entry.
+    pub symbols: InternerDelta,
+    pub volunteer: VolunteerMeta,
+    pub loads: Vec<RowOp<PageLoad>>,
+    pub dns: Vec<RowOp<DnsObservation>>,
+    pub traceroutes: Vec<RowOp<TracerouteRecord>>,
+    /// Opt-outs are a handful of ids — shipped verbatim, current table.
+    pub opted_out: Vec<SiteId>,
+    pub probes_enabled: bool,
+    pub verdicts: Vec<RowOp<DomainVerdict>>,
+    pub funnel: gamma_geoloc::FunnelStats,
+    pub quarantine: Quarantine,
+}
+
+/// A whole round encoded against the previous round's [`RoundSnapshot`].
+/// With no previous round (epoch 0) everything encodes as `New`, so a
+/// chain of deltas alone reconstructs the full history.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeltaSnapshot {
+    pub epoch: u32,
+    pub round_seed: u64,
+    pub countries: Vec<CountryDelta>,
+}
+
+/// Per-country turnover of the hostname table across one round
+/// transition — the id-join statistics behind the churn report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HostTurnover {
+    pub country: CountryCode,
+    /// Strings carried over from the previous round by reference.
+    pub kept: usize,
+    /// Strings first seen this round.
+    pub added: usize,
+    /// Previous-round strings no longer observed.
+    pub removed: usize,
+}
+
+impl DeltaSnapshot {
+    /// Encodes `cur` against `prev` (country-matched by code). Lossless:
+    /// [`DeltaSnapshot::decode`] with the same `prev` rebuilds `cur`
+    /// exactly, row order and symbol numbering included.
+    pub fn encode(prev: Option<&RoundSnapshot>, cur: &RoundSnapshot) -> DeltaSnapshot {
+        let empty = Interner::new();
+        let countries = cur
+            .countries
+            .iter()
+            .map(|cr| {
+                let prev_cr =
+                    prev.and_then(|p| p.countries.iter().find(|c| c.country == cr.country));
+                encode_country(prev_cr, cr, &empty)
+            })
+            .collect();
+        DeltaSnapshot {
+            epoch: cur.epoch,
+            round_seed: cur.round_seed,
+            countries,
+        }
+    }
+
+    /// Rebuilds the full round this delta encodes.
+    pub fn decode(&self, prev: Option<&RoundSnapshot>) -> Result<RoundSnapshot, DeltaError> {
+        let empty = Interner::new();
+        let countries = self
+            .countries
+            .iter()
+            .map(|cd| {
+                let prev_cr =
+                    prev.and_then(|p| p.countries.iter().find(|c| c.country == cd.country));
+                decode_country(cd, prev_cr, &empty)
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(RoundSnapshot {
+            epoch: self.epoch,
+            round_seed: self.round_seed,
+            countries,
+        })
+    }
+
+    /// The hostname-table turnover per country, via the stable-id join.
+    pub fn host_turnover(&self, prev: Option<&RoundSnapshot>) -> Vec<HostTurnover> {
+        self.countries
+            .iter()
+            .map(|cd| {
+                let kept = cd.symbols.refs();
+                let prev_len = prev
+                    .and_then(|p| p.countries.iter().find(|c| c.country == cd.country))
+                    .map(|c| c.dataset.symbols.len())
+                    .unwrap_or(0);
+                HostTurnover {
+                    country: cd.country,
+                    kept,
+                    added: cd.symbols.news(),
+                    removed: prev_len.saturating_sub(kept),
+                }
+            })
+            .collect()
+    }
+
+    /// Observation rows shipped as back-references.
+    pub fn rows_ref(&self) -> usize {
+        self.countries.iter().map(count_refs).sum()
+    }
+
+    /// Observation rows shipped in full.
+    pub fn rows_new(&self) -> usize {
+        self.countries
+            .iter()
+            .map(|cd| {
+                cd.loads.len() + cd.dns.len() + cd.traceroutes.len() + cd.verdicts.len()
+                    - count_refs(cd)
+            })
+            .sum()
+    }
+
+    /// Serialized size in bytes (canonical JSON).
+    pub fn json_bytes(&self) -> usize {
+        serde_json::to_vec(self).map(|b| b.len()).unwrap_or(0)
+    }
+}
+
+fn count_refs(cd: &CountryDelta) -> usize {
+    fn refs<T>(ops: &[RowOp<T>]) -> usize {
+        ops.iter().filter(|op| matches!(op, RowOp::Ref(_))).count()
+    }
+    refs(&cd.loads) + refs(&cd.dns) + refs(&cd.traceroutes) + refs(&cd.verdicts)
+}
+
+/// Translates one symbol through a join map; `None` when the string has
+/// no counterpart on the other side.
+fn map_sym(map: &[Option<u32>], s: Symbol) -> Option<Symbol> {
+    map.get(s.as_usize())
+        .copied()
+        .flatten()
+        .map(Symbol::from_u32)
+}
+
+/// A DNS observation with its ids translated through `map`.
+fn remap_dns(row: &DnsObservation, map: &[Option<u32>]) -> Option<DnsObservation> {
+    Some(DnsObservation {
+        site: SiteId(map_sym(map, row.site.0)?),
+        request: HostId(map_sym(map, row.request.0)?),
+        rdns: match row.rdns {
+            Some(r) => Some(RdnsId(map_sym(map, r.0)?)),
+            None => None,
+        },
+        ..*row
+    })
+}
+
+/// A verdict with its ids translated through `map`.
+fn remap_verdict(row: &DomainVerdict, map: &[Option<u32>]) -> Option<DomainVerdict> {
+    Some(DomainVerdict {
+        site: SiteId(map_sym(map, row.site.0)?),
+        request: HostId(map_sym(map, row.request.0)?),
+        ip: row.ip,
+        rdns: match row.rdns {
+            Some(r) => Some(RdnsId(map_sym(map, r.0)?)),
+            None => None,
+        },
+        classification: row.classification.clone(),
+    })
+}
+
+/// Delta-encodes `cur` rows against `prev` rows. `remap` translates a
+/// current row into the previous round's symbol space (`None`: the row
+/// mentions a string new this round, so it cannot be a back-reference);
+/// `key` buckets candidate rows so matching stays near-linear.
+fn encode_rows<T, K>(
+    prev: &[T],
+    cur: &[T],
+    key: impl Fn(&T) -> K,
+    remap: impl Fn(&T) -> Option<T>,
+) -> Vec<RowOp<T>>
+where
+    T: Clone + PartialEq,
+    K: Hash + Eq,
+{
+    let mut index: HashMap<K, Vec<usize>> = HashMap::new();
+    for (i, row) in prev.iter().enumerate() {
+        index.entry(key(row)).or_default().push(i);
+    }
+    cur.iter()
+        .map(|row| {
+            if let Some(mapped) = remap(row) {
+                if let Some(candidates) = index.get(&key(&mapped)) {
+                    if let Some(&i) = candidates.iter().find(|&&i| prev[i] == mapped) {
+                        return RowOp::Ref(i as u32);
+                    }
+                }
+            }
+            RowOp::New(row.clone())
+        })
+        .collect()
+}
+
+/// Rebuilds current rows from ops. `remap` translates a referenced
+/// previous row into the current symbol space; encode only emits refs
+/// for rows whose every string survived, so a failure here means the
+/// delta does not belong to this previous snapshot.
+fn decode_rows<T>(
+    ops: &[RowOp<T>],
+    prev: &[T],
+    remap: impl Fn(&T) -> Option<T>,
+) -> Result<Vec<T>, DeltaError>
+where
+    T: Clone,
+{
+    ops.iter()
+        .map(|op| match op {
+            RowOp::New(row) => Ok(row.clone()),
+            RowOp::Ref(i) => {
+                let row = prev.get(*i as usize).ok_or_else(|| {
+                    DeltaError(format!(
+                        "row ref {i} out of range: previous round has {} rows",
+                        prev.len()
+                    ))
+                })?;
+                remap(row).ok_or_else(|| {
+                    DeltaError(format!(
+                        "row ref {i} mentions a string absent from the current table"
+                    ))
+                })
+            }
+        })
+        .collect()
+}
+
+fn encode_country(
+    prev: Option<&CountryRound>,
+    cur: &CountryRound,
+    empty: &Interner,
+) -> CountryDelta {
+    let prev_syms = prev.map_or(empty, |p| &p.dataset.symbols);
+    let symbols = InternerDelta::encode(prev_syms, &cur.dataset.symbols);
+    let back = symbols.mapping_to_prev();
+    let prev_loads = prev.map_or(&[][..], |p| &p.dataset.loads);
+    let prev_dns = prev.map_or(&[][..], |p| &p.dataset.dns);
+    let prev_tr = prev.map_or(&[][..], |p| &p.dataset.traceroutes);
+    let prev_verdicts = prev.map_or(&[][..], |p| &p.report.verdicts);
+    CountryDelta {
+        country: cur.country,
+        volunteer: cur.dataset.volunteer.clone(),
+        // Loads carry domains as strings, not ids: rows compare directly.
+        loads: encode_rows(
+            prev_loads,
+            &cur.dataset.loads,
+            |l| l.site.clone(),
+            |l| Some(l.clone()),
+        ),
+        dns: encode_rows(
+            prev_dns,
+            &cur.dataset.dns,
+            |d| (d.site.as_u32(), d.request.as_u32()),
+            |d| remap_dns(d, &back),
+        ),
+        traceroutes: encode_rows(
+            prev_tr,
+            &cur.dataset.traceroutes,
+            |t| t.target_ip,
+            |t| Some(t.clone()),
+        ),
+        opted_out: cur.dataset.opted_out.clone(),
+        probes_enabled: cur.dataset.probes_enabled,
+        verdicts: encode_rows(
+            prev_verdicts,
+            &cur.report.verdicts,
+            |v| (v.ip, v.site.as_u32(), v.request.as_u32()),
+            |v| remap_verdict(v, &back),
+        ),
+        funnel: cur.report.funnel,
+        quarantine: cur.quarantine.clone(),
+        symbols,
+    }
+}
+
+fn decode_country(
+    delta: &CountryDelta,
+    prev: Option<&CountryRound>,
+    empty: &Interner,
+) -> Result<CountryRound, DeltaError> {
+    let prev_syms = prev.map_or(empty, |p| &p.dataset.symbols);
+    let symbols = delta.symbols.decode(prev_syms)?;
+    let fwd = delta.symbols.mapping_from_prev(prev_syms.len());
+    let prev_loads = prev.map_or(&[][..], |p| &p.dataset.loads);
+    let prev_dns = prev.map_or(&[][..], |p| &p.dataset.dns);
+    let prev_tr = prev.map_or(&[][..], |p| &p.dataset.traceroutes);
+    let prev_verdicts = prev.map_or(&[][..], |p| &p.report.verdicts);
+    let loads = decode_rows(&delta.loads, prev_loads, |l| Some(l.clone()))?;
+    let dns = decode_rows(&delta.dns, prev_dns, |d| remap_dns(d, &fwd))?;
+    let traceroutes = decode_rows(&delta.traceroutes, prev_tr, |t| Some(t.clone()))?;
+    let verdicts = decode_rows(&delta.verdicts, prev_verdicts, |v| remap_verdict(v, &fwd))?;
+    Ok(CountryRound {
+        country: delta.country,
+        dataset: VolunteerDataset {
+            symbols,
+            volunteer: delta.volunteer.clone(),
+            loads,
+            dns,
+            traceroutes,
+            opted_out: delta.opted_out.clone(),
+            probes_enabled: delta.probes_enabled,
+        },
+        report: GeolocReport {
+            country: delta.country,
+            verdicts,
+            funnel: delta.funnel,
+        },
+        quarantine: delta.quarantine.clone(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gamma_browser::LoadStatus;
+    use gamma_dns::DomainName;
+    use gamma_geoloc::{Classification, FunnelStats};
+    use gamma_model::Interner;
+    use gamma_suite::QuarantineReason;
+    use std::net::Ipv4Addr;
+
+    fn dom(s: &str) -> DomainName {
+        DomainName::parse(s).expect("valid test domain")
+    }
+
+    fn dataset(entries: &[&str], volunteer_country: &str) -> VolunteerDataset {
+        let mut symbols = Interner::new();
+        let site = SiteId::intern(&mut symbols, "news.example");
+        let host = HostId::intern(
+            &mut symbols,
+            entries.first().copied().unwrap_or("t.example"),
+        );
+        for e in entries.iter().skip(1) {
+            symbols.intern(e);
+        }
+        VolunteerDataset {
+            symbols,
+            volunteer: VolunteerMeta {
+                country: CountryCode::new(volunteer_country),
+                city: gamma_geo::city_by_name("Auckland").expect("city").id,
+                os: gamma_suite::Os::Linux,
+                asn: gamma_netsim::Asn(64512),
+                ip: None,
+            },
+            loads: vec![PageLoad {
+                site: dom("news.example"),
+                status: LoadStatus::Loaded,
+                render_ms: 120,
+                requests: vec![dom("news.example")],
+            }],
+            dns: vec![DnsObservation {
+                site,
+                request: host,
+                ip: Some(Ipv4Addr::new(10, 0, 0, 1)),
+                rdns: None,
+                asn: None,
+                failure: None,
+            }],
+            traceroutes: vec![],
+            opted_out: vec![],
+            probes_enabled: true,
+        }
+    }
+
+    fn report(ds: &VolunteerDataset) -> GeolocReport {
+        let verdicts = ds
+            .dns
+            .iter()
+            .filter_map(|d| {
+                d.ip.map(|ip| DomainVerdict {
+                    site: d.site,
+                    request: d.request,
+                    ip,
+                    rdns: d.rdns,
+                    classification: Classification::Local {
+                        claimed: ds.volunteer.city,
+                    },
+                })
+            })
+            .collect();
+        GeolocReport {
+            country: ds.volunteer.country,
+            verdicts,
+            funnel: FunnelStats::default(),
+        }
+    }
+
+    fn snapshot(epoch: u32, entries: &[&str]) -> RoundSnapshot {
+        let ds = dataset(entries, "NZ");
+        let report = report(&ds);
+        RoundSnapshot {
+            epoch,
+            round_seed: 7,
+            countries: vec![CountryRound {
+                country: ds.volunteer.country,
+                report,
+                dataset: ds,
+                quarantine: Quarantine::new(),
+            }],
+        }
+    }
+
+    #[test]
+    fn baseline_delta_round_trips_without_a_previous_round() {
+        let full = snapshot(0, &["a.example", "b.example"]);
+        let delta = DeltaSnapshot::encode(None, &full);
+        assert_eq!(delta.rows_ref(), 0);
+        assert_eq!(delta.decode(None).expect("decode"), full);
+    }
+
+    #[test]
+    fn unchanged_rounds_encode_as_pure_references() {
+        let r0 = snapshot(0, &["a.example", "b.example"]);
+        let mut r1 = r0.clone();
+        r1.epoch = 1;
+        let delta = DeltaSnapshot::encode(Some(&r0), &r1);
+        assert_eq!(delta.rows_new(), 0);
+        assert!(delta.rows_ref() > 0);
+        assert_eq!(delta.countries[0].symbols.news(), 0);
+        assert_eq!(delta.decode(Some(&r0)).expect("decode"), r1);
+    }
+
+    #[test]
+    fn renumbered_symbols_still_reference_previous_rows() {
+        // Round 1 interns the same strings in a different first-seen
+        // order, so every id changes while every string survives. The
+        // join map must still let every row encode as a reference.
+        let r0 = snapshot(0, &["a.example", "b.example"]);
+        let r1_ds = {
+            let mut symbols = Interner::new();
+            // Different insertion order from `dataset`.
+            symbols.intern("b.example");
+            symbols.intern("a.example");
+            let site = SiteId::intern(&mut symbols, "news.example");
+            let host = HostId(symbols.lookup("a.example").expect("interned"));
+            let mut ds = r0.countries[0].dataset.clone();
+            ds.dns = vec![DnsObservation {
+                site,
+                request: host,
+                ..ds.dns[0]
+            }];
+            ds.symbols = symbols;
+            ds
+        };
+        let r1 = RoundSnapshot {
+            epoch: 1,
+            round_seed: 7,
+            countries: vec![CountryRound {
+                country: r1_ds.volunteer.country,
+                report: {
+                    let mut rep = report(&r1_ds);
+                    rep.funnel = r0.countries[0].report.funnel;
+                    rep
+                },
+                dataset: r1_ds,
+                quarantine: Quarantine::new(),
+            }],
+        };
+        let delta = DeltaSnapshot::encode(Some(&r0), &r1);
+        assert_eq!(delta.countries[0].symbols.news(), 0, "no new strings");
+        let dns_refs = delta.countries[0]
+            .dns
+            .iter()
+            .filter(|op| matches!(op, RowOp::Ref(_)))
+            .count();
+        assert_eq!(dns_refs, 1, "renumbered dns row still back-references");
+        assert_eq!(delta.decode(Some(&r0)).expect("decode"), r1);
+    }
+
+    #[test]
+    fn new_strings_force_new_rows_and_survive_round_trip() {
+        let r0 = snapshot(0, &["a.example"]);
+        let mut r1 = snapshot(1, &["fresh.example"]);
+        r1.countries[0]
+            .quarantine
+            .push(QuarantineReason::RdnsTruncated {
+                ip: Ipv4Addr::new(10, 9, 8, 7),
+            });
+        let delta = DeltaSnapshot::encode(Some(&r0), &r1);
+        assert!(delta.countries[0].symbols.news() > 0);
+        let decoded = delta.decode(Some(&r0)).expect("decode");
+        assert_eq!(decoded, r1);
+        assert_eq!(decoded.countries[0].quarantine.len(), 1);
+    }
+
+    #[test]
+    fn host_turnover_counts_kept_added_removed() {
+        let r0 = snapshot(0, &["a.example", "b.example"]);
+        let r1 = snapshot(1, &["a.example", "c.example", "d.example"]);
+        let delta = DeltaSnapshot::encode(Some(&r0), &r1);
+        let t = &delta.host_turnover(Some(&r0))[0];
+        // Both rounds share "news.example" and "a.example"; round 0's
+        // extra entry is "b.example", round 1 adds two fresh ones.
+        assert_eq!((t.kept, t.added, t.removed), (2, 2, 1));
+    }
+
+    #[test]
+    fn decode_rejects_a_mismatched_previous_snapshot() {
+        let r0 = snapshot(0, &["a.example", "b.example"]);
+        let r1 = snapshot(1, &["a.example", "b.example"]);
+        let delta = DeltaSnapshot::encode(Some(&r0), &r1);
+        // Decoding against nothing: the refs point into thin air.
+        assert!(delta.decode(None).is_err());
+    }
+
+    #[test]
+    fn row_refs_serialize_as_bare_indices() {
+        let r0 = snapshot(0, &["a.example"]);
+        let mut r1 = r0.clone();
+        r1.epoch = 1;
+        let delta = DeltaSnapshot::encode(Some(&r0), &r1);
+        let json = serde_json::to_string(&delta.countries[0].dns).expect("json");
+        assert_eq!(json, "[0]");
+        let back: Vec<RowOp<DnsObservation>> = serde_json::from_str(&json).expect("parse");
+        assert_eq!(back, delta.countries[0].dns);
+    }
+}

@@ -1,0 +1,183 @@
+//! The multi-round campaign driver.
+//!
+//! A [`LongitudinalStudy`] wraps a configured [`Study`] and runs it `N`
+//! times against one continuously-evolving world:
+//!
+//! 1. generate the world once from the base spec (round 0 measures it
+//!    untouched, so round 0 is byte-identical to a plain study),
+//! 2. before each later round, advance the world one churn epoch
+//!    ([`gamma_websim::evolve`] — a pure function of `(seed, epoch)`),
+//! 3. run the round as its own campaign under a derived round seed
+//!    ([`Study::run_round`]), with checkpoint/resume scoped per round,
+//! 4. persist the round as a full [`RoundSnapshot`] plus a
+//!    [`DeltaSnapshot`] against the previous round, and
+//! 5. join all rounds into the trend report
+//!    ([`gamma_analysis::longitudinal`]).
+//!
+//! Every step is deterministic, so the whole history — datasets,
+//! snapshots, deltas, rendered trends — is a pure function of
+//! `(seed, rounds, churn spec)`, independent of worker count and of
+//! kill/resume cycles.
+
+use crate::snapshot::{DeltaSnapshot, RoundSnapshot};
+use gamma_analysis::longitudinal::{render_trends, trends, RoundView, TrendReport};
+use gamma_campaign::{CampaignError, Options};
+use gamma_core::{RoundOutputs, Study};
+use gamma_websim::{evolve, worldgen, ChurnLog, ChurnSpec};
+use std::fmt::Write as _;
+
+/// A temporal campaign: one [`Study`] measured over `rounds` epochs of
+/// world churn.
+#[derive(Debug, Clone)]
+pub struct LongitudinalStudy {
+    /// The per-round study configuration (spec, error model, tool config).
+    pub base: Study,
+    /// How many rounds to run (0-based epochs `0..rounds`).
+    pub rounds: u32,
+    /// The churn applied between consecutive rounds.
+    pub churn: ChurnSpec,
+}
+
+/// Everything a finished longitudinal campaign produced.
+pub struct LongitudinalResults {
+    /// Per-round outputs, epoch order.
+    pub rounds: Vec<RoundOutputs>,
+    /// Full snapshots, one per round.
+    pub snapshots: Vec<RoundSnapshot>,
+    /// Delta snapshots: `deltas[n]` encodes round n against round n−1
+    /// (round 0 against nothing).
+    pub deltas: Vec<DeltaSnapshot>,
+    /// The churn ledger, one entry per epoch ≥ 1.
+    pub churn_log: Vec<ChurnLog>,
+    /// The cross-round trend report.
+    pub trend: TrendReport,
+}
+
+impl LongitudinalStudy {
+    /// The paper-calibrated churn over an existing study configuration.
+    pub fn new(base: Study, rounds: u32) -> LongitudinalStudy {
+        LongitudinalStudy {
+            base,
+            rounds,
+            churn: ChurnSpec::paper_default(),
+        }
+    }
+
+    /// Runs every round sequentially in-process. See [`run_with`] for
+    /// campaign options (workers, checkpointing).
+    ///
+    /// [`run_with`]: LongitudinalStudy::run_with
+    pub fn run(&self) -> LongitudinalResults {
+        self.run_with(&Options::sequential())
+            .expect("sequential longitudinal campaign")
+    }
+
+    /// Runs the temporal campaign. Checkpoint/resume paths in `options`
+    /// are scoped per round (`{path}.round{epoch}`), so a killed run
+    /// resumes mid-round: completed rounds restore from their finished
+    /// checkpoints shard by shard, the interrupted round resumes from
+    /// its partial one, and the result is byte-identical to an
+    /// uninterrupted run.
+    pub fn run_with(&self, options: &Options) -> Result<LongitudinalResults, CampaignError> {
+        let obs = gamma_obs::global();
+        let mut world = worldgen::generate(&self.base.spec);
+        let mut rounds = Vec::new();
+        let mut snapshots: Vec<RoundSnapshot> = Vec::new();
+        let mut deltas = Vec::new();
+        let mut churn_log = Vec::new();
+
+        for epoch in 0..self.rounds {
+            if epoch > 0 {
+                let span = gamma_obs::span!("longitudinal.evolve");
+                let log = evolve(&mut world, &self.churn, epoch);
+                span.finish();
+                obs.counter("longitudinal.churn.events")
+                    .add(u64::from(log.total()));
+                churn_log.push(log);
+            }
+
+            let round_span = gamma_obs::span!("longitudinal.round");
+            let out = self
+                .base
+                .run_round(&world, epoch, &options.for_round(epoch))?;
+            round_span.finish();
+            obs.counter("longitudinal.rounds").inc();
+
+            let snap_span = gamma_obs::span!("longitudinal.snapshot");
+            let snap = RoundSnapshot::from_round(&out);
+            let delta = DeltaSnapshot::encode(snapshots.last(), &snap);
+            snap_span.finish();
+            obs.counter("longitudinal.snapshot.full_bytes")
+                .add(snap.json_bytes() as u64);
+            obs.counter("longitudinal.snapshot.delta_bytes")
+                .add(delta.json_bytes() as u64);
+            obs.counter("longitudinal.diff.rows_ref")
+                .add(delta.rows_ref() as u64);
+            obs.counter("longitudinal.diff.rows_new")
+                .add(delta.rows_new() as u64);
+
+            rounds.push(out);
+            snapshots.push(snap);
+            deltas.push(delta);
+        }
+
+        let diff_span = gamma_obs::span!("longitudinal.diff");
+        let views: Vec<RoundView<'_>> = rounds
+            .iter()
+            .map(|r| RoundView {
+                epoch: r.epoch,
+                study: &r.study,
+                runs: &r.runs,
+            })
+            .collect();
+        let trend = trends(&views, &churn_log);
+        diff_span.finish();
+
+        Ok(LongitudinalResults {
+            rounds,
+            snapshots,
+            deltas,
+            churn_log,
+            trend,
+        })
+    }
+}
+
+impl LongitudinalResults {
+    /// The rendered churn/trend report plus the snapshot-size ledger —
+    /// byte-deterministic for a `(seed, rounds, churn)` triple.
+    pub fn render_report(&self) -> String {
+        let mut s = render_trends(&self.trend);
+        let _ = writeln!(s, "\nSnapshot sizes (bytes, canonical JSON)");
+        for (snap, delta) in self.snapshots.iter().zip(&self.deltas) {
+            let full = snap.json_bytes();
+            let enc = delta.json_bytes();
+            let pct = if full == 0 {
+                0.0
+            } else {
+                100.0 * enc as f64 / full as f64
+            };
+            let _ = writeln!(
+                s,
+                "round {}: full {} | delta {} ({:.1}% of full, {} row refs, {} new rows)",
+                snap.epoch,
+                full,
+                enc,
+                pct,
+                delta.rows_ref(),
+                delta.rows_new()
+            );
+        }
+        s
+    }
+
+    /// Total serialized bytes across all full snapshots.
+    pub fn full_bytes(&self) -> usize {
+        self.snapshots.iter().map(RoundSnapshot::json_bytes).sum()
+    }
+
+    /// Total serialized bytes across the delta chain.
+    pub fn delta_bytes(&self) -> usize {
+        self.deltas.iter().map(DeltaSnapshot::json_bytes).sum()
+    }
+}

@@ -1,0 +1,207 @@
+//! Delta encoding between two interner tables.
+//!
+//! A longitudinal campaign serializes one snapshot per round, and round
+//! N's string table is overwhelmingly the same few hundred hostnames as
+//! round N−1's — only the ids differ, because each round interns in its
+//! own (deterministic) first-seen order. Instead of re-serializing every
+//! string every round, a round ships an [`InternerDelta`]: one op per
+//! entry, either a reference into the previous round's table or the new
+//! string itself.
+//!
+//! The ref ops double as the **stable-id join**: `mapping_to_prev`
+//! translates a current-round symbol into the previous round's symbol
+//! for the same string in O(1), which is what the diff/trend engine
+//! joins consecutive snapshots on.
+
+use crate::{Interner, Symbol};
+use serde::{Deserialize, Serialize};
+
+/// One entry of a delta-encoded table. Serializes untagged: a bare
+/// number is a reference into the previous table, a string is a new
+/// entry — the two JSON types cannot collide.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(untagged)]
+pub enum SymOp {
+    /// This entry is the previous table's entry at the given id.
+    Ref(u32),
+    /// This entry is new in the current table.
+    New(String),
+}
+
+/// A decode failure: the delta does not fit the table it was applied to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeltaError(pub String);
+
+impl std::fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "interner delta: {}", self.0)
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+/// The current round's table, encoded against the previous round's.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct InternerDelta {
+    /// One op per current-table entry, in id order.
+    pub ops: Vec<SymOp>,
+}
+
+impl InternerDelta {
+    /// Encodes `cur` against `prev`. Lossless: `decode(prev)` rebuilds
+    /// `cur` exactly, entry order included.
+    pub fn encode(prev: &Interner, cur: &Interner) -> InternerDelta {
+        let ops = cur
+            .iter()
+            .map(|s| match prev.lookup(s) {
+                Some(sym) => SymOp::Ref(sym.as_u32()),
+                None => SymOp::New(s.to_string()),
+            })
+            .collect();
+        InternerDelta { ops }
+    }
+
+    /// Rebuilds the current table from the previous one.
+    pub fn decode(&self, prev: &Interner) -> Result<Interner, DeltaError> {
+        let mut strings = Vec::with_capacity(self.ops.len());
+        for (i, op) in self.ops.iter().enumerate() {
+            match op {
+                SymOp::Ref(id) => match prev.get(Symbol::from_u32(*id)) {
+                    Some(s) => strings.push(s.to_string()),
+                    None => {
+                        return Err(DeltaError(format!(
+                            "entry {i} references id {id}, but the previous table has {} entries",
+                            prev.len()
+                        )))
+                    }
+                },
+                SymOp::New(s) => strings.push(s.clone()),
+            }
+        }
+        Ok(Interner::from(strings))
+    }
+
+    /// The id join map: `mapping_to_prev()[cur_id]` is the previous
+    /// round's id for the same string, or `None` for strings new this
+    /// round. Injective over `Some`s (tables hold unique strings).
+    pub fn mapping_to_prev(&self) -> Vec<Option<u32>> {
+        self.ops
+            .iter()
+            .map(|op| match op {
+                SymOp::Ref(id) => Some(*id),
+                SymOp::New(_) => None,
+            })
+            .collect()
+    }
+
+    /// The inverse join map: previous-round id -> current-round id, for
+    /// every previous entry the current table kept.
+    pub fn mapping_from_prev(&self, prev_len: usize) -> Vec<Option<u32>> {
+        let mut inv = vec![None; prev_len];
+        for (cur_id, op) in self.ops.iter().enumerate() {
+            if let SymOp::Ref(prev_id) = op {
+                if let Some(slot) = inv.get_mut(*prev_id as usize) {
+                    *slot = Some(cur_id as u32);
+                }
+            }
+        }
+        inv
+    }
+
+    /// Entries carried over from the previous table by reference.
+    pub fn refs(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|op| matches!(op, SymOp::Ref(_)))
+            .count()
+    }
+
+    /// Entries shipped as new strings.
+    pub fn news(&self) -> usize {
+        self.ops.len() - self.refs()
+    }
+
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(entries: &[&str]) -> Interner {
+        let mut t = Interner::new();
+        for e in entries {
+            t.intern(e);
+        }
+        t
+    }
+
+    #[test]
+    fn round_trip_is_lossless() {
+        let prev = table(&["a.com", "b.com", "c.com"]);
+        let cur = table(&["c.com", "d.com", "a.com", "e.com"]);
+        let delta = InternerDelta::encode(&prev, &cur);
+        assert_eq!(delta.refs(), 2);
+        assert_eq!(delta.news(), 2);
+        let back = delta.decode(&prev).unwrap();
+        assert_eq!(back, cur);
+        // Continued interning picks up exactly where `cur` left off.
+        let mut back = back;
+        assert_eq!(back.intern("d.com"), cur.lookup("d.com").unwrap());
+    }
+
+    #[test]
+    fn identical_tables_encode_as_pure_refs() {
+        let t = table(&["x.com", "y.com"]);
+        let delta = InternerDelta::encode(&t, &t);
+        assert_eq!(delta.ops, vec![SymOp::Ref(0), SymOp::Ref(1)]);
+        assert_eq!(delta.decode(&t).unwrap(), t);
+    }
+
+    #[test]
+    fn empty_baseline_encodes_everything_as_new() {
+        let cur = table(&["x.com"]);
+        let delta = InternerDelta::encode(&Interner::new(), &cur);
+        assert_eq!(delta.ops, vec![SymOp::New("x.com".into())]);
+        assert_eq!(delta.decode(&Interner::new()).unwrap(), cur);
+    }
+
+    #[test]
+    fn mappings_join_ids_both_ways() {
+        let prev = table(&["a", "b", "c"]);
+        let cur = table(&["c", "new", "b"]);
+        let delta = InternerDelta::encode(&prev, &cur);
+        assert_eq!(delta.mapping_to_prev(), vec![Some(2), None, Some(1)]);
+        assert_eq!(
+            delta.mapping_from_prev(prev.len()),
+            vec![None, Some(2), Some(0)]
+        );
+    }
+
+    #[test]
+    fn out_of_range_refs_are_rejected() {
+        let delta = InternerDelta {
+            ops: vec![SymOp::Ref(9)],
+        };
+        let err = delta.decode(&table(&["only"])).unwrap_err();
+        assert!(err.to_string().contains("references id 9"), "{err}");
+    }
+
+    #[test]
+    fn serializes_as_bare_numbers_and_strings() {
+        let prev = table(&["keep.com"]);
+        let cur = table(&["keep.com", "new.com"]);
+        let delta = InternerDelta::encode(&prev, &cur);
+        let js = serde_json::to_string(&delta).unwrap();
+        assert_eq!(js, r#"[0,"new.com"]"#);
+        let back: InternerDelta = serde_json::from_str(&js).unwrap();
+        assert_eq!(back, delta);
+    }
+}

@@ -26,9 +26,13 @@
 
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
+pub mod delta;
+
 use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
+
+pub use delta::{DeltaError, InternerDelta, SymOp};
 
 /// A compact reference to a string stored in an [`Interner`].
 ///

@@ -14,6 +14,7 @@
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod asn;
+pub mod churn;
 pub mod fault;
 pub mod ip;
 pub mod latency;
@@ -23,6 +24,7 @@ pub mod tls;
 pub mod traceroute;
 
 pub use asn::{AsKind, AsRegistry, Asn, AsnInfo};
+pub use churn::{epoch_rng, epoch_seed, STREAM_CHURN};
 pub use fault::FaultConfig;
 pub use ip::{IpAllocation, IpRegistry, Ipv4Net};
 pub use latency::{AccessQuality, LatencyModel, LatencySample};

@@ -1,0 +1,635 @@
+//! Deterministic world churn: the `evolve(epoch)` step of a
+//! longitudinal campaign.
+//!
+//! The paper measures one frozen snapshot, but the ecosystem it measures
+//! churns constantly — WhoTracksMe publishes *monthly* data precisely
+//! because tracker deployments, page embeddings and hosting locations
+//! drift between crawls. `evolve` applies one epoch of that drift to a
+//! generated [`World`]:
+//!
+//! - **CDN PoP migration** — an organization starts serving a country
+//!   from a different city in its existing replica footprint (steering
+//!   re-pointed, ground-truth `serving` updated);
+//! - **tracker add/remove** — pages gain and lose third-party embeds;
+//! - **hosting migration** — a site operator moves its first-party
+//!   hosts onto a different network (own ASN ↔ cloud), keeping the city
+//!   but changing every address;
+//! - **ranking shuffle** — adjacent popularity swaps within a country's
+//!   regional target list (the *set* of targets never changes, so
+//!   rounds stay joinable);
+//! - **org acquisition** — a long-tail tracker org is absorbed by a
+//!   major: domain → org attribution is remapped while serving and
+//!   steering stay put, so only *attribution* changes, exactly like a
+//!   real-world entity-map update.
+//!
+//! All randomness comes from [`gamma_netsim::epoch_rng`], so the world
+//! after round N is a pure function of `(spec.seed, 1..=N)` — byte-equal
+//! regardless of worker count, scheduling, or whether earlier rounds
+//! were resumed from checkpoints. Every loop below iterates in a fixed
+//! order (spec order for countries, id order for orgs and sites); no
+//! `HashMap` iteration feeds the RNG.
+
+use crate::org::OrgKind;
+use crate::site::Website;
+use crate::world::World;
+use crate::OrgId;
+use gamma_dns::resolver::Replica;
+use gamma_dns::DomainName;
+use gamma_geo::{CityId, CountryCode};
+use gamma_netsim::asn::ASN_AWS;
+use gamma_netsim::epoch_rng;
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Per-epoch churn intensities. All rates are probabilities per eligible
+/// unit (site, serving entry, adjacent ranking pair, …) per epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChurnSpec {
+    /// P(a country-owned site gains one tracker embed).
+    pub tracker_add_rate: f64,
+    /// P(a country-owned site loses one tracker embed).
+    pub tracker_remove_rate: f64,
+    /// P(an (org, country) serving assignment moves to another PoP).
+    pub migration_rate: f64,
+    /// P(a site operator rehosts its first-party hosts on a new network).
+    pub rehost_rate: f64,
+    /// P(an adjacent pair in a regional ranking swaps).
+    pub rank_shuffle_rate: f64,
+    /// P(one org acquisition happens this epoch).
+    pub acquisition_rate: f64,
+}
+
+impl ChurnSpec {
+    /// Monthly-crawl-scale churn: a few percent of everything moves per
+    /// round, and roughly every fourth round sees an acquisition —
+    /// in the ballpark of WhoTracksMe month-over-month deltas.
+    pub fn paper_default() -> ChurnSpec {
+        ChurnSpec {
+            tracker_add_rate: 0.06,
+            tracker_remove_rate: 0.05,
+            migration_rate: 0.04,
+            rehost_rate: 0.03,
+            rank_shuffle_rate: 0.08,
+            acquisition_rate: 0.25,
+        }
+    }
+
+    /// No churn at all: every round re-measures the identical world.
+    pub fn none() -> ChurnSpec {
+        ChurnSpec {
+            tracker_add_rate: 0.0,
+            tracker_remove_rate: 0.0,
+            migration_rate: 0.0,
+            rehost_rate: 0.0,
+            rank_shuffle_rate: 0.0,
+            acquisition_rate: 0.0,
+        }
+    }
+
+    /// Whether this spec can ever change the world.
+    pub fn is_quiet(&self) -> bool {
+        self.tracker_add_rate == 0.0
+            && self.tracker_remove_rate == 0.0
+            && self.migration_rate == 0.0
+            && self.rehost_rate == 0.0
+            && self.rank_shuffle_rate == 0.0
+            && self.acquisition_rate == 0.0
+    }
+}
+
+impl Default for ChurnSpec {
+    fn default() -> ChurnSpec {
+        ChurnSpec::paper_default()
+    }
+}
+
+/// What one `evolve` call actually did — the ground-truth churn ledger a
+/// diff report can be validated against.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChurnLog {
+    pub epoch: u32,
+    pub trackers_added: u32,
+    pub trackers_removed: u32,
+    pub pop_migrations: u32,
+    pub rehosted_sites: u32,
+    pub rank_swaps: u32,
+    pub acquisitions: u32,
+}
+
+impl ChurnLog {
+    /// Total number of mutation events this epoch.
+    pub fn total(&self) -> u32 {
+        self.trackers_added
+            + self.trackers_removed
+            + self.pop_migrations
+            + self.rehosted_sites
+            + self.rank_swaps
+            + self.acquisitions
+    }
+}
+
+/// Advances the world by one epoch of churn. Pure in `(spec.seed, epoch)`:
+/// two clones of the same world evolved with the same epoch are equal.
+pub fn evolve(world: &mut World, churn: &ChurnSpec, epoch: u32) -> ChurnLog {
+    let mut rng = epoch_rng(world.spec.seed, epoch);
+    let mut log = ChurnLog {
+        epoch,
+        ..ChurnLog::default()
+    };
+    if churn.is_quiet() {
+        return log;
+    }
+    let exclusive_to = exclusivity_map(world);
+    let org_fqdns = tracker_fqdns_by_org(world);
+
+    migrate_pops(world, churn, &org_fqdns, &mut rng, &mut log);
+    churn_page_trackers(world, churn, &exclusive_to, &mut rng, &mut log);
+    rehost_sites(world, churn, &mut rng, &mut log);
+    shuffle_rankings(world, churn, &mut rng, &mut log);
+    acquire_org(world, churn, &exclusive_to, &mut rng, &mut log);
+    log
+}
+
+/// Org -> country it is exclusive to, resolved from the spec by name.
+fn exclusivity_map(world: &World) -> HashMap<OrgId, CountryCode> {
+    let mut m = HashMap::new();
+    for cs in &world.spec.countries {
+        for name in &cs.exclusive_orgs {
+            if let Some(org) = world.orgs.iter().find(|o| &o.name == name) {
+                m.insert(org.id, cs.country);
+            }
+        }
+    }
+    m
+}
+
+/// Org -> its tracker FQDN zones, in sorted (stable) order. Covers both
+/// the bare catalog domains and the expanded subdomains worldgen
+/// registered, without needing access to worldgen internals.
+fn tracker_fqdns_by_org(world: &World) -> HashMap<OrgId, Vec<DomainName>> {
+    let mut m: HashMap<OrgId, Vec<DomainName>> = HashMap::new();
+    for (domain, _) in world.resolver.iter_zones() {
+        if !world.is_tracker_domain(domain) {
+            continue;
+        }
+        if let Some(org) = world.org_of_domain(domain) {
+            m.entry(org).or_default().push(domain.clone());
+        }
+    }
+    for fqdns in m.values_mut() {
+        fqdns.sort();
+    }
+    m
+}
+
+/// CDN PoP migrations: an org's serving city for a country moves to
+/// another city in its existing replica footprint, and every FQDN of the
+/// org is re-steered for that country. Countries with an empty
+/// destination mix (CA, US — everything serves locally by construction)
+/// never migrate, preserving that invariant across rounds.
+fn migrate_pops(
+    world: &mut World,
+    churn: &ChurnSpec,
+    org_fqdns: &HashMap<OrgId, Vec<DomainName>>,
+    rng: &mut ChaCha8Rng,
+    log: &mut ChurnLog,
+) {
+    let mut entries: Vec<(OrgId, CountryCode, CityId)> = Vec::new();
+    for cs in &world.spec.countries {
+        if cs.dest_weights.is_empty() {
+            continue;
+        }
+        for org in &world.orgs {
+            if let Some(&cur) = world.serving.get(&(org.id, cs.country)) {
+                entries.push((org.id, cs.country, cur));
+            }
+        }
+    }
+    for (org_id, country, cur_city) in entries {
+        if rng.gen::<f64>() >= churn.migration_rate {
+            continue;
+        }
+        let Some(fqdns) = org_fqdns.get(&org_id) else {
+            continue;
+        };
+        let Some(first) = fqdns.first() else {
+            continue;
+        };
+        let mut candidates: Vec<CityId> = world
+            .resolver
+            .replicas(first)
+            .iter()
+            .map(|r| r.city)
+            .collect();
+        candidates.sort_unstable();
+        candidates.dedup();
+        candidates.retain(|c| *c != cur_city);
+        if candidates.is_empty() {
+            continue;
+        }
+        let new_city = candidates[rng.gen_range(0..candidates.len())];
+        world.serving.insert((org_id, country), new_city);
+        for fqdn in fqdns {
+            world.resolver.steer(fqdn.clone(), country, new_city);
+        }
+        log.pop_migrations += 1;
+    }
+}
+
+/// Tracker add/remove on country-owned pages. Added embeds are bare
+/// catalog domains — always registered zones with steering for every
+/// measurement country — and never an org exclusive to another country.
+fn churn_page_trackers(
+    world: &mut World,
+    churn: &ChurnSpec,
+    exclusive_to: &HashMap<OrgId, CountryCode>,
+    rng: &mut ChaCha8Rng,
+    log: &mut ChurnLog,
+) {
+    let n_domains = world.tracker_domains.len();
+    for i in 0..world.sites.len() {
+        if world.sites[i].global {
+            continue;
+        }
+        let country = world.sites[i].country;
+        if rng.gen::<f64>() < churn.tracker_remove_rate && !world.sites[i].trackers.is_empty() {
+            let k = rng.gen_range(0..world.sites[i].trackers.len());
+            world.sites[i].trackers.remove(k);
+            log.trackers_removed += 1;
+        }
+        if rng.gen::<f64>() < churn.tracker_add_rate && n_domains > 0 {
+            for _attempt in 0..8 {
+                let t = &world.tracker_domains[rng.gen_range(0..n_domains)];
+                let foreign_exclusive = exclusive_to
+                    .get(&t.org)
+                    .is_some_and(|home| *home != country);
+                if foreign_exclusive
+                    || !world.serving.contains_key(&(t.org, country))
+                    || world.sites[i].trackers.contains(&t.domain)
+                {
+                    continue;
+                }
+                let domain = t.domain.clone();
+                world.sites[i].trackers.push(domain);
+                log.trackers_added += 1;
+                break;
+            }
+        }
+    }
+}
+
+/// First-party hosting migrations: a site-operator deployment moves to a
+/// different network (own ASN ↔ AWS) in the *same* city; every own-host
+/// gets a fresh address from the new blocks and its zone is replaced.
+fn rehost_sites(world: &mut World, churn: &ChurnSpec, rng: &mut ChaCha8Rng, log: &mut ChurnLog) {
+    struct Move {
+        op: OrgId,
+        hosts: Vec<DomainName>,
+        city: CityId,
+        new_asn: gamma_netsim::Asn,
+    }
+    let mut moves: Vec<Move> = Vec::new();
+    for site in &world.sites {
+        if site.global
+            || site.own_hosts.is_empty()
+            || world.org(site.operator).kind != OrgKind::SiteOperator
+        {
+            continue;
+        }
+        if rng.gen::<f64>() >= churn.rehost_rate {
+            continue;
+        }
+        let Some(rep) = world.resolver.replicas(&site.own_hosts[0]).first() else {
+            continue;
+        };
+        let host_city = rep.city;
+        let Some(dep) = world.hosting.get(site.operator, host_city) else {
+            continue;
+        };
+        let new_asn = if dep.on_cloud() {
+            crate::hosting::own_asn(site.operator)
+        } else {
+            ASN_AWS
+        };
+        moves.push(Move {
+            op: site.operator,
+            hosts: site.own_hosts.clone(),
+            city: host_city,
+            new_asn,
+        });
+    }
+    for m in moves {
+        let Some(dep_idx) = world
+            .hosting
+            .rehost(m.op, m.city, m.new_asn, &mut world.ip_registry)
+        else {
+            continue;
+        };
+        for h in &m.hosts {
+            let ip = world.hosting.alloc_ip(dep_idx, &mut world.ip_registry);
+            world.resolver.replace_replicas(
+                h.clone(),
+                [Replica {
+                    addr: ip,
+                    city: m.city,
+                }],
+            );
+        }
+        log.rehosted_sites += 1;
+    }
+}
+
+/// Popularity drift: adjacent swaps within each regional ranking. The
+/// target *set* is invariant, so time series stay joinable on site ids.
+fn shuffle_rankings(
+    world: &mut World,
+    churn: &ChurnSpec,
+    rng: &mut ChaCha8Rng,
+    log: &mut ChurnLog,
+) {
+    for cs in &world.spec.countries {
+        let Some(targets) = world.targets.get_mut(&cs.country) else {
+            continue;
+        };
+        for i in 1..targets.regional.len() {
+            if rng.gen::<f64>() < churn.rank_shuffle_rate {
+                targets.regional.swap(i - 1, i);
+                log.rank_swaps += 1;
+            }
+        }
+    }
+}
+
+/// Org acquisition: at most one long-tail tracker org per epoch is
+/// absorbed by a major. Attribution (`tracker_domains[].org`,
+/// `domain_org`) is remapped; serving and steering are untouched, so
+/// resolution — and therefore every observation — is identical and only
+/// the entity map changes.
+fn acquire_org(
+    world: &mut World,
+    churn: &ChurnSpec,
+    exclusive_to: &HashMap<OrgId, CountryCode>,
+    rng: &mut ChaCha8Rng,
+    log: &mut ChurnLog,
+) {
+    if rng.gen::<f64>() >= churn.acquisition_rate {
+        return;
+    }
+    let mut candidates: Vec<OrgId> = world.tracker_domains.iter().map(|t| t.org).collect();
+    candidates.sort_unstable();
+    candidates.dedup();
+    candidates.retain(|id| {
+        !exclusive_to.contains_key(id)
+            && matches!(
+                world.org(*id).kind,
+                OrgKind::AdTech | OrgKind::Analytics | OrgKind::Social
+            )
+    });
+    let majors: Vec<OrgId> = world
+        .orgs
+        .iter()
+        .filter(|o| o.kind == OrgKind::MajorTracker)
+        .map(|o| o.id)
+        .collect();
+    if candidates.is_empty() || majors.is_empty() {
+        return;
+    }
+    let acquiree = candidates[rng.gen_range(0..candidates.len())];
+    let acquirer = majors[rng.gen_range(0..majors.len())];
+    for t in &mut world.tracker_domains {
+        if t.org == acquiree {
+            t.org = acquirer;
+        }
+    }
+    // Value rewrites only — no RNG draws, no order-sensitive effects —
+    // so HashMap iteration order is immaterial here.
+    for org in world.domain_org.values_mut() {
+        if *org == acquiree {
+            *org = acquirer;
+        }
+    }
+    log.acquisitions += 1;
+}
+
+/// Evolves a fresh copy of the world through epochs `1..=epoch`,
+/// returning the per-epoch logs. The world state at epoch N is the fold
+/// of all earlier evolutions — this helper is how a resumed campaign
+/// reconstructs round N's world without replaying any measurements.
+pub fn world_at_epoch(base: &World, churn: &ChurnSpec, epoch: u32) -> (World, Vec<ChurnLog>) {
+    let mut world = base.clone();
+    let logs = (1..=epoch).map(|e| evolve(&mut world, churn, e)).collect();
+    (world, logs)
+}
+
+/// Convenience used by tests and examples: sites currently embedding a
+/// given tracker domain.
+pub fn sites_embedding<'w>(world: &'w World, domain: &DomainName) -> Vec<&'w Website> {
+    world
+        .sites
+        .iter()
+        .filter(|s| s.trackers.iter().any(|t| t == domain))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::WorldSpec;
+    use crate::worldgen::generate;
+    use gamma_geo::city;
+
+    fn small_spec(seed: u64) -> WorldSpec {
+        let mut spec = WorldSpec::paper_default(seed);
+        spec.countries
+            .retain(|c| ["RW", "US", "NZ"].contains(&c.country.as_str()));
+        spec.reg_sites_per_country = 12;
+        spec.gov_sites_per_country = 4;
+        spec
+    }
+
+    fn assert_worlds_equal(a: &World, b: &World) {
+        assert_eq!(a.sites, b.sites);
+        assert_eq!(a.tracker_domains, b.tracker_domains);
+        assert_eq!(a.serving, b.serving);
+        assert_eq!(a.targets, b.targets);
+        assert_eq!(a.domain_org, b.domain_org);
+        assert_eq!(a.resolver.zone_count(), b.resolver.zone_count());
+        for (domain, replicas) in a.resolver.iter_zones() {
+            assert_eq!(replicas, b.resolver.replicas(domain), "{domain}");
+        }
+    }
+
+    #[test]
+    fn evolution_is_deterministic() {
+        let base = generate(&small_spec(11));
+        let mut a = base.clone();
+        let mut b = base;
+        for epoch in 1..=3 {
+            let la = evolve(&mut a, &ChurnSpec::paper_default(), epoch);
+            let lb = evolve(&mut b, &ChurnSpec::paper_default(), epoch);
+            assert_eq!(la, lb);
+            assert_worlds_equal(&a, &b);
+        }
+    }
+
+    #[test]
+    fn quiet_churn_is_the_identity() {
+        let base = generate(&small_spec(12));
+        let mut w = base.clone();
+        let log = evolve(&mut w, &ChurnSpec::none(), 1);
+        assert_eq!(log.total(), 0);
+        assert_worlds_equal(&base, &w);
+    }
+
+    #[test]
+    fn default_churn_actually_changes_the_world() {
+        let mut w = generate(&small_spec(13));
+        let mut total = 0;
+        for epoch in 1..=4 {
+            total += evolve(&mut w, &ChurnSpec::paper_default(), epoch).total();
+        }
+        assert!(total > 10, "only {total} churn events in 4 epochs");
+    }
+
+    #[test]
+    fn epochs_draw_independent_streams() {
+        // Applying epoch 2's churn to the base world differs from epoch
+        // 1's — the epochs are distinct streams, not a replay.
+        let base = generate(&small_spec(14));
+        let mut a = base.clone();
+        let mut b = base;
+        let la = evolve(&mut a, &ChurnSpec::paper_default(), 1);
+        let lb = evolve(&mut b, &ChurnSpec::paper_default(), 2);
+        assert!(la != lb || a.sites != b.sites, "epochs replayed each other");
+    }
+
+    #[test]
+    fn steering_still_matches_serving_after_churn() {
+        let mut w = generate(&small_spec(15));
+        for epoch in 1..=3 {
+            evolve(&mut w, &ChurnSpec::paper_default(), epoch);
+        }
+        let mut checked = 0;
+        for cs in &w.spec.countries {
+            let vc = w.volunteer_city(cs.country).unwrap();
+            for t in &w.tracker_domains {
+                let Some(&serve_city) = w.serving.get(&(t.org, cs.country)) else {
+                    continue;
+                };
+                if let Some(rep) = w.resolve(&t.domain, vc) {
+                    assert_eq!(
+                        rep.city, serve_city,
+                        "{}: {} resolved off-steering after churn",
+                        cs.country, t.domain
+                    );
+                    checked += 1;
+                }
+            }
+        }
+        assert!(checked > 50, "only {checked} steering checks ran");
+    }
+
+    #[test]
+    fn us_keeps_serving_everything_locally() {
+        let mut w = generate(&small_spec(16));
+        for epoch in 1..=5 {
+            evolve(&mut w, &ChurnSpec::paper_default(), epoch);
+        }
+        let us = CountryCode::new("US");
+        for ((_, country), city_id) in &w.serving {
+            if *country == us {
+                assert_eq!(city(*city_id).country, us, "US serving went foreign");
+            }
+        }
+    }
+
+    #[test]
+    fn target_sets_are_round_invariant() {
+        let base = generate(&small_spec(17));
+        let mut w = base.clone();
+        for epoch in 1..=4 {
+            evolve(&mut w, &ChurnSpec::paper_default(), epoch);
+        }
+        for (cc, t0) in &base.targets {
+            let t1 = &w.targets[cc];
+            let mut a: Vec<_> = t0.regional.clone();
+            let mut b: Vec<_> = t1.regional.clone();
+            a.sort_unstable_by_key(|s| s.0);
+            b.sort_unstable_by_key(|s| s.0);
+            assert_eq!(a, b, "{cc}: regional target set changed");
+            assert_eq!(t0.government, t1.government, "{cc}: gov list changed");
+        }
+    }
+
+    #[test]
+    fn rehosted_hosts_stay_in_city_but_change_address() {
+        let spec = small_spec(18);
+        let base = generate(&spec);
+        let mut churn = ChurnSpec::none();
+        churn.rehost_rate = 1.0;
+        let mut w = base.clone();
+        let log = evolve(&mut w, &churn, 1);
+        assert!(log.rehosted_sites > 0, "nothing rehosted at rate 1.0");
+        let mut changed = 0;
+        for (old, new) in base.sites.iter().zip(&w.sites) {
+            for h in &old.own_hosts {
+                let old_rep = base.resolver.replicas(h).first().copied();
+                let new_rep = w.resolver.replicas(h).first().copied();
+                let (Some(o), Some(n)) = (old_rep, new_rep) else {
+                    continue;
+                };
+                assert_eq!(o.city, n.city, "{h}: rehost moved cities");
+                assert_eq!(w.true_city(n.addr), Some(n.city), "{h}: lost ground truth");
+                if o.addr != n.addr {
+                    changed += 1;
+                    assert_eq!(old.id, new.id);
+                }
+            }
+        }
+        assert!(changed > 0, "no address actually changed");
+    }
+
+    #[test]
+    fn world_at_epoch_matches_incremental_evolution() {
+        let base = generate(&small_spec(19));
+        let mut inc = base.clone();
+        let mut inc_logs = Vec::new();
+        for epoch in 1..=3 {
+            inc_logs.push(evolve(&mut inc, &ChurnSpec::paper_default(), epoch));
+        }
+        let (jumped, logs) = world_at_epoch(&base, &ChurnSpec::paper_default(), 3);
+        assert_eq!(logs, inc_logs);
+        assert_worlds_equal(&inc, &jumped);
+    }
+
+    #[test]
+    fn acquisition_moves_attribution_but_not_resolution() {
+        let spec = small_spec(20);
+        let base = generate(&spec);
+        let mut churn = ChurnSpec::none();
+        churn.acquisition_rate = 1.0;
+        let mut w = base.clone();
+        let log = evolve(&mut w, &churn, 1);
+        assert_eq!(log.acquisitions, 1);
+        let moved: Vec<_> = base
+            .tracker_domains
+            .iter()
+            .zip(&w.tracker_domains)
+            .filter(|(o, n)| o.org != n.org)
+            .collect();
+        assert!(!moved.is_empty(), "acquisition moved no domains");
+        for (old, new) in &moved {
+            assert_eq!(old.domain, new.domain);
+            assert_eq!(
+                w.org(new.org).kind,
+                OrgKind::MajorTracker,
+                "acquirer is not a major"
+            );
+            // Resolution is untouched.
+            let vc = w.volunteer_city(w.spec.countries[0].country).unwrap();
+            assert_eq!(base.resolve(&old.domain, vc), w.resolve(&new.domain, vc));
+        }
+    }
+}

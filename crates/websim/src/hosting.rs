@@ -105,6 +105,36 @@ impl HostingPlan {
         ip
     }
 
+    /// Rehosts an (org, city) deployment onto a different network: a
+    /// fresh deployment is allocated under `new_asn` and the index is
+    /// repointed at it, so future lookups and allocations use the new
+    /// blocks. The old deployment is kept in the plan — its addresses
+    /// were handed out and stay ground-truthed in the registry, which is
+    /// exactly what a real migration leaves behind (the old netblocks
+    /// still geolocate, they just stop answering DNS). Returns the new
+    /// deployment's index, or `None` if (org, city) was never deployed.
+    pub fn rehost(
+        &mut self,
+        org: OrgId,
+        city: CityId,
+        new_asn: Asn,
+        reg: &mut IpRegistry,
+    ) -> Option<usize> {
+        let slot = self.index.get_mut(&(org, city))?;
+        let alloc = reg.allocate(new_asn, city);
+        let dep = Deployment {
+            org,
+            city,
+            asn: new_asn,
+            nets: vec![alloc.net],
+            next_host: 1,
+        };
+        let i = self.deployments.len();
+        *slot = i;
+        self.deployments.push(dep);
+        Some(i)
+    }
+
     /// Looks up a deployment by (org, city).
     pub fn get(&self, org: OrgId, city: CityId) -> Option<&Deployment> {
         self.index.get(&(org, city)).map(|&i| &self.deployments[i])
@@ -202,6 +232,30 @@ mod tests {
             "expected chained blocks, got {}",
             dep.nets.len()
         );
+    }
+
+    #[test]
+    fn rehost_repoints_the_index_and_keeps_old_blocks_ground_truthed() {
+        let mut reg = IpRegistry::new();
+        let mut plan = HostingPlan::new();
+        let i = plan.ensure(OrgId(4), CityId(7), own_asn(OrgId(4)), &mut reg);
+        let old_ip = plan.alloc_ip(i, &mut reg);
+        let j = plan.rehost(OrgId(4), CityId(7), ASN_AWS, &mut reg).unwrap();
+        assert_ne!(i, j);
+        assert_eq!(plan.get(OrgId(4), CityId(7)).unwrap().asn, ASN_AWS);
+        let new_ip = plan.alloc_ip(j, &mut reg);
+        assert_ne!(old_ip, new_ip);
+        // Old address still geolocates under the old ASN; the new one
+        // under the cloud ASN — both in the same city.
+        let old_hit = reg.lookup(old_ip).unwrap();
+        assert_eq!(old_hit.asn, own_asn(OrgId(4)));
+        let new_hit = reg.lookup(new_ip).unwrap();
+        assert_eq!(new_hit.asn, ASN_AWS);
+        assert_eq!(new_hit.city, CityId(7));
+        // Rehosting an unknown deployment is a no-op.
+        assert!(plan
+            .rehost(OrgId(99), CityId(7), ASN_AWS, &mut reg)
+            .is_none());
     }
 
     #[test]

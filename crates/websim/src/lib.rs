@@ -14,6 +14,7 @@
 
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
+pub mod churn;
 pub mod domains;
 pub mod hosting;
 pub mod org;
@@ -23,6 +24,7 @@ pub mod spec;
 pub mod world;
 pub mod worldgen;
 
+pub use churn::{evolve, world_at_epoch, ChurnLog, ChurnSpec};
 pub use domains::TrackerDomain;
 pub use org::{Org, OrgId, OrgKind};
 pub use ranking::{overlap_experiment, OverlapExperiment, RankingProviders, RankingSource};

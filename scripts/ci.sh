@@ -20,6 +20,10 @@ echo "==> chaos smoke: stress fault profile on a small world"
 cargo run --release --bin gamma-study -- \
   --seed 7 --small --fault-profile stress --quality-report > /dev/null
 
+echo "==> longitudinal smoke: three rounds of churn with the diff report"
+cargo run --release --bin gamma-study -- \
+  --seed 7 --small --rounds 3 --diff > /dev/null
+
 echo "==> obs smoke: metrics report emitted and self-validated"
 cargo run --release --bin gamma-study -- \
   --seed 7 --small --metrics-out /tmp/gamma-bench-7.json > /dev/null

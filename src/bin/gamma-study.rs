@@ -24,6 +24,10 @@
 //! # CI smoke: three countries only
 //! gamma-study --small --fault-profile blackout:RW --quality-report
 //!
+//! # longitudinal: three rounds of deterministic world churn, with the
+//! # cross-round diff/trend report and snapshot-size ledger
+//! gamma-study --small --rounds 3 --diff
+//!
 //! # observability: span tree on stderr, benchmark report as JSON
 //! gamma-study --small --trace --metrics-out BENCH_2025.json
 //!
@@ -52,6 +56,8 @@ fn main() -> ExitCode {
     let mut trace = false;
     let mut metrics_out: Option<String> = None;
     let mut check_metrics: Option<String> = None;
+    let mut rounds = 1u32;
+    let mut diff = false;
 
     let mut argv = std::env::args().skip(1);
     while let Some(flag) = argv.next() {
@@ -90,6 +96,11 @@ fn main() -> ExitCode {
                 Some(v) => check_metrics = Some(v),
                 None => return usage(),
             },
+            "--rounds" => match argv.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v >= 1 => rounds = v,
+                _ => return usage(),
+            },
+            "--diff" => diff = true,
             "--help" | "-h" => return usage(),
             _ => return usage(),
         }
@@ -161,6 +172,122 @@ fn main() -> ExitCode {
 
     if trace {
         gamma::obs::global().set_trace(true);
+    }
+
+    // Temporal mode: N rounds over one evolving world, each round its own
+    // campaign under a derived round seed, snapshots delta-encoded round
+    // over round. `--diff` prints the cross-round trend report.
+    if rounds > 1 || diff {
+        if quality_report {
+            eprintln!("note: --quality-report applies to single-round runs; ignoring");
+        }
+        let lstudy = gamma::longitudinal::LongitudinalStudy::new(study.clone(), rounds);
+        eprintln!(
+            "running the {}-country study over {rounds} round(s) (seed {seed}, {} worker(s))...",
+            study.spec.countries.len(),
+            options.effective_workers()
+        );
+        let before = gamma::obs::global().snapshot();
+        let started = Instant::now();
+        let results = match lstudy.run_with(&options) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("longitudinal campaign failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let total_wall = started.elapsed();
+        for out in &results.rounds {
+            eprintln!("— round {} (seed {}) —", out.epoch, out.round_seed);
+            eprintln!("{}", render_campaign_report(&out.metrics));
+        }
+
+        if trace {
+            for root in gamma::obs::global().take_traces() {
+                eprint!("{}", gamma::obs::render_trace(&root));
+            }
+        }
+
+        if let Some(path) = metrics_out {
+            let mut measure = std::time::Duration::ZERO;
+            let mut geolocate = std::time::Duration::ZERO;
+            let mut finalize = std::time::Duration::ZERO;
+            let mut sites_total = 0usize;
+            for out in &results.rounds {
+                let t = out.metrics.totals();
+                measure += t.stage_wall.measure;
+                geolocate += t.stage_wall.geolocate;
+                finalize += t.stage_wall.finalize;
+                sites_total += t.sites_total;
+            }
+            let stages = BTreeMap::from([
+                ("measure".to_owned(), as_ms(measure)),
+                ("geolocate".to_owned(), as_ms(geolocate)),
+                ("finalize".to_owned(), as_ms(finalize)),
+            ]);
+            let after = gamma::obs::global().snapshot();
+            let report = MetricsReport::new(
+                seed,
+                options.effective_workers(),
+                study.spec.countries.len(),
+                total_wall.as_secs_f64() * 1e3,
+                stages,
+                &before,
+                &after,
+            )
+            .with_throughput("sites_per_sec", sites_total as f64);
+            match report.to_json() {
+                Ok(js) => {
+                    if let Err(e) = std::fs::write(&path, js) {
+                        eprintln!("cannot write {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                    eprintln!("wrote metrics report {path}");
+                }
+                Err(e) => {
+                    eprintln!("metrics serialization failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+
+        if diff {
+            println!("{}", results.render_report());
+        } else {
+            for (out, snap) in results.rounds.iter().zip(&results.snapshots) {
+                let delta_bytes = results
+                    .deltas
+                    .get(out.epoch as usize)
+                    .map(|d| d.json_bytes())
+                    .unwrap_or(0);
+                println!(
+                    "round {}: seed {} | {} countries | snapshot {} B full / {} B delta",
+                    out.epoch,
+                    out.round_seed,
+                    out.runs.len(),
+                    snap.json_bytes(),
+                    delta_bytes
+                );
+            }
+        }
+
+        if let Some(path) = json_out {
+            let studies: Vec<_> = results.rounds.iter().map(|r| &r.study).collect();
+            match serde_json::to_string_pretty(&studies) {
+                Ok(js) => {
+                    if let Err(e) = std::fs::write(&path, js) {
+                        eprintln!("cannot write {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                    eprintln!("wrote {path} (one dataset per round)");
+                }
+                Err(e) => {
+                    eprintln!("serialization failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        return ExitCode::SUCCESS;
     }
 
     eprintln!(
@@ -256,7 +383,8 @@ fn usage() -> ExitCode {
         "usage: gamma-study [--seed N] [--json FILE] [--jobs N] [--resume FILE] \
          [--no-source] [--no-dest] [--no-rdns] \
          [--fault-profile NAME] [--quality-report] [--small] \
-         [--trace] [--metrics-out FILE] [--check-metrics FILE]"
+         [--trace] [--metrics-out FILE] [--check-metrics FILE] \
+         [--rounds N] [--diff]"
     );
     eprintln!("  --jobs N       run country shards on N worker threads (0 = all cores)");
     eprintln!("  --resume FILE  checkpoint after every country; resume from FILE if it exists");
@@ -269,5 +397,10 @@ fn usage() -> ExitCode {
     eprintln!("  --trace               print the hierarchical span tree on stderr");
     eprintln!("  --metrics-out FILE    write the machine-readable benchmark report as JSON");
     eprintln!("  --check-metrics FILE  validate a benchmark report and exit (CI gate)");
+    eprintln!(
+        "  --rounds N            temporal campaign: N rounds over one world evolving \
+         under deterministic churn"
+    );
+    eprintln!("  --diff                print the cross-round trend report and snapshot sizes");
     ExitCode::FAILURE
 }

@@ -20,6 +20,7 @@ pub use gamma_core as core;
 pub use gamma_dns as dns;
 pub use gamma_geo as geo;
 pub use gamma_geoloc as geoloc;
+pub use gamma_longitudinal as longitudinal;
 pub use gamma_model as model;
 pub use gamma_netsim as netsim;
 pub use gamma_obs as obs;

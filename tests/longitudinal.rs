@@ -1,0 +1,227 @@
+//! Longitudinal campaign integration: multi-round determinism across
+//! worker counts, kill/resume across round boundaries, delta-snapshot
+//! losslessness, and byte-reproducible diff reports.
+
+use gamma::campaign::{CampaignCheckpoint, Options};
+use gamma::chaos::FaultPlan;
+use gamma::core::Study;
+use gamma::longitudinal::{DeltaSnapshot, LongitudinalStudy};
+use gamma::websim::WorldSpec;
+use std::path::PathBuf;
+
+fn reduced_study(seed: u64) -> Study {
+    let mut spec = WorldSpec::paper_default(seed);
+    spec.countries
+        .retain(|c| ["RW", "US", "NZ"].contains(&c.country.as_str()));
+    spec.reg_sites_per_country = 16;
+    spec.gov_sites_per_country = 5;
+    Study::with_spec(spec)
+}
+
+/// A temp checkpoint base path; cleans up the per-round files too.
+struct CkptFile(PathBuf);
+
+impl CkptFile {
+    fn new(tag: &str) -> CkptFile {
+        CkptFile(std::env::temp_dir().join(format!(
+            "gamma-longitudinal-{}-{}.json",
+            tag,
+            std::process::id()
+        )))
+    }
+
+    fn round(&self, epoch: u32) -> PathBuf {
+        let mut s = self.0.clone().into_os_string();
+        s.push(format!(".round{epoch}"));
+        PathBuf::from(s)
+    }
+}
+
+impl Drop for CkptFile {
+    fn drop(&mut self) {
+        for epoch in 0..8 {
+            let _ = std::fs::remove_file(self.round(epoch));
+        }
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+#[test]
+fn three_rounds_are_worker_count_independent() {
+    let lstudy = LongitudinalStudy::new(reduced_study(6021), 3);
+    let sequential = lstudy.run();
+    let parallel = lstudy
+        .run_with(&Options::with_workers(4))
+        .expect("parallel longitudinal campaign");
+
+    assert_eq!(sequential.rounds.len(), 3);
+    for (a, b) in sequential.rounds.iter().zip(&parallel.rounds) {
+        assert_eq!(a.round_seed, b.round_seed);
+        assert_eq!(a.runs, b.runs, "round {} datasets must match", a.epoch);
+        assert_eq!(a.study, b.study);
+        assert_eq!(a.quarantines, b.quarantines);
+    }
+    // Snapshots, deltas, and the rendered diff report are byte-identical.
+    for (a, b) in sequential.snapshots.iter().zip(&parallel.snapshots) {
+        assert_eq!(
+            serde_json::to_string(a).expect("snapshot json"),
+            serde_json::to_string(b).expect("snapshot json")
+        );
+    }
+    for (a, b) in sequential.deltas.iter().zip(&parallel.deltas) {
+        assert_eq!(
+            serde_json::to_string(a).expect("delta json"),
+            serde_json::to_string(b).expect("delta json")
+        );
+    }
+    assert_eq!(sequential.render_report(), parallel.render_report());
+    // Churn actually happened between rounds: the worlds differ, so at
+    // least one round transition ships new rows.
+    assert!(
+        sequential.churn_log.iter().map(|c| c.total()).sum::<u32>() > 0,
+        "default churn must move the world between rounds"
+    );
+}
+
+#[test]
+fn delta_chain_reconstructs_every_round() {
+    let base = reduced_study(6022);
+    let plain = base.run();
+    let lstudy = LongitudinalStudy::new(base, 3);
+    let results = lstudy.run();
+
+    // Round 0 is the anchor: identical to a plain one-shot study.
+    assert_eq!(results.rounds[0].runs, plain.runs);
+    assert_eq!(results.rounds[0].study, plain.study);
+
+    // The delta chain alone rebuilds every full snapshot losslessly.
+    let mut prev = None;
+    for (epoch, (delta, full)) in results.deltas.iter().zip(&results.snapshots).enumerate() {
+        let decoded = delta.decode(prev).expect("delta decodes");
+        assert_eq!(&decoded, full, "epoch {epoch} round-trips");
+        prev = Some(full);
+    }
+
+    // Later rounds reuse most of the previous round's bytes.
+    for (epoch, delta) in results.deltas.iter().enumerate().skip(1) {
+        assert!(
+            delta.rows_ref() > 0,
+            "epoch {epoch} must back-reference unchanged rows"
+        );
+        let full = results.snapshots[epoch].json_bytes();
+        assert!(
+            delta.json_bytes() < full,
+            "epoch {epoch}: delta ({} B) must be smaller than full ({} B)",
+            delta.json_bytes(),
+            full
+        );
+    }
+
+    // A delta applied to the wrong base is rejected, not mis-decoded.
+    let wrong_base = &results.snapshots[0];
+    for delta in results.deltas.iter().skip(2) {
+        let decoded = delta.decode(Some(wrong_base));
+        let ok = decoded.map(|d| d == results.snapshots[2]).unwrap_or(false);
+        assert!(!ok, "mismatched base must not silently reproduce round 2");
+    }
+}
+
+#[test]
+fn kill_mid_second_round_resumes_byte_identically() {
+    let mut study = reduced_study(6023);
+    // Hostile-Internet faults so quarantine ledgers are non-empty and
+    // must survive checkpoint/resume.
+    study.config.plan = FaultPlan::stress(6023);
+    study.options.degraded_fallback = true;
+    let lstudy = LongitudinalStudy::new(study, 3);
+
+    let uninterrupted = lstudy.run();
+    let quarantined: usize = uninterrupted
+        .rounds
+        .iter()
+        .flat_map(|r| r.quarantines.iter())
+        .map(|(_, q)| q.len())
+        .sum();
+    assert!(quarantined > 0, "stress profile must quarantine rows");
+
+    // First process: killed while the second round (epoch 1) was in
+    // flight — its checkpoint holds 2 of 3 shards; round 2 never started.
+    let ckpt = CkptFile::new("kill");
+    let first = lstudy
+        .run_with(&Options::sequential().resumable(&ckpt.0))
+        .expect("checkpointed longitudinal campaign");
+    assert_eq!(first.render_report(), uninterrupted.render_report());
+    let mut partial = CampaignCheckpoint::load(&ckpt.round(1)).expect("round-1 checkpoint");
+    assert_eq!(partial.completed.len(), 3);
+    partial.completed.pop();
+    partial.save(&ckpt.round(1)).expect("tamper round-1");
+    std::fs::remove_file(ckpt.round(2)).expect("drop round-2 checkpoint");
+
+    // Second process: resumes round 0 wholesale, redoes one shard of
+    // round 1, reruns round 2 — byte-identical to the uninterrupted run.
+    let resumed = lstudy
+        .run_with(&Options::sequential().resumable(&ckpt.0))
+        .expect("resumed longitudinal campaign");
+    assert_eq!(resumed.rounds.len(), uninterrupted.rounds.len());
+    for (a, b) in resumed.rounds.iter().zip(&uninterrupted.rounds) {
+        assert_eq!(a.runs, b.runs, "round {} datasets", a.epoch);
+        assert_eq!(a.quarantines, b.quarantines, "round {} quarantine", a.epoch);
+        assert_eq!(a.study, b.study);
+    }
+    for (a, b) in resumed.snapshots.iter().zip(&uninterrupted.snapshots) {
+        assert_eq!(a, b);
+    }
+    assert_eq!(resumed.render_report(), uninterrupted.render_report());
+    assert_eq!(
+        resumed.rounds[0].metrics.resumed_shards, 3,
+        "round 0 restores every shard from its finished checkpoint"
+    );
+    assert_eq!(
+        resumed.rounds[1].metrics.resumed_shards, 2,
+        "round 1 restores the two checkpointed shards"
+    );
+    assert_eq!(resumed.rounds[2].metrics.resumed_shards, 0);
+}
+
+#[test]
+fn resuming_with_more_rounds_extends_the_campaign() {
+    let lstudy3 = LongitudinalStudy::new(reduced_study(6024), 3);
+    let uninterrupted = lstudy3.run();
+
+    // First process asked for 2 rounds; a later one extends to 3. Rounds
+    // 0 and 1 restore from their checkpoints, round 2 runs fresh.
+    let ckpt = CkptFile::new("extend");
+    let lstudy2 = LongitudinalStudy::new(reduced_study(6024), 2);
+    lstudy2
+        .run_with(&Options::sequential().resumable(&ckpt.0))
+        .expect("two-round campaign");
+    let extended = lstudy3
+        .run_with(&Options::sequential().resumable(&ckpt.0))
+        .expect("extended campaign");
+    for (a, b) in extended.rounds.iter().zip(&uninterrupted.rounds) {
+        assert_eq!(a.runs, b.runs, "round {} datasets", a.epoch);
+    }
+    assert_eq!(extended.render_report(), uninterrupted.render_report());
+    assert_eq!(extended.rounds[0].metrics.resumed_shards, 3);
+    assert_eq!(extended.rounds[1].metrics.resumed_shards, 3);
+    assert_eq!(extended.rounds[2].metrics.resumed_shards, 0);
+}
+
+#[test]
+fn longitudinal_counters_track_rounds_and_snapshot_bytes() {
+    let rounds_before = gamma::obs::global().counter("longitudinal.rounds").get();
+    let full_before = gamma::obs::global()
+        .counter("longitudinal.snapshot.full_bytes")
+        .get();
+    let results = LongitudinalStudy::new(reduced_study(6025), 2).run();
+    let rounds_after = gamma::obs::global().counter("longitudinal.rounds").get();
+    let full_after = gamma::obs::global()
+        .counter("longitudinal.snapshot.full_bytes")
+        .get();
+    assert!(rounds_after >= rounds_before + 2);
+    assert!(full_after >= full_before + results.full_bytes() as u64);
+    assert!(results.delta_bytes() < results.full_bytes());
+    // A re-encode of the recorded rounds reproduces the stored deltas.
+    let again = DeltaSnapshot::encode(None, &results.snapshots[0]);
+    assert_eq!(again, results.deltas[0]);
+}
