@@ -1,0 +1,69 @@
+//! Benchmarks for the service plane: scheduler due-scan throughput as
+//! the registry grows, and full-tick latency with a saturated admission
+//! queue versus an unbounded one.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use gamma_geo::CountryCode;
+use gamma_server::{AdmissionPolicy, Server, ServerConfig, StudyConfig};
+use std::hint::black_box;
+
+/// A minimal one-country study so the tick benches measure scheduling
+/// and admission, not campaign volume.
+fn tiny_study(name: &str) -> StudyConfig {
+    let mut c = StudyConfig::new(name, vec![CountryCode::new("RW")]);
+    c.reg_sites = Some(4);
+    c.gov_sites = Some(1);
+    c
+}
+
+/// Ticks a registry whose tenants are all far from due: every tick
+/// scans the whole registry and fires nothing, isolating the scheduler
+/// itself from campaign cost.
+fn bench_due_scan(c: &mut Criterion) {
+    let mut g = c.benchmark_group("server");
+    for tenants in [16u32, 128, 1024] {
+        let mut server = Server::new(ServerConfig::new(gamma_bench::BENCH_SEED));
+        for i in 0..tenants {
+            let mut study = tiny_study(&format!("t{i}"));
+            study.cadence = 1 << 40;
+            server.create(study).expect("register");
+        }
+        g.throughput(Throughput::Elements(u64::from(tenants)));
+        g.bench_function(format!("due_scan/{tenants}"), |b| {
+            b.iter(|| black_box(&mut server).tick())
+        });
+    }
+    g.finish();
+}
+
+/// One tick with eight due tenants on a two-worker pool: unbounded
+/// admission runs all eight rounds; a saturated queue (capacity two)
+/// admits two and delays six. The gap is the latency the backpressure
+/// policy trades for bounded per-tick work.
+fn bench_saturated_tick(c: &mut Criterion) {
+    let mut g = c.benchmark_group("server");
+    g.sample_size(10);
+    for (label, queue) in [("tick_unbounded", 0usize), ("tick_saturated_q2", 2)] {
+        let mut config = ServerConfig::new(gamma_bench::BENCH_SEED);
+        config.workers = 2;
+        config.queue_capacity = queue;
+        config.admission = AdmissionPolicy::Delay;
+        let mut server = Server::new(config);
+        for i in 0..8u32 {
+            server
+                .create(tiny_study(&format!("t{i}")))
+                .expect("register");
+        }
+        g.bench_function(label, |b| {
+            b.iter_batched(
+                || server.clone(),
+                |mut s| black_box(s.tick()),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_due_scan, bench_saturated_tick);
+criterion_main!(benches);

@@ -11,7 +11,7 @@
 use crate::checkpoint::{CampaignCheckpoint, CheckpointSink, CompletedShard};
 use crate::metrics::CampaignMetrics;
 use crate::options::Options;
-use crate::scheduler::run_shards;
+use crate::scheduler::{run_shards, run_shards_multi, JobSpec};
 use crate::shard::{volunteer_slot, Shard};
 use gamma_atlas::AtlasPlatform;
 use gamma_geo::CountryCode;
@@ -119,6 +119,7 @@ impl CampaignOutcome {
 }
 
 /// A campaign over one environment.
+#[derive(Clone)]
 pub struct Campaign<'w> {
     pub env: CampaignEnv<'w>,
     pub options: Options,
@@ -149,6 +150,25 @@ impl<'w> Campaign<'w> {
     /// Executes the campaign: resume, schedule, retry, checkpoint,
     /// assemble.
     pub fn run(&self) -> Result<CampaignOutcome, CampaignError> {
+        let prepared = self.prepare()?;
+        obs::global()
+            .gauge("campaign.workers")
+            .set(self.options.effective_workers() as i64);
+        let fresh = run_shards(
+            &self.env,
+            prepared.pending.clone(),
+            &self.options,
+            prepared.sink.as_ref(),
+        )?;
+        prepared.assemble(self, fresh)
+    }
+
+    /// Validates the configuration, restores completed shards from the
+    /// resume checkpoint, and computes the still-pending shard set. The
+    /// execution half (a pool over [`Prepared::pending`]) is either this
+    /// campaign's own worker pool ([`Campaign::run`]) or a shared
+    /// multi-campaign pool ([`run_campaigns`]).
+    fn prepare(&self) -> Result<Prepared, CampaignError> {
         let started = Instant::now();
         self.env
             .config
@@ -185,14 +205,10 @@ impl<'w> Campaign<'w> {
                 }
             }
         }
-        let resumed_shards = restored.len();
-        obs::global()
-            .gauge("campaign.workers")
-            .set(self.options.effective_workers() as i64);
-        if resumed_shards > 0 {
+        if !restored.is_empty() {
             obs::global()
                 .counter("campaign.shards.resumed")
-                .add(resumed_shards as u64);
+                .add(restored.len() as u64);
         }
 
         let pending: Vec<Shard> = self
@@ -215,13 +231,37 @@ impl<'w> Campaign<'w> {
             CheckpointSink::new(path.clone(), state)
         });
 
-        let fresh = run_shards(&self.env, pending, &self.options, sink.as_ref())?;
+        Ok(Prepared {
+            restored,
+            pending,
+            sink,
+            started,
+        })
+    }
+}
 
-        // Assemble in plan order, whichever order the pool finished in.
-        let mut pool = restored;
+/// A campaign past its resume/validation phase, waiting on a pool to run
+/// its pending shards.
+struct Prepared {
+    restored: Vec<CompletedShard>,
+    pending: Vec<Shard>,
+    sink: Option<CheckpointSink>,
+    started: Instant,
+}
+
+impl Prepared {
+    /// Merges restored and freshly-run shards back into plan order and
+    /// settles the metrics ledger.
+    fn assemble(
+        self,
+        campaign: &Campaign<'_>,
+        fresh: Vec<CompletedShard>,
+    ) -> Result<CampaignOutcome, CampaignError> {
+        let resumed_shards = self.restored.len();
+        let mut pool = self.restored;
         pool.extend(fresh);
-        let mut shards = Vec::with_capacity(self.plan.len());
-        for &country in &self.plan {
+        let mut shards = Vec::with_capacity(campaign.plan.len());
+        for &country in &campaign.plan {
             let idx = pool
                 .iter()
                 .position(|d| d.marker.country == country)
@@ -230,13 +270,70 @@ impl<'w> Campaign<'w> {
         }
 
         let metrics = CampaignMetrics {
-            workers: self.options.effective_workers(),
-            total_wall: started.elapsed(),
+            workers: campaign.options.effective_workers(),
+            total_wall: self.started.elapsed(),
             resumed_shards,
             shards: shards.iter().map(|d| d.metrics.clone()).collect(),
         };
         Ok(CampaignOutcome { shards, metrics })
     }
+}
+
+/// Runs several campaigns' shards on **one shared worker pool**.
+///
+/// This is the service plane's execution primitive: N concurrent studies
+/// (different worlds, seeds, fault plans, checkpoints) multiplex onto a
+/// single pool of `pool_workers` work-stealing threads, shards from all
+/// campaigns interleaved in whatever order the pool picks. Because every
+/// shard's output is a pure function of `(its campaign's master_seed,
+/// country)`, the interleaving affects only wall-clock: each returned
+/// outcome is byte-identical to what `campaigns[i].run()` alone would
+/// produce (modulo the per-campaign `workers` knob, which only the solo
+/// path reads).
+///
+/// Failures are isolated per campaign: one campaign exhausting its retry
+/// budget yields `Err` in its slot while the others keep running —
+/// unlike [`Campaign::run`], which aborts its own pool on first failure.
+pub fn run_campaigns<'w>(
+    campaigns: &[Campaign<'w>],
+    pool_workers: usize,
+) -> Vec<Result<CampaignOutcome, CampaignError>> {
+    obs::global()
+        .gauge("campaign.pool.workers")
+        .set(pool_workers.max(1) as i64);
+    let prepared: Vec<Result<Prepared, CampaignError>> =
+        campaigns.iter().map(|c| c.prepare()).collect();
+
+    // One task per (campaign, pending shard); campaigns whose prepare
+    // failed contribute none and keep their error slot. Job slots are
+    // assigned in campaign order over the successfully-prepared subset.
+    let mut tasks: Vec<(usize, Shard)> = Vec::new();
+    let mut jobs: Vec<JobSpec<'_, 'w>> = Vec::new();
+    for (campaign, p) in campaigns.iter().zip(&prepared) {
+        if let Ok(p) = p {
+            for shard in &p.pending {
+                tasks.push((jobs.len(), *shard));
+            }
+            jobs.push(JobSpec {
+                env: &campaign.env,
+                options: &campaign.options,
+                sink: p.sink.as_ref(),
+            });
+        }
+    }
+
+    let fresh = run_shards_multi(&jobs, tasks, pool_workers);
+
+    let mut fresh = fresh.into_iter();
+    prepared
+        .into_iter()
+        .zip(campaigns)
+        .map(|(p, campaign)| {
+            let p = p?; // prepare failure: no job slot was assigned
+            let done = fresh.next().expect("one pool result per prepared job")?;
+            p.assemble(campaign, done)
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -387,6 +484,50 @@ mod tests {
                 assert_eq!(attempts, 1, "permanent faults must not burn retries");
             }
             other => panic!("expected ShardFailed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shared_pool_outcomes_match_solo_runs() {
+        let cc = CountryCode::new;
+        // Two "studies" with different plans multiplexed onto one pool.
+        let a = Campaign::with_plan(env(), Options::sequential(), vec![cc("RW"), cc("US")]);
+        let b = Campaign::with_plan(env(), Options::sequential(), vec![cc("NZ"), cc("RW")]);
+        let solo_a = a.run().unwrap();
+        let solo_b = b.run().unwrap();
+        for pool_workers in [1, 4] {
+            let shared = run_campaigns(&[a.clone(), b.clone()], pool_workers);
+            let [ra, rb]: [_; 2] = shared.try_into().ok().unwrap();
+            assert_eq!(
+                payload(&ra.unwrap()),
+                payload(&solo_a),
+                "{pool_workers} workers"
+            );
+            assert_eq!(
+                payload(&rb.unwrap()),
+                payload(&solo_b),
+                "{pool_workers} workers"
+            );
+        }
+    }
+
+    #[test]
+    fn shared_pool_contains_failures_per_campaign() {
+        let cc = CountryCode::new;
+        let good = Campaign::with_plan(env(), Options::sequential(), vec![cc("RW"), cc("NZ")]);
+        let mut bad_options = Options::sequential();
+        bad_options.retry = RetryPolicy::immediate();
+        bad_options.inject = FaultInjection::none().fail_first(cc("US"), 99);
+        let bad = Campaign::with_plan(env(), bad_options, vec![cc("US")]);
+        for pool_workers in [1, 3] {
+            let results = run_campaigns(&[good.clone(), bad.clone()], pool_workers);
+            let solo = good.run().unwrap();
+            assert_eq!(payload(results[0].as_ref().unwrap()), payload(&solo));
+            assert!(
+                matches!(results[1], Err(CampaignError::ShardFailed { country, .. }) if country == cc("US")),
+                "failing campaign must keep its own error: {:?}",
+                results[1]
+            );
         }
     }
 

@@ -40,10 +40,13 @@ pub mod scheduler;
 pub mod shard;
 
 pub use checkpoint::{CampaignCheckpoint, CompletedShard};
-pub use engine::{Campaign, CampaignEnv, CampaignError, CampaignOutcome};
+pub use engine::{run_campaigns, Campaign, CampaignEnv, CampaignError, CampaignOutcome};
 pub use metrics::{CampaignMetrics, CampaignTotals, ShardMetrics, StageTimings};
 pub use options::Options;
 pub use report::render_campaign_report;
 pub use retry::{FaultInjection, RetryPolicy};
-pub use rng::{derive_rng, derive_round_seed, derive_seed, STREAM_GEOLOCATE, STREAM_ROUND};
+pub use rng::{
+    derive_rng, derive_round_seed, derive_seed, derive_tenant_seed, STREAM_GEOLOCATE, STREAM_ROUND,
+    STREAM_TENANT,
+};
 pub use shard::{volunteer_slot, Shard, ShardError};

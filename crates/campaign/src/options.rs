@@ -78,6 +78,28 @@ impl Options {
         }
     }
 
+    /// The same options re-pointed at tenant-scoped checkpoint files.
+    ///
+    /// A multi-tenant server runs many concurrent studies out of one
+    /// state directory; un-namespaced checkpoint paths would let tenant A
+    /// resume from (and clobber) tenant B's shards — and with them B's
+    /// quarantine ledgers, which ride inside the checkpoint records.
+    /// Suffixing with `.tenant{id}` *before* the per-round suffix keeps
+    /// every `(tenant, round)` crash-rerun cycle in its own file:
+    /// `state/server.ckpt.tenant3.round2`.
+    pub fn for_tenant(&self, tenant: u32) -> Options {
+        let suffix = |p: &PathBuf| -> PathBuf {
+            let mut s = p.clone().into_os_string();
+            s.push(format!(".tenant{tenant}"));
+            PathBuf::from(s)
+        };
+        Options {
+            checkpoint: self.checkpoint.as_ref().map(suffix),
+            resume: self.resume.as_ref().map(suffix),
+            ..self.clone()
+        }
+    }
+
     /// Worker count after auto-sizing (`0` → available parallelism).
     pub fn effective_workers(&self) -> usize {
         if self.workers == 0 {
@@ -127,6 +149,28 @@ mod tests {
         assert_eq!(r2.workers, 3);
         // No checkpointing configured → rounds stay checkpoint-free.
         let plain = Options::sequential().for_round(1);
+        assert!(plain.checkpoint.is_none() && plain.resume.is_none());
+    }
+
+    #[test]
+    fn for_tenant_namespaces_checkpoint_paths_per_tenant() {
+        // Two tenants sharing one state dir must never share a
+        // checkpoint file, for any round.
+        let o = Options::sequential().resumable("/tmp/state/server.ckpt");
+        let t1r0 = o.for_tenant(1).for_round(0);
+        let t2r0 = o.for_tenant(2).for_round(0);
+        assert_eq!(
+            t1r0.checkpoint,
+            Some(PathBuf::from("/tmp/state/server.ckpt.tenant1.round0"))
+        );
+        assert_eq!(
+            t2r0.checkpoint,
+            Some(PathBuf::from("/tmp/state/server.ckpt.tenant2.round0"))
+        );
+        assert_ne!(t1r0.checkpoint, t2r0.checkpoint);
+        assert_eq!(t1r0.checkpoint, t1r0.resume);
+        // No checkpointing configured → tenants stay checkpoint-free.
+        let plain = Options::sequential().for_tenant(7);
         assert!(plain.checkpoint.is_none() && plain.resume.is_none());
     }
 }

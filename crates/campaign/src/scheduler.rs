@@ -37,28 +37,26 @@ fn sched() -> &'static SchedCounters {
 }
 
 /// The canonical crossbeam-deque scavenging order: own deque, then a
-/// batch from the injector, then a steal from a peer.
-fn find_task(
-    local: &Worker<Shard>,
-    global: &Injector<Shard>,
-    stealers: &[Stealer<Shard>],
-) -> Option<Shard> {
-    if let Some(shard) = local.pop() {
-        return Some(shard);
+/// batch from the injector, then a steal from a peer. Generic over the
+/// task type: the single-campaign pool schedules bare [`Shard`]s, the
+/// shared multi-campaign pool `(job, Shard)` pairs.
+fn find_task<T>(local: &Worker<T>, global: &Injector<T>, stealers: &[Stealer<T>]) -> Option<T> {
+    if let Some(task) = local.pop() {
+        return Some(task);
     }
     loop {
         match global.steal_batch_and_pop(local) {
-            Steal::Success(shard) => {
+            Steal::Success(task) => {
                 sched().injector_pops.inc();
-                return Some(shard);
+                return Some(task);
             }
             Steal::Retry => continue,
             Steal::Empty => {}
         }
-        match stealers.iter().map(|s| s.steal()).collect::<Steal<Shard>>() {
-            Steal::Success(shard) => {
+        match stealers.iter().map(|s| s.steal()).collect::<Steal<T>>() {
+            Steal::Success(task) => {
                 sched().steals.inc();
-                return Some(shard);
+                return Some(task);
             }
             Steal::Retry => continue,
             Steal::Empty => return None,
@@ -100,6 +98,122 @@ fn run_sequential(
         results.push(done);
     }
     Ok(results)
+}
+
+/// One campaign's slice of a shared pool: where its shards execute
+/// against, how they retry, and where completions are checkpointed.
+pub(crate) struct JobSpec<'a, 'w> {
+    pub env: &'a CampaignEnv<'w>,
+    pub options: &'a Options,
+    pub sink: Option<&'a CheckpointSink>,
+}
+
+/// Runs shards from several campaigns on one shared work-stealing pool.
+///
+/// `tasks` pairs each shard with the index of its job in `jobs`; the pool
+/// interleaves them freely. Failures are contained per job: a shard
+/// failure records the job's error and makes the pool *skip* (not abort)
+/// that job's remaining tasks, while every other job runs to completion.
+/// Results come back per job, in whatever order the pool finished —
+/// callers re-sort into plan order during assembly.
+pub(crate) fn run_shards_multi(
+    jobs: &[JobSpec<'_, '_>],
+    tasks: Vec<(usize, Shard)>,
+    pool_workers: usize,
+) -> Vec<Result<Vec<CompletedShard>, CampaignError>> {
+    let mut results: Vec<Result<Vec<CompletedShard>, CampaignError>> =
+        (0..jobs.len()).map(|_| Ok(Vec::new())).collect();
+    if tasks.is_empty() {
+        return results;
+    }
+    if pool_workers <= 1 {
+        // The sequential degenerate case: in task order on this thread.
+        for (job, shard) in tasks {
+            if results[job].is_err() {
+                continue;
+            }
+            let spec = &jobs[job];
+            match run_with_retry(spec.env, shard, spec.options) {
+                Ok(done) => {
+                    let recorded = match spec.sink {
+                        Some(sink) => sink.record(&done),
+                        None => Ok(()),
+                    };
+                    match recorded {
+                        Ok(()) => {
+                            if let Ok(list) = &mut results[job] {
+                                list.push(done);
+                            }
+                        }
+                        Err(e) => results[job] = Err(e),
+                    }
+                }
+                Err(e) => results[job] = Err(e),
+            }
+        }
+        return results;
+    }
+
+    let workers = pool_workers.min(tasks.len());
+    let injector: Injector<(usize, Shard)> = Injector::new();
+    for task in tasks {
+        injector.push(task);
+    }
+    let locals: Vec<Worker<(usize, Shard)>> = (0..workers).map(|_| Worker::new_fifo()).collect();
+    let stealers: Vec<Stealer<(usize, Shard)>> = locals.iter().map(Worker::stealer).collect();
+
+    let slots: Vec<Mutex<Result<Vec<CompletedShard>, CampaignError>>> = (0..jobs.len())
+        .map(|_| Mutex::new(Ok(Vec::new())))
+        .collect();
+
+    crossbeam::thread::scope(|scope| {
+        let injector = &injector;
+        let stealers = &stealers[..];
+        let slots = &slots[..];
+        for local in locals {
+            scope.spawn(move |_| {
+                while let Some((job, shard)) = find_task(&local, injector, stealers) {
+                    let spec = &jobs[job];
+                    if slots[job].lock().expect("job slot lock").is_err() {
+                        continue; // job already failed; skip its leftovers
+                    }
+                    match run_with_retry(spec.env, shard, spec.options) {
+                        Ok(done) => {
+                            let recorded = match spec.sink {
+                                Some(sink) => sink.record(&done),
+                                None => Ok(()),
+                            };
+                            let mut slot = slots[job].lock().expect("job slot lock");
+                            match recorded {
+                                Ok(()) => {
+                                    if let Ok(list) = &mut *slot {
+                                        list.push(done);
+                                    }
+                                }
+                                Err(e) => {
+                                    if slot.is_ok() {
+                                        *slot = Err(e);
+                                    }
+                                }
+                            }
+                        }
+                        Err(e) => {
+                            let mut slot = slots[job].lock().expect("job slot lock");
+                            if slot.is_ok() {
+                                *slot = Err(e);
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    })
+    .expect("shared pool worker threads joined");
+
+    for (i, slot) in slots.into_iter().enumerate() {
+        results[i] = slot.into_inner().expect("job slot lock");
+    }
+    results
 }
 
 fn run_pool(

@@ -498,6 +498,29 @@ impl FaultPlan {
         plan
     }
 
+    /// The plan in effect for one tenant's study in a multi-tenant
+    /// service plane: the same profiles and overrides, decided against a
+    /// tenant-mixed seed, so co-hosted studies experience decorrelated
+    /// weather. Unlike [`FaultPlan::for_round`] there is deliberately
+    /// *no* identity anchor: a tenant's plan must never alias the
+    /// server's own, not even for tenant id 0 — which also keeps
+    /// `for_tenant(t).for_round(e)` (the service plane's composition)
+    /// disjoint from the bare `for_round(e)` family. The tenant axis is
+    /// domain-separated from the round axis by a distinct XOR constant
+    /// before the shared splitmix64 finalizer; never `seed + tenant`,
+    /// which would alias neighbors.
+    pub fn for_tenant(&self, tenant: u32) -> FaultPlan {
+        let mut z = self
+            .seed
+            .wrapping_add(u64::from(tenant).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            ^ 0x5445_4E41_5445_4E41; // "TENATENA"
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        let mut plan = self.clone();
+        plan.seed = z ^ (z >> 31);
+        plan
+    }
+
     /// Whether any oracle-driven rate is non-zero anywhere in the plan.
     pub fn is_quiet(&self) -> bool {
         std::iter::once(&self.base)
@@ -776,6 +799,40 @@ mod tests {
             assert_ne!(
                 plan.for_round(epoch).seed,
                 FaultPlan::stress(78).for_round(epoch - 1).seed
+            );
+        }
+    }
+
+    #[test]
+    fn tenant_plans_keep_profiles_but_separate_every_stream() {
+        // The satellite audit: equal master seeds + different tenant ids
+        // must never collide — across tenants, against the base plan
+        // (no tenant-0 anchor), and against the round-seed family the
+        // tenant axis is domain-separated from.
+        let plan = FaultPlan::stress(77).blackout(cc("QA"));
+        let mut seen = std::collections::HashSet::new();
+        seen.insert(plan.seed);
+        for tenant in 0..64u32 {
+            let t = plan.for_tenant(tenant);
+            assert_eq!(t.base, plan.base);
+            assert_eq!(t.overrides, plan.overrides);
+            assert_eq!(t, plan.for_tenant(tenant), "tenant {tenant} unstable");
+            assert!(seen.insert(t.seed), "tenant {tenant} seed collides");
+            assert_ne!(t.seed, 77 + u64::from(tenant), "additive degeneration");
+        }
+        // Tenant axis stays disjoint from the round axis, including the
+        // composed form the service plane actually uses.
+        for i in 1..32u32 {
+            assert_ne!(plan.for_tenant(i).seed, plan.for_round(i).seed);
+            assert_ne!(
+                plan.for_tenant(1).for_round(i).seed,
+                plan.for_round(i).seed,
+                "tenant 1 round {i} aliases the bare round plan"
+            );
+            assert_ne!(
+                plan.for_tenant(i).seed,
+                FaultPlan::stress(78).for_tenant(i - 1).seed,
+                "diagonal (seed, tenant) pairs alias at {i}"
             );
         }
     }

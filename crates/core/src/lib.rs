@@ -26,4 +26,4 @@
 
 pub mod study;
 
-pub use study::{RoundOutputs, Study, StudyResults};
+pub use study::{RoundContext, RoundOutputs, Study, StudyResults};

@@ -2,7 +2,9 @@
 
 use gamma_analysis::StudyDataset;
 use gamma_atlas::AtlasPlatform;
-use gamma_campaign::{Campaign, CampaignEnv, CampaignError, CampaignMetrics, Options};
+use gamma_campaign::{
+    Campaign, CampaignEnv, CampaignError, CampaignMetrics, CampaignOutcome, Options,
+};
 use gamma_geo::CountryCode;
 use gamma_geoloc::{ErrorSpec, GeoDatabase, GeolocReport, PipelineOptions};
 use gamma_suite::{GammaConfig, Quarantine, VolunteerDataset};
@@ -116,6 +118,24 @@ impl Study {
         epoch: u32,
         options: &Options,
     ) -> Result<RoundOutputs, CampaignError> {
+        let ctx = self.prepare_round(world, epoch);
+        let outcome = Campaign::new(ctx.env(world), options.clone()).run()?;
+        Ok(ctx.assemble(world, outcome))
+    }
+
+    /// Builds everything round `epoch` needs *before* any shard runs: the
+    /// derived round seed, the round's geolocation database, probe
+    /// platform, tracker classifier, and the round-scoped tool config
+    /// (seed and fault plan re-derived via `for_round`).
+    ///
+    /// [`Study::run_round`] is `prepare_round` → one campaign →
+    /// [`RoundContext::assemble`]; the split exists so a multi-tenant
+    /// server can prepare several tenants' rounds, multiplex all their
+    /// shards onto one shared pool with
+    /// [`gamma_campaign::run_campaigns`], and assemble each tenant's
+    /// outputs afterward — with bytes identical to the solo path, because
+    /// everything here is a pure function of `(self, world, epoch)`.
+    pub fn prepare_round(&self, world: &World, epoch: u32) -> RoundContext {
         let round_seed = gamma_campaign::derive_round_seed(self.seed, epoch);
         let build_span = gamma_obs::span!("study.round.build");
         let geodb = GeoDatabase::build(world, &self.error_spec, round_seed);
@@ -125,29 +145,68 @@ impl Study {
         config.seed = round_seed;
         config.plan = self.config.plan.for_round(epoch);
         drop(build_span);
-
-        let env = CampaignEnv {
-            world,
-            geodb: &geodb,
-            atlas: &atlas,
-            config: &config,
-            pipeline_options: self.options,
-            master_seed: round_seed,
-        };
-        let outcome = Campaign::new(env, options.clone()).run()?;
-        let (runs, quarantines, metrics) = outcome.into_parts();
-
-        let assemble_span = gamma_obs::span!("study.round.assemble");
-        let study = StudyDataset::assemble(world, &classifier, &runs);
-        drop(assemble_span);
-        Ok(RoundOutputs {
+        RoundContext {
             epoch,
             round_seed,
+            geodb,
+            atlas,
+            classifier,
+            config,
+            pipeline_options: self.options,
+        }
+    }
+}
+
+/// The prepared, pre-campaign state of one temporal round: everything
+/// [`Study::run_round`] derives from `(study, world, epoch)` before the
+/// shards execute. Borrow a [`CampaignEnv`] with [`RoundContext::env`],
+/// run it (solo or on a shared multi-campaign pool), then feed the
+/// outcome back through [`RoundContext::assemble`].
+pub struct RoundContext {
+    /// Which round this context was prepared for (0-based).
+    pub epoch: u32,
+    /// The derived master seed the round runs under.
+    pub round_seed: u64,
+    /// The round's geolocation database (pure function of the seed).
+    pub geodb: GeoDatabase,
+    /// The round's probe platform (pure function of the seed).
+    pub atlas: AtlasPlatform,
+    /// The world's tracker classifier.
+    pub classifier: TrackerClassifier,
+    /// Tool config with round-scoped seed and fault plan installed.
+    pub config: GammaConfig,
+    /// Constraint toggles, copied from the study.
+    pub pipeline_options: PipelineOptions,
+}
+
+impl RoundContext {
+    /// The campaign environment for this round over `world` — the same
+    /// world the context was prepared against.
+    pub fn env<'w>(&'w self, world: &'w World) -> CampaignEnv<'w> {
+        CampaignEnv {
+            world,
+            geodb: &self.geodb,
+            atlas: &self.atlas,
+            config: &self.config,
+            pipeline_options: self.pipeline_options,
+            master_seed: self.round_seed,
+        }
+    }
+
+    /// Assembles a finished campaign's outcome into [`RoundOutputs`].
+    pub fn assemble(&self, world: &World, outcome: CampaignOutcome) -> RoundOutputs {
+        let (runs, quarantines, metrics) = outcome.into_parts();
+        let assemble_span = gamma_obs::span!("study.round.assemble");
+        let study = StudyDataset::assemble(world, &self.classifier, &runs);
+        drop(assemble_span);
+        RoundOutputs {
+            epoch: self.epoch,
+            round_seed: self.round_seed,
             runs,
             quarantines,
             study,
             metrics,
-        })
+        }
     }
 }
 

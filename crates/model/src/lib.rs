@@ -235,6 +235,32 @@ typed_symbol!(
     RdnsId
 );
 
+/// A tenant study's registry handle in the multi-tenant service plane.
+///
+/// Unlike the `typed_symbol!` ids above, a tenant id is *not* an
+/// interner index: it must stay stable across server restarts and be
+/// addressable before any dataset (and therefore any interner) exists
+/// for the tenant. It is a plain `u32` the server's registry assigns at
+/// registration — or the caller pins explicitly, so a solo control run
+/// can register the *same* id as a multi-tenant run and compare
+/// revision chains byte-for-byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct TenantId(pub u32);
+
+impl TenantId {
+    /// The raw registry id, as fed to seed/fault-plan derivation.
+    pub fn as_u32(self) -> u32 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for TenantId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "tenant{}", self.0)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -280,6 +306,16 @@ mod tests {
         let back: HostId = serde_json::from_str("0").unwrap();
         assert_eq!(back, h);
         assert_eq!(back.resolve(&t), "tracker.example");
+    }
+
+    #[test]
+    fn tenant_ids_are_transparent_and_display_namespaced() {
+        let t = TenantId(3);
+        assert_eq!(serde_json::to_string(&t).unwrap(), "3");
+        let back: TenantId = serde_json::from_str("3").unwrap();
+        assert_eq!(back, t);
+        assert_eq!(t.to_string(), "tenant3");
+        assert_eq!(t.as_u32(), 3);
     }
 
     #[test]

@@ -100,8 +100,22 @@ impl MetricsReport {
                 self.counters.len()
             ));
         }
-        for ns in ["dns.", "geoloc.", "trackers.", "campaign."] {
-            if !self.counters.keys().any(|k| k.starts_with(ns)) {
+        self.require_namespaces(&["dns.", "geoloc.", "trackers.", "campaign."])
+    }
+
+    /// Checks the snapshot has at least one counter or gauge under each
+    /// of the given namespace prefixes. `validate` applies this to the
+    /// core pipeline families; callers gate additional subsystems (the
+    /// CI server smoke requires the `server.*` families) via
+    /// `--check-metrics --require-ns PREFIX`.
+    pub fn require_namespaces(&self, namespaces: &[&str]) -> Result<(), String> {
+        for ns in namespaces {
+            let present = self
+                .counters
+                .keys()
+                .chain(self.gauges.keys())
+                .any(|k| k.starts_with(ns));
+            if !present {
                 return Err(format!("no counters in the {ns}* namespace"));
             }
         }
@@ -165,6 +179,22 @@ mod tests {
         rep.counters.retain(|k, _| !k.starts_with("trackers."));
         let err = rep.validate(5).expect_err("missing namespace must fail");
         assert!(err.contains("trackers."), "{err}");
+    }
+
+    #[test]
+    fn extra_namespace_requirements_are_checked_separately() {
+        let mut rep = sample();
+        assert!(rep.require_namespaces(&["dns.", "suite."]).is_ok());
+        let err = rep
+            .require_namespaces(&["server.sched."])
+            .expect_err("no server counters in the sample");
+        assert!(err.contains("server.sched."), "{err}");
+        rep.counters.insert("server.sched.ticks".into(), 3);
+        assert!(rep.require_namespaces(&["server.sched."]).is_ok());
+        // Gauge-only families (e.g. server.queue.depth) also satisfy a
+        // namespace requirement.
+        rep.gauges.insert("server.queue.depth".into(), 1);
+        assert!(rep.require_namespaces(&["server.queue."]).is_ok());
     }
 
     #[test]

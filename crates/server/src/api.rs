@@ -1,0 +1,231 @@
+//! The typed control API: every registry mutation the CLI (or a test
+//! harness) can issue, as serializable commands with typed responses.
+//!
+//! [`Server::dispatch`] is the single entry point; `gamma-study serve`
+//! translates its flags into [`Command`]s and renders the [`Response`]s.
+
+use crate::config::StudyConfig;
+use crate::server::{Server, TenantStatus};
+use gamma_model::TenantId;
+use serde::{Deserialize, Serialize};
+
+/// A registry mutation or query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Command {
+    /// Register a study. With `id: None` the server assigns the next
+    /// free tenant id; pinning an explicit id lets a solo control run
+    /// replay the same seed streams as a multi-tenant run.
+    Create {
+        id: Option<TenantId>,
+        config: StudyConfig,
+    },
+    /// Replace a tenant's configuration (world shape frozen after the
+    /// first round; see [`Server::update`]).
+    Update { id: TenantId, config: StudyConfig },
+    /// Stop firing a tenant's rounds, keeping its history.
+    Pause { id: TenantId },
+    /// Start firing again, one cadence from now.
+    Resume { id: TenantId },
+    /// Remove a tenant and its in-memory history.
+    Delete { id: TenantId },
+    /// Scheduling state of every tenant.
+    Status,
+}
+
+/// What a successful command returns.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    Created(TenantId),
+    Updated(TenantId),
+    Paused(TenantId),
+    Resumed(TenantId),
+    Deleted(TenantId),
+    Status(Vec<TenantStatusView>),
+}
+
+/// Serializable projection of [`TenantStatus`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantStatusView {
+    pub id: TenantId,
+    pub name: String,
+    pub paused: bool,
+    pub rounds: u32,
+    pub next_due: u64,
+    pub retained: usize,
+}
+
+impl From<TenantStatus> for TenantStatusView {
+    fn from(s: TenantStatus) -> TenantStatusView {
+        TenantStatusView {
+            id: s.id,
+            name: s.name,
+            paused: s.paused,
+            rounds: s.rounds,
+            next_due: s.next_due,
+            retained: s.retained,
+        }
+    }
+}
+
+/// A rejected command.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ApiError {
+    /// No tenant registered under this id.
+    UnknownTenant(TenantId),
+    /// `Create` with an explicit id that is already taken.
+    DuplicateTenant(TenantId),
+    /// The study config failed validation (or an illegal update).
+    InvalidConfig(String),
+}
+
+impl std::fmt::Display for ApiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ApiError::UnknownTenant(id) => write!(f, "no such tenant: {id}"),
+            ApiError::DuplicateTenant(id) => write!(f, "{id} already exists"),
+            ApiError::InvalidConfig(why) => write!(f, "invalid study config: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ApiError {}
+
+impl Server {
+    /// Executes one control command against the registry.
+    pub fn dispatch(&mut self, command: Command) -> Result<Response, ApiError> {
+        match command {
+            Command::Create {
+                id: Some(id),
+                config,
+            } => {
+                if self.revisions(id).is_some() {
+                    return Err(ApiError::DuplicateTenant(id));
+                }
+                self.create_with_id(id, config)
+                    .map_err(ApiError::InvalidConfig)?;
+                Ok(Response::Created(id))
+            }
+            Command::Create { id: None, config } => self
+                .create(config)
+                .map(Response::Created)
+                .map_err(ApiError::InvalidConfig),
+            Command::Update { id, config } => {
+                self.known(id)?;
+                self.update(id, config).map_err(ApiError::InvalidConfig)?;
+                Ok(Response::Updated(id))
+            }
+            Command::Pause { id } => {
+                self.known(id)?;
+                self.pause(id).map_err(ApiError::InvalidConfig)?;
+                Ok(Response::Paused(id))
+            }
+            Command::Resume { id } => {
+                self.known(id)?;
+                self.resume(id).map_err(ApiError::InvalidConfig)?;
+                Ok(Response::Resumed(id))
+            }
+            Command::Delete { id } => {
+                self.known(id)?;
+                self.delete(id).map_err(ApiError::InvalidConfig)?;
+                Ok(Response::Deleted(id))
+            }
+            Command::Status => Ok(Response::Status(
+                self.status().into_iter().map(Into::into).collect(),
+            )),
+        }
+    }
+
+    fn known(&self, id: TenantId) -> Result<(), ApiError> {
+        if self.revisions(id).is_none() {
+            return Err(ApiError::UnknownTenant(id));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::ServerConfig;
+    use gamma_geo::CountryCode;
+
+    fn config(name: &str) -> StudyConfig {
+        let mut c = StudyConfig::new(name, vec![CountryCode::new("RW")]);
+        c.reg_sites = Some(6);
+        c.gov_sites = Some(2);
+        c
+    }
+
+    #[test]
+    fn commands_round_trip_the_registry() {
+        let mut server = Server::new(ServerConfig::new(9));
+        let created = server
+            .dispatch(Command::Create {
+                id: None,
+                config: config("a"),
+            })
+            .unwrap();
+        assert_eq!(created, Response::Created(TenantId(0)));
+        assert_eq!(
+            server
+                .dispatch(Command::Create {
+                    id: Some(TenantId(7)),
+                    config: config("b"),
+                })
+                .unwrap(),
+            Response::Created(TenantId(7))
+        );
+        assert_eq!(
+            server.dispatch(Command::Create {
+                id: Some(TenantId(7)),
+                config: config("dup"),
+            }),
+            Err(ApiError::DuplicateTenant(TenantId(7)))
+        );
+        assert_eq!(
+            server.dispatch(Command::Pause { id: TenantId(7) }).unwrap(),
+            Response::Paused(TenantId(7))
+        );
+        match server.dispatch(Command::Status).unwrap() {
+            Response::Status(rows) => {
+                assert_eq!(rows.len(), 2);
+                assert_eq!(rows[0].id, TenantId(0));
+                assert!(rows[1].paused);
+            }
+            other => panic!("expected status, got {other:?}"),
+        }
+        assert_eq!(
+            server
+                .dispatch(Command::Delete { id: TenantId(7) })
+                .unwrap(),
+            Response::Deleted(TenantId(7))
+        );
+        assert_eq!(
+            server.dispatch(Command::Resume { id: TenantId(7) }),
+            Err(ApiError::UnknownTenant(TenantId(7)))
+        );
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected_with_reasons() {
+        let mut server = Server::new(ServerConfig::new(9));
+        let err = server
+            .dispatch(Command::Create {
+                id: None,
+                config: StudyConfig::new("x", vec![]),
+            })
+            .unwrap_err();
+        assert!(matches!(err, ApiError::InvalidConfig(_)), "{err}");
+    }
+
+    #[test]
+    fn commands_serialize_for_the_wire() {
+        let cmd = Command::Create {
+            id: Some(TenantId(3)),
+            config: config("a"),
+        };
+        let js = serde_json::to_string(&cmd).unwrap();
+        let back: Command = serde_json::from_str(&js).unwrap();
+        assert_eq!(back, cmd);
+    }
+}

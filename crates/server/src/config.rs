@@ -1,0 +1,278 @@
+//! Tenant study configuration: what a registered study measures, how
+//! often, under what weather, and how much history it keeps.
+
+use gamma_chaos::FaultPlan;
+use gamma_geo::CountryCode;
+use gamma_websim::{ChurnSpec, WorldSpec};
+use serde::{Deserialize, Serialize};
+
+/// How many revisions a tenant's store keeps reconstructible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Retention {
+    /// The full delta chain back to round 0.
+    KeepAll,
+    /// Only the newest `n` rounds; older deltas are pruned by re-basing
+    /// the chain (lossless for every retained round).
+    KeepLast(u32),
+}
+
+impl Retention {
+    /// Rounds the store must keep for a chain currently `len` rounds
+    /// long.
+    pub fn kept(self, len: usize) -> usize {
+        match self {
+            Retention::KeepAll => len,
+            Retention::KeepLast(n) => len.min(n.max(1) as usize),
+        }
+    }
+}
+
+/// One tenant's persistent study registration.
+///
+/// Everything a round produces is a pure function of
+/// `(server master seed, tenant id, this config, epoch)` — the config
+/// carries no seeds of its own, so re-registering the same config under
+/// the same tenant id on any server with the same master seed replays
+/// the identical revision history.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StudyConfig {
+    /// Human-readable label (reports, CLI listings).
+    pub name: String,
+    /// Target country set (a subset of the paper's 23 vantages).
+    pub countries: Vec<CountryCode>,
+    /// Ticks between consecutive rounds (≥ 1).
+    pub cadence: u64,
+    /// World churn applied between this tenant's rounds.
+    pub churn: ChurnSpec,
+    /// Named fault profile (`none`, `paper`, `stress`, `blackout:CC`),
+    /// resolved against the server's master seed and tenant-remixed at
+    /// registration.
+    pub faults: String,
+    /// Revision-retention policy for the tenant's store.
+    pub retention: Retention,
+    /// Override for regular sites per country (None: paper default).
+    pub reg_sites: Option<usize>,
+    /// Override for government sites per country (None: paper default).
+    pub gov_sites: Option<usize>,
+}
+
+impl StudyConfig {
+    /// A study over `countries` with paper-default churn and weather,
+    /// firing every tick, keeping all history.
+    pub fn new(name: impl Into<String>, countries: Vec<CountryCode>) -> StudyConfig {
+        StudyConfig {
+            name: name.into(),
+            countries,
+            cadence: 1,
+            churn: ChurnSpec::paper_default(),
+            faults: "paper".to_string(),
+            retention: Retention::KeepAll,
+            reg_sites: None,
+            gov_sites: None,
+        }
+    }
+
+    /// Checks the config is runnable: non-empty known country set, a
+    /// positive cadence, a resolvable fault profile, sane retention.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.name.is_empty() {
+            return Err("study name is empty".into());
+        }
+        if self.cadence == 0 {
+            return Err("cadence must be at least 1 tick".into());
+        }
+        if self.countries.is_empty() {
+            return Err("country set is empty".into());
+        }
+        let paper = WorldSpec::paper_default(0);
+        for c in &self.countries {
+            if !paper.countries.iter().any(|p| p.country == *c) {
+                return Err(format!("unknown vantage country {c}"));
+            }
+        }
+        let mut sorted = self.countries.clone();
+        sorted.sort();
+        sorted.dedup();
+        if sorted.len() != self.countries.len() {
+            return Err("country set contains duplicates".into());
+        }
+        if FaultPlan::from_profile_name(&self.faults, 0).is_none() {
+            return Err(format!("unknown fault profile {:?}", self.faults));
+        }
+        if self.retention == Retention::KeepLast(0) {
+            return Err("retention must keep at least one round".into());
+        }
+        if self.reg_sites == Some(0) {
+            return Err("reg_sites must be positive".into());
+        }
+        Ok(())
+    }
+
+    /// Parses the CLI registration spec
+    /// `name:key=value,...` with keys `cadence=N`,
+    /// `countries=RW+US+NZ`, `faults=NAME`, `churn=paper|none`,
+    /// `retention=N|all`, `sites=REG+GOV`. Unset keys take the
+    /// [`StudyConfig::new`] defaults over the full paper country set.
+    pub fn parse_spec(spec: &str) -> Result<StudyConfig, String> {
+        let (name, rest) = spec
+            .split_once(':')
+            .map(|(n, r)| (n, Some(r)))
+            .unwrap_or((spec, None));
+        if name.is_empty() {
+            return Err(format!("study spec {spec:?} has no name"));
+        }
+        let paper_countries: Vec<CountryCode> = WorldSpec::paper_default(0)
+            .countries
+            .iter()
+            .map(|c| c.country)
+            .collect();
+        let mut config = StudyConfig::new(name, paper_countries);
+        for kv in rest.into_iter().flat_map(|r| r.split(',')) {
+            let (key, value) = kv
+                .split_once('=')
+                .ok_or_else(|| format!("malformed study option {kv:?} (want key=value)"))?;
+            match key {
+                "cadence" => {
+                    config.cadence = value
+                        .parse()
+                        .map_err(|_| format!("bad cadence {value:?}"))?;
+                }
+                "countries" => {
+                    config.countries = value
+                        .split('+')
+                        .map(|cc| {
+                            if cc.len() == 2 && cc.bytes().all(|b| b.is_ascii_uppercase()) {
+                                Ok(CountryCode::new(cc))
+                            } else {
+                                Err(format!("bad country code {cc:?}"))
+                            }
+                        })
+                        .collect::<Result<_, _>>()?;
+                }
+                "faults" => config.faults = value.to_string(),
+                "churn" => {
+                    config.churn = match value {
+                        "paper" => ChurnSpec::paper_default(),
+                        "none" => ChurnSpec::none(),
+                        other => return Err(format!("unknown churn spec {other:?}")),
+                    };
+                }
+                "retention" => {
+                    config.retention = if value == "all" {
+                        Retention::KeepAll
+                    } else {
+                        Retention::KeepLast(
+                            value
+                                .parse()
+                                .map_err(|_| format!("bad retention {value:?}"))?,
+                        )
+                    };
+                }
+                "sites" => {
+                    let (reg, gov) = value
+                        .split_once('+')
+                        .ok_or_else(|| format!("bad sites spec {value:?} (want REG+GOV)"))?;
+                    config.reg_sites =
+                        Some(reg.parse().map_err(|_| format!("bad reg sites {reg:?}"))?);
+                    config.gov_sites =
+                        Some(gov.parse().map_err(|_| format!("bad gov sites {gov:?}"))?);
+                }
+                other => return Err(format!("unknown study option {other:?}")),
+            }
+        }
+        config.validate()?;
+        Ok(config)
+    }
+
+    /// The world specification this study measures, under `seed` (the
+    /// tenant's derived seed — never the server's master seed directly).
+    pub fn world_spec(&self, seed: u64) -> WorldSpec {
+        let mut spec = WorldSpec::paper_default(seed);
+        spec.countries
+            .retain(|c| self.countries.contains(&c.country));
+        if let Some(reg) = self.reg_sites {
+            spec.reg_sites_per_country = reg;
+        }
+        if let Some(gov) = self.gov_sites {
+            spec.gov_sites_per_country = gov;
+        }
+        spec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_parse_with_defaults_and_overrides() {
+        let c = StudyConfig::parse_spec("euwatch").unwrap();
+        assert_eq!(c.name, "euwatch");
+        assert_eq!(c.cadence, 1);
+        assert_eq!(c.retention, Retention::KeepAll);
+        assert_eq!(c.countries.len(), 23, "defaults to the paper vantages");
+
+        let c = StudyConfig::parse_spec(
+            "africa:cadence=3,countries=RW+UG,faults=stress,churn=none,retention=4,sites=16+5",
+        )
+        .unwrap();
+        assert_eq!(c.name, "africa");
+        assert_eq!(c.cadence, 3);
+        assert_eq!(
+            c.countries,
+            vec![CountryCode::new("RW"), CountryCode::new("UG")]
+        );
+        assert_eq!(c.faults, "stress");
+        assert_eq!(c.churn, ChurnSpec::none());
+        assert_eq!(c.retention, Retention::KeepLast(4));
+        assert_eq!((c.reg_sites, c.gov_sites), (Some(16), Some(5)));
+    }
+
+    #[test]
+    fn bad_specs_are_rejected() {
+        for spec in [
+            "",
+            ":cadence=1",
+            "x:cadence=0",
+            "x:cadence=abc",
+            "x:countries=RWA",
+            "x:countries=rw",
+            "x:countries=XX",
+            "x:faults=garbage",
+            "x:churn=heavy",
+            "x:retention=0",
+            "x:retention=-1",
+            "x:sites=12",
+            "x:sites=0+5",
+            "x:unknown=1",
+            "x:cadence",
+        ] {
+            assert!(StudyConfig::parse_spec(spec).is_err(), "accepted {spec:?}");
+        }
+    }
+
+    #[test]
+    fn world_spec_applies_country_and_site_overrides() {
+        let c = StudyConfig::parse_spec("s:countries=RW+US+NZ,sites=12+4").unwrap();
+        let spec = c.world_spec(99);
+        assert_eq!(spec.seed, 99);
+        assert_eq!(spec.countries.len(), 3);
+        assert_eq!(spec.reg_sites_per_country, 12);
+        assert_eq!(spec.gov_sites_per_country, 4);
+    }
+
+    #[test]
+    fn retention_kept_clamps_to_chain_length() {
+        assert_eq!(Retention::KeepAll.kept(5), 5);
+        assert_eq!(Retention::KeepLast(3).kept(5), 3);
+        assert_eq!(Retention::KeepLast(9).kept(5), 5);
+    }
+
+    #[test]
+    fn configs_roundtrip_through_json() {
+        let c = StudyConfig::parse_spec("s:countries=RW+US,retention=2").unwrap();
+        let js = serde_json::to_string(&c).unwrap();
+        let back: StudyConfig = serde_json::from_str(&js).unwrap();
+        assert_eq!(back, c);
+    }
+}

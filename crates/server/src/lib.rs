@@ -1,0 +1,40 @@
+//! # gamma-server
+//!
+//! The continuous-measurement service plane: a retrack-style server
+//! that runs many tenants' longitudinal studies concurrently on shared
+//! infrastructure without surrendering byte-reproducibility.
+//!
+//! Four pieces compose:
+//!
+//! - [`config`]: persistent [`StudyConfig`] registrations — country
+//!   set, cadence, churn, fault profile, revision retention — created,
+//!   updated, paused and deleted through the typed [`api`] (the
+//!   `gamma-study serve` CLI is a thin shell over it).
+//! - [`server`]: a deterministic scheduler on a **simulated clock**.
+//!   Each tick scans due rounds in `(next_due, tenant_id)` order,
+//!   applies admission control (bounded queue; delay or shed), and
+//!   multiplexes every admitted round onto one shared work-stealing
+//!   pool via [`gamma_campaign::run_campaigns`]. Tenant seed streams
+//!   split off the master seed via
+//!   [`gamma_campaign::derive_tenant_seed`] and
+//!   `FaultPlan::for_tenant`, so any interleaving of tenants is
+//!   byte-identical to each tenant running alone.
+//! - [`revision`]: per-tenant diff-on-write revision stores — each
+//!   round appends a [`gamma_longitudinal::DeltaSnapshot`] against the
+//!   previous round, and retention pruning re-bases the chain
+//!   losslessly.
+//! - per-tenant observability: `server.tenant.*`, `server.sched.*` and
+//!   `server.queue.depth` metrics on the [`gamma_obs`] registry.
+
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
+pub mod api;
+pub mod config;
+pub mod revision;
+pub mod server;
+
+pub use api::{ApiError, Command, Response, TenantStatusView};
+pub use config::{Retention, StudyConfig};
+pub use gamma_model::TenantId;
+pub use revision::{RevisionStats, RevisionStore};
+pub use server::{AdmissionPolicy, FiredRound, Server, ServerConfig, TenantStatus, TickReport};

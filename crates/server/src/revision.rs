@@ -1,0 +1,233 @@
+//! Per-tenant revision store: diff-on-write round history with
+//! retention-driven re-basing.
+//!
+//! Every fired round is appended as a [`DeltaSnapshot`] against the
+//! previous round (the head of the chain encodes against nothing, so the
+//! chain alone reconstructs the full history). The store caches the
+//! newest materialized [`RoundSnapshot`] so appending diffs against an
+//! in-memory snapshot instead of replaying the chain.
+//!
+//! Retention pruning **re-bases** the chain: the oldest retained round is
+//! reconstructed, re-encoded as a new base delta (against nothing), and
+//! every older delta is dropped. Re-basing is lossless for retained
+//! rounds — `tests/server.rs` pins that a pruned store reconstructs the
+//! newest round byte-for-byte against a `KeepAll` twin.
+
+use crate::config::Retention;
+use gamma_longitudinal::{DeltaSnapshot, RoundSnapshot};
+use gamma_model::DeltaError;
+
+/// Sizes of one appended revision, for metrics and reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RevisionStats {
+    /// Serialized size of the appended delta (canonical JSON).
+    pub delta_bytes: usize,
+    /// Serialized size of the full snapshot it encodes.
+    pub full_bytes: usize,
+    /// Observation rows shipped as back-references.
+    pub rows_ref: usize,
+    /// Observation rows shipped in full.
+    pub rows_new: usize,
+}
+
+/// One tenant's round history as a chain of delta snapshots.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RevisionStore {
+    retention: Retention,
+    /// `chain[0]` encodes against nothing; `chain[i]` against the round
+    /// `chain[i-1]` reconstructs.
+    chain: Vec<DeltaSnapshot>,
+    /// Materialized newest round (diff-on-write target).
+    latest: Option<RoundSnapshot>,
+}
+
+impl RevisionStore {
+    pub fn new(retention: Retention) -> RevisionStore {
+        RevisionStore {
+            retention,
+            chain: Vec::new(),
+            latest: None,
+        }
+    }
+
+    /// Appends one finished round: encodes it against the cached newest
+    /// snapshot, advances the cache, and applies retention pruning.
+    pub fn record(&mut self, snapshot: RoundSnapshot) -> RevisionStats {
+        let delta = DeltaSnapshot::encode(self.latest.as_ref(), &snapshot);
+        let stats = RevisionStats {
+            delta_bytes: delta.json_bytes(),
+            full_bytes: snapshot.json_bytes(),
+            rows_ref: delta.rows_ref(),
+            rows_new: delta.rows_new(),
+        };
+        self.chain.push(delta);
+        self.latest = Some(snapshot);
+        self.prune();
+        stats
+    }
+
+    /// Number of reconstructible rounds currently retained.
+    pub fn len(&self) -> usize {
+        self.chain.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.chain.is_empty()
+    }
+
+    /// The retained epochs, oldest first.
+    pub fn epochs(&self) -> Vec<u32> {
+        self.chain.iter().map(|d| d.epoch).collect()
+    }
+
+    /// The newest materialized round, if any round has been recorded.
+    pub fn newest(&self) -> Option<&RoundSnapshot> {
+        self.latest.as_ref()
+    }
+
+    /// The retained delta chain, oldest first (head encodes against
+    /// nothing).
+    pub fn deltas(&self) -> &[DeltaSnapshot] {
+        &self.chain
+    }
+
+    /// Reconstructs the retained round for `epoch` by replaying the
+    /// chain from its base.
+    pub fn reconstruct(&self, epoch: u32) -> Result<RoundSnapshot, DeltaError> {
+        let mut cur: Option<RoundSnapshot> = None;
+        for delta in &self.chain {
+            let snap = delta.decode(cur.as_ref())?;
+            if snap.epoch == epoch {
+                return Ok(snap);
+            }
+            cur = Some(snap);
+        }
+        Err(DeltaError(format!(
+            "epoch {epoch} is not retained (have {:?})",
+            self.epochs()
+        )))
+    }
+
+    /// Changes the retention policy; a tighter window prunes
+    /// immediately.
+    pub fn set_retention(&mut self, retention: Retention) {
+        self.retention = retention;
+        self.prune();
+    }
+
+    /// Total serialized bytes across the retained chain.
+    pub fn delta_bytes(&self) -> usize {
+        self.chain.iter().map(DeltaSnapshot::json_bytes).sum()
+    }
+
+    /// Drops rounds beyond the retention window by re-basing the chain
+    /// at the oldest retained round. The cut round is reconstructed by
+    /// replaying from the current base, re-encoded against nothing, and
+    /// everything older is discarded — so every retained round decodes
+    /// to exactly the bytes it had before the prune.
+    fn prune(&mut self) {
+        let keep = self.retention.kept(self.chain.len());
+        if keep == 0 || keep >= self.chain.len() {
+            return;
+        }
+        let cut = self.chain.len() - keep;
+        let mut cur: Option<RoundSnapshot> = None;
+        for delta in &self.chain[..=cut] {
+            cur = Some(
+                delta
+                    .decode(cur.as_ref())
+                    .expect("own chain replays losslessly"),
+            );
+        }
+        let base = cur.expect("cut index is in range");
+        let mut rebased = Vec::with_capacity(keep);
+        rebased.push(DeltaSnapshot::encode(None, &base));
+        rebased.extend_from_slice(&self.chain[cut + 1..]);
+        self.chain = rebased;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gamma_campaign::Options;
+    use gamma_core::Study;
+    use gamma_websim::{evolve, worldgen, ChurnSpec, WorldSpec};
+
+    fn tiny_study() -> Study {
+        let mut spec = WorldSpec::paper_default(5);
+        spec.countries
+            .retain(|c| ["RW", "NZ"].contains(&c.country.as_str()));
+        spec.reg_sites_per_country = 8;
+        spec.gov_sites_per_country = 3;
+        Study::with_spec(spec)
+    }
+
+    fn rounds(n: u32) -> Vec<RoundSnapshot> {
+        let study = tiny_study();
+        let churn = ChurnSpec::paper_default();
+        let mut world = worldgen::generate(&study.spec);
+        (0..n)
+            .map(|epoch| {
+                if epoch > 0 {
+                    evolve(&mut world, &churn, epoch);
+                }
+                let out = study
+                    .run_round(&world, epoch, &Options::sequential())
+                    .expect("round");
+                RoundSnapshot::from_round(&out)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn store_reconstructs_every_retained_round() {
+        let mut store = RevisionStore::new(Retention::KeepAll);
+        let snaps = rounds(3);
+        for snap in &snaps {
+            let stats = store.record(snap.clone());
+            assert!(stats.full_bytes > 0);
+        }
+        assert_eq!(store.len(), 3);
+        assert_eq!(store.epochs(), vec![0, 1, 2]);
+        for snap in &snaps {
+            assert_eq!(&store.reconstruct(snap.epoch).unwrap(), snap);
+        }
+        assert_eq!(store.newest(), snaps.last());
+        // Later rounds diff small against their predecessors.
+        assert!(store.deltas()[1].rows_ref() > 0);
+    }
+
+    #[test]
+    fn pruning_rebases_the_chain_losslessly() {
+        let snaps = rounds(4);
+        let mut keep_all = RevisionStore::new(Retention::KeepAll);
+        let mut keep_two = RevisionStore::new(Retention::KeepLast(2));
+        for snap in &snaps {
+            keep_all.record(snap.clone());
+            keep_two.record(snap.clone());
+        }
+        assert_eq!(keep_two.len(), 2);
+        assert_eq!(keep_two.epochs(), vec![2, 3]);
+        // Retained rounds decode to exactly the bytes KeepAll holds.
+        for epoch in [2u32, 3] {
+            assert_eq!(
+                keep_two.reconstruct(epoch).unwrap(),
+                keep_all.reconstruct(epoch).unwrap(),
+                "epoch {epoch} changed across the re-base"
+            );
+        }
+        // Pruned rounds are gone.
+        assert!(keep_two.reconstruct(0).is_err());
+        // And the pruned chain is smaller than the full history.
+        assert!(keep_two.delta_bytes() < keep_all.delta_bytes());
+    }
+
+    #[test]
+    fn empty_store_reports_empty() {
+        let store = RevisionStore::new(Retention::KeepLast(1));
+        assert!(store.is_empty());
+        assert!(store.newest().is_none());
+        assert!(store.reconstruct(0).is_err());
+    }
+}

@@ -1,0 +1,586 @@
+//! The continuous-measurement server: registry, scheduler, shared pool.
+//!
+//! # Determinism contract
+//!
+//! The server runs on a **simulated clock**: [`Server::tick`] advances it
+//! by one and fires every due round. Everything a tenant's history
+//! contains is a pure function of `(master seed, tenant id, study
+//! config, epoch)`:
+//!
+//! - the tenant's study seed is `derive_tenant_seed(master, id)` and its
+//!   fault plan is `base.for_tenant(id)` — no tenant ever reads another
+//!   tenant's stream, and no interleaving of registrations changes them;
+//! - round `epoch` runs under `derive_round_seed(tenant_seed, epoch)`
+//!   with the plan's `for_round(epoch)` weather, exactly like a solo
+//!   [`gamma_longitudinal::LongitudinalStudy`] over the same config;
+//! - world churn is keyed by the tenant's **contiguous epoch counter**,
+//!   never by the tick it happened to fire on, so admission delays do
+//!   not perturb the measured world.
+//!
+//! Due rounds are scanned in `(next_due, tenant_id)` order and admitted
+//! up to `queue_capacity` per tick; the remainder is **delayed** (kept
+//! due, draining FIFO on later ticks) or **shed** (the occurrence is
+//! skipped without consuming an epoch) per [`AdmissionPolicy`]. Both
+//! policies keep each tenant's revision chain a prefix of its solo
+//! chain. Admitted rounds from all tenants multiplex onto one shared
+//! work-stealing pool ([`gamma_campaign::run_campaigns`]); the schedule
+//! affects wall-clock only, never bytes — `tests/server.rs` pins the
+//! interleaved chains byte-identical to solo runs across worker counts.
+
+use crate::config::StudyConfig;
+use crate::revision::RevisionStore;
+use gamma_campaign::{derive_tenant_seed, run_campaigns, Campaign, Options};
+use gamma_chaos::FaultPlan;
+use gamma_core::{RoundContext, Study};
+use gamma_longitudinal::RoundSnapshot;
+use gamma_model::TenantId;
+use gamma_obs as obs;
+use gamma_websim::{evolve, worldgen, World};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+/// What happens to due rounds beyond the queue capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionPolicy {
+    /// Keep them due: they stay at the front of the `(next_due, id)`
+    /// order and drain FIFO on subsequent ticks. Backpressure stretches
+    /// the wall-clock cadence but no round is lost.
+    Delay,
+    /// Skip the occurrence: `next_due` advances one cadence and the
+    /// tenant's epoch counter does **not** move, so the revision chain
+    /// stays a (shorter) prefix of the solo chain.
+    Shed,
+}
+
+impl AdmissionPolicy {
+    /// CLI surface: `delay` or `shed`.
+    pub fn parse(s: &str) -> Option<AdmissionPolicy> {
+        match s {
+            "delay" => Some(AdmissionPolicy::Delay),
+            "shed" => Some(AdmissionPolicy::Shed),
+            _ => None,
+        }
+    }
+}
+
+/// Server-wide knobs: seed, shared pool size, admission control,
+/// checkpoint namespace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerConfig {
+    /// Master seed every tenant stream splits from.
+    pub master_seed: u64,
+    /// Shared worker-pool threads (clamped to at least 1).
+    pub workers: usize,
+    /// Admitted rounds per tick; `0` means unbounded.
+    pub queue_capacity: usize,
+    /// What happens to due rounds the queue cannot take.
+    pub admission: AdmissionPolicy,
+    /// Directory for per-`(tenant, round)` checkpoint files; `None`
+    /// disables checkpointing.
+    pub state_dir: Option<PathBuf>,
+}
+
+impl ServerConfig {
+    /// One worker, unbounded queue, delay admission, no checkpointing.
+    pub fn new(master_seed: u64) -> ServerConfig {
+        ServerConfig {
+            master_seed,
+            workers: 1,
+            queue_capacity: 0,
+            admission: AdmissionPolicy::Delay,
+            state_dir: None,
+        }
+    }
+}
+
+/// One registered study and its runtime state.
+#[derive(Clone)]
+struct Tenant {
+    config: StudyConfig,
+    study: Study,
+    /// Lazily generated at the first fired round.
+    world: Option<World>,
+    /// Highest churn epoch applied to `world`.
+    world_epoch: u32,
+    /// Rounds completed; also the next round to run.
+    epoch: u32,
+    /// Tick at which the next round is due.
+    next_due: u64,
+    paused: bool,
+    store: RevisionStore,
+}
+
+/// A read-only view of one tenant's scheduling state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantStatus {
+    pub id: TenantId,
+    pub name: String,
+    pub paused: bool,
+    /// Rounds completed so far.
+    pub rounds: u32,
+    /// Tick of the next due round.
+    pub next_due: u64,
+    /// Rounds currently reconstructible from the revision store.
+    pub retained: usize,
+}
+
+/// One fired round's summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FiredRound {
+    pub tenant: TenantId,
+    pub epoch: u32,
+    pub round_seed: u64,
+    /// Shards restored from a checkpoint instead of recomputed.
+    pub resumed_shards: usize,
+    /// Serialized size of the appended revision delta.
+    pub delta_bytes: usize,
+}
+
+/// Everything one tick did.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TickReport {
+    pub clock: u64,
+    /// Rounds that ran this tick, in admission order.
+    pub fired: Vec<FiredRound>,
+    /// Tenants left due for later ticks (queue saturated, Delay policy).
+    pub delayed: Vec<TenantId>,
+    /// Tenants whose occurrence was dropped (Shed policy).
+    pub shed: Vec<TenantId>,
+    /// Tenants whose round failed (error text); epoch not consumed.
+    pub failures: Vec<(TenantId, String)>,
+}
+
+/// The multi-tenant measurement server.
+#[derive(Clone)]
+pub struct Server {
+    config: ServerConfig,
+    clock: u64,
+    tenants: BTreeMap<u32, Tenant>,
+    next_id: u32,
+}
+
+/// One admitted tenant's prepared round, waiting on the shared pool.
+struct PreparedRound {
+    id: u32,
+    epoch: u32,
+    world: World,
+    ctx: RoundContext,
+    options: Options,
+}
+
+impl Server {
+    pub fn new(config: ServerConfig) -> Server {
+        Server {
+            config,
+            clock: 0,
+            tenants: BTreeMap::new(),
+            next_id: 0,
+        }
+    }
+
+    /// Current simulated-clock tick.
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+
+    /// Registers a study under the next free tenant id. The first round
+    /// falls due one cadence after registration.
+    pub fn create(&mut self, config: StudyConfig) -> Result<TenantId, String> {
+        while self.tenants.contains_key(&self.next_id) {
+            self.next_id += 1;
+        }
+        let id = TenantId(self.next_id);
+        self.create_with_id(id, config)?;
+        Ok(id)
+    }
+
+    /// Registers a study under an explicit tenant id — the handle that
+    /// lets a solo control run replay the *same* seed streams as a
+    /// multi-tenant run for byte-for-byte comparison.
+    pub fn create_with_id(&mut self, id: TenantId, config: StudyConfig) -> Result<(), String> {
+        if self.tenants.contains_key(&id.as_u32()) {
+            return Err(format!("{id} already exists"));
+        }
+        config.validate()?;
+        let study = build_study(self.config.master_seed, id, &config);
+        let tenant = Tenant {
+            next_due: self.clock + config.cadence,
+            store: RevisionStore::new(config.retention),
+            config,
+            study,
+            world: None,
+            world_epoch: 0,
+            epoch: 0,
+            paused: false,
+        };
+        self.tenants.insert(id.as_u32(), tenant);
+        obs::global()
+            .gauge("server.tenants")
+            .set(self.tenants.len() as i64);
+        Ok(())
+    }
+
+    /// Replaces a tenant's configuration. Cadence, fault profile, churn
+    /// and retention may change freely (they apply from the next fired
+    /// round); the world shape — countries and site counts — is frozen
+    /// once the first round has run, because changing it would detach
+    /// the revision chain from the world it measures.
+    pub fn update(&mut self, id: TenantId, config: StudyConfig) -> Result<(), String> {
+        config.validate()?;
+        let master = self.config.master_seed;
+        let t = self
+            .tenants
+            .get_mut(&id.as_u32())
+            .ok_or_else(|| format!("{id} does not exist"))?;
+        if t.epoch > 0
+            && (config.countries != t.config.countries
+                || config.reg_sites != t.config.reg_sites
+                || config.gov_sites != t.config.gov_sites)
+        {
+            return Err(format!(
+                "{id} has already measured round 0; countries/sites are frozen"
+            ));
+        }
+        t.study = build_study(master, id, &config);
+        t.store.set_retention(config.retention);
+        t.config = config;
+        Ok(())
+    }
+
+    /// Pauses a tenant: it stops firing but keeps its history.
+    pub fn pause(&mut self, id: TenantId) -> Result<(), String> {
+        let t = self
+            .tenants
+            .get_mut(&id.as_u32())
+            .ok_or_else(|| format!("{id} does not exist"))?;
+        t.paused = true;
+        Ok(())
+    }
+
+    /// Resumes a paused tenant; its next round falls due one cadence
+    /// from now (no burst of back-rounds for the paused stretch).
+    pub fn resume(&mut self, id: TenantId) -> Result<(), String> {
+        let clock = self.clock;
+        let t = self
+            .tenants
+            .get_mut(&id.as_u32())
+            .ok_or_else(|| format!("{id} does not exist"))?;
+        if t.paused {
+            t.paused = false;
+            t.next_due = clock + t.config.cadence;
+        }
+        Ok(())
+    }
+
+    /// Deletes a tenant and its in-memory history.
+    pub fn delete(&mut self, id: TenantId) -> Result<(), String> {
+        self.tenants
+            .remove(&id.as_u32())
+            .ok_or_else(|| format!("{id} does not exist"))?;
+        obs::global()
+            .gauge("server.tenants")
+            .set(self.tenants.len() as i64);
+        Ok(())
+    }
+
+    /// One tenant's revision store.
+    pub fn revisions(&self, id: TenantId) -> Option<&RevisionStore> {
+        self.tenants.get(&id.as_u32()).map(|t| &t.store)
+    }
+
+    /// One tenant's registered configuration.
+    pub fn study_config(&self, id: TenantId) -> Option<&StudyConfig> {
+        self.tenants.get(&id.as_u32()).map(|t| &t.config)
+    }
+
+    /// Scheduling state of every tenant, id order.
+    pub fn status(&self) -> Vec<TenantStatus> {
+        self.tenants
+            .iter()
+            .map(|(&id, t)| TenantStatus {
+                id: TenantId(id),
+                name: t.config.name.clone(),
+                paused: t.paused,
+                rounds: t.epoch,
+                next_due: t.next_due,
+                retained: t.store.len(),
+            })
+            .collect()
+    }
+
+    /// Advances the clock `ticks` times, firing due rounds on each.
+    pub fn advance(&mut self, ticks: u64) -> Vec<TickReport> {
+        (0..ticks).map(|_| self.tick()).collect()
+    }
+
+    /// Advances the simulated clock one tick: scans for due rounds in
+    /// `(next_due, tenant_id)` order, applies admission control, runs
+    /// every admitted round on the shared pool, and appends each
+    /// outcome to its tenant's revision store.
+    pub fn tick(&mut self) -> TickReport {
+        let reg = obs::global();
+        self.clock += 1;
+        reg.counter("server.sched.ticks").inc();
+        let mut report = TickReport {
+            clock: self.clock,
+            ..TickReport::default()
+        };
+
+        let mut due: Vec<u32> = self
+            .tenants
+            .iter()
+            .filter(|(_, t)| !t.paused && t.next_due <= self.clock)
+            .map(|(&id, _)| id)
+            .collect();
+        due.sort_by_key(|id| (self.tenants[id].next_due, *id));
+        reg.counter("server.sched.due").add(due.len() as u64);
+
+        let cap = match self.config.queue_capacity {
+            0 => due.len(),
+            cap => cap.min(due.len()),
+        };
+        let overflow = due.split_off(cap);
+        reg.gauge("server.queue.depth").set(overflow.len() as i64);
+        for id in overflow {
+            match self.config.admission {
+                AdmissionPolicy::Delay => {
+                    reg.counter("server.sched.delayed").inc();
+                    report.delayed.push(TenantId(id));
+                }
+                AdmissionPolicy::Shed => {
+                    let t = self.tenants.get_mut(&id).expect("due tenant exists");
+                    t.next_due += t.config.cadence;
+                    reg.counter("server.sched.shed").inc();
+                    reg.counter(&format!("server.tenant.{id}.shed")).inc();
+                    report.shed.push(TenantId(id));
+                }
+            }
+        }
+
+        // Prepare every admitted round: generate/evolve the world up to
+        // the tenant's contiguous epoch, derive the round context.
+        let mut batch: Vec<PreparedRound> = Vec::new();
+        for id in due {
+            let options = self.round_options(id);
+            let t = self.tenants.get_mut(&id).expect("due tenant exists");
+            let epoch = t.epoch;
+            if t.world.is_none() {
+                t.world = Some(worldgen::generate(&t.study.spec));
+                t.world_epoch = 0;
+            }
+            let world = t.world.as_mut().expect("world just ensured");
+            while t.world_epoch < epoch {
+                let next = t.world_epoch + 1;
+                evolve(world, &t.config.churn, next);
+                t.world_epoch = next;
+            }
+            let world = t.world.take().expect("world present");
+            let ctx = t.study.prepare_round(&world, epoch);
+            let options = options.for_round(epoch);
+            batch.push(PreparedRound {
+                id,
+                epoch,
+                world,
+                ctx,
+                options,
+            });
+        }
+
+        // Multiplex every admitted campaign onto one shared pool.
+        let campaigns: Vec<Campaign<'_>> = batch
+            .iter()
+            .map(|p| Campaign::new(p.ctx.env(&p.world), p.options.clone()))
+            .collect();
+        let results = run_campaigns(&campaigns, self.config.workers.max(1));
+        drop(campaigns);
+
+        for (p, result) in batch.into_iter().zip(results) {
+            let t = self.tenants.get_mut(&p.id).expect("admitted tenant exists");
+            match result {
+                Ok(outcome) => {
+                    let resumed_shards = outcome.metrics.resumed_shards;
+                    let out = p.ctx.assemble(&p.world, outcome);
+                    let round_seed = out.round_seed;
+                    let stats = t.store.record(RoundSnapshot::from_round(&out));
+                    t.epoch += 1;
+                    t.next_due += t.config.cadence;
+                    reg.counter("server.sched.fired").inc();
+                    reg.counter(&format!("server.tenant.{}.rounds", p.id)).inc();
+                    reg.counter(&format!("server.tenant.{}.delta_bytes", p.id))
+                        .add(stats.delta_bytes as u64);
+                    report.fired.push(FiredRound {
+                        tenant: TenantId(p.id),
+                        epoch: p.epoch,
+                        round_seed,
+                        resumed_shards,
+                        delta_bytes: stats.delta_bytes,
+                    });
+                }
+                Err(e) => {
+                    // The epoch is not consumed; the round retries one
+                    // cadence later (the world stays evolved for it).
+                    t.next_due += t.config.cadence;
+                    reg.counter("server.sched.failed").inc();
+                    report.failures.push((TenantId(p.id), e.to_string()));
+                }
+            }
+            t.world = Some(p.world);
+        }
+        report
+    }
+
+    /// Campaign options for one tenant's rounds: retry defaults plus,
+    /// with a state dir configured, a checkpoint file namespaced as
+    /// `server.ckpt.tenant{id}.round{epoch}` (the round suffix is
+    /// applied by the caller via [`Options::for_round`]).
+    fn round_options(&self, id: u32) -> Options {
+        match &self.config.state_dir {
+            Some(dir) => Options::sequential()
+                .resumable(dir.join("server.ckpt"))
+                .for_tenant(id),
+            None => Options::sequential(),
+        }
+    }
+}
+
+/// Builds one tenant's study from the server seed and its config: world
+/// spec under the derived tenant seed, fault plan tenant-remixed from
+/// the named profile.
+fn build_study(master_seed: u64, id: TenantId, config: &StudyConfig) -> Study {
+    let tenant_seed = derive_tenant_seed(master_seed, id.as_u32());
+    let mut study = Study::with_spec(config.world_spec(tenant_seed));
+    let plan = FaultPlan::from_profile_name(&config.faults, master_seed)
+        .expect("config validated before build")
+        .for_tenant(id.as_u32());
+    study.config.plan = plan;
+    study
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gamma_geo::CountryCode;
+
+    fn tiny_config(name: &str, cadence: u64) -> StudyConfig {
+        let mut c = StudyConfig::new(name, vec![CountryCode::new("RW"), CountryCode::new("NZ")]);
+        c.cadence = cadence;
+        c.reg_sites = Some(8);
+        c.gov_sites = Some(3);
+        c
+    }
+
+    #[test]
+    fn registration_assigns_ids_and_schedules_first_rounds() {
+        let mut server = Server::new(ServerConfig::new(42));
+        let a = server.create(tiny_config("a", 1)).unwrap();
+        let b = server.create(tiny_config("b", 3)).unwrap();
+        assert_eq!((a, b), (TenantId(0), TenantId(1)));
+        let status = server.status();
+        assert_eq!(status[0].next_due, 1);
+        assert_eq!(status[1].next_due, 3);
+        assert!(server
+            .create_with_id(TenantId(0), tiny_config("dup", 1))
+            .is_err());
+        assert!(server.create(StudyConfig::new("empty", vec![])).is_err());
+    }
+
+    #[test]
+    fn ticks_fire_rounds_at_cadence() {
+        let mut server = Server::new(ServerConfig::new(42));
+        let a = server.create(tiny_config("a", 1)).unwrap();
+        let b = server.create(tiny_config("b", 2)).unwrap();
+        let reports = server.advance(4);
+        let fired_per_tick: Vec<usize> = reports.iter().map(|r| r.fired.len()).collect();
+        // a fires every tick; b on ticks 2 and 4.
+        assert_eq!(fired_per_tick, vec![1, 2, 1, 2]);
+        assert_eq!(server.revisions(a).unwrap().len(), 4);
+        assert_eq!(server.revisions(b).unwrap().len(), 2);
+        assert_eq!(server.revisions(a).unwrap().epochs(), vec![0, 1, 2, 3]);
+        assert!(reports.iter().all(|r| r.failures.is_empty()));
+    }
+
+    #[test]
+    fn pause_resume_and_delete_control_the_schedule() {
+        let mut server = Server::new(ServerConfig::new(42));
+        let a = server.create(tiny_config("a", 1)).unwrap();
+        server.advance(2);
+        server.pause(a).unwrap();
+        let reports = server.advance(3);
+        assert!(reports.iter().all(|r| r.fired.is_empty()));
+        assert_eq!(server.revisions(a).unwrap().len(), 2);
+        server.resume(a).unwrap();
+        let reports = server.advance(1);
+        assert_eq!(reports[0].fired.len(), 1, "resumed tenant fires again");
+        // Epochs stayed contiguous across the pause.
+        assert_eq!(server.revisions(a).unwrap().epochs(), vec![0, 1, 2]);
+        server.delete(a).unwrap();
+        assert!(server.revisions(a).is_none());
+        assert!(server.delete(a).is_err());
+    }
+
+    #[test]
+    fn update_freezes_world_shape_after_round_zero() {
+        let mut server = Server::new(ServerConfig::new(42));
+        let a = server.create(tiny_config("a", 1)).unwrap();
+        // Before any round: countries may change.
+        let mut wider = tiny_config("a", 1);
+        wider.countries.push(CountryCode::new("US"));
+        server.update(a, wider).unwrap();
+        server.advance(1);
+        // After round 0: cadence/retention change is fine...
+        let mut faster = server.study_config(a).unwrap().clone();
+        faster.cadence = 2;
+        faster.retention = crate::config::Retention::KeepLast(2);
+        server.update(a, faster).unwrap();
+        // ...but the world shape is frozen.
+        let mut narrower = server.study_config(a).unwrap().clone();
+        narrower.countries.pop();
+        assert!(server.update(a, narrower).is_err());
+    }
+
+    #[test]
+    fn shed_skips_occurrences_without_consuming_epochs() {
+        let mut config = ServerConfig::new(42);
+        config.queue_capacity = 1;
+        config.admission = AdmissionPolicy::Shed;
+        let mut server = Server::new(config);
+        let a = server.create(tiny_config("a", 1)).unwrap();
+        let b = server.create(tiny_config("b", 1)).unwrap();
+        let reports = server.advance(4);
+        let shed: usize = reports.iter().map(|r| r.shed.len()).sum();
+        assert!(shed > 0, "saturated queue must shed");
+        let total: usize = [a, b]
+            .iter()
+            .map(|id| server.revisions(*id).unwrap().len())
+            .sum();
+        assert_eq!(total + shed, 8, "every due round fired or shed");
+        // Epochs stay contiguous despite the skipped occurrences.
+        for id in [a, b] {
+            let epochs = server.revisions(id).unwrap().epochs();
+            let want: Vec<u32> = (0..epochs.len() as u32).collect();
+            assert_eq!(epochs, want, "{id} has non-contiguous epochs");
+        }
+    }
+
+    #[test]
+    fn delay_drains_the_backlog_fifo() {
+        let mut config = ServerConfig::new(42);
+        config.queue_capacity = 1;
+        config.admission = AdmissionPolicy::Delay;
+        let mut server = Server::new(config);
+        let a = server.create(tiny_config("a", 1)).unwrap();
+        let b = server.create(tiny_config("b", 1)).unwrap();
+        let reports = server.advance(4);
+        let delayed: usize = reports.iter().map(|r| r.delayed.len()).sum();
+        assert!(delayed > 0, "saturated queue must delay");
+        // Nothing is lost: 4 rounds fired total, split across tenants.
+        let total: usize = [a, b]
+            .iter()
+            .map(|id| server.revisions(*id).unwrap().len())
+            .sum();
+        assert_eq!(total, 4);
+        // The two tenants alternate (FIFO by (next_due, id)).
+        assert_eq!(server.revisions(a).unwrap().len(), 2);
+        assert_eq!(server.revisions(b).unwrap().len(), 2);
+    }
+}

@@ -30,4 +30,15 @@ cargo run --release --bin gamma-study -- \
 cargo run --release --bin gamma-study -- \
   --check-metrics /tmp/gamma-bench-7.json
 
+echo "==> server smoke: two tenants, three simulated-clock ticks, server metric families"
+cargo run --release --bin gamma-study -- serve \
+  --seed 7 \
+  --register west:countries=GB+US+NZ,sites=8+3 \
+  --register africa:cadence=2,countries=RW+UG,sites=8+3,retention=2 \
+  --ticks 3 --workers 2 --report \
+  --metrics-out /tmp/gamma-server-7.json > /dev/null
+cargo run --release --bin gamma-study -- \
+  --check-metrics /tmp/gamma-server-7.json \
+  --require-ns server.sched. --require-ns server.tenant. --require-ns server.queue.
+
 echo "CI OK"

@@ -33,6 +33,12 @@
 //!
 //! # CI gate: validate a previously written benchmark report
 //! gamma-study --check-metrics BENCH_2025.json
+//!
+//! # service plane: two registered studies on a shared two-worker pool,
+//! # three simulated-clock ticks, per-tenant revision histories
+//! gamma-study serve --register west:countries=GB+US+NZ \
+//!     --register africa:cadence=2,countries=RW+UG \
+//!     --ticks 3 --workers 2 --report
 //! ```
 
 use gamma::campaign::{render_campaign_report, Options};
@@ -58,8 +64,13 @@ fn main() -> ExitCode {
     let mut check_metrics: Option<String> = None;
     let mut rounds = 1u32;
     let mut diff = false;
+    let mut require_ns: Vec<String> = Vec::new();
 
-    let mut argv = std::env::args().skip(1);
+    let mut argv = std::env::args().skip(1).peekable();
+    if argv.peek().map(String::as_str) == Some("serve") {
+        argv.next();
+        return run_serve(argv);
+    }
     while let Some(flag) = argv.next() {
         match flag.as_str() {
             "--seed" => match argv.next().and_then(|v| v.parse().ok()) {
@@ -96,6 +107,10 @@ fn main() -> ExitCode {
                 Some(v) => check_metrics = Some(v),
                 None => return usage(),
             },
+            "--require-ns" => match argv.next() {
+                Some(v) => require_ns.push(v),
+                None => return usage(),
+            },
             "--rounds" => match argv.next().and_then(|v| v.parse().ok()) {
                 Some(v) if v >= 1 => rounds = v,
                 _ => return usage(),
@@ -123,7 +138,11 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        return match report.validate(10) {
+        let extra: Vec<&str> = require_ns.iter().map(String::as_str).collect();
+        return match report
+            .validate(10)
+            .and_then(|()| report.require_namespaces(&extra))
+        {
             Ok(()) => {
                 eprintln!(
                     "{path}: ok (seed {}, {} counters, {} stage(s))",
@@ -374,6 +393,188 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// The `serve` subcommand: a multi-tenant continuous-measurement server
+/// on a simulated clock. Registers every `--register` spec, advances the
+/// clock `--ticks` times (rounds from all tenants share one worker
+/// pool), then prints the registry status and, with `--report`, each
+/// tenant's revision history.
+fn run_serve(mut argv: impl Iterator<Item = String>) -> ExitCode {
+    use gamma::server::{AdmissionPolicy, Server, ServerConfig, StudyConfig};
+
+    let mut seed = 2025u64;
+    let mut specs: Vec<String> = Vec::new();
+    let mut ticks = 1u64;
+    let mut workers = 1usize;
+    let mut queue = 0usize;
+    let mut admission = AdmissionPolicy::Delay;
+    let mut state_dir: Option<String> = None;
+    let mut report_revisions = false;
+    let mut metrics_out: Option<String> = None;
+
+    while let Some(flag) = argv.next() {
+        match flag.as_str() {
+            "--seed" => match argv.next().and_then(|v| v.parse().ok()) {
+                Some(v) => seed = v,
+                None => return usage_serve(),
+            },
+            "--register" => match argv.next() {
+                Some(v) => specs.push(v),
+                None => return usage_serve(),
+            },
+            "--ticks" => match argv.next().and_then(|v| v.parse().ok()) {
+                Some(v) => ticks = v,
+                None => return usage_serve(),
+            },
+            "--workers" => match argv.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v >= 1 => workers = v,
+                _ => return usage_serve(),
+            },
+            "--queue" => match argv.next().and_then(|v| v.parse().ok()) {
+                Some(v) => queue = v,
+                None => return usage_serve(),
+            },
+            "--admission" => match argv.next().as_deref().and_then(AdmissionPolicy::parse) {
+                Some(v) => admission = v,
+                None => return usage_serve(),
+            },
+            "--state-dir" => match argv.next() {
+                Some(v) => state_dir = Some(v),
+                None => return usage_serve(),
+            },
+            "--report" => report_revisions = true,
+            "--metrics-out" => match argv.next() {
+                Some(v) => metrics_out = Some(v),
+                None => return usage_serve(),
+            },
+            "--help" | "-h" => return usage_serve(),
+            _ => return usage_serve(),
+        }
+    }
+    if specs.is_empty() {
+        eprintln!("serve: at least one --register SPEC is required");
+        return usage_serve();
+    }
+
+    let mut config = ServerConfig::new(seed);
+    config.workers = workers;
+    config.queue_capacity = queue;
+    config.admission = admission;
+    config.state_dir = state_dir.map(std::path::PathBuf::from);
+    if let Some(dir) = &config.state_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create state dir {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    let mut server = Server::new(config);
+    for spec in &specs {
+        let study = match StudyConfig::parse_spec(spec) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("bad study spec {spec:?}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match server.create(study) {
+            Ok(id) => eprintln!("registered {id}: {spec}"),
+            Err(e) => {
+                eprintln!("cannot register {spec:?}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let before = gamma::obs::global().snapshot();
+    let started = Instant::now();
+    let tick_reports = server.advance(ticks);
+    let total_wall = started.elapsed();
+    for tr in &tick_reports {
+        let fired: Vec<String> = tr
+            .fired
+            .iter()
+            .map(|f| format!("{} round {} ({} B delta)", f.tenant, f.epoch, f.delta_bytes))
+            .collect();
+        eprintln!(
+            "tick {}: fired [{}] | delayed {} | shed {} | failed {}",
+            tr.clock,
+            fired.join(", "),
+            tr.delayed.len(),
+            tr.shed.len(),
+            tr.failures.len()
+        );
+        for (id, why) in &tr.failures {
+            eprintln!("  {id} failed: {why}");
+        }
+    }
+
+    println!(
+        "clock {} | {} tenant(s) registered",
+        server.clock(),
+        server.status().len()
+    );
+    for s in server.status() {
+        println!(
+            "{} {:<12} {} round(s) done | {} retained | next due tick {}{}",
+            s.id,
+            s.name,
+            s.rounds,
+            s.retained,
+            s.next_due,
+            if s.paused { " (paused)" } else { "" }
+        );
+    }
+    if report_revisions {
+        for s in server.status() {
+            let store = server.revisions(s.id).expect("status lists live tenants");
+            println!("— {} ({}) revision history —", s.id, s.name);
+            for delta in store.deltas() {
+                println!(
+                    "  epoch {}: {} B delta ({} rows by reference / {} in full)",
+                    delta.epoch,
+                    delta.json_bytes(),
+                    delta.rows_ref(),
+                    delta.rows_new()
+                );
+            }
+        }
+    }
+
+    if let Some(path) = metrics_out {
+        let after = gamma::obs::global().snapshot();
+        let countries: usize = server
+            .status()
+            .iter()
+            .filter_map(|s| server.study_config(s.id).map(|c| c.countries.len()))
+            .sum();
+        let rounds_fired: usize = tick_reports.iter().map(|t| t.fired.len()).sum();
+        let stages = BTreeMap::from([("serve".to_owned(), as_ms(total_wall))]);
+        let report = MetricsReport::new(
+            seed,
+            workers,
+            countries,
+            total_wall.as_secs_f64() * 1e3,
+            stages,
+            &before,
+            &after,
+        )
+        .with_throughput("rounds_per_sec", rounds_fired as f64);
+        match report.to_json() {
+            Ok(js) => {
+                if let Err(e) = std::fs::write(&path, js) {
+                    eprintln!("cannot write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("wrote metrics report {path}");
+            }
+            Err(e) => {
+                eprintln!("metrics serialization failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn as_ms(d: std::time::Duration) -> f64 {
     d.as_secs_f64() * 1e3
 }
@@ -384,7 +585,10 @@ fn usage() -> ExitCode {
          [--no-source] [--no-dest] [--no-rdns] \
          [--fault-profile NAME] [--quality-report] [--small] \
          [--trace] [--metrics-out FILE] [--check-metrics FILE] \
-         [--rounds N] [--diff]"
+         [--require-ns PREFIX] [--rounds N] [--diff]"
+    );
+    eprintln!(
+        "       gamma-study serve ... (run `gamma-study serve --help` for the service plane)"
     );
     eprintln!("  --jobs N       run country shards on N worker threads (0 = all cores)");
     eprintln!("  --resume FILE  checkpoint after every country; resume from FILE if it exists");
@@ -398,9 +602,35 @@ fn usage() -> ExitCode {
     eprintln!("  --metrics-out FILE    write the machine-readable benchmark report as JSON");
     eprintln!("  --check-metrics FILE  validate a benchmark report and exit (CI gate)");
     eprintln!(
+        "  --require-ns PREFIX   with --check-metrics: also require counters under \
+         PREFIX* (repeatable)"
+    );
+    eprintln!(
         "  --rounds N            temporal campaign: N rounds over one world evolving \
          under deterministic churn"
     );
     eprintln!("  --diff                print the cross-round trend report and snapshot sizes");
+    ExitCode::FAILURE
+}
+
+fn usage_serve() -> ExitCode {
+    eprintln!(
+        "usage: gamma-study serve --register SPEC [--register SPEC ...] [--seed N] \
+         [--ticks N] [--workers N] [--queue N] [--admission delay|shed] \
+         [--state-dir DIR] [--report] [--metrics-out FILE]"
+    );
+    eprintln!(
+        "  --register SPEC   study registration, \
+         name:cadence=N,countries=RW+US+NZ,faults=NAME,churn=paper|none,retention=N|all,sites=REG+GOV"
+    );
+    eprintln!("  --ticks N         advance the simulated clock N ticks (default 1)");
+    eprintln!("  --workers N       shared worker-pool threads across all tenants");
+    eprintln!("  --queue N         admitted rounds per tick; 0 = unbounded");
+    eprintln!(
+        "  --admission MODE  overflow policy: delay (FIFO backlog) or shed (skip occurrence)"
+    );
+    eprintln!("  --state-dir DIR   checkpoint each tenant's in-flight round under DIR");
+    eprintln!("  --report          print each tenant's revision history after the run");
+    eprintln!("  --metrics-out FILE  write the benchmark report (validate with --check-metrics)");
     ExitCode::FAILURE
 }

@@ -1,0 +1,241 @@
+//! Service-plane integration: multi-tenant scheduling is byte-identical
+//! to solo runs across worker counts and under pool saturation, server
+//! restarts resume mid-round from namespaced checkpoints, retention
+//! pruning is lossless for retained rounds, and equal master seeds
+//! never alias tenant streams.
+
+use gamma::campaign::CampaignCheckpoint;
+use gamma::geo::CountryCode;
+use gamma::server::{Retention, Server, ServerConfig, StudyConfig, TenantId};
+use std::path::PathBuf;
+
+fn study(name: &str, countries: &[&str]) -> StudyConfig {
+    let mut c = StudyConfig::new(
+        name,
+        countries.iter().map(|c| CountryCode::new(c)).collect(),
+    );
+    c.reg_sites = Some(8);
+    c.gov_sites = Some(3);
+    c
+}
+
+/// A tenant's revision chain as canonical JSON, one string per delta.
+fn chain_json(server: &Server, id: TenantId) -> Vec<String> {
+    server
+        .revisions(id)
+        .expect("tenant exists")
+        .deltas()
+        .iter()
+        .map(|d| serde_json::to_string(d).expect("delta json"))
+        .collect()
+}
+
+/// A temp state directory for checkpointed servers; removed on drop.
+struct StateDir(PathBuf);
+
+impl StateDir {
+    fn new(tag: &str) -> StateDir {
+        let dir = std::env::temp_dir().join(format!("gamma-server-{}-{}", tag, std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create state dir");
+        StateDir(dir)
+    }
+
+    fn ckpt(&self, tenant: u32, round: u32) -> PathBuf {
+        self.0
+            .join(format!("server.ckpt.tenant{tenant}.round{round}"))
+    }
+}
+
+impl Drop for StateDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+#[test]
+fn interleaved_tenants_match_solo_runs_under_saturation() {
+    const MASTER: u64 = 7001;
+    let configs = [
+        study("alpha", &["RW", "NZ"]),
+        study("beta", &["US", "NZ"]),
+        study("gamma", &["RW", "US"]),
+    ];
+
+    // Control: each tenant alone on its own server, pinned to the id it
+    // will hold in the shared run, four rounds each.
+    let mut solo: Vec<Vec<String>> = Vec::new();
+    for (id, config) in configs.iter().enumerate() {
+        let mut server = Server::new(ServerConfig::new(MASTER));
+        server
+            .create_with_id(TenantId(id as u32), config.clone())
+            .expect("solo registration");
+        server.advance(4);
+        assert_eq!(server.status()[0].rounds, 4, "solo tenant {id}");
+        solo.push(chain_json(&server, TenantId(id as u32)));
+    }
+
+    // Shared runs: three tenants, queue capacity two — every tick is
+    // oversubscribed, so admission control constantly reorders work —
+    // across two worker counts on the shared pool.
+    for workers in [1usize, 3] {
+        let mut config = ServerConfig::new(MASTER);
+        config.workers = workers;
+        config.queue_capacity = 2;
+        let mut server = Server::new(config);
+        for (id, c) in configs.iter().enumerate() {
+            server
+                .create_with_id(TenantId(id as u32), c.clone())
+                .expect("shared registration");
+        }
+        let fired_before = gamma::obs::global().counter("server.sched.fired").get();
+        let reports = server.advance(6);
+        let fired_after = gamma::obs::global().counter("server.sched.fired").get();
+        assert!(fired_after >= fired_before + 12);
+
+        let delayed: usize = reports.iter().map(|t| t.delayed.len()).sum();
+        assert!(delayed > 0, "capacity 2 with 3 due tenants must delay");
+        for (id, solo_chain) in solo.iter().enumerate() {
+            let id = TenantId(id as u32);
+            let status = server
+                .status()
+                .into_iter()
+                .find(|s| s.id == id)
+                .expect("tenant registered");
+            assert_eq!(status.rounds, 4, "{id} under {workers} worker(s)");
+            assert_eq!(
+                &chain_json(&server, id),
+                solo_chain,
+                "{id} chain diverged from its solo run under {workers} worker(s)"
+            );
+        }
+    }
+}
+
+#[test]
+fn restarted_server_resumes_mid_round_byte_identically() {
+    const MASTER: u64 = 7002;
+    let config = study("resume", &["RW", "US", "NZ"]);
+
+    // Uninterrupted control run, no checkpointing.
+    let mut reference = Server::new(ServerConfig::new(MASTER));
+    reference
+        .create_with_id(TenantId(0), config.clone())
+        .expect("reference registration");
+    reference.advance(3);
+    let want = chain_json(&reference, TenantId(0));
+    assert_eq!(want.len(), 3);
+
+    // First process: checkpointed under the state dir, then "killed".
+    // We model the kill by tampering its on-disk state: the round-1
+    // checkpoint loses one of its three shards (mid-round crash) and the
+    // round-2 checkpoint never made it to disk.
+    let dir = StateDir::new("kill");
+    let mut server_config = ServerConfig::new(MASTER);
+    server_config.state_dir = Some(dir.0.clone());
+    let mut first = Server::new(server_config.clone());
+    first
+        .create_with_id(TenantId(0), config.clone())
+        .expect("first registration");
+    first.advance(3);
+    assert_eq!(chain_json(&first, TenantId(0)), want);
+
+    let mut partial = CampaignCheckpoint::load(&dir.ckpt(0, 1)).expect("round-1 checkpoint");
+    assert_eq!(partial.completed.len(), 3);
+    partial.completed.pop();
+    partial.save(&dir.ckpt(0, 1)).expect("tamper round-1");
+    std::fs::remove_file(dir.ckpt(0, 2)).expect("drop round-2 checkpoint");
+
+    // Second process: a fresh server over the same master seed, state
+    // dir, and registration restores round 0 wholesale, redoes one shard
+    // of round 1, reruns round 2 — and lands on the same bytes.
+    let mut second = Server::new(server_config);
+    second
+        .create_with_id(TenantId(0), config)
+        .expect("second registration");
+    let reports = second.advance(3);
+    let resumed: Vec<usize> = reports
+        .iter()
+        .flat_map(|t| t.fired.iter())
+        .map(|f| f.resumed_shards)
+        .collect();
+    assert_eq!(resumed, vec![3, 2, 0]);
+    assert_eq!(chain_json(&second, TenantId(0)), want);
+}
+
+#[test]
+fn retention_pruning_reconstructs_the_newest_round_byte_for_byte() {
+    const MASTER: u64 = 7003;
+    let keep_all_config = study("hist", &["RW", "NZ"]);
+    let mut keep_two_config = keep_all_config.clone();
+    keep_two_config.retention = Retention::KeepLast(2);
+
+    let mut keep_all = Server::new(ServerConfig::new(MASTER));
+    let mut keep_two = Server::new(ServerConfig::new(MASTER));
+    keep_all
+        .create_with_id(TenantId(0), keep_all_config)
+        .expect("keep-all registration");
+    keep_two
+        .create_with_id(TenantId(0), keep_two_config)
+        .expect("keep-two registration");
+    keep_all.advance(4);
+    keep_two.advance(4);
+
+    let full = keep_all.revisions(TenantId(0)).expect("keep-all store");
+    let pruned = keep_two.revisions(TenantId(0)).expect("keep-two store");
+    assert_eq!(full.epochs(), vec![0, 1, 2, 3]);
+    assert_eq!(pruned.epochs(), vec![2, 3]);
+    for epoch in [2u32, 3] {
+        assert_eq!(
+            serde_json::to_string(&pruned.reconstruct(epoch).expect("retained"))
+                .expect("snapshot json"),
+            serde_json::to_string(&full.reconstruct(epoch).expect("retained"))
+                .expect("snapshot json"),
+            "epoch {epoch} changed across the re-base"
+        );
+    }
+    assert!(pruned.reconstruct(0).is_err(), "epoch 0 was pruned");
+    assert!(pruned.delta_bytes() < full.delta_bytes());
+}
+
+#[test]
+fn equal_master_seeds_never_alias_tenant_streams() {
+    const MASTER: u64 = 7004;
+    let config = study("twin", &["RW", "NZ"]);
+
+    // Two tenants with *identical* configs on one server: every round
+    // seed and every snapshot must differ — the tenant id is the only
+    // thing separating their streams.
+    let mut shared = Server::new(ServerConfig::new(MASTER));
+    shared
+        .create_with_id(TenantId(0), config.clone())
+        .expect("tenant 0");
+    shared
+        .create_with_id(TenantId(1), config.clone())
+        .expect("tenant 1");
+    let reports = shared.advance(2);
+    for tick in &reports {
+        assert_eq!(tick.fired.len(), 2);
+        assert_ne!(
+            tick.fired[0].round_seed, tick.fired[1].round_seed,
+            "tick {} round seeds collided across tenants",
+            tick.clock
+        );
+    }
+    assert_ne!(
+        chain_json(&shared, TenantId(0)),
+        chain_json(&shared, TenantId(1)),
+        "identical configs under different tenant ids must diverge"
+    );
+
+    // And tenant 1's stream is a function of its id, not of tenant 0's
+    // presence: a server that only ever hosted tenant 1 replays it.
+    let mut alone = Server::new(ServerConfig::new(MASTER));
+    alone
+        .create_with_id(TenantId(1), config)
+        .expect("lone tenant 1");
+    alone.advance(2);
+    assert_eq!(
+        chain_json(&alone, TenantId(1)),
+        chain_json(&shared, TenantId(1))
+    );
+}
