@@ -1,0 +1,131 @@
+//! Cost of the durable artifact plane: what the framed container adds
+//! over a bare `std::fs::write`, what the CRC costs per byte, how fast
+//! the typed reader scans a chain, and the latency of a torn-tail
+//! recovery scan — the price every checkpoint and snapshot write pays.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gamma_chaos::FaultPlan;
+use gamma_store::{
+    append_frame, crc32, decide_write_fault, read_container, write_frames, ArtifactKind,
+    WriteOptions,
+};
+use std::hint::black_box;
+use std::path::PathBuf;
+
+const DOC_LEN: usize = 64 * 1024;
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gamma-bench-store-{}", std::process::id()));
+    let _ = std::fs::create_dir_all(&dir);
+    dir.join(name)
+}
+
+fn payload(len: usize) -> Vec<u8> {
+    (0..len).map(|i| (i * 131 % 251) as u8).collect()
+}
+
+fn bench_write(c: &mut Criterion) {
+    let doc = payload(DOC_LEN);
+    let mut g = c.benchmark_group("store");
+    g.throughput(Throughput::Bytes(DOC_LEN as u64));
+    // The baseline the container replaces: a bare, non-atomic write.
+    g.bench_function("raw_write_64k", |b| {
+        let path = scratch("raw.bin");
+        b.iter(|| std::fs::write(&path, black_box(&doc)).unwrap())
+    });
+    g.bench_function("framed_atomic_write_64k", |b| {
+        let path = scratch("framed.gsf");
+        let opts = WriteOptions::default();
+        b.iter(|| write_frames(&path, ArtifactKind::Document, &[black_box(&doc)], &opts).unwrap())
+    });
+    g.bench_function("framed_durable_write_64k", |b| {
+        let path = scratch("durable.gsf");
+        let opts = WriteOptions::durable();
+        b.iter(|| write_frames(&path, ArtifactKind::Document, &[black_box(&doc)], &opts).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_read(c: &mut Criterion) {
+    let doc = payload(DOC_LEN);
+    let mut g = c.benchmark_group("store");
+    g.throughput(Throughput::Bytes(DOC_LEN as u64));
+    let raw = scratch("read-raw.bin");
+    std::fs::write(&raw, &doc).unwrap();
+    g.bench_function("raw_read_64k", |b| {
+        b.iter(|| black_box(std::fs::read(&raw).unwrap()))
+    });
+    let framed = scratch("read-framed.gsf");
+    write_frames(
+        &framed,
+        ArtifactKind::Document,
+        &[&doc],
+        &WriteOptions::default(),
+    )
+    .unwrap();
+    // Checksum verification of every frame rides on this path.
+    g.bench_function("framed_verified_read_64k", |b| {
+        b.iter(|| black_box(read_container(&framed, Some(ArtifactKind::Document)).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_crc(c: &mut Criterion) {
+    let doc = payload(DOC_LEN);
+    let mut g = c.benchmark_group("store");
+    g.throughput(Throughput::Bytes(DOC_LEN as u64));
+    g.bench_function("crc32_64k", |b| b.iter(|| black_box(crc32(&doc))));
+    g.finish();
+}
+
+fn bench_recovery_scan(c: &mut Criterion) {
+    // A 64-round chain with a torn tail: the reader walks every frame,
+    // verifies every checksum, and truncates the tear — the cold-start
+    // cost of resuming a longitudinal campaign.
+    let chain = scratch("recovery.chain");
+    let _ = std::fs::remove_file(&chain);
+    let round = payload(4 * 1024);
+    for _ in 0..64 {
+        append_frame(&chain, ArtifactKind::DeltaChain, &round, &WriteOptions::default()).unwrap();
+    }
+    let bytes = std::fs::read(&chain).unwrap();
+    std::fs::write(&chain, &bytes[..bytes.len() - 100]).unwrap();
+
+    let mut g = c.benchmark_group("store");
+    g.throughput(Throughput::Bytes(bytes.len() as u64));
+    g.bench_function("torn_chain_recovery_scan_64x4k", |b| {
+        b.iter(|| {
+            let c = read_container(&chain, Some(ArtifactKind::DeltaChain)).unwrap();
+            assert!(c.torn.is_some());
+            black_box(c.frames.len())
+        })
+    });
+    g.finish();
+}
+
+fn bench_fault_oracle(c: &mut Criterion) {
+    // The per-write cost of consulting the storage-fault plan (zero on
+    // production runs where no plan is armed).
+    let plan = FaultPlan::storage(42);
+    let path = PathBuf::from("campaign.ckpt");
+    let mut g = c.benchmark_group("store");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("fault_decision", |b| {
+        let mut len = 0usize;
+        b.iter(|| {
+            len = (len + 997) % 100_000;
+            black_box(decide_write_fault(Some(&plan), &path, black_box(len)))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_write,
+    bench_read,
+    bench_crc,
+    bench_recovery_scan,
+    bench_fault_oracle
+);
+criterion_main!(benches);

@@ -8,13 +8,21 @@
 //! skipping the K and produces a `StudyDataset` identical to an
 //! uninterrupted run.
 //!
-//! The file is JSON, written atomically (temp file + rename) after every
-//! completed shard.
+//! The file is a `gamma-store` framed container
+//! ([`ArtifactKind::CampaignCheckpoint`]): frame 0 carries the campaign
+//! identity (master seed + plan), each following frame one JSON
+//! [`CompletedShard`]. Every save is a full atomic rewrite (temp file +
+//! rename) after every completed shard, and every frame is CRC-checked
+//! on load, so a crash mid-write never corrupts an existing checkpoint
+//! and a torn tail costs at most the shards in the lost frames — which
+//! simply re-run.
 
 use crate::engine::CampaignError;
 use crate::metrics::ShardMetrics;
 use gamma_geo::CountryCode;
 use gamma_geoloc::GeolocReport;
+use gamma_obs as obs;
+use gamma_store::{read_container, write_frames, ArtifactKind, ReadError, WriteOptions};
 use gamma_suite::{Checkpoint, Quarantine, VolunteerDataset};
 use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
@@ -95,52 +103,140 @@ impl CampaignCheckpoint {
         serde_json::from_str(s).map_err(|e| format!("corrupt campaign checkpoint: {e}"))
     }
 
-    /// Reads and parses the on-disk checkpoint.
-    pub fn load(path: &Path) -> Result<Self, CampaignError> {
-        let text = std::fs::read_to_string(path).map_err(|e| CampaignError::Checkpoint {
-            path: path.to_path_buf(),
-            reason: e.to_string(),
-        })?;
-        Self::from_json(&text).map_err(|reason| CampaignError::Checkpoint {
+    /// Reads the on-disk checkpoint, distinguishing a missing file (a
+    /// fresh start) from a corrupt one (which must fail loudly — never
+    /// silently restart and clobber the evidence).
+    pub fn restore(path: &Path) -> Result<CheckpointState, CampaignError> {
+        let err = |reason: String| CampaignError::Checkpoint {
             path: path.to_path_buf(),
             reason,
+        };
+        let container = match read_container(path, Some(ArtifactKind::CampaignCheckpoint)) {
+            Ok(c) => c,
+            Err(ReadError::Missing) => return Ok(CheckpointState::Missing),
+            Err(e) => return Err(err(e.to_string())),
+        };
+        let recovered_torn = container.torn.is_some();
+        // Torn before the first complete frame: the crash hit the very
+        // first write. Nothing durable was lost — treat as fresh.
+        let Some((meta, shards)) = container.frames.split_first() else {
+            return Ok(CheckpointState::Missing);
+        };
+        let meta: CheckpointMeta = serde_json::from_slice(meta)
+            .map_err(|e| err(format!("corrupt checkpoint meta frame: {e}")))?;
+        let mut checkpoint = CampaignCheckpoint::new(meta.master_seed, meta.plan);
+        for (i, frame) in shards.iter().enumerate() {
+            let done: CompletedShard = serde_json::from_slice(frame)
+                .map_err(|e| err(format!("corrupt shard frame {}: {e}", i + 1)))?;
+            checkpoint.record(done);
+        }
+        Ok(CheckpointState::Loaded {
+            checkpoint,
+            recovered_torn,
         })
     }
 
-    /// Writes atomically: temp file in the same directory, then rename,
-    /// so a crash mid-write never corrupts an existing checkpoint.
-    pub fn save(&self, path: &Path) -> Result<(), CampaignError> {
-        let io_err = |e: std::io::Error| CampaignError::Checkpoint {
-            path: path.to_path_buf(),
-            reason: e.to_string(),
-        };
-        let mut tmp = path.as_os_str().to_owned();
-        tmp.push(".tmp");
-        let tmp = PathBuf::from(tmp);
-        std::fs::write(&tmp, self.to_json()).map_err(io_err)?;
-        std::fs::rename(&tmp, path).map_err(io_err)
+    /// Reads and parses the on-disk checkpoint; a missing file is an
+    /// error here (use [`CampaignCheckpoint::restore`] when "no file
+    /// yet" is an expected state).
+    pub fn load(path: &Path) -> Result<Self, CampaignError> {
+        match Self::restore(path)? {
+            CheckpointState::Loaded { checkpoint, .. } => Ok(checkpoint),
+            CheckpointState::Missing => Err(CampaignError::Checkpoint {
+                path: path.to_path_buf(),
+                reason: "checkpoint not found".into(),
+            }),
+        }
     }
+
+    /// Writes atomically through the store: full framed image to a temp
+    /// file, then rename, so a crash mid-write never corrupts an
+    /// existing checkpoint.
+    pub fn save(&self, path: &Path) -> Result<(), CampaignError> {
+        self.save_with(path, &WriteOptions::default())
+    }
+
+    /// [`CampaignCheckpoint::save`] with explicit durability/fault
+    /// options (the write-through sink threads the campaign fault plan
+    /// here so storage chaos drills exercise this exact path).
+    pub fn save_with(&self, path: &Path, opts: &WriteOptions) -> Result<(), CampaignError> {
+        let meta = CheckpointMeta {
+            master_seed: self.master_seed,
+            plan: self.plan.clone(),
+        };
+        let mut frames: Vec<Vec<u8>> =
+            vec![serde_json::to_vec(&meta).expect("checkpoint meta serializes")];
+        for done in &self.completed {
+            frames.push(serde_json::to_vec(done).expect("completed shard serializes"));
+        }
+        let refs: Vec<&[u8]> = frames.iter().map(|f| f.as_slice()).collect();
+        write_frames(path, ArtifactKind::CampaignCheckpoint, &refs, opts).map_err(|e| {
+            CampaignError::Checkpoint {
+                path: path.to_path_buf(),
+                reason: e.to_string(),
+            }
+        })
+    }
+}
+
+/// Frame 0 of the checkpoint container: the campaign identity the rest
+/// of the frames belong to.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct CheckpointMeta {
+    master_seed: u64,
+    plan: Vec<CountryCode>,
+}
+
+/// What [`CampaignCheckpoint::restore`] found on disk.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CheckpointState {
+    /// No checkpoint (or a tear before the first durable frame): start
+    /// fresh.
+    Missing,
+    /// A checkpoint was read back, possibly after truncating a torn
+    /// tail (`recovered_torn`) — the shards in the lost frames simply
+    /// re-run.
+    Loaded {
+        checkpoint: CampaignCheckpoint,
+        recovered_torn: bool,
+    },
 }
 
 /// Thread-safe write-through sink the scheduler records completions into.
 pub(crate) struct CheckpointSink {
     path: PathBuf,
+    opts: WriteOptions,
     state: Mutex<CampaignCheckpoint>,
 }
 
 impl CheckpointSink {
-    pub(crate) fn new(path: PathBuf, state: CampaignCheckpoint) -> CheckpointSink {
+    pub(crate) fn new(
+        path: PathBuf,
+        state: CampaignCheckpoint,
+        opts: WriteOptions,
+    ) -> CheckpointSink {
         CheckpointSink {
             path,
+            opts,
             state: Mutex::new(state),
         }
     }
 
     /// Records one finished shard and persists the updated checkpoint.
+    ///
+    /// A failed *write* is deliberately non-fatal: the in-memory state
+    /// stays correct and the next completion retries the full rewrite,
+    /// so a transient ENOSPC (or an injected storage fault) degrades
+    /// resumability without killing a campaign that is otherwise
+    /// producing good data. The degradation is visible as
+    /// `store.fallbacks`.
     pub(crate) fn record(&self, done: &CompletedShard) -> Result<(), CampaignError> {
         let mut state = self.state.lock().expect("checkpoint sink lock");
         state.record(done.clone());
-        state.save(&self.path)
+        if state.save_with(&self.path, &self.opts).is_err() {
+            obs::global().counter("store.fallbacks").inc();
+        }
+        Ok(())
     }
 }
 
@@ -238,6 +334,72 @@ mod tests {
         cp.save(&path).unwrap();
         let back = CampaignCheckpoint::load(&path).unwrap();
         assert_eq!(back, cp);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    fn scratch(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("gamma-ckpt-{tag}-{}.gsf", std::process::id()))
+    }
+
+    #[test]
+    fn restore_reports_a_missing_file_as_a_fresh_start() {
+        let path = scratch("missing");
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(
+            CampaignCheckpoint::restore(&path).unwrap(),
+            CheckpointState::Missing
+        );
+        // But `load` — whose callers expect a file — treats it as an error.
+        assert!(CampaignCheckpoint::load(&path).is_err());
+    }
+
+    #[test]
+    fn restore_refuses_corrupt_checkpoints_instead_of_clobbering() {
+        let plan = vec![CountryCode::new("RW"), CountryCode::new("US")];
+        let mut cp = CampaignCheckpoint::new(5, plan);
+        cp.record(dummy_completed("RW"));
+        let path = scratch("corrupt");
+        cp.save(&path).unwrap();
+
+        // Flip one payload byte mid-file: a bit-rot fault, not a tear.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let err = CampaignCheckpoint::restore(&path).unwrap_err();
+        assert!(
+            matches!(&err, CampaignError::Checkpoint { reason, .. } if reason.contains("frame")),
+            "corruption must surface as a typed checkpoint error: {err}"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn restore_truncates_torn_tails_to_the_completed_prefix() {
+        let plan = vec![CountryCode::new("RW"), CountryCode::new("US")];
+        let mut cp = CampaignCheckpoint::new(5, plan);
+        cp.record(dummy_completed("RW"));
+        cp.record(dummy_completed("US"));
+        let path = scratch("torn");
+        cp.save(&path).unwrap();
+
+        // Chop into the last frame: a crash artifact the reader heals.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 7]).unwrap();
+
+        match CampaignCheckpoint::restore(&path).unwrap() {
+            CheckpointState::Loaded {
+                checkpoint,
+                recovered_torn,
+            } => {
+                assert!(recovered_torn);
+                assert_eq!(checkpoint.completed.len(), 1, "lost shard re-runs");
+                assert!(checkpoint.is_complete(CountryCode::new("RW")));
+                assert!(!checkpoint.is_complete(CountryCode::new("US")));
+            }
+            other => panic!("expected a recovered prefix, got {other:?}"),
+        }
         let _ = std::fs::remove_file(&path);
     }
 }

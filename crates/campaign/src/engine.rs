@@ -8,7 +8,7 @@
 //! `(master_seed, country)`, so the outcome is byte-identical whether the
 //! pool had one worker or sixteen.
 
-use crate::checkpoint::{CampaignCheckpoint, CheckpointSink, CompletedShard};
+use crate::checkpoint::{CampaignCheckpoint, CheckpointSink, CheckpointState, CompletedShard};
 use crate::metrics::CampaignMetrics;
 use crate::options::Options;
 use crate::scheduler::{run_shards, run_shards_multi, JobSpec};
@@ -175,33 +175,44 @@ impl<'w> Campaign<'w> {
             .validate()
             .map_err(CampaignError::InvalidConfig)?;
 
-        // Resume: pull completed shards out of an existing checkpoint. A
-        // missing file is a fresh start, not an error.
+        // Resume: pull completed shards out of an existing checkpoint.
+        // The typed restore distinguishes a missing file (fresh start)
+        // from a torn one (recovered prefix; lost shards re-run) from a
+        // corrupt one (a hard error — silently restarting would clobber
+        // the only evidence of what went wrong).
         let mut restored: Vec<CompletedShard> = Vec::new();
         if let Some(path) = &self.options.resume {
-            if path.exists() {
-                let cp = CampaignCheckpoint::load(path)?;
-                if !cp.compatible_with(self.env.master_seed, &self.plan) {
-                    return Err(CampaignError::IncompatibleCheckpoint(format!(
-                        "{} was written by a campaign with a different seed or plan \
-                         (checkpoint seed {}, ours {})",
-                        path.display(),
-                        cp.master_seed,
-                        self.env.master_seed,
-                    )));
-                }
-                for mut done in cp.completed {
-                    if done.marker.seed != self.env.config.seed {
+            match CampaignCheckpoint::restore(path)? {
+                CheckpointState::Missing => {}
+                CheckpointState::Loaded {
+                    checkpoint: cp,
+                    recovered_torn,
+                } => {
+                    if recovered_torn {
+                        obs::global().counter("campaign.checkpoint.recovered_torn").inc();
+                    }
+                    if !cp.compatible_with(self.env.master_seed, &self.plan) {
                         return Err(CampaignError::IncompatibleCheckpoint(format!(
-                            "shard {} in {} ran under Gamma seed {}, ours is {}",
-                            done.marker.country,
+                            "{} was written by a campaign with a different seed or plan \
+                             (checkpoint seed {}, ours {})",
                             path.display(),
-                            done.marker.seed,
-                            self.env.config.seed,
+                            cp.master_seed,
+                            self.env.master_seed,
                         )));
                     }
-                    done.metrics.resumed = true;
-                    restored.push(done);
+                    for mut done in cp.completed {
+                        if done.marker.seed != self.env.config.seed {
+                            return Err(CampaignError::IncompatibleCheckpoint(format!(
+                                "shard {} in {} ran under Gamma seed {}, ours is {}",
+                                done.marker.country,
+                                path.display(),
+                                done.marker.seed,
+                                self.env.config.seed,
+                            )));
+                        }
+                        done.metrics.resumed = true;
+                        restored.push(done);
+                    }
                 }
             }
         }
@@ -223,12 +234,15 @@ impl<'w> Campaign<'w> {
 
         // The write-through sink starts from the restored state so a
         // resumed campaign's checkpoint stays complete at every step.
+        // It writes under the campaign's fault plan: storage chaos
+        // drills tear and flip exactly these writes.
         let sink = self.options.checkpoint.as_ref().map(|path| {
             let mut state = CampaignCheckpoint::new(self.env.master_seed, self.plan.clone());
             for done in &restored {
                 state.record(done.clone());
             }
-            CheckpointSink::new(path.clone(), state)
+            let opts = gamma_store::WriteOptions::with_plan(self.env.config.plan.clone());
+            CheckpointSink::new(path.clone(), state, opts)
         });
 
         Ok(Prepared {

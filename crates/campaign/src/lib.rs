@@ -39,7 +39,7 @@ pub mod rng;
 pub mod scheduler;
 pub mod shard;
 
-pub use checkpoint::{CampaignCheckpoint, CompletedShard};
+pub use checkpoint::{CampaignCheckpoint, CheckpointState, CompletedShard};
 pub use engine::{run_campaigns, Campaign, CampaignEnv, CampaignError, CampaignOutcome};
 pub use metrics::{CampaignMetrics, CampaignTotals, ShardMetrics, StageTimings};
 pub use options::Options;

@@ -88,6 +88,8 @@ mod tests {
             traceroutes_run: 90,
             constraints_passed: 12,
             constraints_failed: 5,
+            quarantined: 0,
+            degraded: 2,
             stages: StageTimings {
                 measure: Duration::from_millis(30),
                 geolocate: Duration::from_millis(12),

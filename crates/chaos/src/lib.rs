@@ -54,6 +54,17 @@ pub enum FaultKind {
     ClockSkew,
     /// An Atlas probe has churned offline mid-campaign.
     ProbeChurn,
+    /// A store write crashes mid-stream, leaving a torn tail at a
+    /// severity-derived byte offset.
+    TornWrite,
+    /// A single bit flips in a written artifact (silent at write time,
+    /// caught by the frame checksum at read time).
+    BitFlip,
+    /// The atomic protocol's rename never lands: the temp file is
+    /// complete but the destination still holds the old artifact.
+    RenameDropped,
+    /// The filesystem is full: the write fails before a byte lands.
+    DiskFull,
 }
 
 /// What a fault decision is about: the vantage country plus a stable
@@ -208,6 +219,35 @@ impl Default for AtlasFaults {
     }
 }
 
+/// Storage-layer faults, consulted by the gamma-store write path. These
+/// model the disk, not the network: a crash mid-write (torn tail), a
+/// flipped bit (silent corruption), a rename that never lands, and a
+/// full filesystem.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StorageFaults {
+    /// Write crashes partway through: a torn tail at a severity-derived
+    /// byte offset.
+    pub torn_write_rate: f64,
+    /// One bit of the written image flips silently.
+    pub bit_flip_rate: f64,
+    /// The atomic rename is dropped (temp file complete, destination
+    /// stale).
+    pub rename_drop_rate: f64,
+    /// ENOSPC: the write fails before any byte lands.
+    pub disk_full_rate: f64,
+}
+
+impl Default for StorageFaults {
+    fn default() -> Self {
+        StorageFaults {
+            torn_write_rate: 0.0,
+            bit_flip_rate: 0.0,
+            rename_drop_rate: 0.0,
+            disk_full_rate: 0.0,
+        }
+    }
+}
+
 /// One vantage's complete fault surface.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct FaultProfile {
@@ -215,6 +255,10 @@ pub struct FaultProfile {
     pub browser: BrowserFaults,
     pub probe: ProbeFaults,
     pub atlas: AtlasFaults,
+    /// Defaulted on deserialize so plans serialized before the storage
+    /// axis existed keep loading (and stay quiet on this axis).
+    #[serde(default)]
+    pub storage: StorageFaults,
 }
 
 impl FaultProfile {
@@ -264,6 +308,10 @@ impl FaultProfile {
                 clock_skew_ms: 0.0,
             },
             atlas: AtlasFaults { churn_rate: 0.20 },
+            // Stress models the hostile *network*; the disk stays honest
+            // so existing stress-profile byte-identity fixtures hold.
+            // Arm the disk with the dedicated `storage` profile.
+            storage: StorageFaults::default(),
         }
     }
 
@@ -293,6 +341,28 @@ impl FaultProfile {
                 clock_skew_ms: 0.0,
             },
             atlas: AtlasFaults { churn_rate: 1.0 },
+            storage: StorageFaults {
+                torn_write_rate: 1.0,
+                bit_flip_rate: 1.0,
+                rename_drop_rate: 1.0,
+                disk_full_rate: 1.0,
+            },
+        }
+    }
+
+    /// A storage-fault drill: the paper-calibrated measurement weather
+    /// with the disk misbehaving — torn writes, bit flips, dropped
+    /// renames, and intermittent ENOSPC at rates high enough to exercise
+    /// every recovery path while most writes still land.
+    pub fn storage() -> Self {
+        FaultProfile {
+            storage: StorageFaults {
+                torn_write_rate: 0.10,
+                bit_flip_rate: 0.05,
+                rename_drop_rate: 0.05,
+                disk_full_rate: 0.05,
+            },
+            ..FaultProfile::paper_default()
         }
     }
 
@@ -325,6 +395,7 @@ impl FaultProfile {
             atlas: AtlasFaults {
                 churn_rate: s(base.atlas.churn_rate),
             },
+            storage: StorageFaults::default(),
         }
     }
 
@@ -349,6 +420,10 @@ impl FaultProfile {
                 }
             }
             FaultKind::ProbeChurn => self.atlas.churn_rate,
+            FaultKind::TornWrite => self.storage.torn_write_rate,
+            FaultKind::BitFlip => self.storage.bit_flip_rate,
+            FaultKind::RenameDropped => self.storage.rename_drop_rate,
+            FaultKind::DiskFull => self.storage.disk_full_rate,
         }
     }
 
@@ -371,6 +446,10 @@ impl FaultProfile {
             ("probe.hop_filter_rate", self.probe.hop_filter_rate),
             ("probe.rtt_spike_rate", self.probe.rtt_spike_rate),
             ("atlas.churn_rate", self.atlas.churn_rate),
+            ("storage.torn_write_rate", self.storage.torn_write_rate),
+            ("storage.bit_flip_rate", self.storage.bit_flip_rate),
+            ("storage.rename_drop_rate", self.storage.rename_drop_rate),
+            ("storage.disk_full_rate", self.storage.disk_full_rate),
         ] {
             if !(0.0..=1.0).contains(&p) || !p.is_finite() {
                 return Err(format!("{name} = {p} is not a probability"));
@@ -452,14 +531,24 @@ impl FaultPlan {
         self.with_override(country, FaultProfile::blackout())
     }
 
+    /// Storage-fault drill: paper measurement weather, misbehaving disk.
+    pub fn storage(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            base: FaultProfile::storage(),
+            overrides: Vec::new(),
+        }
+    }
+
     /// Parses a named profile from the CLI surface: `none`, `paper`,
-    /// `stress`, or `blackout:CC` (paper baseline plus one blacked-out
-    /// country).
+    /// `stress`, `storage`, or `blackout:CC` (paper baseline plus one
+    /// blacked-out country).
     pub fn from_profile_name(name: &str, seed: u64) -> Option<FaultPlan> {
         match name {
             "none" => Some(FaultPlan::none(seed)),
             "paper" => Some(FaultPlan::paper_default(seed)),
             "stress" => Some(FaultPlan::stress(seed)),
+            "storage" => Some(FaultPlan::storage(seed)),
             _ => {
                 let cc = name.strip_prefix("blackout:")?;
                 if cc.len() != 2 || !cc.bytes().all(|b| b.is_ascii_uppercase()) {
@@ -538,7 +627,7 @@ impl FaultPlan {
 }
 
 /// Every fault kind, for iteration.
-pub const ALL_KINDS: [FaultKind; 12] = [
+pub const ALL_KINDS: [FaultKind; 16] = [
     FaultKind::DnsTimeout,
     FaultKind::DnsServfail,
     FaultKind::DnsNxdomain,
@@ -551,6 +640,10 @@ pub const ALL_KINDS: [FaultKind; 12] = [
     FaultKind::RttSpike,
     FaultKind::ClockSkew,
     FaultKind::ProbeChurn,
+    FaultKind::TornWrite,
+    FaultKind::BitFlip,
+    FaultKind::RenameDropped,
+    FaultKind::DiskFull,
 ];
 
 fn kind_tag(kind: FaultKind) -> u64 {
@@ -567,6 +660,10 @@ fn kind_tag(kind: FaultKind) -> u64 {
         FaultKind::RttSpike => 10,
         FaultKind::ClockSkew => 11,
         FaultKind::ProbeChurn => 12,
+        FaultKind::TornWrite => 13,
+        FaultKind::BitFlip => 14,
+        FaultKind::RenameDropped => 15,
+        FaultKind::DiskFull => 16,
     }
 }
 
@@ -658,6 +755,7 @@ mod tests {
         }
         // Different seeds make different weather.
         let other = FaultPlan::stress(43);
+        let (plan, other) = (&plan, &other);
         let differing = ALL_KINDS
             .iter()
             .flat_map(|k| {
@@ -752,6 +850,35 @@ mod tests {
         assert!(FaultPlan::paper_default(3).is_quiet());
         assert!(!FaultPlan::stress(3).is_quiet());
         assert!(!FaultPlan::none(3).blackout(cc("QA")).is_quiet());
+        assert!(!FaultPlan::storage(3).is_quiet());
+    }
+
+    #[test]
+    fn storage_axis_is_deterministic_and_scoped() {
+        let plan = FaultPlan::storage(21);
+        // The measurement-side axes stay at paper defaults: the disk
+        // drill must not perturb network weather.
+        assert_eq!(plan.base.dns, FaultProfile::paper_default().dns);
+        assert_eq!(plan.base.probe, FaultProfile::paper_default().probe);
+        // Decisions are pure and seed-sensitive.
+        let mut fired = 0;
+        for i in 0..400 {
+            let name = format!("ckpt-{i}.gsf");
+            let scope = FaultScope::global(&name).indexed(i);
+            assert_eq!(
+                plan.fires(FaultKind::TornWrite, scope),
+                plan.fires(FaultKind::TornWrite, scope)
+            );
+            fired += usize::from(plan.fires(FaultKind::TornWrite, scope));
+        }
+        let rate = fired as f64 / 400.0;
+        assert!((0.05..0.17).contains(&rate), "observed {rate}, want ~0.10");
+        // Old plans (serialized before the storage axis) still load and
+        // stay quiet on the new kinds.
+        let legacy = r#"{"seed":4,"base":{"dns":{"timeout_rate":0.0,"servfail_rate":0.0,"nxdomain_rate":0.0,"rdns_truncate_rate":0.0},"browser":{"hang_rate":0.0,"har_truncate_rate":0.0,"request_drop_rate":0.0},"probe":{"firewall_blocks_traceroute":false,"hop_silence_rate":0.0,"destination_unreachable_rate":0.0,"probe_drop_rate":0.0,"hop_filter_rate":0.0,"rtt_spike_rate":0.0,"rtt_spike_ms":0.0,"clock_skew_ms":0.0},"atlas":{"churn_rate":0.0}},"overrides":[]}"#;
+        let old: FaultPlan = serde_json::from_str(legacy).unwrap();
+        assert_eq!(old.base.storage, StorageFaults::default());
+        assert!(old.is_quiet());
     }
 
     #[test]

@@ -24,5 +24,7 @@ pub use city::{
 };
 pub use continent::Continent;
 pub use coords::{haversine_km, GeoPoint};
-pub use country::{countries, country, country_by_name, CountryCode, CountryInfo};
+pub use country::{
+    countries, country, country_by_name, CountryCode, CountryInfo, MEASUREMENT_COUNTRIES,
+};
 pub use sol::{implied_speed_km_per_ms, min_rtt_ms, violates_sol, SOL_KM_PER_MS};

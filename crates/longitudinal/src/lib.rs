@@ -28,7 +28,9 @@
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod snapshot;
+pub mod store;
 pub mod study;
 
 pub use snapshot::{CountryDelta, CountryRound, DeltaSnapshot, HostTurnover, RoundSnapshot, RowOp};
+pub use store::{ChainState, Recovery, SnapshotStore, StoreError};
 pub use study::{LongitudinalResults, LongitudinalStudy};

@@ -1,0 +1,363 @@
+//! Durable persistence for longitudinal snapshot chains.
+//!
+//! A [`SnapshotStore`] owns one directory holding two artifacts:
+//!
+//! * `rounds.chain` — a [`gamma_store`] container of kind
+//!   [`ArtifactKind::DeltaChain`], one CRC-checked frame per round
+//!   carrying that round's [`DeltaSnapshot`] (round 0 against nothing).
+//!   Frames are *appended*, never rewritten, so a crash mid-append
+//!   leaves a torn tail the reader truncates — the lost rounds simply
+//!   re-run on resume.
+//! * `latest.snap` — kind [`ArtifactKind::RoundSnapshot`], the newest
+//!   full [`RoundSnapshot`], atomically rewritten after every round.
+//!   It is the re-base anchor: when the delta chain is corrupted
+//!   mid-file (bit rot, not a tear), [`SnapshotStore::recover`] rebuilds
+//!   the chain as a single all-new delta of this snapshot instead of
+//!   losing the history wholesale or crashing.
+//!
+//! The recovery matrix (also in `DESIGN.md`):
+//!
+//! | on-disk state                   | policy                              |
+//! |---------------------------------|-------------------------------------|
+//! | both missing                    | fresh start                         |
+//! | chain torn at the tail          | truncate; lost rounds re-run        |
+//! | chain corrupt, `latest` intact  | re-base chain from `latest`         |
+//! | chain corrupt, `latest` gone    | typed error; `fsck` decides         |
+
+use crate::snapshot::{DeltaSnapshot, RoundSnapshot};
+use gamma_obs as obs;
+use gamma_store::{
+    append_frame, load_doc, read_container, save_doc, ArtifactKind, LoadError, ReadError,
+    WriteOptions,
+};
+use std::path::{Path, PathBuf};
+
+/// The chain container, relative to the store directory.
+pub const CHAIN_FILE: &str = "rounds.chain";
+/// The latest-full-snapshot container, relative to the store directory.
+pub const LATEST_FILE: &str = "latest.snap";
+
+/// Why a snapshot store could not be read back.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StoreError {
+    /// The chain (or a frame of it) is unreadable and no intact
+    /// re-base anchor survived.
+    Unrecoverable(String),
+    /// Real I/O failure (permissions, disk gone).
+    Io(String),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Unrecoverable(d) => write!(f, "snapshot store unrecoverable: {d}"),
+            StoreError::Io(e) => write!(f, "snapshot store I/O failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// What a chain read found on disk.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChainState {
+    /// Decoded deltas, epoch order (`deltas[n]` is round n).
+    pub deltas: Vec<DeltaSnapshot>,
+    /// Reconstructed full snapshots, epoch order.
+    pub snapshots: Vec<RoundSnapshot>,
+    /// A torn tail was truncated to reach this state.
+    pub recovered_torn: bool,
+}
+
+impl ChainState {
+    fn empty() -> ChainState {
+        ChainState {
+            deltas: Vec::new(),
+            snapshots: Vec::new(),
+            recovered_torn: false,
+        }
+    }
+
+    /// Rounds durably on disk.
+    pub fn len(&self) -> usize {
+        self.deltas.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.deltas.is_empty()
+    }
+}
+
+/// How [`SnapshotStore::recover`] got to a readable state.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Recovery {
+    /// The chain read back (possibly after truncating a torn tail).
+    Chain(ChainState),
+    /// The chain was corrupt; it was rebuilt as a single all-new delta
+    /// of the intact `latest.snap`. History before that round is gone,
+    /// but the newest state — and determinism from here on — survive.
+    Rebased(ChainState),
+}
+
+impl Recovery {
+    pub fn state(&self) -> &ChainState {
+        match self {
+            Recovery::Chain(s) | Recovery::Rebased(s) => s,
+        }
+    }
+
+    pub fn into_state(self) -> ChainState {
+        match self {
+            Recovery::Chain(s) | Recovery::Rebased(s) => s,
+        }
+    }
+}
+
+/// A directory of durably-persisted longitudinal rounds.
+#[derive(Debug, Clone)]
+pub struct SnapshotStore {
+    dir: PathBuf,
+    opts: WriteOptions,
+}
+
+impl SnapshotStore {
+    /// Opens (creating the directory if needed) a store with default
+    /// write options.
+    pub fn open(dir: &Path) -> Result<SnapshotStore, StoreError> {
+        Self::open_with(dir, WriteOptions::default())
+    }
+
+    /// [`SnapshotStore::open`] with explicit durability/fault options —
+    /// the storage-chaos drills arm a fault plan here.
+    pub fn open_with(dir: &Path, opts: WriteOptions) -> Result<SnapshotStore, StoreError> {
+        std::fs::create_dir_all(dir).map_err(|e| StoreError::Io(e.to_string()))?;
+        Ok(SnapshotStore {
+            dir: dir.to_path_buf(),
+            opts,
+        })
+    }
+
+    pub fn chain_path(&self) -> PathBuf {
+        self.dir.join(CHAIN_FILE)
+    }
+
+    pub fn latest_path(&self) -> PathBuf {
+        self.dir.join(LATEST_FILE)
+    }
+
+    /// Reads the delta chain back, truncating a torn tail. Mid-file
+    /// corruption is an error here; [`SnapshotStore::recover`] layers
+    /// the re-base policy on top.
+    pub fn load_chain(&self) -> Result<ChainState, StoreError> {
+        let container = match read_container(&self.chain_path(), Some(ArtifactKind::DeltaChain)) {
+            Ok(c) => c,
+            Err(ReadError::Missing) => return Ok(ChainState::empty()),
+            Err(ReadError::Io(e)) => return Err(StoreError::Io(e)),
+            Err(e) => return Err(StoreError::Unrecoverable(e.to_string())),
+        };
+        let recovered_torn = container.torn.is_some();
+        let mut deltas: Vec<DeltaSnapshot> = Vec::with_capacity(container.frames.len());
+        let mut snapshots: Vec<RoundSnapshot> = Vec::with_capacity(container.frames.len());
+        for (i, frame) in container.frames.iter().enumerate() {
+            let delta: DeltaSnapshot = serde_json::from_slice(frame)
+                .map_err(|e| StoreError::Unrecoverable(format!("chain frame {i}: {e}")))?;
+            let snap = delta
+                .decode(snapshots.last())
+                .map_err(|e| StoreError::Unrecoverable(format!("chain frame {i}: {}", e.0)))?;
+            deltas.push(delta);
+            snapshots.push(snap);
+        }
+        Ok(ChainState {
+            deltas,
+            snapshots,
+            recovered_torn,
+        })
+    }
+
+    /// Reads the chain, falling back to a re-base from `latest.snap`
+    /// when the chain is corrupt (the `fsck --repair` policy, applied
+    /// inline). Counts `store.fallbacks` when the fallback fires.
+    pub fn recover(&self) -> Result<Recovery, StoreError> {
+        let chain_err = match self.load_chain() {
+            Ok(state) => return Ok(Recovery::Chain(state)),
+            Err(e @ StoreError::Io(_)) => return Err(e),
+            Err(StoreError::Unrecoverable(d)) => d,
+        };
+        let latest: RoundSnapshot =
+            match load_doc::<RoundSnapshot>(&self.latest_path(), ArtifactKind::RoundSnapshot) {
+                Ok(loaded) => loaded.value,
+                Err(LoadError::Io(e)) => return Err(StoreError::Io(e)),
+                Err(e) => {
+                    return Err(StoreError::Unrecoverable(format!(
+                        "chain: {chain_err}; latest.snap: {e}"
+                    )))
+                }
+            };
+        obs::global().counter("store.fallbacks").inc();
+        let state = self.rebase_from(&latest)?;
+        Ok(Recovery::Rebased(state))
+    }
+
+    /// Rewrites the chain as a single all-new delta of `latest` — the
+    /// nearest intact full snapshot. Used by corruption recovery and by
+    /// `gamma-study fsck --repair`.
+    pub fn rebase_from(&self, latest: &RoundSnapshot) -> Result<ChainState, StoreError> {
+        let delta = DeltaSnapshot::encode(None, latest);
+        let payload = serde_json::to_vec(&delta)
+            .map_err(|e| StoreError::Io(format!("serialize rebased delta: {e}")))?;
+        let _ = std::fs::remove_file(self.chain_path());
+        gamma_store::write_frames(
+            &self.chain_path(),
+            ArtifactKind::DeltaChain,
+            &[&payload],
+            &self.opts,
+        )
+        .map_err(|e| StoreError::Io(e.to_string()))?;
+        Ok(ChainState {
+            deltas: vec![delta],
+            snapshots: vec![latest.clone()],
+            recovered_torn: false,
+        })
+    }
+
+    /// Persists one finished round: appends its delta frame to the
+    /// chain, then atomically rewrites `latest.snap`. Idempotent for
+    /// already-durable epochs (a resumed run re-offers rounds the chain
+    /// already holds; they are skipped, not duplicated).
+    ///
+    /// `durable_rounds` is the chain length the caller observed at open
+    /// (or after the previous record); the return value is the updated
+    /// count.
+    pub fn record(
+        &self,
+        durable_rounds: usize,
+        delta: &DeltaSnapshot,
+        full: &RoundSnapshot,
+    ) -> Result<usize, StoreError> {
+        let epoch = delta.epoch as usize;
+        if epoch < durable_rounds {
+            return Ok(durable_rounds); // already on disk; resume replay
+        }
+        let payload = serde_json::to_vec(delta)
+            .map_err(|e| StoreError::Io(format!("serialize delta: {e}")))?;
+        append_frame(
+            &self.chain_path(),
+            ArtifactKind::DeltaChain,
+            &payload,
+            &self.opts,
+        )
+        .map_err(|e| StoreError::Io(e.to_string()))?;
+        save_doc(
+            &self.latest_path(),
+            ArtifactKind::RoundSnapshot,
+            full,
+            &self.opts,
+        )
+        .map_err(|e| StoreError::Io(e.to_string()))?;
+        Ok(durable_rounds + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::RoundSnapshot;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("gamma-snapstore-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn round(epoch: u32) -> RoundSnapshot {
+        RoundSnapshot {
+            epoch,
+            round_seed: 1000 + u64::from(epoch),
+            countries: Vec::new(),
+        }
+    }
+
+    fn chained(store: &SnapshotStore, epochs: u32) -> Vec<RoundSnapshot> {
+        let mut durable = 0;
+        let mut prev: Option<RoundSnapshot> = None;
+        let mut fulls = Vec::new();
+        for e in 0..epochs {
+            let full = round(e);
+            let delta = DeltaSnapshot::encode(prev.as_ref(), &full);
+            durable = store.record(durable, &delta, &full).unwrap();
+            prev = Some(full.clone());
+            fulls.push(full);
+        }
+        fulls
+    }
+
+    #[test]
+    fn rounds_append_and_read_back_in_epoch_order() {
+        let dir = tmpdir("roundtrip");
+        let store = SnapshotStore::open(&dir).unwrap();
+        let fulls = chained(&store, 3);
+        let state = store.load_chain().unwrap();
+        assert_eq!(state.len(), 3);
+        assert!(!state.recovered_torn);
+        assert_eq!(state.snapshots, fulls);
+        // Re-offering an already-durable epoch is a no-op.
+        let delta = DeltaSnapshot::encode(fulls.get(1), &fulls[2]);
+        assert_eq!(store.record(3, &delta, &fulls[2]).unwrap(), 3);
+        assert_eq!(store.load_chain().unwrap().len(), 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_chain_tails_truncate_to_completed_rounds() {
+        let dir = tmpdir("torn");
+        let store = SnapshotStore::open(&dir).unwrap();
+        chained(&store, 3);
+        let path = store.chain_path();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        let state = store.load_chain().unwrap();
+        assert!(state.recovered_torn);
+        assert_eq!(state.len(), 2, "the torn round re-runs");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_chains_rebase_from_the_latest_full_snapshot() {
+        let dir = tmpdir("rebase");
+        let store = SnapshotStore::open(&dir).unwrap();
+        let fulls = chained(&store, 3);
+
+        // Flip a byte in the middle of frame 0's payload: CRC failure
+        // on a complete frame, which truncation cannot heal.
+        let path = store.chain_path();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[20] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            store.load_chain(),
+            Err(StoreError::Unrecoverable(_))
+        ));
+
+        match store.recover().unwrap() {
+            Recovery::Rebased(state) => {
+                assert_eq!(state.len(), 1);
+                assert_eq!(state.snapshots[0], fulls[2], "anchor is the newest round");
+            }
+            other => panic!("expected a re-base, got {other:?}"),
+        }
+        // The rewritten chain is now intact and loads normally.
+        let state = store.load_chain().unwrap();
+        assert_eq!(state.len(), 1);
+        assert_eq!(state.snapshots[0].epoch, 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_store_is_a_fresh_start() {
+        let dir = tmpdir("fresh");
+        let store = SnapshotStore::open(&dir).unwrap();
+        assert!(store.load_chain().unwrap().is_empty());
+        assert!(matches!(store.recover().unwrap(), Recovery::Chain(s) if s.is_empty()));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -20,6 +20,7 @@
 //! kill/resume cycles.
 
 use crate::snapshot::{DeltaSnapshot, RoundSnapshot};
+use crate::store::SnapshotStore;
 use gamma_analysis::longitudinal::{render_trends, trends, RoundView, TrendReport};
 use gamma_campaign::{CampaignError, Options};
 use gamma_core::{RoundOutputs, Study};
@@ -79,7 +80,50 @@ impl LongitudinalStudy {
     /// its partial one, and the result is byte-identical to an
     /// uninterrupted run.
     pub fn run_with(&self, options: &Options) -> Result<LongitudinalResults, CampaignError> {
+        self.run_inner(options, None)
+    }
+
+    /// [`run_with`], persisting every finished round through a durable
+    /// [`SnapshotStore`]: the round's delta is appended to the chain and
+    /// the full snapshot atomically rewritten as the re-base anchor.
+    /// Rounds the chain already holds (a resumed run replaying them) are
+    /// not re-appended, and a *failed* snapshot write degrades
+    /// durability — counted as `store.fallbacks` — rather than failing
+    /// a round whose measurement data is sound.
+    ///
+    /// [`run_with`]: LongitudinalStudy::run_with
+    pub fn run_persisted(
+        &self,
+        options: &Options,
+        store: &SnapshotStore,
+    ) -> Result<LongitudinalResults, CampaignError> {
+        self.run_inner(options, Some(store))
+    }
+
+    fn run_inner(
+        &self,
+        options: &Options,
+        store: Option<&SnapshotStore>,
+    ) -> Result<LongitudinalResults, CampaignError> {
         let obs = gamma_obs::global();
+        // How much of the chain is already durable (torn tails truncate
+        // here; the lost rounds re-run below and re-append). Keyed on the
+        // newest durable *epoch*, not the chain length: a re-based chain
+        // is one frame long but anchors at its original epoch, and
+        // earlier rounds must not be appended behind it.
+        let mut durable_rounds = match store {
+            Some(s) => s
+                .recover()
+                .map(|r| {
+                    let state = r.into_state();
+                    state
+                        .snapshots
+                        .last()
+                        .map_or(0, |snap| snap.epoch as usize + 1)
+                })
+                .unwrap_or(0),
+            None => 0,
+        };
         let mut world = worldgen::generate(&self.base.spec);
         let mut rounds = Vec::new();
         let mut snapshots: Vec<RoundSnapshot> = Vec::new();
@@ -115,6 +159,15 @@ impl LongitudinalStudy {
                 .add(delta.rows_ref() as u64);
             obs.counter("longitudinal.diff.rows_new")
                 .add(delta.rows_new() as u64);
+
+            if let Some(store) = store {
+                match store.record(durable_rounds, &delta, &snap) {
+                    Ok(n) => durable_rounds = n,
+                    Err(_) => {
+                        gamma_obs::global().counter("store.fallbacks").inc();
+                    }
+                }
+            }
 
             rounds.push(out);
             snapshots.push(snap);

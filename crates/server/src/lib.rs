@@ -32,9 +32,11 @@ pub mod api;
 pub mod config;
 pub mod revision;
 pub mod server;
+pub mod state;
 
 pub use api::{ApiError, Command, Response, TenantStatusView};
 pub use config::{Retention, StudyConfig};
 pub use gamma_model::TenantId;
 pub use revision::{RevisionStats, RevisionStore};
 pub use server::{AdmissionPolicy, FiredRound, Server, ServerConfig, TenantStatus, TickReport};
+pub use state::{restore_store, revs_path, save_store, RestoreOutcome};

@@ -50,6 +50,27 @@ impl RevisionStore {
         }
     }
 
+    /// Rebuilds a store from a persisted delta chain (oldest first,
+    /// head encoding against nothing), replaying it to materialize the
+    /// diff-on-write cache. The inverse of persisting
+    /// [`RevisionStore::deltas`].
+    pub fn from_chain(
+        retention: Retention,
+        chain: Vec<DeltaSnapshot>,
+    ) -> Result<RevisionStore, DeltaError> {
+        let mut latest: Option<RoundSnapshot> = None;
+        for delta in &chain {
+            latest = Some(delta.decode(latest.as_ref())?);
+        }
+        let mut store = RevisionStore {
+            retention,
+            chain,
+            latest,
+        };
+        store.prune();
+        Ok(store)
+    }
+
     /// Appends one finished round: encodes it against the cached newest
     /// snapshot, advances the cache, and applies retention pruning.
     pub fn record(&mut self, snapshot: RoundSnapshot) -> RevisionStats {

@@ -29,12 +29,15 @@
 
 use crate::config::StudyConfig;
 use crate::revision::RevisionStore;
+use crate::state::{restore_store, revs_path, save_store, RestoreOutcome};
 use gamma_campaign::{derive_tenant_seed, run_campaigns, Campaign, Options};
 use gamma_chaos::FaultPlan;
 use gamma_core::{RoundContext, Study};
 use gamma_longitudinal::RoundSnapshot;
 use gamma_model::TenantId;
 use gamma_obs as obs;
+use gamma_store::WriteOptions;
+use gamma_suite::{Quarantine, QuarantineReason};
 use gamma_websim::{evolve, worldgen, World};
 use std::collections::BTreeMap;
 use std::path::PathBuf;
@@ -78,6 +81,11 @@ pub struct ServerConfig {
     /// Directory for per-`(tenant, round)` checkpoint files; `None`
     /// disables checkpointing.
     pub state_dir: Option<PathBuf>,
+    /// With a state dir: restore each registering tenant's persisted
+    /// revision chain (`tenant{id}.revs`) instead of starting it at
+    /// epoch 0. Opt-in — the default replays history from campaign
+    /// checkpoints, which is byte-identical but recomputes rounds.
+    pub restore: bool,
 }
 
 impl ServerConfig {
@@ -89,6 +97,7 @@ impl ServerConfig {
             queue_capacity: 0,
             admission: AdmissionPolicy::Delay,
             state_dir: None,
+            restore: false,
         }
     }
 }
@@ -157,6 +166,9 @@ pub struct Server {
     clock: u64,
     tenants: BTreeMap<u32, Tenant>,
     next_id: u32,
+    /// Unreadable tenant stores set aside at restore time — the
+    /// service-plane analog of a suite run's quarantined captures.
+    storage_quarantine: Quarantine,
 }
 
 /// One admitted tenant's prepared round, waiting on the shared pool.
@@ -175,6 +187,7 @@ impl Server {
             clock: 0,
             tenants: BTreeMap::new(),
             next_id: 0,
+            storage_quarantine: Quarantine::new(),
         }
     }
 
@@ -203,7 +216,7 @@ impl Server {
         }
         config.validate()?;
         let study = build_study(self.config.master_seed, id, &config);
-        let tenant = Tenant {
+        let mut tenant = Tenant {
             next_due: self.clock + config.cadence,
             store: RevisionStore::new(config.retention),
             config,
@@ -213,6 +226,37 @@ impl Server {
             epoch: 0,
             paused: false,
         };
+        // Opt-in durable restore: pick the tenant's persisted revision
+        // chain back up. An unreadable store is quarantined (renamed,
+        // ledgered, counted) — never a crash, never a silent overwrite
+        // of the evidence.
+        if self.config.restore {
+            if let Some(dir) = &self.config.state_dir {
+                let path = revs_path(dir, id.as_u32());
+                match restore_store(&path, tenant.config.retention) {
+                    RestoreOutcome::Fresh => {}
+                    RestoreOutcome::Restored {
+                        store,
+                        recovered_torn,
+                    } => {
+                        if recovered_torn {
+                            obs::global().counter("server.restore.recovered_torn").inc();
+                        }
+                        tenant.epoch = store.epochs().last().map_or(0, |e| e + 1);
+                        tenant.store = store;
+                        obs::global().counter("server.restore.tenants").inc();
+                    }
+                    RestoreOutcome::Quarantined { renamed_to, detail } => {
+                        obs::global().counter("store.fallbacks").inc();
+                        obs::global().counter("server.restore.quarantined").inc();
+                        self.storage_quarantine.push(QuarantineReason::StorageUnreadable {
+                            path: renamed_to.display().to_string(),
+                            detail,
+                        });
+                    }
+                }
+            }
+        }
         self.tenants.insert(id.as_u32(), tenant);
         obs::global()
             .gauge("server.tenants")
@@ -286,6 +330,11 @@ impl Server {
     /// One tenant's revision store.
     pub fn revisions(&self, id: TenantId) -> Option<&RevisionStore> {
         self.tenants.get(&id.as_u32()).map(|t| &t.store)
+    }
+
+    /// Tenant stores the restore path had to set aside as unreadable.
+    pub fn storage_quarantine(&self) -> &Quarantine {
+        &self.storage_quarantine
     }
 
     /// One tenant's registered configuration.
@@ -404,6 +453,15 @@ impl Server {
                     let stats = t.store.record(RoundSnapshot::from_round(&out));
                     t.epoch += 1;
                     t.next_due += t.config.cadence;
+                    // Mirror the chain to disk for `--restore`. A failed
+                    // write degrades restorability, not the round —
+                    // visible as `store.fallbacks`.
+                    if let Some(dir) = &self.config.state_dir {
+                        let opts = WriteOptions::with_plan(t.study.config.plan.clone());
+                        if save_store(&revs_path(dir, p.id), &t.store, &opts).is_err() {
+                            reg.counter("store.fallbacks").inc();
+                        }
+                    }
                     reg.counter("server.sched.fired").inc();
                     reg.counter(&format!("server.tenant.{}.rounds", p.id)).inc();
                     reg.counter(&format!("server.tenant.{}.delta_bytes", p.id))
@@ -560,6 +618,48 @@ mod tests {
             let want: Vec<u32> = (0..epochs.len() as u32).collect();
             assert_eq!(epochs, want, "{id} has non-contiguous epochs");
         }
+    }
+
+    #[test]
+    fn restore_resumes_epochs_and_quarantines_corrupt_stores() {
+        let dir = std::env::temp_dir().join(format!("gamma-server-restore-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let mut config = ServerConfig::new(42);
+        config.state_dir = Some(dir.clone());
+        let mut first = Server::new(config.clone());
+        let a = first.create(tiny_config("a", 1)).unwrap();
+        first.advance(2);
+        assert_eq!(first.revisions(a).unwrap().epochs(), vec![0, 1]);
+        let want = first.revisions(a).unwrap().clone();
+        drop(first);
+
+        // A restoring process picks the chain back up without re-running
+        // rounds 0 and 1.
+        config.restore = true;
+        let mut second = Server::new(config.clone());
+        second.create_with_id(a, tiny_config("a", 1)).unwrap();
+        assert_eq!(second.revisions(a).unwrap(), &want);
+        assert_eq!(second.status()[0].rounds, 2, "epoch counter restored");
+        assert!(second.storage_quarantine().is_empty());
+        second.advance(1);
+        assert_eq!(second.revisions(a).unwrap().epochs(), vec![0, 1, 2]);
+
+        // Corrupt the mirrored store: the next restoring process
+        // quarantines it and restarts the tenant fresh — no crash.
+        let path = crate::state::revs_path(&dir, a.as_u32());
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x08;
+        std::fs::write(&path, &bytes).unwrap();
+        let mut third = Server::new(config);
+        third.create_with_id(a, tiny_config("a", 1)).unwrap();
+        assert_eq!(third.status()[0].rounds, 0, "quarantined tenant restarts");
+        assert_eq!(third.storage_quarantine().storage_unreadable(), 1);
+        assert!(!path.exists(), "corrupt store moved aside");
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

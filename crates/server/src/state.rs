@@ -1,0 +1,187 @@
+//! Durable per-tenant revision persistence.
+//!
+//! With a `state_dir` configured, the server mirrors each tenant's
+//! in-memory [`RevisionStore`] to `tenant{id}.revs` — a [`gamma_store`]
+//! container of kind [`ArtifactKind::RevisionStore`], one CRC-checked
+//! frame per retained delta, atomically rewritten after every fired
+//! round (retention pruning re-bases the chain, so appends alone cannot
+//! represent it).
+//!
+//! Restore is **opt-in** (`ServerConfig::restore`): a fresh server over
+//! the same state dir re-registers its tenants and picks their round
+//! history back up where the previous process left it. The failure
+//! policy is quarantine, never crash: an unreadable store is renamed to
+//! `{name}.quarantined`, surfaced through the server's
+//! [`gamma_suite::Quarantine`] ledger, and the tenant restarts from
+//! epoch 0 — the service keeps serving its other tenants.
+
+use crate::config::Retention;
+use crate::revision::RevisionStore;
+use gamma_longitudinal::DeltaSnapshot;
+use gamma_store::{read_container, write_frames, ArtifactKind, ReadError, WriteError, WriteOptions};
+use std::path::{Path, PathBuf};
+
+/// The on-disk revision store of one tenant under `dir`.
+pub fn revs_path(dir: &Path, id: u32) -> PathBuf {
+    dir.join(format!("tenant{id}.revs"))
+}
+
+/// Atomically rewrites one tenant's retained delta chain.
+pub fn save_store(
+    path: &Path,
+    store: &RevisionStore,
+    opts: &WriteOptions,
+) -> Result<(), WriteError> {
+    let frames: Vec<Vec<u8>> = store
+        .deltas()
+        .iter()
+        .map(|d| serde_json::to_vec(d).expect("delta snapshot serializes"))
+        .collect();
+    let refs: Vec<&[u8]> = frames.iter().map(|f| f.as_slice()).collect();
+    write_frames(path, ArtifactKind::RevisionStore, &refs, opts)
+}
+
+/// What a restore attempt found on disk.
+#[derive(Debug)]
+pub enum RestoreOutcome {
+    /// No durable history (missing file, or a tear before the first
+    /// frame): the tenant starts at epoch 0.
+    Fresh,
+    /// History read back; `recovered_torn` when a torn tail was
+    /// truncated (the lost rounds re-run).
+    Restored {
+        store: RevisionStore,
+        recovered_torn: bool,
+    },
+    /// The store failed its checksum or decode and was renamed to
+    /// `{name}.quarantined` for post-mortem; the tenant restarts fresh.
+    Quarantined { renamed_to: PathBuf, detail: String },
+}
+
+/// Reads one tenant's persisted chain back, applying the quarantine
+/// policy on corruption.
+pub fn restore_store(path: &Path, retention: Retention) -> RestoreOutcome {
+    let failure = |detail: String| {
+        let mut renamed = path.as_os_str().to_owned();
+        renamed.push(".quarantined");
+        let renamed_to = PathBuf::from(renamed);
+        let _ = std::fs::rename(path, &renamed_to);
+        RestoreOutcome::Quarantined { renamed_to, detail }
+    };
+    let container = match read_container(path, Some(ArtifactKind::RevisionStore)) {
+        Ok(c) => c,
+        Err(ReadError::Missing) => return RestoreOutcome::Fresh,
+        Err(e) => return failure(e.to_string()),
+    };
+    let recovered_torn = container.torn.is_some();
+    if container.frames.is_empty() {
+        return RestoreOutcome::Fresh;
+    }
+    let mut chain: Vec<DeltaSnapshot> = Vec::with_capacity(container.frames.len());
+    for (i, frame) in container.frames.iter().enumerate() {
+        match serde_json::from_slice(frame) {
+            Ok(delta) => chain.push(delta),
+            Err(e) => return failure(format!("frame {i}: {e}")),
+        }
+    }
+    match RevisionStore::from_chain(retention, chain) {
+        Ok(store) => RestoreOutcome::Restored {
+            store,
+            recovered_torn,
+        },
+        Err(e) => failure(format!("chain replay: {}", e.0)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gamma_longitudinal::RoundSnapshot;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("gamma-revstate-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn store_with_rounds(n: u32) -> RevisionStore {
+        let mut store = RevisionStore::new(Retention::KeepAll);
+        for epoch in 0..n {
+            store.record(RoundSnapshot {
+                epoch,
+                round_seed: 500 + u64::from(epoch),
+                countries: Vec::new(),
+            });
+        }
+        store
+    }
+
+    #[test]
+    fn save_restore_roundtrips_the_chain() {
+        let dir = tmpdir("roundtrip");
+        let path = revs_path(&dir, 3);
+        let store = store_with_rounds(3);
+        save_store(&path, &store, &WriteOptions::default()).unwrap();
+        match restore_store(&path, Retention::KeepAll) {
+            RestoreOutcome::Restored {
+                store: back,
+                recovered_torn,
+            } => {
+                assert!(!recovered_torn);
+                assert_eq!(back, store);
+            }
+            other => panic!("expected a restore, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_files_restore_fresh() {
+        let dir = tmpdir("fresh");
+        assert!(matches!(
+            restore_store(&revs_path(&dir, 0), Retention::KeepAll),
+            RestoreOutcome::Fresh
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_stores_are_quarantined_not_fatal() {
+        let dir = tmpdir("quarantine");
+        let path = revs_path(&dir, 0);
+        save_store(&path, &store_with_rounds(2), &WriteOptions::default()).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+        match restore_store(&path, Retention::KeepAll) {
+            RestoreOutcome::Quarantined { renamed_to, .. } => {
+                assert!(!path.exists(), "corrupt file moved aside");
+                assert!(renamed_to.exists(), "post-mortem evidence kept");
+            }
+            other => panic!("expected quarantine, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tails_restore_the_durable_prefix() {
+        let dir = tmpdir("torn");
+        let path = revs_path(&dir, 0);
+        save_store(&path, &store_with_rounds(3), &WriteOptions::default()).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+        match restore_store(&path, Retention::KeepAll) {
+            RestoreOutcome::Restored {
+                store,
+                recovered_torn,
+            } => {
+                assert!(recovered_torn);
+                assert_eq!(store.epochs(), vec![0, 1], "torn round re-runs");
+            }
+            other => panic!("expected a truncated restore, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,834 @@
+//! The framed container format and its atomic/append write protocols.
+//!
+//! Every durable artifact is one file:
+//!
+//! ```text
+//! [0..4)   magic           b"GSF1"
+//! [4..6)   format version  u16 LE (currently 1)
+//! [6..8)   artifact kind   u16 LE (ArtifactKind tag)
+//! then zero or more frames:
+//!   [0..4)        payload length  u32 LE
+//!   [4..8)        CRC-32 of payload
+//!   [8..8+len)    payload bytes (JSON for every current artifact)
+//! ```
+//!
+//! Two write protocols cover every producer:
+//!
+//! - [`write_frames`]: the single atomic protocol — serialize the whole
+//!   container to `{path}.tmp`, optionally fsync, rename over `path`. A
+//!   crash at any byte leaves either the old file or the new one, never
+//!   a blend.
+//! - [`append_frame`]: for chains (delta snapshots, checkpoint shards)
+//!   that grow one frame per event. An append is *not* atomic — that is
+//!   the point: a crash mid-append leaves a torn tail that
+//!   [`read_container`] detects and truncates to the last valid frame.
+//!
+//! The reader distinguishes `Missing` / torn tail / `Corrupt` /
+//! `VersionMismatch` instead of surfacing a serde panic; torn tails ride
+//! on the `Ok` side (the valid prefix *is* the durable state).
+
+use crate::crc::crc32;
+use crate::fault::{decide_write_fault, WriteFault};
+use gamma_chaos::FaultPlan;
+use gamma_obs as obs;
+use std::fs::{File, OpenOptions};
+use std::io::{Read as _, Write as _};
+use std::path::Path;
+
+/// File magic: "Gamma Store Format 1".
+pub const MAGIC: [u8; 4] = *b"GSF1";
+/// Current container format version.
+pub const FORMAT_VERSION: u16 = 1;
+/// Bytes of `magic + version + kind`.
+pub const HEADER_LEN: u64 = 8;
+/// Bytes of `length + crc` preceding each payload.
+pub const FRAME_HEADER_LEN: u64 = 8;
+/// Upper bound on a single frame payload (guards against reading a
+/// garbage length field as a multi-gigabyte allocation).
+pub const MAX_FRAME_LEN: u32 = 1 << 30;
+
+/// What kind of artifact a container holds, so a reader pointed at the
+/// wrong file fails typed instead of mis-decoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ArtifactKind {
+    /// Campaign checkpoint: meta frame + one frame per completed shard.
+    CampaignCheckpoint,
+    /// Suite (volunteer) progress marker, single frame.
+    SuiteCheckpoint,
+    /// One full `RoundSnapshot`, single frame.
+    RoundSnapshot,
+    /// Longitudinal delta chain: one `DeltaSnapshot` frame per round.
+    DeltaChain,
+    /// Per-tenant revision store: the retained delta chain.
+    RevisionStore,
+    /// Rendered report / analysis dataset (opaque JSON document).
+    Document,
+    /// Benchmark metrics report.
+    MetricsReport,
+}
+
+impl ArtifactKind {
+    /// The on-disk u16 tag.
+    pub fn tag(self) -> u16 {
+        match self {
+            ArtifactKind::CampaignCheckpoint => 1,
+            ArtifactKind::SuiteCheckpoint => 2,
+            ArtifactKind::RoundSnapshot => 3,
+            ArtifactKind::DeltaChain => 4,
+            ArtifactKind::RevisionStore => 5,
+            ArtifactKind::Document => 6,
+            ArtifactKind::MetricsReport => 7,
+        }
+    }
+
+    /// Decodes a tag; `None` for tags this build does not know.
+    pub fn from_tag(tag: u16) -> Option<ArtifactKind> {
+        Some(match tag {
+            1 => ArtifactKind::CampaignCheckpoint,
+            2 => ArtifactKind::SuiteCheckpoint,
+            3 => ArtifactKind::RoundSnapshot,
+            4 => ArtifactKind::DeltaChain,
+            5 => ArtifactKind::RevisionStore,
+            6 => ArtifactKind::Document,
+            7 => ArtifactKind::MetricsReport,
+            _ => return None,
+        })
+    }
+
+    /// Human-readable name for fsck reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            ArtifactKind::CampaignCheckpoint => "campaign-checkpoint",
+            ArtifactKind::SuiteCheckpoint => "suite-checkpoint",
+            ArtifactKind::RoundSnapshot => "round-snapshot",
+            ArtifactKind::DeltaChain => "delta-chain",
+            ArtifactKind::RevisionStore => "revision-store",
+            ArtifactKind::Document => "document",
+            ArtifactKind::MetricsReport => "metrics-report",
+        }
+    }
+
+    /// Every kind, for iteration in tests and fsck.
+    pub const ALL: [ArtifactKind; 7] = [
+        ArtifactKind::CampaignCheckpoint,
+        ArtifactKind::SuiteCheckpoint,
+        ArtifactKind::RoundSnapshot,
+        ArtifactKind::DeltaChain,
+        ArtifactKind::RevisionStore,
+        ArtifactKind::Document,
+        ArtifactKind::MetricsReport,
+    ];
+}
+
+impl std::fmt::Display for ArtifactKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// How writes behave: durability knob plus the deterministic
+/// storage-fault oracle (tests, chaos drills).
+#[derive(Debug, Clone, Default)]
+pub struct WriteOptions {
+    /// fsync file contents before rename / after append. Off by default:
+    /// the atomic protocol already guarantees no blends, fsync only
+    /// narrows the window in which a completed write can be lost.
+    pub fsync: bool,
+    /// Storage-fault plan consulted on every write (`None`: no faults).
+    pub plan: Option<FaultPlan>,
+}
+
+impl WriteOptions {
+    /// Durable writes, no fault injection.
+    pub fn durable() -> WriteOptions {
+        WriteOptions {
+            fsync: true,
+            plan: None,
+        }
+    }
+
+    /// Writes under a storage-fault plan.
+    pub fn with_plan(plan: FaultPlan) -> WriteOptions {
+        WriteOptions {
+            fsync: false,
+            plan: Some(plan),
+        }
+    }
+}
+
+/// Why a write did not complete.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WriteError {
+    /// Real I/O failure from the OS.
+    Io(String),
+    /// A deterministic storage fault fired: the write behaved like a
+    /// crash (torn tail, dropped rename, full disk). The fault name is
+    /// carried for ledgers and tests.
+    Injected(&'static str),
+}
+
+impl std::fmt::Display for WriteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WriteError::Io(e) => write!(f, "store write failed: {e}"),
+            WriteError::Injected(kind) => write!(f, "injected storage fault: {kind}"),
+        }
+    }
+}
+
+impl std::error::Error for WriteError {}
+
+/// Why a read did not produce an artifact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReadError {
+    /// No file at the path — a fresh start, not a failure.
+    Missing,
+    /// Real I/O failure from the OS.
+    Io(String),
+    /// The file is not a store container (wrong magic).
+    NotAContainer,
+    /// The container was written by a format this build cannot read.
+    VersionMismatch { found: u16 },
+    /// The container holds a different artifact kind than asked for.
+    KindMismatch {
+        found: ArtifactKind,
+        expected: ArtifactKind,
+    },
+    /// A fully-present frame failed its checksum (or declared an
+    /// impossible length): disk corruption, not a torn write.
+    Corrupt { frame: usize, detail: String },
+}
+
+impl std::fmt::Display for ReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReadError::Missing => write!(f, "artifact missing"),
+            ReadError::Io(e) => write!(f, "store read failed: {e}"),
+            ReadError::NotAContainer => write!(f, "not a store container"),
+            ReadError::VersionMismatch { found } => {
+                write!(
+                    f,
+                    "container format v{found} is not readable by this build (supports v{FORMAT_VERSION})"
+                )
+            }
+            ReadError::KindMismatch { found, expected } => {
+                write!(f, "container holds a {found}, expected a {expected}")
+            }
+            ReadError::Corrupt { frame, detail } => {
+                write!(f, "frame {frame} is corrupt: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReadError {}
+
+/// A torn tail: the file ends in an incomplete frame (crash mid-append
+/// or mid-write). The valid prefix is intact; `dropped_bytes` were cut.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TornTail {
+    /// Offset of the last byte that belongs to a complete frame (the
+    /// truncation point `fsck --repair` cuts to).
+    pub valid_bytes: u64,
+    /// Bytes of torn tail past that point.
+    pub dropped_bytes: u64,
+}
+
+/// A successfully read container: the valid frames, plus the torn-tail
+/// marker when the file ended mid-frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Container {
+    /// `None` only when the tear cut into the 8-byte header itself (the
+    /// file is a prefix too short to name its kind).
+    pub kind: Option<ArtifactKind>,
+    pub version: u16,
+    /// Complete, checksum-verified payloads, file order.
+    pub frames: Vec<Vec<u8>>,
+    /// Set when a torn tail was truncated away on read.
+    pub torn: Option<TornTail>,
+}
+
+fn io_err(e: std::io::Error) -> WriteError {
+    WriteError::Io(e.to_string())
+}
+
+/// Serializes header + frames into one buffer.
+fn encode(kind: ArtifactKind, frames: &[&[u8]]) -> Vec<u8> {
+    let body: usize = frames
+        .iter()
+        .map(|f| FRAME_HEADER_LEN as usize + f.len())
+        .sum();
+    let mut buf = Vec::with_capacity(HEADER_LEN as usize + body);
+    buf.extend_from_slice(&MAGIC);
+    buf.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    buf.extend_from_slice(&kind.tag().to_le_bytes());
+    for frame in frames {
+        buf.extend_from_slice(&encode_frame(frame));
+    }
+    buf
+}
+
+fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(FRAME_HEADER_LEN as usize + payload.len());
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&crc32(payload).to_le_bytes());
+    buf.extend_from_slice(payload);
+    buf
+}
+
+/// Applies an injected fault to an encoded image about to be written.
+/// Returns the bytes to actually write and whether the write should
+/// report failure after (simulating the crash the fault models).
+fn apply_fault(fault: WriteFault, image: &mut Vec<u8>) -> Option<&'static str> {
+    match fault {
+        WriteFault::None => None,
+        WriteFault::DiskFull => {
+            image.clear();
+            Some("disk-full")
+        }
+        WriteFault::TornAt(frac) => {
+            let cut = ((image.len() as f64) * frac) as usize;
+            image.truncate(cut.min(image.len().saturating_sub(1)));
+            Some("torn-write")
+        }
+        WriteFault::BitFlip(frac) => {
+            if !image.is_empty() {
+                let pos = (((image.len() * 8) as f64) * frac) as usize;
+                let pos = pos.min(image.len() * 8 - 1);
+                image[pos / 8] ^= 1 << (pos % 8);
+            }
+            // Silent: the write "succeeds"; the read path must catch it.
+            None
+        }
+        WriteFault::RenameDropped => Some("rename-dropped"),
+    }
+}
+
+/// The single atomic write protocol: full image to `{path}.tmp`,
+/// optional fsync, rename over `path`. Increments `store.writes` /
+/// `store.bytes_written`; injected faults count `store.write_faults`.
+pub fn write_frames(
+    path: &Path,
+    kind: ArtifactKind,
+    frames: &[&[u8]],
+    opts: &WriteOptions,
+) -> Result<(), WriteError> {
+    let reg = obs::global();
+    let mut image = encode(kind, frames);
+    let fault = decide_write_fault(opts.plan.as_ref(), path, image.len());
+    let injected = apply_fault(fault, &mut image);
+    if injected == Some("disk-full") {
+        reg.counter("store.write_faults").inc();
+        return Err(WriteError::Injected("disk-full"));
+    }
+
+    let tmp = {
+        let mut s = path.as_os_str().to_owned();
+        s.push(".tmp");
+        std::path::PathBuf::from(s)
+    };
+    let mut file = File::create(&tmp).map_err(io_err)?;
+    file.write_all(&image).map_err(io_err)?;
+    if opts.fsync {
+        file.sync_all().map_err(io_err)?;
+    }
+    drop(file);
+    match injected {
+        // Crash models: the tmp file stays behind (as after a real
+        // crash), the destination is untouched.
+        Some(kind) => {
+            reg.counter("store.write_faults").inc();
+            Err(WriteError::Injected(kind))
+        }
+        None => {
+            std::fs::rename(&tmp, path).map_err(io_err)?;
+            reg.counter("store.writes").inc();
+            reg.counter("store.bytes_written").add(image.len() as u64);
+            Ok(())
+        }
+    }
+}
+
+/// Appends one frame to a chain container, creating the file (with
+/// header) when missing. Deliberately *not* atomic: a crash mid-append
+/// leaves a torn tail the reader truncates. Increments `store.appends`.
+pub fn append_frame(
+    path: &Path,
+    kind: ArtifactKind,
+    payload: &[u8],
+    opts: &WriteOptions,
+) -> Result<(), WriteError> {
+    let reg = obs::global();
+    let exists = path.exists();
+    let mut image = if exists {
+        encode_frame(payload)
+    } else {
+        encode(kind, &[payload])
+    };
+    let fault = decide_write_fault(opts.plan.as_ref(), path, image.len());
+    // Rename-dropped does not apply to appends (there is no rename);
+    // treat it as a no-fault append so rates stay monotone per kind.
+    let fault = match fault {
+        WriteFault::RenameDropped => WriteFault::None,
+        f => f,
+    };
+    let injected = apply_fault(fault, &mut image);
+    if injected == Some("disk-full") {
+        reg.counter("store.write_faults").inc();
+        return Err(WriteError::Injected("disk-full"));
+    }
+
+    let mut file = OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .map_err(io_err)?;
+    file.write_all(&image).map_err(io_err)?;
+    if opts.fsync {
+        file.sync_all().map_err(io_err)?;
+    }
+    match injected {
+        Some(kind) => {
+            reg.counter("store.write_faults").inc();
+            Err(WriteError::Injected(kind))
+        }
+        None => {
+            reg.counter("store.appends").inc();
+            reg.counter("store.bytes_written").add(image.len() as u64);
+            Ok(())
+        }
+    }
+}
+
+/// Reads a container, verifying every frame checksum. Torn tails are
+/// truncated to the last valid frame and reported on the `Ok` side;
+/// mid-file corruption, version and kind mismatches are typed errors.
+/// Increments `store.reads`; a recovered tear counts
+/// `store.recovered_torn`, a corrupt frame `store.corrupt_frames`.
+pub fn read_container(
+    path: &Path,
+    expected: Option<ArtifactKind>,
+) -> Result<Container, ReadError> {
+    let reg = obs::global();
+    let mut bytes = Vec::new();
+    match File::open(path) {
+        Ok(mut f) => {
+            f.read_to_end(&mut bytes)
+                .map_err(|e| ReadError::Io(e.to_string()))?;
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Err(ReadError::Missing),
+        Err(e) => return Err(ReadError::Io(e.to_string())),
+    }
+    reg.counter("store.reads").inc();
+
+    // A tear into the header: the file is a prefix too short to name its
+    // own kind. Nothing durable survives, but it is a crash artifact —
+    // report a torn tail with zero frames, not corruption.
+    if (bytes.len() as u64) < HEADER_LEN {
+        if bytes.len() >= MAGIC.len() && bytes[..MAGIC.len()] != MAGIC[..bytes.len().min(4)] {
+            return Err(ReadError::NotAContainer);
+        }
+        if !bytes.is_empty() && bytes[..] != MAGIC[..bytes.len()] {
+            return Err(ReadError::NotAContainer);
+        }
+        reg.counter("store.recovered_torn").inc();
+        return Ok(Container {
+            kind: None,
+            version: FORMAT_VERSION,
+            frames: Vec::new(),
+            torn: Some(TornTail {
+                valid_bytes: 0,
+                dropped_bytes: bytes.len() as u64,
+            }),
+        });
+    }
+
+    if bytes[..4] != MAGIC {
+        return Err(ReadError::NotAContainer);
+    }
+    let version = u16::from_le_bytes([bytes[4], bytes[5]]);
+    if version != FORMAT_VERSION {
+        return Err(ReadError::VersionMismatch { found: version });
+    }
+    let tag = u16::from_le_bytes([bytes[6], bytes[7]]);
+    let kind = ArtifactKind::from_tag(tag).ok_or(ReadError::Corrupt {
+        frame: 0,
+        detail: format!("unknown artifact kind tag {tag}"),
+    })?;
+    if let Some(expected) = expected {
+        if kind != expected {
+            return Err(ReadError::KindMismatch {
+                found: kind,
+                expected,
+            });
+        }
+    }
+
+    let mut frames = Vec::new();
+    let mut offset = HEADER_LEN as usize;
+    let mut torn = None;
+    while offset < bytes.len() {
+        let rest = &bytes[offset..];
+        // Frame header or payload cut short: torn tail, truncate here.
+        if (rest.len() as u64) < FRAME_HEADER_LEN {
+            torn = Some(TornTail {
+                valid_bytes: offset as u64,
+                dropped_bytes: rest.len() as u64,
+            });
+            break;
+        }
+        let len = u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]);
+        let want_crc = u32::from_le_bytes([rest[4], rest[5], rest[6], rest[7]]);
+        if len > MAX_FRAME_LEN {
+            // A garbage length field: only distinguishable from a torn
+            // length prefix by its impossibility — treat as corruption.
+            reg.counter("store.corrupt_frames").inc();
+            return Err(ReadError::Corrupt {
+                frame: frames.len(),
+                detail: format!("declared frame length {len} exceeds the {MAX_FRAME_LEN} cap"),
+            });
+        }
+        let end = FRAME_HEADER_LEN as usize + len as usize;
+        if rest.len() < end {
+            torn = Some(TornTail {
+                valid_bytes: offset as u64,
+                dropped_bytes: rest.len() as u64,
+            });
+            break;
+        }
+        let payload = &rest[FRAME_HEADER_LEN as usize..end];
+        if crc32(payload) != want_crc {
+            reg.counter("store.corrupt_frames").inc();
+            return Err(ReadError::Corrupt {
+                frame: frames.len(),
+                detail: format!(
+                    "checksum mismatch (stored {want_crc:#010x}, computed {:#010x})",
+                    crc32(payload)
+                ),
+            });
+        }
+        frames.push(payload.to_vec());
+        offset += end;
+    }
+    if torn.is_some() {
+        reg.counter("store.recovered_torn").inc();
+    }
+    Ok(Container {
+        kind: Some(kind),
+        version,
+        frames,
+        torn,
+    })
+}
+
+/// Why a typed single-document load failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LoadError {
+    /// No file — fresh start.
+    Missing,
+    /// The file ends in a torn frame and no complete frame precedes it:
+    /// the write crashed before anything became durable. Recovery policy
+    /// decides the fallback (previous round, fresh start, …).
+    TornEmpty,
+    /// Typed container/parse failure (checksum, magic, JSON shape).
+    Corrupt(String),
+    /// Written by an unreadable format version.
+    VersionMismatch { found: u16 },
+    /// The file holds a different artifact kind.
+    KindMismatch {
+        found: ArtifactKind,
+        expected: ArtifactKind,
+    },
+    /// Real I/O failure.
+    Io(String),
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::Missing => write!(f, "artifact missing"),
+            LoadError::TornEmpty => write!(f, "torn write left no durable frame"),
+            LoadError::Corrupt(d) => write!(f, "corrupt artifact: {d}"),
+            LoadError::VersionMismatch { found } => {
+                write!(f, "unreadable container format v{found}")
+            }
+            LoadError::KindMismatch { found, expected } => {
+                write!(f, "container holds a {found}, expected a {expected}")
+            }
+            LoadError::Io(e) => write!(f, "store read failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+impl From<ReadError> for LoadError {
+    fn from(e: ReadError) -> LoadError {
+        match e {
+            ReadError::Missing => LoadError::Missing,
+            ReadError::Io(e) => LoadError::Io(e),
+            ReadError::NotAContainer => LoadError::Corrupt("not a store container".into()),
+            ReadError::VersionMismatch { found } => LoadError::VersionMismatch { found },
+            ReadError::KindMismatch { found, expected } => {
+                LoadError::KindMismatch { found, expected }
+            }
+            ReadError::Corrupt { frame, detail } => {
+                LoadError::Corrupt(format!("frame {frame}: {detail}"))
+            }
+        }
+    }
+}
+
+/// A document recovered by [`load_doc`], with recovery provenance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Loaded<T> {
+    pub value: T,
+    /// A torn tail was truncated to reach this value.
+    pub recovered_torn: bool,
+}
+
+/// Atomically writes one serde document as a single-frame container.
+pub fn save_doc<T: serde::Serialize>(
+    path: &Path,
+    kind: ArtifactKind,
+    value: &T,
+    opts: &WriteOptions,
+) -> Result<(), WriteError> {
+    let payload =
+        serde_json::to_vec(value).map_err(|e| WriteError::Io(format!("serialize: {e}")))?;
+    write_frames(path, kind, &[&payload], opts)
+}
+
+/// Loads the newest intact frame of a single-document container. A torn
+/// tail falls back to the previous intact frame (append-style updates);
+/// a tear with nothing before it is `TornEmpty`, never a serde panic.
+pub fn load_doc<T: serde::de::DeserializeOwned>(
+    path: &Path,
+    kind: ArtifactKind,
+) -> Result<Loaded<T>, LoadError> {
+    let container = read_container(path, Some(kind))?;
+    let recovered_torn = container.torn.is_some();
+    let Some(frame) = container.frames.last() else {
+        return if recovered_torn {
+            Err(LoadError::TornEmpty)
+        } else {
+            Err(LoadError::Corrupt("container holds no frames".into()))
+        };
+    };
+    let value = serde_json::from_slice(frame)
+        .map_err(|e| LoadError::Corrupt(format!("frame JSON: {e}")))?;
+    Ok(Loaded {
+        value,
+        recovered_torn,
+    })
+}
+
+/// Atomically writes raw bytes (plain JSON reports, datasets) with the
+/// same temp-file + rename protocol — no framing, for artifacts external
+/// tools read directly. Crash-safe: never a half-written file.
+pub fn atomic_write_bytes(path: &Path, bytes: &[u8], opts: &WriteOptions) -> Result<(), WriteError> {
+    let reg = obs::global();
+    let mut image = bytes.to_vec();
+    let fault = decide_write_fault(opts.plan.as_ref(), path, image.len());
+    let injected = apply_fault(fault, &mut image);
+    if injected == Some("disk-full") {
+        reg.counter("store.write_faults").inc();
+        return Err(WriteError::Injected("disk-full"));
+    }
+    let tmp = {
+        let mut s = path.as_os_str().to_owned();
+        s.push(".tmp");
+        std::path::PathBuf::from(s)
+    };
+    let mut file = File::create(&tmp).map_err(io_err)?;
+    file.write_all(&image).map_err(io_err)?;
+    if opts.fsync {
+        file.sync_all().map_err(io_err)?;
+    }
+    drop(file);
+    match injected {
+        Some(kind) => {
+            reg.counter("store.write_faults").inc();
+            Err(WriteError::Injected(kind))
+        }
+        None => {
+            std::fs::rename(&tmp, path).map_err(io_err)?;
+            reg.counter("store.writes").inc();
+            reg.counter("store.bytes_written").add(image.len() as u64);
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::{Deserialize, Serialize};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("gamma-store-{}-{name}", std::process::id()))
+    }
+
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    struct Doc {
+        id: u32,
+        body: String,
+    }
+
+    #[test]
+    fn atomic_roundtrip_and_kind_check() {
+        let path = tmp("roundtrip.gsf");
+        let doc = Doc {
+            id: 7,
+            body: "hello".into(),
+        };
+        save_doc(
+            &path,
+            ArtifactKind::Document,
+            &doc,
+            &WriteOptions::default(),
+        )
+        .unwrap();
+        let back: Loaded<Doc> = load_doc(&path, ArtifactKind::Document).unwrap();
+        assert_eq!(back.value, doc);
+        assert!(!back.recovered_torn);
+        // Wrong kind: typed mismatch, not a decode attempt.
+        assert!(matches!(
+            load_doc::<Doc>(&path, ArtifactKind::DeltaChain),
+            Err(LoadError::KindMismatch { .. })
+        ));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_is_typed() {
+        let path = tmp("never-written.gsf");
+        assert_eq!(
+            read_container(&path, None).unwrap_err(),
+            ReadError::Missing
+        );
+        assert!(matches!(
+            load_doc::<Doc>(&path, ArtifactKind::Document),
+            Err(LoadError::Missing)
+        ));
+    }
+
+    #[test]
+    fn appended_chains_read_back_in_order() {
+        let path = tmp("chain.gsf");
+        let _ = std::fs::remove_file(&path);
+        for i in 0..5u32 {
+            append_frame(
+                &path,
+                ArtifactKind::DeltaChain,
+                format!("frame-{i}").as_bytes(),
+                &WriteOptions::default(),
+            )
+            .unwrap();
+        }
+        let c = read_container(&path, Some(ArtifactKind::DeltaChain)).unwrap();
+        assert_eq!(c.frames.len(), 5);
+        assert_eq!(c.frames[3], b"frame-3");
+        assert!(c.torn.is_none());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn every_byte_truncation_recovers_or_reports_torn() {
+        let path = tmp("trunc.gsf");
+        let _ = std::fs::remove_file(&path);
+        for i in 0..3u32 {
+            append_frame(
+                &path,
+                ArtifactKind::DeltaChain,
+                format!("payload number {i}").as_bytes(),
+                &WriteOptions::default(),
+            )
+            .unwrap();
+        }
+        let full = std::fs::read(&path).unwrap();
+        let cut_path = tmp("trunc-cut.gsf");
+        for k in 0..full.len() {
+            std::fs::write(&cut_path, &full[..k]).unwrap();
+            let got = read_container(&cut_path, Some(ArtifactKind::DeltaChain));
+            match got {
+                Ok(c) => {
+                    // Every surviving frame is an intact prefix frame.
+                    for (i, frame) in c.frames.iter().enumerate() {
+                        assert_eq!(frame, format!("payload number {i}").as_bytes());
+                    }
+                    if k < full.len() {
+                        assert!(c.torn.is_some() || k == full.len(), "cut {k} unreported");
+                    }
+                }
+                Err(ReadError::NotAContainer) => {
+                    panic!("cut {k} misread as foreign file")
+                }
+                Err(e) => panic!("cut {k}: unexpected {e}"),
+            }
+        }
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&cut_path);
+    }
+
+    #[test]
+    fn bit_flips_are_corrupt_not_torn() {
+        let path = tmp("flip.gsf");
+        save_doc(
+            &path,
+            ArtifactKind::Document,
+            &Doc {
+                id: 1,
+                body: "x".repeat(64),
+            },
+            &WriteOptions::default(),
+        )
+        .unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            read_container(&path, None),
+            Err(ReadError::Corrupt { .. })
+        ));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn version_and_magic_are_checked() {
+        let path = tmp("vers.gsf");
+        save_doc(
+            &path,
+            ArtifactKind::Document,
+            &Doc {
+                id: 1,
+                body: "v".into(),
+            },
+            &WriteOptions::default(),
+        )
+        .unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[4] = 99;
+        std::fs::write(&path, &bytes).unwrap();
+        assert_eq!(
+            read_container(&path, None).unwrap_err(),
+            ReadError::VersionMismatch { found: 99 }
+        );
+        std::fs::write(&path, b"{\"plain\": \"json\"}").unwrap();
+        assert_eq!(
+            read_container(&path, None).unwrap_err(),
+            ReadError::NotAContainer
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn kind_tags_roundtrip() {
+        for kind in ArtifactKind::ALL {
+            assert_eq!(ArtifactKind::from_tag(kind.tag()), Some(kind));
+        }
+        assert_eq!(ArtifactKind::from_tag(0), None);
+        assert_eq!(ArtifactKind::from_tag(999), None);
+    }
+}

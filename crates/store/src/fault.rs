@@ -1,0 +1,102 @@
+//! Deterministic storage-fault decisions for the write path.
+//!
+//! Every write consults the campaign's [`FaultPlan`] through the same
+//! pure-hash oracle as the network axes: a decision is a function of
+//! `(plan seed, fault kind, file name, image length)`, so the same plan
+//! produces the same disk weather on one worker or sixteen. The file
+//! *name* (not the full path) keys the decision so a drill reproduces
+//! across temp directories; the image length is the index so successive
+//! states of the same artifact get fresh decisions.
+
+use gamma_chaos::{FaultKind, FaultOracle, FaultPlan, FaultScope};
+use std::path::Path;
+
+/// What the write path must simulate for one write.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WriteFault {
+    /// Write normally.
+    None,
+    /// Fail before a byte lands (ENOSPC).
+    DiskFull,
+    /// Write only a `fraction` prefix of the image, then fail — a crash
+    /// mid-write. Fraction is in `[0, 1)`.
+    TornAt(f64),
+    /// Flip one bit at a `fraction` position of the image and report
+    /// success — silent corruption the checksum catches at read time.
+    BitFlip(f64),
+    /// Write the temp file completely but drop the rename; the
+    /// destination keeps its old contents.
+    RenameDropped,
+}
+
+/// Decides the fault (if any) for one write. Severity picks the tear /
+/// flip position. When several kinds fire for the same write the most
+/// destructive wins (full disk > dropped rename > torn tail > bit flip),
+/// mirroring how a real cascading failure would mask the milder symptom.
+pub fn decide_write_fault(plan: Option<&FaultPlan>, path: &Path, image_len: usize) -> WriteFault {
+    let Some(plan) = plan else {
+        return WriteFault::None;
+    };
+    let name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_default();
+    let scope = FaultScope::global(&name).indexed(image_len as u64);
+    if plan.fires(FaultKind::DiskFull, scope) {
+        return WriteFault::DiskFull;
+    }
+    if plan.fires(FaultKind::RenameDropped, scope) {
+        return WriteFault::RenameDropped;
+    }
+    if plan.fires(FaultKind::TornWrite, scope) {
+        return WriteFault::TornAt(plan.severity(FaultKind::TornWrite, scope));
+    }
+    if plan.fires(FaultKind::BitFlip, scope) {
+        return WriteFault::BitFlip(plan.severity(FaultKind::BitFlip, scope));
+    }
+    WriteFault::None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    #[test]
+    fn quiet_plans_never_fault() {
+        let plan = FaultPlan::paper_default(9);
+        for i in 0..200 {
+            let p = PathBuf::from(format!("artifact-{i}.gsf"));
+            assert_eq!(decide_write_fault(Some(&plan), &p, 100 + i), WriteFault::None);
+        }
+        assert_eq!(
+            decide_write_fault(None, &PathBuf::from("x.gsf"), 64),
+            WriteFault::None
+        );
+    }
+
+    #[test]
+    fn decisions_depend_on_name_not_directory() {
+        let plan = FaultPlan::storage(33);
+        for i in 0..50 {
+            let name = format!("ckpt-{i}.gsf");
+            let a = decide_write_fault(Some(&plan), &PathBuf::from(format!("/tmp/a/{name}")), 512);
+            let b = decide_write_fault(Some(&plan), &PathBuf::from(format!("/run/b/{name}")), 512);
+            assert_eq!(a, b, "directory leaked into the decision for {name}");
+        }
+    }
+
+    #[test]
+    fn armed_plans_fault_a_plausible_fraction() {
+        let plan = FaultPlan::storage(77);
+        let faults = (0..500)
+            .filter(|i| {
+                let p = PathBuf::from(format!("w{i}.gsf"));
+                decide_write_fault(Some(&plan), &p, 256) != WriteFault::None
+            })
+            .count();
+        // Four axes at 10/5/5/5%: roughly a quarter of writes misbehave.
+        let rate = faults as f64 / 500.0;
+        assert!((0.12..0.40).contains(&rate), "observed fault rate {rate}");
+    }
+}

@@ -1,0 +1,459 @@
+//! Offline artifact verification and repair.
+//!
+//! `fsck` walks an artifact directory, parses every container leniently
+//! (keeping the valid frame prefix even past the point `read_container`
+//! would refuse), and classifies each file. With repair enabled it
+//! truncates torn tails and corrupt-frame suffixes back to the last
+//! intact frame and sweeps stale `.tmp` files the atomic protocol left
+//! behind after a crash. Chain re-basing (rebuilding a delta chain from
+//! a sidecar full snapshot) is artifact-specific and lives with the
+//! artifact's own store, keyed off the `needs_rebase` flag reported
+//! here.
+
+use crate::container::{
+    ArtifactKind, FORMAT_VERSION, FRAME_HEADER_LEN, HEADER_LEN, MAGIC, MAX_FRAME_LEN,
+};
+use crate::crc::crc32;
+use std::path::{Path, PathBuf};
+
+/// What fsck concluded about one file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsckStatus {
+    /// Every frame verified.
+    Intact { kind: ArtifactKind, frames: usize },
+    /// File ends mid-frame; the prefix of `frames` intact frames
+    /// survives. `kind` is `None` when the tear cut into the header.
+    Torn {
+        kind: Option<ArtifactKind>,
+        frames: usize,
+        valid_bytes: u64,
+        dropped_bytes: u64,
+    },
+    /// A frame inside the file failed its checksum (or declared an
+    /// impossible length); `frames` intact frames precede it.
+    Corrupt {
+        kind: Option<ArtifactKind>,
+        frames: usize,
+        valid_bytes: u64,
+        bad_frame: usize,
+        detail: String,
+    },
+    /// Written by a format version this build cannot read.
+    VersionMismatch { found: u16 },
+    /// Not a store container (wrong magic): left alone.
+    Foreign,
+    /// A `.tmp` file from an interrupted atomic write.
+    StaleTmp,
+}
+
+impl FsckStatus {
+    /// Whether `--repair` has something to do for this file.
+    pub fn repairable(&self) -> bool {
+        matches!(
+            self,
+            FsckStatus::Torn { .. } | FsckStatus::Corrupt { .. } | FsckStatus::StaleTmp
+        )
+    }
+
+    /// Whether the file is healthy as-is.
+    pub fn healthy(&self) -> bool {
+        matches!(self, FsckStatus::Intact { .. } | FsckStatus::Foreign)
+    }
+}
+
+/// One scanned file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FsckEntry {
+    pub path: PathBuf,
+    pub status: FsckStatus,
+}
+
+/// The full directory scan.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FsckReport {
+    /// Entries in sorted path order (deterministic across platforms).
+    pub entries: Vec<FsckEntry>,
+}
+
+impl FsckReport {
+    pub fn intact(&self) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| matches!(e.status, FsckStatus::Intact { .. }))
+            .count()
+    }
+
+    pub fn problems(&self) -> usize {
+        self.entries.iter().filter(|e| !e.status.healthy()).count()
+    }
+
+    /// Containers that lost tail frames and belong to a chained artifact
+    /// kind — the caller's cue to re-base from a sidecar full snapshot.
+    pub fn needs_rebase(&self) -> Vec<&FsckEntry> {
+        self.entries
+            .iter()
+            .filter(|e| {
+                let (kind, lost) = match &e.status {
+                    FsckStatus::Torn {
+                        kind,
+                        dropped_bytes,
+                        ..
+                    } => (*kind, *dropped_bytes > 0),
+                    FsckStatus::Corrupt { kind, .. } => (*kind, true),
+                    _ => (None, false),
+                };
+                lost && matches!(
+                    kind,
+                    Some(ArtifactKind::DeltaChain) | Some(ArtifactKind::RevisionStore)
+                )
+            })
+            .collect()
+    }
+}
+
+/// Lenient single-file scan: parses as far as the bytes allow and
+/// classifies what stopped it, never erroring on content.
+pub fn scan_file(path: &Path) -> std::io::Result<FsckEntry> {
+    if path.extension().is_some_and(|e| e == "tmp") {
+        return Ok(FsckEntry {
+            path: path.to_path_buf(),
+            status: FsckStatus::StaleTmp,
+        });
+    }
+    let bytes = std::fs::read(path)?;
+    Ok(FsckEntry {
+        path: path.to_path_buf(),
+        status: classify(&bytes),
+    })
+}
+
+fn classify(bytes: &[u8]) -> FsckStatus {
+    if (bytes.len() as u64) < HEADER_LEN {
+        let is_prefix = bytes.is_empty() || bytes[..] == MAGIC[..bytes.len().min(4)];
+        if is_prefix {
+            return FsckStatus::Torn {
+                kind: None,
+                frames: 0,
+                valid_bytes: 0,
+                dropped_bytes: bytes.len() as u64,
+            };
+        }
+        return FsckStatus::Foreign;
+    }
+    if bytes[..4] != MAGIC {
+        return FsckStatus::Foreign;
+    }
+    let version = u16::from_le_bytes([bytes[4], bytes[5]]);
+    if version != FORMAT_VERSION {
+        return FsckStatus::VersionMismatch { found: version };
+    }
+    let tag = u16::from_le_bytes([bytes[6], bytes[7]]);
+    let kind = ArtifactKind::from_tag(tag);
+    if kind.is_none() {
+        return FsckStatus::Corrupt {
+            kind: None,
+            frames: 0,
+            valid_bytes: HEADER_LEN,
+            bad_frame: 0,
+            detail: format!("unknown artifact kind tag {tag}"),
+        };
+    }
+
+    let mut frames = 0usize;
+    let mut offset = HEADER_LEN as usize;
+    while offset < bytes.len() {
+        let rest = &bytes[offset..];
+        if (rest.len() as u64) < FRAME_HEADER_LEN {
+            return FsckStatus::Torn {
+                kind,
+                frames,
+                valid_bytes: offset as u64,
+                dropped_bytes: rest.len() as u64,
+            };
+        }
+        let len = u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]);
+        let want_crc = u32::from_le_bytes([rest[4], rest[5], rest[6], rest[7]]);
+        if len > MAX_FRAME_LEN {
+            return FsckStatus::Corrupt {
+                kind,
+                frames,
+                valid_bytes: offset as u64,
+                bad_frame: frames,
+                detail: format!("declared frame length {len} exceeds the {MAX_FRAME_LEN} cap"),
+            };
+        }
+        let end = FRAME_HEADER_LEN as usize + len as usize;
+        if rest.len() < end {
+            return FsckStatus::Torn {
+                kind,
+                frames,
+                valid_bytes: offset as u64,
+                dropped_bytes: rest.len() as u64,
+            };
+        }
+        let payload = &rest[FRAME_HEADER_LEN as usize..end];
+        if crc32(payload) != want_crc {
+            return FsckStatus::Corrupt {
+                kind,
+                frames,
+                valid_bytes: offset as u64,
+                bad_frame: frames,
+                detail: format!(
+                    "checksum mismatch (stored {want_crc:#010x}, computed {:#010x})",
+                    crc32(payload)
+                ),
+            };
+        }
+        frames += 1;
+        offset += end;
+    }
+    FsckStatus::Intact {
+        // Unwrap is safe: the unknown-tag case returned above.
+        kind: kind.expect("kind checked above"),
+        frames,
+    }
+}
+
+/// Walks `dir` recursively and scans every regular file, sorted by path.
+pub fn scan_dir(dir: &Path) -> std::io::Result<FsckReport> {
+    let mut files = Vec::new();
+    collect(dir, &mut files)?;
+    files.sort();
+    let mut entries = Vec::with_capacity(files.len());
+    for path in files {
+        entries.push(scan_file(&path)?);
+    }
+    Ok(FsckReport { entries })
+}
+
+fn collect(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let ty = entry.file_type()?;
+        if ty.is_dir() {
+            collect(&path, out)?;
+        } else if ty.is_file() {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// What `--repair` did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RepairSummary {
+    /// Files truncated back to their last intact frame.
+    pub truncated: usize,
+    /// Stale `.tmp` files removed.
+    pub tmp_removed: usize,
+    /// Total torn/corrupt bytes dropped.
+    pub bytes_dropped: u64,
+}
+
+/// Repairs everything repairable in a report: truncates torn tails and
+/// corrupt suffixes to the valid prefix, removes stale temp files.
+/// Artifact-kind-specific re-basing is the caller's job (see
+/// [`FsckReport::needs_rebase`]).
+pub fn repair(report: &FsckReport) -> std::io::Result<RepairSummary> {
+    let mut summary = RepairSummary::default();
+    for entry in &report.entries {
+        match &entry.status {
+            FsckStatus::StaleTmp => {
+                std::fs::remove_file(&entry.path)?;
+                summary.tmp_removed += 1;
+            }
+            FsckStatus::Torn { valid_bytes, .. } | FsckStatus::Corrupt { valid_bytes, .. } => {
+                let len = std::fs::metadata(&entry.path)?.len();
+                // A header-torn file has no recoverable prefix: drop it
+                // entirely so a fresh write recreates it cleanly.
+                if *valid_bytes == 0 {
+                    std::fs::remove_file(&entry.path)?;
+                } else {
+                    let file = std::fs::OpenOptions::new().write(true).open(&entry.path)?;
+                    file.set_len(*valid_bytes)?;
+                }
+                summary.truncated += 1;
+                summary.bytes_dropped += len.saturating_sub(*valid_bytes);
+            }
+            _ => {}
+        }
+    }
+    Ok(summary)
+}
+
+/// Renders a report as the CLI's typed listing.
+pub fn render(report: &FsckReport, root: &Path) -> String {
+    let mut out = String::new();
+    for entry in &report.entries {
+        let rel = entry
+            .path
+            .strip_prefix(root)
+            .unwrap_or(&entry.path)
+            .display();
+        let line = match &entry.status {
+            FsckStatus::Intact { kind, frames } => {
+                format!("ok        {rel}  [{kind}] {frames} frame(s)")
+            }
+            FsckStatus::Torn {
+                kind,
+                frames,
+                dropped_bytes,
+                ..
+            } => {
+                let kind = kind.map_or("unidentifiable".to_string(), |k| k.to_string());
+                format!(
+                    "torn      {rel}  [{kind}] {frames} intact frame(s), {dropped_bytes} torn byte(s)"
+                )
+            }
+            FsckStatus::Corrupt {
+                kind,
+                frames,
+                bad_frame,
+                detail,
+                ..
+            } => {
+                let kind = kind.map_or("unidentifiable".to_string(), |k| k.to_string());
+                format!(
+                    "corrupt   {rel}  [{kind}] frame {bad_frame} bad ({detail}); {frames} intact frame(s) precede"
+                )
+            }
+            FsckStatus::VersionMismatch { found } => {
+                format!("version   {rel}  container format v{found} unreadable (supports v{FORMAT_VERSION})")
+            }
+            FsckStatus::Foreign => format!("foreign   {rel}  not a store container"),
+            FsckStatus::StaleTmp => format!("stale-tmp {rel}  interrupted atomic write"),
+        };
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "{} file(s): {} intact, {} problem(s)\n",
+        report.entries.len(),
+        report.intact(),
+        report.problems()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::container::{append_frame, save_doc, WriteOptions};
+
+    fn dir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("gamma-fsck-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn scan_classifies_and_repair_heals() {
+        let d = dir("classify");
+        // An intact document.
+        save_doc(
+            &d.join("good.gsf"),
+            ArtifactKind::Document,
+            &serde_json::json!({"ok": true}),
+            &WriteOptions::default(),
+        )
+        .unwrap();
+        // A torn chain: three frames, tail cut mid-frame.
+        let chain = d.join("chain.gsf");
+        for i in 0..3 {
+            append_frame(
+                &chain,
+                ArtifactKind::DeltaChain,
+                format!("delta frame {i}").as_bytes(),
+                &WriteOptions::default(),
+            )
+            .unwrap();
+        }
+        let full = std::fs::read(&chain).unwrap();
+        std::fs::write(&chain, &full[..full.len() - 5]).unwrap();
+        // A corrupt chain: a flipped bit in frame 1.
+        let flip = d.join("flip.gsf");
+        for i in 0..3 {
+            append_frame(
+                &flip,
+                ArtifactKind::DeltaChain,
+                format!("delta frame {i}").as_bytes(),
+                &WriteOptions::default(),
+            )
+            .unwrap();
+        }
+        let mut bytes = std::fs::read(&flip).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 1;
+        std::fs::write(&flip, &bytes).unwrap();
+        // A stale tmp and a foreign file.
+        std::fs::write(d.join("orphan.gsf.tmp"), b"GSF1 partial").unwrap();
+        std::fs::write(d.join("notes.json"), b"{\"foreign\": 1}").unwrap();
+
+        let report = scan_dir(&d).unwrap();
+        assert_eq!(report.entries.len(), 5);
+        assert_eq!(report.intact(), 1);
+        assert_eq!(report.problems(), 3, "torn + corrupt + stale tmp");
+        let rebase: Vec<_> = report
+            .needs_rebase()
+            .iter()
+            .map(|e| e.path.file_name().unwrap().to_string_lossy().into_owned())
+            .collect();
+        assert!(rebase.contains(&"chain.gsf".to_string()));
+        assert!(rebase.contains(&"flip.gsf".to_string()));
+
+        let summary = repair(&report).unwrap();
+        assert_eq!(summary.truncated, 2);
+        assert_eq!(summary.tmp_removed, 1);
+        assert!(summary.bytes_dropped > 0);
+
+        // After repair everything left is intact; the valid prefixes
+        // survived byte-identically.
+        let after = scan_dir(&d).unwrap();
+        assert_eq!(after.problems(), 0, "{:#?}", after.entries);
+        let healed = crate::container::read_container(&chain, Some(ArtifactKind::DeltaChain))
+            .unwrap();
+        assert_eq!(healed.frames.len(), 2);
+        assert_eq!(healed.frames[1], b"delta frame 1");
+        let healed = crate::container::read_container(&flip, Some(ArtifactKind::DeltaChain))
+            .unwrap();
+        assert!(healed.frames.len() < 3, "corrupt suffix kept");
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn header_torn_files_are_dropped_whole() {
+        let d = dir("header-torn");
+        std::fs::write(d.join("stub.gsf"), &MAGIC[..2]).unwrap();
+        let report = scan_dir(&d).unwrap();
+        assert!(matches!(
+            report.entries[0].status,
+            FsckStatus::Torn {
+                kind: None,
+                frames: 0,
+                ..
+            }
+        ));
+        repair(&report).unwrap();
+        assert!(!d.join("stub.gsf").exists());
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn render_is_stable_and_typed() {
+        let d = dir("render");
+        save_doc(
+            &d.join("a.gsf"),
+            ArtifactKind::MetricsReport,
+            &serde_json::json!({"n": 1}),
+            &WriteOptions::default(),
+        )
+        .unwrap();
+        let report = scan_dir(&d).unwrap();
+        let text = render(&report, &d);
+        assert!(text.contains("ok        a.gsf  [metrics-report] 1 frame(s)"));
+        assert!(text.contains("1 file(s): 1 intact, 0 problem(s)"));
+        let _ = std::fs::remove_dir_all(&d);
+    }
+}

@@ -1,0 +1,50 @@
+//! # gamma-store
+//!
+//! The durable artifact plane: every on-disk artifact in the workspace —
+//! campaign checkpoints, suite progress markers, longitudinal snapshot
+//! chains, tenant revision stores, rendered reports — goes through one
+//! framed container format and one atomic write protocol, so a crash or
+//! a flipped bit is a *typed, recoverable event* instead of a serde
+//! panic three weeks into a campaign.
+//!
+//! The design splits durability into three orthogonal pieces:
+//!
+//! - **Format** ([`container`]): magic + version + artifact kind, then
+//!   length-prefixed CRC-checksummed frames. One format for every
+//!   artifact means one reader, one fsck, one recovery vocabulary.
+//! - **Protocol**: [`write_frames`] (temp file + optional fsync +
+//!   rename — atomic replacement) for documents, [`append_frame`] for
+//!   chains that grow one frame per event and recover torn tails by
+//!   truncation.
+//! - **Weather** ([`fault`]): every write consults the campaign's
+//!   seed-deterministic [`gamma_chaos::FaultPlan`], so torn writes, bit
+//!   flips, dropped renames, and full disks are injected under the same
+//!   byte-identity discipline as DNS timeouts and probe drops — and the
+//!   recovery paths are exercised in CI, not discovered in production.
+//!
+//! Reads distinguish `Missing` (fresh start) / torn tail (truncate to
+//! the last valid frame, keep going) / `Corrupt` (checksum mismatch —
+//! stop, never silently clobber) / `VersionMismatch`. [`fsck`] walks a
+//! directory offline, reports every container's health, and repairs
+//! torn tails and corrupt suffixes in place.
+//!
+//! Observability: `store.writes`, `store.appends`, `store.bytes_written`,
+//! `store.reads`, `store.recovered_torn`, `store.corrupt_frames`,
+//! `store.write_faults`, and (incremented by recovery policies at the
+//! consuming layers) `store.fallbacks`.
+
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
+pub mod container;
+mod crc;
+pub mod fault;
+pub mod fsck;
+
+pub use container::{
+    append_frame, atomic_write_bytes, load_doc, read_container, save_doc, write_frames,
+    ArtifactKind, Container, LoadError, Loaded, ReadError, TornTail, WriteError, WriteOptions,
+    FORMAT_VERSION, MAGIC,
+};
+pub use crc::crc32;
+pub use fault::{decide_write_fault, WriteFault};
+pub use fsck::{repair, render, scan_dir, scan_file, FsckEntry, FsckReport, FsckStatus, RepairSummary};

@@ -134,7 +134,11 @@ fn main() -> ExitCode {
             let json = serde_json::to_string_pretty(&dataset).expect("dataset serializes");
             if args.out == "-" {
                 println!("{json}");
-            } else if let Err(e) = std::fs::write(&args.out, json) {
+            } else if let Err(e) = gamma_store::atomic_write_bytes(
+                std::path::Path::new(&args.out),
+                json.as_bytes(),
+                &gamma_store::WriteOptions::default(),
+            ) {
                 eprintln!("cannot write {}: {e}", args.out);
                 return ExitCode::FAILURE;
             } else {

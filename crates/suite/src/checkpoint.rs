@@ -6,7 +6,9 @@
 //! small JSON document the tool writes after each completed target.
 
 use gamma_geo::CountryCode;
+use gamma_store::{load_doc, save_doc, ArtifactKind, LoadError, Loaded, WriteOptions};
 use serde::{Deserialize, Serialize};
+use std::path::Path;
 
 /// Resumable progress marker for a volunteer run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -46,6 +48,30 @@ impl Checkpoint {
     /// Whether this checkpoint can resume a run with the given parameters.
     pub fn compatible_with(&self, country: CountryCode, seed: u64) -> bool {
         self.country == country && self.seed == seed
+    }
+
+    /// Persists the marker through the durable store: checksummed
+    /// framed container, atomic temp-file + rename write.
+    pub fn save(&self, path: &Path) -> Result<(), String> {
+        save_doc(
+            path,
+            ArtifactKind::SuiteCheckpoint,
+            self,
+            &WriteOptions::default(),
+        )
+        .map_err(|e| e.to_string())
+    }
+
+    /// Restores a marker the store can still vouch for. `Ok(None)` is a
+    /// fresh start (no file, or nothing durable survived a first-write
+    /// crash); checksum or parse failures are errors — a volunteer run
+    /// must not silently restart over evidence of corruption.
+    pub fn load(path: &Path) -> Result<Option<Loaded<Checkpoint>>, String> {
+        match load_doc(path, ArtifactKind::SuiteCheckpoint) {
+            Ok(loaded) => Ok(Some(loaded)),
+            Err(LoadError::Missing) | Err(LoadError::TornEmpty) => Ok(None),
+            Err(e) => Err(e.to_string()),
+        }
     }
 }
 

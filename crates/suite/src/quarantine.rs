@@ -34,6 +34,10 @@ pub enum QuarantineReason {
     TracerouteFailed { target_ip: Ipv4Addr },
     /// Raw probe output did not parse into the normalized structure.
     MalformedTraceroute { target_ip: Ipv4Addr, error: String },
+    /// An on-disk artifact (checkpoint, snapshot chain, revision store)
+    /// failed its checksum or parse and was set aside rather than
+    /// trusted — the durable-store analog of a truncated capture.
+    StorageUnreadable { path: String, detail: String },
 }
 
 /// One volunteer run's ledger of quarantined records.
@@ -88,6 +92,11 @@ impl Quarantine {
                     | QuarantineReason::MalformedTraceroute { .. }
             )
         })
+    }
+
+    /// On-disk artifacts quarantined by the durable store.
+    pub fn storage_unreadable(&self) -> usize {
+        self.count(|r| matches!(r, QuarantineReason::StorageUnreadable { .. }))
     }
 
     fn count(&self, pred: impl Fn(&QuarantineReason) -> bool) -> usize {

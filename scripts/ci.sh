@@ -41,4 +41,38 @@ cargo run --release --bin gamma-study -- \
   --check-metrics /tmp/gamma-server-7.json \
   --require-ns server.sched. --require-ns server.tenant. --require-ns server.queue.
 
+echo "==> store smoke: persisted rounds, corrupt a frame, fsck detects, --repair, resume"
+STORE_DIR=/tmp/gamma-store-smoke-7
+rm -rf "$STORE_DIR"
+mkdir -p "$STORE_DIR"
+cargo run --release --bin gamma-study -- \
+  --seed 7 --small --rounds 3 --snapshot-dir "$STORE_DIR/snapshots" \
+  --resume "$STORE_DIR/campaign.ckpt" \
+  --metrics-out /tmp/gamma-store-7.json > /dev/null
+cargo run --release --bin gamma-study -- \
+  --check-metrics /tmp/gamma-store-7.json --require-ns store.
+# Zero one payload byte mid-chain (offset 24 is inside the first frame's
+# JSON, which never contains 0x00): a checksum failure, not a torn tail.
+dd if=/dev/zero of="$STORE_DIR/snapshots/rounds.chain" \
+  bs=1 seek=24 count=1 conv=notrunc status=none
+if cargo run --release --bin gamma-study -- fsck "$STORE_DIR/snapshots" > /dev/null; then
+  echo "fsck missed the corrupt frame" >&2
+  exit 1
+fi
+cargo run --release --bin gamma-study -- fsck --repair "$STORE_DIR/snapshots" > /dev/null
+cargo run --release --bin gamma-study -- fsck "$STORE_DIR/snapshots" > /dev/null
+cargo run --release --bin gamma-study -- \
+  --seed 7 --small --rounds 3 --snapshot-dir "$STORE_DIR/snapshots" \
+  --resume "$STORE_DIR/campaign.ckpt" > /dev/null
+
+echo "==> storage-chaos smoke: armed disk faults stay byte-identical across --jobs"
+rm -f /tmp/gamma-storage-ckpt-a /tmp/gamma-storage-ckpt-b
+cargo run --release --bin gamma-study -- \
+  --seed 7 --small --fault-profile storage \
+  --resume /tmp/gamma-storage-ckpt-a --jobs 2 > /tmp/gamma-storage-a.txt
+cargo run --release --bin gamma-study -- \
+  --seed 7 --small --fault-profile storage \
+  --resume /tmp/gamma-storage-ckpt-b --jobs 4 > /tmp/gamma-storage-b.txt
+cmp /tmp/gamma-storage-a.txt /tmp/gamma-storage-b.txt
+
 echo "CI OK"

@@ -64,12 +64,17 @@ fn main() -> ExitCode {
     let mut check_metrics: Option<String> = None;
     let mut rounds = 1u32;
     let mut diff = false;
+    let mut snapshot_dir: Option<String> = None;
     let mut require_ns: Vec<String> = Vec::new();
 
     let mut argv = std::env::args().skip(1).peekable();
     if argv.peek().map(String::as_str) == Some("serve") {
         argv.next();
         return run_serve(argv);
+    }
+    if argv.peek().map(String::as_str) == Some("fsck") {
+        argv.next();
+        return run_fsck(argv);
     }
     while let Some(flag) = argv.next() {
         match flag.as_str() {
@@ -116,6 +121,10 @@ fn main() -> ExitCode {
                 _ => return usage(),
             },
             "--diff" => diff = true,
+            "--snapshot-dir" => match argv.next() {
+                Some(v) => snapshot_dir = Some(v),
+                None => return usage(),
+            },
             "--help" | "-h" => return usage(),
             _ => return usage(),
         }
@@ -206,15 +215,34 @@ fn main() -> ExitCode {
             study.spec.countries.len(),
             options.effective_workers()
         );
+        let store = match &snapshot_dir {
+            Some(dir) => {
+                match gamma::longitudinal::SnapshotStore::open(std::path::Path::new(dir)) {
+                    Ok(s) => Some(s),
+                    Err(e) => {
+                        eprintln!("cannot open snapshot dir {dir}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            None => None,
+        };
         let before = gamma::obs::global().snapshot();
         let started = Instant::now();
-        let results = match lstudy.run_with(&options) {
+        let run = match &store {
+            Some(s) => lstudy.run_persisted(&options, s),
+            None => lstudy.run_with(&options),
+        };
+        let results = match run {
             Ok(r) => r,
             Err(e) => {
                 eprintln!("longitudinal campaign failed: {e}");
                 return ExitCode::FAILURE;
             }
         };
+        if let Some(dir) = &snapshot_dir {
+            eprintln!("persisted round snapshots under {dir}");
+        }
         let total_wall = started.elapsed();
         for out in &results.rounds {
             eprintln!("— round {} (seed {}) —", out.epoch, out.round_seed);
@@ -257,7 +285,7 @@ fn main() -> ExitCode {
             .with_throughput("sites_per_sec", sites_total as f64);
             match report.to_json() {
                 Ok(js) => {
-                    if let Err(e) = std::fs::write(&path, js) {
+                    if let Err(e) = write_atomic(&path, js.as_bytes()) {
                         eprintln!("cannot write {path}: {e}");
                         return ExitCode::FAILURE;
                     }
@@ -294,7 +322,7 @@ fn main() -> ExitCode {
             let studies: Vec<_> = results.rounds.iter().map(|r| &r.study).collect();
             match serde_json::to_string_pretty(&studies) {
                 Ok(js) => {
-                    if let Err(e) = std::fs::write(&path, js) {
+                    if let Err(e) = write_atomic(&path, js.as_bytes()) {
                         eprintln!("cannot write {path}: {e}");
                         return ExitCode::FAILURE;
                     }
@@ -352,7 +380,7 @@ fn main() -> ExitCode {
         .with_throughput("sites_per_sec", totals.sites_total as f64);
         match report.to_json() {
             Ok(js) => {
-                if let Err(e) = std::fs::write(&path, js) {
+                if let Err(e) = write_atomic(&path, js.as_bytes()) {
                     eprintln!("cannot write {path}: {e}");
                     return ExitCode::FAILURE;
                 }
@@ -378,7 +406,7 @@ fn main() -> ExitCode {
     if let Some(path) = json_out {
         match serde_json::to_string_pretty(&results.study) {
             Ok(js) => {
-                if let Err(e) = std::fs::write(&path, js) {
+                if let Err(e) = write_atomic(&path, js.as_bytes()) {
                     eprintln!("cannot write {path}: {e}");
                     return ExitCode::FAILURE;
                 }
@@ -408,6 +436,7 @@ fn run_serve(mut argv: impl Iterator<Item = String>) -> ExitCode {
     let mut queue = 0usize;
     let mut admission = AdmissionPolicy::Delay;
     let mut state_dir: Option<String> = None;
+    let mut restore = false;
     let mut report_revisions = false;
     let mut metrics_out: Option<String> = None;
 
@@ -441,6 +470,7 @@ fn run_serve(mut argv: impl Iterator<Item = String>) -> ExitCode {
                 Some(v) => state_dir = Some(v),
                 None => return usage_serve(),
             },
+            "--restore" => restore = true,
             "--report" => report_revisions = true,
             "--metrics-out" => match argv.next() {
                 Some(v) => metrics_out = Some(v),
@@ -460,6 +490,11 @@ fn run_serve(mut argv: impl Iterator<Item = String>) -> ExitCode {
     config.queue_capacity = queue;
     config.admission = admission;
     config.state_dir = state_dir.map(std::path::PathBuf::from);
+    config.restore = restore;
+    if restore && config.state_dir.is_none() {
+        eprintln!("serve: --restore requires --state-dir");
+        return usage_serve();
+    }
     if let Some(dir) = &config.state_dir {
         if let Err(e) = std::fs::create_dir_all(dir) {
             eprintln!("cannot create state dir {}: {e}", dir.display());
@@ -482,6 +517,10 @@ fn run_serve(mut argv: impl Iterator<Item = String>) -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+    }
+    // Unreadable tenant stores were set aside, not fatal: say so.
+    for reason in &server.storage_quarantine().entries {
+        eprintln!("storage quarantine: {reason:?}");
     }
 
     let before = gamma::obs::global().snapshot();
@@ -560,7 +599,7 @@ fn run_serve(mut argv: impl Iterator<Item = String>) -> ExitCode {
         .with_throughput("rounds_per_sec", rounds_fired as f64);
         match report.to_json() {
             Ok(js) => {
-                if let Err(e) = std::fs::write(&path, js) {
+                if let Err(e) = write_atomic(&path, js.as_bytes()) {
                     eprintln!("cannot write {path}: {e}");
                     return ExitCode::FAILURE;
                 }
@@ -577,6 +616,132 @@ fn run_serve(mut argv: impl Iterator<Item = String>) -> ExitCode {
 
 fn as_ms(d: std::time::Duration) -> f64 {
     d.as_secs_f64() * 1e3
+}
+
+/// Every report/dataset write goes through the store's atomic protocol
+/// (temp file + rename), so an interrupted run never leaves a
+/// half-written JSON artifact for CI to parse.
+fn write_atomic(path: &str, bytes: &[u8]) -> Result<(), String> {
+    gamma::store::atomic_write_bytes(
+        std::path::Path::new(path),
+        bytes,
+        &gamma::store::WriteOptions::default(),
+    )
+    .map_err(|e| e.to_string())
+}
+
+/// The `fsck` subcommand: scan every store artifact under DIR, report
+/// its health, and with `--repair` truncate torn tails, clear stale
+/// temp files, and re-base corrupt snapshot chains from their intact
+/// `latest.snap` anchor.
+fn run_fsck(mut argv: impl Iterator<Item = String>) -> ExitCode {
+    use gamma::store::fsck;
+
+    let mut repair = false;
+    let mut dir: Option<String> = None;
+    for arg in argv.by_ref() {
+        match arg.as_str() {
+            "--repair" => repair = true,
+            "--help" | "-h" => return usage_fsck(),
+            other if dir.is_none() && !other.starts_with('-') => dir = Some(other.to_string()),
+            _ => return usage_fsck(),
+        }
+    }
+    let Some(dir) = dir else {
+        return usage_fsck();
+    };
+    let root = std::path::Path::new(&dir);
+    let report = match fsck::scan_dir(root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("fsck: cannot scan {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", fsck::render(&report, root));
+    if !repair {
+        return if report.problems() == 0 {
+            ExitCode::SUCCESS
+        } else {
+            eprintln!("fsck: {} problem(s); re-run with --repair", report.problems());
+            ExitCode::FAILURE
+        };
+    }
+
+    // Chain-aware pass first: a corrupt `rounds.chain` with an intact
+    // sibling `latest.snap` re-bases (one all-new delta of the newest
+    // round) instead of silently truncating history.
+    let mut rebased: Vec<std::path::PathBuf> = Vec::new();
+    for entry in report.needs_rebase() {
+        let is_chain = entry
+            .path
+            .file_name()
+            .is_some_and(|n| n == gamma::longitudinal::store::CHAIN_FILE);
+        let parent = entry.path.parent();
+        if !is_chain || parent.is_none() {
+            continue;
+        }
+        let parent = parent.expect("checked above");
+        if let Ok(store) = gamma::longitudinal::SnapshotStore::open(parent) {
+            match store.recover() {
+                Ok(gamma::longitudinal::Recovery::Rebased(state)) => {
+                    eprintln!(
+                        "rebased   {}  from latest.snap (epoch {})",
+                        entry.path.display(),
+                        state.snapshots.last().map_or(0, |s| s.epoch)
+                    );
+                    rebased.push(entry.path.clone());
+                }
+                // A merely-torn chain needs no re-base: the generic
+                // repair pass below truncates its tail in place.
+                Ok(gamma::longitudinal::Recovery::Chain(_)) => {}
+                Err(e) => eprintln!("cannot rebase {}: {e}", entry.path.display()),
+            }
+        }
+    }
+    let rest = fsck::FsckReport {
+        entries: report
+            .entries
+            .into_iter()
+            .filter(|e| !rebased.contains(&e.path))
+            .collect(),
+    };
+    match fsck::repair(&rest) {
+        Ok(s) => eprintln!(
+            "repaired: {} truncated, {} stale tmp removed, {} byte(s) dropped, {} chain(s) rebased",
+            s.truncated,
+            s.tmp_removed,
+            s.bytes_dropped,
+            rebased.len()
+        ),
+        Err(e) => {
+            eprintln!("fsck: repair failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    // Verify the directory scans clean after surgery.
+    match fsck::scan_dir(root) {
+        Ok(after) if after.problems() == 0 => {
+            eprintln!("fsck: {} artifact(s) clean", after.intact());
+            ExitCode::SUCCESS
+        }
+        Ok(after) => {
+            eprintln!("fsck: {} problem(s) remain after repair", after.problems());
+            print!("{}", fsck::render(&after, root));
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("fsck: cannot rescan {dir}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage_fsck() -> ExitCode {
+    eprintln!("usage: gamma-study fsck [--repair] DIR");
+    eprintln!("  scan every gamma-store artifact under DIR: checksums, tears, stale tmps");
+    eprintln!("  --repair  truncate torn tails, remove stale tmps, re-base corrupt chains");
+    ExitCode::FAILURE
 }
 
 fn usage() -> ExitCode {
@@ -610,6 +775,11 @@ fn usage() -> ExitCode {
          under deterministic churn"
     );
     eprintln!("  --diff                print the cross-round trend report and snapshot sizes");
+    eprintln!(
+        "  --snapshot-dir DIR    with --rounds: persist each round's delta chain and \
+         latest full snapshot under DIR (crash-safe, fsck-able)"
+    );
+    eprintln!("       gamma-study fsck [--repair] DIR   check/repair store artifacts");
     ExitCode::FAILURE
 }
 
@@ -617,7 +787,7 @@ fn usage_serve() -> ExitCode {
     eprintln!(
         "usage: gamma-study serve --register SPEC [--register SPEC ...] [--seed N] \
          [--ticks N] [--workers N] [--queue N] [--admission delay|shed] \
-         [--state-dir DIR] [--report] [--metrics-out FILE]"
+         [--state-dir DIR] [--restore] [--report] [--metrics-out FILE]"
     );
     eprintln!(
         "  --register SPEC   study registration, \
@@ -630,6 +800,10 @@ fn usage_serve() -> ExitCode {
         "  --admission MODE  overflow policy: delay (FIFO backlog) or shed (skip occurrence)"
     );
     eprintln!("  --state-dir DIR   checkpoint each tenant's in-flight round under DIR");
+    eprintln!(
+        "  --restore         resume tenants from the revision stores in --state-dir \
+         (unreadable stores are quarantined, not fatal)"
+    );
     eprintln!("  --report          print each tenant's revision history after the run");
     eprintln!("  --metrics-out FILE  write the benchmark report (validate with --check-metrics)");
     ExitCode::FAILURE

@@ -25,6 +25,7 @@ pub use gamma_model as model;
 pub use gamma_netsim as netsim;
 pub use gamma_obs as obs;
 pub use gamma_server as server;
+pub use gamma_store as store;
 pub use gamma_suite as suite;
 pub use gamma_trackers as trackers;
 pub use gamma_websim as websim;

@@ -1,0 +1,371 @@
+//! Crash-consistency integration for the durable artifact plane: every
+//! real artifact kind is truncated at every byte boundary and must load
+//! a byte-identical prefix or report a typed torn/corrupt state — never
+//! panic, never decode garbage. Plus the end-to-end drills: resuming a
+//! campaign from a torn checkpoint, repairing a corrupted delta chain
+//! with the fsck policy, and running whole campaigns with the
+//! storage-fault axis armed.
+
+use gamma::campaign::{CampaignCheckpoint, CampaignError, CheckpointState, Options};
+use gamma::chaos::FaultPlan;
+use gamma::core::Study;
+use gamma::longitudinal::{LongitudinalStudy, RoundSnapshot, SnapshotStore};
+use gamma::server::{restore_store, revs_path, save_store, RestoreOutcome, Retention, RevisionStore};
+use gamma::store::{fsck, load_doc, save_doc, ArtifactKind, LoadError, WriteOptions};
+use gamma::websim::WorldSpec;
+use std::path::PathBuf;
+
+/// A study small enough that its artifacts stay a few KB — the
+/// every-byte truncation loops below re-parse the prefix at each cut.
+fn tiny_study(seed: u64) -> Study {
+    let mut spec = WorldSpec::paper_default(seed);
+    spec.countries
+        .retain(|c| ["RW", "US"].contains(&c.country.as_str()));
+    spec.reg_sites_per_country = 6;
+    spec.gov_sites_per_country = 2;
+    Study::with_spec(spec)
+}
+
+/// A scratch directory under the system tmpdir; removed on drop.
+struct ScratchDir(PathBuf);
+
+impl ScratchDir {
+    fn new(tag: &str) -> ScratchDir {
+        let dir = std::env::temp_dir().join(format!("gamma-store-it-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        ScratchDir(dir)
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.0.join(name)
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+#[test]
+fn campaign_checkpoints_survive_truncation_at_every_byte() {
+    let scratch = ScratchDir::new("ckpt-trunc");
+    let ckpt = scratch.path("campaign.ckpt");
+    let study = tiny_study(9101);
+    study
+        .run_with(&Options::sequential().resumable(&ckpt))
+        .expect("checkpointed campaign");
+
+    let full_bytes = std::fs::read(&ckpt).expect("checkpoint bytes");
+    let full = match CampaignCheckpoint::restore(&ckpt).expect("intact restore") {
+        CheckpointState::Loaded { checkpoint, .. } => checkpoint,
+        CheckpointState::Missing => panic!("finished campaign left no checkpoint"),
+    };
+    assert_eq!(full.completed.len(), 2, "one shard per country");
+
+    let cut = scratch.path("cut.ckpt");
+    for k in 0..=full_bytes.len() {
+        std::fs::write(&cut, &full_bytes[..k]).expect("write prefix");
+        match CampaignCheckpoint::restore(&cut) {
+            // The durable prefix must be byte-identical to the original
+            // shard records, in order — recovery never invents state.
+            Ok(CheckpointState::Loaded { checkpoint, .. }) => {
+                assert_eq!(checkpoint.master_seed, full.master_seed, "cut {k}");
+                assert_eq!(checkpoint.plan, full.plan, "cut {k}");
+                assert!(checkpoint.completed.len() <= full.completed.len());
+                for (a, b) in checkpoint.completed.iter().zip(&full.completed) {
+                    assert_eq!(a, b, "cut {k} altered a completed shard");
+                }
+            }
+            Ok(CheckpointState::Missing) => {} // tear before the meta frame
+            Err(CampaignError::Checkpoint { .. }) => {} // typed refusal
+            Err(e) => panic!("cut {k}: unexpected error class {e:?}"),
+        }
+    }
+    // The untruncated file restores every shard.
+    std::fs::write(&cut, &full_bytes).expect("rewrite full");
+    match CampaignCheckpoint::restore(&cut).expect("full restore") {
+        CheckpointState::Loaded {
+            checkpoint,
+            recovered_torn,
+        } => {
+            assert!(!recovered_torn);
+            assert_eq!(checkpoint, full);
+        }
+        CheckpointState::Missing => panic!("full file read as missing"),
+    }
+}
+
+#[test]
+fn torn_checkpoints_resume_byte_identically_and_corrupt_ones_refuse() {
+    let scratch = ScratchDir::new("ckpt-resume");
+    let ckpt = scratch.path("campaign.ckpt");
+    let study = tiny_study(9102);
+    let uninterrupted = study
+        .run_with(&Options::sequential().resumable(&ckpt))
+        .expect("first run");
+    let full_bytes = std::fs::read(&ckpt).expect("checkpoint bytes");
+
+    // A handful of truncation points spread across the file, including
+    // mid-meta, mid-shard, and the exact end.
+    let cuts = [
+        1,
+        full_bytes.len() / 4,
+        full_bytes.len() / 2,
+        3 * full_bytes.len() / 4,
+        full_bytes.len() - 1,
+        full_bytes.len(),
+    ];
+    for k in cuts {
+        std::fs::write(&ckpt, &full_bytes[..k]).expect("truncate checkpoint");
+        let resumed = study
+            .run_with(&Options::sequential().resumable(&ckpt))
+            .unwrap_or_else(|e| panic!("cut {k}: resume failed: {e:?}"));
+        assert_eq!(resumed.runs, uninterrupted.runs, "cut {k}");
+        assert_eq!(resumed.study, uninterrupted.study, "cut {k}");
+        assert_eq!(resumed.render_all(), uninterrupted.render_all(), "cut {k}");
+    }
+
+    // A flipped bit inside a complete frame is corruption: the engine
+    // must refuse to run rather than silently clobber the evidence.
+    let mut corrupt = full_bytes.clone();
+    let mid = corrupt.len() / 2;
+    corrupt[mid] ^= 0x20;
+    std::fs::write(&ckpt, &corrupt).expect("corrupt checkpoint");
+    match study.run_with(&Options::sequential().resumable(&ckpt)) {
+        Err(CampaignError::Checkpoint { .. }) => {}
+        other => panic!("corrupt checkpoint accepted: ok={}", other.is_ok()),
+    }
+    assert_eq!(
+        std::fs::read(&ckpt).expect("checkpoint bytes"),
+        corrupt,
+        "refusal must leave the corrupt file untouched for post-mortem"
+    );
+}
+
+#[test]
+fn snapshot_chains_survive_truncation_at_every_byte() {
+    let scratch = ScratchDir::new("chain-trunc");
+    let store_dir = scratch.path("snapshots");
+    let lstudy = LongitudinalStudy::new(tiny_study(9103), 3);
+    let store = SnapshotStore::open(&store_dir).expect("snapshot store");
+    let results = lstudy
+        .run_persisted(&Options::sequential(), &store)
+        .expect("persisted run");
+
+    let chain_bytes = std::fs::read(store.chain_path()).expect("chain bytes");
+    let cut_dir = scratch.path("cut");
+    let cut_store = SnapshotStore::open(&cut_dir).expect("cut store");
+    for k in 0..=chain_bytes.len() {
+        std::fs::write(cut_store.chain_path(), &chain_bytes[..k]).expect("write prefix");
+        match cut_store.load_chain() {
+            Ok(state) => {
+                // Whatever survives is a byte-identical round prefix.
+                assert!(state.len() <= results.snapshots.len(), "cut {k}");
+                for (got, want) in state.snapshots.iter().zip(&results.snapshots) {
+                    assert_eq!(got, want, "cut {k} altered a durable round");
+                }
+                if k < chain_bytes.len() {
+                    assert!(
+                        state.recovered_torn || state.len() < results.snapshots.len(),
+                        "cut {k} silently passed as intact"
+                    );
+                }
+            }
+            Err(e) => {
+                // Typed refusal (a cut landing so a stale length field
+                // frames garbage bytes) — recover() would re-base.
+                let _ = e;
+            }
+        }
+    }
+
+    // latest.snap under the same treatment: the single-doc reader either
+    // returns the exact final round or a typed error.
+    let latest_bytes = std::fs::read(store.latest_path()).expect("latest bytes");
+    for k in 0..=latest_bytes.len() {
+        std::fs::write(cut_store.latest_path(), &latest_bytes[..k]).expect("write prefix");
+        match load_doc::<RoundSnapshot>(&cut_store.latest_path(), ArtifactKind::RoundSnapshot) {
+            Ok(loaded) => {
+                assert_eq!(
+                    &loaded.value,
+                    results.snapshots.last().expect("rounds ran"),
+                    "cut {k} decoded a different snapshot"
+                );
+            }
+            Err(
+                LoadError::Missing
+                | LoadError::TornEmpty
+                | LoadError::Corrupt(_)
+                | LoadError::VersionMismatch { .. },
+            ) => {}
+            Err(e) => panic!("cut {k}: unexpected error class {e:?}"),
+        }
+    }
+}
+
+#[test]
+fn revision_stores_survive_truncation_at_every_byte() {
+    let scratch = ScratchDir::new("revs-trunc");
+    let path = revs_path(&scratch.0, 0);
+
+    let mut store = RevisionStore::new(Retention::KeepAll);
+    for epoch in 0..3u32 {
+        store.record(RoundSnapshot {
+            epoch,
+            round_seed: 9104 + u64::from(epoch),
+            countries: Vec::new(),
+        });
+    }
+    save_store(&path, &store, &WriteOptions::default()).expect("save revisions");
+    let full_bytes = std::fs::read(&path).expect("revision bytes");
+
+    for k in 0..=full_bytes.len() {
+        std::fs::write(&path, &full_bytes[..k]).expect("write prefix");
+        match restore_store(&path, Retention::KeepAll) {
+            RestoreOutcome::Fresh => {}
+            RestoreOutcome::Restored { store: back, .. } => {
+                let epochs = back.epochs();
+                assert!(
+                    [&[][..], &[0][..], &[0, 1][..], &[0, 1, 2][..]].contains(&epochs.as_slice()),
+                    "cut {k}: epochs {epochs:?} are not a prefix"
+                );
+            }
+            RestoreOutcome::Quarantined { renamed_to, .. } => {
+                // The policy moved the evidence aside; put the scratch
+                // file back for the next iteration.
+                assert!(!path.exists(), "cut {k}: quarantine left the file");
+                let _ = std::fs::remove_file(&renamed_to);
+            }
+        }
+    }
+}
+
+#[test]
+fn fsck_detects_and_rebase_repairs_a_corrupted_delta_chain() {
+    let scratch = ScratchDir::new("fsck-rebase");
+    let store_dir = scratch.path("snapshots");
+    let lstudy = LongitudinalStudy::new(tiny_study(9105), 3);
+    let store = SnapshotStore::open(&store_dir).expect("snapshot store");
+    let uninterrupted = lstudy
+        .run_persisted(&Options::sequential(), &store)
+        .expect("persisted run");
+
+    // Bit rot inside the first frame's payload: a complete frame fails
+    // its checksum, which truncation cannot heal.
+    let chain = store.chain_path();
+    let mut bytes = std::fs::read(&chain).expect("chain bytes");
+    bytes[24] ^= 0x08;
+    std::fs::write(&chain, &bytes).expect("corrupt chain");
+
+    let report = fsck::scan_dir(&store_dir).expect("fsck scan");
+    assert!(report.problems() > 0, "fsck must flag the corrupt chain");
+    assert!(
+        report
+            .needs_rebase()
+            .iter()
+            .any(|e| e.path.file_name().is_some_and(|n| n == "rounds.chain")),
+        "the chain must be marked for re-base"
+    );
+
+    // The repair policy: re-base the chain from the intact latest.snap.
+    match store.recover().expect("recover") {
+        gamma::longitudinal::Recovery::Rebased(state) => {
+            assert_eq!(state.len(), 1);
+            assert_eq!(
+                state.snapshots[0],
+                *uninterrupted.snapshots.last().expect("rounds ran"),
+                "re-base anchors on the newest durable round"
+            );
+        }
+        other => panic!("expected a re-base, got {other:?}"),
+    }
+    let report = fsck::scan_dir(&store_dir).expect("post-repair scan");
+    assert_eq!(report.problems(), 0, "repair must leave a clean store");
+
+    // A resumed run over the repaired store is byte-identical and does
+    // not disturb the re-based chain.
+    let resumed = lstudy
+        .run_persisted(&Options::sequential(), &store)
+        .expect("resumed run");
+    for (a, b) in resumed.rounds.iter().zip(&uninterrupted.rounds) {
+        assert_eq!(a.runs, b.runs, "round {} datasets", a.epoch);
+        assert_eq!(a.study, b.study);
+    }
+    assert_eq!(resumed.render_report(), uninterrupted.render_report());
+    let state = store.load_chain().expect("chain loads after resume");
+    assert_eq!(state.len(), 1, "already-durable rounds are not re-appended");
+    assert_eq!(
+        state.snapshots[0],
+        *uninterrupted.snapshots.last().expect("rounds ran")
+    );
+}
+
+#[test]
+fn storage_chaos_campaigns_stay_byte_identical_across_worker_counts() {
+    let scratch = ScratchDir::new("chaos-jobs");
+    let mut study = tiny_study(9106);
+    study.config.plan = FaultPlan::storage(9106);
+    study.options.degraded_fallback = true;
+
+    let sequential = study
+        .run_with(&Options::sequential().resumable(&scratch.path("seq.ckpt")))
+        .expect("sequential storage-chaos run");
+    let parallel = study
+        .run_with(&Options::with_workers(4).resumable(&scratch.path("par.ckpt")))
+        .expect("parallel storage-chaos run");
+
+    assert_eq!(sequential.runs, parallel.runs);
+    assert_eq!(sequential.study, parallel.study);
+    assert_eq!(sequential.render_all(), parallel.render_all());
+
+    // Whatever the injected weather left on disk, the typed reader gets
+    // a usable answer out of both checkpoints — no panics, no clobber.
+    for name in ["seq.ckpt", "par.ckpt"] {
+        let restored = CampaignCheckpoint::restore(&scratch.path(name));
+        match restored {
+            Ok(_) | Err(CampaignError::Checkpoint { .. }) => {}
+            Err(e) => panic!("{name}: unexpected error class {e:?}"),
+        }
+    }
+}
+
+#[test]
+fn armed_storage_faults_never_yield_a_silently_wrong_read() {
+    let scratch = ScratchDir::new("fault-reads");
+    let opts = WriteOptions::with_plan(FaultPlan::storage(9107));
+    let faults_before = gamma::obs::global().counter("store.write_faults").get();
+
+    let mut landed = 0usize;
+    let mut faulted = 0usize;
+    for i in 0..150u32 {
+        let path = scratch.path(&format!("doc-{i}.gsf"));
+        let doc = vec![format!("artifact {i}"), "x".repeat(64 + i as usize)];
+        let wrote = save_doc(&path, ArtifactKind::Document, &doc, &opts);
+        match load_doc::<Vec<String>>(&path, ArtifactKind::Document) {
+            // The only value a read may ever produce is the one written.
+            Ok(loaded) => {
+                assert_eq!(loaded.value, doc, "doc {i} read back differently");
+                landed += 1;
+            }
+            // Torn tails, dropped renames, full disks, and bit flips
+            // (which may land anywhere, header included) all surface as
+            // typed states — a write that reported success must at least
+            // have left a file behind.
+            Err(LoadError::Missing) => {
+                assert!(wrote.is_err(), "doc {i}: write claimed success, nothing landed");
+                faulted += 1;
+            }
+            Err(LoadError::Io(e)) => panic!("doc {i}: real I/O failure {e}"),
+            Err(_) => faulted += 1,
+        }
+    }
+    assert!(landed > 80, "most writes land ({landed}/150)");
+    assert!(faulted > 5, "the storage profile must actually fault ({faulted}/150)");
+    let faults_after = gamma::obs::global().counter("store.write_faults").get();
+    assert!(
+        faults_after > faults_before,
+        "store.write_faults must count injected faults"
+    );
+}
