@@ -22,7 +22,7 @@ use crate::metrics::ShardMetrics;
 use gamma_geo::CountryCode;
 use gamma_geoloc::GeolocReport;
 use gamma_obs as obs;
-use gamma_store::{read_container, write_frames, ArtifactKind, ReadError, WriteOptions};
+use gamma_store::{read_container, write_frames, ArtifactKind, ReadError, WriteError, WriteOptions};
 use gamma_suite::{Checkpoint, Quarantine, VolunteerDataset};
 use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
@@ -160,6 +160,16 @@ impl CampaignCheckpoint {
     /// options (the write-through sink threads the campaign fault plan
     /// here so storage chaos drills exercise this exact path).
     pub fn save_with(&self, path: &Path, opts: &WriteOptions) -> Result<(), CampaignError> {
+        self.save_raw(path, opts).map_err(|e| CampaignError::Checkpoint {
+            path: path.to_path_buf(),
+            reason: e.to_string(),
+        })
+    }
+
+    /// [`save_with`](CampaignCheckpoint::save_with) keeping the store's
+    /// typed error, so callers can tell an injected chaos fault from a
+    /// real I/O failure.
+    fn save_raw(&self, path: &Path, opts: &WriteOptions) -> Result<(), WriteError> {
         let meta = CheckpointMeta {
             master_seed: self.master_seed,
             plan: self.plan.clone(),
@@ -170,12 +180,7 @@ impl CampaignCheckpoint {
             frames.push(serde_json::to_vec(done).expect("completed shard serializes"));
         }
         let refs: Vec<&[u8]> = frames.iter().map(|f| f.as_slice()).collect();
-        write_frames(path, ArtifactKind::CampaignCheckpoint, &refs, opts).map_err(|e| {
-            CampaignError::Checkpoint {
-                path: path.to_path_buf(),
-                reason: e.to_string(),
-            }
-        })
+        write_frames(path, ArtifactKind::CampaignCheckpoint, &refs, opts)
     }
 }
 
@@ -202,11 +207,18 @@ pub enum CheckpointState {
     },
 }
 
+/// A write failure is tolerated this many times in a row before the
+/// sink concludes the checkpoint path is permanently broken (read-only
+/// directory, mistyped `--checkpoint`, unclearing ENOSPC) and fails the
+/// campaign loudly instead of silently losing resumability.
+const MAX_CONSECUTIVE_WRITE_FAILURES: u32 = 3;
+
 /// Thread-safe write-through sink the scheduler records completions into.
 pub(crate) struct CheckpointSink {
     path: PathBuf,
     opts: WriteOptions,
     state: Mutex<CampaignCheckpoint>,
+    consecutive_failures: std::sync::atomic::AtomicU32,
 }
 
 impl CheckpointSink {
@@ -219,24 +231,60 @@ impl CheckpointSink {
             path,
             opts,
             state: Mutex::new(state),
+            consecutive_failures: std::sync::atomic::AtomicU32::new(0),
         }
     }
 
     /// Records one finished shard and persists the updated checkpoint.
     ///
-    /// A failed *write* is deliberately non-fatal: the in-memory state
-    /// stays correct and the next completion retries the full rewrite,
-    /// so a transient ENOSPC (or an injected storage fault) degrades
-    /// resumability without killing a campaign that is otherwise
-    /// producing good data. The degradation is visible as
-    /// `store.fallbacks`.
+    /// A failed *write* is non-fatal at first: the in-memory state stays
+    /// correct and the next completion retries the full rewrite, so a
+    /// transient failure degrades resumability without killing a
+    /// campaign that is otherwise producing good data. Each failure
+    /// counts `store.write_degraded` and the first in a streak is
+    /// logged to stderr. Real I/O failures (a read-only or mistyped
+    /// checkpoint directory, unclearing ENOSPC) escalate to a typed
+    /// error after [`MAX_CONSECUTIVE_WRITE_FAILURES`] in a row;
+    /// injected chaos faults never escalate — they model transient
+    /// crash weather, and their firing pattern depends on completion
+    /// order, which must not perturb `--jobs N` byte-identity.
     pub(crate) fn record(&self, done: &CompletedShard) -> Result<(), CampaignError> {
+        use std::sync::atomic::Ordering;
         let mut state = self.state.lock().expect("checkpoint sink lock");
         state.record(done.clone());
-        if state.save_with(&self.path, &self.opts).is_err() {
-            obs::global().counter("store.fallbacks").inc();
+        match state.save_raw(&self.path, &self.opts) {
+            Ok(()) => {
+                self.consecutive_failures.store(0, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(e) => {
+                obs::global().counter("store.write_degraded").inc();
+                if matches!(e, WriteError::Injected(_)) {
+                    // Injected weather is already visible as
+                    // `store.write_faults`; it is not evidence the path
+                    // is broken.
+                    self.consecutive_failures.store(0, Ordering::Relaxed);
+                    return Ok(());
+                }
+                let streak = self.consecutive_failures.fetch_add(1, Ordering::Relaxed) + 1;
+                if streak == 1 {
+                    eprintln!(
+                        "warning: checkpoint write to {} failed ({e}); \
+                         resumability degraded, retrying on next shard",
+                        self.path.display()
+                    );
+                }
+                if streak >= MAX_CONSECUTIVE_WRITE_FAILURES {
+                    return Err(CampaignError::Checkpoint {
+                        path: self.path.clone(),
+                        reason: format!(
+                            "{streak} consecutive checkpoint write failures, last: {e}"
+                        ),
+                    });
+                }
+                Ok(())
+            }
         }
-        Ok(())
     }
 }
 
@@ -401,5 +449,60 @@ mod tests {
             other => panic!("expected a recovered prefix, got {other:?}"),
         }
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn sink_escalates_after_persistent_real_write_failures() {
+        // A path whose parent directory does not exist fails with a real
+        // I/O error on every save — the read-only-dir / mistyped
+        // `--checkpoint` shape. The first failures degrade, the streak
+        // escalates to a typed error instead of silently losing
+        // resumability for the whole campaign.
+        let path = std::env::temp_dir()
+            .join(format!("gamma-ckpt-noexist-{}", std::process::id()))
+            .join("deep")
+            .join("ckpt.gsf");
+        let sink = CheckpointSink::new(
+            path,
+            CampaignCheckpoint::new(3, vec![CountryCode::new("TH")]),
+            WriteOptions::default(),
+        );
+        let done = dummy_completed("TH");
+        for i in 1..MAX_CONSECUTIVE_WRITE_FAILURES {
+            assert!(sink.record(&done).is_ok(), "failure {i} must only degrade");
+        }
+        let err = sink.record(&done).unwrap_err();
+        assert!(
+            matches!(&err, CampaignError::Checkpoint { reason, .. }
+                if reason.contains("consecutive")),
+            "persistent write failure must escalate typed: {err}"
+        );
+    }
+
+    #[test]
+    fn sink_failure_streak_resets_on_a_successful_save() {
+        let dir = std::env::temp_dir().join(format!("gamma-ckpt-streak-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.gsf");
+        let sink = CheckpointSink::new(
+            path.clone(),
+            CampaignCheckpoint::new(3, vec![CountryCode::new("TH")]),
+            WriteOptions::default(),
+        );
+        let done = dummy_completed("TH");
+        // A transient outage one save short of the limit…
+        std::fs::remove_dir_all(&dir).unwrap();
+        for _ in 1..MAX_CONSECUTIVE_WRITE_FAILURES {
+            assert!(sink.record(&done).is_ok());
+        }
+        // …clears; the streak must restart from zero, not accumulate.
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(sink.record(&done).is_ok());
+        assert!(path.exists(), "cleared outage persists the checkpoint");
+        std::fs::remove_dir_all(&dir).unwrap();
+        for _ in 1..MAX_CONSECUTIVE_WRITE_FAILURES {
+            assert!(sink.record(&done).is_ok(), "reset streak re-tolerates");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -176,7 +176,7 @@ impl SnapshotStore {
 
     /// Reads the chain, falling back to a re-base from `latest.snap`
     /// when the chain is corrupt (the `fsck --repair` policy, applied
-    /// inline). Counts `store.fallbacks` when the fallback fires.
+    /// inline). Counts `store.rebase` when the fallback fires.
     pub fn recover(&self) -> Result<Recovery, StoreError> {
         let chain_err = match self.load_chain() {
             Ok(state) => return Ok(Recovery::Chain(state)),
@@ -193,7 +193,7 @@ impl SnapshotStore {
                     )))
                 }
             };
-        obs::global().counter("store.fallbacks").inc();
+        obs::global().counter("store.rebase").inc();
         let state = self.rebase_from(&latest)?;
         Ok(Recovery::Rebased(state))
     }

@@ -88,7 +88,7 @@ impl LongitudinalStudy {
     /// the full snapshot atomically rewritten as the re-base anchor.
     /// Rounds the chain already holds (a resumed run replaying them) are
     /// not re-appended, and a *failed* snapshot write degrades
-    /// durability — counted as `store.fallbacks` — rather than failing
+    /// durability — counted as `store.write_degraded` — rather than failing
     /// a round whose measurement data is sound.
     ///
     /// [`run_with`]: LongitudinalStudy::run_with
@@ -164,7 +164,7 @@ impl LongitudinalStudy {
                 match store.record(durable_rounds, &delta, &snap) {
                     Ok(n) => durable_rounds = n,
                     Err(_) => {
-                        gamma_obs::global().counter("store.fallbacks").inc();
+                        gamma_obs::global().counter("store.write_degraded").inc();
                     }
                 }
             }

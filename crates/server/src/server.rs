@@ -247,7 +247,7 @@ impl Server {
                         obs::global().counter("server.restore.tenants").inc();
                     }
                     RestoreOutcome::Quarantined { renamed_to, detail } => {
-                        obs::global().counter("store.fallbacks").inc();
+                        obs::global().counter("store.quarantined").inc();
                         obs::global().counter("server.restore.quarantined").inc();
                         self.storage_quarantine.push(QuarantineReason::StorageUnreadable {
                             path: renamed_to.display().to_string(),
@@ -455,11 +455,11 @@ impl Server {
                     t.next_due += t.config.cadence;
                     // Mirror the chain to disk for `--restore`. A failed
                     // write degrades restorability, not the round —
-                    // visible as `store.fallbacks`.
+                    // visible as `store.write_degraded`.
                     if let Some(dir) = &self.config.state_dir {
                         let opts = WriteOptions::with_plan(t.study.config.plan.clone());
                         if save_store(&revs_path(dir, p.id), &t.store, &opts).is_err() {
-                            reg.counter("store.fallbacks").inc();
+                            reg.counter("store.write_degraded").inc();
                         }
                     }
                     reg.counter("server.sched.fired").inc();

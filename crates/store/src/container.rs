@@ -423,12 +423,12 @@ pub fn read_container(
 
     // A tear into the header: the file is a prefix too short to name its
     // own kind. Nothing durable survives, but it is a crash artifact —
-    // report a torn tail with zero frames, not corruption.
+    // report a torn tail with zero frames, not corruption. The file may
+    // be longer than the magic (magic + partial version/kind), so only
+    // the overlapping prefix is compared.
     if (bytes.len() as u64) < HEADER_LEN {
-        if bytes.len() >= MAGIC.len() && bytes[..MAGIC.len()] != MAGIC[..bytes.len().min(4)] {
-            return Err(ReadError::NotAContainer);
-        }
-        if !bytes.is_empty() && bytes[..] != MAGIC[..bytes.len()] {
+        let n = bytes.len().min(MAGIC.len());
+        if bytes[..n] != MAGIC[..n] {
             return Err(ReadError::NotAContainer);
         }
         reg.counter("store.recovered_torn").inc();
@@ -730,6 +730,42 @@ mod tests {
         assert_eq!(c.frames.len(), 5);
         assert_eq!(c.frames[3], b"frame-3");
         assert!(c.torn.is_none());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_header_of_every_length_reads_as_torn_not_foreign() {
+        // The 5-7 byte case — full magic plus a partial version/kind
+        // field — is the exact shape a crash mid-header-write leaves.
+        let path = tmp("torn-header.gsf");
+        let header: Vec<u8> = {
+            let mut h = MAGIC.to_vec();
+            h.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+            h.extend_from_slice(&ArtifactKind::Document.tag().to_le_bytes());
+            h
+        };
+        for k in 0..HEADER_LEN as usize {
+            std::fs::write(&path, &header[..k]).unwrap();
+            let c = read_container(&path, None).unwrap_or_else(|e| panic!("cut {k}: {e}"));
+            assert!(c.frames.is_empty(), "cut {k} invented frames");
+            assert_eq!(
+                c.torn,
+                Some(TornTail {
+                    valid_bytes: 0,
+                    dropped_bytes: k as u64
+                }),
+                "cut {k}"
+            );
+        }
+        // Non-magic bytes at the same lengths are typed foreign.
+        for k in 1..HEADER_LEN as usize {
+            std::fs::write(&path, vec![b'{'; k]).unwrap();
+            assert_eq!(
+                read_container(&path, None).unwrap_err(),
+                ReadError::NotAContainer,
+                "junk len {k}"
+            );
+        }
         let _ = std::fs::remove_file(&path);
     }
 

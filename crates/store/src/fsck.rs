@@ -129,8 +129,11 @@ pub fn scan_file(path: &Path) -> std::io::Result<FsckEntry> {
 
 fn classify(bytes: &[u8]) -> FsckStatus {
     if (bytes.len() as u64) < HEADER_LEN {
-        let is_prefix = bytes.is_empty() || bytes[..] == MAGIC[..bytes.len().min(4)];
-        if is_prefix {
+        // Same rule as read_container: a <8-byte file whose overlapping
+        // prefix matches the magic is a torn header (magic + partial
+        // version/kind counts), anything else is foreign.
+        let n = bytes.len().min(MAGIC.len());
+        if bytes[..n] == MAGIC[..n] {
             return FsckStatus::Torn {
                 kind: None,
                 frames: 0,
@@ -438,6 +441,36 @@ mod tests {
         repair(&report).unwrap();
         assert!(!d.join("stub.gsf").exists());
         let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn magic_plus_partial_header_classifies_torn_not_foreign() {
+        // Crash artifact of 5-7 bytes: full magic plus a partial
+        // version/kind field. Must agree with read_container (torn, not
+        // foreign), whatever the partial header bytes hold.
+        for len in 5..HEADER_LEN as usize {
+            let mut bytes = MAGIC.to_vec();
+            bytes.resize(len, 0x99);
+            assert!(
+                matches!(
+                    classify(&bytes),
+                    FsckStatus::Torn {
+                        kind: None,
+                        frames: 0,
+                        valid_bytes: 0,
+                        ..
+                    }
+                ),
+                "len {len} misclassified"
+            );
+        }
+        // Foreign bytes at the same lengths stay foreign.
+        for len in 1..HEADER_LEN as usize {
+            assert!(
+                matches!(classify(&vec![b'{'; len]), FsckStatus::Foreign),
+                "junk len {len} misclassified"
+            );
+        }
     }
 
     #[test]

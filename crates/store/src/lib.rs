@@ -30,8 +30,12 @@
 //!
 //! Observability: `store.writes`, `store.appends`, `store.bytes_written`,
 //! `store.reads`, `store.recovered_torn`, `store.corrupt_frames`,
-//! `store.write_faults`, and (incremented by recovery policies at the
-//! consuming layers) `store.fallbacks`.
+//! `store.write_faults`, and — incremented by recovery policies at the
+//! consuming layers, one counter per condition so gates can tell
+//! recovery from degradation — `store.rebase` (corrupt chain re-based
+//! from the intact full snapshot), `store.write_degraded` (a durable
+//! sink's write failed; measurement data sound, resumability degraded),
+//! and `store.quarantined` (unreadable tenant store set aside).
 
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
