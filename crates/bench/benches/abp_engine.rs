@@ -1,0 +1,133 @@
+//! Scaling benchmark for the tokenised ABP engine (ISSUE 8 tentpole):
+//! legacy `FilterSet` walk vs the compiled token-indexed `CompiledEngine`
+//! at 1×/10×/100× list size, over a fixed request mix. Besides wall
+//! time, the setup prints the average `rules_tried` per evaluation for
+//! both matchers — the quantity the token index is built to crush (the
+//! acceptance floor is a ≥10× reduction at the 10× scale).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gamma_trackers::abp::{host_request, FilterSet};
+use gamma_trackers::CompiledEngine;
+use std::hint::black_box;
+
+/// Base corpus size: the generated study lists carry ~400 domain rules,
+/// so 1× ≈ one study's worth of rules.
+const BASE_DOMAIN_RULES: usize = 400;
+const BASE_PATTERN_RULES: usize = 40;
+
+/// A synthetic list document at `scale`×, in the exact shapes the study
+/// lists generate: third-party-scoped domain anchors (EasyList),
+/// unscoped domain anchors (EasyPrivacy/regional), and generic path
+/// patterns.
+fn list_at_scale(scale: usize) -> String {
+    let mut doc = String::from("[Adblock Plus 2.0]\n! Title: scaling corpus\n");
+    for i in 0..BASE_DOMAIN_RULES * scale {
+        if i % 2 == 0 {
+            doc.push_str(&format!("||tracker{i:06}.example-ads.net^$third-party\n"));
+        } else {
+            doc.push_str(&format!("||metrics{i:06}.example-cdn.org^\n"));
+        }
+    }
+    for i in 0..BASE_PATTERN_RULES * scale {
+        doc.push_str(&format!("/gen{i:05}path/collect.\n"));
+    }
+    doc
+}
+
+/// A request mix dominated by misses (the realistic case: most requests
+/// match no rule) with a sprinkle of domain-rule and pattern hits.
+fn request_mix(scale: usize) -> Vec<(String, String)> {
+    let mut reqs = Vec::new();
+    for i in 0..60 {
+        let host = format!("cdn{i:03}.plain-site.com");
+        reqs.push((format!("https://{host}/assets/app.js"), host));
+    }
+    for i in 0..20 {
+        let n = (i * 97) % (BASE_DOMAIN_RULES * scale);
+        let host = if n % 2 == 0 {
+            format!("tracker{n:06}.example-ads.net")
+        } else {
+            format!("metrics{n:06}.example-cdn.org")
+        };
+        reqs.push((format!("https://{host}/collect?id={i}"), host));
+    }
+    for i in 0..20 {
+        let n = (i * 13) % (BASE_PATTERN_RULES * scale);
+        let host = format!("media{i:02}.somewhere.net");
+        reqs.push((format!("https://{host}/gen{n:05}path/collect.gif"), host));
+    }
+    reqs
+}
+
+fn bench_abp_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("abp_engine");
+    for scale in [1usize, 10, 100] {
+        let set = FilterSet::parse_list(&list_at_scale(scale));
+        let engine = CompiledEngine::compile(&set);
+        let requests = request_mix(scale);
+        g.throughput(Throughput::Elements(requests.len() as u64));
+
+        // Work-done report: rules tried per evaluation, both matchers.
+        let mut legacy_tried = 0u64;
+        let mut engine_tried = 0u64;
+        for (url, host) in &requests {
+            let ctx = host_request(url, host, "example-publisher.com");
+            let (legacy_decision, tried) = set.matches_counted(&ctx);
+            let (engine_decision, stats) = engine.matches_counted(&ctx);
+            assert_eq!(legacy_decision, engine_decision, "{url}");
+            legacy_tried += tried;
+            engine_tried += stats.candidates;
+        }
+        let n = requests.len() as f64;
+        eprintln!(
+            "abp_engine {scale:>3}x ({} rules): legacy {:.1} rules tried/eval, \
+             engine {:.1} candidates/eval ({:.1}x reduction)",
+            set.len(),
+            legacy_tried as f64 / n,
+            engine_tried as f64 / n,
+            legacy_tried as f64 / (engine_tried as f64).max(1.0),
+        );
+
+        g.bench_with_input(BenchmarkId::new("legacy", scale), &scale, |b, _| {
+            b.iter(|| {
+                let mut blocked = 0usize;
+                for (url, host) in &requests {
+                    let ctx = host_request(url, host, "example-publisher.com");
+                    let (d, _) = set.matches_counted(black_box(&ctx));
+                    if matches!(d, gamma_trackers::Decision::Blocked(_)) {
+                        blocked += 1;
+                    }
+                }
+                blocked
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("tokenised", scale), &scale, |b, _| {
+            b.iter(|| {
+                let mut blocked = 0usize;
+                for (url, host) in &requests {
+                    let ctx = host_request(url, host, "example-publisher.com");
+                    let (d, _) = engine.matches_counted(black_box(&ctx));
+                    if matches!(d, gamma_trackers::Decision::Blocked(_)) {
+                        blocked += 1;
+                    }
+                }
+                blocked
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_engine_compile(c: &mut Criterion) {
+    let mut g = c.benchmark_group("abp_engine_compile");
+    for scale in [1usize, 10] {
+        let set = FilterSet::parse_list(&list_at_scale(scale));
+        g.bench_with_input(BenchmarkId::new("compile", scale), &scale, |b, _| {
+            b.iter(|| CompiledEngine::compile(black_box(&set)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(abp_engine, bench_abp_engine, bench_engine_compile);
+criterion_main!(abp_engine);

@@ -35,7 +35,7 @@ fn bench_abp_matching(c: &mut Criterion) {
             for (url, host) in &requests {
                 let ctx = host_request(url, host, "example-publisher.com");
                 if matches!(
-                    classifier.filters.matches(black_box(&ctx)),
+                    classifier.engine.matches(black_box(&ctx)),
                     gamma_trackers::Decision::Blocked(_)
                 ) {
                     blocked += 1;

@@ -27,6 +27,12 @@ pub struct Study {
     pub config: GammaConfig,
     /// Master seed for everything downstream.
     pub seed: u64,
+    /// Directory for compiled filter-engine artifacts. When set, the
+    /// classifier's engine is deserialized from a digest-keyed
+    /// `gamma-store` container instead of regenerating and reparsing
+    /// list text (and is persisted there after a cache miss). Purely a
+    /// build-time accelerator: decisions are identical either way.
+    pub engine_cache: Option<std::path::PathBuf>,
 }
 
 impl Study {
@@ -39,6 +45,7 @@ impl Study {
             options: PipelineOptions::default(),
             config: GammaConfig::paper_default(seed),
             seed,
+            engine_cache: None,
         }
     }
 
@@ -51,6 +58,7 @@ impl Study {
             options: PipelineOptions::default(),
             config: GammaConfig::paper_default(seed),
             seed,
+            engine_cache: None,
         }
     }
 
@@ -74,7 +82,8 @@ impl Study {
         let world = worldgen::generate(&self.spec);
         let geodb = GeoDatabase::build(&world, &self.error_spec, self.seed);
         let atlas = AtlasPlatform::generate(self.seed);
-        let classifier = TrackerClassifier::for_world(&world);
+        let classifier =
+            TrackerClassifier::for_world_cached(&world, self.engine_cache.as_deref());
         drop(build_span);
 
         let env = CampaignEnv {
@@ -140,7 +149,8 @@ impl Study {
         let build_span = gamma_obs::span!("study.round.build");
         let geodb = GeoDatabase::build(world, &self.error_spec, round_seed);
         let atlas = AtlasPlatform::generate(round_seed);
-        let classifier = TrackerClassifier::for_world(world);
+        let classifier =
+            TrackerClassifier::for_world_cached(world, self.engine_cache.as_deref());
         let mut config = self.config.clone();
         config.seed = round_seed;
         config.plan = self.config.plan.for_round(epoch);

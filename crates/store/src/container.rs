@@ -65,6 +65,9 @@ pub enum ArtifactKind {
     Document,
     /// Benchmark metrics report.
     MetricsReport,
+    /// Compiled tracker-filter engine (token-indexed ABP rules), single
+    /// frame; the payload carries its own engine-format version.
+    CompiledEngine,
 }
 
 impl ArtifactKind {
@@ -78,6 +81,7 @@ impl ArtifactKind {
             ArtifactKind::RevisionStore => 5,
             ArtifactKind::Document => 6,
             ArtifactKind::MetricsReport => 7,
+            ArtifactKind::CompiledEngine => 8,
         }
     }
 
@@ -91,6 +95,7 @@ impl ArtifactKind {
             5 => ArtifactKind::RevisionStore,
             6 => ArtifactKind::Document,
             7 => ArtifactKind::MetricsReport,
+            8 => ArtifactKind::CompiledEngine,
             _ => return None,
         })
     }
@@ -105,11 +110,12 @@ impl ArtifactKind {
             ArtifactKind::RevisionStore => "revision-store",
             ArtifactKind::Document => "document",
             ArtifactKind::MetricsReport => "metrics-report",
+            ArtifactKind::CompiledEngine => "compiled-engine",
         }
     }
 
     /// Every kind, for iteration in tests and fsck.
-    pub const ALL: [ArtifactKind; 7] = [
+    pub const ALL: [ArtifactKind; 8] = [
         ArtifactKind::CampaignCheckpoint,
         ArtifactKind::SuiteCheckpoint,
         ArtifactKind::RoundSnapshot,
@@ -117,6 +123,7 @@ impl ArtifactKind {
         ArtifactKind::RevisionStore,
         ArtifactKind::Document,
         ArtifactKind::MetricsReport,
+        ArtifactKind::CompiledEngine,
     ];
 }
 

@@ -13,8 +13,18 @@
 //! - `$third-party`, `$~third-party`, `$domain=a.com|~b.com` options;
 //!   resource-type options (`script`, `image`, ...) are parsed and ignored
 //! - element-hiding rules (`##`, `#@#`) are recognized and skipped
+//!
+//! Rules with an unrecognized `$` option are *rejected*
+//! ([`ParseOutcome::UnsupportedOption`]) rather than silently stripped:
+//! treating `track$ing` as the substring rule `track` would over-block.
+//!
+//! This module is the *legacy* walk-the-list matcher, kept as the
+//! reference implementation; production matching goes through the
+//! tokenised [`crate::engine::CompiledEngine`], whose decisions are
+//! pinned bit-identical to [`FilterSet::matches`] by differential tests.
 
 use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
 use std::sync::OnceLock;
 
 /// Cached handles for the matching-engine counters; the matching loop is
@@ -45,17 +55,17 @@ pub struct Rule {
     pub raw: String,
     /// `@@` exception?
     pub exception: bool,
-    anchor: Anchor,
-    tokens: Vec<Tok>,
+    pub(crate) anchor: Anchor,
+    pub(crate) tokens: Vec<Tok>,
     /// `Some(true)` = only third-party requests; `Some(false)` = only
     /// first-party.
-    third_party: Option<bool>,
-    include_domains: Vec<String>,
-    exclude_domains: Vec<String>,
+    pub(crate) third_party: Option<bool>,
+    pub(crate) include_domains: Vec<String>,
+    pub(crate) exclude_domains: Vec<String>,
 }
 
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-enum Anchor {
+pub(crate) enum Anchor {
     /// `||domain` — match at a hostname label boundary.
     Domain(String),
     /// `|prefix` — match at the start of the URL.
@@ -65,7 +75,7 @@ enum Anchor {
 }
 
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-enum Tok {
+pub(crate) enum Tok {
     Lit(String),
     /// `*`
     Star,
@@ -82,6 +92,39 @@ pub enum ParseOutcome {
     Header,
     ElementHiding,
     Empty,
+    /// The `$` options list contains an option this engine does not
+    /// implement. Such rules are rejected rather than silently stripped
+    /// to their pattern: `track$ing` must not become the far-broader
+    /// substring rule `track`. Carries the offending option text.
+    UnsupportedOption(String),
+}
+
+/// `$` resource-type options that are recognized and deliberately ignored
+/// (the pipeline classifies hosts, not individual resource loads). A `~`
+/// prefix negates a type option and is tolerated the same way.
+const IGNORED_TYPE_OPTIONS: &[&str] = &[
+    "script",
+    "image",
+    "stylesheet",
+    "object",
+    "xmlhttprequest",
+    "subdocument",
+    "document",
+    "websocket",
+    "webrtc",
+    "ping",
+    "beacon",
+    "font",
+    "media",
+    "imageset",
+    "object-subrequest",
+    "popup",
+    "other",
+];
+
+fn is_known_type_option(opt: &str) -> bool {
+    let name = opt.strip_prefix('~').unwrap_or(opt);
+    IGNORED_TYPE_OPTIONS.contains(&name)
 }
 
 /// Matching context for one network request.
@@ -157,9 +200,17 @@ impl Rule {
                                         None => include_domains.push(d.to_ascii_lowercase()),
                                     }
                                 }
+                            } else if !is_known_type_option(opt) {
+                                // An option this engine does not implement:
+                                // reject the whole rule. Stripping it would
+                                // turn e.g. `track$ing` into the far-broader
+                                // substring rule `track`.
+                                return Err(ParseOutcome::UnsupportedOption(opt.to_string()));
                             }
-                            // type options (script, image, xmlhttprequest,
-                            // popup, ...) are accepted and ignored
+                            // Known type options (script, image,
+                            // xmlhttprequest, popup, ...) are accepted and
+                            // ignored: the pipeline classifies hosts, not
+                            // individual resource loads.
                         }
                     }
                 }
@@ -231,10 +282,20 @@ impl Rule {
         }
     }
 
-    /// Whether this rule matches the request.
+    /// Whether this rule matches the request. Convenience wrapper that
+    /// normalizes the context once; loops over many rules should build one
+    /// [`PreparedRequest`] and call [`Rule::matches_prepared`] instead —
+    /// this was the innermost-loop allocation bug the tokenised engine
+    /// rode in with (one `to_ascii_lowercase` per rule per request).
     pub fn matches(&self, ctx: &MatchContext<'_>) -> bool {
+        self.matches_prepared(&PreparedRequest::new(ctx))
+    }
+
+    /// Whether this rule matches an already-normalized request. Performs
+    /// no allocation.
+    pub fn matches_prepared(&self, req: &PreparedRequest<'_>) -> bool {
         if let Some(tp) = self.third_party {
-            if ctx.is_third_party != tp {
+            if req.is_third_party != tp {
                 return false;
             }
         }
@@ -242,29 +303,29 @@ impl Rule {
             && !self
                 .include_domains
                 .iter()
-                .any(|d| domain_or_subdomain(ctx.first_party, d))
+                .any(|d| domain_or_subdomain(req.first_party(), d))
         {
             return false;
         }
         if self
             .exclude_domains
             .iter()
-            .any(|d| domain_or_subdomain(ctx.first_party, d))
+            .any(|d| domain_or_subdomain(req.first_party(), d))
         {
             return false;
         }
-        let url = ctx.url.to_ascii_lowercase();
+        let url = req.url();
         match &self.anchor {
             Anchor::Domain(d) => {
-                if !domain_or_subdomain(ctx.host, d) {
+                if !domain_or_subdomain(req.host(), d) {
                     return false;
                 }
                 // The anchored domain is a suffix of the host, so the
                 // pattern tail begins right after the host within the URL.
-                let Some(host_pos) = url.find(ctx.host.to_ascii_lowercase().as_str()) else {
+                let Some(host_pos) = req.host_pos() else {
                     return false;
                 };
-                match_tokens(&self.tokens, url.as_bytes(), host_pos + ctx.host.len())
+                match_tokens(&self.tokens, url.as_bytes(), host_pos + req.host().len())
             }
             Anchor::Start => match_tokens(&self.tokens, url.as_bytes(), 0),
             Anchor::None => {
@@ -276,6 +337,68 @@ impl Rule {
                 (0..=url.len()).any(|i| match_tokens(&self.tokens, url.as_bytes(), i))
             }
         }
+    }
+}
+
+/// A request normalized once per evaluation: URL, host and first-party
+/// lowercased (borrowing when already lowercase), with the host's
+/// position inside the URL precomputed. Every per-rule check is
+/// allocation-free against this.
+#[derive(Debug, Clone)]
+pub struct PreparedRequest<'a> {
+    url: Cow<'a, str>,
+    host: Cow<'a, str>,
+    first_party: Cow<'a, str>,
+    /// Whether the request is third-party relative to the page.
+    pub is_third_party: bool,
+    /// Byte offset of the first occurrence of `host` in `url`, if any
+    /// (what every `||domain` rule anchors its pattern tail to).
+    host_pos: Option<usize>,
+}
+
+/// Lowercases only when needed, borrowing already-lowercase input.
+fn lower(s: &str) -> Cow<'_, str> {
+    if s.bytes().any(|b| b.is_ascii_uppercase()) {
+        Cow::Owned(s.to_ascii_lowercase())
+    } else {
+        Cow::Borrowed(s)
+    }
+}
+
+impl<'a> PreparedRequest<'a> {
+    /// Normalizes a match context: three lowercase passes and one
+    /// substring search, total, for however many rules follow.
+    pub fn new(ctx: &MatchContext<'a>) -> PreparedRequest<'a> {
+        let url = lower(ctx.url);
+        let host = lower(ctx.host);
+        let host_pos = url.find(host.as_ref());
+        PreparedRequest {
+            url,
+            host,
+            first_party: lower(ctx.first_party),
+            is_third_party: ctx.is_third_party,
+            host_pos,
+        }
+    }
+
+    /// The lowercased request URL.
+    pub fn url(&self) -> &str {
+        &self.url
+    }
+
+    /// The lowercased request hostname.
+    pub fn host(&self) -> &str {
+        &self.host
+    }
+
+    /// The lowercased first-party registrable domain.
+    pub fn first_party(&self) -> &str {
+        &self.first_party
+    }
+
+    /// Byte offset of the host within the URL, if present.
+    pub fn host_pos(&self) -> Option<usize> {
+        self.host_pos
     }
 }
 
@@ -295,17 +418,19 @@ pub fn same_party(host: &str, first_party: &str) -> bool {
 }
 
 /// `host` equals `domain` or is a subdomain of it (label boundary).
+/// `domain` is expected lowercase (rule domains are lowercased at parse);
+/// `host` is compared case-insensitively without allocating.
 fn domain_or_subdomain(host: &str, domain: &str) -> bool {
-    let host = host.to_ascii_lowercase();
-    host == domain
-        || (host.len() > domain.len()
-            && host.ends_with(domain)
-            && host.as_bytes()[host.len() - domain.len() - 1] == b'.')
+    let (h, d) = (host.as_bytes(), domain.as_bytes());
+    h.eq_ignore_ascii_case(d)
+        || (h.len() > d.len()
+            && h[h.len() - d.len()..].eq_ignore_ascii_case(d)
+            && h[h.len() - d.len() - 1] == b'.')
 }
 
 /// ABP separator class: anything that is not alphanumeric, `_`, `-`, `.`,
 /// or `%`; also matches the end of the URL.
-fn is_separator(b: u8) -> bool {
+pub(crate) fn is_separator(b: u8) -> bool {
     !(b.is_ascii_alphanumeric() || b == b'_' || b == b'-' || b == b'.' || b == b'%')
 }
 
@@ -358,12 +483,22 @@ impl FilterSet {
     }
 
     /// Parses a whole list document, ignoring comments/headers/cosmetics.
+    /// Rules rejected for carrying an unsupported `$` option are counted
+    /// under `trackers.abp.skipped_rules`.
     pub fn parse_list(text: &str) -> FilterSet {
         let mut set = FilterSet::new();
+        let mut skipped = 0u64;
         for line in text.lines() {
-            if let Ok(rule) = Rule::parse(line) {
-                set.add(rule);
+            match Rule::parse(line) {
+                Ok(rule) => set.add(rule),
+                Err(ParseOutcome::UnsupportedOption(_)) => skipped += 1,
+                Err(_) => {}
             }
+        }
+        if skipped > 0 {
+            gamma_obs::global()
+                .counter("trackers.abp.skipped_rules")
+                .add(skipped);
         }
         set
     }
@@ -405,31 +540,52 @@ impl FilterSet {
         self.rules.is_empty()
     }
 
+    /// The parsed rules, in insertion order (the order every tie-break in
+    /// the matching engines resolves by).
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
     /// Evaluates a request. Exceptions win over blocks.
     pub fn matches(&self, ctx: &MatchContext<'_>) -> Decision {
         // Per-rule work is tallied locally and flushed with a single
         // atomic add, keeping the per-rule inner loop free of shared
         // state.
-        let mut tried = 0u64;
-        let decision = self.matches_counting(ctx, &mut tried);
+        let (decision, tried) = self.matches_counted(ctx);
         let c = abp_counters();
         c.evaluations.inc();
         c.rules_tried.add(tried);
         decision
     }
 
+    /// Evaluates a request and reports how many rules were tried, without
+    /// touching the global counters. The differential tests and the
+    /// `abp_engine` bench group use the count to compare per-evaluation
+    /// work against the tokenised engine's candidate count.
+    pub fn matches_counted(&self, ctx: &MatchContext<'_>) -> (Decision, u64) {
+        let mut tried = 0u64;
+        let decision = self.matches_counting(ctx, &mut tried);
+        (decision, tried)
+    }
+
     fn matches_counting(&self, ctx: &MatchContext<'_>, evals: &mut u64) -> Decision {
+        let req = PreparedRequest::new(ctx);
         let mut blocked: Option<&Rule> = None;
-        // Walk the host's domain chain through the index.
-        let host = ctx.host.to_ascii_lowercase();
-        let mut labels: Vec<&str> = host.split('.').collect();
-        while labels.len() >= 2 {
-            let key = labels.join(".");
-            if let Some(idxs) = self.domain_index.get(&key) {
+        // Walk the host's domain chain through the index: each key is a
+        // suffix slice of the once-lowercased host (≥ 2 labels), looked up
+        // by `&str` with no per-level allocation.
+        let host = req.host();
+        let mut pos = 0usize;
+        loop {
+            let key = &host[pos..];
+            let Some(dot) = key.find('.') else {
+                break; // fewer than two labels left
+            };
+            if let Some(idxs) = self.domain_index.get(key) {
                 for &i in idxs {
                     let rule = &self.rules[i];
                     *evals += 1;
-                    if rule.matches(ctx) {
+                    if rule.matches_prepared(&req) {
                         if rule.exception {
                             return Decision::Allowed(rule.raw.clone());
                         }
@@ -437,12 +593,12 @@ impl FilterSet {
                     }
                 }
             }
-            labels.remove(0);
+            pos += dot + 1;
         }
         for &i in &self.generic {
             let rule = &self.rules[i];
             *evals += 1;
-            if rule.matches(ctx) {
+            if rule.matches_prepared(&req) {
                 if rule.exception {
                     return Decision::Allowed(rule.raw.clone());
                 }
@@ -641,6 +797,87 @@ mod tests {
     fn type_options_are_tolerated() {
         let r = Rule::parse("||adimg.net^$image,script,third-party").unwrap();
         assert!(r.matches(&ctx("https://adimg.net/1.gif", "adimg.net", "a.com")));
+    }
+
+    #[test]
+    fn unknown_options_reject_the_rule_instead_of_widening_it() {
+        // `track$ing` must NOT silently become the substring rule `track`.
+        assert_eq!(
+            Rule::parse("track$ing"),
+            Err(ParseOutcome::UnsupportedOption("ing".into()))
+        );
+        assert_eq!(
+            Rule::parse("||ads.example.com^$websocket,match-case"),
+            Err(ParseOutcome::UnsupportedOption("match-case".into()))
+        );
+        assert_eq!(
+            Rule::parse("@@||cdn.example.com^$generichide"),
+            Err(ParseOutcome::UnsupportedOption("generichide".into()))
+        );
+        // Negated type options stay tolerated.
+        assert!(Rule::parse("||adimg.net^$~image,~script").is_ok());
+        // A `$` tail that does not look like an options list stays part of
+        // the pattern (URLs containing `$`).
+        let r = Rule::parse("/path$with/dollar").unwrap();
+        assert!(r.matches(&ctx(
+            "https://x.com/path$with/dollar",
+            "x.com",
+            "a.com"
+        )));
+    }
+
+    #[test]
+    fn unsupported_option_lines_are_skipped_by_list_parsing() {
+        let set = FilterSet::parse_list("||real.example^\ntrack$ing\n||other.example^$rewrite=x\n");
+        assert_eq!(set.len(), 1, "only the clean rule survives");
+        let d = set.matches(&ctx("https://real.example/", "real.example", "a.com"));
+        assert!(matches!(d, Decision::Blocked(_)));
+        // The widened-substring bug this pins: `track` must not match.
+        let d = set.matches(&ctx("https://x.com/track/it", "x.com", "a.com"));
+        assert_eq!(d, Decision::None);
+    }
+
+    #[test]
+    fn prepared_request_matches_like_the_wrapper() {
+        let rules = [
+            Rule::parse("||doubleclick.net^").unwrap(),
+            Rule::parse("/ads/*/banner.").unwrap(),
+            Rule::parse("|https://tracker.").unwrap(),
+            Rule::parse("track.js|").unwrap(),
+            Rule::parse("||social.net^$third-party,domain=blog.com|~other.com").unwrap(),
+        ];
+        let contexts = [
+            ctx(
+                "https://STATS.G.DOUBLECLICK.NET/Ads/2/banner.png",
+                "STATS.G.DOUBLECLICK.NET",
+                "news.com",
+            ),
+            ctx("https://tracker.io/track.js", "tracker.io", "blog.com"),
+            ctx("https://social.net/w", "social.net", "blog.com"),
+        ];
+        for c in &contexts {
+            let prepared = PreparedRequest::new(c);
+            for r in &rules {
+                assert_eq!(
+                    r.matches(c),
+                    r.matches_prepared(&prepared),
+                    "{} on {}",
+                    r.raw,
+                    c.url
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_case_hosts_walk_the_domain_chain() {
+        let set = FilterSet::parse_list("||googlesyndication.com^\n");
+        let d = set.matches(&ctx(
+            "https://Safeframe.GoogleSyndication.COM/sf.html",
+            "Safeframe.GoogleSyndication.COM",
+            "news.com",
+        ));
+        assert!(matches!(d, Decision::Blocked(_)));
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! The tracker-identification pipeline (§4.2) and first/third-party
 //! attribution (§6.7).
 
-use crate::abp::{host_request, same_party, Decision, FilterSet};
-use crate::lists::combined_filter_set;
+use crate::abp::{host_request, same_party, Decision};
+use crate::engine::{engine_for_world, CompiledEngine};
 use crate::manual::ManualStore;
 use crate::whotracksme::WhoTracksMe;
 use gamma_dns::psl::registrable_domain;
@@ -38,7 +38,9 @@ impl Identification {
 /// The assembled classifier: lists → manual labels → org attribution.
 #[derive(Debug, Clone)]
 pub struct TrackerClassifier {
-    pub filters: FilterSet,
+    /// The compiled (token-indexed) filter engine; decisions are pinned
+    /// bit-identical to the legacy [`crate::abp::FilterSet`] walk.
+    pub engine: CompiledEngine,
     pub manual: ManualStore,
     pub orgs: WhoTracksMe,
 }
@@ -48,8 +50,16 @@ impl TrackerClassifier {
     /// public lists plus regional lists, a manual-label store, and the
     /// WhoTracksMe organization database.
     pub fn for_world(world: &World) -> Self {
+        Self::for_world_cached(world, None)
+    }
+
+    /// [`TrackerClassifier::for_world`] through the compiled-engine
+    /// cache: when a directory is given, the filter engine is
+    /// deserialized from a digest-keyed artifact instead of regenerating
+    /// and reparsing list text (and is persisted there on a miss).
+    pub fn for_world_cached(world: &World, engine_cache: Option<&std::path::Path>) -> Self {
         TrackerClassifier {
-            filters: combined_filter_set(world),
+            engine: engine_for_world(world, engine_cache),
             manual: ManualStore::from_world(world),
             orgs: WhoTracksMe::from_world(world),
         }
@@ -67,7 +77,7 @@ impl TrackerClassifier {
     pub fn identify_with_party(&self, request: &DomainName, first_party: &str) -> Identification {
         let host = request.as_str();
         let url = format!("https://{host}/");
-        let identification = match self.filters.matches(&host_request(&url, host, first_party)) {
+        let identification = match self.engine.matches(&host_request(&url, host, first_party)) {
             Decision::Blocked(rule) => Identification::ByList(rule),
             Decision::Allowed(_) => Identification::NotTracker,
             Decision::None => {
@@ -101,7 +111,7 @@ impl TrackerClassifier {
         first_party: &str,
     ) -> Identification {
         let host = request.resolve(symbols);
-        if self.filters.has_site_scoped_rules() {
+        if self.engine.has_site_scoped_rules() {
             let name = DomainName::from_normalized(host.to_string());
             return self.identify_with_party(&name, first_party);
         }
@@ -246,7 +256,7 @@ mod tests {
     fn cached_identification_matches_uncached() {
         let (_, c) = setup();
         assert!(
-            !c.filters.has_site_scoped_rules(),
+            !c.engine.has_site_scoped_rules(),
             "study lists are party-scoped only; the cache must be active"
         );
         let mut symbols = Interner::new();
@@ -271,9 +281,10 @@ mod tests {
     #[test]
     fn site_scoped_lists_bypass_the_cache() {
         use crate::abp::Rule;
-        let (_, mut c) = setup();
-        c.filters
-            .add(Rule::parse("||scoped-ads.net^$domain=onesite.com").unwrap());
+        let (w, mut c) = setup();
+        let mut set = crate::lists::combined_filter_set(&w);
+        set.add(Rule::parse("||scoped-ads.net^$domain=onesite.com").unwrap());
+        c.engine = CompiledEngine::compile(&set);
         let mut symbols = Interner::new();
         let mut cache = DecisionCache::new();
         let id = HostId::intern(&mut symbols, "pixel.doubleclick.net");

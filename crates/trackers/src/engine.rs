@@ -1,0 +1,641 @@
+//! The tokenised ABP matching engine (the production matcher).
+//!
+//! Modelled on brave/adblock-rust: at compile time every rule is reduced
+//! to one or more *index tokens* — 4–8-byte hashes of alphanumeric runs
+//! the rule's literals guarantee to appear in any matching URL (see
+//! [`crate::tokens`]) — and each rule is filed under its globally rarest
+//! token. At match time the URL and host are tokenised once, the token
+//! index yields a handful of candidate rules, and only those candidates
+//! are evaluated; everything else on the list is never touched. The
+//! [`crate::optimizer`] first fuses the dominant rule shapes
+//! (`||domain^`, bare substrings) so a "candidate" is often an entire
+//! fused group answered by one hash-map walk.
+//!
+//! Decisions are bit-identical to the legacy [`FilterSet::matches`]
+//! walk — including *which* rule text a [`Decision`] carries. The legacy
+//! matcher returns the first matching exception in walk order, else the
+//! first matching block; candidates here arrive in index order instead,
+//! so every hit reports its legacy walk-order key `(chain_rank,
+//! insertion)` and the engine keeps the minimum per polarity. A
+//! differential proptest pins the equivalence.
+//!
+//! Counters: `trackers.abp.evaluations` (one per engine invocation),
+//! `trackers.abp.rules_tried` (candidates evaluated — the number the
+//! token index exists to crush), `trackers.abp.token_hits` (request
+//! tokens that hit a non-empty index bucket).
+//!
+//! A compiled engine serializes into a `gamma-store` framed container
+//! ([`ArtifactKind::CompiledEngine`]) with its own format version, so a
+//! campaign can deserialize one prebuilt engine per country instead of
+//! regenerating and reparsing list text (see [`engine_for_world`]).
+
+use crate::abp::{Anchor, Decision, FilterSet, MatchContext, PreparedRequest, Tok};
+use crate::optimizer::{optimize, CompiledRule};
+use crate::tokens::{domain_tokens, literal_tokens, token_hash, TokenSet};
+use gamma_store::{ArtifactKind, LoadError, WriteError, WriteOptions};
+use gamma_websim::World;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::OnceLock;
+
+/// Version of the serialized engine payload (bump on any change to the
+/// compiled layout or to token semantics — a cached engine built by a
+/// different tokenizer must not load).
+pub const ENGINE_FORMAT_VERSION: u32 = 1;
+
+struct EngineCounters {
+    evaluations: gamma_obs::Counter,
+    rules_tried: gamma_obs::Counter,
+    token_hits: gamma_obs::Counter,
+}
+
+fn engine_counters() -> &'static EngineCounters {
+    static COUNTERS: OnceLock<EngineCounters> = OnceLock::new();
+    COUNTERS.get_or_init(|| {
+        let reg = gamma_obs::global();
+        EngineCounters {
+            evaluations: reg.counter("trackers.abp.evaluations"),
+            rules_tried: reg.counter("trackers.abp.rules_tried"),
+            token_hits: reg.counter("trackers.abp.token_hits"),
+        }
+    })
+}
+
+/// Per-evaluation work report, for benches and differential tests that
+/// must not touch the global counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MatchStats {
+    /// Candidate compiled rules evaluated (deduplicated).
+    pub candidates: u64,
+    /// Request tokens that hit a non-empty index bucket.
+    pub token_hits: u64,
+}
+
+/// Compile-time shape summary, serialized with the engine.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize, PartialEq, Eq)]
+pub struct CompileStats {
+    /// Rules in the source [`FilterSet`].
+    pub source_rules: u32,
+    /// Compiled rules after fusion (index entries point at these).
+    pub compiled_rules: u32,
+    /// Source rules absorbed into fused groups.
+    pub fused_rules: u32,
+    /// `||domain` rules unreachable in the legacy walk, dropped.
+    pub dead_rules: u32,
+}
+
+/// A compiled, token-indexed filter engine.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CompiledEngine {
+    rules: Vec<CompiledRule>,
+    /// token → indices into `rules`. A `BTreeMap` keeps serialization
+    /// (and therefore the on-disk artifact) deterministic.
+    index: BTreeMap<u64, Vec<u32>>,
+    /// Rules with no safe token: evaluated on every request.
+    always: Vec<u32>,
+    site_scoped: bool,
+    /// FNV digest of the source list text (0 when compiled from an
+    /// in-memory set); keys the on-disk cache.
+    source_digest: u64,
+    stats: CompileStats,
+}
+
+impl CompiledEngine {
+    /// Compiles a parsed filter set: fuse shapes, extract safe tokens,
+    /// file every index entry under its rarest token.
+    pub fn compile(set: &FilterSet) -> CompiledEngine {
+        Self::compile_with_digest(set, 0)
+    }
+
+    /// [`CompiledEngine::compile`] with a source-text digest recorded for
+    /// cache validation.
+    pub fn compile_with_digest(set: &FilterSet, source_digest: u64) -> CompiledEngine {
+        let optimized = optimize(set.rules());
+        let rules = optimized.rules;
+
+        // Pass 1: candidate token lists. Each compiled rule contributes
+        // one or more index entries (a fused group indexes per domain /
+        // per literal); an entry with no safe token forces the rule onto
+        // the always-evaluate list.
+        let mut entries: Vec<(u32, Vec<u64>)> = Vec::new();
+        for (i, rule) in rules.iter().enumerate() {
+            let i = i as u32;
+            match rule {
+                CompiledRule::Single { rule, .. } => {
+                    let mut cands = pattern_candidates(
+                        &rule.tokens,
+                        matches!(rule.anchor, Anchor::Start),
+                    );
+                    if let Anchor::Domain(d) = &rule.anchor {
+                        domain_candidates(d, &mut cands);
+                    }
+                    entries.push((i, cands));
+                }
+                CompiledRule::DomainSep { domains, .. } => {
+                    for d in domains.keys() {
+                        let mut cands = Vec::new();
+                        domain_candidates(d, &mut cands);
+                        entries.push((i, cands));
+                    }
+                }
+                CompiledRule::Substring { literals, .. } => {
+                    for l in literals {
+                        entries.push((i, l.tokens.clone()));
+                    }
+                }
+            }
+        }
+
+        // Pass 2: global frequency of every candidate token, so each
+        // entry can pick its rarest.
+        let mut freq: BTreeMap<u64, u32> = BTreeMap::new();
+        for (_, cands) in &entries {
+            for &t in cands {
+                *freq.entry(t).or_default() += 1;
+            }
+        }
+
+        let mut index: BTreeMap<u64, Vec<u32>> = BTreeMap::new();
+        let mut always: Vec<u32> = Vec::new();
+        for (i, cands) in &entries {
+            match cands.iter().min_by_key(|&&t| (freq[&t], t)) {
+                Some(&t) => index.entry(t).or_default().push(*i),
+                None => always.push(*i),
+            }
+        }
+        for bucket in index.values_mut() {
+            bucket.sort_unstable();
+            bucket.dedup();
+        }
+        always.sort_unstable();
+        always.dedup();
+
+        let stats = CompileStats {
+            source_rules: set.len() as u32,
+            compiled_rules: rules.len() as u32,
+            fused_rules: optimized.fused_rules,
+            dead_rules: optimized.dead_rules,
+        };
+        CompiledEngine {
+            rules,
+            index,
+            always,
+            site_scoped: optimized.site_scoped,
+            source_digest,
+            stats,
+        }
+    }
+
+    /// Evaluates a request; bumps the global `trackers.abp.*` counters.
+    pub fn matches(&self, ctx: &MatchContext<'_>) -> Decision {
+        let (decision, stats) = self.matches_counted(ctx);
+        let c = engine_counters();
+        c.evaluations.inc();
+        c.rules_tried.add(stats.candidates);
+        c.token_hits.add(stats.token_hits);
+        decision
+    }
+
+    /// Evaluates a request and reports per-evaluation work, without
+    /// touching the global counters.
+    pub fn matches_counted(&self, ctx: &MatchContext<'_>) -> (Decision, MatchStats) {
+        let req = PreparedRequest::new(ctx);
+        let request_tokens = TokenSet::for_request(req.url(), req.host());
+
+        let mut candidates: Vec<u32> = self.always.clone();
+        let mut token_hits = 0u64;
+        for t in request_tokens.iter() {
+            if let Some(bucket) = self.index.get(&t) {
+                token_hits += 1;
+                candidates.extend_from_slice(bucket);
+            }
+        }
+        candidates.sort_unstable();
+        candidates.dedup();
+
+        // Candidates arrive in index order, not legacy walk order; keep
+        // the minimum walk-order key per polarity and resolve at the end
+        // (exceptions beat blocks, exactly like the legacy early return).
+        let mut best_exception: Option<((u32, u32), &str)> = None;
+        let mut best_block: Option<((u32, u32), &str)> = None;
+        for &i in &candidates {
+            if let Some(hit) = self.rules[i as usize].evaluate(&req, &request_tokens) {
+                let slot = if hit.exception {
+                    &mut best_exception
+                } else {
+                    &mut best_block
+                };
+                if slot.map_or(true, |(key, _)| hit.order_key() < key) {
+                    *slot = Some((hit.order_key(), hit.raw));
+                }
+            }
+        }
+        let decision = if let Some((_, raw)) = best_exception {
+            Decision::Allowed(raw.to_string())
+        } else if let Some((_, raw)) = best_block {
+            Decision::Blocked(raw.to_string())
+        } else {
+            Decision::None
+        };
+        (
+            decision,
+            MatchStats {
+                candidates: candidates.len() as u64,
+                token_hits,
+            },
+        )
+    }
+
+    /// Whether any source rule was `$domain=`-scoped (drives the
+    /// decision-cache bypass, same contract as
+    /// [`FilterSet::has_site_scoped_rules`]).
+    pub fn has_site_scoped_rules(&self) -> bool {
+        self.site_scoped
+    }
+
+    /// Digest of the source list text this engine was compiled from
+    /// (0 for in-memory compiles).
+    pub fn source_digest(&self) -> u64 {
+        self.source_digest
+    }
+
+    /// Compile-time shape summary.
+    pub fn stats(&self) -> CompileStats {
+        self.stats
+    }
+
+    /// Atomically persists the engine as a versioned
+    /// [`ArtifactKind::CompiledEngine`] container.
+    pub fn save(&self, path: &Path) -> Result<(), WriteError> {
+        let doc = PersistedEngine {
+            version: ENGINE_FORMAT_VERSION,
+            engine: self.clone(),
+        };
+        gamma_store::save_doc(
+            path,
+            ArtifactKind::CompiledEngine,
+            &doc,
+            &WriteOptions::default(),
+        )
+    }
+
+    /// Loads a persisted engine, failing typed on store-level damage or
+    /// an engine-format version this build cannot interpret.
+    pub fn load(path: &Path) -> Result<CompiledEngine, EngineLoadError> {
+        let loaded = gamma_store::load_doc::<PersistedEngine>(path, ArtifactKind::CompiledEngine)
+            .map_err(EngineLoadError::Store)?;
+        if loaded.value.version != ENGINE_FORMAT_VERSION {
+            return Err(EngineLoadError::VersionMismatch {
+                found: loaded.value.version,
+            });
+        }
+        Ok(loaded.value.engine)
+    }
+}
+
+/// On-disk payload: engine-format version outside the engine body, so a
+/// reader rejects foreign layouts before deserializing them.
+#[derive(Serialize, Deserialize)]
+struct PersistedEngine {
+    version: u32,
+    engine: CompiledEngine,
+}
+
+/// Why a persisted engine did not load.
+#[derive(Debug)]
+pub enum EngineLoadError {
+    /// Container-level failure (missing, torn, corrupt, wrong kind).
+    Store(LoadError),
+    /// Valid container, but written by a different engine format.
+    VersionMismatch { found: u32 },
+}
+
+impl std::fmt::Display for EngineLoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineLoadError::Store(e) => write!(f, "engine container: {e}"),
+            EngineLoadError::VersionMismatch { found } => write!(
+                f,
+                "engine format v{found}, this build reads v{ENGINE_FORMAT_VERSION}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EngineLoadError {}
+
+/// Safe tokens of a rule's pattern: every literal contributes its runs
+/// that the surrounding pattern tokens bound (see
+/// [`crate::tokens::literal_tokens`] for the boundary rules).
+fn pattern_candidates(tokens: &[Tok], start_anchored: bool) -> Vec<u64> {
+    let mut out = Vec::new();
+    for (j, t) in tokens.iter().enumerate() {
+        if let Tok::Lit(l) = t {
+            let bounded_left = if j == 0 {
+                start_anchored
+            } else {
+                matches!(tokens[j - 1], Tok::Sep)
+            };
+            let bounded_right = matches!(tokens.get(j + 1), Some(Tok::Sep) | Some(Tok::End));
+            literal_tokens(l, bounded_left, bounded_right, &mut out);
+        }
+    }
+    out
+}
+
+/// Candidate tokens of a `||domain` anchor: its indexable labels, falling
+/// back to the longest label when every label is shorter than the token
+/// minimum ("g.co" still gets a token rather than an always-evaluate
+/// slot). Domains whose labels are all empty yield nothing — empty runs
+/// never appear in a request token set, so indexing one would lose
+/// matches.
+fn domain_candidates(domain: &str, out: &mut Vec<u64>) {
+    let before = out.len();
+    domain_tokens(domain, out);
+    if out.len() == before {
+        if let Some(longest) = domain
+            .split('.')
+            .filter(|l| !l.is_empty())
+            .max_by_key(|l| l.len())
+        {
+            out.push(token_hash(longest.as_bytes()));
+        }
+    }
+}
+
+/// FNV-1a over a sequence of list documents (0xFF-separated so document
+/// boundaries shift the digest).
+pub fn digest_documents<S: AsRef<str>>(docs: &[S]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |b: u8| {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    for d in docs {
+        for &b in d.as_ref().as_bytes() {
+            eat(b);
+        }
+        eat(0xFF);
+    }
+    h
+}
+
+/// Builds the combined per-world engine, through the on-disk cache when
+/// one is configured: a digest-named artifact per distinct list content,
+/// so a campaign's shards deserialize one prebuilt engine instead of
+/// regenerating and reparsing list text. Any cache miss — absent file,
+/// torn/corrupt container, foreign format version, digest collision —
+/// silently falls back to compiling (and refreshing the cache entry).
+pub fn engine_for_world(world: &World, cache_dir: Option<&Path>) -> CompiledEngine {
+    let docs = crate::lists::list_documents(world);
+    let digest = digest_documents(&docs);
+    let cache_path = cache_dir.map(|d| d.join(format!("abp-{digest:016x}.engine")));
+    if let Some(path) = &cache_path {
+        if let Ok(engine) = CompiledEngine::load(path) {
+            if engine.source_digest() == digest {
+                gamma_obs::global()
+                    .counter("trackers.abp.engine_cache_hits")
+                    .inc();
+                return engine;
+            }
+        }
+    }
+    let mut set = FilterSet::new();
+    for doc in &docs {
+        set.extend_from(&FilterSet::parse_list(doc));
+    }
+    let engine = CompiledEngine::compile_with_digest(&set, digest);
+    gamma_obs::global()
+        .counter("trackers.abp.engine_compiles")
+        .inc();
+    if let Some(path) = &cache_path {
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        if engine.save(path).is_err() {
+            // The engine itself is fine; only resumption speed degrades.
+            gamma_obs::global()
+                .counter("trackers.abp.engine_cache_write_failures")
+                .inc();
+        }
+    }
+    engine
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::abp::host_request;
+    use gamma_websim::{worldgen, WorldSpec};
+    use proptest::prelude::*;
+
+    fn engine_and_set(lines: &[String]) -> (FilterSet, CompiledEngine) {
+        let text = lines.join("\n");
+        let set = FilterSet::parse_list(&text);
+        let engine = CompiledEngine::compile(&set);
+        (set, engine)
+    }
+
+    #[test]
+    fn engine_decisions_match_legacy_on_generated_lists() {
+        let w = worldgen::generate(&WorldSpec::paper_default(33));
+        let set = crate::lists::combined_filter_set(&w);
+        let engine = CompiledEngine::compile(&set);
+        let mut checked = 0usize;
+        for t in w.tracker_domains.iter().take(120) {
+            let host = t.domain.as_str();
+            let url = format!("https://{host}/collect?id=1");
+            let ctx = host_request(&url, host, "some-news-site.com");
+            assert_eq!(set.matches_counted(&ctx).0, engine.matches_counted(&ctx).0, "{host}");
+            checked += 1;
+        }
+        for s in w.sites.iter().take(120) {
+            let host = s.domain.as_str();
+            let url = format!("https://{host}/");
+            let ctx = host_request(&url, host, host);
+            assert_eq!(set.matches_counted(&ctx).0, engine.matches_counted(&ctx).0, "{host}");
+            checked += 1;
+        }
+        assert!(checked > 100);
+    }
+
+    #[test]
+    fn token_index_crushes_candidates_at_10x_scale() {
+        // A 10×-sized synthetic list in the generated lists' dominant
+        // shapes; the acceptance bar is a ≥10× drop in per-evaluation
+        // rules tried versus the legacy walk.
+        let mut lines: Vec<String> = Vec::new();
+        for i in 0..4000u32 {
+            let tail = if i % 3 == 0 { "$third-party" } else { "" };
+            lines.push(format!("||tracker{i:04}.example-ads.net^{tail}"));
+        }
+        for i in 0..400u32 {
+            lines.push(format!("/gen{i:03}pattern/collect."));
+        }
+        let (set, engine) = engine_and_set(&lines);
+        let mut legacy = 0u64;
+        let mut tokenised = 0u64;
+        let mut evals = 0u64;
+        for i in 0..50u32 {
+            // Mostly-miss traffic, plus some listed hosts.
+            let host = if i % 10 == 0 {
+                format!("tracker{:04}.example-ads.net", i * 13)
+            } else {
+                format!("cdn{i}.plain-site{i}.org")
+            };
+            let url = format!("https://{host}/page?x={i}");
+            let ctx = host_request(&url, &host, "reader-site.com");
+            let (ld, lt) = set.matches_counted(&ctx);
+            let (ed, es) = engine.matches_counted(&ctx);
+            assert_eq!(ld, ed, "{host}");
+            legacy += lt;
+            tokenised += es.candidates;
+            evals += 1;
+        }
+        let legacy_avg = legacy as f64 / evals as f64;
+        let engine_avg = (tokenised as f64 / evals as f64).max(1.0);
+        assert!(
+            legacy_avg / engine_avg >= 10.0,
+            "legacy {legacy_avg:.1} vs engine {engine_avg:.1} rules/eval"
+        );
+    }
+
+    #[test]
+    fn dead_rules_and_fusion_are_reported() {
+        let lines = vec![
+            "||com^".to_string(),
+            "||ads.example^".to_string(),
+            "||trk.example^".to_string(),
+            "/pixel.gif?".to_string(),
+        ];
+        let (_, engine) = engine_and_set(&lines);
+        let stats = engine.stats();
+        assert_eq!(stats.dead_rules, 1);
+        assert_eq!(stats.fused_rules, 3);
+        assert!(stats.compiled_rules < stats.source_rules);
+    }
+
+    #[test]
+    fn persisted_engine_roundtrips_and_rejects_foreign_versions() {
+        let w = worldgen::generate(&WorldSpec::paper_default(33));
+        let engine = engine_for_world(&w, None);
+        let dir = std::env::temp_dir().join(format!("gamma-engine-rt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.engine");
+        engine.save(&path).unwrap();
+        let back = CompiledEngine::load(&path).unwrap();
+        assert_eq!(back.source_digest(), engine.source_digest());
+        assert_eq!(back.stats(), engine.stats());
+        for t in w.tracker_domains.iter().take(40) {
+            let host = t.domain.as_str();
+            let url = format!("https://{host}/x.js");
+            let ctx = host_request(&url, host, "reader-site.com");
+            assert_eq!(engine.matches_counted(&ctx).0, back.matches_counted(&ctx).0);
+        }
+        // A bumped payload version must fail typed, not mis-deserialize.
+        let doc = PersistedEngine {
+            version: ENGINE_FORMAT_VERSION + 1,
+            engine: engine.clone(),
+        };
+        gamma_store::save_doc(
+            &path,
+            ArtifactKind::CompiledEngine,
+            &doc,
+            &WriteOptions::default(),
+        )
+        .unwrap();
+        match CompiledEngine::load(&path) {
+            Err(EngineLoadError::VersionMismatch { found }) => {
+                assert_eq!(found, ENGINE_FORMAT_VERSION + 1)
+            }
+            other => panic!("expected version mismatch, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn engine_cache_hits_skip_recompilation() {
+        let w = worldgen::generate(&WorldSpec::paper_default(33));
+        let dir = std::env::temp_dir().join(format!("gamma-engine-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let first = engine_for_world(&w, Some(&dir));
+        assert_ne!(first.source_digest(), 0);
+        let entries: Vec<_> = std::fs::read_dir(&dir).unwrap().collect();
+        assert_eq!(entries.len(), 1, "one digest-named cache artifact");
+        let second = engine_for_world(&w, Some(&dir));
+        assert_eq!(second.source_digest(), first.source_digest());
+        let ctx = host_request("https://pixel.doubleclick.net/c", "pixel.doubleclick.net", "a.com");
+        assert_eq!(first.matches_counted(&ctx).0, second.matches_counted(&ctx).0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    // ---- differential property: engine ≡ legacy on random corpora ----
+
+    fn arb_label() -> impl Strategy<Value = &'static str> {
+        prop::sample::select(vec![
+            "ads", "trk", "pixel4", "example", "x", "co", "net", "deep", "track",
+        ])
+    }
+
+    fn arb_domain() -> impl Strategy<Value = String> {
+        prop::collection::vec(arb_label(), 1..4).prop_map(|ls| ls.join("."))
+    }
+
+    fn arb_rule_line() -> impl Strategy<Value = String> {
+        let lit = prop::sample::select(vec![
+            "/pixel.gif?", "/beacon.js", "-adserver.", "track.js", "&ad_unit=", "/x/",
+        ]);
+        prop_oneof![
+            arb_domain().prop_map(|d| format!("||{d}^")),
+            arb_domain().prop_map(|d| format!("||{d}^$third-party")),
+            arb_domain().prop_map(|d| format!("@@||{d}^")),
+            arb_domain().prop_map(|d| format!("||{d}^$~third-party")),
+            (arb_domain(), arb_domain())
+                .prop_map(|(d, s)| format!("||{d}^$domain={s}|~deep.{s}")),
+            arb_domain().prop_map(|d| format!("||{d}")),
+            arb_domain().prop_map(|d| format!("|https://{d}/")),
+            lit.clone().prop_map(|l| l.to_string()),
+            lit.clone().prop_map(|l| format!("@@{l}")),
+            lit.clone().prop_map(|l| format!("{l}|")),
+            lit.prop_map(|l| format!("/seg/*{l}")),
+        ]
+    }
+
+    fn arb_request() -> impl Strategy<Value = (String, String, String, bool)> {
+        (
+            prop::collection::vec(arb_label(), 1..4),
+            prop::sample::select(vec!["/", "/pixel.gif?id=1", "/a/beacon.js", "/seg/9/x/track.js"]),
+            arb_domain(),
+            any::<bool>(),
+        )
+            .prop_map(|(host_labels, path, fp, upper)| {
+                let host = host_labels.join(".");
+                let url = format!("https://{host}{path}");
+                let url = if upper { url.to_ascii_uppercase() } else { url };
+                let host = if upper { host.to_ascii_uppercase() } else { host };
+                (url, host, fp.to_string(), upper)
+            })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+        #[test]
+        fn engine_is_bit_identical_to_legacy(
+            lines in prop::collection::vec(arb_rule_line(), 0..40),
+            requests in prop::collection::vec(arb_request(), 1..12),
+        ) {
+            let (set, engine) = engine_and_set(&lines);
+            for (url, host, fp, _) in &requests {
+                let ctx = host_request(url, host, fp);
+                let legacy = set.matches_counted(&ctx).0;
+                let (tokenised, _) = engine.matches_counted(&ctx);
+                prop_assert_eq!(
+                    &legacy, &tokenised,
+                    "divergence on {} (host {}, fp {}) under {:?}",
+                    url, host, fp, lines
+                );
+            }
+        }
+    }
+}

@@ -13,17 +13,34 @@
 //! rules a verdict depends only on the host and its party bit, so a
 //! [`DecisionCache`] in front of the engine classifies each unique
 //! `(host, party)` pair exactly once per country dataset.
+//!
+//! Matching itself goes through the tokenised [`CompiledEngine`]
+//! ([`engine`]): rules are fused by shape ([`optimizer`]), indexed by
+//! their rarest safe hash token ([`tokens`]), and an evaluation touches
+//! only the candidate rules whose token the URL actually contains — with
+//! decisions pinned bit-identical to the legacy [`FilterSet`] walk. A
+//! compiled engine serializes into a `gamma-store` container so repeated
+//! campaigns deserialize it instead of reparsing list text.
 
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod abp;
 pub mod classify;
+pub mod engine;
 pub mod lists;
 pub mod manual;
+mod optimizer;
+pub mod tokens;
 pub mod whotracksme;
 
-pub use abp::{same_party, Decision, FilterSet, MatchContext, Rule};
+pub use abp::{same_party, Decision, FilterSet, MatchContext, PreparedRequest, Rule};
 pub use classify::{site_first_party, DecisionCache, Identification, TrackerClassifier};
-pub use lists::{generate_easylist, generate_easyprivacy, generate_regional_lists};
+pub use engine::{
+    digest_documents, engine_for_world, CompileStats, CompiledEngine, EngineLoadError, MatchStats,
+    ENGINE_FORMAT_VERSION,
+};
+pub use lists::{
+    generate_easylist, generate_easyprivacy, generate_regional_lists, list_documents,
+};
 pub use manual::ManualStore;
 pub use whotracksme::WhoTracksMe;

@@ -70,12 +70,24 @@ pub fn generate_regional_lists(world: &World) -> Vec<(String, String)> {
     out
 }
 
+/// Every list document the identification pipeline applies, in the
+/// pipeline's canonical order (easylist, easyprivacy, regional lists).
+/// The order is load-bearing twice over: rule insertion order breaks
+/// matcher ties, and the documents' digest keys the compiled-engine
+/// cache (see [`crate::engine::engine_for_world`]).
+pub fn list_documents(world: &World) -> Vec<String> {
+    let mut docs = vec![generate_easylist(world), generate_easyprivacy(world)];
+    for (_, doc) in generate_regional_lists(world) {
+        docs.push(doc);
+    }
+    docs
+}
+
 /// The union filter set the identification pipeline applies (§4.2 combines
 /// easylist, easyprivacy and the regional lists).
 pub fn combined_filter_set(world: &World) -> FilterSet {
-    let mut set = FilterSet::parse_list(&generate_easylist(world));
-    set.extend_from(&FilterSet::parse_list(&generate_easyprivacy(world)));
-    for (_, doc) in generate_regional_lists(world) {
+    let mut set = FilterSet::new();
+    for doc in list_documents(world) {
         set.extend_from(&FilterSet::parse_list(&doc));
     }
     set

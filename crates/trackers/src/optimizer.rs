@@ -1,0 +1,422 @@
+//! Filter optimizer: fuses same-shape rules into bulk-evaluable compiled
+//! rules before the engine indexes them.
+//!
+//! The generated lists (and the real EasyList family) are dominated by
+//! two shapes: `||domain^` / `||domain^$third-party` network rules, and
+//! short unanchored substring patterns. Evaluating those one [`Rule`] at
+//! a time re-runs the same option checks and the same separator logic per
+//! rule; fusing every rule of a shape into one compiled rule turns the
+//! whole group into a single hash-map walk (domains) or a literal sweep
+//! (substrings) — evaluated at most once per request.
+//!
+//! Fusion must stay bit-identical to walking the legacy list, so each
+//! fused entry carries its source rule's insertion index and raw text,
+//! and an evaluation reports the *walk-order key* `(chain_rank,
+//! insertion)` of the earliest entry that matched. `chain_rank` encodes
+//! where the legacy walk would have visited the rule: the legacy matcher
+//! visits `||domain` buckets longest-host-suffix first (more labels =
+//! earlier), then generic rules; `u32::MAX - label_count` for anchored
+//! rules and `u32::MAX` for generics reproduces that order for any fixed
+//! host, and insertion order breaks ties exactly as the legacy loops do.
+//!
+//! One legacy quirk is preserved deliberately: a `||domain` rule whose
+//! domain has fewer than two labels (`||com^`, `||^`) is *dead* in set
+//! context — the legacy domain-chain walk only produces keys with at
+//! least two labels, so such rules are never tried. The optimizer drops
+//! them rather than let the engine match more than the reference.
+
+use crate::abp::{is_separator, PreparedRequest, Rule};
+use crate::tokens::TokenSet;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Walk-order rank of generic (non-domain-anchored) rules: after every
+/// domain bucket.
+pub(crate) const GENERIC_RANK: u32 = u32::MAX;
+
+/// Rank of a `||domain` rule: buckets with more labels are visited
+/// earlier in the legacy host-suffix walk.
+pub(crate) fn domain_rank(labels: u32) -> u32 {
+    u32::MAX - labels
+}
+
+/// A match reported by a compiled rule: enough to resolve "first match in
+/// legacy walk order" across all candidates of an evaluation.
+pub(crate) struct RuleHit<'a> {
+    pub chain_rank: u32,
+    pub insertion: u32,
+    pub raw: &'a str,
+    pub exception: bool,
+}
+
+impl RuleHit<'_> {
+    pub(crate) fn order_key(&self) -> (u32, u32) {
+        (self.chain_rank, self.insertion)
+    }
+}
+
+/// One fused `||domain^`-shaped entry.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct FusedDomain {
+    pub insertion: u32,
+    /// Label count of the domain (chain rank ingredient).
+    pub labels: u32,
+    /// Source rule text, carried into `Decision`.
+    pub raw: String,
+}
+
+/// One fused substring literal.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct FusedLiteral {
+    pub lit: String,
+    pub insertion: u32,
+    pub raw: String,
+    /// Safe tokens of the literal (see [`crate::tokens::literal_tokens`]):
+    /// every one must be present in the request's token set for the
+    /// literal to possibly match, so absence lets the sweep skip the
+    /// `contains` check entirely.
+    pub tokens: Vec<u64>,
+}
+
+/// A rule as the engine evaluates it: either a lone legacy rule or a
+/// whole fused group of one shape.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) enum CompiledRule {
+    /// Any rule the optimizer did not fuse; evaluated through
+    /// [`Rule::matches_prepared`], bit-identical by construction.
+    Single {
+        rule: Rule,
+        insertion: u32,
+        chain_rank: u32,
+    },
+    /// All `||domain^`-shaped rules (pattern exactly `^`, no `$domain=`)
+    /// sharing one `(exception, third_party)` polarity: one map walk over
+    /// the host's suffixes replaces the whole group.
+    DomainSep {
+        exception: bool,
+        third_party: Option<bool>,
+        domains: BTreeMap<String, FusedDomain>,
+    },
+    /// All single-literal unanchored rules of one polarity: a literal
+    /// sweep with per-literal token gating.
+    Substring {
+        exception: bool,
+        third_party: Option<bool>,
+        literals: Vec<FusedLiteral>,
+    },
+}
+
+impl CompiledRule {
+    /// Evaluates against a prepared request, reporting the earliest
+    /// matching entry in legacy walk order (or `None`).
+    pub(crate) fn evaluate<'a>(
+        &'a self,
+        req: &PreparedRequest<'_>,
+        request_tokens: &TokenSet,
+    ) -> Option<RuleHit<'a>> {
+        match self {
+            CompiledRule::Single {
+                rule,
+                insertion,
+                chain_rank,
+            } => rule.matches_prepared(req).then(|| RuleHit {
+                chain_rank: *chain_rank,
+                insertion: *insertion,
+                raw: &rule.raw,
+                exception: rule.exception,
+            }),
+            CompiledRule::DomainSep {
+                exception,
+                third_party,
+                domains,
+            } => {
+                if let Some(tp) = third_party {
+                    if req.is_third_party != *tp {
+                        return None;
+                    }
+                }
+                // Every entry shares the pattern `^` anchored right after
+                // the host inside the URL: check it once for the group.
+                let url = req.url();
+                let host = req.host();
+                let end = req.host_pos()? + host.len();
+                if end < url.len() && !is_separator(url.as_bytes()[end]) {
+                    return None;
+                }
+                // Walk the host's label suffixes longest-first — the
+                // legacy bucket order — and return the first entry hit:
+                // within one group the longest matching domain is the
+                // earliest-visited bucket.
+                let mut pos = 0usize;
+                loop {
+                    let key = &host[pos..];
+                    let Some(dot) = key.find('.') else {
+                        return None;
+                    };
+                    if let Some(entry) = domains.get(key) {
+                        return Some(RuleHit {
+                            chain_rank: domain_rank(entry.labels),
+                            insertion: entry.insertion,
+                            raw: &entry.raw,
+                            exception: *exception,
+                        });
+                    }
+                    pos += dot + 1;
+                }
+            }
+            CompiledRule::Substring {
+                exception,
+                third_party,
+                literals,
+            } => {
+                if let Some(tp) = third_party {
+                    if req.is_third_party != *tp {
+                        return None;
+                    }
+                }
+                let url = req.url();
+                let mut best: Option<&FusedLiteral> = None;
+                for entry in literals {
+                    if let Some(b) = best {
+                        if b.insertion < entry.insertion {
+                            // `literals` keeps insertion order, so no
+                            // later entry can improve on the best hit.
+                            break;
+                        }
+                    }
+                    if !entry.tokens.iter().all(|&t| request_tokens.contains(t)) {
+                        continue;
+                    }
+                    if url.contains(entry.lit.as_str()) {
+                        best = Some(entry);
+                    }
+                }
+                best.map(|entry| RuleHit {
+                    chain_rank: GENERIC_RANK,
+                    insertion: entry.insertion,
+                    raw: &entry.raw,
+                    exception: *exception,
+                })
+            }
+        }
+    }
+}
+
+/// Optimizer output: the compiled rules plus bookkeeping for stats.
+pub(crate) struct Optimized {
+    pub rules: Vec<CompiledRule>,
+    /// Source rules fused into `DomainSep`/`Substring` groups.
+    pub fused_rules: u32,
+    /// `||domain` rules with fewer than two labels, unreachable in the
+    /// legacy walk and therefore dropped.
+    pub dead_rules: u32,
+    pub site_scoped: bool,
+}
+
+/// Shape key of fusable rules: polarity only (shapes with `$domain=`
+/// scoping are never fused).
+type GroupKey = (bool, Option<bool>);
+
+/// Fuses same-shape rules; everything else compiles as-is. Rules arrive
+/// in insertion order (the legacy tie-break order), and every compiled
+/// entry remembers its insertion index so evaluation can resolve the
+/// legacy first-match.
+pub(crate) fn optimize(rules: &[Rule]) -> Optimized {
+    use crate::abp::{Anchor, Tok};
+
+    let mut out = Vec::new();
+    let mut domain_groups: BTreeMap<GroupKey, BTreeMap<String, FusedDomain>> = BTreeMap::new();
+    let mut substring_groups: BTreeMap<GroupKey, Vec<FusedLiteral>> = BTreeMap::new();
+    let mut fused_rules = 0u32;
+    let mut dead_rules = 0u32;
+    let mut site_scoped = false;
+
+    for (i, rule) in rules.iter().enumerate() {
+        let insertion = u32::try_from(i).unwrap_or(u32::MAX);
+        site_scoped |= rule.is_site_scoped();
+        match &rule.anchor {
+            Anchor::Domain(d) => {
+                let labels = u32::try_from(d.split('.').count()).unwrap_or(u32::MAX);
+                if !d.contains('.') {
+                    // Dead in set context: the legacy walk never
+                    // produces a sub-two-label bucket key.
+                    dead_rules += 1;
+                    continue;
+                }
+                if !rule.is_site_scoped() && rule.tokens == [Tok::Sep] {
+                    let key = (rule.exception, rule.third_party);
+                    let group = domain_groups.entry(key).or_default();
+                    // Duplicate domains in one group are behaviorally
+                    // identical; the legacy walk surfaces the first.
+                    group.entry(d.clone()).or_insert_with(|| FusedDomain {
+                        insertion,
+                        labels,
+                        raw: rule.raw.clone(),
+                    });
+                    fused_rules += 1;
+                    continue;
+                }
+                out.push(CompiledRule::Single {
+                    rule: rule.clone(),
+                    insertion,
+                    chain_rank: domain_rank(labels),
+                });
+            }
+            Anchor::None if !rule.is_site_scoped() && single_literal(&rule.tokens).is_some() => {
+                let lit = single_literal(&rule.tokens).expect("guard");
+                let mut tokens = Vec::new();
+                // Unanchored literal: neither edge is guaranteed a run
+                // boundary in the URL, so only interior runs gate it.
+                crate::tokens::literal_tokens(lit, false, false, &mut tokens);
+                tokens.sort_unstable();
+                tokens.dedup();
+                substring_groups
+                    .entry((rule.exception, rule.third_party))
+                    .or_default()
+                    .push(FusedLiteral {
+                        lit: lit.to_string(),
+                        insertion,
+                        raw: rule.raw.clone(),
+                        tokens,
+                    });
+                fused_rules += 1;
+            }
+            _ => out.push(CompiledRule::Single {
+                rule: rule.clone(),
+                insertion,
+                chain_rank: GENERIC_RANK,
+            }),
+        }
+    }
+
+    for ((exception, third_party), domains) in domain_groups {
+        out.push(CompiledRule::DomainSep {
+            exception,
+            third_party,
+            domains,
+        });
+    }
+    for ((exception, third_party), literals) in substring_groups {
+        out.push(CompiledRule::Substring {
+            exception,
+            third_party,
+            literals,
+        });
+    }
+
+    Optimized {
+        rules: out,
+        fused_rules,
+        dead_rules,
+        site_scoped,
+    }
+}
+
+/// The literal of a pattern consisting of exactly one `Lit` token.
+fn single_literal(tokens: &[crate::abp::Tok]) -> Option<&str> {
+    match tokens {
+        [crate::abp::Tok::Lit(l)] => Some(l.as_str()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::abp::{host_request, MatchContext};
+
+    fn prepared<'a>(ctx: &MatchContext<'a>) -> (PreparedRequest<'a>, TokenSet) {
+        let req = PreparedRequest::new(ctx);
+        let toks = TokenSet::for_request(req.url(), req.host());
+        (req, toks)
+    }
+
+    fn compile(lines: &[&str]) -> Optimized {
+        let rules: Vec<Rule> = lines.iter().map(|l| Rule::parse(l).unwrap()).collect();
+        optimize(&rules)
+    }
+
+    #[test]
+    fn domain_sep_rules_fuse_per_polarity() {
+        let opt = compile(&[
+            "||ads.example^$third-party",
+            "||trk.example^$third-party",
+            "||pix.example^",
+            "@@||ok.example^",
+        ]);
+        // Three groups (block/3p, block/any, exception/any), no singles.
+        assert_eq!(opt.rules.len(), 3, "{:?}", opt.rules);
+        assert_eq!(opt.fused_rules, 4);
+        assert!(opt
+            .rules
+            .iter()
+            .all(|r| matches!(r, CompiledRule::DomainSep { .. })));
+    }
+
+    #[test]
+    fn fused_domain_walk_matches_longest_suffix_first() {
+        let opt = compile(&["||ads.example^", "||deep.ads.example^"]);
+        let [rule] = &opt.rules[..] else {
+            panic!("one fused group expected, got {:?}", opt.rules);
+        };
+        let ctx = host_request(
+            "https://x.deep.ads.example/t",
+            "x.deep.ads.example",
+            "site.org",
+        );
+        let (req, toks) = prepared(&ctx);
+        let hit = rule.evaluate(&req, &toks).expect("must match");
+        // The deeper (later-inserted) domain is the earlier bucket.
+        assert_eq!(hit.raw, "||deep.ads.example^");
+        assert_eq!(hit.insertion, 1);
+        assert!(hit.chain_rank < GENERIC_RANK);
+    }
+
+    #[test]
+    fn sub_two_label_domains_are_dead() {
+        let opt = compile(&["||com^", "||ads.example^"]);
+        assert_eq!(opt.dead_rules, 1);
+        let ctx = host_request("https://x.com/", "x.com", "site.org");
+        let (req, toks) = prepared(&ctx);
+        for r in &opt.rules {
+            assert!(r.evaluate(&req, &toks).is_none(), "dead rule matched");
+        }
+    }
+
+    #[test]
+    fn substring_sweep_reports_earliest_insertion() {
+        let opt = compile(&["/pixel.gif?", "/beacon.js", "-adserver."]);
+        let [rule] = &opt.rules[..] else {
+            panic!("one fused group expected, got {:?}", opt.rules);
+        };
+        let ctx = host_request(
+            "https://cdn.example/x-adserver.io/beacon.js",
+            "cdn.example",
+            "site.org",
+        );
+        let (req, toks) = prepared(&ctx);
+        let hit = rule.evaluate(&req, &toks).expect("must match");
+        // Both `/beacon.js` (insertion 1) and `-adserver.` (insertion 2)
+        // match; the legacy generic loop surfaces insertion order.
+        assert_eq!(hit.raw, "/beacon.js");
+        assert_eq!(hit.insertion, 1);
+        assert_eq!(hit.chain_rank, GENERIC_RANK);
+    }
+
+    #[test]
+    fn site_scoped_and_complex_rules_stay_single() {
+        let opt = compile(&[
+            "||scoped.example^$domain=one.com",
+            "/ads/*/banner.",
+            "|https://tracker.",
+            "track.js|",
+        ]);
+        assert_eq!(opt.fused_rules, 0);
+        assert!(opt.site_scoped);
+        assert_eq!(opt.rules.len(), 4);
+        assert!(opt
+            .rules
+            .iter()
+            .all(|r| matches!(r, CompiledRule::Single { .. })));
+    }
+}

@@ -1,0 +1,247 @@
+//! URL/pattern tokenisation for the compiled ABP engine.
+//!
+//! The engine (see [`crate::engine`]) follows the adblock-rust /
+//! uBlock-Origin design: it never scans the whole rule list. Instead,
+//! each rule contributes one *token* — the hash of an alphanumeric run
+//! drawn from its literals — to an index, and at match time the URL is
+//! cut into its own runs so only the rules indexed under a token the URL
+//! actually contains are evaluated.
+//!
+//! Soundness rests on one invariant: **a rule's token must be the hash
+//! of a run that appears as a complete alphanumeric run in every URL the
+//! rule can match.** A literal fragment that could sit mid-run in a URL
+//! (e.g. the `ads` of the pattern `ads` matching `…/loads.js`? — no:
+//! `loads` hashes differently) would make the index drop true matches,
+//! so only *bounded* runs qualify:
+//!
+//! - every label of a `||domain` anchor (the rule requires the domain to
+//!   match the host at label boundaries, and the match-time token set
+//!   includes the host's labels);
+//! - runs bounded inside a literal by non-alphanumeric bytes;
+//! - a literal's leading run when the pattern is start-anchored or the
+//!   previous pattern token is `^` (both force a non-alphanumeric or
+//!   string-start boundary in the URL);
+//! - a literal's trailing run when followed by `^` or the end anchor.
+//!
+//! Runs longer than [`TOKEN_MAX_BYTES`] hash only their prefix — on both
+//! the rule and URL sides, so truncation can only *add* candidates,
+//! never lose one.
+
+/// Hash at most this many leading bytes of a run. Keeps token hashing
+/// O(1) per run; rule-side and URL-side truncation agree, so a long run
+/// can only collide into extra candidates, never miss one.
+pub const TOKEN_MAX_BYTES: usize = 8;
+
+/// Runs shorter than this are not worth indexing on the rule side
+/// (`js`, `ad`, `www` are near-universal in URLs and would put most of
+/// the list back into every evaluation). URL-side tokenisation keeps
+/// them so rule-side choices remain free to use short runs when a rule
+/// has nothing better — it simply prefers longer ones.
+pub const TOKEN_MIN_BYTES: usize = 4;
+
+/// FNV-1a over the first [`TOKEN_MAX_BYTES`] bytes of a run. Input is
+/// expected lowercase (both rules and prepared requests are normalized
+/// before hashing).
+pub fn token_hash(run: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in run.iter().take(TOKEN_MAX_BYTES) {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn is_run_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric()
+}
+
+/// Cuts `text` into complete alphanumeric runs and pushes each run's
+/// hash. This is the match-time side: every complete run of the URL (and
+/// of the host) is a potential token.
+pub fn tokenize_text(text: &str, out: &mut Vec<u64>) {
+    let bytes = text.as_bytes();
+    let mut start = None;
+    for (i, &b) in bytes.iter().enumerate() {
+        match (is_run_byte(b), start) {
+            (true, None) => start = Some(i),
+            (false, Some(s)) => {
+                out.push(token_hash(&bytes[s..i]));
+                start = None;
+            }
+            _ => {}
+        }
+    }
+    if let Some(s) = start {
+        out.push(token_hash(&bytes[s..]));
+    }
+}
+
+/// Extracts the *safe* tokens of one pattern literal: hashes of the runs
+/// guaranteed to appear as complete runs in any URL region the literal
+/// matches. `bounded_left`/`bounded_right` declare whether the pattern
+/// guarantees a non-alphanumeric (or string-edge) boundary immediately
+/// before/after the literal.
+pub fn literal_tokens(lit: &str, bounded_left: bool, bounded_right: bool, out: &mut Vec<u64>) {
+    let bytes = lit.as_bytes();
+    let mut start: Option<usize> = None;
+    for (i, &b) in bytes.iter().enumerate() {
+        match (is_run_byte(b), start) {
+            (true, None) => start = Some(i),
+            (false, Some(s)) => {
+                // Bounded on the right by a non-run byte inside the
+                // literal; on the left by either an interior byte or the
+                // declared left boundary.
+                if s > 0 || bounded_left {
+                    push_long_enough(&bytes[s..i], out);
+                }
+                start = None;
+            }
+            _ => {}
+        }
+    }
+    if let Some(s) = start {
+        if (s > 0 || bounded_left) && bounded_right {
+            push_long_enough(&bytes[s..], out);
+        }
+    }
+}
+
+fn push_long_enough(run: &[u8], out: &mut Vec<u64>) {
+    if run.len() >= TOKEN_MIN_BYTES {
+        out.push(token_hash(run));
+    }
+}
+
+/// The deduplicated token set of one request, shared by the index lookup
+/// and by per-literal gating during evaluation. Backed by a sorted vec:
+/// requests carry a few dozen tokens at most, and binary search beats a
+/// hash set at that size.
+#[derive(Debug, Clone, Default)]
+pub struct TokenSet(Vec<u64>);
+
+impl TokenSet {
+    /// Tokenizes a request: every complete run of the lowercased URL plus
+    /// every complete run of the lowercased host. The host is tokenized
+    /// separately because a `||domain` anchor only guarantees its labels
+    /// are complete runs *of the host* — the host may sit at a non-run
+    /// boundary inside the URL (or not appear verbatim at all).
+    pub fn for_request(url: &str, host: &str) -> TokenSet {
+        let mut v = Vec::with_capacity(24);
+        tokenize_text(url, &mut v);
+        tokenize_text(host, &mut v);
+        v.sort_unstable();
+        v.dedup();
+        TokenSet(v)
+    }
+
+    pub fn contains(&self, token: u64) -> bool {
+        self.0.binary_search(&token).is_ok()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        self.0.iter().copied()
+    }
+
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+/// Tokens of a `||domain` anchor: one per label. Sound because the rule
+/// only matches hosts carrying the domain at label boundaries, and the
+/// engine tokenizes the request *host* as well as the URL — every label
+/// of a matching host is a complete run of the host string.
+pub fn domain_tokens(domain: &str, out: &mut Vec<u64>) {
+    for label in domain.split('.') {
+        push_long_enough(label.as_bytes(), out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<u64> {
+        let mut v = Vec::new();
+        tokenize_text(s, &mut v);
+        v
+    }
+
+    #[test]
+    fn url_runs_are_complete_alnum_spans() {
+        let url = "https://stats.g.doubleclick.net/pixel?id=42";
+        let got = toks(url);
+        let expect: Vec<u64> = ["https", "stats", "g", "doubleclick", "net", "pixel", "id", "42"]
+            .iter()
+            .map(|r| token_hash(r.as_bytes()))
+            .collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn long_runs_truncate_identically_on_both_sides() {
+        // Rule-side "doubleclick" and URL-side "doubleclick" agree even
+        // though only 8 bytes are hashed; a differing 9th byte is
+        // invisible (collision, caught by rule evaluation).
+        assert_eq!(
+            token_hash(b"doubleclick"),
+            token_hash(b"doubleclicked"),
+            "prefix-capped hashing must collide, not miss"
+        );
+        assert_ne!(token_hash(b"doublecl"), token_hash(b"doublecX"));
+    }
+
+    #[test]
+    fn literal_tokens_respect_boundaries() {
+        let mut out = Vec::new();
+        // `/banner./` — "banner" is interior-bounded on both sides.
+        literal_tokens("/banner./x", false, false, &mut out);
+        assert_eq!(out, vec![token_hash(b"banner")]);
+
+        // Unbounded trailing run is skipped...
+        out.clear();
+        literal_tokens("/beacon.js", false, false, &mut out);
+        assert_eq!(out, vec![token_hash(b"beacon")]);
+
+        // ...but kept when the pattern guarantees a right boundary.
+        out.clear();
+        literal_tokens("/tracking", false, true, &mut out);
+        assert_eq!(out, vec![token_hash(b"tracking")]);
+
+        // Leading run needs a left boundary.
+        out.clear();
+        literal_tokens("track.gif", false, false, &mut out);
+        assert_eq!(out, Vec::<u64>::new(), "{out:?}");
+        out.clear();
+        literal_tokens("track.gif", true, false, &mut out);
+        assert_eq!(out, vec![token_hash(b"track")]);
+    }
+
+    #[test]
+    fn short_runs_are_not_indexed() {
+        let mut out = Vec::new();
+        literal_tokens("/js/ad/pixel/", false, false, &mut out);
+        assert_eq!(out, vec![token_hash(b"pixel")]);
+        out.clear();
+        domain_tokens("g.ads.doubleclick.net", &mut out);
+        assert_eq!(out, vec![token_hash(b"doubleclick")]);
+    }
+
+    #[test]
+    fn domain_labels_each_token() {
+        let mut out = Vec::new();
+        domain_tokens("region-ads.example", &mut out);
+        // "region-ads" is two runs? No: labels split on '.', and a label
+        // containing '-' is NOT a single run in URL tokenisation — the
+        // host "region-ads.example" tokenizes as ["region","ads","example"].
+        // domain_tokens must agree with tokenize_text on hosts.
+        let host_runs = toks("region-ads.example");
+        for t in &out {
+            assert!(host_runs.contains(t), "token not derivable from host runs");
+        }
+    }
+}

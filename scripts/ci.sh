@@ -28,7 +28,20 @@ echo "==> obs smoke: metrics report emitted and self-validated"
 cargo run --release --bin gamma-study -- \
   --seed 7 --small --metrics-out /tmp/gamma-bench-7.json > /dev/null
 cargo run --release --bin gamma-study -- \
-  --check-metrics /tmp/gamma-bench-7.json
+  --check-metrics /tmp/gamma-bench-7.json --require-ns trackers.
+
+echo "==> compiled-engine smoke: cached engine reused, output byte-identical"
+ENGINE_DIR=/tmp/gamma-engine-smoke-7
+rm -rf "$ENGINE_DIR"
+cargo run --release --bin gamma-study -- \
+  --seed 7 --small --engine-cache "$ENGINE_DIR" > /tmp/gamma-engine-a.txt
+ls "$ENGINE_DIR"/abp-*.engine > /dev/null
+cargo run --release --bin gamma-study -- \
+  --seed 7 --small --engine-cache "$ENGINE_DIR" > /tmp/gamma-engine-b.txt
+cargo run --release --bin gamma-study -- \
+  --seed 7 --small > /tmp/gamma-engine-c.txt
+cmp /tmp/gamma-engine-a.txt /tmp/gamma-engine-b.txt
+cmp /tmp/gamma-engine-a.txt /tmp/gamma-engine-c.txt
 
 echo "==> server smoke: two tenants, three simulated-clock ticks, server metric families"
 cargo run --release --bin gamma-study -- serve \

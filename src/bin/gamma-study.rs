@@ -66,6 +66,7 @@ fn main() -> ExitCode {
     let mut diff = false;
     let mut snapshot_dir: Option<String> = None;
     let mut require_ns: Vec<String> = Vec::new();
+    let mut engine_cache: Option<String> = None;
 
     let mut argv = std::env::args().skip(1).peekable();
     if argv.peek().map(String::as_str) == Some("serve") {
@@ -125,6 +126,10 @@ fn main() -> ExitCode {
                 Some(v) => snapshot_dir = Some(v),
                 None => return usage(),
             },
+            "--engine-cache" => match argv.next() {
+                Some(v) => engine_cache = Some(v),
+                None => return usage(),
+            },
             "--help" | "-h" => return usage(),
             _ => return usage(),
         }
@@ -175,6 +180,7 @@ fn main() -> ExitCode {
             .countries
             .retain(|c| ["RW", "US", "NZ"].contains(&c.country.as_str()));
     }
+    study.engine_cache = engine_cache.map(std::path::PathBuf::from);
     study.options.enable_source_constraint = !no_source;
     study.options.enable_destination_constraint = !no_dest;
     study.options.enable_rdns_constraint = !no_rdns;
@@ -750,7 +756,7 @@ fn usage() -> ExitCode {
          [--no-source] [--no-dest] [--no-rdns] \
          [--fault-profile NAME] [--quality-report] [--small] \
          [--trace] [--metrics-out FILE] [--check-metrics FILE] \
-         [--require-ns PREFIX] [--rounds N] [--diff]"
+         [--require-ns PREFIX] [--rounds N] [--diff] [--engine-cache DIR]"
     );
     eprintln!(
         "       gamma-study serve ... (run `gamma-study serve --help` for the service plane)"
@@ -778,6 +784,10 @@ fn usage() -> ExitCode {
     eprintln!(
         "  --snapshot-dir DIR    with --rounds: persist each round's delta chain and \
          latest full snapshot under DIR (crash-safe, fsck-able)"
+    );
+    eprintln!(
+        "  --engine-cache DIR    reuse the compiled filter engine across runs via a \
+         digest-keyed store artifact under DIR (decisions are identical either way)"
     );
     eprintln!("       gamma-study fsck [--repair] DIR   check/repair store artifacts");
     ExitCode::FAILURE
