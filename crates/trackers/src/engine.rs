@@ -42,7 +42,11 @@ use std::sync::OnceLock;
 /// Version of the serialized engine payload (bump on any change to the
 /// compiled layout or to token semantics — a cached engine built by a
 /// different tokenizer must not load).
-pub const ENGINE_FORMAT_VERSION: u32 = 1;
+///
+/// v2: `||domain` tokens split labels into alphanumeric runs (hyphenated
+/// labels previously hashed whole, indexing rules under tokens no
+/// request carries).
+pub const ENGINE_FORMAT_VERSION: u32 = 2;
 
 struct EngineCounters {
     evaluations: gamma_obs::Counter,
@@ -344,22 +348,26 @@ fn pattern_candidates(tokens: &[Tok], start_anchored: bool) -> Vec<u64> {
     out
 }
 
-/// Candidate tokens of a `||domain` anchor: its indexable labels, falling
-/// back to the longest label when every label is shorter than the token
-/// minimum ("g.co" still gets a token rather than an always-evaluate
-/// slot). Domains whose labels are all empty yield nothing — empty runs
-/// never appear in a request token set, so indexing one would lose
-/// matches.
+/// Candidate tokens of a `||domain` anchor: its indexable runs, falling
+/// back to the longest alphanumeric run when every run is shorter than
+/// the token minimum ("g.co" still gets a token rather than an
+/// always-evaluate slot). The fallback must be a *run*, not a raw
+/// label — for "a-b.co" the longest label "a-b" never appears as a
+/// request token, so hashing it would file the rule under an impossible
+/// token. Domains with no runs at all yield nothing and land on the
+/// always-evaluate list.
 fn domain_candidates(domain: &str, out: &mut Vec<u64>) {
     let before = out.len();
     domain_tokens(domain, out);
     if out.len() == before {
-        if let Some(longest) = domain
-            .split('.')
-            .filter(|l| !l.is_empty())
-            .max_by_key(|l| l.len())
-        {
-            out.push(token_hash(longest.as_bytes()));
+        let mut longest: Option<&[u8]> = None;
+        crate::tokens::for_each_run(domain.as_bytes(), |run| {
+            if longest.map_or(true, |l| run.len() > l.len()) {
+                longest = Some(run);
+            }
+        });
+        if let Some(run) = longest {
+            out.push(token_hash(run));
         }
     }
 }
@@ -502,6 +510,32 @@ mod tests {
     }
 
     #[test]
+    fn hyphenated_domains_stay_reachable_through_the_index() {
+        // Regression: raw-label hashing indexed "google-analytics" under
+        // a token that never appears in request token sets (hosts split
+        // into alphanumeric runs), so the engine silently under-blocked.
+        // "a-b.co" additionally pins the fallback path: every run is
+        // below TOKEN_MIN_BYTES, so the longest *run* ("co"), not the
+        // longest raw label ("a-b"), must carry the rule.
+        let (set, engine) = engine_and_set(&[
+            "||google-analytics.com^".to_string(),
+            "||a-b.co^".to_string(),
+        ]);
+        for (url, host) in [
+            (
+                "https://www.google-analytics.com/collect?v=1",
+                "www.google-analytics.com",
+            ),
+            ("https://a-b.co/x.js", "a-b.co"),
+        ] {
+            let ctx = host_request(url, host, "reader-site.com");
+            let legacy = set.matches_counted(&ctx).0;
+            assert!(matches!(legacy, Decision::Blocked(_)), "{url}");
+            assert_eq!(legacy, engine.matches_counted(&ctx).0, "{url}");
+        }
+    }
+
+    #[test]
     fn dead_rules_and_fusion_are_reported() {
         let lines = vec![
             "||com^".to_string(),
@@ -573,8 +607,12 @@ mod tests {
     // ---- differential property: engine ≡ legacy on random corpora ----
 
     fn arb_label() -> impl Strategy<Value = &'static str> {
+        // Hyphenated and underscored labels are load-bearing here: they
+        // exercise the run-boundary handling in domain token extraction
+        // (a raw-label hash would be unreachable in request token sets).
         prop::sample::select(vec![
             "ads", "trk", "pixel4", "example", "x", "co", "net", "deep", "track",
+            "region-ads", "x-y", "google-analytics", "ad_server",
         ])
     }
 

@@ -55,25 +55,32 @@ fn is_run_byte(b: u8) -> bool {
     b.is_ascii_alphanumeric()
 }
 
-/// Cuts `text` into complete alphanumeric runs and pushes each run's
-/// hash. This is the match-time side: every complete run of the URL (and
-/// of the host) is a potential token.
-pub fn tokenize_text(text: &str, out: &mut Vec<u64>) {
-    let bytes = text.as_bytes();
+/// Calls `f` on each complete alphanumeric run of `bytes`. The one
+/// run-splitting definition shared by the URL side, the rule side, and
+/// the index fallback — any divergence between them files rules under
+/// tokens no request can carry.
+pub(crate) fn for_each_run<'a>(bytes: &'a [u8], mut f: impl FnMut(&'a [u8])) {
     let mut start = None;
     for (i, &b) in bytes.iter().enumerate() {
         match (is_run_byte(b), start) {
             (true, None) => start = Some(i),
             (false, Some(s)) => {
-                out.push(token_hash(&bytes[s..i]));
+                f(&bytes[s..i]);
                 start = None;
             }
             _ => {}
         }
     }
     if let Some(s) = start {
-        out.push(token_hash(&bytes[s..]));
+        f(&bytes[s..]);
     }
+}
+
+/// Cuts `text` into complete alphanumeric runs and pushes each run's
+/// hash. This is the match-time side: every complete run of the URL (and
+/// of the host) is a potential token.
+pub fn tokenize_text(text: &str, out: &mut Vec<u64>) {
+    for_each_run(text.as_bytes(), |run| out.push(token_hash(run)));
 }
 
 /// Extracts the *safe* tokens of one pattern literal: hashes of the runs
@@ -151,14 +158,17 @@ impl TokenSet {
     }
 }
 
-/// Tokens of a `||domain` anchor: one per label. Sound because the rule
-/// only matches hosts carrying the domain at label boundaries, and the
-/// engine tokenizes the request *host* as well as the URL — every label
-/// of a matching host is a complete run of the host string.
+/// Tokens of a `||domain` anchor: one per alphanumeric run of the
+/// domain. Sound because the rule only matches hosts carrying the
+/// domain at label boundaries, and the engine tokenizes the request
+/// *host* as well as the URL — every run of a matching host is a
+/// complete run of the host string. Splitting on every non-run byte
+/// (not just `.`) matters: a hyphenated label like `google-analytics`
+/// tokenizes as `google` + `analytics` on the request side, so hashing
+/// the raw label would index the rule under a token no request can
+/// ever carry.
 pub fn domain_tokens(domain: &str, out: &mut Vec<u64>) {
-    for label in domain.split('.') {
-        push_long_enough(label.as_bytes(), out);
-    }
+    for_each_run(domain.as_bytes(), |run| push_long_enough(run, out));
 }
 
 #[cfg(test)]
@@ -233,13 +243,26 @@ mod tests {
 
     #[test]
     fn domain_labels_each_token() {
+        // A label containing '-' is NOT a single run in URL tokenisation —
+        // the host "region-ads.example" tokenizes as ["region", "ads",
+        // "example"] — so domain_tokens must split labels into runs too,
+        // or the rule is indexed under a token no request can carry.
         let mut out = Vec::new();
         domain_tokens("region-ads.example", &mut out);
-        // "region-ads" is two runs? No: labels split on '.', and a label
-        // containing '-' is NOT a single run in URL tokenisation — the
-        // host "region-ads.example" tokenizes as ["region","ads","example"].
-        // domain_tokens must agree with tokenize_text on hosts.
+        assert_eq!(
+            out,
+            vec![token_hash(b"region"), token_hash(b"example")],
+            "runs >= TOKEN_MIN_BYTES, in order; 'ads' too short"
+        );
         let host_runs = toks("region-ads.example");
+        for t in &out {
+            assert!(host_runs.contains(t), "token not derivable from host runs");
+        }
+
+        let mut out = Vec::new();
+        domain_tokens("google-analytics.com", &mut out);
+        assert_eq!(out, vec![token_hash(b"google"), token_hash(b"analytics")]);
+        let host_runs = toks("sub.google-analytics.com");
         for t in &out {
             assert!(host_runs.contains(t), "token not derivable from host runs");
         }
