@@ -4,12 +4,22 @@
 //! verdicts, tracker identification, organization attribution and
 //! first/third-party classification — after stripping the webdriver
 //! artifact requests exactly as §5 describes.
+//!
+//! Records hold interned ids, not strings: [`SiteRecord::domain`] is a
+//! [`SiteId`] and [`NonlocalTracker`] carries a [`HostId`]/[`OrgId`]
+//! pair, all resolving through the country's [`CountryData::names`]
+//! table. Assembly therefore never clones a domain or organization
+//! string per row — renderers resolve to `&str` at output time via
+//! [`CountryData::site_domain`] and friends. The row-level core
+//! ([`assemble_country_rows`]) is shared with the zero-copy columnar
+//! path in `gamma-longitudinal`, which feeds it borrowed column slices
+//! instead of owned structs.
 
 use gamma_browser::is_webdriver_noise_host;
 use gamma_dns::DomainName;
 use gamma_geo::{CityId, Continent, CountryCode};
 use gamma_geoloc::{Classification, FunnelStats, GeolocReport};
-use gamma_model::{HostId, SiteId};
+use gamma_model::{HostId, Interner, OrgId, SiteId};
 use gamma_suite::VolunteerDataset;
 use gamma_trackers::{site_first_party, DecisionCache, TrackerClassifier};
 use gamma_websim::{SiteKind, World};
@@ -17,14 +27,17 @@ use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 
 /// One confirmed non-local tracker observation on a site.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// String-valued facts are interned: resolve `request` and `org`
+/// through the owning country's [`CountryData::names`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct NonlocalTracker {
     /// The requested tracker host (domains are full host strings, §6.2).
-    pub request: DomainName,
+    pub request: HostId,
     /// Where the pipeline concluded the server is.
     pub claimed_city: CityId,
     /// Owning organization, when attribution succeeded.
-    pub org: Option<String>,
+    pub org: Option<OrgId>,
     /// HQ country of the organization.
     pub org_hq: Option<CountryCode>,
     /// First-party (same organization as the site, §6.7)?
@@ -39,9 +52,10 @@ impl NonlocalTracker {
 }
 
 /// One target website's analysis row.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SiteRecord {
-    pub domain: DomainName,
+    /// The site's domain, interned in the country's name table.
+    pub domain: SiteId,
     pub kind: SiteKind,
     pub loaded: bool,
     /// Confirmed non-local trackers, deduplicated by requested host.
@@ -59,6 +73,10 @@ impl SiteRecord {
 pub struct CountryData {
     pub country: CountryCode,
     pub continent: Continent,
+    /// The name table every id in this country's records resolves
+    /// through: the volunteer dataset's interner, extended with any
+    /// load-only site domains and the attributed organization names.
+    pub names: Interner,
     pub sites: Vec<SiteRecord>,
     pub funnel: FunnelStats,
     /// Requests dropped as webdriver noise (§5's cleanup).
@@ -83,6 +101,26 @@ impl CountryData {
     /// All loaded sites regardless of kind.
     pub fn all_loaded_sites(&self) -> impl Iterator<Item = &SiteRecord> {
         self.sites.iter().filter(|s| s.loaded)
+    }
+
+    /// The site's domain text.
+    pub fn site_domain(&self, s: &SiteRecord) -> &str {
+        s.domain.resolve(&self.names)
+    }
+
+    /// The record for `domain`, if this country's T_web contained it.
+    pub fn site(&self, domain: &str) -> Option<&SiteRecord> {
+        self.sites.iter().find(|s| self.site_domain(s) == domain)
+    }
+
+    /// The tracker's requested host text.
+    pub fn tracker_request(&self, t: &NonlocalTracker) -> &str {
+        t.request.resolve(&self.names)
+    }
+
+    /// The tracker's owning organization name, when attributed.
+    pub fn tracker_org(&self, t: &NonlocalTracker) -> Option<&str> {
+        t.org.map(|o| o.resolve(&self.names))
     }
 }
 
@@ -111,13 +149,71 @@ impl StudyDataset {
     }
 }
 
+/// One page-load row fed to [`assemble_country_rows`]: the site's domain
+/// text (borrowed from wherever the caller keeps it — an owned
+/// [`gamma_browser::PageLoad`] or a columnar string table) and whether
+/// the load succeeded.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadRow<'a> {
+    pub site: &'a str,
+    pub loaded: bool,
+}
+
+/// One geolocation verdict row fed to [`assemble_country_rows`]. Ids are
+/// symbols in the `symbols` table passed alongside; `confirmed_claim`
+/// carries the claimed city only for confirmed-non-local verdicts (other
+/// classifications still flow through the webdriver-noise counter).
+#[derive(Debug, Clone, Copy)]
+pub struct VerdictRow {
+    pub site: SiteId,
+    pub request: HostId,
+    pub confirmed_claim: Option<CityId>,
+}
+
 fn assemble_country(
     world: &World,
     classifier: &TrackerClassifier,
     ds: &VolunteerDataset,
     report: &GeolocReport,
 ) -> CountryData {
-    let country = ds.volunteer.country;
+    assemble_country_rows(
+        world,
+        classifier,
+        ds.volunteer.country,
+        &ds.symbols,
+        report.funnel,
+        ds.loads.iter().map(|load| LoadRow {
+            site: load.site.as_str(),
+            loaded: load.succeeded(),
+        }),
+        report.verdicts.iter().map(|v| VerdictRow {
+            site: v.site,
+            request: v.request,
+            confirmed_claim: match v.classification {
+                Classification::ConfirmedNonLocal { claimed, .. } => Some(claimed),
+                _ => None,
+            },
+        }),
+    )
+}
+
+/// The row-level assembly core behind [`StudyDataset::assemble`].
+///
+/// Takes the country's symbol table plus plain row iterators so both
+/// the owned path (structs out of a [`VolunteerDataset`]) and the
+/// zero-copy columnar path (borrowed slices out of a snapshot view)
+/// produce identical [`CountryData`] — including identical interned
+/// ids, because `names` starts as a clone of `symbols` and grows in
+/// deterministic row order.
+pub fn assemble_country_rows<'a>(
+    world: &World,
+    classifier: &TrackerClassifier,
+    country: CountryCode,
+    symbols: &Interner,
+    funnel: FunnelStats,
+    loads: impl IntoIterator<Item = LoadRow<'a>>,
+    verdicts: impl IntoIterator<Item = VerdictRow>,
+) -> CountryData {
     let continent = gamma_geo::country(country)
         .map(|c| c.continent)
         .expect("measurement country is cataloged");
@@ -137,27 +233,30 @@ fn assemble_country(
     // Start from the page loads so never-confirmed sites still appear.
     // `site_of_symbol` is the dense join index: verdict site ids resolve to
     // a `sites` slot with one vector probe instead of a string hash. Sites
-    // whose network info was never gathered have loads but no symbol.
+    // whose network info was never gathered have loads but no symbol — they
+    // intern past the end of `symbols` and stay out of the join index.
+    let mut names = symbols.clone();
     let mut sites: Vec<SiteRecord> = Vec::new();
-    let mut site_index: HashMap<&str, usize> = HashMap::new();
-    let mut site_of_symbol: Vec<Option<u32>> = vec![None; ds.symbols.len()];
-    for load in &ds.loads {
-        if site_index.contains_key(load.site.as_str()) {
+    let mut site_index: HashMap<SiteId, usize> = HashMap::new();
+    let mut site_of_symbol: Vec<Option<u32>> = vec![None; symbols.len()];
+    for load in loads {
+        let domain = SiteId::intern(&mut names, load.site);
+        if site_index.contains_key(&domain) {
             continue;
         }
         let kind = kind_of
-            .get(load.site.as_str())
+            .get(load.site)
             .copied()
             .unwrap_or(SiteKind::Regional);
         let idx = sites.len();
-        site_index.insert(load.site.as_str(), idx);
-        if let Some(sym) = ds.symbols.lookup(load.site.as_str()) {
-            site_of_symbol[sym.as_usize()] = Some(idx as u32);
+        site_index.insert(domain, idx);
+        if let Some(slot) = site_of_symbol.get_mut(domain.as_usize()) {
+            *slot = Some(idx as u32);
         }
         sites.push(SiteRecord {
-            domain: load.site.clone(),
+            domain,
             kind,
-            loaded: load.succeeded(),
+            loaded: load.loaded,
             nonlocal_trackers: Vec::new(),
         });
     }
@@ -171,22 +270,22 @@ fn assemble_country(
     let mut confirmed_domains: HashSet<HostId> = HashSet::new();
     let mut confirmed_tracker_set: HashSet<HostId> = HashSet::new();
     let mut decisions = DecisionCache::new();
-    let mut first_party_of: HashMap<SiteId, String> = HashMap::new();
-    for v in &report.verdicts {
-        if is_webdriver_noise_host(ds.host(v.request)) {
+    let mut first_party_of: HashMap<SiteId, (String, DomainName)> = HashMap::new();
+    for v in verdicts {
+        if is_webdriver_noise_host(v.request.resolve(symbols)) {
             noise_removed += 1;
             continue;
         }
-        let Classification::ConfirmedNonLocal { claimed, .. } = v.classification else {
+        let Some(claimed) = v.confirmed_claim else {
             continue;
         };
         confirmed_domains.insert(v.request);
-        let fp = first_party_of.entry(v.site).or_insert_with(|| {
-            let site = DomainName::from_normalized(ds.site_domain(v.site).to_string());
-            site_first_party(&site)
+        let (fp, _) = first_party_of.entry(v.site).or_insert_with(|| {
+            let site = DomainName::from_normalized(v.site.resolve(symbols).to_string());
+            (site_first_party(&site), site)
         });
         if !classifier
-            .identify_cached(&mut decisions, &ds.symbols, v.request, fp)
+            .identify_cached(&mut decisions, symbols, v.request, fp)
             .is_tracker()
         {
             continue;
@@ -200,13 +299,14 @@ fn assemble_country(
             continue;
         };
         let idx = idx as usize;
-        let request = DomainName::from_normalized(ds.host(v.request).to_string());
+        let request = DomainName::from_normalized(v.request.resolve(symbols).to_string());
         let org_entry = classifier.orgs.lookup(&request);
-        let first_party = classifier.is_first_party(world, &request, &sites[idx].domain);
+        let site_domain = &first_party_of[&v.site].1;
+        let first_party = classifier.is_first_party(world, &request, site_domain);
         sites[idx].nonlocal_trackers.push(NonlocalTracker {
-            request,
+            request: v.request,
             claimed_city: claimed,
-            org: org_entry.map(|e| e.name.clone()),
+            org: org_entry.map(|e| OrgId::intern(&mut names, &e.name)),
             org_hq: org_entry.map(|e| e.hq),
             first_party,
         });
@@ -217,8 +317,9 @@ fn assemble_country(
     CountryData {
         country,
         continent,
+        names,
         sites,
-        funnel: report.funnel,
+        funnel,
         noise_requests_removed: noise_removed,
         confirmed_nonlocal_domains,
         confirmed_tracker_domains,
@@ -302,7 +403,7 @@ mod tests {
         for c in &f.study.countries {
             for s in &c.sites {
                 for t in &s.nonlocal_trackers {
-                    assert!(!gamma_browser::is_webdriver_noise(&t.request));
+                    assert!(!is_webdriver_noise_host(c.tracker_request(t)));
                 }
             }
         }
@@ -356,14 +457,34 @@ mod tests {
                 let mut seen = std::collections::HashSet::new();
                 for t in &s.nonlocal_trackers {
                     assert!(
-                        seen.insert(&t.request),
+                        seen.insert(t.request),
                         "{}: duplicate {} on {}",
                         c.country,
-                        t.request,
-                        s.domain
+                        c.tracker_request(t),
+                        c.site_domain(s)
                     );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn ids_resolve_through_the_country_name_table() {
+        let f = fixture();
+        for c in &f.study.countries {
+            for s in &c.sites {
+                assert!(!c.site_domain(s).is_empty());
+                for t in &s.nonlocal_trackers {
+                    assert!(c.tracker_request(t).contains('.'));
+                    assert_eq!(t.org.is_some(), c.tracker_org(t).is_some());
+                }
+            }
+            // The lookup accessor round-trips every site.
+            let first = &c.sites[0];
+            assert_eq!(
+                c.site(c.site_domain(first)).map(|s| s.domain),
+                Some(first.domain)
+            );
         }
     }
 }

@@ -44,8 +44,8 @@ pub fn first_party_analysis(study: &StudyDataset) -> FirstPartySummary {
             sites_with_nonlocal += 1;
             if let Some(t) = s.nonlocal_trackers.iter().find(|t| t.first_party) {
                 first_party_sites.push((
-                    s.domain.to_string(),
-                    t.org.clone().unwrap_or_else(|| "unknown".into()),
+                    c.site_domain(s).to_string(),
+                    c.tracker_org(t).unwrap_or("unknown").to_string(),
                 ));
             }
         }

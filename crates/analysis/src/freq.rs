@@ -10,31 +10,37 @@ use std::collections::HashMap;
 pub fn figure9(study: &StudyDataset) -> HashMap<CountryCode, Vec<(DomainName, usize)>> {
     let mut out = HashMap::new();
     for c in &study.countries {
-        let mut counts: HashMap<&DomainName, usize> = HashMap::new();
+        let mut counts: HashMap<&str, usize> = HashMap::new();
         for s in c.all_loaded_sites() {
             for t in &s.nonlocal_trackers {
-                *counts.entry(&t.request).or_default() += 1;
+                *counts.entry(c.tracker_request(t)).or_default() += 1;
             }
         }
-        let mut v: Vec<(DomainName, usize)> =
-            counts.into_iter().map(|(d, n)| (d.clone(), n)).collect();
+        let mut v: Vec<(DomainName, usize)> = counts
+            .into_iter()
+            .map(|(d, n)| (DomainName::from_normalized(d.to_string()), n))
+            .collect();
         v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         out.insert(c.country, v);
     }
     out
 }
 
-/// The global view: frequency across all countries combined.
+/// The global view: frequency across all countries combined. Counts key
+/// on domain *text* — ids are per-country tables and do not join.
 pub fn global_frequency(study: &StudyDataset) -> Vec<(DomainName, usize)> {
-    let mut counts: HashMap<&DomainName, usize> = HashMap::new();
+    let mut counts: HashMap<&str, usize> = HashMap::new();
     for c in &study.countries {
         for s in c.all_loaded_sites() {
             for t in &s.nonlocal_trackers {
-                *counts.entry(&t.request).or_default() += 1;
+                *counts.entry(c.tracker_request(t)).or_default() += 1;
             }
         }
     }
-    let mut v: Vec<(DomainName, usize)> = counts.into_iter().map(|(d, n)| (d.clone(), n)).collect();
+    let mut v: Vec<(DomainName, usize)> = counts
+        .into_iter()
+        .map(|(d, n)| (DomainName::from_normalized(d.to_string()), n))
+        .collect();
     v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
     v
 }

@@ -4,19 +4,20 @@
 //! breakdown.
 
 use crate::dataset::StudyDataset;
-use gamma_dns::DomainName;
 use gamma_geo::CountryCode;
+use gamma_model::HostId;
 use std::collections::{HashMap, HashSet};
 
 /// Unique non-local tracking domains hosted per destination country.
+/// Uniqueness is by domain *text*, since ids are per-country tables.
 pub fn domains_by_hosting_country(study: &StudyDataset) -> Vec<(CountryCode, usize)> {
-    let mut sets: HashMap<CountryCode, HashSet<&DomainName>> = HashMap::new();
+    let mut sets: HashMap<CountryCode, HashSet<&str>> = HashMap::new();
     for c in &study.countries {
         for s in &c.sites {
             for t in &s.nonlocal_trackers {
                 sets.entry(t.hosting_country())
                     .or_default()
-                    .insert(&t.request);
+                    .insert(c.tracker_request(t));
             }
         }
     }
@@ -30,12 +31,12 @@ pub fn domains_by_hosting_country(study: &StudyDataset) -> Vec<(CountryCode, usi
 pub fn figure7(study: &StudyDataset) -> HashMap<CountryCode, Vec<(CountryCode, usize)>> {
     let mut out = HashMap::new();
     for c in &study.countries {
-        let mut sets: HashMap<CountryCode, HashSet<&DomainName>> = HashMap::new();
+        let mut sets: HashMap<CountryCode, HashSet<HostId>> = HashMap::new();
         for s in &c.sites {
             for t in &s.nonlocal_trackers {
                 sets.entry(t.hosting_country())
                     .or_default()
-                    .insert(&t.request);
+                    .insert(t.request);
             }
         }
         let mut v: Vec<(CountryCode, usize)> =

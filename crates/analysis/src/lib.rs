@@ -45,4 +45,7 @@ pub mod regional_diff;
 pub mod render;
 pub mod stats;
 
-pub use dataset::{CountryData, NonlocalTracker, SiteRecord, StudyDataset};
+pub use dataset::{
+    assemble_country_rows, CountryData, LoadRow, NonlocalTracker, SiteRecord, StudyDataset,
+    VerdictRow,
+};

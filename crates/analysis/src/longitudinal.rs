@@ -21,7 +21,6 @@
 //! rounds)` pair — the property the longitudinal tests pin.
 
 use crate::dataset::{CountryData, StudyDataset};
-use gamma_dns::DomainName;
 use gamma_geo::CountryCode;
 use gamma_geoloc::{Classification, GeolocReport};
 use gamma_suite::VolunteerDataset;
@@ -225,11 +224,13 @@ fn stability_series(views: &[RoundView<'_>]) -> Vec<VerdictStability> {
     out
 }
 
-/// Confirmed non-local tracker domains one country observed in one round.
-fn tracker_domains(c: &CountryData) -> BTreeSet<&DomainName> {
+/// Confirmed non-local tracker domains one country observed in one
+/// round. Keyed by domain text: interned ids are per-round tables, so
+/// the cross-round join must happen on the strings themselves.
+fn tracker_domains(c: &CountryData) -> BTreeSet<&str> {
     c.sites
         .iter()
-        .flat_map(|s| s.nonlocal_trackers.iter().map(|t| &t.request))
+        .flat_map(|s| s.nonlocal_trackers.iter().map(|t| c.tracker_request(t)))
         .collect()
 }
 

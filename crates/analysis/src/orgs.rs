@@ -12,13 +12,13 @@ pub fn figure8(study: &StudyDataset) -> HashMap<(CountryCode, String), usize> {
     let mut out: HashMap<(CountryCode, String), usize> = HashMap::new();
     for c in &study.countries {
         for s in c.all_loaded_sites() {
-            let orgs: HashSet<&String> = s
+            let orgs: HashSet<&str> = s
                 .nonlocal_trackers
                 .iter()
-                .filter_map(|t| t.org.as_ref())
+                .filter_map(|t| c.tracker_org(t))
                 .collect();
             for o in orgs {
-                *out.entry((c.country, o.clone())).or_default() += 1;
+                *out.entry((c.country, o.to_string())).or_default() += 1;
             }
         }
     }
@@ -55,11 +55,11 @@ pub fn exclusive_orgs(study: &StudyDataset) -> Vec<(String, CountryCode)> {
 /// HQ-country distribution of *observed* non-local tracker organizations:
 /// (country, org count, fraction).
 pub fn hq_distribution(study: &StudyDataset) -> Vec<(CountryCode, usize, f64)> {
-    let mut hq_of: HashMap<&String, CountryCode> = HashMap::new();
+    let mut hq_of: HashMap<&str, CountryCode> = HashMap::new();
     for c in &study.countries {
         for s in &c.sites {
             for t in &s.nonlocal_trackers {
-                if let (Some(org), Some(hq)) = (t.org.as_ref(), t.org_hq) {
+                if let (Some(org), Some(hq)) = (c.tracker_org(t), t.org_hq) {
                     hq_of.insert(org, hq);
                 }
             }
@@ -80,11 +80,11 @@ pub fn hq_distribution(study: &StudyDataset) -> Vec<(CountryCode, usize, f64)> {
 
 /// Total number of distinct organizations observed (paper: ~70).
 pub fn observed_org_count(study: &StudyDataset) -> usize {
-    let mut orgs: HashSet<&String> = HashSet::new();
+    let mut orgs: HashSet<&str> = HashSet::new();
     for c in &study.countries {
         for s in &c.sites {
             for t in &s.nonlocal_trackers {
-                if let Some(o) = t.org.as_ref() {
+                if let Some(o) = c.tracker_org(t) {
                     orgs.insert(o);
                 }
             }

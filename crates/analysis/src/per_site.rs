@@ -60,7 +60,11 @@ pub fn outlier_sites(study: &StudyDataset, top: usize) -> Vec<(CountryCode, Stri
     for c in &study.countries {
         for s in c.all_loaded_sites() {
             if !s.nonlocal_trackers.is_empty() {
-                v.push((c.country, s.domain.to_string(), s.nonlocal_trackers.len()));
+                v.push((
+                    c.country,
+                    c.site_domain(s).to_string(),
+                    s.nonlocal_trackers.len(),
+                ));
             }
         }
     }

@@ -83,7 +83,7 @@ impl SiteComparison {
 pub fn compare_site(study: &StudyDataset, site: &DomainName) -> SiteComparison {
     let mut views = Vec::new();
     for c in &study.countries {
-        let Some(record) = c.sites.iter().find(|s| &s.domain == site) else {
+        let Some(record) = c.site(site.as_str()) else {
             continue;
         };
         views.push(SiteView {
@@ -92,12 +92,12 @@ pub fn compare_site(study: &StudyDataset, site: &DomainName) -> SiteComparison {
             nonlocal_trackers: record
                 .nonlocal_trackers
                 .iter()
-                .map(|t| t.request.clone())
+                .map(|t| DomainName::from_normalized(c.tracker_request(t).to_string()))
                 .collect(),
             orgs: record
                 .nonlocal_trackers
                 .iter()
-                .filter_map(|t| t.org.clone())
+                .filter_map(|t| c.tracker_org(t).map(str::to_string))
                 .collect(),
             hosting_countries: record
                 .nonlocal_trackers

@@ -1,0 +1,154 @@
+//! Benchmarks for the columnar snapshot plane: encode/decode throughput
+//! and size vs the serde JSON snapshot, the borrowed view join vs the
+//! materialize-then-assemble join, and the streamed columnar delta walk
+//! vs full per-round materialization.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gamma_analysis::StudyDataset;
+use gamma_core::Study;
+use gamma_longitudinal::{
+    apply_delta, assemble_from_view, ColumnarRound, LongitudinalResults, LongitudinalStudy,
+    RoundSnapshot,
+};
+use gamma_trackers::TrackerClassifier;
+use gamma_websim::{World, WorldSpec};
+use std::hint::black_box;
+use std::sync::OnceLock;
+
+struct Fixture {
+    world: World,
+    classifier: TrackerClassifier,
+    snap: RoundSnapshot,
+    col: ColumnarRound,
+}
+
+/// One round over a reduced world, snapshotted and columnar-encoded once.
+fn fixture() -> &'static Fixture {
+    static F: OnceLock<Fixture> = OnceLock::new();
+    F.get_or_init(|| {
+        let mut spec = WorldSpec::paper_default(gamma_bench::BENCH_SEED);
+        spec.countries
+            .retain(|c| ["RW", "US", "NZ"].contains(&c.country.as_str()));
+        let study = Study::with_spec(spec);
+        let world = gamma_websim::worldgen::generate(&study.spec);
+        let classifier = TrackerClassifier::for_world(&world);
+        let out = study
+            .run_round(&world, 0, &gamma_campaign::Options::sequential())
+            .expect("round runs");
+        let snap = RoundSnapshot::from_round(&out);
+        let col = ColumnarRound::encode(&snap);
+        Fixture {
+            world,
+            classifier,
+            snap,
+            col,
+        }
+    })
+}
+
+/// The same reduced world run for three rounds, for the delta-walk bench.
+fn campaign() -> &'static LongitudinalResults {
+    static C: OnceLock<LongitudinalResults> = OnceLock::new();
+    C.get_or_init(|| {
+        let mut spec = WorldSpec::paper_default(gamma_bench::BENCH_SEED);
+        spec.countries
+            .retain(|c| ["RW", "US", "NZ"].contains(&c.country.as_str()));
+        LongitudinalStudy::new(Study::with_spec(spec), 3).run()
+    })
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let f = fixture();
+    println!(
+        "columnar snapshot size: {} B columnar vs {} B serde JSON",
+        f.col.byte_len(),
+        f.snap.json_bytes()
+    );
+
+    let mut g = c.benchmark_group("columnar");
+    g.throughput(Throughput::Bytes(f.col.byte_len() as u64));
+    g.bench_function("encode", |b| {
+        b.iter(|| ColumnarRound::encode(black_box(&f.snap)))
+    });
+    g.bench_function("materialize", |b| {
+        b.iter(|| black_box(&f.col).materialize().expect("round materializes"))
+    });
+    g.finish();
+}
+
+fn bench_join(c: &mut Criterion) {
+    let f = fixture();
+    let rows: u64 = f
+        .snap
+        .countries
+        .iter()
+        .map(|cr| (cr.dataset.loads.len() + cr.report.verdicts.len()) as u64)
+        .sum();
+
+    let mut g = c.benchmark_group("columnar");
+    g.throughput(Throughput::Elements(rows));
+    // Borrowed path: parse offsets, feed column slices straight into the
+    // shared assembly core — no per-row structs in between.
+    g.bench_function("join_view", |b| {
+        b.iter(|| {
+            let view = black_box(&f.col).view().expect("view parses");
+            assemble_from_view(&f.world, &f.classifier, &view).expect("view assembles")
+        })
+    });
+    // Owned path: rebuild every PageLoad/DnsObservation/verdict struct,
+    // then assemble from the clones.
+    g.bench_function("join_materialized", |b| {
+        b.iter(|| {
+            let snap = black_box(&f.col).materialize().expect("round materializes");
+            let runs: Vec<_> = snap
+                .countries
+                .into_iter()
+                .map(|cr| (cr.dataset, cr.report))
+                .collect();
+            StudyDataset::assemble(&f.world, &f.classifier, &runs)
+        })
+    });
+    g.finish();
+}
+
+fn bench_diff_walk(c: &mut Criterion) {
+    let results = campaign();
+    let total_rows: u64 = results
+        .snapshots
+        .iter()
+        .flat_map(|s| &s.countries)
+        .map(|cr| (cr.dataset.loads.len() + cr.report.verdicts.len()) as u64)
+        .sum();
+
+    let mut g = c.benchmark_group("columnar");
+    g.throughput(Throughput::Elements(total_rows));
+    // Streamed: carry only the columnar round between deltas; unchanged
+    // rows are copied column-wise, never re-materialized as structs.
+    g.bench_function("diff_streamed", |b| {
+        b.iter(|| {
+            let mut cur: Option<ColumnarRound> = None;
+            let mut materialized_rows = 0u64;
+            for d in &results.deltas {
+                let (next, stats) = apply_delta(cur.as_ref(), d).expect("delta applies");
+                materialized_rows += stats.materialized_rows as u64;
+                cur = Some(next);
+            }
+            (cur, materialized_rows)
+        })
+    });
+    // Materialized: decode every round into a full struct snapshot, the
+    // pre-columnar walk.
+    g.bench_function("diff_materialized", |b| {
+        b.iter(|| {
+            let mut cur: Option<RoundSnapshot> = None;
+            for d in &results.deltas {
+                cur = Some(d.decode(cur.as_ref()).expect("delta decodes"));
+            }
+            cur
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_codec, bench_join, bench_diff_walk);
+criterion_main!(benches);

@@ -1,0 +1,1405 @@
+//! Columnar round snapshots: struct-of-arrays encoding, borrowed views,
+//! and the O(changed-rows) delta applier.
+//!
+//! A [`ColumnarRound`] is the offset-based twin of [`RoundSnapshot`]:
+//! one JSON directory ([`RoundMeta`] — counts, per-country section
+//! offsets, and the small irregular payloads: volunteer metadata,
+//! funnel, quarantine) plus one binary blob per country holding the
+//! observation rows as columns — `sites`, `requests`, `ips`, `rdns`,
+//! classifications — over a deduplicated string table whose first
+//! `interner_len` entries are exactly the round's [`Interner`] entries
+//! in id order (so symbol columns double as string-table indexes).
+//!
+//! Three consumers share the encoding:
+//!
+//! - [`SnapshotView`]/[`CountryView`] read columns by offset straight
+//!   from the loaded container bytes — analysis joins run without
+//!   materializing one `DnsObservation`/`DomainVerdict` struct;
+//! - [`ColumnarRound::materialize`] rebuilds the owned [`RoundSnapshot`]
+//!   byte-identically (the round-trip proof the tests pin);
+//! - [`apply_delta`] advances a columnar round by one [`DeltaSnapshot`]
+//!   copying `RowOp::Ref` rows column-to-column (symbol columns
+//!   translated through the interner join map) so only `RowOp::New`
+//!   rows are ever materialized as structs — O(changed rows), counted
+//!   by [`ApplyStats`].
+
+use crate::snapshot::{CountryRound, DeltaSnapshot, RoundSnapshot, RowOp};
+use gamma_analysis::{assemble_country_rows, LoadRow, StudyDataset, VerdictRow};
+use gamma_browser::{LoadStatus, PageLoad};
+use gamma_dns::{DnsFailure, DomainName};
+use gamma_geo::{CityId, CountryCode};
+use gamma_geoloc::{
+    Classification, Confidence, DegradedReason, DiscardReason, DomainVerdict, FunnelStats,
+    GeolocReport,
+};
+use gamma_model::columnar::{
+    Bitmap, BlobWriter, ColumnarError, Section, StrTableBuilder, StrTableView, U16Col, U32Col,
+    U8Col,
+};
+use gamma_model::{HostId, Interner, RdnsId, SiteId, Symbol};
+use gamma_netsim::Asn;
+use gamma_suite::{
+    DnsObservation, NormalizedTraceroute, Quarantine, TracerouteRecord, VolunteerDataset,
+    VolunteerMeta,
+};
+use gamma_trackers::TrackerClassifier;
+use gamma_websim::World;
+use serde::{Deserialize, Serialize};
+use std::net::Ipv4Addr;
+
+/// Version of the columnar layout, carried in the JSON directory frame.
+pub const COLUMNAR_VERSION: u32 = 1;
+
+fn cerr(detail: impl Into<String>) -> ColumnarError {
+    ColumnarError(detail.into())
+}
+
+/// Row counts of one country's columns.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RowCounts {
+    pub loads: u32,
+    pub load_requests: u32,
+    pub dns: u32,
+    pub traceroutes: u32,
+    pub verdicts: u32,
+}
+
+/// Byte ranges of every column in one country's blob.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ColumnSections {
+    /// Self-describing string table; ids `0..interner_len` are the
+    /// interner entries in id order.
+    pub strings: Section,
+    pub load_site: Section,
+    pub load_status: Section,
+    pub load_render_ms: Section,
+    pub load_req_offsets: Section,
+    pub load_req_strs: Section,
+    pub dns_site: Section,
+    pub dns_request: Section,
+    pub dns_ip_bits: Section,
+    pub dns_ip: Section,
+    pub dns_rdns_bits: Section,
+    pub dns_rdns: Section,
+    pub dns_asn_bits: Section,
+    pub dns_asn: Section,
+    pub dns_failure: Section,
+    pub tr_target_ip: Section,
+    pub tr_raw_text: Section,
+    pub tr_norm_offsets: Section,
+    pub tr_norm_bytes: Section,
+    pub v_site: Section,
+    pub v_request: Section,
+    pub v_ip: Section,
+    pub v_rdns_bits: Section,
+    pub v_rdns: Section,
+    pub v_class: Section,
+    pub v_aux: Section,
+    pub v_claimed_bits: Section,
+    pub v_claimed: Section,
+}
+
+/// One country's directory entry: the small irregular payloads plus the
+/// offsets of its column blob.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CountryMeta {
+    pub country: CountryCode,
+    pub volunteer: VolunteerMeta,
+    pub probes_enabled: bool,
+    pub opted_out: Vec<SiteId>,
+    pub funnel: FunnelStats,
+    pub quarantine: Quarantine,
+    /// String-table ids `0..interner_len` reconstruct the interner.
+    pub interner_len: u32,
+    pub rows: RowCounts,
+    pub sections: ColumnSections,
+}
+
+/// The JSON directory frame of a columnar snapshot container.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoundMeta {
+    pub version: u32,
+    pub epoch: u32,
+    pub round_seed: u64,
+    pub countries: Vec<CountryMeta>,
+}
+
+/// A round in columnar form: the directory plus one blob per country.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnarRound {
+    pub meta: RoundMeta,
+    pub blobs: Vec<Vec<u8>>,
+}
+
+// ---- enum <-> column-tag mappings (explicit matches: adding a variant
+// upstream is a compile error here, not silent corruption) ----
+
+fn load_status_tag(s: LoadStatus) -> u8 {
+    match s {
+        LoadStatus::Loaded => 0,
+        LoadStatus::TimedOut => 1,
+        LoadStatus::Failed => 2,
+    }
+}
+
+fn load_status_from(tag: u8) -> Result<LoadStatus, ColumnarError> {
+    Ok(match tag {
+        0 => LoadStatus::Loaded,
+        1 => LoadStatus::TimedOut,
+        2 => LoadStatus::Failed,
+        t => return Err(cerr(format!("unknown load status tag {t}"))),
+    })
+}
+
+fn dns_failure_tag(f: Option<DnsFailure>) -> u8 {
+    match f {
+        None => 0,
+        Some(DnsFailure::Timeout) => 1,
+        Some(DnsFailure::Servfail) => 2,
+        Some(DnsFailure::Nxdomain) => 3,
+    }
+}
+
+fn dns_failure_from(tag: u8) -> Result<Option<DnsFailure>, ColumnarError> {
+    Ok(match tag {
+        0 => None,
+        1 => Some(DnsFailure::Timeout),
+        2 => Some(DnsFailure::Servfail),
+        3 => Some(DnsFailure::Nxdomain),
+        t => return Err(cerr(format!("unknown dns failure tag {t}"))),
+    })
+}
+
+fn discard_tag(r: DiscardReason) -> u8 {
+    match r {
+        DiscardReason::NoGeolocation => 0,
+        DiscardReason::NoTraceroute => 1,
+        DiscardReason::SourceUnreached => 2,
+        DiscardReason::SourceSolViolation => 3,
+        DiscardReason::SourceTooFast => 4,
+        DiscardReason::DestNoProbe => 5,
+        DiscardReason::DestUnreached => 6,
+        DiscardReason::DestInconsistent => 7,
+        DiscardReason::RdnsContradiction => 8,
+    }
+}
+
+fn discard_from(tag: u8) -> Result<DiscardReason, ColumnarError> {
+    Ok(match tag {
+        0 => DiscardReason::NoGeolocation,
+        1 => DiscardReason::NoTraceroute,
+        2 => DiscardReason::SourceUnreached,
+        3 => DiscardReason::SourceSolViolation,
+        4 => DiscardReason::SourceTooFast,
+        5 => DiscardReason::DestNoProbe,
+        6 => DiscardReason::DestUnreached,
+        7 => DiscardReason::DestInconsistent,
+        8 => DiscardReason::RdnsContradiction,
+        t => return Err(cerr(format!("unknown discard reason tag {t}"))),
+    })
+}
+
+const CLASS_LOCAL: u8 = 0;
+const CLASS_CONFIRMED: u8 = 1;
+const CLASS_DISCARDED: u8 = 2;
+
+fn confidence_tag(c: Confidence) -> u8 {
+    match c {
+        Confidence::Full => 0,
+        Confidence::Degraded(DegradedReason::NoSourceLatency) => 1,
+        Confidence::Degraded(DegradedReason::NoDestinationProbe) => 2,
+    }
+}
+
+fn confidence_from(tag: u8) -> Result<Confidence, ColumnarError> {
+    Ok(match tag {
+        0 => Confidence::Full,
+        1 => Confidence::Degraded(DegradedReason::NoSourceLatency),
+        2 => Confidence::Degraded(DegradedReason::NoDestinationProbe),
+        t => return Err(cerr(format!("unknown confidence tag {t}"))),
+    })
+}
+
+/// `(class tag, aux byte, claimed city)` columns of one classification.
+fn class_cols(c: &Classification) -> (u8, u8, Option<u16>) {
+    match c {
+        Classification::Local { claimed } => (CLASS_LOCAL, 0, Some(claimed.0)),
+        Classification::ConfirmedNonLocal {
+            claimed,
+            confidence,
+        } => (
+            CLASS_CONFIRMED,
+            confidence_tag(*confidence),
+            Some(claimed.0),
+        ),
+        Classification::Discarded { reason, claimed } => {
+            (CLASS_DISCARDED, discard_tag(*reason), claimed.map(|c| c.0))
+        }
+    }
+}
+
+fn class_from_cols(
+    tag: u8,
+    aux: u8,
+    claimed: Option<u16>,
+) -> Result<Classification, ColumnarError> {
+    Ok(match tag {
+        CLASS_LOCAL => Classification::Local {
+            claimed: CityId(claimed.ok_or_else(|| cerr("local verdict without claimed city"))?),
+        },
+        CLASS_CONFIRMED => Classification::ConfirmedNonLocal {
+            claimed: CityId(claimed.ok_or_else(|| cerr("confirmed verdict without claimed city"))?),
+            confidence: confidence_from(aux)?,
+        },
+        CLASS_DISCARDED => Classification::Discarded {
+            reason: discard_from(aux)?,
+            claimed: claimed.map(CityId),
+        },
+        t => return Err(cerr(format!("unknown classification tag {t}"))),
+    })
+}
+
+// ---- writer: accumulate columns row by row, then lay out one blob ----
+
+/// Column accumulator for one country. Rows arrive either as owned
+/// structs ([`CountryColumns::push_*`], the encode path and `RowOp::New`)
+/// or copied column-to-column from a previous round's view
+/// ([`CountryColumns::copy_*`], the `RowOp::Ref` path — no structs).
+#[derive(Default)]
+struct CountryColumns {
+    strings: StrTableBuilder,
+    load_site: Vec<u32>,
+    load_status: Vec<u8>,
+    load_render: Vec<u32>,
+    load_req_off: Vec<u32>,
+    load_req: Vec<u32>,
+    dns_site: Vec<u32>,
+    dns_request: Vec<u32>,
+    dns_ip_bits: Vec<bool>,
+    dns_ip: Vec<u32>,
+    dns_rdns_bits: Vec<bool>,
+    dns_rdns: Vec<u32>,
+    dns_asn_bits: Vec<bool>,
+    dns_asn: Vec<u32>,
+    dns_failure: Vec<u8>,
+    tr_ip: Vec<u32>,
+    tr_raw: Vec<u32>,
+    tr_norm_off: Vec<u32>,
+    tr_norm_bytes: Vec<u8>,
+    v_site: Vec<u32>,
+    v_request: Vec<u32>,
+    v_ip: Vec<u32>,
+    v_rdns_bits: Vec<bool>,
+    v_rdns: Vec<u32>,
+    v_class: Vec<u8>,
+    v_aux: Vec<u8>,
+    v_claimed_bits: Vec<bool>,
+    v_claimed: Vec<u16>,
+}
+
+impl CountryColumns {
+    /// Seeds the string table with the interner entries so ids coincide.
+    fn seeded(symbols: &Interner) -> CountryColumns {
+        let mut c = CountryColumns {
+            load_req_off: vec![0],
+            tr_norm_off: vec![0],
+            ..CountryColumns::default()
+        };
+        for s in symbols.iter() {
+            c.strings.add(s);
+        }
+        c
+    }
+
+    fn push_load(&mut self, l: &PageLoad) {
+        self.load_site.push(self.strings.add(l.site.as_str()));
+        self.load_status.push(load_status_tag(l.status));
+        self.load_render.push(l.render_ms);
+        for r in &l.requests {
+            self.load_req.push(self.strings.add(r.as_str()));
+        }
+        self.load_req_off.push(self.load_req.len() as u32);
+    }
+
+    fn copy_load(&mut self, prev: &CountryView<'_>, i: usize) -> Result<(), ColumnarError> {
+        let site = prev.strings.get(prev.load_site.get(i)? as usize)?;
+        self.load_site.push(self.strings.add(site));
+        self.load_status.push(prev.load_status.get(i)?);
+        self.load_render.push(prev.load_render.get(i)?);
+        let (lo, hi) = prev.load_req_range(i)?;
+        for j in lo..hi {
+            let req = prev.strings.get(prev.load_req.get(j)? as usize)?;
+            self.load_req.push(self.strings.add(req));
+        }
+        self.load_req_off.push(self.load_req.len() as u32);
+        Ok(())
+    }
+
+    fn push_dns(&mut self, d: &DnsObservation) {
+        self.dns_site.push(d.site.as_u32());
+        self.dns_request.push(d.request.as_u32());
+        self.dns_ip_bits.push(d.ip.is_some());
+        self.dns_ip.push(d.ip.map_or(0, u32::from));
+        self.dns_rdns_bits.push(d.rdns.is_some());
+        self.dns_rdns.push(d.rdns.map_or(0, |r| r.as_u32()));
+        self.dns_asn_bits.push(d.asn.is_some());
+        self.dns_asn.push(d.asn.map_or(0, |a| a.0));
+        self.dns_failure.push(dns_failure_tag(d.failure));
+    }
+
+    /// Copies one DNS row, translating its symbol columns through the
+    /// interner join map (`fwd[prev_id] -> Some(new_id)`).
+    fn copy_dns(
+        &mut self,
+        prev: &CountryView<'_>,
+        i: usize,
+        fwd: &[Option<u32>],
+    ) -> Result<(), ColumnarError> {
+        self.dns_site.push(translate(fwd, prev.dns_site.get(i)?)?);
+        self.dns_request
+            .push(translate(fwd, prev.dns_request.get(i)?)?);
+        self.dns_ip_bits.push(prev.dns_ip_bits.get(i)?);
+        self.dns_ip.push(prev.dns_ip.get(i)?);
+        let has_rdns = prev.dns_rdns_bits.get(i)?;
+        self.dns_rdns_bits.push(has_rdns);
+        self.dns_rdns.push(if has_rdns {
+            translate(fwd, prev.dns_rdns.get(i)?)?
+        } else {
+            0
+        });
+        self.dns_asn_bits.push(prev.dns_asn_bits.get(i)?);
+        self.dns_asn.push(prev.dns_asn.get(i)?);
+        self.dns_failure.push(prev.dns_failure.get(i)?);
+        Ok(())
+    }
+
+    fn push_traceroute(&mut self, t: &TracerouteRecord) -> Result<(), ColumnarError> {
+        self.tr_ip.push(u32::from(t.target_ip));
+        self.tr_raw.push(self.strings.add(&t.raw_text));
+        let cell = serde_json::to_vec(&t.normalized)
+            .map_err(|e| cerr(format!("serialize traceroute: {e}")))?;
+        self.tr_norm_bytes.extend_from_slice(&cell);
+        self.tr_norm_off.push(self.tr_norm_bytes.len() as u32);
+        Ok(())
+    }
+
+    fn copy_traceroute(&mut self, prev: &CountryView<'_>, i: usize) -> Result<(), ColumnarError> {
+        self.tr_ip.push(prev.tr_ip.get(i)?);
+        let raw = prev.strings.get(prev.tr_raw.get(i)? as usize)?;
+        self.tr_raw.push(self.strings.add(raw));
+        // The normalized cell is copied byte-for-byte — no re-serialize.
+        let cell = prev.tr_norm_cell(i)?;
+        self.tr_norm_bytes.extend_from_slice(cell);
+        self.tr_norm_off.push(self.tr_norm_bytes.len() as u32);
+        Ok(())
+    }
+
+    fn push_verdict(&mut self, v: &DomainVerdict) {
+        self.v_site.push(v.site.as_u32());
+        self.v_request.push(v.request.as_u32());
+        self.v_ip.push(u32::from(v.ip));
+        self.v_rdns_bits.push(v.rdns.is_some());
+        self.v_rdns.push(v.rdns.map_or(0, |r| r.as_u32()));
+        let (tag, aux, claimed) = class_cols(&v.classification);
+        self.v_class.push(tag);
+        self.v_aux.push(aux);
+        self.v_claimed_bits.push(claimed.is_some());
+        self.v_claimed.push(claimed.unwrap_or(0));
+    }
+
+    fn copy_verdict(
+        &mut self,
+        prev: &CountryView<'_>,
+        i: usize,
+        fwd: &[Option<u32>],
+    ) -> Result<(), ColumnarError> {
+        self.v_site.push(translate(fwd, prev.v_site.get(i)?)?);
+        self.v_request.push(translate(fwd, prev.v_request.get(i)?)?);
+        self.v_ip.push(prev.v_ip.get(i)?);
+        let has_rdns = prev.v_rdns_bits.get(i)?;
+        self.v_rdns_bits.push(has_rdns);
+        self.v_rdns.push(if has_rdns {
+            translate(fwd, prev.v_rdns.get(i)?)?
+        } else {
+            0
+        });
+        self.v_class.push(prev.v_class.get(i)?);
+        self.v_aux.push(prev.v_aux.get(i)?);
+        self.v_claimed_bits.push(prev.v_claimed_bits.get(i)?);
+        self.v_claimed.push(prev.v_claimed.get(i)?);
+        Ok(())
+    }
+
+    /// Lays the columns out as one blob and returns the directory entry.
+    fn finish(
+        self,
+        country: CountryCode,
+        volunteer: VolunteerMeta,
+        probes_enabled: bool,
+        opted_out: Vec<SiteId>,
+        funnel: FunnelStats,
+        quarantine: Quarantine,
+        interner_len: u32,
+    ) -> (CountryMeta, Vec<u8>) {
+        let rows = RowCounts {
+            loads: self.load_site.len() as u32,
+            load_requests: self.load_req.len() as u32,
+            dns: self.dns_site.len() as u32,
+            traceroutes: self.tr_ip.len() as u32,
+            verdicts: self.v_site.len() as u32,
+        };
+        let mut w = BlobWriter::new();
+        let sections = ColumnSections {
+            strings: self.strings.write(&mut w),
+            load_site: w.put_u32_col(&self.load_site),
+            load_status: w.put_u8_col(&self.load_status),
+            load_render_ms: w.put_u32_col(&self.load_render),
+            load_req_offsets: w.put_u32_col(&self.load_req_off),
+            load_req_strs: w.put_u32_col(&self.load_req),
+            dns_site: w.put_u32_col(&self.dns_site),
+            dns_request: w.put_u32_col(&self.dns_request),
+            dns_ip_bits: w.put_bitmap(&self.dns_ip_bits),
+            dns_ip: w.put_u32_col(&self.dns_ip),
+            dns_rdns_bits: w.put_bitmap(&self.dns_rdns_bits),
+            dns_rdns: w.put_u32_col(&self.dns_rdns),
+            dns_asn_bits: w.put_bitmap(&self.dns_asn_bits),
+            dns_asn: w.put_u32_col(&self.dns_asn),
+            dns_failure: w.put_u8_col(&self.dns_failure),
+            tr_target_ip: w.put_u32_col(&self.tr_ip),
+            tr_raw_text: w.put_u32_col(&self.tr_raw),
+            tr_norm_offsets: w.put_u32_col(&self.tr_norm_off),
+            tr_norm_bytes: w.put_bytes(&self.tr_norm_bytes),
+            v_site: w.put_u32_col(&self.v_site),
+            v_request: w.put_u32_col(&self.v_request),
+            v_ip: w.put_u32_col(&self.v_ip),
+            v_rdns_bits: w.put_bitmap(&self.v_rdns_bits),
+            v_rdns: w.put_u32_col(&self.v_rdns),
+            v_class: w.put_u8_col(&self.v_class),
+            v_aux: w.put_u8_col(&self.v_aux),
+            v_claimed_bits: w.put_bitmap(&self.v_claimed_bits),
+            v_claimed: w.put_u16_col(&self.v_claimed),
+        };
+        let meta = CountryMeta {
+            country,
+            volunteer,
+            probes_enabled,
+            opted_out,
+            funnel,
+            quarantine,
+            interner_len,
+            rows,
+            sections,
+        };
+        (meta, w.finish())
+    }
+}
+
+fn translate(fwd: &[Option<u32>], prev_id: u32) -> Result<u32, ColumnarError> {
+    fwd.get(prev_id as usize).copied().flatten().ok_or_else(|| {
+        cerr(format!(
+            "row ref mentions symbol {prev_id} absent from the current table"
+        ))
+    })
+}
+
+fn encode_country(cr: &CountryRound) -> (CountryMeta, Vec<u8>) {
+    let ds = &cr.dataset;
+    let mut cols = CountryColumns::seeded(&ds.symbols);
+    for l in &ds.loads {
+        cols.push_load(l);
+    }
+    for d in &ds.dns {
+        cols.push_dns(d);
+    }
+    for t in &ds.traceroutes {
+        // Serializing an in-memory traceroute cannot fail.
+        let _ = cols.push_traceroute(t);
+    }
+    for v in &cr.report.verdicts {
+        cols.push_verdict(v);
+    }
+    cols.finish(
+        cr.country,
+        ds.volunteer.clone(),
+        ds.probes_enabled,
+        ds.opted_out.clone(),
+        cr.report.funnel,
+        cr.quarantine.clone(),
+        ds.symbols.len() as u32,
+    )
+}
+
+impl ColumnarRound {
+    /// Encodes an owned round into columnar form.
+    pub fn encode(snap: &RoundSnapshot) -> ColumnarRound {
+        let mut countries = Vec::with_capacity(snap.countries.len());
+        let mut blobs = Vec::with_capacity(snap.countries.len());
+        for cr in &snap.countries {
+            let (meta, blob) = encode_country(cr);
+            countries.push(meta);
+            blobs.push(blob);
+        }
+        ColumnarRound {
+            meta: RoundMeta {
+                version: COLUMNAR_VERSION,
+                epoch: snap.epoch,
+                round_seed: snap.round_seed,
+                countries,
+            },
+            blobs,
+        }
+    }
+
+    /// The JSON directory frame (frame 0 of the container).
+    pub fn meta_json(&self) -> Vec<u8> {
+        serde_json::to_vec(&self.meta).unwrap_or_default()
+    }
+
+    /// Rebuilds a columnar round from container frames
+    /// (`[directory, blob per country...]`).
+    pub fn from_frames(frames: &[Vec<u8>]) -> Result<ColumnarRound, ColumnarError> {
+        let meta_frame = frames
+            .first()
+            .ok_or_else(|| cerr("columnar container holds no frames"))?;
+        let meta: RoundMeta = serde_json::from_slice(meta_frame)
+            .map_err(|e| cerr(format!("directory frame: {e}")))?;
+        if meta.version != COLUMNAR_VERSION {
+            return Err(cerr(format!(
+                "columnar layout v{} is not readable by this build (supports v{COLUMNAR_VERSION})",
+                meta.version
+            )));
+        }
+        let blobs: Vec<Vec<u8>> = frames[1..].to_vec();
+        if blobs.len() != meta.countries.len() {
+            return Err(cerr(format!(
+                "directory names {} countries but container holds {} blobs",
+                meta.countries.len(),
+                blobs.len()
+            )));
+        }
+        Ok(ColumnarRound { meta, blobs })
+    }
+
+    /// Borrowed per-country column views over the loaded bytes.
+    pub fn view(&self) -> Result<SnapshotView<'_>, ColumnarError> {
+        let countries = self
+            .meta
+            .countries
+            .iter()
+            .zip(&self.blobs)
+            .map(|(m, b)| CountryView::new(m, b))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(SnapshotView {
+            epoch: self.meta.epoch,
+            round_seed: self.meta.round_seed,
+            countries,
+        })
+    }
+
+    /// Rebuilds the owned [`RoundSnapshot`] this encoding came from —
+    /// byte-identical, ordering and symbol numbering included.
+    pub fn materialize(&self) -> Result<RoundSnapshot, ColumnarError> {
+        let view = self.view()?;
+        let countries = view
+            .countries
+            .iter()
+            .map(materialize_country)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(RoundSnapshot {
+            epoch: self.meta.epoch,
+            round_seed: self.meta.round_seed,
+            countries,
+        })
+    }
+
+    /// Total encoded size (directory + blobs), for the size ledger.
+    pub fn byte_len(&self) -> usize {
+        self.meta_json().len() + self.blobs.iter().map(Vec::len).sum::<usize>()
+    }
+}
+
+/// Borrowed view over a whole columnar round.
+pub struct SnapshotView<'a> {
+    pub epoch: u32,
+    pub round_seed: u64,
+    countries: Vec<CountryView<'a>>,
+}
+
+impl<'a> SnapshotView<'a> {
+    pub fn countries(&self) -> &[CountryView<'a>] {
+        &self.countries
+    }
+}
+
+/// Assembles the analysis dataset straight from a borrowed columnar
+/// view — the zero-copy twin of [`StudyDataset::assemble`].
+///
+/// Site and request values are read out of the view's columns (domain
+/// text borrowed from the per-country string tables) and fed to
+/// [`gamma_analysis::assemble_country_rows`]; no `PageLoad` or
+/// `DomainVerdict` struct is rebuilt on the way. The result is
+/// identical to assembling from the materialized round — including the
+/// interned ids, because both paths grow the name table in the same
+/// deterministic row order.
+pub fn assemble_from_view(
+    world: &World,
+    classifier: &TrackerClassifier,
+    view: &SnapshotView<'_>,
+) -> Result<StudyDataset, ColumnarError> {
+    let mut countries = Vec::with_capacity(view.countries().len());
+    for cv in view.countries() {
+        let symbols = cv.interner()?;
+        let mut loads = Vec::with_capacity(cv.n_loads());
+        for i in 0..cv.n_loads() {
+            loads.push(LoadRow {
+                site: cv.load_site_str(i)?,
+                loaded: cv.load_loaded(i)?,
+            });
+        }
+        let mut verdicts = Vec::with_capacity(cv.n_verdicts());
+        for i in 0..cv.n_verdicts() {
+            verdicts.push(VerdictRow {
+                site: cv.verdict_site(i)?,
+                request: cv.verdict_request(i)?,
+                confirmed_claim: cv.verdict_confirmed_claim(i)?,
+            });
+        }
+        countries.push(assemble_country_rows(
+            world,
+            classifier,
+            cv.country(),
+            &symbols,
+            cv.funnel(),
+            loads,
+            verdicts,
+        ));
+    }
+    Ok(StudyDataset { countries })
+}
+
+/// Borrowed column view over one country's blob. Accessors read the
+/// mapped bytes in place; nothing is materialized until asked for.
+pub struct CountryView<'a> {
+    meta: &'a CountryMeta,
+    strings: StrTableView<'a>,
+    load_site: U32Col<'a>,
+    load_status: U8Col<'a>,
+    load_render: U32Col<'a>,
+    load_req_off: U32Col<'a>,
+    load_req: U32Col<'a>,
+    dns_site: U32Col<'a>,
+    dns_request: U32Col<'a>,
+    dns_ip_bits: Bitmap<'a>,
+    dns_ip: U32Col<'a>,
+    dns_rdns_bits: Bitmap<'a>,
+    dns_rdns: U32Col<'a>,
+    dns_asn_bits: Bitmap<'a>,
+    dns_asn: U32Col<'a>,
+    dns_failure: U8Col<'a>,
+    tr_ip: U32Col<'a>,
+    tr_raw: U32Col<'a>,
+    tr_norm_off: U32Col<'a>,
+    tr_norm_bytes: &'a [u8],
+    v_site: U32Col<'a>,
+    v_request: U32Col<'a>,
+    v_ip: U32Col<'a>,
+    v_rdns_bits: Bitmap<'a>,
+    v_rdns: U32Col<'a>,
+    v_class: U8Col<'a>,
+    v_aux: U8Col<'a>,
+    v_claimed_bits: Bitmap<'a>,
+    v_claimed: U16Col<'a>,
+}
+
+impl<'a> CountryView<'a> {
+    pub fn new(meta: &'a CountryMeta, blob: &'a [u8]) -> Result<CountryView<'a>, ColumnarError> {
+        let s = &meta.sections;
+        Ok(CountryView {
+            meta,
+            strings: StrTableView::parse(s.strings.slice(blob)?)?,
+            load_site: U32Col::parse(s.load_site.slice(blob)?)?,
+            load_status: U8Col::parse(s.load_status.slice(blob)?),
+            load_render: U32Col::parse(s.load_render_ms.slice(blob)?)?,
+            load_req_off: U32Col::parse(s.load_req_offsets.slice(blob)?)?,
+            load_req: U32Col::parse(s.load_req_strs.slice(blob)?)?,
+            dns_site: U32Col::parse(s.dns_site.slice(blob)?)?,
+            dns_request: U32Col::parse(s.dns_request.slice(blob)?)?,
+            dns_ip_bits: Bitmap::parse(s.dns_ip_bits.slice(blob)?),
+            dns_ip: U32Col::parse(s.dns_ip.slice(blob)?)?,
+            dns_rdns_bits: Bitmap::parse(s.dns_rdns_bits.slice(blob)?),
+            dns_rdns: U32Col::parse(s.dns_rdns.slice(blob)?)?,
+            dns_asn_bits: Bitmap::parse(s.dns_asn_bits.slice(blob)?),
+            dns_asn: U32Col::parse(s.dns_asn.slice(blob)?)?,
+            dns_failure: U8Col::parse(s.dns_failure.slice(blob)?),
+            tr_ip: U32Col::parse(s.tr_target_ip.slice(blob)?)?,
+            tr_raw: U32Col::parse(s.tr_raw_text.slice(blob)?)?,
+            tr_norm_off: U32Col::parse(s.tr_norm_offsets.slice(blob)?)?,
+            tr_norm_bytes: s.tr_norm_bytes.slice(blob)?,
+            v_site: U32Col::parse(s.v_site.slice(blob)?)?,
+            v_request: U32Col::parse(s.v_request.slice(blob)?)?,
+            v_ip: U32Col::parse(s.v_ip.slice(blob)?)?,
+            v_rdns_bits: Bitmap::parse(s.v_rdns_bits.slice(blob)?),
+            v_rdns: U32Col::parse(s.v_rdns.slice(blob)?)?,
+            v_class: U8Col::parse(s.v_class.slice(blob)?),
+            v_aux: U8Col::parse(s.v_aux.slice(blob)?),
+            v_claimed_bits: Bitmap::parse(s.v_claimed_bits.slice(blob)?),
+            v_claimed: U16Col::parse(s.v_claimed.slice(blob)?)?,
+        })
+    }
+
+    pub fn country(&self) -> CountryCode {
+        self.meta.country
+    }
+
+    pub fn volunteer(&self) -> &VolunteerMeta {
+        &self.meta.volunteer
+    }
+
+    pub fn funnel(&self) -> FunnelStats {
+        self.meta.funnel
+    }
+
+    pub fn quarantine(&self) -> &Quarantine {
+        &self.meta.quarantine
+    }
+
+    pub fn probes_enabled(&self) -> bool {
+        self.meta.probes_enabled
+    }
+
+    pub fn opted_out(&self) -> &[SiteId] {
+        &self.meta.opted_out
+    }
+
+    /// The borrowed string table (symbol ids are table indexes).
+    pub fn strings(&self) -> &StrTableView<'a> {
+        &self.strings
+    }
+
+    /// Rebuilds the round's interner (ids `0..interner_len`). The only
+    /// owned allocation a view-based consumer needs — O(strings), never
+    /// O(rows).
+    pub fn interner(&self) -> Result<Interner, ColumnarError> {
+        let n = self.meta.interner_len as usize;
+        if n > self.strings.len() {
+            return Err(cerr(format!(
+                "interner_len {n} exceeds string table of {}",
+                self.strings.len()
+            )));
+        }
+        let mut entries = Vec::with_capacity(n);
+        for i in 0..n {
+            entries.push(self.strings.get(i)?.to_string());
+        }
+        Ok(Interner::from(entries))
+    }
+
+    pub fn n_loads(&self) -> usize {
+        self.meta.rows.loads as usize
+    }
+
+    pub fn n_dns(&self) -> usize {
+        self.meta.rows.dns as usize
+    }
+
+    pub fn n_traceroutes(&self) -> usize {
+        self.meta.rows.traceroutes as usize
+    }
+
+    pub fn n_verdicts(&self) -> usize {
+        self.meta.rows.verdicts as usize
+    }
+
+    // -- loads --
+
+    pub fn load_site_str(&self, i: usize) -> Result<&'a str, ColumnarError> {
+        self.strings.get(self.load_site.get(i)? as usize)
+    }
+
+    pub fn load_status(&self, i: usize) -> Result<LoadStatus, ColumnarError> {
+        load_status_from(self.load_status.get(i)?)
+    }
+
+    pub fn load_loaded(&self, i: usize) -> Result<bool, ColumnarError> {
+        Ok(self.load_status.get(i)? == load_status_tag(LoadStatus::Loaded))
+    }
+
+    pub fn load_render_ms(&self, i: usize) -> Result<u32, ColumnarError> {
+        self.load_render.get(i)
+    }
+
+    fn load_req_range(&self, i: usize) -> Result<(usize, usize), ColumnarError> {
+        let lo = self.load_req_off.get(i)? as usize;
+        let hi = self.load_req_off.get(i + 1)? as usize;
+        if lo > hi || hi > self.load_req.len() {
+            return Err(cerr(format!("load {i} has request range [{lo}..{hi})")));
+        }
+        Ok((lo, hi))
+    }
+
+    /// The request strings of one load.
+    pub fn load_requests(&self, i: usize) -> Result<Vec<&'a str>, ColumnarError> {
+        let (lo, hi) = self.load_req_range(i)?;
+        (lo..hi)
+            .map(|j| self.strings.get(self.load_req.get(j)? as usize))
+            .collect()
+    }
+
+    // -- dns --
+
+    pub fn dns_site(&self, i: usize) -> Result<SiteId, ColumnarError> {
+        Ok(SiteId(Symbol::from_u32(self.dns_site.get(i)?)))
+    }
+
+    pub fn dns_request(&self, i: usize) -> Result<HostId, ColumnarError> {
+        Ok(HostId(Symbol::from_u32(self.dns_request.get(i)?)))
+    }
+
+    pub fn dns_ip(&self, i: usize) -> Result<Option<Ipv4Addr>, ColumnarError> {
+        Ok(if self.dns_ip_bits.get(i)? {
+            Some(Ipv4Addr::from(self.dns_ip.get(i)?))
+        } else {
+            None
+        })
+    }
+
+    fn tr_norm_cell(&self, i: usize) -> Result<&'a [u8], ColumnarError> {
+        let lo = self.tr_norm_off.get(i)? as usize;
+        let hi = self.tr_norm_off.get(i + 1)? as usize;
+        self.tr_norm_bytes
+            .get(lo..hi)
+            .ok_or_else(|| cerr(format!("traceroute {i} cell [{lo}..{hi}) past bytes")))
+    }
+
+    // -- verdicts --
+
+    pub fn verdict_site(&self, i: usize) -> Result<SiteId, ColumnarError> {
+        Ok(SiteId(Symbol::from_u32(self.v_site.get(i)?)))
+    }
+
+    pub fn verdict_request(&self, i: usize) -> Result<HostId, ColumnarError> {
+        Ok(HostId(Symbol::from_u32(self.v_request.get(i)?)))
+    }
+
+    pub fn verdict_ip(&self, i: usize) -> Result<Ipv4Addr, ColumnarError> {
+        Ok(Ipv4Addr::from(self.v_ip.get(i)?))
+    }
+
+    /// `Some(claimed city)` iff verdict `i` is confirmed non-local — the
+    /// one classification fact the analysis joins need, read straight
+    /// from the tag/claimed columns.
+    pub fn verdict_confirmed_claim(&self, i: usize) -> Result<Option<CityId>, ColumnarError> {
+        if self.v_class.get(i)? != CLASS_CONFIRMED {
+            return Ok(None);
+        }
+        Ok(Some(CityId(self.v_claimed.get(i)?)))
+    }
+
+    pub fn verdict_classification(&self, i: usize) -> Result<Classification, ColumnarError> {
+        let claimed = if self.v_claimed_bits.get(i)? {
+            Some(self.v_claimed.get(i)?)
+        } else {
+            None
+        };
+        class_from_cols(self.v_class.get(i)?, self.v_aux.get(i)?, claimed)
+    }
+}
+
+fn materialize_country(cv: &CountryView<'_>) -> Result<CountryRound, ColumnarError> {
+    let symbols = cv.interner()?;
+    let mut loads = Vec::with_capacity(cv.n_loads());
+    for i in 0..cv.n_loads() {
+        loads.push(PageLoad {
+            site: DomainName::from_normalized(cv.load_site_str(i)?.to_string()),
+            status: cv.load_status(i)?,
+            render_ms: cv.load_render_ms(i)?,
+            requests: cv
+                .load_requests(i)?
+                .into_iter()
+                .map(|s| DomainName::from_normalized(s.to_string()))
+                .collect(),
+        });
+    }
+    let mut dns = Vec::with_capacity(cv.n_dns());
+    for i in 0..cv.n_dns() {
+        dns.push(DnsObservation {
+            site: cv.dns_site(i)?,
+            request: cv.dns_request(i)?,
+            ip: cv.dns_ip(i)?,
+            rdns: if cv.dns_rdns_bits.get(i)? {
+                Some(RdnsId(Symbol::from_u32(cv.dns_rdns.get(i)?)))
+            } else {
+                None
+            },
+            asn: if cv.dns_asn_bits.get(i)? {
+                Some(Asn(cv.dns_asn.get(i)?))
+            } else {
+                None
+            },
+            failure: dns_failure_from(cv.dns_failure.get(i)?)?,
+        });
+    }
+    let mut traceroutes = Vec::with_capacity(cv.n_traceroutes());
+    for i in 0..cv.n_traceroutes() {
+        let normalized: NormalizedTraceroute = serde_json::from_slice(cv.tr_norm_cell(i)?)
+            .map_err(|e| cerr(format!("traceroute {i} cell: {e}")))?;
+        traceroutes.push(TracerouteRecord {
+            target_ip: Ipv4Addr::from(cv.tr_ip.get(i)?),
+            raw_text: cv.strings.get(cv.tr_raw.get(i)? as usize)?.to_string(),
+            normalized,
+        });
+    }
+    let mut verdicts = Vec::with_capacity(cv.n_verdicts());
+    for i in 0..cv.n_verdicts() {
+        verdicts.push(DomainVerdict {
+            site: cv.verdict_site(i)?,
+            request: cv.verdict_request(i)?,
+            ip: cv.verdict_ip(i)?,
+            rdns: if cv.v_rdns_bits.get(i)? {
+                Some(RdnsId(Symbol::from_u32(cv.v_rdns.get(i)?)))
+            } else {
+                None
+            },
+            classification: cv.verdict_classification(i)?,
+        });
+    }
+    Ok(CountryRound {
+        country: cv.country(),
+        dataset: VolunteerDataset {
+            symbols,
+            volunteer: cv.volunteer().clone(),
+            loads,
+            dns,
+            traceroutes,
+            opted_out: cv.opted_out().to_vec(),
+            probes_enabled: cv.probes_enabled(),
+        },
+        report: GeolocReport {
+            country: cv.country(),
+            verdicts,
+            funnel: cv.funnel(),
+        },
+        quarantine: cv.quarantine().clone(),
+    })
+}
+
+/// What one [`apply_delta`] call allocated: the O(changed rows) pin.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ApplyStats {
+    /// Rows that arrived as full structs (`RowOp::New`) — the only rows
+    /// ever materialized. Bounded by `DeltaSnapshot::rows_new()`.
+    pub materialized_rows: usize,
+    /// Rows copied column-to-column from the previous round's view.
+    pub copied_rows: usize,
+}
+
+/// Resolves a `RowOp::Ref` index against the previous round's view,
+/// erroring (not panicking) when the chain is inconsistent.
+fn ref_target<'a, 'b>(
+    prev: Option<&'a CountryView<'b>>,
+    i: u32,
+    prev_len: u32,
+) -> Result<(&'a CountryView<'b>, usize), ColumnarError> {
+    if i >= prev_len {
+        return Err(cerr(format!(
+            "row ref {i} out of range: previous round has {prev_len} rows"
+        )));
+    }
+    let cv = prev.ok_or_else(|| cerr("row ref without a previous round"))?;
+    Ok((cv, i as usize))
+}
+
+/// Advances a columnar round by one delta without materializing the
+/// world: `Ref` rows are copied column-to-column from `prev`'s view
+/// (symbol columns translated through the interner join map), so only
+/// the delta's `New` rows — the changed rows — ever exist as structs.
+pub fn apply_delta(
+    prev: Option<&ColumnarRound>,
+    delta: &DeltaSnapshot,
+) -> Result<(ColumnarRound, ApplyStats), ColumnarError> {
+    let prev_view = match prev {
+        Some(p) => Some(p.view()?),
+        None => None,
+    };
+    let mut stats = ApplyStats::default();
+    let mut countries = Vec::with_capacity(delta.countries.len());
+    let mut blobs = Vec::with_capacity(delta.countries.len());
+    let empty = Interner::new();
+    for cd in &delta.countries {
+        let prev_cv = prev_view
+            .as_ref()
+            .and_then(|v| v.countries().iter().find(|c| c.country() == cd.country));
+        let prev_syms = match prev_cv {
+            Some(cv) => cv.interner()?,
+            None => empty.clone(),
+        };
+        let symbols = cd
+            .symbols
+            .decode(&prev_syms)
+            .map_err(|e| cerr(format!("{}: symbol delta: {}", cd.country, e.0)))?;
+        let fwd = cd.symbols.mapping_from_prev(prev_syms.len());
+        let mut cols = CountryColumns::seeded(&symbols);
+        let prev_rows = prev_cv.map_or(RowCounts::default(), |cv| cv.meta.rows);
+        // Each row family: copy refs column-wise, push news as rows.
+        for op in &cd.loads {
+            match op {
+                RowOp::Ref(i) => {
+                    let (cv, i) = ref_target(prev_cv, *i, prev_rows.loads)?;
+                    cols.copy_load(cv, i)?;
+                    stats.copied_rows += 1;
+                }
+                RowOp::New(l) => {
+                    cols.push_load(l);
+                    stats.materialized_rows += 1;
+                }
+            }
+        }
+        for op in &cd.dns {
+            match op {
+                RowOp::Ref(i) => {
+                    let (cv, i) = ref_target(prev_cv, *i, prev_rows.dns)?;
+                    cols.copy_dns(cv, i, &fwd)?;
+                    stats.copied_rows += 1;
+                }
+                RowOp::New(d) => {
+                    cols.push_dns(d);
+                    stats.materialized_rows += 1;
+                }
+            }
+        }
+        for op in &cd.traceroutes {
+            match op {
+                RowOp::Ref(i) => {
+                    let (cv, i) = ref_target(prev_cv, *i, prev_rows.traceroutes)?;
+                    cols.copy_traceroute(cv, i)?;
+                    stats.copied_rows += 1;
+                }
+                RowOp::New(t) => {
+                    cols.push_traceroute(t)?;
+                    stats.materialized_rows += 1;
+                }
+            }
+        }
+        for op in &cd.verdicts {
+            match op {
+                RowOp::Ref(i) => {
+                    let (cv, i) = ref_target(prev_cv, *i, prev_rows.verdicts)?;
+                    cols.copy_verdict(cv, i, &fwd)?;
+                    stats.copied_rows += 1;
+                }
+                RowOp::New(v) => {
+                    cols.push_verdict(v);
+                    stats.materialized_rows += 1;
+                }
+            }
+        }
+        let (meta, blob) = cols.finish(
+            cd.country,
+            cd.volunteer.clone(),
+            cd.probes_enabled,
+            cd.opted_out.clone(),
+            cd.funnel,
+            cd.quarantine.clone(),
+            symbols.len() as u32,
+        );
+        countries.push(meta);
+        blobs.push(blob);
+    }
+    Ok((
+        ColumnarRound {
+            meta: RoundMeta {
+                version: COLUMNAR_VERSION,
+                epoch: delta.epoch,
+                round_seed: delta.round_seed,
+                countries,
+            },
+            blobs,
+        },
+        stats,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::CountryRound;
+    use gamma_suite::{NormHop, Os, QuarantineReason};
+
+    fn dom(s: &str) -> DomainName {
+        DomainName::parse(s).expect("valid test domain")
+    }
+
+    fn sample_round(epoch: u32, extra: &str) -> RoundSnapshot {
+        let mut symbols = Interner::new();
+        let site = SiteId::intern(&mut symbols, "news.example");
+        let host = HostId::intern(&mut symbols, extra);
+        let rdns = RdnsId::intern(&mut symbols, "edge1.example");
+        let ds = VolunteerDataset {
+            symbols,
+            volunteer: VolunteerMeta {
+                country: CountryCode::new("NZ"),
+                city: gamma_geo::city_by_name("Auckland").expect("city").id,
+                os: Os::Linux,
+                asn: Asn(64512),
+                ip: None,
+            },
+            loads: vec![PageLoad {
+                site: dom("news.example"),
+                status: LoadStatus::Loaded,
+                render_ms: 120,
+                requests: vec![dom("news.example"), dom(extra)],
+            }],
+            dns: vec![
+                DnsObservation {
+                    site,
+                    request: host,
+                    ip: Some(Ipv4Addr::new(10, 0, 0, 1)),
+                    rdns: Some(rdns),
+                    asn: Some(Asn(13335)),
+                    failure: None,
+                },
+                DnsObservation {
+                    site,
+                    request: host,
+                    ip: None,
+                    rdns: None,
+                    asn: None,
+                    failure: Some(DnsFailure::Servfail),
+                },
+            ],
+            traceroutes: vec![TracerouteRecord {
+                target_ip: Ipv4Addr::new(10, 0, 0, 1),
+                raw_text: String::from("1  10.0.0.1  1.25 ms"),
+                normalized: NormalizedTraceroute {
+                    dst: Ipv4Addr::new(10, 0, 0, 1),
+                    reached: true,
+                    hops: vec![NormHop {
+                        ttl: 1,
+                        ip: Some(Ipv4Addr::new(10, 0, 0, 1)),
+                        rtt_ms: Some(1.25),
+                    }],
+                },
+            }],
+            opted_out: vec![site],
+            probes_enabled: true,
+        };
+        let verdicts = vec![
+            DomainVerdict {
+                site,
+                request: host,
+                ip: Ipv4Addr::new(10, 0, 0, 1),
+                rdns: Some(rdns),
+                classification: Classification::ConfirmedNonLocal {
+                    claimed: CityId(3),
+                    confidence: Confidence::Degraded(DegradedReason::NoSourceLatency),
+                },
+            },
+            DomainVerdict {
+                site,
+                request: host,
+                ip: Ipv4Addr::new(10, 0, 0, 2),
+                rdns: None,
+                classification: Classification::Discarded {
+                    reason: DiscardReason::SourceTooFast,
+                    claimed: None,
+                },
+            },
+            DomainVerdict {
+                site,
+                request: host,
+                ip: Ipv4Addr::new(10, 0, 0, 3),
+                rdns: None,
+                classification: Classification::Local {
+                    claimed: ds.volunteer.city,
+                },
+            },
+        ];
+        let mut quarantine = Quarantine::new();
+        quarantine.push(QuarantineReason::RdnsTruncated {
+            ip: Ipv4Addr::new(10, 9, 8, 7),
+        });
+        RoundSnapshot {
+            epoch,
+            round_seed: 7,
+            countries: vec![CountryRound {
+                country: ds.volunteer.country,
+                report: GeolocReport {
+                    country: ds.volunteer.country,
+                    verdicts,
+                    funnel: FunnelStats::default(),
+                },
+                dataset: ds,
+                quarantine,
+            }],
+        }
+    }
+
+    #[test]
+    fn encode_materialize_round_trips_byte_identically() {
+        let snap = sample_round(0, "tracker.example");
+        let col = ColumnarRound::encode(&snap);
+        let back = col.materialize().expect("materialize");
+        assert_eq!(back, snap);
+        assert_eq!(
+            serde_json::to_vec(&back).unwrap(),
+            serde_json::to_vec(&snap).unwrap(),
+            "serialized forms differ"
+        );
+    }
+
+    #[test]
+    fn container_frames_round_trip() {
+        let snap = sample_round(2, "tracker.example");
+        let col = ColumnarRound::encode(&snap);
+        let mut frames = vec![col.meta_json()];
+        frames.extend(col.blobs.iter().cloned());
+        let back = ColumnarRound::from_frames(&frames).expect("from_frames");
+        assert_eq!(back, col);
+        assert_eq!(back.materialize().expect("materialize"), snap);
+    }
+
+    #[test]
+    fn view_reads_columns_without_materializing() {
+        let snap = sample_round(0, "tracker.example");
+        let col = ColumnarRound::encode(&snap);
+        let view = col.view().expect("view");
+        assert_eq!(view.countries().len(), 1);
+        let cv = &view.countries()[0];
+        assert_eq!(cv.country(), CountryCode::new("NZ"));
+        assert_eq!(cv.n_loads(), 1);
+        assert_eq!(cv.n_verdicts(), 3);
+        assert_eq!(cv.load_site_str(0).unwrap(), "news.example");
+        assert!(cv.load_loaded(0).unwrap());
+        assert_eq!(
+            cv.load_requests(0).unwrap(),
+            vec!["news.example", "tracker.example"]
+        );
+        assert_eq!(
+            cv.verdict_confirmed_claim(0).unwrap(),
+            Some(CityId(3)),
+            "confirmed verdict exposes its claim"
+        );
+        assert_eq!(cv.verdict_confirmed_claim(1).unwrap(), None);
+        assert_eq!(cv.verdict_confirmed_claim(2).unwrap(), None);
+        let symbols = cv.interner().unwrap();
+        assert_eq!(
+            symbols.resolve(cv.verdict_request(0).unwrap().0),
+            "tracker.example"
+        );
+    }
+
+    #[test]
+    fn apply_delta_matches_serde_decode_and_counts_materialization() {
+        let r0 = sample_round(0, "tracker.example");
+        let mut r1 = sample_round(1, "tracker.example");
+        r1.countries[0].dataset.loads[0].render_ms = 480; // one changed row
+        let d0 = DeltaSnapshot::encode(None, &r0);
+        let d1 = DeltaSnapshot::encode(Some(&r0), &r1);
+
+        let (c0, s0) = apply_delta(None, &d0).expect("apply d0");
+        assert_eq!(c0.materialize().expect("materialize"), r0);
+        assert_eq!(s0.copied_rows, 0, "baseline has nothing to copy");
+        assert_eq!(s0.materialized_rows, d0.rows_new());
+
+        let (c1, s1) = apply_delta(Some(&c0), &d1).expect("apply d1");
+        assert_eq!(c1.materialize().expect("materialize"), r1);
+        assert_eq!(
+            d1.decode(Some(&r0)).expect("serde decode"),
+            c1.materialize().expect("materialize"),
+            "columnar apply and serde decode agree"
+        );
+        assert_eq!(s1.materialized_rows, d1.rows_new());
+        assert!(
+            s1.materialized_rows <= 1,
+            "only the changed load row materializes, got {}",
+            s1.materialized_rows
+        );
+        assert_eq!(s1.copied_rows, d1.rows_ref());
+    }
+
+    #[test]
+    fn apply_delta_translates_renumbered_symbols() {
+        // Round 1 interns the same strings in a different order; refs
+        // must translate through the join map during the column copy.
+        let r0 = sample_round(0, "tracker.example");
+        let r1 = {
+            let mut snap = sample_round(1, "tracker.example");
+            let cr = &mut snap.countries[0];
+            let mut symbols = Interner::new();
+            symbols.intern("edge1.example");
+            let site = SiteId::intern(&mut symbols, "news.example");
+            let host = HostId::intern(&mut symbols, "tracker.example");
+            let rdns = RdnsId(symbols.lookup("edge1.example").expect("interned"));
+            for d in &mut cr.dataset.dns {
+                d.site = site;
+                d.request = host;
+                if d.rdns.is_some() {
+                    d.rdns = Some(rdns);
+                }
+            }
+            for v in &mut cr.report.verdicts {
+                v.site = site;
+                v.request = host;
+                if v.rdns.is_some() {
+                    v.rdns = Some(rdns);
+                }
+            }
+            cr.dataset.opted_out = vec![site];
+            cr.dataset.symbols = symbols;
+            snap
+        };
+        let d0 = DeltaSnapshot::encode(None, &r0);
+        let d1 = DeltaSnapshot::encode(Some(&r0), &r1);
+        assert_eq!(d1.countries[0].symbols.news(), 0, "no new strings");
+        assert!(d1.rows_ref() > 0, "renumbered rows still reference");
+        let (c0, _) = apply_delta(None, &d0).expect("apply d0");
+        let (c1, stats) = apply_delta(Some(&c0), &d1).expect("apply d1");
+        assert_eq!(c1.materialize().expect("materialize"), r1);
+        assert_eq!(stats.materialized_rows, d1.rows_new());
+    }
+
+    #[test]
+    fn malformed_directory_is_a_typed_error() {
+        assert!(ColumnarRound::from_frames(&[]).is_err());
+        assert!(ColumnarRound::from_frames(&[b"not json".to_vec()]).is_err());
+        let snap = sample_round(0, "tracker.example");
+        let col = ColumnarRound::encode(&snap);
+        // Directory names one country; no blobs follow.
+        assert!(ColumnarRound::from_frames(&[col.meta_json()]).is_err());
+        // Future layout version is refused, not mis-read.
+        let mut future = col.meta.clone();
+        future.version = COLUMNAR_VERSION + 1;
+        let frames = vec![serde_json::to_vec(&future).unwrap(), col.blobs[0].clone()];
+        assert!(ColumnarRound::from_frames(&frames).is_err());
+    }
+
+    #[test]
+    fn ref_against_missing_previous_round_is_an_error() {
+        let r0 = sample_round(0, "tracker.example");
+        let mut r1 = r0.clone();
+        r1.epoch = 1;
+        let d1 = DeltaSnapshot::encode(Some(&r0), &r1);
+        assert!(d1.rows_ref() > 0);
+        assert!(apply_delta(None, &d1).is_err());
+    }
+
+    #[test]
+    fn view_assembly_matches_owned_assembly() {
+        // A real (reduced) study round, so the verdict stream exercises
+        // tracker identification, org attribution and first-party logic.
+        let mut spec = gamma_websim::WorldSpec::paper_default(77);
+        spec.countries
+            .retain(|c| ["RW", "NZ"].contains(&c.country.as_str()));
+        let study = gamma_core::Study::with_spec(spec);
+        let world = gamma_websim::worldgen::generate(&study.spec);
+        let classifier = TrackerClassifier::for_world(&world);
+        let out = study
+            .run_round(&world, 0, &gamma_campaign::Options::sequential())
+            .expect("round runs");
+        let snap = RoundSnapshot::from_round(&out);
+        let col = ColumnarRound::encode(&snap);
+        let view = col.view().expect("view parses");
+        let assembled = assemble_from_view(&world, &classifier, &view).expect("assembles");
+        assert_eq!(assembled, out.study);
+    }
+}

@@ -27,10 +27,17 @@
 
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
+pub mod columnar;
 pub mod snapshot;
 pub mod store;
 pub mod study;
 
+pub use columnar::{
+    apply_delta, assemble_from_view, ApplyStats, ColumnarRound, CountryMeta, CountryView,
+    RoundMeta, SnapshotView, COLUMNAR_VERSION,
+};
 pub use snapshot::{CountryDelta, CountryRound, DeltaSnapshot, HostTurnover, RoundSnapshot, RowOp};
-pub use store::{ChainState, Recovery, SnapshotStore, StoreError};
+pub use store::{
+    ChainState, MigrateOutcome, Recovery, SnapshotFormat, SnapshotStore, StoreError, StreamWalk,
+};
 pub use study::{LongitudinalResults, LongitudinalStudy};

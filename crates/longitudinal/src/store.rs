@@ -8,12 +8,18 @@
 //!   Frames are *appended*, never rewritten, so a crash mid-append
 //!   leaves a torn tail the reader truncates — the lost rounds simply
 //!   re-run on resume.
-//! * `latest.snap` — kind [`ArtifactKind::RoundSnapshot`], the newest
-//!   full [`RoundSnapshot`], atomically rewritten after every round.
-//!   It is the re-base anchor: when the delta chain is corrupted
-//!   mid-file (bit rot, not a tear), [`SnapshotStore::recover`] rebuilds
-//!   the chain as a single all-new delta of this snapshot instead of
-//!   losing the history wholesale or crashing.
+//! * `latest.snap` — the newest full round, atomically rewritten after
+//!   every round. New stores write it columnar
+//!   ([`ArtifactKind::ColumnarSnapshot`]: a JSON directory frame plus
+//!   one struct-of-arrays blob per country); serde-era stores wrote a
+//!   single canonical-JSON frame ([`ArtifactKind::RoundSnapshot`]).
+//!   Reads dispatch on the container's kind tag, so either era loads
+//!   ([`SnapshotStore::read_latest`]); `gamma-study migrate-snapshots`
+//!   re-encodes a legacy anchor in place. It is the re-base anchor:
+//!   when the delta chain is corrupted mid-file (bit rot, not a tear),
+//!   [`SnapshotStore::recover`] rebuilds the chain as a single all-new
+//!   delta of this snapshot instead of losing the history wholesale or
+//!   crashing.
 //!
 //! The recovery matrix (also in `DESIGN.md`):
 //!
@@ -24,11 +30,11 @@
 //! | chain corrupt, `latest` intact  | re-base chain from `latest`         |
 //! | chain corrupt, `latest` gone    | typed error; `fsck` decides         |
 
+use crate::columnar::{apply_delta, ApplyStats, ColumnarRound};
 use crate::snapshot::{DeltaSnapshot, RoundSnapshot};
 use gamma_obs as obs;
 use gamma_store::{
-    append_frame, load_doc, read_container, save_doc, ArtifactKind, LoadError, ReadError,
-    WriteOptions,
+    append_frame, read_container, save_doc, write_frames, ArtifactKind, ReadError, WriteOptions,
 };
 use std::path::{Path, PathBuf};
 
@@ -113,11 +119,31 @@ impl Recovery {
     }
 }
 
+/// Which on-disk encoding `latest.snap` is written in.
+///
+/// The *read* path never consults this: it dispatches on the container's
+/// own kind tag, so a store written by either era loads under either
+/// setting. Only new writes follow the configured format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SnapshotFormat {
+    /// One canonical-JSON [`RoundSnapshot`] frame
+    /// ([`ArtifactKind::RoundSnapshot`]) — the pre-columnar encoding,
+    /// kept writable for fallback drills and A/B byte-identity checks.
+    Legacy,
+    /// Struct-of-arrays columns behind a JSON directory frame
+    /// ([`ArtifactKind::ColumnarSnapshot`]); loads resolve into
+    /// borrowed [`crate::columnar::SnapshotView`]s without
+    /// materializing rows.
+    #[default]
+    Columnar,
+}
+
 /// A directory of durably-persisted longitudinal rounds.
 #[derive(Debug, Clone)]
 pub struct SnapshotStore {
     dir: PathBuf,
     opts: WriteOptions,
+    format: SnapshotFormat,
 }
 
 impl SnapshotStore {
@@ -134,7 +160,19 @@ impl SnapshotStore {
         Ok(SnapshotStore {
             dir: dir.to_path_buf(),
             opts,
+            format: SnapshotFormat::default(),
         })
+    }
+
+    /// Selects the encoding for subsequent `latest.snap` writes.
+    pub fn with_format(mut self, format: SnapshotFormat) -> SnapshotStore {
+        self.format = format;
+        self
+    }
+
+    /// The encoding new `latest.snap` writes use.
+    pub fn format(&self) -> SnapshotFormat {
+        self.format
     }
 
     pub fn chain_path(&self) -> PathBuf {
@@ -174,6 +212,169 @@ impl SnapshotStore {
         })
     }
 
+    /// Reads `latest.snap` back in whichever encoding it was written —
+    /// the container's kind tag, not the store's configured
+    /// [`SnapshotFormat`], decides how the bytes are interpreted. This
+    /// is the version-tagged fallback that keeps serde-era stores
+    /// loading after the columnar switch. `Ok(None)` means no anchor
+    /// exists yet (a fresh store).
+    pub fn read_latest(&self) -> Result<Option<(SnapshotFormat, RoundSnapshot)>, StoreError> {
+        let container = match read_container(&self.latest_path(), None) {
+            Ok(c) => c,
+            Err(ReadError::Missing) => return Ok(None),
+            Err(ReadError::Io(e)) => return Err(StoreError::Io(e)),
+            Err(e) => {
+                return Err(StoreError::Unrecoverable(format!("latest.snap: {e}")));
+            }
+        };
+        match container.kind {
+            Some(ArtifactKind::RoundSnapshot) => {
+                let frame = container.frames.first().ok_or_else(|| {
+                    StoreError::Unrecoverable("latest.snap: empty legacy container".to_string())
+                })?;
+                let snap: RoundSnapshot = serde_json::from_slice(frame)
+                    .map_err(|e| StoreError::Unrecoverable(format!("latest.snap: {e}")))?;
+                Ok(Some((SnapshotFormat::Legacy, snap)))
+            }
+            Some(ArtifactKind::ColumnarSnapshot) => {
+                let col = ColumnarRound::from_frames(&container.frames)
+                    .map_err(|e| StoreError::Unrecoverable(format!("latest.snap: {e}")))?;
+                let snap = col
+                    .materialize()
+                    .map_err(|e| StoreError::Unrecoverable(format!("latest.snap: {e}")))?;
+                Ok(Some((SnapshotFormat::Columnar, snap)))
+            }
+            other => Err(StoreError::Unrecoverable(format!(
+                "latest.snap holds a {} artifact, expected a round snapshot",
+                other.map_or("headerless", ArtifactKind::name)
+            ))),
+        }
+    }
+
+    /// Writes `latest.snap` in the configured format (atomic rewrite).
+    fn write_latest(&self, full: &RoundSnapshot) -> Result<(), StoreError> {
+        match self.format {
+            SnapshotFormat::Legacy => save_doc(
+                &self.latest_path(),
+                ArtifactKind::RoundSnapshot,
+                full,
+                &self.opts,
+            )
+            .map_err(|e| StoreError::Io(e.to_string())),
+            SnapshotFormat::Columnar => {
+                let col = ColumnarRound::encode(full);
+                let meta = col.meta_json();
+                let mut frames: Vec<&[u8]> = Vec::with_capacity(1 + col.blobs.len());
+                frames.push(&meta);
+                frames.extend(col.blobs.iter().map(|b| b.as_slice()));
+                write_frames(
+                    &self.latest_path(),
+                    ArtifactKind::ColumnarSnapshot,
+                    &frames,
+                    &self.opts,
+                )
+                .map_err(|e| StoreError::Io(e.to_string()))
+            }
+        }
+    }
+
+    /// One-shot migration of the `latest.snap` anchor to the columnar
+    /// encoding (the `gamma-study migrate-snapshots` path). The delta
+    /// chain is untouched — its frames are format-agnostic deltas.
+    pub fn migrate_latest(&self) -> Result<MigrateOutcome, StoreError> {
+        match self.read_latest()? {
+            None => Ok(MigrateOutcome::Missing),
+            Some((SnapshotFormat::Columnar, _)) => Ok(MigrateOutcome::AlreadyColumnar),
+            Some((SnapshotFormat::Legacy, snap)) => {
+                let before = std::fs::metadata(self.latest_path())
+                    .map(|m| m.len())
+                    .unwrap_or(0);
+                let col = ColumnarRound::encode(&snap);
+                let meta = col.meta_json();
+                let mut frames: Vec<&[u8]> = Vec::with_capacity(1 + col.blobs.len());
+                frames.push(&meta);
+                frames.extend(col.blobs.iter().map(|b| b.as_slice()));
+                write_frames(
+                    &self.latest_path(),
+                    ArtifactKind::ColumnarSnapshot,
+                    &frames,
+                    &self.opts,
+                )
+                .map_err(|e| StoreError::Io(e.to_string()))?;
+                let after = std::fs::metadata(self.latest_path())
+                    .map(|m| m.len())
+                    .unwrap_or(0);
+                Ok(MigrateOutcome::Migrated {
+                    epoch: snap.epoch,
+                    bytes_before: before,
+                    bytes_after: after,
+                })
+            }
+        }
+    }
+
+    /// Streams the chain round-by-round without materializing history:
+    /// the walker holds exactly one columnar round, and each
+    /// [`StreamWalk::advance`] applies the next delta column-wise, so
+    /// only that delta's `New` rows ever exist as structs.
+    pub fn walk_chain(&self) -> Result<StreamWalk, StoreError> {
+        let container = match read_container(&self.chain_path(), Some(ArtifactKind::DeltaChain)) {
+            Ok(c) => c,
+            Err(ReadError::Missing) => {
+                return Ok(StreamWalk {
+                    frames: Vec::new(),
+                    next: 0,
+                    current: None,
+                    recovered_torn: false,
+                    last_stats: ApplyStats::default(),
+                })
+            }
+            Err(ReadError::Io(e)) => return Err(StoreError::Io(e)),
+            Err(e) => return Err(StoreError::Unrecoverable(e.to_string())),
+        };
+        Ok(StreamWalk {
+            recovered_torn: container.torn.is_some(),
+            frames: container.frames,
+            next: 0,
+            current: None,
+            last_stats: ApplyStats::default(),
+        })
+    }
+
+    /// Streaming [`SnapshotStore::recover`]: walks the chain to its end
+    /// holding one columnar round at a time and returns the newest
+    /// durable epoch (`None` for a fresh store). Falls back to a
+    /// re-base from `latest.snap` on mid-chain corruption — the same
+    /// policy as `recover`, counted as `store.rebase` — without ever
+    /// materializing the full history the way `recover` does.
+    pub fn recover_newest_epoch(&self) -> Result<Option<u32>, StoreError> {
+        let chain_err = match self.walk_chain().and_then(|mut walk| {
+            while walk.advance()?.is_some() {}
+            Ok(walk.current().map(|c| c.meta.epoch))
+        }) {
+            Ok(newest) => return Ok(newest),
+            Err(e @ StoreError::Io(_)) => return Err(e),
+            Err(StoreError::Unrecoverable(d)) => d,
+        };
+        let latest = match self.read_latest() {
+            Ok(Some((_, snap))) => snap,
+            Ok(None) => {
+                return Err(StoreError::Unrecoverable(format!(
+                    "chain: {chain_err}; latest.snap: artifact missing"
+                )))
+            }
+            Err(StoreError::Unrecoverable(d)) => {
+                return Err(StoreError::Unrecoverable(format!(
+                    "chain: {chain_err}; {d}"
+                )))
+            }
+            Err(e) => return Err(e),
+        };
+        obs::global().counter("store.rebase").inc();
+        self.rebase_from(&latest)?;
+        Ok(Some(latest.epoch))
+    }
+
     /// Reads the chain, falling back to a re-base from `latest.snap`
     /// when the chain is corrupt (the `fsck --repair` policy, applied
     /// inline). Counts `store.rebase` when the fallback fires.
@@ -183,16 +384,20 @@ impl SnapshotStore {
             Err(e @ StoreError::Io(_)) => return Err(e),
             Err(StoreError::Unrecoverable(d)) => d,
         };
-        let latest: RoundSnapshot =
-            match load_doc::<RoundSnapshot>(&self.latest_path(), ArtifactKind::RoundSnapshot) {
-                Ok(loaded) => loaded.value,
-                Err(LoadError::Io(e)) => return Err(StoreError::Io(e)),
-                Err(e) => {
-                    return Err(StoreError::Unrecoverable(format!(
-                        "chain: {chain_err}; latest.snap: {e}"
-                    )))
-                }
-            };
+        let latest = match self.read_latest() {
+            Ok(Some((_, snap))) => snap,
+            Ok(None) => {
+                return Err(StoreError::Unrecoverable(format!(
+                    "chain: {chain_err}; latest.snap: artifact missing"
+                )))
+            }
+            Err(StoreError::Unrecoverable(d)) => {
+                return Err(StoreError::Unrecoverable(format!(
+                    "chain: {chain_err}; {d}"
+                )))
+            }
+            Err(e) => return Err(e),
+        };
         obs::global().counter("store.rebase").inc();
         let state = self.rebase_from(&latest)?;
         Ok(Recovery::Rebased(state))
@@ -247,14 +452,79 @@ impl SnapshotStore {
             &self.opts,
         )
         .map_err(|e| StoreError::Io(e.to_string()))?;
-        save_doc(
-            &self.latest_path(),
-            ArtifactKind::RoundSnapshot,
-            full,
-            &self.opts,
-        )
-        .map_err(|e| StoreError::Io(e.to_string()))?;
+        self.write_latest(full)?;
         Ok(durable_rounds + 1)
+    }
+}
+
+/// What [`SnapshotStore::migrate_latest`] found and did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MigrateOutcome {
+    /// No `latest.snap` on disk; nothing to migrate.
+    Missing,
+    /// The anchor is already columnar; left untouched.
+    AlreadyColumnar,
+    /// A legacy serde anchor was re-encoded in place.
+    Migrated {
+        epoch: u32,
+        bytes_before: u64,
+        bytes_after: u64,
+    },
+}
+
+/// A streaming cursor over the delta chain (see
+/// [`SnapshotStore::walk_chain`]).
+///
+/// At every position the walker owns exactly one [`ColumnarRound`] —
+/// the round the cursor is on — and advancing applies the next delta
+/// frame column-wise via [`apply_delta`], so peak materialized structs
+/// per step are the delta's `New` rows, not the world.
+pub struct StreamWalk {
+    frames: Vec<Vec<u8>>,
+    next: usize,
+    current: Option<ColumnarRound>,
+    recovered_torn: bool,
+    last_stats: ApplyStats,
+}
+
+impl StreamWalk {
+    /// Durable rounds in the chain (a torn tail already truncated).
+    pub fn rounds(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// True when a torn tail was truncated to read the chain.
+    pub fn recovered_torn(&self) -> bool {
+        self.recovered_torn
+    }
+
+    /// Applies the next delta frame and returns it (`None` at the end
+    /// of the chain). The returned delta carries the per-round diff
+    /// numbers (`rows_ref`/`rows_new`, serialized size) the `--diff`
+    /// ledger prints.
+    pub fn advance(&mut self) -> Result<Option<DeltaSnapshot>, StoreError> {
+        let Some(frame) = self.frames.get(self.next) else {
+            return Ok(None);
+        };
+        let i = self.next;
+        let delta: DeltaSnapshot = serde_json::from_slice(frame)
+            .map_err(|e| StoreError::Unrecoverable(format!("chain frame {i}: {e}")))?;
+        let (cur, stats) = apply_delta(self.current.as_ref(), &delta)
+            .map_err(|e| StoreError::Unrecoverable(format!("chain frame {i}: {e}")))?;
+        self.current = Some(cur);
+        self.last_stats = stats;
+        self.next += 1;
+        Ok(Some(delta))
+    }
+
+    /// The round the cursor is on (`None` before the first `advance`).
+    pub fn current(&self) -> Option<&ColumnarRound> {
+        self.current.as_ref()
+    }
+
+    /// Row-materialization accounting of the most recent `advance`.
+    pub fn last_stats(&self) -> ApplyStats {
+        self.last_stats
     }
 }
 
@@ -358,6 +628,87 @@ mod tests {
         let store = SnapshotStore::open(&dir).unwrap();
         assert!(store.load_chain().unwrap().is_empty());
         assert!(matches!(store.recover().unwrap(), Recovery::Chain(s) if s.is_empty()));
+        assert_eq!(store.recover_newest_epoch().unwrap(), None);
+        assert_eq!(store.read_latest().unwrap(), None);
+        assert_eq!(store.migrate_latest().unwrap(), MigrateOutcome::Missing);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn latest_reads_back_under_either_format() {
+        for (tag, format) in [
+            ("latest-legacy", SnapshotFormat::Legacy),
+            ("latest-columnar", SnapshotFormat::Columnar),
+        ] {
+            let dir = tmpdir(tag);
+            let store = SnapshotStore::open(&dir).unwrap().with_format(format);
+            let fulls = chained(&store, 2);
+            let (found, snap) = store.read_latest().unwrap().expect("anchor written");
+            assert_eq!(found, format);
+            assert_eq!(snap, fulls[1]);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+
+    #[test]
+    fn legacy_anchor_migrates_to_columnar_once() {
+        let dir = tmpdir("migrate");
+        let store = SnapshotStore::open(&dir)
+            .unwrap()
+            .with_format(SnapshotFormat::Legacy);
+        let fulls = chained(&store, 2);
+        match store.migrate_latest().unwrap() {
+            MigrateOutcome::Migrated { epoch, .. } => assert_eq!(epoch, 1),
+            other => panic!("expected a migration, got {other:?}"),
+        }
+        let (format, snap) = store.read_latest().unwrap().expect("anchor survives");
+        assert_eq!(format, SnapshotFormat::Columnar);
+        assert_eq!(snap, fulls[1]);
+        assert_eq!(
+            store.migrate_latest().unwrap(),
+            MigrateOutcome::AlreadyColumnar
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn streaming_walk_matches_materialized_chain() {
+        let dir = tmpdir("walk");
+        let store = SnapshotStore::open(&dir).unwrap();
+        chained(&store, 3);
+        let state = store.load_chain().unwrap();
+        let mut walk = store.walk_chain().unwrap();
+        assert_eq!(walk.rounds(), 3);
+        let mut seen = 0;
+        while let Some(delta) = walk.advance().unwrap() {
+            assert_eq!(delta, state.deltas[seen]);
+            let cur = walk.current().expect("cursor on a round");
+            assert_eq!(
+                cur.materialize().unwrap(),
+                state.snapshots[seen],
+                "round {seen} diverges from the materialized chain"
+            );
+            seen += 1;
+        }
+        assert_eq!(seen, 3);
+        assert_eq!(store.recover_newest_epoch().unwrap(), Some(2));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn streamed_recovery_rebases_like_recover() {
+        let dir = tmpdir("stream-rebase");
+        let store = SnapshotStore::open(&dir).unwrap();
+        let fulls = chained(&store, 3);
+        let path = store.chain_path();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[20] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        assert_eq!(store.recover_newest_epoch().unwrap(), Some(2));
+        // The chain was rewritten as a one-frame re-base of the anchor.
+        let state = store.load_chain().unwrap();
+        assert_eq!(state.len(), 1);
+        assert_eq!(state.snapshots[0], fulls[2]);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

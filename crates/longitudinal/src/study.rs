@@ -110,17 +110,13 @@ impl LongitudinalStudy {
         // here; the lost rounds re-run below and re-append). Keyed on the
         // newest durable *epoch*, not the chain length: a re-based chain
         // is one frame long but anchors at its original epoch, and
-        // earlier rounds must not be appended behind it.
+        // earlier rounds must not be appended behind it. The streaming
+        // walker holds one columnar round at a time, so recovery memory
+        // is O(world), not O(rounds × world).
         let mut durable_rounds = match store {
             Some(s) => s
-                .recover()
-                .map(|r| {
-                    let state = r.into_state();
-                    state
-                        .snapshots
-                        .last()
-                        .map_or(0, |snap| snap.epoch as usize + 1)
-                })
+                .recover_newest_epoch()
+                .map(|newest| newest.map_or(0, |epoch| epoch as usize + 1))
                 .unwrap_or(0),
             None => 0,
         };

@@ -1,0 +1,430 @@
+//! Property tests for the columnar snapshot plane.
+//!
+//! Two pins from the columnar refactor live here:
+//!
+//! 1. **Lossless layout** — an *arbitrary* [`RoundSnapshot`] (random
+//!    string tables, optional columns in every combination, all enum
+//!    variants) round-trips through `encode -> SnapshotView ->
+//!    materialize` byte-identically: the structs compare equal, their
+//!    canonical JSON matches, and re-encoding the materialized snapshot
+//!    reproduces every frame byte of the first encoding.
+//! 2. **O(changed rows) streaming** — walking a persisted delta chain
+//!    with [`SnapshotStore::walk_chain`] materializes no more structs
+//!    per round than that round actually changed; everything else is
+//!    copied column-to-column.
+
+use gamma_browser::{LoadStatus, PageLoad};
+use gamma_dns::{DnsFailure, DomainName};
+use gamma_geo::{CityId, CountryCode};
+use gamma_geoloc::{
+    Classification, Confidence, DegradedReason, DiscardReason, DomainVerdict, FunnelStats,
+    GeolocReport,
+};
+use gamma_longitudinal::{
+    ColumnarRound, CountryRound, DeltaSnapshot, RoundSnapshot, SnapshotStore,
+};
+use gamma_model::{HostId, Interner, RdnsId, SiteId};
+use gamma_netsim::Asn;
+use gamma_suite::{
+    DnsObservation, NormHop, NormalizedTraceroute, Os, Quarantine, QuarantineReason,
+    TracerouteRecord, VolunteerDataset, VolunteerMeta,
+};
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+// ---- arbitrary snapshot generators -------------------------------------
+
+fn arb_class() -> impl Strategy<Value = Classification> {
+    prop_oneof![
+        any::<u16>().prop_map(|c| Classification::Local { claimed: CityId(c) }),
+        (any::<u16>(), 0u8..3).prop_map(|(c, t)| Classification::ConfirmedNonLocal {
+            claimed: CityId(c),
+            confidence: match t {
+                0 => Confidence::Full,
+                1 => Confidence::Degraded(DegradedReason::NoSourceLatency),
+                _ => Confidence::Degraded(DegradedReason::NoDestinationProbe),
+            },
+        }),
+        (0u8..9, prop::option::of(any::<u16>())).prop_map(|(r, c)| Classification::Discarded {
+            reason: match r {
+                0 => DiscardReason::NoGeolocation,
+                1 => DiscardReason::NoTraceroute,
+                2 => DiscardReason::SourceUnreached,
+                3 => DiscardReason::SourceSolViolation,
+                4 => DiscardReason::SourceTooFast,
+                5 => DiscardReason::DestNoProbe,
+                6 => DiscardReason::DestUnreached,
+                7 => DiscardReason::DestInconsistent,
+                _ => DiscardReason::RdnsContradiction,
+            },
+            claimed: c.map(CityId),
+        }),
+    ]
+}
+
+fn arb_traceroute() -> impl Strategy<Value = TracerouteRecord> {
+    (
+        any::<u32>(),
+        "[ -~]{0,40}",
+        any::<u32>(),
+        any::<bool>(),
+        prop::collection::vec(
+            (
+                any::<u8>(),
+                prop::option::of(any::<u32>()),
+                // Dyadic rationals so the JSON traceroute cell re-parses
+                // to the exact same f64 (NaN/inf are not serializable).
+                prop::option::of((0u32..1_000_000).prop_map(|v| f64::from(v) / 64.0)),
+            ),
+            0..5,
+        ),
+    )
+        .prop_map(|(tip, raw, dst, reached, hops)| TracerouteRecord {
+            target_ip: Ipv4Addr::from(tip),
+            raw_text: raw,
+            normalized: NormalizedTraceroute {
+                dst: Ipv4Addr::from(dst),
+                reached,
+                hops: hops
+                    .into_iter()
+                    .map(|(ttl, ip, rtt_ms)| NormHop {
+                        ttl,
+                        ip: ip.map(Ipv4Addr::from),
+                        rtt_ms,
+                    })
+                    .collect(),
+            },
+        })
+}
+
+prop_compose! {
+    // Parameters are bundled into tuples: prop_compose! flattens them
+    // into one tuple strategy, and proptest's tuple impls stop at 10.
+    fn arb_country()(
+        cc in "[A-Z]{2}",
+        sites in prop::collection::vec("[a-z]{1,8}\\.[a-z]{2,3}", 1..4),
+        hosts in prop::collection::vec("[a-z0-9]{1,10}\\.[a-z]{2,3}", 1..4),
+        rdns in prop::collection::vec("[a-z0-9.-]{1,20}", 0..3),
+        (city, os_tag, asn, vip, probes_enabled) in (
+            any::<u16>(), 0u8..3, any::<u32>(),
+            prop::option::of(any::<u32>()), any::<bool>()),
+        (statuses, funnel_vals) in (
+            prop::collection::vec((0u8..3, any::<u32>()), 8),
+            prop::collection::vec(0usize..10_000, 7)),
+        dns_rows in prop::collection::vec(
+            (any::<usize>(), any::<usize>(), prop::option::of(any::<u32>()),
+             prop::option::of(any::<usize>()), prop::option::of(any::<u32>()), 0u8..4),
+            0..6),
+        verdict_rows in prop::collection::vec(
+            (any::<usize>(), any::<usize>(), any::<u32>(),
+             prop::option::of(any::<usize>()), arb_class()),
+            0..6),
+        traceroutes in prop::collection::vec(arb_traceroute(), 0..3),
+        (quarantined, opted) in (
+            any::<bool>(), prop::collection::vec(any::<usize>(), 0..3)),
+    ) -> CountryRound {
+        let country = CountryCode::new(&cc);
+        let mut symbols = Interner::new();
+        let site_ids: Vec<SiteId> =
+            sites.iter().map(|s| SiteId::intern(&mut symbols, s)).collect();
+        let host_ids: Vec<HostId> =
+            hosts.iter().map(|h| HostId::intern(&mut symbols, h)).collect();
+        let rdns_ids: Vec<RdnsId> =
+            rdns.iter().map(|r| RdnsId::intern(&mut symbols, r)).collect();
+
+        let loads: Vec<PageLoad> = sites
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let (tag, render_ms) = statuses[i % statuses.len()];
+                PageLoad {
+                    site: DomainName::from_normalized(s.clone()),
+                    status: match tag {
+                        0 => LoadStatus::Loaded,
+                        1 => LoadStatus::TimedOut,
+                        _ => LoadStatus::Failed,
+                    },
+                    render_ms,
+                    requests: hosts
+                        .iter()
+                        .take(i + 1)
+                        .map(|h| DomainName::from_normalized(h.clone()))
+                        .collect(),
+                }
+            })
+            .collect();
+
+        let dns: Vec<DnsObservation> = dns_rows
+            .iter()
+            .map(|&(si, hi, ip, ri, asn_v, ftag)| DnsObservation {
+                site: site_ids[si % site_ids.len()],
+                request: host_ids[hi % host_ids.len()],
+                ip: ip.map(Ipv4Addr::from),
+                rdns: if rdns_ids.is_empty() {
+                    None
+                } else {
+                    ri.map(|r| rdns_ids[r % rdns_ids.len()])
+                },
+                asn: asn_v.map(Asn),
+                failure: match ftag {
+                    0 => None,
+                    1 => Some(DnsFailure::Timeout),
+                    2 => Some(DnsFailure::Servfail),
+                    _ => Some(DnsFailure::Nxdomain),
+                },
+            })
+            .collect();
+
+        let verdicts: Vec<DomainVerdict> = verdict_rows
+            .iter()
+            .map(|&(si, hi, ip, ri, ref class)| DomainVerdict {
+                site: site_ids[si % site_ids.len()],
+                request: host_ids[hi % host_ids.len()],
+                ip: Ipv4Addr::from(ip),
+                rdns: if rdns_ids.is_empty() {
+                    None
+                } else {
+                    ri.map(|r| rdns_ids[r % rdns_ids.len()])
+                },
+                classification: class.clone(),
+            })
+            .collect();
+
+        let mut quarantine = Quarantine::new();
+        if quarantined {
+            quarantine.push(QuarantineReason::RdnsTruncated {
+                ip: Ipv4Addr::new(10, 0, 0, 1),
+            });
+        }
+
+        CountryRound {
+            country,
+            dataset: VolunteerDataset {
+                symbols,
+                volunteer: VolunteerMeta {
+                    country,
+                    city: CityId(city),
+                    os: match os_tag {
+                        0 => Os::Linux,
+                        1 => Os::Windows,
+                        _ => Os::MacOs,
+                    },
+                    asn: Asn(asn),
+                    ip: vip.map(Ipv4Addr::from),
+                },
+                loads,
+                dns,
+                traceroutes,
+                opted_out: opted.iter().map(|&i| site_ids[i % site_ids.len()]).collect(),
+                probes_enabled,
+            },
+            report: GeolocReport {
+                country,
+                verdicts,
+                funnel: FunnelStats {
+                    observations: funnel_vals[0],
+                    unique_domains: funnel_vals[1],
+                    unique_ips: funnel_vals[2],
+                    local: funnel_vals[3],
+                    nonlocal_candidates: funnel_vals[4],
+                    after_sol_constraints: funnel_vals[5],
+                    after_rdns_constraint: funnel_vals[6],
+                    ..FunnelStats::default()
+                },
+            },
+            quarantine,
+        }
+    }
+}
+
+prop_compose! {
+    fn arb_snapshot()(
+        epoch in any::<u32>(),
+        round_seed in any::<u64>(),
+        countries in prop::collection::vec(arb_country(), 1..3),
+    ) -> RoundSnapshot {
+        RoundSnapshot { epoch, round_seed, countries }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn columnar_roundtrip_is_byte_identical(snap in arb_snapshot()) {
+        let col = ColumnarRound::encode(&snap);
+        // materialize() reads every column back through a SnapshotView.
+        let back = col.materialize().expect("snapshot materializes");
+        prop_assert_eq!(&back, &snap);
+        // Re-encoding the materialized snapshot reproduces every frame byte.
+        let col2 = ColumnarRound::encode(&back);
+        prop_assert_eq!(col2.meta_json(), col.meta_json());
+        prop_assert_eq!(&col2.blobs, &col.blobs);
+        // And the canonical JSON agrees, so serde consumers see the same rows.
+        prop_assert_eq!(
+            serde_json::to_vec(&back).expect("serializes"),
+            serde_json::to_vec(&snap).expect("serializes")
+        );
+    }
+}
+
+// ---- delta-chain walk: the O(changed rows) pin -------------------------
+
+fn tmpdir(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("gamma-colwalk-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+/// A deterministic non-trivial round: NZ with three sites, a DNS row and
+/// a verdict per site.
+fn base_round(epoch: u32) -> RoundSnapshot {
+    let country = CountryCode::new("NZ");
+    let mut symbols = Interner::new();
+    let sites = ["news.example", "shop.example", "gov.example"];
+    let host = "cdn.tracker.example";
+    let site_ids: Vec<SiteId> = sites
+        .iter()
+        .map(|s| SiteId::intern(&mut symbols, s))
+        .collect();
+    let host_id = HostId::intern(&mut symbols, host);
+    let loads = sites
+        .iter()
+        .map(|s| PageLoad {
+            site: DomainName::from_normalized((*s).to_string()),
+            status: LoadStatus::Loaded,
+            render_ms: 120,
+            requests: vec![DomainName::from_normalized(host.to_string())],
+        })
+        .collect();
+    let dns = site_ids
+        .iter()
+        .map(|&site| DnsObservation {
+            site,
+            request: host_id,
+            ip: Some(Ipv4Addr::new(10, 1, 2, 3)),
+            rdns: None,
+            asn: Some(Asn(64512)),
+            failure: None,
+        })
+        .collect();
+    let verdicts = site_ids
+        .iter()
+        .map(|&site| DomainVerdict {
+            site,
+            request: host_id,
+            ip: Ipv4Addr::new(10, 1, 2, 3),
+            rdns: None,
+            classification: Classification::Local { claimed: CityId(7) },
+        })
+        .collect();
+    RoundSnapshot {
+        epoch,
+        round_seed: 900 + u64::from(epoch),
+        countries: vec![CountryRound {
+            country,
+            dataset: VolunteerDataset {
+                symbols,
+                volunteer: VolunteerMeta {
+                    country,
+                    city: CityId(7),
+                    os: Os::Linux,
+                    asn: Asn(64512),
+                    ip: None,
+                },
+                loads,
+                dns,
+                traceroutes: vec![],
+                opted_out: vec![],
+                probes_enabled: true,
+            },
+            report: GeolocReport {
+                country,
+                verdicts,
+                funnel: FunnelStats::default(),
+            },
+            quarantine: Quarantine::new(),
+        }],
+    }
+}
+
+/// Next round: identical world except ONE page-load row re-renders.
+fn evolved(prev: &RoundSnapshot) -> RoundSnapshot {
+    let mut next = prev.clone();
+    next.epoch += 1;
+    next.round_seed += 1;
+    next.countries[0].dataset.loads[0].render_ms += 1;
+    next
+}
+
+#[test]
+fn chain_walk_materializes_at_most_the_changed_rows() {
+    let dir = tmpdir("pin");
+    let store = SnapshotStore::open(&dir).expect("store opens");
+
+    let rounds = 4u32;
+    let mut durable = 0;
+    let mut prev: Option<RoundSnapshot> = None;
+    let mut fulls = Vec::new();
+    for _ in 0..rounds {
+        let full = match &prev {
+            None => base_round(0),
+            Some(p) => evolved(p),
+        };
+        let delta = DeltaSnapshot::encode(prev.as_ref(), &full);
+        durable = store.record(durable, &delta, &full).expect("round records");
+        prev = Some(full.clone());
+        fulls.push(full);
+    }
+
+    let total_rows = {
+        let c = &fulls[0].countries[0];
+        c.dataset.loads.len()
+            + c.dataset.dns.len()
+            + c.dataset.traceroutes.len()
+            + c.report.verdicts.len()
+    };
+
+    let mut walk = store.walk_chain().expect("chain opens");
+    assert_eq!(walk.rounds(), rounds as usize);
+
+    // Round 0 is the baseline: everything is new by definition.
+    let d0 = walk.advance().expect("round 0 applies").expect("present");
+    assert_eq!(walk.last_stats().materialized_rows, d0.rows_new());
+    assert_eq!(walk.last_stats().copied_rows, 0);
+
+    // Every later round touched exactly one row; the walker must not
+    // materialize more than that — the rest is copied column-wise.
+    let changed_rows_per_round = 1;
+    for epoch in 1..rounds {
+        let d = walk
+            .advance()
+            .expect("round applies")
+            .expect("chain has the round");
+        let stats = walk.last_stats();
+        assert_eq!(d.epoch, epoch);
+        assert_eq!(
+            stats.materialized_rows,
+            d.rows_new(),
+            "only New ops may materialize structs"
+        );
+        assert!(
+            stats.materialized_rows <= changed_rows_per_round,
+            "round {epoch}: materialized {} rows but only {changed_rows_per_round} changed",
+            stats.materialized_rows
+        );
+        assert_eq!(
+            stats.copied_rows,
+            total_rows - stats.materialized_rows,
+            "unchanged rows must arrive as column copies"
+        );
+        // The streamed round is still the real round.
+        let cur = walk.current().expect("cursor is on a round");
+        assert_eq!(
+            &cur.materialize().expect("streamed round materializes"),
+            &fulls[epoch as usize]
+        );
+    }
+    assert!(walk.advance().expect("end of chain").is_none());
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,496 @@
+//! Flat, offset-based column primitives for the columnar snapshot plane.
+//!
+//! A columnar blob is one contiguous byte buffer holding struct-of-arrays
+//! *sections*: fixed-width value columns (`u32`/`u16`/`u8`), presence
+//! bitmaps for optional columns, and a deduplicated string table. A
+//! [`Section`] names a byte range inside the blob; readers slice the
+//! loaded bytes by offset — no per-row structs, no serde pass — the way
+//! adblock-rust reads its flat rule containers.
+//!
+//! Invariants the writer maintains and every reader checks:
+//!
+//! - every section starts at a 4-byte-aligned offset and has 4-byte-
+//!   aligned length (narrow columns are zero-padded up to alignment);
+//! - all multi-byte values are little-endian;
+//! - a `u32` column of n rows is exactly `4·n` bytes; a `u16`/`u8`
+//!   column is `2·n`/`n` bytes plus padding; a presence bitmap packs one
+//!   bit per row, LSB-first within each byte;
+//! - a string table is self-describing: `count` (u32), `count+1` byte
+//!   offsets (u32, relative to the start of the table's byte region),
+//!   then the concatenated UTF-8 bytes.
+//!
+//! Readers never panic on foreign bytes: every accessor that could run
+//! off the end returns a [`ColumnarError`] instead.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A malformed columnar blob (bad offsets, lengths, or string bytes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnarError(pub String);
+
+impl std::fmt::Display for ColumnarError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "columnar blob malformed: {}", self.0)
+    }
+}
+
+impl std::error::Error for ColumnarError {}
+
+fn err(detail: impl Into<String>) -> ColumnarError {
+    ColumnarError(detail.into())
+}
+
+/// A byte range inside a columnar blob. Serialized in the snapshot's
+/// JSON directory frame so readers can seek straight to a column.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Section {
+    /// Byte offset from the start of the blob (4-byte aligned).
+    pub off: u32,
+    /// Byte length (4-byte aligned).
+    pub len: u32,
+}
+
+impl Section {
+    /// The named bytes, bounds-checked against the blob.
+    pub fn slice<'a>(&self, blob: &'a [u8]) -> Result<&'a [u8], ColumnarError> {
+        let off = self.off as usize;
+        let end = off
+            .checked_add(self.len as usize)
+            .ok_or_else(|| err("section offset overflow"))?;
+        blob.get(off..end).ok_or_else(|| {
+            err(format!(
+                "section [{off}..{end}) outside {}-byte blob",
+                blob.len()
+            ))
+        })
+    }
+}
+
+/// Builds one columnar blob section by section. Every `put_*` returns
+/// the [`Section`] naming the bytes it wrote.
+#[derive(Debug, Default)]
+pub struct BlobWriter {
+    buf: Vec<u8>,
+}
+
+impl BlobWriter {
+    pub fn new() -> BlobWriter {
+        BlobWriter::default()
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    fn pad(&mut self) {
+        while self.buf.len() % 4 != 0 {
+            self.buf.push(0);
+        }
+    }
+
+    fn section_from(&mut self, start: usize) -> Section {
+        self.pad();
+        Section {
+            off: start as u32,
+            len: (self.buf.len() - start) as u32,
+        }
+    }
+
+    /// A dense `u32` column, one value per row.
+    pub fn put_u32_col(&mut self, vals: &[u32]) -> Section {
+        let start = self.buf.len();
+        for v in vals {
+            self.buf.extend_from_slice(&v.to_le_bytes());
+        }
+        self.section_from(start)
+    }
+
+    /// A dense `u16` column (padded to alignment).
+    pub fn put_u16_col(&mut self, vals: &[u16]) -> Section {
+        let start = self.buf.len();
+        for v in vals {
+            self.buf.extend_from_slice(&v.to_le_bytes());
+        }
+        self.section_from(start)
+    }
+
+    /// A dense `u8` column (padded to alignment).
+    pub fn put_u8_col(&mut self, vals: &[u8]) -> Section {
+        let start = self.buf.len();
+        self.buf.extend_from_slice(vals);
+        self.section_from(start)
+    }
+
+    /// A presence bitmap: one bit per row, LSB-first per byte.
+    pub fn put_bitmap(&mut self, bits: &[bool]) -> Section {
+        let start = self.buf.len();
+        let mut byte = 0u8;
+        for (i, b) in bits.iter().enumerate() {
+            if *b {
+                byte |= 1 << (i % 8);
+            }
+            if i % 8 == 7 {
+                self.buf.push(byte);
+                byte = 0;
+            }
+        }
+        if bits.len() % 8 != 0 {
+            self.buf.push(byte);
+        }
+        self.section_from(start)
+    }
+
+    /// Raw bytes (padded to alignment).
+    pub fn put_bytes(&mut self, bytes: &[u8]) -> Section {
+        let start = self.buf.len();
+        self.buf.extend_from_slice(bytes);
+        self.section_from(start)
+    }
+
+    /// The finished blob.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// A borrowed `u32` column: `4·n` bytes read in place.
+#[derive(Debug, Clone, Copy)]
+pub struct U32Col<'a> {
+    bytes: &'a [u8],
+}
+
+impl<'a> U32Col<'a> {
+    pub fn parse(bytes: &'a [u8]) -> Result<U32Col<'a>, ColumnarError> {
+        if bytes.len() % 4 != 0 {
+            return Err(err(format!("u32 column of {} bytes", bytes.len())));
+        }
+        Ok(U32Col { bytes })
+    }
+
+    pub fn len(&self) -> usize {
+        self.bytes.len() / 4
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    pub fn get(&self, i: usize) -> Result<u32, ColumnarError> {
+        let b = self
+            .bytes
+            .get(i * 4..i * 4 + 4)
+            .ok_or_else(|| err(format!("u32 row {i} past column of {}", self.len())))?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = u32> + 'a {
+        let bytes = self.bytes;
+        (0..bytes.len() / 4).map(move |i| {
+            let b = &bytes[i * 4..i * 4 + 4];
+            u32::from_le_bytes([b[0], b[1], b[2], b[3]])
+        })
+    }
+}
+
+/// A borrowed `u16` column. The row count is carried by the caller (the
+/// trailing padding makes it ambiguous from the byte length alone).
+#[derive(Debug, Clone, Copy)]
+pub struct U16Col<'a> {
+    bytes: &'a [u8],
+}
+
+impl<'a> U16Col<'a> {
+    pub fn parse(bytes: &'a [u8]) -> Result<U16Col<'a>, ColumnarError> {
+        if bytes.len() % 2 != 0 {
+            return Err(err(format!("u16 column of {} bytes", bytes.len())));
+        }
+        Ok(U16Col { bytes })
+    }
+
+    pub fn get(&self, i: usize) -> Result<u16, ColumnarError> {
+        let b = self
+            .bytes
+            .get(i * 2..i * 2 + 2)
+            .ok_or_else(|| err(format!("u16 row {i} past column end")))?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+}
+
+/// A borrowed `u8` column (row count carried by the caller).
+#[derive(Debug, Clone, Copy)]
+pub struct U8Col<'a> {
+    bytes: &'a [u8],
+}
+
+impl<'a> U8Col<'a> {
+    pub fn parse(bytes: &'a [u8]) -> U8Col<'a> {
+        U8Col { bytes }
+    }
+
+    pub fn get(&self, i: usize) -> Result<u8, ColumnarError> {
+        self.bytes
+            .get(i)
+            .copied()
+            .ok_or_else(|| err(format!("u8 row {i} past column end")))
+    }
+}
+
+/// A borrowed presence bitmap (row count carried by the caller).
+#[derive(Debug, Clone, Copy)]
+pub struct Bitmap<'a> {
+    bytes: &'a [u8],
+}
+
+impl<'a> Bitmap<'a> {
+    pub fn parse(bytes: &'a [u8]) -> Bitmap<'a> {
+        Bitmap { bytes }
+    }
+
+    pub fn get(&self, i: usize) -> Result<bool, ColumnarError> {
+        let byte = self
+            .bytes
+            .get(i / 8)
+            .ok_or_else(|| err(format!("bitmap row {i} past bitmap end")))?;
+        Ok(byte & (1 << (i % 8)) != 0)
+    }
+}
+
+/// Builds the deduplicated string table of one blob. Entry ids are
+/// assigned by first-add order, so seeding the builder with an interner's
+/// entries makes ids 0..interner.len() coincide with the interner's own.
+#[derive(Debug)]
+pub struct StrTableBuilder {
+    offsets: Vec<u32>,
+    bytes: Vec<u8>,
+    index: HashMap<String, u32>,
+}
+
+// `offsets` must hold the leading sentinel even in a default-constructed
+// builder, so `Default` is hand-written to route through `new`.
+impl Default for StrTableBuilder {
+    fn default() -> StrTableBuilder {
+        StrTableBuilder::new()
+    }
+}
+
+impl StrTableBuilder {
+    pub fn new() -> StrTableBuilder {
+        StrTableBuilder {
+            offsets: vec![0],
+            bytes: Vec::new(),
+            index: HashMap::new(),
+        }
+    }
+
+    /// The id of `s`, adding it on first sight.
+    pub fn add(&mut self, s: &str) -> u32 {
+        if let Some(&id) = self.index.get(s) {
+            return id;
+        }
+        let id = (self.offsets.len() - 1) as u32;
+        self.bytes.extend_from_slice(s.as_bytes());
+        self.offsets.push(self.bytes.len() as u32);
+        self.index.insert(s.to_string(), id);
+        id
+    }
+
+    /// Distinct strings added.
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Writes the self-describing table section:
+    /// `count | offsets[count+1] | utf8 bytes` (padded).
+    pub fn write(&self, w: &mut BlobWriter) -> Section {
+        let start = w.len();
+        let count = self.len() as u32;
+        w.put_u32_col(&[count]);
+        w.put_u32_col(&self.offsets);
+        let s = w.put_bytes(&self.bytes);
+        Section {
+            off: start as u32,
+            len: s.off + s.len - start as u32,
+        }
+    }
+}
+
+/// A borrowed view over a written string table section.
+#[derive(Debug, Clone, Copy)]
+pub struct StrTableView<'a> {
+    offsets: U32Col<'a>,
+    bytes: &'a [u8],
+}
+
+impl<'a> StrTableView<'a> {
+    /// Parses the section bytes produced by [`StrTableBuilder::write`].
+    pub fn parse(section: &'a [u8]) -> Result<StrTableView<'a>, ColumnarError> {
+        let head = U32Col::parse(
+            section
+                .get(0..4)
+                .ok_or_else(|| err("string table too short"))?,
+        )?;
+        let count = head.get(0)? as usize;
+        let off_end = 4 + (count + 1) * 4;
+        let offsets = U32Col::parse(
+            section
+                .get(4..off_end)
+                .ok_or_else(|| err("string table offsets truncated"))?,
+        )?;
+        let last = offsets.get(count)? as usize;
+        let bytes = section
+            .get(off_end..off_end + last)
+            .ok_or_else(|| err("string table bytes truncated"))?;
+        Ok(StrTableView { offsets, bytes })
+    }
+
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The string with id `i`.
+    pub fn get(&self, i: usize) -> Result<&'a str, ColumnarError> {
+        if i + 1 >= self.offsets.len() {
+            return Err(err(format!("string id {i} past table of {}", self.len())));
+        }
+        let lo = self.offsets.get(i)? as usize;
+        let hi = self.offsets.get(i + 1)? as usize;
+        let b = self
+            .bytes
+            .get(lo..hi)
+            .ok_or_else(|| err(format!("string id {i} has offsets [{lo}..{hi}) past bytes")))?;
+        std::str::from_utf8(b).map_err(|e| err(format!("string id {i} is not UTF-8: {e}")))
+    }
+
+    /// All entries in id order.
+    pub fn iter(&self) -> impl Iterator<Item = Result<&'a str, ColumnarError>> + '_ {
+        (0..self.len()).map(|i| self.get(i))
+    }
+}
+
+/// Packs `Option<u32>` rows into a (presence bits, values) pair; absent
+/// rows store 0 in the value column.
+pub fn split_opt_u32(rows: impl Iterator<Item = Option<u32>>) -> (Vec<bool>, Vec<u32>) {
+    let mut bits = Vec::new();
+    let mut vals = Vec::new();
+    for r in rows {
+        bits.push(r.is_some());
+        vals.push(r.unwrap_or(0));
+    }
+    (bits, vals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u32_columns_round_trip_by_offset() {
+        let mut w = BlobWriter::new();
+        let a = w.put_u32_col(&[1, 2, 3]);
+        let b = w.put_u32_col(&[0xdead_beef]);
+        let blob = w.finish();
+        let col = U32Col::parse(a.slice(&blob).unwrap()).unwrap();
+        assert_eq!(col.len(), 3);
+        assert_eq!(col.get(1).unwrap(), 2);
+        assert_eq!(col.iter().collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert!(col.get(3).is_err());
+        let col = U32Col::parse(b.slice(&blob).unwrap()).unwrap();
+        assert_eq!(col.get(0).unwrap(), 0xdead_beef);
+    }
+
+    #[test]
+    fn narrow_columns_pad_to_alignment() {
+        let mut w = BlobWriter::new();
+        let a = w.put_u8_col(&[9, 8, 7]);
+        assert_eq!(a.len % 4, 0);
+        let b = w.put_u16_col(&[512, 1]);
+        assert_eq!(b.off % 4, 0);
+        let c = w.put_bitmap(&[true, false, true]);
+        let blob = w.finish();
+        let u8s = U8Col::parse(a.slice(&blob).unwrap());
+        assert_eq!(u8s.get(2).unwrap(), 7);
+        let u16s = U16Col::parse(b.slice(&blob).unwrap()).unwrap();
+        assert_eq!(u16s.get(0).unwrap(), 512);
+        assert_eq!(u16s.get(1).unwrap(), 1);
+        let bits = Bitmap::parse(c.slice(&blob).unwrap());
+        assert!(bits.get(0).unwrap());
+        assert!(!bits.get(1).unwrap());
+        assert!(bits.get(2).unwrap());
+    }
+
+    #[test]
+    fn bitmap_crosses_byte_boundaries() {
+        let rows: Vec<bool> = (0..19).map(|i| i % 3 == 0).collect();
+        let mut w = BlobWriter::new();
+        let s = w.put_bitmap(&rows);
+        let blob = w.finish();
+        let bits = Bitmap::parse(s.slice(&blob).unwrap());
+        for (i, want) in rows.iter().enumerate() {
+            assert_eq!(bits.get(i).unwrap(), *want, "row {i}");
+        }
+    }
+
+    #[test]
+    fn string_table_dedups_and_round_trips() {
+        let mut t = StrTableBuilder::new();
+        assert_eq!(t.add("tracker.example"), 0);
+        assert_eq!(t.add("cdn.example"), 1);
+        assert_eq!(t.add("tracker.example"), 0);
+        assert_eq!(t.add(""), 2);
+        assert_eq!(t.len(), 3);
+        let mut w = BlobWriter::new();
+        let pre = w.put_u32_col(&[7, 7]); // table need not sit at offset 0
+        assert_eq!(pre.off, 0);
+        let s = t.write(&mut w);
+        let blob = w.finish();
+        let view = StrTableView::parse(s.slice(&blob).unwrap()).unwrap();
+        assert_eq!(view.len(), 3);
+        assert_eq!(view.get(0).unwrap(), "tracker.example");
+        assert_eq!(view.get(1).unwrap(), "cdn.example");
+        assert_eq!(view.get(2).unwrap(), "");
+        assert!(view.get(3).is_err());
+        let all: Vec<&str> = view.iter().collect::<Result<_, _>>().unwrap();
+        assert_eq!(all, vec!["tracker.example", "cdn.example", ""]);
+    }
+
+    #[test]
+    fn sections_are_bounds_checked() {
+        let blob = vec![0u8; 8];
+        assert!(Section { off: 4, len: 8 }.slice(&blob).is_err());
+        assert!(Section { off: 0, len: 8 }.slice(&blob).is_ok());
+        assert!(StrTableView::parse(&blob[..2]).is_err());
+        // A table claiming more strings than its bytes hold.
+        let mut w = BlobWriter::new();
+        w.put_u32_col(&[100]);
+        let junk = w.finish();
+        assert!(StrTableView::parse(&junk).is_err());
+    }
+
+    #[test]
+    fn opt_u32_splits_presence_from_values() {
+        let (bits, vals) = split_opt_u32([Some(5), None, Some(0)].into_iter());
+        assert_eq!(bits, vec![true, false, true]);
+        assert_eq!(vals, vec![5, 0, 0]);
+    }
+
+    #[test]
+    fn unaligned_u32_parse_is_rejected() {
+        let b = [0u8; 6];
+        assert!(U32Col::parse(&b).is_err());
+        assert!(U16Col::parse(&b[..3]).is_err());
+    }
+}

@@ -26,12 +26,17 @@
 
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
+pub mod columnar;
 pub mod delta;
 
 use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
 
+pub use columnar::{
+    Bitmap, BlobWriter, ColumnarError, Section, StrTableBuilder, StrTableView, U16Col, U32Col,
+    U8Col,
+};
 pub use delta::{DeltaError, InternerDelta, SymOp};
 
 /// A compact reference to a string stored in an [`Interner`].

@@ -4,8 +4,11 @@
 //! Every fired round is appended as a [`DeltaSnapshot`] against the
 //! previous round (the head of the chain encodes against nothing, so the
 //! chain alone reconstructs the full history). The store caches the
-//! newest materialized [`RoundSnapshot`] so appending diffs against an
-//! in-memory snapshot instead of replaying the chain.
+//! newest round in the *columnar* encoding ([`ColumnarRound`] — the
+//! same layout the snapshot plane persists), advanced with
+//! [`apply_delta`] so each append materializes only the changed rows;
+//! chain replays ([`RevisionStore::reconstruct`], retention re-basing)
+//! likewise walk columnar and materialize a single round at the end.
 //!
 //! Retention pruning **re-bases** the chain: the oldest retained round is
 //! reconstructed, re-encoded as a new base delta (against nothing), and
@@ -14,7 +17,7 @@
 //! newest round byte-for-byte against a `KeepAll` twin.
 
 use crate::config::Retention;
-use gamma_longitudinal::{DeltaSnapshot, RoundSnapshot};
+use gamma_longitudinal::{apply_delta, ColumnarRound, DeltaSnapshot, RoundSnapshot};
 use gamma_model::DeltaError;
 
 /// Sizes of one appended revision, for metrics and reports.
@@ -37,8 +40,9 @@ pub struct RevisionStore {
     /// `chain[0]` encodes against nothing; `chain[i]` against the round
     /// `chain[i-1]` reconstructs.
     chain: Vec<DeltaSnapshot>,
-    /// Materialized newest round (diff-on-write target).
-    latest: Option<RoundSnapshot>,
+    /// Newest round in columnar form (diff-on-write target) — compact
+    /// column blobs instead of materialized row structs.
+    latest: Option<ColumnarRound>,
 }
 
 impl RevisionStore {
@@ -58,9 +62,10 @@ impl RevisionStore {
         retention: Retention,
         chain: Vec<DeltaSnapshot>,
     ) -> Result<RevisionStore, DeltaError> {
-        let mut latest: Option<RoundSnapshot> = None;
+        let mut latest: Option<ColumnarRound> = None;
         for delta in &chain {
-            latest = Some(delta.decode(latest.as_ref())?);
+            let (next, _) = apply_delta(latest.as_ref(), delta).map_err(|e| DeltaError(e.0))?;
+            latest = Some(next);
         }
         let mut store = RevisionStore {
             retention,
@@ -72,17 +77,24 @@ impl RevisionStore {
     }
 
     /// Appends one finished round: encodes it against the cached newest
-    /// snapshot, advances the cache, and applies retention pruning.
+    /// round (materialized transiently for the diff), advances the
+    /// columnar cache column-wise via [`apply_delta`], and applies
+    /// retention pruning.
     pub fn record(&mut self, snapshot: RoundSnapshot) -> RevisionStats {
-        let delta = DeltaSnapshot::encode(self.latest.as_ref(), &snapshot);
+        let prev = self
+            .latest
+            .as_ref()
+            .map(|c| c.materialize().expect("own cache materializes"));
+        let delta = DeltaSnapshot::encode(prev.as_ref(), &snapshot);
         let stats = RevisionStats {
             delta_bytes: delta.json_bytes(),
             full_bytes: snapshot.json_bytes(),
             rows_ref: delta.rows_ref(),
             rows_new: delta.rows_new(),
         };
+        let (next, _) = apply_delta(self.latest.as_ref(), &delta).expect("own delta applies");
         self.chain.push(delta);
-        self.latest = Some(snapshot);
+        self.latest = Some(next);
         self.prune();
         stats
     }
@@ -101,9 +113,16 @@ impl RevisionStore {
         self.chain.iter().map(|d| d.epoch).collect()
     }
 
-    /// The newest materialized round, if any round has been recorded.
-    pub fn newest(&self) -> Option<&RoundSnapshot> {
+    /// The newest round in its columnar form, if any has been recorded.
+    pub fn newest_columnar(&self) -> Option<&ColumnarRound> {
         self.latest.as_ref()
+    }
+
+    /// The newest round, materialized on demand from the columnar cache.
+    pub fn newest(&self) -> Option<RoundSnapshot> {
+        self.latest
+            .as_ref()
+            .map(|c| c.materialize().expect("own cache materializes"))
     }
 
     /// The retained delta chain, oldest first (head encodes against
@@ -113,15 +132,16 @@ impl RevisionStore {
     }
 
     /// Reconstructs the retained round for `epoch` by replaying the
-    /// chain from its base.
+    /// chain from its base. The walk stays columnar — only the requested
+    /// round is ever materialized into row structs.
     pub fn reconstruct(&self, epoch: u32) -> Result<RoundSnapshot, DeltaError> {
-        let mut cur: Option<RoundSnapshot> = None;
+        let mut cur: Option<ColumnarRound> = None;
         for delta in &self.chain {
-            let snap = delta.decode(cur.as_ref())?;
-            if snap.epoch == epoch {
-                return Ok(snap);
+            let (next, _) = apply_delta(cur.as_ref(), delta).map_err(|e| DeltaError(e.0))?;
+            if next.meta.epoch == epoch {
+                return next.materialize().map_err(|e| DeltaError(e.0));
             }
-            cur = Some(snap);
+            cur = Some(next);
         }
         Err(DeltaError(format!(
             "epoch {epoch} is not retained (have {:?})",
@@ -152,15 +172,15 @@ impl RevisionStore {
             return;
         }
         let cut = self.chain.len() - keep;
-        let mut cur: Option<RoundSnapshot> = None;
+        let mut cur: Option<ColumnarRound> = None;
         for delta in &self.chain[..=cut] {
-            cur = Some(
-                delta
-                    .decode(cur.as_ref())
-                    .expect("own chain replays losslessly"),
-            );
+            let (next, _) = apply_delta(cur.as_ref(), delta).expect("own chain replays losslessly");
+            cur = Some(next);
         }
-        let base = cur.expect("cut index is in range");
+        let base = cur
+            .expect("cut index is in range")
+            .materialize()
+            .expect("own chain materializes");
         let mut rebased = Vec::with_capacity(keep);
         rebased.push(DeltaSnapshot::encode(None, &base));
         rebased.extend_from_slice(&self.chain[cut + 1..]);
@@ -214,7 +234,9 @@ mod tests {
         for snap in &snaps {
             assert_eq!(&store.reconstruct(snap.epoch).unwrap(), snap);
         }
-        assert_eq!(store.newest(), snaps.last());
+        assert_eq!(store.newest().as_ref(), snaps.last());
+        // The diff-on-write cache itself holds the columnar encoding.
+        assert_eq!(store.newest_columnar().map(|c| c.meta.epoch), Some(2));
         // Later rounds diff small against their predecessors.
         assert!(store.deltas()[1].rows_ref() > 0);
     }

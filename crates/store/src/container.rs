@@ -68,6 +68,9 @@ pub enum ArtifactKind {
     /// Compiled tracker-filter engine (token-indexed ABP rules), single
     /// frame; the payload carries its own engine-format version.
     CompiledEngine,
+    /// Columnar round snapshot: one JSON meta/directory frame followed by
+    /// one binary column blob per country (struct-of-arrays layout).
+    ColumnarSnapshot,
 }
 
 impl ArtifactKind {
@@ -82,6 +85,7 @@ impl ArtifactKind {
             ArtifactKind::Document => 6,
             ArtifactKind::MetricsReport => 7,
             ArtifactKind::CompiledEngine => 8,
+            ArtifactKind::ColumnarSnapshot => 9,
         }
     }
 
@@ -96,6 +100,7 @@ impl ArtifactKind {
             6 => ArtifactKind::Document,
             7 => ArtifactKind::MetricsReport,
             8 => ArtifactKind::CompiledEngine,
+            9 => ArtifactKind::ColumnarSnapshot,
             _ => return None,
         })
     }
@@ -111,11 +116,12 @@ impl ArtifactKind {
             ArtifactKind::Document => "document",
             ArtifactKind::MetricsReport => "metrics-report",
             ArtifactKind::CompiledEngine => "compiled-engine",
+            ArtifactKind::ColumnarSnapshot => "columnar-snapshot",
         }
     }
 
     /// Every kind, for iteration in tests and fsck.
-    pub const ALL: [ArtifactKind; 8] = [
+    pub const ALL: [ArtifactKind; 9] = [
         ArtifactKind::CampaignCheckpoint,
         ArtifactKind::SuiteCheckpoint,
         ArtifactKind::RoundSnapshot,
@@ -124,6 +130,7 @@ impl ArtifactKind {
         ArtifactKind::Document,
         ArtifactKind::MetricsReport,
         ArtifactKind::CompiledEngine,
+        ArtifactKind::ColumnarSnapshot,
     ];
 }
 
@@ -410,12 +417,9 @@ pub fn append_frame(
 /// Reads a container, verifying every frame checksum. Torn tails are
 /// truncated to the last valid frame and reported on the `Ok` side;
 /// mid-file corruption, version and kind mismatches are typed errors.
-/// Increments `store.reads`; a recovered tear counts
-/// `store.recovered_torn`, a corrupt frame `store.corrupt_frames`.
-pub fn read_container(
-    path: &Path,
-    expected: Option<ArtifactKind>,
-) -> Result<Container, ReadError> {
+/// Increments `store.reads` / `store.bytes_read`; a recovered tear
+/// counts `store.recovered_torn`, a corrupt frame `store.corrupt_frames`.
+pub fn read_container(path: &Path, expected: Option<ArtifactKind>) -> Result<Container, ReadError> {
     let reg = obs::global();
     let mut bytes = Vec::new();
     match File::open(path) {
@@ -427,6 +431,7 @@ pub fn read_container(
         Err(e) => return Err(ReadError::Io(e.to_string())),
     }
     reg.counter("store.reads").inc();
+    reg.counter("store.bytes_read").add(bytes.len() as u64);
 
     // A tear into the header: the file is a prefix too short to name its
     // own kind. Nothing durable survives, but it is a crash artifact —
@@ -633,7 +638,11 @@ pub fn load_doc<T: serde::de::DeserializeOwned>(
 /// Atomically writes raw bytes (plain JSON reports, datasets) with the
 /// same temp-file + rename protocol — no framing, for artifacts external
 /// tools read directly. Crash-safe: never a half-written file.
-pub fn atomic_write_bytes(path: &Path, bytes: &[u8], opts: &WriteOptions) -> Result<(), WriteError> {
+pub fn atomic_write_bytes(
+    path: &Path,
+    bytes: &[u8],
+    opts: &WriteOptions,
+) -> Result<(), WriteError> {
     let reg = obs::global();
     let mut image = bytes.to_vec();
     let fault = decide_write_fault(opts.plan.as_ref(), path, image.len());
@@ -710,10 +719,7 @@ mod tests {
     #[test]
     fn missing_is_typed() {
         let path = tmp("never-written.gsf");
-        assert_eq!(
-            read_container(&path, None).unwrap_err(),
-            ReadError::Missing
-        );
+        assert_eq!(read_container(&path, None).unwrap_err(), ReadError::Missing);
         assert!(matches!(
             load_doc::<Doc>(&path, ArtifactKind::Document),
             Err(LoadError::Missing)

@@ -57,9 +57,9 @@ fn main() {
         for s in &c.sites {
             for t in &s.nonlocal_trackers {
                 if t.hosting_country() == ke {
-                    if let Some(org) = &t.org {
-                        if !nairobi_orgs.contains(org) {
-                            nairobi_orgs.push(org.clone());
+                    if let Some(org) = c.tracker_org(t) {
+                        if !nairobi_orgs.iter().any(|o| o == org) {
+                            nairobi_orgs.push(org.to_string());
                         }
                     }
                 }

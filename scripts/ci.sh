@@ -24,11 +24,27 @@ echo "==> longitudinal smoke: three rounds of churn with the diff report"
 cargo run --release --bin gamma-study -- \
   --seed 7 --small --rounds 3 --diff > /dev/null
 
+echo "==> columnar smoke: legacy and columnar snapshot formats render identical reports"
+COL_DIR=/tmp/gamma-columnar-smoke-7
+rm -rf "$COL_DIR"
+cargo run --release --bin gamma-study -- \
+  --seed 7 --small --rounds 3 --diff --snapshot-dir "$COL_DIR/legacy" \
+  --snapshot-format legacy > /tmp/gamma-columnar-a.txt
+cargo run --release --bin gamma-study -- \
+  --seed 7 --small --rounds 3 --diff --snapshot-dir "$COL_DIR/columnar" \
+  --snapshot-format columnar > /tmp/gamma-columnar-b.txt
+cmp /tmp/gamma-columnar-a.txt /tmp/gamma-columnar-b.txt
+# One-shot migration re-encodes the legacy anchor; the store must stay
+# fsck-clean and a second migrate must be a no-op.
+cargo run --release --bin gamma-study -- migrate-snapshots "$COL_DIR/legacy" 2> /dev/null
+cargo run --release --bin gamma-study -- fsck "$COL_DIR/legacy" > /dev/null
+cargo run --release --bin gamma-study -- migrate-snapshots "$COL_DIR/legacy" 2> /dev/null
+
 echo "==> obs smoke: metrics report emitted and self-validated"
 cargo run --release --bin gamma-study -- \
   --seed 7 --small --metrics-out /tmp/gamma-bench-7.json > /dev/null
 cargo run --release --bin gamma-study -- \
-  --check-metrics /tmp/gamma-bench-7.json --require-ns trackers.
+  --check-metrics /tmp/gamma-bench-7.json --require-ns trackers. --require-ns model.
 
 echo "==> compiled-engine smoke: cached engine reused, output byte-identical"
 ENGINE_DIR=/tmp/gamma-engine-smoke-7

@@ -65,6 +65,7 @@ fn main() -> ExitCode {
     let mut rounds = 1u32;
     let mut diff = false;
     let mut snapshot_dir: Option<String> = None;
+    let mut snapshot_format: Option<gamma::longitudinal::SnapshotFormat> = None;
     let mut require_ns: Vec<String> = Vec::new();
     let mut engine_cache: Option<String> = None;
 
@@ -76,6 +77,10 @@ fn main() -> ExitCode {
     if argv.peek().map(String::as_str) == Some("fsck") {
         argv.next();
         return run_fsck(argv);
+    }
+    if argv.peek().map(String::as_str) == Some("migrate-snapshots") {
+        argv.next();
+        return run_migrate(argv);
     }
     while let Some(flag) = argv.next() {
         match flag.as_str() {
@@ -125,6 +130,15 @@ fn main() -> ExitCode {
             "--snapshot-dir" => match argv.next() {
                 Some(v) => snapshot_dir = Some(v),
                 None => return usage(),
+            },
+            "--snapshot-format" => match argv.next().as_deref() {
+                Some("legacy") => {
+                    snapshot_format = Some(gamma::longitudinal::SnapshotFormat::Legacy)
+                }
+                Some("columnar") => {
+                    snapshot_format = Some(gamma::longitudinal::SnapshotFormat::Columnar)
+                }
+                _ => return usage(),
             },
             "--engine-cache" => match argv.next() {
                 Some(v) => engine_cache = Some(v),
@@ -224,7 +238,10 @@ fn main() -> ExitCode {
         let store = match &snapshot_dir {
             Some(dir) => {
                 match gamma::longitudinal::SnapshotStore::open(std::path::Path::new(dir)) {
-                    Ok(s) => Some(s),
+                    Ok(s) => Some(match snapshot_format {
+                        Some(f) => s.with_format(f),
+                        None => s,
+                    }),
                     Err(e) => {
                         eprintln!("cannot open snapshot dir {dir}: {e}");
                         return ExitCode::FAILURE;
@@ -669,7 +686,10 @@ fn run_fsck(mut argv: impl Iterator<Item = String>) -> ExitCode {
         return if report.problems() == 0 {
             ExitCode::SUCCESS
         } else {
-            eprintln!("fsck: {} problem(s); re-run with --repair", report.problems());
+            eprintln!(
+                "fsck: {} problem(s); re-run with --repair",
+                report.problems()
+            );
             ExitCode::FAILURE
         };
     }
@@ -743,6 +763,63 @@ fn run_fsck(mut argv: impl Iterator<Item = String>) -> ExitCode {
     }
 }
 
+/// The `migrate-snapshots` subcommand: one-shot re-encode of a snapshot
+/// directory's legacy serde `latest.snap` anchor into the columnar
+/// layout. The delta chain is format-independent and is left untouched.
+fn run_migrate(mut argv: impl Iterator<Item = String>) -> ExitCode {
+    let mut dir: Option<String> = None;
+    for arg in argv.by_ref() {
+        match arg.as_str() {
+            "--help" | "-h" => return usage_migrate(),
+            other if dir.is_none() && !other.starts_with('-') => dir = Some(other.to_string()),
+            _ => return usage_migrate(),
+        }
+    }
+    let Some(dir) = dir else {
+        return usage_migrate();
+    };
+    let store = match gamma::longitudinal::SnapshotStore::open(std::path::Path::new(&dir)) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot open snapshot dir {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    use gamma::longitudinal::MigrateOutcome;
+    match store.migrate_latest() {
+        Ok(MigrateOutcome::Missing) => {
+            eprintln!("{dir}: no latest.snap to migrate");
+            ExitCode::SUCCESS
+        }
+        Ok(MigrateOutcome::AlreadyColumnar) => {
+            eprintln!("{dir}: latest.snap is already columnar");
+            ExitCode::SUCCESS
+        }
+        Ok(MigrateOutcome::Migrated {
+            epoch,
+            bytes_before,
+            bytes_after,
+        }) => {
+            eprintln!(
+                "{dir}: migrated latest.snap (epoch {epoch}): {bytes_before} -> {bytes_after} bytes"
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{dir}: migration failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage_migrate() -> ExitCode {
+    eprintln!("usage: gamma-study migrate-snapshots DIR");
+    eprintln!(
+        "  one-shot: re-encode DIR's legacy serde latest.snap into the columnar          snapshot layout (already-columnar and missing anchors are no-ops)"
+    );
+    ExitCode::FAILURE
+}
+
 fn usage_fsck() -> ExitCode {
     eprintln!("usage: gamma-study fsck [--repair] DIR");
     eprintln!("  scan every gamma-store artifact under DIR: checksums, tears, stale tmps");
@@ -756,7 +833,8 @@ fn usage() -> ExitCode {
          [--no-source] [--no-dest] [--no-rdns] \
          [--fault-profile NAME] [--quality-report] [--small] \
          [--trace] [--metrics-out FILE] [--check-metrics FILE] \
-         [--require-ns PREFIX] [--rounds N] [--diff] [--engine-cache DIR]"
+         [--require-ns PREFIX] [--rounds N] [--diff] [--snapshot-dir DIR] \
+         [--snapshot-format legacy|columnar] [--engine-cache DIR]"
     );
     eprintln!(
         "       gamma-study serve ... (run `gamma-study serve --help` for the service plane)"
@@ -786,10 +864,17 @@ fn usage() -> ExitCode {
          latest full snapshot under DIR (crash-safe, fsck-able)"
     );
     eprintln!(
+        "  --snapshot-format F   with --snapshot-dir: write latest.snap as columnar \
+         (default) or legacy serde JSON; both formats read back transparently"
+    );
+    eprintln!(
         "  --engine-cache DIR    reuse the compiled filter engine across runs via a \
          digest-keyed store artifact under DIR (decisions are identical either way)"
     );
     eprintln!("       gamma-study fsck [--repair] DIR   check/repair store artifacts");
+    eprintln!(
+        "       gamma-study migrate-snapshots DIR  re-encode a legacy latest.snap as columnar"
+    );
     ExitCode::FAILURE
 }
 
