@@ -1,0 +1,306 @@
+//! Baseline-vs-counterfactual joins: the report behind
+//! `gamma-study --scenario NAME --counterfactual-report PATH`.
+//!
+//! The scenario engine re-runs a campaign under a modified regime
+//! (`gamma-scenario` rewrites the `WorldSpec`, and optionally the policy
+//! database, before generation); this module joins the two resulting
+//! datasets on their interned country ids and reports what the regime
+//! change did to the measured flows — per-country non-local rate deltas,
+//! source→host flow edges that appeared or disappeared, Table 1 re-ranked
+//! under the modified policy database, and the strictness/rate Spearman
+//! shift. The flow diff reuses [`crate::longitudinal::flow_edges`], the
+//! same machinery the cross-round trend report joins rounds with.
+
+use crate::dataset::{CountryData, StudyDataset};
+use crate::longitudinal::flow_edges;
+use crate::policy::{strictness_rate_correlation, table1_with, PolicyDb, PolicyRow};
+use gamma_geo::CountryCode;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+/// One country's non-local rate under both regimes. Either side is `None`
+/// when that run loaded no sites for the country (or did not measure it).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RateDelta {
+    pub country: CountryCode,
+    pub baseline_pct: Option<f64>,
+    pub counterfactual_pct: Option<f64>,
+}
+
+impl RateDelta {
+    /// Counterfactual minus baseline, when both sides measured.
+    pub fn delta(&self) -> Option<f64> {
+        Some(self.counterfactual_pct? - self.baseline_pct?)
+    }
+}
+
+/// The joined baseline-vs-counterfactual report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CounterfactualReport {
+    /// Scenario id the counterfactual ran under.
+    pub scenario: String,
+    /// Per-country rate deltas, in baseline country order.
+    pub rates: Vec<RateDelta>,
+    /// Source→host edges only the counterfactual observed.
+    pub appeared: Vec<(CountryCode, CountryCode)>,
+    /// Source→host edges only the baseline observed.
+    pub disappeared: Vec<(CountryCode, CountryCode)>,
+    /// Edges both runs observed.
+    pub stable_edges: usize,
+    /// Table 1 of the baseline run under the paper's policy database.
+    pub baseline_table1: Vec<PolicyRow>,
+    /// Table 1 of the counterfactual run under the scenario-overridden
+    /// policy database (re-ranked by the modified strictness order).
+    pub counterfactual_table1: Vec<PolicyRow>,
+    pub baseline_spearman: Option<f64>,
+    pub counterfactual_spearman: Option<f64>,
+}
+
+fn rate(c: &CountryData) -> Option<f64> {
+    let loaded = c.all_loaded_sites().count();
+    if loaded == 0 {
+        return None;
+    }
+    let with = c
+        .all_loaded_sites()
+        .filter(|s| s.has_nonlocal_tracker())
+        .count();
+    Some(100.0 * with as f64 / loaded as f64)
+}
+
+/// Joins a baseline and a counterfactual dataset into the diff report.
+/// `policy_db` is the scenario-overridden database the counterfactual's
+/// Table 1 is ranked under; the baseline side always uses the paper's.
+pub fn counterfactual_report(
+    baseline: &StudyDataset,
+    counterfactual: &StudyDataset,
+    scenario: &str,
+    policy_db: &PolicyDb,
+) -> CounterfactualReport {
+    // Join on country ids: baseline order first, then any countries only
+    // the counterfactual measured (a scenario cannot add vantages today,
+    // but the join must not silently drop rows if one ever does).
+    let mut rates: Vec<RateDelta> = baseline
+        .countries
+        .iter()
+        .map(|c| RateDelta {
+            country: c.country,
+            baseline_pct: rate(c),
+            counterfactual_pct: counterfactual.country(c.country).and_then(rate),
+        })
+        .collect();
+    for c in &counterfactual.countries {
+        if baseline.country(c.country).is_none() {
+            rates.push(RateDelta {
+                country: c.country,
+                baseline_pct: None,
+                counterfactual_pct: rate(c),
+            });
+        }
+    }
+
+    let base_edges = flow_edges(baseline);
+    let cf_edges = flow_edges(counterfactual);
+    let appeared: Vec<_> = cf_edges.difference(&base_edges).copied().collect();
+    let disappeared: Vec<_> = base_edges.difference(&cf_edges).copied().collect();
+    let stable_edges = base_edges.intersection(&cf_edges).count();
+
+    let baseline_table1 = table1_with(baseline, &PolicyDb::paper());
+    let counterfactual_table1 = table1_with(counterfactual, policy_db);
+    let baseline_spearman = strictness_rate_correlation(&baseline_table1);
+    let counterfactual_spearman = strictness_rate_correlation(&counterfactual_table1);
+
+    gamma_obs::global()
+        .counter("scenario.report.edges_appeared")
+        .add(appeared.len() as u64);
+    gamma_obs::global()
+        .counter("scenario.report.edges_disappeared")
+        .add(disappeared.len() as u64);
+
+    CounterfactualReport {
+        scenario: scenario.to_string(),
+        rates,
+        appeared,
+        disappeared,
+        stable_edges,
+        baseline_table1,
+        counterfactual_table1,
+        baseline_spearman,
+        counterfactual_spearman,
+    }
+}
+
+fn fmt_rate(r: Option<f64>) -> String {
+    match r {
+        Some(p) => format!("{p:>8.2}%"),
+        None => format!("{:>9}", "(no data)"),
+    }
+}
+
+/// Renders the report as deterministic text.
+pub fn render_counterfactual(r: &CounterfactualReport) -> String {
+    let mut s = format!("Counterfactual — baseline vs scenario {:?}\n", r.scenario);
+
+    s.push_str("\nper-country non-local rate (% of loaded sites)\n");
+    let _ = writeln!(
+        s,
+        "{:<8} {:>9} {:>9} {:>8}",
+        "country", "baseline", "scenario", "delta"
+    );
+    for d in &r.rates {
+        let delta = match d.delta() {
+            Some(x) => format!("{x:>+7.2}pp"),
+            None => format!("{:>9}", "—"),
+        };
+        let _ = writeln!(
+            s,
+            "{:<8} {} {} {delta}",
+            d.country.as_str(),
+            fmt_rate(d.baseline_pct),
+            fmt_rate(d.counterfactual_pct)
+        );
+    }
+
+    let _ = writeln!(
+        s,
+        "\nflow edges (source→host): {} stable | {} appeared | {} disappeared",
+        r.stable_edges,
+        r.appeared.len(),
+        r.disappeared.len()
+    );
+    for (src, host) in &r.appeared {
+        let _ = writeln!(s, "  + {} → {}", src.as_str(), host.as_str());
+    }
+    for (src, host) in &r.disappeared {
+        let _ = writeln!(s, "  - {} → {}", src.as_str(), host.as_str());
+    }
+
+    s.push_str("\nTable 1 re-ranked under the modified regime\n");
+    let _ = writeln!(
+        s,
+        "{:<8} {:>14} {:>16}",
+        "country", "baseline", "counterfactual"
+    );
+    // Join the two rankings on country for a side-by-side policy view.
+    let countries: BTreeSet<CountryCode> = r
+        .baseline_table1
+        .iter()
+        .chain(&r.counterfactual_table1)
+        .map(|row| row.country)
+        .collect();
+    // Walk in the counterfactual's rank order, then any baseline-only rows.
+    let mut ordered: Vec<CountryCode> = r
+        .counterfactual_table1
+        .iter()
+        .map(|row| row.country)
+        .collect();
+    for c in countries {
+        if !ordered.contains(&c) {
+            ordered.push(c);
+        }
+    }
+    let cell = |rows: &[PolicyRow], c: CountryCode| -> String {
+        rows.iter()
+            .find(|row| row.country == c)
+            .map(|row| {
+                format!(
+                    "{} {}",
+                    row.policy.label(),
+                    row.nonlocal_pct
+                        .map(|p| format!("{p:.2}%"))
+                        .unwrap_or_else(|| "(no data)".to_string())
+                )
+            })
+            .unwrap_or_else(|| "—".to_string())
+    };
+    for c in ordered {
+        let _ = writeln!(
+            s,
+            "{:<8} {:>14} {:>16}",
+            c.as_str(),
+            cell(&r.baseline_table1, c),
+            cell(&r.counterfactual_table1, c)
+        );
+    }
+
+    let fmt_corr = |c: Option<f64>| {
+        c.map(|v| format!("{v:.2}"))
+            .unwrap_or_else(|| "n/a".to_string())
+    };
+    let _ = writeln!(
+        s,
+        "\nstrictness/rate Spearman: baseline {} → counterfactual {}",
+        fmt_corr(r.baseline_spearman),
+        fmt_corr(r.counterfactual_spearman)
+    );
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::testutil::fixture;
+
+    #[test]
+    fn identical_datasets_diff_to_nothing() {
+        let study = &fixture().study;
+        let r = counterfactual_report(study, study, "identity", &PolicyDb::paper());
+        assert!(r.appeared.is_empty());
+        assert!(r.disappeared.is_empty());
+        assert_eq!(r.stable_edges, flow_edges(study).len());
+        for d in &r.rates {
+            assert_eq!(d.baseline_pct, d.counterfactual_pct);
+            if d.baseline_pct.is_some() {
+                assert_eq!(d.delta(), Some(0.0));
+            }
+        }
+        assert_eq!(r.baseline_table1, r.counterfactual_table1);
+        assert_eq!(r.baseline_spearman, r.counterfactual_spearman);
+    }
+
+    #[test]
+    fn emptied_country_shows_disappeared_edges_and_no_data() {
+        let baseline = &fixture().study;
+        let mut cf = baseline.clone();
+        let rw = CountryCode::new("RW");
+        for c in &mut cf.countries {
+            if c.country == rw {
+                for s in &mut c.sites {
+                    s.loaded = false;
+                }
+            }
+        }
+        let r = counterfactual_report(baseline, &cf, "rw-dark", &PolicyDb::paper());
+        assert!(r.appeared.is_empty(), "losing data cannot add edges");
+        assert!(
+            r.disappeared.iter().any(|(src, _)| *src == rw),
+            "RW's outbound edges must disappear"
+        );
+        let d = r.rates.iter().find(|d| d.country == rw).unwrap();
+        assert!(d.baseline_pct.is_some());
+        assert_eq!(d.counterfactual_pct, None);
+        assert_eq!(d.delta(), None);
+        let text = render_counterfactual(&r);
+        assert!(text.contains("(no data)"), "{text}");
+        assert!(text.contains("disappeared"), "{text}");
+    }
+
+    #[test]
+    fn report_renders_every_section() {
+        let study = &fixture().study;
+        let mut db = PolicyDb::paper();
+        db.set_policy(CountryCode::new("EG"), crate::policy::PolicyType::CS);
+        let r = counterfactual_report(study, study, "egypt-cs", &db);
+        let text = render_counterfactual(&r);
+        for needle in [
+            "Counterfactual — baseline vs scenario \"egypt-cs\"",
+            "per-country non-local rate",
+            "flow edges (source→host)",
+            "Table 1 re-ranked",
+            "strictness/rate Spearman",
+        ] {
+            assert!(text.contains(needle), "missing {needle}: {text}");
+        }
+    }
+}

@@ -16,6 +16,7 @@
 //! | [`freq`] | Figure 9 (tracker-domain frequency across sites) |
 //! | [`first_party`] | §6.7 (first- vs third-party non-local trackers) |
 //! | [`policy`] | Table 1 (data-localization policy vs non-local rate) |
+//! | [`counterfactual`] | baseline-vs-scenario diff (policy counterfactuals) |
 //! | [`regional_diff`] | §8 (same site, different behaviour per country) |
 //! | [`funnel`] | §5's measurement funnel |
 //! | [`quality`] | per-country data quality under faults (§3.1's hard
@@ -28,6 +29,7 @@
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod continents;
+pub mod counterfactual;
 pub mod coverage;
 pub mod dataset;
 pub mod first_party;

@@ -107,7 +107,10 @@ pub fn trends(views: &[RoundView<'_>], churn: &[ChurnLog]) -> TrendReport {
     }
 }
 
-fn prevalence_pct(c: &CountryData) -> f64 {
+/// % of one country's loaded sites with >= 1 confirmed non-local tracker
+/// (0.0 when nothing loaded; Table 1's policy join reports `(no data)`
+/// instead via its `Option` rate — this series keeps the plottable zero).
+pub fn prevalence_pct(c: &CountryData) -> f64 {
     let loaded = c.all_loaded_sites().count();
     if loaded == 0 {
         return 0.0;
@@ -137,8 +140,11 @@ fn prevalence_series(views: &[RoundView<'_>]) -> Vec<PrevalenceSeries> {
         .collect()
 }
 
-/// The set of source→host country edges one round observed.
-fn flow_edges(study: &StudyDataset) -> BTreeSet<(CountryCode, CountryCode)> {
+/// The set of source→host country edges one dataset observed. Shared by
+/// the cross-round diff below and the counterfactual flow diff
+/// ([`crate::counterfactual`]), which joins two datasets instead of two
+/// rounds.
+pub fn flow_edges(study: &StudyDataset) -> BTreeSet<(CountryCode, CountryCode)> {
     let mut edges = BTreeSet::new();
     for c in &study.countries {
         for site in c.all_loaded_sites() {
@@ -341,7 +347,10 @@ mod tests {
     use super::*;
     use crate::dataset::testutil::fixture;
 
-    fn view(study: &StudyDataset, runs: &[(VolunteerDataset, GeolocReport)]) -> RoundView<'_> {
+    fn view<'a>(
+        study: &'a StudyDataset,
+        runs: &'a [(VolunteerDataset, GeolocReport)],
+    ) -> RoundView<'a> {
         RoundView {
             epoch: 0,
             study,

@@ -85,6 +85,73 @@ pub static POLICY_TABLE: &[(&str, PolicyType, bool, Option<&str>)] = &[
     ("LB", PolicyType::NR, true, None),
 ];
 
+/// One country's policy regime: everything Table 1 records about the law
+/// itself (the measured rate lives on [`PolicyRow`]).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PolicyEntry {
+    pub policy: PolicyType,
+    pub enacted: bool,
+    pub footnote: Option<String>,
+}
+
+/// The policy database behind Table 1: [`PolicyDb::paper`] transcribes
+/// the static [`POLICY_TABLE`], and the scenario engine overrides
+/// individual countries' regimes with [`PolicyDb::set_policy`] to re-rank
+/// the table under a counterfactual legal landscape. Entries keep their
+/// transcription order; [`table1_with`] re-sorts by strictness.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PolicyDb {
+    entries: Vec<(CountryCode, PolicyEntry)>,
+}
+
+impl PolicyDb {
+    /// The paper's Table 1 regimes.
+    pub fn paper() -> PolicyDb {
+        PolicyDb {
+            entries: POLICY_TABLE
+                .iter()
+                .map(|(cc, policy, enacted, note)| {
+                    (
+                        CountryCode::new(cc),
+                        PolicyEntry {
+                            policy: *policy,
+                            enacted: *enacted,
+                            footnote: note.map(str::to_string),
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// This country's regime, if the database covers it.
+    pub fn get(&self, country: CountryCode) -> Option<&PolicyEntry> {
+        self.entries
+            .iter()
+            .find(|(c, _)| *c == country)
+            .map(|(_, e)| e)
+    }
+
+    /// Overrides (or adds) a country's regime. The new law is considered
+    /// in effect and any transcription footnote no longer applies.
+    pub fn set_policy(&mut self, country: CountryCode, policy: PolicyType) {
+        let entry = PolicyEntry {
+            policy,
+            enacted: true,
+            footnote: None,
+        };
+        match self.entries.iter_mut().find(|(c, _)| *c == country) {
+            Some((_, e)) => *e = entry,
+            None => self.entries.push((country, entry)),
+        }
+    }
+
+    /// All entries in transcription order.
+    pub fn entries(&self) -> impl Iterator<Item = (CountryCode, &PolicyEntry)> {
+        self.entries.iter().map(|(c, e)| (*c, e))
+    }
+}
+
 /// One Table 1 row with the measured non-local rate.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PolicyRow {
@@ -92,16 +159,23 @@ pub struct PolicyRow {
     pub policy: PolicyType,
     pub enacted: bool,
     pub footnote: Option<String>,
-    /// Percentage of loaded T_web sites with >= 1 non-local tracker.
-    pub nonlocal_pct: f64,
+    /// Percentage of loaded T_web sites with >= 1 non-local tracker;
+    /// `None` when the country loaded no sites at all (a fabricated
+    /// `0.0%` would be indistinguishable from a clean measurement).
+    pub nonlocal_pct: Option<f64>,
 }
 
-/// Computes Table 1.
+/// Computes Table 1 against the paper's policy database.
 pub fn table1(study: &StudyDataset) -> Vec<PolicyRow> {
-    let mut rows: Vec<PolicyRow> = POLICY_TABLE
-        .iter()
-        .filter_map(|(cc, policy, enacted, note)| {
-            let code = CountryCode::new(cc);
+    table1_with(study, &PolicyDb::paper())
+}
+
+/// Computes Table 1 against an arbitrary (possibly scenario-overridden)
+/// policy database, sorted by decreasing strictness.
+pub fn table1_with(study: &StudyDataset, db: &PolicyDb) -> Vec<PolicyRow> {
+    let mut rows: Vec<PolicyRow> = db
+        .entries()
+        .filter_map(|(code, entry)| {
             let c = study.country(code)?;
             let total = c.all_loaded_sites().count();
             let with = c
@@ -109,15 +183,15 @@ pub fn table1(study: &StudyDataset) -> Vec<PolicyRow> {
                 .filter(|s| s.has_nonlocal_tracker())
                 .count();
             let pct = if total == 0 {
-                0.0
+                None
             } else {
-                100.0 * with as f64 / total as f64
+                Some(100.0 * with as f64 / total as f64)
             };
             Some(PolicyRow {
                 country: code,
-                policy: *policy,
-                enacted: *enacted,
-                footnote: note.map(str::to_string),
+                policy: entry.policy,
+                enacted: entry.enacted,
+                footnote: entry.footnote.clone(),
                 nonlocal_pct: pct,
             })
         })
@@ -135,10 +209,14 @@ pub fn table1(study: &StudyDataset) -> Vec<PolicyRow> {
 /// The paper's "weak negative trend: more permissive countries have fewer
 /// non-local trackers" corresponds to a *positive* strictness/rate
 /// correlation (stricter law, more foreign trackers — i.e. no deterrent
-/// effect).
+/// effect). Rows without a measured rate are excluded from the ranking.
 pub fn strictness_rate_correlation(rows: &[PolicyRow]) -> Option<f64> {
-    let s: Vec<f64> = rows.iter().map(|r| r.policy.strictness() as f64).collect();
-    let p: Vec<f64> = rows.iter().map(|r| r.nonlocal_pct).collect();
+    let measured: Vec<(f64, f64)> = rows
+        .iter()
+        .filter_map(|r| Some((r.policy.strictness() as f64, r.nonlocal_pct?)))
+        .collect();
+    let s: Vec<f64> = measured.iter().map(|(s, _)| *s).collect();
+    let p: Vec<f64> = measured.iter().map(|(_, p)| *p).collect();
     spearman(&s, &p)
 }
 
@@ -166,6 +244,7 @@ mod tests {
                 .find(|r| r.country.as_str() == cc)
                 .unwrap()
                 .nonlocal_pct
+                .expect("fixture loads sites everywhere")
         };
         // Spot checks against Table 1's Non-Local column (±12 points: the
         // pipeline is noisy by design).
@@ -213,6 +292,63 @@ mod tests {
         assert!(note("US").is_none());
         let not_in_effect = rows.iter().filter(|r| !r.enacted).count();
         assert_eq!(not_in_effect, 3, "IN, PK, TH laws not yet in effect");
+    }
+
+    #[test]
+    fn zero_loaded_sites_yield_no_rate_not_a_fabricated_zero() {
+        // A country the study covers but whose shard loaded nothing must
+        // not render as a clean 0.0% measurement.
+        let mut study = fixture().study.clone();
+        for c in &mut study.countries {
+            if c.country.as_str() == "RW" {
+                for s in &mut c.sites {
+                    s.loaded = false;
+                }
+            }
+        }
+        let rows = table1(&study);
+        let rw = rows
+            .iter()
+            .find(|r| r.country.as_str() == "RW")
+            .expect("RW row present");
+        assert_eq!(rw.nonlocal_pct, None);
+        // The unmeasured row drops out of the ranking instead of skewing
+        // it toward zero.
+        let with_rw = strictness_rate_correlation(&rows).unwrap();
+        let without: Vec<PolicyRow> = rows
+            .iter()
+            .filter(|r| r.country.as_str() != "RW")
+            .cloned()
+            .collect();
+        assert_eq!(with_rw, strictness_rate_correlation(&without).unwrap());
+    }
+
+    #[test]
+    fn policy_db_lookup_and_override() {
+        let mut db = PolicyDb::paper();
+        let eg = CountryCode::new("EG");
+        assert_eq!(db.get(eg).unwrap().policy, PolicyType::PA);
+        assert!(db.get(CountryCode::new("XX")).is_none());
+        db.set_policy(eg, PolicyType::CS);
+        let entry = db.get(eg).unwrap();
+        assert_eq!(entry.policy, PolicyType::CS);
+        assert!(entry.enacted);
+        assert_eq!(entry.footnote, None);
+        assert_eq!(db.entries().count(), POLICY_TABLE.len());
+        // table1_with re-ranks under the override: EG now sorts with the
+        // consent-required block at the top.
+        let rows = table1_with(&fixture().study, &db);
+        let eg_pos = rows.iter().position(|r| r.country == eg).unwrap();
+        assert_eq!(rows[eg_pos].policy, PolicyType::CS);
+        assert!(rows[..eg_pos]
+            .iter()
+            .all(|r| r.policy.strictness() >= PolicyType::CS.strictness()));
+    }
+
+    #[test]
+    fn table1_is_table1_with_the_paper_db() {
+        let study = &fixture().study;
+        assert_eq!(table1(study), table1_with(study, &PolicyDb::paper()));
     }
 
     #[test]

@@ -202,13 +202,16 @@ pub fn render_table1(rows: &[PolicyRow], correlation: Option<f64>) -> String {
         "country", "type", "enacted", "non-local%"
     );
     for r in rows {
+        let pct = match r.nonlocal_pct {
+            Some(p) => format!("{p:>9.2}%"),
+            None => format!("{:>10}", "(no data)"),
+        };
         let _ = writeln!(
             s,
-            "{:<8} {:<6} {:<8} {:>9.2}%{}",
+            "{:<8} {:<6} {:<8} {pct}{}",
             r.country.as_str(),
             r.policy.label(),
             if r.enacted { "yes" } else { "no" },
-            r.nonlocal_pct,
             r.footnote
                 .as_deref()
                 .map(|f| format!("  ({f})"))

@@ -1,0 +1,79 @@
+//! Scenario-engine benches: how much a counterfactual costs on top of a
+//! plain run. `apply_spec` should be microseconds (it's a spec rewrite,
+//! not a world build); the report join is linear in countries + edges;
+//! the full counterfactual is bounded by two campaigns on the shared
+//! pool.
+
+use criterion::{criterion_group, criterion_main, Criterion, SamplingMode};
+use gamma_bench::BENCH_SEED;
+use gamma_campaign::Options;
+use gamma_core::{CounterfactualOutcome, Study};
+use gamma_scenario::{builtin, builtin_names};
+use gamma_websim::WorldSpec;
+use std::hint::black_box;
+use std::sync::OnceLock;
+
+fn reduced_spec() -> WorldSpec {
+    let mut spec = WorldSpec::paper_default(BENCH_SEED);
+    spec.countries
+        .retain(|c| ["AZ", "RW", "US"].contains(&c.country.as_str()));
+    spec.reg_sites_per_country = 12;
+    spec.gov_sites_per_country = 4;
+    spec
+}
+
+fn fixture() -> &'static CounterfactualOutcome {
+    static OUT: OnceLock<CounterfactualOutcome> = OnceLock::new();
+    OUT.get_or_init(|| {
+        let scenario = builtin("eu-only-hubs").expect("builtin");
+        Study::with_spec(reduced_spec())
+            .run_counterfactual(&scenario, &Options::sequential())
+            .expect("counterfactual fixture")
+    })
+}
+
+fn bench_apply_spec(c: &mut Criterion) {
+    let spec = WorldSpec::paper_default(BENCH_SEED);
+    let mut g = c.benchmark_group("scenario_apply_spec");
+    for name in builtin_names() {
+        let s = builtin(name).expect("builtin");
+        g.bench_function(*name, |b| b.iter(|| black_box(&s).apply_spec(&spec)));
+    }
+    g.finish();
+}
+
+fn bench_report_join(c: &mut Criterion) {
+    let out = fixture();
+    let mut g = c.benchmark_group("scenario_report");
+    g.bench_function("counterfactual_report", |b| {
+        b.iter(|| black_box(out).report())
+    });
+    g.bench_function("render_report", |b| {
+        b.iter(|| black_box(out).render_report())
+    });
+    g.finish();
+}
+
+fn bench_full_counterfactual(c: &mut Criterion) {
+    let scenario = builtin("eu-only-hubs").expect("builtin");
+    let study = Study::with_spec(reduced_spec());
+    let mut g = c.benchmark_group("scenario_counterfactual");
+    g.sampling_mode(SamplingMode::Flat).sample_size(10);
+    g.bench_function("baseline_run", |b| b.iter(|| black_box(&study).run()));
+    g.bench_function("counterfactual_run", |b| {
+        b.iter(|| {
+            black_box(&study)
+                .run_counterfactual(&scenario, &Options::sequential())
+                .expect("counterfactual")
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    scenario,
+    bench_apply_spec,
+    bench_report_join,
+    bench_full_counterfactual
+);
+criterion_main!(scenario);

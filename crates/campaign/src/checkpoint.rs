@@ -22,7 +22,9 @@ use crate::metrics::ShardMetrics;
 use gamma_geo::CountryCode;
 use gamma_geoloc::GeolocReport;
 use gamma_obs as obs;
-use gamma_store::{read_container, write_frames, ArtifactKind, ReadError, WriteError, WriteOptions};
+use gamma_store::{
+    read_container, write_frames, ArtifactKind, ReadError, WriteError, WriteOptions,
+};
 use gamma_suite::{Checkpoint, Quarantine, VolunteerDataset};
 use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
@@ -160,10 +162,11 @@ impl CampaignCheckpoint {
     /// options (the write-through sink threads the campaign fault plan
     /// here so storage chaos drills exercise this exact path).
     pub fn save_with(&self, path: &Path, opts: &WriteOptions) -> Result<(), CampaignError> {
-        self.save_raw(path, opts).map_err(|e| CampaignError::Checkpoint {
-            path: path.to_path_buf(),
-            reason: e.to_string(),
-        })
+        self.save_raw(path, opts)
+            .map_err(|e| CampaignError::Checkpoint {
+                path: path.to_path_buf(),
+                reason: e.to_string(),
+            })
     }
 
     /// [`save_with`](CampaignCheckpoint::save_with) keeping the store's

@@ -189,7 +189,9 @@ impl<'w> Campaign<'w> {
                     recovered_torn,
                 } => {
                     if recovered_torn {
-                        obs::global().counter("campaign.checkpoint.recovered_torn").inc();
+                        obs::global()
+                            .counter("campaign.checkpoint.recovered_torn")
+                            .inc();
                     }
                     if !cp.compatible_with(self.env.master_seed, &self.plan) {
                         return Err(CampaignError::IncompatibleCheckpoint(format!(

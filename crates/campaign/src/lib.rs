@@ -46,7 +46,7 @@ pub use options::Options;
 pub use report::render_campaign_report;
 pub use retry::{FaultInjection, RetryPolicy};
 pub use rng::{
-    derive_rng, derive_round_seed, derive_seed, derive_tenant_seed, STREAM_GEOLOCATE, STREAM_ROUND,
-    STREAM_TENANT,
+    derive_rng, derive_round_seed, derive_scenario_seed, derive_seed, derive_tenant_seed,
+    STREAM_GEOLOCATE, STREAM_ROUND, STREAM_SCENARIO, STREAM_TENANT,
 };
 pub use shard::{volunteer_slot, Shard, ShardError};

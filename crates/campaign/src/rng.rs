@@ -21,6 +21,9 @@ pub const STREAM_ROUND: u64 = 0x524F_554E; // "ROUN"
 /// Stream tag for multi-tenant study seeds (the service plane).
 pub const STREAM_TENANT: u64 = 0x5445_4E41; // "TENA"
 
+/// Stream tag for scenario-engine modifier application.
+pub const STREAM_SCENARIO: u64 = 0x5343_454E; // "SCEN"
+
 /// One round of splitmix64 — the standard seed-expansion mixer.
 fn splitmix64(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -87,6 +90,29 @@ pub fn derive_round_seed(master_seed: u64, epoch: u32) -> u64 {
 pub fn derive_tenant_seed(master_seed: u64, tenant: u32) -> u64 {
     use rand::Rng;
     ChaCha8Rng::from_seed(expand(master_seed, u64::from(tenant), STREAM_TENANT)).gen()
+}
+
+/// The seed of a scenario's modifier-application RNG.
+///
+/// The scenario engine rewrites a `WorldSpec` *before* generation; any
+/// randomness it consumes (e.g. re-homing a country whose destination
+/// mix a `RestrictTransfers` modifier emptied) must be a pure function
+/// of `(master_seed, scenario id)` — never drawn from the worldgen or
+/// shard streams, which would shift every downstream byte. The id is
+/// folded through an FNV-1a-style byte mix into the tag, then split off
+/// the dedicated `STREAM_SCENARIO` stream through the same splitmix64 +
+/// ChaCha8 expansion as every other derived seed. Like
+/// [`derive_tenant_seed`] there is deliberately no identity anchor: a
+/// scenario stream never aliases the master seed, and the dedicated
+/// stream tag keeps it disjoint from the ROUN/TENA splits even when an
+/// id like `"3"` folds to a small integer.
+pub fn derive_scenario_seed(master_seed: u64, scenario_id: &str) -> u64 {
+    let mut tag: u64 = 0xCBF2_9CE4_8422_2325; // FNV-1a offset basis
+    for &b in scenario_id.as_bytes() {
+        tag = (tag ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    use rand::Rng;
+    ChaCha8Rng::from_seed(expand(master_seed, tag, STREAM_SCENARIO)).gen()
 }
 
 /// The generator for one `(master_seed, country, stream)` shard stream.
@@ -227,6 +253,46 @@ mod tests {
             STREAM_GEOLOCATE,
         );
         assert_ne!(a, b, "tenant shard streams must not collide");
+    }
+
+    #[test]
+    fn scenario_seeds_are_reproducible_and_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for id in [
+            "egypt-cs-localization",
+            "eu-only-hubs",
+            "global-consent",
+            "no-restrictions",
+            "",
+            "x",
+            "0",
+        ] {
+            let s = derive_scenario_seed(42, id);
+            assert_eq!(s, derive_scenario_seed(42, id), "{id:?} unstable");
+            assert!(seen.insert(s), "{id:?} collides");
+        }
+        // Different master seeds split the same scenario differently.
+        assert_ne!(
+            derive_scenario_seed(42, "eu-only-hubs"),
+            derive_scenario_seed(43, "eu-only-hubs")
+        );
+    }
+
+    #[test]
+    fn scenario_streams_do_not_alias_master_round_or_tenant_streams() {
+        // No identity anchor: a scenario stream never reproduces the
+        // master seed itself, and numeric-looking ids must not collide
+        // with the ROUN/TENA splits of the same master seed.
+        for seed in [0u64, 1, 42, u64::MAX] {
+            assert_ne!(derive_scenario_seed(seed, ""), seed);
+            assert_ne!(derive_scenario_seed(seed, "0"), seed);
+        }
+        for i in 0..64u32 {
+            let s = derive_scenario_seed(42, &i.to_string());
+            assert_ne!(s, derive_round_seed(42, i), "aliases round {i}");
+            assert_ne!(s, derive_tenant_seed(42, i), "aliases tenant {i}");
+            assert_ne!(s, 42 + u64::from(i), "additive at {i}");
+        }
     }
 
     #[test]

@@ -26,4 +26,4 @@
 
 pub mod study;
 
-pub use study::{RoundContext, RoundOutputs, Study, StudyResults};
+pub use study::{CounterfactualOutcome, RoundContext, RoundOutputs, Study, StudyResults};

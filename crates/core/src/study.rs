@@ -82,8 +82,7 @@ impl Study {
         let world = worldgen::generate(&self.spec);
         let geodb = GeoDatabase::build(&world, &self.error_spec, self.seed);
         let atlas = AtlasPlatform::generate(self.seed);
-        let classifier =
-            TrackerClassifier::for_world_cached(&world, self.engine_cache.as_deref());
+        let classifier = TrackerClassifier::for_world_cached(&world, self.engine_cache.as_deref());
         drop(build_span);
 
         let env = CampaignEnv {
@@ -132,6 +131,109 @@ impl Study {
         Ok(ctx.assemble(world, outcome))
     }
 
+    /// Runs the baseline study AND a counterfactual study under the given
+    /// scenario, the two campaigns' shards multiplexed onto one shared
+    /// work-stealing pool with [`gamma_campaign::run_campaigns`] (the way
+    /// a multi-tenant server shares its pool across tenants).
+    ///
+    /// Both campaigns run under the *unchanged* master seed — the scenario
+    /// only rewrites the world specification before generation (its private
+    /// randomness comes from the derived scenario stream), so the baseline
+    /// half is byte-identical to [`Study::run_with`] at any worker count,
+    /// and a spec-identity scenario (e.g. `no-restrictions`) produces a
+    /// counterfactual half byte-identical to the baseline too.
+    ///
+    /// `options.checkpoint`/`options.resume` must be unset: the two
+    /// campaigns share a master seed and would collide on one checkpoint
+    /// file.
+    pub fn run_counterfactual(
+        &self,
+        scenario: &gamma_scenario::Scenario,
+        options: &Options,
+    ) -> Result<CounterfactualOutcome, CampaignError> {
+        assert!(
+            options.checkpoint.is_none() && options.resume.is_none(),
+            "counterfactual runs do not support checkpoint/resume"
+        );
+        scenario
+            .validate()
+            .map_err(|e| CampaignError::InvalidConfig(format!("scenario: {e}")))?;
+        gamma_obs::global()
+            .counter("scenario.counterfactual_runs")
+            .inc();
+
+        let build_span = gamma_obs::span!("study.counterfactual.build");
+        let cf_spec = scenario.apply_spec(&self.spec);
+        let base_world = worldgen::generate(&self.spec);
+        let cf_world = worldgen::generate(&cf_spec);
+        let base_geodb = GeoDatabase::build(&base_world, &self.error_spec, self.seed);
+        let cf_geodb = GeoDatabase::build(&cf_world, &self.error_spec, self.seed);
+        // The probe platform is a pure function of the master seed, which
+        // both halves share; generate one per half so each result owns its
+        // own copy, bytes identical.
+        let base_atlas = AtlasPlatform::generate(self.seed);
+        let cf_atlas = AtlasPlatform::generate(self.seed);
+        let base_classifier =
+            TrackerClassifier::for_world_cached(&base_world, self.engine_cache.as_deref());
+        let cf_classifier =
+            TrackerClassifier::for_world_cached(&cf_world, self.engine_cache.as_deref());
+        drop(build_span);
+
+        let env = |world, geodb, atlas| CampaignEnv {
+            world,
+            geodb,
+            atlas,
+            config: &self.config,
+            pipeline_options: self.options,
+            master_seed: self.seed,
+        };
+        let campaigns = [
+            Campaign::new(env(&base_world, &base_geodb, &base_atlas), options.clone()),
+            Campaign::new(env(&cf_world, &cf_geodb, &cf_atlas), options.clone()),
+        ];
+        let mut outcomes = gamma_campaign::run_campaigns(&campaigns, options.effective_workers());
+        let cf_outcome = outcomes.pop().expect("counterfactual campaign slot")?;
+        let base_outcome = outcomes.pop().expect("baseline campaign slot")?;
+        drop(campaigns);
+
+        let assemble_span = gamma_obs::span!("study.counterfactual.assemble");
+        let assemble = |world: World,
+                        geodb: GeoDatabase,
+                        atlas: AtlasPlatform,
+                        classifier: &TrackerClassifier,
+                        outcome: CampaignOutcome| {
+            let (runs, quarantines, metrics) = outcome.into_parts();
+            let study = StudyDataset::assemble(&world, classifier, &runs);
+            StudyResults {
+                world,
+                geodb,
+                atlas,
+                runs,
+                quarantines,
+                study,
+                metrics,
+            }
+        };
+        let baseline = assemble(
+            base_world,
+            base_geodb,
+            base_atlas,
+            &base_classifier,
+            base_outcome,
+        );
+        let counterfactual = assemble(cf_world, cf_geodb, cf_atlas, &cf_classifier, cf_outcome);
+        drop(assemble_span);
+
+        let mut policy_db = gamma_analysis::policy::PolicyDb::paper();
+        scenario.apply_policy(&mut policy_db);
+        Ok(CounterfactualOutcome {
+            scenario: scenario.clone(),
+            baseline,
+            counterfactual,
+            policy_db,
+        })
+    }
+
     /// Builds everything round `epoch` needs *before* any shard runs: the
     /// derived round seed, the round's geolocation database, probe
     /// platform, tracker classifier, and the round-scoped tool config
@@ -149,8 +251,7 @@ impl Study {
         let build_span = gamma_obs::span!("study.round.build");
         let geodb = GeoDatabase::build(world, &self.error_spec, round_seed);
         let atlas = AtlasPlatform::generate(round_seed);
-        let classifier =
-            TrackerClassifier::for_world_cached(world, self.engine_cache.as_deref());
+        let classifier = TrackerClassifier::for_world_cached(world, self.engine_cache.as_deref());
         let mut config = self.config.clone();
         config.seed = round_seed;
         config.plan = self.config.plan.for_round(epoch);
@@ -237,6 +338,36 @@ pub struct RoundOutputs {
     pub study: StudyDataset,
     /// The round's campaign metrics ledger.
     pub metrics: CampaignMetrics,
+}
+
+/// A finished counterfactual run: the baseline and scenario halves plus
+/// the legal landscape the scenario's `AdoptPolicy` modifiers produced.
+pub struct CounterfactualOutcome {
+    /// The scenario the counterfactual half ran under.
+    pub scenario: gamma_scenario::Scenario,
+    /// The unmodified study (byte-identical to [`Study::run_with`]).
+    pub baseline: StudyResults,
+    /// The study over the scenario-rewritten world.
+    pub counterfactual: StudyResults,
+    /// Paper policy database with the scenario's regime changes applied.
+    pub policy_db: gamma_analysis::policy::PolicyDb,
+}
+
+impl CounterfactualOutcome {
+    /// Joins the two halves into the diff report.
+    pub fn report(&self) -> gamma_analysis::counterfactual::CounterfactualReport {
+        gamma_analysis::counterfactual::counterfactual_report(
+            &self.baseline.study,
+            &self.counterfactual.study,
+            &self.scenario.id,
+            &self.policy_db,
+        )
+    }
+
+    /// Renders the diff report as deterministic text.
+    pub fn render_report(&self) -> String {
+        gamma_analysis::counterfactual::render_counterfactual(&self.report())
+    }
 }
 
 /// Everything a finished study produced.
@@ -427,6 +558,57 @@ mod tests {
         // And the round really ran under a different stream than round 0.
         let base = study.run_round(&world, 0, &Options::sequential()).unwrap();
         assert_ne!(base.round_seed, seq.round_seed);
+    }
+
+    #[test]
+    fn counterfactual_baseline_matches_plain_run_at_any_worker_count() {
+        let study = small_study();
+        let plain = study.run();
+        let scenario = gamma_scenario::Scenario {
+            id: "rw-localization".into(),
+            name: "Rwanda localizes".into(),
+            modifiers: vec![gamma_scenario::RegimeModifier::ForceLocalization {
+                country: gamma_geo::CountryCode::new("RW"),
+            }],
+        };
+        let seq = study
+            .run_counterfactual(&scenario, &Options::sequential())
+            .unwrap();
+        let par = study
+            .run_counterfactual(&scenario, &Options::with_workers(4))
+            .unwrap();
+        assert_eq!(plain.runs, seq.baseline.runs);
+        assert_eq!(plain.study, seq.baseline.study);
+        assert_eq!(seq.baseline.study, par.baseline.study);
+        assert_eq!(seq.counterfactual.study, par.counterfactual.study);
+        assert_eq!(seq.render_report(), par.render_report());
+        // Localizing Rwanda really changes the measured world: its
+        // baseline foreign edges disappear in the counterfactual.
+        let report = seq.report();
+        assert!(
+            report
+                .disappeared
+                .iter()
+                .any(|(src, _)| *src == gamma_geo::CountryCode::new("RW")),
+            "RW edges should disappear: {report:?}"
+        );
+    }
+
+    #[test]
+    fn no_restrictions_counterfactual_is_byte_identical_to_baseline() {
+        let study = small_study();
+        let scenario = gamma_scenario::builtin("no-restrictions").unwrap();
+        let out = study
+            .run_counterfactual(&scenario, &Options::sequential())
+            .unwrap();
+        assert_eq!(out.baseline.runs, out.counterfactual.runs);
+        assert_eq!(out.baseline.study, out.counterfactual.study);
+        let report = out.report();
+        assert!(report.appeared.is_empty() && report.disappeared.is_empty());
+        // Only the legal regime moved: everything NR, table re-ranked.
+        for row in &report.counterfactual_table1 {
+            assert_eq!(row.policy, gamma_analysis::policy::PolicyType::NR);
+        }
     }
 
     #[test]

@@ -1,0 +1,623 @@
+//! # gamma-scenario
+//!
+//! Policy & counterfactual scenario engine (§7's "what if" questions).
+//! Table 1's non-finding — localization law does not predict where
+//! trackers actually serve from — invites counterfactuals the measured
+//! world cannot answer: what would Egypt's flows look like if its majors
+//! served locally? What if European hubs only served Europe? A
+//! [`Scenario`] answers them by rewriting the *world specification* before
+//! generation, so the entire measurement pipeline (crawl, geolocation,
+//! identification, analysis) runs unchanged over the counterfactual world
+//! and every downstream guarantee — `--jobs N` byte-identity,
+//! checkpoint/resume, fault plans, longitudinal churn — holds for the
+//! scenario run exactly as it does for the baseline.
+//!
+//! ## Purity contract
+//!
+//! [`Scenario::apply_spec`] is a pure `WorldSpec -> WorldSpec` transform:
+//! the only randomness it may consume comes from a dedicated stream seeded
+//! by [`gamma_campaign::derive_scenario_seed`]`(spec.seed, scenario.id)`,
+//! which never aliases the master/round/tenant streams. The campaign that
+//! runs the counterfactual keeps the *unchanged* master seed, so a
+//! scenario whose modifiers are all spec-identities (e.g. the built-in
+//! `no-restrictions`, which only rewrites the legal regime) produces a
+//! byte-identical dataset to the baseline.
+//!
+//! Legal-regime changes ([`RegimeModifier::AdoptPolicy`]) deliberately do
+//! NOT touch the spec: the paper found policy does not predict behaviour,
+//! so adopting a law only re-ranks Table 1 via [`Scenario::apply_policy`]
+//! over a [`PolicyDb`], never the flows themselves. Behaviour changes are
+//! the other four modifiers.
+
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
+use gamma_analysis::policy::{PolicyDb, PolicyType};
+use gamma_campaign::derive_scenario_seed;
+use gamma_geo::CountryCode;
+use gamma_websim::{CountrySpec, WorldSpec};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// One regime change. Applied in scenario order; each names the countries
+/// it touches explicitly (an empty `countries` list means "all countries
+/// in the spec").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RegimeModifier {
+    /// The country adopts a data-localization policy of the given type.
+    /// Re-ranks Table 1 only — per the paper's finding, the law itself
+    /// changes no flows.
+    AdoptPolicy {
+        country: CountryCode,
+        policy: PolicyType,
+    },
+    /// Consent requirements suppress a fraction of tracker embeddings:
+    /// regional and government non-local rates scale by `1 - suppress_frac`.
+    /// Empty `countries` applies everywhere.
+    ConsentSuppression {
+        countries: Vec<CountryCode>,
+        suppress_frac: f64,
+    },
+    /// Hard localization: the majors serve in-country, no foreign
+    /// destinations remain, non-local rates drop to zero.
+    ForceLocalization { country: CountryCode },
+    /// Cross-border transfers from `from` may only land in `allowed`.
+    /// Destination weights and org steering are filtered to the allowed
+    /// set; if nothing survives, flows are re-homed to a scenario-drawn
+    /// allowed country (or localized outright when `allowed` is empty).
+    RestrictTransfers {
+        from: CountryCode,
+        allowed: Vec<CountryCode>,
+    },
+    /// The named tracker organizations are banned from the countries'
+    /// embedding pools. Empty `countries` applies everywhere.
+    BlockOrgs {
+        countries: Vec<CountryCode>,
+        orgs: Vec<String>,
+    },
+}
+
+impl RegimeModifier {
+    /// Whether the modifier can change the generated world (as opposed to
+    /// only the legal regime Table 1 is ranked under).
+    pub fn is_behavioural(&self) -> bool {
+        !matches!(self, RegimeModifier::AdoptPolicy { .. })
+    }
+}
+
+/// A named, ordered list of regime modifiers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Stable identifier; folded into the scenario seed stream.
+    pub id: String,
+    /// Human-readable one-liner for reports.
+    pub name: String,
+    pub modifiers: Vec<RegimeModifier>,
+}
+
+impl Scenario {
+    /// Validates identifiers, fractions, country codes and org names.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.id.is_empty() {
+            return Err("scenario id is empty".into());
+        }
+        if !self
+            .id
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-')
+        {
+            return Err(format!(
+                "scenario id {:?} must be lowercase kebab-case",
+                self.id
+            ));
+        }
+        if self.modifiers.is_empty() {
+            return Err(format!("scenario {:?} has no modifiers", self.id));
+        }
+        let known = |cc: CountryCode, what: &str| -> Result<(), String> {
+            if gamma_geo::country(cc).is_none() {
+                return Err(format!("{}: unknown {what} country {cc}", self.id));
+            }
+            Ok(())
+        };
+        for m in &self.modifiers {
+            match m {
+                RegimeModifier::AdoptPolicy { country, .. } => known(*country, "policy")?,
+                RegimeModifier::ConsentSuppression {
+                    countries,
+                    suppress_frac,
+                } => {
+                    if !(0.0..=1.0).contains(suppress_frac) {
+                        return Err(format!(
+                            "{}: suppress_frac {suppress_frac} out of [0, 1]",
+                            self.id
+                        ));
+                    }
+                    for c in countries {
+                        known(*c, "suppression")?;
+                    }
+                }
+                RegimeModifier::ForceLocalization { country } => known(*country, "localization")?,
+                RegimeModifier::RestrictTransfers { from, allowed } => {
+                    known(*from, "transfer-source")?;
+                    for c in allowed {
+                        known(*c, "transfer-destination")?;
+                    }
+                }
+                RegimeModifier::BlockOrgs { countries, orgs } => {
+                    for c in countries {
+                        known(*c, "org-block")?;
+                    }
+                    if orgs.is_empty() {
+                        return Err(format!("{}: BlockOrgs with no orgs", self.id));
+                    }
+                    for o in orgs {
+                        if !gamma_websim::org::ORG_SEEDS.iter().any(|s| s.name == o) {
+                            return Err(format!("{}: unknown organization {o:?}", self.id));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies the scenario's behavioural modifiers to a world spec.
+    ///
+    /// Pure: the only randomness consumed is the scenario stream derived
+    /// from `(spec.seed, self.id)`, so the same inputs always produce the
+    /// same output spec. Scenarios whose modifiers never change the spec
+    /// return a spec equal to the input (`no-restrictions` relies on this
+    /// for its byte-identity guarantee).
+    pub fn apply_spec(&self, spec: &WorldSpec) -> WorldSpec {
+        let mut out = spec.clone();
+        let mut rng = ChaCha8Rng::seed_from_u64(derive_scenario_seed(spec.seed, &self.id));
+        let mut rewritten = 0u64;
+        for m in &self.modifiers {
+            match m {
+                RegimeModifier::AdoptPolicy { .. } => {}
+                RegimeModifier::ConsentSuppression {
+                    countries,
+                    suppress_frac,
+                } => {
+                    let keep = 1.0 - *suppress_frac;
+                    for cs in targets(&mut out, countries) {
+                        cs.reg_nonlocal_rate *= keep;
+                        cs.gov_nonlocal_rate *= keep;
+                        rewritten += 1;
+                    }
+                }
+                RegimeModifier::ForceLocalization { country } => {
+                    if let Some(cs) = out.countries.iter_mut().find(|c| c.country == *country) {
+                        localize(cs);
+                        rewritten += 1;
+                    }
+                }
+                RegimeModifier::RestrictTransfers { from, allowed } => {
+                    if let Some(cs) = out.countries.iter_mut().find(|c| c.country == *from) {
+                        restrict_transfers(cs, allowed, &mut rng);
+                        rewritten += 1;
+                    }
+                }
+                RegimeModifier::BlockOrgs { countries, orgs } => {
+                    for cs in targets(&mut out, countries) {
+                        for o in orgs {
+                            if !cs.blocked_orgs.contains(o) {
+                                cs.blocked_orgs.push(o.clone());
+                            }
+                        }
+                        rewritten += 1;
+                    }
+                }
+            }
+        }
+        let obs = gamma_obs::global();
+        obs.counter("scenario.applied").inc();
+        obs.counter("scenario.modifiers_applied")
+            .add(self.modifiers.len() as u64);
+        obs.counter("scenario.countries_rewritten").add(rewritten);
+        out
+    }
+
+    /// Applies the scenario's `AdoptPolicy` modifiers to a policy
+    /// database, yielding the legal landscape Table 1 is re-ranked under.
+    pub fn apply_policy(&self, db: &mut PolicyDb) {
+        for m in &self.modifiers {
+            if let RegimeModifier::AdoptPolicy { country, policy } = m {
+                db.set_policy(*country, *policy);
+            }
+        }
+    }
+
+    /// Parses a JSON scenario file: either a single scenario object or an
+    /// array of them. Every parsed scenario is validated.
+    pub fn from_json(text: &str) -> Result<Vec<Scenario>, String> {
+        let scenarios: Vec<Scenario> = match serde_json::from_str::<Vec<Scenario>>(text) {
+            Ok(v) => v,
+            Err(_) => vec![serde_json::from_str::<Scenario>(text)
+                .map_err(|e| format!("scenario file parse error: {e}"))?],
+        };
+        if scenarios.is_empty() {
+            return Err("scenario file contains no scenarios".into());
+        }
+        for s in &scenarios {
+            s.validate()?;
+        }
+        Ok(scenarios)
+    }
+}
+
+/// Country specs the modifier targets: the named ones, or all when the
+/// list is empty.
+fn targets<'a>(
+    spec: &'a mut WorldSpec,
+    countries: &'a [CountryCode],
+) -> impl Iterator<Item = &'a mut CountrySpec> {
+    spec.countries
+        .iter_mut()
+        .filter(move |c| countries.is_empty() || countries.contains(&c.country))
+}
+
+/// Hard localization: everything serves in-country.
+fn localize(cs: &mut CountrySpec) {
+    cs.majors_serve_locally = true;
+    cs.reg_nonlocal_rate = 0.0;
+    cs.gov_nonlocal_rate = 0.0;
+    cs.dest_weights.clear();
+    cs.org_dest_overrides.clear();
+}
+
+/// Filters a country's foreign destinations to the allowed set. When no
+/// configured destination survives but the allowed set is non-empty, the
+/// country's flows are re-homed to one scenario-drawn allowed country
+/// (excluding itself); when the allowed set is empty, the country is
+/// localized outright (the spec invariant "non-local targets need
+/// destinations" must keep holding).
+fn restrict_transfers(cs: &mut CountrySpec, allowed: &[CountryCode], rng: &mut ChaCha8Rng) {
+    cs.dest_weights.retain(|(dest, _)| allowed.contains(dest));
+    cs.org_dest_overrides
+        .retain(|(_, dest)| allowed.contains(dest));
+    if !cs.dest_weights.is_empty() {
+        return;
+    }
+    let rehome: Vec<CountryCode> = allowed
+        .iter()
+        .copied()
+        .filter(|c| *c != cs.country)
+        .collect();
+    if rehome.is_empty() {
+        localize(cs);
+    } else {
+        let pick = rehome[rng.gen_range(0..rehome.len())];
+        cs.dest_weights = vec![(pick, 1.0)];
+    }
+}
+
+/// Names of the built-in scenario library, in presentation order.
+pub fn builtin_names() -> &'static [&'static str] {
+    &[
+        "egypt-cs-localization",
+        "eu-only-hubs",
+        "global-consent",
+        "no-restrictions",
+    ]
+}
+
+/// Looks up a built-in scenario by name.
+pub fn builtin(name: &str) -> Option<Scenario> {
+    let cc = CountryCode::new;
+    let all = gamma_geo::country::MEASUREMENT_COUNTRIES;
+    let s = match name {
+        // Egypt adopts consent law AND the infrastructure to honour it:
+        // majors deploy replicas in-country, nothing leaves. The paper's
+        // Egypt is the opposite pole (Google serves it from Germany), which
+        // makes this the starkest built-in counterfactual.
+        "egypt-cs-localization" => Scenario {
+            id: "egypt-cs-localization".into(),
+            name: "Egypt adopts consent law and full data localization".into(),
+            modifiers: vec![
+                RegimeModifier::AdoptPolicy {
+                    country: cc("EG"),
+                    policy: PolicyType::CS,
+                },
+                RegimeModifier::ForceLocalization { country: cc("EG") },
+            ],
+        },
+        // European hubs serve Europe only: every non-hub vantage's
+        // transfers are redirected to US infrastructure, draining the
+        // Frankfurt/London consolidation the paper observed (§6.3). The US
+        // (hub operator) and UK (hub host) keep their own mixes.
+        "eu-only-hubs" => Scenario {
+            id: "eu-only-hubs".into(),
+            name: "European hubs serve European traffic only".into(),
+            modifiers: all
+                .iter()
+                .filter(|c| c.as_str() != "US" && c.as_str() != "GB")
+                .map(|c| RegimeModifier::RestrictTransfers {
+                    from: *c,
+                    allowed: vec![cc("US")],
+                })
+                .collect(),
+        },
+        // A GDPR-style consent regime everywhere, honoured half the time.
+        "global-consent" => Scenario {
+            id: "global-consent".into(),
+            name: "Every country adopts consent law; half of embeddings need consent".into(),
+            modifiers: std::iter::once(RegimeModifier::ConsentSuppression {
+                countries: vec![],
+                suppress_frac: 0.5,
+            })
+            .chain(all.iter().map(|c| RegimeModifier::AdoptPolicy {
+                country: *c,
+                policy: PolicyType::CS,
+            }))
+            .collect(),
+        },
+        // The legal null hypothesis: every law repealed, behaviour
+        // untouched. An exact spec identity — the counterfactual dataset
+        // is byte-identical to the baseline, only Table 1 re-ranks.
+        "no-restrictions" => Scenario {
+            id: "no-restrictions".into(),
+            name: "All data-localization law repealed".into(),
+            modifiers: all
+                .iter()
+                .map(|c| RegimeModifier::AdoptPolicy {
+                    country: *c,
+                    policy: PolicyType::NR,
+                })
+                .collect(),
+        },
+        _ => return None,
+    };
+    Some(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> WorldSpec {
+        WorldSpec::paper_default(0xFEED)
+    }
+
+    #[test]
+    fn builtin_library_is_complete_and_valid() {
+        for name in builtin_names() {
+            let s = builtin(name).expect(name);
+            assert_eq!(&s.id, name);
+            s.validate().expect(name);
+            let out = s.apply_spec(&spec());
+            out.validate().expect(name);
+        }
+        assert!(builtin("nope").is_none());
+    }
+
+    #[test]
+    fn apply_spec_is_pure() {
+        for name in builtin_names() {
+            let s = builtin(name).unwrap();
+            assert_eq!(s.apply_spec(&spec()), s.apply_spec(&spec()), "{name}");
+        }
+    }
+
+    #[test]
+    fn no_restrictions_is_a_spec_identity() {
+        let s = builtin("no-restrictions").unwrap();
+        let base = spec();
+        assert_eq!(s.apply_spec(&base), base);
+        assert!(s.modifiers.iter().all(|m| !m.is_behavioural()));
+    }
+
+    #[test]
+    fn no_restrictions_repeals_every_law() {
+        let s = builtin("no-restrictions").unwrap();
+        let mut db = PolicyDb::paper();
+        s.apply_policy(&mut db);
+        for (_, e) in db.entries() {
+            assert_eq!(e.policy, PolicyType::NR);
+        }
+    }
+
+    #[test]
+    fn force_localization_zeroes_egypt() {
+        let s = builtin("egypt-cs-localization").unwrap();
+        let out = s.apply_spec(&spec());
+        let eg = out.country(CountryCode::new("EG")).unwrap();
+        assert!(eg.majors_serve_locally);
+        assert_eq!(eg.reg_nonlocal_rate, 0.0);
+        assert_eq!(eg.gov_nonlocal_rate, 0.0);
+        assert!(eg.dest_weights.is_empty());
+        assert!(eg.org_dest_overrides.is_empty());
+        // Only Egypt changes.
+        let base = spec();
+        for cs in &out.countries {
+            if cs.country != CountryCode::new("EG") {
+                assert_eq!(Some(cs), base.country(cs.country));
+            }
+        }
+    }
+
+    #[test]
+    fn consent_suppression_scales_rates() {
+        let s = Scenario {
+            id: "half".into(),
+            name: "test".into(),
+            modifiers: vec![RegimeModifier::ConsentSuppression {
+                countries: vec![CountryCode::new("JP")],
+                suppress_frac: 0.5,
+            }],
+        };
+        let base = spec();
+        let out = s.apply_spec(&base);
+        let (b, o) = (
+            base.country(CountryCode::new("JP")).unwrap(),
+            out.country(CountryCode::new("JP")).unwrap(),
+        );
+        assert!((o.reg_nonlocal_rate - b.reg_nonlocal_rate * 0.5).abs() < 1e-12);
+        assert!((o.gov_nonlocal_rate - b.gov_nonlocal_rate * 0.5).abs() < 1e-12);
+        assert_eq!(
+            out.country(CountryCode::new("US")),
+            base.country(CountryCode::new("US"))
+        );
+    }
+
+    #[test]
+    fn restrict_transfers_filters_and_rehomes() {
+        let base = spec();
+        // AZ's paper destinations are all European; restricting to the US
+        // leaves nothing, so flows re-home to the single allowed country.
+        let s = Scenario {
+            id: "az-us".into(),
+            name: "test".into(),
+            modifiers: vec![RegimeModifier::RestrictTransfers {
+                from: CountryCode::new("AZ"),
+                allowed: vec![CountryCode::new("US")],
+            }],
+        };
+        let out = s.apply_spec(&base);
+        let az = out.country(CountryCode::new("AZ")).unwrap();
+        assert_eq!(az.dest_weights, vec![(CountryCode::new("US"), 1.0)]);
+        assert!(out.validate().is_ok());
+
+        // A filter that keeps an existing destination just narrows the mix.
+        let keep = Scenario {
+            id: "az-de".into(),
+            name: "test".into(),
+            modifiers: vec![RegimeModifier::RestrictTransfers {
+                from: CountryCode::new("AZ"),
+                allowed: vec![CountryCode::new("DE")],
+            }],
+        };
+        let out = keep.apply_spec(&base);
+        let az = out.country(CountryCode::new("AZ")).unwrap();
+        assert_eq!(az.dest_weights.len(), 1);
+        assert_eq!(az.dest_weights[0].0, CountryCode::new("DE"));
+
+        // Empty allowed list localizes outright; the spec stays valid.
+        let none = Scenario {
+            id: "az-none".into(),
+            name: "test".into(),
+            modifiers: vec![RegimeModifier::RestrictTransfers {
+                from: CountryCode::new("AZ"),
+                allowed: vec![],
+            }],
+        };
+        let out = none.apply_spec(&base);
+        let az = out.country(CountryCode::new("AZ")).unwrap();
+        assert_eq!(az.reg_nonlocal_rate, 0.0);
+        assert!(az.dest_weights.is_empty());
+        assert!(out.validate().is_ok());
+    }
+
+    #[test]
+    fn block_orgs_appends_without_duplicates() {
+        let s = Scenario {
+            id: "ban-google".into(),
+            name: "test".into(),
+            modifiers: vec![
+                RegimeModifier::BlockOrgs {
+                    countries: vec![],
+                    orgs: vec!["Google".into()],
+                },
+                RegimeModifier::BlockOrgs {
+                    countries: vec![CountryCode::new("EG")],
+                    orgs: vec!["Google".into(), "Facebook".into()],
+                },
+            ],
+        };
+        s.validate().unwrap();
+        let out = s.apply_spec(&spec());
+        for cs in &out.countries {
+            if cs.country == CountryCode::new("EG") {
+                assert_eq!(cs.blocked_orgs, vec!["Google", "Facebook"]);
+            } else {
+                assert_eq!(cs.blocked_orgs, vec!["Google"]);
+            }
+        }
+    }
+
+    #[test]
+    fn validation_rejects_bad_scenarios() {
+        let base = Scenario {
+            id: "ok".into(),
+            name: "t".into(),
+            modifiers: vec![RegimeModifier::ForceLocalization {
+                country: CountryCode::new("EG"),
+            }],
+        };
+        base.validate().unwrap();
+
+        let mut s = base.clone();
+        s.id = "Bad Name".into();
+        assert!(s.validate().is_err());
+
+        let mut s = base.clone();
+        s.modifiers.clear();
+        assert!(s.validate().is_err());
+
+        let mut s = base.clone();
+        s.modifiers = vec![RegimeModifier::ForceLocalization {
+            country: CountryCode::new("XX"),
+        }];
+        assert!(s.validate().is_err());
+
+        let mut s = base.clone();
+        s.modifiers = vec![RegimeModifier::ConsentSuppression {
+            countries: vec![],
+            suppress_frac: 1.5,
+        }];
+        assert!(s.validate().is_err());
+
+        let mut s = base.clone();
+        s.modifiers = vec![RegimeModifier::BlockOrgs {
+            countries: vec![],
+            orgs: vec!["No Such Org".into()],
+        }];
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn scenarios_roundtrip_through_json() {
+        for name in builtin_names() {
+            let s = builtin(name).unwrap();
+            let json = serde_json::to_string(&s).unwrap();
+            let parsed = Scenario::from_json(&json).unwrap();
+            assert_eq!(parsed, vec![s]);
+        }
+        let all: Vec<Scenario> = builtin_names()
+            .iter()
+            .map(|n| builtin(n).unwrap())
+            .collect();
+        let json = serde_json::to_string(&all).unwrap();
+        assert_eq!(Scenario::from_json(&json).unwrap(), all);
+
+        assert!(Scenario::from_json("[]").is_err());
+        assert!(Scenario::from_json("{").is_err());
+        // Files with invalid scenarios are rejected wholesale.
+        let bad = r#"{"id": "Bad Id", "name": "x", "modifiers": []}"#;
+        assert!(Scenario::from_json(bad).is_err());
+    }
+
+    #[test]
+    fn eu_only_hubs_drains_european_destinations() {
+        let s = builtin("eu-only-hubs").unwrap();
+        let out = s.apply_spec(&spec());
+        let euro: Vec<CountryCode> = ["FR", "DE", "GB", "NL", "IE", "ES", "IT", "FI", "BG", "CH"]
+            .iter()
+            .map(|c| CountryCode::new(c))
+            .collect();
+        for cs in &out.countries {
+            if cs.country.as_str() == "US" || cs.country.as_str() == "GB" {
+                continue;
+            }
+            for (dest, _) in &cs.dest_weights {
+                assert!(
+                    !euro.contains(dest),
+                    "{}: still sends to {dest}",
+                    cs.country
+                );
+            }
+        }
+        out.validate().unwrap();
+    }
+}

@@ -54,6 +54,11 @@ pub struct StudyConfig {
     pub reg_sites: Option<usize>,
     /// Override for government sites per country (None: paper default).
     pub gov_sites: Option<usize>,
+    /// Built-in scenario applied to the tenant's world spec before
+    /// generation (None: the unmodified paper world). Defaulted so
+    /// pre-scenario persisted configs deserialize unchanged.
+    #[serde(default)]
+    pub scenario: Option<String>,
 }
 
 impl StudyConfig {
@@ -69,6 +74,7 @@ impl StudyConfig {
             retention: Retention::KeepAll,
             reg_sites: None,
             gov_sites: None,
+            scenario: None,
         }
     }
 
@@ -105,14 +111,23 @@ impl StudyConfig {
         if self.reg_sites == Some(0) {
             return Err("reg_sites must be positive".into());
         }
+        if let Some(name) = &self.scenario {
+            if gamma_scenario::builtin(name).is_none() {
+                return Err(format!(
+                    "unknown scenario {name:?} (built-ins: {})",
+                    gamma_scenario::builtin_names().join(", ")
+                ));
+            }
+        }
         Ok(())
     }
 
     /// Parses the CLI registration spec
     /// `name:key=value,...` with keys `cadence=N`,
     /// `countries=RW+US+NZ`, `faults=NAME`, `churn=paper|none`,
-    /// `retention=N|all`, `sites=REG+GOV`. Unset keys take the
-    /// [`StudyConfig::new`] defaults over the full paper country set.
+    /// `retention=N|all`, `sites=REG+GOV`, `scenario=NAME` (a built-in
+    /// counterfactual scenario applied to the world spec). Unset keys take
+    /// the [`StudyConfig::new`] defaults over the full paper country set.
     pub fn parse_spec(spec: &str) -> Result<StudyConfig, String> {
         let (name, rest) = spec
             .split_once(':')
@@ -177,6 +192,7 @@ impl StudyConfig {
                     config.gov_sites =
                         Some(gov.parse().map_err(|_| format!("bad gov sites {gov:?}"))?);
                 }
+                "scenario" => config.scenario = Some(value.to_string()),
                 other => return Err(format!("unknown study option {other:?}")),
             }
         }
@@ -196,7 +212,13 @@ impl StudyConfig {
         if let Some(gov) = self.gov_sites {
             spec.gov_sites_per_country = gov;
         }
-        spec
+        match &self.scenario {
+            // Validated at registration; a name gone missing here is a bug.
+            Some(name) => gamma_scenario::builtin(name)
+                .unwrap_or_else(|| panic!("validated scenario {name:?} disappeared"))
+                .apply_spec(&spec),
+            None => spec,
+        }
     }
 }
 
@@ -244,6 +266,7 @@ mod tests {
             "x:retention=-1",
             "x:sites=12",
             "x:sites=0+5",
+            "x:scenario=nope",
             "x:unknown=1",
             "x:cadence",
         ] {
@@ -274,5 +297,32 @@ mod tests {
         let js = serde_json::to_string(&c).unwrap();
         let back: StudyConfig = serde_json::from_str(&js).unwrap();
         assert_eq!(back, c);
+    }
+
+    #[test]
+    fn pre_scenario_persisted_configs_still_deserialize() {
+        // A config JSON written before the scenario field existed.
+        let c = StudyConfig::parse_spec("s:countries=RW+US").unwrap();
+        let mut js: serde_json::Value =
+            serde_json::from_str(&serde_json::to_string(&c).unwrap()).unwrap();
+        js.as_object_mut().unwrap().remove("scenario");
+        let back: StudyConfig = serde_json::from_value(js).unwrap();
+        assert_eq!(back.scenario, None);
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn scenario_key_parses_and_rewrites_the_world_spec() {
+        let c =
+            StudyConfig::parse_spec("s:countries=EG+US,scenario=egypt-cs-localization").unwrap();
+        assert_eq!(c.scenario.as_deref(), Some("egypt-cs-localization"));
+        let spec = c.world_spec(5);
+        let eg = spec.country(CountryCode::new("EG")).unwrap();
+        assert!(eg.majors_serve_locally);
+        assert_eq!(eg.reg_nonlocal_rate, 0.0);
+        // The identity scenario leaves the spec byte-identical.
+        let plain = StudyConfig::parse_spec("s:countries=EG+US").unwrap();
+        let ident = StudyConfig::parse_spec("s:countries=EG+US,scenario=no-restrictions").unwrap();
+        assert_eq!(plain.world_spec(5), ident.world_spec(5));
     }
 }

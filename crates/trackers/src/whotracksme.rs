@@ -71,6 +71,19 @@ impl WhoTracksMe {
     pub fn is_empty(&self) -> bool {
         self.by_domain.is_empty()
     }
+
+    /// Distinct organization names in the database, sorted.
+    pub fn org_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.by_domain.values().map(|e| e.name.clone()).collect();
+        names.sort();
+        names.dedup();
+        names
+    }
+
+    /// Whether any domain attributes to the named organization.
+    pub fn contains_org(&self, name: &str) -> bool {
+        self.by_domain.values().any(|e| e.name == name)
+    }
 }
 
 #[cfg(test)]
@@ -120,5 +133,17 @@ mod tests {
     fn database_scale_matches_tracker_table() {
         let db = db();
         assert!(db.len() > 400, "only {} entries", db.len());
+    }
+
+    #[test]
+    fn org_names_enumerates_sorted_and_contains_org_agrees() {
+        let db = db();
+        let names = db.org_names();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
+        assert!(names.iter().any(|n| n == "Google"));
+        assert!(db.contains_org("Google"));
+        assert!(!db.contains_org("No Such Org Inc"));
     }
 }

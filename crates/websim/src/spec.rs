@@ -115,6 +115,12 @@ pub struct CountrySpec {
     pub page_richness: f64,
     /// Whether similarweb publishes a regional top list (§3.2).
     pub similarweb_covers: bool,
+    /// Tracker organizations excluded from this country's embedding pools
+    /// (by org name). Empty in the paper's calibration; the scenario
+    /// engine's `BlockOrgs` modifier populates it. Blocking never consumes
+    /// generator randomness, so an empty list leaves worlds byte-identical.
+    #[serde(default)]
+    pub blocked_orgs: Vec<String>,
 }
 
 /// The full world specification.
@@ -205,6 +211,7 @@ impl WorldSpec {
                 gov_sites_in_tranco: 50,
                 page_richness: 1.0,
                 similarweb_covers: false,
+                blocked_orgs: vec![],
             },
             CountrySpec {
                 country: cc("DZ"),
@@ -228,6 +235,7 @@ impl WorldSpec {
                 gov_sites_in_tranco: 14,
                 page_richness: 0.9,
                 similarweb_covers: false,
+                blocked_orgs: vec![],
             },
             CountrySpec {
                 country: cc("EG"),
@@ -251,6 +259,7 @@ impl WorldSpec {
                 gov_sites_in_tranco: 50,
                 page_richness: 1.0,
                 similarweb_covers: true,
+                blocked_orgs: vec![],
             },
             CountrySpec {
                 country: cc("RW"),
@@ -274,6 +283,7 @@ impl WorldSpec {
                 gov_sites_in_tranco: 38,
                 page_richness: 0.95,
                 similarweb_covers: false,
+                blocked_orgs: vec![],
             },
             CountrySpec {
                 country: cc("UG"),
@@ -298,6 +308,7 @@ impl WorldSpec {
                 gov_sites_in_tranco: 50,
                 page_richness: 0.95,
                 similarweb_covers: false,
+                blocked_orgs: vec![],
             },
             CountrySpec {
                 country: cc("AR"),
@@ -319,6 +330,7 @@ impl WorldSpec {
                 gov_sites_in_tranco: 50,
                 page_richness: 1.25,
                 similarweb_covers: true,
+                blocked_orgs: vec![],
             },
             CountrySpec {
                 country: cc("RU"),
@@ -336,6 +348,7 @@ impl WorldSpec {
                 gov_sites_in_tranco: 16,
                 page_richness: 1.0,
                 similarweb_covers: true,
+                blocked_orgs: vec![],
             },
             CountrySpec {
                 country: cc("LK"),
@@ -359,6 +372,7 @@ impl WorldSpec {
                 gov_sites_in_tranco: 50,
                 page_richness: 0.9,
                 similarweb_covers: true,
+                blocked_orgs: vec![],
             },
             CountrySpec {
                 country: cc("TH"),
@@ -376,6 +390,7 @@ impl WorldSpec {
                 gov_sites_in_tranco: 50,
                 page_richness: 1.3,
                 similarweb_covers: true,
+                blocked_orgs: vec![],
             },
             CountrySpec {
                 country: cc("AE"),
@@ -393,6 +408,7 @@ impl WorldSpec {
                 gov_sites_in_tranco: 50,
                 page_richness: 1.0,
                 similarweb_covers: true,
+                blocked_orgs: vec![],
             },
             CountrySpec {
                 country: cc("GB"),
@@ -416,6 +432,7 @@ impl WorldSpec {
                 gov_sites_in_tranco: 50,
                 page_richness: 1.9,
                 similarweb_covers: true,
+                blocked_orgs: vec![],
             },
             CountrySpec {
                 country: cc("AU"),
@@ -439,6 +456,7 @@ impl WorldSpec {
                 gov_sites_in_tranco: 50,
                 page_richness: 1.1,
                 similarweb_covers: true,
+                blocked_orgs: vec![],
             },
             CountrySpec {
                 country: cc("CA"),
@@ -456,6 +474,7 @@ impl WorldSpec {
                 gov_sites_in_tranco: 50,
                 page_richness: 2.0,
                 similarweb_covers: true,
+                blocked_orgs: vec![],
             },
             CountrySpec {
                 country: cc("IN"),
@@ -473,6 +492,7 @@ impl WorldSpec {
                 gov_sites_in_tranco: 50,
                 page_richness: 1.1,
                 similarweb_covers: true,
+                blocked_orgs: vec![],
             },
             CountrySpec {
                 country: cc("JP"),
@@ -490,6 +510,7 @@ impl WorldSpec {
                 gov_sites_in_tranco: 50,
                 page_richness: 1.0,
                 similarweb_covers: true,
+                blocked_orgs: vec![],
             },
             CountrySpec {
                 country: cc("JO"),
@@ -513,6 +534,7 @@ impl WorldSpec {
                 gov_sites_in_tranco: 50,
                 page_richness: 1.0,
                 similarweb_covers: true,
+                blocked_orgs: vec![],
             },
             CountrySpec {
                 country: cc("NZ"),
@@ -539,6 +561,7 @@ impl WorldSpec {
                 gov_sites_in_tranco: 50,
                 page_richness: 1.15,
                 similarweb_covers: true,
+                blocked_orgs: vec![],
             },
             CountrySpec {
                 country: cc("PK"),
@@ -562,6 +585,7 @@ impl WorldSpec {
                 gov_sites_in_tranco: 50,
                 page_richness: 1.0,
                 similarweb_covers: true,
+                blocked_orgs: vec![],
             },
             CountrySpec {
                 country: cc("QA"),
@@ -589,6 +613,7 @@ impl WorldSpec {
                 gov_sites_in_tranco: 50,
                 page_richness: 1.0,
                 similarweb_covers: true,
+                blocked_orgs: vec![],
             },
             CountrySpec {
                 country: cc("SA"),
@@ -612,6 +637,7 @@ impl WorldSpec {
                 gov_sites_in_tranco: 50,
                 page_richness: 0.5,
                 similarweb_covers: true,
+                blocked_orgs: vec![],
             },
             CountrySpec {
                 country: cc("TW"),
@@ -629,6 +655,7 @@ impl WorldSpec {
                 gov_sites_in_tranco: 50,
                 page_richness: 0.65,
                 similarweb_covers: true,
+                blocked_orgs: vec![],
             },
             CountrySpec {
                 country: cc("US"),
@@ -646,6 +673,7 @@ impl WorldSpec {
                 gov_sites_in_tranco: 50,
                 page_richness: 2.1,
                 similarweb_covers: true,
+                blocked_orgs: vec![],
             },
             CountrySpec {
                 country: cc("LB"),
@@ -663,6 +691,7 @@ impl WorldSpec {
                 gov_sites_in_tranco: 9,
                 page_richness: 0.8,
                 similarweb_covers: true,
+                blocked_orgs: vec![],
             },
         ];
         WorldSpec {

@@ -687,6 +687,13 @@ fn build_tracker_pool_excluding(
 ) -> Vec<OrgPool> {
     let mut pool: Vec<(OrgId, OrgPool)> = Vec::new();
     for (org_id, fqdns) in fqdn_table {
+        let org = &orgs[org_id.0 as usize];
+        // Scenario-blocked orgs never enter the pool. The filter runs
+        // before any randomness is consumed, so an empty `blocked_orgs`
+        // leaves generated worlds byte-identical.
+        if cs.blocked_orgs.iter().any(|b| b == &org.name) {
+            continue;
+        }
         if let Some(home) = exclusive_to.get(org_id) {
             if *home != cs.country {
                 continue;
@@ -706,7 +713,6 @@ fn build_tracker_pool_excluding(
         }
         // Pick weights follow reach: Google's tags are near-ubiquitous,
         // the other majors are common, the long tail is rare.
-        let org = &orgs[org_id.0 as usize];
         let weight = if org.name == "Google" {
             28.0
         } else if org.kind == OrgKind::MajorTracker {
@@ -1443,6 +1449,37 @@ mod tests {
                 cs.reg_nonlocal_rate
             );
         }
+    }
+
+    #[test]
+    fn blocked_orgs_vanish_from_that_country_only() {
+        let mut spec = WorldSpec::paper_default(0xC0FFEE);
+        let eg = CountryCode::new("EG");
+        spec.countries
+            .iter_mut()
+            .find(|c| c.country == eg)
+            .unwrap()
+            .blocked_orgs = vec!["Google".to_string()];
+        let w = generate(&spec);
+        let google = w.orgs.iter().find(|o| o.name == "Google").unwrap().id;
+        let embeds_google = |s: &Website| {
+            s.trackers
+                .iter()
+                .any(|t| w.org_of_domain(t) == Some(google))
+        };
+        // Egyptian sites' own embedding pools exclude Google entirely
+        // (globals ranked into EG's T_reg keep their fixed embeddings —
+        // the documented scenario-engine limitation — so filter to !global).
+        for s in w.sites.iter().filter(|s| s.country == eg && !s.global) {
+            assert!(!embeds_google(s), "{} embeds blocked Google", s.domain);
+        }
+        assert!(
+            w.sites
+                .iter()
+                .filter(|s| s.country != eg && !s.global)
+                .any(embeds_google),
+            "blocking in EG must not affect other countries"
+        );
     }
 
     #[test]

@@ -23,12 +23,15 @@ fn main() {
         "country", "type", "enacted", "non-local%"
     );
     for r in &rows {
+        let pct = match r.nonlocal_pct {
+            Some(p) => format!("{p:>9.2}%"),
+            None => format!("{:>10}", "(no data)"),
+        };
         println!(
-            "{:<8} {:<6} {:<8} {:>9.2}%{}",
+            "{:<8} {:<6} {:<8} {pct}{}",
             r.country.as_str(),
             r.policy.label(),
             if r.enacted { "yes" } else { "no" },
-            r.nonlocal_pct,
             r.footnote
                 .as_deref()
                 .map(|f| format!("   ({f})"))
@@ -47,7 +50,7 @@ fn main() {
         let rates: Vec<f64> = rows
             .iter()
             .filter(|r| r.policy == p)
-            .map(|r| r.nonlocal_pct)
+            .filter_map(|r| r.nonlocal_pct)
             .collect();
         if !rates.is_empty() {
             println!(

@@ -94,6 +94,20 @@ cargo run --release --bin gamma-study -- \
   --seed 7 --small --rounds 3 --snapshot-dir "$STORE_DIR/snapshots" \
   --resume "$STORE_DIR/campaign.ckpt" > /dev/null
 
+echo "==> scenario smoke: counterfactual report renders, baseline stdout untouched"
+rm -f /tmp/gamma-scenario-report.md
+cargo run --release --bin gamma-study -- \
+  --seed 7 --small > /tmp/gamma-scenario-plain.txt
+cargo run --release --bin gamma-study -- \
+  --seed 7 --small --scenario global-consent \
+  --counterfactual-report /tmp/gamma-scenario-report.md \
+  --metrics-out /tmp/gamma-scenario-7.json > /tmp/gamma-scenario-cf.txt
+# The baseline half must be byte-identical to the scenario-less run.
+cmp /tmp/gamma-scenario-plain.txt /tmp/gamma-scenario-cf.txt
+grep -q "Counterfactual" /tmp/gamma-scenario-report.md
+cargo run --release --bin gamma-study -- \
+  --check-metrics /tmp/gamma-scenario-7.json --require-ns scenario.
+
 echo "==> storage-chaos smoke: armed disk faults stay byte-identical across --jobs"
 rm -f /tmp/gamma-storage-ckpt-a /tmp/gamma-storage-ckpt-b
 cargo run --release --bin gamma-study -- \

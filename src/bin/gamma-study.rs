@@ -24,6 +24,12 @@
 //! # CI smoke: three countries only
 //! gamma-study --small --fault-profile blackout:RW --quality-report
 //!
+//! # counterfactual: baseline + scenario campaigns on one shared pool;
+//! # stdout stays byte-identical to a scenario-less run, the diff report
+//! # (rate deltas, appeared/disappeared flow edges, re-ranked Table 1)
+//! # goes to the file
+//! gamma-study --small --scenario global-consent --counterfactual-report cf.md
+//!
 //! # longitudinal: three rounds of deterministic world churn, with the
 //! # cross-round diff/trend report and snapshot-size ledger
 //! gamma-study --small --rounds 3 --diff
@@ -68,6 +74,9 @@ fn main() -> ExitCode {
     let mut snapshot_format: Option<gamma::longitudinal::SnapshotFormat> = None;
     let mut require_ns: Vec<String> = Vec::new();
     let mut engine_cache: Option<String> = None;
+    let mut scenario_name: Option<String> = None;
+    let mut scenario_file: Option<String> = None;
+    let mut counterfactual_report: Option<String> = None;
 
     let mut argv = std::env::args().skip(1).peekable();
     if argv.peek().map(String::as_str) == Some("serve") {
@@ -144,6 +153,18 @@ fn main() -> ExitCode {
                 Some(v) => engine_cache = Some(v),
                 None => return usage(),
             },
+            "--scenario" => match argv.next() {
+                Some(v) => scenario_name = Some(v),
+                None => return usage(),
+            },
+            "--scenario-file" => match argv.next() {
+                Some(v) => scenario_file = Some(v),
+                None => return usage(),
+            },
+            "--counterfactual-report" => match argv.next() {
+                Some(v) => counterfactual_report = Some(v),
+                None => return usage(),
+            },
             "--help" | "-h" => return usage(),
             _ => return usage(),
         }
@@ -216,6 +237,33 @@ fn main() -> ExitCode {
     let mut options = Options::with_workers(jobs);
     if let Some(path) = resume {
         options = options.resumable(path);
+    }
+
+    // Counterfactual mode: resolve the scenario up front so bad names and
+    // malformed files fail before any campaign runs.
+    let scenario = match resolve_scenario(scenario_name.as_deref(), scenario_file.as_deref()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if counterfactual_report.is_some() && scenario.is_none() {
+        eprintln!("--counterfactual-report requires --scenario or --scenario-file");
+        return usage();
+    }
+    if scenario.is_some() {
+        if rounds > 1 || diff {
+            eprintln!("--scenario runs a single-round counterfactual; it does not combine with --rounds/--diff");
+            return usage();
+        }
+        if options.resume.is_some() {
+            eprintln!(
+                "--scenario does not combine with --resume: the baseline and counterfactual \
+                 campaigns share one master seed and would collide on the checkpoint file"
+            );
+            return usage();
+        }
     }
 
     if trace {
@@ -367,6 +415,120 @@ fn main() -> ExitCode {
     );
     let before = gamma::obs::global().snapshot();
     let started = Instant::now();
+
+    // Counterfactual mode: baseline + scenario campaigns on one shared
+    // pool. Stdout stays byte-identical to a scenario-less run (baseline
+    // figures, quality, precision); the diff report goes to
+    // `--counterfactual-report` (or stdout, appended, without one).
+    if let Some(sc) = scenario {
+        eprintln!("counterfactual scenario: {} — {}", sc.id, sc.name);
+        let out = match study.run_counterfactual(&sc, &options) {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("campaign failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let total_wall = started.elapsed();
+        eprintln!("— baseline campaign —");
+        eprintln!("{}", render_campaign_report(&out.baseline.metrics));
+        eprintln!("— counterfactual campaign —");
+        eprintln!("{}", render_campaign_report(&out.counterfactual.metrics));
+
+        if trace {
+            for root in gamma::obs::global().take_traces() {
+                eprint!("{}", gamma::obs::render_trace(&root));
+            }
+        }
+
+        // Render the diff report before the metrics snapshot so the
+        // `scenario.report.*` counters it increments land in the report.
+        let report_text = out.render_report();
+
+        if let Some(path) = metrics_out {
+            let bt = out.baseline.metrics.totals();
+            let ct = out.counterfactual.metrics.totals();
+            let stages = BTreeMap::from([
+                (
+                    "measure".to_owned(),
+                    as_ms(bt.stage_wall.measure + ct.stage_wall.measure),
+                ),
+                (
+                    "geolocate".to_owned(),
+                    as_ms(bt.stage_wall.geolocate + ct.stage_wall.geolocate),
+                ),
+                (
+                    "finalize".to_owned(),
+                    as_ms(bt.stage_wall.finalize + ct.stage_wall.finalize),
+                ),
+            ]);
+            let after = gamma::obs::global().snapshot();
+            let report = MetricsReport::new(
+                seed,
+                options.effective_workers(),
+                study.spec.countries.len(),
+                total_wall.as_secs_f64() * 1e3,
+                stages,
+                &before,
+                &after,
+            )
+            .with_throughput("sites_per_sec", (bt.sites_total + ct.sites_total) as f64);
+            match report.to_json() {
+                Ok(js) => {
+                    if let Err(e) = write_atomic(&path, js.as_bytes()) {
+                        eprintln!("cannot write {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                    eprintln!("wrote metrics report {path}");
+                }
+                Err(e) => {
+                    eprintln!("metrics serialization failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+
+        println!("{}", out.baseline.render_all());
+        if quality_report {
+            println!("{}", out.baseline.render_quality());
+        }
+        if let Some(p) = out.baseline.overall_foreign_precision() {
+            println!(
+                "foreign-identification precision vs ground truth: {:.2}%",
+                p * 100.0
+            );
+        }
+
+        match &counterfactual_report {
+            Some(path) => {
+                if let Err(e) = write_atomic(path, report_text.as_bytes()) {
+                    eprintln!("cannot write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("wrote counterfactual report {path}");
+            }
+            None => println!("{report_text}"),
+        }
+
+        if let Some(path) = json_out {
+            // Both halves, baseline first.
+            match serde_json::to_string_pretty(&[&out.baseline.study, &out.counterfactual.study]) {
+                Ok(js) => {
+                    if let Err(e) = write_atomic(&path, js.as_bytes()) {
+                        eprintln!("cannot write {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                    eprintln!("wrote {path} (baseline + counterfactual datasets)");
+                }
+                Err(e) => {
+                    eprintln!("serialization failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
+
     let results = match study.run_with(&options) {
         Ok(r) => r,
         Err(e) => {
@@ -641,6 +803,52 @@ fn as_ms(d: std::time::Duration) -> f64 {
     d.as_secs_f64() * 1e3
 }
 
+/// Resolves `--scenario` / `--scenario-file` into a validated scenario.
+/// File-defined scenarios take precedence over the built-in library; a
+/// file without `--scenario` works when it defines exactly one scenario.
+fn resolve_scenario(
+    name: Option<&str>,
+    file: Option<&str>,
+) -> Result<Option<gamma::scenario::Scenario>, String> {
+    use gamma::scenario::{builtin, builtin_names, Scenario};
+    let from_file: Vec<Scenario> = match file {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read scenario file {path}: {e}"))?;
+            Scenario::from_json(&text).map_err(|e| format!("{path}: {e}"))?
+        }
+        None => Vec::new(),
+    };
+    match (name, file) {
+        (None, None) => Ok(None),
+        (None, Some(path)) => {
+            if from_file.len() == 1 {
+                return Ok(from_file.into_iter().next());
+            }
+            let ids: Vec<&str> = from_file.iter().map(|s| s.id.as_str()).collect();
+            Err(format!(
+                "{path} defines {} scenarios ({}); pick one with --scenario NAME",
+                ids.len(),
+                ids.join(", ")
+            ))
+        }
+        (Some(n), _) => {
+            if let Some(s) = from_file.iter().find(|s| s.id == n) {
+                return Ok(Some(s.clone()));
+            }
+            if let Some(s) = builtin(n) {
+                return Ok(Some(s));
+            }
+            Err(format!(
+                "unknown scenario {n:?}; built-ins: {}{}",
+                builtin_names().join(", "),
+                file.map(|p| format!(" (and none matched in {p})"))
+                    .unwrap_or_default()
+            ))
+        }
+    }
+}
+
 /// Every report/dataset write goes through the store's atomic protocol
 /// (temp file + rename), so an interrupted run never leaves a
 /// half-written JSON artifact for CI to parse.
@@ -834,7 +1042,8 @@ fn usage() -> ExitCode {
          [--fault-profile NAME] [--quality-report] [--small] \
          [--trace] [--metrics-out FILE] [--check-metrics FILE] \
          [--require-ns PREFIX] [--rounds N] [--diff] [--snapshot-dir DIR] \
-         [--snapshot-format legacy|columnar] [--engine-cache DIR]"
+         [--snapshot-format legacy|columnar] [--engine-cache DIR] \
+         [--scenario NAME] [--scenario-file FILE] [--counterfactual-report FILE]"
     );
     eprintln!(
         "       gamma-study serve ... (run `gamma-study serve --help` for the service plane)"
@@ -870,6 +1079,20 @@ fn usage() -> ExitCode {
     eprintln!(
         "  --engine-cache DIR    reuse the compiled filter engine across runs via a \
          digest-keyed store artifact under DIR (decisions are identical either way)"
+    );
+    eprintln!(
+        "  --scenario NAME       counterfactual mode: run the baseline AND the scenario- \
+         modified world on one shared pool; built-ins: egypt-cs-localization, \
+         eu-only-hubs, global-consent, no-restrictions"
+    );
+    eprintln!(
+        "  --scenario-file FILE  load user-defined scenarios (JSON, one object or an \
+         array); file scenarios take precedence over built-ins"
+    );
+    eprintln!(
+        "  --counterfactual-report FILE  write the baseline-vs-scenario diff report to \
+         FILE (without it the report is appended to stdout); stdout's baseline half \
+         stays byte-identical to a scenario-less run"
     );
     eprintln!("       gamma-study fsck [--repair] DIR   check/repair store artifacts");
     eprintln!(

@@ -24,6 +24,7 @@ pub use gamma_longitudinal as longitudinal;
 pub use gamma_model as model;
 pub use gamma_netsim as netsim;
 pub use gamma_obs as obs;
+pub use gamma_scenario as scenario;
 pub use gamma_server as server;
 pub use gamma_store as store;
 pub use gamma_suite as suite;

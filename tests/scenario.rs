@@ -1,0 +1,168 @@
+//! Cross-crate scenario-engine properties: counterfactual runs inherit
+//! every determinism guarantee of the plain pipeline, spec-identity
+//! scenarios are byte-identities end to end, and behavioural modifiers
+//! produce the flow changes they promise on real generated worlds.
+
+use std::collections::BTreeSet;
+
+use gamma::analysis::policy::PolicyType;
+use gamma::campaign::{derive_round_seed, derive_scenario_seed, derive_tenant_seed, Options};
+use gamma::core::Study;
+use gamma::geo::CountryCode;
+use gamma::scenario::{builtin, RegimeModifier, Scenario};
+use gamma::websim::WorldSpec;
+
+/// Two vantages with no EU-headquartered exclusive orgs, so the
+/// eu-only-hubs differential below measures destination drain, not org
+/// availability.
+fn reduced_study(seed: u64) -> Study {
+    let mut spec = WorldSpec::paper_default(seed);
+    spec.countries
+        .retain(|c| ["AZ", "RW"].contains(&c.country.as_str()));
+    spec.reg_sites_per_country = 12;
+    spec.gov_sites_per_country = 4;
+    Study::with_spec(spec)
+}
+
+/// Third-party flow edges `(vantage, host)` whose hosting country is a
+/// European hub candidate.
+fn eu_third_party_edges(
+    study: &gamma::analysis::dataset::StudyDataset,
+) -> BTreeSet<(CountryCode, CountryCode)> {
+    let euro: Vec<CountryCode> = [
+        "FR", "DE", "GB", "NL", "IE", "ES", "IT", "FI", "BG", "CH", "AT",
+    ]
+    .iter()
+    .map(|c| CountryCode::new(c))
+    .collect();
+    let mut edges = BTreeSet::new();
+    for c in &study.countries {
+        for site in c.all_loaded_sites() {
+            for t in &site.nonlocal_trackers {
+                if !t.first_party && euro.contains(&t.hosting_country()) {
+                    edges.insert((c.country, t.hosting_country()));
+                }
+            }
+        }
+    }
+    edges
+}
+
+#[test]
+fn counterfactual_runs_are_byte_identical_across_worker_counts() {
+    let scenario = builtin("eu-only-hubs").unwrap();
+    let study = reduced_study(7001);
+    let seq = study
+        .run_counterfactual(&scenario, &Options::sequential())
+        .unwrap();
+    let par = study
+        .run_counterfactual(&scenario, &Options::with_workers(4))
+        .unwrap();
+
+    assert_eq!(seq.baseline.study, par.baseline.study);
+    assert_eq!(seq.counterfactual.study, par.counterfactual.study);
+    assert_eq!(seq.baseline.runs, par.baseline.runs);
+    assert_eq!(seq.counterfactual.runs, par.counterfactual.runs);
+    assert_eq!(seq.render_report(), par.render_report());
+
+    // The baseline half is the plain run, byte for byte.
+    let plain = study.run();
+    assert_eq!(plain.study, seq.baseline.study);
+    assert_eq!(plain.render_all(), seq.baseline.render_all());
+
+    // eu-only-hubs redirects AZ's all-European destination mix to the US:
+    // the counterfactual world must show strictly fewer third-party flows
+    // into Europe than the baseline, and introduce none.
+    let base_edges = eu_third_party_edges(&seq.baseline.study);
+    let cf_edges = eu_third_party_edges(&seq.counterfactual.study);
+    assert!(
+        !base_edges.is_empty(),
+        "baseline world shows no EU third-party flows; differential is vacuous"
+    );
+    assert!(
+        cf_edges.is_subset(&base_edges) && cf_edges.len() < base_edges.len(),
+        "scenario edges {cf_edges:?} not a strict subset of baseline {base_edges:?}"
+    );
+}
+
+#[test]
+fn no_restrictions_counterfactual_matches_plain_run_end_to_end() {
+    let scenario = builtin("no-restrictions").unwrap();
+    let study = reduced_study(7002);
+    let out = study
+        .run_counterfactual(&scenario, &Options::with_workers(2))
+        .unwrap();
+    let plain = study.run();
+
+    // A spec-identity scenario under the unchanged master seed reproduces
+    // the baseline bytes in both halves.
+    assert_eq!(out.baseline.study, plain.study);
+    assert_eq!(out.counterfactual.study, plain.study);
+    assert_eq!(out.baseline.runs, out.counterfactual.runs);
+
+    let report = out.report();
+    assert!(report.appeared.is_empty() && report.disappeared.is_empty());
+    assert!(report
+        .rates
+        .iter()
+        .all(|r| r.baseline_pct == r.counterfactual_pct));
+    // Only the legal regime moved: every counterfactual Table 1 row is NR.
+    assert!(report
+        .counterfactual_table1
+        .iter()
+        .all(|row| row.policy == PolicyType::NR));
+    assert!(report
+        .baseline_table1
+        .iter()
+        .any(|row| row.policy != PolicyType::NR));
+}
+
+#[test]
+fn blocked_orgs_disappear_from_the_counterfactual_world() {
+    let scenario = Scenario {
+        id: "ban-google".into(),
+        name: "Google banned everywhere".into(),
+        modifiers: vec![RegimeModifier::BlockOrgs {
+            countries: vec![],
+            orgs: vec!["Google".into()],
+        }],
+    };
+    let out = reduced_study(7003)
+        .run_counterfactual(&scenario, &Options::sequential())
+        .unwrap();
+
+    let google_flows = |half: &gamma::core::StudyResults| -> usize {
+        half.study
+            .countries
+            .iter()
+            .map(|c| {
+                c.all_loaded_sites()
+                    .flat_map(|s| s.nonlocal_trackers.iter())
+                    .filter(|t| c.tracker_org(t) == Some("Google"))
+                    .count()
+            })
+            .sum()
+    };
+    assert!(
+        google_flows(&out.baseline) > 0,
+        "baseline world attributes no flows to Google; ban is vacuous"
+    );
+    assert_eq!(google_flows(&out.counterfactual), 0);
+}
+
+#[test]
+fn scenario_seed_stream_never_aliases_other_streams() {
+    let master = 0xDEAD_BEEF;
+    let a = derive_scenario_seed(master, "eu-only-hubs");
+    let b = derive_scenario_seed(master, "egypt-cs-localization");
+    assert_ne!(a, b, "different scenario ids must draw different streams");
+    assert_ne!(a, master, "scenario stream must not alias the master seed");
+    for epoch in 0..8 {
+        assert_ne!(a, derive_round_seed(master, epoch));
+    }
+    for tenant in 0..8 {
+        assert_ne!(a, derive_tenant_seed(master, tenant));
+    }
+    // Same inputs, same stream: the scenario seed is a pure derivation.
+    assert_eq!(a, derive_scenario_seed(master, "eu-only-hubs"));
+}
